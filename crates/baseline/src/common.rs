@@ -1,0 +1,185 @@
+//! The trace-driven protocol comparison interface.
+
+use mirage_net::{
+    NetCosts,
+    SizeClass,
+};
+use mirage_types::{
+    Access,
+    PageNum,
+    SimDuration,
+    SiteId,
+};
+
+/// Accumulated cost of serving accesses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CostReport {
+    /// Short control messages sent.
+    pub shorts: u64,
+    /// Page-carrying messages sent.
+    pub larges: u64,
+    /// Page faults taken (accesses that were not free).
+    pub faults: u64,
+    /// Estimated elapsed communication time (wire only, serialized),
+    /// using the calibrated cost model.
+    pub wire_time: SimDuration,
+}
+
+impl CostReport {
+    /// Total messages.
+    pub fn total_msgs(&self) -> u64 {
+        self.shorts + self.larges
+    }
+
+    /// Adds a message of the given size.
+    pub fn add_msg(&mut self, size: SizeClass, costs: &NetCosts) {
+        match size {
+            SizeClass::Short => self.shorts += 1,
+            SizeClass::Large => self.larges += 1,
+        }
+        self.wire_time += costs.one_way(size);
+    }
+
+    /// Merges another report into this one.
+    pub fn merge(&mut self, other: CostReport) {
+        self.shorts += other.shorts;
+        self.larges += other.larges;
+        self.faults += other.faults;
+        self.wire_time += other.wire_time;
+    }
+}
+
+/// One access in a trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceOp {
+    /// The accessing site.
+    pub site: SiteId,
+    /// The page accessed.
+    pub page: PageNum,
+    /// Read or write.
+    pub access: Access,
+}
+
+/// A sequence of accesses, replayed against each protocol.
+#[derive(Clone, Debug, Default)]
+pub struct AccessTrace {
+    /// The operations in order.
+    pub ops: Vec<TraceOp>,
+}
+
+impl AccessTrace {
+    /// The §7.2 worst case as a trace: two sites alternately write and
+    /// read the same page.
+    pub fn ping_pong(cycles: usize) -> Self {
+        let mut ops = Vec::new();
+        let (a, b) = (SiteId(0), SiteId(1));
+        let page = PageNum(0);
+        for _ in 0..cycles {
+            ops.push(TraceOp { site: a, page, access: Access::Write });
+            ops.push(TraceOp { site: b, page, access: Access::Read });
+            ops.push(TraceOp { site: b, page, access: Access::Write });
+            ops.push(TraceOp { site: a, page, access: Access::Read });
+        }
+        Self { ops }
+    }
+
+    /// Read-mostly: `readers` sites read a page repeatedly; one writer
+    /// site writes once per `reads_per_write` reads.
+    pub fn read_mostly(readers: usize, rounds: usize, reads_per_write: usize) -> Self {
+        let mut ops = Vec::new();
+        let page = PageNum(0);
+        let writer = SiteId(0);
+        let mut since_write = 0;
+        for round in 0..rounds {
+            for r in 0..readers {
+                ops.push(TraceOp {
+                    site: SiteId((r + 1) as u16),
+                    page,
+                    access: Access::Read,
+                });
+                since_write += 1;
+                if since_write >= reads_per_write {
+                    since_write = 0;
+                    ops.push(TraceOp { site: writer, page, access: Access::Write });
+                }
+            }
+            let _ = round;
+        }
+        Self { ops }
+    }
+
+    /// A deterministic pseudo-random mixed trace over several pages.
+    pub fn mixed(sites: usize, pages: u32, ops_count: usize, seed: u64) -> Self {
+        // Small xorshift so the trace is reproducible without pulling in
+        // a full RNG here.
+        let mut s = seed.max(1);
+        let mut next = || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let ops = (0..ops_count)
+            .map(|_| {
+                let r = next();
+                TraceOp {
+                    site: SiteId((r % sites as u64) as u16),
+                    page: PageNum(((r >> 8) % u64::from(pages)) as u32),
+                    access: if (r >> 16) % 3 == 0 { Access::Write } else { Access::Read },
+                }
+            })
+            .collect();
+        Self { ops }
+    }
+}
+
+/// A DSM protocol replaying an access trace.
+pub trait DsmProtocol {
+    /// Human-readable protocol name.
+    fn name(&self) -> &'static str;
+
+    /// Serves one access to completion, returning its cost.
+    fn access(&mut self, op: TraceOp) -> CostReport;
+
+    /// Replays a whole trace.
+    fn replay(&mut self, trace: &AccessTrace) -> CostReport {
+        let mut total = CostReport::default();
+        for &op in &trace.ops {
+            total.merge(self.access(op));
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ping_pong_trace_shape() {
+        let t = AccessTrace::ping_pong(3);
+        assert_eq!(t.ops.len(), 12);
+        assert_eq!(t.ops[0].access, Access::Write);
+        assert_eq!(t.ops[1].site, SiteId(1));
+    }
+
+    #[test]
+    fn mixed_trace_is_deterministic() {
+        let a = AccessTrace::mixed(3, 4, 100, 42);
+        let b = AccessTrace::mixed(3, 4, 100, 42);
+        assert_eq!(a.ops, b.ops);
+        let c = AccessTrace::mixed(3, 4, 100, 43);
+        assert_ne!(a.ops, c.ops);
+    }
+
+    #[test]
+    fn cost_report_accumulates() {
+        let costs = NetCosts::vax_locus();
+        let mut r = CostReport::default();
+        r.add_msg(SizeClass::Short, &costs);
+        r.add_msg(SizeClass::Large, &costs);
+        assert_eq!(r.total_msgs(), 2);
+        let expect = costs.one_way(SizeClass::Short) + costs.one_way(SizeClass::Large);
+        assert_eq!(r.wire_time, expect);
+    }
+}

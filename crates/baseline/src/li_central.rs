@@ -1,0 +1,206 @@
+//! Li & Hudak's centralized-manager shared virtual memory.
+//!
+//! One manager site records, per page, the current **owner** and the
+//! **copy set** (sites holding read copies). Faults go to the manager;
+//! the manager forwards to the owner; the owner serves the page. A write
+//! fault makes the requester the new owner after the copy set is
+//! invalidated. "The last writer to a page becomes the new owner"
+//! (Appendix I). There is no time window: every request is served as
+//! soon as the messages land — the protocol Mirage degenerates to at
+//! Δ = 0 minus the library's batching and downgrade/upgrade tricks.
+
+use std::collections::HashMap;
+
+use mirage_net::{
+    NetCosts,
+    SizeClass,
+};
+use mirage_types::{
+    Access,
+    PageNum,
+    SiteId,
+    SiteSet,
+};
+
+use crate::common::{
+    CostReport,
+    DsmProtocol,
+    TraceOp,
+};
+
+struct PageRec {
+    owner: SiteId,
+    copy_set: SiteSet,
+    /// Owner's copy is writable (true) or it was downgraded to a read
+    /// copy by serving readers (Li keeps the owner readable).
+    owner_writable: bool,
+}
+
+/// The centralized-manager protocol.
+pub struct LiCentral {
+    manager: SiteId,
+    costs: NetCosts,
+    pages: HashMap<PageNum, PageRec>,
+    initial_owner: SiteId,
+}
+
+impl LiCentral {
+    /// Builds the protocol with the manager (and initial page owner) at
+    /// `manager`.
+    pub fn new(manager: SiteId, costs: NetCosts) -> Self {
+        Self { manager, costs, pages: HashMap::new(), initial_owner: manager }
+    }
+
+    fn rec(&mut self, page: PageNum) -> &mut PageRec {
+        let owner = self.initial_owner;
+        self.pages.entry(page).or_insert(PageRec {
+            owner,
+            copy_set: SiteSet::empty(),
+            owner_writable: true,
+        })
+    }
+
+    /// Does this access hit locally without a fault?
+    fn hit(&mut self, op: TraceOp) -> bool {
+        let rec = self.rec(op.page);
+        match op.access {
+            Access::Read => {
+                rec.copy_set.contains(op.site)
+                    || (rec.owner == op.site)
+            }
+            Access::Write => rec.owner == op.site && rec.owner_writable,
+        }
+    }
+}
+
+impl DsmProtocol for LiCentral {
+    fn name(&self) -> &'static str {
+        "li-central"
+    }
+
+    fn access(&mut self, op: TraceOp) -> CostReport {
+        let mut cost = CostReport::default();
+        if self.hit(op) {
+            return cost;
+        }
+        cost.faults = 1;
+        let manager = self.manager;
+        let costs = self.costs.clone();
+        let rec = self.pages.get_mut(&op.page).expect("hit() materialized the record");
+        match op.access {
+            Access::Read => {
+                // Requester -> manager (short), unless colocated.
+                if op.site != manager {
+                    cost.add_msg(SizeClass::Short, &costs);
+                }
+                // Manager -> owner forward (short), unless colocated.
+                if rec.owner != manager {
+                    cost.add_msg(SizeClass::Short, &costs);
+                }
+                // Owner -> requester: the page (large). The owner keeps a
+                // read copy (its write bit is cleared).
+                if rec.owner != op.site {
+                    cost.add_msg(SizeClass::Large, &costs);
+                }
+                // Requester -> manager confirmation (short).
+                if op.site != manager {
+                    cost.add_msg(SizeClass::Short, &costs);
+                }
+                rec.owner_writable = false;
+                rec.copy_set.insert(op.site);
+            }
+            Access::Write => {
+                if op.site != manager {
+                    cost.add_msg(SizeClass::Short, &costs);
+                }
+                // Manager invalidates every copy-set member except the
+                // requester: one short out, one short ack, each.
+                let victims = {
+                    let mut v = rec.copy_set;
+                    v.remove(op.site);
+                    if !rec.owner_writable {
+                        v.insert(rec.owner);
+                    }
+                    v.remove(op.site);
+                    v
+                };
+                for v in victims.iter() {
+                    if v != manager {
+                        cost.add_msg(SizeClass::Short, &costs); // invalidate
+                        cost.add_msg(SizeClass::Short, &costs); // ack
+                    }
+                }
+                // Forward to owner; owner ships the page unless the
+                // requester already holds a copy (Li sends it anyway —
+                // no Mirage-style upgrade optimization).
+                if rec.owner != manager {
+                    cost.add_msg(SizeClass::Short, &costs);
+                }
+                if rec.owner != op.site {
+                    cost.add_msg(SizeClass::Large, &costs);
+                }
+                if op.site != manager {
+                    cost.add_msg(SizeClass::Short, &costs); // confirmation
+                }
+                rec.owner = op.site;
+                rec.owner_writable = true;
+                rec.copy_set.clear();
+            }
+        }
+        cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(site: u16, access: Access) -> TraceOp {
+        TraceOp { site: SiteId(site), page: PageNum(0), access }
+    }
+
+    #[test]
+    fn owner_hits_locally() {
+        let mut p = LiCentral::new(SiteId(0), NetCosts::vax_locus());
+        let c = p.access(op(0, Access::Write));
+        assert_eq!(c.faults, 0, "initial owner writes for free");
+        let c = p.access(op(0, Access::Read));
+        assert_eq!(c.faults, 0);
+    }
+
+    #[test]
+    fn remote_read_ships_page_and_clears_write_bit() {
+        let mut p = LiCentral::new(SiteId(0), NetCosts::vax_locus());
+        let c = p.access(op(1, Access::Read));
+        assert_eq!(c.faults, 1);
+        assert_eq!(c.larges, 1);
+        assert_eq!(c.shorts, 2, "request + confirmation (manager is owner)");
+        // Owner's write bit cleared: its next write faults.
+        let c = p.access(op(0, Access::Write));
+        assert_eq!(c.faults, 1);
+    }
+
+    #[test]
+    fn write_invalidates_copy_set() {
+        let mut p = LiCentral::new(SiteId(0), NetCosts::vax_locus());
+        p.access(op(1, Access::Read));
+        p.access(op(2, Access::Read));
+        let c = p.access(op(3, Access::Write));
+        // Victims: sites 1, 2 (owner site 0 is the manager; its copy is
+        // invalidated locally for free). 2 invalidate+ack pairs.
+        assert!(c.shorts >= 4, "invalidate/ack pairs: {c:?}");
+        assert_eq!(c.larges, 1, "page shipped to new owner");
+        // New owner writes for free now.
+        assert_eq!(p.access(op(3, Access::Write)).faults, 0);
+    }
+
+    #[test]
+    fn no_upgrade_optimization_page_reshipped() {
+        // A reader that writes gets the whole page again — Li lacks
+        // Mirage's optimization 1.
+        let mut p = LiCentral::new(SiteId(0), NetCosts::vax_locus());
+        p.access(op(1, Access::Read));
+        let c = p.access(op(1, Access::Write));
+        assert_eq!(c.larges, 1, "Li re-ships the page on upgrade");
+    }
+}

@@ -1,0 +1,197 @@
+//! Li & Hudak's dynamic distributed manager.
+//!
+//! No fixed manager: every site keeps a per-page `probOwner` hint.
+//! Requests are forwarded along the hint chain until they reach the true
+//! owner; every site on the chain updates its hint to the requester,
+//! which keeps chains short (amortized O(log N) forwards). The owner
+//! holds the copy set and conducts invalidations for write transfers.
+
+use std::collections::HashMap;
+
+use mirage_net::{
+    NetCosts,
+    SizeClass,
+};
+use mirage_types::{
+    Access,
+    PageNum,
+    SiteId,
+    SiteSet,
+};
+
+use crate::common::{
+    CostReport,
+    DsmProtocol,
+    TraceOp,
+};
+
+struct PageRec {
+    /// Each site's probOwner hint, indexed by site.
+    prob_owner: Vec<SiteId>,
+    /// The true owner.
+    owner: SiteId,
+    /// Read copies outstanding (owner excluded).
+    copy_set: SiteSet,
+    owner_writable: bool,
+}
+
+/// The dynamic distributed manager protocol.
+pub struct LiDistributed {
+    sites: usize,
+    costs: NetCosts,
+    initial_owner: SiteId,
+    pages: HashMap<PageNum, PageRec>,
+    /// Total forwarding hops taken (for chain-length statistics).
+    pub forward_hops: u64,
+}
+
+impl LiDistributed {
+    /// Builds the protocol for `sites` sites with pages initially owned
+    /// by `initial_owner`.
+    pub fn new(sites: usize, initial_owner: SiteId, costs: NetCosts) -> Self {
+        Self { sites, costs, initial_owner, pages: HashMap::new(), forward_hops: 0 }
+    }
+
+    fn rec(&mut self, page: PageNum) -> &mut PageRec {
+        let owner = self.initial_owner;
+        let sites = self.sites;
+        self.pages.entry(page).or_insert_with(|| PageRec {
+            prob_owner: vec![owner; sites],
+            owner,
+            copy_set: SiteSet::empty(),
+            owner_writable: true,
+        })
+    }
+
+    fn hit(&mut self, op: TraceOp) -> bool {
+        let rec = self.rec(op.page);
+        match op.access {
+            Access::Read => rec.copy_set.contains(op.site) || rec.owner == op.site,
+            Access::Write => rec.owner == op.site && rec.owner_writable,
+        }
+    }
+}
+
+impl DsmProtocol for LiDistributed {
+    fn name(&self) -> &'static str {
+        "li-distributed"
+    }
+
+    fn access(&mut self, op: TraceOp) -> CostReport {
+        let mut cost = CostReport::default();
+        if self.hit(op) {
+            return cost;
+        }
+        cost.faults = 1;
+        let costs = self.costs.clone();
+        let rec = self.pages.get_mut(&op.page).expect("hit() materialized the record");
+        // Chase the probOwner chain; each hop is one short message and
+        // collapses the hint toward the requester.
+        let mut at = op.site;
+        let mut hops = 0u64;
+        while at != rec.owner {
+            let next = rec.prob_owner[at.index()];
+            rec.prob_owner[at.index()] = op.site;
+            if at != op.site {
+                // Forward from an intermediate site.
+            }
+            cost.add_msg(SizeClass::Short, &costs);
+            hops += 1;
+            at = next;
+            if hops as usize > self.sites + 1 {
+                unreachable!("probOwner chain must terminate at the owner");
+            }
+        }
+        self.forward_hops += hops;
+        match op.access {
+            Access::Read => {
+                if rec.owner != op.site {
+                    cost.add_msg(SizeClass::Large, &costs);
+                }
+                rec.owner_writable = false;
+                rec.copy_set.insert(op.site);
+                // Readers learn where the owner is.
+                rec.prob_owner[op.site.index()] = rec.owner;
+            }
+            Access::Write => {
+                // Owner invalidates the copy set (minus requester).
+                let mut victims = rec.copy_set;
+                victims.remove(op.site);
+                victims.remove(rec.owner);
+                for _v in victims.iter() {
+                    cost.add_msg(SizeClass::Short, &costs); // invalidate
+                    cost.add_msg(SizeClass::Short, &costs); // ack
+                }
+                if rec.owner != op.site {
+                    cost.add_msg(SizeClass::Large, &costs);
+                }
+                let old_owner = rec.owner;
+                rec.owner = op.site;
+                rec.owner_writable = true;
+                rec.copy_set.clear();
+                // The old owner's hint now points at the new owner.
+                rec.prob_owner[old_owner.index()] = op.site;
+                rec.prob_owner[op.site.index()] = op.site;
+            }
+        }
+        cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(site: u16, access: Access) -> TraceOp {
+        TraceOp { site: SiteId(site), page: PageNum(0), access }
+    }
+
+    #[test]
+    fn first_remote_write_takes_one_hop() {
+        let mut p = LiDistributed::new(3, SiteId(0), NetCosts::vax_locus());
+        let c = p.access(op(1, Access::Write));
+        assert_eq!(c.faults, 1);
+        assert_eq!(c.shorts, 1, "direct hint to initial owner");
+        assert_eq!(c.larges, 1);
+    }
+
+    #[test]
+    fn hint_chains_collapse() {
+        let mut p = LiDistributed::new(4, SiteId(0), NetCosts::vax_locus());
+        // Ownership walks 0 -> 1 -> 2; site 3 still hints at 0.
+        p.access(op(1, Access::Write));
+        p.access(op(2, Access::Write));
+        let before = p.forward_hops;
+        // Site 3's request chases 3 -> 0 -> 2: site 0's hint already
+        // collapsed to the true owner when site 2's request passed
+        // through it, so only two hops remain.
+        let c = p.access(op(3, Access::Write));
+        assert_eq!(p.forward_hops - before, 2, "{c:?}");
+        // …but a repeat from site 0 now goes straight to 3 (hint
+        // collapsed when the request passed through).
+        let before = p.forward_hops;
+        p.access(op(0, Access::Read));
+        assert_eq!(p.forward_hops - before, 1);
+    }
+
+    #[test]
+    fn read_then_write_by_same_site_needs_page_only_once() {
+        let mut p = LiDistributed::new(2, SiteId(0), NetCosts::vax_locus());
+        let c1 = p.access(op(1, Access::Read));
+        assert_eq!(c1.larges, 1);
+        let c2 = p.access(op(1, Access::Write));
+        // Like the centralized variant, Li re-ships on the write unless
+        // the requester already owns it; here site 1 is not the owner.
+        assert_eq!(c2.larges, 1);
+        // Now site 1 owns it; further writes are free.
+        assert_eq!(p.access(op(1, Access::Write)).faults, 0);
+    }
+
+    #[test]
+    fn owner_read_after_downgrade_is_free() {
+        let mut p = LiDistributed::new(2, SiteId(0), NetCosts::vax_locus());
+        p.access(op(1, Access::Read));
+        // Owner (site 0) still reads for free.
+        assert_eq!(p.access(op(0, Access::Read)).faults, 0);
+    }
+}

@@ -1,0 +1,44 @@
+//! Wire-codec throughput: encode/decode of short and page-carrying
+//! protocol messages.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mirage_core::ProtoMsg;
+use mirage_net::wire::{from_bytes, to_bytes};
+use mirage_types::{Access, Delta, PageNum, Pid, SegmentId, SiteId, PAGE_SIZE};
+
+fn messages() -> (ProtoMsg, ProtoMsg) {
+    let seg = SegmentId::new(SiteId(0), 1);
+    let short = ProtoMsg::PageRequest {
+        seg,
+        page: PageNum(3),
+        access: Access::Write,
+        pid: Pid::new(SiteId(1), 7),
+    };
+    let large = ProtoMsg::PageGrant {
+        seg,
+        page: PageNum(3),
+        access: Access::Read,
+        window: Delta(2),
+        data: vec![0xAB; PAGE_SIZE],
+    };
+    (short, large)
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let (short, large) = messages();
+    let short_bytes = to_bytes(&short);
+    let large_bytes = to_bytes(&large);
+    c.bench_function("encode_short", |b| b.iter(|| to_bytes(std::hint::black_box(&short))));
+    c.bench_function("encode_page_grant", |b| {
+        b.iter(|| to_bytes(std::hint::black_box(&large)))
+    });
+    c.bench_function("decode_short", |b| {
+        b.iter(|| from_bytes::<ProtoMsg>(std::hint::black_box(&short_bytes)).unwrap())
+    });
+    c.bench_function("decode_page_grant", |b| {
+        b.iter(|| from_bytes::<ProtoMsg>(std::hint::black_box(&large_bytes)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! A1–A3: protocol-feature ablations on the worst case.
+
+use mirage_bench::{ablation_opts, print_table};
+
+fn main() {
+    println!("A1–A3 — protocol optimizations, worst case at Δ=2\n");
+    let rows: Vec<Vec<String>> = ablation_opts(40)
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                format!("{:.2}", r.cycles_per_sec),
+                format!("{:.2}", r.shorts_per_cycle),
+                format!("{:.2}", r.larges_per_cycle),
+            ]
+        })
+        .collect();
+    print_table(&["configuration", "cycles/s", "short msgs/cycle", "page msgs/cycle"], &rows);
+}

@@ -1,0 +1,21 @@
+//! B1: Mirage versus Li's shared virtual memory protocols.
+
+use mirage_bench::{baseline_compare, print_table};
+
+fn main() {
+    println!("B1 — identical traces through Mirage and Li-Hudak SVM (Appendix I comparison)\n");
+    let rows: Vec<Vec<String>> = baseline_compare()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.trace.to_string(),
+                r.protocol.to_string(),
+                r.report.faults.to_string(),
+                r.report.shorts.to_string(),
+                r.report.larges.to_string(),
+                format!("{:.0}", r.report.wire_time.as_millis_f64()),
+            ]
+        })
+        .collect();
+    print_table(&["trace", "protocol", "faults", "short msgs", "page msgs", "wire time (ms)"], &rows);
+}

@@ -1,0 +1,23 @@
+//! E7 / Figure 8: two conflicting read-writers, throughput vs Δ.
+
+use mirage_bench::{fig8, print_table};
+
+fn main() {
+    println!("E7 — Figure 8: two conflicting read-writers (ticks; 600 ticks = 10 s)");
+    println!("(paper: contention side Δ<120 low; peak ≈115k instr/s at Δ=600; gradual retention falloff beyond)\n");
+    let deltas = [0, 2, 6, 12, 30, 60, 120, 240, 360, 480, 600, 660, 780, 900, 1200];
+    let pts = fig8(&deltas, 560_000);
+    let peak = pts.iter().cloned().fold(f64::MIN, |m, p| m.max(p.throughput));
+    let rows: Vec<Vec<String>> = pts
+        .iter()
+        .map(|p| {
+            vec![
+                p.delta.to_string(),
+                format!("{:.0}", p.throughput),
+                format!("{:.1}", p.makespan),
+                format!("{:.0}%", p.throughput / peak * 100.0),
+            ]
+        })
+        .collect();
+    print_table(&["Δ (ticks)", "read-write instr/s", "makespan (s)", "% of peak"], &rows);
+}

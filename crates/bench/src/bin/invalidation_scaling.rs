@@ -1,0 +1,20 @@
+//! A4: invalidation cost versus reader count; sequential vs multicast.
+
+use mirage_bench::{invalidation_scaling, print_table};
+
+fn main() {
+    println!("A4 — invalidating N readers (paper §7.1 caveat 2 / §10 concern)\n");
+    let pts = invalidation_scaling(&[1, 2, 4, 8, 16, 32]);
+    let rows: Vec<Vec<String>> = pts
+        .iter()
+        .map(|p| {
+            vec![
+                p.readers.to_string(),
+                format!("{:.1}", p.sequential_ms),
+                format!("{:.1}", p.multicast_ms),
+                format!("x{:.1}", p.sequential_ms / p.multicast_ms),
+            ]
+        })
+        .collect();
+    print_table(&["readers", "sequential (ms)", "multicast (ms)", "seq/mc"], &rows);
+}

@@ -1,0 +1,11 @@
+//! E4: single-site worst case — busy waiting versus yield().
+
+use mirage_bench::local_pingpong;
+
+fn main() {
+    println!("E4 — local ping-pong (paper §7.2: 5 vs 166 cycles/s, x35)\n");
+    let (noy, y) = local_pingpong(20);
+    println!("busy-wait : {noy:.1} cycles/s   (paper:   5)");
+    println!("yield()   : {y:.1} cycles/s   (paper: 166)");
+    println!("speedup   : x{:.1}          (paper: x35)", y / noy);
+}

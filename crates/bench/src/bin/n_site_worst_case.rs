@@ -1,0 +1,39 @@
+//! E5b: the N-site version of the worst case (§7.2) — one page
+//! circulating through N sites as a token ring.
+
+use mirage_bench::{print_table, sim_config};
+use mirage_sim::World;
+use mirage_types::{Delta, SimTime};
+use mirage_workloads::RingMember;
+
+fn main() {
+    println!("E5b — N-site worst case: one page circulating through N sites\n");
+    let mut rows = Vec::new();
+    for n in [2usize, 3, 4, 6, 8] {
+        for delta in [0u32, 2] {
+            let mut w = World::new(n, sim_config(Delta(delta)));
+            let seg = w.create_segment(0, 1);
+            for i in 0..n {
+                w.spawn(
+                    i,
+                    Box::new(RingMember::new(seg, i as u32, n as u32, u32::MAX / 4, true)),
+                    1,
+                );
+            }
+            w.run_until(SimTime::from_millis(30_000));
+            // One lap = every member incremented once.
+            let laps = w.sites[0].procs[0].metric() as f64 / 30.0;
+            let msgs = w.instr.msgs.total() as f64
+                / w.sites[0].procs[0].metric().max(1) as f64;
+            rows.push(vec![
+                n.to_string(),
+                delta.to_string(),
+                format!("{laps:.2}"),
+                format!("{:.1}", msgs / n as f64),
+            ]);
+        }
+    }
+    print_table(&["sites", "Δ", "laps/s", "msgs per handoff"], &rows);
+    println!("\n(the paper: \"in a network with a larger number of sites sharing");
+    println!(" pages than ours, invalidations may become expensive\", §10)");
+}

@@ -1,0 +1,29 @@
+//! E8 / Table 1: the clock-site action matrix.
+
+use mirage_bench::print_table;
+use mirage_core::table1::{row, Current, Invalidation};
+use mirage_types::Access;
+
+fn main() {
+    println!("E8 — Table 1: page operations for read and write requests\n");
+    let mut rows = Vec::new();
+    for (current, cname) in [(Current::Readers, "Readers"), (Current::Writer, "Writer")] {
+        for (incoming, iname) in [(Access::Read, "Readers"), (Access::Write, "Writer")] {
+            let in_set = current == Current::Readers && incoming == Access::Write;
+            let r = row(current, incoming, in_set, true);
+            let inv = match r.invalidation {
+                Invalidation::No => "No".to_string(),
+                Invalidation::Yes => "Yes".to_string(),
+                Invalidation::YesWithUpgrade => "Yes, upgrade (requester in read set)".to_string(),
+                Invalidation::DowngradeWriter => "Downgrade writer to reader".to_string(),
+            };
+            rows.push(vec![
+                cname.to_string(),
+                iname.to_string(),
+                if r.clock_check { "Yes" } else { "No" }.to_string(),
+                inv,
+            ]);
+        }
+    }
+    print_table(&["Current", "Incoming", "Clock Check", "Invalidation"], &rows);
+}

@@ -1,0 +1,21 @@
+//! E10: thrashing amelioration — Δ trades thrasher throughput for
+//! system throughput (§7.3).
+
+use mirage_bench::{print_table, thrash_system};
+
+fn main() {
+    println!("E10 — system throughput while an application thrashes (paper §7.3)\n");
+    let pts = thrash_system(&[0, 2, 6, 12, 30, 60], 40);
+    let rows: Vec<Vec<String>> = pts
+        .iter()
+        .map(|p| {
+            vec![
+                p.delta.to_string(),
+                format!("{:.2}", p.app_rate),
+                format!("{:.1}", p.bg_rate),
+            ]
+        })
+        .collect();
+    print_table(&["Δ", "thrasher cycles/s", "background chunks/s"], &rows);
+    println!("\n(expected: thrasher falls, background rises as Δ grows)");
+}

@@ -1,0 +1,545 @@
+//! The experiment drivers. Each function corresponds to a row of the
+//! per-experiment index in `DESIGN.md`.
+
+use mirage_baseline::{
+    AccessTrace,
+    CostReport,
+    DsmProtocol,
+    LiCentral,
+    LiDistributed,
+    MirageCost,
+};
+use mirage_core::{
+    DeltaPolicy,
+    ProtocolConfig,
+};
+use mirage_net::NetCosts;
+use mirage_sim::{
+    instrument::FetchPhase,
+    MemRef,
+    Op,
+    Program,
+    SimConfig,
+    World,
+};
+use mirage_types::{
+    Delta,
+    PageNum,
+    SimDuration,
+    SimTime,
+    SiteId,
+};
+use mirage_workloads::{
+    Background,
+    Decrementer,
+    LockHolder,
+    LockTester,
+    PingPongPinger,
+    PingPongPonger,
+    PeriodicWriter,
+    Rereader,
+};
+
+/// Builds a default simulation config with a uniform Δ.
+pub fn sim_config(delta: Delta) -> SimConfig {
+    SimConfig {
+        protocol: ProtocolConfig { delta: DeltaPolicy::Uniform(delta), ..Default::default() },
+        ..Default::default()
+    }
+}
+
+fn pingpong_world(sites: usize, cfg: SimConfig, use_yield: bool) -> World {
+    let mut w = World::new(sites, cfg);
+    let seg = w.create_segment(0, 1);
+    w.spawn(0, Box::new(PingPongPinger::new(seg, u32::MAX / 4, use_yield)), 1);
+    w.spawn(1, Box::new(PingPongPonger::new(seg, use_yield)), 1);
+    w
+}
+
+/// One point of Figure 7.
+#[derive(Clone, Copy, Debug)]
+pub struct Fig7Point {
+    /// Δ in scheduler ticks.
+    pub delta: u32,
+    /// Cycles/second with `yield()` in the wait loops.
+    pub yield_rate: f64,
+    /// Cycles/second busy-waiting.
+    pub noyield_rate: f64,
+}
+
+/// E5 / Figure 7: worst-case throughput versus Δ, yield and no-yield.
+pub fn fig7(deltas: &[u32], seconds: u64) -> Vec<Fig7Point> {
+    let rate = |delta: u32, use_yield: bool| {
+        let mut w = pingpong_world(2, sim_config(Delta(delta)), use_yield);
+        w.run_until(SimTime::from_millis(seconds * 1000));
+        w.sites[0].procs[0].metric() as f64 / seconds as f64
+    };
+    deltas
+        .iter()
+        .map(|&d| Fig7Point {
+            delta: d,
+            yield_rate: rate(d, true),
+            noyield_rate: rate(d, false),
+        })
+        .collect()
+}
+
+/// One point of Figure 8.
+#[derive(Clone, Copy, Debug)]
+pub struct Fig8Point {
+    /// Δ in scheduler ticks.
+    pub delta: u32,
+    /// Combined read-write accesses per second over the makespan.
+    pub throughput: f64,
+    /// Makespan in seconds.
+    pub makespan: f64,
+}
+
+/// E7 / Figure 8: two conflicting read-writers, throughput versus Δ.
+///
+/// `task` is the per-process decrement count; the paper sized it so the
+/// loops "execute for 10 seconds" — 560 000 decrements runs just under
+/// 10 s at the uncontended rate, so a Δ=600 (10 s) window covers one
+/// whole task.
+pub fn fig8(deltas: &[u32], task: u32) -> Vec<Fig8Point> {
+    deltas
+        .iter()
+        .map(|&d| {
+            let mut w = World::new(2, sim_config(Delta(d)));
+            let seg = w.create_segment(0, 1);
+            w.spawn(0, Box::new(Decrementer::new(seg, 0, task)), 1);
+            w.spawn(1, Box::new(Decrementer::new(seg, 128, task)), 1);
+            let finished = w.run_to_completion(SimTime::from_millis(600_000));
+            debug_assert!(finished, "Δ={d}: duel must finish within 10 minutes");
+            let makespan = w.now().as_secs_f64();
+            let throughput = w.total_accesses() as f64 / makespan;
+            Fig8Point { delta: d, throughput, makespan }
+        })
+        .collect()
+}
+
+/// One row of Table 3.
+#[derive(Clone, Debug)]
+pub struct Table3Row {
+    /// Row label.
+    pub label: &'static str,
+    /// Our measured value (ms).
+    pub ours_ms: f64,
+    /// The paper's value (ms).
+    pub paper_ms: f64,
+}
+
+/// E2 / Table 3: component breakdown of one remote page fetch.
+pub fn table3() -> Vec<Table3Row> {
+    struct OneRead {
+        r: MemRef,
+        done: bool,
+    }
+    impl Program for OneRead {
+        fn step(&mut self, _v: Option<u32>) -> Op {
+            if self.done {
+                return Op::Exit;
+            }
+            self.done = true;
+            Op::Read(self.r)
+        }
+        fn label(&self) -> &str {
+            "one-read"
+        }
+    }
+    let mut w = World::new(2, sim_config(Delta::ZERO));
+    let seg = w.create_segment(0, 1);
+    w.enable_phase_trace();
+    w.spawn(1, Box::new(OneRead { r: MemRef::new(seg, PageNum(0), 0), done: false }), 1);
+    w.run_until(SimTime::from_millis(500));
+    let gap = |a, b| {
+        w.instr
+            .phase_gap(a, b)
+            .map(|d| d.as_millis_f64())
+            .unwrap_or(f64::NAN)
+    };
+    vec![
+        Table3Row {
+            label: "Using-site read request CPU",
+            ours_ms: gap(FetchPhase::FaultTaken, FetchPhase::RequestSent),
+            paper_ms: 2.5,
+        },
+        Table3Row {
+            label: "Request transit (output 3.2 + input 3.2)",
+            ours_ms: gap(FetchPhase::RequestSent, FetchPhase::RequestReceived),
+            paper_ms: 6.4,
+        },
+        Table3Row {
+            label: "Server process (1.5) + processing (2.0)",
+            ours_ms: gap(FetchPhase::RequestReceived, FetchPhase::PageSent),
+            paper_ms: 3.5,
+        },
+        Table3Row {
+            label: "Page transit (output 7.5 + input 7.5)",
+            ours_ms: gap(FetchPhase::PageSent, FetchPhase::PageReceived),
+            paper_ms: 15.0,
+        },
+        Table3Row {
+            label: "TOTAL ELAPSED",
+            ours_ms: gap(FetchPhase::FaultTaken, FetchPhase::PageReceived),
+            paper_ms: 27.5,
+        },
+    ]
+}
+
+/// E1: the raw message-cost anchors.
+pub fn component_costs() -> Vec<Table3Row> {
+    let c = NetCosts::vax_locus();
+    vec![
+        Table3Row {
+            label: "Short message round trip",
+            ours_ms: c.short_round_trip().as_millis_f64(),
+            paper_ms: 12.9,
+        },
+        Table3Row {
+            label: "1024-byte buffer + short response round trip",
+            ours_ms: c.large_round_trip().as_millis_f64(),
+            paper_ms: 21.5,
+        },
+        Table3Row {
+            label: "1024-byte message one-way (extrapolated)",
+            ours_ms: c.one_way(mirage_net::SizeClass::Large).as_millis_f64(),
+            paper_ms: 15.0,
+        },
+        Table3Row {
+            label: "Lazy remap of one 512-byte page (µs, not ms)",
+            ours_ms: c.remap_per_page.0 as f64 / 1000.0,
+            paper_ms: 115.5, // midpoint of the measured 106–125 µs
+        },
+    ]
+}
+
+/// E4: single-site ping-pong rates (busy-wait vs `yield()`).
+pub fn local_pingpong(seconds: u64) -> (f64, f64) {
+    let rate = |use_yield: bool| {
+        let mut w = World::new(1, sim_config(Delta::ZERO));
+        let seg = w.create_segment(0, 1);
+        w.spawn(0, Box::new(PingPongPinger::new(seg, u32::MAX / 4, use_yield)), 1);
+        w.spawn(0, Box::new(PingPongPonger::new(seg, use_yield)), 1);
+        w.run_until(SimTime::from_millis(seconds * 1000));
+        w.sites[0].procs[0].metric() as f64 / seconds as f64
+    };
+    (rate(false), rate(true))
+}
+
+/// E6 result: message accounting for the 2-site worst case.
+#[derive(Clone, Debug)]
+pub struct MsgAccounting {
+    /// Completed cycles.
+    pub cycles: u64,
+    /// Network messages per cycle (paper: 9).
+    pub per_cycle: f64,
+    /// Page-carrying messages per cycle (paper: 3).
+    pub large_per_cycle: f64,
+    /// Per-message-kind counts per cycle.
+    pub by_tag: Vec<(&'static str, f64)>,
+    /// Measured cycle rate (paper bound: 9 cycles/s).
+    pub cycles_per_sec: f64,
+}
+
+/// E6: exact message counts for the worst case at Δ=0 with `yield()`.
+pub fn msg_accounting(seconds: u64) -> MsgAccounting {
+    let mut w = pingpong_world(2, sim_config(Delta::ZERO), true);
+    w.run_until(SimTime::from_millis(seconds * 1000));
+    let cycles = w.sites[0].procs[0].metric().max(1);
+    let mut by_tag: Vec<(&'static str, f64)> = w
+        .instr
+        .msgs
+        .by_tag
+        .iter()
+        .map(|(&t, &n)| (t, n as f64 / cycles as f64))
+        .collect();
+    by_tag.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(core::cmp::Ordering::Equal));
+    MsgAccounting {
+        cycles,
+        per_cycle: w.instr.msgs.total() as f64 / cycles as f64,
+        large_per_cycle: w.instr.msgs.large as f64 / cycles as f64,
+        by_tag,
+        cycles_per_sec: cycles as f64 / seconds as f64,
+    }
+}
+
+/// E9 result: one test&set configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SpinlockPoint {
+    /// Δ in ticks.
+    pub delta: u32,
+    /// Critical sections completed per second by the locking writer.
+    pub sections_per_sec: f64,
+    /// Network messages per critical section.
+    pub msgs_per_section: f64,
+}
+
+/// E9: the test&set experiment — a locking writer and a busy-testing
+/// reader thrash the lock page; Δ>0 shelters the writer.
+pub fn test_and_set(deltas: &[u32], tester_yields: bool, seconds: u64) -> Vec<SpinlockPoint> {
+    deltas
+        .iter()
+        .map(|&d| {
+            let mut w = World::new(2, sim_config(Delta(d)));
+            let seg = w.create_segment(0, 1);
+            w.spawn(0, Box::new(LockHolder::new(seg, u32::MAX / 4, 8)), 1);
+            w.spawn(1, Box::new(LockTester::new(seg, u32::MAX / 4, tester_yields)), 1);
+            w.run_until(SimTime::from_millis(seconds * 1000));
+            let sections = w.sites[0].procs[0].metric().max(1);
+            SpinlockPoint {
+                delta: d,
+                sections_per_sec: sections as f64 / seconds as f64,
+                msgs_per_section: w.instr.msgs.total() as f64 / sections as f64,
+            }
+        })
+        .collect()
+}
+
+/// E10 result: system throughput while an application thrashes.
+#[derive(Clone, Copy, Debug)]
+pub struct ThrashPoint {
+    /// Δ in ticks.
+    pub delta: u32,
+    /// Thrasher cycles per second.
+    pub app_rate: f64,
+    /// Background compute chunks per second (other work on the site).
+    pub bg_rate: f64,
+}
+
+/// E10: raising Δ throttles the thrasher but frees the system.
+pub fn thrash_system(deltas: &[u32], seconds: u64) -> Vec<ThrashPoint> {
+    deltas
+        .iter()
+        .map(|&d| {
+            let mut w = World::new(2, sim_config(Delta(d)));
+            let seg = w.create_segment(0, 1);
+            w.spawn(0, Box::new(PingPongPinger::new(seg, u32::MAX / 4, true)), 1);
+            w.spawn(1, Box::new(PingPongPonger::new(seg, true)), 1);
+            w.spawn(1, Box::new(Background::new(SimDuration::from_millis(5))), 0);
+            w.run_until(SimTime::from_millis(seconds * 1000));
+            ThrashPoint {
+                delta: d,
+                app_rate: w.sites[0].procs[0].metric() as f64 / seconds as f64,
+                bg_rate: w.sites[1].procs[1].metric() as f64 / seconds as f64,
+            }
+        })
+        .collect()
+}
+
+/// A1–A3 result row.
+#[derive(Clone, Debug)]
+pub struct AblationRow {
+    /// Configuration name.
+    pub name: &'static str,
+    /// Worst-case cycles per second.
+    pub cycles_per_sec: f64,
+    /// Short messages per cycle.
+    pub shorts_per_cycle: f64,
+    /// Page-carrying messages per cycle.
+    pub larges_per_cycle: f64,
+}
+
+/// A1/A2/A3: toggle each protocol feature on the worst case (Δ=2, the
+/// contended regime where the optimizations matter).
+pub fn ablation_opts(seconds: u64) -> Vec<AblationRow> {
+    let run = |name: &'static str, cfg: ProtocolConfig| {
+        let mut w = pingpong_world(
+            2,
+            SimConfig { protocol: cfg, ..Default::default() },
+            true,
+        );
+        w.run_until(SimTime::from_millis(seconds * 1000));
+        let cycles = w.sites[0].procs[0].metric().max(1);
+        AblationRow {
+            name,
+            cycles_per_sec: cycles as f64 / seconds as f64,
+            shorts_per_cycle: w.instr.msgs.short as f64 / cycles as f64,
+            larges_per_cycle: w.instr.msgs.large as f64 / cycles as f64,
+        }
+    };
+    let base = ProtocolConfig { delta: DeltaPolicy::Uniform(Delta(2)), ..Default::default() };
+    vec![
+        run("paper defaults", base.clone()),
+        run("A1: no upgrade optimization", ProtocolConfig {
+            upgrade_optimization: false,
+            ..base.clone()
+        }),
+        run("A2: no downgrade optimization", ProtocolConfig {
+            downgrade_optimization: false,
+            ..base.clone()
+        }),
+        run("A3: queued invalidation ON", ProtocolConfig {
+            queued_invalidation: true,
+            ..base.clone()
+        }),
+        run("A1+A2: both optimizations off", ProtocolConfig {
+            upgrade_optimization: false,
+            downgrade_optimization: false,
+            ..base
+        }),
+    ]
+}
+
+/// A4 result row.
+#[derive(Clone, Copy, Debug)]
+pub struct InvScalePoint {
+    /// Number of reader sites invalidated.
+    pub readers: usize,
+    /// Milliseconds for the write to complete, sequential invalidation.
+    pub sequential_ms: f64,
+    /// Milliseconds for the write to complete, multicast invalidation.
+    pub multicast_ms: f64,
+}
+
+/// A4: invalidation cost versus reader count, sequential (the paper's
+/// Locus constraint) versus multicast (§7.1 caveat 2).
+pub fn invalidation_scaling(reader_counts: &[usize]) -> Vec<InvScalePoint> {
+    let run = |n: usize, multicast: bool| -> f64 {
+        let cfg = SimConfig {
+            protocol: ProtocolConfig {
+                multicast_invalidation: multicast,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut w = World::new(n + 2, cfg);
+        let seg = w.create_segment(0, 1);
+        // Readers 1..=n each take a read copy.
+        for s in 1..=n {
+            w.spawn(s, Box::new(Rereader::new(seg, 1, SimDuration::ZERO)), 1);
+        }
+        w.run_to_completion(SimTime::from_millis(60_000));
+        // The last site writes, invalidating all n readers.
+        let start = w.now();
+        w.spawn(n + 1, Box::new(PeriodicWriter::new(seg, 1, SimDuration::ZERO)), 1);
+        w.run_to_completion(SimTime::from_millis(120_000));
+        (w.now() - start).as_millis_f64()
+    };
+    reader_counts
+        .iter()
+        .map(|&n| InvScalePoint {
+            readers: n,
+            sequential_ms: run(n, false),
+            multicast_ms: run(n, true),
+        })
+        .collect()
+}
+
+/// B1 result row.
+#[derive(Clone, Debug)]
+pub struct BaselineRow {
+    /// Protocol name.
+    pub protocol: &'static str,
+    /// Trace name.
+    pub trace: &'static str,
+    /// Aggregate costs.
+    pub report: CostReport,
+}
+
+/// B1: identical access traces through Mirage and both Li protocols.
+pub fn baseline_compare() -> Vec<BaselineRow> {
+    let costs = NetCosts::vax_locus();
+    let traces: Vec<(&'static str, AccessTrace, usize)> = vec![
+        ("ping-pong ×250", AccessTrace::ping_pong(250), 2),
+        ("read-mostly 4r", AccessTrace::read_mostly(4, 100, 20), 5),
+        ("mixed 4s×4p", AccessTrace::mixed(4, 4, 4000, 7), 4),
+    ];
+    let mut rows = Vec::new();
+    for (name, trace, sites) in &traces {
+        let mut mirage =
+            MirageCost::new(*sites, 4, ProtocolConfig::default(), costs.clone());
+        let mut central = LiCentral::new(SiteId(0), costs.clone());
+        let mut dist = LiDistributed::new(*sites, SiteId(0), costs.clone());
+        rows.push(BaselineRow {
+            protocol: "mirage",
+            trace: name,
+            report: mirage.replay(trace),
+        });
+        rows.push(BaselineRow {
+            protocol: "li-central",
+            trace: name,
+            report: central.replay(trace),
+        });
+        rows.push(BaselineRow {
+            protocol: "li-distributed",
+            trace: name,
+            report: dist.replay(trace),
+        });
+    }
+    rows
+}
+
+/// E3 row: modeled lazy-remap cost at context switch per segment size.
+#[derive(Clone, Copy, Debug)]
+pub struct RemapRow {
+    /// Segment size in KiB.
+    pub kib: usize,
+    /// Pages remapped.
+    pub pages: usize,
+    /// Modeled cost in µs (110 µs/page — inside the measured 106–125).
+    pub model_us: f64,
+}
+
+/// E3: remap cost scaling up to the 128 KiB configuration limit.
+pub fn remap_model() -> Vec<RemapRow> {
+    [1usize, 4, 16, 64, 128]
+        .iter()
+        .map(|&kib| {
+            let pages = kib * 1024 / mirage_types::PAGE_SIZE;
+            RemapRow { kib, pages, model_us: pages as f64 * 110.0 }
+        })
+        .collect()
+}
+
+/// A5 result row: dynamic Δ versus fixed values.
+#[derive(Clone, Debug)]
+pub struct DynamicRow {
+    /// Configuration label.
+    pub name: String,
+    /// Figure 8 duel throughput (read-write instr/s).
+    pub fig8_throughput: f64,
+    /// Worst-case ping-pong rate (cycles/s).
+    pub pingpong_rate: f64,
+}
+
+/// A5: the §8.0 dynamic tuning routine (disabled in the paper's
+/// prototype, implemented here) against fixed windows, on both the
+/// retention-sensitive duel and the thrash-sensitive worst case.
+pub fn dynamic_delta() -> Vec<DynamicRow> {
+    let run = |policy: DeltaPolicy| -> (f64, f64) {
+        let protocol = ProtocolConfig { delta: policy, ..Default::default() };
+        // Figure 8 duel (short version).
+        let mut w = World::new(
+            2,
+            SimConfig { protocol: protocol.clone(), ..Default::default() },
+        );
+        let seg = w.create_segment(0, 1);
+        w.spawn(0, Box::new(Decrementer::new(seg, 0, 100_000)), 1);
+        w.spawn(1, Box::new(Decrementer::new(seg, 128, 100_000)), 1);
+        w.run_to_completion(SimTime::from_millis(300_000));
+        let fig8 = w.total_accesses() as f64 / w.now().as_secs_f64();
+        // Worst-case ping-pong.
+        let mut w = World::new(2, SimConfig { protocol, ..Default::default() });
+        let seg = w.create_segment(0, 1);
+        w.spawn(0, Box::new(PingPongPinger::new(seg, u32::MAX / 4, true)), 1);
+        w.spawn(1, Box::new(PingPongPonger::new(seg, true)), 1);
+        w.run_until(SimTime::from_millis(30_000));
+        let pp = w.sites[0].procs[0].metric() as f64 / 30.0;
+        (fig8, pp)
+    };
+    let mut rows = Vec::new();
+    for (name, policy) in [
+        ("fixed Δ=0".to_string(), DeltaPolicy::Uniform(Delta(0))),
+        ("fixed Δ=6".to_string(), DeltaPolicy::Uniform(Delta(6))),
+        ("fixed Δ=60".to_string(), DeltaPolicy::Uniform(Delta(60))),
+        (
+            "dynamic (0..600)".to_string(),
+            DeltaPolicy::Dynamic { initial: Delta(2), min: Delta(0), max: Delta(600) },
+        ),
+    ] {
+        let (fig8_throughput, pingpong_rate) = run(policy);
+        rows.push(DynamicRow { name, fig8_throughput, pingpong_rate });
+    }
+    rows
+}

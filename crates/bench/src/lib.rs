@@ -1,0 +1,16 @@
+//! Experiment drivers regenerating every table and figure of the paper.
+//!
+//! Each public function runs one experiment on the simulator (or the
+//! protocol engines directly) and returns structured results; the
+//! binaries in `src/bin/` print them, and `repro_all` emits the summary
+//! recorded in `EXPERIMENTS.md`. See `DESIGN.md` for the per-experiment
+//! index (E1–E10, A1–A4, B1, H1).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::*;
+pub use table::print_table;

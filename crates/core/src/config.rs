@@ -1,0 +1,149 @@
+//! Protocol tunables.
+
+use mirage_types::{
+    Delta,
+    PageNum,
+};
+
+/// How Δ values are assigned to pages of a segment.
+///
+/// §8.0: "Mirage currently uses Δs that are uniform for a particular
+/// segment. Uniform Δs are not intrinsic to the design nor the
+/// implementation. The auxpte data structure contains the per-page Δs
+/// values and the implementation could be easily modified to use
+/// different values."
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeltaPolicy {
+    /// One Δ for every page of the segment (the prototype's behaviour).
+    Uniform(Delta),
+    /// Per-page Δ values — the hot-spot organization §8.0 sketches.
+    /// Pages beyond the vector's length use the fallback value.
+    PerPage {
+        /// Per-page windows, indexed by page number.
+        windows: Vec<Delta>,
+        /// Window for pages not covered by `windows`.
+        fallback: Delta,
+    },
+    /// Library-driven adaptive per-page windows — the tuning routine
+    /// §8.0 describes ("When the library sends an invalidation to the
+    /// clock site, the page's Δ value can be changed before it is
+    /// forwarded to the target site and installed. … Currently, the
+    /// Mirage routine which performs this function is disabled."). We
+    /// implement it: the window *grows* when the previous holder
+    /// re-requests the page right after losing it (a thrash signal) and
+    /// *shrinks* when a window expired without protecting anything (the
+    /// demand arrived after expiry, unopposed).
+    Dynamic {
+        /// Starting window for every page.
+        initial: Delta,
+        /// Lower bound the controller will not shrink below.
+        min: Delta,
+        /// Upper bound the controller will not grow beyond.
+        max: Delta,
+    },
+}
+
+impl DeltaPolicy {
+    /// The *static* window for a given page (the starting value for the
+    /// dynamic policy; the library then adapts per page).
+    pub fn window(&self, page: PageNum) -> Delta {
+        match self {
+            DeltaPolicy::Uniform(d) => *d,
+            DeltaPolicy::PerPage { windows, fallback } => {
+                windows.get(page.index()).copied().unwrap_or(*fallback)
+            }
+            DeltaPolicy::Dynamic { initial, .. } => *initial,
+        }
+    }
+
+    /// True for the adaptive policy.
+    pub fn is_dynamic(&self) -> bool {
+        matches!(self, DeltaPolicy::Dynamic { .. })
+    }
+}
+
+impl Default for DeltaPolicy {
+    fn default() -> Self {
+        DeltaPolicy::Uniform(Delta::ZERO)
+    }
+}
+
+/// Protocol feature configuration.
+///
+/// The defaults reproduce the paper's prototype exactly: both §6.1
+/// optimizations on, the queued-invalidation optimization off ("the
+/// current implementation does not support the queued invalidation
+/// optimization", §7.1), and sequential point-to-point invalidations
+/// ("invalidations are processed sequentially rather than using a
+/// broadcast or multicast", §7.1).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProtocolConfig {
+    /// Δ assignment for new segments.
+    pub delta: DeltaPolicy,
+    /// §6.1 optimization 1: "When a reader is upgraded to a writer, a new
+    /// copy of the page is not sent; a notification acknowledges the
+    /// write request."
+    pub upgrade_optimization: bool,
+    /// §6.1 optimization 2: "When write access is removed because readers
+    /// require the page, the writer retains read access."
+    pub downgrade_optimization: bool,
+    /// §7.1 caveat 1: when fewer than `retry_threshold` remain in Δ, the
+    /// clock site delays and then honors the invalidation instead of
+    /// denying it. Off in the paper's prototype.
+    pub queued_invalidation: bool,
+    /// §7.1 caveat 2: deliver reader invalidations as one multicast round
+    /// rather than sequential point-to-point exchanges. Off in the
+    /// paper's prototype (Locus was point-to-point only).
+    pub multicast_invalidation: bool,
+}
+
+impl ProtocolConfig {
+    /// The paper's prototype configuration with the given uniform Δ.
+    pub fn paper(delta: Delta) -> Self {
+        Self { delta: DeltaPolicy::Uniform(delta), ..Self::default() }
+    }
+}
+
+impl Default for ProtocolConfig {
+    fn default() -> Self {
+        Self {
+            delta: DeltaPolicy::default(),
+            upgrade_optimization: true,
+            downgrade_optimization: true,
+            queued_invalidation: false,
+            multicast_invalidation: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_policy_covers_all_pages() {
+        let p = DeltaPolicy::Uniform(Delta(5));
+        assert_eq!(p.window(PageNum(0)), Delta(5));
+        assert_eq!(p.window(PageNum(999)), Delta(5));
+    }
+
+    #[test]
+    fn per_page_policy_uses_fallback() {
+        let p = DeltaPolicy::PerPage {
+            windows: vec![Delta(1), Delta(2)],
+            fallback: Delta(9),
+        };
+        assert_eq!(p.window(PageNum(0)), Delta(1));
+        assert_eq!(p.window(PageNum(1)), Delta(2));
+        assert_eq!(p.window(PageNum(2)), Delta(9));
+    }
+
+    #[test]
+    fn defaults_match_prototype() {
+        let c = ProtocolConfig::default();
+        assert!(c.upgrade_optimization);
+        assert!(c.downgrade_optimization);
+        assert!(!c.queued_invalidation);
+        assert!(!c.multicast_invalidation);
+    }
+}

@@ -1,0 +1,254 @@
+//! [`SiteEngine`]: one site's protocol state machine.
+//!
+//! The engine combines the library role (for segments whose library site
+//! is this site) and the using role (fault handling plus clock-site
+//! duties, for every segment). It is strictly sans-IO: [`Event`]s in,
+//! [`Action`]s out, with the current simulated time and the site's
+//! [`PageStore`] passed per call.
+//!
+//! Messages a site sends to itself (library colocated with the
+//! requester, §7.3) never become [`Action::Send`]s: they are delivered
+//! through an internal loop-back queue within the same `handle` call, so
+//! harness message counts reflect real network traffic only.
+
+use std::collections::{
+    HashMap,
+    VecDeque,
+};
+
+use mirage_types::{
+    Access,
+    PageNum,
+    Pid,
+    SegmentId,
+    SimTime,
+    SiteId,
+};
+
+use crate::{
+    config::ProtocolConfig,
+    event::{
+        Action,
+        Event,
+    },
+    library::LibState,
+    msg::ProtoMsg,
+    store::PageStore,
+    using::UseState,
+};
+
+/// What a pending timer is for.
+#[derive(Clone, Debug)]
+pub(crate) enum TimerKind {
+    /// Library retry of a denied invalidation.
+    LibraryRetry {
+        /// Segment of the pending demand.
+        seg: SegmentId,
+        /// Page of the pending demand.
+        page: PageNum,
+    },
+    /// Clock site delayed an invalidation to honor it at window expiry
+    /// (the §7.1 queued-invalidation optimization).
+    ClockDelayed {
+        /// Segment of the delayed invalidation.
+        seg: SegmentId,
+        /// Page of the delayed invalidation.
+        page: PageNum,
+    },
+}
+
+/// The per-call working context: actions accumulated, local loop-back
+/// deliveries pending, and time.
+pub(crate) struct Ctx {
+    pub(crate) now: SimTime,
+    pub(crate) out: Vec<Action>,
+    pub(crate) loopback: VecDeque<ProtoMsg>,
+}
+
+impl Ctx {
+    fn new(now: SimTime) -> Self {
+        Self { now, out: Vec::new(), loopback: VecDeque::new() }
+    }
+}
+
+/// One site's combined protocol roles.
+#[derive(Debug)]
+pub struct SiteEngine {
+    pub(crate) site: SiteId,
+    pub(crate) config: ProtocolConfig,
+    pub(crate) lib: LibState,
+    pub(crate) usr: UseState,
+    pub(crate) timers: HashMap<u64, TimerKind>,
+    pub(crate) next_token: u64,
+}
+
+impl SiteEngine {
+    /// Creates the engine for `site` with the given configuration.
+    pub fn new(site: SiteId, config: ProtocolConfig) -> Self {
+        Self {
+            site,
+            config,
+            lib: LibState::default(),
+            usr: UseState::default(),
+            timers: HashMap::new(),
+            next_token: 1,
+        }
+    }
+
+    /// This engine's site.
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ProtocolConfig {
+        &self.config
+    }
+
+    /// Registers a segment at this site.
+    ///
+    /// If this site is the segment's library site, the library role
+    /// starts tracking its pages with the creating site as initial writer
+    /// and clock site. The caller is responsible for giving the
+    /// [`PageStore`] a fully-resident view at the library site and an
+    /// absent view elsewhere.
+    pub fn register_segment(&mut self, seg: SegmentId, pages: usize) {
+        self.usr.register_segment(seg, pages, &self.config);
+        if seg.library == self.site {
+            let policy = self.config.delta.clone();
+            self.lib.register_segment(seg, pages, self.site, &policy);
+        }
+    }
+
+    /// Feeds one event through the engine, returning the actions the
+    /// harness must carry out.
+    pub fn handle(
+        &mut self,
+        ev: Event,
+        now: SimTime,
+        store: &mut dyn PageStore,
+    ) -> Vec<Action> {
+        let mut ctx = Ctx::new(now);
+        match ev {
+            Event::Fault { pid, seg, page, access } => {
+                self.fault(pid, seg, page, access, store, &mut ctx);
+            }
+            Event::Deliver { from, msg } => {
+                self.dispatch(from, msg, store, &mut ctx);
+            }
+            Event::Timer { token } => {
+                self.timer_fired(token, store, &mut ctx);
+            }
+        }
+        // Drain loop-back deliveries (self-sends) until quiescent.
+        while let Some(msg) = ctx.loopback.pop_front() {
+            let from = self.site;
+            self.dispatch(from, msg, store, &mut ctx);
+        }
+        ctx.out
+    }
+
+    /// Routes a delivered message to the owning role.
+    fn dispatch(
+        &mut self,
+        from: SiteId,
+        msg: ProtoMsg,
+        store: &mut dyn PageStore,
+        ctx: &mut Ctx,
+    ) {
+        match msg {
+            // Library-role inputs.
+            ProtoMsg::PageRequest { seg, page, access, pid } => {
+                self.lib_request(from, seg, page, access, pid, ctx);
+            }
+            ProtoMsg::InvalidateDeny { seg, page, wait } => {
+                self.lib_denied(seg, page, wait, ctx);
+            }
+            ProtoMsg::InvalidateDone { seg, page, info } => {
+                self.lib_done(seg, page, info, ctx);
+            }
+            // Using-role inputs (including clock duties).
+            ProtoMsg::AddReaders { seg, page, readers, window } => {
+                self.use_add_readers(seg, page, readers, window, store, ctx);
+            }
+            ProtoMsg::Invalidate { seg, page, demand, readers, window } => {
+                self.use_invalidate(seg, page, demand, readers, window, store, ctx);
+            }
+            ProtoMsg::ReaderInvalidate { seg, page } => {
+                self.use_reader_invalidate(from, seg, page, store, ctx);
+            }
+            ProtoMsg::ReaderInvalidateAck { seg, page } => {
+                self.use_reader_ack(from, seg, page, store, ctx);
+            }
+            ProtoMsg::PageGrant { seg, page, access, window, data } => {
+                self.use_grant(seg, page, access, window, data, store, ctx);
+            }
+            ProtoMsg::UpgradeGrant { seg, page, window } => {
+                self.use_upgrade(seg, page, window, store, ctx);
+            }
+        }
+    }
+
+    fn timer_fired(&mut self, token: u64, store: &mut dyn PageStore, ctx: &mut Ctx) {
+        let Some(kind) = self.timers.remove(&token) else {
+            // Stale timer (already superseded); ignore.
+            return;
+        };
+        match kind {
+            TimerKind::LibraryRetry { seg, page } => {
+                self.lib_retry(seg, page, ctx);
+            }
+            TimerKind::ClockDelayed { seg, page } => {
+                self.use_delayed_invalidation(seg, page, store, ctx);
+            }
+        }
+    }
+
+    // ---- Shared emit helpers used by both roles. ----
+
+    /// Sends a protocol message, looping back if the destination is this
+    /// site.
+    pub(crate) fn emit(&mut self, to: SiteId, msg: ProtoMsg, ctx: &mut Ctx) {
+        if to == self.site {
+            ctx.loopback.push_back(msg);
+        } else {
+            ctx.out.push(Action::Send { to, msg });
+        }
+    }
+
+    /// Wakes a local process blocked in a fault.
+    pub(crate) fn wake(&mut self, pid: Pid, ctx: &mut Ctx) {
+        ctx.out.push(Action::Wake { pid });
+    }
+
+    /// Allocates a timer and emits the `SetTimer` action.
+    pub(crate) fn set_timer(&mut self, at: SimTime, kind: TimerKind, ctx: &mut Ctx) -> u64 {
+        let token = self.next_token;
+        self.next_token += 1;
+        self.timers.insert(token, kind);
+        ctx.out.push(Action::SetTimer { at, token });
+        token
+    }
+
+    /// Test/diagnostic access: the library's view of a page, if this site
+    /// is the segment's library.
+    pub fn library_view(
+        &self,
+        seg: SegmentId,
+        page: PageNum,
+    ) -> Option<crate::library::LibPageView> {
+        self.lib.view(seg, page)
+    }
+
+    /// Test/diagnostic access: number of processes at this site blocked
+    /// on the given page.
+    pub fn waiter_count(&self, seg: SegmentId, page: PageNum) -> usize {
+        self.usr.waiter_count(seg, page)
+    }
+
+    /// Test/diagnostic access: does this site believe a request is
+    /// outstanding for the page?
+    pub fn has_outstanding(&self, seg: SegmentId, page: PageNum, access: Access) -> bool {
+        self.usr.has_outstanding(seg, page, access)
+    }
+}

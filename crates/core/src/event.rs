@@ -1,0 +1,123 @@
+//! The sans-IO interface: events the harness feeds in, actions it carries
+//! out.
+
+use mirage_types::{
+    Access,
+    PageNum,
+    Pid,
+    SegmentId,
+    SimTime,
+    SiteId,
+};
+
+use crate::msg::ProtoMsg;
+
+/// An input to a [`crate::engine::SiteEngine`].
+#[derive(Clone, Debug)]
+pub enum Event {
+    /// A process at this site took a typed page fault.
+    ///
+    /// The harness raises this after classifying the fault (read vs
+    /// write, §6.2's typed fault detection) and confirming via the
+    /// auxiliary table that the page belongs to a shared segment.
+    Fault {
+        /// The faulting process.
+        pid: Pid,
+        /// Segment of the faulting address.
+        seg: SegmentId,
+        /// Faulting page.
+        page: PageNum,
+        /// Access attempted.
+        access: Access,
+    },
+    /// A protocol message arrived from the network.
+    Deliver {
+        /// Originating site.
+        from: SiteId,
+        /// The message.
+        msg: ProtoMsg,
+    },
+    /// A timer set via [`Action::SetTimer`] fired.
+    Timer {
+        /// The token from the corresponding `SetTimer`.
+        token: u64,
+    },
+}
+
+/// One entry of the library site's reference log (§9).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RefLogEntry {
+    /// Segment requested.
+    pub seg: SegmentId,
+    /// Page requested ("the memory location").
+    pub page: PageNum,
+    /// When the request was processed at the library ("a timestamp").
+    pub at: SimTime,
+    /// Requesting process ("the process identifier of the requester").
+    pub pid: Pid,
+    /// Read or write request.
+    pub access: Access,
+}
+
+/// An output the harness must carry out.
+#[derive(Clone, Debug)]
+pub enum Action {
+    /// Transmit a protocol message to another site. The engine never
+    /// emits a `Send` to its own site — local deliveries are processed
+    /// in-engine so that colocated library/requester traffic stays off
+    /// the network (§7.3).
+    Send {
+        /// Destination site (never this site).
+        to: SiteId,
+        /// The message.
+        msg: ProtoMsg,
+    },
+    /// Wake a process blocked in a fault; its access can now succeed (or
+    /// must be retried, which will fault again if the page was stolen in
+    /// the interim).
+    Wake {
+        /// The process to wake.
+        pid: Pid,
+    },
+    /// Arrange for [`Event::Timer`] with this token at time `at`.
+    SetTimer {
+        /// Absolute simulated time to fire at.
+        at: SimTime,
+        /// Token to echo back.
+        token: u64,
+    },
+    /// Record a reference-log entry (library sites only, §9).
+    Log(RefLogEntry),
+}
+
+impl Action {
+    /// Convenience: is this a `Send` of a page-carrying grant?
+    pub fn is_page_grant(&self) -> bool {
+        matches!(self, Action::Send { msg: ProtoMsg::PageGrant { .. }, .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use mirage_types::Delta;
+
+    use super::*;
+
+    #[test]
+    fn is_page_grant_distinguishes() {
+        let seg = SegmentId::new(SiteId(0), 1);
+        let grant = Action::Send {
+            to: SiteId(1),
+            msg: ProtoMsg::PageGrant {
+                seg,
+                page: PageNum(0),
+                access: Access::Read,
+                window: Delta::ZERO,
+                data: vec![0; mirage_types::PAGE_SIZE],
+            },
+        };
+        let wake = Action::Wake { pid: Pid::new(SiteId(0), 1) };
+        assert!(grant.is_page_grant());
+        assert!(!wake.is_page_grant());
+    }
+}

@@ -1,0 +1,196 @@
+//! Global coherence invariants, checked by tests over any interleaving.
+//!
+//! §5.0 defines coherence: "a write to an address in a given segment is
+//! always visible by all subsequent read operations to the same address,
+//! independent of the machine location on which the read takes place.
+//! Further, all writes to an address always preserve the latest value
+//! written." Structurally: "only one site in a network will have a valid
+//! writable copy of a given page at any instant, there may be many sites
+//! simultaneously possessing readable copies … a given page will have
+//! either one site acting as writer or multiple sites acting as readers."
+
+use mirage_types::{
+    PageNum,
+    PageProt,
+    SegmentId,
+    SiteId,
+};
+
+use crate::store::PageStore;
+
+/// A violation found by [`check_page`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// More than one site holds a write copy.
+    MultipleWriters {
+        /// The offending sites.
+        sites: Vec<SiteId>,
+    },
+    /// A write copy coexists with read copies.
+    WriterWithReaders {
+        /// The writer site.
+        writer: SiteId,
+        /// The concurrent readers.
+        readers: Vec<SiteId>,
+    },
+    /// Two resident copies disagree on the page bytes.
+    DivergentCopies {
+        /// First site of the disagreeing pair.
+        a: SiteId,
+        /// Second site of the disagreeing pair.
+        b: SiteId,
+    },
+    /// No site holds the page at all — the data has been lost.
+    PageLost,
+}
+
+/// Checks the structural coherence invariants for one page across all
+/// sites' stores.
+///
+/// Call only at *quiescent* instants (no grants in flight): while a page
+/// is being transferred it legitimately exists nowhere, and a reader's
+/// copy may transiently differ from the writer's next value.
+pub fn check_page(
+    stores: &[(SiteId, &dyn PageStore)],
+    seg: SegmentId,
+    page: PageNum,
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let mut writers = Vec::new();
+    let mut readers = Vec::new();
+    for &(site, store) in stores {
+        match store.prot(seg, page) {
+            PageProt::ReadWrite => writers.push(site),
+            PageProt::Read => readers.push(site),
+            PageProt::None => {}
+        }
+    }
+    if writers.len() > 1 {
+        violations.push(Violation::MultipleWriters { sites: writers.clone() });
+    }
+    if let (Some(&w), false) = (writers.first(), readers.is_empty()) {
+        violations.push(Violation::WriterWithReaders { writer: w, readers: readers.clone() });
+    }
+    if writers.is_empty() && readers.is_empty() {
+        violations.push(Violation::PageLost);
+    }
+    // All resident copies must be byte-identical at quiescence.
+    let holders: Vec<SiteId> = writers.iter().chain(readers.iter()).copied().collect();
+    if holders.len() > 1 {
+        let reference = stores
+            .iter()
+            .find(|(s, _)| *s == holders[0])
+            .map(|(_, st)| st.copy(seg, page))
+            .expect("holder store present");
+        for &h in &holders[1..] {
+            let other = stores
+                .iter()
+                .find(|(s, _)| *s == h)
+                .map(|(_, st)| st.copy(seg, page))
+                .expect("holder store present");
+            if other != reference {
+                violations.push(Violation::DivergentCopies { a: holders[0], b: h });
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use mirage_mem::{
+        LocalSegment,
+        PageData,
+    };
+    use mirage_types::PageProt;
+
+    use super::*;
+    use crate::store::InMemStore;
+
+    fn seg_id() -> SegmentId {
+        SegmentId::new(SiteId(0), 1)
+    }
+
+    fn store_with(prot: PageProt, marker: u32) -> InMemStore {
+        let mut st = InMemStore::new();
+        st.add_segment(LocalSegment::absent(seg_id(), 1));
+        if prot != PageProt::None {
+            let mut d = PageData::zeroed();
+            d.store_u32(0, marker);
+            st.install(seg_id(), PageNum(0), d, prot);
+        }
+        st
+    }
+
+    #[test]
+    fn single_writer_is_coherent() {
+        let a = store_with(PageProt::ReadWrite, 1);
+        let b = store_with(PageProt::None, 0);
+        let v = check_page(
+            &[(SiteId(0), &a), (SiteId(1), &b)],
+            seg_id(),
+            PageNum(0),
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn multiple_readers_same_bytes_is_coherent() {
+        let a = store_with(PageProt::Read, 7);
+        let b = store_with(PageProt::Read, 7);
+        let v = check_page(
+            &[(SiteId(0), &a), (SiteId(1), &b)],
+            seg_id(),
+            PageNum(0),
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn two_writers_flagged() {
+        let a = store_with(PageProt::ReadWrite, 1);
+        let b = store_with(PageProt::ReadWrite, 1);
+        let v = check_page(
+            &[(SiteId(0), &a), (SiteId(1), &b)],
+            seg_id(),
+            PageNum(0),
+        );
+        assert!(matches!(v[0], Violation::MultipleWriters { .. }));
+    }
+
+    #[test]
+    fn writer_plus_reader_flagged() {
+        let a = store_with(PageProt::ReadWrite, 1);
+        let b = store_with(PageProt::Read, 1);
+        let v = check_page(
+            &[(SiteId(0), &a), (SiteId(1), &b)],
+            seg_id(),
+            PageNum(0),
+        );
+        assert!(v.iter().any(|x| matches!(x, Violation::WriterWithReaders { .. })));
+    }
+
+    #[test]
+    fn divergent_readers_flagged() {
+        let a = store_with(PageProt::Read, 1);
+        let b = store_with(PageProt::Read, 2);
+        let v = check_page(
+            &[(SiteId(0), &a), (SiteId(1), &b)],
+            seg_id(),
+            PageNum(0),
+        );
+        assert!(v.iter().any(|x| matches!(x, Violation::DivergentCopies { .. })));
+    }
+
+    #[test]
+    fn lost_page_flagged() {
+        let a = store_with(PageProt::None, 0);
+        let b = store_with(PageProt::None, 0);
+        let v = check_page(
+            &[(SiteId(0), &a), (SiteId(1), &b)],
+            seg_id(),
+            PageNum(0),
+        );
+        assert_eq!(v, vec![Violation::PageLost]);
+    }
+}

@@ -1,0 +1,78 @@
+//! The Mirage distributed shared memory coherence protocol.
+//!
+//! This crate is the paper's primary contribution, implemented as
+//! **sans-IO state machines**: events in ([`Event`]), actions out
+//! ([`Action`]), no clocks, no sockets, no threads. The same engine runs
+//! under the deterministic discrete-event simulator (`mirage-sim`), under
+//! the real-memory host runtime (`mirage-host`), and directly inside unit
+//! and property tests.
+//!
+//! # Protocol recap (paper §6)
+//!
+//! * Each segment has one **library site** — the controller that queues
+//!   and sequences page requests. Write requests are processed one at a
+//!   time; read requests for the same page are **batched** and granted
+//!   together.
+//! * The **clock site** for a page is the site holding the most recent
+//!   copy: the writer if one exists, otherwise one designated reader. The
+//!   clock site enforces the **time window Δ**: an invalidation arriving
+//!   before Δ expires is denied with the remaining wait time, and the
+//!   library retries.
+//! * **Coherence**: at most one write copy exists network-wide; read
+//!   copies never coexist with the write copy; all readable copies are
+//!   invalidated before a write completes.
+//! * Optimization 1 (§6.1): a reader upgraded to writer receives a
+//!   notification, not a page copy.
+//! * Optimization 2 (§6.1): a writer losing the page to readers is
+//!   downgraded to reader and retains its copy.
+//!
+//! # Structure
+//!
+//! * [`msg`] — the wire messages (with codecs);
+//! * [`event`] — the [`Event`]/[`Action`] interface;
+//! * [`config`] — tunables: Δ policy, both paper optimizations, the
+//!   queued-invalidation optimization (paper §7.1 caveat 1), multicast
+//!   invalidation (caveat 2);
+//! * [`table1`] — the paper's Table 1 as an executable specification;
+//! * [`store`] — the [`PageStore`] abstraction over a site's page frames;
+//! * [`library`] — the library-site role;
+//! * [`using`] — the using-site role, including clock-site duties;
+//! * [`engine`] — [`SiteEngine`], one site's combined roles with local
+//!   (loop-back) delivery so that colocated library/requester exchanges
+//!   never touch the network, matching §7.3's observation that colocation
+//!   beats remote library service;
+//! * [`invariants`] — a global-view checker used by tests to assert the
+//!   coherence invariants over any interleaving.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod engine;
+pub mod event;
+pub mod invariants;
+pub mod library;
+pub mod msg;
+pub mod store;
+pub mod table1;
+pub mod using;
+
+pub use config::{
+    DeltaPolicy,
+    ProtocolConfig,
+};
+pub use engine::SiteEngine;
+pub use event::{
+    Action,
+    Event,
+    RefLogEntry,
+};
+pub use msg::{
+    Demand,
+    DoneInfo,
+    ProtoMsg,
+};
+pub use store::{
+    InMemStore,
+    PageStore,
+};

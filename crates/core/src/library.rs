@@ -1,0 +1,428 @@
+//! The library-site role.
+//!
+//! "There is one distinguished site associated with each segment, called
+//! the library site. The library site is the controller for the pages of
+//! a given segment. Requests for pages are sent to the library site,
+//! queued, and sequentially processed. … The library distinguishes
+//! writers from readers; there may only be one writable copy of a given
+//! page in the network at any one time." (§6.0)
+
+use std::collections::{
+    HashMap,
+    VecDeque,
+};
+
+use mirage_types::{
+    Access,
+    Delta,
+    PageNum,
+    Pid,
+    SegmentId,
+    SimDuration,
+    SimTime,
+    SiteId,
+    SiteSet,
+    TICK,
+};
+
+use crate::{
+    engine::{
+        Ctx,
+        SiteEngine,
+        TimerKind,
+    },
+    event::{
+        Action,
+        RefLogEntry,
+    },
+    msg::{
+        Demand,
+        DoneInfo,
+        ProtoMsg,
+    },
+    table1::{
+        self,
+        Current,
+        Invalidation,
+    },
+};
+
+/// A queued page request at the library.
+#[derive(Clone, Copy, Debug)]
+struct Request {
+    site: SiteId,
+    access: Access,
+}
+
+/// The library's record for one page.
+#[derive(Debug)]
+struct LibPage {
+    /// Sites holding read copies.
+    readers: SiteSet,
+    /// Site holding the write copy.
+    writer: Option<SiteId>,
+    /// The page's clock site (most recent copy holder).
+    clock: SiteId,
+    /// Pending requests, processed sequentially (reads batched).
+    queue: VecDeque<Request>,
+    /// The demand currently being served (an invalidation in flight).
+    serving: Option<Demand>,
+    /// The page's current window — per-page, adapted by the §8.0
+    /// dynamic-tuning routine when [`DeltaPolicy::Dynamic`] is active.
+    window: Delta,
+    /// Sites that lost their copies in the last completed serve, and
+    /// when; a quick re-request from one of them is the thrash signal
+    /// that grows the window.
+    last_losers: Option<(SiteSet, SimTime)>,
+    /// Whether the in-flight serve needed a Δ denial (the window did
+    /// useful protection work); serves that complete without one shrink
+    /// a dynamic window.
+    deny_seen: bool,
+}
+
+impl LibPage {
+    fn initial(creator: SiteId, window: Delta) -> Self {
+        // The creating site starts with the only (write) copy of every
+        // page and is therefore both writer and clock site.
+        Self {
+            readers: SiteSet::empty(),
+            writer: Some(creator),
+            clock: creator,
+            queue: VecDeque::new(),
+            serving: None,
+            window,
+            last_losers: None,
+            deny_seen: false,
+        }
+    }
+
+    fn current(&self) -> Current {
+        if self.writer.is_some() {
+            Current::Writer
+        } else {
+            Current::Readers
+        }
+    }
+}
+
+/// Read-only snapshot of a library page record, for tests and tools.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LibPageView {
+    /// Sites the library believes hold read copies.
+    pub readers: SiteSet,
+    /// Site the library believes holds the write copy.
+    pub writer: Option<SiteId>,
+    /// The page's clock site.
+    pub clock: SiteId,
+    /// Number of queued, unserved requests.
+    pub queued: usize,
+    /// Whether an invalidation/serve is in flight.
+    pub serving: bool,
+    /// The page's current (possibly adapted) window.
+    pub window: Delta,
+}
+
+/// Library-role state for all segments this site is library for.
+#[derive(Debug, Default)]
+pub struct LibState {
+    pages: HashMap<(SegmentId, PageNum), LibPage>,
+}
+
+impl LibState {
+    pub(crate) fn register_segment(
+        &mut self,
+        seg: SegmentId,
+        pages: usize,
+        creator: SiteId,
+        policy: &crate::config::DeltaPolicy,
+    ) {
+        for p in 0..pages {
+            let page = PageNum(p as u32);
+            self.pages.insert((seg, page), LibPage::initial(creator, policy.window(page)));
+        }
+    }
+
+    pub(crate) fn view(&self, seg: SegmentId, page: PageNum) -> Option<LibPageView> {
+        self.pages.get(&(seg, page)).map(|p| LibPageView {
+            readers: p.readers,
+            writer: p.writer,
+            clock: p.clock,
+            queued: p.queue.len(),
+            serving: p.serving.is_some(),
+            window: p.window,
+        })
+    }
+}
+
+impl SiteEngine {
+    /// Handles an incoming `PageRequest` (library role).
+    pub(crate) fn lib_request(
+        &mut self,
+        from: SiteId,
+        seg: SegmentId,
+        page: PageNum,
+        access: Access,
+        pid: Pid,
+        ctx: &mut Ctx,
+    ) {
+        // §9: "Mirage provides a facility for logging all page requests
+        // at the library site."
+        ctx.out.push(Action::Log(RefLogEntry { seg, page, at: ctx.now, pid, access }));
+        let dynamic = self.config.delta.is_dynamic();
+        let Some(rec) = self.lib.pages.get_mut(&(seg, page)) else {
+            // Unknown page — segment destroyed or never created here.
+            return;
+        };
+        if dynamic {
+            // §8.0 dynamic tuning, grow side: the previous holder asking
+            // for the page back right after losing it means the window
+            // ended while the holder was still actively using the page.
+            if let Some((losers, at)) = rec.last_losers {
+                if losers.contains(from) && ctx.now.since(at) <= TICK.scale(4) {
+                    rec.window = grow_window(rec.window, &self.config.delta);
+                }
+            }
+        }
+        rec.queue.push_back(Request { site: from, access });
+        self.lib_process_queue(seg, page, ctx);
+    }
+
+    /// Serves queued requests until one is in flight or the queue drains.
+    pub(crate) fn lib_process_queue(&mut self, seg: SegmentId, page: PageNum, ctx: &mut Ctx) {
+        loop {
+            let Some(rec) = self.lib.pages.get_mut(&(seg, page)) else {
+                return;
+            };
+            let window = rec.window;
+            if rec.serving.is_some() {
+                return;
+            }
+            let Some(front) = rec.queue.front().copied() else {
+                return;
+            };
+            match front.access {
+                Access::Read => {
+                    // "Read requests for the same page are batched
+                    // together and granted to all the readers at one time
+                    // when the request is processed."
+                    let mut batch = SiteSet::empty();
+                    rec.queue.retain(|r| {
+                        if r.access == Access::Read {
+                            batch.insert(r.site);
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                    // A writer never read-faults; a request from the
+                    // current writer is stale — drop it.
+                    if let Some(w) = rec.writer {
+                        batch.remove(w);
+                    }
+                    if batch.is_empty() {
+                        continue;
+                    }
+                    let row = table1::row(
+                        rec.current(),
+                        Access::Read,
+                        false,
+                        self.config.downgrade_optimization,
+                    );
+                    if !row.clock_check {
+                        // Readers/Readers: no clock check, no
+                        // invalidation. The clock site is *fixed* and
+                        // informed of the additional readers, which it
+                        // grants copies directly (§6.1).
+                        debug_assert_eq!(row.invalidation, Invalidation::No);
+                        rec.readers = rec.readers.union(batch);
+                        let clock = rec.clock;
+                        self.emit(
+                            clock,
+                            ProtoMsg::AddReaders { seg, page, readers: batch, window },
+                            ctx,
+                        );
+                        // Non-blocking: keep processing the queue.
+                        continue;
+                    }
+                    // Writer/Readers: clock check plus downgrade (or full
+                    // invalidation when the A2 ablation disables it).
+                    rec.serving = Some(Demand::Read { to: batch });
+                    rec.deny_seen = false;
+                    let clock = rec.clock;
+                    let readers = rec.readers;
+                    self.emit(
+                        clock,
+                        ProtoMsg::Invalidate {
+                            seg,
+                            page,
+                            demand: Demand::Read { to: batch },
+                            readers,
+                            window,
+                        },
+                        ctx,
+                    );
+                    return;
+                }
+                Access::Write => {
+                    rec.queue.pop_front();
+                    if rec.writer == Some(front.site) {
+                        // Already the writer: stale request; confirm with
+                        // an upgrade notification so the requester wakes.
+                        let to = front.site;
+                        self.emit(to, ProtoMsg::UpgradeGrant { seg, page, window }, ctx);
+                        continue;
+                    }
+                    let in_readers = rec.readers.contains(front.site);
+                    let row = table1::row(
+                        rec.current(),
+                        Access::Write,
+                        in_readers,
+                        self.config.downgrade_optimization,
+                    );
+                    debug_assert!(row.clock_check);
+                    let upgrade = in_readers && self.config.upgrade_optimization;
+                    let demand = Demand::Write { to: front.site, upgrade };
+                    rec.serving = Some(demand.clone());
+                    rec.deny_seen = false;
+                    let clock = rec.clock;
+                    let readers = rec.readers;
+                    self.emit(
+                        clock,
+                        ProtoMsg::Invalidate { seg, page, demand, readers, window },
+                        ctx,
+                    );
+                    return;
+                }
+            }
+        }
+    }
+
+    /// The clock site denied the invalidation; retry when Δ expires.
+    ///
+    /// "The library waits until Δ expires and then re-requests the page's
+    /// invalidation." (§6.1)
+    pub(crate) fn lib_denied(
+        &mut self,
+        seg: SegmentId,
+        page: PageNum,
+        wait: SimDuration,
+        ctx: &mut Ctx,
+    ) {
+        let Some(rec) = self.lib.pages.get_mut(&(seg, page)) else {
+            return;
+        };
+        if rec.serving.is_none() {
+            return;
+        }
+        rec.deny_seen = true;
+        let at = ctx.now + wait;
+        self.set_timer(at, TimerKind::LibraryRetry { seg, page }, ctx);
+    }
+
+    /// Retry timer fired: re-send the in-flight invalidation.
+    pub(crate) fn lib_retry(&mut self, seg: SegmentId, page: PageNum, ctx: &mut Ctx) {
+        let Some(rec) = self.lib.pages.get(&(seg, page)) else {
+            return;
+        };
+        let window = rec.window;
+        let Some(demand) = rec.serving.clone() else {
+            return;
+        };
+        let clock = rec.clock;
+        let readers = rec.readers;
+        self.emit(
+            clock,
+            ProtoMsg::Invalidate { seg, page, demand, readers, window },
+            ctx,
+        );
+    }
+
+    /// The clock site completed the demand: update the records and serve
+    /// the next request.
+    pub(crate) fn lib_done(
+        &mut self,
+        seg: SegmentId,
+        page: PageNum,
+        info: DoneInfo,
+        ctx: &mut Ctx,
+    ) {
+        let dynamic = self.config.delta.is_dynamic();
+        let Some(rec) = self.lib.pages.get_mut(&(seg, page)) else {
+            return;
+        };
+        let Some(demand) = rec.serving.take() else {
+            return;
+        };
+        // §8.0 dynamic tuning, bookkeeping + shrink side: a serve that
+        // never hit a denial means the old window had already expired
+        // unused when the demand arrived — retention risk; shrink.
+        if dynamic {
+            // Everyone holding a copy before this serve, minus whoever
+            // holds one after it, lost the page.
+            let mut prev = rec.readers;
+            if let Some(w) = rec.writer {
+                prev.insert(w);
+            }
+            let kept = match &demand {
+                Demand::Write { to, .. } => SiteSet::singleton(*to),
+                Demand::Read { to } => {
+                    let mut k = *to;
+                    if info.writer_downgraded {
+                        if let Some(w) = rec.writer {
+                            k.insert(w);
+                        }
+                    }
+                    k
+                }
+            };
+            let losers = prev.difference(kept);
+            if !losers.is_empty() {
+                rec.last_losers = Some((losers, ctx.now));
+            }
+            if !rec.deny_seen {
+                rec.window = shrink_window(rec.window, &self.config.delta);
+            }
+        }
+        match demand {
+            Demand::Write { to, .. } => {
+                rec.readers.clear();
+                rec.writer = Some(to);
+                rec.clock = to;
+            }
+            Demand::Read { to } => {
+                let old_writer = rec.writer.take();
+                let mut readers = to;
+                let clock = if info.writer_downgraded {
+                    // §6.1 optimization 2: the downgraded writer retains
+                    // a read copy and, holding the most recent data,
+                    // remains the clock site.
+                    let w = old_writer.expect("downgrade implies a writer existed");
+                    readers.insert(w);
+                    w
+                } else {
+                    readers.first().expect("read demand grants at least one site")
+                };
+                rec.readers = readers;
+                rec.clock = clock;
+            }
+        }
+        self.lib_process_queue(seg, page, ctx);
+    }
+}
+
+
+/// Doubles a dynamic window (at least 1 tick), capped at the policy max.
+fn grow_window(w: Delta, policy: &crate::config::DeltaPolicy) -> Delta {
+    let crate::config::DeltaPolicy::Dynamic { max, .. } = policy else {
+        return w;
+    };
+    Delta((w.0.max(1) * 2).min(max.0))
+}
+
+/// Halves a dynamic window, floored at the policy min.
+fn shrink_window(w: Delta, policy: &crate::config::DeltaPolicy) -> Delta {
+    let crate::config::DeltaPolicy::Dynamic { min, .. } = policy else {
+        return w;
+    };
+    Delta((w.0 / 2).max(min.0))
+}

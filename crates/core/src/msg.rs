@@ -1,0 +1,456 @@
+//! Protocol wire messages.
+//!
+//! Short messages are headers only; [`ProtoMsg::PageGrant`] carries the
+//! page in a 1024-byte buffer and is the only *large* message, matching
+//! §7.2's accounting ("Three of these message are large responses (1024
+//! bytes of data); the other 6 are short messages").
+
+use mirage_net::{
+    costs::SizeClass,
+    message::Sized2,
+    wire::Wire,
+};
+use mirage_types::{
+    Access,
+    Delta,
+    MirageError,
+    PageNum,
+    Pid,
+    Result,
+    SegmentId,
+    SimDuration,
+    SiteSet,
+    SiteId,
+};
+
+/// What an invalidation is demanded *for*: the request the library is
+/// currently serving.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Demand {
+    /// A site wants the sole write copy.
+    Write {
+        /// The requesting site.
+        to: SiteId,
+        /// True if the requester holds a read copy, enabling the §6.1
+        /// upgrade optimization (Table 1: "possible upgrade if new writer
+        /// is in old read set").
+        upgrade: bool,
+    },
+    /// A batch of sites wants read copies.
+    Read {
+        /// The requesting sites (batched by the library).
+        to: SiteSet,
+    },
+}
+
+impl Demand {
+    /// The access class being demanded.
+    pub fn access(&self) -> Access {
+        match self {
+            Demand::Write { .. } => Access::Write,
+            Demand::Read { .. } => Access::Read,
+        }
+    }
+}
+
+/// Completion report from the clock site to the library.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DoneInfo {
+    /// True if the old writer kept a read copy (§6.1 optimization 2), so
+    /// the library must include it in the new reader set.
+    pub writer_downgraded: bool,
+}
+
+/// The Mirage DSM protocol messages.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProtoMsg {
+    /// Requester → library: queue a request for a page (short).
+    ///
+    /// "a network message sent to the library site queueing a request for
+    /// the page. The network message indicates whether a read or write
+    /// copy of the page is required." (§6.1)
+    PageRequest {
+        /// Segment the page belongs to.
+        seg: SegmentId,
+        /// The faulting page.
+        page: PageNum,
+        /// Read or write copy.
+        access: Access,
+        /// Faulting process, recorded in the library's reference log
+        /// (§9: "Each log entry contains the memory location, a
+        /// timestamp, and the process identifier of the requester").
+        pid: Pid,
+    },
+    /// Library → clock site: additional readers joined while read copies
+    /// are outstanding; grant them and note them for future invalidation
+    /// (Table 1 row 1 — no clock check). Short.
+    AddReaders {
+        /// Segment.
+        seg: SegmentId,
+        /// Page.
+        page: PageNum,
+        /// The new readers to grant copies to.
+        readers: SiteSet,
+        /// The window to install at the new readers.
+        window: Delta,
+    },
+    /// Library → clock site: invalidate the current copy so the demand
+    /// can be satisfied (Table 1 rows 2–4). Short.
+    Invalidate {
+        /// Segment.
+        seg: SegmentId,
+        /// Page.
+        page: PageNum,
+        /// What the invalidation is for.
+        demand: Demand,
+        /// The library's authoritative reader set (the clock's own
+        /// auxpte mask must agree; carried for robustness).
+        readers: SiteSet,
+        /// The window to install at the new holder(s); the library may
+        /// retune it here (§8.0 dynamic tuning hook).
+        window: Delta,
+    },
+    /// Clock site → library: Δ has not expired; retry after `wait`
+    /// (short). "the clock site replies immediately with the amount of
+    /// time the library must wait until the invalidation can be honored."
+    InvalidateDeny {
+        /// Segment.
+        seg: SegmentId,
+        /// Page.
+        page: PageNum,
+        /// Remaining window time the library must wait out.
+        wait: SimDuration,
+    },
+    /// Clock site → library: the demand has been carried out; bookkeeping
+    /// may be updated and the next queued request processed (short).
+    InvalidateDone {
+        /// Segment.
+        seg: SegmentId,
+        /// Page.
+        page: PageNum,
+        /// Outcome details.
+        info: DoneInfo,
+    },
+    /// Clock site → another reader: discard your read copy (short).
+    ReaderInvalidate {
+        /// Segment.
+        seg: SegmentId,
+        /// Page.
+        page: PageNum,
+    },
+    /// Reader → clock site: copy discarded (short).
+    ReaderInvalidateAck {
+        /// Segment.
+        seg: SegmentId,
+        /// Page.
+        page: PageNum,
+    },
+    /// Storing site → requester: the page itself (LARGE — 1024-byte
+    /// buffer carrying the 512-byte page). "the requested page is
+    /// returned directly from the site which is storing it." (§6.0)
+    PageGrant {
+        /// Segment.
+        seg: SegmentId,
+        /// Page.
+        page: PageNum,
+        /// Granted as read or write copy.
+        access: Access,
+        /// Window to install with the page.
+        window: Delta,
+        /// The page bytes.
+        data: Vec<u8>,
+    },
+    /// Clock/library → requester holding a read copy: you are now the
+    /// writer; no data follows (short). §6.1 optimization 1.
+    UpgradeGrant {
+        /// Segment.
+        seg: SegmentId,
+        /// Page.
+        page: PageNum,
+        /// Window to install with the write copy.
+        window: Delta,
+    },
+}
+
+impl ProtoMsg {
+    /// The (segment, page) the message concerns.
+    pub fn subject(&self) -> (SegmentId, PageNum) {
+        match self {
+            ProtoMsg::PageRequest { seg, page, .. }
+            | ProtoMsg::AddReaders { seg, page, .. }
+            | ProtoMsg::Invalidate { seg, page, .. }
+            | ProtoMsg::InvalidateDeny { seg, page, .. }
+            | ProtoMsg::InvalidateDone { seg, page, .. }
+            | ProtoMsg::ReaderInvalidate { seg, page }
+            | ProtoMsg::ReaderInvalidateAck { seg, page }
+            | ProtoMsg::PageGrant { seg, page, .. }
+            | ProtoMsg::UpgradeGrant { seg, page, .. } => (*seg, *page),
+        }
+    }
+
+    /// A short human tag for instrumentation.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            ProtoMsg::PageRequest { .. } => "PageRequest",
+            ProtoMsg::AddReaders { .. } => "AddReaders",
+            ProtoMsg::Invalidate { .. } => "Invalidate",
+            ProtoMsg::InvalidateDeny { .. } => "InvalidateDeny",
+            ProtoMsg::InvalidateDone { .. } => "InvalidateDone",
+            ProtoMsg::ReaderInvalidate { .. } => "ReaderInvalidate",
+            ProtoMsg::ReaderInvalidateAck { .. } => "ReaderInvalidateAck",
+            ProtoMsg::PageGrant { .. } => "PageGrant",
+            ProtoMsg::UpgradeGrant { .. } => "UpgradeGrant",
+        }
+    }
+}
+
+impl Sized2 for ProtoMsg {
+    fn size_class(&self) -> SizeClass {
+        match self {
+            ProtoMsg::PageGrant { .. } => SizeClass::Large,
+            _ => SizeClass::Short,
+        }
+    }
+}
+
+impl Wire for Demand {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Demand::Write { to, upgrade } => {
+                buf.push(0);
+                to.encode(buf);
+                buf.push(u8::from(*upgrade));
+            }
+            Demand::Read { to } => {
+                buf.push(1);
+                to.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        match u8::decode(buf)? {
+            0 => {
+                let to = SiteId::decode(buf)?;
+                let upgrade = u8::decode(buf)? != 0;
+                Ok(Demand::Write { to, upgrade })
+            }
+            1 => Ok(Demand::Read { to: SiteSet::decode(buf)? }),
+            _ => Err(MirageError::Codec("bad Demand discriminant")),
+        }
+    }
+}
+
+impl Wire for DoneInfo {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(u8::from(self.writer_downgraded));
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        Ok(DoneInfo { writer_downgraded: u8::decode(buf)? != 0 })
+    }
+}
+
+impl Wire for ProtoMsg {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            ProtoMsg::PageRequest { seg, page, access, pid } => {
+                buf.push(0);
+                seg.encode(buf);
+                page.encode(buf);
+                access.encode(buf);
+                pid.encode(buf);
+            }
+            ProtoMsg::AddReaders { seg, page, readers, window } => {
+                buf.push(1);
+                seg.encode(buf);
+                page.encode(buf);
+                readers.encode(buf);
+                window.encode(buf);
+            }
+            ProtoMsg::Invalidate { seg, page, demand, readers, window } => {
+                buf.push(2);
+                seg.encode(buf);
+                page.encode(buf);
+                demand.encode(buf);
+                readers.encode(buf);
+                window.encode(buf);
+            }
+            ProtoMsg::InvalidateDeny { seg, page, wait } => {
+                buf.push(3);
+                seg.encode(buf);
+                page.encode(buf);
+                wait.encode(buf);
+            }
+            ProtoMsg::InvalidateDone { seg, page, info } => {
+                buf.push(4);
+                seg.encode(buf);
+                page.encode(buf);
+                info.encode(buf);
+            }
+            ProtoMsg::ReaderInvalidate { seg, page } => {
+                buf.push(5);
+                seg.encode(buf);
+                page.encode(buf);
+            }
+            ProtoMsg::ReaderInvalidateAck { seg, page } => {
+                buf.push(6);
+                seg.encode(buf);
+                page.encode(buf);
+            }
+            ProtoMsg::PageGrant { seg, page, access, window, data } => {
+                buf.push(7);
+                seg.encode(buf);
+                page.encode(buf);
+                access.encode(buf);
+                window.encode(buf);
+                data.encode(buf);
+            }
+            ProtoMsg::UpgradeGrant { seg, page, window } => {
+                buf.push(8);
+                seg.encode(buf);
+                page.encode(buf);
+                window.encode(buf);
+            }
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        let disc = u8::decode(buf)?;
+        let seg = SegmentId::decode(buf)?;
+        let page = PageNum::decode(buf)?;
+        Ok(match disc {
+            0 => ProtoMsg::PageRequest {
+                seg,
+                page,
+                access: Access::decode(buf)?,
+                pid: Pid::decode(buf)?,
+            },
+            1 => ProtoMsg::AddReaders {
+                seg,
+                page,
+                readers: SiteSet::decode(buf)?,
+                window: Delta::decode(buf)?,
+            },
+            2 => ProtoMsg::Invalidate {
+                seg,
+                page,
+                demand: Demand::decode(buf)?,
+                readers: SiteSet::decode(buf)?,
+                window: Delta::decode(buf)?,
+            },
+            3 => ProtoMsg::InvalidateDeny { seg, page, wait: SimDuration::decode(buf)? },
+            4 => ProtoMsg::InvalidateDone { seg, page, info: DoneInfo::decode(buf)? },
+            5 => ProtoMsg::ReaderInvalidate { seg, page },
+            6 => ProtoMsg::ReaderInvalidateAck { seg, page },
+            7 => ProtoMsg::PageGrant {
+                seg,
+                page,
+                access: Access::decode(buf)?,
+                window: Delta::decode(buf)?,
+                data: Vec::<u8>::decode(buf)?,
+            },
+            8 => ProtoMsg::UpgradeGrant { seg, page, window: Delta::decode(buf)? },
+            _ => return Err(MirageError::Codec("bad ProtoMsg discriminant")),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use mirage_net::wire::{
+        from_bytes,
+        to_bytes,
+    };
+    use mirage_types::PAGE_SIZE;
+
+    use super::*;
+
+    fn seg() -> SegmentId {
+        SegmentId::new(SiteId(0), 1)
+    }
+
+    fn all_messages() -> Vec<ProtoMsg> {
+        vec![
+            ProtoMsg::PageRequest {
+                seg: seg(),
+                page: PageNum(3),
+                access: Access::Write,
+                pid: Pid::new(SiteId(1), 7),
+            },
+            ProtoMsg::AddReaders {
+                seg: seg(),
+                page: PageNum(0),
+                readers: [SiteId(1), SiteId(2)].into_iter().collect(),
+                window: Delta(4),
+            },
+            ProtoMsg::Invalidate {
+                seg: seg(),
+                page: PageNum(1),
+                demand: Demand::Write { to: SiteId(2), upgrade: true },
+                readers: SiteSet::singleton(SiteId(1)),
+                window: Delta(2),
+            },
+            ProtoMsg::Invalidate {
+                seg: seg(),
+                page: PageNum(1),
+                demand: Demand::Read { to: SiteSet::singleton(SiteId(0)) },
+                readers: SiteSet::empty(),
+                window: Delta::ZERO,
+            },
+            ProtoMsg::InvalidateDeny {
+                seg: seg(),
+                page: PageNum(1),
+                wait: SimDuration::from_millis(12),
+            },
+            ProtoMsg::InvalidateDone {
+                seg: seg(),
+                page: PageNum(1),
+                info: DoneInfo { writer_downgraded: true },
+            },
+            ProtoMsg::ReaderInvalidate { seg: seg(), page: PageNum(2) },
+            ProtoMsg::ReaderInvalidateAck { seg: seg(), page: PageNum(2) },
+            ProtoMsg::PageGrant {
+                seg: seg(),
+                page: PageNum(2),
+                access: Access::Read,
+                window: Delta(6),
+                data: vec![0xAB; PAGE_SIZE],
+            },
+            ProtoMsg::UpgradeGrant { seg: seg(), page: PageNum(2), window: Delta(1) },
+        ]
+    }
+
+    #[test]
+    fn every_message_round_trips() {
+        for m in all_messages() {
+            let bytes = to_bytes(&m);
+            let back: ProtoMsg = from_bytes(&bytes).expect("decode");
+            assert_eq!(back, m);
+        }
+    }
+
+    #[test]
+    fn only_page_grant_is_large() {
+        for m in all_messages() {
+            let expect_large = matches!(m, ProtoMsg::PageGrant { .. });
+            assert_eq!(m.size_class() == SizeClass::Large, expect_large, "{}", m.tag());
+        }
+    }
+
+    #[test]
+    fn subject_extraction() {
+        for m in all_messages() {
+            let (s, _) = m.subject();
+            assert_eq!(s, seg());
+        }
+    }
+
+    #[test]
+    fn truncation_never_panics() {
+        for m in all_messages() {
+            let bytes = to_bytes(&m);
+            for cut in 0..bytes.len() {
+                let _ = from_bytes::<ProtoMsg>(&bytes[..cut]);
+            }
+        }
+    }
+}

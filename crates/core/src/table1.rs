@@ -1,0 +1,149 @@
+//! The paper's Table 1 as an executable specification.
+//!
+//! | Current | Incoming | Clock Check | Invalidation |
+//! |---------|----------|-------------|--------------|
+//! | Readers | Readers  | No          | No           |
+//! | Readers | Writer   | Yes         | Yes, possible upgrade if new writer is in old read set |
+//! | Writer  | Readers  | Yes         | Downgrade writer to reader |
+//! | Writer  | Writer   | Yes         | Yes          |
+//!
+//! The library role consults [`row`] to decide how to serve each request,
+//! so the protocol's behaviour is tied to the table by construction, and
+//! experiment E8 tests the table directly against the paper.
+
+use mirage_types::Access;
+
+/// Who currently holds the page, per the library's records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Current {
+    /// One or more sites hold read copies.
+    Readers,
+    /// One site holds the write copy.
+    Writer,
+}
+
+/// What the invalidation phase must do.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Invalidation {
+    /// No invalidation: new readers simply join.
+    No,
+    /// Invalidate all current copies (full invalidation).
+    Yes,
+    /// Invalidate all read copies but upgrade the requester in place
+    /// (§6.1 optimization 1 — requester was in the old read set).
+    YesWithUpgrade,
+    /// Downgrade the writer to a reader; it keeps a read copy
+    /// (§6.1 optimization 2).
+    DowngradeWriter,
+}
+
+/// A resolved row of Table 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Row {
+    /// Must the library consult the clock site's Δ window?
+    pub clock_check: bool,
+    /// What the invalidation phase does.
+    pub invalidation: Invalidation,
+}
+
+/// Resolves a Table 1 row.
+///
+/// `requester_in_readers` matters only for the Readers/Writer row: it
+/// selects the upgrade variant. `downgrade_optimization` selects between
+/// the paper's Writer/Readers behaviour (downgrade) and the unoptimized
+/// full invalidation used by the A2 ablation.
+pub fn row(
+    current: Current,
+    incoming: Access,
+    requester_in_readers: bool,
+    downgrade_optimization: bool,
+) -> Row {
+    match (current, incoming) {
+        (Current::Readers, Access::Read) => {
+            Row { clock_check: false, invalidation: Invalidation::No }
+        }
+        (Current::Readers, Access::Write) => Row {
+            clock_check: true,
+            invalidation: if requester_in_readers {
+                Invalidation::YesWithUpgrade
+            } else {
+                Invalidation::Yes
+            },
+        },
+        (Current::Writer, Access::Read) => Row {
+            clock_check: true,
+            invalidation: if downgrade_optimization {
+                Invalidation::DowngradeWriter
+            } else {
+                Invalidation::Yes
+            },
+        },
+        (Current::Writer, Access::Write) => {
+            Row { clock_check: true, invalidation: Invalidation::Yes }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn readers_readers_no_check_no_invalidation() {
+        let r = row(Current::Readers, Access::Read, false, true);
+        assert!(!r.clock_check);
+        assert_eq!(r.invalidation, Invalidation::No);
+    }
+
+    #[test]
+    fn readers_writer_checks_and_invalidates() {
+        let r = row(Current::Readers, Access::Write, false, true);
+        assert!(r.clock_check);
+        assert_eq!(r.invalidation, Invalidation::Yes);
+    }
+
+    #[test]
+    fn readers_writer_upgrades_member_of_read_set() {
+        let r = row(Current::Readers, Access::Write, true, true);
+        assert!(r.clock_check);
+        assert_eq!(r.invalidation, Invalidation::YesWithUpgrade);
+    }
+
+    #[test]
+    fn writer_readers_downgrades() {
+        let r = row(Current::Writer, Access::Read, false, true);
+        assert!(r.clock_check);
+        assert_eq!(r.invalidation, Invalidation::DowngradeWriter);
+    }
+
+    #[test]
+    fn writer_readers_without_optimization_fully_invalidates() {
+        let r = row(Current::Writer, Access::Read, false, false);
+        assert_eq!(r.invalidation, Invalidation::Yes);
+    }
+
+    #[test]
+    fn writer_writer_checks_and_invalidates() {
+        let r = row(Current::Writer, Access::Write, false, true);
+        assert!(r.clock_check);
+        assert_eq!(r.invalidation, Invalidation::Yes);
+    }
+
+    #[test]
+    fn only_readers_readers_skips_clock_check() {
+        // "Table 1 shows there is only one case where the clock check can
+        // be ignored."
+        let mut skip_count = 0;
+        for current in [Current::Readers, Current::Writer] {
+            for incoming in [Access::Read, Access::Write] {
+                for in_set in [false, true] {
+                    if !row(current, incoming, in_set, true).clock_check {
+                        skip_count += 1;
+                        assert_eq!((current, incoming), (Current::Readers, Access::Read));
+                    }
+                }
+            }
+        }
+        assert_eq!(skip_count, 2, "both in_set variants of the one row");
+    }
+}

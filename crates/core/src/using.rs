@@ -1,0 +1,623 @@
+//! The using-site role: fault handling, page installation, and clock-site
+//! duties (window enforcement and invalidation rounds).
+
+use std::collections::{
+    HashMap,
+    HashSet,
+};
+
+use mirage_mem::{
+    AuxTable,
+    PageData,
+};
+use mirage_types::{
+    Access,
+    Delta,
+    PageNum,
+    PageProt,
+    Pid,
+    SegmentId,
+    SiteId,
+    SiteSet,
+};
+
+use crate::{
+    config::ProtocolConfig,
+    engine::{
+        Ctx,
+        SiteEngine,
+        TimerKind,
+    },
+    msg::{
+        Demand,
+        DoneInfo,
+        ProtoMsg,
+    },
+    store::PageStore,
+};
+
+/// An in-flight invalidation round this site is conducting as clock site.
+#[derive(Debug)]
+struct InvRound {
+    demand: Demand,
+    window: Delta,
+    /// Victims whose acks are still awaited.
+    remaining: SiteSet,
+    /// Victims not yet sent an invalidation (sequential mode).
+    to_send: Vec<SiteId>,
+    /// Page data to forward to the new writer once the round completes
+    /// (absent for upgrades).
+    data: Option<PageData>,
+}
+
+/// An invalidation delayed until window expiry (queued-invalidation
+/// optimization, §7.1 caveat 1).
+#[derive(Debug)]
+struct DelayedInvalidate {
+    demand: Demand,
+    readers: SiteSet,
+    window: Delta,
+}
+
+/// Per-segment using-site state.
+#[derive(Debug)]
+struct SegState {
+    aux: AuxTable,
+    waiters: HashMap<PageNum, Vec<(Pid, Access)>>,
+    out_read: HashSet<PageNum>,
+    out_write: HashSet<PageNum>,
+}
+
+/// A clock-site duty that arrived before the page it concerns.
+///
+/// The library serializes demands per page, but the page *data* travels
+/// on a different circuit (old holder → new clock) than the library's
+/// next instruction (library → new clock); a short instruction can
+/// physically beat a 1024-byte grant (6.4 ms vs 15 ms one-way in the
+/// paper's own numbers). A robust clock site defers such duties until
+/// its copy arrives.
+#[derive(Debug)]
+enum DeferredOp {
+    Invalidate { demand: Demand, readers: SiteSet, window: Delta },
+    AddReaders { readers: SiteSet, window: Delta },
+    ReaderInvalidate { from: SiteId },
+}
+
+/// Using-role state for all segments known at this site.
+#[derive(Debug, Default)]
+pub struct UseState {
+    segs: HashMap<SegmentId, SegState>,
+    rounds: HashMap<(SegmentId, PageNum), InvRound>,
+    delayed: HashMap<(SegmentId, PageNum), DelayedInvalidate>,
+    deferred: HashMap<(SegmentId, PageNum), std::collections::VecDeque<DeferredOp>>,
+}
+
+impl UseState {
+    pub(crate) fn register_segment(
+        &mut self,
+        seg: SegmentId,
+        pages: usize,
+        config: &ProtocolConfig,
+    ) {
+        let mut aux = AuxTable::new(pages, Delta::ZERO);
+        for p in 0..pages {
+            let page = PageNum(p as u32);
+            aux.set_window(page, config.delta.window(page));
+        }
+        self.segs.insert(
+            seg,
+            SegState {
+                aux,
+                waiters: HashMap::new(),
+                out_read: HashSet::new(),
+                out_write: HashSet::new(),
+            },
+        );
+    }
+
+    pub(crate) fn waiter_count(&self, seg: SegmentId, page: PageNum) -> usize {
+        self.segs
+            .get(&seg)
+            .and_then(|s| s.waiters.get(&page))
+            .map_or(0, Vec::len)
+    }
+
+    pub(crate) fn has_outstanding(&self, seg: SegmentId, page: PageNum, access: Access) -> bool {
+        self.segs.get(&seg).is_some_and(|s| match access {
+            Access::Read => s.out_read.contains(&page),
+            Access::Write => s.out_write.contains(&page),
+        })
+    }
+}
+
+impl SiteEngine {
+    /// A local process faulted on a shared page (typed fault, §6.2).
+    pub(crate) fn fault(
+        &mut self,
+        pid: Pid,
+        seg: SegmentId,
+        page: PageNum,
+        access: Access,
+        store: &mut dyn PageStore,
+        ctx: &mut Ctx,
+    ) {
+        if store.prot(seg, page).permits(access) {
+            // The process's PTE was stale (lazy remapping, §6.2); the
+            // master already permits the access.
+            self.wake(pid, ctx);
+            return;
+        }
+        let Some(st) = self.usr.segs.get_mut(&seg) else {
+            return;
+        };
+        st.waiters.entry(page).or_default().push((pid, access));
+        // Deduplicate outstanding requests from this site: an in-flight
+        // write request will grant read-write, which covers read faults
+        // too.
+        let need_send = match access {
+            Access::Read => !st.out_read.contains(&page) && !st.out_write.contains(&page),
+            Access::Write => !st.out_write.contains(&page),
+        };
+        if need_send {
+            match access {
+                Access::Read => {
+                    st.out_read.insert(page);
+                }
+                Access::Write => {
+                    st.out_write.insert(page);
+                }
+            }
+            self.emit(seg.library, ProtoMsg::PageRequest { seg, page, access, pid }, ctx);
+        }
+    }
+
+    /// Library told us (the fixed clock site) to grant read copies to
+    /// additional readers — Table 1 row 1, no clock check.
+    pub(crate) fn use_add_readers(
+        &mut self,
+        seg: SegmentId,
+        page: PageNum,
+        readers: SiteSet,
+        window: Delta,
+        store: &mut dyn PageStore,
+        ctx: &mut Ctx,
+    ) {
+        if store.prot(seg, page) == PageProt::None {
+            // Our copy is still in flight; serve the readers once it
+            // lands.
+            self.usr
+                .deferred
+                .entry((seg, page))
+                .or_default()
+                .push_back(DeferredOp::AddReaders { readers, window });
+            return;
+        }
+        let data = store.copy(seg, page);
+        for r in readers.iter() {
+            if r == self.site {
+                continue;
+            }
+            self.emit(
+                r,
+                ProtoMsg::PageGrant {
+                    seg,
+                    page,
+                    access: Access::Read,
+                    window,
+                    data: data.as_bytes().to_vec(),
+                },
+                ctx,
+            );
+        }
+        if readers.contains(self.site) {
+            // Raced local request: we already hold a copy; wake readers.
+            self.wake_satisfied(seg, page, store, ctx);
+        }
+    }
+
+    /// Library asked us (the clock site) to invalidate the current copy.
+    #[allow(clippy::too_many_arguments)] // Mirrors the wire message fields.
+    pub(crate) fn use_invalidate(
+        &mut self,
+        seg: SegmentId,
+        page: PageNum,
+        demand: Demand,
+        readers: SiteSet,
+        window: Delta,
+        store: &mut dyn PageStore,
+        ctx: &mut Ctx,
+    ) {
+        if store.prot(seg, page) == PageProt::None {
+            // The copy this demand must invalidate has not arrived yet
+            // (short library message beat the page-carrying grant).
+            // Defer; the window check will run against the fresh install.
+            self.usr
+                .deferred
+                .entry((seg, page))
+                .or_default()
+                .push_back(DeferredOp::Invalidate { demand, readers, window });
+            return;
+        }
+        let now = ctx.now;
+        let expired = self
+            .usr
+            .segs
+            .get(&seg)
+            .map(|st| st.aux.get(page).window_expired(now))
+            .unwrap_or(true);
+        if !expired {
+            let st = self.usr.segs.get(&seg).expect("segment known");
+            let remaining = st.aux.get(page).window_remaining(now);
+            if self.config.queued_invalidation
+                && remaining <= mirage_net::NetCosts::vax_locus().retry_threshold()
+            {
+                // §7.1 caveat 1: honor after a short delay rather than
+                // forcing the library to retry over the network.
+                let expiry = st.aux.get(page).window_expiry();
+                self.usr
+                    .delayed
+                    .insert((seg, page), DelayedInvalidate { demand, readers, window });
+                self.set_timer(expiry, TimerKind::ClockDelayed { seg, page }, ctx);
+                return;
+            }
+            // "the clock site replies immediately with the amount of time
+            // the library must wait until the invalidation can be
+            // honored."
+            self.emit(
+                seg.library,
+                ProtoMsg::InvalidateDeny { seg, page, wait: remaining },
+                ctx,
+            );
+            return;
+        }
+        self.honor_invalidation(seg, page, demand, readers, window, store, ctx);
+    }
+
+    /// A delayed (queued) invalidation's window expired; honor it now.
+    pub(crate) fn use_delayed_invalidation(
+        &mut self,
+        seg: SegmentId,
+        page: PageNum,
+        store: &mut dyn PageStore,
+        ctx: &mut Ctx,
+    ) {
+        let Some(d) = self.usr.delayed.remove(&(seg, page)) else {
+            return;
+        };
+        self.honor_invalidation(seg, page, d.demand, d.readers, d.window, store, ctx);
+    }
+
+    /// Carries out an accepted invalidation: "typically it: 1) invalidates
+    /// the local page, 2) invalidates any other outstanding readers, if
+    /// the page is a read-copy and 3) distributes the page to the new
+    /// writer or any new readers." (§6.1)
+    #[allow(clippy::too_many_arguments)] // Mirrors the wire message fields.
+    fn honor_invalidation(
+        &mut self,
+        seg: SegmentId,
+        page: PageNum,
+        demand: Demand,
+        readers: SiteSet,
+        window: Delta,
+        store: &mut dyn PageStore,
+        ctx: &mut Ctx,
+    ) {
+        debug_assert!(
+            !self.usr.rounds.contains_key(&(seg, page)),
+            "library serializes demands per page"
+        );
+        match demand {
+            Demand::Read { to } => {
+                // We are the writer (Table 1 row 3). Grant read copies,
+                // then downgrade ourselves (optimization 2) or discard.
+                let data = store.copy(seg, page);
+                for r in to.iter() {
+                    if r == self.site {
+                        continue;
+                    }
+                    self.emit(
+                        r,
+                        ProtoMsg::PageGrant {
+                            seg,
+                            page,
+                            access: Access::Read,
+                            window,
+                            data: data.as_bytes().to_vec(),
+                        },
+                        ctx,
+                    );
+                }
+                let downgraded = self.config.downgrade_optimization;
+                if downgraded {
+                    store.set_prot(seg, page, PageProt::Read);
+                    // Table 2: `install time` is "installation time for
+                    // this page at this site" — a downgrade is not a new
+                    // install, so the (already expired) window is NOT
+                    // restarted. A reader that turns around and writes
+                    // (the Figure 8 pattern) therefore upgrades without
+                    // waiting out a second window.
+                    if let Some(st) = self.usr.segs.get_mut(&seg) {
+                        st.aux.get_mut(page).window = window;
+                    }
+                } else {
+                    store.set_prot(seg, page, PageProt::None);
+                }
+                self.emit(
+                    seg.library,
+                    ProtoMsg::InvalidateDone {
+                        seg,
+                        page,
+                        info: DoneInfo { writer_downgraded: downgraded },
+                    },
+                    ctx,
+                );
+            }
+            Demand::Write { to, upgrade } => {
+                let i_am_writer = store.prot(seg, page) == PageProt::ReadWrite;
+                // Victims: every reader except the upgrading requester
+                // and ourselves (we invalidate locally, without a
+                // message).
+                let mut victims = readers;
+                victims.remove(self.site);
+                if upgrade {
+                    victims.remove(to);
+                }
+                // Invalidate the local copy; if we are the data source
+                // (no upgrade), keep the bytes to forward.
+                let data = if self.site == to {
+                    None
+                } else if upgrade {
+                    store.set_prot(seg, page, PageProt::None);
+                    None
+                } else {
+                    debug_assert!(
+                        i_am_writer || readers.contains(self.site),
+                        "clock site must hold a copy"
+                    );
+                    Some(store.take(seg, page))
+                };
+                let mut round = InvRound {
+                    demand: Demand::Write { to, upgrade },
+                    window,
+                    remaining: SiteSet::empty(),
+                    to_send: victims.iter().collect(),
+                    data,
+                };
+                if round.to_send.is_empty() {
+                    self.usr.rounds.insert((seg, page), round);
+                    self.finish_write_round(seg, page, store, ctx);
+                    return;
+                }
+                if self.config.multicast_invalidation {
+                    // One multicast round: send all, await all acks.
+                    for v in round.to_send.drain(..) {
+                        round.remaining.insert(v);
+                        self.emit(v, ProtoMsg::ReaderInvalidate { seg, page }, ctx);
+                    }
+                } else {
+                    // Paper behaviour: "invalidations are processed
+                    // sequentially" — one victim at a time.
+                    let first = round.to_send.remove(0);
+                    round.remaining.insert(first);
+                    self.emit(first, ProtoMsg::ReaderInvalidate { seg, page }, ctx);
+                }
+                self.usr.rounds.insert((seg, page), round);
+            }
+        }
+    }
+
+    /// The clock site told us to discard our read copy.
+    pub(crate) fn use_reader_invalidate(
+        &mut self,
+        from: SiteId,
+        seg: SegmentId,
+        page: PageNum,
+        store: &mut dyn PageStore,
+        ctx: &mut Ctx,
+    ) {
+        if store.prot(seg, page) == PageProt::None {
+            let expecting_grant = self.usr.segs.get(&seg).is_some_and(|st| {
+                st.out_read.contains(&page) || st.out_write.contains(&page)
+            });
+            if expecting_grant {
+                // Our read copy from the *previous* demand is still in
+                // flight on another circuit. Acking now would let the
+                // stale grant install after the new writer's write —
+                // defer the invalidation until the copy lands.
+                self.usr
+                    .deferred
+                    .entry((seg, page))
+                    .or_default()
+                    .push_back(DeferredOp::ReaderInvalidate { from });
+                return;
+            }
+        }
+        store.set_prot(seg, page, PageProt::None);
+        self.emit(from, ProtoMsg::ReaderInvalidateAck { seg, page }, ctx);
+    }
+
+    /// A victim acknowledged its invalidation.
+    pub(crate) fn use_reader_ack(
+        &mut self,
+        from: SiteId,
+        seg: SegmentId,
+        page: PageNum,
+        store: &mut dyn PageStore,
+        ctx: &mut Ctx,
+    ) {
+        let finished = {
+            let Some(round) = self.usr.rounds.get_mut(&(seg, page)) else {
+                return;
+            };
+            round.remaining.remove(from);
+            if let Some(next) = (!round.to_send.is_empty()).then(|| round.to_send.remove(0)) {
+                round.remaining.insert(next);
+                self.emit(next, ProtoMsg::ReaderInvalidate { seg, page }, ctx);
+                false
+            } else {
+                round.remaining.is_empty()
+            }
+        };
+        if finished {
+            self.finish_write_round(seg, page, store, ctx);
+        }
+    }
+
+    /// All victims invalidated: deliver the write copy (or upgrade) and
+    /// report completion to the library.
+    fn finish_write_round(
+        &mut self,
+        seg: SegmentId,
+        page: PageNum,
+        store: &mut dyn PageStore,
+        ctx: &mut Ctx,
+    ) {
+        let round = self.usr.rounds.remove(&(seg, page)).expect("round in flight");
+        let Demand::Write { to, upgrade } = round.demand else {
+            unreachable!("read demands never start ack rounds");
+        };
+        if to == self.site {
+            // We are both clock site and requester: upgrade in place.
+            store.set_prot(seg, page, PageProt::ReadWrite);
+            if let Some(st) = self.usr.segs.get_mut(&seg) {
+                let e = st.aux.get_mut(page);
+                e.install_time = ctx.now;
+                e.window = round.window;
+                st.out_write.remove(&page);
+                st.out_read.remove(&page);
+            }
+            self.wake_satisfied(seg, page, store, ctx);
+        } else if upgrade {
+            // §6.1 optimization 1: notification, not a page copy.
+            self.emit(to, ProtoMsg::UpgradeGrant { seg, page, window: round.window }, ctx);
+        } else {
+            let data = round.data.expect("non-upgrade write demand carries data");
+            self.emit(
+                to,
+                ProtoMsg::PageGrant {
+                    seg,
+                    page,
+                    access: Access::Write,
+                    window: round.window,
+                    data: data.as_bytes().to_vec(),
+                },
+                ctx,
+            );
+        }
+        self.emit(
+            seg.library,
+            ProtoMsg::InvalidateDone {
+                seg,
+                page,
+                info: DoneInfo { writer_downgraded: false },
+            },
+            ctx,
+        );
+    }
+
+    /// A page arrived from the storing site.
+    #[allow(clippy::too_many_arguments)] // Mirrors the wire message fields.
+    pub(crate) fn use_grant(
+        &mut self,
+        seg: SegmentId,
+        page: PageNum,
+        access: Access,
+        window: Delta,
+        data: Vec<u8>,
+        store: &mut dyn PageStore,
+        ctx: &mut Ctx,
+    ) {
+        let prot = match access {
+            Access::Read => PageProt::Read,
+            Access::Write => PageProt::ReadWrite,
+        };
+        store.install(seg, page, PageData::from_bytes(&data), prot);
+        if let Some(st) = self.usr.segs.get_mut(&seg) {
+            let e = st.aux.get_mut(page);
+            e.install_time = ctx.now;
+            e.window = window;
+            st.out_read.remove(&page);
+            if access == Access::Write {
+                st.out_write.remove(&page);
+            }
+        }
+        self.wake_satisfied(seg, page, store, ctx);
+        self.drain_deferred(seg, page, store, ctx);
+    }
+
+    /// We held a read copy and are now the writer (optimization 1).
+    pub(crate) fn use_upgrade(
+        &mut self,
+        seg: SegmentId,
+        page: PageNum,
+        window: Delta,
+        store: &mut dyn PageStore,
+        ctx: &mut Ctx,
+    ) {
+        store.set_prot(seg, page, PageProt::ReadWrite);
+        if let Some(st) = self.usr.segs.get_mut(&seg) {
+            let e = st.aux.get_mut(page);
+            e.install_time = ctx.now;
+            e.window = window;
+            st.out_read.remove(&page);
+            st.out_write.remove(&page);
+        }
+        self.wake_satisfied(seg, page, store, ctx);
+        self.drain_deferred(seg, page, store, ctx);
+    }
+
+    /// Runs clock-site duties that were deferred while our copy was in
+    /// flight. Each op is dispatched once; an op that still cannot run
+    /// (copy gone again) re-defers itself without looping.
+    fn drain_deferred(
+        &mut self,
+        seg: SegmentId,
+        page: PageNum,
+        store: &mut dyn PageStore,
+        ctx: &mut Ctx,
+    ) {
+        let Some(ops) = self.usr.deferred.remove(&(seg, page)) else {
+            return;
+        };
+        for op in ops {
+            match op {
+                DeferredOp::Invalidate { demand, readers, window } => {
+                    self.use_invalidate(seg, page, demand, readers, window, store, ctx);
+                }
+                DeferredOp::AddReaders { readers, window } => {
+                    self.use_add_readers(seg, page, readers, window, store, ctx);
+                }
+                DeferredOp::ReaderInvalidate { from } => {
+                    self.use_reader_invalidate(from, seg, page, store, ctx);
+                }
+            }
+        }
+    }
+
+    /// Wakes every blocked process whose access the page now permits.
+    fn wake_satisfied(
+        &mut self,
+        seg: SegmentId,
+        page: PageNum,
+        store: &mut dyn PageStore,
+        ctx: &mut Ctx,
+    ) {
+        let prot = store.prot(seg, page);
+        let mut to_wake = Vec::new();
+        if let Some(st) = self.usr.segs.get_mut(&seg) {
+            if let Some(waiters) = st.waiters.get_mut(&page) {
+                waiters.retain(|&(pid, access)| {
+                    if prot.permits(access) {
+                        to_wake.push(pid);
+                        false
+                    } else {
+                        true
+                    }
+                });
+            }
+        }
+        for pid in to_wake {
+            self.wake(pid, ctx);
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Property tests for the wire codec: arbitrary protocol messages
+//! round-trip, and arbitrary byte soup never panics the decoder.
+
+use mirage_core::{
+    Demand,
+    DoneInfo,
+    ProtoMsg,
+};
+use mirage_net::wire::{
+    from_bytes,
+    to_bytes,
+};
+use mirage_types::{
+    Access,
+    Delta,
+    PageNum,
+    Pid,
+    SegmentId,
+    SimDuration,
+    SiteId,
+    SiteSet,
+    PAGE_SIZE,
+};
+use proptest::prelude::*;
+
+fn site() -> impl Strategy<Value = SiteId> {
+    (0u16..64).prop_map(SiteId)
+}
+
+fn site_set() -> impl Strategy<Value = SiteSet> {
+    prop::collection::vec(site(), 0..8).prop_map(|v| v.into_iter().collect())
+}
+
+fn seg() -> impl Strategy<Value = SegmentId> {
+    (site(), any::<u32>()).prop_map(|(s, n)| SegmentId::new(s, n))
+}
+
+fn access() -> impl Strategy<Value = Access> {
+    prop_oneof![Just(Access::Read), Just(Access::Write)]
+}
+
+fn demand() -> impl Strategy<Value = Demand> {
+    prop_oneof![
+        (site(), any::<bool>()).prop_map(|(to, upgrade)| Demand::Write { to, upgrade }),
+        site_set().prop_map(|to| Demand::Read { to }),
+    ]
+}
+
+fn msg() -> impl Strategy<Value = ProtoMsg> {
+    let page = any::<u32>().prop_map(PageNum);
+    let window = (0u32..100_000).prop_map(Delta);
+    prop_oneof![
+        (seg(), page.clone(), access(), site(), any::<u32>()).prop_map(
+            |(seg, page, access, s, l)| ProtoMsg::PageRequest {
+                seg,
+                page,
+                access,
+                pid: Pid::new(s, l),
+            }
+        ),
+        (seg(), page.clone(), site_set(), window.clone()).prop_map(
+            |(seg, page, readers, window)| ProtoMsg::AddReaders { seg, page, readers, window }
+        ),
+        (seg(), page.clone(), demand(), site_set(), window.clone()).prop_map(
+            |(seg, page, demand, readers, window)| ProtoMsg::Invalidate {
+                seg,
+                page,
+                demand,
+                readers,
+                window,
+            }
+        ),
+        (seg(), page.clone(), any::<u64>()).prop_map(|(seg, page, ns)| {
+            ProtoMsg::InvalidateDeny { seg, page, wait: SimDuration(ns) }
+        }),
+        (seg(), page.clone(), any::<bool>()).prop_map(|(seg, page, d)| {
+            ProtoMsg::InvalidateDone { seg, page, info: DoneInfo { writer_downgraded: d } }
+        }),
+        (seg(), page.clone()).prop_map(|(seg, page)| ProtoMsg::ReaderInvalidate { seg, page }),
+        (seg(), page.clone()).prop_map(|(seg, page)| ProtoMsg::ReaderInvalidateAck {
+            seg,
+            page
+        }),
+        (seg(), page.clone(), access(), window.clone(), any::<u8>()).prop_map(
+            |(seg, page, access, window, fill)| ProtoMsg::PageGrant {
+                seg,
+                page,
+                access,
+                window,
+                data: vec![fill; PAGE_SIZE],
+            }
+        ),
+        (seg(), page, window).prop_map(|(seg, page, window)| ProtoMsg::UpgradeGrant {
+            seg,
+            page,
+            window
+        }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn every_message_round_trips(m in msg()) {
+        let bytes = to_bytes(&m);
+        let back: ProtoMsg = from_bytes(&bytes).expect("decode");
+        prop_assert_eq!(back, m);
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..2048)) {
+        // Any result is fine; panicking or unbounded allocation is not.
+        let _ = from_bytes::<ProtoMsg>(&bytes);
+    }
+
+    #[test]
+    fn truncation_of_valid_messages_errors_cleanly(m in msg(), cut in 0usize..64) {
+        let bytes = to_bytes(&m);
+        let cut = cut.min(bytes.len().saturating_sub(1));
+        prop_assert!(from_bytes::<ProtoMsg>(&bytes[..cut]).is_err());
+    }
+}

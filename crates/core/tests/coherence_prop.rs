@@ -1,0 +1,247 @@
+//! Property-based coherence tests: arbitrary interleavings of reads and
+//! writes from arbitrary sites must never violate the §5.0 coherence
+//! definition — every read observes the latest completed write, and the
+//! single-writer/multi-reader structure holds at every quiescent point.
+
+mod common;
+
+use common::Cluster;
+use mirage_core::{
+    DeltaPolicy,
+    ProtocolConfig,
+};
+use mirage_types::{
+    Access,
+    Delta,
+    PageNum,
+};
+use proptest::prelude::*;
+
+/// One workload step.
+#[derive(Clone, Debug)]
+enum Op {
+    Write { site: usize, page: u32, val: u32 },
+    Read { site: usize, page: u32 },
+    Advance { ms: u64 },
+}
+
+fn op_strategy(sites: usize, pages: u32) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..sites, 0..pages, any::<u32>())
+            .prop_map(|(site, page, val)| Op::Write { site, page, val }),
+        (0..sites, 0..pages).prop_map(|(site, page)| Op::Read { site, page }),
+        (1u64..200).prop_map(|ms| Op::Advance { ms }),
+    ]
+}
+
+fn run_scenario(sites: usize, pages: u32, delta: Delta, ops: Vec<Op>) {
+    let cfg = ProtocolConfig { delta: DeltaPolicy::Uniform(delta), ..Default::default() };
+    let mut c = Cluster::new(sites, cfg);
+    let seg = c.create_segment(0, pages as usize);
+    // Oracle: the latest completed write per page.
+    let mut oracle = vec![0u32; pages as usize];
+    for op in ops {
+        match op {
+            Op::Write { site, page, val } => {
+                c.write_u32(site, seg, PageNum(page), 0, val);
+                oracle[page as usize] = val;
+            }
+            Op::Read { site, page } => {
+                let got = c.read_u32(site, seg, PageNum(page), 0);
+                assert_eq!(
+                    got, oracle[page as usize],
+                    "site {site} read stale data from page {page}"
+                );
+            }
+            Op::Advance { ms } => {
+                c.advance(mirage_types::SimDuration::from_millis(ms));
+            }
+        }
+        for p in 0..pages {
+            c.check_coherence(seg, PageNum(p));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn coherent_with_zero_delta(
+        ops in prop::collection::vec(op_strategy(3, 2), 1..60),
+    ) {
+        run_scenario(3, 2, Delta::ZERO, ops);
+    }
+
+    #[test]
+    fn coherent_with_nonzero_delta(
+        ops in prop::collection::vec(op_strategy(3, 2), 1..60),
+        delta in 0u32..12,
+    ) {
+        run_scenario(3, 2, Delta(delta), ops);
+    }
+
+    #[test]
+    fn coherent_many_sites_one_page(
+        ops in prop::collection::vec(op_strategy(6, 1), 1..60),
+    ) {
+        run_scenario(6, 1, Delta(2), ops);
+    }
+
+    #[test]
+    fn coherent_with_all_optimizations_disabled(
+        ops in prop::collection::vec(op_strategy(3, 2), 1..40),
+    ) {
+        let cfg = ProtocolConfig {
+            delta: DeltaPolicy::Uniform(Delta(1)),
+            upgrade_optimization: false,
+            downgrade_optimization: false,
+            queued_invalidation: false,
+            multicast_invalidation: false,
+        };
+        let mut c = Cluster::new(3, cfg);
+        let seg = c.create_segment(0, 2);
+        let mut oracle = [0u32; 2];
+        for op in ops {
+            match op {
+                Op::Write { site, page, val } => {
+                    c.write_u32(site, seg, PageNum(page), 0, val);
+                    oracle[page as usize] = val;
+                }
+                Op::Read { site, page } => {
+                    let got = c.read_u32(site, seg, PageNum(page), 0);
+                    prop_assert_eq!(got, oracle[page as usize]);
+                }
+                Op::Advance { ms } => {
+                    c.advance(mirage_types::SimDuration::from_millis(ms));
+                }
+            }
+            for p in 0..2 {
+                c.check_coherence(seg, PageNum(p));
+            }
+        }
+    }
+
+    #[test]
+    fn coherent_with_queued_invalidation_and_multicast(
+        ops in prop::collection::vec(op_strategy(4, 2), 1..40),
+    ) {
+        let cfg = ProtocolConfig {
+            delta: DeltaPolicy::Uniform(Delta(2)),
+            upgrade_optimization: true,
+            downgrade_optimization: true,
+            queued_invalidation: true,
+            multicast_invalidation: true,
+        };
+        let mut c = Cluster::new(4, cfg);
+        let seg = c.create_segment(0, 2);
+        let mut oracle = [0u32; 2];
+        for op in ops {
+            match op {
+                Op::Write { site, page, val } => {
+                    c.write_u32(site, seg, PageNum(page), 0, val);
+                    oracle[page as usize] = val;
+                }
+                Op::Read { site, page } => {
+                    let got = c.read_u32(site, seg, PageNum(page), 0);
+                    prop_assert_eq!(got, oracle[page as usize]);
+                }
+                Op::Advance { ms } => {
+                    c.advance(mirage_types::SimDuration::from_millis(ms));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_delta_policy_is_coherent(
+        ops in prop::collection::vec(op_strategy(3, 2), 1..50),
+    ) {
+        let cfg = ProtocolConfig {
+            delta: DeltaPolicy::Dynamic {
+                initial: Delta(1),
+                min: Delta(0),
+                max: Delta(30),
+            },
+            ..Default::default()
+        };
+        let mut c = Cluster::new(3, cfg);
+        let seg = c.create_segment(0, 2);
+        let mut oracle = [0u32; 2];
+        for op in ops {
+            match op {
+                Op::Write { site, page, val } => {
+                    c.write_u32(site, seg, PageNum(page), 0, val);
+                    oracle[page as usize] = val;
+                }
+                Op::Read { site, page } => {
+                    let got = c.read_u32(site, seg, PageNum(page), 0);
+                    prop_assert_eq!(got, oracle[page as usize]);
+                }
+                Op::Advance { ms } => {
+                    c.advance(mirage_types::SimDuration::from_millis(ms));
+                }
+            }
+            for p in 0..2 {
+                c.check_coherence(seg, PageNum(p));
+            }
+        }
+    }
+
+    #[test]
+    fn per_page_delta_policy_is_coherent(
+        ops in prop::collection::vec(op_strategy(3, 3), 1..40),
+    ) {
+        let cfg = ProtocolConfig {
+            delta: DeltaPolicy::PerPage {
+                windows: vec![Delta::ZERO, Delta(4)],
+                fallback: Delta(1),
+            },
+            ..Default::default()
+        };
+        let mut c = Cluster::new(3, cfg);
+        let seg = c.create_segment(0, 3);
+        let mut oracle = [0u32; 3];
+        for op in ops {
+            match op {
+                Op::Write { site, page, val } => {
+                    c.write_u32(site, seg, PageNum(page), 0, val);
+                    oracle[page as usize] = val;
+                }
+                Op::Read { site, page } => {
+                    let got = c.read_u32(site, seg, PageNum(page), 0);
+                    prop_assert_eq!(got, oracle[page as usize]);
+                }
+                Op::Advance { ms } => {
+                    c.advance(mirage_types::SimDuration::from_millis(ms));
+                }
+            }
+            for p in 0..3 {
+                c.check_coherence(seg, PageNum(p));
+            }
+        }
+    }
+}
+
+/// Concurrent (pre-quiescence) fault storms: all sites fault before any
+/// message is delivered, then the network runs. The library must
+/// serialize everything and end coherent.
+#[test]
+fn fault_storm_then_quiesce() {
+    for delta in [0u32, 1, 3] {
+        let cfg = ProtocolConfig::paper(Delta(delta));
+        let mut c = Cluster::new(5, cfg);
+        let seg = c.create_segment(0, 2);
+        for round in 0..10u32 {
+            for site in 0..5usize {
+                let access =
+                    if (site + round as usize).is_multiple_of(2) { Access::Read } else { Access::Write };
+                let page = PageNum(round % 2);
+                c.fault_no_run(site, 1, seg, page, access);
+            }
+            c.run();
+            c.check_coherence(seg, PageNum(0));
+            c.check_coherence(seg, PageNum(1));
+        }
+    }
+}

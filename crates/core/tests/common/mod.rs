@@ -1,0 +1,255 @@
+//! A synchronous multi-site test harness for the protocol engines.
+//!
+//! Messages are delivered instantly and in order; timers advance a
+//! virtual clock. `run()` drives everything to quiescence, so tests can
+//! interleave faults and assert on quiescent global state.
+
+use std::collections::VecDeque;
+
+use mirage_core::{
+    Action,
+    Event,
+    InMemStore,
+    ProtocolConfig,
+    ProtoMsg,
+    RefLogEntry,
+    SiteEngine,
+};
+use mirage_mem::LocalSegment;
+use mirage_net::{
+    message::Sized2,
+    SizeClass,
+};
+use mirage_types::{
+    Access,
+    PageNum,
+    Pid,
+    SegmentId,
+    SimTime,
+    SiteId,
+};
+
+/// A recorded network message, for message-count assertions.
+#[derive(Clone, Debug)]
+#[allow(dead_code)] // Fields are for debug output in assertion messages.
+pub struct SentMsg {
+    pub from: SiteId,
+    pub to: SiteId,
+    pub tag: &'static str,
+    pub size: SizeClass,
+}
+
+#[allow(dead_code)] // Not every test binary uses every helper.
+pub struct Cluster {
+    pub engines: Vec<SiteEngine>,
+    pub stores: Vec<InMemStore>,
+    now: SimTime,
+    net: VecDeque<(SiteId, SiteId, ProtoMsg)>,
+    timers: Vec<(SimTime, SiteId, u64)>,
+    pub sent: Vec<SentMsg>,
+    pub woken: Vec<Pid>,
+    pub ref_log: Vec<RefLogEntry>,
+    next_serial: u32,
+}
+
+#[allow(dead_code)] // Not every test binary uses every helper.
+impl Cluster {
+    pub fn new(n: usize, config: ProtocolConfig) -> Self {
+        let engines = (0..n)
+            .map(|i| SiteEngine::new(SiteId(i as u16), config.clone()))
+            .collect();
+        let stores = (0..n).map(|_| InMemStore::new()).collect();
+        Self {
+            engines,
+            stores,
+            now: SimTime::ZERO,
+            net: VecDeque::new(),
+            timers: Vec::new(),
+            sent: Vec::new(),
+            woken: Vec::new(),
+            ref_log: Vec::new(),
+            next_serial: 1,
+        }
+    }
+
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Creates a segment with its library at `lib`, registering it at
+    /// every site. The library site starts fully resident (it is the
+    /// creator), all other sites absent.
+    pub fn create_segment(&mut self, lib: usize, pages: usize) -> SegmentId {
+        let seg = SegmentId::new(SiteId(lib as u16), self.next_serial);
+        self.next_serial += 1;
+        for (i, (eng, store)) in
+            self.engines.iter_mut().zip(self.stores.iter_mut()).enumerate()
+        {
+            let view = if i == lib {
+                LocalSegment::fully_resident(seg, pages)
+            } else {
+                LocalSegment::absent(seg, pages)
+            };
+            store.add_segment(view);
+            eng.register_segment(seg, pages);
+        }
+        seg
+    }
+
+    fn apply_actions(&mut self, site: usize, actions: Vec<Action>) {
+        for a in actions {
+            match a {
+                Action::Send { to, msg } => {
+                    self.sent.push(SentMsg {
+                        from: SiteId(site as u16),
+                        to,
+                        tag: msg.tag(),
+                        size: msg.size_class(),
+                    });
+                    self.net.push_back((SiteId(site as u16), to, msg));
+                }
+                Action::Wake { pid } => self.woken.push(pid),
+                Action::SetTimer { at, token } => {
+                    self.timers.push((at, SiteId(site as u16), token));
+                }
+                Action::Log(entry) => self.ref_log.push(entry),
+            }
+        }
+    }
+
+    /// Drives messages and timers to quiescence.
+    pub fn run(&mut self) {
+        loop {
+            if let Some((from, to, msg)) = self.net.pop_front() {
+                let site = to.index();
+                let actions = self.engines[site].handle(
+                    Event::Deliver { from, msg },
+                    self.now,
+                    &mut self.stores[site],
+                );
+                self.apply_actions(site, actions);
+                continue;
+            }
+            if !self.timers.is_empty() {
+                // Fire the earliest timer, advancing virtual time.
+                let idx = self
+                    .timers
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, &(at, _, _))| at)
+                    .map(|(i, _)| i)
+                    .unwrap();
+                let (at, site, token) = self.timers.remove(idx);
+                if at > self.now {
+                    self.now = at;
+                }
+                let s = site.index();
+                let actions = self.engines[s].handle(
+                    Event::Timer { token },
+                    self.now,
+                    &mut self.stores[s],
+                );
+                self.apply_actions(s, actions);
+                continue;
+            }
+            break;
+        }
+    }
+
+    /// Raises a typed fault at a site and runs to quiescence.
+    pub fn fault(&mut self, site: usize, seg: SegmentId, page: PageNum, access: Access) {
+        let pid = Pid::new(SiteId(site as u16), 1);
+        let actions = self.engines[site].handle(
+            Event::Fault { pid, seg, page, access },
+            self.now,
+            &mut self.stores[site],
+        );
+        self.apply_actions(site, actions);
+        self.run();
+    }
+
+    /// Raises a fault *without* running to quiescence (for interleaving
+    /// tests); call `run()` afterwards.
+    pub fn fault_no_run(
+        &mut self,
+        site: usize,
+        local: u32,
+        seg: SegmentId,
+        page: PageNum,
+        access: Access,
+    ) {
+        let pid = Pid::new(SiteId(site as u16), local);
+        let actions = self.engines[site].handle(
+            Event::Fault { pid, seg, page, access },
+            self.now,
+            &mut self.stores[site],
+        );
+        self.apply_actions(site, actions);
+    }
+
+    /// Advances virtual time (e.g., to let a Δ window expire).
+    pub fn advance(&mut self, d: mirage_types::SimDuration) {
+        self.now += d;
+    }
+
+    /// Emulates a process write: fault until writable, then store a word.
+    pub fn write_u32(
+        &mut self,
+        site: usize,
+        seg: SegmentId,
+        page: PageNum,
+        off: usize,
+        val: u32,
+    ) {
+        use mirage_core::PageStore;
+        for _ in 0..8 {
+            if self.stores[site].prot(seg, page).permits(Access::Write) {
+                self.stores[site]
+                    .segment_mut(seg)
+                    .unwrap()
+                    .frame_mut(page)
+                    .unwrap()
+                    .store_u32(off, val);
+                return;
+            }
+            self.fault(site, seg, page, Access::Write);
+        }
+        panic!("write access never granted at site {site}");
+    }
+
+    /// Emulates a process read: fault until readable, then load a word.
+    pub fn read_u32(&mut self, site: usize, seg: SegmentId, page: PageNum, off: usize) -> u32 {
+        use mirage_core::PageStore;
+        for _ in 0..8 {
+            if self.stores[site].prot(seg, page).permits(Access::Read) {
+                return self.stores[site]
+                    .segment(seg)
+                    .unwrap()
+                    .frame(page)
+                    .unwrap()
+                    .load_u32(off);
+            }
+            self.fault(site, seg, page, Access::Read);
+        }
+        panic!("read access never granted at site {site}");
+    }
+
+    /// Runs the coherence checker for a page across all sites.
+    pub fn check_coherence(&self, seg: SegmentId, page: PageNum) {
+        use mirage_core::PageStore;
+        let refs: Vec<(SiteId, &dyn PageStore)> = self
+            .stores
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (SiteId(i as u16), s as &dyn PageStore))
+            .collect();
+        let v = mirage_core::invariants::check_page(&refs, seg, page);
+        assert!(v.is_empty(), "coherence violations: {v:?}");
+    }
+
+    /// Clears message/wake instrumentation.
+    pub fn clear_instrumentation(&mut self) {
+        self.sent.clear();
+        self.woken.clear();
+    }
+}

@@ -1,0 +1,119 @@
+//! The §8.0 dynamic Δ-tuning routine (disabled in the paper's prototype,
+//! implemented here): thrashing grows a page's window, idleness shrinks
+//! it, and coherence is unaffected.
+
+mod common;
+
+use common::Cluster;
+use mirage_core::{
+    DeltaPolicy,
+    ProtocolConfig,
+};
+use mirage_types::{
+    Delta,
+    PageNum,
+    SimDuration,
+};
+
+const PG: PageNum = PageNum(0);
+
+fn dynamic(initial: u32, min: u32, max: u32) -> ProtocolConfig {
+    ProtocolConfig {
+        delta: DeltaPolicy::Dynamic {
+            initial: Delta(initial),
+            min: Delta(min),
+            max: Delta(max),
+        },
+        ..Default::default()
+    }
+}
+
+#[test]
+fn thrashing_grows_the_window() {
+    let mut c = Cluster::new(2, dynamic(0, 0, 60));
+    let seg = c.create_segment(0, 1);
+    // Tight ping-pong: each site re-requests immediately after losing
+    // the page (the synchronous cluster leaves zero gap — maximal
+    // thrash signal).
+    for i in 0..12u32 {
+        c.write_u32((i % 2) as usize, seg, PG, 0, i);
+    }
+    let view = c.engines[0].library_view(seg, PG).unwrap();
+    assert!(
+        view.window > Delta(0),
+        "window should have grown under thrash, got {:?}",
+        view.window
+    );
+    c.check_coherence(seg, PG);
+}
+
+#[test]
+fn idle_access_shrinks_the_window() {
+    let mut c = Cluster::new(2, dynamic(32, 0, 60));
+    let seg = c.create_segment(0, 1);
+    // Accesses spaced far beyond any window: every serve completes
+    // without a denial, so the controller shrinks the window each time.
+    for i in 0..8u32 {
+        c.write_u32((i % 2) as usize, seg, PG, 0, i);
+        c.advance(SimDuration::from_millis(5_000));
+    }
+    let view = c.engines[0].library_view(seg, PG).unwrap();
+    assert!(
+        view.window < Delta(32),
+        "window should have shrunk when unused, got {:?}",
+        view.window
+    );
+    c.check_coherence(seg, PG);
+}
+
+#[test]
+fn window_respects_bounds() {
+    // Grow side saturates at max.
+    let mut c = Cluster::new(2, dynamic(1, 1, 4));
+    let seg = c.create_segment(0, 1);
+    for i in 0..30u32 {
+        c.write_u32((i % 2) as usize, seg, PG, 0, i);
+    }
+    let view = c.engines[0].library_view(seg, PG).unwrap();
+    assert!(view.window <= Delta(4), "max bound violated: {:?}", view.window);
+    assert!(view.window >= Delta(1), "min bound violated: {:?}", view.window);
+
+    // Shrink side saturates at min.
+    let mut c = Cluster::new(2, dynamic(8, 2, 16));
+    let seg = c.create_segment(0, 1);
+    for i in 0..12u32 {
+        c.write_u32((i % 2) as usize, seg, PG, 0, i);
+        c.advance(SimDuration::from_millis(10_000));
+    }
+    let view = c.engines[0].library_view(seg, PG).unwrap();
+    assert!(view.window >= Delta(2), "min bound violated: {:?}", view.window);
+}
+
+#[test]
+fn pages_adapt_independently() {
+    let mut c = Cluster::new(2, dynamic(4, 0, 60));
+    let seg = c.create_segment(0, 2);
+    // Page 0 thrashes; page 1 is touched once and left idle.
+    c.write_u32(1, seg, PageNum(1), 0, 1);
+    for i in 0..12u32 {
+        c.write_u32((i % 2) as usize, seg, PG, 0, i);
+    }
+    let hot = c.engines[0].library_view(seg, PG).unwrap().window;
+    let cold = c.engines[0].library_view(seg, PageNum(1)).unwrap().window;
+    assert!(hot > cold, "hot page {hot:?} should out-grow cold page {cold:?}");
+}
+
+#[test]
+fn dynamic_policy_preserves_coherence_and_values() {
+    let mut c = Cluster::new(3, dynamic(0, 0, 30));
+    let seg = c.create_segment(0, 1);
+    let mut expect = 0;
+    for i in 0..40u32 {
+        let site = (i % 3) as usize;
+        c.write_u32(site, seg, PG, 0, i);
+        expect = i;
+        let reader = ((i + 1) % 3) as usize;
+        assert_eq!(c.read_u32(reader, seg, PG, 0), expect);
+        c.check_coherence(seg, PG);
+    }
+}

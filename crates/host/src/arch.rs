@@ -1,0 +1,196 @@
+//! Architecture- and OS-specific primitives: double mappings and
+//! protection changes.
+
+use mirage_types::PageProt;
+
+/// The hardware page size; every 512-byte DSM page sits on its own
+/// hardware page so `mprotect` can manage it independently.
+pub const STRIDE: usize = 4096;
+
+/// A segment's pair of mappings over one shared memory object.
+///
+/// The *user view*'s protection is driven by the protocol; application
+/// threads touch only this view and take faults on it. The *kernel
+/// view* is permanently read-write and is how the protocol engine
+/// reads/writes page bytes regardless of user protection — the analogue
+/// of the paper's kernel mapping pages "in system space" (§7.1
+/// footnote).
+#[derive(Debug)]
+pub struct DoubleMapping {
+    user: *mut u8,
+    kernel: *mut u8,
+    len: usize,
+}
+
+// SAFETY: the raw pointers refer to process-lifetime mappings created by
+// `DoubleMapping::new`; access discipline (who reads/writes which view)
+// is enforced by the runtime, and the mappings are valid from any
+// thread.
+unsafe impl Send for DoubleMapping {}
+// SAFETY: as above — shared references only expose addresses; the
+// runtime serializes all kernel-view data access through the per-site
+// kernel thread.
+unsafe impl Sync for DoubleMapping {}
+
+impl DoubleMapping {
+    /// Creates the two views over `len` bytes of fresh shared memory.
+    /// The user view starts with no access (`PROT_NONE`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel refuses the memfd or either mapping — an
+    /// unrecoverable environment failure at setup time.
+    pub fn new(len: usize) -> Self {
+        // SAFETY: plain syscalls creating a new anonymous shared memory
+        // object and two mappings of it; no existing memory is touched.
+        unsafe {
+            let fd = libc::memfd_create(c"mirage-seg".as_ptr(), 0);
+            assert!(fd >= 0, "memfd_create failed: {}", errno());
+            assert_eq!(
+                libc::ftruncate(fd, len as libc::off_t),
+                0,
+                "ftruncate failed: {}",
+                errno()
+            );
+            let user = libc::mmap(
+                core::ptr::null_mut(),
+                len,
+                libc::PROT_NONE,
+                libc::MAP_SHARED,
+                fd,
+                0,
+            );
+            assert_ne!(user, libc::MAP_FAILED, "user mmap failed: {}", errno());
+            let kernel = libc::mmap(
+                core::ptr::null_mut(),
+                len,
+                libc::PROT_READ | libc::PROT_WRITE,
+                libc::MAP_SHARED,
+                fd,
+                0,
+            );
+            assert_ne!(kernel, libc::MAP_FAILED, "kernel mmap failed: {}", errno());
+            // Both mappings keep the object alive; the fd may go.
+            libc::close(fd);
+            Self { user: user.cast(), kernel: kernel.cast(), len }
+        }
+    }
+
+    /// Base address of the user view.
+    pub fn user_base(&self) -> *mut u8 {
+        self.user
+    }
+
+    /// Base address of the kernel view.
+    pub fn kernel_base(&self) -> *mut u8 {
+        self.kernel
+    }
+
+    /// Mapping length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the mapping is empty (never the case after `new`).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Applies a protocol protection to one hardware page of the user
+    /// view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mprotect` fails (invalid page index would be a runtime
+    /// bug).
+    pub fn protect(&self, hw_page: usize, prot: PageProt) {
+        let flags = match prot {
+            PageProt::None => libc::PROT_NONE,
+            PageProt::Read => libc::PROT_READ,
+            PageProt::ReadWrite => libc::PROT_READ | libc::PROT_WRITE,
+        };
+        let off = hw_page * STRIDE;
+        assert!(off + STRIDE <= self.len, "page index out of mapping");
+        // SAFETY: the range [user+off, user+off+STRIDE) lies within the
+        // mapping created in `new`; changing its protection is exactly
+        // the intended fault-driving mechanism.
+        let rc = unsafe {
+            libc::mprotect(self.user.add(off).cast(), STRIDE, flags)
+        };
+        assert_eq!(rc, 0, "mprotect failed: {}", errno());
+    }
+
+    /// Copies `data` into the page's bytes via the kernel view.
+    pub fn write_page(&self, hw_page: usize, data: &[u8]) {
+        let off = hw_page * STRIDE;
+        assert!(off + data.len() <= self.len);
+        // SAFETY: the destination lies within the always-writable kernel
+        // view; the per-site kernel thread is the only writer through
+        // this view, and application threads cannot hold Rust references
+        // into the mapping (they use volatile raw-pointer accessors).
+        unsafe {
+            core::ptr::copy_nonoverlapping(data.as_ptr(), self.kernel.add(off), data.len());
+        }
+    }
+
+    /// Copies the page's first `len` bytes out via the kernel view.
+    pub fn read_page(&self, hw_page: usize, out: &mut [u8]) {
+        let off = hw_page * STRIDE;
+        assert!(off + out.len() <= self.len);
+        // SAFETY: the source lies within the always-readable kernel
+        // view; see `write_page` for the aliasing discipline.
+        unsafe {
+            core::ptr::copy_nonoverlapping(self.kernel.add(off), out.as_mut_ptr(), out.len());
+        }
+    }
+}
+
+impl Drop for DoubleMapping {
+    fn drop(&mut self) {
+        // SAFETY: unmapping the two mappings created in `new`; the
+        // runtime guarantees no views outlive the cluster.
+        unsafe {
+            libc::munmap(self.user.cast(), self.len);
+            libc::munmap(self.kernel.cast(), self.len);
+        }
+    }
+}
+
+/// Current `errno` (for panic messages).
+pub(crate) fn errno() -> i32 {
+    // SAFETY: `__errno_location` returns the calling thread's errno
+    // slot, always valid.
+    unsafe { *libc::__errno_location() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn double_mapping_aliases_memory() {
+        let m = DoubleMapping::new(4 * STRIDE);
+        m.write_page(2, &[7u8; 16]);
+        let mut out = [0u8; 16];
+        m.read_page(2, &mut out);
+        assert_eq!(out, [7u8; 16]);
+    }
+
+    #[test]
+    fn user_view_protection_changes_apply() {
+        let m = DoubleMapping::new(STRIDE);
+        m.write_page(0, &[42u8; 4]);
+        m.protect(0, PageProt::Read);
+        // SAFETY: the user view page is PROT_READ; a volatile read is
+        // permitted and must observe the kernel-view write (same pages).
+        let v = unsafe { core::ptr::read_volatile(m.user_base()) };
+        assert_eq!(v, 42);
+        m.protect(0, PageProt::ReadWrite);
+        // SAFETY: now writable; write then read back through the kernel
+        // view.
+        unsafe { core::ptr::write_volatile(m.user_base(), 9) };
+        let mut out = [0u8; 1];
+        m.read_page(0, &mut out);
+        assert_eq!(out[0], 9);
+    }
+}

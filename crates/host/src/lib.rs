@@ -1,0 +1,47 @@
+//! The real-memory Mirage runtime: genuine MMU faults, genuine unsafe
+//! fault handling.
+//!
+//! The paper's prototype lives in the Locus kernel and fields real VAX
+//! page faults, reading a hardware bit to distinguish read from write
+//! faults ("We have modified the interrupt service routine assembly code
+//! to examine the VAX hardware bit that indicates the fault type",
+//! §6.2). This crate reproduces that layer in user space on Linux:
+//!
+//! * every *site* is a kernel thread plus any number of application
+//!   threads inside one OS process;
+//! * each (site, segment) pair has **two mappings of the same memory**
+//!   (a `memfd` mapped twice): a *user view* whose per-page protection
+//!   is driven by the protocol (`mprotect`), and an always-writable
+//!   *kernel view* the protocol engine uses to move page data;
+//! * application accesses to the user view take real `SIGSEGV`s; the
+//!   signal handler classifies the fault with the **write bit of the
+//!   x86-64 page-fault error code** (the direct analogue of the paper's
+//!   VAX bit), posts a fault record, and spins until the protocol
+//!   grants access;
+//! * sites exchange the `mirage-core` wire messages (encoded with the
+//!   real codec) over in-process channels; Δ windows run on real time,
+//!   as in the paper (§9: "In Mirage Δ is measured using real-time").
+//!
+//! Because `mprotect` granularity is the hardware page (4096 bytes here)
+//! while Mirage's DSM page is 512 bytes, each DSM page is placed on its
+//! own hardware page (a 4096-byte stride); the protocol engine is used
+//! unchanged. This substitution is documented in `DESIGN.md`.
+//!
+//! All `unsafe` code is confined to [`arch`], [`region`], and
+//! [`fault`], each block carrying a `// SAFETY:` justification.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod arch;
+pub mod fault;
+pub mod region;
+pub mod runtime;
+pub mod store;
+pub mod sysv;
+
+pub use runtime::{
+    HostCluster,
+    SegView,
+};
+pub use sysv::SysV;

@@ -1,0 +1,122 @@
+//! The global fault-routing table: which user-view address ranges belong
+//! to which site and segment.
+//!
+//! The `SIGSEGV` handler consults this table, so it must be readable
+//! without locks or allocation: a fixed array of atomically-published
+//! entries, written once per registration before any fault can occur on
+//! the range.
+
+use core::sync::atomic::{
+    AtomicUsize,
+    Ordering,
+};
+
+use mirage_types::SegmentId;
+
+/// Maximum registered regions process-wide.
+pub const MAX_REGIONS: usize = 1024;
+
+/// One registered user-view range.
+#[derive(Debug)]
+struct Slot {
+    /// Base address (0 = empty slot). Published *last*.
+    base: AtomicUsize,
+    len: AtomicUsize,
+    site: AtomicUsize,
+    seg_lib: AtomicUsize,
+    seg_serial: AtomicUsize,
+}
+
+#[allow(clippy::declare_interior_mutable_const)]
+const EMPTY: Slot = Slot {
+    base: AtomicUsize::new(0),
+    len: AtomicUsize::new(0),
+    site: AtomicUsize::new(0),
+    seg_lib: AtomicUsize::new(0),
+    seg_serial: AtomicUsize::new(0),
+};
+
+static REGIONS: [Slot; MAX_REGIONS] = [EMPTY; MAX_REGIONS];
+static NEXT: AtomicUsize = AtomicUsize::new(0);
+
+/// A fault-table lookup result.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RegionHit {
+    /// Site index owning the region.
+    pub site: usize,
+    /// Segment mapped there.
+    pub seg: SegmentId,
+    /// Byte offset of the fault within the region.
+    pub offset: usize,
+}
+
+/// Registers a user-view range. Returns the slot index.
+///
+/// # Panics
+///
+/// Panics if the table is full.
+pub fn register(base: usize, len: usize, site: usize, seg: SegmentId) -> usize {
+    let idx = NEXT.fetch_add(1, Ordering::Relaxed);
+    assert!(idx < MAX_REGIONS, "region table full");
+    let s = &REGIONS[idx];
+    s.len.store(len, Ordering::Relaxed);
+    s.site.store(site, Ordering::Relaxed);
+    s.seg_lib.store(seg.library.0 as usize, Ordering::Relaxed);
+    s.seg_serial.store(seg.serial as usize, Ordering::Relaxed);
+    // Publish the base last with Release so a handler that observes it
+    // also observes the other fields.
+    s.base.store(base, Ordering::Release);
+    idx
+}
+
+/// Unregisters a slot (marks it empty).
+pub fn unregister(idx: usize) {
+    REGIONS[idx].base.store(0, Ordering::Release);
+}
+
+/// Looks up the region containing `addr`. Async-signal-safe: no locks,
+/// no allocation.
+pub fn lookup(addr: usize) -> Option<RegionHit> {
+    let n = NEXT.load(Ordering::Relaxed).min(MAX_REGIONS);
+    for s in REGIONS.iter().take(n) {
+        let base = s.base.load(Ordering::Acquire);
+        if base == 0 {
+            continue;
+        }
+        let len = s.len.load(Ordering::Relaxed);
+        if addr >= base && addr < base + len {
+            return Some(RegionHit {
+                site: s.site.load(Ordering::Relaxed),
+                seg: SegmentId::new(
+                    mirage_types::SiteId(s.seg_lib.load(Ordering::Relaxed) as u16),
+                    s.seg_serial.load(Ordering::Relaxed) as u32,
+                ),
+                offset: addr - base,
+            });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use mirage_types::SiteId;
+
+    use super::*;
+
+    #[test]
+    fn register_lookup_unregister() {
+        let seg = SegmentId::new(SiteId(0), 77);
+        // Use an address range no real mapping will occupy in tests.
+        let base = 0x7000_0000_0000usize;
+        let idx = register(base, 8192, 3, seg);
+        let hit = lookup(base + 5000).expect("inside region");
+        assert_eq!(hit.site, 3);
+        assert_eq!(hit.seg, seg);
+        assert_eq!(hit.offset, 5000);
+        assert!(lookup(base + 8192).is_none(), "end is exclusive");
+        assert!(lookup(base - 1).is_none());
+        unregister(idx);
+        assert!(lookup(base + 5000).is_none());
+    }
+}

@@ -1,0 +1,405 @@
+//! The host cluster: site kernel threads, app-thread views, and the
+//! in-process wire.
+
+use std::collections::{
+    BinaryHeap,
+    HashMap,
+};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{
+    Duration,
+    Instant,
+};
+
+use crossbeam_channel::{
+    unbounded,
+    Receiver,
+    Sender,
+};
+use mirage_core::{
+    Action,
+    Event,
+    PageStore,
+    ProtocolConfig,
+    ProtoMsg,
+    SiteEngine,
+};
+use mirage_net::wire::{
+    from_bytes,
+    to_bytes,
+};
+use mirage_trace::{
+    Entry,
+    RefLog,
+};
+use mirage_types::{
+    Access,
+    PageNum,
+    PageProt,
+    Pid,
+    SegmentId,
+    SimTime,
+    SiteId,
+};
+use parking_lot::Mutex;
+
+use crate::{
+    arch::STRIDE,
+    fault::{
+        self,
+        GRANTED,
+        IN_SERVICE,
+        MAILBOXES,
+        POSTED,
+        SLOTS_PER_SITE,
+    },
+    region,
+    store::HostStore,
+};
+
+/// Messages to a site's kernel thread.
+enum KMsg {
+    /// An encoded protocol message from another site.
+    Wire {
+        from: SiteId,
+        bytes: Vec<u8>,
+    },
+    /// Create a segment locally; reply with the user-view base address.
+    CreateSegment {
+        seg: SegmentId,
+        pages: usize,
+        resident: bool,
+        ack: Sender<usize>,
+    },
+    /// Shut down.
+    Stop,
+}
+
+/// Global site-slot allocator: each cluster claims a contiguous block of
+/// mailbox/region slots so concurrent clusters in one process (e.g. the
+/// test harness) never collide.
+static NEXT_SLOT: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+struct Inner {
+    /// First global site slot of this cluster.
+    base_slot: usize,
+    /// Region-table slots registered by this cluster (for cleanup).
+    region_slots: Mutex<Vec<usize>>,
+    senders: Vec<Sender<KMsg>>,
+    views: Mutex<HashMap<(usize, SegmentId), (usize, usize)>>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    /// Aggregated library reference logs (§9), one per site.
+    ref_logs: Vec<Mutex<RefLog>>,
+    start: Instant,
+    next_serial: Mutex<u32>,
+}
+
+/// A running Mirage cluster on real memory.
+///
+/// Sites are kernel threads inside this process; application threads
+/// obtain [`SegView`]s and access shared memory directly — page faults
+/// drive the real protocol.
+pub struct HostCluster {
+    inner: Arc<Inner>,
+}
+
+impl HostCluster {
+    /// Starts `n` sites with the given protocol configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds [`fault::MAX_SITES`].
+    pub fn start(n: usize, config: ProtocolConfig) -> Self {
+        let base_slot = NEXT_SLOT.fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+        assert!(
+            base_slot + n <= fault::MAX_SITES,
+            "site-slot space exhausted (too many clusters started in this process)"
+        );
+        fault::install_handler();
+        let channels: Vec<(Sender<KMsg>, Receiver<KMsg>)> =
+            (0..n).map(|_| unbounded()).collect();
+        let senders: Vec<_> = channels.iter().map(|(s, _)| s.clone()).collect();
+        let inner = Arc::new(Inner {
+            base_slot,
+            region_slots: Mutex::new(Vec::new()),
+            senders: senders.clone(),
+            views: Mutex::new(HashMap::new()),
+            handles: Mutex::new(Vec::new()),
+            ref_logs: (0..n).map(|_| Mutex::new(RefLog::new())).collect(),
+            start: Instant::now(),
+            next_serial: Mutex::new(1),
+        });
+        let mut handles = Vec::new();
+        for (i, (_, rx)) in channels.into_iter().enumerate() {
+            let inner2 = Arc::clone(&inner);
+            let cfg = config.clone();
+            let all_senders = senders.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("mirage-site-{i}"))
+                    .spawn(move || kernel_main(i, cfg, rx, all_senders, inner2))
+                    .expect("spawn site thread"),
+            );
+        }
+        *inner.handles.lock() = handles;
+        Self { inner }
+    }
+
+    /// Elapsed real time as the protocol's clock (§9: Δ is real time).
+    pub fn now(&self) -> SimTime {
+        SimTime(self.inner.start.elapsed().as_nanos() as u64)
+    }
+
+    /// Creates a segment with its library (and initial pages) at `lib`,
+    /// registered at every site.
+    pub fn create_segment(&self, lib: usize, pages: usize) -> SegmentId {
+        let serial = {
+            let mut s = self.inner.next_serial.lock();
+            let v = *s;
+            *s += 1;
+            v
+        };
+        let seg = SegmentId::new(SiteId(lib as u16), serial);
+        self.adopt_segment(seg, pages);
+        seg
+    }
+
+    /// Registers an externally-allocated segment id (e.g. one minted by
+    /// a System V [`mirage_mem::Namespace`]) at every site. The id's
+    /// embedded library site receives the fully-resident creator view.
+    pub fn adopt_segment(&self, seg: SegmentId, pages: usize) {
+        let lib = seg.library.index();
+        for (i, tx) in self.inner.senders.iter().enumerate() {
+            let (ack_tx, ack_rx) = unbounded();
+            tx.send(KMsg::CreateSegment {
+                seg,
+                pages,
+                resident: i == lib,
+                ack: ack_tx,
+            })
+            .expect("site thread alive");
+            let base = ack_rx.recv().expect("segment ack");
+            self.inner.views.lock().insert((i, seg), (base, pages));
+        }
+    }
+
+    /// Number of sites in the cluster.
+    pub fn sites(&self) -> usize {
+        self.inner.senders.len()
+    }
+
+    /// An application view of a segment at a site. Accesses through the
+    /// view take real faults and block until the protocol grants access.
+    pub fn view(&self, site: usize, seg: SegmentId) -> SegView {
+        let (base, pages) =
+            *self.inner.views.lock().get(&(site, seg)).expect("segment exists at site");
+        SegView { base: base as *mut u8, pages }
+    }
+
+    /// Snapshot of a site's reference log (meaningful at library sites).
+    pub fn ref_log(&self, site: usize) -> RefLog {
+        self.inner.ref_logs[site].lock().clone()
+    }
+}
+
+impl Drop for HostCluster {
+    fn drop(&mut self) {
+        for tx in &self.inner.senders {
+            let _ = tx.send(KMsg::Stop);
+        }
+        for h in self.inner.handles.lock().drain(..) {
+            let _ = h.join();
+        }
+        // Remove this cluster's fault-routing entries so a later cluster
+        // reusing the same address range never hits a stale region.
+        for slot in self.inner.region_slots.lock().drain(..) {
+            region::unregister(slot);
+        }
+    }
+}
+
+/// An application-side window onto a segment at one site.
+///
+/// DSM pages are 512 bytes placed on 4096-byte hardware pages, so the
+/// byte layout is `page * STRIDE + offset` with `offset < 512`.
+#[derive(Clone, Copy, Debug)]
+pub struct SegView {
+    base: *mut u8,
+    pages: usize,
+}
+
+// SAFETY: the view is a window onto process-lifetime mappings; accesses
+// are volatile raw-pointer operations and the DSM protocol provides the
+// cross-thread synchronization (a page is writable at exactly one site).
+unsafe impl Send for SegView {}
+
+impl SegView {
+    /// Number of DSM pages in the segment.
+    pub fn pages(&self) -> usize {
+        self.pages
+    }
+
+    /// Loads a `u32`. May take a (handled) page fault and block until a
+    /// read copy arrives.
+    pub fn read_u32(&self, page: PageNum, offset: usize) -> u32 {
+        assert!(page.index() < self.pages && offset + 4 <= mirage_types::PAGE_SIZE);
+        // SAFETY: in-bounds volatile read of the user view; the fault
+        // handler resolves protection faults before the read retires.
+        unsafe {
+            let p = self.base.add(page.index() * STRIDE + offset).cast::<u32>();
+            core::ptr::read_volatile(p)
+        }
+    }
+
+    /// Stores a `u32`. May take a (handled) page fault and block until
+    /// the write copy arrives.
+    pub fn write_u32(&self, page: PageNum, offset: usize, val: u32) {
+        assert!(page.index() < self.pages && offset + 4 <= mirage_types::PAGE_SIZE);
+        // SAFETY: in-bounds volatile write of the user view; see
+        // `read_u32`.
+        unsafe {
+            let p = self.base.add(page.index() * STRIDE + offset).cast::<u32>();
+            core::ptr::write_volatile(p, val);
+        }
+    }
+}
+
+/// A pending engine timer.
+struct TimerEnt(SimTime, u64);
+impl PartialEq for TimerEnt {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0 && self.1 == other.1
+    }
+}
+impl Eq for TimerEnt {}
+impl PartialOrd for TimerEnt {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEnt {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap and we want earliest-first.
+        (other.0, other.1).cmp(&(self.0, self.1))
+    }
+}
+
+fn kernel_main(
+    site_idx: usize,
+    config: ProtocolConfig,
+    rx: Receiver<KMsg>,
+    senders: Vec<Sender<KMsg>>,
+    inner: Arc<Inner>,
+) {
+    let site = SiteId(site_idx as u16);
+    let slot = inner.base_slot + site_idx;
+    let mut engine = SiteEngine::new(site, config);
+    let mut store = HostStore::new();
+    let mut timers: BinaryHeap<TimerEnt> = BinaryHeap::new();
+    let now = |inner: &Inner| SimTime(inner.start.elapsed().as_nanos() as u64);
+
+    let apply = |actions: Vec<Action>,
+                     timers: &mut BinaryHeap<TimerEnt>,
+                     senders: &[Sender<KMsg>],
+                     inner: &Inner| {
+        for a in actions {
+            match a {
+                Action::Send { to, msg } => {
+                    let bytes = to_bytes(&msg);
+                    // A dead peer during shutdown is fine.
+                    let _ = senders[to.index()].send(KMsg::Wire { from: site, bytes });
+                }
+                Action::Wake { pid } => {
+                    let slot = &MAILBOXES[inner.base_slot + site_idx][(pid.local as usize) - 1];
+                    // Only wake a slot this site put in service; stale
+                    // wakes for recycled slots are ignored by the CAS.
+                    let _ = slot.state.compare_exchange(
+                        IN_SERVICE,
+                        GRANTED,
+                        Ordering::AcqRel,
+                        Ordering::Relaxed,
+                    );
+                }
+                Action::SetTimer { at, token } => timers.push(TimerEnt(at, token)),
+                Action::Log(e) => inner.ref_logs[site_idx].lock().record(Entry {
+                    seg: e.seg,
+                    page: e.page,
+                    at: e.at,
+                    pid: e.pid,
+                    access: e.access,
+                }),
+            }
+        }
+    };
+
+    loop {
+        // Fire due timers.
+        let t_now = now(&inner);
+        while timers.peek().map(|t| t.0 <= t_now).unwrap_or(false) {
+            let TimerEnt(_, token) = timers.pop().expect("peeked");
+            let actions = engine.handle(Event::Timer { token }, t_now, &mut store);
+            apply(actions, &mut timers, &senders, &inner);
+        }
+        // Service posted faults.
+        #[allow(clippy::needless_range_loop)] // `slot` shadows the block index below.
+        for slot_idx in 0..SLOTS_PER_SITE {
+            let slot = &MAILBOXES[slot][slot_idx];
+            if slot
+                .state
+                .compare_exchange(POSTED, IN_SERVICE, Ordering::AcqRel, Ordering::Relaxed)
+                .is_err()
+            {
+                continue;
+            }
+            let addr = slot.addr.load(Ordering::Relaxed);
+            let hw_write = slot.write.load(Ordering::Relaxed) == 1;
+            let Some(hit) = region::lookup(addr) else {
+                // Region vanished (segment destroyed mid-fault); let the
+                // app retry and crash honestly.
+                slot.state.store(GRANTED, Ordering::Release);
+                continue;
+            };
+            let page = PageNum((hit.offset / STRIDE) as u32);
+            // Typed fault: the x86-64 error-code bit; on other
+            // architectures infer from the current protection (a fault
+            // on a readable page must be a write).
+            let access = if hw_write
+                || store.prot(hit.seg, page) == PageProt::Read
+            {
+                Access::Write
+            } else {
+                Access::Read
+            };
+            let pid = Pid::new(site, (slot_idx + 1) as u32);
+            let t = now(&inner);
+            let actions = engine.handle(
+                Event::Fault { pid, seg: hit.seg, page, access },
+                t,
+                &mut store,
+            );
+            apply(actions, &mut timers, &senders, &inner);
+        }
+        // Wait briefly for wire traffic or commands.
+        match rx.recv_timeout(Duration::from_micros(500)) {
+            Ok(KMsg::Wire { from, bytes }) => {
+                let msg: ProtoMsg = from_bytes(&bytes).expect("peer sent valid wire data");
+                let t = now(&inner);
+                let actions = engine.handle(Event::Deliver { from, msg }, t, &mut store);
+                apply(actions, &mut timers, &senders, &inner);
+            }
+            Ok(KMsg::CreateSegment { seg, pages, resident, ack }) => {
+                store.add_segment(seg, pages, resident);
+                engine.register_segment(seg, pages);
+                let base = store.mapping(seg).expect("just added").user_base() as usize;
+                let rslot = region::register(base, pages * STRIDE, slot, seg);
+                inner.region_slots.lock().push(rslot);
+                let _ = ack.send(base);
+            }
+            Ok(KMsg::Stop) => return,
+            Err(crossbeam_channel::RecvTimeoutError::Timeout) => {}
+            Err(crossbeam_channel::RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}

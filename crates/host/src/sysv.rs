@@ -1,0 +1,278 @@
+//! The System V IPC front end over the real-memory runtime — the
+//! paper's compatibility goal (§2.2/§3.0: "The standard UNIX interface
+//! is preserved. … Applications written for the System V IPC interface
+//! should not need to be recompiled.").
+//!
+//! `shmget`/`shmat`/`shmdt` compose the `mirage-mem` namespace and
+//! address-space machinery with the [`HostCluster`]: segments are
+//! created by key, attached at caller-chosen or first-fit *virtual
+//! addresses* (different processes may use different addresses for the
+//! same segment, §2.2), and accessed by plain virtual address — faults
+//! and coherence are handled underneath by the Mirage protocol.
+
+use std::collections::HashMap;
+
+use mirage_core::ProtocolConfig;
+use mirage_mem::{
+    AddressSpace,
+    Namespace,
+    ShmFlags,
+};
+use mirage_types::{
+    Access,
+    MirageError,
+    Pid,
+    Result,
+    SegKey,
+    SegmentId,
+    SiteId,
+};
+use parking_lot::Mutex;
+
+use crate::runtime::HostCluster;
+
+/// The System V shared-memory interface for a running cluster.
+///
+/// "Processes" are identified by [`Pid`]; each has its own virtual
+/// address space for attachments. The caller's `pid.site` determines
+/// which site's memory its accesses touch (and which site becomes the
+/// library for segments it creates).
+pub struct SysV {
+    cluster: HostCluster,
+    /// One namespace per site: a segment's library site is its creator's
+    /// site, exactly as in the kernel prototype.
+    namespaces: Vec<Mutex<Namespace>>,
+    /// Per-process virtual address spaces.
+    spaces: Mutex<HashMap<Pid, AddressSpace>>,
+}
+
+impl SysV {
+    /// Starts a cluster of `n` sites with the System V front end.
+    pub fn start(n: usize, config: ProtocolConfig) -> Self {
+        let cluster = HostCluster::start(n, config);
+        let namespaces =
+            (0..n).map(|i| Mutex::new(Namespace::new(SiteId(i as u16)))).collect();
+        Self { cluster, namespaces, spaces: Mutex::new(HashMap::new()) }
+    }
+
+    /// Direct access to the underlying cluster (diagnostics, ref logs).
+    pub fn cluster(&self) -> &HostCluster {
+        &self.cluster
+    }
+
+    /// `shmget`: find or create a segment by key.
+    ///
+    /// Keys are network-global; a created segment's library site is the
+    /// caller's site.
+    ///
+    /// # Errors
+    ///
+    /// As [`Namespace::get`]: invalid size, exclusive-create collision,
+    /// or lookup of an absent key.
+    pub fn shmget(&self, caller: Pid, key: SegKey, size: usize, flags: ShmFlags) -> Result<SegmentId> {
+        // Keys are global: search every site's namespace first.
+        for ns in &self.namespaces {
+            if let Some(id) = ns.lock().lookup(key) {
+                if flags.create && flags.exclusive {
+                    return Err(MirageError::KeyExists(key));
+                }
+                return Ok(id);
+            }
+        }
+        let site = caller.site.index();
+        let ns = self
+            .namespaces
+            .get(site)
+            .ok_or(MirageError::UnknownSite(caller.site))?;
+        let id = ns.lock().get(key, size, flags, caller)?;
+        let pages = {
+            let guard = ns.lock();
+            guard.info(id).expect("just created").pages()
+        };
+        self.cluster.adopt_segment(id, pages);
+        Ok(id)
+    }
+
+    /// `shmat`: attach a segment into the caller's address space at the
+    /// given address, or first-fit when `addr` is `None`.
+    /// Returns the attach address.
+    ///
+    /// # Errors
+    ///
+    /// Permission failures from the namespace; address failures from the
+    /// caller's address space.
+    pub fn shmat(
+        &self,
+        caller: Pid,
+        shmid: SegmentId,
+        addr: Option<usize>,
+        read_only: bool,
+    ) -> Result<usize> {
+        let ns = self
+            .namespaces
+            .get(shmid.library.index())
+            .ok_or(MirageError::NoSuchSegment(shmid))?;
+        let size = {
+            let mut guard = ns.lock();
+            let access = if read_only { Access::Read } else { Access::Write };
+            guard.attach(shmid, caller, access)?.size
+        };
+        let mut spaces = self.spaces.lock();
+        let space = spaces.entry(caller).or_default();
+        let att = match addr {
+            Some(a) => space.attach_at(shmid, size, a, read_only)?,
+            None => space.attach_first_fit(shmid, size, read_only)?,
+        };
+        Ok(att.base)
+    }
+
+    /// `shmdt`: detach the segment from the caller's address space.
+    /// Returns true if this was the segment's last detach network-wide
+    /// (the segment name is destroyed, §2.2).
+    ///
+    /// # Errors
+    ///
+    /// [`MirageError::NoSuchSegment`] if not attached.
+    pub fn shmdt(&self, caller: Pid, shmid: SegmentId) -> Result<bool> {
+        {
+            let mut spaces = self.spaces.lock();
+            let space = spaces
+                .get_mut(&caller)
+                .ok_or(MirageError::NoSuchSegment(shmid))?;
+            space.detach(shmid)?;
+        }
+        let ns = self
+            .namespaces
+            .get(shmid.library.index())
+            .ok_or(MirageError::NoSuchSegment(shmid))?;
+        let destroyed = ns.lock().detach(shmid, caller)?;
+        // Page frames live until the cluster is dropped; the *name* is
+        // gone, matching System V (IPC_RMID-on-last-detach semantics).
+        Ok(destroyed)
+    }
+
+    fn resolve(&self, caller: Pid, vaddr: usize) -> Result<(SegmentId, mirage_types::PageNum, usize, bool)> {
+        let spaces = self.spaces.lock();
+        let space = spaces
+            .get(&caller)
+            .ok_or(MirageError::NotAttached { addr: vaddr })?;
+        let r = space.resolve(vaddr)?;
+        Ok((r.segment, r.page, r.offset, r.read_only))
+    }
+
+    /// Loads a `u32` from a virtual address of the caller. May take a
+    /// real page fault and block until the protocol grants read access.
+    ///
+    /// # Errors
+    ///
+    /// [`MirageError::NotAttached`] if no attachment covers the address.
+    pub fn read_u32(&self, caller: Pid, vaddr: usize) -> Result<u32> {
+        let (seg, page, off, _) = self.resolve(caller, vaddr)?;
+        Ok(self.cluster.view(caller.site.index(), seg).read_u32(page, off))
+    }
+
+    /// Stores a `u32` to a virtual address of the caller. May take a
+    /// real page fault and block until the protocol grants write access.
+    ///
+    /// # Errors
+    ///
+    /// [`MirageError::NotAttached`] for unmapped addresses;
+    /// [`MirageError::PermissionDenied`] for writes through a read-only
+    /// attachment (`SHM_RDONLY`).
+    pub fn write_u32(&self, caller: Pid, vaddr: usize, val: u32) -> Result<()> {
+        let (seg, page, off, read_only) = self.resolve(caller, vaddr)?;
+        if read_only {
+            return Err(MirageError::PermissionDenied(seg));
+        }
+        self.cluster.view(caller.site.index(), seg).write_u32(page, off, val);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use mirage_types::PAGE_SIZE;
+
+    use super::*;
+
+    fn pid(site: u16, n: u32) -> Pid {
+        Pid::new(SiteId(site), n)
+    }
+
+    #[test]
+    fn shmget_shmat_read_write_across_sites() {
+        let sysv = SysV::start(2, ProtocolConfig::default());
+        let alice = pid(0, 1);
+        let bob = pid(1, 1);
+        let id = sysv.shmget(alice, SegKey(77), 2 * PAGE_SIZE, ShmFlags::create_rw()).unwrap();
+        // Bob finds the same segment by key without creating.
+        let same = sysv.shmget(bob, SegKey(77), 0, ShmFlags::lookup()).unwrap();
+        assert_eq!(id, same);
+        // Different virtual addresses at the two processes (§2.2).
+        let a_base = sysv.shmat(alice, id, None, false).unwrap();
+        let b_base = sysv
+            .shmat(bob, id, Some(mirage_mem::addr::SHM_BASE + 16 * PAGE_SIZE), false)
+            .unwrap();
+        assert_ne!(a_base, b_base);
+        // Alice writes; Bob reads the same logical location through his
+        // own mapping — across a real page migration.
+        sysv.write_u32(alice, a_base + PAGE_SIZE + 12, 0xFACE).unwrap();
+        assert_eq!(sysv.read_u32(bob, b_base + PAGE_SIZE + 12).unwrap(), 0xFACE);
+    }
+
+    #[test]
+    fn read_only_attach_rejects_writes() {
+        let sysv = SysV::start(1, ProtocolConfig::default());
+        let p = pid(0, 1);
+        let id = sysv.shmget(p, SegKey(5), PAGE_SIZE, ShmFlags::create_rw()).unwrap();
+        let base = sysv.shmat(p, id, None, true).unwrap();
+        assert!(matches!(
+            sysv.write_u32(p, base, 1),
+            Err(MirageError::PermissionDenied(_))
+        ));
+        // Reads are fine.
+        assert_eq!(sysv.read_u32(p, base).unwrap(), 0);
+    }
+
+    #[test]
+    fn last_detach_destroys_the_name() {
+        let sysv = SysV::start(2, ProtocolConfig::default());
+        let a = pid(0, 1);
+        let b = pid(1, 1);
+        let id = sysv.shmget(a, SegKey(9), PAGE_SIZE, ShmFlags::create_rw()).unwrap();
+        sysv.shmat(a, id, None, false).unwrap();
+        sysv.shmat(b, id, None, false).unwrap();
+        assert!(!sysv.shmdt(a, id).unwrap());
+        assert!(sysv.shmdt(b, id).unwrap(), "last detach destroys");
+        // The key is gone; lookup now fails.
+        assert!(matches!(
+            sysv.shmget(a, SegKey(9), 0, ShmFlags::lookup()),
+            Err(MirageError::NoSuchKey(_))
+        ));
+    }
+
+    #[test]
+    fn exclusive_create_sees_keys_from_other_sites() {
+        let sysv = SysV::start(2, ProtocolConfig::default());
+        let a = pid(0, 1);
+        let b = pid(1, 1);
+        sysv.shmget(a, SegKey(4), PAGE_SIZE, ShmFlags::create_rw()).unwrap();
+        let mut excl = ShmFlags::create_rw();
+        excl.exclusive = true;
+        // Site 1's exclusive create must collide with site 0's key.
+        assert!(matches!(
+            sysv.shmget(b, SegKey(4), PAGE_SIZE, excl),
+            Err(MirageError::KeyExists(_))
+        ));
+    }
+
+    #[test]
+    fn unattached_access_fails_cleanly() {
+        let sysv = SysV::start(1, ProtocolConfig::default());
+        let p = pid(0, 1);
+        assert!(matches!(
+            sysv.read_u32(p, mirage_mem::addr::SHM_BASE),
+            Err(MirageError::NotAttached { .. })
+        ));
+    }
+}

@@ -1,0 +1,238 @@
+//! End-to-end tests on real memory: genuine SIGSEGVs, mprotect-driven
+//! coherence, real-time Δ windows.
+
+use std::sync::atomic::{
+    AtomicBool,
+    Ordering,
+};
+use std::sync::Arc;
+use std::time::{
+    Duration,
+    Instant,
+};
+
+use mirage_core::ProtocolConfig;
+use mirage_host::HostCluster;
+use mirage_types::{
+    Delta,
+    PageNum,
+};
+
+const PG: PageNum = PageNum(0);
+
+#[test]
+fn remote_write_then_read_moves_real_pages() {
+    let cluster = HostCluster::start(2, ProtocolConfig::default());
+    let seg = cluster.create_segment(0, 2);
+    let v0 = cluster.view(0, seg);
+    let v1 = cluster.view(1, seg);
+    // Site 0 (creator) writes without faulting; site 1 read-faults and
+    // must observe the value after the page migrates.
+    v0.write_u32(PG, 0, 0xC0FFEE);
+    let t0 = std::thread::spawn(move || v1.read_u32(PG, 0));
+    assert_eq!(t0.join().unwrap(), 0xC0FFEE);
+}
+
+#[test]
+fn write_fault_is_classified_as_write() {
+    // A blind write from a site with no copy must be granted a write
+    // copy in ONE protocol round — only typed faults make that possible.
+    let cluster = HostCluster::start(2, ProtocolConfig::default());
+    let seg = cluster.create_segment(0, 1);
+    let v1 = cluster.view(1, seg);
+    let t = std::thread::spawn(move || {
+        v1.write_u32(PG, 4, 77);
+        v1.read_u32(PG, 4)
+    });
+    assert_eq!(t.join().unwrap(), 77);
+    // The creator's copy is gone; reading it faults and refetches,
+    // observing site 1's write (coherence on real memory).
+    let v0 = cluster.view(0, seg);
+    let t = std::thread::spawn(move || v0.read_u32(PG, 4));
+    assert_eq!(t.join().unwrap(), 77);
+}
+
+#[test]
+fn ping_pong_on_real_memory_is_coherent() {
+    let cluster = HostCluster::start(2, ProtocolConfig::default());
+    let seg = cluster.create_segment(0, 1);
+    let a = cluster.view(0, seg);
+    let b = cluster.view(1, seg);
+    let cycles = 40u32;
+    let t1 = std::thread::spawn(move || {
+        for i in 0..cycles {
+            a.write_u32(PG, 0, 2 * i + 2);
+            while a.read_u32(PG, 4) != 2 * i + 3 {
+                std::thread::yield_now();
+            }
+        }
+    });
+    let t2 = std::thread::spawn(move || {
+        for i in 0..cycles {
+            while b.read_u32(PG, 0) != 2 * i + 2 {
+                std::thread::yield_now();
+            }
+            b.write_u32(PG, 4, 2 * i + 3);
+        }
+    });
+    t1.join().unwrap();
+    t2.join().unwrap();
+}
+
+#[test]
+fn delta_window_holds_page_in_real_time() {
+    // Δ = 12 ticks ≈ 200 ms: after site 1 takes the write copy, site
+    // 0's read must wait out the window.
+    let cluster = HostCluster::start(2, ProtocolConfig::paper(Delta(12)));
+    let seg = cluster.create_segment(0, 1);
+    let v0 = cluster.view(0, seg);
+    let v1 = cluster.view(1, seg);
+    // Site 1 grabs the write copy (waits out the creator's initial
+    // window first).
+    let t = std::thread::spawn(move || v1.write_u32(PG, 0, 5));
+    t.join().unwrap();
+    // Immediately steal back: must take ≳ the window.
+    let started = Instant::now();
+    let t = std::thread::spawn(move || v0.read_u32(PG, 0));
+    assert_eq!(t.join().unwrap(), 5);
+    let waited = started.elapsed();
+    assert!(
+        waited >= Duration::from_millis(120),
+        "Δ window not enforced: read returned after {waited:?}"
+    );
+}
+
+#[test]
+fn many_pages_move_independently() {
+    let cluster = HostCluster::start(2, ProtocolConfig::default());
+    let seg = cluster.create_segment(0, 8);
+    let v0 = cluster.view(0, seg);
+    let v1 = cluster.view(1, seg);
+    for p in 0..8u32 {
+        v0.write_u32(PageNum(p), 0, 100 + p);
+    }
+    let t = std::thread::spawn(move || {
+        (0..8u32).map(|p| v1.read_u32(PageNum(p), 0)).collect::<Vec<_>>()
+    });
+    assert_eq!(t.join().unwrap(), (0..8).map(|p| 100 + p).collect::<Vec<_>>());
+}
+
+#[test]
+fn three_sites_share_read_copies_then_invalidate() {
+    let cluster = HostCluster::start(3, ProtocolConfig::default());
+    let seg = cluster.create_segment(0, 1);
+    let v0 = cluster.view(0, seg);
+    v0.write_u32(PG, 0, 1);
+    // Both remote sites take read copies.
+    for s in 1..3 {
+        let v = cluster.view(s, seg);
+        let t = std::thread::spawn(move || v.read_u32(PG, 0));
+        assert_eq!(t.join().unwrap(), 1);
+    }
+    // Site 2 upgrades; everyone else is invalidated; new value visible
+    // everywhere afterwards.
+    let v2 = cluster.view(2, seg);
+    let t = std::thread::spawn(move || v2.write_u32(PG, 0, 2));
+    t.join().unwrap();
+    for s in 0..2 {
+        let v = cluster.view(s, seg);
+        let t = std::thread::spawn(move || v.read_u32(PG, 0));
+        assert_eq!(t.join().unwrap(), 2, "site {s} must see the new value");
+    }
+}
+
+#[test]
+fn concurrent_writers_serialize_without_loss() {
+    // Two sites increment disjoint counters on the same page; the page
+    // bounces but no update may be lost.
+    let cluster = HostCluster::start(2, ProtocolConfig::default());
+    let seg = cluster.create_segment(0, 1);
+    let va = cluster.view(0, seg);
+    let vb = cluster.view(1, seg);
+    let n = 200u32;
+    let ta = std::thread::spawn(move || {
+        for _ in 0..n {
+            let v = va.read_u32(PG, 0);
+            va.write_u32(PG, 0, v + 1);
+        }
+    });
+    let tb = std::thread::spawn(move || {
+        for _ in 0..n {
+            let v = vb.read_u32(PG, 64);
+            vb.write_u32(PG, 64, v + 1);
+        }
+    });
+    ta.join().unwrap();
+    tb.join().unwrap();
+    let check = cluster.view(0, seg);
+    let t = std::thread::spawn(move || (check.read_u32(PG, 0), check.read_u32(PG, 64)));
+    assert_eq!(t.join().unwrap(), (n, n), "disjoint counters must both survive");
+}
+
+#[test]
+fn reference_log_populated_at_library_site() {
+    let cluster = HostCluster::start(2, ProtocolConfig::default());
+    let seg = cluster.create_segment(0, 1);
+    let v1 = cluster.view(1, seg);
+    let t = std::thread::spawn(move || v1.write_u32(PG, 0, 9));
+    t.join().unwrap();
+    // Library at site 0 logged site 1's request.
+    let log = cluster.ref_log(0);
+    assert!(!log.is_empty(), "library must log remote page requests");
+}
+
+#[test]
+fn unrelated_segfault_still_crashes() {
+    // Faults outside registered regions must not be swallowed. Verify in
+    // a forked child so the crash doesn't kill the test runner.
+    let cluster = HostCluster::start(1, ProtocolConfig::default());
+    let _seg = cluster.create_segment(0, 1);
+    // SAFETY: fork+waitpid to observe a signal death in the child; the
+    // child immediately dereferences an unmapped address and must die
+    // with SIGSEGV rather than hang in the DSM handler.
+    unsafe {
+        let pid = libc::fork();
+        assert!(pid >= 0);
+        if pid == 0 {
+            let p = 0x10 as *mut u32;
+            core::ptr::write_volatile(p, 1);
+            libc::_exit(0); // unreachable
+        }
+        let mut status = 0;
+        libc::waitpid(pid, &mut status, 0);
+        assert!(libc::WIFSIGNALED(status), "child should die by signal");
+        assert_eq!(libc::WTERMSIG(status), libc::SIGSEGV);
+    }
+}
+
+#[test]
+fn app_threads_dont_deadlock_under_contention() {
+    // Stress: 2 sites × 2 app threads hammering one page with a global
+    // deadline as the failure detector.
+    let cluster = HostCluster::start(2, ProtocolConfig::default());
+    let seg = cluster.create_segment(0, 1);
+    let done = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+    for s in 0..2 {
+        for t in 0..2u32 {
+            let v = cluster.view(s, seg);
+            let d = Arc::clone(&done);
+            handles.push(std::thread::spawn(move || {
+                let off = (s * 2 + t as usize) * 8;
+                for i in 0..100 {
+                    if d.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    v.write_u32(PG, off, i);
+                    let _ = v.read_u32(PG, (off + 8) % 32);
+                }
+            }));
+        }
+    }
+    let deadline = Instant::now() + Duration::from_secs(30);
+    for h in handles {
+        assert!(Instant::now() < deadline, "contention stress timed out");
+        h.join().unwrap();
+    }
+    done.store(true, Ordering::Relaxed);
+}

@@ -1,0 +1,287 @@
+//! Per-process virtual address spaces for segment attachment.
+//!
+//! §2.2: "processes attach the segment into their virtual memory address
+//! space by name. The attaching process can choose the exact virtual
+//! address range. Alternately, the process may elect to place the segment
+//! at a first-fit location in the address space. Unlike other sharing
+//! models, processes can share locations at different virtual address
+//! ranges."
+
+use mirage_types::{
+    MirageError,
+    PageNum,
+    Result,
+    SegmentId,
+    PAGE_SIZE,
+};
+
+/// Default bottom of the shared-memory attach region.
+pub const SHM_BASE: usize = 0x1000_0000;
+/// Default top (exclusive) of the shared-memory attach region.
+pub const SHM_TOP: usize = 0x2000_0000;
+
+/// One attached segment: where it lives in this process's address space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Attachment {
+    /// The attached segment.
+    pub segment: SegmentId,
+    /// First virtual address of the attachment.
+    pub base: usize,
+    /// Length in bytes (the segment size).
+    pub len: usize,
+    /// Whether the attach was read-only.
+    pub read_only: bool,
+}
+
+impl Attachment {
+    /// True if the attachment covers `addr`.
+    pub fn covers(&self, addr: usize) -> bool {
+        addr >= self.base && addr < self.base + self.len
+    }
+}
+
+/// The result of resolving a virtual address.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Resolved {
+    /// The segment the address falls in.
+    pub segment: SegmentId,
+    /// The page within the segment.
+    pub page: PageNum,
+    /// Byte offset within the page.
+    pub offset: usize,
+    /// Whether the covering attachment is read-only.
+    pub read_only: bool,
+}
+
+/// A process's shared-memory address space: a set of non-overlapping
+/// attachments within `[SHM_BASE, SHM_TOP)`.
+#[derive(Clone, Debug)]
+pub struct AddressSpace {
+    attachments: Vec<Attachment>,
+}
+
+impl AddressSpace {
+    /// An address space with nothing attached.
+    pub fn new() -> Self {
+        Self { attachments: Vec::new() }
+    }
+
+    /// Attaches a segment at the caller-chosen address.
+    ///
+    /// # Errors
+    ///
+    /// [`MirageError::BadAddress`] if the address is not page-aligned,
+    /// out of range, or overlaps an existing attachment;
+    /// [`MirageError::AlreadyAttached`] if the segment is already mapped.
+    pub fn attach_at(
+        &mut self,
+        segment: SegmentId,
+        size: usize,
+        addr: usize,
+        read_only: bool,
+    ) -> Result<Attachment> {
+        if !addr.is_multiple_of(PAGE_SIZE) || addr < SHM_BASE || addr.saturating_add(size) > SHM_TOP
+        {
+            return Err(MirageError::BadAddress { addr });
+        }
+        self.insert(segment, addr, size, read_only)
+    }
+
+    /// Attaches a segment at the first address range that fits
+    /// (System V `shmat(..., NULL, ...)` behaviour).
+    ///
+    /// # Errors
+    ///
+    /// [`MirageError::AddressSpaceFull`] if no gap is large enough;
+    /// [`MirageError::AlreadyAttached`] if the segment is already mapped.
+    pub fn attach_first_fit(
+        &mut self,
+        segment: SegmentId,
+        size: usize,
+        read_only: bool,
+    ) -> Result<Attachment> {
+        let mut candidate = SHM_BASE;
+        // Attachments are kept sorted by base; scan gaps.
+        for a in &self.attachments {
+            if candidate + size <= a.base {
+                break;
+            }
+            candidate = a.base + a.len;
+            // Keep page alignment after odd-sized historical attachments.
+            candidate = candidate.div_ceil(PAGE_SIZE) * PAGE_SIZE;
+        }
+        if candidate + size > SHM_TOP {
+            return Err(MirageError::AddressSpaceFull);
+        }
+        self.insert(segment, candidate, size, read_only)
+    }
+
+    fn insert(
+        &mut self,
+        segment: SegmentId,
+        base: usize,
+        len: usize,
+        read_only: bool,
+    ) -> Result<Attachment> {
+        if self.attachments.iter().any(|a| a.segment == segment) {
+            return Err(MirageError::AlreadyAttached(segment));
+        }
+        let overlaps = self
+            .attachments
+            .iter()
+            .any(|a| base < a.base + a.len && a.base < base + len);
+        if overlaps {
+            return Err(MirageError::BadAddress { addr: base });
+        }
+        let att = Attachment { segment, base, len, read_only };
+        let pos = self.attachments.partition_point(|a| a.base < base);
+        self.attachments.insert(pos, att);
+        Ok(att)
+    }
+
+    /// Detaches a segment. Returns its attachment record.
+    ///
+    /// # Errors
+    ///
+    /// [`MirageError::NoSuchSegment`] if the segment is not attached.
+    pub fn detach(&mut self, segment: SegmentId) -> Result<Attachment> {
+        let pos = self
+            .attachments
+            .iter()
+            .position(|a| a.segment == segment)
+            .ok_or(MirageError::NoSuchSegment(segment))?;
+        Ok(self.attachments.remove(pos))
+    }
+
+    /// Resolves a virtual address to (segment, page, offset).
+    ///
+    /// # Errors
+    ///
+    /// [`MirageError::NotAttached`] if no attachment covers the address.
+    pub fn resolve(&self, addr: usize) -> Result<Resolved> {
+        let a = self
+            .attachments
+            .iter()
+            .find(|a| a.covers(addr))
+            .ok_or(MirageError::NotAttached { addr })?;
+        let off = addr - a.base;
+        Ok(Resolved {
+            segment: a.segment,
+            page: PageNum::containing(off),
+            offset: off % PAGE_SIZE,
+            read_only: a.read_only,
+        })
+    }
+
+    /// The attachments, sorted by base address.
+    pub fn attachments(&self) -> &[Attachment] {
+        &self.attachments
+    }
+
+    /// The base address at which `segment` is attached, if any.
+    pub fn base_of(&self, segment: SegmentId) -> Option<usize> {
+        self.attachments.iter().find(|a| a.segment == segment).map(|a| a.base)
+    }
+}
+
+impl Default for AddressSpace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use mirage_types::SiteId;
+
+    use super::*;
+
+    fn sid(n: u32) -> SegmentId {
+        SegmentId::new(SiteId(0), n)
+    }
+
+    #[test]
+    fn first_fit_packs_from_base() {
+        let mut a = AddressSpace::new();
+        let x = a.attach_first_fit(sid(1), 2 * PAGE_SIZE, false).unwrap();
+        let y = a.attach_first_fit(sid(2), PAGE_SIZE, false).unwrap();
+        assert_eq!(x.base, SHM_BASE);
+        assert_eq!(y.base, SHM_BASE + 2 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn first_fit_fills_gaps_after_detach() {
+        let mut a = AddressSpace::new();
+        a.attach_first_fit(sid(1), PAGE_SIZE, false).unwrap();
+        a.attach_first_fit(sid(2), PAGE_SIZE, false).unwrap();
+        a.attach_first_fit(sid(3), PAGE_SIZE, false).unwrap();
+        a.detach(sid(2)).unwrap();
+        let re = a.attach_first_fit(sid(4), PAGE_SIZE, false).unwrap();
+        assert_eq!(re.base, SHM_BASE + PAGE_SIZE, "gap should be reused");
+    }
+
+    #[test]
+    fn exact_attach_requires_alignment_and_range() {
+        let mut a = AddressSpace::new();
+        assert!(matches!(
+            a.attach_at(sid(1), PAGE_SIZE, SHM_BASE + 3, false),
+            Err(MirageError::BadAddress { .. })
+        ));
+        assert!(matches!(
+            a.attach_at(sid(1), PAGE_SIZE, SHM_TOP, false),
+            Err(MirageError::BadAddress { .. })
+        ));
+        assert!(a.attach_at(sid(1), PAGE_SIZE, SHM_BASE + PAGE_SIZE, false).is_ok());
+    }
+
+    #[test]
+    fn overlapping_attach_rejected() {
+        let mut a = AddressSpace::new();
+        a.attach_at(sid(1), 2 * PAGE_SIZE, SHM_BASE, false).unwrap();
+        assert!(a.attach_at(sid(2), PAGE_SIZE, SHM_BASE + PAGE_SIZE, false).is_err());
+    }
+
+    #[test]
+    fn double_attach_of_same_segment_rejected() {
+        let mut a = AddressSpace::new();
+        a.attach_first_fit(sid(1), PAGE_SIZE, false).unwrap();
+        assert_eq!(
+            a.attach_first_fit(sid(1), PAGE_SIZE, false),
+            Err(MirageError::AlreadyAttached(sid(1)))
+        );
+    }
+
+    #[test]
+    fn resolve_computes_page_and_offset() {
+        let mut a = AddressSpace::new();
+        a.attach_at(sid(1), 4 * PAGE_SIZE, SHM_BASE, true).unwrap();
+        let r = a.resolve(SHM_BASE + PAGE_SIZE + 12).unwrap();
+        assert_eq!(r.segment, sid(1));
+        assert_eq!(r.page, PageNum(1));
+        assert_eq!(r.offset, 12);
+        assert!(r.read_only);
+    }
+
+    #[test]
+    fn resolve_outside_attachments_fails() {
+        let a = AddressSpace::new();
+        assert!(matches!(
+            a.resolve(SHM_BASE),
+            Err(MirageError::NotAttached { .. })
+        ));
+    }
+
+    #[test]
+    fn different_processes_may_use_different_addresses() {
+        // "processes can share locations at different virtual address
+        // ranges" — two address spaces attach the same segment at
+        // different bases, and both resolve to the same (segment, page).
+        let mut p1 = AddressSpace::new();
+        let mut p2 = AddressSpace::new();
+        p1.attach_at(sid(1), PAGE_SIZE, SHM_BASE, false).unwrap();
+        p2.attach_at(sid(1), PAGE_SIZE, SHM_BASE + 8 * PAGE_SIZE, false).unwrap();
+        let r1 = p1.resolve(SHM_BASE + 100).unwrap();
+        let r2 = p2.resolve(SHM_BASE + 8 * PAGE_SIZE + 100).unwrap();
+        assert_eq!((r1.segment, r1.page, r1.offset), (r2.segment, r2.page, r2.offset));
+    }
+}

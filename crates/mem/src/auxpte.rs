@@ -1,0 +1,171 @@
+//! The auxiliary parallel page table (paper Table 2).
+//!
+//! "We use an unused bit in the standard page table entry which indicates
+//! that an auxiliary parallel page table should be consulted when a page
+//! fault occurs. … There is one shared copy of the complete table for
+//! each segment at each site. There are N entries in this table that
+//! correspond to the pages of the segment." (§6.2)
+
+use mirage_types::{
+    Delta,
+    PageNum,
+    SimTime,
+    SiteId,
+    SiteSet,
+};
+
+/// One auxiliary page table entry.
+///
+/// Field-for-field from Table 2:
+///
+/// | Contents      | Comment                                        |
+/// |---------------|------------------------------------------------|
+/// | reader mask   | list of sites using this page                  |
+/// | writer        | current writer site                            |
+/// | window ticks  | number of ticks allocated for this page        |
+/// | install time  | installation time for this page at this site   |
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AuxPte {
+    /// Sites currently holding read copies of this page.
+    pub readers: SiteSet,
+    /// The site holding the sole write copy, if any.
+    pub writer: Option<SiteId>,
+    /// The time window Δ allocated for this page, in scheduler ticks.
+    ///
+    /// §8.0: "The auxpte data structure contains the per-page Δs values
+    /// and the implementation could be easily modified to use different
+    /// values" — per-page Δ is supported here; the protocol configuration
+    /// decides whether to use uniform per-segment values.
+    pub window: Delta,
+    /// When the page was installed at this site; the window expires at
+    /// `install_time + window`.
+    pub install_time: SimTime,
+}
+
+impl AuxPte {
+    /// An entry for a page not yet distributed anywhere.
+    pub fn empty(window: Delta) -> Self {
+        Self {
+            readers: SiteSet::empty(),
+            writer: None,
+            window,
+            install_time: SimTime::ZERO,
+        }
+    }
+
+    /// The time at which this page's window expires at this site.
+    pub fn window_expiry(&self) -> SimTime {
+        self.install_time + self.window.duration()
+    }
+
+    /// Time remaining in the window at `now` (zero if already expired).
+    pub fn window_remaining(&self, now: SimTime) -> mirage_types::SimDuration {
+        self.window_expiry().since(now)
+    }
+
+    /// True if the window has expired at `now`.
+    pub fn window_expired(&self, now: SimTime) -> bool {
+        now >= self.window_expiry()
+    }
+}
+
+/// The per-segment auxiliary table: one [`AuxPte`] per page.
+#[derive(Clone, Debug)]
+pub struct AuxTable {
+    entries: Vec<AuxPte>,
+}
+
+impl AuxTable {
+    /// Builds a table for a segment of `pages` pages, all windows set to
+    /// the segment's uniform Δ.
+    pub fn new(pages: usize, window: Delta) -> Self {
+        Self { entries: vec![AuxPte::empty(window); pages] }
+    }
+
+    /// Number of pages covered.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the segment has no pages (never the case in practice).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Shared access to a page's entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is out of range for the segment.
+    pub fn get(&self, page: PageNum) -> &AuxPte {
+        &self.entries[page.index()]
+    }
+
+    /// Exclusive access to a page's entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is out of range for the segment.
+    pub fn get_mut(&mut self, page: PageNum) -> &mut AuxPte {
+        &mut self.entries[page.index()]
+    }
+
+    /// Iterates `(page, entry)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (PageNum, &AuxPte)> {
+        self.entries.iter().enumerate().map(|(i, e)| (PageNum(i as u32), e))
+    }
+
+    /// Sets a per-page window, the §8.0 hot-spot tuning hook.
+    pub fn set_window(&mut self, page: PageNum, window: Delta) {
+        self.entries[page.index()].window = window;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use mirage_types::{
+        SimDuration,
+        TICK,
+    };
+
+    use super::*;
+
+    #[test]
+    fn window_expiry_accounts_install_time() {
+        let mut e = AuxPte::empty(Delta(2));
+        e.install_time = SimTime::from_millis(100);
+        let expiry = e.window_expiry();
+        assert_eq!(expiry, SimTime::from_millis(100) + TICK.scale(2));
+        assert!(!e.window_expired(SimTime::from_millis(100)));
+        assert!(e.window_expired(expiry));
+    }
+
+    #[test]
+    fn window_remaining_saturates_at_zero() {
+        let e = AuxPte::empty(Delta(1));
+        assert_eq!(e.window_remaining(SimTime::from_millis(500)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn zero_delta_expires_immediately() {
+        let mut e = AuxPte::empty(Delta::ZERO);
+        e.install_time = SimTime::from_millis(5);
+        assert!(e.window_expired(SimTime::from_millis(5)));
+    }
+
+    #[test]
+    fn table_supports_per_page_windows() {
+        let mut t = AuxTable::new(4, Delta(3));
+        assert_eq!(t.len(), 4);
+        t.set_window(PageNum(2), Delta(10));
+        assert_eq!(t.get(PageNum(2)).window, Delta(10));
+        assert_eq!(t.get(PageNum(0)).window, Delta(3));
+    }
+
+    #[test]
+    fn iter_yields_all_pages_in_order() {
+        let t = AuxTable::new(3, Delta::ZERO);
+        let pages: Vec<_> = t.iter().map(|(p, _)| p.0).collect();
+        assert_eq!(pages, vec![0, 1, 2]);
+    }
+}

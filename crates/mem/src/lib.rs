@@ -1,0 +1,54 @@
+//! Memory-management substrate for Mirage.
+//!
+//! This crate implements the System V shared-memory machinery the paper
+//! builds on (§2.2, §6.2), independent of any network protocol:
+//!
+//! * [`page`] — 512-byte page frames with typed accessors;
+//! * [`segment`] — a site's local store for a segment's resident pages;
+//! * [`pte`] — master segment page tables and per-process page tables,
+//!   with the unused-PTE-bit trick that redirects faults to the auxiliary
+//!   table;
+//! * [`auxpte`] — the auxiliary parallel page table (Table 2: reader
+//!   mask, writer, window ticks, install time);
+//! * [`remap`] — the *lazy* consistency method (§6.2): every time a
+//!   shared-memory process is scheduled, its PTEs are recopied from the
+//!   master;
+//! * [`addr`] — per-process virtual address spaces: exact-address or
+//!   first-fit attach, address resolution to (segment, page, offset);
+//! * [`namespace`] — the System V key→segment registry with
+//!   `shmget`/`shmat`/`shmdt` semantics including last-detach-destroys.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod addr;
+pub mod auxpte;
+pub mod namespace;
+pub mod page;
+pub mod pte;
+pub mod remap;
+pub mod segment;
+
+pub use addr::{
+    AddressSpace,
+    Attachment,
+    Resolved,
+};
+pub use auxpte::{
+    AuxPte,
+    AuxTable,
+};
+pub use namespace::{
+    AttachFlags,
+    Namespace,
+    SegmentInfo,
+    ShmFlags,
+};
+pub use page::PageData;
+pub use pte::{
+    MasterTable,
+    ProcessTable,
+    Pte,
+};
+pub use remap::remap_process;
+pub use segment::LocalSegment;

@@ -1,0 +1,346 @@
+//! The System V segment namespace: `shmget`-style creation and lookup.
+//!
+//! §2.2: "A process creates a shared segment by defining a segment's
+//! size, name, and access protection. Segment access protection works
+//! similarly to UNIX file access protection, but is limited to read and
+//! write permissions. … When a process is finished with the segment it
+//! may be detached. The last detach of a segment destroys it."
+//!
+//! In Mirage the namespace lives at the library site for each segment;
+//! this type is that registry. The simulator instantiates one per library
+//! site; the host runtime shares one across site threads.
+
+use std::collections::HashMap;
+
+use mirage_types::{
+    Access,
+    MirageError,
+    Pid,
+    Result,
+    SegKey,
+    SegmentId,
+    SiteId,
+    MAX_SEGMENT_SIZE,
+    PAGE_SIZE,
+};
+
+/// Flags to `get` (the `shmget` analogues of `IPC_CREAT`/`IPC_EXCL`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShmFlags {
+    /// Create the segment if it does not exist.
+    pub create: bool,
+    /// With `create`: fail if it already exists.
+    pub exclusive: bool,
+    /// Owner read permission (like the `0400` mode bit).
+    pub owner_read: bool,
+    /// Owner write permission (like the `0200` mode bit).
+    pub owner_write: bool,
+    /// Other-process read permission (like `0004`).
+    pub other_read: bool,
+    /// Other-process write permission (like `0002`).
+    pub other_write: bool,
+}
+
+impl ShmFlags {
+    /// `IPC_CREAT | 0666`: create with read-write for everyone.
+    pub fn create_rw() -> Self {
+        Self {
+            create: true,
+            exclusive: false,
+            owner_read: true,
+            owner_write: true,
+            other_read: true,
+            other_write: true,
+        }
+    }
+
+    /// Lookup-only with read-write intent.
+    pub fn lookup() -> Self {
+        Self::default()
+    }
+}
+
+/// Flags to `attach` (the `shmat` analogues).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AttachFlags {
+    /// Attach read-only (`SHM_RDONLY`).
+    pub read_only: bool,
+    /// Exact attach address, or `None` for first-fit.
+    pub at: Option<usize>,
+}
+
+/// Registry record for one segment.
+#[derive(Clone, Debug)]
+pub struct SegmentInfo {
+    /// The segment id (embeds the library site).
+    pub id: SegmentId,
+    /// The System V key it was created under.
+    pub key: SegKey,
+    /// Size in bytes, rounded up to a whole number of pages.
+    pub size: usize,
+    /// Creating process (the "owner" for permission checks).
+    pub owner: Pid,
+    /// Permission bits.
+    pub flags: ShmFlags,
+    /// Processes currently attached.
+    pub attached: Vec<Pid>,
+    /// True once at least one attach has happened; the last detach of an
+    /// ever-attached segment destroys it.
+    pub ever_attached: bool,
+}
+
+impl SegmentInfo {
+    /// Number of pages in the segment.
+    pub fn pages(&self) -> usize {
+        self.size / PAGE_SIZE
+    }
+
+    /// Checks whether `pid` may attach with the given access.
+    fn permits(&self, pid: Pid, access: Access) -> bool {
+        let owner = pid == self.owner;
+        match (owner, access) {
+            (true, Access::Read) => self.flags.owner_read,
+            (true, Access::Write) => self.flags.owner_write,
+            (false, Access::Read) => self.flags.other_read,
+            (false, Access::Write) => self.flags.other_write,
+        }
+    }
+}
+
+/// The key→segment registry kept at a library site.
+#[derive(Debug)]
+pub struct Namespace {
+    site: SiteId,
+    next_serial: u32,
+    by_key: HashMap<SegKey, SegmentId>,
+    segments: HashMap<SegmentId, SegmentInfo>,
+}
+
+impl Namespace {
+    /// A registry for segments whose library site is `site`.
+    pub fn new(site: SiteId) -> Self {
+        Self { site, next_serial: 1, by_key: HashMap::new(), segments: HashMap::new() }
+    }
+
+    /// `shmget`: find or create a segment by key.
+    ///
+    /// # Errors
+    ///
+    /// * [`MirageError::InvalidSize`] — zero size or beyond the 128 KiB
+    ///   configuration limit (creation only);
+    /// * [`MirageError::KeyExists`] — `create && exclusive` on an
+    ///   existing key;
+    /// * [`MirageError::NoSuchKey`] — lookup of an absent key without
+    ///   `create`.
+    pub fn get(
+        &mut self,
+        key: SegKey,
+        size: usize,
+        flags: ShmFlags,
+        caller: Pid,
+    ) -> Result<SegmentId> {
+        if let Some(&id) = self.by_key.get(&key) {
+            if flags.create && flags.exclusive {
+                return Err(MirageError::KeyExists(key));
+            }
+            return Ok(id);
+        }
+        if !flags.create {
+            return Err(MirageError::NoSuchKey(key));
+        }
+        if size == 0 || size > MAX_SEGMENT_SIZE {
+            return Err(MirageError::InvalidSize { requested: size });
+        }
+        let rounded = size.div_ceil(PAGE_SIZE) * PAGE_SIZE;
+        let id = SegmentId::new(self.site, self.next_serial);
+        self.next_serial += 1;
+        self.by_key.insert(key, id);
+        self.segments.insert(
+            id,
+            SegmentInfo {
+                id,
+                key,
+                size: rounded,
+                owner: caller,
+                flags,
+                attached: Vec::new(),
+                ever_attached: false,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Records an attach after a permission check.
+    ///
+    /// # Errors
+    ///
+    /// [`MirageError::NoSuchSegment`] or [`MirageError::PermissionDenied`].
+    pub fn attach(&mut self, id: SegmentId, pid: Pid, access: Access) -> Result<&SegmentInfo> {
+        let info = self.segments.get_mut(&id).ok_or(MirageError::NoSuchSegment(id))?;
+        if !info.permits(pid, access) {
+            return Err(MirageError::PermissionDenied(id));
+        }
+        if !info.attached.contains(&pid) {
+            info.attached.push(pid);
+        }
+        info.ever_attached = true;
+        Ok(info)
+    }
+
+    /// Records a detach. Returns `true` if this was the last detach and
+    /// the segment was destroyed ("The last detach of a segment destroys
+    /// it", §2.2).
+    ///
+    /// # Errors
+    ///
+    /// [`MirageError::NoSuchSegment`] if the segment does not exist or
+    /// the process was not attached.
+    pub fn detach(&mut self, id: SegmentId, pid: Pid) -> Result<bool> {
+        let info = self.segments.get_mut(&id).ok_or(MirageError::NoSuchSegment(id))?;
+        let pos = info
+            .attached
+            .iter()
+            .position(|&p| p == pid)
+            .ok_or(MirageError::NoSuchSegment(id))?;
+        info.attached.remove(pos);
+        if info.attached.is_empty() {
+            let key = info.key;
+            self.segments.remove(&id);
+            self.by_key.remove(&key);
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Looks up a segment's record.
+    pub fn info(&self, id: SegmentId) -> Option<&SegmentInfo> {
+        self.segments.get(&id)
+    }
+
+    /// Looks up a segment id by key without creating.
+    pub fn lookup(&self, key: SegKey) -> Option<SegmentId> {
+        self.by_key.get(&key).copied()
+    }
+
+    /// Number of live segments.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// True if no segments exist.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns() -> Namespace {
+        Namespace::new(SiteId(0))
+    }
+
+    fn pid(n: u32) -> Pid {
+        Pid::new(SiteId(0), n)
+    }
+
+    #[test]
+    fn create_and_lookup_by_key() {
+        let mut n = ns();
+        let id = n.get(SegKey(7), 1000, ShmFlags::create_rw(), pid(1)).unwrap();
+        assert_eq!(n.lookup(SegKey(7)), Some(id));
+        // Size rounds up to whole pages.
+        assert_eq!(n.info(id).unwrap().size, 1024);
+        assert_eq!(n.info(id).unwrap().pages(), 2);
+        // A second get with the same key returns the same segment.
+        let again = n.get(SegKey(7), 0, ShmFlags::lookup(), pid(2)).unwrap();
+        assert_eq!(again, id);
+    }
+
+    #[test]
+    fn exclusive_create_fails_on_existing_key() {
+        let mut n = ns();
+        n.get(SegKey(7), 512, ShmFlags::create_rw(), pid(1)).unwrap();
+        let mut excl = ShmFlags::create_rw();
+        excl.exclusive = true;
+        assert_eq!(
+            n.get(SegKey(7), 512, excl, pid(1)),
+            Err(MirageError::KeyExists(SegKey(7)))
+        );
+    }
+
+    #[test]
+    fn lookup_of_missing_key_fails() {
+        let mut n = ns();
+        assert_eq!(
+            n.get(SegKey(9), 512, ShmFlags::lookup(), pid(1)),
+            Err(MirageError::NoSuchKey(SegKey(9)))
+        );
+    }
+
+    #[test]
+    fn size_limits_enforced_on_create() {
+        let mut n = ns();
+        assert!(matches!(
+            n.get(SegKey(1), 0, ShmFlags::create_rw(), pid(1)),
+            Err(MirageError::InvalidSize { .. })
+        ));
+        assert!(matches!(
+            n.get(SegKey(2), MAX_SEGMENT_SIZE + 1, ShmFlags::create_rw(), pid(1)),
+            Err(MirageError::InvalidSize { .. })
+        ));
+        assert!(n.get(SegKey(3), MAX_SEGMENT_SIZE, ShmFlags::create_rw(), pid(1)).is_ok());
+    }
+
+    #[test]
+    fn last_detach_destroys_segment() {
+        let mut n = ns();
+        let id = n.get(SegKey(7), 512, ShmFlags::create_rw(), pid(1)).unwrap();
+        n.attach(id, pid(1), Access::Write).unwrap();
+        n.attach(id, pid(2), Access::Read).unwrap();
+        assert!(!n.detach(id, pid(1)).unwrap());
+        assert!(n.detach(id, pid(2)).unwrap(), "last detach destroys");
+        assert!(n.info(id).is_none());
+        assert_eq!(n.lookup(SegKey(7)), None);
+    }
+
+    #[test]
+    fn permissions_distinguish_owner_and_other() {
+        let mut n = ns();
+        // Owner read-write, others read-only (mode 0644-ish).
+        let flags = ShmFlags {
+            create: true,
+            exclusive: false,
+            owner_read: true,
+            owner_write: true,
+            other_read: true,
+            other_write: false,
+        };
+        let id = n.get(SegKey(7), 512, flags, pid(1)).unwrap();
+        assert!(n.attach(id, pid(1), Access::Write).is_ok());
+        assert!(n.attach(id, pid(2), Access::Read).is_ok());
+        assert_eq!(
+            n.attach(id, pid(3), Access::Write).err(),
+            Some(MirageError::PermissionDenied(id))
+        );
+    }
+
+    #[test]
+    fn detach_by_non_attached_process_fails() {
+        let mut n = ns();
+        let id = n.get(SegKey(7), 512, ShmFlags::create_rw(), pid(1)).unwrap();
+        n.attach(id, pid(1), Access::Read).unwrap();
+        assert!(n.detach(id, pid(9)).is_err());
+    }
+
+    #[test]
+    fn segment_ids_are_unique_per_library() {
+        let mut n = ns();
+        let a = n.get(SegKey(1), 512, ShmFlags::create_rw(), pid(1)).unwrap();
+        let b = n.get(SegKey(2), 512, ShmFlags::create_rw(), pid(1)).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(a.library, SiteId(0));
+        assert_eq!(b.library, SiteId(0));
+    }
+}

@@ -1,0 +1,110 @@
+//! A 512-byte page of shared memory data.
+
+use mirage_types::PAGE_SIZE;
+
+/// The data contents of one page.
+///
+/// Segments "are not meant to store program text nor system state except
+/// as raw data" (§2.2), so `PageData` is plain bytes with typed accessors
+/// for the word-sized loads and stores the workloads perform.
+#[derive(Clone, PartialEq, Eq)]
+pub struct PageData(Box<[u8; PAGE_SIZE]>);
+
+impl PageData {
+    /// A zero-filled page.
+    pub fn zeroed() -> Self {
+        Self(Box::new([0u8; PAGE_SIZE]))
+    }
+
+    /// Builds a page from exactly [`PAGE_SIZE`] bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is not exactly one page long. Callers receive
+    /// page-sized buffers from the wire codec, which validates lengths.
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        assert_eq!(bytes.len(), PAGE_SIZE, "page data must be exactly one page");
+        let mut arr = Box::new([0u8; PAGE_SIZE]);
+        arr.copy_from_slice(bytes);
+        Self(arr)
+    }
+
+    /// Read-only view of the raw bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0[..]
+    }
+
+    /// Mutable view of the raw bytes.
+    pub fn as_bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.0[..]
+    }
+
+    /// Loads a little-endian `u32` at the given byte offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the word would cross the page end.
+    pub fn load_u32(&self, offset: usize) -> u32 {
+        let bytes: [u8; 4] = self.0[offset..offset + 4].try_into().expect("in-page word");
+        u32::from_le_bytes(bytes)
+    }
+
+    /// Stores a little-endian `u32` at the given byte offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the word would cross the page end.
+    pub fn store_u32(&mut self, offset: usize, value: u32) {
+        self.0[offset..offset + 4].copy_from_slice(&value.to_le_bytes());
+    }
+}
+
+impl Default for PageData {
+    fn default() -> Self {
+        Self::zeroed()
+    }
+}
+
+impl core::fmt::Debug for PageData {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let nonzero = self.0.iter().filter(|&&b| b != 0).count();
+        write!(f, "PageData({nonzero} nonzero bytes)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_page_is_all_zero() {
+        let p = PageData::zeroed();
+        assert!(p.as_bytes().iter().all(|&b| b == 0));
+        assert_eq!(p.as_bytes().len(), PAGE_SIZE);
+    }
+
+    #[test]
+    fn word_load_store_round_trips() {
+        let mut p = PageData::zeroed();
+        p.store_u32(0, 0xDEADBEEF);
+        p.store_u32(PAGE_SIZE - 4, 42);
+        assert_eq!(p.load_u32(0), 0xDEADBEEF);
+        assert_eq!(p.load_u32(PAGE_SIZE - 4), 42);
+        // Little-endian layout on the wire.
+        assert_eq!(p.as_bytes()[0], 0xEF);
+    }
+
+    #[test]
+    #[should_panic(expected = "page data must be exactly one page")]
+    fn from_bytes_rejects_wrong_length() {
+        let _ = PageData::from_bytes(&[0u8; 100]);
+    }
+
+    #[test]
+    fn from_bytes_copies_contents() {
+        let mut src = vec![0u8; PAGE_SIZE];
+        src[7] = 9;
+        let p = PageData::from_bytes(&src);
+        assert_eq!(p.as_bytes()[7], 9);
+    }
+}

@@ -1,0 +1,238 @@
+//! Master segment page tables and per-process page tables.
+//!
+//! §6.2: "when a process attaches a segment into its address space, a copy
+//! of a master shared segment's page table entries (PTEs) is conjoined
+//! with the current process's page table entries." The *master* table is
+//! the authoritative per-site record; per-process tables are caches kept
+//! consistent by the lazy remapping of [`crate::remap`].
+
+use std::collections::HashMap;
+
+use mirage_types::{
+    PageNum,
+    PageProt,
+    SegmentId,
+};
+
+/// One page table entry.
+///
+/// `aux` models the paper's trick: "We use an unused bit in the standard
+/// page table entry which indicates that an auxiliary parallel page table
+/// should be consulted when a page fault occurs."
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct Pte {
+    /// Hardware protection. `PageProt::None` means the valid bit is clear
+    /// and any access faults.
+    pub prot: PageProt,
+    /// The unused-bit flag: this PTE belongs to a shared segment, so a
+    /// fault on it must consult the auxiliary table rather than the
+    /// swap/demand-zero paths.
+    pub aux: bool,
+}
+
+impl Pte {
+    /// A shared-memory PTE with the given protection.
+    pub fn shared(prot: PageProt) -> Self {
+        Self { prot, aux: true }
+    }
+}
+
+/// The master (per-site, per-segment) PTE table.
+///
+/// "When an incoming network message invalidates a page, the master
+/// version of the PTE table is updated by the network server process."
+#[derive(Clone, Debug)]
+pub struct MasterTable {
+    segment: SegmentId,
+    entries: Vec<Pte>,
+    /// Generation counter bumped on every mutation; lets tests and the
+    /// remap engine detect staleness cheaply.
+    generation: u64,
+}
+
+impl MasterTable {
+    /// A master table for a segment of `pages` pages, all invalid.
+    pub fn new(segment: SegmentId, pages: usize) -> Self {
+        Self {
+            segment,
+            entries: vec![Pte::shared(PageProt::None); pages],
+            generation: 0,
+        }
+    }
+
+    /// The segment this table describes.
+    pub fn segment(&self) -> SegmentId {
+        self.segment
+    }
+
+    /// Number of pages.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the table covers no pages.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Reads a page's entry.
+    pub fn get(&self, page: PageNum) -> Pte {
+        self.entries[page.index()]
+    }
+
+    /// Sets a page's protection, bumping the generation.
+    pub fn set_prot(&mut self, page: PageNum, prot: PageProt) {
+        self.entries[page.index()].prot = prot;
+        self.generation += 1;
+    }
+
+    /// Current generation (mutation count).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Slice view for bulk copies during remap.
+    pub fn entries(&self) -> &[Pte] {
+        &self.entries
+    }
+}
+
+/// A process's page table: its cached copies of the master entries for
+/// every segment it has attached.
+#[derive(Clone, Debug, Default)]
+pub struct ProcessTable {
+    /// Per attached segment: cached PTEs and the master generation they
+    /// were copied at.
+    cached: HashMap<SegmentId, (Vec<Pte>, u64)>,
+}
+
+impl ProcessTable {
+    /// An empty table for a process with no attachments.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Conjoin a segment's master entries into this process's table
+    /// (attach time).
+    pub fn attach(&mut self, master: &MasterTable) {
+        self.cached.insert(
+            master.segment(),
+            (master.entries().to_vec(), master.generation()),
+        );
+    }
+
+    /// Remove a segment's entries (detach time).
+    pub fn detach(&mut self, segment: SegmentId) {
+        self.cached.remove(&segment);
+    }
+
+    /// True if the process has the segment attached.
+    pub fn has(&self, segment: SegmentId) -> bool {
+        self.cached.contains_key(&segment)
+    }
+
+    /// Segments attached (for remap iteration).
+    pub fn segments(&self) -> impl Iterator<Item = SegmentId> + '_ {
+        self.cached.keys().copied()
+    }
+
+    /// The process's *cached* view of a page's protection — what the
+    /// hardware would consult, possibly stale until the next remap.
+    pub fn prot(&self, segment: SegmentId, page: PageNum) -> Option<PageProt> {
+        self.cached.get(&segment).map(|(v, _)| v[page.index()].prot)
+    }
+
+    /// The generation at which this process last copied the segment's
+    /// master entries.
+    pub fn cached_generation(&self, segment: SegmentId) -> Option<u64> {
+        self.cached.get(&segment).map(|&(_, g)| g)
+    }
+
+    /// Overwrites the cached entries from the master (the per-segment
+    /// step of lazy remapping). Returns the number of PTEs copied, which
+    /// the simulator converts to time at the measured per-page cost.
+    pub fn remap_from(&mut self, master: &MasterTable) -> usize {
+        if let Some((v, gen)) = self.cached.get_mut(&master.segment()) {
+            // The prototype remaps *all* the pages with a simple for-loop
+            // "rather than detecting which specific ones have changed"
+            // (§6.2), so the cost is the full segment length even when
+            // nothing changed.
+            v.copy_from_slice(master.entries());
+            *gen = master.generation();
+            master.len()
+        } else {
+            0
+        }
+    }
+
+    /// Total number of shared pages mapped by this process (the remap
+    /// cost driver).
+    pub fn mapped_pages(&self) -> usize {
+        self.cached.values().map(|(v, _)| v.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use mirage_types::SiteId;
+
+    use super::*;
+
+    fn sid() -> SegmentId {
+        SegmentId::new(SiteId(0), 1)
+    }
+
+    #[test]
+    fn master_updates_bump_generation() {
+        let mut m = MasterTable::new(sid(), 2);
+        assert_eq!(m.generation(), 0);
+        m.set_prot(PageNum(0), PageProt::Read);
+        m.set_prot(PageNum(1), PageProt::ReadWrite);
+        assert_eq!(m.generation(), 2);
+        assert_eq!(m.get(PageNum(1)).prot, PageProt::ReadWrite);
+        assert!(m.get(PageNum(1)).aux, "shared PTEs carry the aux bit");
+    }
+
+    #[test]
+    fn attach_copies_current_master_state() {
+        let mut m = MasterTable::new(sid(), 2);
+        m.set_prot(PageNum(0), PageProt::Read);
+        let mut p = ProcessTable::new();
+        p.attach(&m);
+        assert_eq!(p.prot(sid(), PageNum(0)), Some(PageProt::Read));
+        assert_eq!(p.cached_generation(sid()), Some(1));
+    }
+
+    #[test]
+    fn process_view_is_stale_until_remap() {
+        let mut m = MasterTable::new(sid(), 1);
+        let mut p = ProcessTable::new();
+        p.attach(&m);
+        m.set_prot(PageNum(0), PageProt::ReadWrite);
+        // Stale: the process still sees the page as invalid.
+        assert_eq!(p.prot(sid(), PageNum(0)), Some(PageProt::None));
+        let copied = p.remap_from(&m);
+        assert_eq!(copied, 1);
+        assert_eq!(p.prot(sid(), PageNum(0)), Some(PageProt::ReadWrite));
+    }
+
+    #[test]
+    fn remap_copies_whole_segment_even_if_unchanged() {
+        let m = MasterTable::new(sid(), 8);
+        let mut p = ProcessTable::new();
+        p.attach(&m);
+        assert_eq!(p.remap_from(&m), 8, "prototype remaps all pages");
+    }
+
+    #[test]
+    fn detach_removes_mapping() {
+        let m = MasterTable::new(sid(), 2);
+        let mut p = ProcessTable::new();
+        p.attach(&m);
+        assert!(p.has(sid()));
+        assert_eq!(p.mapped_pages(), 2);
+        p.detach(sid());
+        assert!(!p.has(sid()));
+        assert_eq!(p.remap_from(&m), 0, "detached segments are not remapped");
+    }
+}

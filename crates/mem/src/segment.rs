@@ -1,0 +1,180 @@
+//! A site's local store for a segment's resident pages.
+
+use mirage_types::{
+    PageNum,
+    PageProt,
+    SegmentId,
+    PAGE_SIZE,
+};
+
+use crate::page::PageData as LocalPageData;
+
+/// The frames a site currently holds for one segment, plus each frame's
+/// hardware protection.
+///
+/// In the paper this is the set of resident page frames in system space
+/// referenced by the master PTEs. Pages not present at the site have no
+/// frame ("Mirage needs to mark a page invalid to indicate that a page is
+/// not present at this network site", §6.2).
+#[derive(Clone, Debug)]
+pub struct LocalSegment {
+    id: SegmentId,
+    frames: Vec<Option<LocalPageData>>,
+    prots: Vec<PageProt>,
+}
+
+impl LocalSegment {
+    /// Creates a local view of a segment with no pages resident.
+    pub fn absent(id: SegmentId, pages: usize) -> Self {
+        Self { id, frames: vec![None; pages], prots: vec![PageProt::None; pages] }
+    }
+
+    /// Creates the creating site's view: every page resident, zero-filled,
+    /// writable. The creator is the library site and initially holds the
+    /// only (write) copy of every page.
+    pub fn fully_resident(id: SegmentId, pages: usize) -> Self {
+        Self {
+            id,
+            frames: (0..pages).map(|_| Some(LocalPageData::zeroed())).collect(),
+            prots: vec![PageProt::ReadWrite; pages],
+        }
+    }
+
+    /// The segment this view belongs to.
+    pub fn id(&self) -> SegmentId {
+        self.id
+    }
+
+    /// Number of pages in the segment.
+    pub fn pages(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Segment size in bytes.
+    pub fn size(&self) -> usize {
+        self.pages() * PAGE_SIZE
+    }
+
+    /// The hardware protection of a page at this site.
+    pub fn prot(&self, page: PageNum) -> PageProt {
+        self.prots[page.index()]
+    }
+
+    /// Read access to a resident page's data.
+    pub fn frame(&self, page: PageNum) -> Option<&LocalPageData> {
+        self.frames[page.index()].as_ref()
+    }
+
+    /// Write access to a resident page's data.
+    ///
+    /// Callers must hold write protection; the protocol engines enforce
+    /// this, and the accessor does not re-check so that invalidation
+    /// handlers can stage data.
+    pub fn frame_mut(&mut self, page: PageNum) -> Option<&mut LocalPageData> {
+        self.frames[page.index()].as_mut()
+    }
+
+    /// Installs a page received from the network with the given
+    /// protection.
+    pub fn install(&mut self, page: PageNum, data: LocalPageData, prot: PageProt) {
+        self.frames[page.index()] = Some(data);
+        self.prots[page.index()] = prot;
+    }
+
+    /// Changes the protection of a resident page (upgrade/downgrade).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the page is not resident — upgrading an
+    /// absent page is a protocol bug.
+    pub fn set_prot(&mut self, page: PageNum, prot: PageProt) {
+        debug_assert!(
+            self.frames[page.index()].is_some() || prot == PageProt::None,
+            "cannot grant protection to an absent page"
+        );
+        self.prots[page.index()] = prot;
+    }
+
+    /// Discards the local copy of a page (invalidation: "Our invalidation
+    /// unmaps and discards the page", §6.1). Returns the data that was
+    /// resident, which the caller may need to forward to the new holder.
+    pub fn invalidate(&mut self, page: PageNum) -> Option<LocalPageData> {
+        self.prots[page.index()] = PageProt::None;
+        self.frames[page.index()].take()
+    }
+
+    /// Takes a copy of the page data (for granting a read copy while
+    /// retaining the local one).
+    pub fn copy_out(&self, page: PageNum) -> Option<LocalPageData> {
+        self.frames[page.index()].clone()
+    }
+
+    /// The set of resident pages (for remap accounting and assertions).
+    pub fn resident_pages(&self) -> impl Iterator<Item = PageNum> + '_ {
+        self.frames
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.is_some())
+            .map(|(i, _)| PageNum(i as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use mirage_types::SiteId;
+
+    use super::*;
+
+    fn seg() -> LocalSegment {
+        LocalSegment::absent(SegmentId::new(SiteId(0), 1), 4)
+    }
+
+    #[test]
+    fn absent_segment_has_no_frames() {
+        let s = seg();
+        assert_eq!(s.pages(), 4);
+        assert_eq!(s.size(), 4 * PAGE_SIZE);
+        for p in 0..4 {
+            assert_eq!(s.prot(PageNum(p)), PageProt::None);
+            assert!(s.frame(PageNum(p)).is_none());
+        }
+        assert_eq!(s.resident_pages().count(), 0);
+    }
+
+    #[test]
+    fn fully_resident_creator_view() {
+        let s = LocalSegment::fully_resident(SegmentId::new(SiteId(0), 1), 2);
+        assert_eq!(s.resident_pages().count(), 2);
+        assert_eq!(s.prot(PageNum(0)), PageProt::ReadWrite);
+    }
+
+    #[test]
+    fn install_then_invalidate_round_trips_data() {
+        let mut s = seg();
+        let mut d = LocalPageData::zeroed();
+        d.store_u32(0, 77);
+        s.install(PageNum(1), d, PageProt::Read);
+        assert_eq!(s.prot(PageNum(1)), PageProt::Read);
+        assert_eq!(s.frame(PageNum(1)).unwrap().load_u32(0), 77);
+        let taken = s.invalidate(PageNum(1)).unwrap();
+        assert_eq!(taken.load_u32(0), 77);
+        assert_eq!(s.prot(PageNum(1)), PageProt::None);
+        assert!(s.frame(PageNum(1)).is_none());
+    }
+
+    #[test]
+    fn set_prot_upgrades_resident_page() {
+        let mut s = seg();
+        s.install(PageNum(0), LocalPageData::zeroed(), PageProt::Read);
+        s.set_prot(PageNum(0), PageProt::ReadWrite);
+        assert_eq!(s.prot(PageNum(0)), PageProt::ReadWrite);
+    }
+
+    #[test]
+    fn copy_out_leaves_frame_resident() {
+        let mut s = seg();
+        s.install(PageNum(0), LocalPageData::zeroed(), PageProt::ReadWrite);
+        assert!(s.copy_out(PageNum(0)).is_some());
+        assert!(s.frame(PageNum(0)).is_some());
+    }
+}

@@ -1,0 +1,184 @@
+//! The calibrated component-cost model.
+//!
+//! Every timing constant here is taken directly from the paper's measured
+//! values (§6.2, §7.1, §7.2). The simulator charges these costs; nothing
+//! else in the workspace hard-codes a millisecond. Substituting a modern
+//! cost profile (the paper's §10 "more modern machine architecture" remark)
+//! is a one-struct change, and `NetCosts::modern()` provides one.
+
+use mirage_types::SimDuration;
+
+/// Size class of a network message.
+///
+/// §7.2: "Three of these message are large responses (1024 bytes of
+/// data); the other 6 are short messages." Short messages are headers
+/// only; large messages carry a page in a 1024-byte buffer.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SizeClass {
+    /// Header-only control message.
+    Short,
+    /// Page-carrying message (1024-byte buffer).
+    Large,
+}
+
+/// The component-cost model, in simulated time.
+///
+/// Defaults reproduce the VAX 11/750 + 10 Mbit Ethernet + Locus numbers;
+/// see the field docs for the paper sentence each value comes from.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NetCosts {
+    /// Elapsed transmission of a short message, one direction, one side's
+    /// share. Table 3: "Read Request output transmission elapsed 3.2" and
+    /// "Read request input reception elapsed 3.2". Two sides ⇒ 6.4 ms
+    /// one-way; a round trip of two short messages ≈ 12.9 ms (§7.1).
+    pub short_half: SimDuration,
+    /// Elapsed transmission of a page-carrying message, one side's share.
+    /// Table 3: "Page input reception elapsed 7.5" / "Page output
+    /// transmission elapsed 7.5". One-way ≈ 15 ms, matching the §7.1
+    /// extrapolation from the 21.5 ms large round trip.
+    pub large_half: SimDuration,
+    /// CPU time at the using site to build and issue a page request.
+    /// Table 3: "Using Site Read Request* 2.5".
+    pub request_cpu: SimDuration,
+    /// CPU time of the kernel server process to pick up a request.
+    /// Table 3: "Server process time for request* 1.5".
+    pub server_cpu: SimDuration,
+    /// CPU time at the serving site to process the request (allocate a
+    /// PTE, map the frame, copy to the message, unmap — see the §7.1
+    /// footnote). Table 3: "Processing Time* 2".
+    pub serve_processing: SimDuration,
+    /// Interrupt cost to install, invalidate, or upgrade a page on message
+    /// input. §7.2: "We add 9ms for the 6 input interrupts" ⇒ 1.5 ms each.
+    pub input_interrupt: SimDuration,
+    /// Cost to service a fault whose library is colocated with the
+    /// requester. §7.2: "We add 3ms to service these two faults" ⇒ 1.5 ms.
+    pub local_fault: SimDuration,
+    /// Lazy PTE remap cost per 512-byte page, charged when a process that
+    /// uses shared memory is scheduled. §6.2: "The measured cost of
+    /// mapping one 512 byte page ranges from 106-125 microseconds."
+    pub remap_per_page: SimDuration,
+}
+
+impl NetCosts {
+    /// The paper's measured VAX 11/750 / 10 Mbit Ethernet / Locus costs.
+    pub fn vax_locus() -> Self {
+        Self {
+            short_half: SimDuration::from_millis_f64(3.2),
+            large_half: SimDuration::from_millis_f64(7.5),
+            request_cpu: SimDuration::from_millis_f64(2.5),
+            server_cpu: SimDuration::from_millis_f64(1.5),
+            serve_processing: SimDuration::from_millis_f64(2.0),
+            input_interrupt: SimDuration::from_millis_f64(1.5),
+            local_fault: SimDuration::from_millis_f64(1.5),
+            remap_per_page: SimDuration::from_micros(110),
+        }
+    }
+
+    /// A cost profile roughly 100× faster, standing in for the "more
+    /// modern machine architecture, faster CPU, better Ethernet
+    /// interfaces" the paper's §10 predicts would "improve performance
+    /// substantially".
+    pub fn modern() -> Self {
+        let v = Self::vax_locus();
+        let scale = |d: SimDuration| SimDuration(d.0 / 100);
+        Self {
+            short_half: scale(v.short_half),
+            large_half: scale(v.large_half),
+            request_cpu: scale(v.request_cpu),
+            server_cpu: scale(v.server_cpu),
+            serve_processing: scale(v.serve_processing),
+            input_interrupt: scale(v.input_interrupt),
+            local_fault: scale(v.local_fault),
+            remap_per_page: scale(v.remap_per_page),
+        }
+    }
+
+    /// One-way elapsed time for a message of the given size class
+    /// (sender's output transmission plus receiver's input reception).
+    pub fn one_way(&self, size: SizeClass) -> SimDuration {
+        let half = match size {
+            SizeClass::Short => self.short_half,
+            SizeClass::Large => self.large_half,
+        };
+        half.scale(2)
+    }
+
+    /// Round trip of a short request and a short response.
+    ///
+    /// §7.1: "The measured performance of a short network message (no
+    /// buffer) sent round trip between two sites is 12.9 ms." Our model
+    /// gives 4 × 3.2 = 12.8 ms of wire time; the remaining 0.1 ms is
+    /// request CPU jitter the paper folds into its measurement.
+    pub fn short_round_trip(&self) -> SimDuration {
+        self.one_way(SizeClass::Short).scale(2)
+    }
+
+    /// Round trip sending a 1024-byte buffer and receiving a short reply.
+    ///
+    /// §7.1: measured at 21.5 ms average elapsed.
+    pub fn large_round_trip(&self) -> SimDuration {
+        self.one_way(SizeClass::Large) + self.one_way(SizeClass::Short)
+    }
+
+    /// The threshold below which an invalidation denial is not worth the
+    /// retry round trip.
+    ///
+    /// §7.1 caveat 1: "Because of the overhead in sending and receiving
+    /// this (short) invalidation message, if there is less than 12.9
+    /// msecs remaining in Δ, the invalidation should be honored (or
+    /// delayed and then honored) rather than requiring the requester
+    /// repeat the invalidation later."
+    pub fn retry_threshold(&self) -> SimDuration {
+        self.short_round_trip()
+    }
+}
+
+impl Default for NetCosts {
+    fn default() -> Self {
+        Self::vax_locus()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_round_trip_matches_paper() {
+        let c = NetCosts::vax_locus();
+        let ms = c.short_round_trip().as_millis_f64();
+        assert!((ms - 12.9).abs() < 0.2, "short RT should be ≈12.9 ms, got {ms}");
+    }
+
+    #[test]
+    fn large_round_trip_matches_paper() {
+        let c = NetCosts::vax_locus();
+        let ms = c.large_round_trip().as_millis_f64();
+        assert!((ms - 21.5).abs() < 0.5, "large RT should be ≈21.5 ms, got {ms}");
+    }
+
+    #[test]
+    fn large_one_way_matches_extrapolation() {
+        // §7.1: "transmitting and receiving a 1024 byte message one-way in
+        // the prototype can be extrapolated from 21.5 msecs to take
+        // roughly 15 msecs."
+        let c = NetCosts::vax_locus();
+        let ms = c.one_way(SizeClass::Large).as_millis_f64();
+        assert!((ms - 15.0).abs() < 0.1, "large one-way should be ≈15 ms, got {ms}");
+    }
+
+    #[test]
+    fn remap_cost_within_measured_range() {
+        let us = NetCosts::vax_locus().remap_per_page.0 / 1_000;
+        assert!((106..=125).contains(&us), "remap cost {us}µs outside 106-125µs");
+    }
+
+    #[test]
+    fn modern_profile_is_uniformly_faster() {
+        let v = NetCosts::vax_locus();
+        let m = NetCosts::modern();
+        assert!(m.short_half < v.short_half);
+        assert!(m.large_half < v.large_half);
+        assert!(m.remap_per_page < v.remap_per_page);
+    }
+}

@@ -1,0 +1,37 @@
+//! Locus-style network message layer for Mirage.
+//!
+//! The paper (§7.1): "The Locus programmer uses network messages to
+//! communicate between sites, while the Locus system at the lowest of
+//! levels, maintains a form of virtual circuit between sites to sequence
+//! network messages and maintain topology."
+//!
+//! This crate provides that layer, independent of any particular payload:
+//!
+//! * [`message::Message`] — a typed envelope (source, destination,
+//!   sequence number, payload) generic over the payload type;
+//! * [`wire::Wire`] — a compact binary codec trait plus implementations
+//!   for the primitive Mirage types, so payloads can be put on a real
+//!   wire (and so the codec can be benchmarked);
+//! * [`circuit::CircuitTable`] — per-peer sequencing with in-order
+//!   delivery verification, the guarantee the DSM protocol assumes;
+//! * [`topology::Topology`] — the set of sites in the network;
+//! * [`costs::NetCosts`] — the component-cost model calibrated to the
+//!   paper's measured timings (12.9 ms short round trip, Table 3, …).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod circuit;
+pub mod costs;
+pub mod message;
+pub mod topology;
+pub mod wire;
+
+pub use circuit::CircuitTable;
+pub use costs::{
+    NetCosts,
+    SizeClass,
+};
+pub use message::Message;
+pub use topology::Topology;
+pub use wire::Wire;

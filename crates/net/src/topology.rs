@@ -1,0 +1,141 @@
+//! Network topology: the set of sites and pairwise reachability.
+//!
+//! The paper's network is three VAXs on one Ethernet — a full mesh of
+//! point-to-point Locus circuits. `Topology` generalizes to N sites and
+//! supports marking circuits down for failure-injection tests.
+
+use mirage_types::{
+    MirageError,
+    Result,
+    SiteId,
+    SiteSet,
+};
+
+/// The set of sites in the network and which circuits are up.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    sites: SiteSet,
+    /// Circuits marked down, as (low, high) site pairs.
+    down: Vec<(SiteId, SiteId)>,
+}
+
+impl Topology {
+    /// A full mesh of `n` sites numbered `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds [`SiteSet::CAPACITY`].
+    pub fn full_mesh(n: usize) -> Self {
+        assert!(n <= SiteSet::CAPACITY, "too many sites");
+        let sites = (0..n as u16).map(SiteId).collect();
+        Self { sites, down: Vec::new() }
+    }
+
+    /// The paper's three-VAX network.
+    pub fn paper() -> Self {
+        Self::full_mesh(3)
+    }
+
+    /// All sites in the network.
+    pub fn sites(&self) -> SiteSet {
+        self.sites
+    }
+
+    /// Number of sites.
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// True if the topology has no sites.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// True if `site` is part of the network.
+    pub fn contains(&self, site: SiteId) -> bool {
+        self.sites.contains(site)
+    }
+
+    fn key(a: SiteId, b: SiteId) -> (SiteId, SiteId) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// Marks the circuit between two sites down (for failure injection).
+    pub fn take_down(&mut self, a: SiteId, b: SiteId) {
+        let k = Self::key(a, b);
+        if !self.down.contains(&k) {
+            self.down.push(k);
+        }
+    }
+
+    /// Restores the circuit between two sites.
+    pub fn restore(&mut self, a: SiteId, b: SiteId) {
+        let k = Self::key(a, b);
+        self.down.retain(|&d| d != k);
+    }
+
+    /// Checks that a message can be carried from `from` to `to`.
+    ///
+    /// # Errors
+    ///
+    /// [`MirageError::UnknownSite`] if either endpoint is not in the
+    /// network; [`MirageError::CircuitDown`] if the circuit is down.
+    pub fn route(&self, from: SiteId, to: SiteId) -> Result<()> {
+        if !self.contains(from) {
+            return Err(MirageError::UnknownSite(from));
+        }
+        if !self.contains(to) {
+            return Err(MirageError::UnknownSite(to));
+        }
+        if from != to && self.down.contains(&Self::key(from, to)) {
+            return Err(MirageError::CircuitDown { from, to });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_topology_has_three_sites() {
+        let t = Topology::paper();
+        assert_eq!(t.len(), 3);
+        assert!(t.contains(SiteId(0)));
+        assert!(t.contains(SiteId(2)));
+        assert!(!t.contains(SiteId(3)));
+    }
+
+    #[test]
+    fn routing_checks_membership() {
+        let t = Topology::full_mesh(2);
+        assert!(t.route(SiteId(0), SiteId(1)).is_ok());
+        assert_eq!(
+            t.route(SiteId(0), SiteId(9)),
+            Err(MirageError::UnknownSite(SiteId(9)))
+        );
+    }
+
+    #[test]
+    fn circuits_can_fail_and_recover_symmetrically() {
+        let mut t = Topology::full_mesh(3);
+        t.take_down(SiteId(2), SiteId(0));
+        assert!(t.route(SiteId(0), SiteId(2)).is_err());
+        assert!(t.route(SiteId(2), SiteId(0)).is_err());
+        assert!(t.route(SiteId(0), SiteId(1)).is_ok());
+        t.restore(SiteId(0), SiteId(2));
+        assert!(t.route(SiteId(0), SiteId(2)).is_ok());
+    }
+
+    #[test]
+    fn self_route_never_down() {
+        let mut t = Topology::full_mesh(2);
+        t.take_down(SiteId(0), SiteId(0));
+        assert!(t.route(SiteId(0), SiteId(0)).is_ok());
+    }
+}

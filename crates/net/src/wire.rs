@@ -1,0 +1,338 @@
+//! A compact binary wire codec.
+//!
+//! The Locus network layer put fixed binary structures on the Ethernet;
+//! this module provides the equivalent: a small, explicit, versionless
+//! binary format with no self-description overhead. The codec is used by
+//! the host runtime's transport and benchmarked by
+//! `mirage-bench/benches/codec.rs`.
+//!
+//! All integers are little-endian. Variable-length fields are
+//! length-prefixed with a `u32`.
+
+use bytes::{
+    Buf,
+    BufMut,
+};
+use mirage_types::{
+    Access,
+    Delta,
+    MirageError,
+    PageNum,
+    PageProt,
+    Pid,
+    Result,
+    SegmentId,
+    SimDuration,
+    SiteId,
+    SiteSet,
+};
+
+/// A type that can be encoded to and decoded from the wire format.
+pub trait Wire: Sized {
+    /// Appends the encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut Vec<u8>);
+
+    /// Decodes a value from the front of `buf`, advancing it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MirageError::Codec`] if the buffer is truncated or a
+    /// discriminant is unknown.
+    fn decode(buf: &mut &[u8]) -> Result<Self>;
+}
+
+/// Checks that at least `n` bytes remain before a fixed-size read.
+fn need(buf: &&[u8], n: usize) -> Result<()> {
+    if buf.remaining() < n {
+        Err(MirageError::Codec("truncated message"))
+    } else {
+        Ok(())
+    }
+}
+
+impl Wire for u8 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.put_u8(*self);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        need(buf, 1)?;
+        Ok(buf.get_u8())
+    }
+}
+
+impl Wire for u16 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.put_u16_le(*self);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        need(buf, 2)?;
+        Ok(buf.get_u16_le())
+    }
+}
+
+impl Wire for u32 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.put_u32_le(*self);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        need(buf, 4)?;
+        Ok(buf.get_u32_le())
+    }
+}
+
+impl Wire for u64 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.put_u64_le(*self);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        need(buf, 8)?;
+        Ok(buf.get_u64_le())
+    }
+}
+
+impl Wire for SiteId {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        Ok(SiteId(u16::decode(buf)?))
+    }
+}
+
+impl Wire for PageNum {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        Ok(PageNum(u32::decode(buf)?))
+    }
+}
+
+impl Wire for SegmentId {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.library.encode(buf);
+        self.serial.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        Ok(SegmentId { library: SiteId::decode(buf)?, serial: u32::decode(buf)? })
+    }
+}
+
+impl Wire for Pid {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.site.encode(buf);
+        self.local.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        Ok(Pid { site: SiteId::decode(buf)?, local: u32::decode(buf)? })
+    }
+}
+
+impl Wire for Access {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.put_u8(match self {
+            Access::Read => 0,
+            Access::Write => 1,
+        });
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        match u8::decode(buf)? {
+            0 => Ok(Access::Read),
+            1 => Ok(Access::Write),
+            _ => Err(MirageError::Codec("bad Access discriminant")),
+        }
+    }
+}
+
+impl Wire for PageProt {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.put_u8(match self {
+            PageProt::None => 0,
+            PageProt::Read => 1,
+            PageProt::ReadWrite => 2,
+        });
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        match u8::decode(buf)? {
+            0 => Ok(PageProt::None),
+            1 => Ok(PageProt::Read),
+            2 => Ok(PageProt::ReadWrite),
+            _ => Err(MirageError::Codec("bad PageProt discriminant")),
+        }
+    }
+}
+
+impl Wire for SiteSet {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        let mut bits: u64 = 0;
+        for s in self.iter() {
+            bits |= 1 << s.index();
+        }
+        bits.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        let bits = u64::decode(buf)?;
+        let mut set = SiteSet::empty();
+        for i in 0..64u16 {
+            if bits & (1 << i) != 0 {
+                set.insert(SiteId(i));
+            }
+        }
+        Ok(set)
+    }
+}
+
+impl Wire for SimDuration {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        Ok(SimDuration(u64::decode(buf)?))
+    }
+}
+
+impl Wire for Delta {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        Ok(Delta(u32::decode(buf)?))
+    }
+}
+
+impl Wire for Vec<u8> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (self.len() as u32).encode(buf);
+        buf.extend_from_slice(self);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        let len = u32::decode(buf)? as usize;
+        need(buf, len)?;
+        let v = buf[..len].to_vec();
+        buf.advance(len);
+        Ok(v)
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            None => buf.put_u8(0),
+            Some(v) => {
+                buf.put_u8(1);
+                v.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        match u8::decode(buf)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(buf)?)),
+            _ => Err(MirageError::Codec("bad Option discriminant")),
+        }
+    }
+}
+
+/// Encodes a value into a fresh buffer.
+pub fn to_bytes<T: Wire>(value: &T) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64);
+    value.encode(&mut buf);
+    buf
+}
+
+/// Decodes a value, requiring the buffer to be fully consumed.
+///
+/// # Errors
+///
+/// Returns [`MirageError::Codec`] on truncation, bad discriminants, or
+/// trailing garbage.
+pub fn from_bytes<T: Wire>(mut buf: &[u8]) -> Result<T> {
+    let v = T::decode(&mut buf)?;
+    if !buf.is_empty() {
+        return Err(MirageError::Codec("trailing bytes"));
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Wire + PartialEq + core::fmt::Debug>(v: T) {
+        let bytes = to_bytes(&v);
+        let back: T = from_bytes(&bytes).expect("decode");
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(0u8);
+        round_trip(0xABCDu16);
+        round_trip(0xDEADBEEFu32);
+        round_trip(u64::MAX);
+    }
+
+    #[test]
+    fn ids_round_trip() {
+        round_trip(SiteId(7));
+        round_trip(PageNum(255));
+        round_trip(SegmentId::new(SiteId(1), 42));
+        round_trip(Pid::new(SiteId(2), 9));
+    }
+
+    #[test]
+    fn enums_round_trip() {
+        round_trip(Access::Read);
+        round_trip(Access::Write);
+        round_trip(PageProt::None);
+        round_trip(PageProt::Read);
+        round_trip(PageProt::ReadWrite);
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        let set: SiteSet = [SiteId(0), SiteId(5), SiteId(63)].into_iter().collect();
+        round_trip(set);
+        round_trip(vec![1u8, 2, 3]);
+        round_trip(Vec::<u8>::new());
+        round_trip(Some(PageNum(3)));
+        round_trip(Option::<PageNum>::None);
+    }
+
+    #[test]
+    fn truncated_input_is_an_error() {
+        let bytes = to_bytes(&SegmentId::new(SiteId(1), 42));
+        for cut in 0..bytes.len() {
+            assert!(
+                from_bytes::<SegmentId>(&bytes[..cut]).is_err(),
+                "decode of {cut}-byte prefix should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_an_error() {
+        let mut bytes = to_bytes(&SiteId(1));
+        bytes.push(0);
+        assert_eq!(
+            from_bytes::<SiteId>(&bytes),
+            Err(MirageError::Codec("trailing bytes"))
+        );
+    }
+
+    #[test]
+    fn bad_discriminants_are_errors() {
+        assert!(from_bytes::<Access>(&[9]).is_err());
+        assert!(from_bytes::<PageProt>(&[9]).is_err());
+        assert!(from_bytes::<Option<u8>>(&[2]).is_err());
+    }
+
+    #[test]
+    fn vec_length_prefix_guards_allocation() {
+        // A huge claimed length with a short body must fail, not allocate.
+        let mut buf = Vec::new();
+        (u32::MAX).encode(&mut buf);
+        buf.push(1);
+        assert!(from_bytes::<Vec<u8>>(&buf).is_err());
+    }
+}

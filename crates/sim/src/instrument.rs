@@ -1,0 +1,145 @@
+//! Simulation instrumentation: message counts, fault counts, and the
+//! phase trace used to regenerate Table 3.
+
+use std::collections::HashMap;
+
+use mirage_net::SizeClass;
+use mirage_types::{
+    SimDuration,
+    SimTime,
+    SiteId,
+};
+
+/// Message counters.
+#[derive(Clone, Debug, Default)]
+pub struct MsgStats {
+    /// Short (header-only) messages sent.
+    pub short: u64,
+    /// Large (page-carrying) messages sent.
+    pub large: u64,
+    /// Per-tag counts.
+    pub by_tag: HashMap<&'static str, u64>,
+}
+
+impl MsgStats {
+    /// Total messages.
+    pub fn total(&self) -> u64 {
+        self.short + self.large
+    }
+}
+
+/// A phase marker in the life of one remote page fetch (Table 3 rows).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FetchPhase {
+    /// Fault taken; request CPU starts at the using site.
+    FaultTaken,
+    /// Request handed to the wire.
+    RequestSent,
+    /// Request received at the serving site.
+    RequestReceived,
+    /// Server process picked the request up.
+    ServerStart,
+    /// Page handed to the wire at the serving site.
+    PageSent,
+    /// Page received at the using site.
+    PageReceived,
+    /// Page installed; faulting process woken.
+    Installed,
+}
+
+/// One timestamped phase event.
+#[derive(Clone, Copy, Debug)]
+pub struct PhaseEvent {
+    /// Which site recorded it.
+    pub site: SiteId,
+    /// Phase marker.
+    pub phase: FetchPhase,
+    /// When.
+    pub at: SimTime,
+}
+
+/// World-level instrumentation, cheap enough to leave always on.
+#[derive(Clone, Debug, Default)]
+pub struct Instrumentation {
+    /// Messages placed on the wire (self-deliveries never counted).
+    pub msgs: MsgStats,
+    /// Page faults that required a request to the library.
+    pub remote_faults: u64,
+    /// Page faults serviced by a colocated library without any network
+    /// message.
+    pub local_faults: u64,
+    /// Invalidation denials (Δ window not expired).
+    pub denials: u64,
+    /// Reader invalidations delivered.
+    pub reader_invalidations: u64,
+    /// Upgrade notifications (optimization 1 hits).
+    pub upgrades: u64,
+    /// Total simulated CPU time spent in kernel server work, per site
+    /// index.
+    pub server_cpu: Vec<SimDuration>,
+    /// Phase trace (enabled on demand; empty otherwise).
+    pub phases: Vec<PhaseEvent>,
+    /// Whether phase tracing is active.
+    pub trace_phases: bool,
+}
+
+impl Instrumentation {
+    /// Fresh counters for `n` sites.
+    pub fn new(n: usize) -> Self {
+        Self { server_cpu: vec![SimDuration::ZERO; n], ..Default::default() }
+    }
+
+    /// Records a wire message.
+    pub fn record_msg(&mut self, tag: &'static str, size: SizeClass) {
+        match size {
+            SizeClass::Short => self.msgs.short += 1,
+            SizeClass::Large => self.msgs.large += 1,
+        }
+        *self.msgs.by_tag.entry(tag).or_insert(0) += 1;
+    }
+
+    /// Records a phase event if tracing is on.
+    pub fn record_phase(&mut self, site: SiteId, phase: FetchPhase, at: SimTime) {
+        if self.trace_phases {
+            self.phases.push(PhaseEvent { site, phase, at });
+        }
+    }
+
+    /// Time between the first occurrences of two phases, if both present.
+    pub fn phase_gap(&self, a: FetchPhase, b: FetchPhase) -> Option<SimDuration> {
+        let ta = self.phases.iter().find(|e| e.phase == a)?.at;
+        let tb = self.phases.iter().find(|e| e.phase == b)?.at;
+        Some(tb.since(ta))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn msg_counters_split_by_size() {
+        let mut i = Instrumentation::new(2);
+        i.record_msg("PageRequest", SizeClass::Short);
+        i.record_msg("PageGrant", SizeClass::Large);
+        i.record_msg("PageGrant", SizeClass::Large);
+        assert_eq!(i.msgs.short, 1);
+        assert_eq!(i.msgs.large, 2);
+        assert_eq!(i.msgs.total(), 3);
+        assert_eq!(i.msgs.by_tag["PageGrant"], 2);
+    }
+
+    #[test]
+    fn phase_trace_respects_flag() {
+        let mut i = Instrumentation::new(1);
+        i.record_phase(SiteId(0), FetchPhase::FaultTaken, SimTime::ZERO);
+        assert!(i.phases.is_empty(), "tracing off by default");
+        i.trace_phases = true;
+        i.record_phase(SiteId(0), FetchPhase::FaultTaken, SimTime::from_millis(1));
+        i.record_phase(SiteId(0), FetchPhase::Installed, SimTime::from_millis(28));
+        assert_eq!(
+            i.phase_gap(FetchPhase::FaultTaken, FetchPhase::Installed),
+            Some(SimDuration::from_millis(27))
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! Simulated user processes.
+
+use mirage_types::{
+    Pid,
+    SimDuration,
+    SimTime,
+};
+
+use crate::program::{
+    Op,
+    Program,
+};
+
+/// Scheduling state of a process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProcState {
+    /// On the run queue (or currently running).
+    Ready,
+    /// Blocked in a page fault, awaiting a wake from the protocol
+    /// engine ("the faulting process awaits the library's request
+    /// processing by sleeping", §6.1).
+    Blocked,
+    /// Sleeping until the given time (yield-sleep or explicit sleep).
+    Sleeping(SimTime),
+    /// Exited.
+    Done,
+}
+
+/// One simulated user process.
+pub struct Process {
+    /// The process id.
+    pub pid: Pid,
+    /// The program it runs.
+    pub program: Box<dyn Program>,
+    /// Scheduling state.
+    pub state: ProcState,
+    /// The operation currently being executed, with CPU time still owed.
+    pub pending: Option<(Op, SimDuration)>,
+    /// Value delivered by the last completed read.
+    pub last_read: Option<u32>,
+    /// Number of shared pages mapped, for the lazy-remap charge at
+    /// dispatch (§6.2).
+    pub shm_pages: usize,
+    /// Total CPU time consumed (reporting).
+    pub cpu_used: SimDuration,
+    /// Completed memory accesses (reporting).
+    pub accesses: u64,
+    /// Number of times the process blocked in a fault (reporting).
+    pub faults: u64,
+    /// Number of yield-sleeps taken (reporting; the paper counts "2.75
+    /// sleeps of 33 msecs" per cycle at Δ=2).
+    pub yield_sleeps: u64,
+    /// Woken from a fault sleep: runs at kernel sleep priority, ahead of
+    /// pending server work, until its faulted access completes (the
+    /// classic UNIX sleep-priority boost).
+    pub boosted: bool,
+}
+
+impl Process {
+    /// Creates a ready process.
+    pub fn new(pid: Pid, program: Box<dyn Program>, shm_pages: usize) -> Self {
+        Self {
+            pid,
+            program,
+            state: ProcState::Ready,
+            pending: None,
+            last_read: None,
+            shm_pages,
+            cpu_used: SimDuration::ZERO,
+            accesses: 0,
+            faults: 0,
+            yield_sleeps: 0,
+            boosted: false,
+        }
+    }
+
+    /// The program's progress metric.
+    pub fn metric(&self) -> u64 {
+        self.program.metric()
+    }
+}
+
+impl core::fmt::Debug for Process {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Process")
+            .field("pid", &self.pid)
+            .field("state", &self.state)
+            .field("label", &self.program.label())
+            .field("metric", &self.metric())
+            .finish()
+    }
+}

@@ -1,0 +1,145 @@
+//! User programs as resumable operation streams.
+//!
+//! A [`Program`] is the simulator's equivalent of application code: each
+//! call to [`Program::step`] returns the next [`Op`] the process
+//! performs. Memory reads deliver their value to the *next* `step` call,
+//! letting programs branch on shared data exactly as the paper's C
+//! programs do (Figure 4).
+
+use mirage_types::{
+    Access,
+    PageNum,
+    SegmentId,
+    SimDuration,
+};
+
+/// A shared-memory location: (segment, page, byte offset).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemRef {
+    /// The segment.
+    pub seg: SegmentId,
+    /// The page within the segment.
+    pub page: PageNum,
+    /// Word-aligned byte offset within the page.
+    pub offset: usize,
+}
+
+impl MemRef {
+    /// Builds a reference.
+    pub fn new(seg: SegmentId, page: PageNum, offset: usize) -> Self {
+        Self { seg, page, offset }
+    }
+}
+
+/// One operation performed by a user process.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Op {
+    /// Load a `u32` from shared memory. Faults if no readable copy is
+    /// resident. The value is passed to the next [`Program::step`] call.
+    Read(MemRef),
+    /// Store a `u32` to shared memory. Faults if no writable copy is
+    /// resident.
+    Write(MemRef, u32),
+    /// Burn CPU for the given duration (models private computation).
+    Compute(SimDuration),
+    /// The `yield()` system call the paper added to Locus (§7.2): give up
+    /// the remainder of the quantum. If another process is ready it runs
+    /// next; otherwise the caller sleeps for the yield interval.
+    Yield,
+    /// Sleep for the given duration.
+    Sleep(SimDuration),
+    /// Terminate the process.
+    Exit,
+}
+
+impl Op {
+    /// The access class of a memory op, if it is one.
+    pub fn access(&self) -> Option<(MemRef, Access)> {
+        match self {
+            Op::Read(r) => Some((*r, Access::Read)),
+            Op::Write(r, _) => Some((*r, Access::Write)),
+            _ => None,
+        }
+    }
+}
+
+/// A resumable user program.
+pub trait Program: Send {
+    /// Produces the next operation. `last_read` carries the value loaded
+    /// by the immediately preceding [`Op::Read`], if any.
+    fn step(&mut self, last_read: Option<u32>) -> Op;
+
+    /// A monotone progress metric the harness reports (cycles completed,
+    /// iterations done — program-defined).
+    fn metric(&self) -> u64 {
+        0
+    }
+
+    /// Short label for reports.
+    fn label(&self) -> &str {
+        "program"
+    }
+}
+
+/// A program built from a fixed list of ops (for tests).
+#[derive(Debug)]
+pub struct Script {
+    ops: Vec<Op>,
+    next: usize,
+    done: u64,
+}
+
+impl Script {
+    /// Builds a program that performs `ops` in order, then exits.
+    pub fn new(ops: Vec<Op>) -> Self {
+        Self { ops, next: 0, done: 0 }
+    }
+}
+
+impl Program for Script {
+    fn step(&mut self, _last_read: Option<u32>) -> Op {
+        if self.next >= self.ops.len() {
+            return Op::Exit;
+        }
+        let op = self.ops[self.next];
+        self.next += 1;
+        self.done += 1;
+        op
+    }
+
+    fn metric(&self) -> u64 {
+        self.done
+    }
+
+    fn label(&self) -> &str {
+        "script"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use mirage_types::SiteId;
+
+    use super::*;
+
+    #[test]
+    fn script_replays_then_exits() {
+        let seg = SegmentId::new(SiteId(0), 1);
+        let r = MemRef::new(seg, PageNum(0), 0);
+        let mut s = Script::new(vec![Op::Write(r, 1), Op::Read(r)]);
+        assert_eq!(s.step(None), Op::Write(r, 1));
+        assert_eq!(s.step(None), Op::Read(r));
+        assert_eq!(s.step(Some(1)), Op::Exit);
+        assert_eq!(s.metric(), 2);
+    }
+
+    #[test]
+    fn op_access_classification() {
+        let seg = SegmentId::new(SiteId(0), 1);
+        let r = MemRef::new(seg, PageNum(0), 4);
+        assert_eq!(Op::Read(r).access(), Some((r, Access::Read)));
+        assert_eq!(Op::Write(r, 9).access(), Some((r, Access::Write)));
+        assert_eq!(Op::Yield.access(), None);
+        assert_eq!(Op::Compute(SimDuration::ZERO).access(), None);
+    }
+}

@@ -1,0 +1,562 @@
+//! One simulated Locus site: CPU scheduler, kernel server work, and the
+//! protocol engine.
+
+use std::collections::VecDeque;
+
+use mirage_core::{
+    Action,
+    Event,
+    InMemStore,
+    PageStore,
+    ProtoMsg,
+    RefLogEntry,
+    SiteEngine,
+};
+use mirage_net::{
+    NetCosts,
+    SizeClass,
+};
+use mirage_types::{
+    Pid,
+    SimDuration,
+    SimTime,
+    SiteId,
+    TICK,
+};
+
+use crate::{
+    process::{
+        ProcState,
+        Process,
+    },
+    program::Op,
+};
+
+/// Scheduler parameters (defaults model the paper's Locus/VAX system).
+#[derive(Clone, Debug)]
+pub struct SchedParams {
+    /// Round-robin quantum. 6 ticks ≈ 100 ms: "the intersection of the
+    /// two curves (Δ=6) is the system's scheduling quantum" (§7.3).
+    pub quantum: SimDuration,
+    /// Sleep taken by `yield()` when no other process is ready:
+    /// 2 ticks ≈ 33 ms ("2.75 sleeps of 33 msecs", §7.3).
+    pub yield_sleep: SimDuration,
+    /// Base context-switch cost at dispatch (plus the per-page remap).
+    pub context_switch: SimDuration,
+    /// CPU cost of one shared-memory access (load or store with loop
+    /// overhead) — calibrated so an uncontended read-write loop runs at
+    /// ≈115 k accesses/s, Figure 8's peak.
+    pub access_cost: SimDuration,
+    /// CPU cost of the `yield()` system call itself.
+    pub yield_cost: SimDuration,
+    /// Kernel cost to process an expired protocol timer.
+    pub timer_cost: SimDuration,
+}
+
+impl Default for SchedParams {
+    fn default() -> Self {
+        Self {
+            quantum: TICK.scale(6),
+            yield_sleep: TICK.scale(2),
+            context_switch: SimDuration::from_micros(2800),
+            access_cost: SimDuration(8_700), // 8.7 µs ⇒ ≈115 k accesses/s
+
+            yield_cost: SimDuration::from_micros(200),
+            timer_cost: SimDuration::from_micros(300),
+        }
+    }
+}
+
+/// Kernel server work awaiting a scheduling point.
+#[derive(Debug)]
+pub(crate) enum ServerWork {
+    /// Deliver a received protocol message to the engine.
+    Deliver {
+        /// Originating site.
+        from: SiteId,
+        /// The message.
+        msg: ProtoMsg,
+    },
+    /// Fire an engine timer.
+    Timer {
+        /// Timer token.
+        token: u64,
+    },
+}
+
+/// Effects a site hands back to the world for global application.
+#[derive(Debug)]
+pub(crate) enum OutEffect {
+    /// Put a message on the wire at `depart`.
+    Send {
+        /// Destination site.
+        to: SiteId,
+        /// The message.
+        msg: ProtoMsg,
+        /// Departure time (end of the kernel work that produced it).
+        depart: SimTime,
+    },
+    /// Schedule an engine timer.
+    SetTimer {
+        /// Fire time.
+        at: SimTime,
+        /// Token.
+        token: u64,
+    },
+    /// A library reference-log record (§9).
+    Log(RefLogEntry),
+    /// A fault was raised and required a request to a *remote* library.
+    RemoteFault,
+    /// A fault was serviced entirely by a colocated library.
+    LocalFault,
+    /// An invalidation denial was sent (Δ unexpired).
+    Denial,
+    /// Kernel server CPU time consumed (for utilization accounting).
+    ServerCpu(SimDuration),
+}
+
+/// One simulated site.
+pub struct Site {
+    /// Site id.
+    pub id: SiteId,
+    /// The protocol engine (the real one from `mirage-core`).
+    pub engine: SiteEngine,
+    /// Page-frame storage for this site.
+    pub store: InMemStore,
+    /// All processes ever spawned here.
+    pub procs: Vec<Process>,
+    run_queue: VecDeque<usize>,
+    current: Option<usize>,
+    quantum_end: SimTime,
+    busy_until: SimTime,
+    server_q: VecDeque<ServerWork>,
+    /// When the oldest still-pending server work was enqueued; kernel
+    /// work preempts a running user process at the first clock tick
+    /// after this instant (classic UNIX: the wakeup sets `runrun` and
+    /// the next tick reschedules).
+    server_pending_since: Option<SimTime>,
+    /// The current process was just woken from a fault sleep and has not
+    /// yet completed the faulted access; it runs at kernel sleep
+    /// priority and is immune to tick preemption until then.
+    boost_shield: bool,
+    sched: SchedParams,
+    costs: NetCosts,
+    /// Per-page remap charge at dispatch = remap_per_page × shm_pages.
+    remap_per_page: SimDuration,
+}
+
+impl Site {
+    pub(crate) fn new(
+        id: SiteId,
+        engine: SiteEngine,
+        sched: SchedParams,
+        costs: NetCosts,
+    ) -> Self {
+        let remap_per_page = costs.remap_per_page;
+        Self {
+            id,
+            engine,
+            store: InMemStore::new(),
+            procs: Vec::new(),
+            run_queue: VecDeque::new(),
+            current: None,
+            quantum_end: SimTime::ZERO,
+            busy_until: SimTime::ZERO,
+            server_q: VecDeque::new(),
+            server_pending_since: None,
+            boost_shield: false,
+            sched,
+            costs,
+            remap_per_page,
+        }
+    }
+
+    /// Spawns a process; it joins the run queue immediately.
+    pub(crate) fn spawn(&mut self, proc: Process) -> usize {
+        let idx = self.procs.len();
+        self.procs.push(proc);
+        self.run_queue.push_back(idx);
+        idx
+    }
+
+    /// Queues kernel server work (message delivery or timer).
+    pub(crate) fn queue_server_work(&mut self, work: ServerWork, now: SimTime) {
+        if self.server_pending_since.is_none() {
+            self.server_pending_since = Some(now);
+        }
+        self.server_q.push_back(work);
+    }
+
+    /// The first clock-tick boundary strictly after `t`.
+    fn tick_after(t: SimTime) -> SimTime {
+        SimTime((t.0 / TICK.0 + 1) * TICK.0)
+    }
+
+    /// Wakes a process blocked in a fault.
+    pub(crate) fn wake(&mut self, pid: Pid) {
+        for (i, p) in self.procs.iter_mut().enumerate() {
+            if p.pid == pid && p.state == ProcState::Blocked {
+                p.state = ProcState::Ready;
+                p.boosted = true;
+                self.run_queue.push_back(i);
+            }
+        }
+    }
+
+    /// True when nothing can ever happen again at this site without
+    /// external input.
+    pub(crate) fn is_idle(&self) -> bool {
+        self.current.is_none()
+            && self.server_q.is_empty()
+            && self.run_queue.is_empty()
+            && !self.procs.iter().any(|p| matches!(p.state, ProcState::Sleeping(_)))
+    }
+
+    /// All user programs have exited.
+    pub fn all_done(&self) -> bool {
+        self.procs.iter().all(|p| p.state == ProcState::Done)
+    }
+
+    fn nearest_sleeper(&self) -> Option<SimTime> {
+        self.procs
+            .iter()
+            .filter_map(|p| match p.state {
+                ProcState::Sleeping(t) => Some(t),
+                _ => None,
+            })
+            .min()
+    }
+
+    /// Runs engine actions, converting them into effects and local wakes.
+    fn apply_engine_actions(
+        &mut self,
+        actions: Vec<Action>,
+        depart: SimTime,
+        effects: &mut Vec<OutEffect>,
+    ) -> usize {
+        let mut grants = 0;
+        for a in actions {
+            match a {
+                Action::Send { to, msg } => {
+                    if matches!(msg, ProtoMsg::PageGrant { .. }) {
+                        grants += 1;
+                    }
+                    if matches!(msg, ProtoMsg::InvalidateDeny { .. }) {
+                        effects.push(OutEffect::Denial);
+                    }
+                    effects.push(OutEffect::Send { to, msg, depart });
+                }
+                Action::Wake { pid } => self.wake(pid),
+                Action::SetTimer { at, token } => {
+                    effects.push(OutEffect::SetTimer { at, token });
+                }
+                Action::Log(entry) => effects.push(OutEffect::Log(entry)),
+            }
+        }
+        grants
+    }
+
+    /// Advances the site at `now`. `horizon` is the next global event
+    /// time: user-op batches never run past it. Returns when the site
+    /// next needs attention (`None` if idle).
+    pub(crate) fn step(
+        &mut self,
+        now: SimTime,
+        horizon: SimTime,
+        effects: &mut Vec<OutEffect>,
+    ) -> Option<SimTime> {
+        if now < self.busy_until {
+            return Some(self.busy_until);
+        }
+        // Promote due sleepers.
+        for i in 0..self.procs.len() {
+            if let ProcState::Sleeping(t) = self.procs[i].state {
+                if t <= now {
+                    self.procs[i].state = ProcState::Ready;
+                    self.run_queue.push_back(i);
+                }
+            }
+        }
+        // Quantum expiry is a scheduling point.
+        if let Some(c) = self.current {
+            if now >= self.quantum_end {
+                self.run_queue.push_back(c);
+                self.current = None;
+                self.boost_shield = false;
+            }
+        }
+        // Pending kernel work preempts the running user process at the
+        // first clock tick after it became pending — unless the process
+        // is still under its wake boost.
+        if let (Some(c), Some(since)) = (self.current, self.server_pending_since) {
+            if !self.boost_shield && now >= Self::tick_after(since) {
+                self.run_queue.push_front(c);
+                self.current = None;
+            }
+        }
+        if self.current.is_none() {
+            // A process just woken from a fault sleep runs first (UNIX
+            // kernel sleep priority beats the network server process).
+            if let Some(pos) =
+                self.run_queue.iter().position(|&i| self.procs[i].boosted)
+            {
+                let next = self.run_queue.remove(pos).expect("position valid");
+                self.procs[next].boosted = false;
+                self.boost_shield = true;
+                let remap = self.remap_per_page.scale(self.procs[next].shm_pages as u64);
+                let dispatch = self.sched.context_switch + remap;
+                self.current = Some(next);
+                self.busy_until = now + dispatch;
+                self.quantum_end = self.busy_until + self.sched.quantum;
+                self.procs[next].cpu_used += dispatch;
+                return Some(self.busy_until);
+            }
+            // Kernel server work has priority at ordinary scheduling
+            // points.
+            if let Some(work) = self.server_q.pop_front() {
+                if self.server_q.is_empty() {
+                    self.server_pending_since = None;
+                } else {
+                    self.server_pending_since = Some(now);
+                }
+                return Some(self.run_server_work(work, now, effects));
+            }
+            if let Some(next) = self.run_queue.pop_front() {
+                self.boost_shield = false;
+                // Dispatch: context switch plus the lazy remap of all the
+                // process's shared pages (§6.2).
+                let remap = self.remap_per_page.scale(self.procs[next].shm_pages as u64);
+                let dispatch = self.sched.context_switch + remap;
+                self.current = Some(next);
+                self.busy_until = now + dispatch;
+                self.quantum_end = self.busy_until + self.sched.quantum;
+                self.procs[next].cpu_used += dispatch;
+                return Some(self.busy_until);
+            }
+            // Idle; wake when the nearest sleeper is due.
+            return self.nearest_sleeper();
+        }
+        // A user process is running: execute ops up to the horizon or
+        // the quantum end, whichever is first. A horizon at the current
+        // instant does not bind: same-time events cannot preempt the
+        // running process (kernel work waits for a scheduling point), so
+        // stopping for them would spin the event loop without progress.
+        let stop = if horizon > now {
+            horizon.min(self.quantum_end)
+        } else {
+            self.quantum_end
+        };
+        self.run_user_ops(now, stop, effects)
+    }
+
+    fn run_server_work(
+        &mut self,
+        work: ServerWork,
+        now: SimTime,
+        effects: &mut Vec<OutEffect>,
+    ) -> SimTime {
+        let (base, ev) = match work {
+            ServerWork::Deliver { from, msg } => {
+                let base = match &msg {
+                    // Table 3: "Server process time for request* 1.5".
+                    ProtoMsg::PageRequest { .. } => self.costs.server_cpu,
+                    // §7.2: 1.5 ms per input interrupt to install,
+                    // invalidate, or upgrade.
+                    _ => self.costs.input_interrupt,
+                };
+                (base, Event::Deliver { from, msg })
+            }
+            ServerWork::Timer { token } => (self.sched.timer_cost, Event::Timer { token }),
+        };
+        // Run the engine, then charge `serve_processing` per page grant
+        // emitted (Table 3: "Processing Time* 2" — PTE allocate, map,
+        // copy to message, unmap; see the §7.1 footnote).
+        if std::env::var_os("MIRAGE_SIM_TRACE").is_some() {
+            if let Event::Deliver { from, ref msg } = ev {
+                eprintln!("[{:?}] site{} <- {:?}: {} {:?}", now, self.id.0, from, msg.tag(), msg.subject());
+            } else if let Event::Timer { token } = ev {
+                eprintln!("[{:?}] site{} timer {}", now, self.id.0, token);
+            }
+        }
+        let actions = self.engine.handle(ev, now, &mut self.store);
+        if std::env::var_os("MIRAGE_SIM_TRACE").is_some() {
+            for a in &actions {
+                if let Action::Send { to, msg } = a {
+                    eprintln!("    site{} -> site{}: {} ", self.id.0, to.0, msg.tag());
+                }
+                if let Action::Wake { pid } = a {
+                    eprintln!("    site{} wake {:?}", self.id.0, pid);
+                }
+            }
+        }
+        // Sends depart when the kernel work completes; compute the cost
+        // first from the number of grants.
+        let grants = actions
+            .iter()
+            .filter(|a| matches!(a, Action::Send { msg: ProtoMsg::PageGrant { .. }, .. }))
+            .count();
+        let cost = base + self.costs.serve_processing.scale(grants as u64);
+        let done = now + cost;
+        let g = self.apply_engine_actions(actions, done, effects);
+        debug_assert_eq!(g, grants);
+        effects.push(OutEffect::ServerCpu(cost));
+        self.busy_until = done;
+        done
+    }
+
+    fn run_user_ops(
+        &mut self,
+        now: SimTime,
+        stop: SimTime,
+        effects: &mut Vec<OutEffect>,
+    ) -> Option<SimTime> {
+        let c = self.current.expect("user batch requires a running process");
+        let mut t = now;
+        loop {
+            // Recompute the effective stop: pending server work preempts
+            // at the next tick once the wake boost is spent.
+            let mut stop = stop;
+            if !self.boost_shield {
+                if let Some(since) = self.server_pending_since {
+                    stop = stop.min(Self::tick_after(since).max(t));
+                }
+            }
+            if t >= stop {
+                // Horizon or quantum boundary; resume at `stop` (quantum
+                // expiry is then handled as a scheduling point).
+                self.busy_until = t;
+                return Some(stop);
+            }
+            let (op, remaining) = match self.procs[c].pending.take() {
+                Some(p) => p,
+                None => {
+                    let last = self.procs[c].last_read.take();
+                    let op = self.procs[c].program.step(last);
+                    (op, self.op_cost(op))
+                }
+            };
+            // Memory accesses fault on issue if the protection is
+            // insufficient.
+            if let Some((r, access)) = op.access() {
+                if !self.store.prot(r.seg, r.page).permits(access) {
+                    let pid = self.procs[c].pid;
+                    self.procs[c].faults += 1;
+                    let local_library = r.seg.library == self.id;
+                    let fault_cost = if local_library {
+                        self.costs.local_fault
+                    } else {
+                        self.costs.request_cpu
+                    };
+                    effects.push(if local_library {
+                        OutEffect::LocalFault
+                    } else {
+                        OutEffect::RemoteFault
+                    });
+                    let done = t + fault_cost;
+                    let actions = self.engine.handle(
+                        Event::Fault { pid, seg: r.seg, page: r.page, access },
+                        t,
+                        &mut self.store,
+                    );
+                    // Re-attempt the access when the process resumes.
+                    self.procs[c].pending = Some((op, self.op_cost(op)));
+                    self.procs[c].state = ProcState::Blocked;
+                    self.procs[c].cpu_used += fault_cost;
+                    self.current = None;
+                    self.busy_until = done;
+                    self.apply_engine_actions(actions, done, effects);
+                    // A colocated library may have completed the whole
+                    // request inline, waking us synchronously: `wake`
+                    // has then already re-queued the process.
+                    return Some(done);
+                }
+            }
+            if t + remaining > stop {
+                self.procs[c].pending = Some((op, remaining.saturating_sub(stop - t)));
+                self.procs[c].cpu_used += stop - t;
+                self.busy_until = stop;
+                return Some(stop);
+            }
+            t += remaining;
+            self.procs[c].cpu_used += remaining;
+            self.boost_shield = false;
+            match op {
+                Op::Read(r) => {
+                    let val = self.store
+                        .segment(r.seg)
+                        .and_then(|s| s.frame(r.page))
+                        .map(|f| f.load_u32(r.offset))
+                        .unwrap_or_else(|| {
+                            // Residency was verified at issue; the page
+                            // cannot vanish while we hold the CPU.
+                            unreachable!("read from non-resident page")
+                        });
+                    self.procs[c].last_read = Some(val);
+                    self.procs[c].accesses += 1;
+                }
+                Op::Write(r, val) => {
+                    self.store
+                        .segment_mut(r.seg)
+                        .and_then(|s| s.frame_mut(r.page))
+                        .map(|f| f.store_u32(r.offset, val))
+                        .unwrap_or_else(|| unreachable!("write to non-resident page"));
+                    self.procs[c].accesses += 1;
+                }
+                Op::Compute(_) => {}
+                Op::Yield => {
+                    self.current = None;
+                    self.busy_until = t;
+                    if self.run_queue.is_empty() {
+                        // No one else to run: Locus sleeps the yielder
+                        // until the next scheduling interval.
+                        self.procs[c].state =
+                            ProcState::Sleeping(t + self.sched.yield_sleep);
+                        self.procs[c].yield_sleeps += 1;
+                    } else {
+                        self.run_queue.push_back(c);
+                    }
+                    return Some(t);
+                }
+                Op::Sleep(d) => {
+                    self.current = None;
+                    self.busy_until = t;
+                    self.procs[c].state = ProcState::Sleeping(t + d);
+                    return Some(t);
+                }
+                Op::Exit => {
+                    self.current = None;
+                    self.busy_until = t;
+                    self.procs[c].state = ProcState::Done;
+                    return Some(t);
+                }
+            }
+        }
+    }
+
+    fn op_cost(&self, op: Op) -> SimDuration {
+        match op {
+            Op::Read(_) | Op::Write(_, _) => self.sched.access_cost,
+            Op::Compute(d) => d,
+            Op::Yield => self.sched.yield_cost,
+            Op::Sleep(_) | Op::Exit => SimDuration::ZERO,
+        }
+    }
+}
+
+impl core::fmt::Debug for Site {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Site")
+            .field("id", &self.id)
+            .field("procs", &self.procs.len())
+            .field("run_queue", &self.run_queue)
+            .field("current", &self.current)
+            .field("server_q", &self.server_q.len())
+            .finish()
+    }
+}
+
+/// Size class of a message (used by the world for wire-delay lookup).
+pub(crate) fn msg_size(msg: &ProtoMsg) -> SizeClass {
+    use mirage_net::message::Sized2;
+    msg.size_class()
+}

@@ -1,0 +1,362 @@
+//! The simulation world: global event queue, wire, and site collection.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use mirage_core::{
+    ProtocolConfig,
+    ProtoMsg,
+    RefLogEntry,
+    SiteEngine,
+};
+use mirage_mem::LocalSegment;
+use mirage_net::NetCosts;
+use mirage_types::{
+    Pid,
+    SegmentId,
+    SimDuration,
+    SimTime,
+    SiteId,
+};
+
+use crate::{
+    instrument::{
+        FetchPhase,
+        Instrumentation,
+    },
+    process::Process,
+    program::Program,
+    site::{
+        msg_size,
+        OutEffect,
+        SchedParams,
+        ServerWork,
+        Site,
+    },
+};
+
+/// World configuration.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Component costs (defaults: the paper's measured VAX/Locus values).
+    pub costs: NetCosts,
+    /// Scheduler parameters.
+    pub sched: SchedParams,
+    /// Protocol configuration (Δ policy and optimizations).
+    pub protocol: ProtocolConfig,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            costs: NetCosts::vax_locus(),
+            sched: SchedParams::default(),
+            protocol: ProtocolConfig::default(),
+        }
+    }
+}
+
+/// Global events.
+#[derive(Debug)]
+enum Ev {
+    /// A message finishing its wire transit.
+    Arrival { to: usize, from: SiteId, msg: ProtoMsg },
+    /// A site asked to be re-examined.
+    SiteWake { site: usize },
+    /// An engine timer firing.
+    EngineTimer { site: usize, token: u64 },
+}
+
+/// Heap entry with deterministic tie-breaking.
+struct HeapEv(SimTime, u64, Ev);
+
+impl PartialEq for HeapEv {
+    fn eq(&self, other: &Self) -> bool {
+        (self.0, self.1) == (other.0, other.1)
+    }
+}
+impl Eq for HeapEv {}
+impl PartialOrd for HeapEv {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEv {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        (self.0, self.1).cmp(&(other.0, other.1))
+    }
+}
+
+/// The simulation world.
+pub struct World {
+    /// All sites.
+    pub sites: Vec<Site>,
+    events: BinaryHeap<Reverse<HeapEv>>,
+    seq: u64,
+    now: SimTime,
+    cfg: SimConfig,
+    /// Instrumentation counters.
+    pub instr: Instrumentation,
+    /// Library reference log (§9), in arrival order.
+    pub ref_log: Vec<RefLogEntry>,
+    next_serial: u32,
+    /// Per-circuit last delivery time: the Locus virtual circuit
+    /// sequences messages, so a short message sent after a large one
+    /// must not overtake it on the wire.
+    circuit_last: std::collections::HashMap<(usize, usize), SimTime>,
+}
+
+impl World {
+    /// Builds a world of `n` sites.
+    pub fn new(n: usize, cfg: SimConfig) -> Self {
+        let sites = (0..n)
+            .map(|i| {
+                let id = SiteId(i as u16);
+                Site::new(
+                    id,
+                    SiteEngine::new(id, cfg.protocol.clone()),
+                    cfg.sched.clone(),
+                    cfg.costs.clone(),
+                )
+            })
+            .collect();
+        Self {
+            sites,
+            events: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            cfg,
+            instr: Instrumentation::new(n),
+            ref_log: Vec::new(),
+            next_serial: 1,
+            circuit_last: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Creates a segment with its library (and initial pages) at `lib`.
+    pub fn create_segment(&mut self, lib: usize, pages: usize) -> SegmentId {
+        let seg = SegmentId::new(SiteId(lib as u16), self.next_serial);
+        self.next_serial += 1;
+        for (i, site) in self.sites.iter_mut().enumerate() {
+            let view = if i == lib {
+                LocalSegment::fully_resident(seg, pages)
+            } else {
+                LocalSegment::absent(seg, pages)
+            };
+            site.store.add_segment(view);
+            site.engine.register_segment(seg, pages);
+        }
+        seg
+    }
+
+    /// Spawns a process at a site. `shm_pages` drives the lazy-remap
+    /// charge at every dispatch of this process (§6.2).
+    pub fn spawn(&mut self, site: usize, program: Box<dyn Program>, shm_pages: usize) -> Pid {
+        let local = self.sites[site].procs.len() as u32 + 1;
+        let pid = Pid::new(SiteId(site as u16), local);
+        self.sites[site].spawn(Process::new(pid, program, shm_pages));
+        self.push(self.now, Ev::SiteWake { site });
+        pid
+    }
+
+    fn push(&mut self, at: SimTime, ev: Ev) {
+        self.seq += 1;
+        self.events.push(Reverse(HeapEv(at, self.seq, ev)));
+    }
+
+    fn next_event_time(&self) -> Option<SimTime> {
+        self.events.peek().map(|Reverse(HeapEv(t, _, _))| *t)
+    }
+
+    /// Applies effects a site produced during a step.
+    fn apply_effects(&mut self, from: usize, effects: Vec<OutEffect>) {
+        for e in effects {
+            match e {
+                OutEffect::Send { to, msg, depart } => {
+                    let size = msg_size(&msg);
+                    self.instr.record_msg(msg.tag(), size);
+                    if self.instr.trace_phases {
+                        let phase = match (&msg, size) {
+                            (ProtoMsg::PageRequest { .. }, _) => Some(FetchPhase::RequestSent),
+                            (ProtoMsg::PageGrant { .. }, _) => Some(FetchPhase::PageSent),
+                            _ => None,
+                        };
+                        if let Some(p) = phase {
+                            self.instr.record_phase(SiteId(from as u16), p, depart);
+                        }
+                    }
+                    let mut arrive = depart + self.cfg.costs.one_way(size);
+                    // Virtual-circuit sequencing (§7.1): per (src, dst)
+                    // pair, deliveries are FIFO — a later short message
+                    // queues behind an in-flight page-carrying one.
+                    let key = (from, to.index());
+                    if let Some(&last) = self.circuit_last.get(&key) {
+                        if arrive <= last {
+                            arrive = SimTime(last.0 + 1);
+                        }
+                    }
+                    self.circuit_last.insert(key, arrive);
+                    self.push(
+                        arrive,
+                        Ev::Arrival { to: to.index(), from: SiteId(from as u16), msg },
+                    );
+                }
+                OutEffect::SetTimer { at, token } => {
+                    self.push(at, Ev::EngineTimer { site: from, token });
+                }
+                OutEffect::Log(entry) => self.ref_log.push(entry),
+                OutEffect::RemoteFault => {
+                    self.instr.remote_faults += 1;
+                    self.instr.record_phase(
+                        SiteId(from as u16),
+                        FetchPhase::FaultTaken,
+                        self.now,
+                    );
+                }
+                OutEffect::LocalFault => self.instr.local_faults += 1,
+                OutEffect::Denial => self.instr.denials += 1,
+                OutEffect::ServerCpu(d) => self.instr.server_cpu[from] += d,
+            }
+        }
+    }
+
+    /// Steps a site until it asks to be woken later (or goes idle).
+    fn poke(&mut self, site: usize) {
+        loop {
+            let horizon = self.next_event_time().unwrap_or(SimTime(u64::MAX));
+            let mut effects = Vec::new();
+            let res = self.sites[site].step(self.now, horizon, &mut effects);
+            let made_progress = !effects.is_empty();
+            self.apply_effects(site, effects);
+            match res {
+                Some(t) if t > self.now => {
+                    self.push(t, Ev::SiteWake { site });
+                    return;
+                }
+                Some(_) => {
+                    if made_progress {
+                        // Scheduling point at `now` with visible effects;
+                        // step again immediately.
+                        continue;
+                    }
+                    if self.sites[site].is_idle() {
+                        return;
+                    }
+                    // The site cannot advance because another event is
+                    // pending at the current instant (the horizon is
+                    // `now`). Defer behind it: re-wake after the heap
+                    // drains this instant. Never loop here — that would
+                    // spin forever.
+                    self.push(self.now, Ev::SiteWake { site });
+                    return;
+                }
+                None => return,
+            }
+        }
+    }
+
+    /// Runs until the given simulated time (events at exactly `until`
+    /// are processed).
+    pub fn run_until(&mut self, until: SimTime) {
+        while let Some(t) = self.next_event_time() {
+            if t > until {
+                break;
+            }
+            let Reverse(HeapEv(t, _, ev)) = self.events.pop().expect("peeked");
+            if t > self.now {
+                self.now = t;
+            }
+            match ev {
+                Ev::Arrival { to, from, msg } => {
+                    if self.instr.trace_phases {
+                        let phase = match &msg {
+                            ProtoMsg::PageRequest { .. } => Some(FetchPhase::RequestReceived),
+                            ProtoMsg::PageGrant { .. } => Some(FetchPhase::PageReceived),
+                            _ => None,
+                        };
+                        if let Some(p) = phase {
+                            self.instr.record_phase(SiteId(to as u16), p, self.now);
+                        }
+                        if matches!(msg, ProtoMsg::ReaderInvalidate { .. }) {
+                            self.instr.reader_invalidations += 1;
+                        }
+                        if matches!(msg, ProtoMsg::UpgradeGrant { .. }) {
+                            self.instr.upgrades += 1;
+                        }
+                    } else {
+                        if matches!(msg, ProtoMsg::ReaderInvalidate { .. }) {
+                            self.instr.reader_invalidations += 1;
+                        }
+                        if matches!(msg, ProtoMsg::UpgradeGrant { .. }) {
+                            self.instr.upgrades += 1;
+                        }
+                    }
+                    self.sites[to].queue_server_work(ServerWork::Deliver { from, msg }, self.now);
+                    self.poke(to);
+                }
+                Ev::SiteWake { site } => self.poke(site),
+                Ev::EngineTimer { site, token } => {
+                    self.sites[site].queue_server_work(ServerWork::Timer { token }, self.now);
+                    self.poke(site);
+                }
+            }
+        }
+        if until > self.now {
+            self.now = until;
+        }
+    }
+
+    /// Runs for a duration from the current time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let until = self.now + d;
+        self.run_until(until);
+    }
+
+    /// Runs until every program has exited or the deadline passes.
+    /// Returns true if all programs finished.
+    pub fn run_to_completion(&mut self, deadline: SimTime) -> bool {
+        while self.now < deadline {
+            if self.sites.iter().all(Site::all_done) {
+                return true;
+            }
+            let Some(t) = self.next_event_time() else {
+                return self.sites.iter().all(Site::all_done);
+            };
+            if t > deadline {
+                break;
+            }
+            self.run_until(t);
+        }
+        self.sites.iter().all(Site::all_done)
+    }
+
+    /// Sum of a metric across all processes at a site.
+    pub fn site_metric(&self, site: usize) -> u64 {
+        self.sites[site].procs.iter().map(Process::metric).sum()
+    }
+
+    /// Sum of all program metrics in the world.
+    pub fn total_metric(&self) -> u64 {
+        (0..self.sites.len()).map(|s| self.site_metric(s)).sum()
+    }
+
+    /// Total completed shared-memory accesses in the world.
+    pub fn total_accesses(&self) -> u64 {
+        self.sites.iter().flat_map(|s| s.procs.iter()).map(|p| p.accesses).sum()
+    }
+
+    /// Enables Table 3 phase tracing.
+    pub fn enable_phase_trace(&mut self) {
+        self.instr.trace_phases = true;
+    }
+}

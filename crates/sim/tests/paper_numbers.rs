@@ -1,0 +1,285 @@
+//! Validation of the simulator against the paper's measured anchors:
+//! local ping-pong rates (§7.2), the Table 3 fetch breakdown, and the
+//! uncontended access rate underlying Figure 8.
+
+use mirage_core::{
+    DeltaPolicy,
+    ProtocolConfig,
+};
+use mirage_sim::{
+    instrument::FetchPhase,
+    SimConfig,
+    World,
+};
+use mirage_types::{
+    Delta,
+    SimDuration,
+    SimTime,
+};
+use mirage_workloads::{
+    Decrementer,
+    PingPongPinger,
+    PingPongPonger,
+};
+
+fn config(delta: Delta) -> SimConfig {
+    SimConfig {
+        protocol: ProtocolConfig { delta: DeltaPolicy::Uniform(delta), ..Default::default() },
+        ..Default::default()
+    }
+}
+
+/// §7.2: the original busy-waiting version measured "surprisingly only 5
+/// cycles/second" on a single site — each process burns its whole
+/// quantum spinning.
+#[test]
+fn local_pingpong_without_yield_is_quantum_bound() {
+    let mut w = World::new(1, config(Delta::ZERO));
+    let seg = w.create_segment(0, 1);
+    w.spawn(0, Box::new(PingPongPinger::new(seg, 100_000, false)), 1);
+    w.spawn(0, Box::new(PingPongPonger::new(seg, false)), 1);
+    w.run_until(SimTime::from_millis(10_000));
+    let cycles = w.site_metric(0) / 2; // both processes count the cycle
+    let rate = cycles as f64 / 10.0;
+    assert!(
+        (3.0..=7.0).contains(&rate),
+        "local no-yield rate should be ≈5 cycles/s, got {rate}"
+    );
+}
+
+/// §7.2: with `yield()` the local rate rose to 166 cycles/second, "a
+/// factor of 35 speedup".
+#[test]
+fn local_pingpong_with_yield_matches_paper() {
+    let mut w = World::new(1, config(Delta::ZERO));
+    let seg = w.create_segment(0, 1);
+    w.spawn(0, Box::new(PingPongPinger::new(seg, 100_000, true)), 1);
+    w.spawn(0, Box::new(PingPongPonger::new(seg, true)), 1);
+    w.run_until(SimTime::from_millis(10_000));
+    let cycles = w.site_metric(0) / 2;
+    let rate = cycles as f64 / 10.0;
+    assert!(
+        (140.0..=200.0).contains(&rate),
+        "local yield rate should be ≈166 cycles/s, got {rate}"
+    );
+}
+
+/// The speedup factor between the two local versions is ≈35×.
+#[test]
+fn local_yield_speedup_factor() {
+    let run = |use_yield: bool| {
+        let mut w = World::new(1, config(Delta::ZERO));
+        let seg = w.create_segment(0, 1);
+        w.spawn(0, Box::new(PingPongPinger::new(seg, 100_000, use_yield)), 1);
+        w.spawn(0, Box::new(PingPongPonger::new(seg, use_yield)), 1);
+        w.run_until(SimTime::from_millis(20_000));
+        w.site_metric(0) as f64 / 2.0 / 20.0
+    };
+    let slow = run(false);
+    let fast = run(true);
+    let factor = fast / slow;
+    assert!(
+        (20.0..=50.0).contains(&factor),
+        "yield speedup should be ≈35x, got {factor:.1}x ({slow} vs {fast})"
+    );
+}
+
+/// Table 3: obtaining an in-memory page from an idle remote site takes
+/// ≈27.5 ms end to end.
+#[test]
+fn table3_remote_fetch_elapsed() {
+    use mirage_sim::{
+        MemRef,
+        Op,
+        Program,
+    };
+    use mirage_types::PageNum;
+
+    struct OneRead {
+        r: MemRef,
+        done: bool,
+    }
+    impl Program for OneRead {
+        fn step(&mut self, _v: Option<u32>) -> Op {
+            if self.done {
+                return Op::Exit;
+            }
+            self.done = true;
+            Op::Read(self.r)
+        }
+        fn label(&self) -> &str {
+            "one-read"
+        }
+    }
+
+    let mut w = World::new(2, config(Delta::ZERO));
+    let seg = w.create_segment(0, 1); // library and page at site 0
+    w.enable_phase_trace();
+    // One process at site 1 performs a single remote read.
+    w.spawn(
+        1,
+        Box::new(OneRead { r: MemRef::new(seg, PageNum(0), 0), done: false }),
+        1,
+    );
+    w.run_until(SimTime::from_millis(500));
+    let total = w
+        .instr
+        .phase_gap(FetchPhase::FaultTaken, FetchPhase::PageReceived)
+        .expect("fetch completed");
+    let ms = total.as_millis_f64();
+    assert!(
+        (26.0..=29.5).contains(&ms),
+        "remote fetch should be ≈27.5 ms, got {ms:.2} ms"
+    );
+}
+
+/// The uncontended read-write loop rate caps Figure 8's peak at
+/// ≈115,000 accesses/second (single process, page resident locally).
+#[test]
+fn uncontended_decrement_rate_matches_figure8_peak() {
+    let mut w = World::new(1, config(Delta::ZERO));
+    let seg = w.create_segment(0, 1);
+    w.spawn(0, Box::new(Decrementer::new(seg, 0, 10_000_000)), 1);
+    w.run_until(SimTime::from_millis(10_000));
+    // Each iteration is one read + one write.
+    let rate = w.total_accesses() as f64 / 10.0;
+    assert!(
+        (100_000.0..=130_000.0).contains(&rate),
+        "uncontended loop should run ≈115k read-write instr/s, got {rate}"
+    );
+}
+
+/// Two-site worst case at Δ=0 with yield: the paper calculates a 9
+/// cycles/s communication bound and observes scheduling keeps real
+/// throughput below it.
+#[test]
+fn remote_pingpong_under_communication_bound() {
+    let mut w = World::new(2, config(Delta::ZERO));
+    let seg = w.create_segment(0, 1);
+    w.spawn(0, Box::new(PingPongPinger::new(seg, 100_000, true)), 1);
+    w.spawn(1, Box::new(PingPongPonger::new(seg, true)), 1);
+    w.run_until(SimTime::from_millis(20_000));
+    let cycles = w.sites[0].procs[0].metric();
+    let rate = cycles as f64 / 20.0;
+    assert!(rate > 1.0, "the application must make progress, got {rate}");
+    assert!(
+        rate <= 9.5,
+        "throughput cannot beat the 9 cycles/s communication bound, got {rate}"
+    );
+}
+
+/// Messages per worst-case cycle: the paper counts 9 messages, 3 of
+/// them large. Interleaving details shift ours slightly; assert the
+/// band and that larges are page grants only.
+#[test]
+fn remote_pingpong_message_accounting() {
+    let mut w = World::new(2, config(Delta::ZERO));
+    let seg = w.create_segment(0, 1);
+    w.spawn(0, Box::new(PingPongPinger::new(seg, 100_000, true)), 1);
+    w.spawn(1, Box::new(PingPongPonger::new(seg, true)), 1);
+    w.run_until(SimTime::from_millis(30_000));
+    let cycles = w.sites[0].procs[0].metric();
+    assert!(cycles > 20, "need a meaningful sample, got {cycles}");
+    let per_cycle = w.instr.msgs.total() as f64 / cycles as f64;
+    let large_per_cycle = w.instr.msgs.large as f64 / cycles as f64;
+    assert!(
+        (7.0..=11.0).contains(&per_cycle),
+        "paper counts 9 messages/cycle; got {per_cycle:.2}"
+    );
+    assert!(
+        (1.5..=3.5).contains(&large_per_cycle),
+        "paper counts 3 large/cycle; got {large_per_cycle:.2}"
+    );
+}
+
+/// Data integrity: the ping-pong protocol itself validates every
+/// handoff (a cycle only completes when the partner's value is seen),
+/// so completing many cycles at various Δ proves coherence under the
+/// simulator's timing.
+#[test]
+fn remote_pingpong_completes_cycles_at_various_delta() {
+    for delta in [0u32, 2, 6, 10] {
+        let mut w = World::new(2, config(Delta(delta)));
+        let seg = w.create_segment(0, 1);
+        w.spawn(0, Box::new(PingPongPinger::new(seg, 100_000, true)), 1);
+        w.spawn(1, Box::new(PingPongPonger::new(seg, true)), 1);
+        w.run_until(SimTime::from_millis(20_000));
+        let p1 = w.sites[0].procs[0].metric();
+        let p2 = w.sites[1].procs[0].metric();
+        assert!(p1 > 5, "Δ={delta}: progress stalled at {p1} cycles");
+        assert!(
+            p1.abs_diff(p2) <= 1,
+            "Δ={delta}: processes must advance in lockstep ({p1} vs {p2})"
+        );
+    }
+}
+
+/// Yield-sleep accounting: the paper observed "2.75 sleeps of 33 msecs"
+/// per cycle at Δ=2. Require the same order of magnitude.
+#[test]
+fn yield_sleep_accounting_at_delta_two() {
+    let mut w = World::new(2, config(Delta(2)));
+    let seg = w.create_segment(0, 1);
+    w.spawn(0, Box::new(PingPongPinger::new(seg, 100_000, true)), 1);
+    w.spawn(1, Box::new(PingPongPonger::new(seg, true)), 1);
+    w.run_until(SimTime::from_millis(30_000));
+    let cycles = w.sites[0].procs[0].metric();
+    assert!(cycles > 10);
+    let sleeps: u64 = w
+        .sites
+        .iter()
+        .flat_map(|s| s.procs.iter())
+        .map(|p| p.yield_sleeps)
+        .sum();
+    let per_cycle = sleeps as f64 / cycles as f64;
+    assert!(
+        (1.0..=6.0).contains(&per_cycle),
+        "paper: ≈2.75 yield sleeps per cycle at Δ=2; got {per_cycle:.2}"
+    );
+}
+
+/// A Δ hold delays remote steals: cycle rate must fall as Δ grows
+/// beyond the handoff time.
+#[test]
+fn delta_throttles_worst_case() {
+    let rate = |delta: u32| {
+        let mut w = World::new(2, config(Delta(delta)));
+        let seg = w.create_segment(0, 1);
+        w.spawn(0, Box::new(PingPongPinger::new(seg, 100_000, true)), 1);
+        w.spawn(1, Box::new(PingPongPonger::new(seg, true)), 1);
+        w.run_until(SimTime::from_millis(20_000));
+        w.sites[0].procs[0].metric() as f64 / 20.0
+    };
+    let r0 = rate(0);
+    let r10 = rate(10);
+    assert!(
+        r10 < r0,
+        "Δ=10 ticks must slow the thrasher: Δ0={r0:.2} Δ10={r10:.2}"
+    );
+}
+
+/// Background compute on a third site is unaffected by thrashing
+/// elsewhere, but background compute *on a thrashing site* benefits from
+/// larger Δ (E10, §7.3).
+#[test]
+fn larger_delta_helps_background_work() {
+    use mirage_workloads::Background;
+    let bg_chunks = |delta: u32| {
+        let mut w = World::new(2, config(Delta(delta)));
+        let seg = w.create_segment(0, 1);
+        w.spawn(0, Box::new(PingPongPinger::new(seg, 100_000, true)), 1);
+        w.spawn(1, Box::new(PingPongPonger::new(seg, true)), 1);
+        w.spawn(1, Box::new(Background::new(SimDuration::from_millis(5))), 0);
+        w.run_until(SimTime::from_millis(20_000));
+        w.sites[1].procs[1].metric()
+    };
+    let small = bg_chunks(0);
+    let large = bg_chunks(30);
+    // The effect is modest when the thrasher already yields (its sleeps
+    // release the CPU either way), but the direction must hold: fewer
+    // thrash cycles per second at larger Δ leaves more CPU over.
+    assert!(
+        large > small,
+        "Δ=30 should free CPU for background work: Δ0={small} Δ30={large}"
+    );
+}

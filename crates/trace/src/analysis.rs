@@ -1,0 +1,176 @@
+//! Reference-string analyses: page heat and inter-site sharing.
+
+use std::collections::HashMap;
+
+use mirage_types::{
+    Access,
+    PageNum,
+    SegmentId,
+    SiteId,
+};
+
+use crate::log::RefLog;
+
+/// Per-page request counts — which pages are hot spots (§8.0 discusses
+/// separating hot-spot pages or giving them their own Δ).
+#[derive(Clone, Debug, Default)]
+pub struct PageHeat {
+    counts: HashMap<(SegmentId, PageNum), (u64, u64)>,
+}
+
+impl PageHeat {
+    /// Builds heat statistics from a log.
+    pub fn from_log(log: &RefLog) -> Self {
+        let mut counts: HashMap<(SegmentId, PageNum), (u64, u64)> = HashMap::new();
+        for e in log.entries() {
+            let c = counts.entry((e.seg, e.page)).or_default();
+            match e.access {
+                Access::Read => c.0 += 1,
+                Access::Write => c.1 += 1,
+            }
+        }
+        Self { counts }
+    }
+
+    /// (reads, writes) for a page.
+    pub fn page(&self, seg: SegmentId, page: PageNum) -> (u64, u64) {
+        self.counts.get(&(seg, page)).copied().unwrap_or((0, 0))
+    }
+
+    /// Pages ranked by total requests, hottest first.
+    pub fn hottest(&self) -> Vec<((SegmentId, PageNum), u64)> {
+        let mut v: Vec<_> =
+            self.counts.iter().map(|(&k, &(r, w))| (k, r + w)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Suggests pages whose request mix looks like the worst-case
+    /// application: heavily written and contended. These are the §8.0
+    /// hot-spot candidates for a dedicated (small) Δ or a separate
+    /// segment.
+    pub fn hot_spot_candidates(&self, min_requests: u64) -> Vec<(SegmentId, PageNum)> {
+        let mut v: Vec<_> = self
+            .counts
+            .iter()
+            .filter(|(_, &(r, w))| r + w >= min_requests && w * 2 >= r)
+            .map(|(&k, _)| k)
+            .collect();
+        v.sort();
+        v
+    }
+}
+
+/// Which sites request which pages — the raw material for placement and
+/// migration decisions.
+#[derive(Clone, Debug, Default)]
+pub struct SharingMatrix {
+    counts: HashMap<(SegmentId, PageNum, SiteId), u64>,
+}
+
+impl SharingMatrix {
+    /// Builds the matrix from a log.
+    pub fn from_log(log: &RefLog) -> Self {
+        let mut counts: HashMap<(SegmentId, PageNum, SiteId), u64> = HashMap::new();
+        for e in log.entries() {
+            *counts.entry((e.seg, e.page, e.pid.site)).or_default() += 1;
+        }
+        Self { counts }
+    }
+
+    /// Requests for a page from a given site.
+    pub fn requests(&self, seg: SegmentId, page: PageNum, site: SiteId) -> u64 {
+        self.counts.get(&(seg, page, site)).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct sites that requested a page.
+    pub fn sharers(&self, seg: SegmentId, page: PageNum) -> usize {
+        self.counts
+            .keys()
+            .filter(|&&(s, p, _)| s == seg && p == page)
+            .count()
+    }
+
+    /// The site that requested a page most often, if any.
+    pub fn dominant_site(&self, seg: SegmentId, page: PageNum) -> Option<SiteId> {
+        self.counts
+            .iter()
+            .filter(|(&(s, p, _), _)| s == seg && p == page)
+            .max_by_key(|(&(_, _, site), &n)| (n, core::cmp::Reverse(site)))
+            .map(|(&(_, _, site), _)| site)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use mirage_types::{
+        Pid,
+        SimTime,
+    };
+
+    use super::*;
+    use crate::log::Entry;
+
+    fn seg() -> SegmentId {
+        SegmentId::new(SiteId(0), 1)
+    }
+
+    fn log_with(entries: &[(u32, u16, Access)]) -> RefLog {
+        let mut l = RefLog::new();
+        for (i, &(page, site, access)) in entries.iter().enumerate() {
+            l.record(Entry {
+                seg: seg(),
+                page: PageNum(page),
+                at: SimTime::from_millis(i as u64),
+                pid: Pid::new(SiteId(site), 1),
+                access,
+            });
+        }
+        l
+    }
+
+    #[test]
+    fn heat_counts_reads_and_writes() {
+        let l = log_with(&[
+            (0, 1, Access::Read),
+            (0, 2, Access::Write),
+            (0, 2, Access::Write),
+            (1, 1, Access::Read),
+        ]);
+        let h = PageHeat::from_log(&l);
+        assert_eq!(h.page(seg(), PageNum(0)), (1, 2));
+        assert_eq!(h.page(seg(), PageNum(1)), (1, 0));
+        assert_eq!(h.hottest()[0].0, (seg(), PageNum(0)));
+    }
+
+    #[test]
+    fn hot_spot_candidates_require_write_share() {
+        let l = log_with(&[
+            // Page 0: write-heavy (candidate).
+            (0, 1, Access::Write),
+            (0, 2, Access::Write),
+            (0, 1, Access::Read),
+            // Page 1: read-mostly (not a candidate).
+            (1, 1, Access::Read),
+            (1, 2, Access::Read),
+            (1, 1, Access::Read),
+            (1, 2, Access::Write),
+        ]);
+        let h = PageHeat::from_log(&l);
+        assert_eq!(h.hot_spot_candidates(3), vec![(seg(), PageNum(0))]);
+    }
+
+    #[test]
+    fn sharing_matrix_identifies_dominant_site() {
+        let l = log_with(&[
+            (0, 1, Access::Read),
+            (0, 2, Access::Read),
+            (0, 2, Access::Write),
+        ]);
+        let m = SharingMatrix::from_log(&l);
+        assert_eq!(m.requests(seg(), PageNum(0), SiteId(2)), 2);
+        assert_eq!(m.sharers(seg(), PageNum(0)), 2);
+        assert_eq!(m.dominant_site(seg(), PageNum(0)), Some(SiteId(2)));
+        assert_eq!(m.dominant_site(seg(), PageNum(9)), None);
+    }
+}

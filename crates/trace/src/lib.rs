@@ -1,0 +1,35 @@
+//! Reference-string logging and analysis (paper §9).
+//!
+//! "Mirage provides a facility for logging all page requests at the
+//! library site. Each log entry contains the memory location, a
+//! timestamp, and the process identifier of the requester. We envision
+//! that a user-level process could analyze these reference strings as
+//! the basis for an automatic process migration facility or for later
+//! reference string analysis. Note, however, that reference strings from
+//! sites with valid page copies are not recorded."
+//!
+//! This crate provides the log store and the two envisioned analyses:
+//!
+//! * [`analysis`] — page heat and inter-site sharing statistics;
+//! * [`migrate`] — a migration advisor that recommends moving a process
+//!   to the site its pages most often come from.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod analysis;
+pub mod log;
+pub mod migrate;
+
+pub use analysis::{
+    PageHeat,
+    SharingMatrix,
+};
+pub use log::{
+    Entry,
+    RefLog,
+};
+pub use migrate::{
+    MigrationAdvice,
+    MigrationAdvisor,
+};

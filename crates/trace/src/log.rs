@@ -1,0 +1,118 @@
+//! The library-site reference log.
+
+use mirage_types::{
+    Access,
+    PageNum,
+    Pid,
+    SegmentId,
+    SimTime,
+};
+
+/// One logged page request (§9: memory location, timestamp, requester).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Entry {
+    /// The segment requested.
+    pub seg: SegmentId,
+    /// The page requested (the "memory location" at page granularity).
+    pub page: PageNum,
+    /// When the library processed the request.
+    pub at: SimTime,
+    /// The requesting process.
+    pub pid: Pid,
+    /// Read or write request.
+    pub access: Access,
+}
+
+/// An append-only reference log kept at a library site.
+///
+/// Requests from sites holding valid copies never reach the library, so
+/// — as the paper notes — they are inherently absent from the log.
+#[derive(Clone, Debug, Default)]
+pub struct RefLog {
+    entries: Vec<Entry>,
+}
+
+impl RefLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an entry.
+    pub fn record(&mut self, entry: Entry) {
+        self.entries.push(entry);
+    }
+
+    /// All entries, in arrival order.
+    pub fn entries(&self) -> &[Entry] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing has been logged.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries within a time window.
+    pub fn between(&self, from: SimTime, to: SimTime) -> impl Iterator<Item = &Entry> {
+        self.entries.iter().filter(move |e| e.at >= from && e.at < to)
+    }
+
+    /// Entries for one page.
+    pub fn for_page(&self, seg: SegmentId, page: PageNum) -> impl Iterator<Item = &Entry> {
+        self.entries.iter().filter(move |e| e.seg == seg && e.page == page)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use mirage_types::SiteId;
+
+    use super::*;
+
+    fn entry(page: u32, ms: u64, site: u16, access: Access) -> Entry {
+        Entry {
+            seg: SegmentId::new(SiteId(0), 1),
+            page: PageNum(page),
+            at: SimTime::from_millis(ms),
+            pid: Pid::new(SiteId(site), 1),
+            access,
+        }
+    }
+
+    #[test]
+    fn log_appends_in_order() {
+        let mut l = RefLog::new();
+        assert!(l.is_empty());
+        l.record(entry(0, 1, 1, Access::Read));
+        l.record(entry(1, 2, 2, Access::Write));
+        assert_eq!(l.len(), 2);
+        assert_eq!(l.entries()[0].page, PageNum(0));
+    }
+
+    #[test]
+    fn time_window_filter() {
+        let mut l = RefLog::new();
+        for ms in [1, 5, 9, 15] {
+            l.record(entry(0, ms, 1, Access::Read));
+        }
+        let n = l.between(SimTime::from_millis(5), SimTime::from_millis(15)).count();
+        assert_eq!(n, 2, "window is half-open [from, to)");
+    }
+
+    #[test]
+    fn page_filter() {
+        let mut l = RefLog::new();
+        l.record(entry(0, 1, 1, Access::Read));
+        l.record(entry(1, 2, 1, Access::Read));
+        l.record(entry(0, 3, 2, Access::Write));
+        let seg = SegmentId::new(SiteId(0), 1);
+        assert_eq!(l.for_page(seg, PageNum(0)).count(), 2);
+        assert_eq!(l.for_page(seg, PageNum(1)).count(), 1);
+    }
+}

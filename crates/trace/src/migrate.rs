@@ -1,0 +1,144 @@
+//! The automatic process-migration advisor §9 envisions.
+//!
+//! A process that repeatedly requests pages whose traffic is dominated
+//! by another site would fault less if it ran *there*. The advisor
+//! scores each (process, site) pair by the requests the process made for
+//! pages and recommends relocation when another site would have served
+//! most of them locally.
+
+use std::collections::HashMap;
+
+use mirage_types::{
+    Pid,
+    SiteId,
+};
+
+use crate::log::RefLog;
+
+/// A relocation recommendation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MigrationAdvice {
+    /// The process that should move.
+    pub pid: Pid,
+    /// Where it should move to.
+    pub to: SiteId,
+    /// Requests it made that conflicted with that site's processes.
+    pub conflicting_requests: u64,
+}
+
+/// Analyses a reference log for migration opportunities.
+#[derive(Clone, Debug)]
+pub struct MigrationAdvisor {
+    /// Minimum conflicting requests before advising a move.
+    pub threshold: u64,
+}
+
+impl Default for MigrationAdvisor {
+    fn default() -> Self {
+        Self { threshold: 8 }
+    }
+}
+
+impl MigrationAdvisor {
+    /// Builds an advisor with the given sensitivity.
+    pub fn new(threshold: u64) -> Self {
+        Self { threshold }
+    }
+
+    /// Produces advice: for each process, count its requests for pages
+    /// that *other* sites also requested; if one partner site dominates,
+    /// colocating with it would convert those remote faults into local
+    /// sharing (colocated processes share pages through the ordinary
+    /// System V mechanisms, §6.0).
+    pub fn advise(&self, log: &RefLog) -> Vec<MigrationAdvice> {
+        // (pid, partner site) -> number of page requests pid made for
+        // pages the partner site also requested.
+        let mut page_sites: HashMap<_, Vec<SiteId>> = HashMap::new();
+        for e in log.entries() {
+            let sites = page_sites.entry((e.seg, e.page)).or_default();
+            if !sites.contains(&e.pid.site) {
+                sites.push(e.pid.site);
+            }
+        }
+        let mut affinity: HashMap<(Pid, SiteId), u64> = HashMap::new();
+        for e in log.entries() {
+            if let Some(sites) = page_sites.get(&(e.seg, e.page)) {
+                for &s in sites {
+                    if s != e.pid.site {
+                        *affinity.entry((e.pid, s)).or_default() += 1;
+                    }
+                }
+            }
+        }
+        let mut best: HashMap<Pid, (SiteId, u64)> = HashMap::new();
+        for (&(pid, site), &n) in &affinity {
+            let e = best.entry(pid).or_insert((site, 0));
+            if n > e.1 || (n == e.1 && site < e.0) {
+                *e = (site, n);
+            }
+        }
+        let mut advice: Vec<_> = best
+            .into_iter()
+            .filter(|&(_, (_, n))| n >= self.threshold)
+            .map(|(pid, (to, n))| MigrationAdvice { pid, to, conflicting_requests: n })
+            .collect();
+        advice.sort_by_key(|a| (core::cmp::Reverse(a.conflicting_requests), a.pid));
+        advice
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use mirage_types::{
+        Access,
+        PageNum,
+        SegmentId,
+        SimTime,
+    };
+
+    use super::*;
+    use crate::log::Entry;
+
+    fn entry(page: u32, site: u16, i: u64) -> Entry {
+        Entry {
+            seg: SegmentId::new(SiteId(0), 1),
+            page: PageNum(page),
+            at: SimTime::from_millis(i),
+            pid: Pid::new(SiteId(site), 1),
+            access: Access::Write,
+        }
+    }
+
+    #[test]
+    fn advises_moving_heavy_cross_site_sharer() {
+        let mut l = RefLog::new();
+        // Site 1's process and site 2's process fight over page 0.
+        for i in 0..10 {
+            l.record(entry(0, 1, 2 * i));
+            l.record(entry(0, 2, 2 * i + 1));
+        }
+        let advice = MigrationAdvisor::new(5).advise(&l);
+        assert_eq!(advice.len(), 2, "both processes see the conflict");
+        assert!(advice.iter().any(|a| a.pid.site == SiteId(1) && a.to == SiteId(2)));
+        assert!(advice.iter().any(|a| a.pid.site == SiteId(2) && a.to == SiteId(1)));
+    }
+
+    #[test]
+    fn no_advice_without_conflict() {
+        let mut l = RefLog::new();
+        for i in 0..10 {
+            l.record(entry(0, 1, i)); // only one site requests page 0
+            l.record(entry(1, 2, 100 + i)); // only site 2 requests page 1
+        }
+        assert!(MigrationAdvisor::default().advise(&l).is_empty());
+    }
+
+    #[test]
+    fn threshold_suppresses_noise() {
+        let mut l = RefLog::new();
+        l.record(entry(0, 1, 0));
+        l.record(entry(0, 2, 1));
+        assert!(MigrationAdvisor::new(5).advise(&l).is_empty());
+        assert_eq!(MigrationAdvisor::new(1).advise(&l).len(), 2);
+    }
+}

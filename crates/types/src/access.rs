@@ -1,0 +1,248 @@
+//! Access modes, page protections, and site sets (the `auxpte` reader mask).
+
+use core::fmt;
+
+use serde::{
+    Deserialize,
+    Serialize,
+};
+
+use crate::ids::SiteId;
+
+/// The kind of memory access a process attempted, as classified by the
+/// fault hardware.
+///
+/// §6.2: "Typed page fault detection is necessary for a reasonable
+/// implementation. The machine architecture must be able to distinguish
+/// between a read page-fault and a write page-fault." On the VAX the paper
+/// reads a hardware bit in the interrupt service routine; our host runtime
+/// reads the write bit of the x86-64 page-fault error code.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Access {
+    /// A read access (needs at least a read copy of the page).
+    Read,
+    /// A write access (needs the sole writable copy of the page).
+    Write,
+}
+
+impl Access {
+    /// Returns true for [`Access::Write`].
+    #[inline]
+    pub fn is_write(self) -> bool {
+        matches!(self, Access::Write)
+    }
+}
+
+impl fmt::Debug for Access {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Access::Read => write!(f, "R"),
+            Access::Write => write!(f, "W"),
+        }
+    }
+}
+
+/// Hardware page protection for a resident page.
+///
+/// §6.0: "In many architectures, as in ours, a page may be read-only or
+/// read-write." `None` models a non-resident (invalid) PTE.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Debug, Default)]
+pub enum PageProt {
+    /// The page is not present at this site (PTE invalid).
+    #[default]
+    None,
+    /// A read-only copy is resident.
+    Read,
+    /// The (sole) writable copy is resident.
+    ReadWrite,
+}
+
+impl PageProt {
+    /// Does this protection satisfy the given access without a fault?
+    #[inline]
+    pub fn permits(self, access: Access) -> bool {
+        matches!(
+            (self, access),
+            (PageProt::ReadWrite, _) | (PageProt::Read, Access::Read)
+        )
+    }
+
+    /// Is the page resident at all (readable in some mode)?
+    #[inline]
+    pub fn is_resident(self) -> bool {
+        !matches!(self, PageProt::None)
+    }
+}
+
+/// A set of sites, stored as a bit mask.
+///
+/// This is the "reader mask — list of sites using this page" field of the
+/// auxiliary page table entry (Table 2). A `u64` mask bounds the network
+/// at 64 sites, far beyond the paper's three VAXs and ample for the
+/// invalidation-scaling experiments.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub struct SiteSet(u64);
+
+impl SiteSet {
+    /// Maximum number of sites representable.
+    pub const CAPACITY: usize = 64;
+
+    /// The empty set.
+    #[inline]
+    pub const fn empty() -> Self {
+        Self(0)
+    }
+
+    /// A set containing exactly one site.
+    #[inline]
+    pub fn singleton(site: SiteId) -> Self {
+        let mut s = Self::empty();
+        s.insert(site);
+        s
+    }
+
+    /// Inserts a site; returns true if it was not already present.
+    #[inline]
+    pub fn insert(&mut self, site: SiteId) -> bool {
+        debug_assert!(site.index() < Self::CAPACITY, "site id out of range");
+        let bit = 1u64 << site.index();
+        let fresh = self.0 & bit == 0;
+        self.0 |= bit;
+        fresh
+    }
+
+    /// Removes a site; returns true if it was present.
+    #[inline]
+    pub fn remove(&mut self, site: SiteId) -> bool {
+        let bit = 1u64 << site.index();
+        let present = self.0 & bit != 0;
+        self.0 &= !bit;
+        present
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(self, site: SiteId) -> bool {
+        self.0 & (1u64 << site.index()) != 0
+    }
+
+    /// Number of sites in the set.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// True if the set is empty.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns the union of two sets.
+    #[inline]
+    pub fn union(self, other: Self) -> Self {
+        Self(self.0 | other.0)
+    }
+
+    /// Returns the set difference `self \ other`.
+    #[inline]
+    pub fn difference(self, other: Self) -> Self {
+        Self(self.0 & !other.0)
+    }
+
+    /// Removes every site from the set.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.0 = 0;
+    }
+
+    /// Iterates the member sites in ascending id order.
+    pub fn iter(self) -> impl Iterator<Item = SiteId> {
+        let mut bits = self.0;
+        core::iter::from_fn(move || {
+            if bits == 0 {
+                return None;
+            }
+            let idx = bits.trailing_zeros() as u16;
+            bits &= bits - 1;
+            Some(SiteId(idx))
+        })
+    }
+
+    /// Returns an arbitrary member (the lowest-numbered), if any.
+    ///
+    /// Used when the library must pick one reader to become the clock
+    /// site: "if there are a set of readers using the page simultaneously,
+    /// one of the readers is selected and its site chosen as the page's
+    /// clock site" (§6.0).
+    #[inline]
+    pub fn first(self) -> Option<SiteId> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(SiteId(self.0.trailing_zeros() as u16))
+        }
+    }
+}
+
+impl FromIterator<SiteId> for SiteSet {
+    fn from_iter<T: IntoIterator<Item = SiteId>>(iter: T) -> Self {
+        let mut s = Self::empty();
+        for site in iter {
+            s.insert(site);
+        }
+        s
+    }
+}
+
+impl fmt::Debug for SiteSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prot_permits_matrix() {
+        assert!(!PageProt::None.permits(Access::Read));
+        assert!(!PageProt::None.permits(Access::Write));
+        assert!(PageProt::Read.permits(Access::Read));
+        assert!(!PageProt::Read.permits(Access::Write));
+        assert!(PageProt::ReadWrite.permits(Access::Read));
+        assert!(PageProt::ReadWrite.permits(Access::Write));
+    }
+
+    #[test]
+    fn site_set_insert_remove_contains() {
+        let mut s = SiteSet::empty();
+        assert!(s.is_empty());
+        assert!(s.insert(SiteId(3)));
+        assert!(!s.insert(SiteId(3)));
+        assert!(s.contains(SiteId(3)));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(SiteId(3)));
+        assert!(!s.remove(SiteId(3)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn site_set_iterates_in_order() {
+        let s: SiteSet = [SiteId(5), SiteId(1), SiteId(63)].into_iter().collect();
+        let v: Vec<_> = s.iter().collect();
+        assert_eq!(v, vec![SiteId(1), SiteId(5), SiteId(63)]);
+        assert_eq!(s.first(), Some(SiteId(1)));
+    }
+
+    #[test]
+    fn site_set_difference_and_union() {
+        let a: SiteSet = [SiteId(1), SiteId(2)].into_iter().collect();
+        let b: SiteSet = [SiteId(2), SiteId(3)].into_iter().collect();
+        assert_eq!(a.union(b).len(), 3);
+        let d = a.difference(b);
+        assert!(d.contains(SiteId(1)));
+        assert!(!d.contains(SiteId(2)));
+    }
+}

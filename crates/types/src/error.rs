@@ -1,0 +1,109 @@
+//! Error types shared across the Mirage workspace.
+
+use core::fmt;
+
+use crate::ids::{
+    SegKey,
+    SegmentId,
+    SiteId,
+};
+
+/// Workspace-wide result alias.
+pub type Result<T> = core::result::Result<T, MirageError>;
+
+/// Errors surfaced by the Mirage public interfaces.
+///
+/// These mirror the System V IPC failure modes (`EINVAL`, `EEXIST`,
+/// `ENOENT`, `EACCES`, `ENOMEM`) plus distributed-operation failures the
+/// single-site interface never sees.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MirageError {
+    /// The requested segment size is zero, not page-aligned policy-wise,
+    /// or exceeds [`crate::MAX_SEGMENT_SIZE`].
+    InvalidSize {
+        /// The size requested, in bytes.
+        requested: usize,
+    },
+    /// `shmget(IPC_CREAT | IPC_EXCL)` on a key that already exists.
+    KeyExists(SegKey),
+    /// No segment with this key exists and creation was not requested.
+    NoSuchKey(SegKey),
+    /// No segment with this id exists (it may have been destroyed by a
+    /// last detach).
+    NoSuchSegment(SegmentId),
+    /// The caller lacks the required permission on the segment.
+    PermissionDenied(SegmentId),
+    /// The requested attach address is unavailable or ill-formed.
+    BadAddress {
+        /// The requested virtual address.
+        addr: usize,
+    },
+    /// The process has no attachment covering the faulting address.
+    NotAttached {
+        /// The faulting virtual address.
+        addr: usize,
+    },
+    /// The process already has this segment attached.
+    AlreadyAttached(SegmentId),
+    /// A site referenced by the operation is unknown to the topology.
+    UnknownSite(SiteId),
+    /// The network layer could not deliver a message (circuit down).
+    CircuitDown {
+        /// Source site.
+        from: SiteId,
+        /// Destination site.
+        to: SiteId,
+    },
+    /// A wire message failed to decode.
+    Codec(&'static str),
+    /// Address space exhausted during a first-fit attach.
+    AddressSpaceFull,
+    /// Internal invariant violation — a protocol bug if ever seen.
+    Protocol(&'static str),
+}
+
+impl fmt::Display for MirageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MirageError::InvalidSize { requested } => {
+                write!(f, "invalid segment size {requested} bytes")
+            }
+            MirageError::KeyExists(k) => write!(f, "segment key {k:?} already exists"),
+            MirageError::NoSuchKey(k) => write!(f, "no segment with key {k:?}"),
+            MirageError::NoSuchSegment(id) => write!(f, "no such segment {id:?}"),
+            MirageError::PermissionDenied(id) => {
+                write!(f, "permission denied on segment {id:?}")
+            }
+            MirageError::BadAddress { addr } => write!(f, "bad attach address {addr:#x}"),
+            MirageError::NotAttached { addr } => {
+                write!(f, "address {addr:#x} not covered by any attachment")
+            }
+            MirageError::AlreadyAttached(id) => {
+                write!(f, "segment {id:?} already attached")
+            }
+            MirageError::UnknownSite(s) => write!(f, "unknown site {s:?}"),
+            MirageError::CircuitDown { from, to } => {
+                write!(f, "virtual circuit down between {from:?} and {to:?}")
+            }
+            MirageError::Codec(what) => write!(f, "wire codec error: {what}"),
+            MirageError::AddressSpaceFull => write!(f, "address space full"),
+            MirageError::Protocol(what) => write!(f, "protocol invariant violated: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for MirageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_meaningfully() {
+        let e = MirageError::NoSuchKey(SegKey(42));
+        assert!(e.to_string().contains("42"));
+        let e = MirageError::CircuitDown { from: SiteId(0), to: SiteId(1) };
+        assert!(e.to_string().contains("S0"));
+        assert!(e.to_string().contains("S1"));
+    }
+}

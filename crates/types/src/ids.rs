@@ -1,0 +1,169 @@
+//! Identifiers for sites, processes, segments, and pages.
+
+use core::fmt;
+
+use serde::{
+    Deserialize,
+    Serialize,
+};
+
+/// A network site (one machine in the Locus network).
+///
+/// The paper's prototype network had three VAX 11/750s; our simulator and
+/// host runtime support up to [`crate::access::SiteSet::CAPACITY`] sites,
+/// bounded by the reader-mask representation in the `auxpte`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SiteId(pub u16);
+
+impl SiteId {
+    /// Returns the zero-based index of this site, for table lookups.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "site{}", self.0)
+    }
+}
+
+/// A process, globally identified by its home site and a site-local number.
+///
+/// Locus processes are "relatively heavyweight" user processes (§6.0);
+/// lightweight kernel server processes are not named by `Pid`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Pid {
+    /// Site on which the process runs.
+    pub site: SiteId,
+    /// Site-local process number.
+    pub local: u32,
+}
+
+impl Pid {
+    /// Builds a process id from a site and a site-local number.
+    #[inline]
+    pub fn new(site: SiteId, local: u32) -> Self {
+        Self { site, local }
+    }
+}
+
+impl fmt::Debug for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}.{}", self.site.0, self.local)
+    }
+}
+
+/// A shared-memory segment identifier, unique network-wide.
+///
+/// In System V terms this is the `shmid` returned by `shmget`. The site
+/// that creates the segment is its *library site* (§6.0), so we embed the
+/// creator in the id to make the library trivially locatable, exactly as a
+/// distributed Locus kernel would route by origin site.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SegmentId {
+    /// The creating site — also the library site for the segment.
+    pub library: SiteId,
+    /// Creator-local sequence number.
+    pub serial: u32,
+}
+
+impl SegmentId {
+    /// Builds a segment id.
+    #[inline]
+    pub fn new(library: SiteId, serial: u32) -> Self {
+        Self { library, serial }
+    }
+}
+
+impl fmt::Debug for SegmentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seg{}@{:?}", self.serial, self.library)
+    }
+}
+
+/// A System V IPC key: the *name* by which processes locate a segment.
+///
+/// §2.2: "The name provides a mechanism by which other processes can
+/// locate the segment."
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SegKey(pub i32);
+
+impl fmt::Debug for SegKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "key({})", self.0)
+    }
+}
+
+/// A page number within a segment (zero-based).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PageNum(pub u32);
+
+impl PageNum {
+    /// Returns the zero-based index of this page, for table lookups.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the byte offset of the start of this page within its
+    /// segment.
+    #[inline]
+    pub fn byte_offset(self) -> usize {
+        self.index() * crate::PAGE_SIZE
+    }
+
+    /// Returns the page containing the given byte offset.
+    #[inline]
+    pub fn containing(offset: usize) -> Self {
+        Self((offset / crate::PAGE_SIZE) as u32)
+    }
+}
+
+impl fmt::Debug for PageNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pg{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_num_byte_offset_is_multiple_of_page_size() {
+        assert_eq!(PageNum(0).byte_offset(), 0);
+        assert_eq!(PageNum(1).byte_offset(), crate::PAGE_SIZE);
+        assert_eq!(PageNum(7).byte_offset(), 7 * crate::PAGE_SIZE);
+    }
+
+    #[test]
+    fn page_num_containing_inverts_byte_offset() {
+        for pg in 0..16u32 {
+            let p = PageNum(pg);
+            assert_eq!(PageNum::containing(p.byte_offset()), p);
+            assert_eq!(PageNum::containing(p.byte_offset() + crate::PAGE_SIZE - 1), p);
+        }
+    }
+
+    #[test]
+    fn segment_id_embeds_library_site() {
+        let id = SegmentId::new(SiteId(2), 7);
+        assert_eq!(id.library, SiteId(2));
+        assert_eq!(id.serial, 7);
+    }
+
+    #[test]
+    fn debug_formats_are_compact() {
+        assert_eq!(format!("{:?}", SiteId(3)), "S3");
+        assert_eq!(format!("{:?}", Pid::new(SiteId(1), 4)), "P1.4");
+        assert_eq!(format!("{:?}", PageNum(9)), "pg9");
+    }
+}

@@ -1,0 +1,59 @@
+//! Shared vocabulary types for the Mirage distributed shared memory system.
+//!
+//! Mirage (Fleisch & Popek, 1989) is a page-based coherent DSM built into
+//! the Locus distributed operating system. Every crate in this workspace —
+//! the sans-IO protocol engine, the discrete-event simulator, the memory
+//! substrate, and the real-memory host runtime — speaks in terms of the
+//! identifiers and units defined here.
+//!
+//! The types are deliberately small and `Copy` where possible: they are the
+//! currency of a protocol state machine that is exercised millions of times
+//! in property tests and benchmarks.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod access;
+pub mod error;
+pub mod ids;
+pub mod time;
+
+pub use access::{
+    Access,
+    PageProt,
+    SiteSet,
+};
+pub use error::{
+    MirageError,
+    Result,
+};
+pub use ids::{
+    Pid,
+    PageNum,
+    SegKey,
+    SegmentId,
+    SiteId,
+};
+pub use time::{
+    Delta,
+    SimDuration,
+    SimTime,
+    Ticks,
+    TICK,
+};
+
+/// The hardware page size used throughout Mirage, in bytes.
+///
+/// The paper: "Pages are 512 bytes in the current implementation of
+/// Mirage" (§6.2). Pages are the unit of distribution "because of their
+/// fixed size and commonality with the underlying hardware" (§6.0).
+pub const PAGE_SIZE: usize = 512;
+
+/// The largest segment the paper's VAX memory configurations allowed.
+///
+/// §6.2: "the largest segment allowed in our intersection of memory
+/// configurations for the various VAXs is 128K".
+pub const MAX_SEGMENT_SIZE: usize = 128 * 1024;
+
+/// Maximum number of pages a single segment may contain.
+pub const MAX_SEGMENT_PAGES: usize = MAX_SEGMENT_SIZE / PAGE_SIZE;

@@ -1,0 +1,236 @@
+//! Simulated time, clock ticks, and the Mirage time window Δ.
+//!
+//! The Δ ("window ticks" in the `auxpte`, Table 2) is the amount of time a
+//! clock site is guaranteed uninterrupted possession of a page. It is the
+//! paper's single tuning parameter, evaluated in Figures 7 and 8.
+
+use core::fmt;
+use core::ops::{
+    Add,
+    AddAssign,
+    Sub,
+};
+
+use serde::{
+    Deserialize,
+    Serialize,
+};
+
+/// A point in simulated time, in nanoseconds since simulation start.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time, in nanoseconds.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(pub u64);
+
+/// One scheduler clock tick.
+///
+/// Locus on the VAX ran a 60 Hz clock; we use 16.67 ms. The scheduling
+/// quantum is 6 ticks (≈100 ms) — the Δ value at which the two curves of
+/// Figure 7 intersect ("the intersection of the two curves (Δ=6) is the
+/// system's scheduling quantum", §7.3).
+pub const TICK: SimDuration = SimDuration(16_666_667);
+
+/// A count of scheduler ticks.
+pub type Ticks = u32;
+
+/// The Mirage time window Δ, measured in scheduler ticks.
+///
+/// Table 2 stores Δ per page as "window ticks"; §8.0 notes per-page Δs are
+/// supported by the data structure even though the prototype used uniform
+/// per-segment values.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Delta(pub Ticks);
+
+impl Delta {
+    /// Δ = 0: pages may be invalidated as soon as the library asks.
+    pub const ZERO: Delta = Delta(0);
+
+    /// Converts the window into a simulated duration.
+    #[inline]
+    pub fn duration(self) -> SimDuration {
+        SimDuration(TICK.0 * u64::from(self.0))
+    }
+}
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Builds a time from whole milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        Self(ms * 1_000_000)
+    }
+
+    /// Builds a time from whole microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        Self(us * 1_000)
+    }
+
+    /// Saturating difference `self - earlier`.
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Time as fractional seconds (for reporting).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+}
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Builds a duration from whole milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        Self(ms * 1_000_000)
+    }
+
+    /// Builds a duration from whole microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        Self(us * 1_000)
+    }
+
+    /// Builds a duration from fractional milliseconds.
+    #[inline]
+    pub fn from_millis_f64(ms: f64) -> Self {
+        Self((ms * 1e6).round() as u64)
+    }
+
+    /// Duration as fractional milliseconds (for reporting).
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Duration as fractional seconds (for reporting).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// Scales the duration by an integer factor.
+    #[inline]
+    pub fn scale(self, factor: u64) -> SimDuration {
+        SimDuration(self.0 * factor)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.3}ms", self.0 as f64 / 1e6)
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+    }
+}
+
+impl fmt::Debug for Delta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Δ={}", self.0)
+    }
+}
+
+impl fmt::Display for Delta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_is_sixty_hertz() {
+        // 60 ticks should be within one microsecond of a second.
+        let one_second = TICK.scale(60);
+        assert!((one_second.0 as i64 - 1_000_000_000).abs() < 1_000);
+    }
+
+    #[test]
+    fn delta_duration_scales_with_ticks() {
+        assert_eq!(Delta::ZERO.duration(), SimDuration::ZERO);
+        assert_eq!(Delta(2).duration().0, TICK.0 * 2);
+        // Δ=2 ≈ 33 ms, the paper's yield-sleep granularity.
+        let ms = Delta(2).duration().as_millis_f64();
+        assert!((ms - 33.3).abs() < 0.2, "Δ=2 should be ≈33 ms, got {ms}");
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t = SimTime::from_millis(10) + SimDuration::from_millis(5);
+        assert_eq!(t, SimTime::from_millis(15));
+        assert_eq!(t.since(SimTime::from_millis(5)), SimDuration::from_millis(10));
+        // `since` saturates rather than wrapping.
+        assert_eq!(SimTime::ZERO.since(t), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn duration_reporting_units() {
+        assert_eq!(SimDuration::from_millis(25).as_millis_f64(), 25.0);
+        assert_eq!(SimDuration::from_micros(110).0, 110_000);
+        assert_eq!(SimDuration::from_millis_f64(12.9).0, 12_900_000);
+    }
+}

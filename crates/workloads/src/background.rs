@@ -1,0 +1,58 @@
+//! A pure-compute background process.
+//!
+//! Used for E10: "the effect of an application that is thrashing on
+//! overall system performance can be ameliorated by adjusting Δ. By
+//! increasing Δ, although application throughput is reduced, system
+//! performance is improved for other processes." (§7.3)
+//!
+//! The background process never touches shared memory, so its progress
+//! measures how much CPU the thrasher (and the kernel work it induces)
+//! leaves for the rest of the system.
+
+use mirage_sim::{
+    Op,
+    Program,
+};
+use mirage_types::SimDuration;
+
+/// A compute-only process: repeated fixed-size work chunks.
+pub struct Background {
+    chunk: SimDuration,
+    chunks_done: u64,
+}
+
+impl Background {
+    /// Builds a background process with the given chunk size.
+    pub fn new(chunk: SimDuration) -> Self {
+        Self { chunk, chunks_done: 0 }
+    }
+}
+
+impl Program for Background {
+    fn step(&mut self, _last_read: Option<u32>) -> Op {
+        self.chunks_done += 1;
+        Op::Compute(self.chunk)
+    }
+
+    fn metric(&self) -> u64 {
+        self.chunks_done.saturating_sub(1)
+    }
+
+    fn label(&self) -> &str {
+        "background"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn background_computes_forever() {
+        let mut b = Background::new(SimDuration::from_millis(10));
+        for _ in 0..5 {
+            assert!(matches!(b.step(None), Op::Compute(_)));
+        }
+        assert_eq!(b.metric(), 4, "last chunk not yet complete");
+    }
+}

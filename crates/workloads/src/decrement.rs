@@ -1,0 +1,129 @@
+//! The §8.0 "representative" application: two conflicting read-writers.
+//!
+//! "The application consists of two processes that execute for-loops
+//! that decrement separate values in shared memory on the same page. The
+//! loops execute for a fixed period of time until the decremented values
+//! reach zero. Each time a for-loop is executed the termination
+//! condition is tested. Thus, the for-loops exhibit read faults and
+//! write faults."
+
+use mirage_sim::{
+    MemRef,
+    Op,
+    Program,
+};
+use mirage_types::{
+    PageNum,
+    SegmentId,
+};
+
+/// One conflicting read-writer.
+pub struct Decrementer {
+    counter: MemRef,
+    initial: u32,
+    state: State,
+    initialized: bool,
+    iterations: u64,
+}
+
+enum State {
+    Read,
+    Decide,
+    Done,
+}
+
+impl Decrementer {
+    /// A decrementer over its own `u32` at `offset` of page 0, starting
+    /// from `initial`. Both processes use the *same page*, different
+    /// offsets — that conflict is the point of the experiment.
+    pub fn new(seg: SegmentId, offset: usize, initial: u32) -> Self {
+        Self {
+            counter: MemRef::new(seg, PageNum(0), offset),
+            initial,
+            state: State::Read,
+            initialized: false,
+            iterations: 0,
+        }
+    }
+}
+
+impl Program for Decrementer {
+    fn step(&mut self, last_read: Option<u32>) -> Op {
+        loop {
+            match self.state {
+                State::Read => {
+                    if !self.initialized {
+                        self.initialized = true;
+                        // Seed the counter (the paper's setup phase).
+                        return Op::Write(self.counter, self.initial);
+                    }
+                    self.state = State::Decide;
+                    return Op::Read(self.counter);
+                }
+                State::Decide => {
+                    let v = last_read.expect("read value delivered");
+                    if v == 0 {
+                        self.state = State::Done;
+                        continue;
+                    }
+                    self.iterations += 1;
+                    self.state = State::Read;
+                    return Op::Write(self.counter, v - 1);
+                }
+                State::Done => return Op::Exit,
+            }
+        }
+    }
+
+    fn metric(&self) -> u64 {
+        self.iterations
+    }
+
+    fn label(&self) -> &str {
+        "decrementer"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use mirage_types::SiteId;
+
+    use super::*;
+
+    #[test]
+    fn decrements_to_zero_then_exits() {
+        let seg = SegmentId::new(SiteId(0), 1);
+        let mut d = Decrementer::new(seg, 0, 2);
+        assert!(matches!(d.step(None), Op::Write(_, 2)), "seed");
+        assert!(matches!(d.step(None), Op::Read(_)));
+        assert!(matches!(d.step(Some(2)), Op::Write(_, 1)));
+        assert!(matches!(d.step(None), Op::Read(_)));
+        assert!(matches!(d.step(Some(1)), Op::Write(_, 0)));
+        assert!(matches!(d.step(None), Op::Read(_)));
+        assert!(matches!(d.step(Some(0)), Op::Exit));
+        assert_eq!(d.metric(), 2);
+    }
+
+    #[test]
+    fn each_iteration_is_one_read_one_write() {
+        let seg = SegmentId::new(SiteId(0), 1);
+        let mut d = Decrementer::new(seg, 128, 100);
+        let _ = d.step(None); // seed write
+        let mut reads = 0;
+        let mut writes = 0;
+        let mut v = 100u32;
+        loop {
+            match d.step(Some(v)) {
+                Op::Read(_) => reads += 1,
+                Op::Write(_, nv) => {
+                    writes += 1;
+                    v = nv;
+                }
+                Op::Exit => break,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(reads, 101, "100 decrements + final zero test");
+        assert_eq!(writes, 100);
+    }
+}

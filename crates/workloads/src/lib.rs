@@ -1,0 +1,43 @@
+//! Workload programs for the Mirage simulator.
+//!
+//! Each workload reproduces an application from the paper's evaluation:
+//!
+//! * [`pingpong`] — the §7.2 worst case (Figure 4): two processes at
+//!   different sites alternately writing adjacent locations on one page;
+//! * [`decrement`] — the §8.0 "representative" application (Figure 8):
+//!   two conflicting read-writers decrementing separate values on the
+//!   same page;
+//! * [`ring`] — the N-site version of the worst case ("This application
+//!   (or its N-site version) is a worst case for Mirage", §7.2);
+//! * [`spinlock`] — the §7.2 test&set experiment: a busy-waiting lock
+//!   sharing a page with the data it protects;
+//! * [`readers`] — read-mostly sharing with an occasional writer, for
+//!   the invalidation-scaling ablation (A4);
+//! * [`background`] — a pure-compute process used to measure overall
+//!   system throughput while another application thrashes (E10).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod background;
+pub mod decrement;
+pub mod pingpong;
+pub mod readers;
+pub mod ring;
+pub mod spinlock;
+
+pub use background::Background;
+pub use decrement::Decrementer;
+pub use pingpong::{
+    PingPongPinger,
+    PingPongPonger,
+};
+pub use readers::{
+    PeriodicWriter,
+    Rereader,
+};
+pub use ring::RingMember;
+pub use spinlock::{
+    LockHolder,
+    LockTester,
+};

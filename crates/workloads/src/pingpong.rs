@@ -1,0 +1,260 @@
+//! The §7.2 worst-case "ping pong" application (paper Figure 4).
+//!
+//! Process 1 writes a value into the first of an adjacent pair of
+//! locations and waits for Process 2 to write into the second; both then
+//! advance to the next pair. Every access to the specific locations
+//! causes page faults that transfer the entire page between sites —
+//! "analogous to an application executing on a single site that is
+//! thrashing."
+//!
+//! Values are unique per trial so that a location reused after the pair
+//! pointer wraps within the page can never satisfy a wait spuriously.
+
+use mirage_sim::{
+    MemRef,
+    Op,
+    Program,
+};
+use mirage_types::{
+    PageNum,
+    SegmentId,
+    PAGE_SIZE,
+};
+
+/// Pairs per page: each pair is two adjacent `u32` locations.
+const PAIRS: u32 = (PAGE_SIZE / 8) as u32;
+
+/// The sentinel Process 1 writes after the final trial.
+pub const ENDVAL: u32 = u32::MAX;
+
+fn pair_refs(seg: SegmentId, trial: u32) -> (MemRef, MemRef) {
+    let k = trial % PAIRS;
+    let off = (k * 8) as usize;
+    (
+        MemRef::new(seg, PageNum(0), off),
+        MemRef::new(seg, PageNum(0), off + 4),
+    )
+}
+
+/// The value Process 1 writes in a trial.
+fn checkval(trial: u32) -> u32 {
+    2 * trial + 2
+}
+
+/// Process 1 of Figure 4: writes `CHECKVAL`, waits for `CHECKVAL+1`.
+pub struct PingPongPinger {
+    seg: SegmentId,
+    trials: u32,
+    trial: u32,
+    state: PingState,
+    /// Use `yield()` in the wait loop (the paper's fixed version).
+    pub use_yield: bool,
+    cycles: u64,
+}
+
+enum PingState {
+    WriteFirst,
+    ReadSecond,
+    Decide,
+    WriteEnd,
+    Finished,
+}
+
+impl PingPongPinger {
+    /// Builds Process 1 for `trials` cycles over a one-page segment.
+    pub fn new(seg: SegmentId, trials: u32, use_yield: bool) -> Self {
+        Self {
+            seg,
+            trials,
+            trial: 0,
+            state: PingState::WriteFirst,
+            use_yield,
+            cycles: 0,
+        }
+    }
+}
+
+impl Program for PingPongPinger {
+    fn step(&mut self, last_read: Option<u32>) -> Op {
+        loop {
+            match self.state {
+                PingState::WriteFirst => {
+                    if self.trial >= self.trials {
+                        self.state = PingState::WriteEnd;
+                        continue;
+                    }
+                    let (first, _) = pair_refs(self.seg, self.trial);
+                    self.state = PingState::ReadSecond;
+                    return Op::Write(first, checkval(self.trial));
+                }
+                PingState::ReadSecond => {
+                    let (_, second) = pair_refs(self.seg, self.trial);
+                    self.state = PingState::Decide;
+                    return Op::Read(second);
+                }
+                PingState::Decide => {
+                    let v = last_read.expect("read value delivered");
+                    if v == checkval(self.trial) + 1 {
+                        // Cycle complete; advance to the next pair.
+                        self.cycles += 1;
+                        self.trial += 1;
+                        self.state = PingState::WriteFirst;
+                        continue;
+                    }
+                    // Not yet: spin (optionally yielding, §7.2).
+                    self.state = PingState::ReadSecond;
+                    if self.use_yield {
+                        return Op::Yield;
+                    }
+                    continue;
+                }
+                PingState::WriteEnd => {
+                    let (first, _) = pair_refs(self.seg, self.trial);
+                    self.state = PingState::Finished;
+                    return Op::Write(first, ENDVAL);
+                }
+                PingState::Finished => return Op::Exit,
+            }
+        }
+    }
+
+    fn metric(&self) -> u64 {
+        self.cycles
+    }
+
+    fn label(&self) -> &str {
+        "pingpong-p1"
+    }
+}
+
+/// Process 2 of Figure 4: waits for `CHECKVAL`, writes `CHECKVAL+1`.
+pub struct PingPongPonger {
+    seg: SegmentId,
+    trial: u32,
+    state: PongState,
+    /// Use `yield()` in the wait loop.
+    pub use_yield: bool,
+    cycles: u64,
+}
+
+enum PongState {
+    ReadFirst,
+    Decide,
+    WriteSecond,
+    Finished,
+}
+
+impl PingPongPonger {
+    /// Builds Process 2 over the same one-page segment.
+    pub fn new(seg: SegmentId, use_yield: bool) -> Self {
+        Self { seg, trial: 0, state: PongState::ReadFirst, use_yield, cycles: 0 }
+    }
+}
+
+impl Program for PingPongPonger {
+    fn step(&mut self, last_read: Option<u32>) -> Op {
+        loop {
+            match self.state {
+                PongState::ReadFirst => {
+                    let (first, _) = pair_refs(self.seg, self.trial);
+                    self.state = PongState::Decide;
+                    return Op::Read(first);
+                }
+                PongState::Decide => {
+                    let v = last_read.expect("read value delivered");
+                    if v == ENDVAL {
+                        self.state = PongState::Finished;
+                        continue;
+                    }
+                    if v == checkval(self.trial) {
+                        self.state = PongState::WriteSecond;
+                        continue;
+                    }
+                    self.state = PongState::ReadFirst;
+                    if self.use_yield {
+                        return Op::Yield;
+                    }
+                    continue;
+                }
+                PongState::WriteSecond => {
+                    let (_, second) = pair_refs(self.seg, self.trial);
+                    let val = checkval(self.trial) + 1;
+                    self.cycles += 1;
+                    self.trial += 1;
+                    self.state = PongState::ReadFirst;
+                    return Op::Write(second, val);
+                }
+                PongState::Finished => return Op::Exit,
+            }
+        }
+    }
+
+    fn metric(&self) -> u64 {
+        self.cycles
+    }
+
+    fn label(&self) -> &str {
+        "pingpong-p2"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use mirage_types::SiteId;
+
+    use super::*;
+
+    #[test]
+    fn pair_refs_stay_on_one_page_and_wrap() {
+        let seg = SegmentId::new(SiteId(0), 1);
+        for t in 0..200 {
+            let (a, b) = pair_refs(seg, t);
+            assert_eq!(a.page, PageNum(0));
+            assert_eq!(b.offset, a.offset + 4);
+            assert!(b.offset + 4 <= PAGE_SIZE);
+        }
+        assert_eq!(pair_refs(seg, 0).0.offset, pair_refs(seg, PAIRS).0.offset);
+    }
+
+    #[test]
+    fn checkvals_unique_across_wrap_window() {
+        // Two trials that share a location (wrap distance apart) must use
+        // different values.
+        assert_ne!(checkval(0), checkval(PAIRS));
+        assert_ne!(checkval(0) + 1, checkval(PAIRS));
+    }
+
+    #[test]
+    fn pinger_sequences_write_then_read() {
+        let seg = SegmentId::new(SiteId(0), 1);
+        let mut p = PingPongPinger::new(seg, 2, false);
+        let op1 = p.step(None);
+        assert!(matches!(op1, Op::Write(_, v) if v == checkval(0)));
+        let op2 = p.step(None);
+        assert!(matches!(op2, Op::Read(_)));
+        // Wrong value: spins with another read (no yield).
+        let op3 = p.step(Some(0));
+        assert!(matches!(op3, Op::Read(_)));
+        // Right value: next trial's write.
+        let op4 = p.step(Some(checkval(0) + 1));
+        assert!(matches!(op4, Op::Write(_, v) if v == checkval(1)));
+        assert_eq!(p.metric(), 1);
+    }
+
+    #[test]
+    fn ponger_answers_and_counts_cycles() {
+        let seg = SegmentId::new(SiteId(0), 1);
+        let mut p = PingPongPonger::new(seg, true);
+        assert!(matches!(p.step(None), Op::Read(_)));
+        // Stale value: yields.
+        assert!(matches!(p.step(Some(0)), Op::Yield));
+        assert!(matches!(p.step(None), Op::Read(_)));
+        // Sees CHECKVAL: writes CHECKVAL+1.
+        let w = p.step(Some(checkval(0)));
+        assert!(matches!(w, Op::Write(_, v) if v == checkval(0) + 1));
+        assert_eq!(p.metric(), 1);
+        // ENDVAL terminates.
+        assert!(matches!(p.step(None), Op::Read(_)));
+        assert!(matches!(p.step(Some(ENDVAL)), Op::Exit));
+    }
+}

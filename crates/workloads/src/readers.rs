@@ -1,0 +1,146 @@
+//! Read-mostly sharing: many re-readers plus one periodic writer.
+//!
+//! Used by the invalidation-scaling ablation (A4): each write must
+//! invalidate every reader's copy, and the paper notes "in a network
+//! with a larger number of sites sharing pages than ours, invalidations
+//! may become expensive" (§10).
+
+use mirage_sim::{
+    MemRef,
+    Op,
+    Program,
+};
+use mirage_types::{
+    PageNum,
+    SegmentId,
+    SimDuration,
+};
+
+/// A process that re-reads one word forever (with a think time), picking
+/// its copy back up after every invalidation.
+pub struct Rereader {
+    target: MemRef,
+    think: SimDuration,
+    reads_left: u32,
+    reads_done: u64,
+    state: u8,
+}
+
+impl Rereader {
+    /// Builds a reader performing `reads` reads with `think` between.
+    pub fn new(seg: SegmentId, reads: u32, think: SimDuration) -> Self {
+        Self {
+            target: MemRef::new(seg, PageNum(0), 0),
+            think,
+            reads_left: reads,
+            reads_done: 0,
+            state: 0,
+        }
+    }
+}
+
+impl Program for Rereader {
+    fn step(&mut self, _last_read: Option<u32>) -> Op {
+        if self.reads_left == 0 {
+            return Op::Exit;
+        }
+        match self.state {
+            0 => {
+                self.state = 1;
+                Op::Read(self.target)
+            }
+            _ => {
+                self.state = 0;
+                self.reads_left -= 1;
+                self.reads_done += 1;
+                Op::Compute(self.think)
+            }
+        }
+    }
+
+    fn metric(&self) -> u64 {
+        self.reads_done
+    }
+
+    fn label(&self) -> &str {
+        "rereader"
+    }
+}
+
+/// A process that writes the shared word every `period`.
+pub struct PeriodicWriter {
+    target: MemRef,
+    period: SimDuration,
+    writes_left: u32,
+    writes_done: u64,
+    state: u8,
+}
+
+impl PeriodicWriter {
+    /// Builds a writer performing `writes` writes, one per `period`.
+    pub fn new(seg: SegmentId, writes: u32, period: SimDuration) -> Self {
+        Self {
+            target: MemRef::new(seg, PageNum(0), 0),
+            period,
+            writes_left: writes,
+            writes_done: 0,
+            state: 0,
+        }
+    }
+}
+
+impl Program for PeriodicWriter {
+    fn step(&mut self, _last_read: Option<u32>) -> Op {
+        if self.writes_left == 0 {
+            return Op::Exit;
+        }
+        match self.state {
+            0 => {
+                self.state = 1;
+                Op::Sleep(self.period)
+            }
+            _ => {
+                self.state = 0;
+                self.writes_left -= 1;
+                self.writes_done += 1;
+                Op::Write(self.target, self.writes_done as u32)
+            }
+        }
+    }
+
+    fn metric(&self) -> u64 {
+        self.writes_done
+    }
+
+    fn label(&self) -> &str {
+        "periodic-writer"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use mirage_types::SiteId;
+
+    use super::*;
+
+    #[test]
+    fn rereader_alternates_read_and_think() {
+        let seg = SegmentId::new(SiteId(0), 1);
+        let mut r = Rereader::new(seg, 2, SimDuration::from_millis(1));
+        assert!(matches!(r.step(None), Op::Read(_)));
+        assert!(matches!(r.step(Some(0)), Op::Compute(_)));
+        assert!(matches!(r.step(None), Op::Read(_)));
+        assert!(matches!(r.step(Some(0)), Op::Compute(_)));
+        assert!(matches!(r.step(None), Op::Exit));
+        assert_eq!(r.metric(), 2);
+    }
+
+    #[test]
+    fn writer_sleeps_then_writes() {
+        let seg = SegmentId::new(SiteId(0), 1);
+        let mut w = PeriodicWriter::new(seg, 1, SimDuration::from_millis(5));
+        assert!(matches!(w.step(None), Op::Sleep(_)));
+        assert!(matches!(w.step(None), Op::Write(_, 1)));
+        assert!(matches!(w.step(None), Op::Exit));
+    }
+}

@@ -1,0 +1,123 @@
+//! The N-site version of the worst-case application (§7.2: "This
+//! application (or its N-site version) is a worst case for Mirage").
+//!
+//! N processes at N sites pass a token around one page: process k waits
+//! for the shared word to reach a value ≡ k (mod N), then increments
+//! it. Every handoff moves the page to the next site, so one page
+//! circulates through the whole network — the worst case scaled up.
+
+use mirage_sim::{
+    MemRef,
+    Op,
+    Program,
+};
+use mirage_types::{
+    PageNum,
+    SegmentId,
+};
+
+/// One participant of the N-site token ring.
+pub struct RingMember {
+    token: MemRef,
+    /// This member's index in the ring.
+    pub index: u32,
+    /// Ring size.
+    pub n: u32,
+    rounds: u32,
+    done_rounds: u64,
+    state: RingState,
+    /// Spin with `yield()` (the paper's recommendation).
+    pub use_yield: bool,
+}
+
+enum RingState {
+    Read,
+    Decide,
+    Finished,
+}
+
+impl RingMember {
+    /// Builds ring member `index` of `n`, running `rounds` laps over a
+    /// one-page segment.
+    pub fn new(seg: SegmentId, index: u32, n: u32, rounds: u32, use_yield: bool) -> Self {
+        assert!(index < n && n > 0);
+        Self {
+            token: MemRef::new(seg, PageNum(0), 0),
+            index,
+            n,
+            rounds,
+            done_rounds: 0,
+            state: RingState::Read,
+            use_yield,
+        }
+    }
+}
+
+impl Program for RingMember {
+    fn step(&mut self, last_read: Option<u32>) -> Op {
+        loop {
+            match self.state {
+                RingState::Read => {
+                    if self.done_rounds >= u64::from(self.rounds) {
+                        self.state = RingState::Finished;
+                        continue;
+                    }
+                    self.state = RingState::Decide;
+                    return Op::Read(self.token);
+                }
+                RingState::Decide => {
+                    let v = last_read.expect("read value delivered");
+                    if v % self.n == self.index {
+                        // Our turn: pass the token on.
+                        self.done_rounds += 1;
+                        self.state = RingState::Read;
+                        return Op::Write(self.token, v + 1);
+                    }
+                    self.state = RingState::Read;
+                    if self.use_yield {
+                        return Op::Yield;
+                    }
+                    continue;
+                }
+                RingState::Finished => return Op::Exit,
+            }
+        }
+    }
+
+    fn metric(&self) -> u64 {
+        self.done_rounds
+    }
+
+    fn label(&self) -> &str {
+        "ring-member"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use mirage_types::SiteId;
+
+    use super::*;
+
+    #[test]
+    fn member_waits_for_its_turn() {
+        let seg = SegmentId::new(SiteId(0), 1);
+        let mut m = RingMember::new(seg, 1, 3, 2, true);
+        assert!(matches!(m.step(None), Op::Read(_)));
+        // Value 0 ≡ member 0's turn: we yield.
+        assert!(matches!(m.step(Some(0)), Op::Yield));
+        assert!(matches!(m.step(None), Op::Read(_)));
+        // Value 1 ≡ our turn: increment.
+        assert!(matches!(m.step(Some(1)), Op::Write(_, 2)));
+        assert_eq!(m.metric(), 1);
+    }
+
+    #[test]
+    fn member_exits_after_rounds() {
+        let seg = SegmentId::new(SiteId(0), 1);
+        let mut m = RingMember::new(seg, 0, 2, 1, false);
+        assert!(matches!(m.step(None), Op::Read(_)));
+        assert!(matches!(m.step(Some(0)), Op::Write(_, 1)));
+        assert!(matches!(m.step(None), Op::Exit));
+    }
+}

@@ -1,0 +1,200 @@
+//! The §7.2 test&set experiment.
+//!
+//! "After a locking writer sets the bit to enter a critical section, the
+//! testing reader obtains the page remotely. When the locking writer
+//! completes, it faults on write to clear the lock bit and exit the
+//! critical section. If the locking writer requires use of the page for
+//! data access while the region is locked, the tester and the writer
+//! thrash the page."
+//!
+//! The lock word and the protected data live on the same page — the
+//! configuration the paper warns against.
+
+use mirage_sim::{
+    MemRef,
+    Op,
+    Program,
+};
+use mirage_types::{
+    PageNum,
+    SegmentId,
+};
+
+/// Lock word offset within the page.
+const LOCK_OFF: usize = 0;
+/// Protected data offset (same page!).
+const DATA_OFF: usize = 64;
+
+/// The locking writer: acquires, touches data `writes_in_cs` times,
+/// releases, repeats.
+pub struct LockHolder {
+    seg: SegmentId,
+    sections: u32,
+    writes_in_cs: u32,
+    done_sections: u64,
+    w: u32,
+    state: HolderState,
+}
+
+enum HolderState {
+    Acquire,
+    DataWrite,
+    Release,
+    Finished,
+}
+
+impl LockHolder {
+    /// Builds the holder for `sections` critical sections with
+    /// `writes_in_cs` data writes each.
+    pub fn new(seg: SegmentId, sections: u32, writes_in_cs: u32) -> Self {
+        Self {
+            seg,
+            sections,
+            writes_in_cs,
+            done_sections: 0,
+            w: 0,
+            state: HolderState::Acquire,
+        }
+    }
+
+    fn lock(&self) -> MemRef {
+        MemRef::new(self.seg, PageNum(0), LOCK_OFF)
+    }
+
+    fn data(&self) -> MemRef {
+        MemRef::new(self.seg, PageNum(0), DATA_OFF)
+    }
+}
+
+impl Program for LockHolder {
+    fn step(&mut self, _last_read: Option<u32>) -> Op {
+        match self.state {
+            HolderState::Acquire => {
+                if self.done_sections >= u64::from(self.sections) {
+                    self.state = HolderState::Finished;
+                    return Op::Exit;
+                }
+                // test&set: an interlocked write to the lock word. In a
+                // write-invalidate DSM the set *is* a write access.
+                self.w = 0;
+                self.state = HolderState::DataWrite;
+                Op::Write(self.lock(), 1)
+            }
+            HolderState::DataWrite => {
+                self.w += 1;
+                if self.w >= self.writes_in_cs {
+                    self.state = HolderState::Release;
+                }
+                Op::Write(self.data(), self.w)
+            }
+            HolderState::Release => {
+                self.done_sections += 1;
+                self.state = HolderState::Acquire;
+                Op::Write(self.lock(), 0)
+            }
+            HolderState::Finished => Op::Exit,
+        }
+    }
+
+    fn metric(&self) -> u64 {
+        self.done_sections
+    }
+
+    fn label(&self) -> &str {
+        "lock-holder"
+    }
+}
+
+/// The busy-waiting tester: spins reading the lock word (the paper's
+/// ill-fated test&set reader), counting the lock-free observations.
+pub struct LockTester {
+    seg: SegmentId,
+    observations: u32,
+    seen_free: u64,
+    polls: u64,
+    reading: bool,
+    /// Spin with `yield()` (the paper's recommendation) or raw.
+    pub use_yield: bool,
+}
+
+impl LockTester {
+    /// Builds the tester; it exits after observing the lock free
+    /// `observations` times.
+    pub fn new(seg: SegmentId, observations: u32, use_yield: bool) -> Self {
+        Self {
+            seg,
+            observations,
+            seen_free: 0,
+            polls: 0,
+            reading: false,
+            use_yield,
+        }
+    }
+}
+
+impl Program for LockTester {
+    fn step(&mut self, last_read: Option<u32>) -> Op {
+        if self.reading {
+            self.reading = false;
+            self.polls += 1;
+            if last_read == Some(0) {
+                self.seen_free += 1;
+                if self.seen_free >= u64::from(self.observations) {
+                    return Op::Exit;
+                }
+            }
+            if self.use_yield {
+                return Op::Yield;
+            }
+        }
+        self.reading = true;
+        Op::Read(MemRef::new(self.seg, PageNum(0), LOCK_OFF))
+    }
+
+    fn metric(&self) -> u64 {
+        self.seen_free
+    }
+
+    fn label(&self) -> &str {
+        "lock-tester"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use mirage_types::SiteId;
+
+    use super::*;
+
+    #[test]
+    fn holder_acquires_writes_releases() {
+        let seg = SegmentId::new(SiteId(0), 1);
+        let mut h = LockHolder::new(seg, 1, 2);
+        assert!(matches!(h.step(None), Op::Write(r, 1) if r.offset == LOCK_OFF));
+        assert!(matches!(h.step(None), Op::Write(r, 1) if r.offset == DATA_OFF));
+        assert!(matches!(h.step(None), Op::Write(r, 2) if r.offset == DATA_OFF));
+        assert!(matches!(h.step(None), Op::Write(r, 0) if r.offset == LOCK_OFF));
+        assert_eq!(h.metric(), 1);
+        assert!(matches!(h.step(None), Op::Exit));
+    }
+
+    #[test]
+    fn tester_counts_free_observations() {
+        let seg = SegmentId::new(SiteId(0), 1);
+        let mut t = LockTester::new(seg, 2, false);
+        assert!(matches!(t.step(None), Op::Read(_)));
+        assert!(matches!(t.step(Some(1)), Op::Read(_)), "locked: keep spinning");
+        assert!(matches!(t.step(Some(0)), Op::Read(_)), "one free seen");
+        assert!(matches!(t.step(Some(0)), Op::Exit), "second free seen");
+        assert_eq!(t.metric(), 2);
+    }
+
+    #[test]
+    fn yielding_tester_interleaves_yields() {
+        let seg = SegmentId::new(SiteId(0), 1);
+        let mut t = LockTester::new(seg, 1, true);
+        assert!(matches!(t.step(None), Op::Read(_)));
+        assert!(matches!(t.step(Some(1)), Op::Yield));
+        assert!(matches!(t.step(None), Op::Read(_)));
+    }
+}

@@ -1,0 +1,80 @@
+//! The §9 reference log in action: page-heat analysis and the
+//! process-migration advisor the paper envisions.
+//!
+//! Runs a workload where two remote processes fight over one page while
+//! a third reads another page peacefully, then feeds the library site's
+//! reference log through the analyses in `mirage-trace`.
+//!
+//! ```sh
+//! cargo run --release --example migration_advisor
+//! ```
+
+use mirage::sim::{
+    SimConfig,
+    World,
+};
+use mirage::trace::{
+    MigrationAdvisor,
+    PageHeat,
+    RefLog,
+    SharingMatrix,
+};
+use mirage::types::{
+    PageNum,
+    SimTime,
+};
+use mirage::workloads::{
+    Decrementer,
+    Rereader,
+};
+
+fn main() {
+    let mut w = World::new(3, SimConfig::default());
+    let seg = w.create_segment(0, 2);
+    // Sites 0 and 1 fight over page 0; site 2 re-reads page 1 quietly.
+    w.spawn(0, Box::new(Decrementer::new(seg, 0, 30_000)), 2);
+    w.spawn(1, Box::new(Decrementer::new(seg, 128, 30_000)), 2);
+    w.spawn(
+        2,
+        Box::new(Rereader::new(seg, 200, mirage::types::SimDuration::from_millis(20))),
+        2,
+    );
+    w.run_to_completion(SimTime::from_millis(120_000));
+
+    // Rebuild the §9 log from the library's records.
+    let mut log = RefLog::new();
+    for e in &w.ref_log {
+        log.record(mirage::trace::Entry {
+            seg: e.seg,
+            page: e.page,
+            at: e.at,
+            pid: e.pid,
+            access: e.access,
+        });
+    }
+    println!("library logged {} page requests\n", log.len());
+
+    let heat = PageHeat::from_log(&log);
+    println!("page heat (requests):");
+    for ((s, p), n) in heat.hottest() {
+        let (r, wr) = heat.page(s, p);
+        println!("  {p:?}: {n} total ({r} read, {wr} write)");
+    }
+    println!("\nhot-spot candidates (write-heavy, contended): {:?}",
+        heat.hot_spot_candidates(10).iter().map(|&(_, p)| p).collect::<Vec<_>>());
+
+    let sharing = SharingMatrix::from_log(&log);
+    println!(
+        "page 0 sharers: {}   dominant requester: {:?}",
+        sharing.sharers(seg, PageNum(0)),
+        sharing.dominant_site(seg, PageNum(0)),
+    );
+
+    println!("\nmigration advice (move the process next to its data):");
+    for advice in MigrationAdvisor::new(10).advise(&log) {
+        println!(
+            "  move {:?} to {:?} ({} conflicting requests)",
+            advice.pid, advice.to, advice.conflicting_requests
+        );
+    }
+}

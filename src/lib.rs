@@ -1,0 +1,14 @@
+//! Mirage: a coherent distributed shared memory design — facade crate.
+//!
+//! Re-exports the public API of the workspace crates. See the README for a
+//! tour and `DESIGN.md` for the system inventory.
+
+pub use mirage_baseline as baseline;
+pub use mirage_core as protocol;
+pub use mirage_host as host;
+pub use mirage_mem as mem;
+pub use mirage_net as net;
+pub use mirage_sim as sim;
+pub use mirage_trace as trace;
+pub use mirage_types as types;
+pub use mirage_workloads as workloads;

@@ -1,0 +1,90 @@
+//! Host-runtime integration through the facade crate: real faults, the
+//! H1 experiment of `DESIGN.md`.
+
+use mirage::host::HostCluster;
+use mirage::protocol::ProtocolConfig;
+use mirage::types::{
+    Delta,
+    PageNum,
+};
+
+#[test]
+fn host_and_sim_agree_on_protocol_outcomes() {
+    // The same logical exchange on both substrates: writer at site 0,
+    // upgrade at site 1. The host's end state must match what the
+    // synchronous protocol predicts (site 1 sole writer).
+    let cluster = HostCluster::start(2, ProtocolConfig::default());
+    let seg = cluster.create_segment(0, 1);
+    let v0 = cluster.view(0, seg);
+    let v1 = cluster.view(1, seg);
+    let t = std::thread::spawn(move || {
+        v0.write_u32(PageNum(0), 0, 11);
+    });
+    t.join().unwrap();
+    let t = std::thread::spawn(move || {
+        assert_eq!(v1.read_u32(PageNum(0), 0), 11);
+        v1.write_u32(PageNum(0), 0, 22); // upgrade in place
+        v1.read_u32(PageNum(0), 0)
+    });
+    assert_eq!(t.join().unwrap(), 22);
+    let v0b = cluster.view(0, seg);
+    let t = std::thread::spawn(move || v0b.read_u32(PageNum(0), 0));
+    assert_eq!(t.join().unwrap(), 22);
+}
+
+#[test]
+fn sequential_counter_relay_over_real_faults() {
+    // Sites increment a shared counter in strict turns, 2 sites × 50
+    // turns; the counter must end exactly at 100 (every write built on
+    // the latest value).
+    let cluster = HostCluster::start(2, ProtocolConfig::default());
+    let seg = cluster.create_segment(0, 1);
+    let a = cluster.view(0, seg);
+    let b = cluster.view(1, seg);
+    let t1 = std::thread::spawn(move || {
+        // Turn-taking via the counter parity itself.
+        loop {
+            let v = a.read_u32(PageNum(0), 0);
+            if v >= 100 {
+                break;
+            }
+            if v.is_multiple_of(2) {
+                a.write_u32(PageNum(0), 0, v + 1);
+            }
+            std::thread::yield_now();
+        }
+    });
+    let t2 = std::thread::spawn(move || {
+        loop {
+            let v = b.read_u32(PageNum(0), 0);
+            if v >= 100 {
+                break;
+            }
+            if v % 2 == 1 {
+                b.write_u32(PageNum(0), 0, v + 1);
+            }
+            std::thread::yield_now();
+        }
+    });
+    t1.join().unwrap();
+    t2.join().unwrap();
+    let check = cluster.view(0, seg);
+    let t = std::thread::spawn(move || check.read_u32(PageNum(0), 0));
+    assert_eq!(t.join().unwrap(), 100);
+}
+
+#[test]
+fn nonzero_delta_cluster_remains_correct() {
+    let cluster = HostCluster::start(2, ProtocolConfig::paper(Delta(3)));
+    let seg = cluster.create_segment(0, 1);
+    let a = cluster.view(0, seg);
+    let b = cluster.view(1, seg);
+    let t1 = std::thread::spawn(move || {
+        for i in 0..10u32 {
+            a.write_u32(PageNum(0), 0, i);
+        }
+    });
+    t1.join().unwrap();
+    let t2 = std::thread::spawn(move || b.read_u32(PageNum(0), 0));
+    assert_eq!(t2.join().unwrap(), 9);
+}

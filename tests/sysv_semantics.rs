@@ -1,0 +1,109 @@
+//! System V shared-memory semantics across the `mirage-mem` substrate:
+//! the §2.2 contract (create by key, attach anywhere, last detach
+//! destroys) composed end to end.
+
+use mirage::mem::{
+    AddressSpace,
+    MasterTable,
+    Namespace,
+    ProcessTable,
+    ShmFlags,
+};
+use mirage::types::{
+    Access,
+    MirageError,
+    PageNum,
+    PageProt,
+    Pid,
+    SegKey,
+    SiteId,
+    PAGE_SIZE,
+};
+
+#[test]
+fn full_segment_lifecycle() {
+    let mut ns = Namespace::new(SiteId(0));
+    let creator = Pid::new(SiteId(0), 1);
+    let other = Pid::new(SiteId(1), 1);
+
+    // shmget(IPC_CREAT): create a 3-page segment.
+    let id = ns.get(SegKey(0x5ee), 3 * PAGE_SIZE, ShmFlags::create_rw(), creator).unwrap();
+
+    // Both processes attach — at *different* virtual addresses (§2.2:
+    // "processes can share locations at different virtual address
+    // ranges").
+    ns.attach(id, creator, Access::Write).unwrap();
+    ns.attach(id, other, Access::Read).unwrap();
+    let mut as1 = AddressSpace::new();
+    let mut as2 = AddressSpace::new();
+    let a1 = as1.attach_first_fit(id, 3 * PAGE_SIZE, false).unwrap();
+    let a2 = as2
+        .attach_at(id, 3 * PAGE_SIZE, mirage::mem::addr::SHM_BASE + 64 * PAGE_SIZE, true)
+        .unwrap();
+    assert_ne!(a1.base, a2.base);
+
+    // The same logical location resolves identically from both.
+    let r1 = as1.resolve(a1.base + PAGE_SIZE + 40).unwrap();
+    let r2 = as2.resolve(a2.base + PAGE_SIZE + 40).unwrap();
+    assert_eq!((r1.segment, r1.page, r1.offset), (r2.segment, r2.page, r2.offset));
+    assert_eq!(r1.page, PageNum(1));
+
+    // Detach order: the namespace destroys on the LAST detach only.
+    as1.detach(id).unwrap();
+    assert!(!ns.detach(id, creator).unwrap());
+    assert!(ns.info(id).is_some());
+    as2.detach(id).unwrap();
+    assert!(ns.detach(id, other).unwrap(), "last detach destroys");
+    assert!(ns.info(id).is_none());
+
+    // The key is free for reuse afterwards.
+    let id2 = ns.get(SegKey(0x5ee), PAGE_SIZE, ShmFlags::create_rw(), creator).unwrap();
+    assert_ne!(id, id2);
+}
+
+#[test]
+fn lazy_remap_keeps_process_tables_consistent() {
+    // The §6.2 lazy method: master changes are invisible to a process
+    // until it is next scheduled (remapped).
+    let seg = mirage::types::SegmentId::new(SiteId(0), 9);
+    let mut master = MasterTable::new(seg, 4);
+    let mut pt = ProcessTable::new();
+    pt.attach(&master);
+
+    // Network server invalidates page 2 in the master.
+    master.set_prot(PageNum(2), PageProt::None);
+    master.set_prot(PageNum(0), PageProt::Read);
+    // Process still sees its stale view.
+    assert_eq!(pt.prot(seg, PageNum(0)), Some(PageProt::None));
+    // Context switch: remap all shared pages with the measured cost.
+    let (pages, cost) = mirage::mem::remap_process(
+        &mut pt,
+        core::iter::once(&master),
+        mirage::types::SimDuration::from_micros(110),
+    );
+    assert_eq!(pages, 4, "the prototype remaps ALL pages");
+    assert_eq!(cost, mirage::types::SimDuration::from_micros(440));
+    assert_eq!(pt.prot(seg, PageNum(0)), Some(PageProt::Read));
+    assert_eq!(pt.prot(seg, PageNum(2)), Some(PageProt::None));
+}
+
+#[test]
+fn permission_model_matches_unix_file_style() {
+    let mut ns = Namespace::new(SiteId(0));
+    let owner = Pid::new(SiteId(0), 1);
+    let stranger = Pid::new(SiteId(2), 5);
+    let flags = ShmFlags {
+        create: true,
+        exclusive: true,
+        owner_read: true,
+        owner_write: true,
+        other_read: true,
+        other_write: false,
+    };
+    let id = ns.get(SegKey(1), PAGE_SIZE, flags, owner).unwrap();
+    assert!(ns.attach(id, stranger, Access::Read).is_ok());
+    assert_eq!(
+        ns.attach(id, stranger, Access::Write).err(),
+        Some(MirageError::PermissionDenied(id))
+    );
+}
