@@ -1,7 +1,7 @@
 //! Wire-codec throughput: encode/decode of short and page-carrying
 //! protocol messages.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mirage_bench::harness::bench;
 use mirage_core::ProtoMsg;
 use mirage_net::wire::{from_bytes, to_bytes};
 use mirage_types::{Access, Delta, PageNum, Pid, SegmentId, SiteId, PAGE_SIZE};
@@ -24,21 +24,16 @@ fn messages() -> (ProtoMsg, ProtoMsg) {
     (short, large)
 }
 
-fn bench_codec(c: &mut Criterion) {
+fn main() {
     let (short, large) = messages();
     let short_bytes = to_bytes(&short);
     let large_bytes = to_bytes(&large);
-    c.bench_function("encode_short", |b| b.iter(|| to_bytes(std::hint::black_box(&short))));
-    c.bench_function("encode_page_grant", |b| {
-        b.iter(|| to_bytes(std::hint::black_box(&large)))
+    bench("encode_short", || to_bytes(std::hint::black_box(&short)));
+    bench("encode_page_grant", || to_bytes(std::hint::black_box(&large)));
+    bench("decode_short", || {
+        from_bytes::<ProtoMsg>(std::hint::black_box(&short_bytes)).unwrap()
     });
-    c.bench_function("decode_short", |b| {
-        b.iter(|| from_bytes::<ProtoMsg>(std::hint::black_box(&short_bytes)).unwrap())
-    });
-    c.bench_function("decode_page_grant", |b| {
-        b.iter(|| from_bytes::<ProtoMsg>(std::hint::black_box(&large_bytes)).unwrap())
+    bench("decode_page_grant", || {
+        from_bytes::<ProtoMsg>(std::hint::black_box(&large_bytes)).unwrap()
     });
 }
-
-criterion_group!(benches, bench_codec);
-criterion_main!(benches);

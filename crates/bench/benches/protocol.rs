@@ -1,17 +1,17 @@
 //! Protocol-engine throughput: complete fault→grant exchanges per
 //! second through the real engines (no simulated time costs).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use mirage_baseline::{DsmProtocol, MirageCost, TraceOp};
+use mirage_bench::harness::bench;
 use mirage_core::ProtocolConfig;
 use mirage_net::NetCosts;
 use mirage_types::{Access, PageNum, SiteId};
 
-fn bench_protocol(c: &mut Criterion) {
-    c.bench_function("pingpong_exchange", |b| {
+fn main() {
+    {
         let mut m = MirageCost::new(2, 1, ProtocolConfig::default(), NetCosts::vax_locus());
         let mut i = 0u64;
-        b.iter(|| {
+        bench("pingpong_exchange", || {
             let site = SiteId((i % 2) as u16);
             i += 1;
             let w = m.access(TraceOp { site, page: PageNum(0), access: Access::Write });
@@ -21,20 +21,17 @@ fn bench_protocol(c: &mut Criterion) {
                 access: Access::Read,
             });
             std::hint::black_box((w, r))
-        })
-    });
-    c.bench_function("upgrade_exchange", |b| {
+        });
+    }
+    {
         let mut m = MirageCost::new(2, 1, ProtocolConfig::default(), NetCosts::vax_locus());
         let mut i = 0u64;
-        b.iter(|| {
+        bench("upgrade_exchange", || {
             let site = SiteId((i % 2) as u16);
             i += 1;
             let r = m.access(TraceOp { site, page: PageNum(0), access: Access::Read });
             let w = m.access(TraceOp { site, page: PageNum(0), access: Access::Write });
             std::hint::black_box((r, w))
-        })
-    });
+        });
+    }
 }
-
-criterion_group!(benches, bench_protocol);
-criterion_main!(benches);

@@ -4,28 +4,21 @@
 //! bench measures our Rust substrate's own remap speed (vastly faster),
 //! demonstrating the operation scales linearly in mapped pages.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mirage_bench::harness::bench;
 use mirage_mem::{remap_process, MasterTable, ProcessTable};
 use mirage_types::{SegmentId, SimDuration, SiteId};
 
-fn bench_remap(c: &mut Criterion) {
-    let mut g = c.benchmark_group("remap_process");
+fn main() {
     for pages in [2usize, 16, 64, 256] {
         let master = MasterTable::new(SegmentId::new(SiteId(0), 1), pages);
         let mut proc = ProcessTable::new();
         proc.attach(&master);
-        g.bench_with_input(BenchmarkId::from_parameter(pages), &pages, |b, _| {
-            b.iter(|| {
-                remap_process(
-                    std::hint::black_box(&mut proc),
-                    core::iter::once(&master),
-                    SimDuration::from_micros(110),
-                )
-            })
+        bench(&format!("remap_process/{pages}"), || {
+            remap_process(
+                std::hint::black_box(&mut proc),
+                core::iter::once(&master),
+                SimDuration::from_micros(110),
+            )
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_remap);
-criterion_main!(benches);

@@ -1,24 +1,19 @@
 //! Simulator throughput: how much simulated time per real second the
 //! discrete-event engine sustains on the Figure 8 workload.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mirage_bench::harness::bench;
 use mirage_bench::sim_config;
 use mirage_sim::World;
 use mirage_types::{Delta, SimTime};
 use mirage_workloads::Decrementer;
 
-fn bench_sim(c: &mut Criterion) {
-    c.bench_function("fig8_one_simulated_second", |b| {
-        b.iter(|| {
-            let mut w = World::new(2, sim_config(Delta(6)));
-            let seg = w.create_segment(0, 1);
-            w.spawn(0, Box::new(Decrementer::new(seg, 0, u32::MAX / 2)), 1);
-            w.spawn(1, Box::new(Decrementer::new(seg, 128, u32::MAX / 2)), 1);
-            w.run_until(SimTime::from_millis(1000));
-            std::hint::black_box(w.total_accesses())
-        })
+fn main() {
+    bench("fig8_one_simulated_second", || {
+        let mut w = World::new(2, sim_config(Delta(6)));
+        let seg = w.create_segment(0, 1);
+        w.spawn(0, Box::new(Decrementer::new(seg, 0, u32::MAX / 2)), 1);
+        w.spawn(1, Box::new(Decrementer::new(seg, 128, u32::MAX / 2)), 1);
+        w.run_until(SimTime::from_millis(1000));
+        std::hint::black_box(w.total_accesses())
     });
 }
-
-criterion_group!(benches, bench_sim);
-criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! A minimal wall-clock bench harness for the `benches/` targets.
+//!
+//! The workspace builds fully offline, so the benches use this small
+//! std-only timer instead of an external framework: warm up, then run
+//! timed batches until a fixed measurement budget elapses, and report
+//! the per-iteration time of the fastest batch (least scheduler noise).
+
+use std::time::{
+    Duration,
+    Instant,
+};
+
+/// Result of one benchmark: best-batch nanoseconds per iteration.
+#[derive(Clone, Copy, Debug)]
+pub struct BenchResult {
+    /// Nanoseconds per iteration in the fastest measured batch.
+    pub ns_per_iter: f64,
+    /// Total iterations executed during measurement.
+    pub iters: u64,
+}
+
+impl BenchResult {
+    /// Iterations per second implied by `ns_per_iter`.
+    pub fn per_sec(&self) -> f64 {
+        1e9 / self.ns_per_iter
+    }
+}
+
+/// Runs `f` repeatedly and reports per-iteration time.
+///
+/// Prints one line in the style `name ... 123.4 ns/iter (8.10 M/s)` and
+/// returns the numbers for callers that aggregate (e.g. the JSON
+/// baseline emitted by `sim_throughput`).
+pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) -> BenchResult {
+    // Warm-up: let caches/branch predictors settle and estimate cost.
+    let warm_budget = Duration::from_millis(200);
+    let start = Instant::now();
+    let mut warm_iters = 0u64;
+    while start.elapsed() < warm_budget {
+        std::hint::black_box(f());
+        warm_iters += 1;
+    }
+    let est_ns = (start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+    // Aim for batches of ~10 ms so each batch amortizes timer overhead.
+    let batch = ((10e6 / est_ns) as u64).max(1);
+
+    let measure_budget = Duration::from_millis(800);
+    let mut best = f64::INFINITY;
+    let mut total_iters = 0u64;
+    let begun = Instant::now();
+    while begun.elapsed() < measure_budget {
+        let t = Instant::now();
+        for _ in 0..batch {
+            std::hint::black_box(f());
+        }
+        let ns = t.elapsed().as_nanos() as f64 / batch as f64;
+        best = best.min(ns);
+        total_iters += batch;
+    }
+    let result = BenchResult { ns_per_iter: best, iters: total_iters };
+    let rate = result.per_sec();
+    let (scaled, unit) = if rate >= 1e6 {
+        (rate / 1e6, "M/s")
+    } else if rate >= 1e3 {
+        (rate / 1e3, "K/s")
+    } else {
+        (rate, "/s")
+    };
+    println!("{name:<40} {best:>12.1} ns/iter ({scaled:.2} {unit})");
+    result
+}

@@ -10,7 +10,9 @@
 #![warn(rust_2018_idioms)]
 
 pub mod experiments;
+pub mod harness;
 pub mod table;
 
 pub use experiments::*;
+pub use harness::bench;
 pub use table::print_table;

@@ -1,5 +1,9 @@
-//! Property tests for the wire codec: arbitrary protocol messages
+//! Property tests for the wire codec: randomized protocol messages
 //! round-trip, and arbitrary byte soup never panics the decoder.
+//!
+//! Cases are generated from the deterministic [`Prng`] so every run and
+//! every machine exercises the same inputs; bump `CASES` (or vary
+//! `SEED`) to widen coverage locally.
 
 use mirage_core::{
     Demand,
@@ -15,107 +19,116 @@ use mirage_types::{
     Delta,
     PageNum,
     Pid,
+    Prng,
     SegmentId,
     SimDuration,
     SiteId,
     SiteSet,
     PAGE_SIZE,
 };
-use proptest::prelude::*;
 
-fn site() -> impl Strategy<Value = SiteId> {
-    (0u16..64).prop_map(SiteId)
+const SEED: u64 = 0xC0DE_C0DE;
+const CASES: usize = 512;
+
+fn site(r: &mut Prng) -> SiteId {
+    SiteId(r.below(64) as u16)
 }
 
-fn site_set() -> impl Strategy<Value = SiteSet> {
-    prop::collection::vec(site(), 0..8).prop_map(|v| v.into_iter().collect())
+fn site_set(r: &mut Prng) -> SiteSet {
+    let n = r.below(8);
+    (0..n).map(|_| site(r)).collect()
 }
 
-fn seg() -> impl Strategy<Value = SegmentId> {
-    (site(), any::<u32>()).prop_map(|(s, n)| SegmentId::new(s, n))
+fn seg(r: &mut Prng) -> SegmentId {
+    SegmentId::new(site(r), r.next_u32())
 }
 
-fn access() -> impl Strategy<Value = Access> {
-    prop_oneof![Just(Access::Read), Just(Access::Write)]
+fn access(r: &mut Prng) -> Access {
+    if r.flip() {
+        Access::Write
+    } else {
+        Access::Read
+    }
 }
 
-fn demand() -> impl Strategy<Value = Demand> {
-    prop_oneof![
-        (site(), any::<bool>()).prop_map(|(to, upgrade)| Demand::Write { to, upgrade }),
-        site_set().prop_map(|to| Demand::Read { to }),
-    ]
+fn demand(r: &mut Prng) -> Demand {
+    if r.flip() {
+        Demand::Write { to: site(r), upgrade: r.flip() }
+    } else {
+        Demand::Read { to: site_set(r) }
+    }
 }
 
-fn msg() -> impl Strategy<Value = ProtoMsg> {
-    let page = any::<u32>().prop_map(PageNum);
-    let window = (0u32..100_000).prop_map(Delta);
-    prop_oneof![
-        (seg(), page.clone(), access(), site(), any::<u32>()).prop_map(
-            |(seg, page, access, s, l)| ProtoMsg::PageRequest {
-                seg,
-                page,
-                access,
-                pid: Pid::new(s, l),
-            }
-        ),
-        (seg(), page.clone(), site_set(), window.clone()).prop_map(
-            |(seg, page, readers, window)| ProtoMsg::AddReaders { seg, page, readers, window }
-        ),
-        (seg(), page.clone(), demand(), site_set(), window.clone()).prop_map(
-            |(seg, page, demand, readers, window)| ProtoMsg::Invalidate {
-                seg,
-                page,
-                demand,
-                readers,
-                window,
-            }
-        ),
-        (seg(), page.clone(), any::<u64>()).prop_map(|(seg, page, ns)| {
-            ProtoMsg::InvalidateDeny { seg, page, wait: SimDuration(ns) }
-        }),
-        (seg(), page.clone(), any::<bool>()).prop_map(|(seg, page, d)| {
-            ProtoMsg::InvalidateDone { seg, page, info: DoneInfo { writer_downgraded: d } }
-        }),
-        (seg(), page.clone()).prop_map(|(seg, page)| ProtoMsg::ReaderInvalidate { seg, page }),
-        (seg(), page.clone()).prop_map(|(seg, page)| ProtoMsg::ReaderInvalidateAck {
-            seg,
-            page
-        }),
-        (seg(), page.clone(), access(), window.clone(), any::<u8>()).prop_map(
-            |(seg, page, access, window, fill)| ProtoMsg::PageGrant {
-                seg,
-                page,
-                access,
-                window,
-                data: vec![fill; PAGE_SIZE],
-            }
-        ),
-        (seg(), page, window).prop_map(|(seg, page, window)| ProtoMsg::UpgradeGrant {
+fn msg(r: &mut Prng) -> ProtoMsg {
+    let seg = seg(r);
+    let page = PageNum(r.next_u32());
+    let window = Delta(r.below(100_000) as u32);
+    match r.below(9) {
+        0 => ProtoMsg::PageRequest {
             seg,
             page,
-            window
-        }),
-    ]
+            access: access(r),
+            pid: Pid::new(site(r), r.next_u32()),
+        },
+        1 => ProtoMsg::AddReaders { seg, page, readers: site_set(r), window },
+        2 => ProtoMsg::Invalidate {
+            seg,
+            page,
+            demand: demand(r),
+            readers: site_set(r),
+            window,
+        },
+        3 => ProtoMsg::InvalidateDeny { seg, page, wait: SimDuration(r.next_u64()) },
+        4 => ProtoMsg::InvalidateDone {
+            seg,
+            page,
+            info: DoneInfo { writer_downgraded: r.flip() },
+        },
+        5 => ProtoMsg::ReaderInvalidate { seg, page },
+        6 => ProtoMsg::ReaderInvalidateAck { seg, page },
+        7 => ProtoMsg::PageGrant {
+            seg,
+            page,
+            access: access(r),
+            window,
+            data: vec![r.next_u32() as u8; PAGE_SIZE],
+        },
+        _ => ProtoMsg::UpgradeGrant { seg, page, window },
+    }
 }
 
-proptest! {
-    #[test]
-    fn every_message_round_trips(m in msg()) {
+#[test]
+fn every_message_round_trips() {
+    let mut r = Prng::new(SEED);
+    for case in 0..CASES {
+        let m = msg(&mut r);
         let bytes = to_bytes(&m);
         let back: ProtoMsg = from_bytes(&bytes).expect("decode");
-        prop_assert_eq!(back, m);
+        assert_eq!(back, m, "case {case}");
     }
+}
 
-    #[test]
-    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..2048)) {
+#[test]
+fn arbitrary_bytes_never_panic() {
+    let mut r = Prng::new(SEED ^ 1);
+    for _ in 0..CASES {
+        let len = r.below(2048) as usize;
+        let bytes: Vec<u8> = (0..len).map(|_| r.next_u32() as u8).collect();
         // Any result is fine; panicking or unbounded allocation is not.
         let _ = from_bytes::<ProtoMsg>(&bytes);
     }
+}
 
-    #[test]
-    fn truncation_of_valid_messages_errors_cleanly(m in msg(), cut in 0usize..64) {
+#[test]
+fn truncation_of_valid_messages_errors_cleanly() {
+    let mut r = Prng::new(SEED ^ 2);
+    for case in 0..CASES {
+        let m = msg(&mut r);
         let bytes = to_bytes(&m);
-        let cut = cut.min(bytes.len().saturating_sub(1));
-        prop_assert!(from_bytes::<ProtoMsg>(&bytes[..cut]).is_err());
+        let cut = (r.below(64) as usize).min(bytes.len().saturating_sub(1));
+        assert!(
+            from_bytes::<ProtoMsg>(&bytes[..cut]).is_err(),
+            "case {case}: truncated decode must fail"
+        );
     }
 }

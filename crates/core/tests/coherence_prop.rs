@@ -1,7 +1,10 @@
-//! Property-based coherence tests: arbitrary interleavings of reads and
+//! Property-based coherence tests: randomized interleavings of reads and
 //! writes from arbitrary sites must never violate the §5.0 coherence
 //! definition — every read observes the latest completed write, and the
 //! single-writer/multi-reader structure holds at every quiescent point.
+//!
+//! Interleavings are generated from the deterministic [`Prng`], so every
+//! run replays the same `CASES` scenarios per configuration.
 
 mod common;
 
@@ -14,8 +17,11 @@ use mirage_types::{
     Access,
     Delta,
     PageNum,
+    Prng,
+    SimDuration,
 };
-use proptest::prelude::*;
+
+const CASES: u64 = 64;
 
 /// One workload step.
 #[derive(Clone, Debug)]
@@ -25,17 +31,28 @@ enum Op {
     Advance { ms: u64 },
 }
 
-fn op_strategy(sites: usize, pages: u32) -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0..sites, 0..pages, any::<u32>())
-            .prop_map(|(site, page, val)| Op::Write { site, page, val }),
-        (0..sites, 0..pages).prop_map(|(site, page)| Op::Read { site, page }),
-        (1u64..200).prop_map(|ms| Op::Advance { ms }),
-    ]
+fn gen_ops(r: &mut Prng, sites: usize, pages: u32, max_len: usize) -> Vec<Op> {
+    let len = r.range(1, max_len);
+    (0..len)
+        .map(|_| match r.below(3) {
+            0 => Op::Write {
+                site: r.below(sites as u64) as usize,
+                page: r.below(u64::from(pages)) as u32,
+                val: r.next_u32(),
+            },
+            1 => Op::Read {
+                site: r.below(sites as u64) as usize,
+                page: r.below(u64::from(pages)) as u32,
+            },
+            _ => Op::Advance { ms: 1 + r.below(199) },
+        })
+        .collect()
 }
 
-fn run_scenario(sites: usize, pages: u32, delta: Delta, ops: Vec<Op>) {
-    let cfg = ProtocolConfig { delta: DeltaPolicy::Uniform(delta), ..Default::default() };
+/// Replays `ops` against a cluster, checking every read against an
+/// oracle of the latest completed write and the coherence invariants at
+/// every step (when `check_invariants`).
+fn run_ops(cfg: ProtocolConfig, sites: usize, pages: u32, ops: Vec<Op>, check_invariants: bool) {
     let mut c = Cluster::new(sites, cfg);
     let seg = c.create_segment(0, pages as usize);
     // Oracle: the latest completed write per page.
@@ -54,44 +71,54 @@ fn run_scenario(sites: usize, pages: u32, delta: Delta, ops: Vec<Op>) {
                 );
             }
             Op::Advance { ms } => {
-                c.advance(mirage_types::SimDuration::from_millis(ms));
+                c.advance(SimDuration::from_millis(ms));
             }
         }
-        for p in 0..pages {
-            c.check_coherence(seg, PageNum(p));
+        if check_invariants {
+            for p in 0..pages {
+                c.check_coherence(seg, PageNum(p));
+            }
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn run_scenario(sites: usize, pages: u32, delta: Delta, ops: Vec<Op>) {
+    let cfg = ProtocolConfig { delta: DeltaPolicy::Uniform(delta), ..Default::default() };
+    run_ops(cfg, sites, pages, ops, true);
+}
 
-    #[test]
-    fn coherent_with_zero_delta(
-        ops in prop::collection::vec(op_strategy(3, 2), 1..60),
-    ) {
+#[test]
+fn coherent_with_zero_delta() {
+    let mut r = Prng::new(0xD0);
+    for _ in 0..CASES {
+        let ops = gen_ops(&mut r, 3, 2, 60);
         run_scenario(3, 2, Delta::ZERO, ops);
     }
+}
 
-    #[test]
-    fn coherent_with_nonzero_delta(
-        ops in prop::collection::vec(op_strategy(3, 2), 1..60),
-        delta in 0u32..12,
-    ) {
-        run_scenario(3, 2, Delta(delta), ops);
+#[test]
+fn coherent_with_nonzero_delta() {
+    let mut r = Prng::new(0xD1);
+    for _ in 0..CASES {
+        let delta = Delta(r.below(12) as u32);
+        let ops = gen_ops(&mut r, 3, 2, 60);
+        run_scenario(3, 2, delta, ops);
     }
+}
 
-    #[test]
-    fn coherent_many_sites_one_page(
-        ops in prop::collection::vec(op_strategy(6, 1), 1..60),
-    ) {
+#[test]
+fn coherent_many_sites_one_page() {
+    let mut r = Prng::new(0xD2);
+    for _ in 0..CASES {
+        let ops = gen_ops(&mut r, 6, 1, 60);
         run_scenario(6, 1, Delta(2), ops);
     }
+}
 
-    #[test]
-    fn coherent_with_all_optimizations_disabled(
-        ops in prop::collection::vec(op_strategy(3, 2), 1..40),
-    ) {
+#[test]
+fn coherent_with_all_optimizations_disabled() {
+    let mut r = Prng::new(0xD3);
+    for _ in 0..CASES {
         let cfg = ProtocolConfig {
             delta: DeltaPolicy::Uniform(Delta(1)),
             upgrade_optimization: false,
@@ -99,33 +126,15 @@ proptest! {
             queued_invalidation: false,
             multicast_invalidation: false,
         };
-        let mut c = Cluster::new(3, cfg);
-        let seg = c.create_segment(0, 2);
-        let mut oracle = [0u32; 2];
-        for op in ops {
-            match op {
-                Op::Write { site, page, val } => {
-                    c.write_u32(site, seg, PageNum(page), 0, val);
-                    oracle[page as usize] = val;
-                }
-                Op::Read { site, page } => {
-                    let got = c.read_u32(site, seg, PageNum(page), 0);
-                    prop_assert_eq!(got, oracle[page as usize]);
-                }
-                Op::Advance { ms } => {
-                    c.advance(mirage_types::SimDuration::from_millis(ms));
-                }
-            }
-            for p in 0..2 {
-                c.check_coherence(seg, PageNum(p));
-            }
-        }
+        let ops = gen_ops(&mut r, 3, 2, 40);
+        run_ops(cfg, 3, 2, ops, true);
     }
+}
 
-    #[test]
-    fn coherent_with_queued_invalidation_and_multicast(
-        ops in prop::collection::vec(op_strategy(4, 2), 1..40),
-    ) {
+#[test]
+fn coherent_with_queued_invalidation_and_multicast() {
+    let mut r = Prng::new(0xD4);
+    for _ in 0..CASES {
         let cfg = ProtocolConfig {
             delta: DeltaPolicy::Uniform(Delta(2)),
             upgrade_optimization: true,
@@ -133,30 +142,15 @@ proptest! {
             queued_invalidation: true,
             multicast_invalidation: true,
         };
-        let mut c = Cluster::new(4, cfg);
-        let seg = c.create_segment(0, 2);
-        let mut oracle = [0u32; 2];
-        for op in ops {
-            match op {
-                Op::Write { site, page, val } => {
-                    c.write_u32(site, seg, PageNum(page), 0, val);
-                    oracle[page as usize] = val;
-                }
-                Op::Read { site, page } => {
-                    let got = c.read_u32(site, seg, PageNum(page), 0);
-                    prop_assert_eq!(got, oracle[page as usize]);
-                }
-                Op::Advance { ms } => {
-                    c.advance(mirage_types::SimDuration::from_millis(ms));
-                }
-            }
-        }
+        let ops = gen_ops(&mut r, 4, 2, 40);
+        run_ops(cfg, 4, 2, ops, false);
     }
+}
 
-    #[test]
-    fn dynamic_delta_policy_is_coherent(
-        ops in prop::collection::vec(op_strategy(3, 2), 1..50),
-    ) {
+#[test]
+fn dynamic_delta_policy_is_coherent() {
+    let mut r = Prng::new(0xD5);
+    for _ in 0..CASES {
         let cfg = ProtocolConfig {
             delta: DeltaPolicy::Dynamic {
                 initial: Delta(1),
@@ -165,33 +159,15 @@ proptest! {
             },
             ..Default::default()
         };
-        let mut c = Cluster::new(3, cfg);
-        let seg = c.create_segment(0, 2);
-        let mut oracle = [0u32; 2];
-        for op in ops {
-            match op {
-                Op::Write { site, page, val } => {
-                    c.write_u32(site, seg, PageNum(page), 0, val);
-                    oracle[page as usize] = val;
-                }
-                Op::Read { site, page } => {
-                    let got = c.read_u32(site, seg, PageNum(page), 0);
-                    prop_assert_eq!(got, oracle[page as usize]);
-                }
-                Op::Advance { ms } => {
-                    c.advance(mirage_types::SimDuration::from_millis(ms));
-                }
-            }
-            for p in 0..2 {
-                c.check_coherence(seg, PageNum(p));
-            }
-        }
+        let ops = gen_ops(&mut r, 3, 2, 50);
+        run_ops(cfg, 3, 2, ops, true);
     }
+}
 
-    #[test]
-    fn per_page_delta_policy_is_coherent(
-        ops in prop::collection::vec(op_strategy(3, 3), 1..40),
-    ) {
+#[test]
+fn per_page_delta_policy_is_coherent() {
+    let mut r = Prng::new(0xD6);
+    for _ in 0..CASES {
         let cfg = ProtocolConfig {
             delta: DeltaPolicy::PerPage {
                 windows: vec![Delta::ZERO, Delta(4)],
@@ -199,27 +175,8 @@ proptest! {
             },
             ..Default::default()
         };
-        let mut c = Cluster::new(3, cfg);
-        let seg = c.create_segment(0, 3);
-        let mut oracle = [0u32; 3];
-        for op in ops {
-            match op {
-                Op::Write { site, page, val } => {
-                    c.write_u32(site, seg, PageNum(page), 0, val);
-                    oracle[page as usize] = val;
-                }
-                Op::Read { site, page } => {
-                    let got = c.read_u32(site, seg, PageNum(page), 0);
-                    prop_assert_eq!(got, oracle[page as usize]);
-                }
-                Op::Advance { ms } => {
-                    c.advance(mirage_types::SimDuration::from_millis(ms));
-                }
-            }
-            for p in 0..3 {
-                c.check_coherence(seg, PageNum(p));
-            }
-        }
+        let ops = gen_ops(&mut r, 3, 3, 40);
+        run_ops(cfg, 3, 3, ops, true);
     }
 }
 

@@ -3,6 +3,8 @@
 
 use mirage_types::PageProt;
 
+use crate::sys as libc;
+
 /// The hardware page size; every 512-byte DSM page sits on its own
 /// hardware page so `mprotect` can manage it independently.
 pub const STRIDE: usize = 4096;

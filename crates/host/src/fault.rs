@@ -12,6 +12,7 @@ use core::sync::atomic::{
 };
 
 use crate::region;
+use crate::sys as libc;
 
 /// Fault slots per site (max concurrent faulting app threads).
 pub const SLOTS_PER_SITE: usize = 64;

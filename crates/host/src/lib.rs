@@ -27,8 +27,9 @@
 //! own hardware page (a 4096-byte stride); the protocol engine is used
 //! unchanged. This substitution is documented in `DESIGN.md`.
 //!
-//! All `unsafe` code is confined to [`arch`], [`region`], and
-//! [`fault`], each block carrying a `// SAFETY:` justification.
+//! All `unsafe` code is confined to [`arch`], [`region`], [`fault`],
+//! and the raw syscall bindings in [`sys`], each block carrying a
+//! `// SAFETY:` justification.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -38,6 +39,7 @@ pub mod fault;
 pub mod region;
 pub mod runtime;
 pub mod store;
+pub mod sys;
 pub mod sysv;
 
 pub use runtime::{

@@ -13,11 +13,6 @@ use std::time::{
     Instant,
 };
 
-use crossbeam_channel::{
-    unbounded,
-    Receiver,
-    Sender,
-};
 use mirage_core::{
     Action,
     Event,
@@ -43,7 +38,12 @@ use mirage_types::{
     SimTime,
     SiteId,
 };
-use parking_lot::Mutex;
+use std::sync::mpsc::{
+    channel,
+    Receiver,
+    Sender,
+};
+use std::sync::Mutex;
 
 use crate::{
     arch::STRIDE,
@@ -119,7 +119,7 @@ impl HostCluster {
         );
         fault::install_handler();
         let channels: Vec<(Sender<KMsg>, Receiver<KMsg>)> =
-            (0..n).map(|_| unbounded()).collect();
+            (0..n).map(|_| channel()).collect();
         let senders: Vec<_> = channels.iter().map(|(s, _)| s.clone()).collect();
         let inner = Arc::new(Inner {
             base_slot,
@@ -143,7 +143,7 @@ impl HostCluster {
                     .expect("spawn site thread"),
             );
         }
-        *inner.handles.lock() = handles;
+        *inner.handles.lock().unwrap() = handles;
         Self { inner }
     }
 
@@ -156,7 +156,7 @@ impl HostCluster {
     /// registered at every site.
     pub fn create_segment(&self, lib: usize, pages: usize) -> SegmentId {
         let serial = {
-            let mut s = self.inner.next_serial.lock();
+            let mut s = self.inner.next_serial.lock().unwrap();
             let v = *s;
             *s += 1;
             v
@@ -172,7 +172,7 @@ impl HostCluster {
     pub fn adopt_segment(&self, seg: SegmentId, pages: usize) {
         let lib = seg.library.index();
         for (i, tx) in self.inner.senders.iter().enumerate() {
-            let (ack_tx, ack_rx) = unbounded();
+            let (ack_tx, ack_rx) = channel();
             tx.send(KMsg::CreateSegment {
                 seg,
                 pages,
@@ -181,7 +181,7 @@ impl HostCluster {
             })
             .expect("site thread alive");
             let base = ack_rx.recv().expect("segment ack");
-            self.inner.views.lock().insert((i, seg), (base, pages));
+            self.inner.views.lock().unwrap().insert((i, seg), (base, pages));
         }
     }
 
@@ -194,13 +194,13 @@ impl HostCluster {
     /// view take real faults and block until the protocol grants access.
     pub fn view(&self, site: usize, seg: SegmentId) -> SegView {
         let (base, pages) =
-            *self.inner.views.lock().get(&(site, seg)).expect("segment exists at site");
+            *self.inner.views.lock().unwrap().get(&(site, seg)).expect("segment exists at site");
         SegView { base: base as *mut u8, pages }
     }
 
     /// Snapshot of a site's reference log (meaningful at library sites).
     pub fn ref_log(&self, site: usize) -> RefLog {
-        self.inner.ref_logs[site].lock().clone()
+        self.inner.ref_logs[site].lock().unwrap().clone()
     }
 }
 
@@ -209,12 +209,12 @@ impl Drop for HostCluster {
         for tx in &self.inner.senders {
             let _ = tx.send(KMsg::Stop);
         }
-        for h in self.inner.handles.lock().drain(..) {
+        for h in self.inner.handles.lock().unwrap().drain(..) {
             let _ = h.join();
         }
         // Remove this cluster's fault-routing entries so a later cluster
         // reusing the same address range never hits a stale region.
-        for slot in self.inner.region_slots.lock().drain(..) {
+        for slot in self.inner.region_slots.lock().unwrap().drain(..) {
             region::unregister(slot);
         }
     }
@@ -323,7 +323,7 @@ fn kernel_main(
                     );
                 }
                 Action::SetTimer { at, token } => timers.push(TimerEnt(at, token)),
-                Action::Log(e) => inner.ref_logs[site_idx].lock().record(Entry {
+                Action::Log(e) => inner.ref_logs[site_idx].lock().unwrap().record(Entry {
                     seg: e.seg,
                     page: e.page,
                     at: e.at,
@@ -394,12 +394,12 @@ fn kernel_main(
                 engine.register_segment(seg, pages);
                 let base = store.mapping(seg).expect("just added").user_base() as usize;
                 let rslot = region::register(base, pages * STRIDE, slot, seg);
-                inner.region_slots.lock().push(rslot);
+                inner.region_slots.lock().unwrap().push(rslot);
                 let _ = ack.send(base);
             }
             Ok(KMsg::Stop) => return,
-            Err(crossbeam_channel::RecvTimeoutError::Timeout) => {}
-            Err(crossbeam_channel::RecvTimeoutError::Disconnected) => return,
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {}
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => return,
         }
     }
 }

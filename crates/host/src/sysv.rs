@@ -27,7 +27,7 @@ use mirage_types::{
     SegmentId,
     SiteId,
 };
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::runtime::HostCluster;
 
@@ -72,7 +72,7 @@ impl SysV {
     pub fn shmget(&self, caller: Pid, key: SegKey, size: usize, flags: ShmFlags) -> Result<SegmentId> {
         // Keys are global: search every site's namespace first.
         for ns in &self.namespaces {
-            if let Some(id) = ns.lock().lookup(key) {
+            if let Some(id) = ns.lock().unwrap().lookup(key) {
                 if flags.create && flags.exclusive {
                     return Err(MirageError::KeyExists(key));
                 }
@@ -84,9 +84,9 @@ impl SysV {
             .namespaces
             .get(site)
             .ok_or(MirageError::UnknownSite(caller.site))?;
-        let id = ns.lock().get(key, size, flags, caller)?;
+        let id = ns.lock().unwrap().get(key, size, flags, caller)?;
         let pages = {
-            let guard = ns.lock();
+            let guard = ns.lock().unwrap();
             guard.info(id).expect("just created").pages()
         };
         self.cluster.adopt_segment(id, pages);
@@ -113,11 +113,11 @@ impl SysV {
             .get(shmid.library.index())
             .ok_or(MirageError::NoSuchSegment(shmid))?;
         let size = {
-            let mut guard = ns.lock();
+            let mut guard = ns.lock().unwrap();
             let access = if read_only { Access::Read } else { Access::Write };
             guard.attach(shmid, caller, access)?.size
         };
-        let mut spaces = self.spaces.lock();
+        let mut spaces = self.spaces.lock().unwrap();
         let space = spaces.entry(caller).or_default();
         let att = match addr {
             Some(a) => space.attach_at(shmid, size, a, read_only)?,
@@ -135,7 +135,7 @@ impl SysV {
     /// [`MirageError::NoSuchSegment`] if not attached.
     pub fn shmdt(&self, caller: Pid, shmid: SegmentId) -> Result<bool> {
         {
-            let mut spaces = self.spaces.lock();
+            let mut spaces = self.spaces.lock().unwrap();
             let space = spaces
                 .get_mut(&caller)
                 .ok_or(MirageError::NoSuchSegment(shmid))?;
@@ -145,14 +145,14 @@ impl SysV {
             .namespaces
             .get(shmid.library.index())
             .ok_or(MirageError::NoSuchSegment(shmid))?;
-        let destroyed = ns.lock().detach(shmid, caller)?;
+        let destroyed = ns.lock().unwrap().detach(shmid, caller)?;
         // Page frames live until the cluster is dropped; the *name* is
         // gone, matching System V (IPC_RMID-on-last-detach semantics).
         Ok(destroyed)
     }
 
     fn resolve(&self, caller: Pid, vaddr: usize) -> Result<(SegmentId, mirage_types::PageNum, usize, bool)> {
-        let spaces = self.spaces.lock();
+        let spaces = self.spaces.lock().unwrap();
         let space = spaces
             .get(&caller)
             .ok_or(MirageError::NotAttached { addr: vaddr })?;

@@ -12,6 +12,7 @@ use std::time::{
 };
 
 use mirage_core::ProtocolConfig;
+use mirage_host::sys as libc;
 use mirage_host::HostCluster;
 use mirage_types::{
     Delta,

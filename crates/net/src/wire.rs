@@ -9,10 +9,6 @@
 //! All integers are little-endian. Variable-length fields are
 //! length-prefixed with a `u32`.
 
-use bytes::{
-    Buf,
-    BufMut,
-};
 use mirage_types::{
     Access,
     Delta,
@@ -43,50 +39,57 @@ pub trait Wire: Sized {
 
 /// Checks that at least `n` bytes remain before a fixed-size read.
 fn need(buf: &&[u8], n: usize) -> Result<()> {
-    if buf.remaining() < n {
+    if buf.len() < n {
         Err(MirageError::Codec("truncated message"))
     } else {
         Ok(())
     }
 }
 
+/// Reads `N` bytes from the front of `buf`, advancing it.
+fn take<const N: usize>(buf: &mut &[u8]) -> [u8; N] {
+    let (head, rest) = buf.split_at(N);
+    *buf = rest;
+    head.try_into().expect("length checked by `need`")
+}
+
 impl Wire for u8 {
     fn encode(&self, buf: &mut Vec<u8>) {
-        buf.put_u8(*self);
+        buf.push(*self);
     }
     fn decode(buf: &mut &[u8]) -> Result<Self> {
         need(buf, 1)?;
-        Ok(buf.get_u8())
+        Ok(take::<1>(buf)[0])
     }
 }
 
 impl Wire for u16 {
     fn encode(&self, buf: &mut Vec<u8>) {
-        buf.put_u16_le(*self);
+        buf.extend_from_slice(&self.to_le_bytes());
     }
     fn decode(buf: &mut &[u8]) -> Result<Self> {
         need(buf, 2)?;
-        Ok(buf.get_u16_le())
+        Ok(u16::from_le_bytes(take::<2>(buf)))
     }
 }
 
 impl Wire for u32 {
     fn encode(&self, buf: &mut Vec<u8>) {
-        buf.put_u32_le(*self);
+        buf.extend_from_slice(&self.to_le_bytes());
     }
     fn decode(buf: &mut &[u8]) -> Result<Self> {
         need(buf, 4)?;
-        Ok(buf.get_u32_le())
+        Ok(u32::from_le_bytes(take::<4>(buf)))
     }
 }
 
 impl Wire for u64 {
     fn encode(&self, buf: &mut Vec<u8>) {
-        buf.put_u64_le(*self);
+        buf.extend_from_slice(&self.to_le_bytes());
     }
     fn decode(buf: &mut &[u8]) -> Result<Self> {
         need(buf, 8)?;
-        Ok(buf.get_u64_le())
+        Ok(u64::from_le_bytes(take::<8>(buf)))
     }
 }
 
@@ -130,7 +133,7 @@ impl Wire for Pid {
 
 impl Wire for Access {
     fn encode(&self, buf: &mut Vec<u8>) {
-        buf.put_u8(match self {
+        buf.push(match self {
             Access::Read => 0,
             Access::Write => 1,
         });
@@ -146,7 +149,7 @@ impl Wire for Access {
 
 impl Wire for PageProt {
     fn encode(&self, buf: &mut Vec<u8>) {
-        buf.put_u8(match self {
+        buf.push(match self {
             PageProt::None => 0,
             PageProt::Read => 1,
             PageProt::ReadWrite => 2,
@@ -208,8 +211,9 @@ impl Wire for Vec<u8> {
     fn decode(buf: &mut &[u8]) -> Result<Self> {
         let len = u32::decode(buf)? as usize;
         need(buf, len)?;
-        let v = buf[..len].to_vec();
-        buf.advance(len);
+        let (head, rest) = buf.split_at(len);
+        let v = head.to_vec();
+        *buf = rest;
         Ok(v)
     }
 }
@@ -217,9 +221,9 @@ impl Wire for Vec<u8> {
 impl<T: Wire> Wire for Option<T> {
     fn encode(&self, buf: &mut Vec<u8>) {
         match self {
-            None => buf.put_u8(0),
+            None => buf.push(0),
             Some(v) => {
-                buf.put_u8(1);
+                buf.push(1);
                 v.encode(buf);
             }
         }

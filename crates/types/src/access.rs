@@ -2,11 +2,6 @@
 
 use core::fmt;
 
-use serde::{
-    Deserialize,
-    Serialize,
-};
-
 use crate::ids::SiteId;
 
 /// The kind of memory access a process attempted, as classified by the
@@ -17,7 +12,7 @@ use crate::ids::SiteId;
 /// between a read page-fault and a write page-fault." On the VAX the paper
 /// reads a hardware bit in the interrupt service routine; our host runtime
 /// reads the write bit of the x86-64 page-fault error code.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Access {
     /// A read access (needs at least a read copy of the page).
     Read,
@@ -46,7 +41,7 @@ impl fmt::Debug for Access {
 ///
 /// §6.0: "In many architectures, as in ours, a page may be read-only or
 /// read-write." `None` models a non-resident (invalid) PTE.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Debug, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub enum PageProt {
     /// The page is not present at this site (PTE invalid).
     #[default]
@@ -80,7 +75,7 @@ impl PageProt {
 /// auxiliary page table entry (Table 2). A `u64` mask bounds the network
 /// at 64 sites, far beyond the paper's three VAXs and ample for the
 /// invalidation-scaling experiments.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct SiteSet(u64);
 
 impl SiteSet {

@@ -2,17 +2,12 @@
 
 use core::fmt;
 
-use serde::{
-    Deserialize,
-    Serialize,
-};
-
 /// A network site (one machine in the Locus network).
 ///
 /// The paper's prototype network had three VAX 11/750s; our simulator and
 /// host runtime support up to [`crate::access::SiteSet::CAPACITY`] sites,
 /// bounded by the reader-mask representation in the `auxpte`.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SiteId(pub u16);
 
 impl SiteId {
@@ -39,7 +34,7 @@ impl fmt::Display for SiteId {
 ///
 /// Locus processes are "relatively heavyweight" user processes (§6.0);
 /// lightweight kernel server processes are not named by `Pid`.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Pid {
     /// Site on which the process runs.
     pub site: SiteId,
@@ -67,7 +62,7 @@ impl fmt::Debug for Pid {
 /// that creates the segment is its *library site* (§6.0), so we embed the
 /// creator in the id to make the library trivially locatable, exactly as a
 /// distributed Locus kernel would route by origin site.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SegmentId {
     /// The creating site — also the library site for the segment.
     pub library: SiteId,
@@ -93,7 +88,7 @@ impl fmt::Debug for SegmentId {
 ///
 /// §2.2: "The name provides a mechanism by which other processes can
 /// locate the segment."
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SegKey(pub i32);
 
 impl fmt::Debug for SegKey {
@@ -103,7 +98,7 @@ impl fmt::Debug for SegKey {
 }
 
 /// A page number within a segment (zero-based).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PageNum(pub u32);
 
 impl PageNum {

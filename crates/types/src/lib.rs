@@ -16,6 +16,7 @@
 pub mod access;
 pub mod error;
 pub mod ids;
+pub mod rng;
 pub mod time;
 
 pub use access::{
@@ -34,6 +35,7 @@ pub use ids::{
     SegmentId,
     SiteId,
 };
+pub use rng::Prng;
 pub use time::{
     Delta,
     SimDuration,

@@ -11,20 +11,15 @@ use core::ops::{
     Sub,
 };
 
-use serde::{
-    Deserialize,
-    Serialize,
-};
-
 /// A point in simulated time, in nanoseconds since simulation start.
 #[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct SimTime(pub u64);
 
 /// A span of simulated time, in nanoseconds.
 #[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct SimDuration(pub u64);
 
@@ -45,7 +40,7 @@ pub type Ticks = u32;
 /// supported by the data structure even though the prototype used uniform
 /// per-segment values.
 #[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct Delta(pub Ticks);
 

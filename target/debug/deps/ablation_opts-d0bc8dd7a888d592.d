@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_opts-d0bc8dd7a888d592.d: crates/bench/src/bin/ablation_opts.rs
+
+/root/repo/target/debug/deps/ablation_opts-d0bc8dd7a888d592: crates/bench/src/bin/ablation_opts.rs
+
+crates/bench/src/bin/ablation_opts.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baseline_compare-d8ee6253c04a1fed.d: crates/bench/src/bin/baseline_compare.rs
+
+/root/repo/target/debug/deps/baseline_compare-d8ee6253c04a1fed: crates/bench/src/bin/baseline_compare.rs
+
+crates/bench/src/bin/baseline_compare.rs:

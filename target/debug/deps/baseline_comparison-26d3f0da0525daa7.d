@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baseline_comparison-26d3f0da0525daa7.d: tests/baseline_comparison.rs
+
+/root/repo/target/debug/deps/baseline_comparison-26d3f0da0525daa7: tests/baseline_comparison.rs
+
+tests/baseline_comparison.rs:

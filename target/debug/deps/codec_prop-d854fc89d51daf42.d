@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/codec_prop-d854fc89d51daf42.d: crates/core/tests/codec_prop.rs
+
+/root/repo/target/debug/deps/codec_prop-d854fc89d51daf42: crates/core/tests/codec_prop.rs
+
+crates/core/tests/codec_prop.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/coherence_prop-9b891ae449d5ca26.d: crates/core/tests/coherence_prop.rs crates/core/tests/common/mod.rs
+
+/root/repo/target/debug/deps/coherence_prop-9b891ae449d5ca26: crates/core/tests/coherence_prop.rs crates/core/tests/common/mod.rs
+
+crates/core/tests/coherence_prop.rs:
+crates/core/tests/common/mod.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/delta_window-b9311637eb0b1ced.d: tests/delta_window.rs
+
+/root/repo/target/debug/deps/delta_window-b9311637eb0b1ced: tests/delta_window.rs
+
+tests/delta_window.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/dynamic_delta-217fa20394d94aec.d: crates/core/tests/dynamic_delta.rs crates/core/tests/common/mod.rs
+
+/root/repo/target/debug/deps/dynamic_delta-217fa20394d94aec: crates/core/tests/dynamic_delta.rs crates/core/tests/common/mod.rs
+
+crates/core/tests/dynamic_delta.rs:
+crates/core/tests/common/mod.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dynamic_delta-56a7fe0eac52c34b.d: crates/bench/src/bin/dynamic_delta.rs
+
+/root/repo/target/debug/deps/dynamic_delta-56a7fe0eac52c34b: crates/bench/src/bin/dynamic_delta.rs
+
+crates/bench/src/bin/dynamic_delta.rs:

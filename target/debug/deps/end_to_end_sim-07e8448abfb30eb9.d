@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_sim-07e8448abfb30eb9.d: tests/end_to_end_sim.rs
+
+/root/repo/target/debug/deps/end_to_end_sim-07e8448abfb30eb9: tests/end_to_end_sim.rs
+
+tests/end_to_end_sim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-455d41a9a954af86.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-455d41a9a954af86: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

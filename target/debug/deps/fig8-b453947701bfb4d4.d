@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-b453947701bfb4d4.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-b453947701bfb4d4: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

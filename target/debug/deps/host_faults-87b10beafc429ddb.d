@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/host_faults-87b10beafc429ddb.d: crates/host/tests/host_faults.rs
+
+/root/repo/target/debug/deps/host_faults-87b10beafc429ddb: crates/host/tests/host_faults.rs
+
+crates/host/tests/host_faults.rs:

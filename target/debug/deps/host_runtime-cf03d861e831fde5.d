@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/host_runtime-cf03d861e831fde5.d: tests/host_runtime.rs
+
+/root/repo/target/debug/deps/host_runtime-cf03d861e831fde5: tests/host_runtime.rs
+
+tests/host_runtime.rs:

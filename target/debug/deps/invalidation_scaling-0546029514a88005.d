@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/invalidation_scaling-0546029514a88005.d: crates/bench/src/bin/invalidation_scaling.rs
+
+/root/repo/target/debug/deps/invalidation_scaling-0546029514a88005: crates/bench/src/bin/invalidation_scaling.rs
+
+crates/bench/src/bin/invalidation_scaling.rs:

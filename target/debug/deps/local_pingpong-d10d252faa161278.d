@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/local_pingpong-d10d252faa161278.d: crates/bench/src/bin/local_pingpong.rs
+
+/root/repo/target/debug/deps/local_pingpong-d10d252faa161278: crates/bench/src/bin/local_pingpong.rs
+
+crates/bench/src/bin/local_pingpong.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mirage-0cad90d0626c2a82.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmirage-0cad90d0626c2a82.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmirage-0cad90d0626c2a82.rmeta: src/lib.rs
+
+src/lib.rs:

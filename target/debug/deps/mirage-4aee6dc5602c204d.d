@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mirage-4aee6dc5602c204d.d: src/lib.rs
+
+/root/repo/target/debug/deps/mirage-4aee6dc5602c204d: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mirage_baseline-1e2c7a3b71eeb279.d: crates/baseline/src/lib.rs crates/baseline/src/common.rs crates/baseline/src/li_central.rs crates/baseline/src/li_distributed.rs crates/baseline/src/mirage_adapter.rs
+
+/root/repo/target/debug/deps/libmirage_baseline-1e2c7a3b71eeb279.rlib: crates/baseline/src/lib.rs crates/baseline/src/common.rs crates/baseline/src/li_central.rs crates/baseline/src/li_distributed.rs crates/baseline/src/mirage_adapter.rs
+
+/root/repo/target/debug/deps/libmirage_baseline-1e2c7a3b71eeb279.rmeta: crates/baseline/src/lib.rs crates/baseline/src/common.rs crates/baseline/src/li_central.rs crates/baseline/src/li_distributed.rs crates/baseline/src/mirage_adapter.rs
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/common.rs:
+crates/baseline/src/li_central.rs:
+crates/baseline/src/li_distributed.rs:
+crates/baseline/src/mirage_adapter.rs:

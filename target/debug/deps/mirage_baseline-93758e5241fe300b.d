@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mirage_baseline-93758e5241fe300b.d: crates/baseline/src/lib.rs crates/baseline/src/common.rs crates/baseline/src/li_central.rs crates/baseline/src/li_distributed.rs crates/baseline/src/mirage_adapter.rs
+
+/root/repo/target/debug/deps/mirage_baseline-93758e5241fe300b: crates/baseline/src/lib.rs crates/baseline/src/common.rs crates/baseline/src/li_central.rs crates/baseline/src/li_distributed.rs crates/baseline/src/mirage_adapter.rs
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/common.rs:
+crates/baseline/src/li_central.rs:
+crates/baseline/src/li_distributed.rs:
+crates/baseline/src/mirage_adapter.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mirage_bench-354de8113e752bcb.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/harness.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libmirage_bench-354de8113e752bcb.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/harness.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libmirage_bench-354de8113e752bcb.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/harness.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/table.rs:

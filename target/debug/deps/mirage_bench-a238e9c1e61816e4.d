@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mirage_bench-a238e9c1e61816e4.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/harness.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/mirage_bench-a238e9c1e61816e4: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/harness.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/table.rs:

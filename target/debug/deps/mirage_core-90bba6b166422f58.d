@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mirage_core-90bba6b166422f58.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/event.rs crates/core/src/invariants.rs crates/core/src/library.rs crates/core/src/msg.rs crates/core/src/store.rs crates/core/src/table1.rs crates/core/src/using.rs
+
+/root/repo/target/debug/deps/mirage_core-90bba6b166422f58: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/event.rs crates/core/src/invariants.rs crates/core/src/library.rs crates/core/src/msg.rs crates/core/src/store.rs crates/core/src/table1.rs crates/core/src/using.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/engine.rs:
+crates/core/src/event.rs:
+crates/core/src/invariants.rs:
+crates/core/src/library.rs:
+crates/core/src/msg.rs:
+crates/core/src/store.rs:
+crates/core/src/table1.rs:
+crates/core/src/using.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mirage_host-4bddfb3852f56ffe.d: crates/host/src/lib.rs crates/host/src/arch.rs crates/host/src/fault.rs crates/host/src/region.rs crates/host/src/runtime.rs crates/host/src/store.rs crates/host/src/sys.rs crates/host/src/sysv.rs
+
+/root/repo/target/debug/deps/libmirage_host-4bddfb3852f56ffe.rlib: crates/host/src/lib.rs crates/host/src/arch.rs crates/host/src/fault.rs crates/host/src/region.rs crates/host/src/runtime.rs crates/host/src/store.rs crates/host/src/sys.rs crates/host/src/sysv.rs
+
+/root/repo/target/debug/deps/libmirage_host-4bddfb3852f56ffe.rmeta: crates/host/src/lib.rs crates/host/src/arch.rs crates/host/src/fault.rs crates/host/src/region.rs crates/host/src/runtime.rs crates/host/src/store.rs crates/host/src/sys.rs crates/host/src/sysv.rs
+
+crates/host/src/lib.rs:
+crates/host/src/arch.rs:
+crates/host/src/fault.rs:
+crates/host/src/region.rs:
+crates/host/src/runtime.rs:
+crates/host/src/store.rs:
+crates/host/src/sys.rs:
+crates/host/src/sysv.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mirage_host-77e6717cde653674.d: crates/host/src/lib.rs crates/host/src/arch.rs crates/host/src/fault.rs crates/host/src/region.rs crates/host/src/runtime.rs crates/host/src/store.rs crates/host/src/sys.rs crates/host/src/sysv.rs
+
+/root/repo/target/debug/deps/mirage_host-77e6717cde653674: crates/host/src/lib.rs crates/host/src/arch.rs crates/host/src/fault.rs crates/host/src/region.rs crates/host/src/runtime.rs crates/host/src/store.rs crates/host/src/sys.rs crates/host/src/sysv.rs
+
+crates/host/src/lib.rs:
+crates/host/src/arch.rs:
+crates/host/src/fault.rs:
+crates/host/src/region.rs:
+crates/host/src/runtime.rs:
+crates/host/src/store.rs:
+crates/host/src/sys.rs:
+crates/host/src/sysv.rs:

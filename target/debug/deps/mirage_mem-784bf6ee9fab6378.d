@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mirage_mem-784bf6ee9fab6378.d: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/auxpte.rs crates/mem/src/namespace.rs crates/mem/src/page.rs crates/mem/src/pte.rs crates/mem/src/remap.rs crates/mem/src/segment.rs
+
+/root/repo/target/debug/deps/mirage_mem-784bf6ee9fab6378: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/auxpte.rs crates/mem/src/namespace.rs crates/mem/src/page.rs crates/mem/src/pte.rs crates/mem/src/remap.rs crates/mem/src/segment.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/addr.rs:
+crates/mem/src/auxpte.rs:
+crates/mem/src/namespace.rs:
+crates/mem/src/page.rs:
+crates/mem/src/pte.rs:
+crates/mem/src/remap.rs:
+crates/mem/src/segment.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mirage_mem-db04254cbcf7f029.d: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/auxpte.rs crates/mem/src/namespace.rs crates/mem/src/page.rs crates/mem/src/pte.rs crates/mem/src/remap.rs crates/mem/src/segment.rs
+
+/root/repo/target/debug/deps/libmirage_mem-db04254cbcf7f029.rlib: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/auxpte.rs crates/mem/src/namespace.rs crates/mem/src/page.rs crates/mem/src/pte.rs crates/mem/src/remap.rs crates/mem/src/segment.rs
+
+/root/repo/target/debug/deps/libmirage_mem-db04254cbcf7f029.rmeta: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/auxpte.rs crates/mem/src/namespace.rs crates/mem/src/page.rs crates/mem/src/pte.rs crates/mem/src/remap.rs crates/mem/src/segment.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/addr.rs:
+crates/mem/src/auxpte.rs:
+crates/mem/src/namespace.rs:
+crates/mem/src/page.rs:
+crates/mem/src/pte.rs:
+crates/mem/src/remap.rs:
+crates/mem/src/segment.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mirage_net-1206acd6425eeef0.d: crates/net/src/lib.rs crates/net/src/circuit.rs crates/net/src/costs.rs crates/net/src/message.rs crates/net/src/topology.rs crates/net/src/wire.rs
+
+/root/repo/target/debug/deps/libmirage_net-1206acd6425eeef0.rlib: crates/net/src/lib.rs crates/net/src/circuit.rs crates/net/src/costs.rs crates/net/src/message.rs crates/net/src/topology.rs crates/net/src/wire.rs
+
+/root/repo/target/debug/deps/libmirage_net-1206acd6425eeef0.rmeta: crates/net/src/lib.rs crates/net/src/circuit.rs crates/net/src/costs.rs crates/net/src/message.rs crates/net/src/topology.rs crates/net/src/wire.rs
+
+crates/net/src/lib.rs:
+crates/net/src/circuit.rs:
+crates/net/src/costs.rs:
+crates/net/src/message.rs:
+crates/net/src/topology.rs:
+crates/net/src/wire.rs:

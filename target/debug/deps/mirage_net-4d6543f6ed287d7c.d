@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mirage_net-4d6543f6ed287d7c.d: crates/net/src/lib.rs crates/net/src/circuit.rs crates/net/src/costs.rs crates/net/src/message.rs crates/net/src/topology.rs crates/net/src/wire.rs
+
+/root/repo/target/debug/deps/mirage_net-4d6543f6ed287d7c: crates/net/src/lib.rs crates/net/src/circuit.rs crates/net/src/costs.rs crates/net/src/message.rs crates/net/src/topology.rs crates/net/src/wire.rs
+
+crates/net/src/lib.rs:
+crates/net/src/circuit.rs:
+crates/net/src/costs.rs:
+crates/net/src/message.rs:
+crates/net/src/topology.rs:
+crates/net/src/wire.rs:

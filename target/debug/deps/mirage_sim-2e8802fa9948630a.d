@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mirage_sim-2e8802fa9948630a.d: crates/sim/src/lib.rs crates/sim/src/instrument.rs crates/sim/src/process.rs crates/sim/src/program.rs crates/sim/src/site.rs crates/sim/src/world.rs
+
+/root/repo/target/debug/deps/mirage_sim-2e8802fa9948630a: crates/sim/src/lib.rs crates/sim/src/instrument.rs crates/sim/src/process.rs crates/sim/src/program.rs crates/sim/src/site.rs crates/sim/src/world.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/instrument.rs:
+crates/sim/src/process.rs:
+crates/sim/src/program.rs:
+crates/sim/src/site.rs:
+crates/sim/src/world.rs:

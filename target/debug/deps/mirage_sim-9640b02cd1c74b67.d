@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mirage_sim-9640b02cd1c74b67.d: crates/sim/src/lib.rs crates/sim/src/instrument.rs crates/sim/src/process.rs crates/sim/src/program.rs crates/sim/src/site.rs crates/sim/src/world.rs
+
+/root/repo/target/debug/deps/libmirage_sim-9640b02cd1c74b67.rlib: crates/sim/src/lib.rs crates/sim/src/instrument.rs crates/sim/src/process.rs crates/sim/src/program.rs crates/sim/src/site.rs crates/sim/src/world.rs
+
+/root/repo/target/debug/deps/libmirage_sim-9640b02cd1c74b67.rmeta: crates/sim/src/lib.rs crates/sim/src/instrument.rs crates/sim/src/process.rs crates/sim/src/program.rs crates/sim/src/site.rs crates/sim/src/world.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/instrument.rs:
+crates/sim/src/process.rs:
+crates/sim/src/program.rs:
+crates/sim/src/site.rs:
+crates/sim/src/world.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mirage_trace-90f6b76346b13ef3.d: crates/trace/src/lib.rs crates/trace/src/analysis.rs crates/trace/src/log.rs crates/trace/src/migrate.rs
+
+/root/repo/target/debug/deps/mirage_trace-90f6b76346b13ef3: crates/trace/src/lib.rs crates/trace/src/analysis.rs crates/trace/src/log.rs crates/trace/src/migrate.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/analysis.rs:
+crates/trace/src/log.rs:
+crates/trace/src/migrate.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mirage_trace-ba4a5639a0b28a4c.d: crates/trace/src/lib.rs crates/trace/src/analysis.rs crates/trace/src/log.rs crates/trace/src/migrate.rs
+
+/root/repo/target/debug/deps/libmirage_trace-ba4a5639a0b28a4c.rlib: crates/trace/src/lib.rs crates/trace/src/analysis.rs crates/trace/src/log.rs crates/trace/src/migrate.rs
+
+/root/repo/target/debug/deps/libmirage_trace-ba4a5639a0b28a4c.rmeta: crates/trace/src/lib.rs crates/trace/src/analysis.rs crates/trace/src/log.rs crates/trace/src/migrate.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/analysis.rs:
+crates/trace/src/log.rs:
+crates/trace/src/migrate.rs:

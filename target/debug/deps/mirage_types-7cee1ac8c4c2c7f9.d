@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mirage_types-7cee1ac8c4c2c7f9.d: crates/types/src/lib.rs crates/types/src/access.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/rng.rs crates/types/src/time.rs
+
+/root/repo/target/debug/deps/libmirage_types-7cee1ac8c4c2c7f9.rlib: crates/types/src/lib.rs crates/types/src/access.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/rng.rs crates/types/src/time.rs
+
+/root/repo/target/debug/deps/libmirage_types-7cee1ac8c4c2c7f9.rmeta: crates/types/src/lib.rs crates/types/src/access.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/rng.rs crates/types/src/time.rs
+
+crates/types/src/lib.rs:
+crates/types/src/access.rs:
+crates/types/src/error.rs:
+crates/types/src/ids.rs:
+crates/types/src/rng.rs:
+crates/types/src/time.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mirage_types-c569d5f1ebfee4bf.d: crates/types/src/lib.rs crates/types/src/access.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/rng.rs crates/types/src/time.rs
+
+/root/repo/target/debug/deps/mirage_types-c569d5f1ebfee4bf: crates/types/src/lib.rs crates/types/src/access.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/rng.rs crates/types/src/time.rs
+
+crates/types/src/lib.rs:
+crates/types/src/access.rs:
+crates/types/src/error.rs:
+crates/types/src/ids.rs:
+crates/types/src/rng.rs:
+crates/types/src/time.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mirage_workloads-a64a7b3bdff3dc62.d: crates/workloads/src/lib.rs crates/workloads/src/background.rs crates/workloads/src/decrement.rs crates/workloads/src/pingpong.rs crates/workloads/src/readers.rs crates/workloads/src/ring.rs crates/workloads/src/spinlock.rs
+
+/root/repo/target/debug/deps/mirage_workloads-a64a7b3bdff3dc62: crates/workloads/src/lib.rs crates/workloads/src/background.rs crates/workloads/src/decrement.rs crates/workloads/src/pingpong.rs crates/workloads/src/readers.rs crates/workloads/src/ring.rs crates/workloads/src/spinlock.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/background.rs:
+crates/workloads/src/decrement.rs:
+crates/workloads/src/pingpong.rs:
+crates/workloads/src/readers.rs:
+crates/workloads/src/ring.rs:
+crates/workloads/src/spinlock.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mirage_workloads-de2547e5b9c27512.d: crates/workloads/src/lib.rs crates/workloads/src/background.rs crates/workloads/src/decrement.rs crates/workloads/src/pingpong.rs crates/workloads/src/readers.rs crates/workloads/src/ring.rs crates/workloads/src/spinlock.rs
+
+/root/repo/target/debug/deps/libmirage_workloads-de2547e5b9c27512.rlib: crates/workloads/src/lib.rs crates/workloads/src/background.rs crates/workloads/src/decrement.rs crates/workloads/src/pingpong.rs crates/workloads/src/readers.rs crates/workloads/src/ring.rs crates/workloads/src/spinlock.rs
+
+/root/repo/target/debug/deps/libmirage_workloads-de2547e5b9c27512.rmeta: crates/workloads/src/lib.rs crates/workloads/src/background.rs crates/workloads/src/decrement.rs crates/workloads/src/pingpong.rs crates/workloads/src/readers.rs crates/workloads/src/ring.rs crates/workloads/src/spinlock.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/background.rs:
+crates/workloads/src/decrement.rs:
+crates/workloads/src/pingpong.rs:
+crates/workloads/src/readers.rs:
+crates/workloads/src/ring.rs:
+crates/workloads/src/spinlock.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/msg_count-83ad8c0894b62eda.d: crates/bench/src/bin/msg_count.rs
+
+/root/repo/target/debug/deps/msg_count-83ad8c0894b62eda: crates/bench/src/bin/msg_count.rs
+
+crates/bench/src/bin/msg_count.rs:

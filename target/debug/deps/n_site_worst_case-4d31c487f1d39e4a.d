@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/n_site_worst_case-4d31c487f1d39e4a.d: crates/bench/src/bin/n_site_worst_case.rs
+
+/root/repo/target/debug/deps/n_site_worst_case-4d31c487f1d39e4a: crates/bench/src/bin/n_site_worst_case.rs
+
+crates/bench/src/bin/n_site_worst_case.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_numbers-b7296a5f84571911.d: crates/sim/tests/paper_numbers.rs
+
+/root/repo/target/debug/deps/paper_numbers-b7296a5f84571911: crates/sim/tests/paper_numbers.rs
+
+crates/sim/tests/paper_numbers.rs:

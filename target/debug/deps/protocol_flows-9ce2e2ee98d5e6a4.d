@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/protocol_flows-9ce2e2ee98d5e6a4.d: crates/core/tests/protocol_flows.rs crates/core/tests/common/mod.rs
+
+/root/repo/target/debug/deps/protocol_flows-9ce2e2ee98d5e6a4: crates/core/tests/protocol_flows.rs crates/core/tests/common/mod.rs
+
+crates/core/tests/protocol_flows.rs:
+crates/core/tests/common/mod.rs:

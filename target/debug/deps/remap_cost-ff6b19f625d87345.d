@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/remap_cost-ff6b19f625d87345.d: crates/bench/src/bin/remap_cost.rs
+
+/root/repo/target/debug/deps/remap_cost-ff6b19f625d87345: crates/bench/src/bin/remap_cost.rs
+
+crates/bench/src/bin/remap_cost.rs:

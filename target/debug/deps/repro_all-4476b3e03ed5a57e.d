@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_all-4476b3e03ed5a57e.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/debug/deps/repro_all-4476b3e03ed5a57e: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sysv_semantics-551864548d4c4078.d: tests/sysv_semantics.rs
+
+/root/repo/target/debug/deps/sysv_semantics-551864548d4c4078: tests/sysv_semantics.rs
+
+tests/sysv_semantics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-c47b0ea1d12d387f.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-c47b0ea1d12d387f: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

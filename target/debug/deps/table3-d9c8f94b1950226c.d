@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-d9c8f94b1950226c.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-d9c8f94b1950226c: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_component_costs-02aab58cfcabf624.d: crates/bench/src/bin/table_component_costs.rs
+
+/root/repo/target/debug/deps/table_component_costs-02aab58cfcabf624: crates/bench/src/bin/table_component_costs.rs
+
+crates/bench/src/bin/table_component_costs.rs:

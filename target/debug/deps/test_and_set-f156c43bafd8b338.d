@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/test_and_set-f156c43bafd8b338.d: crates/bench/src/bin/test_and_set.rs
+
+/root/repo/target/debug/deps/test_and_set-f156c43bafd8b338: crates/bench/src/bin/test_and_set.rs
+
+crates/bench/src/bin/test_and_set.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/thrash_system-3e752f688d8c1193.d: crates/bench/src/bin/thrash_system.rs
+
+/root/repo/target/debug/deps/thrash_system-3e752f688d8c1193: crates/bench/src/bin/thrash_system.rs
+
+crates/bench/src/bin/thrash_system.rs:

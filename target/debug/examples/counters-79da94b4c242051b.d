@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/counters-79da94b4c242051b.d: examples/counters.rs
+
+/root/repo/target/debug/examples/counters-79da94b4c242051b: examples/counters.rs
+
+examples/counters.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/lock_service-6b579d8587571aed.d: examples/lock_service.rs
+
+/root/repo/target/debug/examples/lock_service-6b579d8587571aed: examples/lock_service.rs
+
+examples/lock_service.rs:

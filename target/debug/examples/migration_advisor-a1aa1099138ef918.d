@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/migration_advisor-a1aa1099138ef918.d: examples/migration_advisor.rs
+
+/root/repo/target/debug/examples/migration_advisor-a1aa1099138ef918: examples/migration_advisor.rs
+
+examples/migration_advisor.rs:

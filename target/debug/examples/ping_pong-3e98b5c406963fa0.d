@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ping_pong-3e98b5c406963fa0.d: examples/ping_pong.rs
+
+/root/repo/target/debug/examples/ping_pong-3e98b5c406963fa0: examples/ping_pong.rs
+
+examples/ping_pong.rs:

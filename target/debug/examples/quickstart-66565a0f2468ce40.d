@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-66565a0f2468ce40.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-66565a0f2468ce40: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/baseline_compare-f17c7736adf72a81.d: crates/bench/src/bin/baseline_compare.rs
+
+/root/repo/target/release/deps/baseline_compare-f17c7736adf72a81: crates/bench/src/bin/baseline_compare.rs
+
+crates/bench/src/bin/baseline_compare.rs:

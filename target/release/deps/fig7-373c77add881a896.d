@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-373c77add881a896.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-373c77add881a896: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

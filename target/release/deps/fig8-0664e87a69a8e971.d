@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-0664e87a69a8e971.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-0664e87a69a8e971: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/local_pingpong-7c387c5416a14ae4.d: crates/bench/src/bin/local_pingpong.rs
+
+/root/repo/target/release/deps/local_pingpong-7c387c5416a14ae4: crates/bench/src/bin/local_pingpong.rs
+
+crates/bench/src/bin/local_pingpong.rs:

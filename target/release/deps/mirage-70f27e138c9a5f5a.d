@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mirage-70f27e138c9a5f5a.d: src/lib.rs
+
+/root/repo/target/release/deps/libmirage-70f27e138c9a5f5a.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmirage-70f27e138c9a5f5a.rmeta: src/lib.rs
+
+src/lib.rs:

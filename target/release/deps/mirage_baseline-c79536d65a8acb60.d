@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mirage_baseline-c79536d65a8acb60.d: crates/baseline/src/lib.rs crates/baseline/src/common.rs crates/baseline/src/li_central.rs crates/baseline/src/li_distributed.rs crates/baseline/src/mirage_adapter.rs
+
+/root/repo/target/release/deps/libmirage_baseline-c79536d65a8acb60.rlib: crates/baseline/src/lib.rs crates/baseline/src/common.rs crates/baseline/src/li_central.rs crates/baseline/src/li_distributed.rs crates/baseline/src/mirage_adapter.rs
+
+/root/repo/target/release/deps/libmirage_baseline-c79536d65a8acb60.rmeta: crates/baseline/src/lib.rs crates/baseline/src/common.rs crates/baseline/src/li_central.rs crates/baseline/src/li_distributed.rs crates/baseline/src/mirage_adapter.rs
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/common.rs:
+crates/baseline/src/li_central.rs:
+crates/baseline/src/li_distributed.rs:
+crates/baseline/src/mirage_adapter.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/mirage_core-ce103d0fbc1a9bf5.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/event.rs crates/core/src/invariants.rs crates/core/src/library.rs crates/core/src/msg.rs crates/core/src/store.rs crates/core/src/table1.rs crates/core/src/using.rs
+
+/root/repo/target/release/deps/libmirage_core-ce103d0fbc1a9bf5.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/event.rs crates/core/src/invariants.rs crates/core/src/library.rs crates/core/src/msg.rs crates/core/src/store.rs crates/core/src/table1.rs crates/core/src/using.rs
+
+/root/repo/target/release/deps/libmirage_core-ce103d0fbc1a9bf5.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/event.rs crates/core/src/invariants.rs crates/core/src/library.rs crates/core/src/msg.rs crates/core/src/store.rs crates/core/src/table1.rs crates/core/src/using.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/engine.rs:
+crates/core/src/event.rs:
+crates/core/src/invariants.rs:
+crates/core/src/library.rs:
+crates/core/src/msg.rs:
+crates/core/src/store.rs:
+crates/core/src/table1.rs:
+crates/core/src/using.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/mirage_host-6769c8af2615e3dd.d: crates/host/src/lib.rs crates/host/src/arch.rs crates/host/src/fault.rs crates/host/src/region.rs crates/host/src/runtime.rs crates/host/src/store.rs crates/host/src/sys.rs crates/host/src/sysv.rs
+
+/root/repo/target/release/deps/libmirage_host-6769c8af2615e3dd.rlib: crates/host/src/lib.rs crates/host/src/arch.rs crates/host/src/fault.rs crates/host/src/region.rs crates/host/src/runtime.rs crates/host/src/store.rs crates/host/src/sys.rs crates/host/src/sysv.rs
+
+/root/repo/target/release/deps/libmirage_host-6769c8af2615e3dd.rmeta: crates/host/src/lib.rs crates/host/src/arch.rs crates/host/src/fault.rs crates/host/src/region.rs crates/host/src/runtime.rs crates/host/src/store.rs crates/host/src/sys.rs crates/host/src/sysv.rs
+
+crates/host/src/lib.rs:
+crates/host/src/arch.rs:
+crates/host/src/fault.rs:
+crates/host/src/region.rs:
+crates/host/src/runtime.rs:
+crates/host/src/store.rs:
+crates/host/src/sys.rs:
+crates/host/src/sysv.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/mirage_mem-7d98db518653b939.d: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/auxpte.rs crates/mem/src/namespace.rs crates/mem/src/page.rs crates/mem/src/pte.rs crates/mem/src/remap.rs crates/mem/src/segment.rs
+
+/root/repo/target/release/deps/libmirage_mem-7d98db518653b939.rlib: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/auxpte.rs crates/mem/src/namespace.rs crates/mem/src/page.rs crates/mem/src/pte.rs crates/mem/src/remap.rs crates/mem/src/segment.rs
+
+/root/repo/target/release/deps/libmirage_mem-7d98db518653b939.rmeta: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/auxpte.rs crates/mem/src/namespace.rs crates/mem/src/page.rs crates/mem/src/pte.rs crates/mem/src/remap.rs crates/mem/src/segment.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/addr.rs:
+crates/mem/src/auxpte.rs:
+crates/mem/src/namespace.rs:
+crates/mem/src/page.rs:
+crates/mem/src/pte.rs:
+crates/mem/src/remap.rs:
+crates/mem/src/segment.rs:

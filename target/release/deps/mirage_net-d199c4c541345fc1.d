@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/mirage_net-d199c4c541345fc1.d: crates/net/src/lib.rs crates/net/src/circuit.rs crates/net/src/costs.rs crates/net/src/message.rs crates/net/src/topology.rs crates/net/src/wire.rs
+
+/root/repo/target/release/deps/libmirage_net-d199c4c541345fc1.rlib: crates/net/src/lib.rs crates/net/src/circuit.rs crates/net/src/costs.rs crates/net/src/message.rs crates/net/src/topology.rs crates/net/src/wire.rs
+
+/root/repo/target/release/deps/libmirage_net-d199c4c541345fc1.rmeta: crates/net/src/lib.rs crates/net/src/circuit.rs crates/net/src/costs.rs crates/net/src/message.rs crates/net/src/topology.rs crates/net/src/wire.rs
+
+crates/net/src/lib.rs:
+crates/net/src/circuit.rs:
+crates/net/src/costs.rs:
+crates/net/src/message.rs:
+crates/net/src/topology.rs:
+crates/net/src/wire.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/mirage_sim-f3735737a8aa569c.d: crates/sim/src/lib.rs crates/sim/src/instrument.rs crates/sim/src/process.rs crates/sim/src/program.rs crates/sim/src/site.rs crates/sim/src/world.rs
+
+/root/repo/target/release/deps/libmirage_sim-f3735737a8aa569c.rlib: crates/sim/src/lib.rs crates/sim/src/instrument.rs crates/sim/src/process.rs crates/sim/src/program.rs crates/sim/src/site.rs crates/sim/src/world.rs
+
+/root/repo/target/release/deps/libmirage_sim-f3735737a8aa569c.rmeta: crates/sim/src/lib.rs crates/sim/src/instrument.rs crates/sim/src/process.rs crates/sim/src/program.rs crates/sim/src/site.rs crates/sim/src/world.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/instrument.rs:
+crates/sim/src/process.rs:
+crates/sim/src/program.rs:
+crates/sim/src/site.rs:
+crates/sim/src/world.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/mirage_trace-860e8d60ecb333f7.d: crates/trace/src/lib.rs crates/trace/src/analysis.rs crates/trace/src/log.rs crates/trace/src/migrate.rs
+
+/root/repo/target/release/deps/libmirage_trace-860e8d60ecb333f7.rlib: crates/trace/src/lib.rs crates/trace/src/analysis.rs crates/trace/src/log.rs crates/trace/src/migrate.rs
+
+/root/repo/target/release/deps/libmirage_trace-860e8d60ecb333f7.rmeta: crates/trace/src/lib.rs crates/trace/src/analysis.rs crates/trace/src/log.rs crates/trace/src/migrate.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/analysis.rs:
+crates/trace/src/log.rs:
+crates/trace/src/migrate.rs:

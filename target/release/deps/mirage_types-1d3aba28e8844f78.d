@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/mirage_types-1d3aba28e8844f78.d: crates/types/src/lib.rs crates/types/src/access.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/rng.rs crates/types/src/time.rs
+
+/root/repo/target/release/deps/libmirage_types-1d3aba28e8844f78.rlib: crates/types/src/lib.rs crates/types/src/access.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/rng.rs crates/types/src/time.rs
+
+/root/repo/target/release/deps/libmirage_types-1d3aba28e8844f78.rmeta: crates/types/src/lib.rs crates/types/src/access.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/rng.rs crates/types/src/time.rs
+
+crates/types/src/lib.rs:
+crates/types/src/access.rs:
+crates/types/src/error.rs:
+crates/types/src/ids.rs:
+crates/types/src/rng.rs:
+crates/types/src/time.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/mirage_workloads-74e5ea846844be95.d: crates/workloads/src/lib.rs crates/workloads/src/background.rs crates/workloads/src/decrement.rs crates/workloads/src/pingpong.rs crates/workloads/src/readers.rs crates/workloads/src/ring.rs crates/workloads/src/spinlock.rs
+
+/root/repo/target/release/deps/libmirage_workloads-74e5ea846844be95.rlib: crates/workloads/src/lib.rs crates/workloads/src/background.rs crates/workloads/src/decrement.rs crates/workloads/src/pingpong.rs crates/workloads/src/readers.rs crates/workloads/src/ring.rs crates/workloads/src/spinlock.rs
+
+/root/repo/target/release/deps/libmirage_workloads-74e5ea846844be95.rmeta: crates/workloads/src/lib.rs crates/workloads/src/background.rs crates/workloads/src/decrement.rs crates/workloads/src/pingpong.rs crates/workloads/src/readers.rs crates/workloads/src/ring.rs crates/workloads/src/spinlock.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/background.rs:
+crates/workloads/src/decrement.rs:
+crates/workloads/src/pingpong.rs:
+crates/workloads/src/readers.rs:
+crates/workloads/src/ring.rs:
+crates/workloads/src/spinlock.rs:

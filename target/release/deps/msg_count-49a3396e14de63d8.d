@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/msg_count-49a3396e14de63d8.d: crates/bench/src/bin/msg_count.rs
+
+/root/repo/target/release/deps/msg_count-49a3396e14de63d8: crates/bench/src/bin/msg_count.rs
+
+crates/bench/src/bin/msg_count.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-8f6d15751364d3cb.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-8f6d15751364d3cb: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:
