@@ -92,11 +92,7 @@ impl AccessTrace {
         let mut since_write = 0;
         for round in 0..rounds {
             for r in 0..readers {
-                ops.push(TraceOp {
-                    site: SiteId((r + 1) as u16),
-                    page,
-                    access: Access::Read,
-                });
+                ops.push(TraceOp { site: SiteId((r + 1) as u16), page, access: Access::Read });
                 since_write += 1;
                 if since_write >= reads_per_write {
                     since_write = 0;

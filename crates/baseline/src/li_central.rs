@@ -64,10 +64,7 @@ impl LiCentral {
     fn hit(&mut self, op: TraceOp) -> bool {
         let rec = self.rec(op.page);
         match op.access {
-            Access::Read => {
-                rec.copy_set.contains(op.site)
-                    || (rec.owner == op.site)
-            }
+            Access::Read => rec.copy_set.contains(op.site) || (rec.owner == op.site),
             Access::Write => rec.owner == op.site && rec.owner_writable,
         }
     }

@@ -3,13 +3,14 @@
 use std::collections::VecDeque;
 
 use mirage_core::{
-    Action,
+    DriverOps,
     Event,
     InMemStore,
     PageStore,
-    ProtocolConfig,
     ProtoMsg,
-    SiteEngine,
+    ProtocolConfig,
+    ProtocolDriver,
+    RefLogEntry,
 };
 use mirage_mem::LocalSegment;
 use mirage_net::{
@@ -35,7 +36,7 @@ use crate::common::{
 /// Message *counts* are exact; timers (Δ denials) advance a virtual
 /// clock, so nonzero Δ configurations replay correctly too.
 pub struct MirageCost {
-    engines: Vec<SiteEngine>,
+    drivers: Vec<ProtocolDriver>,
     stores: Vec<InMemStore>,
     seg: SegmentId,
     costs: NetCosts,
@@ -49,22 +50,22 @@ impl MirageCost {
     /// site 0, covering `pages` pages.
     pub fn new(sites: usize, pages: usize, config: ProtocolConfig, costs: NetCosts) -> Self {
         let seg = SegmentId::new(SiteId(0), 1);
-        let mut engines = Vec::new();
+        let mut drivers = Vec::new();
         let mut stores = Vec::new();
         for i in 0..sites {
-            let mut e = SiteEngine::new(SiteId(i as u16), config.clone());
-            e.register_segment(seg, pages);
+            let mut d = ProtocolDriver::from_config(SiteId(i as u16), config.clone());
+            d.register_segment(seg, pages);
             let mut st = InMemStore::new();
             st.add_segment(if i == 0 {
                 LocalSegment::fully_resident(seg, pages)
             } else {
                 LocalSegment::absent(seg, pages)
             });
-            engines.push(e);
+            drivers.push(d);
             stores.push(st);
         }
         Self {
-            engines,
+            drivers,
             stores,
             seg,
             costs,
@@ -74,29 +75,23 @@ impl MirageCost {
         }
     }
 
-    fn apply(&mut self, site: usize, actions: Vec<Action>, cost: &mut CostReport) {
-        for a in actions {
-            match a {
-                Action::Send { to, msg } => {
-                    cost.add_msg(msg.size_class(), &self.costs);
-                    self.net.push_back((SiteId(site as u16), to, msg));
-                }
-                Action::SetTimer { at, token } => self.timers.push((at, site, token)),
-                Action::Wake { .. } | Action::Log(_) => {}
-            }
-        }
+    /// Dispatches one event at `site` and drains the resulting actions
+    /// into the synchronous network queue, timer list, and cost report.
+    fn dispatch(&mut self, site: usize, ev: Event, cost: &mut CostReport) {
+        let Self { drivers, stores, costs, now, net, timers, .. } = self;
+        drivers[site].drive(
+            ev,
+            *now,
+            &mut stores[site],
+            &mut BaselineOps { site, costs, cost, net, timers },
+        );
     }
 
     fn quiesce(&mut self, cost: &mut CostReport) {
         loop {
             if let Some((from, to, msg)) = self.net.pop_front() {
                 let s = to.index();
-                let actions = self.engines[s].handle(
-                    Event::Deliver { from, msg },
-                    self.now,
-                    &mut self.stores[s],
-                );
-                self.apply(s, actions, cost);
+                self.dispatch(s, Event::Deliver { from, msg }, cost);
                 continue;
             }
             if !self.timers.is_empty() {
@@ -111,14 +106,38 @@ impl MirageCost {
                 if at > self.now {
                     self.now = at;
                 }
-                let actions =
-                    self.engines[s].handle(Event::Timer { token }, self.now, &mut self.stores[s]);
-                self.apply(s, actions, cost);
+                self.dispatch(s, Event::Timer { token }, cost);
                 continue;
             }
             return;
         }
     }
+}
+
+/// [`DriverOps`] receiver for the trace adapter: sends are costed and
+/// queued on the synchronous network; wakes and log records are
+/// irrelevant to message accounting and dropped.
+struct BaselineOps<'a> {
+    site: usize,
+    costs: &'a NetCosts,
+    cost: &'a mut CostReport,
+    net: &'a mut VecDeque<(SiteId, SiteId, ProtoMsg)>,
+    timers: &'a mut Vec<(SimTime, usize, u64)>,
+}
+
+impl DriverOps for BaselineOps<'_> {
+    fn send(&mut self, to: SiteId, msg: ProtoMsg) {
+        self.cost.add_msg(msg.size_class(), self.costs);
+        self.net.push_back((SiteId(self.site as u16), to, msg));
+    }
+
+    fn wake(&mut self, _pid: Pid) {}
+
+    fn set_timer(&mut self, at: SimTime, token: u64) {
+        self.timers.push((at, self.site, token));
+    }
+
+    fn log(&mut self, _entry: RefLogEntry) {}
 }
 
 impl DsmProtocol for MirageCost {
@@ -135,12 +154,8 @@ impl DsmProtocol for MirageCost {
         }
         cost.faults = 1;
         let pid = Pid::new(op.site, 1);
-        let actions = self.engines[s].handle(
-            Event::Fault { pid, seg: self.seg, page, access: op.access },
-            self.now,
-            &mut self.stores[s],
-        );
-        self.apply(s, actions, &mut cost);
+        let seg = self.seg;
+        self.dispatch(s, Event::Fault { pid, seg, page, access: op.access }, &mut cost);
         self.quiesce(&mut cost);
         debug_assert!(
             self.stores[s].prot(self.seg, page).permits(op.access),

@@ -3,8 +3,20 @@
 
 use mirage_bench::harness::bench;
 use mirage_core::ProtoMsg;
-use mirage_net::wire::{from_bytes, to_bytes};
-use mirage_types::{Access, Delta, PageNum, Pid, SegmentId, SiteId, PAGE_SIZE};
+use mirage_mem::PageData;
+use mirage_net::wire::{
+    from_bytes,
+    to_bytes,
+};
+use mirage_types::{
+    Access,
+    Delta,
+    PageNum,
+    Pid,
+    SegmentId,
+    SiteId,
+    PAGE_SIZE,
+};
 
 fn messages() -> (ProtoMsg, ProtoMsg) {
     let seg = SegmentId::new(SiteId(0), 1);
@@ -19,7 +31,7 @@ fn messages() -> (ProtoMsg, ProtoMsg) {
         page: PageNum(3),
         access: Access::Read,
         window: Delta(2),
-        data: vec![0xAB; PAGE_SIZE],
+        data: PageData::from_bytes(&[0xAB; PAGE_SIZE]),
     };
     (short, large)
 }

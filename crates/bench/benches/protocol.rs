@@ -1,11 +1,19 @@
 //! Protocol-engine throughput: complete fault→grant exchanges per
 //! second through the real engines (no simulated time costs).
 
-use mirage_baseline::{DsmProtocol, MirageCost, TraceOp};
+use mirage_baseline::{
+    DsmProtocol,
+    MirageCost,
+    TraceOp,
+};
 use mirage_bench::harness::bench;
 use mirage_core::ProtocolConfig;
 use mirage_net::NetCosts;
-use mirage_types::{Access, PageNum, SiteId};
+use mirage_types::{
+    Access,
+    PageNum,
+    SiteId,
+};
 
 fn main() {
     {

@@ -5,8 +5,16 @@
 //! demonstrating the operation scales linearly in mapped pages.
 
 use mirage_bench::harness::bench;
-use mirage_mem::{remap_process, MasterTable, ProcessTable};
-use mirage_types::{SegmentId, SimDuration, SiteId};
+use mirage_mem::{
+    remap_process,
+    MasterTable,
+    ProcessTable,
+};
+use mirage_types::{
+    SegmentId,
+    SimDuration,
+    SiteId,
+};
 
 fn main() {
     for pages in [2usize, 16, 64, 256] {

@@ -1,6 +1,9 @@
 //! A1–A3: protocol-feature ablations on the worst case.
 
-use mirage_bench::{ablation_opts, print_table};
+use mirage_bench::{
+    ablation_opts,
+    print_table,
+};
 
 fn main() {
     println!("A1–A3 — protocol optimizations, worst case at Δ=2\n");

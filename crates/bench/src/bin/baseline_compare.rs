@@ -1,6 +1,9 @@
 //! B1: Mirage versus Li's shared virtual memory protocols.
 
-use mirage_bench::{baseline_compare, print_table};
+use mirage_bench::{
+    baseline_compare,
+    print_table,
+};
 
 fn main() {
     println!("B1 — identical traces through Mirage and Li-Hudak SVM (Appendix I comparison)\n");
@@ -17,5 +20,8 @@ fn main() {
             ]
         })
         .collect();
-    print_table(&["trace", "protocol", "faults", "short msgs", "page msgs", "wire time (ms)"], &rows);
+    print_table(
+        &["trace", "protocol", "faults", "short msgs", "page msgs", "wire time (ms)"],
+        &rows,
+    );
 }

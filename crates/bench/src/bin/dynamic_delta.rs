@@ -1,23 +1,19 @@
 //! A5: the §8.0 dynamic Δ-tuning routine versus fixed windows.
 
-use mirage_bench::{dynamic_delta, print_table};
+use mirage_bench::{
+    dynamic_delta,
+    print_table,
+};
 
 fn main() {
     println!("A5 — dynamic per-page Δ (the paper's disabled routine, implemented)\n");
     let rows: Vec<Vec<String>> = dynamic_delta()
         .into_iter()
         .map(|r| {
-            vec![
-                r.name,
-                format!("{:.0}", r.fig8_throughput),
-                format!("{:.2}", r.pingpong_rate),
-            ]
+            vec![r.name, format!("{:.0}", r.fig8_throughput), format!("{:.2}", r.pingpong_rate)]
         })
         .collect();
-    print_table(
-        &["policy", "fig8 duel (instr/s)", "worst case (cycles/s)"],
-        &rows,
-    );
+    print_table(&["policy", "fig8 duel (instr/s)", "worst case (cycles/s)"], &rows);
     println!("\n(a good dynamic policy should approach the best fixed Δ on BOTH");
     println!(" workloads, without knowing either in advance)");
 }

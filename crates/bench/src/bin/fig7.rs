@@ -1,6 +1,9 @@
 //! E5 / Figure 7: worst-case throughput as a function of Δ.
 
-use mirage_bench::{fig7, print_table};
+use mirage_bench::{
+    fig7,
+    print_table,
+};
 
 fn main() {
     println!("E5 — Figure 7: two-site worst case, cycles/s vs Δ (ticks)");
@@ -20,7 +23,9 @@ fn main() {
     print_table(&["Δ", "yield (cycles/s)", "no-yield (cycles/s)", "yield gain"], &rows);
     let cross = pts
         .windows(2)
-        .find(|w| (w[0].yield_rate >= w[0].noyield_rate) != (w[1].yield_rate >= w[1].noyield_rate))
+        .find(|w| {
+            (w[0].yield_rate >= w[0].noyield_rate) != (w[1].yield_rate >= w[1].noyield_rate)
+        })
         .map(|w| w[1].delta);
     match cross {
         Some(d) => println!("\ncurves cross near Δ={d} (paper: Δ=6, the scheduling quantum)"),

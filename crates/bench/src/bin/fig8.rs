@@ -1,6 +1,9 @@
 //! E7 / Figure 8: two conflicting read-writers, throughput vs Δ.
 
-use mirage_bench::{fig8, print_table};
+use mirage_bench::{
+    fig8,
+    print_table,
+};
 
 fn main() {
     println!("E7 — Figure 8: two conflicting read-writers (ticks; 600 ticks = 10 s)");

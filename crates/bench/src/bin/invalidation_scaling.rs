@@ -1,6 +1,9 @@
 //! A4: invalidation cost versus reader count; sequential vs multicast.
 
-use mirage_bench::{invalidation_scaling, print_table};
+use mirage_bench::{
+    invalidation_scaling,
+    print_table,
+};
 
 fn main() {
     println!("A4 — invalidating N readers (paper §7.1 caveat 2 / §10 concern)\n");

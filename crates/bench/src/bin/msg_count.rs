@@ -1,18 +1,23 @@
 //! E6: message accounting for the worst-case cycle.
 
-use mirage_bench::{msg_accounting, print_table};
+use mirage_bench::{
+    msg_accounting,
+    print_table,
+};
 
 fn main() {
-    println!("E6 — messages per worst-case cycle (paper: 9 messages, 3 large; ≈9 cycles/s bound)\n");
+    println!(
+        "E6 — messages per worst-case cycle (paper: 9 messages, 3 large; ≈9 cycles/s bound)\n"
+    );
     let m = msg_accounting(60);
     println!("cycles measured      : {}", m.cycles);
-    println!("cycle rate           : {:.2} cycles/s (paper bound: 9; observed ≈3-5)", m.cycles_per_sec);
+    println!(
+        "cycle rate           : {:.2} cycles/s (paper bound: 9; observed ≈3-5)",
+        m.cycles_per_sec
+    );
     println!("messages per cycle   : {:.2} (paper: 9)", m.per_cycle);
     println!("large (page) / cycle : {:.2} (paper: 3)\n", m.large_per_cycle);
-    let rows: Vec<Vec<String>> = m
-        .by_tag
-        .iter()
-        .map(|(t, n)| vec![t.to_string(), format!("{n:.2}")])
-        .collect();
+    let rows: Vec<Vec<String>> =
+        m.by_tag.iter().map(|(t, n)| vec![t.to_string(), format!("{n:.2}")]).collect();
     print_table(&["message kind", "per cycle"], &rows);
 }

@@ -1,9 +1,15 @@
 //! E5b: the N-site version of the worst case (§7.2) — one page
 //! circulating through N sites as a token ring.
 
-use mirage_bench::{print_table, sim_config};
+use mirage_bench::{
+    print_table,
+    sim_config,
+};
 use mirage_sim::World;
-use mirage_types::{Delta, SimTime};
+use mirage_types::{
+    Delta,
+    SimTime,
+};
 use mirage_workloads::RingMember;
 
 fn main() {
@@ -23,8 +29,7 @@ fn main() {
             w.run_until(SimTime::from_millis(30_000));
             // One lap = every member incremented once.
             let laps = w.sites[0].procs[0].metric() as f64 / 30.0;
-            let msgs = w.instr.msgs.total() as f64
-                / w.sites[0].procs[0].metric().max(1) as f64;
+            let msgs = w.instr.msgs.total() as f64 / w.sites[0].procs[0].metric().max(1) as f64;
             rows.push(vec![
                 n.to_string(),
                 delta.to_string(),

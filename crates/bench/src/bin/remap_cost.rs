@@ -1,6 +1,9 @@
 //! E3: lazy remap cost versus segment size (§6.2).
 
-use mirage_bench::{print_table, remap_model};
+use mirage_bench::{
+    print_table,
+    remap_model,
+};
 
 fn main() {
     println!("E3 — lazy PTE remap at context switch (paper: 106-125 µs per 512-byte page)\n");

@@ -1,7 +1,11 @@
 //! E8 / Table 1: the clock-site action matrix.
 
 use mirage_bench::print_table;
-use mirage_core::table1::{row, Current, Invalidation};
+use mirage_core::table1::{
+    row,
+    Current,
+    Invalidation,
+};
 use mirage_types::Access;
 
 fn main() {
@@ -14,7 +18,9 @@ fn main() {
             let inv = match r.invalidation {
                 Invalidation::No => "No".to_string(),
                 Invalidation::Yes => "Yes".to_string(),
-                Invalidation::YesWithUpgrade => "Yes, upgrade (requester in read set)".to_string(),
+                Invalidation::YesWithUpgrade => {
+                    "Yes, upgrade (requester in read set)".to_string()
+                }
                 Invalidation::DowngradeWriter => "Downgrade writer to reader".to_string(),
             };
             rows.push(vec![

@@ -1,12 +1,17 @@
 //! E2 / Table 3: time to obtain an in-memory page remotely.
 
-use mirage_bench::{print_table, table3};
+use mirage_bench::{
+    print_table,
+    table3,
+};
 
 fn main() {
     println!("E2 — Table 3: remote page fetch breakdown (ms)\n");
     let rows: Vec<Vec<String>> = table3()
         .into_iter()
-        .map(|r| vec![r.label.to_string(), format!("{:.2}", r.ours_ms), format!("{:.2}", r.paper_ms)])
+        .map(|r| {
+            vec![r.label.to_string(), format!("{:.2}", r.ours_ms), format!("{:.2}", r.paper_ms)]
+        })
         .collect();
     print_table(&["operation", "ours (ms)", "paper (ms)"], &rows);
 }

@@ -1,12 +1,17 @@
 //! E1: the paper's raw message-cost anchors versus our cost model.
 
-use mirage_bench::{component_costs, print_table};
+use mirage_bench::{
+    component_costs,
+    print_table,
+};
 
 fn main() {
     println!("E1 — component costs (paper §7.1 / §6.2)\n");
     let rows: Vec<Vec<String>> = component_costs()
         .into_iter()
-        .map(|r| vec![r.label.to_string(), format!("{:.2}", r.ours_ms), format!("{:.2}", r.paper_ms)])
+        .map(|r| {
+            vec![r.label.to_string(), format!("{:.2}", r.ours_ms), format!("{:.2}", r.paper_ms)]
+        })
         .collect();
     print_table(&["component", "ours", "paper"], &rows);
 }

@@ -1,11 +1,19 @@
 //! E9: the test&set experiment (§7.2): lock and data on one page.
 
-use mirage_bench::{print_table, test_and_set};
+use mirage_bench::{
+    print_table,
+    test_and_set,
+};
 
 fn main() {
-    println!("E9 — test&set busy-wait lock thrashing (paper §7.2: Δ>0 helps the locking writer)\n");
+    println!(
+        "E9 — test&set busy-wait lock thrashing (paper §7.2: Δ>0 helps the locking writer)\n"
+    );
     for yields in [false, true] {
-        println!("tester {}:", if yields { "with yield()" } else { "busy-waiting (paper's warning case)" });
+        println!(
+            "tester {}:",
+            if yields { "with yield()" } else { "busy-waiting (paper's warning case)" }
+        );
         let pts = test_and_set(&[0, 2, 6, 12], yields, 30);
         let rows: Vec<Vec<String>> = pts
             .iter()

@@ -1,7 +1,10 @@
 //! E10: thrashing amelioration — Δ trades thrasher throughput for
 //! system throughput (§7.3).
 
-use mirage_bench::{print_table, thrash_system};
+use mirage_bench::{
+    print_table,
+    thrash_system,
+};
 
 fn main() {
     println!("E10 — system throughput while an application thrashes (paper §7.3)\n");
@@ -9,11 +12,7 @@ fn main() {
     let rows: Vec<Vec<String>> = pts
         .iter()
         .map(|p| {
-            vec![
-                p.delta.to_string(),
-                format!("{:.2}", p.app_rate),
-                format!("{:.1}", p.bg_rate),
-            ]
+            vec![p.delta.to_string(), format!("{:.2}", p.app_rate), format!("{:.1}", p.bg_rate)]
         })
         .collect();
     print_table(&["Δ", "thrasher cycles/s", "background chunks/s"], &rows);

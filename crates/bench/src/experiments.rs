@@ -34,9 +34,9 @@ use mirage_workloads::{
     Decrementer,
     LockHolder,
     LockTester,
+    PeriodicWriter,
     PingPongPinger,
     PingPongPonger,
-    PeriodicWriter,
     Rereader,
 };
 
@@ -152,12 +152,7 @@ pub fn table3() -> Vec<Table3Row> {
     w.enable_phase_trace();
     w.spawn(1, Box::new(OneRead { r: MemRef::new(seg, PageNum(0), 0), done: false }), 1);
     w.run_until(SimTime::from_millis(500));
-    let gap = |a, b| {
-        w.instr
-            .phase_gap(a, b)
-            .map(|d| d.as_millis_f64())
-            .unwrap_or(f64::NAN)
-    };
+    let gap = |a, b| w.instr.phase_gap(a, b).map(|d| d.as_millis_f64()).unwrap_or(f64::NAN);
     vec![
         Table3Row {
             label: "Using-site read request CPU",
@@ -247,12 +242,10 @@ pub fn msg_accounting(seconds: u64) -> MsgAccounting {
     let mut w = pingpong_world(2, sim_config(Delta::ZERO), true);
     w.run_until(SimTime::from_millis(seconds * 1000));
     let cycles = w.sites[0].procs[0].metric().max(1);
-    let mut by_tag: Vec<(&'static str, f64)> = w
-        .instr
-        .msgs
-        .by_tag
+    let mut by_tag: Vec<(&'static str, f64)> = mirage_net::MsgKind::ALL
         .iter()
-        .map(|(&t, &n)| (t, n as f64 / cycles as f64))
+        .map(|&k| (k.name(), w.instr.msgs.count(k) as f64 / cycles as f64))
+        .filter(|&(_, n)| n > 0.0)
         .collect();
     by_tag.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(core::cmp::Ordering::Equal));
     MsgAccounting {
@@ -344,11 +337,7 @@ pub struct AblationRow {
 /// contended regime where the optimizations matter).
 pub fn ablation_opts(seconds: u64) -> Vec<AblationRow> {
     let run = |name: &'static str, cfg: ProtocolConfig| {
-        let mut w = pingpong_world(
-            2,
-            SimConfig { protocol: cfg, ..Default::default() },
-            true,
-        );
+        let mut w = pingpong_world(2, SimConfig { protocol: cfg, ..Default::default() }, true);
         w.run_until(SimTime::from_millis(seconds * 1000));
         let cycles = w.sites[0].procs[0].metric().max(1);
         AblationRow {
@@ -361,23 +350,26 @@ pub fn ablation_opts(seconds: u64) -> Vec<AblationRow> {
     let base = ProtocolConfig { delta: DeltaPolicy::Uniform(Delta(2)), ..Default::default() };
     vec![
         run("paper defaults", base.clone()),
-        run("A1: no upgrade optimization", ProtocolConfig {
-            upgrade_optimization: false,
-            ..base.clone()
-        }),
-        run("A2: no downgrade optimization", ProtocolConfig {
-            downgrade_optimization: false,
-            ..base.clone()
-        }),
-        run("A3: queued invalidation ON", ProtocolConfig {
-            queued_invalidation: true,
-            ..base.clone()
-        }),
-        run("A1+A2: both optimizations off", ProtocolConfig {
-            upgrade_optimization: false,
-            downgrade_optimization: false,
-            ..base
-        }),
+        run(
+            "A1: no upgrade optimization",
+            ProtocolConfig { upgrade_optimization: false, ..base.clone() },
+        ),
+        run(
+            "A2: no downgrade optimization",
+            ProtocolConfig { downgrade_optimization: false, ..base.clone() },
+        ),
+        run(
+            "A3: queued invalidation ON",
+            ProtocolConfig { queued_invalidation: true, ..base.clone() },
+        ),
+        run(
+            "A1+A2: both optimizations off",
+            ProtocolConfig {
+                upgrade_optimization: false,
+                downgrade_optimization: false,
+                ..base
+            },
+        ),
     ]
 }
 
@@ -447,8 +439,7 @@ pub fn baseline_compare() -> Vec<BaselineRow> {
     ];
     let mut rows = Vec::new();
     for (name, trace, sites) in &traces {
-        let mut mirage =
-            MirageCost::new(*sites, 4, ProtocolConfig::default(), costs.clone());
+        let mut mirage = MirageCost::new(*sites, 4, ProtocolConfig::default(), costs.clone());
         let mut central = LiCentral::new(SiteId(0), costs.clone());
         let mut dist = LiDistributed::new(*sites, SiteId(0), costs.clone());
         rows.push(BaselineRow {
@@ -510,10 +501,8 @@ pub fn dynamic_delta() -> Vec<DynamicRow> {
     let run = |policy: DeltaPolicy| -> (f64, f64) {
         let protocol = ProtocolConfig { delta: policy, ..Default::default() };
         // Figure 8 duel (short version).
-        let mut w = World::new(
-            2,
-            SimConfig { protocol: protocol.clone(), ..Default::default() },
-        );
+        let mut w =
+            World::new(2, SimConfig { protocol: protocol.clone(), ..Default::default() });
         let seg = w.create_segment(0, 1);
         w.spawn(0, Box::new(Decrementer::new(seg, 0, 100_000)), 1);
         w.spawn(1, Box::new(Decrementer::new(seg, 128, 100_000)), 1);

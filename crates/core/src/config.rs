@@ -129,10 +129,7 @@ mod tests {
 
     #[test]
     fn per_page_policy_uses_fallback() {
-        let p = DeltaPolicy::PerPage {
-            windows: vec![Delta(1), Delta(2)],
-            fallback: Delta(9),
-        };
+        let p = DeltaPolicy::PerPage { windows: vec![Delta(1), Delta(2)], fallback: Delta(9) };
         assert_eq!(p.window(PageNum(0)), Delta(1));
         assert_eq!(p.window(PageNum(1)), Delta(2));
         assert_eq!(p.window(PageNum(2)), Delta(9));

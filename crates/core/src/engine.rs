@@ -8,13 +8,15 @@
 //!
 //! Messages a site sends to itself (library colocated with the
 //! requester, §7.3) never become [`Action::Send`]s: they are delivered
-//! through an internal loop-back queue within the same `handle` call, so
+//! through the sink's loop-back queue within the same dispatch, so
 //! harness message counts reflect real network traffic only.
+//!
+//! The hot path is [`SiteEngine::handle_into`], which writes actions
+//! into a caller-owned [`ActionSink`] so steady-state event handling
+//! allocates nothing; [`SiteEngine::handle`] is a convenience wrapper
+//! that returns an owned `Vec` for tests and diagnostics.
 
-use std::collections::{
-    HashMap,
-    VecDeque,
-};
+use std::collections::HashMap;
 
 use mirage_types::{
     Access,
@@ -33,6 +35,7 @@ use crate::{
     },
     library::LibState,
     msg::ProtoMsg,
+    sink::ActionSink,
     store::PageStore,
     using::UseState,
 };
@@ -55,20 +58,6 @@ pub(crate) enum TimerKind {
         /// Page of the delayed invalidation.
         page: PageNum,
     },
-}
-
-/// The per-call working context: actions accumulated, local loop-back
-/// deliveries pending, and time.
-pub(crate) struct Ctx {
-    pub(crate) now: SimTime,
-    pub(crate) out: Vec<Action>,
-    pub(crate) loopback: VecDeque<ProtoMsg>,
-}
-
-impl Ctx {
-    fn new(now: SimTime) -> Self {
-        Self { now, out: Vec::new(), loopback: VecDeque::new() }
-    }
 }
 
 /// One site's combined protocol roles.
@@ -120,32 +109,52 @@ impl SiteEngine {
         }
     }
 
+    /// Feeds one event through the engine, accumulating the resulting
+    /// actions in the caller-owned `sink` (which is reset first).
+    ///
+    /// This is the allocation-free hot path: with a warmed sink, handling
+    /// a steady-state event performs no heap allocation.
+    pub fn handle_into(
+        &mut self,
+        ev: Event,
+        now: SimTime,
+        store: &mut dyn PageStore,
+        sink: &mut ActionSink,
+    ) {
+        sink.begin(now);
+        match ev {
+            Event::Fault { pid, seg, page, access } => {
+                self.fault(pid, seg, page, access, store, sink);
+            }
+            Event::Deliver { from, msg } => {
+                self.dispatch(from, msg, store, sink);
+            }
+            Event::Timer { token } => {
+                self.timer_fired(token, store, sink);
+            }
+        }
+        // Drain loop-back deliveries (self-sends) until quiescent.
+        while let Some(msg) = sink.pop_loopback() {
+            let from = self.site;
+            self.dispatch(from, msg, store, sink);
+        }
+    }
+
     /// Feeds one event through the engine, returning the actions the
     /// harness must carry out.
+    ///
+    /// Convenience wrapper over [`SiteEngine::handle_into`] that
+    /// allocates a fresh buffer per call; runtimes should hold a
+    /// [`crate::ProtocolDriver`] (or their own [`ActionSink`]) instead.
     pub fn handle(
         &mut self,
         ev: Event,
         now: SimTime,
         store: &mut dyn PageStore,
     ) -> Vec<Action> {
-        let mut ctx = Ctx::new(now);
-        match ev {
-            Event::Fault { pid, seg, page, access } => {
-                self.fault(pid, seg, page, access, store, &mut ctx);
-            }
-            Event::Deliver { from, msg } => {
-                self.dispatch(from, msg, store, &mut ctx);
-            }
-            Event::Timer { token } => {
-                self.timer_fired(token, store, &mut ctx);
-            }
-        }
-        // Drain loop-back deliveries (self-sends) until quiescent.
-        while let Some(msg) = ctx.loopback.pop_front() {
-            let from = self.site;
-            self.dispatch(from, msg, store, &mut ctx);
-        }
-        ctx.out
+        let mut sink = ActionSink::new();
+        self.handle_into(ev, now, store, &mut sink);
+        sink.take_actions()
     }
 
     /// Routes a delivered message to the owning role.
@@ -154,52 +163,52 @@ impl SiteEngine {
         from: SiteId,
         msg: ProtoMsg,
         store: &mut dyn PageStore,
-        ctx: &mut Ctx,
+        sink: &mut ActionSink,
     ) {
         match msg {
             // Library-role inputs.
             ProtoMsg::PageRequest { seg, page, access, pid } => {
-                self.lib_request(from, seg, page, access, pid, ctx);
+                self.lib_request(from, seg, page, access, pid, sink);
             }
             ProtoMsg::InvalidateDeny { seg, page, wait } => {
-                self.lib_denied(seg, page, wait, ctx);
+                self.lib_denied(seg, page, wait, sink);
             }
             ProtoMsg::InvalidateDone { seg, page, info } => {
-                self.lib_done(seg, page, info, ctx);
+                self.lib_done(seg, page, info, sink);
             }
             // Using-role inputs (including clock duties).
             ProtoMsg::AddReaders { seg, page, readers, window } => {
-                self.use_add_readers(seg, page, readers, window, store, ctx);
+                self.use_add_readers(seg, page, readers, window, store, sink);
             }
             ProtoMsg::Invalidate { seg, page, demand, readers, window } => {
-                self.use_invalidate(seg, page, demand, readers, window, store, ctx);
+                self.use_invalidate(seg, page, demand, readers, window, store, sink);
             }
             ProtoMsg::ReaderInvalidate { seg, page } => {
-                self.use_reader_invalidate(from, seg, page, store, ctx);
+                self.use_reader_invalidate(from, seg, page, store, sink);
             }
             ProtoMsg::ReaderInvalidateAck { seg, page } => {
-                self.use_reader_ack(from, seg, page, store, ctx);
+                self.use_reader_ack(from, seg, page, store, sink);
             }
             ProtoMsg::PageGrant { seg, page, access, window, data } => {
-                self.use_grant(seg, page, access, window, data, store, ctx);
+                self.use_grant(seg, page, access, window, data, store, sink);
             }
             ProtoMsg::UpgradeGrant { seg, page, window } => {
-                self.use_upgrade(seg, page, window, store, ctx);
+                self.use_upgrade(seg, page, window, store, sink);
             }
         }
     }
 
-    fn timer_fired(&mut self, token: u64, store: &mut dyn PageStore, ctx: &mut Ctx) {
+    fn timer_fired(&mut self, token: u64, store: &mut dyn PageStore, sink: &mut ActionSink) {
         let Some(kind) = self.timers.remove(&token) else {
             // Stale timer (already superseded); ignore.
             return;
         };
         match kind {
             TimerKind::LibraryRetry { seg, page } => {
-                self.lib_retry(seg, page, ctx);
+                self.lib_retry(seg, page, sink);
             }
             TimerKind::ClockDelayed { seg, page } => {
-                self.use_delayed_invalidation(seg, page, store, ctx);
+                self.use_delayed_invalidation(seg, page, store, sink);
             }
         }
     }
@@ -208,25 +217,30 @@ impl SiteEngine {
 
     /// Sends a protocol message, looping back if the destination is this
     /// site.
-    pub(crate) fn emit(&mut self, to: SiteId, msg: ProtoMsg, ctx: &mut Ctx) {
+    pub(crate) fn emit(&mut self, to: SiteId, msg: ProtoMsg, sink: &mut ActionSink) {
         if to == self.site {
-            ctx.loopback.push_back(msg);
+            sink.push_loopback(msg);
         } else {
-            ctx.out.push(Action::Send { to, msg });
+            sink.push(Action::Send { to, msg });
         }
     }
 
     /// Wakes a local process blocked in a fault.
-    pub(crate) fn wake(&mut self, pid: Pid, ctx: &mut Ctx) {
-        ctx.out.push(Action::Wake { pid });
+    pub(crate) fn wake(&mut self, pid: Pid, sink: &mut ActionSink) {
+        sink.push(Action::Wake { pid });
     }
 
     /// Allocates a timer and emits the `SetTimer` action.
-    pub(crate) fn set_timer(&mut self, at: SimTime, kind: TimerKind, ctx: &mut Ctx) -> u64 {
+    pub(crate) fn set_timer(
+        &mut self,
+        at: SimTime,
+        kind: TimerKind,
+        sink: &mut ActionSink,
+    ) -> u64 {
         let token = self.next_token;
         self.next_token += 1;
         self.timers.insert(token, kind);
-        ctx.out.push(Action::SetTimer { at, token });
+        sink.push(Action::SetTimer { at, token });
         token
     }
 

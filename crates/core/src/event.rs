@@ -13,7 +13,7 @@ use mirage_types::{
 use crate::msg::ProtoMsg;
 
 /// An input to a [`crate::engine::SiteEngine`].
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Event {
     /// A process at this site took a typed page fault.
     ///
@@ -60,7 +60,7 @@ pub struct RefLogEntry {
 }
 
 /// An output the harness must carry out.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Action {
     /// Transmit a protocol message to another site. The engine never
     /// emits a `Send` to its own site — local deliveries are processed
@@ -113,7 +113,7 @@ mod tests {
                 page: PageNum(0),
                 access: Access::Read,
                 window: Delta::ZERO,
-                data: vec![0; mirage_types::PAGE_SIZE],
+                data: mirage_mem::PageData::zeroed(),
             },
         };
         let wake = Action::Wake { pid: Pid::new(SiteId(0), 1) };

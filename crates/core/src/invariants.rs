@@ -126,11 +126,7 @@ mod tests {
     fn single_writer_is_coherent() {
         let a = store_with(PageProt::ReadWrite, 1);
         let b = store_with(PageProt::None, 0);
-        let v = check_page(
-            &[(SiteId(0), &a), (SiteId(1), &b)],
-            seg_id(),
-            PageNum(0),
-        );
+        let v = check_page(&[(SiteId(0), &a), (SiteId(1), &b)], seg_id(), PageNum(0));
         assert!(v.is_empty(), "{v:?}");
     }
 
@@ -138,11 +134,7 @@ mod tests {
     fn multiple_readers_same_bytes_is_coherent() {
         let a = store_with(PageProt::Read, 7);
         let b = store_with(PageProt::Read, 7);
-        let v = check_page(
-            &[(SiteId(0), &a), (SiteId(1), &b)],
-            seg_id(),
-            PageNum(0),
-        );
+        let v = check_page(&[(SiteId(0), &a), (SiteId(1), &b)], seg_id(), PageNum(0));
         assert!(v.is_empty(), "{v:?}");
     }
 
@@ -150,11 +142,7 @@ mod tests {
     fn two_writers_flagged() {
         let a = store_with(PageProt::ReadWrite, 1);
         let b = store_with(PageProt::ReadWrite, 1);
-        let v = check_page(
-            &[(SiteId(0), &a), (SiteId(1), &b)],
-            seg_id(),
-            PageNum(0),
-        );
+        let v = check_page(&[(SiteId(0), &a), (SiteId(1), &b)], seg_id(), PageNum(0));
         assert!(matches!(v[0], Violation::MultipleWriters { .. }));
     }
 
@@ -162,11 +150,7 @@ mod tests {
     fn writer_plus_reader_flagged() {
         let a = store_with(PageProt::ReadWrite, 1);
         let b = store_with(PageProt::Read, 1);
-        let v = check_page(
-            &[(SiteId(0), &a), (SiteId(1), &b)],
-            seg_id(),
-            PageNum(0),
-        );
+        let v = check_page(&[(SiteId(0), &a), (SiteId(1), &b)], seg_id(), PageNum(0));
         assert!(v.iter().any(|x| matches!(x, Violation::WriterWithReaders { .. })));
     }
 
@@ -174,11 +158,7 @@ mod tests {
     fn divergent_readers_flagged() {
         let a = store_with(PageProt::Read, 1);
         let b = store_with(PageProt::Read, 2);
-        let v = check_page(
-            &[(SiteId(0), &a), (SiteId(1), &b)],
-            seg_id(),
-            PageNum(0),
-        );
+        let v = check_page(&[(SiteId(0), &a), (SiteId(1), &b)], seg_id(), PageNum(0));
         assert!(v.iter().any(|x| matches!(x, Violation::DivergentCopies { .. })));
     }
 
@@ -186,11 +166,7 @@ mod tests {
     fn lost_page_flagged() {
         let a = store_with(PageProt::None, 0);
         let b = store_with(PageProt::None, 0);
-        let v = check_page(
-            &[(SiteId(0), &a), (SiteId(1), &b)],
-            seg_id(),
-            PageNum(0),
-        );
+        let v = check_page(&[(SiteId(0), &a), (SiteId(1), &b)], seg_id(), PageNum(0));
         assert_eq!(v, vec![Violation::PageLost]);
     }
 }

@@ -41,6 +41,11 @@
 //!   (loop-back) delivery so that colocated library/requester exchanges
 //!   never touch the network, matching §7.3's observation that colocation
 //!   beats remote library service;
+//! * [`sink`] — [`ActionSink`], the caller-owned, reusable action buffer
+//!   the engine writes into (the allocation-free hot path);
+//! * [`driver`] — [`ProtocolDriver`] and [`DriverOps`], the shared layer
+//!   every runtime (simulator, host, baseline, test harnesses) hosts the
+//!   engine through;
 //! * [`invariants`] — a global-view checker used by tests to assert the
 //!   coherence invariants over any interleaving.
 
@@ -48,11 +53,13 @@
 #![warn(rust_2018_idioms)]
 
 pub mod config;
+pub mod driver;
 pub mod engine;
 pub mod event;
 pub mod invariants;
 pub mod library;
 pub mod msg;
+pub mod sink;
 pub mod store;
 pub mod table1;
 pub mod using;
@@ -60,6 +67,12 @@ pub mod using;
 pub use config::{
     DeltaPolicy,
     ProtocolConfig,
+};
+pub use driver::{
+    DispatchSummary,
+    DriverOps,
+    ProtocolDriver,
+    RecordedOps,
 };
 pub use engine::SiteEngine;
 pub use event::{
@@ -72,6 +85,7 @@ pub use msg::{
     DoneInfo,
     ProtoMsg,
 };
+pub use sink::ActionSink;
 pub use store::{
     InMemStore,
     PageStore,

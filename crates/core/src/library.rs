@@ -6,6 +6,11 @@
 //! queued, and sequentially processed. … The library distinguishes
 //! writers from readers; there may only be one writable copy of a given
 //! page in the network at any one time." (§6.0)
+//!
+//! Per-page records live in dense per-segment tables ([`LibState`]): a
+//! segment resolves to a slab index once, and page lookups from then on
+//! are plain vector indexing — mirroring the paper's auxpte arrays and
+//! keeping the fault path free of tuple-key hashing.
 
 use std::collections::{
     HashMap,
@@ -17,6 +22,7 @@ use mirage_types::{
     Delta,
     PageNum,
     Pid,
+    ReaderSet,
     SegmentId,
     SimDuration,
     SimTime,
@@ -27,7 +33,6 @@ use mirage_types::{
 
 use crate::{
     engine::{
-        Ctx,
         SiteEngine,
         TimerKind,
     },
@@ -40,6 +45,7 @@ use crate::{
         DoneInfo,
         ProtoMsg,
     },
+    sink::ActionSink,
     table1::{
         self,
         Current,
@@ -58,7 +64,7 @@ struct Request {
 #[derive(Debug)]
 struct LibPage {
     /// Sites holding read copies.
-    readers: SiteSet,
+    readers: ReaderSet,
     /// Site holding the write copy.
     writer: Option<SiteId>,
     /// The page's clock site (most recent copy holder).
@@ -73,7 +79,7 @@ struct LibPage {
     /// Sites that lost their copies in the last completed serve, and
     /// when; a quick re-request from one of them is the thrash signal
     /// that grows the window.
-    last_losers: Option<(SiteSet, SimTime)>,
+    last_losers: Option<(ReaderSet, SimTime)>,
     /// Whether the in-flight serve needed a Δ denial (the window did
     /// useful protection work); serves that complete without one shrink
     /// a dynamic window.
@@ -85,7 +91,7 @@ impl LibPage {
         // The creating site starts with the only (write) copy of every
         // page and is therefore both writer and clock site.
         Self {
-            readers: SiteSet::empty(),
+            readers: ReaderSet::empty(),
             writer: Some(creator),
             clock: creator,
             queue: VecDeque::new(),
@@ -109,7 +115,7 @@ impl LibPage {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct LibPageView {
     /// Sites the library believes hold read copies.
-    pub readers: SiteSet,
+    pub readers: ReaderSet,
     /// Site the library believes holds the write copy.
     pub writer: Option<SiteId>,
     /// The page's clock site.
@@ -123,9 +129,13 @@ pub struct LibPageView {
 }
 
 /// Library-role state for all segments this site is library for.
+///
+/// Segments are slab-indexed: `index` maps a [`SegmentId`] to a slot in
+/// `segs`, and each slot is a dense page-number-indexed vector.
 #[derive(Debug, Default)]
 pub struct LibState {
-    pages: HashMap<(SegmentId, PageNum), LibPage>,
+    index: HashMap<SegmentId, usize>,
+    segs: Vec<Vec<LibPage>>,
 }
 
 impl LibState {
@@ -136,14 +146,30 @@ impl LibState {
         creator: SiteId,
         policy: &crate::config::DeltaPolicy,
     ) {
-        for p in 0..pages {
-            let page = PageNum(p as u32);
-            self.pages.insert((seg, page), LibPage::initial(creator, policy.window(page)));
+        let table: Vec<LibPage> = (0..pages)
+            .map(|p| LibPage::initial(creator, policy.window(PageNum(p as u32))))
+            .collect();
+        match self.index.get(&seg) {
+            Some(&slot) => self.segs[slot] = table,
+            None => {
+                self.index.insert(seg, self.segs.len());
+                self.segs.push(table);
+            }
         }
     }
 
+    fn page_mut(&mut self, seg: SegmentId, page: PageNum) -> Option<&mut LibPage> {
+        let &slot = self.index.get(&seg)?;
+        self.segs[slot].get_mut(page.index())
+    }
+
+    fn page(&self, seg: SegmentId, page: PageNum) -> Option<&LibPage> {
+        let &slot = self.index.get(&seg)?;
+        self.segs[slot].get(page.index())
+    }
+
     pub(crate) fn view(&self, seg: SegmentId, page: PageNum) -> Option<LibPageView> {
-        self.pages.get(&(seg, page)).map(|p| LibPageView {
+        self.page(seg, page).map(|p| LibPageView {
             readers: p.readers,
             writer: p.writer,
             clock: p.clock,
@@ -163,13 +189,13 @@ impl SiteEngine {
         page: PageNum,
         access: Access,
         pid: Pid,
-        ctx: &mut Ctx,
+        sink: &mut ActionSink,
     ) {
         // §9: "Mirage provides a facility for logging all page requests
         // at the library site."
-        ctx.out.push(Action::Log(RefLogEntry { seg, page, at: ctx.now, pid, access }));
+        sink.push(Action::Log(RefLogEntry { seg, page, at: sink.now(), pid, access }));
         let dynamic = self.config.delta.is_dynamic();
-        let Some(rec) = self.lib.pages.get_mut(&(seg, page)) else {
+        let Some(rec) = self.lib.page_mut(seg, page) else {
             // Unknown page — segment destroyed or never created here.
             return;
         };
@@ -178,19 +204,24 @@ impl SiteEngine {
             // for the page back right after losing it means the window
             // ended while the holder was still actively using the page.
             if let Some((losers, at)) = rec.last_losers {
-                if losers.contains(from) && ctx.now.since(at) <= TICK.scale(4) {
+                if losers.contains(from) && sink.now().since(at) <= TICK.scale(4) {
                     rec.window = grow_window(rec.window, &self.config.delta);
                 }
             }
         }
         rec.queue.push_back(Request { site: from, access });
-        self.lib_process_queue(seg, page, ctx);
+        self.lib_process_queue(seg, page, sink);
     }
 
     /// Serves queued requests until one is in flight or the queue drains.
-    pub(crate) fn lib_process_queue(&mut self, seg: SegmentId, page: PageNum, ctx: &mut Ctx) {
+    pub(crate) fn lib_process_queue(
+        &mut self,
+        seg: SegmentId,
+        page: PageNum,
+        sink: &mut ActionSink,
+    ) {
         loop {
-            let Some(rec) = self.lib.pages.get_mut(&(seg, page)) else {
+            let Some(rec) = self.lib.page_mut(seg, page) else {
                 return;
             };
             let window = rec.window;
@@ -205,7 +236,7 @@ impl SiteEngine {
                     // "Read requests for the same page are batched
                     // together and granted to all the readers at one time
                     // when the request is processed."
-                    let mut batch = SiteSet::empty();
+                    let mut batch = ReaderSet::empty();
                     rec.queue.retain(|r| {
                         if r.access == Access::Read {
                             batch.insert(r.site);
@@ -239,7 +270,7 @@ impl SiteEngine {
                         self.emit(
                             clock,
                             ProtoMsg::AddReaders { seg, page, readers: batch, window },
-                            ctx,
+                            sink,
                         );
                         // Non-blocking: keep processing the queue.
                         continue;
@@ -259,7 +290,7 @@ impl SiteEngine {
                             readers,
                             window,
                         },
-                        ctx,
+                        sink,
                     );
                     return;
                 }
@@ -269,7 +300,7 @@ impl SiteEngine {
                         // Already the writer: stale request; confirm with
                         // an upgrade notification so the requester wakes.
                         let to = front.site;
-                        self.emit(to, ProtoMsg::UpgradeGrant { seg, page, window }, ctx);
+                        self.emit(to, ProtoMsg::UpgradeGrant { seg, page, window }, sink);
                         continue;
                     }
                     let in_readers = rec.readers.contains(front.site);
@@ -289,7 +320,7 @@ impl SiteEngine {
                     self.emit(
                         clock,
                         ProtoMsg::Invalidate { seg, page, demand, readers, window },
-                        ctx,
+                        sink,
                     );
                     return;
                 }
@@ -306,22 +337,22 @@ impl SiteEngine {
         seg: SegmentId,
         page: PageNum,
         wait: SimDuration,
-        ctx: &mut Ctx,
+        sink: &mut ActionSink,
     ) {
-        let Some(rec) = self.lib.pages.get_mut(&(seg, page)) else {
+        let Some(rec) = self.lib.page_mut(seg, page) else {
             return;
         };
         if rec.serving.is_none() {
             return;
         }
         rec.deny_seen = true;
-        let at = ctx.now + wait;
-        self.set_timer(at, TimerKind::LibraryRetry { seg, page }, ctx);
+        let at = sink.now() + wait;
+        self.set_timer(at, TimerKind::LibraryRetry { seg, page }, sink);
     }
 
     /// Retry timer fired: re-send the in-flight invalidation.
-    pub(crate) fn lib_retry(&mut self, seg: SegmentId, page: PageNum, ctx: &mut Ctx) {
-        let Some(rec) = self.lib.pages.get(&(seg, page)) else {
+    pub(crate) fn lib_retry(&mut self, seg: SegmentId, page: PageNum, sink: &mut ActionSink) {
+        let Some(rec) = self.lib.page(seg, page) else {
             return;
         };
         let window = rec.window;
@@ -330,11 +361,7 @@ impl SiteEngine {
         };
         let clock = rec.clock;
         let readers = rec.readers;
-        self.emit(
-            clock,
-            ProtoMsg::Invalidate { seg, page, demand, readers, window },
-            ctx,
-        );
+        self.emit(clock, ProtoMsg::Invalidate { seg, page, demand, readers, window }, sink);
     }
 
     /// The clock site completed the demand: update the records and serve
@@ -344,10 +371,10 @@ impl SiteEngine {
         seg: SegmentId,
         page: PageNum,
         info: DoneInfo,
-        ctx: &mut Ctx,
+        sink: &mut ActionSink,
     ) {
         let dynamic = self.config.delta.is_dynamic();
-        let Some(rec) = self.lib.pages.get_mut(&(seg, page)) else {
+        let Some(rec) = self.lib.page_mut(seg, page) else {
             return;
         };
         let Some(demand) = rec.serving.take() else {
@@ -377,7 +404,7 @@ impl SiteEngine {
             };
             let losers = prev.difference(kept);
             if !losers.is_empty() {
-                rec.last_losers = Some((losers, ctx.now));
+                rec.last_losers = Some((losers, sink.now()));
             }
             if !rec.deny_seen {
                 rec.window = shrink_window(rec.window, &self.config.delta);
@@ -406,10 +433,9 @@ impl SiteEngine {
                 rec.clock = clock;
             }
         }
-        self.lib_process_queue(seg, page, ctx);
+        self.lib_process_queue(seg, page, sink);
     }
 }
-
 
 /// Doubles a dynamic window (at least 1 tick), capped at the policy max.
 fn grow_window(w: Delta, policy: &crate::config::DeltaPolicy) -> Delta {

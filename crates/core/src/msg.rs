@@ -5,8 +5,10 @@
 //! §7.2's accounting ("Three of these message are large responses (1024
 //! bytes of data); the other 6 are short messages").
 
+use mirage_mem::PageData;
 use mirage_net::{
     costs::SizeClass,
+    kind::MsgKind,
     message::Sized2,
     wire::Wire,
 };
@@ -19,8 +21,9 @@ use mirage_types::{
     Result,
     SegmentId,
     SimDuration,
-    SiteSet,
     SiteId,
+    SiteSet,
+    PAGE_SIZE,
 };
 
 /// What an invalidation is demanded *for*: the request the library is
@@ -157,8 +160,10 @@ pub enum ProtoMsg {
         access: Access,
         /// Window to install with the page.
         window: Delta,
-        /// The page bytes.
-        data: Vec<u8>,
+        /// The page itself, moved (never copied) from the storing site's
+        /// frame into the message and from the message into the
+        /// receiver's frame.
+        data: PageData,
     },
     /// Clock/library → requester holding a read copy: you are now the
     /// writer; no data follows (short). §6.1 optimization 1.
@@ -188,19 +193,24 @@ impl ProtoMsg {
         }
     }
 
+    /// The message's kind, for per-kind instrumentation counters.
+    pub fn kind(&self) -> MsgKind {
+        match self {
+            ProtoMsg::PageRequest { .. } => MsgKind::PageRequest,
+            ProtoMsg::AddReaders { .. } => MsgKind::AddReaders,
+            ProtoMsg::Invalidate { .. } => MsgKind::Invalidate,
+            ProtoMsg::InvalidateDeny { .. } => MsgKind::InvalidateDeny,
+            ProtoMsg::InvalidateDone { .. } => MsgKind::InvalidateDone,
+            ProtoMsg::ReaderInvalidate { .. } => MsgKind::ReaderInvalidate,
+            ProtoMsg::ReaderInvalidateAck { .. } => MsgKind::ReaderInvalidateAck,
+            ProtoMsg::PageGrant { .. } => MsgKind::PageGrant,
+            ProtoMsg::UpgradeGrant { .. } => MsgKind::UpgradeGrant,
+        }
+    }
+
     /// A short human tag for instrumentation.
     pub fn tag(&self) -> &'static str {
-        match self {
-            ProtoMsg::PageRequest { .. } => "PageRequest",
-            ProtoMsg::AddReaders { .. } => "AddReaders",
-            ProtoMsg::Invalidate { .. } => "Invalidate",
-            ProtoMsg::InvalidateDeny { .. } => "InvalidateDeny",
-            ProtoMsg::InvalidateDone { .. } => "InvalidateDone",
-            ProtoMsg::ReaderInvalidate { .. } => "ReaderInvalidate",
-            ProtoMsg::ReaderInvalidateAck { .. } => "ReaderInvalidateAck",
-            ProtoMsg::PageGrant { .. } => "PageGrant",
-            ProtoMsg::UpgradeGrant { .. } => "UpgradeGrant",
-        }
+        self.kind().name()
     }
 }
 
@@ -302,7 +312,11 @@ impl Wire for ProtoMsg {
                 page.encode(buf);
                 access.encode(buf);
                 window.encode(buf);
-                data.encode(buf);
+                // Same layout a `Vec<u8>` used: u32 length prefix plus the
+                // bytes. (`Wire` and `PageData` live in unrelated crates,
+                // so the page is framed here rather than via an impl.)
+                (PAGE_SIZE as u32).encode(buf);
+                buf.extend_from_slice(data.as_bytes());
             }
             ProtoMsg::UpgradeGrant { seg, page, window } => {
                 buf.push(8);
@@ -341,13 +355,21 @@ impl Wire for ProtoMsg {
             4 => ProtoMsg::InvalidateDone { seg, page, info: DoneInfo::decode(buf)? },
             5 => ProtoMsg::ReaderInvalidate { seg, page },
             6 => ProtoMsg::ReaderInvalidateAck { seg, page },
-            7 => ProtoMsg::PageGrant {
-                seg,
-                page,
-                access: Access::decode(buf)?,
-                window: Delta::decode(buf)?,
-                data: Vec::<u8>::decode(buf)?,
-            },
+            7 => {
+                let access = Access::decode(buf)?;
+                let window = Delta::decode(buf)?;
+                let len = u32::decode(buf)? as usize;
+                if len != PAGE_SIZE {
+                    return Err(MirageError::Codec("page grant must carry one page"));
+                }
+                if buf.len() < len {
+                    return Err(MirageError::Codec("truncated message"));
+                }
+                let (head, rest) = buf.split_at(len);
+                let data = PageData::from_bytes(head);
+                *buf = rest;
+                ProtoMsg::PageGrant { seg, page, access, window, data }
+            }
             8 => ProtoMsg::UpgradeGrant { seg, page, window: Delta::decode(buf)? },
             _ => return Err(MirageError::Codec("bad ProtoMsg discriminant")),
         })
@@ -413,7 +435,7 @@ mod tests {
                 page: PageNum(2),
                 access: Access::Read,
                 window: Delta(6),
-                data: vec![0xAB; PAGE_SIZE],
+                data: PageData::from_bytes(&[0xAB; PAGE_SIZE]),
             },
             ProtoMsg::UpgradeGrant { seg: seg(), page: PageNum(2), window: Delta(1) },
         ]

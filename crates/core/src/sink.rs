@@ -1,0 +1,108 @@
+//! [`ActionSink`]: the reusable action buffer every runtime drives the
+//! engine through.
+//!
+//! The engine is sans-IO: each event produces a burst of [`Action`]s.
+//! Allocating a fresh `Vec` per event would put a heap allocation on the
+//! per-fault hot path, so the sink is owned by the caller (usually a
+//! [`crate::ProtocolDriver`]) and reused: `begin` resets it without
+//! releasing capacity, the engine fills it, and the runtime drains it.
+//! After warm-up, steady-state event handling performs no heap
+//! allocation at all.
+
+use std::collections::VecDeque;
+
+use mirage_types::SimTime;
+
+use crate::{
+    event::Action,
+    msg::ProtoMsg,
+};
+
+/// A reusable buffer of engine output plus the per-dispatch context
+/// (current time, pending loop-back deliveries, grant count).
+#[derive(Debug, Default)]
+pub struct ActionSink {
+    now: SimTime,
+    actions: Vec<Action>,
+    /// Self-sends (library colocated with the requester, §7.3) delivered
+    /// within the same dispatch instead of hitting the wire.
+    loopback: VecDeque<ProtoMsg>,
+    /// `PageGrant` sends accumulated since `begin` — runtimes charge
+    /// server CPU per grant (Table 3 "serve processing") and need the
+    /// count *before* consuming the actions.
+    grants: u32,
+}
+
+impl ActionSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resets the sink for a new dispatch at `now`, retaining capacity.
+    pub(crate) fn begin(&mut self, now: SimTime) {
+        self.now = now;
+        self.actions.clear();
+        self.loopback.clear();
+        self.grants = 0;
+    }
+
+    /// The time of the in-progress dispatch.
+    pub(crate) fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Appends an action, maintaining the grant count.
+    pub(crate) fn push(&mut self, action: Action) {
+        if action.is_page_grant() {
+            self.grants += 1;
+        }
+        self.actions.push(action);
+    }
+
+    /// Queues a message the engine sent to its own site.
+    pub(crate) fn push_loopback(&mut self, msg: ProtoMsg) {
+        self.loopback.push_back(msg);
+    }
+
+    /// Takes the next pending loop-back delivery.
+    pub(crate) fn pop_loopback(&mut self) -> Option<ProtoMsg> {
+        self.loopback.pop_front()
+    }
+
+    /// The actions accumulated by the current dispatch.
+    pub fn actions(&self) -> &[Action] {
+        &self.actions
+    }
+
+    /// Number of accumulated actions.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// True if the dispatch produced no actions.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// `PageGrant` sends accumulated by the current dispatch.
+    pub fn grants(&self) -> u32 {
+        self.grants
+    }
+
+    /// Moves the accumulated actions out, leaving the sink reusable.
+    ///
+    /// This is the compatibility path for callers that want an owned
+    /// `Vec` (tests, the legacy [`crate::SiteEngine::handle`]); drivers
+    /// use [`ActionSink::drain`] instead, which keeps the buffer.
+    pub fn take_actions(&mut self) -> Vec<Action> {
+        self.grants = 0;
+        std::mem::take(&mut self.actions)
+    }
+
+    /// Drains the accumulated actions in order, keeping capacity.
+    pub fn drain(&mut self) -> impl Iterator<Item = Action> + '_ {
+        self.grants = 0;
+        self.actions.drain(..)
+    }
+}

@@ -78,17 +78,11 @@ impl InMemStore {
 
 impl PageStore for InMemStore {
     fn take(&mut self, seg: SegmentId, page: PageNum) -> PageData {
-        self.segments
-            .get_mut(&seg)
-            .and_then(|s| s.invalidate(page))
-            .unwrap_or_default()
+        self.segments.get_mut(&seg).and_then(|s| s.invalidate(page)).unwrap_or_default()
     }
 
     fn copy(&self, seg: SegmentId, page: PageNum) -> PageData {
-        self.segments
-            .get(&seg)
-            .and_then(|s| s.copy_out(page))
-            .unwrap_or_default()
+        self.segments.get(&seg).and_then(|s| s.copy_out(page)).unwrap_or_default()
     }
 
     fn install(&mut self, seg: SegmentId, page: PageNum, data: PageData, prot: PageProt) {

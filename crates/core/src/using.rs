@@ -1,9 +1,17 @@
 //! The using-site role: fault handling, page installation, and clock-site
 //! duties (window enforcement and invalidation rounds).
+//!
+//! Per-page state lives in dense per-segment tables ([`UseState`]): one
+//! slab-index lookup per segment, then plain vector indexing per page —
+//! the shape of the paper's auxpte arrays (Table 2). Each page entry
+//! absorbs what used to be five separate tuple-keyed maps (waiters,
+//! outstanding-request flags, invalidation round, delayed invalidation,
+//! deferred clock duties), so the fault path hashes nothing per page and
+//! steady-state handling allocates nothing.
 
 use std::collections::{
     HashMap,
-    HashSet,
+    VecDeque,
 };
 
 use mirage_mem::{
@@ -16,6 +24,7 @@ use mirage_types::{
     PageNum,
     PageProt,
     Pid,
+    ReaderSet,
     SegmentId,
     SiteId,
     SiteSet,
@@ -24,15 +33,16 @@ use mirage_types::{
 use crate::{
     config::ProtocolConfig,
     engine::{
-        Ctx,
         SiteEngine,
         TimerKind,
     },
+    event::Action,
     msg::{
         Demand,
         DoneInfo,
         ProtoMsg,
     },
+    sink::ActionSink,
     store::PageStore,
 };
 
@@ -42,9 +52,10 @@ struct InvRound {
     demand: Demand,
     window: Delta,
     /// Victims whose acks are still awaited.
-    remaining: SiteSet,
-    /// Victims not yet sent an invalidation (sequential mode).
-    to_send: Vec<SiteId>,
+    remaining: ReaderSet,
+    /// Victims not yet sent an invalidation (sequential mode), visited
+    /// in ascending site order.
+    to_send: ReaderSet,
     /// Page data to forward to the new writer once the round completes
     /// (absent for upgrades).
     data: Option<PageData>,
@@ -55,17 +66,8 @@ struct InvRound {
 #[derive(Debug)]
 struct DelayedInvalidate {
     demand: Demand,
-    readers: SiteSet,
+    readers: ReaderSet,
     window: Delta,
-}
-
-/// Per-segment using-site state.
-#[derive(Debug)]
-struct SegState {
-    aux: AuxTable,
-    waiters: HashMap<PageNum, Vec<(Pid, Access)>>,
-    out_read: HashSet<PageNum>,
-    out_write: HashSet<PageNum>,
 }
 
 /// A clock-site duty that arrived before the page it concerns.
@@ -78,18 +80,47 @@ struct SegState {
 /// its copy arrives.
 #[derive(Debug)]
 enum DeferredOp {
-    Invalidate { demand: Demand, readers: SiteSet, window: Delta },
-    AddReaders { readers: SiteSet, window: Delta },
+    Invalidate { demand: Demand, readers: ReaderSet, window: Delta },
+    AddReaders { readers: ReaderSet, window: Delta },
     ReaderInvalidate { from: SiteId },
 }
 
+/// The using-site record for one page: everything this site tracks about
+/// the page beyond the auxpte proper.
+#[derive(Debug, Default)]
+struct UsePage {
+    /// Local processes blocked in a fault on this page.
+    waiters: Vec<(Pid, Access)>,
+    /// A read request for this page is in flight to the library.
+    out_read: bool,
+    /// A write request for this page is in flight to the library.
+    out_write: bool,
+    /// The invalidation round in progress (clock duty).
+    round: Option<InvRound>,
+    /// An invalidation delayed until window expiry (clock duty).
+    delayed: Option<DelayedInvalidate>,
+    /// Clock duties deferred until our copy arrives.
+    deferred: VecDeque<DeferredOp>,
+}
+
+/// Per-segment using-site state: the auxiliary table plus the dense
+/// per-page records.
+#[derive(Debug)]
+struct SegState {
+    aux: AuxTable,
+    pages: Vec<UsePage>,
+}
+
 /// Using-role state for all segments known at this site.
+///
+/// Segments are slab-indexed: `index` maps a [`SegmentId`] to a slot in
+/// `segs` once, and page lookups are then direct vector indexing.
 #[derive(Debug, Default)]
 pub struct UseState {
-    segs: HashMap<SegmentId, SegState>,
-    rounds: HashMap<(SegmentId, PageNum), InvRound>,
-    delayed: HashMap<(SegmentId, PageNum), DelayedInvalidate>,
-    deferred: HashMap<(SegmentId, PageNum), std::collections::VecDeque<DeferredOp>>,
+    index: HashMap<SegmentId, usize>,
+    segs: Vec<SegState>,
+    /// Reused by `wake_satisfied` so waking waiters allocates nothing.
+    wake_scratch: Vec<Pid>,
 }
 
 impl UseState {
@@ -104,28 +135,43 @@ impl UseState {
             let page = PageNum(p as u32);
             aux.set_window(page, config.delta.window(page));
         }
-        self.segs.insert(
-            seg,
-            SegState {
-                aux,
-                waiters: HashMap::new(),
-                out_read: HashSet::new(),
-                out_write: HashSet::new(),
-            },
-        );
+        let state = SegState { aux, pages: (0..pages).map(|_| UsePage::default()).collect() };
+        match self.index.get(&seg) {
+            Some(&slot) => self.segs[slot] = state,
+            None => {
+                self.index.insert(seg, self.segs.len());
+                self.segs.push(state);
+            }
+        }
+    }
+
+    fn seg_mut(&mut self, seg: SegmentId) -> Option<&mut SegState> {
+        let &slot = self.index.get(&seg)?;
+        Some(&mut self.segs[slot])
+    }
+
+    fn seg(&self, seg: SegmentId) -> Option<&SegState> {
+        let &slot = self.index.get(&seg)?;
+        Some(&self.segs[slot])
+    }
+
+    fn entry_mut(&mut self, seg: SegmentId, page: PageNum) -> Option<&mut UsePage> {
+        self.seg_mut(seg)?.pages.get_mut(page.index())
     }
 
     pub(crate) fn waiter_count(&self, seg: SegmentId, page: PageNum) -> usize {
-        self.segs
-            .get(&seg)
-            .and_then(|s| s.waiters.get(&page))
-            .map_or(0, Vec::len)
+        self.seg(seg).and_then(|s| s.pages.get(page.index())).map_or(0, |e| e.waiters.len())
     }
 
-    pub(crate) fn has_outstanding(&self, seg: SegmentId, page: PageNum, access: Access) -> bool {
-        self.segs.get(&seg).is_some_and(|s| match access {
-            Access::Read => s.out_read.contains(&page),
-            Access::Write => s.out_write.contains(&page),
+    pub(crate) fn has_outstanding(
+        &self,
+        seg: SegmentId,
+        page: PageNum,
+        access: Access,
+    ) -> bool {
+        self.seg(seg).and_then(|s| s.pages.get(page.index())).is_some_and(|e| match access {
+            Access::Read => e.out_read,
+            Access::Write => e.out_write,
         })
     }
 }
@@ -139,35 +185,31 @@ impl SiteEngine {
         page: PageNum,
         access: Access,
         store: &mut dyn PageStore,
-        ctx: &mut Ctx,
+        sink: &mut ActionSink,
     ) {
         if store.prot(seg, page).permits(access) {
             // The process's PTE was stale (lazy remapping, §6.2); the
             // master already permits the access.
-            self.wake(pid, ctx);
+            self.wake(pid, sink);
             return;
         }
-        let Some(st) = self.usr.segs.get_mut(&seg) else {
+        let Some(entry) = self.usr.entry_mut(seg, page) else {
             return;
         };
-        st.waiters.entry(page).or_default().push((pid, access));
+        entry.waiters.push((pid, access));
         // Deduplicate outstanding requests from this site: an in-flight
         // write request will grant read-write, which covers read faults
         // too.
         let need_send = match access {
-            Access::Read => !st.out_read.contains(&page) && !st.out_write.contains(&page),
-            Access::Write => !st.out_write.contains(&page),
+            Access::Read => !entry.out_read && !entry.out_write,
+            Access::Write => !entry.out_write,
         };
         if need_send {
             match access {
-                Access::Read => {
-                    st.out_read.insert(page);
-                }
-                Access::Write => {
-                    st.out_write.insert(page);
-                }
+                Access::Read => entry.out_read = true,
+                Access::Write => entry.out_write = true,
             }
-            self.emit(seg.library, ProtoMsg::PageRequest { seg, page, access, pid }, ctx);
+            self.emit(seg.library, ProtoMsg::PageRequest { seg, page, access, pid }, sink);
         }
     }
 
@@ -180,16 +222,14 @@ impl SiteEngine {
         readers: SiteSet,
         window: Delta,
         store: &mut dyn PageStore,
-        ctx: &mut Ctx,
+        sink: &mut ActionSink,
     ) {
         if store.prot(seg, page) == PageProt::None {
             // Our copy is still in flight; serve the readers once it
             // lands.
-            self.usr
-                .deferred
-                .entry((seg, page))
-                .or_default()
-                .push_back(DeferredOp::AddReaders { readers, window });
+            if let Some(entry) = self.usr.entry_mut(seg, page) {
+                entry.deferred.push_back(DeferredOp::AddReaders { readers, window });
+            }
             return;
         }
         let data = store.copy(seg, page);
@@ -204,14 +244,14 @@ impl SiteEngine {
                     page,
                     access: Access::Read,
                     window,
-                    data: data.as_bytes().to_vec(),
+                    data: data.clone(),
                 },
-                ctx,
+                sink,
             );
         }
         if readers.contains(self.site) {
             // Raced local request: we already hold a copy; wake readers.
-            self.wake_satisfied(seg, page, store, ctx);
+            self.wake_satisfied(seg, page, store, sink);
         }
     }
 
@@ -225,28 +265,22 @@ impl SiteEngine {
         readers: SiteSet,
         window: Delta,
         store: &mut dyn PageStore,
-        ctx: &mut Ctx,
+        sink: &mut ActionSink,
     ) {
         if store.prot(seg, page) == PageProt::None {
             // The copy this demand must invalidate has not arrived yet
             // (short library message beat the page-carrying grant).
             // Defer; the window check will run against the fresh install.
-            self.usr
-                .deferred
-                .entry((seg, page))
-                .or_default()
-                .push_back(DeferredOp::Invalidate { demand, readers, window });
+            if let Some(entry) = self.usr.entry_mut(seg, page) {
+                entry.deferred.push_back(DeferredOp::Invalidate { demand, readers, window });
+            }
             return;
         }
-        let now = ctx.now;
-        let expired = self
-            .usr
-            .segs
-            .get(&seg)
-            .map(|st| st.aux.get(page).window_expired(now))
-            .unwrap_or(true);
+        let now = sink.now();
+        let expired =
+            self.usr.seg(seg).map(|st| st.aux.get(page).window_expired(now)).unwrap_or(true);
         if !expired {
-            let st = self.usr.segs.get(&seg).expect("segment known");
+            let st = self.usr.seg(seg).expect("segment known");
             let remaining = st.aux.get(page).window_remaining(now);
             if self.config.queued_invalidation
                 && remaining <= mirage_net::NetCosts::vax_locus().retry_threshold()
@@ -254,10 +288,10 @@ impl SiteEngine {
                 // §7.1 caveat 1: honor after a short delay rather than
                 // forcing the library to retry over the network.
                 let expiry = st.aux.get(page).window_expiry();
-                self.usr
-                    .delayed
-                    .insert((seg, page), DelayedInvalidate { demand, readers, window });
-                self.set_timer(expiry, TimerKind::ClockDelayed { seg, page }, ctx);
+                if let Some(entry) = self.usr.entry_mut(seg, page) {
+                    entry.delayed = Some(DelayedInvalidate { demand, readers, window });
+                }
+                self.set_timer(expiry, TimerKind::ClockDelayed { seg, page }, sink);
                 return;
             }
             // "the clock site replies immediately with the amount of time
@@ -266,11 +300,11 @@ impl SiteEngine {
             self.emit(
                 seg.library,
                 ProtoMsg::InvalidateDeny { seg, page, wait: remaining },
-                ctx,
+                sink,
             );
             return;
         }
-        self.honor_invalidation(seg, page, demand, readers, window, store, ctx);
+        self.honor_invalidation(seg, page, demand, readers, window, store, sink);
     }
 
     /// A delayed (queued) invalidation's window expired; honor it now.
@@ -279,12 +313,12 @@ impl SiteEngine {
         seg: SegmentId,
         page: PageNum,
         store: &mut dyn PageStore,
-        ctx: &mut Ctx,
+        sink: &mut ActionSink,
     ) {
-        let Some(d) = self.usr.delayed.remove(&(seg, page)) else {
+        let Some(d) = self.usr.entry_mut(seg, page).and_then(|e| e.delayed.take()) else {
             return;
         };
-        self.honor_invalidation(seg, page, d.demand, d.readers, d.window, store, ctx);
+        self.honor_invalidation(seg, page, d.demand, d.readers, d.window, store, sink);
     }
 
     /// Carries out an accepted invalidation: "typically it: 1) invalidates
@@ -300,10 +334,13 @@ impl SiteEngine {
         readers: SiteSet,
         window: Delta,
         store: &mut dyn PageStore,
-        ctx: &mut Ctx,
+        sink: &mut ActionSink,
     ) {
         debug_assert!(
-            !self.usr.rounds.contains_key(&(seg, page)),
+            self.usr
+                .seg(seg)
+                .and_then(|s| s.pages.get(page.index()))
+                .is_none_or(|e| e.round.is_none()),
             "library serializes demands per page"
         );
         match demand {
@@ -322,9 +359,9 @@ impl SiteEngine {
                             page,
                             access: Access::Read,
                             window,
-                            data: data.as_bytes().to_vec(),
+                            data: data.clone(),
                         },
-                        ctx,
+                        sink,
                     );
                 }
                 let downgraded = self.config.downgrade_optimization;
@@ -336,7 +373,7 @@ impl SiteEngine {
                     // restarted. A reader that turns around and writes
                     // (the Figure 8 pattern) therefore upgrades without
                     // waiting out a second window.
-                    if let Some(st) = self.usr.segs.get_mut(&seg) {
+                    if let Some(st) = self.usr.seg_mut(seg) {
                         st.aux.get_mut(page).window = window;
                     }
                 } else {
@@ -349,7 +386,7 @@ impl SiteEngine {
                         page,
                         info: DoneInfo { writer_downgraded: downgraded },
                     },
-                    ctx,
+                    sink,
                 );
             }
             Demand::Write { to, upgrade } => {
@@ -379,29 +416,37 @@ impl SiteEngine {
                 let mut round = InvRound {
                     demand: Demand::Write { to, upgrade },
                     window,
-                    remaining: SiteSet::empty(),
-                    to_send: victims.iter().collect(),
+                    remaining: ReaderSet::empty(),
+                    to_send: victims,
                     data,
                 };
                 if round.to_send.is_empty() {
-                    self.usr.rounds.insert((seg, page), round);
-                    self.finish_write_round(seg, page, store, ctx);
+                    if let Some(entry) = self.usr.entry_mut(seg, page) {
+                        entry.round = Some(round);
+                        self.finish_write_round(seg, page, store, sink);
+                    }
                     return;
                 }
                 if self.config.multicast_invalidation {
                     // One multicast round: send all, await all acks.
-                    for v in round.to_send.drain(..) {
-                        round.remaining.insert(v);
-                        self.emit(v, ProtoMsg::ReaderInvalidate { seg, page }, ctx);
+                    let all = round.to_send;
+                    round.to_send = ReaderSet::empty();
+                    round.remaining = all;
+                    for v in all.iter() {
+                        self.emit(v, ProtoMsg::ReaderInvalidate { seg, page }, sink);
                     }
                 } else {
                     // Paper behaviour: "invalidations are processed
-                    // sequentially" — one victim at a time.
-                    let first = round.to_send.remove(0);
+                    // sequentially" — one victim at a time, in ascending
+                    // site order.
+                    let first = round.to_send.first().expect("to_send nonempty");
+                    round.to_send.remove(first);
                     round.remaining.insert(first);
-                    self.emit(first, ProtoMsg::ReaderInvalidate { seg, page }, ctx);
+                    self.emit(first, ProtoMsg::ReaderInvalidate { seg, page }, sink);
                 }
-                self.usr.rounds.insert((seg, page), round);
+                if let Some(entry) = self.usr.entry_mut(seg, page) {
+                    entry.round = Some(round);
+                }
             }
         }
     }
@@ -413,27 +458,27 @@ impl SiteEngine {
         seg: SegmentId,
         page: PageNum,
         store: &mut dyn PageStore,
-        ctx: &mut Ctx,
+        sink: &mut ActionSink,
     ) {
         if store.prot(seg, page) == PageProt::None {
-            let expecting_grant = self.usr.segs.get(&seg).is_some_and(|st| {
-                st.out_read.contains(&page) || st.out_write.contains(&page)
-            });
+            let expecting_grant = self
+                .usr
+                .seg(seg)
+                .and_then(|s| s.pages.get(page.index()))
+                .is_some_and(|e| e.out_read || e.out_write);
             if expecting_grant {
                 // Our read copy from the *previous* demand is still in
                 // flight on another circuit. Acking now would let the
                 // stale grant install after the new writer's write —
                 // defer the invalidation until the copy lands.
-                self.usr
-                    .deferred
-                    .entry((seg, page))
-                    .or_default()
-                    .push_back(DeferredOp::ReaderInvalidate { from });
+                if let Some(entry) = self.usr.entry_mut(seg, page) {
+                    entry.deferred.push_back(DeferredOp::ReaderInvalidate { from });
+                }
                 return;
             }
         }
         store.set_prot(seg, page, PageProt::None);
-        self.emit(from, ProtoMsg::ReaderInvalidateAck { seg, page }, ctx);
+        self.emit(from, ProtoMsg::ReaderInvalidateAck { seg, page }, sink);
     }
 
     /// A victim acknowledged its invalidation.
@@ -443,23 +488,25 @@ impl SiteEngine {
         seg: SegmentId,
         page: PageNum,
         store: &mut dyn PageStore,
-        ctx: &mut Ctx,
+        sink: &mut ActionSink,
     ) {
         let finished = {
-            let Some(round) = self.usr.rounds.get_mut(&(seg, page)) else {
+            let Some(round) = self.usr.entry_mut(seg, page).and_then(|e| e.round.as_mut())
+            else {
                 return;
             };
             round.remaining.remove(from);
-            if let Some(next) = (!round.to_send.is_empty()).then(|| round.to_send.remove(0)) {
+            if let Some(next) = round.to_send.first() {
+                round.to_send.remove(next);
                 round.remaining.insert(next);
-                self.emit(next, ProtoMsg::ReaderInvalidate { seg, page }, ctx);
+                self.emit(next, ProtoMsg::ReaderInvalidate { seg, page }, sink);
                 false
             } else {
                 round.remaining.is_empty()
             }
         };
         if finished {
-            self.finish_write_round(seg, page, store, ctx);
+            self.finish_write_round(seg, page, store, sink);
         }
     }
 
@@ -470,26 +517,33 @@ impl SiteEngine {
         seg: SegmentId,
         page: PageNum,
         store: &mut dyn PageStore,
-        ctx: &mut Ctx,
+        sink: &mut ActionSink,
     ) {
-        let round = self.usr.rounds.remove(&(seg, page)).expect("round in flight");
+        let round = self
+            .usr
+            .entry_mut(seg, page)
+            .and_then(|e| e.round.take())
+            .expect("round in flight");
         let Demand::Write { to, upgrade } = round.demand else {
             unreachable!("read demands never start ack rounds");
         };
         if to == self.site {
             // We are both clock site and requester: upgrade in place.
             store.set_prot(seg, page, PageProt::ReadWrite);
-            if let Some(st) = self.usr.segs.get_mut(&seg) {
+            let now = sink.now();
+            if let Some(st) = self.usr.seg_mut(seg) {
                 let e = st.aux.get_mut(page);
-                e.install_time = ctx.now;
+                e.install_time = now;
                 e.window = round.window;
-                st.out_write.remove(&page);
-                st.out_read.remove(&page);
+                if let Some(entry) = st.pages.get_mut(page.index()) {
+                    entry.out_write = false;
+                    entry.out_read = false;
+                }
             }
-            self.wake_satisfied(seg, page, store, ctx);
+            self.wake_satisfied(seg, page, store, sink);
         } else if upgrade {
             // §6.1 optimization 1: notification, not a page copy.
-            self.emit(to, ProtoMsg::UpgradeGrant { seg, page, window: round.window }, ctx);
+            self.emit(to, ProtoMsg::UpgradeGrant { seg, page, window: round.window }, sink);
         } else {
             let data = round.data.expect("non-upgrade write demand carries data");
             self.emit(
@@ -499,19 +553,15 @@ impl SiteEngine {
                     page,
                     access: Access::Write,
                     window: round.window,
-                    data: data.as_bytes().to_vec(),
+                    data,
                 },
-                ctx,
+                sink,
             );
         }
         self.emit(
             seg.library,
-            ProtoMsg::InvalidateDone {
-                seg,
-                page,
-                info: DoneInfo { writer_downgraded: false },
-            },
-            ctx,
+            ProtoMsg::InvalidateDone { seg, page, info: DoneInfo { writer_downgraded: false } },
+            sink,
         );
     }
 
@@ -523,26 +573,29 @@ impl SiteEngine {
         page: PageNum,
         access: Access,
         window: Delta,
-        data: Vec<u8>,
+        data: PageData,
         store: &mut dyn PageStore,
-        ctx: &mut Ctx,
+        sink: &mut ActionSink,
     ) {
         let prot = match access {
             Access::Read => PageProt::Read,
             Access::Write => PageProt::ReadWrite,
         };
-        store.install(seg, page, PageData::from_bytes(&data), prot);
-        if let Some(st) = self.usr.segs.get_mut(&seg) {
+        store.install(seg, page, data, prot);
+        let now = sink.now();
+        if let Some(st) = self.usr.seg_mut(seg) {
             let e = st.aux.get_mut(page);
-            e.install_time = ctx.now;
+            e.install_time = now;
             e.window = window;
-            st.out_read.remove(&page);
-            if access == Access::Write {
-                st.out_write.remove(&page);
+            if let Some(entry) = st.pages.get_mut(page.index()) {
+                entry.out_read = false;
+                if access == Access::Write {
+                    entry.out_write = false;
+                }
             }
         }
-        self.wake_satisfied(seg, page, store, ctx);
-        self.drain_deferred(seg, page, store, ctx);
+        self.wake_satisfied(seg, page, store, sink);
+        self.drain_deferred(seg, page, store, sink);
     }
 
     /// We held a read copy and are now the writer (optimization 1).
@@ -552,18 +605,21 @@ impl SiteEngine {
         page: PageNum,
         window: Delta,
         store: &mut dyn PageStore,
-        ctx: &mut Ctx,
+        sink: &mut ActionSink,
     ) {
         store.set_prot(seg, page, PageProt::ReadWrite);
-        if let Some(st) = self.usr.segs.get_mut(&seg) {
+        let now = sink.now();
+        if let Some(st) = self.usr.seg_mut(seg) {
             let e = st.aux.get_mut(page);
-            e.install_time = ctx.now;
+            e.install_time = now;
             e.window = window;
-            st.out_read.remove(&page);
-            st.out_write.remove(&page);
+            if let Some(entry) = st.pages.get_mut(page.index()) {
+                entry.out_read = false;
+                entry.out_write = false;
+            }
         }
-        self.wake_satisfied(seg, page, store, ctx);
-        self.drain_deferred(seg, page, store, ctx);
+        self.wake_satisfied(seg, page, store, sink);
+        self.drain_deferred(seg, page, store, sink);
     }
 
     /// Runs clock-site duties that were deferred while our copy was in
@@ -574,21 +630,22 @@ impl SiteEngine {
         seg: SegmentId,
         page: PageNum,
         store: &mut dyn PageStore,
-        ctx: &mut Ctx,
+        sink: &mut ActionSink,
     ) {
-        let Some(ops) = self.usr.deferred.remove(&(seg, page)) else {
+        let Some(ops) = self.usr.entry_mut(seg, page).map(|e| std::mem::take(&mut e.deferred))
+        else {
             return;
         };
         for op in ops {
             match op {
                 DeferredOp::Invalidate { demand, readers, window } => {
-                    self.use_invalidate(seg, page, demand, readers, window, store, ctx);
+                    self.use_invalidate(seg, page, demand, readers, window, store, sink);
                 }
                 DeferredOp::AddReaders { readers, window } => {
-                    self.use_add_readers(seg, page, readers, window, store, ctx);
+                    self.use_add_readers(seg, page, readers, window, store, sink);
                 }
                 DeferredOp::ReaderInvalidate { from } => {
-                    self.use_reader_invalidate(from, seg, page, store, ctx);
+                    self.use_reader_invalidate(from, seg, page, store, sink);
                 }
             }
         }
@@ -600,24 +657,26 @@ impl SiteEngine {
         seg: SegmentId,
         page: PageNum,
         store: &mut dyn PageStore,
-        ctx: &mut Ctx,
+        sink: &mut ActionSink,
     ) {
         let prot = store.prot(seg, page);
-        let mut to_wake = Vec::new();
-        if let Some(st) = self.usr.segs.get_mut(&seg) {
-            if let Some(waiters) = st.waiters.get_mut(&page) {
-                waiters.retain(|&(pid, access)| {
-                    if prot.permits(access) {
-                        to_wake.push(pid);
-                        false
-                    } else {
-                        true
-                    }
-                });
-            }
+        // The scratch vector is owned by UseState and reused across
+        // calls, so waking allocates nothing in steady state.
+        let mut scratch = std::mem::take(&mut self.usr.wake_scratch);
+        scratch.clear();
+        if let Some(entry) = self.usr.entry_mut(seg, page) {
+            entry.waiters.retain(|&(pid, access)| {
+                if prot.permits(access) {
+                    scratch.push(pid);
+                    false
+                } else {
+                    true
+                }
+            });
         }
-        for pid in to_wake {
-            self.wake(pid, ctx);
+        for &pid in &scratch {
+            sink.push(Action::Wake { pid });
         }
+        self.usr.wake_scratch = scratch;
     }
 }

@@ -71,13 +71,9 @@ fn msg(r: &mut Prng) -> ProtoMsg {
             pid: Pid::new(site(r), r.next_u32()),
         },
         1 => ProtoMsg::AddReaders { seg, page, readers: site_set(r), window },
-        2 => ProtoMsg::Invalidate {
-            seg,
-            page,
-            demand: demand(r),
-            readers: site_set(r),
-            window,
-        },
+        2 => {
+            ProtoMsg::Invalidate { seg, page, demand: demand(r), readers: site_set(r), window }
+        }
         3 => ProtoMsg::InvalidateDeny { seg, page, wait: SimDuration(r.next_u64()) },
         4 => ProtoMsg::InvalidateDone {
             seg,
@@ -91,7 +87,7 @@ fn msg(r: &mut Prng) -> ProtoMsg {
             page,
             access: access(r),
             window,
-            data: vec![r.next_u32() as u8; PAGE_SIZE],
+            data: mirage_mem::PageData::from_bytes(&[r.next_u32() as u8; PAGE_SIZE]),
         },
         _ => ProtoMsg::UpgradeGrant { seg, page, window },
     }

@@ -52,7 +52,13 @@ fn gen_ops(r: &mut Prng, sites: usize, pages: u32, max_len: usize) -> Vec<Op> {
 /// Replays `ops` against a cluster, checking every read against an
 /// oracle of the latest completed write and the coherence invariants at
 /// every step (when `check_invariants`).
-fn run_ops(cfg: ProtocolConfig, sites: usize, pages: u32, ops: Vec<Op>, check_invariants: bool) {
+fn run_ops(
+    cfg: ProtocolConfig,
+    sites: usize,
+    pages: u32,
+    ops: Vec<Op>,
+    check_invariants: bool,
+) {
     let mut c = Cluster::new(sites, cfg);
     let seg = c.create_segment(0, pages as usize);
     // Oracle: the latest completed write per page.
@@ -152,11 +158,7 @@ fn dynamic_delta_policy_is_coherent() {
     let mut r = Prng::new(0xD5);
     for _ in 0..CASES {
         let cfg = ProtocolConfig {
-            delta: DeltaPolicy::Dynamic {
-                initial: Delta(1),
-                min: Delta(0),
-                max: Delta(30),
-            },
+            delta: DeltaPolicy::Dynamic { initial: Delta(1), min: Delta(0), max: Delta(30) },
             ..Default::default()
         };
         let ops = gen_ops(&mut r, 3, 2, 50);
@@ -191,8 +193,11 @@ fn fault_storm_then_quiesce() {
         let seg = c.create_segment(0, 2);
         for round in 0..10u32 {
             for site in 0..5usize {
-                let access =
-                    if (site + round as usize).is_multiple_of(2) { Access::Read } else { Access::Write };
+                let access = if (site + round as usize).is_multiple_of(2) {
+                    Access::Read
+                } else {
+                    Access::Write
+                };
                 let page = PageNum(round % 2);
                 c.fault_no_run(site, 1, seg, page, access);
             }

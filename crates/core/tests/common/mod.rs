@@ -7,11 +7,12 @@
 use std::collections::VecDeque;
 
 use mirage_core::{
-    Action,
+    DriverOps,
     Event,
     InMemStore,
-    ProtocolConfig,
     ProtoMsg,
+    ProtocolConfig,
+    ProtocolDriver,
     RefLogEntry,
     SiteEngine,
 };
@@ -41,7 +42,7 @@ pub struct SentMsg {
 
 #[allow(dead_code)] // Not every test binary uses every helper.
 pub struct Cluster {
-    pub engines: Vec<SiteEngine>,
+    pub drivers: Vec<ProtocolDriver>,
     pub stores: Vec<InMemStore>,
     now: SimTime,
     net: VecDeque<(SiteId, SiteId, ProtoMsg)>,
@@ -55,12 +56,12 @@ pub struct Cluster {
 #[allow(dead_code)] // Not every test binary uses every helper.
 impl Cluster {
     pub fn new(n: usize, config: ProtocolConfig) -> Self {
-        let engines = (0..n)
-            .map(|i| SiteEngine::new(SiteId(i as u16), config.clone()))
+        let drivers = (0..n)
+            .map(|i| ProtocolDriver::from_config(SiteId(i as u16), config.clone()))
             .collect();
         let stores = (0..n).map(|_| InMemStore::new()).collect();
         Self {
-            engines,
+            drivers,
             stores,
             now: SimTime::ZERO,
             net: VecDeque::new(),
@@ -76,14 +77,18 @@ impl Cluster {
         self.now
     }
 
+    /// Read access to one site's engine, for state assertions.
+    pub fn engine(&self, site: usize) -> &SiteEngine {
+        self.drivers[site].engine()
+    }
+
     /// Creates a segment with its library at `lib`, registering it at
     /// every site. The library site starts fully resident (it is the
     /// creator), all other sites absent.
     pub fn create_segment(&mut self, lib: usize, pages: usize) -> SegmentId {
         let seg = SegmentId::new(SiteId(lib as u16), self.next_serial);
         self.next_serial += 1;
-        for (i, (eng, store)) in
-            self.engines.iter_mut().zip(self.stores.iter_mut()).enumerate()
+        for (i, (drv, store)) in self.drivers.iter_mut().zip(self.stores.iter_mut()).enumerate()
         {
             let view = if i == lib {
                 LocalSegment::fully_resident(seg, pages)
@@ -91,43 +96,28 @@ impl Cluster {
                 LocalSegment::absent(seg, pages)
             };
             store.add_segment(view);
-            eng.register_segment(seg, pages);
+            drv.register_segment(seg, pages);
         }
         seg
     }
 
-    fn apply_actions(&mut self, site: usize, actions: Vec<Action>) {
-        for a in actions {
-            match a {
-                Action::Send { to, msg } => {
-                    self.sent.push(SentMsg {
-                        from: SiteId(site as u16),
-                        to,
-                        tag: msg.tag(),
-                        size: msg.size_class(),
-                    });
-                    self.net.push_back((SiteId(site as u16), to, msg));
-                }
-                Action::Wake { pid } => self.woken.push(pid),
-                Action::SetTimer { at, token } => {
-                    self.timers.push((at, SiteId(site as u16), token));
-                }
-                Action::Log(entry) => self.ref_log.push(entry),
-            }
-        }
+    /// Dispatches one event at `site` and drains the resulting actions
+    /// into the harness queues.
+    fn dispatch(&mut self, site: usize, ev: Event) {
+        let Self { drivers, stores, now, net, timers, sent, woken, ref_log, .. } = self;
+        drivers[site].drive(
+            ev,
+            *now,
+            &mut stores[site],
+            &mut ClusterOps { from: SiteId(site as u16), net, timers, sent, woken, ref_log },
+        );
     }
 
     /// Drives messages and timers to quiescence.
     pub fn run(&mut self) {
         loop {
             if let Some((from, to, msg)) = self.net.pop_front() {
-                let site = to.index();
-                let actions = self.engines[site].handle(
-                    Event::Deliver { from, msg },
-                    self.now,
-                    &mut self.stores[site],
-                );
-                self.apply_actions(site, actions);
+                self.dispatch(to.index(), Event::Deliver { from, msg });
                 continue;
             }
             if !self.timers.is_empty() {
@@ -143,13 +133,7 @@ impl Cluster {
                 if at > self.now {
                     self.now = at;
                 }
-                let s = site.index();
-                let actions = self.engines[s].handle(
-                    Event::Timer { token },
-                    self.now,
-                    &mut self.stores[s],
-                );
-                self.apply_actions(s, actions);
+                self.dispatch(site.index(), Event::Timer { token });
                 continue;
             }
             break;
@@ -159,12 +143,7 @@ impl Cluster {
     /// Raises a typed fault at a site and runs to quiescence.
     pub fn fault(&mut self, site: usize, seg: SegmentId, page: PageNum, access: Access) {
         let pid = Pid::new(SiteId(site as u16), 1);
-        let actions = self.engines[site].handle(
-            Event::Fault { pid, seg, page, access },
-            self.now,
-            &mut self.stores[site],
-        );
-        self.apply_actions(site, actions);
+        self.dispatch(site, Event::Fault { pid, seg, page, access });
         self.run();
     }
 
@@ -179,12 +158,7 @@ impl Cluster {
         access: Access,
     ) {
         let pid = Pid::new(SiteId(site as u16), local);
-        let actions = self.engines[site].handle(
-            Event::Fault { pid, seg, page, access },
-            self.now,
-            &mut self.stores[site],
-        );
-        self.apply_actions(site, actions);
+        self.dispatch(site, Event::Fault { pid, seg, page, access });
     }
 
     /// Advances virtual time (e.g., to let a Δ window expire).
@@ -251,5 +225,34 @@ impl Cluster {
     pub fn clear_instrumentation(&mut self) {
         self.sent.clear();
         self.woken.clear();
+    }
+}
+
+/// [`DriverOps`] receiver for the harness: everything is recorded.
+struct ClusterOps<'a> {
+    from: SiteId,
+    net: &'a mut VecDeque<(SiteId, SiteId, ProtoMsg)>,
+    timers: &'a mut Vec<(SimTime, SiteId, u64)>,
+    sent: &'a mut Vec<SentMsg>,
+    woken: &'a mut Vec<Pid>,
+    ref_log: &'a mut Vec<RefLogEntry>,
+}
+
+impl DriverOps for ClusterOps<'_> {
+    fn send(&mut self, to: SiteId, msg: ProtoMsg) {
+        self.sent.push(SentMsg { from: self.from, to, tag: msg.tag(), size: msg.size_class() });
+        self.net.push_back((self.from, to, msg));
+    }
+
+    fn wake(&mut self, pid: Pid) {
+        self.woken.push(pid);
+    }
+
+    fn set_timer(&mut self, at: SimTime, token: u64) {
+        self.timers.push((at, self.from, token));
+    }
+
+    fn log(&mut self, entry: RefLogEntry) {
+        self.ref_log.push(entry);
     }
 }

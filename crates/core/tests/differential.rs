@@ -1,0 +1,1273 @@
+//! Differential test: the dense slab-indexed page tables must be
+//! observationally identical to the original nested-map bookkeeping.
+//!
+//! The `reference` module below is the engine's original map-based
+//! implementation (nested `HashMap<(SegmentId, PageNum), _>` state,
+//! allocating `Vec<SiteId>` invalidation rounds), kept verbatim except
+//! for the `PageData` payload type it shares with the current wire
+//! format. Random event interleavings — faults, message deliveries in
+//! any per-circuit-FIFO-legal order, timer firings — are replayed
+//! through both engines in lockstep, asserting the [`Action`] streams
+//! are identical at every dispatch and the final protocol state agrees.
+
+use std::collections::VecDeque;
+
+use mirage_core::{
+    DeltaPolicy,
+    Event,
+    InMemStore,
+    PageStore,
+    ProtoMsg,
+    ProtocolConfig,
+    SiteEngine,
+};
+use mirage_mem::LocalSegment;
+use mirage_types::{
+    Access,
+    Delta,
+    PageNum,
+    Pid,
+    Prng,
+    SegmentId,
+    SimDuration,
+    SimTime,
+    SiteId,
+};
+
+/// The original map-based engine, preserved as the executable
+/// specification the dense-table implementation is checked against.
+#[allow(clippy::too_many_arguments)] // the specification is kept verbatim
+mod reference {
+    use std::collections::{
+        HashMap,
+        HashSet,
+        VecDeque,
+    };
+
+    use mirage_core::{
+        config::{
+            DeltaPolicy,
+            ProtocolConfig,
+        },
+        event::{
+            Action,
+            Event,
+            RefLogEntry,
+        },
+        msg::{
+            Demand,
+            DoneInfo,
+            ProtoMsg,
+        },
+        store::PageStore,
+        table1::{
+            self,
+            Current,
+            Invalidation,
+        },
+    };
+    use mirage_mem::{
+        AuxTable,
+        PageData,
+    };
+    use mirage_types::{
+        Access,
+        Delta,
+        PageNum,
+        PageProt,
+        Pid,
+        SegmentId,
+        SimDuration,
+        SimTime,
+        SiteId,
+        SiteSet,
+        TICK,
+    };
+
+    #[derive(Clone, Debug)]
+    enum TimerKind {
+        LibraryRetry { seg: SegmentId, page: PageNum },
+        ClockDelayed { seg: SegmentId, page: PageNum },
+    }
+
+    struct Ctx {
+        now: SimTime,
+        out: Vec<Action>,
+        loopback: VecDeque<ProtoMsg>,
+    }
+
+    impl Ctx {
+        fn new(now: SimTime) -> Self {
+            Self { now, out: Vec::new(), loopback: VecDeque::new() }
+        }
+    }
+
+    #[derive(Clone, Copy, Debug)]
+    struct Request {
+        site: SiteId,
+        access: Access,
+    }
+
+    #[derive(Debug)]
+    struct LibPage {
+        readers: SiteSet,
+        writer: Option<SiteId>,
+        clock: SiteId,
+        queue: VecDeque<Request>,
+        serving: Option<Demand>,
+        window: Delta,
+        last_losers: Option<(SiteSet, SimTime)>,
+        deny_seen: bool,
+    }
+
+    impl LibPage {
+        fn initial(creator: SiteId, window: Delta) -> Self {
+            Self {
+                readers: SiteSet::empty(),
+                writer: Some(creator),
+                clock: creator,
+                queue: VecDeque::new(),
+                serving: None,
+                window,
+                last_losers: None,
+                deny_seen: false,
+            }
+        }
+
+        fn current(&self) -> Current {
+            if self.writer.is_some() {
+                Current::Writer
+            } else {
+                Current::Readers
+            }
+        }
+    }
+
+    /// Mirrors `mirage_core::library::LibPageView` (identical Debug
+    /// output, compared stringly in the final-state check).
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct LibPageView {
+        pub readers: SiteSet,
+        pub writer: Option<SiteId>,
+        pub clock: SiteId,
+        pub queued: usize,
+        pub serving: bool,
+        pub window: Delta,
+    }
+
+    #[derive(Debug, Default)]
+    struct LibState {
+        pages: HashMap<(SegmentId, PageNum), LibPage>,
+    }
+
+    #[derive(Debug)]
+    struct InvRound {
+        demand: Demand,
+        window: Delta,
+        remaining: SiteSet,
+        to_send: Vec<SiteId>,
+        data: Option<PageData>,
+    }
+
+    #[derive(Debug)]
+    struct DelayedInvalidate {
+        demand: Demand,
+        readers: SiteSet,
+        window: Delta,
+    }
+
+    #[derive(Debug)]
+    struct SegState {
+        aux: AuxTable,
+        waiters: HashMap<PageNum, Vec<(Pid, Access)>>,
+        out_read: HashSet<PageNum>,
+        out_write: HashSet<PageNum>,
+    }
+
+    #[derive(Debug)]
+    enum DeferredOp {
+        Invalidate { demand: Demand, readers: SiteSet, window: Delta },
+        AddReaders { readers: SiteSet, window: Delta },
+        ReaderInvalidate { from: SiteId },
+    }
+
+    #[derive(Debug, Default)]
+    struct UseState {
+        segs: HashMap<SegmentId, SegState>,
+        rounds: HashMap<(SegmentId, PageNum), InvRound>,
+        delayed: HashMap<(SegmentId, PageNum), DelayedInvalidate>,
+        deferred: HashMap<(SegmentId, PageNum), VecDeque<DeferredOp>>,
+    }
+
+    /// The original map-based site engine.
+    pub struct RefEngine {
+        site: SiteId,
+        config: ProtocolConfig,
+        lib: LibState,
+        usr: UseState,
+        timers: HashMap<u64, TimerKind>,
+        next_token: u64,
+    }
+
+    impl RefEngine {
+        pub fn new(site: SiteId, config: ProtocolConfig) -> Self {
+            Self {
+                site,
+                config,
+                lib: LibState::default(),
+                usr: UseState::default(),
+                timers: HashMap::new(),
+                next_token: 1,
+            }
+        }
+
+        pub fn register_segment(&mut self, seg: SegmentId, pages: usize) {
+            let mut aux = AuxTable::new(pages, Delta::ZERO);
+            for p in 0..pages {
+                let page = PageNum(p as u32);
+                aux.set_window(page, self.config.delta.window(page));
+            }
+            self.usr.segs.insert(
+                seg,
+                SegState {
+                    aux,
+                    waiters: HashMap::new(),
+                    out_read: HashSet::new(),
+                    out_write: HashSet::new(),
+                },
+            );
+            if seg.library == self.site {
+                for p in 0..pages {
+                    let page = PageNum(p as u32);
+                    self.lib.pages.insert(
+                        (seg, page),
+                        LibPage::initial(self.site, self.config.delta.window(page)),
+                    );
+                }
+            }
+        }
+
+        pub fn library_view(&self, seg: SegmentId, page: PageNum) -> Option<LibPageView> {
+            self.lib.pages.get(&(seg, page)).map(|p| LibPageView {
+                readers: p.readers,
+                writer: p.writer,
+                clock: p.clock,
+                queued: p.queue.len(),
+                serving: p.serving.is_some(),
+                window: p.window,
+            })
+        }
+
+        pub fn handle(
+            &mut self,
+            ev: Event,
+            now: SimTime,
+            store: &mut dyn PageStore,
+        ) -> Vec<Action> {
+            let mut ctx = Ctx::new(now);
+            match ev {
+                Event::Fault { pid, seg, page, access } => {
+                    self.fault(pid, seg, page, access, store, &mut ctx);
+                }
+                Event::Deliver { from, msg } => {
+                    self.dispatch(from, msg, store, &mut ctx);
+                }
+                Event::Timer { token } => {
+                    self.timer_fired(token, store, &mut ctx);
+                }
+            }
+            while let Some(msg) = ctx.loopback.pop_front() {
+                let from = self.site;
+                self.dispatch(from, msg, store, &mut ctx);
+            }
+            ctx.out
+        }
+
+        fn dispatch(
+            &mut self,
+            from: SiteId,
+            msg: ProtoMsg,
+            store: &mut dyn PageStore,
+            ctx: &mut Ctx,
+        ) {
+            match msg {
+                ProtoMsg::PageRequest { seg, page, access, pid } => {
+                    self.lib_request(from, seg, page, access, pid, ctx);
+                }
+                ProtoMsg::InvalidateDeny { seg, page, wait } => {
+                    self.lib_denied(seg, page, wait, ctx);
+                }
+                ProtoMsg::InvalidateDone { seg, page, info } => {
+                    self.lib_done(seg, page, info, ctx);
+                }
+                ProtoMsg::AddReaders { seg, page, readers, window } => {
+                    self.use_add_readers(seg, page, readers, window, store, ctx);
+                }
+                ProtoMsg::Invalidate { seg, page, demand, readers, window } => {
+                    self.use_invalidate(seg, page, demand, readers, window, store, ctx);
+                }
+                ProtoMsg::ReaderInvalidate { seg, page } => {
+                    self.use_reader_invalidate(from, seg, page, store, ctx);
+                }
+                ProtoMsg::ReaderInvalidateAck { seg, page } => {
+                    self.use_reader_ack(from, seg, page, store, ctx);
+                }
+                ProtoMsg::PageGrant { seg, page, access, window, data } => {
+                    self.use_grant(seg, page, access, window, data, store, ctx);
+                }
+                ProtoMsg::UpgradeGrant { seg, page, window } => {
+                    self.use_upgrade(seg, page, window, store, ctx);
+                }
+            }
+        }
+
+        fn timer_fired(&mut self, token: u64, store: &mut dyn PageStore, ctx: &mut Ctx) {
+            let Some(kind) = self.timers.remove(&token) else {
+                return;
+            };
+            match kind {
+                TimerKind::LibraryRetry { seg, page } => {
+                    self.lib_retry(seg, page, ctx);
+                }
+                TimerKind::ClockDelayed { seg, page } => {
+                    self.use_delayed_invalidation(seg, page, store, ctx);
+                }
+            }
+        }
+
+        fn emit(&mut self, to: SiteId, msg: ProtoMsg, ctx: &mut Ctx) {
+            if to == self.site {
+                ctx.loopback.push_back(msg);
+            } else {
+                ctx.out.push(Action::Send { to, msg });
+            }
+        }
+
+        fn wake(&mut self, pid: Pid, ctx: &mut Ctx) {
+            ctx.out.push(Action::Wake { pid });
+        }
+
+        fn set_timer(&mut self, at: SimTime, kind: TimerKind, ctx: &mut Ctx) -> u64 {
+            let token = self.next_token;
+            self.next_token += 1;
+            self.timers.insert(token, kind);
+            ctx.out.push(Action::SetTimer { at, token });
+            token
+        }
+
+        // ---- Library role. ----
+
+        fn lib_request(
+            &mut self,
+            from: SiteId,
+            seg: SegmentId,
+            page: PageNum,
+            access: Access,
+            pid: Pid,
+            ctx: &mut Ctx,
+        ) {
+            ctx.out.push(Action::Log(RefLogEntry { seg, page, at: ctx.now, pid, access }));
+            let dynamic = self.config.delta.is_dynamic();
+            let Some(rec) = self.lib.pages.get_mut(&(seg, page)) else {
+                return;
+            };
+            if dynamic {
+                if let Some((losers, at)) = rec.last_losers {
+                    if losers.contains(from) && ctx.now.since(at) <= TICK.scale(4) {
+                        rec.window = grow_window(rec.window, &self.config.delta);
+                    }
+                }
+            }
+            rec.queue.push_back(Request { site: from, access });
+            self.lib_process_queue(seg, page, ctx);
+        }
+
+        fn lib_process_queue(&mut self, seg: SegmentId, page: PageNum, ctx: &mut Ctx) {
+            loop {
+                let Some(rec) = self.lib.pages.get_mut(&(seg, page)) else {
+                    return;
+                };
+                let window = rec.window;
+                if rec.serving.is_some() {
+                    return;
+                }
+                let Some(front) = rec.queue.front().copied() else {
+                    return;
+                };
+                match front.access {
+                    Access::Read => {
+                        let mut batch = SiteSet::empty();
+                        rec.queue.retain(|r| {
+                            if r.access == Access::Read {
+                                batch.insert(r.site);
+                                false
+                            } else {
+                                true
+                            }
+                        });
+                        if let Some(w) = rec.writer {
+                            batch.remove(w);
+                        }
+                        if batch.is_empty() {
+                            continue;
+                        }
+                        let row = table1::row(
+                            rec.current(),
+                            Access::Read,
+                            false,
+                            self.config.downgrade_optimization,
+                        );
+                        if !row.clock_check {
+                            debug_assert_eq!(row.invalidation, Invalidation::No);
+                            rec.readers = rec.readers.union(batch);
+                            let clock = rec.clock;
+                            self.emit(
+                                clock,
+                                ProtoMsg::AddReaders { seg, page, readers: batch, window },
+                                ctx,
+                            );
+                            continue;
+                        }
+                        rec.serving = Some(Demand::Read { to: batch });
+                        rec.deny_seen = false;
+                        let clock = rec.clock;
+                        let readers = rec.readers;
+                        self.emit(
+                            clock,
+                            ProtoMsg::Invalidate {
+                                seg,
+                                page,
+                                demand: Demand::Read { to: batch },
+                                readers,
+                                window,
+                            },
+                            ctx,
+                        );
+                        return;
+                    }
+                    Access::Write => {
+                        rec.queue.pop_front();
+                        if rec.writer == Some(front.site) {
+                            let to = front.site;
+                            self.emit(to, ProtoMsg::UpgradeGrant { seg, page, window }, ctx);
+                            continue;
+                        }
+                        let in_readers = rec.readers.contains(front.site);
+                        let row = table1::row(
+                            rec.current(),
+                            Access::Write,
+                            in_readers,
+                            self.config.downgrade_optimization,
+                        );
+                        debug_assert!(row.clock_check);
+                        let upgrade = in_readers && self.config.upgrade_optimization;
+                        let demand = Demand::Write { to: front.site, upgrade };
+                        rec.serving = Some(demand.clone());
+                        rec.deny_seen = false;
+                        let clock = rec.clock;
+                        let readers = rec.readers;
+                        self.emit(
+                            clock,
+                            ProtoMsg::Invalidate { seg, page, demand, readers, window },
+                            ctx,
+                        );
+                        return;
+                    }
+                }
+            }
+        }
+
+        fn lib_denied(
+            &mut self,
+            seg: SegmentId,
+            page: PageNum,
+            wait: SimDuration,
+            ctx: &mut Ctx,
+        ) {
+            let Some(rec) = self.lib.pages.get_mut(&(seg, page)) else {
+                return;
+            };
+            if rec.serving.is_none() {
+                return;
+            }
+            rec.deny_seen = true;
+            let at = ctx.now + wait;
+            self.set_timer(at, TimerKind::LibraryRetry { seg, page }, ctx);
+        }
+
+        fn lib_retry(&mut self, seg: SegmentId, page: PageNum, ctx: &mut Ctx) {
+            let Some(rec) = self.lib.pages.get(&(seg, page)) else {
+                return;
+            };
+            let window = rec.window;
+            let Some(demand) = rec.serving.clone() else {
+                return;
+            };
+            let clock = rec.clock;
+            let readers = rec.readers;
+            self.emit(clock, ProtoMsg::Invalidate { seg, page, demand, readers, window }, ctx);
+        }
+
+        fn lib_done(&mut self, seg: SegmentId, page: PageNum, info: DoneInfo, ctx: &mut Ctx) {
+            let dynamic = self.config.delta.is_dynamic();
+            let Some(rec) = self.lib.pages.get_mut(&(seg, page)) else {
+                return;
+            };
+            let Some(demand) = rec.serving.take() else {
+                return;
+            };
+            if dynamic {
+                let mut prev = rec.readers;
+                if let Some(w) = rec.writer {
+                    prev.insert(w);
+                }
+                let kept = match &demand {
+                    Demand::Write { to, .. } => SiteSet::singleton(*to),
+                    Demand::Read { to } => {
+                        let mut k = *to;
+                        if info.writer_downgraded {
+                            if let Some(w) = rec.writer {
+                                k.insert(w);
+                            }
+                        }
+                        k
+                    }
+                };
+                let losers = prev.difference(kept);
+                if !losers.is_empty() {
+                    rec.last_losers = Some((losers, ctx.now));
+                }
+                if !rec.deny_seen {
+                    rec.window = shrink_window(rec.window, &self.config.delta);
+                }
+            }
+            match demand {
+                Demand::Write { to, .. } => {
+                    rec.readers.clear();
+                    rec.writer = Some(to);
+                    rec.clock = to;
+                }
+                Demand::Read { to } => {
+                    let old_writer = rec.writer.take();
+                    let mut readers = to;
+                    let clock = if info.writer_downgraded {
+                        let w = old_writer.expect("downgrade implies a writer existed");
+                        readers.insert(w);
+                        w
+                    } else {
+                        readers.first().expect("read demand grants at least one site")
+                    };
+                    rec.readers = readers;
+                    rec.clock = clock;
+                }
+            }
+            self.lib_process_queue(seg, page, ctx);
+        }
+
+        // ---- Using role. ----
+
+        fn fault(
+            &mut self,
+            pid: Pid,
+            seg: SegmentId,
+            page: PageNum,
+            access: Access,
+            store: &mut dyn PageStore,
+            ctx: &mut Ctx,
+        ) {
+            if store.prot(seg, page).permits(access) {
+                self.wake(pid, ctx);
+                return;
+            }
+            let Some(st) = self.usr.segs.get_mut(&seg) else {
+                return;
+            };
+            st.waiters.entry(page).or_default().push((pid, access));
+            let need_send = match access {
+                Access::Read => !st.out_read.contains(&page) && !st.out_write.contains(&page),
+                Access::Write => !st.out_write.contains(&page),
+            };
+            if need_send {
+                match access {
+                    Access::Read => {
+                        st.out_read.insert(page);
+                    }
+                    Access::Write => {
+                        st.out_write.insert(page);
+                    }
+                }
+                self.emit(seg.library, ProtoMsg::PageRequest { seg, page, access, pid }, ctx);
+            }
+        }
+
+        fn use_add_readers(
+            &mut self,
+            seg: SegmentId,
+            page: PageNum,
+            readers: SiteSet,
+            window: Delta,
+            store: &mut dyn PageStore,
+            ctx: &mut Ctx,
+        ) {
+            if store.prot(seg, page) == PageProt::None {
+                self.usr
+                    .deferred
+                    .entry((seg, page))
+                    .or_default()
+                    .push_back(DeferredOp::AddReaders { readers, window });
+                return;
+            }
+            let data = store.copy(seg, page);
+            for r in readers.iter() {
+                if r == self.site {
+                    continue;
+                }
+                self.emit(
+                    r,
+                    ProtoMsg::PageGrant {
+                        seg,
+                        page,
+                        access: Access::Read,
+                        window,
+                        data: data.clone(),
+                    },
+                    ctx,
+                );
+            }
+            if readers.contains(self.site) {
+                self.wake_satisfied(seg, page, store, ctx);
+            }
+        }
+
+        #[allow(clippy::too_many_arguments)]
+        fn use_invalidate(
+            &mut self,
+            seg: SegmentId,
+            page: PageNum,
+            demand: Demand,
+            readers: SiteSet,
+            window: Delta,
+            store: &mut dyn PageStore,
+            ctx: &mut Ctx,
+        ) {
+            if store.prot(seg, page) == PageProt::None {
+                self.usr
+                    .deferred
+                    .entry((seg, page))
+                    .or_default()
+                    .push_back(DeferredOp::Invalidate { demand, readers, window });
+                return;
+            }
+            let now = ctx.now;
+            let expired = self
+                .usr
+                .segs
+                .get(&seg)
+                .map(|st| st.aux.get(page).window_expired(now))
+                .unwrap_or(true);
+            if !expired {
+                let st = self.usr.segs.get(&seg).expect("segment known");
+                let remaining = st.aux.get(page).window_remaining(now);
+                if self.config.queued_invalidation
+                    && remaining <= mirage_net::NetCosts::vax_locus().retry_threshold()
+                {
+                    let expiry = st.aux.get(page).window_expiry();
+                    self.usr
+                        .delayed
+                        .insert((seg, page), DelayedInvalidate { demand, readers, window });
+                    self.set_timer(expiry, TimerKind::ClockDelayed { seg, page }, ctx);
+                    return;
+                }
+                self.emit(
+                    seg.library,
+                    ProtoMsg::InvalidateDeny { seg, page, wait: remaining },
+                    ctx,
+                );
+                return;
+            }
+            self.honor_invalidation(seg, page, demand, readers, window, store, ctx);
+        }
+
+        fn use_delayed_invalidation(
+            &mut self,
+            seg: SegmentId,
+            page: PageNum,
+            store: &mut dyn PageStore,
+            ctx: &mut Ctx,
+        ) {
+            let Some(d) = self.usr.delayed.remove(&(seg, page)) else {
+                return;
+            };
+            self.honor_invalidation(seg, page, d.demand, d.readers, d.window, store, ctx);
+        }
+
+        #[allow(clippy::too_many_arguments)]
+        fn honor_invalidation(
+            &mut self,
+            seg: SegmentId,
+            page: PageNum,
+            demand: Demand,
+            readers: SiteSet,
+            window: Delta,
+            store: &mut dyn PageStore,
+            ctx: &mut Ctx,
+        ) {
+            debug_assert!(
+                !self.usr.rounds.contains_key(&(seg, page)),
+                "library serializes demands per page"
+            );
+            match demand {
+                Demand::Read { to } => {
+                    let data = store.copy(seg, page);
+                    for r in to.iter() {
+                        if r == self.site {
+                            continue;
+                        }
+                        self.emit(
+                            r,
+                            ProtoMsg::PageGrant {
+                                seg,
+                                page,
+                                access: Access::Read,
+                                window,
+                                data: data.clone(),
+                            },
+                            ctx,
+                        );
+                    }
+                    let downgraded = self.config.downgrade_optimization;
+                    if downgraded {
+                        store.set_prot(seg, page, PageProt::Read);
+                        if let Some(st) = self.usr.segs.get_mut(&seg) {
+                            st.aux.get_mut(page).window = window;
+                        }
+                    } else {
+                        store.set_prot(seg, page, PageProt::None);
+                    }
+                    self.emit(
+                        seg.library,
+                        ProtoMsg::InvalidateDone {
+                            seg,
+                            page,
+                            info: DoneInfo { writer_downgraded: downgraded },
+                        },
+                        ctx,
+                    );
+                }
+                Demand::Write { to, upgrade } => {
+                    let i_am_writer = store.prot(seg, page) == PageProt::ReadWrite;
+                    let mut victims = readers;
+                    victims.remove(self.site);
+                    if upgrade {
+                        victims.remove(to);
+                    }
+                    let data = if self.site == to {
+                        None
+                    } else if upgrade {
+                        store.set_prot(seg, page, PageProt::None);
+                        None
+                    } else {
+                        debug_assert!(
+                            i_am_writer || readers.contains(self.site),
+                            "clock site must hold a copy"
+                        );
+                        Some(store.take(seg, page))
+                    };
+                    let mut round = InvRound {
+                        demand: Demand::Write { to, upgrade },
+                        window,
+                        remaining: SiteSet::empty(),
+                        to_send: victims.iter().collect(),
+                        data,
+                    };
+                    if round.to_send.is_empty() {
+                        self.usr.rounds.insert((seg, page), round);
+                        self.finish_write_round(seg, page, store, ctx);
+                        return;
+                    }
+                    if self.config.multicast_invalidation {
+                        for v in round.to_send.drain(..) {
+                            round.remaining.insert(v);
+                            self.emit(v, ProtoMsg::ReaderInvalidate { seg, page }, ctx);
+                        }
+                    } else {
+                        let first = round.to_send.remove(0);
+                        round.remaining.insert(first);
+                        self.emit(first, ProtoMsg::ReaderInvalidate { seg, page }, ctx);
+                    }
+                    self.usr.rounds.insert((seg, page), round);
+                }
+            }
+        }
+
+        fn use_reader_invalidate(
+            &mut self,
+            from: SiteId,
+            seg: SegmentId,
+            page: PageNum,
+            store: &mut dyn PageStore,
+            ctx: &mut Ctx,
+        ) {
+            if store.prot(seg, page) == PageProt::None {
+                let expecting_grant = self.usr.segs.get(&seg).is_some_and(|st| {
+                    st.out_read.contains(&page) || st.out_write.contains(&page)
+                });
+                if expecting_grant {
+                    self.usr
+                        .deferred
+                        .entry((seg, page))
+                        .or_default()
+                        .push_back(DeferredOp::ReaderInvalidate { from });
+                    return;
+                }
+            }
+            store.set_prot(seg, page, PageProt::None);
+            self.emit(from, ProtoMsg::ReaderInvalidateAck { seg, page }, ctx);
+        }
+
+        fn use_reader_ack(
+            &mut self,
+            from: SiteId,
+            seg: SegmentId,
+            page: PageNum,
+            store: &mut dyn PageStore,
+            ctx: &mut Ctx,
+        ) {
+            let finished = {
+                let Some(round) = self.usr.rounds.get_mut(&(seg, page)) else {
+                    return;
+                };
+                round.remaining.remove(from);
+                if let Some(next) = (!round.to_send.is_empty()).then(|| round.to_send.remove(0))
+                {
+                    round.remaining.insert(next);
+                    self.emit(next, ProtoMsg::ReaderInvalidate { seg, page }, ctx);
+                    false
+                } else {
+                    round.remaining.is_empty()
+                }
+            };
+            if finished {
+                self.finish_write_round(seg, page, store, ctx);
+            }
+        }
+
+        fn finish_write_round(
+            &mut self,
+            seg: SegmentId,
+            page: PageNum,
+            store: &mut dyn PageStore,
+            ctx: &mut Ctx,
+        ) {
+            let round = self.usr.rounds.remove(&(seg, page)).expect("round in flight");
+            let Demand::Write { to, upgrade } = round.demand else {
+                unreachable!("read demands never start ack rounds");
+            };
+            if to == self.site {
+                store.set_prot(seg, page, PageProt::ReadWrite);
+                if let Some(st) = self.usr.segs.get_mut(&seg) {
+                    let e = st.aux.get_mut(page);
+                    e.install_time = ctx.now;
+                    e.window = round.window;
+                    st.out_write.remove(&page);
+                    st.out_read.remove(&page);
+                }
+                self.wake_satisfied(seg, page, store, ctx);
+            } else if upgrade {
+                self.emit(to, ProtoMsg::UpgradeGrant { seg, page, window: round.window }, ctx);
+            } else {
+                let data = round.data.expect("non-upgrade write demand carries data");
+                self.emit(
+                    to,
+                    ProtoMsg::PageGrant {
+                        seg,
+                        page,
+                        access: Access::Write,
+                        window: round.window,
+                        data,
+                    },
+                    ctx,
+                );
+            }
+            self.emit(
+                seg.library,
+                ProtoMsg::InvalidateDone {
+                    seg,
+                    page,
+                    info: DoneInfo { writer_downgraded: false },
+                },
+                ctx,
+            );
+        }
+
+        fn use_grant(
+            &mut self,
+            seg: SegmentId,
+            page: PageNum,
+            access: Access,
+            window: Delta,
+            data: PageData,
+            store: &mut dyn PageStore,
+            ctx: &mut Ctx,
+        ) {
+            let prot = match access {
+                Access::Read => PageProt::Read,
+                Access::Write => PageProt::ReadWrite,
+            };
+            store.install(seg, page, data, prot);
+            if let Some(st) = self.usr.segs.get_mut(&seg) {
+                let e = st.aux.get_mut(page);
+                e.install_time = ctx.now;
+                e.window = window;
+                st.out_read.remove(&page);
+                if access == Access::Write {
+                    st.out_write.remove(&page);
+                }
+            }
+            self.wake_satisfied(seg, page, store, ctx);
+            self.drain_deferred(seg, page, store, ctx);
+        }
+
+        fn use_upgrade(
+            &mut self,
+            seg: SegmentId,
+            page: PageNum,
+            window: Delta,
+            store: &mut dyn PageStore,
+            ctx: &mut Ctx,
+        ) {
+            store.set_prot(seg, page, PageProt::ReadWrite);
+            if let Some(st) = self.usr.segs.get_mut(&seg) {
+                let e = st.aux.get_mut(page);
+                e.install_time = ctx.now;
+                e.window = window;
+                st.out_read.remove(&page);
+                st.out_write.remove(&page);
+            }
+            self.wake_satisfied(seg, page, store, ctx);
+            self.drain_deferred(seg, page, store, ctx);
+        }
+
+        fn drain_deferred(
+            &mut self,
+            seg: SegmentId,
+            page: PageNum,
+            store: &mut dyn PageStore,
+            ctx: &mut Ctx,
+        ) {
+            let Some(ops) = self.usr.deferred.remove(&(seg, page)) else {
+                return;
+            };
+            for op in ops {
+                match op {
+                    DeferredOp::Invalidate { demand, readers, window } => {
+                        self.use_invalidate(seg, page, demand, readers, window, store, ctx);
+                    }
+                    DeferredOp::AddReaders { readers, window } => {
+                        self.use_add_readers(seg, page, readers, window, store, ctx);
+                    }
+                    DeferredOp::ReaderInvalidate { from } => {
+                        self.use_reader_invalidate(from, seg, page, store, ctx);
+                    }
+                }
+            }
+        }
+
+        fn wake_satisfied(
+            &mut self,
+            seg: SegmentId,
+            page: PageNum,
+            store: &mut dyn PageStore,
+            ctx: &mut Ctx,
+        ) {
+            let prot = store.prot(seg, page);
+            let mut to_wake = Vec::new();
+            if let Some(st) = self.usr.segs.get_mut(&seg) {
+                if let Some(waiters) = st.waiters.get_mut(&page) {
+                    waiters.retain(|&(pid, access)| {
+                        if prot.permits(access) {
+                            to_wake.push(pid);
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                }
+            }
+            for pid in to_wake {
+                self.wake(pid, ctx);
+            }
+        }
+    }
+
+    fn grow_window(w: Delta, policy: &DeltaPolicy) -> Delta {
+        let DeltaPolicy::Dynamic { max, .. } = policy else {
+            return w;
+        };
+        Delta((w.0.max(1) * 2).min(max.0))
+    }
+
+    fn shrink_window(w: Delta, policy: &DeltaPolicy) -> Delta {
+        let DeltaPolicy::Dynamic { min, .. } = policy else {
+            return w;
+        };
+        Delta((w.0 / 2).max(min.0))
+    }
+}
+
+/// Both engines side by side, driven by one schedule. Every dispatch
+/// asserts the two action streams are element-for-element identical;
+/// the dense engine's actions then drive the shared network and timer
+/// queues (the reference's are equal, so the schedule is common).
+struct Dual {
+    dense: Vec<SiteEngine>,
+    refer: Vec<reference::RefEngine>,
+    dense_stores: Vec<InMemStore>,
+    ref_stores: Vec<InMemStore>,
+    now: SimTime,
+    net: VecDeque<(SiteId, SiteId, ProtoMsg)>,
+    timers: Vec<(SimTime, SiteId, u64)>,
+    pages: usize,
+    seg: SegmentId,
+}
+
+impl Dual {
+    fn new(sites: usize, pages: usize, cfg: ProtocolConfig) -> Self {
+        let mut dense: Vec<SiteEngine> =
+            (0..sites).map(|i| SiteEngine::new(SiteId(i as u16), cfg.clone())).collect();
+        let mut refer: Vec<reference::RefEngine> = (0..sites)
+            .map(|i| reference::RefEngine::new(SiteId(i as u16), cfg.clone()))
+            .collect();
+        let mut dense_stores = Vec::new();
+        let mut ref_stores = Vec::new();
+        let seg = SegmentId::new(SiteId(0), 1);
+        for i in 0..sites {
+            let view = || {
+                if i == 0 {
+                    LocalSegment::fully_resident(seg, pages)
+                } else {
+                    LocalSegment::absent(seg, pages)
+                }
+            };
+            let mut ds = InMemStore::new();
+            ds.add_segment(view());
+            let mut rs = InMemStore::new();
+            rs.add_segment(view());
+            dense[i].register_segment(seg, pages);
+            refer[i].register_segment(seg, pages);
+            dense_stores.push(ds);
+            ref_stores.push(rs);
+        }
+        Self {
+            dense,
+            refer,
+            dense_stores,
+            ref_stores,
+            now: SimTime::ZERO,
+            net: VecDeque::new(),
+            timers: Vec::new(),
+            pages,
+            seg,
+        }
+    }
+
+    /// Dispatches one event through both engines and checks the streams.
+    fn dispatch(&mut self, site: usize, ev: Event) {
+        let a_dense =
+            self.dense[site].handle(ev.clone(), self.now, &mut self.dense_stores[site]);
+        let a_ref = self.refer[site].handle(ev.clone(), self.now, &mut self.ref_stores[site]);
+        assert_eq!(
+            a_dense, a_ref,
+            "action streams diverged at site {site} on {ev:?} (t={:?})",
+            self.now
+        );
+        for a in a_dense {
+            match a {
+                mirage_core::Action::Send { to, msg } => {
+                    self.net.push_back((SiteId(site as u16), to, msg));
+                }
+                mirage_core::Action::SetTimer { at, token } => {
+                    self.timers.push((at, SiteId(site as u16), token));
+                }
+                mirage_core::Action::Wake { .. } | mirage_core::Action::Log(_) => {}
+            }
+        }
+    }
+
+    /// Delivers the oldest pending message. Messages stay FIFO (the
+    /// wire's virtual circuits sequence them); the *interleaving* with
+    /// faults, timers, and time advances is what the schedule varies.
+    fn deliver_one(&mut self) -> bool {
+        let Some((from, to, msg)) = self.net.pop_front() else {
+            return false;
+        };
+        self.dispatch(to.index(), Event::Deliver { from, msg });
+        true
+    }
+
+    /// Fires the earliest pending timer, jumping virtual time forward to
+    /// its deadline if needed.
+    fn fire_timer(&mut self) -> bool {
+        let Some(idx) =
+            self.timers.iter().enumerate().min_by_key(|(_, &(at, _, _))| at).map(|(i, _)| i)
+        else {
+            return false;
+        };
+        let (at, site, token) = self.timers.remove(idx);
+        if at > self.now {
+            self.now = at;
+        }
+        self.dispatch(site.index(), Event::Timer { token });
+        true
+    }
+
+    /// Drains the network and timers to quiescence.
+    fn quiesce(&mut self) {
+        loop {
+            if self.deliver_one() {
+                continue;
+            }
+            if self.fire_timer() {
+                continue;
+            }
+            return;
+        }
+    }
+
+    /// Asserts the dense and reference models agree on every observable:
+    /// page protections, page contents, and the library's records.
+    fn assert_state_agrees(&self) {
+        for site in 0..self.dense.len() {
+            for p in 0..self.pages {
+                let page = PageNum(p as u32);
+                let dp = self.dense_stores[site].prot(self.seg, page);
+                let rp = self.ref_stores[site].prot(self.seg, page);
+                assert_eq!(dp, rp, "prot diverged at site {site} page {p}");
+                let df = self.dense_stores[site].segment(self.seg).and_then(|s| s.frame(page));
+                let rf = self.ref_stores[site].segment(self.seg).and_then(|s| s.frame(page));
+                match (df, rf) {
+                    (Some(d), Some(r)) => {
+                        assert_eq!(
+                            d.as_bytes(),
+                            r.as_bytes(),
+                            "page contents diverged at site {site} page {p}"
+                        );
+                    }
+                    (None, None) => {}
+                    _ => panic!("residency diverged at site {site} page {p}"),
+                }
+                let dv = self.dense[site].library_view(self.seg, page);
+                let rv = self.refer[site].library_view(self.seg, page);
+                assert_eq!(
+                    format!("{dv:?}"),
+                    format!("{rv:?}"),
+                    "library records diverged at site {site} page {p}"
+                );
+            }
+        }
+    }
+}
+
+/// Replays one random scenario: interleaved faults, deliveries, timer
+/// firings, and time advances, with a full quiesce + state check at the
+/// end (and periodic mid-run quiesces to vary the phase structure).
+fn run_case(r: &mut Prng, sites: usize, pages: usize, cfg: ProtocolConfig, steps: usize) {
+    let mut d = Dual::new(sites, pages, cfg);
+    let mut next_local = vec![1u32; sites];
+    for _ in 0..steps {
+        match r.below(10) {
+            // Inject a fault (weighted heaviest: faults create all load).
+            0..=4 => {
+                let site = r.below(sites as u64) as usize;
+                let page = PageNum(r.below(pages as u64) as u32);
+                let access = if r.below(2) == 0 { Access::Write } else { Access::Read };
+                let pid = Pid::new(SiteId(site as u16), next_local[site]);
+                next_local[site] += 1;
+                d.dispatch(site, Event::Fault { pid, seg: d.seg, page, access });
+            }
+            // Deliver one pending message.
+            5..=7 => {
+                d.deliver_one();
+            }
+            // Fire a timer.
+            8 => {
+                d.fire_timer();
+            }
+            // Let wall-clock pass (windows expire).
+            _ => {
+                d.now += SimDuration::from_millis(1 + r.below(199));
+            }
+        }
+    }
+    d.quiesce();
+    d.assert_state_agrees();
+}
+
+const CASES: u64 = 48;
+
+#[test]
+fn dense_tables_match_reference_default_config() {
+    let mut r = Prng::new(0xDF_01);
+    for _ in 0..CASES {
+        run_case(&mut r, 4, 2, ProtocolConfig::default(), 80);
+    }
+}
+
+#[test]
+fn dense_tables_match_reference_paper_delta() {
+    let mut r = Prng::new(0xDF_02);
+    for _ in 0..CASES {
+        let delta = Delta(r.below(8) as u32);
+        run_case(&mut r, 3, 2, ProtocolConfig::paper(delta), 80);
+    }
+}
+
+#[test]
+fn dense_tables_match_reference_no_optimizations() {
+    let mut r = Prng::new(0xDF_03);
+    for _ in 0..CASES {
+        let cfg = ProtocolConfig {
+            delta: DeltaPolicy::Uniform(Delta(r.below(4) as u32)),
+            upgrade_optimization: false,
+            downgrade_optimization: false,
+            queued_invalidation: false,
+            multicast_invalidation: false,
+        };
+        run_case(&mut r, 3, 2, cfg, 60);
+    }
+}
+
+#[test]
+fn dense_tables_match_reference_queued_and_multicast() {
+    let mut r = Prng::new(0xDF_04);
+    for _ in 0..CASES {
+        let cfg = ProtocolConfig {
+            delta: DeltaPolicy::Uniform(Delta(2)),
+            upgrade_optimization: true,
+            downgrade_optimization: true,
+            queued_invalidation: true,
+            multicast_invalidation: true,
+        };
+        run_case(&mut r, 5, 2, cfg, 80);
+    }
+}
+
+#[test]
+fn dense_tables_match_reference_dynamic_delta() {
+    let mut r = Prng::new(0xDF_05);
+    for _ in 0..CASES {
+        let cfg = ProtocolConfig {
+            delta: DeltaPolicy::Dynamic { initial: Delta(1), min: Delta(0), max: Delta(30) },
+            ..Default::default()
+        };
+        run_case(&mut r, 3, 2, cfg, 70);
+    }
+}
+
+#[test]
+fn dense_tables_match_reference_many_sites_one_page() {
+    let mut r = Prng::new(0xDF_06);
+    for _ in 0..CASES {
+        run_case(&mut r, 8, 1, ProtocolConfig::paper(Delta(1)), 100);
+    }
+}

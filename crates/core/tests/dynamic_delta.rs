@@ -38,7 +38,7 @@ fn thrashing_grows_the_window() {
     for i in 0..12u32 {
         c.write_u32((i % 2) as usize, seg, PG, 0, i);
     }
-    let view = c.engines[0].library_view(seg, PG).unwrap();
+    let view = c.engine(0).library_view(seg, PG).unwrap();
     assert!(
         view.window > Delta(0),
         "window should have grown under thrash, got {:?}",
@@ -57,7 +57,7 @@ fn idle_access_shrinks_the_window() {
         c.write_u32((i % 2) as usize, seg, PG, 0, i);
         c.advance(SimDuration::from_millis(5_000));
     }
-    let view = c.engines[0].library_view(seg, PG).unwrap();
+    let view = c.engine(0).library_view(seg, PG).unwrap();
     assert!(
         view.window < Delta(32),
         "window should have shrunk when unused, got {:?}",
@@ -74,7 +74,7 @@ fn window_respects_bounds() {
     for i in 0..30u32 {
         c.write_u32((i % 2) as usize, seg, PG, 0, i);
     }
-    let view = c.engines[0].library_view(seg, PG).unwrap();
+    let view = c.engine(0).library_view(seg, PG).unwrap();
     assert!(view.window <= Delta(4), "max bound violated: {:?}", view.window);
     assert!(view.window >= Delta(1), "min bound violated: {:?}", view.window);
 
@@ -85,7 +85,7 @@ fn window_respects_bounds() {
         c.write_u32((i % 2) as usize, seg, PG, 0, i);
         c.advance(SimDuration::from_millis(10_000));
     }
-    let view = c.engines[0].library_view(seg, PG).unwrap();
+    let view = c.engine(0).library_view(seg, PG).unwrap();
     assert!(view.window >= Delta(2), "min bound violated: {:?}", view.window);
 }
 
@@ -98,8 +98,8 @@ fn pages_adapt_independently() {
     for i in 0..12u32 {
         c.write_u32((i % 2) as usize, seg, PG, 0, i);
     }
-    let hot = c.engines[0].library_view(seg, PG).unwrap().window;
-    let cold = c.engines[0].library_view(seg, PageNum(1)).unwrap().window;
+    let hot = c.engine(0).library_view(seg, PG).unwrap().window;
+    let cold = c.engine(0).library_view(seg, PageNum(1)).unwrap().window;
     assert!(hot > cold, "hot page {hot:?} should out-grow cold page {cold:?}");
 }
 
@@ -107,13 +107,11 @@ fn pages_adapt_independently() {
 fn dynamic_policy_preserves_coherence_and_values() {
     let mut c = Cluster::new(3, dynamic(0, 0, 30));
     let seg = c.create_segment(0, 1);
-    let mut expect = 0;
     for i in 0..40u32 {
         let site = (i % 3) as usize;
         c.write_u32(site, seg, PG, 0, i);
-        expect = i;
         let reader = ((i + 1) % 3) as usize;
-        assert_eq!(c.read_u32(reader, seg, PG, 0), expect);
+        assert_eq!(c.read_u32(reader, seg, PG, 0), i);
         c.check_coherence(seg, PG);
     }
 }

@@ -31,7 +31,7 @@ fn remote_read_downgrades_writer() {
     // Optimization 2: the old writer retains a read copy.
     assert_eq!(c.stores[0].prot(seg, PG), PageProt::Read);
     assert_eq!(c.stores[1].prot(seg, PG), PageProt::Read);
-    let view = c.engines[0].library_view(seg, PG).unwrap();
+    let view = c.engine(0).library_view(seg, PG).unwrap();
     assert_eq!(view.writer, None);
     assert!(view.readers.contains(SiteId(0)));
     assert!(view.readers.contains(SiteId(1)));
@@ -51,7 +51,7 @@ fn remote_write_invalidates_readers_and_transfers() {
     assert_eq!(c.stores[0].prot(seg, PG), PageProt::None);
     assert_eq!(c.stores[1].prot(seg, PG), PageProt::None);
     assert_eq!(c.stores[2].prot(seg, PG), PageProt::ReadWrite);
-    let view = c.engines[0].library_view(seg, PG).unwrap();
+    let view = c.engine(0).library_view(seg, PG).unwrap();
     assert_eq!(view.writer, Some(SiteId(2)));
     assert_eq!(view.clock, SiteId(2), "writer is always the clock site");
     assert_eq!(c.read_u32(2, seg, PG, 0), 8);
@@ -67,7 +67,7 @@ fn upgrade_sends_notification_not_page() {
     let _ = c.read_u32(1, seg, PG, 0); // site 1 becomes a reader
     c.clear_instrumentation();
     c.write_u32(1, seg, PG, 0, 6); // upgrade
-    // No page-carrying message may have crossed the network.
+                                   // No page-carrying message may have crossed the network.
     assert!(
         c.sent.iter().all(|m| m.size == SizeClass::Short),
         "upgrade must not transfer the page: {:?}",
@@ -116,7 +116,7 @@ fn disabled_downgrade_optimization_discards_writer_copy() {
     // Without optimization 2 the old writer loses its copy entirely.
     assert_eq!(c.stores[0].prot(seg, PG), PageProt::None);
     assert_eq!(c.stores[1].prot(seg, PG), PageProt::Read);
-    let view = c.engines[0].library_view(seg, PG).unwrap();
+    let view = c.engine(0).library_view(seg, PG).unwrap();
     assert_eq!(view.clock, SiteId(1), "a reader becomes the clock site");
     c.check_coherence(seg, PG);
 }
@@ -175,7 +175,7 @@ fn read_batching_single_library_pass() {
     c.run();
     assert_eq!(c.stores[1].prot(seg, PG), PageProt::Read);
     assert_eq!(c.stores[2].prot(seg, PG), PageProt::Read);
-    let view = c.engines[0].library_view(seg, PG).unwrap();
+    let view = c.engine(0).library_view(seg, PG).unwrap();
     assert_eq!(view.readers.len(), 3, "writer downgraded + two new readers");
     c.check_coherence(seg, PG);
 }
@@ -190,7 +190,7 @@ fn delta_denies_then_retry_succeeds() {
     // Site 1 takes the write copy (waiting out the creator's initial
     // window via a loop-back deny at the colocated library/clock).
     c.write_u32(1, seg, PG, 0, 1);
-    let view = c.engines[0].library_view(seg, PG).unwrap();
+    let view = c.engine(0).library_view(seg, PG).unwrap();
     assert_eq!(view.clock, SiteId(1), "clock moved to the remote writer");
     // Now site 0 reads immediately: the library (site 0) must send the
     // invalidation to the remote clock (site 1), which denies it over
@@ -204,10 +204,7 @@ fn delta_denies_then_retry_succeeds() {
         c.sent
     );
     let elapsed = c.now().since(before);
-    assert!(
-        elapsed >= Delta(6).duration(),
-        "read must wait out the window: {elapsed:?}"
-    );
+    assert!(elapsed >= Delta(6).duration(), "read must wait out the window: {elapsed:?}");
     c.check_coherence(seg, PG);
 }
 
@@ -245,10 +242,7 @@ fn queued_invalidation_avoids_deny_near_expiry() {
         "queued invalidation must suppress the deny: {:?}",
         c.sent
     );
-    assert!(
-        c.now() > before,
-        "the clock site must still delay to window expiry"
-    );
+    assert!(c.now() > before, "the clock site must still delay to window expiry");
     c.check_coherence(seg, PG);
 }
 
@@ -348,10 +342,8 @@ fn two_sites_request_write_simultaneously() {
     c.fault_no_run(1, 1, seg, PG, Access::Write);
     c.fault_no_run(2, 1, seg, PG, Access::Write);
     c.run();
-    let view = c.engines[0].library_view(seg, PG).unwrap();
-    let writers = (0..3)
-        .filter(|&s| c.stores[s].prot(seg, PG) == PageProt::ReadWrite)
-        .count();
+    let view = c.engine(0).library_view(seg, PG).unwrap();
+    let writers = (0..3).filter(|&s| c.stores[s].prot(seg, PG) == PageProt::ReadWrite).count();
     assert_eq!(writers, 1);
     assert!(view.writer == Some(SiteId(1)) || view.writer == Some(SiteId(2)));
     assert!(!view.serving);
@@ -371,7 +363,7 @@ fn read_then_write_same_site_in_flight() {
     c.run();
     assert_eq!(c.stores[1].prot(seg, PG), PageProt::ReadWrite);
     assert_eq!(c.read_u32(1, seg, PG, 0), 5);
-    assert_eq!(c.engines[1].waiter_count(seg, PG), 0, "all waiters woken");
+    assert_eq!(c.engine(1).waiter_count(seg, PG), 0, "all waiters woken");
     c.check_coherence(seg, PG);
 }
 

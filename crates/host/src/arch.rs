@@ -116,9 +116,7 @@ impl DoubleMapping {
         // SAFETY: the range [user+off, user+off+STRIDE) lies within the
         // mapping created in `new`; changing its protection is exactly
         // the intended fault-driving mechanism.
-        let rc = unsafe {
-            libc::mprotect(self.user.add(off).cast(), STRIDE, flags)
-        };
+        let rc = unsafe { libc::mprotect(self.user.add(off).cast(), STRIDE, flags) };
         assert_eq!(rc, 0, "mprotect failed: {}", errno());
     }
 

@@ -121,9 +121,7 @@ extern "C" fn on_sigsegv(
     // Claim a slot.
     let mut idx = usize::MAX;
     for (i, s) in slots.iter().enumerate() {
-        if s.state
-            .compare_exchange(FREE, CLAIMING, Ordering::AcqRel, Ordering::Relaxed)
-            .is_ok()
+        if s.state.compare_exchange(FREE, CLAIMING, Ordering::AcqRel, Ordering::Relaxed).is_ok()
         {
             idx = i;
             break;

@@ -14,12 +14,13 @@ use std::time::{
 };
 
 use mirage_core::{
-    Action,
+    DriverOps,
     Event,
     PageStore,
-    ProtocolConfig,
     ProtoMsg,
-    SiteEngine,
+    ProtocolConfig,
+    ProtocolDriver,
+    RefLogEntry,
 };
 use mirage_net::wire::{
     from_bytes,
@@ -62,17 +63,9 @@ use crate::{
 /// Messages to a site's kernel thread.
 enum KMsg {
     /// An encoded protocol message from another site.
-    Wire {
-        from: SiteId,
-        bytes: Vec<u8>,
-    },
+    Wire { from: SiteId, bytes: Vec<u8> },
     /// Create a segment locally; reply with the user-view base address.
-    CreateSegment {
-        seg: SegmentId,
-        pages: usize,
-        resident: bool,
-        ack: Sender<usize>,
-    },
+    CreateSegment { seg: SegmentId, pages: usize, resident: bool, ack: Sender<usize> },
     /// Shut down.
     Stop,
 }
@@ -118,8 +111,7 @@ impl HostCluster {
             "site-slot space exhausted (too many clusters started in this process)"
         );
         fault::install_handler();
-        let channels: Vec<(Sender<KMsg>, Receiver<KMsg>)> =
-            (0..n).map(|_| channel()).collect();
+        let channels: Vec<(Sender<KMsg>, Receiver<KMsg>)> = (0..n).map(|_| channel()).collect();
         let senders: Vec<_> = channels.iter().map(|(s, _)| s.clone()).collect();
         let inner = Arc::new(Inner {
             base_slot,
@@ -173,13 +165,8 @@ impl HostCluster {
         let lib = seg.library.index();
         for (i, tx) in self.inner.senders.iter().enumerate() {
             let (ack_tx, ack_rx) = channel();
-            tx.send(KMsg::CreateSegment {
-                seg,
-                pages,
-                resident: i == lib,
-                ack: ack_tx,
-            })
-            .expect("site thread alive");
+            tx.send(KMsg::CreateSegment { seg, pages, resident: i == lib, ack: ack_tx })
+                .expect("site thread alive");
             let base = ack_rx.recv().expect("segment ack");
             self.inner.views.lock().unwrap().insert((i, seg), (base, pages));
         }
@@ -193,8 +180,13 @@ impl HostCluster {
     /// An application view of a segment at a site. Accesses through the
     /// view take real faults and block until the protocol grants access.
     pub fn view(&self, site: usize, seg: SegmentId) -> SegView {
-        let (base, pages) =
-            *self.inner.views.lock().unwrap().get(&(site, seg)).expect("segment exists at site");
+        let (base, pages) = *self
+            .inner
+            .views
+            .lock()
+            .unwrap()
+            .get(&(site, seg))
+            .expect("segment exists at site");
         SegView { base: base as *mut u8, pages }
     }
 
@@ -286,6 +278,52 @@ impl Ord for TimerEnt {
     }
 }
 
+/// [`DriverOps`] receiver for a host kernel thread: sends become wire
+/// bytes on the peer channels, wakes flip the faulting thread's mailbox
+/// slot, timers join the thread-local heap, and log records land in the
+/// shared reference log.
+struct HostOps<'a> {
+    site: SiteId,
+    site_idx: usize,
+    timers: &'a mut BinaryHeap<TimerEnt>,
+    senders: &'a [Sender<KMsg>],
+    inner: &'a Inner,
+}
+
+impl DriverOps for HostOps<'_> {
+    fn send(&mut self, to: SiteId, msg: ProtoMsg) {
+        let bytes = to_bytes(&msg);
+        // A dead peer during shutdown is fine.
+        let _ = self.senders[to.index()].send(KMsg::Wire { from: self.site, bytes });
+    }
+
+    fn wake(&mut self, pid: Pid) {
+        let slot = &MAILBOXES[self.inner.base_slot + self.site_idx][(pid.local as usize) - 1];
+        // Only wake a slot this site put in service; stale wakes for
+        // recycled slots are ignored by the CAS.
+        let _ = slot.state.compare_exchange(
+            IN_SERVICE,
+            GRANTED,
+            Ordering::AcqRel,
+            Ordering::Relaxed,
+        );
+    }
+
+    fn set_timer(&mut self, at: SimTime, token: u64) {
+        self.timers.push(TimerEnt(at, token));
+    }
+
+    fn log(&mut self, e: RefLogEntry) {
+        self.inner.ref_logs[self.site_idx].lock().unwrap().record(Entry {
+            seg: e.seg,
+            page: e.page,
+            at: e.at,
+            pid: e.pid,
+            access: e.access,
+        });
+    }
+}
+
 fn kernel_main(
     site_idx: usize,
     config: ProtocolConfig,
@@ -295,52 +333,28 @@ fn kernel_main(
 ) {
     let site = SiteId(site_idx as u16);
     let slot = inner.base_slot + site_idx;
-    let mut engine = SiteEngine::new(site, config);
+    let mut driver = ProtocolDriver::from_config(site, config);
     let mut store = HostStore::new();
     let mut timers: BinaryHeap<TimerEnt> = BinaryHeap::new();
     let now = |inner: &Inner| SimTime(inner.start.elapsed().as_nanos() as u64);
-
-    let apply = |actions: Vec<Action>,
-                     timers: &mut BinaryHeap<TimerEnt>,
-                     senders: &[Sender<KMsg>],
-                     inner: &Inner| {
-        for a in actions {
-            match a {
-                Action::Send { to, msg } => {
-                    let bytes = to_bytes(&msg);
-                    // A dead peer during shutdown is fine.
-                    let _ = senders[to.index()].send(KMsg::Wire { from: site, bytes });
-                }
-                Action::Wake { pid } => {
-                    let slot = &MAILBOXES[inner.base_slot + site_idx][(pid.local as usize) - 1];
-                    // Only wake a slot this site put in service; stale
-                    // wakes for recycled slots are ignored by the CAS.
-                    let _ = slot.state.compare_exchange(
-                        IN_SERVICE,
-                        GRANTED,
-                        Ordering::AcqRel,
-                        Ordering::Relaxed,
-                    );
-                }
-                Action::SetTimer { at, token } => timers.push(TimerEnt(at, token)),
-                Action::Log(e) => inner.ref_logs[site_idx].lock().unwrap().record(Entry {
-                    seg: e.seg,
-                    page: e.page,
-                    at: e.at,
-                    pid: e.pid,
-                    access: e.access,
-                }),
-            }
-        }
-    };
 
     loop {
         // Fire due timers.
         let t_now = now(&inner);
         while timers.peek().map(|t| t.0 <= t_now).unwrap_or(false) {
             let TimerEnt(_, token) = timers.pop().expect("peeked");
-            let actions = engine.handle(Event::Timer { token }, t_now, &mut store);
-            apply(actions, &mut timers, &senders, &inner);
+            driver.drive(
+                Event::Timer { token },
+                t_now,
+                &mut store,
+                &mut HostOps {
+                    site,
+                    site_idx,
+                    timers: &mut timers,
+                    senders: &senders,
+                    inner: &inner,
+                },
+            );
         }
         // Service posted faults.
         #[allow(clippy::needless_range_loop)] // `slot` shadows the block index below.
@@ -365,33 +379,47 @@ fn kernel_main(
             // Typed fault: the x86-64 error-code bit; on other
             // architectures infer from the current protection (a fault
             // on a readable page must be a write).
-            let access = if hw_write
-                || store.prot(hit.seg, page) == PageProt::Read
-            {
+            let access = if hw_write || store.prot(hit.seg, page) == PageProt::Read {
                 Access::Write
             } else {
                 Access::Read
             };
             let pid = Pid::new(site, (slot_idx + 1) as u32);
             let t = now(&inner);
-            let actions = engine.handle(
+            driver.drive(
                 Event::Fault { pid, seg: hit.seg, page, access },
                 t,
                 &mut store,
+                &mut HostOps {
+                    site,
+                    site_idx,
+                    timers: &mut timers,
+                    senders: &senders,
+                    inner: &inner,
+                },
             );
-            apply(actions, &mut timers, &senders, &inner);
         }
         // Wait briefly for wire traffic or commands.
         match rx.recv_timeout(Duration::from_micros(500)) {
             Ok(KMsg::Wire { from, bytes }) => {
                 let msg: ProtoMsg = from_bytes(&bytes).expect("peer sent valid wire data");
                 let t = now(&inner);
-                let actions = engine.handle(Event::Deliver { from, msg }, t, &mut store);
-                apply(actions, &mut timers, &senders, &inner);
+                driver.drive(
+                    Event::Deliver { from, msg },
+                    t,
+                    &mut store,
+                    &mut HostOps {
+                        site,
+                        site_idx,
+                        timers: &mut timers,
+                        senders: &senders,
+                        inner: &inner,
+                    },
+                );
             }
             Ok(KMsg::CreateSegment { seg, pages, resident, ack }) => {
                 store.add_segment(seg, pages, resident);
-                engine.register_segment(seg, pages);
+                driver.register_segment(seg, pages);
                 let base = store.mapping(seg).expect("just added").user_base() as usize;
                 let rslot = region::register(base, pages * STRIDE, slot, seg);
                 inner.region_slots.lock().unwrap().push(rslot);

@@ -89,10 +89,7 @@ impl PageStore for HostStore {
     }
 
     fn prot(&self, seg: SegmentId, page: PageNum) -> PageProt {
-        self.segs
-            .get(&seg)
-            .map(|(_, prots)| prots[page.index()])
-            .unwrap_or(PageProt::None)
+        self.segs.get(&seg).map(|(_, prots)| prots[page.index()]).unwrap_or(PageProt::None)
     }
 }
 

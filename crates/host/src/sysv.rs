@@ -50,8 +50,7 @@ impl SysV {
     /// Starts a cluster of `n` sites with the System V front end.
     pub fn start(n: usize, config: ProtocolConfig) -> Self {
         let cluster = HostCluster::start(n, config);
-        let namespaces =
-            (0..n).map(|i| Mutex::new(Namespace::new(SiteId(i as u16)))).collect();
+        let namespaces = (0..n).map(|i| Mutex::new(Namespace::new(SiteId(i as u16)))).collect();
         Self { cluster, namespaces, spaces: Mutex::new(HashMap::new()) }
     }
 
@@ -69,7 +68,13 @@ impl SysV {
     ///
     /// As [`Namespace::get`]: invalid size, exclusive-create collision,
     /// or lookup of an absent key.
-    pub fn shmget(&self, caller: Pid, key: SegKey, size: usize, flags: ShmFlags) -> Result<SegmentId> {
+    pub fn shmget(
+        &self,
+        caller: Pid,
+        key: SegKey,
+        size: usize,
+        flags: ShmFlags,
+    ) -> Result<SegmentId> {
         // Keys are global: search every site's namespace first.
         for ns in &self.namespaces {
             if let Some(id) = ns.lock().unwrap().lookup(key) {
@@ -80,10 +85,7 @@ impl SysV {
             }
         }
         let site = caller.site.index();
-        let ns = self
-            .namespaces
-            .get(site)
-            .ok_or(MirageError::UnknownSite(caller.site))?;
+        let ns = self.namespaces.get(site).ok_or(MirageError::UnknownSite(caller.site))?;
         let id = ns.lock().unwrap().get(key, size, flags, caller)?;
         let pages = {
             let guard = ns.lock().unwrap();
@@ -136,9 +138,7 @@ impl SysV {
     pub fn shmdt(&self, caller: Pid, shmid: SegmentId) -> Result<bool> {
         {
             let mut spaces = self.spaces.lock().unwrap();
-            let space = spaces
-                .get_mut(&caller)
-                .ok_or(MirageError::NoSuchSegment(shmid))?;
+            let space = spaces.get_mut(&caller).ok_or(MirageError::NoSuchSegment(shmid))?;
             space.detach(shmid)?;
         }
         let ns = self
@@ -151,11 +151,13 @@ impl SysV {
         Ok(destroyed)
     }
 
-    fn resolve(&self, caller: Pid, vaddr: usize) -> Result<(SegmentId, mirage_types::PageNum, usize, bool)> {
+    fn resolve(
+        &self,
+        caller: Pid,
+        vaddr: usize,
+    ) -> Result<(SegmentId, mirage_types::PageNum, usize, bool)> {
         let spaces = self.spaces.lock().unwrap();
-        let space = spaces
-            .get(&caller)
-            .ok_or(MirageError::NotAttached { addr: vaddr })?;
+        let space = spaces.get(&caller).ok_or(MirageError::NotAttached { addr: vaddr })?;
         let r = space.resolve(vaddr)?;
         Ok((r.segment, r.page, r.offset, r.read_only))
     }
@@ -226,10 +228,7 @@ mod tests {
         let p = pid(0, 1);
         let id = sysv.shmget(p, SegKey(5), PAGE_SIZE, ShmFlags::create_rw()).unwrap();
         let base = sysv.shmat(p, id, None, true).unwrap();
-        assert!(matches!(
-            sysv.write_u32(p, base, 1),
-            Err(MirageError::PermissionDenied(_))
-        ));
+        assert!(matches!(sysv.write_u32(p, base, 1), Err(MirageError::PermissionDenied(_))));
         // Reads are fine.
         assert_eq!(sysv.read_u32(p, base).unwrap(), 0);
     }

@@ -80,7 +80,9 @@ impl AddressSpace {
         addr: usize,
         read_only: bool,
     ) -> Result<Attachment> {
-        if !addr.is_multiple_of(PAGE_SIZE) || addr < SHM_BASE || addr.saturating_add(size) > SHM_TOP
+        if !addr.is_multiple_of(PAGE_SIZE)
+            || addr < SHM_BASE
+            || addr.saturating_add(size) > SHM_TOP
         {
             return Err(MirageError::BadAddress { addr });
         }
@@ -126,10 +128,8 @@ impl AddressSpace {
         if self.attachments.iter().any(|a| a.segment == segment) {
             return Err(MirageError::AlreadyAttached(segment));
         }
-        let overlaps = self
-            .attachments
-            .iter()
-            .any(|a| base < a.base + a.len && a.base < base + len);
+        let overlaps =
+            self.attachments.iter().any(|a| base < a.base + a.len && a.base < base + len);
         if overlaps {
             return Err(MirageError::BadAddress { addr: base });
         }
@@ -265,10 +265,7 @@ mod tests {
     #[test]
     fn resolve_outside_attachments_fails() {
         let a = AddressSpace::new();
-        assert!(matches!(
-            a.resolve(SHM_BASE),
-            Err(MirageError::NotAttached { .. })
-        ));
+        assert!(matches!(a.resolve(SHM_BASE), Err(MirageError::NotAttached { .. })));
     }
 
     #[test]

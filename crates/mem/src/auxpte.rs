@@ -45,12 +45,7 @@ pub struct AuxPte {
 impl AuxPte {
     /// An entry for a page not yet distributed anywhere.
     pub fn empty(window: Delta) -> Self {
-        Self {
-            readers: SiteSet::empty(),
-            writer: None,
-            window,
-            install_time: SimTime::ZERO,
-        }
+        Self { readers: SiteSet::empty(), writer: None, window, install_time: SimTime::ZERO }
     }
 
     /// The time at which this page's window expires at this site.

@@ -264,10 +264,7 @@ mod tests {
         n.get(SegKey(7), 512, ShmFlags::create_rw(), pid(1)).unwrap();
         let mut excl = ShmFlags::create_rw();
         excl.exclusive = true;
-        assert_eq!(
-            n.get(SegKey(7), 512, excl, pid(1)),
-            Err(MirageError::KeyExists(SegKey(7)))
-        );
+        assert_eq!(n.get(SegKey(7), 512, excl, pid(1)), Err(MirageError::KeyExists(SegKey(7))));
     }
 
     #[test]

@@ -53,11 +53,7 @@ pub struct MasterTable {
 impl MasterTable {
     /// A master table for a segment of `pages` pages, all invalid.
     pub fn new(segment: SegmentId, pages: usize) -> Self {
-        Self {
-            segment,
-            entries: vec![Pte::shared(PageProt::None); pages],
-            generation: 0,
-        }
+        Self { segment, entries: vec![Pte::shared(PageProt::None); pages], generation: 0 }
     }
 
     /// The segment this table describes.
@@ -115,10 +111,7 @@ impl ProcessTable {
     /// Conjoin a segment's master entries into this process's table
     /// (attach time).
     pub fn attach(&mut self, master: &MasterTable) {
-        self.cached.insert(
-            master.segment(),
-            (master.entries().to_vec(), master.generation()),
-        );
+        self.cached.insert(master.segment(), (master.entries().to_vec(), master.generation()));
     }
 
     /// Remove a segment's entries (detach time).

@@ -1,0 +1,91 @@
+//! Dense message-kind enumeration shared by instrumentation layers.
+//!
+//! The protocol payload lives in `mirage-core`, but per-kind counters are
+//! kept by the simulator's instrumentation and by the bench experiment
+//! reports. Indexing those counters by this enum (instead of string tags
+//! in a `HashMap`) makes the counters a fixed array: no hashing on the
+//! per-message path and a stable, deterministic iteration order.
+
+/// Every Mirage protocol message kind, in wire-discriminant order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum MsgKind {
+    /// Requester → library: queue a page request.
+    PageRequest = 0,
+    /// Library → clock: grant read copies to additional readers.
+    AddReaders = 1,
+    /// Library → clock: invalidate the current copy for a demand.
+    Invalidate = 2,
+    /// Clock → library: Δ not expired; retry after the given wait.
+    InvalidateDeny = 3,
+    /// Clock → library: the demand has been carried out.
+    InvalidateDone = 4,
+    /// Clock → reader: discard your read copy.
+    ReaderInvalidate = 5,
+    /// Reader → clock: copy discarded.
+    ReaderInvalidateAck = 6,
+    /// Storing site → requester: the page itself (the only large message).
+    PageGrant = 7,
+    /// Clock/library → requester: upgrade in place, no data.
+    UpgradeGrant = 8,
+}
+
+impl MsgKind {
+    /// Number of message kinds (the length of per-kind counter arrays).
+    pub const COUNT: usize = 9;
+
+    /// All kinds, in wire-discriminant order.
+    pub const ALL: [MsgKind; Self::COUNT] = [
+        MsgKind::PageRequest,
+        MsgKind::AddReaders,
+        MsgKind::Invalidate,
+        MsgKind::InvalidateDeny,
+        MsgKind::InvalidateDone,
+        MsgKind::ReaderInvalidate,
+        MsgKind::ReaderInvalidateAck,
+        MsgKind::PageGrant,
+        MsgKind::UpgradeGrant,
+    ];
+
+    /// Dense index into a `[_; MsgKind::COUNT]` counter array.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The human-readable tag (matches the message variant name).
+    pub fn name(self) -> &'static str {
+        match self {
+            MsgKind::PageRequest => "PageRequest",
+            MsgKind::AddReaders => "AddReaders",
+            MsgKind::Invalidate => "Invalidate",
+            MsgKind::InvalidateDeny => "InvalidateDeny",
+            MsgKind::InvalidateDone => "InvalidateDone",
+            MsgKind::ReaderInvalidate => "ReaderInvalidate",
+            MsgKind::ReaderInvalidateAck => "ReaderInvalidateAck",
+            MsgKind::PageGrant => "PageGrant",
+            MsgKind::UpgradeGrant => "UpgradeGrant",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_is_dense_and_in_order() {
+        assert_eq!(MsgKind::ALL.len(), MsgKind::COUNT);
+        for (i, k) in MsgKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        for a in MsgKind::ALL {
+            for b in MsgKind::ALL {
+                assert_eq!(a.name() == b.name(), a == b);
+            }
+        }
+    }
+}

@@ -12,6 +12,8 @@
 //! * [`wire::Wire`] — a compact binary codec trait plus implementations
 //!   for the primitive Mirage types, so payloads can be put on a real
 //!   wire (and so the codec can be benchmarked);
+//! * [`kind::MsgKind`] — the dense message-kind enumeration that indexes
+//!   per-kind instrumentation counters;
 //! * [`circuit::CircuitTable`] — per-peer sequencing with in-order
 //!   delivery verification, the guarantee the DSM protocol assumes;
 //! * [`topology::Topology`] — the set of sites in the network;
@@ -23,6 +25,7 @@
 
 pub mod circuit;
 pub mod costs;
+pub mod kind;
 pub mod message;
 pub mod topology;
 pub mod wire;
@@ -32,6 +35,7 @@ pub use costs::{
     NetCosts,
     SizeClass,
 };
+pub use kind::MsgKind;
 pub use message::Message;
 pub use topology::Topology;
 pub use wire::Wire;

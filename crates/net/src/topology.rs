@@ -115,10 +115,7 @@ mod tests {
     fn routing_checks_membership() {
         let t = Topology::full_mesh(2);
         assert!(t.route(SiteId(0), SiteId(1)).is_ok());
-        assert_eq!(
-            t.route(SiteId(0), SiteId(9)),
-            Err(MirageError::UnknownSite(SiteId(9)))
-        );
+        assert_eq!(t.route(SiteId(0), SiteId(9)), Err(MirageError::UnknownSite(SiteId(9))));
     }
 
     #[test]

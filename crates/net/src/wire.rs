@@ -318,10 +318,7 @@ mod tests {
     fn trailing_bytes_are_an_error() {
         let mut bytes = to_bytes(&SiteId(1));
         bytes.push(0);
-        assert_eq!(
-            from_bytes::<SiteId>(&bytes),
-            Err(MirageError::Codec("trailing bytes"))
-        );
+        assert_eq!(from_bytes::<SiteId>(&bytes), Err(MirageError::Codec("trailing bytes")));
     }
 
     #[test]

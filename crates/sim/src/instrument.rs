@@ -1,9 +1,10 @@
 //! Simulation instrumentation: message counts, fault counts, and the
 //! phase trace used to regenerate Table 3.
 
-use std::collections::HashMap;
-
-use mirage_net::SizeClass;
+use mirage_net::{
+    MsgKind,
+    SizeClass,
+};
 use mirage_types::{
     SimDuration,
     SimTime,
@@ -17,14 +18,21 @@ pub struct MsgStats {
     pub short: u64,
     /// Large (page-carrying) messages sent.
     pub large: u64,
-    /// Per-tag counts.
-    pub by_tag: HashMap<&'static str, u64>,
+    /// Per-kind counts, indexed by [`MsgKind`]. A fixed array instead of
+    /// a tag-keyed map: no hashing per message and a deterministic
+    /// iteration order for reports.
+    pub by_kind: [u64; MsgKind::COUNT],
 }
 
 impl MsgStats {
     /// Total messages.
     pub fn total(&self) -> u64 {
         self.short + self.large
+    }
+
+    /// Messages of one kind.
+    pub fn count(&self, kind: MsgKind) -> u64 {
+        self.by_kind[kind.index()]
     }
 }
 
@@ -90,12 +98,12 @@ impl Instrumentation {
     }
 
     /// Records a wire message.
-    pub fn record_msg(&mut self, tag: &'static str, size: SizeClass) {
+    pub fn record_msg(&mut self, kind: MsgKind, size: SizeClass) {
         match size {
             SizeClass::Short => self.msgs.short += 1,
             SizeClass::Large => self.msgs.large += 1,
         }
-        *self.msgs.by_tag.entry(tag).or_insert(0) += 1;
+        self.msgs.by_kind[kind.index()] += 1;
     }
 
     /// Records a phase event if tracing is on.
@@ -120,13 +128,14 @@ mod tests {
     #[test]
     fn msg_counters_split_by_size() {
         let mut i = Instrumentation::new(2);
-        i.record_msg("PageRequest", SizeClass::Short);
-        i.record_msg("PageGrant", SizeClass::Large);
-        i.record_msg("PageGrant", SizeClass::Large);
+        i.record_msg(MsgKind::PageRequest, SizeClass::Short);
+        i.record_msg(MsgKind::PageGrant, SizeClass::Large);
+        i.record_msg(MsgKind::PageGrant, SizeClass::Large);
         assert_eq!(i.msgs.short, 1);
         assert_eq!(i.msgs.large, 2);
         assert_eq!(i.msgs.total(), 3);
-        assert_eq!(i.msgs.by_tag["PageGrant"], 2);
+        assert_eq!(i.msgs.count(MsgKind::PageGrant), 2);
+        assert_eq!(i.msgs.count(MsgKind::Invalidate), 0);
     }
 
     #[test]

@@ -5,12 +5,13 @@ use std::collections::VecDeque;
 
 use mirage_core::{
     Action,
+    DriverOps,
     Event,
     InMemStore,
     PageStore,
     ProtoMsg,
+    ProtocolDriver,
     RefLogEntry,
-    SiteEngine,
 };
 use mirage_net::{
     NetCosts,
@@ -119,8 +120,8 @@ pub(crate) enum OutEffect {
 pub struct Site {
     /// Site id.
     pub id: SiteId,
-    /// The protocol engine (the real one from `mirage-core`).
-    pub engine: SiteEngine,
+    /// The protocol driver wrapping the real engine from `mirage-core`.
+    pub driver: ProtocolDriver,
     /// Page-frame storage for this site.
     pub store: InMemStore,
     /// All processes ever spawned here.
@@ -148,14 +149,14 @@ pub struct Site {
 impl Site {
     pub(crate) fn new(
         id: SiteId,
-        engine: SiteEngine,
+        driver: ProtocolDriver,
         sched: SchedParams,
         costs: NetCosts,
     ) -> Self {
         let remap_per_page = costs.remap_per_page;
         Self {
             id,
-            engine,
+            driver,
             store: InMemStore::new(),
             procs: Vec::new(),
             run_queue: VecDeque::new(),
@@ -192,17 +193,6 @@ impl Site {
         SimTime((t.0 / TICK.0 + 1) * TICK.0)
     }
 
-    /// Wakes a process blocked in a fault.
-    pub(crate) fn wake(&mut self, pid: Pid) {
-        for (i, p) in self.procs.iter_mut().enumerate() {
-            if p.pid == pid && p.state == ProcState::Blocked {
-                p.state = ProcState::Ready;
-                p.boosted = true;
-                self.run_queue.push_back(i);
-            }
-        }
-    }
-
     /// True when nothing can ever happen again at this site without
     /// external input.
     pub(crate) fn is_idle(&self) -> bool {
@@ -227,33 +217,12 @@ impl Site {
             .min()
     }
 
-    /// Runs engine actions, converting them into effects and local wakes.
-    fn apply_engine_actions(
-        &mut self,
-        actions: Vec<Action>,
-        depart: SimTime,
-        effects: &mut Vec<OutEffect>,
-    ) -> usize {
-        let mut grants = 0;
-        for a in actions {
-            match a {
-                Action::Send { to, msg } => {
-                    if matches!(msg, ProtoMsg::PageGrant { .. }) {
-                        grants += 1;
-                    }
-                    if matches!(msg, ProtoMsg::InvalidateDeny { .. }) {
-                        effects.push(OutEffect::Denial);
-                    }
-                    effects.push(OutEffect::Send { to, msg, depart });
-                }
-                Action::Wake { pid } => self.wake(pid),
-                Action::SetTimer { at, token } => {
-                    effects.push(OutEffect::SetTimer { at, token });
-                }
-                Action::Log(entry) => effects.push(OutEffect::Log(entry)),
-            }
-        }
-        grants
+    /// Drains the driver's pending actions into world effects and local
+    /// process wakes. Sends depart at `depart` (the end of the kernel
+    /// work that produced them).
+    fn flush_driver(&mut self, depart: SimTime, effects: &mut Vec<OutEffect>) {
+        let Site { driver, procs, run_queue, .. } = self;
+        driver.flush(&mut SimOps { depart, effects, procs, run_queue });
     }
 
     /// Advances the site at `now`. `horizon` is the next global event
@@ -297,9 +266,7 @@ impl Site {
         if self.current.is_none() {
             // A process just woken from a fault sleep runs first (UNIX
             // kernel sleep priority beats the network server process).
-            if let Some(pos) =
-                self.run_queue.iter().position(|&i| self.procs[i].boosted)
-            {
+            if let Some(pos) = self.run_queue.iter().position(|&i| self.procs[i].boosted) {
                 let next = self.run_queue.remove(pos).expect("position valid");
                 self.procs[next].boosted = false;
                 self.boost_shield = true;
@@ -341,11 +308,7 @@ impl Site {
         // instant does not bind: same-time events cannot preempt the
         // running process (kernel work waits for a scheduling point), so
         // stopping for them would spin the event loop without progress.
-        let stop = if horizon > now {
-            horizon.min(self.quantum_end)
-        } else {
-            self.quantum_end
-        };
+        let stop = if horizon > now { horizon.min(self.quantum_end) } else { self.quantum_end };
         self.run_user_ops(now, stop, effects)
     }
 
@@ -373,14 +336,21 @@ impl Site {
         // copy to message, unmap; see the §7.1 footnote).
         if std::env::var_os("MIRAGE_SIM_TRACE").is_some() {
             if let Event::Deliver { from, ref msg } = ev {
-                eprintln!("[{:?}] site{} <- {:?}: {} {:?}", now, self.id.0, from, msg.tag(), msg.subject());
+                eprintln!(
+                    "[{:?}] site{} <- {:?}: {} {:?}",
+                    now,
+                    self.id.0,
+                    from,
+                    msg.tag(),
+                    msg.subject()
+                );
             } else if let Event::Timer { token } = ev {
                 eprintln!("[{:?}] site{} timer {}", now, self.id.0, token);
             }
         }
-        let actions = self.engine.handle(ev, now, &mut self.store);
+        let summary = self.driver.dispatch(ev, now, &mut self.store);
         if std::env::var_os("MIRAGE_SIM_TRACE").is_some() {
-            for a in &actions {
+            for a in self.driver.pending() {
                 if let Action::Send { to, msg } = a {
                     eprintln!("    site{} -> site{}: {} ", self.id.0, to.0, msg.tag());
                 }
@@ -389,16 +359,12 @@ impl Site {
                 }
             }
         }
-        // Sends depart when the kernel work completes; compute the cost
-        // first from the number of grants.
-        let grants = actions
-            .iter()
-            .filter(|a| matches!(a, Action::Send { msg: ProtoMsg::PageGrant { .. }, .. }))
-            .count();
-        let cost = base + self.costs.serve_processing.scale(grants as u64);
+        // Sends depart when the kernel work completes; the two-phase
+        // driver lets us price the work from the grant count before the
+        // departure timestamp exists.
+        let cost = base + self.costs.serve_processing.scale(u64::from(summary.grants));
         let done = now + cost;
-        let g = self.apply_engine_actions(actions, done, effects);
-        debug_assert_eq!(g, grants);
+        self.flush_driver(done, effects);
         effects.push(OutEffect::ServerCpu(cost));
         self.busy_until = done;
         done
@@ -453,7 +419,7 @@ impl Site {
                         OutEffect::RemoteFault
                     });
                     let done = t + fault_cost;
-                    let actions = self.engine.handle(
+                    self.driver.dispatch(
                         Event::Fault { pid, seg: r.seg, page: r.page, access },
                         t,
                         &mut self.store,
@@ -464,7 +430,7 @@ impl Site {
                     self.procs[c].cpu_used += fault_cost;
                     self.current = None;
                     self.busy_until = done;
-                    self.apply_engine_actions(actions, done, effects);
+                    self.flush_driver(done, effects);
                     // A colocated library may have completed the whole
                     // request inline, waking us synchronously: `wake`
                     // has then already re-queued the process.
@@ -482,7 +448,8 @@ impl Site {
             self.boost_shield = false;
             match op {
                 Op::Read(r) => {
-                    let val = self.store
+                    let val = self
+                        .store
                         .segment(r.seg)
                         .and_then(|s| s.frame(r.page))
                         .map(|f| f.load_u32(r.offset))
@@ -509,8 +476,7 @@ impl Site {
                     if self.run_queue.is_empty() {
                         // No one else to run: Locus sleeps the yielder
                         // until the next scheduling interval.
-                        self.procs[c].state =
-                            ProcState::Sleeping(t + self.sched.yield_sleep);
+                        self.procs[c].state = ProcState::Sleeping(t + self.sched.yield_sleep);
                         self.procs[c].yield_sleeps += 1;
                     } else {
                         self.run_queue.push_back(c);
@@ -552,6 +518,44 @@ impl core::fmt::Debug for Site {
             .field("current", &self.current)
             .field("server_q", &self.server_q.len())
             .finish()
+    }
+}
+
+/// [`DriverOps`] receiver for the simulator: sends and timers become
+/// [`OutEffect`]s for the world to apply globally; wakes act directly on
+/// this site's process table and run queue.
+struct SimOps<'a> {
+    /// Departure timestamp stamped onto every send.
+    depart: SimTime,
+    effects: &'a mut Vec<OutEffect>,
+    procs: &'a mut Vec<Process>,
+    run_queue: &'a mut VecDeque<usize>,
+}
+
+impl DriverOps for SimOps<'_> {
+    fn send(&mut self, to: SiteId, msg: ProtoMsg) {
+        if matches!(msg, ProtoMsg::InvalidateDeny { .. }) {
+            self.effects.push(OutEffect::Denial);
+        }
+        self.effects.push(OutEffect::Send { to, msg, depart: self.depart });
+    }
+
+    fn wake(&mut self, pid: Pid) {
+        for (i, p) in self.procs.iter_mut().enumerate() {
+            if p.pid == pid && p.state == ProcState::Blocked {
+                p.state = ProcState::Ready;
+                p.boosted = true;
+                self.run_queue.push_back(i);
+            }
+        }
+    }
+
+    fn set_timer(&mut self, at: SimTime, token: u64) {
+        self.effects.push(OutEffect::SetTimer { at, token });
+    }
+
+    fn log(&mut self, entry: RefLogEntry) {
+        self.effects.push(OutEffect::Log(entry));
     }
 }
 

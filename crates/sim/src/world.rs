@@ -4,10 +4,10 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use mirage_core::{
-    ProtocolConfig,
     ProtoMsg,
+    ProtocolConfig,
+    ProtocolDriver,
     RefLogEntry,
-    SiteEngine,
 };
 use mirage_mem::LocalSegment;
 use mirage_net::NetCosts;
@@ -114,7 +114,7 @@ impl World {
                 let id = SiteId(i as u16);
                 Site::new(
                     id,
-                    SiteEngine::new(id, cfg.protocol.clone()),
+                    ProtocolDriver::from_config(id, cfg.protocol.clone()),
                     cfg.sched.clone(),
                     cfg.costs.clone(),
                 )
@@ -154,7 +154,7 @@ impl World {
                 LocalSegment::absent(seg, pages)
             };
             site.store.add_segment(view);
-            site.engine.register_segment(seg, pages);
+            site.driver.register_segment(seg, pages);
         }
         seg
     }
@@ -184,7 +184,7 @@ impl World {
             match e {
                 OutEffect::Send { to, msg, depart } => {
                     let size = msg_size(&msg);
-                    self.instr.record_msg(msg.tag(), size);
+                    self.instr.record_msg(msg.kind(), size);
                     if self.instr.trace_phases {
                         let phase = match (&msg, size) {
                             (ProtoMsg::PageRequest { .. }, _) => Some(FetchPhase::RequestSent),
@@ -301,7 +301,8 @@ impl World {
                             self.instr.upgrades += 1;
                         }
                     }
-                    self.sites[to].queue_server_work(ServerWork::Deliver { from, msg }, self.now);
+                    self.sites[to]
+                        .queue_server_work(ServerWork::Deliver { from, msg }, self.now);
                     self.poke(to);
                 }
                 Ev::SiteWake { site } => self.poke(site),
@@ -353,6 +354,12 @@ impl World {
     /// Total completed shared-memory accesses in the world.
     pub fn total_accesses(&self) -> u64 {
         self.sites.iter().flat_map(|s| s.procs.iter()).map(|p| p.accesses).sum()
+    }
+
+    /// Total protocol events dispatched through the driver layer across
+    /// all sites (faults, deliveries, timer firings).
+    pub fn engine_events(&self) -> u64 {
+        self.sites.iter().map(|s| s.driver.events_dispatched()).sum()
     }
 
     /// Enables Table 3 phase tracing.

@@ -116,21 +116,14 @@ fn table3_remote_fetch_elapsed() {
     let seg = w.create_segment(0, 1); // library and page at site 0
     w.enable_phase_trace();
     // One process at site 1 performs a single remote read.
-    w.spawn(
-        1,
-        Box::new(OneRead { r: MemRef::new(seg, PageNum(0), 0), done: false }),
-        1,
-    );
+    w.spawn(1, Box::new(OneRead { r: MemRef::new(seg, PageNum(0), 0), done: false }), 1);
     w.run_until(SimTime::from_millis(500));
     let total = w
         .instr
         .phase_gap(FetchPhase::FaultTaken, FetchPhase::PageReceived)
         .expect("fetch completed");
     let ms = total.as_millis_f64();
-    assert!(
-        (26.0..=29.5).contains(&ms),
-        "remote fetch should be ≈27.5 ms, got {ms:.2} ms"
-    );
+    assert!((26.0..=29.5).contains(&ms), "remote fetch should be ≈27.5 ms, got {ms:.2} ms");
 }
 
 /// The uncontended read-write loop rate caps Figure 8's peak at
@@ -225,12 +218,7 @@ fn yield_sleep_accounting_at_delta_two() {
     w.run_until(SimTime::from_millis(30_000));
     let cycles = w.sites[0].procs[0].metric();
     assert!(cycles > 10);
-    let sleeps: u64 = w
-        .sites
-        .iter()
-        .flat_map(|s| s.procs.iter())
-        .map(|p| p.yield_sleeps)
-        .sum();
+    let sleeps: u64 = w.sites.iter().flat_map(|s| s.procs.iter()).map(|p| p.yield_sleeps).sum();
     let per_cycle = sleeps as f64 / cycles as f64;
     assert!(
         (1.0..=6.0).contains(&per_cycle),
@@ -252,10 +240,7 @@ fn delta_throttles_worst_case() {
     };
     let r0 = rate(0);
     let r10 = rate(10);
-    assert!(
-        r10 < r0,
-        "Δ=10 ticks must slow the thrasher: Δ0={r0:.2} Δ10={r10:.2}"
-    );
+    assert!(r10 < r0, "Δ=10 ticks must slow the thrasher: Δ0={r0:.2} Δ10={r10:.2}");
 }
 
 /// Background compute on a third site is unaffected by thrashing
@@ -278,8 +263,5 @@ fn larger_delta_helps_background_work() {
     // The effect is modest when the thrasher already yields (its sleeps
     // release the CPU either way), but the direction must hold: fewer
     // thrash cycles per second at larger Δ leaves more CPU over.
-    assert!(
-        large > small,
-        "Δ=30 should free CPU for background work: Δ0={small} Δ30={large}"
-    );
+    assert!(large > small, "Δ=30 should free CPU for background work: Δ0={small} Δ30={large}");
 }

@@ -39,8 +39,7 @@ impl PageHeat {
 
     /// Pages ranked by total requests, hottest first.
     pub fn hottest(&self) -> Vec<((SegmentId, PageNum), u64)> {
-        let mut v: Vec<_> =
-            self.counts.iter().map(|(&k, &(r, w))| (k, r + w)).collect();
+        let mut v: Vec<_> = self.counts.iter().map(|(&k, &(r, w))| (k, r + w)).collect();
         v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         v
     }
@@ -85,10 +84,7 @@ impl SharingMatrix {
 
     /// Number of distinct sites that requested a page.
     pub fn sharers(&self, seg: SegmentId, page: PageNum) -> usize {
-        self.counts
-            .keys()
-            .filter(|&&(s, p, _)| s == seg && p == page)
-            .count()
+        self.counts.keys().filter(|&&(s, p, _)| s == seg && p == page).count()
     }
 
     /// The site that requested a page most often, if any.
@@ -162,11 +158,7 @@ mod tests {
 
     #[test]
     fn sharing_matrix_identifies_dominant_site() {
-        let l = log_with(&[
-            (0, 1, Access::Read),
-            (0, 2, Access::Read),
-            (0, 2, Access::Write),
-        ]);
+        let l = log_with(&[(0, 1, Access::Read), (0, 2, Access::Read), (0, 2, Access::Write)]);
         let m = SharingMatrix::from_log(&l);
         assert_eq!(m.requests(seg(), PageNum(0), SiteId(2)), 2);
         assert_eq!(m.sharers(seg(), PageNum(0)), 2);

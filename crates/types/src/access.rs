@@ -56,10 +56,7 @@ impl PageProt {
     /// Does this protection satisfy the given access without a fault?
     #[inline]
     pub fn permits(self, access: Access) -> bool {
-        matches!(
-            (self, access),
-            (PageProt::ReadWrite, _) | (PageProt::Read, Access::Read)
-        )
+        matches!((self, access), (PageProt::ReadWrite, _) | (PageProt::Read, Access::Read))
     }
 
     /// Is the page resident at all (readable in some mode)?
@@ -77,6 +74,15 @@ impl PageProt {
 /// invalidation-scaling experiments.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct SiteSet(u64);
+
+/// The reader mask of an auxiliary page table entry (Table 2).
+///
+/// Protocol code tracks "which sites hold read copies of this page" in
+/// many places — the library's per-page record, the clock site's
+/// invalidation round, the auxpte itself. All of them are the same
+/// 64-bit site bitmask; this alias names that protocol role so the
+/// intent is visible at each use site.
+pub type ReaderSet = SiteSet;
 
 impl SiteSet {
     /// Maximum number of sites representable.

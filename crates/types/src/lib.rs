@@ -22,6 +22,7 @@ pub mod time;
 pub use access::{
     Access,
     PageProt,
+    ReaderSet,
     SiteSet,
 };
 pub use error::{
@@ -29,8 +30,8 @@ pub use error::{
     Result,
 };
 pub use ids::{
-    Pid,
     PageNum,
+    Pid,
     SegKey,
     SegmentId,
     SiteId,

@@ -12,15 +12,11 @@ use core::ops::{
 };
 
 /// A point in simulated time, in nanoseconds since simulation start.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(pub u64);
 
 /// A span of simulated time, in nanoseconds.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(pub u64);
 
 /// One scheduler clock tick.
@@ -39,9 +35,7 @@ pub type Ticks = u32;
 /// Table 2 stores Δ per page as "window ticks"; §8.0 notes per-page Δs are
 /// supported by the data structure even though the prototype used uniform
 /// per-segment values.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Delta(pub Ticks);
 
 impl Delta {

@@ -30,10 +30,7 @@ pub const ENDVAL: u32 = u32::MAX;
 fn pair_refs(seg: SegmentId, trial: u32) -> (MemRef, MemRef) {
     let k = trial % PAIRS;
     let off = (k * 8) as usize;
-    (
-        MemRef::new(seg, PageNum(0), off),
-        MemRef::new(seg, PageNum(0), off + 4),
-    )
+    (MemRef::new(seg, PageNum(0), off), MemRef::new(seg, PageNum(0), off + 4))
 }
 
 /// The value Process 1 writes in a trial.
@@ -63,14 +60,7 @@ enum PingState {
 impl PingPongPinger {
     /// Builds Process 1 for `trials` cycles over a one-page segment.
     pub fn new(seg: SegmentId, trials: u32, use_yield: bool) -> Self {
-        Self {
-            seg,
-            trials,
-            trial: 0,
-            state: PingState::WriteFirst,
-            use_yield,
-            cycles: 0,
-        }
+        Self { seg, trials, trial: 0, state: PingState::WriteFirst, use_yield, cycles: 0 }
     }
 }
 

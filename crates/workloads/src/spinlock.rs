@@ -121,14 +121,7 @@ impl LockTester {
     /// Builds the tester; it exits after observing the lock free
     /// `observations` times.
     pub fn new(seg: SegmentId, observations: u32, use_yield: bool) -> Self {
-        Self {
-            seg,
-            observations,
-            seen_free: 0,
-            polls: 0,
-            reading: false,
-            use_yield,
-        }
+        Self { seg, observations, seen_free: 0, polls: 0, reading: false, use_yield }
     }
 }
 

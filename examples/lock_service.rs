@@ -57,11 +57,8 @@ fn run(data_page: PageNum, seconds: f64) -> (f64, usize, usize) {
     t_tester.join().expect("tester");
     let log = cluster.ref_log(0);
     let lock_reqs = log.for_page(seg, LOCK).count();
-    let data_reqs = if data_page == LOCK {
-        lock_reqs
-    } else {
-        log.for_page(seg, data_page).count()
-    };
+    let data_reqs =
+        if data_page == LOCK { lock_reqs } else { log.for_page(seg, data_page).count() };
     (sections as f64 / elapsed, lock_reqs, data_reqs)
 }
 
@@ -70,12 +67,8 @@ fn main() {
     let (sep_rate, sep_lock, sep_data) = run(PageNum(1), 2.0);
     println!("locking writer vs remote busy-waiting tester (2 s each):\n");
     println!("configuration       sections/s   lock-page moves   data-page moves");
-    println!(
-        "same page          {same_rate:>11.0}   {same_lock:>15}   {same_data:>15}"
-    );
-    println!(
-        "separate pages     {sep_rate:>11.0}   {sep_lock:>15}   {sep_data:>15}"
-    );
+    println!("same page          {same_rate:>11.0}   {same_lock:>15}   {same_data:>15}");
+    println!("separate pages     {sep_rate:>11.0}   {sep_lock:>15}   {sep_data:>15}");
     println!("\nWith lock and data on one page, every tester poll also rips the");
     println!("data out from under the critical section ({same_data} moves of the page");
     println!("holding the data). With separation the data page moved {sep_data} times.");

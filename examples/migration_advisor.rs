@@ -60,8 +60,10 @@ fn main() {
         let (r, wr) = heat.page(s, p);
         println!("  {p:?}: {n} total ({r} read, {wr} write)");
     }
-    println!("\nhot-spot candidates (write-heavy, contended): {:?}",
-        heat.hot_spot_candidates(10).iter().map(|&(_, p)| p).collect::<Vec<_>>());
+    println!(
+        "\nhot-spot candidates (write-heavy, contended): {:?}",
+        heat.hot_spot_candidates(10).iter().map(|&(_, p)| p).collect::<Vec<_>>()
+    );
 
     let sharing = SharingMatrix::from_log(&log);
     println!(

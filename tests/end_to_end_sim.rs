@@ -152,13 +152,7 @@ fn simulation_is_deterministic() {
         w.spawn(0, Box::new(PingPongPinger::new(seg, 10_000, true)), 1);
         w.spawn(1, Box::new(PingPongPonger::new(seg, true)), 1);
         w.run_until(SimTime::from_millis(20_000));
-        (
-            w.site_metric(0),
-            w.site_metric(1),
-            w.instr.msgs.total(),
-            w.instr.denials,
-            w.now(),
-        )
+        (w.site_metric(0), w.site_metric(1), w.instr.msgs.total(), w.instr.denials, w.now())
     };
     assert_eq!(run(), run(), "same inputs must give identical trajectories");
 }
@@ -171,13 +165,8 @@ fn reference_log_matches_fault_traffic() {
     w.spawn(1, Box::new(PingPongPonger::new(seg, true)), 1);
     assert!(w.run_to_completion(SimTime::from_millis(120_000)));
     // Every request the library served appears in the §9 log.
-    let total_requests = w
-        .instr
-        .msgs
-        .by_tag
-        .get("PageRequest")
-        .copied()
-        .unwrap_or(0) + w.instr.local_faults;
+    let total_requests =
+        w.instr.msgs.count(mirage_net::MsgKind::PageRequest) + w.instr.local_faults;
     assert!(w.ref_log.len() as u64 >= total_requests, "log misses requests");
     assert!(w.ref_log.iter().all(|e| e.seg == seg));
 }
@@ -193,10 +182,7 @@ fn n_site_token_ring_completes_laps() {
         for i in 0..n {
             w.spawn(i, Box::new(RingMember::new(seg, i as u32, n as u32, 10, true)), 1);
         }
-        assert!(
-            w.run_to_completion(SimTime::from_millis(600_000)),
-            "{n}-site ring stalled"
-        );
+        assert!(w.run_to_completion(SimTime::from_millis(600_000)), "{n}-site ring stalled");
         for s in 0..n {
             assert_eq!(w.sites[s].procs[0].metric(), 10, "site {s} of {n}");
         }

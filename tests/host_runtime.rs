@@ -54,17 +54,15 @@ fn sequential_counter_relay_over_real_faults() {
             std::thread::yield_now();
         }
     });
-    let t2 = std::thread::spawn(move || {
-        loop {
-            let v = b.read_u32(PageNum(0), 0);
-            if v >= 100 {
-                break;
-            }
-            if v % 2 == 1 {
-                b.write_u32(PageNum(0), 0, v + 1);
-            }
-            std::thread::yield_now();
+    let t2 = std::thread::spawn(move || loop {
+        let v = b.read_u32(PageNum(0), 0);
+        if v >= 100 {
+            break;
         }
+        if v % 2 == 1 {
+            b.write_u32(PageNum(0), 0, v + 1);
+        }
+        std::thread::yield_now();
     });
     t1.join().unwrap();
     t2.join().unwrap();
