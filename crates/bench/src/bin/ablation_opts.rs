@@ -2,10 +2,12 @@
 
 use mirage_bench::{
     ablation_opts,
+    harness::parse_jobs_flag,
     print_table,
 };
 
 fn main() {
+    parse_jobs_flag(std::env::args().skip(1));
     println!("A1–A3 — protocol optimizations, worst case at Δ=2\n");
     let rows: Vec<Vec<String>> = ablation_opts(40)
         .into_iter()

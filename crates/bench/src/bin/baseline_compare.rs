@@ -2,10 +2,12 @@
 
 use mirage_bench::{
     baseline_compare,
+    harness::parse_jobs_flag,
     print_table,
 };
 
 fn main() {
+    parse_jobs_flag(std::env::args().skip(1));
     println!("B1 — identical traces through Mirage and Li-Hudak SVM (Appendix I comparison)\n");
     let rows: Vec<Vec<String>> = baseline_compare()
         .into_iter()

@@ -2,10 +2,12 @@
 
 use mirage_bench::{
     dynamic_delta,
+    harness::parse_jobs_flag,
     print_table,
 };
 
 fn main() {
+    parse_jobs_flag(std::env::args().skip(1));
     println!("A5 — dynamic per-page Δ (the paper's disabled routine, implemented)\n");
     let rows: Vec<Vec<String>> = dynamic_delta()
         .into_iter()

@@ -2,10 +2,12 @@
 
 use mirage_bench::{
     fig7,
+    harness::parse_jobs_flag,
     print_table,
 };
 
 fn main() {
+    parse_jobs_flag(std::env::args().skip(1));
     println!("E5 — Figure 7: two-site worst case, cycles/s vs Δ (ticks)");
     println!("(paper: yield ≈50% better at Δ=2; curves intersect at Δ=6, the quantum)\n");
     let pts = fig7(&[0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 12, 14], 60);

@@ -2,10 +2,12 @@
 
 use mirage_bench::{
     fig8,
+    harness::parse_jobs_flag,
     print_table,
 };
 
 fn main() {
+    parse_jobs_flag(std::env::args().skip(1));
     println!("E7 — Figure 8: two conflicting read-writers (ticks; 600 ticks = 10 s)");
     println!("(paper: contention side Δ<120 low; peak ≈115k instr/s at Δ=600; gradual retention falloff beyond)\n");
     let deltas = [0, 2, 6, 12, 30, 60, 120, 240, 360, 480, 600, 660, 780, 900, 1200];

@@ -1,11 +1,13 @@
 //! A4: invalidation cost versus reader count; sequential vs multicast.
 
 use mirage_bench::{
+    harness::parse_jobs_flag,
     invalidation_scaling,
     print_table,
 };
 
 fn main() {
+    parse_jobs_flag(std::env::args().skip(1));
     println!("A4 — invalidating N readers (paper §7.1 caveat 2 / §10 concern)\n");
     let pts = invalidation_scaling(&[1, 2, 4, 8, 16, 32]);
     let rows: Vec<Vec<String>> = pts

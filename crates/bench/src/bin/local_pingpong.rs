@@ -1,8 +1,12 @@
 //! E4: single-site worst case — busy waiting versus yield().
 
-use mirage_bench::local_pingpong;
+use mirage_bench::{
+    harness::parse_jobs_flag,
+    local_pingpong,
+};
 
 fn main() {
+    parse_jobs_flag(std::env::args().skip(1));
     println!("E4 — local ping-pong (paper §7.2: 5 vs 166 cycles/s, x35)\n");
     let (noy, y) = local_pingpong(20);
     println!("busy-wait : {noy:.1} cycles/s   (paper:   5)");

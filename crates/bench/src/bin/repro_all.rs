@@ -1,156 +1,20 @@
 //! Runs every experiment and prints the full EXPERIMENTS summary.
 //!
-//! `cargo run --release -p mirage-bench --bin repro_all`
+//! `cargo run --release -p mirage-bench --bin repro_all [--jobs N] [--quick]`
+//!
+//! `--quick` runs the same experiments at seconds-long horizons (for
+//! smoke tests); the default is the full-scale report recorded in
+//! `EXPERIMENTS.md`.
 
-use mirage_bench::*;
+use mirage_bench::{
+    harness::parse_jobs_flag,
+    repro_all_report,
+    ReproParams,
+};
 
 fn main() {
-    println!("# Mirage reproduction — all experiments\n");
-
-    println!("## E1 — component cost anchors (§7.1, §6.2)\n");
-    let rows: Vec<Vec<String>> = component_costs()
-        .into_iter()
-        .map(|r| {
-            vec![r.label.into(), format!("{:.2}", r.ours_ms), format!("{:.2}", r.paper_ms)]
-        })
-        .collect();
-    print_table(&["component", "ours", "paper"], &rows);
-
-    println!("\n## E2 — Table 3: remote page fetch breakdown (ms)\n");
-    let rows: Vec<Vec<String>> = table3()
-        .into_iter()
-        .map(|r| {
-            vec![r.label.into(), format!("{:.2}", r.ours_ms), format!("{:.2}", r.paper_ms)]
-        })
-        .collect();
-    print_table(&["operation", "ours (ms)", "paper (ms)"], &rows);
-
-    println!("\n## E3 — lazy remap model (paper: 106-125 µs/page)\n");
-    let rows: Vec<Vec<String>> = remap_model()
-        .into_iter()
-        .map(|r| {
-            vec![format!("{} KiB", r.kib), r.pages.to_string(), format!("{:.0} µs", r.model_us)]
-        })
-        .collect();
-    print_table(&["segment", "pages", "remap cost"], &rows);
-
-    println!("\n## E4 — local ping-pong (paper: 5 vs 166 cycles/s)\n");
-    let (noy, y) = local_pingpong(20);
-    println!(
-        "busy-wait {noy:.1} cycles/s | yield() {y:.1} cycles/s | speedup x{:.1} (paper x35)",
-        y / noy
-    );
-
-    println!("\n## E5 — Figure 7: worst case, cycles/s vs Δ\n");
-    let pts = fig7(&[0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 12, 14], 60);
-    let rows: Vec<Vec<String>> = pts
-        .iter()
-        .map(|p| {
-            vec![
-                p.delta.to_string(),
-                format!("{:.2}", p.yield_rate),
-                format!("{:.2}", p.noyield_rate),
-            ]
-        })
-        .collect();
-    print_table(&["Δ", "yield", "no-yield"], &rows);
-
-    println!("\n## E6 — worst-case message accounting (paper: 9 msgs, 3 large)\n");
-    let m = msg_accounting(60);
-    println!(
-        "{:.2} msgs/cycle, {:.2} large/cycle over {} cycles ({:.2} cycles/s)",
-        m.per_cycle, m.large_per_cycle, m.cycles, m.cycles_per_sec
-    );
-
-    println!("\n## E7 — Figure 8: conflicting read-writers vs Δ (peak paper: 115k at Δ=600)\n");
-    let deltas = [0, 2, 6, 12, 30, 60, 120, 240, 360, 480, 600, 660, 780, 900, 1200];
-    let pts = fig8(&deltas, 560_000);
-    let rows: Vec<Vec<String>> = pts
-        .iter()
-        .map(|p| {
-            vec![
-                p.delta.to_string(),
-                format!("{:.0}", p.throughput),
-                format!("{:.1}s", p.makespan),
-            ]
-        })
-        .collect();
-    print_table(&["Δ (ticks)", "instr/s", "makespan"], &rows);
-
-    println!("\n## E9 — test&set (busy tester)\n");
-    let pts = test_and_set(&[0, 2, 6, 12], false, 30);
-    let rows: Vec<Vec<String>> = pts
-        .iter()
-        .map(|p| {
-            vec![
-                p.delta.to_string(),
-                format!("{:.2}", p.sections_per_sec),
-                format!("{:.1}", p.msgs_per_section),
-            ]
-        })
-        .collect();
-    print_table(&["Δ", "sections/s", "msgs/section"], &rows);
-
-    println!("\n## E10 — thrashing amelioration\n");
-    let pts = thrash_system(&[0, 2, 6, 12, 30, 60], 40);
-    let rows: Vec<Vec<String>> = pts
-        .iter()
-        .map(|p| {
-            vec![p.delta.to_string(), format!("{:.2}", p.app_rate), format!("{:.1}", p.bg_rate)]
-        })
-        .collect();
-    print_table(&["Δ", "thrasher cycles/s", "background chunks/s"], &rows);
-
-    println!("\n## A1–A3 — optimization ablations (Δ=2 worst case)\n");
-    let rows: Vec<Vec<String>> = ablation_opts(40)
-        .into_iter()
-        .map(|r| {
-            vec![
-                r.name.into(),
-                format!("{:.2}", r.cycles_per_sec),
-                format!("{:.2}", r.shorts_per_cycle),
-                format!("{:.2}", r.larges_per_cycle),
-            ]
-        })
-        .collect();
-    print_table(&["configuration", "cycles/s", "shorts/cycle", "pages/cycle"], &rows);
-
-    println!("\n## A5 — dynamic Δ (the paper's disabled §8.0 routine, implemented)\n");
-    let rows: Vec<Vec<String>> = dynamic_delta()
-        .into_iter()
-        .map(|r| {
-            vec![r.name, format!("{:.0}", r.fig8_throughput), format!("{:.2}", r.pingpong_rate)]
-        })
-        .collect();
-    print_table(&["policy", "fig8 duel (instr/s)", "worst case (cycles/s)"], &rows);
-
-    println!("\n## A4 — invalidation scaling\n");
-    let pts = invalidation_scaling(&[1, 2, 4, 8, 16, 32]);
-    let rows: Vec<Vec<String>> = pts
-        .iter()
-        .map(|p| {
-            vec![
-                p.readers.to_string(),
-                format!("{:.1}", p.sequential_ms),
-                format!("{:.1}", p.multicast_ms),
-            ]
-        })
-        .collect();
-    print_table(&["readers", "sequential (ms)", "multicast (ms)"], &rows);
-
-    println!("\n## B1 — baseline comparison\n");
-    let rows: Vec<Vec<String>> = baseline_compare()
-        .into_iter()
-        .map(|r| {
-            vec![
-                r.trace.into(),
-                r.protocol.into(),
-                r.report.faults.to_string(),
-                r.report.shorts.to_string(),
-                r.report.larges.to_string(),
-                format!("{:.0}", r.report.wire_time.as_millis_f64()),
-            ]
-        })
-        .collect();
-    print_table(&["trace", "protocol", "faults", "shorts", "pages", "wire ms"], &rows);
+    let rest = parse_jobs_flag(std::env::args().skip(1));
+    let quick = rest.iter().any(|a| a == "--quick");
+    let params = if quick { ReproParams::quick() } else { ReproParams::full() };
+    print!("{}", repro_all_report(&params));
 }

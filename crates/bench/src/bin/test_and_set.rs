@@ -1,11 +1,13 @@
 //! E9: the test&set experiment (§7.2): lock and data on one page.
 
 use mirage_bench::{
+    harness::parse_jobs_flag,
     print_table,
     test_and_set,
 };
 
 fn main() {
+    parse_jobs_flag(std::env::args().skip(1));
     println!(
         "E9 — test&set busy-wait lock thrashing (paper §7.2: Δ>0 helps the locking writer)\n"
     );

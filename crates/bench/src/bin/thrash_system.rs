@@ -2,11 +2,13 @@
 //! system throughput (§7.3).
 
 use mirage_bench::{
+    harness::parse_jobs_flag,
     print_table,
     thrash_system,
 };
 
 fn main() {
+    parse_jobs_flag(std::env::args().skip(1));
     println!("E10 — system throughput while an application thrashes (paper §7.3)\n");
     let pts = thrash_system(&[0, 2, 6, 12, 30, 60], 40);
     let rows: Vec<Vec<String>> = pts

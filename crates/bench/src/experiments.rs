@@ -1,5 +1,10 @@
 //! The experiment drivers. Each function corresponds to a row of the
 //! per-experiment index in `DESIGN.md`.
+//!
+//! Every multi-point sweep runs its independent worlds through
+//! [`par_map`], one world per worker, collecting results in input order:
+//! output is byte-identical at any `--jobs` value (checked by
+//! `tests/determinism.rs`).
 
 use mirage_baseline::{
     AccessTrace,
@@ -40,6 +45,8 @@ use mirage_workloads::{
     Rereader,
 };
 
+use crate::harness::par_map;
+
 /// Builds a default simulation config with a uniform Δ.
 pub fn sim_config(delta: Delta) -> SimConfig {
     SimConfig {
@@ -69,18 +76,16 @@ pub struct Fig7Point {
 
 /// E5 / Figure 7: worst-case throughput versus Δ, yield and no-yield.
 pub fn fig7(deltas: &[u32], seconds: u64) -> Vec<Fig7Point> {
-    let rate = |delta: u32, use_yield: bool| {
+    let runs: Vec<(u32, bool)> = deltas.iter().flat_map(|&d| [(d, true), (d, false)]).collect();
+    let rates = par_map(&runs, |&(delta, use_yield)| {
         let mut w = pingpong_world(2, sim_config(Delta(delta)), use_yield);
         w.run_until(SimTime::from_millis(seconds * 1000));
         w.sites[0].procs[0].metric() as f64 / seconds as f64
-    };
+    });
     deltas
         .iter()
-        .map(|&d| Fig7Point {
-            delta: d,
-            yield_rate: rate(d, true),
-            noyield_rate: rate(d, false),
-        })
+        .zip(rates.chunks_exact(2))
+        .map(|(&d, pair)| Fig7Point { delta: d, yield_rate: pair[0], noyield_rate: pair[1] })
         .collect()
 }
 
@@ -102,20 +107,17 @@ pub struct Fig8Point {
 /// 10 s at the uncontended rate, so a Δ=600 (10 s) window covers one
 /// whole task.
 pub fn fig8(deltas: &[u32], task: u32) -> Vec<Fig8Point> {
-    deltas
-        .iter()
-        .map(|&d| {
-            let mut w = World::new(2, sim_config(Delta(d)));
-            let seg = w.create_segment(0, 1);
-            w.spawn(0, Box::new(Decrementer::new(seg, 0, task)), 1);
-            w.spawn(1, Box::new(Decrementer::new(seg, 128, task)), 1);
-            let finished = w.run_to_completion(SimTime::from_millis(600_000));
-            debug_assert!(finished, "Δ={d}: duel must finish within 10 minutes");
-            let makespan = w.now().as_secs_f64();
-            let throughput = w.total_accesses() as f64 / makespan;
-            Fig8Point { delta: d, throughput, makespan }
-        })
-        .collect()
+    par_map(deltas, |&d| {
+        let mut w = World::new(2, sim_config(Delta(d)));
+        let seg = w.create_segment(0, 1);
+        w.spawn(0, Box::new(Decrementer::new(seg, 0, task)), 1);
+        w.spawn(1, Box::new(Decrementer::new(seg, 128, task)), 1);
+        let finished = w.run_to_completion(SimTime::from_millis(600_000));
+        debug_assert!(finished, "Δ={d}: duel must finish within 10 minutes");
+        let makespan = w.now().as_secs_f64();
+        let throughput = w.total_accesses() as f64 / makespan;
+        Fig8Point { delta: d, throughput, makespan }
+    })
 }
 
 /// One row of Table 3.
@@ -211,15 +213,15 @@ pub fn component_costs() -> Vec<Table3Row> {
 
 /// E4: single-site ping-pong rates (busy-wait vs `yield()`).
 pub fn local_pingpong(seconds: u64) -> (f64, f64) {
-    let rate = |use_yield: bool| {
+    let rates = par_map(&[false, true], |&use_yield| {
         let mut w = World::new(1, sim_config(Delta::ZERO));
         let seg = w.create_segment(0, 1);
         w.spawn(0, Box::new(PingPongPinger::new(seg, u32::MAX / 4, use_yield)), 1);
         w.spawn(0, Box::new(PingPongPonger::new(seg, use_yield)), 1);
         w.run_until(SimTime::from_millis(seconds * 1000));
         w.sites[0].procs[0].metric() as f64 / seconds as f64
-    };
-    (rate(false), rate(true))
+    });
+    (rates[0], rates[1])
 }
 
 /// E6 result: message accounting for the 2-site worst case.
@@ -271,22 +273,19 @@ pub struct SpinlockPoint {
 /// E9: the test&set experiment — a locking writer and a busy-testing
 /// reader thrash the lock page; Δ>0 shelters the writer.
 pub fn test_and_set(deltas: &[u32], tester_yields: bool, seconds: u64) -> Vec<SpinlockPoint> {
-    deltas
-        .iter()
-        .map(|&d| {
-            let mut w = World::new(2, sim_config(Delta(d)));
-            let seg = w.create_segment(0, 1);
-            w.spawn(0, Box::new(LockHolder::new(seg, u32::MAX / 4, 8)), 1);
-            w.spawn(1, Box::new(LockTester::new(seg, u32::MAX / 4, tester_yields)), 1);
-            w.run_until(SimTime::from_millis(seconds * 1000));
-            let sections = w.sites[0].procs[0].metric().max(1);
-            SpinlockPoint {
-                delta: d,
-                sections_per_sec: sections as f64 / seconds as f64,
-                msgs_per_section: w.instr.msgs.total() as f64 / sections as f64,
-            }
-        })
-        .collect()
+    par_map(deltas, |&d| {
+        let mut w = World::new(2, sim_config(Delta(d)));
+        let seg = w.create_segment(0, 1);
+        w.spawn(0, Box::new(LockHolder::new(seg, u32::MAX / 4, 8)), 1);
+        w.spawn(1, Box::new(LockTester::new(seg, u32::MAX / 4, tester_yields)), 1);
+        w.run_until(SimTime::from_millis(seconds * 1000));
+        let sections = w.sites[0].procs[0].metric().max(1);
+        SpinlockPoint {
+            delta: d,
+            sections_per_sec: sections as f64 / seconds as f64,
+            msgs_per_section: w.instr.msgs.total() as f64 / sections as f64,
+        }
+    })
 }
 
 /// E10 result: system throughput while an application thrashes.
@@ -302,22 +301,19 @@ pub struct ThrashPoint {
 
 /// E10: raising Δ throttles the thrasher but frees the system.
 pub fn thrash_system(deltas: &[u32], seconds: u64) -> Vec<ThrashPoint> {
-    deltas
-        .iter()
-        .map(|&d| {
-            let mut w = World::new(2, sim_config(Delta(d)));
-            let seg = w.create_segment(0, 1);
-            w.spawn(0, Box::new(PingPongPinger::new(seg, u32::MAX / 4, true)), 1);
-            w.spawn(1, Box::new(PingPongPonger::new(seg, true)), 1);
-            w.spawn(1, Box::new(Background::new(SimDuration::from_millis(5))), 0);
-            w.run_until(SimTime::from_millis(seconds * 1000));
-            ThrashPoint {
-                delta: d,
-                app_rate: w.sites[0].procs[0].metric() as f64 / seconds as f64,
-                bg_rate: w.sites[1].procs[1].metric() as f64 / seconds as f64,
-            }
-        })
-        .collect()
+    par_map(deltas, |&d| {
+        let mut w = World::new(2, sim_config(Delta(d)));
+        let seg = w.create_segment(0, 1);
+        w.spawn(0, Box::new(PingPongPinger::new(seg, u32::MAX / 4, true)), 1);
+        w.spawn(1, Box::new(PingPongPonger::new(seg, true)), 1);
+        w.spawn(1, Box::new(Background::new(SimDuration::from_millis(5))), 0);
+        w.run_until(SimTime::from_millis(seconds * 1000));
+        ThrashPoint {
+            delta: d,
+            app_rate: w.sites[0].procs[0].metric() as f64 / seconds as f64,
+            bg_rate: w.sites[1].procs[1].metric() as f64 / seconds as f64,
+        }
+    })
 }
 
 /// A1–A3 result row.
@@ -336,8 +332,33 @@ pub struct AblationRow {
 /// A1/A2/A3: toggle each protocol feature on the worst case (Δ=2, the
 /// contended regime where the optimizations matter).
 pub fn ablation_opts(seconds: u64) -> Vec<AblationRow> {
-    let run = |name: &'static str, cfg: ProtocolConfig| {
-        let mut w = pingpong_world(2, SimConfig { protocol: cfg, ..Default::default() }, true);
+    let base = ProtocolConfig { delta: DeltaPolicy::Uniform(Delta(2)), ..Default::default() };
+    let configs: Vec<(&'static str, ProtocolConfig)> = vec![
+        ("paper defaults", base.clone()),
+        (
+            "A1: no upgrade optimization",
+            ProtocolConfig { upgrade_optimization: false, ..base.clone() },
+        ),
+        (
+            "A2: no downgrade optimization",
+            ProtocolConfig { downgrade_optimization: false, ..base.clone() },
+        ),
+        (
+            "A3: queued invalidation ON",
+            ProtocolConfig { queued_invalidation: true, ..base.clone() },
+        ),
+        (
+            "A1+A2: both optimizations off",
+            ProtocolConfig {
+                upgrade_optimization: false,
+                downgrade_optimization: false,
+                ..base
+            },
+        ),
+    ];
+    par_map(&configs, |(name, cfg)| {
+        let mut w =
+            pingpong_world(2, SimConfig { protocol: cfg.clone(), ..Default::default() }, true);
         w.run_until(SimTime::from_millis(seconds * 1000));
         let cycles = w.sites[0].procs[0].metric().max(1);
         AblationRow {
@@ -346,31 +367,7 @@ pub fn ablation_opts(seconds: u64) -> Vec<AblationRow> {
             shorts_per_cycle: w.instr.msgs.short as f64 / cycles as f64,
             larges_per_cycle: w.instr.msgs.large as f64 / cycles as f64,
         }
-    };
-    let base = ProtocolConfig { delta: DeltaPolicy::Uniform(Delta(2)), ..Default::default() };
-    vec![
-        run("paper defaults", base.clone()),
-        run(
-            "A1: no upgrade optimization",
-            ProtocolConfig { upgrade_optimization: false, ..base.clone() },
-        ),
-        run(
-            "A2: no downgrade optimization",
-            ProtocolConfig { downgrade_optimization: false, ..base.clone() },
-        ),
-        run(
-            "A3: queued invalidation ON",
-            ProtocolConfig { queued_invalidation: true, ..base.clone() },
-        ),
-        run(
-            "A1+A2: both optimizations off",
-            ProtocolConfig {
-                upgrade_optimization: false,
-                downgrade_optimization: false,
-                ..base
-            },
-        ),
-    ]
+    })
 }
 
 /// A4 result row.
@@ -387,7 +384,9 @@ pub struct InvScalePoint {
 /// A4: invalidation cost versus reader count, sequential (the paper's
 /// Locus constraint) versus multicast (§7.1 caveat 2).
 pub fn invalidation_scaling(reader_counts: &[usize]) -> Vec<InvScalePoint> {
-    let run = |n: usize, multicast: bool| -> f64 {
+    let runs: Vec<(usize, bool)> =
+        reader_counts.iter().flat_map(|&n| [(n, false), (n, true)]).collect();
+    let times = par_map(&runs, |&(n, multicast)| {
         let cfg = SimConfig {
             protocol: ProtocolConfig {
                 multicast_invalidation: multicast,
@@ -407,13 +406,14 @@ pub fn invalidation_scaling(reader_counts: &[usize]) -> Vec<InvScalePoint> {
         w.spawn(n + 1, Box::new(PeriodicWriter::new(seg, 1, SimDuration::ZERO)), 1);
         w.run_to_completion(SimTime::from_millis(120_000));
         (w.now() - start).as_millis_f64()
-    };
+    });
     reader_counts
         .iter()
-        .map(|&n| InvScalePoint {
+        .zip(times.chunks_exact(2))
+        .map(|(&n, pair)| InvScalePoint {
             readers: n,
-            sequential_ms: run(n, false),
-            multicast_ms: run(n, true),
+            sequential_ms: pair[0],
+            multicast_ms: pair[1],
         })
         .collect()
 }
@@ -437,28 +437,17 @@ pub fn baseline_compare() -> Vec<BaselineRow> {
         ("read-mostly 4r", AccessTrace::read_mostly(4, 100, 20), 5),
         ("mixed 4s×4p", AccessTrace::mixed(4, 4, 4000, 7), 4),
     ];
-    let mut rows = Vec::new();
-    for (name, trace, sites) in &traces {
+    let per_trace = par_map(&traces, |(name, trace, sites)| {
         let mut mirage = MirageCost::new(*sites, 4, ProtocolConfig::default(), costs.clone());
         let mut central = LiCentral::new(SiteId(0), costs.clone());
         let mut dist = LiDistributed::new(*sites, SiteId(0), costs.clone());
-        rows.push(BaselineRow {
-            protocol: "mirage",
-            trace: name,
-            report: mirage.replay(trace),
-        });
-        rows.push(BaselineRow {
-            protocol: "li-central",
-            trace: name,
-            report: central.replay(trace),
-        });
-        rows.push(BaselineRow {
-            protocol: "li-distributed",
-            trace: name,
-            report: dist.replay(trace),
-        });
-    }
-    rows
+        [
+            BaselineRow { protocol: "mirage", trace: name, report: mirage.replay(trace) },
+            BaselineRow { protocol: "li-central", trace: name, report: central.replay(trace) },
+            BaselineRow { protocol: "li-distributed", trace: name, report: dist.replay(trace) },
+        ]
+    });
+    per_trace.into_iter().flatten().collect()
 }
 
 /// E3 row: modeled lazy-remap cost at context switch per segment size.
@@ -498,37 +487,38 @@ pub struct DynamicRow {
 /// prototype, implemented here) against fixed windows, on both the
 /// retention-sensitive duel and the thrash-sensitive worst case.
 pub fn dynamic_delta() -> Vec<DynamicRow> {
-    let run = |policy: DeltaPolicy| -> (f64, f64) {
-        let protocol = ProtocolConfig { delta: policy, ..Default::default() };
+    dynamic_delta_with(100_000, 30)
+}
+
+/// [`dynamic_delta`] with an explicit duel size and ping-pong horizon,
+/// for the short-horizon `repro_all --quick` mode.
+pub fn dynamic_delta_with(task: u32, seconds: u64) -> Vec<DynamicRow> {
+    let policies = [
+        ("fixed Δ=0", DeltaPolicy::Uniform(Delta(0))),
+        ("fixed Δ=6", DeltaPolicy::Uniform(Delta(6))),
+        ("fixed Δ=60", DeltaPolicy::Uniform(Delta(60))),
+        (
+            "dynamic (0..600)",
+            DeltaPolicy::Dynamic { initial: Delta(2), min: Delta(0), max: Delta(600) },
+        ),
+    ];
+    par_map(&policies, |(name, policy)| {
+        let protocol = ProtocolConfig { delta: policy.clone(), ..Default::default() };
         // Figure 8 duel (short version).
         let mut w =
             World::new(2, SimConfig { protocol: protocol.clone(), ..Default::default() });
         let seg = w.create_segment(0, 1);
-        w.spawn(0, Box::new(Decrementer::new(seg, 0, 100_000)), 1);
-        w.spawn(1, Box::new(Decrementer::new(seg, 128, 100_000)), 1);
+        w.spawn(0, Box::new(Decrementer::new(seg, 0, task)), 1);
+        w.spawn(1, Box::new(Decrementer::new(seg, 128, task)), 1);
         w.run_to_completion(SimTime::from_millis(300_000));
-        let fig8 = w.total_accesses() as f64 / w.now().as_secs_f64();
+        let fig8_throughput = w.total_accesses() as f64 / w.now().as_secs_f64();
         // Worst-case ping-pong.
         let mut w = World::new(2, SimConfig { protocol, ..Default::default() });
         let seg = w.create_segment(0, 1);
         w.spawn(0, Box::new(PingPongPinger::new(seg, u32::MAX / 4, true)), 1);
         w.spawn(1, Box::new(PingPongPonger::new(seg, true)), 1);
-        w.run_until(SimTime::from_millis(30_000));
-        let pp = w.sites[0].procs[0].metric() as f64 / 30.0;
-        (fig8, pp)
-    };
-    let mut rows = Vec::new();
-    for (name, policy) in [
-        ("fixed Δ=0".to_string(), DeltaPolicy::Uniform(Delta(0))),
-        ("fixed Δ=6".to_string(), DeltaPolicy::Uniform(Delta(6))),
-        ("fixed Δ=60".to_string(), DeltaPolicy::Uniform(Delta(60))),
-        (
-            "dynamic (0..600)".to_string(),
-            DeltaPolicy::Dynamic { initial: Delta(2), min: Delta(0), max: Delta(600) },
-        ),
-    ] {
-        let (fig8_throughput, pingpong_rate) = run(policy);
-        rows.push(DynamicRow { name, fig8_throughput, pingpong_rate });
-    }
-    rows
+        w.run_until(SimTime::from_millis(seconds * 1000));
+        let pingpong_rate = w.sites[0].procs[0].metric() as f64 / seconds as f64;
+        DynamicRow { name: name.to_string(), fig8_throughput, pingpong_rate }
+    })
 }

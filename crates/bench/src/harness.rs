@@ -1,14 +1,127 @@
-//! A minimal wall-clock bench harness for the `benches/` targets.
+//! A minimal wall-clock bench harness for the `benches/` targets, and
+//! the scoped-thread work pool behind every parallel experiment sweep.
 //!
 //! The workspace builds fully offline, so the benches use this small
 //! std-only timer instead of an external framework: warm up, then run
 //! timed batches until a fixed measurement budget elapses, and report
 //! the per-iteration time of the fastest batch (least scheduler noise).
+//!
+//! # The parallel sweep executor
+//!
+//! Every Δ-sweep in `experiments.rs` runs one independent `World` per
+//! point — embarrassingly parallel work that used to run sequentially.
+//! [`par_map`] fans the points out over scoped worker threads and
+//! collects results **in input order**, so a sweep's output is
+//! byte-for-byte identical at any worker count: each world is a sealed
+//! deterministic simulation, and ordering is the only thing threads
+//! could perturb. The worker count comes from [`jobs`]: the `--jobs`
+//! flag (see [`parse_jobs_flag`]), else `MIRAGE_JOBS`, else all
+//! available cores.
 
+use std::num::NonZeroUsize;
+use std::sync::atomic::{
+    AtomicUsize,
+    Ordering,
+};
+use std::sync::Mutex;
 use std::time::{
     Duration,
     Instant,
 };
+
+/// Explicit worker-count override (0 = unset; resolve via env/cores).
+static JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the sweep worker count, overriding `MIRAGE_JOBS` and the core
+/// count. `0` clears the override. Tests use this to compare runs at
+/// different worker counts within one process.
+pub fn set_jobs(n: usize) {
+    JOBS.store(n, Ordering::SeqCst);
+}
+
+/// The sweep worker count: [`set_jobs`] override, else the `MIRAGE_JOBS`
+/// environment variable, else all available cores.
+pub fn jobs() -> usize {
+    let j = JOBS.load(Ordering::SeqCst);
+    if j != 0 {
+        return j;
+    }
+    std::env::var("MIRAGE_JOBS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+        })
+}
+
+/// Applies a `--jobs N` (or `--jobs=N`) flag from a binary's argument
+/// list, returning the remaining arguments. Call at the top of `main` in
+/// every sweep binary.
+pub fn parse_jobs_flag(args: impl Iterator<Item = String>) -> Vec<String> {
+    let mut rest = Vec::new();
+    let mut args = args.peekable();
+    while let Some(a) = args.next() {
+        if a == "--jobs" {
+            let n = args
+                .next()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n >= 1)
+                .unwrap_or_else(die_jobs);
+            set_jobs(n);
+        } else if let Some(v) = a.strip_prefix("--jobs=") {
+            let n = v.parse::<usize>().ok().filter(|&n| n >= 1).unwrap_or_else(die_jobs);
+            set_jobs(n);
+        } else {
+            rest.push(a);
+        }
+    }
+    rest
+}
+
+fn die_jobs() -> usize {
+    eprintln!("--jobs requires a positive integer (e.g. --jobs 4)");
+    std::process::exit(2);
+}
+
+/// Maps `f` over `items` on up to [`jobs`] scoped worker threads,
+/// returning results in input order.
+///
+/// Work is handed out by an atomic cursor, so threads race only over
+/// *which* index they compute, never over where a result lands — output
+/// is identical to the sequential map for any worker count. A panic in
+/// any worker propagates when its thread joins.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = jobs().min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let r = f(item);
+                *slots[i].lock().expect("no poisoned result slot") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("no poisoned result slot")
+                .expect("every slot filled by a worker")
+        })
+        .collect()
+}
 
 /// Result of one benchmark: best-batch nanoseconds per iteration.
 #[derive(Clone, Copy, Debug)]

@@ -11,8 +11,13 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod repro;
 pub mod table;
 
 pub use experiments::*;
 pub use harness::bench;
+pub use repro::{
+    repro_all_report,
+    ReproParams,
+};
 pub use table::print_table;

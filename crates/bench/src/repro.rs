@@ -1,0 +1,284 @@
+//! The `repro_all` orchestrator as a library: runs every experiment
+//! and renders the full EXPERIMENTS summary into one string.
+//!
+//! Living in the library (rather than inline in the binary) lets the
+//! determinism tests call it directly: the golden test pins the
+//! `--quick` report byte-for-byte, and the CI smoke compares `--jobs 1`
+//! against `--jobs N` output. The full-scale report is exactly what the
+//! binary has always printed.
+
+use std::fmt::Write as _;
+
+use crate::{
+    experiments::{
+        ablation_opts,
+        baseline_compare,
+        component_costs,
+        dynamic_delta_with,
+        fig7,
+        fig8,
+        invalidation_scaling,
+        local_pingpong,
+        msg_accounting,
+        remap_model,
+        table3,
+        test_and_set,
+        thrash_system,
+    },
+    table::format_table,
+};
+
+/// Horizons and sweep points for one `repro_all` run.
+#[derive(Clone, Debug)]
+pub struct ReproParams {
+    /// Figure 7 Δ sweep (ticks).
+    pub fig7_deltas: Vec<u32>,
+    /// Figure 7 horizon per point (simulated seconds).
+    pub fig7_seconds: u64,
+    /// E4 local ping-pong horizon (simulated seconds).
+    pub pingpong_seconds: u64,
+    /// E6 message-accounting horizon (simulated seconds).
+    pub msg_seconds: u64,
+    /// Figure 8 Δ sweep (ticks).
+    pub fig8_deltas: Vec<u32>,
+    /// Figure 8 per-process decrement count.
+    pub fig8_task: u32,
+    /// E9 test&set Δ sweep (ticks).
+    pub tas_deltas: Vec<u32>,
+    /// E9 horizon per point (simulated seconds).
+    pub tas_seconds: u64,
+    /// E10 thrash Δ sweep (ticks).
+    pub thrash_deltas: Vec<u32>,
+    /// E10 horizon per point (simulated seconds).
+    pub thrash_seconds: u64,
+    /// A1–A3 ablation horizon (simulated seconds).
+    pub ablation_seconds: u64,
+    /// A5 duel size (decrements per process).
+    pub dyn_task: u32,
+    /// A5 ping-pong horizon (simulated seconds).
+    pub dyn_seconds: u64,
+    /// A4 reader counts.
+    pub inv_readers: Vec<usize>,
+}
+
+impl ReproParams {
+    /// The full-scale run recorded in `EXPERIMENTS.md` — the horizons
+    /// the paper's figures use.
+    pub fn full() -> Self {
+        Self {
+            fig7_deltas: vec![0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 12, 14],
+            fig7_seconds: 60,
+            pingpong_seconds: 20,
+            msg_seconds: 60,
+            fig8_deltas: vec![
+                0, 2, 6, 12, 30, 60, 120, 240, 360, 480, 600, 660, 780, 900, 1200,
+            ],
+            fig8_task: 560_000,
+            tas_deltas: vec![0, 2, 6, 12],
+            tas_seconds: 30,
+            thrash_deltas: vec![0, 2, 6, 12, 30, 60],
+            thrash_seconds: 40,
+            ablation_seconds: 40,
+            dyn_task: 100_000,
+            dyn_seconds: 30,
+            inv_readers: vec![1, 2, 4, 8, 16, 32],
+        }
+    }
+
+    /// Short horizons for smoke tests and CI: same experiments, seconds
+    /// of simulated time instead of minutes. The numbers are not the
+    /// paper's — only determinism matters at this scale.
+    pub fn quick() -> Self {
+        Self {
+            fig7_deltas: vec![0, 2, 6],
+            fig7_seconds: 2,
+            pingpong_seconds: 2,
+            msg_seconds: 2,
+            fig8_deltas: vec![0, 6, 60],
+            fig8_task: 20_000,
+            tas_deltas: vec![0, 6],
+            tas_seconds: 2,
+            thrash_deltas: vec![0, 6],
+            thrash_seconds: 2,
+            ablation_seconds: 2,
+            dyn_task: 5_000,
+            dyn_seconds: 2,
+            inv_readers: vec![1, 4],
+        }
+    }
+}
+
+/// Runs every experiment at the given horizons and renders the summary.
+///
+/// The output for [`ReproParams::full`] is byte-identical to what the
+/// `repro_all` binary printed before the report moved into the library.
+pub fn repro_all_report(p: &ReproParams) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# Mirage reproduction — all experiments\n");
+
+    let _ = writeln!(out, "## E1 — component cost anchors (§7.1, §6.2)\n");
+    let rows: Vec<Vec<String>> = component_costs()
+        .into_iter()
+        .map(|r| {
+            vec![r.label.into(), format!("{:.2}", r.ours_ms), format!("{:.2}", r.paper_ms)]
+        })
+        .collect();
+    out.push_str(&format_table(&["component", "ours", "paper"], &rows));
+
+    let _ = writeln!(out, "\n## E2 — Table 3: remote page fetch breakdown (ms)\n");
+    let rows: Vec<Vec<String>> = table3()
+        .into_iter()
+        .map(|r| {
+            vec![r.label.into(), format!("{:.2}", r.ours_ms), format!("{:.2}", r.paper_ms)]
+        })
+        .collect();
+    out.push_str(&format_table(&["operation", "ours (ms)", "paper (ms)"], &rows));
+
+    let _ = writeln!(out, "\n## E3 — lazy remap model (paper: 106-125 µs/page)\n");
+    let rows: Vec<Vec<String>> = remap_model()
+        .into_iter()
+        .map(|r| {
+            vec![format!("{} KiB", r.kib), r.pages.to_string(), format!("{:.0} µs", r.model_us)]
+        })
+        .collect();
+    out.push_str(&format_table(&["segment", "pages", "remap cost"], &rows));
+
+    let _ = writeln!(out, "\n## E4 — local ping-pong (paper: 5 vs 166 cycles/s)\n");
+    let (noy, y) = local_pingpong(p.pingpong_seconds);
+    let _ = writeln!(
+        out,
+        "busy-wait {noy:.1} cycles/s | yield() {y:.1} cycles/s | speedup x{:.1} (paper x35)",
+        y / noy
+    );
+
+    let _ = writeln!(out, "\n## E5 — Figure 7: worst case, cycles/s vs Δ\n");
+    let pts = fig7(&p.fig7_deltas, p.fig7_seconds);
+    let rows: Vec<Vec<String>> = pts
+        .iter()
+        .map(|pt| {
+            vec![
+                pt.delta.to_string(),
+                format!("{:.2}", pt.yield_rate),
+                format!("{:.2}", pt.noyield_rate),
+            ]
+        })
+        .collect();
+    out.push_str(&format_table(&["Δ", "yield", "no-yield"], &rows));
+
+    let _ = writeln!(out, "\n## E6 — worst-case message accounting (paper: 9 msgs, 3 large)\n");
+    let m = msg_accounting(p.msg_seconds);
+    let _ = writeln!(
+        out,
+        "{:.2} msgs/cycle, {:.2} large/cycle over {} cycles ({:.2} cycles/s)",
+        m.per_cycle, m.large_per_cycle, m.cycles, m.cycles_per_sec
+    );
+
+    let _ = writeln!(
+        out,
+        "\n## E7 — Figure 8: conflicting read-writers vs Δ (peak paper: 115k at Δ=600)\n"
+    );
+    let pts = fig8(&p.fig8_deltas, p.fig8_task);
+    let rows: Vec<Vec<String>> = pts
+        .iter()
+        .map(|pt| {
+            vec![
+                pt.delta.to_string(),
+                format!("{:.0}", pt.throughput),
+                format!("{:.1}s", pt.makespan),
+            ]
+        })
+        .collect();
+    out.push_str(&format_table(&["Δ (ticks)", "instr/s", "makespan"], &rows));
+
+    let _ = writeln!(out, "\n## E9 — test&set (busy tester)\n");
+    let pts = test_and_set(&p.tas_deltas, false, p.tas_seconds);
+    let rows: Vec<Vec<String>> = pts
+        .iter()
+        .map(|pt| {
+            vec![
+                pt.delta.to_string(),
+                format!("{:.2}", pt.sections_per_sec),
+                format!("{:.1}", pt.msgs_per_section),
+            ]
+        })
+        .collect();
+    out.push_str(&format_table(&["Δ", "sections/s", "msgs/section"], &rows));
+
+    let _ = writeln!(out, "\n## E10 — thrashing amelioration\n");
+    let pts = thrash_system(&p.thrash_deltas, p.thrash_seconds);
+    let rows: Vec<Vec<String>> = pts
+        .iter()
+        .map(|pt| {
+            vec![
+                pt.delta.to_string(),
+                format!("{:.2}", pt.app_rate),
+                format!("{:.1}", pt.bg_rate),
+            ]
+        })
+        .collect();
+    out.push_str(&format_table(&["Δ", "thrasher cycles/s", "background chunks/s"], &rows));
+
+    let _ = writeln!(out, "\n## A1–A3 — optimization ablations (Δ=2 worst case)\n");
+    let rows: Vec<Vec<String>> = ablation_opts(p.ablation_seconds)
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.name.into(),
+                format!("{:.2}", r.cycles_per_sec),
+                format!("{:.2}", r.shorts_per_cycle),
+                format!("{:.2}", r.larges_per_cycle),
+            ]
+        })
+        .collect();
+    out.push_str(&format_table(
+        &["configuration", "cycles/s", "shorts/cycle", "pages/cycle"],
+        &rows,
+    ));
+
+    let _ =
+        writeln!(out, "\n## A5 — dynamic Δ (the paper's disabled §8.0 routine, implemented)\n");
+    let rows: Vec<Vec<String>> = dynamic_delta_with(p.dyn_task, p.dyn_seconds)
+        .into_iter()
+        .map(|r| {
+            vec![r.name, format!("{:.0}", r.fig8_throughput), format!("{:.2}", r.pingpong_rate)]
+        })
+        .collect();
+    out.push_str(&format_table(
+        &["policy", "fig8 duel (instr/s)", "worst case (cycles/s)"],
+        &rows,
+    ));
+
+    let _ = writeln!(out, "\n## A4 — invalidation scaling\n");
+    let pts = invalidation_scaling(&p.inv_readers);
+    let rows: Vec<Vec<String>> = pts
+        .iter()
+        .map(|pt| {
+            vec![
+                pt.readers.to_string(),
+                format!("{:.1}", pt.sequential_ms),
+                format!("{:.1}", pt.multicast_ms),
+            ]
+        })
+        .collect();
+    out.push_str(&format_table(&["readers", "sequential (ms)", "multicast (ms)"], &rows));
+
+    let _ = writeln!(out, "\n## B1 — baseline comparison\n");
+    let rows: Vec<Vec<String>> = baseline_compare()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.trace.into(),
+                r.protocol.into(),
+                r.report.faults.to_string(),
+                r.report.shorts.to_string(),
+                r.report.larges.to_string(),
+                format!("{:.0}", r.report.wire_time.as_millis_f64()),
+            ]
+        })
+        .collect();
+    out.push_str(&format_table(
+        &["trace", "protocol", "faults", "shorts", "pages", "wire ms"],
+        &rows,
+    ));
+    out
+}

@@ -1,7 +1,9 @@
 //! Minimal aligned-table printing for the repro binaries.
 
-/// Prints a markdown-style table with aligned columns.
-pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+/// Renders a markdown-style table with aligned columns, one `\n` per
+/// line. [`print_table`] prints this; `repro_all_report` collects it
+/// into the report string the golden test compares.
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
     for row in rows {
         for (i, cell) in row.iter().enumerate() {
@@ -15,15 +17,23 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
         for (i, c) in cells.iter().enumerate() {
             s.push_str(&format!(" {:<w$} |", c, w = widths[i]));
         }
+        s.push('\n');
         s
     };
+    let mut out = String::new();
     let headers_owned: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
-    println!("{}", fmt_row(&headers_owned));
+    out.push_str(&fmt_row(&headers_owned));
     let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
-    println!("{}", fmt_row(&sep));
+    out.push_str(&fmt_row(&sep));
     for row in rows {
-        println!("{}", fmt_row(row));
+        out.push_str(&fmt_row(row));
     }
+    out
+}
+
+/// Prints a markdown-style table with aligned columns.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    print!("{}", format_table(headers, rows));
 }
 
 #[cfg(test)]

@@ -1,0 +1,106 @@
+//! Parallel-sweep determinism: every experiment must produce identical
+//! results at any worker count, and the `--quick` `repro_all` report
+//! must match its committed golden output byte for byte.
+//!
+//! The worker count is process-global ([`set_jobs`]), so the tests that
+//! flip it serialize on one mutex.
+
+use std::sync::Mutex;
+
+use mirage_bench::{
+    ablation_opts,
+    baseline_compare,
+    dynamic_delta_with,
+    fig7,
+    fig8,
+    harness::set_jobs,
+    invalidation_scaling,
+    local_pingpong,
+    repro_all_report,
+    test_and_set,
+    thrash_system,
+    ReproParams,
+};
+
+static JOBS_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f` at one worker and at four, returning both Debug renderings.
+/// The lock serializes every test that touches the global worker count.
+fn at_jobs_1_and_4<R: std::fmt::Debug>(f: impl Fn() -> R) -> (String, String) {
+    let _guard = JOBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    set_jobs(1);
+    let sequential = format!("{:?}", f());
+    set_jobs(4);
+    let parallel = format!("{:?}", f());
+    set_jobs(0);
+    (sequential, parallel)
+}
+
+#[test]
+fn fig7_is_identical_at_any_worker_count() {
+    let (a, b) = at_jobs_1_and_4(|| fig7(&[0, 2, 6], 2));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn fig8_is_identical_at_any_worker_count() {
+    let (a, b) = at_jobs_1_and_4(|| fig8(&[0, 6, 60], 5_000));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn local_pingpong_is_identical_at_any_worker_count() {
+    let (a, b) = at_jobs_1_and_4(|| local_pingpong(2));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn test_and_set_is_identical_at_any_worker_count() {
+    let (a, b) = at_jobs_1_and_4(|| test_and_set(&[0, 6], false, 2));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn thrash_system_is_identical_at_any_worker_count() {
+    let (a, b) = at_jobs_1_and_4(|| thrash_system(&[0, 6], 2));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn ablation_opts_is_identical_at_any_worker_count() {
+    let (a, b) = at_jobs_1_and_4(|| ablation_opts(2));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn invalidation_scaling_is_identical_at_any_worker_count() {
+    let (a, b) = at_jobs_1_and_4(|| invalidation_scaling(&[1, 2]));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn baseline_compare_is_identical_at_any_worker_count() {
+    let (a, b) = at_jobs_1_and_4(baseline_compare);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn dynamic_delta_is_identical_at_any_worker_count() {
+    let (a, b) = at_jobs_1_and_4(|| dynamic_delta_with(2_000, 2));
+    assert_eq!(a, b);
+}
+
+/// The quick report both pins determinism across worker counts and
+/// serves as the golden output the CI smoke compares against.
+/// Regenerate with:
+/// `cargo run --release -p mirage-bench --bin repro_all -- --quick \
+///  > crates/bench/tests/golden/repro_all_quick.txt`
+#[test]
+fn repro_all_quick_matches_golden() {
+    let golden = include_str!("golden/repro_all_quick.txt");
+    let (a, b) = at_jobs_1_and_4(|| repro_all_report(&ReproParams::quick()));
+    assert_eq!(a, b, "quick report must not depend on worker count");
+    // `at_jobs_1_and_4` Debug-escapes the string; compare the raw one.
+    let _guard = JOBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    assert_eq!(repro_all_report(&ReproParams::quick()), golden);
+}

@@ -5,8 +5,6 @@
 //! [`mirage_mem::LocalSegment`]s; the host runtime keeps them in real
 //! `mmap`ed memory guarded by `mprotect`. [`PageStore`] is the seam.
 
-use std::collections::HashMap;
-
 use mirage_mem::{
     LocalSegment,
     PageData,
@@ -48,9 +46,14 @@ pub trait PageStore {
 /// A straightforward in-memory [`PageStore`] over [`LocalSegment`]s.
 ///
 /// Used by the simulator and by the protocol unit/property tests.
+///
+/// Segments live in a plain vector searched linearly: a site maps a
+/// handful of segments at most, and the lookup sits on the simulator's
+/// per-access hot path, where a linear scan over one or two entries
+/// beats hashing a `SegmentId` on every load and store.
 #[derive(Debug, Default)]
 pub struct InMemStore {
-    segments: HashMap<SegmentId, LocalSegment>,
+    segments: Vec<LocalSegment>,
 }
 
 impl InMemStore {
@@ -60,39 +63,43 @@ impl InMemStore {
     }
 
     /// Registers a segment view. The creating (library) site passes a
-    /// fully-resident view; other sites pass an absent view.
+    /// fully-resident view; other sites pass an absent view. Replaces
+    /// any existing view of the same segment.
     pub fn add_segment(&mut self, seg: LocalSegment) {
-        self.segments.insert(seg.id(), seg);
+        match self.segments.iter_mut().find(|s| s.id() == seg.id()) {
+            Some(slot) => *slot = seg,
+            None => self.segments.push(seg),
+        }
     }
 
     /// Direct access for harnesses that execute loads/stores.
     pub fn segment(&self, id: SegmentId) -> Option<&LocalSegment> {
-        self.segments.get(&id)
+        self.segments.iter().find(|s| s.id() == id)
     }
 
     /// Direct mutable access for harnesses that execute stores.
     pub fn segment_mut(&mut self, id: SegmentId) -> Option<&mut LocalSegment> {
-        self.segments.get_mut(&id)
+        self.segments.iter_mut().find(|s| s.id() == id)
     }
 }
 
 impl PageStore for InMemStore {
     fn take(&mut self, seg: SegmentId, page: PageNum) -> PageData {
-        self.segments.get_mut(&seg).and_then(|s| s.invalidate(page)).unwrap_or_default()
+        self.segment_mut(seg).and_then(|s| s.invalidate(page)).unwrap_or_default()
     }
 
     fn copy(&self, seg: SegmentId, page: PageNum) -> PageData {
-        self.segments.get(&seg).and_then(|s| s.copy_out(page)).unwrap_or_default()
+        self.segment(seg).and_then(|s| s.copy_out(page)).unwrap_or_default()
     }
 
     fn install(&mut self, seg: SegmentId, page: PageNum, data: PageData, prot: PageProt) {
-        if let Some(s) = self.segments.get_mut(&seg) {
+        if let Some(s) = self.segment_mut(seg) {
             s.install(page, data, prot);
         }
     }
 
     fn set_prot(&mut self, seg: SegmentId, page: PageNum, prot: PageProt) {
-        if let Some(s) = self.segments.get_mut(&seg) {
+        if let Some(s) = self.segment_mut(seg) {
             if prot == PageProt::None {
                 s.invalidate(page);
             } else {
@@ -102,7 +109,7 @@ impl PageStore for InMemStore {
     }
 
     fn prot(&self, seg: SegmentId, page: PageNum) -> PageProt {
-        self.segments.get(&seg).map(|s| s.prot(page)).unwrap_or(PageProt::None)
+        self.segment(seg).map(|s| s.prot(page)).unwrap_or(PageProt::None)
     }
 }
 

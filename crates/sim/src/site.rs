@@ -144,6 +144,9 @@ pub struct Site {
     costs: NetCosts,
     /// Per-page remap charge at dispatch = remap_per_page × shm_pages.
     remap_per_page: SimDuration,
+    /// `MIRAGE_SIM_TRACE` was set at construction. Cached: an environment
+    /// lookup per server event would dominate the dispatch hot path.
+    trace: bool,
 }
 
 impl Site {
@@ -169,6 +172,7 @@ impl Site {
             sched,
             costs,
             remap_per_page,
+            trace: std::env::var_os("MIRAGE_SIM_TRACE").is_some(),
         }
     }
 
@@ -190,7 +194,7 @@ impl Site {
 
     /// The first clock-tick boundary strictly after `t`.
     fn tick_after(t: SimTime) -> SimTime {
-        SimTime((t.0 / TICK.0 + 1) * TICK.0)
+        t.next_tick_boundary()
     }
 
     /// True when nothing can ever happen again at this site without
@@ -334,7 +338,7 @@ impl Site {
         // Run the engine, then charge `serve_processing` per page grant
         // emitted (Table 3: "Processing Time* 2" — PTE allocate, map,
         // copy to message, unmap; see the §7.1 footnote).
-        if std::env::var_os("MIRAGE_SIM_TRACE").is_some() {
+        if self.trace {
             if let Event::Deliver { from, ref msg } = ev {
                 eprintln!(
                     "[{:?}] site{} <- {:?}: {} {:?}",
@@ -349,7 +353,7 @@ impl Site {
             }
         }
         let summary = self.driver.dispatch(ev, now, &mut self.store);
-        if std::env::var_os("MIRAGE_SIM_TRACE").is_some() {
+        if self.trace {
             for a in self.driver.pending() {
                 if let Action::Send { to, msg } = a {
                     eprintln!("    site{} -> site{}: {} ", self.id.0, to.0, msg.tag());

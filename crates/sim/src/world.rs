@@ -1,8 +1,5 @@
 //! The simulation world: global event queue, wire, and site collection.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
 use mirage_core::{
     ProtoMsg,
     ProtocolConfig,
@@ -20,6 +17,7 @@ use mirage_types::{
 };
 
 use crate::{
+    calendar::CalendarQueue,
     instrument::{
         FetchPhase,
         Instrumentation,
@@ -67,43 +65,32 @@ enum Ev {
     EngineTimer { site: usize, token: u64 },
 }
 
-/// Heap entry with deterministic tie-breaking.
-struct HeapEv(SimTime, u64, Ev);
-
-impl PartialEq for HeapEv {
-    fn eq(&self, other: &Self) -> bool {
-        (self.0, self.1) == (other.0, other.1)
-    }
-}
-impl Eq for HeapEv {}
-impl PartialOrd for HeapEv {
-    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for HeapEv {
-    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
-        (self.0, self.1).cmp(&(other.0, other.1))
-    }
-}
+/// Sentinel for "no delivery recorded yet" in the circuit matrix.
+const NO_DELIVERY: SimTime = SimTime(u64::MAX);
 
 /// The simulation world.
 pub struct World {
     /// All sites.
     pub sites: Vec<Site>,
-    events: BinaryHeap<Reverse<HeapEv>>,
-    seq: u64,
+    events: CalendarQueue<Ev>,
     now: SimTime,
     cfg: SimConfig,
     /// Instrumentation counters.
     pub instr: Instrumentation,
-    /// Library reference log (§9), in arrival order.
+    /// Library reference log (§9), in arrival order. Collected only
+    /// after [`World::enable_ref_log`]: long experiment runs would
+    /// otherwise grow it without bound and distort throughput numbers.
     pub ref_log: Vec<RefLogEntry>,
+    collect_ref_log: bool,
     next_serial: u32,
-    /// Per-circuit last delivery time: the Locus virtual circuit
-    /// sequences messages, so a short message sent after a large one
-    /// must not overtake it on the wire.
-    circuit_last: std::collections::HashMap<(usize, usize), SimTime>,
+    /// Per-circuit last delivery time, dense `n×n` (row = sender,
+    /// column = receiver): the Locus virtual circuit sequences messages,
+    /// so a short message sent after a large one must not overtake it on
+    /// the wire.
+    circuit_last: Vec<SimTime>,
+    /// Reusable effect buffer for [`World::poke`] (the per-step sink;
+    /// same pattern as the driver's `ActionSink`).
+    scratch: Vec<OutEffect>,
 }
 
 impl World {
@@ -122,14 +109,15 @@ impl World {
             .collect();
         Self {
             sites,
-            events: BinaryHeap::new(),
-            seq: 0,
+            events: CalendarQueue::new(),
             now: SimTime::ZERO,
             cfg,
             instr: Instrumentation::new(n),
             ref_log: Vec::new(),
+            collect_ref_log: false,
             next_serial: 1,
-            circuit_last: std::collections::HashMap::new(),
+            circuit_last: vec![NO_DELIVERY; n * n],
+            scratch: Vec::new(),
         }
     }
 
@@ -170,17 +158,16 @@ impl World {
     }
 
     fn push(&mut self, at: SimTime, ev: Ev) {
-        self.seq += 1;
-        self.events.push(Reverse(HeapEv(at, self.seq, ev)));
+        self.events.push(at, ev);
     }
 
-    fn next_event_time(&self) -> Option<SimTime> {
-        self.events.peek().map(|Reverse(HeapEv(t, _, _))| *t)
+    fn next_event_time(&mut self) -> Option<SimTime> {
+        self.events.peek().map(|(t, _)| t)
     }
 
-    /// Applies effects a site produced during a step.
-    fn apply_effects(&mut self, from: usize, effects: Vec<OutEffect>) {
-        for e in effects {
+    /// Applies (and drains) effects a site produced during a step.
+    fn apply_effects(&mut self, from: usize, effects: &mut Vec<OutEffect>) {
+        for e in effects.drain(..) {
             match e {
                 OutEffect::Send { to, msg, depart } => {
                     let size = msg_size(&msg);
@@ -199,13 +186,12 @@ impl World {
                     // Virtual-circuit sequencing (§7.1): per (src, dst)
                     // pair, deliveries are FIFO — a later short message
                     // queues behind an in-flight page-carrying one.
-                    let key = (from, to.index());
-                    if let Some(&last) = self.circuit_last.get(&key) {
-                        if arrive <= last {
-                            arrive = SimTime(last.0 + 1);
-                        }
+                    let key = from * self.sites.len() + to.index();
+                    let last = self.circuit_last[key];
+                    if last != NO_DELIVERY && arrive <= last {
+                        arrive = SimTime(last.0 + 1);
                     }
-                    self.circuit_last.insert(key, arrive);
+                    self.circuit_last[key] = arrive;
                     self.push(
                         arrive,
                         Ev::Arrival { to: to.index(), from: SiteId(from as u16), msg },
@@ -214,7 +200,11 @@ impl World {
                 OutEffect::SetTimer { at, token } => {
                     self.push(at, Ev::EngineTimer { site: from, token });
                 }
-                OutEffect::Log(entry) => self.ref_log.push(entry),
+                OutEffect::Log(entry) => {
+                    if self.collect_ref_log {
+                        self.ref_log.push(entry);
+                    }
+                }
                 OutEffect::RemoteFault => {
                     self.instr.remote_faults += 1;
                     self.instr.record_phase(
@@ -232,16 +222,18 @@ impl World {
 
     /// Steps a site until it asks to be woken later (or goes idle).
     fn poke(&mut self, site: usize) {
+        // Take the pooled effect buffer for the whole poke (capacity is
+        // retained across steps and pokes; `poke` never re-enters).
+        let mut effects = std::mem::take(&mut self.scratch);
         loop {
             let horizon = self.next_event_time().unwrap_or(SimTime(u64::MAX));
-            let mut effects = Vec::new();
             let res = self.sites[site].step(self.now, horizon, &mut effects);
             let made_progress = !effects.is_empty();
-            self.apply_effects(site, effects);
+            self.apply_effects(site, &mut effects);
             match res {
                 Some(t) if t > self.now => {
                     self.push(t, Ev::SiteWake { site });
-                    return;
+                    break;
                 }
                 Some(_) => {
                     if made_progress {
@@ -250,19 +242,20 @@ impl World {
                         continue;
                     }
                     if self.sites[site].is_idle() {
-                        return;
+                        break;
                     }
                     // The site cannot advance because another event is
                     // pending at the current instant (the horizon is
-                    // `now`). Defer behind it: re-wake after the heap
+                    // `now`). Defer behind it: re-wake after the queue
                     // drains this instant. Never loop here — that would
                     // spin forever.
                     self.push(self.now, Ev::SiteWake { site });
-                    return;
+                    break;
                 }
-                None => return,
+                None => break,
             }
         }
+        self.scratch = effects;
     }
 
     /// Runs until the given simulated time (events at exactly `until`
@@ -272,7 +265,7 @@ impl World {
             if t > until {
                 break;
             }
-            let Reverse(HeapEv(t, _, ev)) = self.events.pop().expect("peeked");
+            let (t, _, ev) = self.events.pop().expect("peeked");
             if t > self.now {
                 self.now = t;
             }
@@ -362,8 +355,16 @@ impl World {
         self.sites.iter().map(|s| s.driver.events_dispatched()).sum()
     }
 
-    /// Enables Table 3 phase tracing.
+    /// Enables Table 3 phase tracing (preallocates the trace buffer).
     pub fn enable_phase_trace(&mut self) {
         self.instr.trace_phases = true;
+        self.instr.phases.reserve(256);
+    }
+
+    /// Enables §9 reference-log collection. Off by default: every
+    /// library reference appends an entry, so long runs would grow the
+    /// log without bound and the allocations would distort throughput.
+    pub fn enable_ref_log(&mut self) {
+        self.collect_ref_log = true;
     }
 }

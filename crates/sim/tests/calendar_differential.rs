@@ -1,0 +1,141 @@
+//! Differential test: [`CalendarQueue`] against the `BinaryHeap` it
+//! replaced, kept here as the executable ordering specification.
+//!
+//! The contract is exact: events pop in ascending `(time, seq)` order,
+//! `seq` being the queue-assigned push counter (FIFO within an
+//! instant). Both queues assign `seq` the same way, so every popped
+//! triple — time, sequence number, payload — must match, over schedules
+//! chosen to stress the calendar structure: same-instant clusters, far
+//! jumps across year boundaries, and pushes behind an already-advanced
+//! cursor.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use mirage_sim::CalendarQueue;
+use mirage_types::{
+    Prng,
+    SimTime,
+};
+
+/// The old event queue, verbatim in structure: a min-heap over
+/// `(time, seq, payload)` with a monotone push counter.
+struct HeapSpec {
+    heap: BinaryHeap<Reverse<(SimTime, u64, u32)>>,
+    seq: u64,
+}
+
+impl HeapSpec {
+    fn new() -> Self {
+        Self { heap: BinaryHeap::new(), seq: 0 }
+    }
+
+    fn push(&mut self, at: SimTime, item: u32) -> u64 {
+        self.seq += 1;
+        self.heap.push(Reverse((at, self.seq, item)));
+        self.seq
+    }
+
+    fn peek(&self) -> Option<(SimTime, u64)> {
+        self.heap.peek().map(|Reverse((t, s, _))| (*t, *s))
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, u64, u32)> {
+        self.heap.pop().map(|Reverse(e)| e)
+    }
+}
+
+/// Pushes to both queues, asserting the assigned sequence numbers agree.
+fn push_both(cal: &mut CalendarQueue<u32>, spec: &mut HeapSpec, at: SimTime, item: u32) {
+    assert_eq!(cal.push(at, item), spec.push(at, item), "push seq diverged");
+}
+
+/// Peeks and pops one event from both queues, asserting identity.
+fn pop_both(cal: &mut CalendarQueue<u32>, spec: &mut HeapSpec) {
+    assert_eq!(cal.peek(), spec.peek(), "peek diverged");
+    assert_eq!(cal.pop(), spec.pop(), "pop diverged");
+    assert_eq!(cal.len(), spec.heap.len(), "length diverged");
+}
+
+/// Fully arbitrary times: the cursor must chase pushes backwards and
+/// forwards across year boundaries (a day is 2²¹ ns, a year 512 days).
+#[test]
+fn matches_heap_on_random_schedules() {
+    for seed in 0..8u64 {
+        let mut rng = Prng::new(seed);
+        let mut cal = CalendarQueue::new();
+        let mut spec = HeapSpec::new();
+        // Up to ~3 "years" of spread so bucket indices collide.
+        let span = 3 * 512 * (1u64 << 21);
+        for i in 0..2000u32 {
+            if rng.below(5) < 3 {
+                push_both(&mut cal, &mut spec, SimTime(rng.below(span)), i);
+            } else {
+                pop_both(&mut cal, &mut spec);
+            }
+        }
+        while !cal.is_empty() {
+            pop_both(&mut cal, &mut spec);
+        }
+        assert_eq!(cal.pop(), spec.pop());
+    }
+}
+
+/// The world's actual pattern: monotone `now`, short hops clustered
+/// around the cursor, occasional timer pushes far ahead, and pushes at
+/// exactly `now` right after a peek has advanced the cursor.
+#[test]
+fn matches_heap_on_simulation_shaped_schedule() {
+    for seed in 100..104u64 {
+        let mut rng = Prng::new(seed);
+        let mut cal = CalendarQueue::new();
+        let mut spec = HeapSpec::new();
+        let mut now = SimTime(0);
+        push_both(&mut cal, &mut spec, now, 0);
+        for i in 1..3000u32 {
+            // Drain to the next event, as run_until does.
+            if let Some((t, _)) = cal.peek() {
+                assert_eq!(spec.peek().map(|(t, _)| t), Some(t));
+                now = t;
+                pop_both(&mut cal, &mut spec);
+            } else {
+                break;
+            }
+            // React: a few new events near now (wire hops, wakes)...
+            for _ in 0..rng.below(3) {
+                push_both(&mut cal, &mut spec, SimTime(now.0 + rng.below(2_000_000)), i);
+            }
+            // ...sometimes a same-instant wake (the push-behind-cursor
+            // case: the peek above already advanced the cursor)...
+            if rng.below(4) == 0 {
+                push_both(&mut cal, &mut spec, now, i);
+            }
+            // ...and rarely a timer a simulated second out.
+            if rng.below(50) == 0 {
+                push_both(&mut cal, &mut spec, SimTime(now.0 + 1_500_000_000), i);
+            }
+        }
+        while !cal.is_empty() {
+            pop_both(&mut cal, &mut spec);
+        }
+    }
+}
+
+/// A dense same-instant cluster interleaved with pops: FIFO order must
+/// survive partial drains of the instant.
+#[test]
+fn matches_heap_within_one_instant() {
+    let mut cal = CalendarQueue::new();
+    let mut spec = HeapSpec::new();
+    let t = SimTime(42);
+    for i in 0..10 {
+        push_both(&mut cal, &mut spec, t, i);
+    }
+    for i in 10..20 {
+        pop_both(&mut cal, &mut spec);
+        push_both(&mut cal, &mut spec, t, i);
+    }
+    while !cal.is_empty() {
+        pop_both(&mut cal, &mut spec);
+    }
+}

@@ -71,6 +71,18 @@ impl SimTime {
         SimDuration(self.0.saturating_sub(earlier.0))
     }
 
+    /// The scheduler clock tick containing this instant (floor).
+    #[inline]
+    pub const fn tick_number(self) -> u64 {
+        self.0 / TICK.0
+    }
+
+    /// The first clock-tick boundary strictly after this instant.
+    #[inline]
+    pub const fn next_tick_boundary(self) -> SimTime {
+        SimTime((self.0 / TICK.0 + 1) * TICK.0)
+    }
+
     /// Time as fractional seconds (for reporting).
     #[inline]
     pub fn as_secs_f64(self) -> f64 {
@@ -214,6 +226,17 @@ mod tests {
         assert_eq!(t.since(SimTime::from_millis(5)), SimDuration::from_millis(10));
         // `since` saturates rather than wrapping.
         assert_eq!(SimTime::ZERO.since(t), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn tick_accessors() {
+        assert_eq!(SimTime::ZERO.tick_number(), 0);
+        assert_eq!(SimTime(TICK.0 - 1).tick_number(), 0);
+        assert_eq!(SimTime(TICK.0).tick_number(), 1);
+        // The boundary after an instant is strictly later, even on a tick.
+        assert_eq!(SimTime::ZERO.next_tick_boundary(), SimTime(TICK.0));
+        assert_eq!(SimTime(TICK.0).next_tick_boundary(), SimTime(TICK.0 * 2));
+        assert_eq!(SimTime(TICK.0 + 1).next_tick_boundary(), SimTime(TICK.0 * 2));
     }
 
     #[test]

@@ -30,6 +30,7 @@ use mirage::workloads::{
 
 fn main() {
     let mut w = World::new(3, SimConfig::default());
+    w.enable_ref_log();
     let seg = w.create_segment(0, 2);
     // Sites 0 and 1 fight over page 0; site 2 re-reads page 1 quietly.
     w.spawn(0, Box::new(Decrementer::new(seg, 0, 30_000)), 2);

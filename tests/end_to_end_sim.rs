@@ -160,6 +160,7 @@ fn simulation_is_deterministic() {
 #[test]
 fn reference_log_matches_fault_traffic() {
     let mut w = World::new(2, cfg(0));
+    w.enable_ref_log();
     let seg = w.create_segment(0, 1);
     w.spawn(0, Box::new(PingPongPinger::new(seg, 25, true)), 1);
     w.spawn(1, Box::new(PingPongPonger::new(seg, true)), 1);
