@@ -32,6 +32,7 @@ fn messages() -> (ProtoMsg, ProtoMsg) {
         access: Access::Read,
         window: Delta(2),
         data: PageData::from_bytes(&[0xAB; PAGE_SIZE]),
+        serial: 0,
     };
     (short, large)
 }

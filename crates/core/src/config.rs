@@ -3,6 +3,7 @@
 use mirage_types::{
     Delta,
     PageNum,
+    SimDuration,
 };
 
 /// How Δ values are assigned to pages of a segment.
@@ -68,6 +69,35 @@ impl Default for DeltaPolicy {
     }
 }
 
+/// Timeout/retry tuning for lossy networks.
+///
+/// The paper assumes Locus virtual circuits never lose a message; when
+/// the simulator injects faults, the engines arm sim-time retransmit
+/// timers for every message whose loss would wedge the protocol. The
+/// wait for attempt `n` is `min(base << n, cap)` — bounded exponential
+/// backoff, in simulated time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Wait before the first retransmission.
+    pub base: SimDuration,
+    /// Ceiling on the backoff.
+    pub cap: SimDuration,
+}
+
+impl RetryPolicy {
+    /// The retransmit wait after `attempt` prior sends (0-based).
+    pub fn backoff(&self, attempt: u32) -> SimDuration {
+        let shifted = self.base.0.checked_shl(attempt.min(32)).unwrap_or(u64::MAX);
+        SimDuration(shifted.min(self.cap.0))
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self { base: SimDuration::from_millis(50), cap: SimDuration::from_millis(800) }
+    }
+}
+
 /// Protocol feature configuration.
 ///
 /// The defaults reproduce the paper's prototype exactly: both §6.1
@@ -95,6 +125,11 @@ pub struct ProtocolConfig {
     /// rather than sequential point-to-point exchanges. Off in the
     /// paper's prototype (Locus was point-to-point only).
     pub multicast_invalidation: bool,
+    /// Timeout/retry machinery for lossy networks. `None` (the default,
+    /// and the paper's assumption) trusts the transport completely: no
+    /// timers are armed, no serials are stamped, behaviour is identical
+    /// to the pre-fault-injection protocol.
+    pub retry: Option<RetryPolicy>,
 }
 
 impl ProtocolConfig {
@@ -112,6 +147,7 @@ impl Default for ProtocolConfig {
             downgrade_optimization: true,
             queued_invalidation: false,
             multicast_invalidation: false,
+            retry: None,
         }
     }
 }
@@ -142,5 +178,20 @@ mod tests {
         assert!(c.downgrade_optimization);
         assert!(!c.queued_invalidation);
         assert!(!c.multicast_invalidation);
+        assert!(c.retry.is_none());
+    }
+
+    #[test]
+    fn backoff_doubles_then_caps() {
+        let p = RetryPolicy {
+            base: SimDuration::from_millis(50),
+            cap: SimDuration::from_millis(800),
+        };
+        assert_eq!(p.backoff(0), SimDuration::from_millis(50));
+        assert_eq!(p.backoff(1), SimDuration::from_millis(100));
+        assert_eq!(p.backoff(4), SimDuration::from_millis(800));
+        // Past the cap — and past any shift overflow — stays capped.
+        assert_eq!(p.backoff(10), SimDuration::from_millis(800));
+        assert_eq!(p.backoff(63), SimDuration::from_millis(800));
     }
 }

@@ -159,6 +159,23 @@ impl ProtocolDriver {
     pub fn register_segment(&mut self, seg: SegmentId, pages: usize) {
         self.engine.register_segment(seg, pages);
     }
+
+    /// Models a site failure: the engine's volatile state (queues,
+    /// rounds, timers) is discarded; its persistent tables survive. Any
+    /// actions still buffered in the sink are lost with the site.
+    pub fn crash(&mut self) {
+        self.sink.begin(SimTime::ZERO);
+        self.engine.crash();
+    }
+
+    /// Restarts a crashed site at `now`: the engine reconstructs its
+    /// obligations from the persistent tables and buffers the resulting
+    /// retransmissions, which the caller flushes like any dispatch.
+    pub fn restart(&mut self, now: SimTime, store: &mut dyn PageStore) -> DispatchSummary {
+        self.dispatched += 1;
+        self.engine.restart_into(now, store, &mut self.sink);
+        DispatchSummary { actions: self.sink.len(), grants: self.sink.grants() }
+    }
 }
 
 /// A [`DriverOps`] that records effects into plain vectors.

@@ -58,6 +58,52 @@ pub(crate) enum TimerKind {
         /// Page of the delayed invalidation.
         page: PageNum,
     },
+    /// Retransmit an unanswered `PageRequest` (retry mode).
+    RequestRetry {
+        /// Segment of the outstanding request.
+        seg: SegmentId,
+        /// Page of the outstanding request.
+        page: PageNum,
+    },
+    /// Library: retransmit the in-flight `Invalidate` (retry mode).
+    ServeRetry {
+        /// Segment of the serve.
+        seg: SegmentId,
+        /// Page of the serve.
+        page: PageNum,
+        /// Demand serial the serve was started with; stale timers from a
+        /// superseded serve no-op on mismatch.
+        serial: u32,
+    },
+    /// Clock: retransmit `ReaderInvalidate`s to unacked victims of the
+    /// in-flight round (retry mode).
+    RoundRetry {
+        /// Segment of the round.
+        seg: SegmentId,
+        /// Page of the round.
+        page: PageNum,
+        /// Demand serial of the round.
+        serial: u32,
+    },
+    /// Clock: retransmit an unacked `InvalidateDone` (retry mode).
+    DoneRetry {
+        /// Segment of the completion.
+        seg: SegmentId,
+        /// Page of the completion.
+        page: PageNum,
+        /// Demand serial of the completion.
+        serial: u32,
+    },
+    /// Granting site: retransmit an unacked write `PageGrant` (retry
+    /// mode).
+    GrantRetry {
+        /// Segment of the grant.
+        seg: SegmentId,
+        /// Page of the grant.
+        page: PageNum,
+        /// Demand serial of the grant.
+        serial: u32,
+    },
 }
 
 /// One site's combined protocol roles.
@@ -170,30 +216,39 @@ impl SiteEngine {
             ProtoMsg::PageRequest { seg, page, access, pid } => {
                 self.lib_request(from, seg, page, access, pid, sink);
             }
-            ProtoMsg::InvalidateDeny { seg, page, wait } => {
-                self.lib_denied(seg, page, wait, sink);
+            ProtoMsg::InvalidateDeny { seg, page, wait, serial } => {
+                self.lib_denied(seg, page, wait, serial, sink);
             }
-            ProtoMsg::InvalidateDone { seg, page, info } => {
-                self.lib_done(seg, page, info, sink);
+            ProtoMsg::InvalidateDone { seg, page, info, serial } => {
+                self.lib_done(from, seg, page, info, serial, sink);
             }
             // Using-role inputs (including clock duties).
-            ProtoMsg::AddReaders { seg, page, readers, window } => {
-                self.use_add_readers(seg, page, readers, window, store, sink);
+            ProtoMsg::AddReaders { seg, page, readers, window, serial } => {
+                self.use_add_readers(seg, page, readers, window, serial, store, sink);
             }
-            ProtoMsg::Invalidate { seg, page, demand, readers, window } => {
-                self.use_invalidate(seg, page, demand, readers, window, store, sink);
+            ProtoMsg::Invalidate { seg, page, demand, readers, window, serial } => {
+                self.use_invalidate(seg, page, demand, readers, window, serial, store, sink);
             }
-            ProtoMsg::ReaderInvalidate { seg, page } => {
-                self.use_reader_invalidate(from, seg, page, store, sink);
+            ProtoMsg::ReaderInvalidate { seg, page, serial } => {
+                self.use_reader_invalidate(from, seg, page, serial, store, sink);
             }
-            ProtoMsg::ReaderInvalidateAck { seg, page } => {
-                self.use_reader_ack(from, seg, page, store, sink);
+            ProtoMsg::ReaderInvalidateAck { seg, page, serial } => {
+                self.use_reader_ack(from, seg, page, serial, store, sink);
             }
-            ProtoMsg::PageGrant { seg, page, access, window, data } => {
-                self.use_grant(seg, page, access, window, data, store, sink);
+            ProtoMsg::PageGrant { seg, page, access, window, data, serial } => {
+                self.use_grant(from, seg, page, access, window, data, serial, store, sink);
             }
-            ProtoMsg::UpgradeGrant { seg, page, window } => {
-                self.use_upgrade(seg, page, window, store, sink);
+            ProtoMsg::UpgradeGrant { seg, page, window, serial } => {
+                self.use_upgrade(from, seg, page, window, serial, store, sink);
+            }
+            ProtoMsg::DoneAck { seg, page, serial } => {
+                self.use_done_ack(seg, page, serial);
+            }
+            ProtoMsg::GrantAck { seg, page, serial } => {
+                self.use_grant_ack(from, seg, page, serial);
+            }
+            ProtoMsg::UpgradeNack { seg, page, serial } => {
+                self.use_upgrade_nack(from, seg, page, serial, sink);
             }
         }
     }
@@ -210,6 +265,62 @@ impl SiteEngine {
             TimerKind::ClockDelayed { seg, page } => {
                 self.use_delayed_invalidation(seg, page, store, sink);
             }
+            TimerKind::RequestRetry { seg, page } => {
+                self.use_request_retry(seg, page, sink);
+            }
+            TimerKind::ServeRetry { seg, page, serial } => {
+                self.lib_serve_retry(seg, page, serial, sink);
+            }
+            TimerKind::RoundRetry { seg, page, serial } => {
+                self.use_round_retry(seg, page, serial, sink);
+            }
+            TimerKind::DoneRetry { seg, page, serial } => {
+                self.use_done_retry(seg, page, serial, sink);
+            }
+            TimerKind::GrantRetry { seg, page, serial } => {
+                self.use_grant_retry(seg, page, serial, sink);
+            }
+        }
+    }
+
+    // ---- Crash/restart (fault injection). ----
+
+    /// The site halts: all volatile protocol state is discarded.
+    ///
+    /// What survives a crash is exactly what the paper's prototype keeps
+    /// in kernel tables that the underlying OS recovers: page frames and
+    /// protections (the [`PageStore`], owned by the caller), the aux
+    /// table, the library's per-page records (readers/writer/clock/
+    /// window/serial *and* the in-flight `serving` demand, which is
+    /// journaled so a completion delivered after restart still updates
+    /// the records), and the clock/granter retransmit obligations
+    /// (`pending_done`, `pending_grant`) plus the stale-grant floors
+    /// (`last_serial`, `min_install_serial`). Everything else — request
+    /// queues, blocked waiters, in-flight invalidation rounds, deferred
+    /// duties, timers, attempt counters — is volatile and lost; the
+    /// retry machinery at the *other* sites reconstructs it.
+    pub fn crash(&mut self) {
+        self.timers.clear();
+        self.lib.crash();
+        self.usr.crash();
+    }
+
+    /// The site restarts with cold volatile state: re-arms retransmit
+    /// timers for every persistent in-flight obligation and retransmits
+    /// each immediately. Requires retry mode (a crash plan without a
+    /// retry policy cannot recover).
+    pub fn restart_into(
+        &mut self,
+        now: SimTime,
+        store: &mut dyn PageStore,
+        sink: &mut ActionSink,
+    ) {
+        sink.begin(now);
+        self.lib_restart(sink);
+        self.use_restart(sink);
+        while let Some(msg) = sink.pop_loopback() {
+            let from = self.site;
+            self.dispatch(from, msg, store, sink);
         }
     }
 
@@ -242,6 +353,16 @@ impl SiteEngine {
         self.timers.insert(token, kind);
         sink.push(Action::SetTimer { at, token });
         token
+    }
+
+    /// Arms a retransmit timer `backoff(attempt)` from now — a no-op
+    /// unless retry mode is on.
+    pub(crate) fn arm_retry(&mut self, attempt: u32, kind: TimerKind, sink: &mut ActionSink) {
+        let Some(rp) = self.config.retry else {
+            return;
+        };
+        let at = sink.now() + rp.backoff(attempt);
+        self.set_timer(at, kind, sink);
     }
 
     /// Test/diagnostic access: the library's view of a page, if this site

@@ -114,6 +114,7 @@ mod tests {
                 access: Access::Read,
                 window: Delta::ZERO,
                 data: mirage_mem::PageData::zeroed(),
+                serial: 0,
             },
         };
         let wake = Action::Wake { pid: Pid::new(SiteId(0), 1) };

@@ -67,6 +67,7 @@ pub mod using;
 pub use config::{
     DeltaPolicy,
     ProtocolConfig,
+    RetryPolicy,
 };
 pub use driver::{
     DispatchSummary,

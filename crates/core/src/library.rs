@@ -84,6 +84,15 @@ struct LibPage {
     /// useful protection work); serves that complete without one shrink
     /// a dynamic window.
     deny_seen: bool,
+    /// Per-page demand serial (retry mode; stays 0 when retry is
+    /// disabled). Bumped for every serve start and every directly
+    /// granted emission (AddReaders, stale-writer confirmation), so
+    /// every grant the protocol ever issues for this page carries a
+    /// distinct, monotonically increasing serial. Persistent across a
+    /// crash — a restarted library must never reuse a serial.
+    serial: u32,
+    /// Retransmit count for the in-flight serve (volatile).
+    serve_attempt: u32,
 }
 
 impl LibPage {
@@ -99,6 +108,19 @@ impl LibPage {
             window,
             last_losers: None,
             deny_seen: false,
+            serial: 0,
+            serve_attempt: 0,
+        }
+    }
+
+    /// Allocates the next demand serial (0 when retry is disabled, so
+    /// the disabled protocol is byte-identical to the pre-serial one).
+    fn next_serial(&mut self, retry_on: bool) -> u32 {
+        if retry_on {
+            self.serial += 1;
+            self.serial
+        } else {
+            0
         }
     }
 
@@ -178,6 +200,35 @@ impl LibState {
             window: p.window,
         })
     }
+
+    /// Discards all volatile library state (site crash). The records —
+    /// readers/writer/clock/window/serial and the journaled `serving`
+    /// demand — survive; queues and attempt counters do not. Lost queue
+    /// entries are reconstructed by the requesters' own retries.
+    pub(crate) fn crash(&mut self) {
+        for table in &mut self.segs {
+            for rec in table.iter_mut() {
+                rec.queue.clear();
+                rec.deny_seen = false;
+                rec.last_losers = None;
+                rec.serve_attempt = 0;
+            }
+        }
+    }
+
+    /// Pages with a journaled in-flight serve, for restart re-arming.
+    fn serving_pages(&self) -> Vec<(SegmentId, PageNum)> {
+        let mut out = Vec::new();
+        for (&seg, &slot) in &self.index {
+            for (p, rec) in self.segs[slot].iter().enumerate() {
+                if rec.serving.is_some() {
+                    out.push((seg, PageNum(p as u32)));
+                }
+            }
+        }
+        out.sort();
+        out
+    }
 }
 
 impl SiteEngine {
@@ -195,10 +246,25 @@ impl SiteEngine {
         // at the library site."
         sink.push(Action::Log(RefLogEntry { seg, page, at: sink.now(), pid, access }));
         let dynamic = self.config.delta.is_dynamic();
+        let retry_on = self.config.retry.is_some();
         let Some(rec) = self.lib.page_mut(seg, page) else {
             // Unknown page — segment destroyed or never created here.
             return;
         };
+        if retry_on {
+            // Requesters retransmit unanswered requests, so the queue
+            // must be idempotent: drop a request that is already queued
+            // or already covered by the serve in flight (a write serve
+            // grants read-write, covering both access classes).
+            let covered = match &rec.serving {
+                Some(Demand::Write { to, .. }) => *to == from,
+                Some(Demand::Read { to }) => access == Access::Read && to.contains(from),
+                None => false,
+            };
+            if covered || rec.queue.iter().any(|r| r.site == from && r.access == access) {
+                return;
+            }
+        }
         if dynamic {
             // §8.0 dynamic tuning, grow side: the previous holder asking
             // for the page back right after losing it means the window
@@ -220,6 +286,7 @@ impl SiteEngine {
         page: PageNum,
         sink: &mut ActionSink,
     ) {
+        let retry_on = self.config.retry.is_some();
         loop {
             let Some(rec) = self.lib.page_mut(seg, page) else {
                 return;
@@ -267,9 +334,10 @@ impl SiteEngine {
                         debug_assert_eq!(row.invalidation, Invalidation::No);
                         rec.readers = rec.readers.union(batch);
                         let clock = rec.clock;
+                        let serial = rec.next_serial(retry_on);
                         self.emit(
                             clock,
-                            ProtoMsg::AddReaders { seg, page, readers: batch, window },
+                            ProtoMsg::AddReaders { seg, page, readers: batch, window, serial },
                             sink,
                         );
                         // Non-blocking: keep processing the queue.
@@ -279,6 +347,8 @@ impl SiteEngine {
                     // invalidation when the A2 ablation disables it).
                     rec.serving = Some(Demand::Read { to: batch });
                     rec.deny_seen = false;
+                    rec.serve_attempt = 0;
+                    let serial = rec.next_serial(retry_on);
                     let clock = rec.clock;
                     let readers = rec.readers;
                     self.emit(
@@ -289,9 +359,11 @@ impl SiteEngine {
                             demand: Demand::Read { to: batch },
                             readers,
                             window,
+                            serial,
                         },
                         sink,
                     );
+                    self.arm_retry(0, TimerKind::ServeRetry { seg, page, serial }, sink);
                     return;
                 }
                 Access::Write => {
@@ -300,7 +372,12 @@ impl SiteEngine {
                         // Already the writer: stale request; confirm with
                         // an upgrade notification so the requester wakes.
                         let to = front.site;
-                        self.emit(to, ProtoMsg::UpgradeGrant { seg, page, window }, sink);
+                        let serial = rec.next_serial(retry_on);
+                        self.emit(
+                            to,
+                            ProtoMsg::UpgradeGrant { seg, page, window, serial },
+                            sink,
+                        );
                         continue;
                     }
                     let in_readers = rec.readers.contains(front.site);
@@ -315,13 +392,16 @@ impl SiteEngine {
                     let demand = Demand::Write { to: front.site, upgrade };
                     rec.serving = Some(demand.clone());
                     rec.deny_seen = false;
+                    rec.serve_attempt = 0;
+                    let serial = rec.next_serial(retry_on);
                     let clock = rec.clock;
                     let readers = rec.readers;
                     self.emit(
                         clock,
-                        ProtoMsg::Invalidate { seg, page, demand, readers, window },
+                        ProtoMsg::Invalidate { seg, page, demand, readers, window, serial },
                         sink,
                     );
+                    self.arm_retry(0, TimerKind::ServeRetry { seg, page, serial }, sink);
                     return;
                 }
             }
@@ -337,12 +417,19 @@ impl SiteEngine {
         seg: SegmentId,
         page: PageNum,
         wait: SimDuration,
+        serial: u32,
         sink: &mut ActionSink,
     ) {
+        let retry_on = self.config.retry.is_some();
         let Some(rec) = self.lib.page_mut(seg, page) else {
             return;
         };
         if rec.serving.is_none() {
+            return;
+        }
+        if retry_on && serial != rec.serial {
+            // A denial of a demand we are no longer serving (delayed or
+            // duplicated on the wire).
             return;
         }
         rec.deny_seen = true;
@@ -359,24 +446,71 @@ impl SiteEngine {
         let Some(demand) = rec.serving.clone() else {
             return;
         };
+        let serial = rec.serial;
         let clock = rec.clock;
         let readers = rec.readers;
-        self.emit(clock, ProtoMsg::Invalidate { seg, page, demand, readers, window }, sink);
+        self.emit(
+            clock,
+            ProtoMsg::Invalidate { seg, page, demand, readers, window, serial },
+            sink,
+        );
+    }
+
+    /// Serve retransmit timer fired (retry mode): the in-flight
+    /// `Invalidate` may have been lost — re-send it and back off.
+    pub(crate) fn lib_serve_retry(
+        &mut self,
+        seg: SegmentId,
+        page: PageNum,
+        serial: u32,
+        sink: &mut ActionSink,
+    ) {
+        let Some(rec) = self.lib.page_mut(seg, page) else {
+            return;
+        };
+        if rec.serving.is_none() || rec.serial != serial {
+            // Serve completed (or superseded); let the stale timer die.
+            return;
+        }
+        rec.serve_attempt += 1;
+        let attempt = rec.serve_attempt;
+        let window = rec.window;
+        let demand = rec.serving.clone().expect("checked above");
+        let clock = rec.clock;
+        let readers = rec.readers;
+        self.emit(
+            clock,
+            ProtoMsg::Invalidate { seg, page, demand, readers, window, serial },
+            sink,
+        );
+        self.arm_retry(attempt, TimerKind::ServeRetry { seg, page, serial }, sink);
     }
 
     /// The clock site completed the demand: update the records and serve
     /// the next request.
     pub(crate) fn lib_done(
         &mut self,
+        from: SiteId,
         seg: SegmentId,
         page: PageNum,
         info: DoneInfo,
+        serial: u32,
         sink: &mut ActionSink,
     ) {
         let dynamic = self.config.delta.is_dynamic();
+        let retry_on = self.config.retry.is_some();
+        if retry_on {
+            // Always acknowledge, even a stale duplicate: the clock
+            // retransmits its completion until this ack arrives.
+            self.emit(from, ProtoMsg::DoneAck { seg, page, serial }, sink);
+        }
         let Some(rec) = self.lib.page_mut(seg, page) else {
             return;
         };
+        if retry_on && (rec.serving.is_none() || serial != rec.serial) {
+            // Duplicate of a completion already applied.
+            return;
+        }
         let Some(demand) = rec.serving.take() else {
             return;
         };
@@ -434,6 +568,25 @@ impl SiteEngine {
             }
         }
         self.lib_process_queue(seg, page, sink);
+    }
+
+    /// Library side of a site restart (retry mode): the request queue
+    /// died with the crash, but the journaled `serving` demand did not —
+    /// re-send its invalidation and re-arm the retransmit timer. The
+    /// queue itself is reconstructed over the next retry intervals as
+    /// every requester with an unanswered request retransmits it.
+    pub(crate) fn lib_restart(&mut self, sink: &mut ActionSink) {
+        if self.config.retry.is_none() {
+            return;
+        }
+        for (seg, page) in self.lib.serving_pages() {
+            let Some(rec) = self.lib.page(seg, page) else {
+                continue;
+            };
+            let serial = rec.serial;
+            self.lib_retry(seg, page, sink);
+            self.arm_retry(0, TimerKind::ServeRetry { seg, page, serial }, sink);
+        }
     }
 }
 

@@ -96,6 +96,9 @@ pub enum ProtoMsg {
         readers: SiteSet,
         /// The window to install at the new readers.
         window: Delta,
+        /// Demand serial stamped on the resulting grants (retry mode;
+        /// 0 when retry is disabled).
+        serial: u32,
     },
     /// Library → clock site: invalidate the current copy so the demand
     /// can be satisfied (Table 1 rows 2–4). Short.
@@ -112,6 +115,11 @@ pub enum ProtoMsg {
         /// The window to install at the new holder(s); the library may
         /// retune it here (§8.0 dynamic tuning hook).
         window: Delta,
+        /// Per-page demand serial. Monotone at the library; the clock
+        /// echoes it in Deny/Done so a retransmitted completion cannot
+        /// be mistaken for the current serve's. 0 when retry is
+        /// disabled.
+        serial: u32,
     },
     /// Clock site → library: Δ has not expired; retry after `wait`
     /// (short). "the clock site replies immediately with the amount of
@@ -123,6 +131,8 @@ pub enum ProtoMsg {
         page: PageNum,
         /// Remaining window time the library must wait out.
         wait: SimDuration,
+        /// Echo of the Invalidate's demand serial.
+        serial: u32,
     },
     /// Clock site → library: the demand has been carried out; bookkeeping
     /// may be updated and the next queued request processed (short).
@@ -133,6 +143,10 @@ pub enum ProtoMsg {
         page: PageNum,
         /// Outcome details.
         info: DoneInfo,
+        /// Echo of the Invalidate's demand serial. In retry mode the
+        /// clock retransmits this message until the library acks it
+        /// with [`ProtoMsg::DoneAck`].
+        serial: u32,
     },
     /// Clock site → another reader: discard your read copy (short).
     ReaderInvalidate {
@@ -140,6 +154,11 @@ pub enum ProtoMsg {
         seg: SegmentId,
         /// Page.
         page: PageNum,
+        /// Demand serial of the round. The victim records it as a floor
+        /// on future grant installs: any grant stamped with an older
+        /// serial is a stale retransmission and must not resurrect the
+        /// copy this round just killed. 0 when retry is disabled.
+        serial: u32,
     },
     /// Reader → clock site: copy discarded (short).
     ReaderInvalidateAck {
@@ -147,6 +166,10 @@ pub enum ProtoMsg {
         seg: SegmentId,
         /// Page.
         page: PageNum,
+        /// Echo of the ReaderInvalidate's serial, so an ack provoked by
+        /// a stale duplicate invalidation cannot advance the round of a
+        /// later serve. 0 when retry is disabled.
+        serial: u32,
     },
     /// Storing site → requester: the page itself (LARGE — 1024-byte
     /// buffer carrying the 512-byte page). "the requested page is
@@ -164,6 +187,11 @@ pub enum ProtoMsg {
         /// frame into the message and from the message into the
         /// receiver's frame.
         data: PageData,
+        /// Demand serial the grant satisfies. The receiver installs the
+        /// page only if `serial >= min_install_serial`, deduping
+        /// retransmitted grants and dropping stale ones. 0 when retry
+        /// is disabled.
+        serial: u32,
     },
     /// Clock/library → requester holding a read copy: you are now the
     /// writer; no data follows (short). §6.1 optimization 1.
@@ -174,6 +202,42 @@ pub enum ProtoMsg {
         page: PageNum,
         /// Window to install with the write copy.
         window: Delta,
+        /// Demand serial, gated like a data grant: a delayed upgrade
+        /// from an old serve must not re-promote a site that has since
+        /// been downgraded or invalidated. 0 when retry is disabled.
+        serial: u32,
+    },
+    /// Library → clock: completion report received; stop retransmitting
+    /// it (short, retry mode only).
+    DoneAck {
+        /// Segment.
+        seg: SegmentId,
+        /// Page.
+        page: PageNum,
+        /// Echo of the InvalidateDone's serial.
+        serial: u32,
+    },
+    /// Write-grant receiver → granting site: page installed (or the
+    /// grant was recognized as stale); the granter may discard its
+    /// retained copy (short, retry mode only).
+    GrantAck {
+        /// Segment.
+        seg: SegmentId,
+        /// Page.
+        page: PageNum,
+        /// Echo of the PageGrant's serial.
+        serial: u32,
+    },
+    /// Upgrade receiver → granting site: the read copy this upgrade
+    /// presumes never arrived, so there is no frame to promote; escalate
+    /// to a full data-carrying grant (short, retry mode only).
+    UpgradeNack {
+        /// Segment.
+        seg: SegmentId,
+        /// Page.
+        page: PageNum,
+        /// Echo of the UpgradeGrant's serial.
+        serial: u32,
     },
 }
 
@@ -186,10 +250,13 @@ impl ProtoMsg {
             | ProtoMsg::Invalidate { seg, page, .. }
             | ProtoMsg::InvalidateDeny { seg, page, .. }
             | ProtoMsg::InvalidateDone { seg, page, .. }
-            | ProtoMsg::ReaderInvalidate { seg, page }
-            | ProtoMsg::ReaderInvalidateAck { seg, page }
+            | ProtoMsg::ReaderInvalidate { seg, page, .. }
+            | ProtoMsg::ReaderInvalidateAck { seg, page, .. }
             | ProtoMsg::PageGrant { seg, page, .. }
-            | ProtoMsg::UpgradeGrant { seg, page, .. } => (*seg, *page),
+            | ProtoMsg::UpgradeGrant { seg, page, .. }
+            | ProtoMsg::DoneAck { seg, page, .. }
+            | ProtoMsg::GrantAck { seg, page, .. }
+            | ProtoMsg::UpgradeNack { seg, page, .. } => (*seg, *page),
         }
     }
 
@@ -205,6 +272,9 @@ impl ProtoMsg {
             ProtoMsg::ReaderInvalidateAck { .. } => MsgKind::ReaderInvalidateAck,
             ProtoMsg::PageGrant { .. } => MsgKind::PageGrant,
             ProtoMsg::UpgradeGrant { .. } => MsgKind::UpgradeGrant,
+            ProtoMsg::DoneAck { .. } => MsgKind::DoneAck,
+            ProtoMsg::GrantAck { .. } => MsgKind::GrantAck,
+            ProtoMsg::UpgradeNack { .. } => MsgKind::UpgradeNack,
         }
     }
 
@@ -269,60 +339,86 @@ impl Wire for ProtoMsg {
                 access.encode(buf);
                 pid.encode(buf);
             }
-            ProtoMsg::AddReaders { seg, page, readers, window } => {
+            ProtoMsg::AddReaders { seg, page, readers, window, serial } => {
                 buf.push(1);
                 seg.encode(buf);
                 page.encode(buf);
                 readers.encode(buf);
                 window.encode(buf);
+                serial.encode(buf);
             }
-            ProtoMsg::Invalidate { seg, page, demand, readers, window } => {
+            ProtoMsg::Invalidate { seg, page, demand, readers, window, serial } => {
                 buf.push(2);
                 seg.encode(buf);
                 page.encode(buf);
                 demand.encode(buf);
                 readers.encode(buf);
                 window.encode(buf);
+                serial.encode(buf);
             }
-            ProtoMsg::InvalidateDeny { seg, page, wait } => {
+            ProtoMsg::InvalidateDeny { seg, page, wait, serial } => {
                 buf.push(3);
                 seg.encode(buf);
                 page.encode(buf);
                 wait.encode(buf);
+                serial.encode(buf);
             }
-            ProtoMsg::InvalidateDone { seg, page, info } => {
+            ProtoMsg::InvalidateDone { seg, page, info, serial } => {
                 buf.push(4);
                 seg.encode(buf);
                 page.encode(buf);
                 info.encode(buf);
+                serial.encode(buf);
             }
-            ProtoMsg::ReaderInvalidate { seg, page } => {
+            ProtoMsg::ReaderInvalidate { seg, page, serial } => {
                 buf.push(5);
                 seg.encode(buf);
                 page.encode(buf);
+                serial.encode(buf);
             }
-            ProtoMsg::ReaderInvalidateAck { seg, page } => {
+            ProtoMsg::ReaderInvalidateAck { seg, page, serial } => {
                 buf.push(6);
                 seg.encode(buf);
                 page.encode(buf);
+                serial.encode(buf);
             }
-            ProtoMsg::PageGrant { seg, page, access, window, data } => {
+            ProtoMsg::PageGrant { seg, page, access, window, data, serial } => {
                 buf.push(7);
                 seg.encode(buf);
                 page.encode(buf);
                 access.encode(buf);
                 window.encode(buf);
+                serial.encode(buf);
                 // Same layout a `Vec<u8>` used: u32 length prefix plus the
                 // bytes. (`Wire` and `PageData` live in unrelated crates,
                 // so the page is framed here rather than via an impl.)
                 (PAGE_SIZE as u32).encode(buf);
                 buf.extend_from_slice(data.as_bytes());
             }
-            ProtoMsg::UpgradeGrant { seg, page, window } => {
+            ProtoMsg::UpgradeGrant { seg, page, window, serial } => {
                 buf.push(8);
                 seg.encode(buf);
                 page.encode(buf);
                 window.encode(buf);
+                serial.encode(buf);
+            }
+            ProtoMsg::DoneAck { seg, page, serial } => {
+                buf.push(9);
+                seg.encode(buf);
+                page.encode(buf);
+                serial.encode(buf);
+            }
+            ProtoMsg::GrantAck { seg, page, serial } => {
+                buf.push(10);
+                seg.encode(buf);
+                page.encode(buf);
+                serial.encode(buf);
+            }
+            ProtoMsg::UpgradeNack { seg, page, serial } => {
+                buf.push(11);
+                seg.encode(buf);
+                page.encode(buf);
+                serial.encode(buf);
             }
         }
     }
@@ -343,6 +439,7 @@ impl Wire for ProtoMsg {
                 page,
                 readers: SiteSet::decode(buf)?,
                 window: Delta::decode(buf)?,
+                serial: u32::decode(buf)?,
             },
             2 => ProtoMsg::Invalidate {
                 seg,
@@ -350,14 +447,26 @@ impl Wire for ProtoMsg {
                 demand: Demand::decode(buf)?,
                 readers: SiteSet::decode(buf)?,
                 window: Delta::decode(buf)?,
+                serial: u32::decode(buf)?,
             },
-            3 => ProtoMsg::InvalidateDeny { seg, page, wait: SimDuration::decode(buf)? },
-            4 => ProtoMsg::InvalidateDone { seg, page, info: DoneInfo::decode(buf)? },
-            5 => ProtoMsg::ReaderInvalidate { seg, page },
-            6 => ProtoMsg::ReaderInvalidateAck { seg, page },
+            3 => ProtoMsg::InvalidateDeny {
+                seg,
+                page,
+                wait: SimDuration::decode(buf)?,
+                serial: u32::decode(buf)?,
+            },
+            4 => ProtoMsg::InvalidateDone {
+                seg,
+                page,
+                info: DoneInfo::decode(buf)?,
+                serial: u32::decode(buf)?,
+            },
+            5 => ProtoMsg::ReaderInvalidate { seg, page, serial: u32::decode(buf)? },
+            6 => ProtoMsg::ReaderInvalidateAck { seg, page, serial: u32::decode(buf)? },
             7 => {
                 let access = Access::decode(buf)?;
                 let window = Delta::decode(buf)?;
+                let serial = u32::decode(buf)?;
                 let len = u32::decode(buf)? as usize;
                 if len != PAGE_SIZE {
                     return Err(MirageError::Codec("page grant must carry one page"));
@@ -368,9 +477,17 @@ impl Wire for ProtoMsg {
                 let (head, rest) = buf.split_at(len);
                 let data = PageData::from_bytes(head);
                 *buf = rest;
-                ProtoMsg::PageGrant { seg, page, access, window, data }
+                ProtoMsg::PageGrant { seg, page, access, window, data, serial }
             }
-            8 => ProtoMsg::UpgradeGrant { seg, page, window: Delta::decode(buf)? },
+            8 => ProtoMsg::UpgradeGrant {
+                seg,
+                page,
+                window: Delta::decode(buf)?,
+                serial: u32::decode(buf)?,
+            },
+            9 => ProtoMsg::DoneAck { seg, page, serial: u32::decode(buf)? },
+            10 => ProtoMsg::GrantAck { seg, page, serial: u32::decode(buf)? },
+            11 => ProtoMsg::UpgradeNack { seg, page, serial: u32::decode(buf)? },
             _ => return Err(MirageError::Codec("bad ProtoMsg discriminant")),
         })
     }
@@ -403,6 +520,7 @@ mod tests {
                 page: PageNum(0),
                 readers: [SiteId(1), SiteId(2)].into_iter().collect(),
                 window: Delta(4),
+                serial: 9,
             },
             ProtoMsg::Invalidate {
                 seg: seg(),
@@ -410,6 +528,7 @@ mod tests {
                 demand: Demand::Write { to: SiteId(2), upgrade: true },
                 readers: SiteSet::singleton(SiteId(1)),
                 window: Delta(2),
+                serial: 3,
             },
             ProtoMsg::Invalidate {
                 seg: seg(),
@@ -417,27 +536,39 @@ mod tests {
                 demand: Demand::Read { to: SiteSet::singleton(SiteId(0)) },
                 readers: SiteSet::empty(),
                 window: Delta::ZERO,
+                serial: 0,
             },
             ProtoMsg::InvalidateDeny {
                 seg: seg(),
                 page: PageNum(1),
                 wait: SimDuration::from_millis(12),
+                serial: 3,
             },
             ProtoMsg::InvalidateDone {
                 seg: seg(),
                 page: PageNum(1),
                 info: DoneInfo { writer_downgraded: true },
+                serial: 3,
             },
-            ProtoMsg::ReaderInvalidate { seg: seg(), page: PageNum(2) },
-            ProtoMsg::ReaderInvalidateAck { seg: seg(), page: PageNum(2) },
+            ProtoMsg::ReaderInvalidate { seg: seg(), page: PageNum(2), serial: 5 },
+            ProtoMsg::ReaderInvalidateAck { seg: seg(), page: PageNum(2), serial: 5 },
             ProtoMsg::PageGrant {
                 seg: seg(),
                 page: PageNum(2),
                 access: Access::Read,
                 window: Delta(6),
                 data: PageData::from_bytes(&[0xAB; PAGE_SIZE]),
+                serial: 7,
             },
-            ProtoMsg::UpgradeGrant { seg: seg(), page: PageNum(2), window: Delta(1) },
+            ProtoMsg::UpgradeGrant {
+                seg: seg(),
+                page: PageNum(2),
+                window: Delta(1),
+                serial: 8,
+            },
+            ProtoMsg::DoneAck { seg: seg(), page: PageNum(1), serial: 3 },
+            ProtoMsg::GrantAck { seg: seg(), page: PageNum(2), serial: 7 },
+            ProtoMsg::UpgradeNack { seg: seg(), page: PageNum(2), serial: 8 },
         ]
     }
 

@@ -56,9 +56,15 @@ struct InvRound {
     /// Victims not yet sent an invalidation (sequential mode), visited
     /// in ascending site order.
     to_send: ReaderSet,
-    /// Page data to forward to the new writer once the round completes
-    /// (absent for upgrades).
+    /// Page data to forward to the new writer once the round completes.
+    /// Absent for upgrades — and always absent in retry mode, where the
+    /// local copy is relinquished at round *completion* instead of round
+    /// start so a crash mid-round cannot lose the only copy.
     data: Option<PageData>,
+    /// Demand serial of the round (0 when retry is disabled).
+    serial: u32,
+    /// Retransmit count for the round's invalidations (volatile).
+    attempt: u32,
 }
 
 /// An invalidation delayed until window expiry (queued-invalidation
@@ -68,6 +74,35 @@ struct DelayedInvalidate {
     demand: Demand,
     readers: ReaderSet,
     window: Delta,
+    serial: u32,
+}
+
+/// A grant retained until the receiver acknowledges installation
+/// (retry mode only). Write grants carry the only copy of the page, so
+/// losing one loses the page. Read grants matter too: the library
+/// records the receiver as a reader the moment the grant is *emitted*,
+/// and a later write by that site is then served as an in-place upgrade
+/// — which silently promotes a possibly-never-delivered copy to sole
+/// copy. Upgrade notifications (`data: None`) transfer sole-copy
+/// responsibility without bytes, so the granter keeps its own copy
+/// until the ack (`use_grant_ack` performs the deferred relinquish).
+/// Persistent across a crash.
+#[derive(Debug)]
+struct PendingGrant {
+    to: SiteId,
+    window: Delta,
+    /// The page bytes. For an upgrade notification these are a *reserve*
+    /// taken at relinquish time, not sent on the wire — unless the
+    /// receiver nacks (its read copy never arrived), which escalates the
+    /// entry to a full data-carrying grant.
+    data: PageData,
+    access: Access,
+    /// True while the entry retransmits as a short [`ProtoMsg::UpgradeGrant`];
+    /// flipped to false by [`ProtoMsg::UpgradeNack`].
+    upgrade: bool,
+    serial: u32,
+    /// Retransmit count (volatile).
+    attempt: u32,
 }
 
 /// A clock-site duty that arrived before the page it concerns.
@@ -80,9 +115,9 @@ struct DelayedInvalidate {
 /// its copy arrives.
 #[derive(Debug)]
 enum DeferredOp {
-    Invalidate { demand: Demand, readers: ReaderSet, window: Delta },
-    AddReaders { readers: ReaderSet, window: Delta },
-    ReaderInvalidate { from: SiteId },
+    Invalidate { demand: Demand, readers: ReaderSet, window: Delta, serial: u32 },
+    AddReaders { readers: ReaderSet, window: Delta, serial: u32 },
+    ReaderInvalidate { from: SiteId, serial: u32 },
 }
 
 /// The using-site record for one page: everything this site tracks about
@@ -101,6 +136,27 @@ struct UsePage {
     delayed: Option<DelayedInvalidate>,
     /// Clock duties deferred until our copy arrives.
     deferred: VecDeque<DeferredOp>,
+    /// Retransmit count for the outstanding request (volatile).
+    req_attempt: u32,
+    /// Pid stamped on retransmitted requests (volatile; reference-log
+    /// attribution only).
+    retry_pid: Option<Pid>,
+    /// Completion report not yet acknowledged by the library; the clock
+    /// retransmits it until `DoneAck` (persistent across crash).
+    pending_done: Option<(u32, DoneInfo)>,
+    /// Retransmit count for `pending_done` (volatile).
+    done_attempt: u32,
+    /// Grants not yet acknowledged by their receivers (persistent
+    /// across crash — a write grant may hold the only copy of the
+    /// page). One serial can cover several entries: an `AddReaders`
+    /// batch grants the same serial to every new reader.
+    pending_grants: Vec<PendingGrant>,
+    /// Highest demand serial this site has completed as clock, for
+    /// deduplicating retransmitted `Invalidate`s (persistent).
+    last_serial: u32,
+    /// Floor on grant installs: a grant or upgrade stamped with a serial
+    /// below this is stale and must be dropped (persistent).
+    min_install_serial: u32,
 }
 
 /// Per-segment using-site state: the auxiliary table plus the dense
@@ -174,6 +230,44 @@ impl UseState {
             Access::Write => e.out_write,
         })
     }
+
+    /// Discards all volatile using-site state (site crash). The aux
+    /// table, the unacked retransmit obligations, and the stale-grant
+    /// floors survive; waiters, in-flight rounds, deferred duties, and
+    /// outstanding-request flags do not — the site's processes re-fault
+    /// after restart and rebuild them.
+    pub(crate) fn crash(&mut self) {
+        for s in &mut self.segs {
+            for e in &mut s.pages {
+                e.waiters.clear();
+                e.out_read = false;
+                e.out_write = false;
+                e.round = None;
+                e.delayed = None;
+                e.deferred.clear();
+                e.req_attempt = 0;
+                e.retry_pid = None;
+                e.done_attempt = 0;
+                for g in &mut e.pending_grants {
+                    g.attempt = 0;
+                }
+            }
+        }
+    }
+
+    /// Pages with persistent retransmit obligations, for restart.
+    fn pending_pages(&self) -> Vec<(SegmentId, PageNum)> {
+        let mut out = Vec::new();
+        for (&seg, &slot) in &self.index {
+            for (p, e) in self.segs[slot].pages.iter().enumerate() {
+                if e.pending_done.is_some() || !e.pending_grants.is_empty() {
+                    out.push((seg, PageNum(p as u32)));
+                }
+            }
+        }
+        out.sort();
+        out
+    }
 }
 
 impl SiteEngine {
@@ -209,26 +303,77 @@ impl SiteEngine {
                 Access::Read => entry.out_read = true,
                 Access::Write => entry.out_write = true,
             }
+            entry.retry_pid = Some(pid);
+            entry.req_attempt = 0;
             self.emit(seg.library, ProtoMsg::PageRequest { seg, page, access, pid }, sink);
+            self.arm_retry(0, TimerKind::RequestRetry { seg, page }, sink);
         }
+    }
+
+    /// Request retransmit timer fired (retry mode): if the request is
+    /// still unanswered, re-send it and back off. The library deduplicates
+    /// (queue scan plus in-flight-serve check), so retransmitting into a
+    /// healthy network is harmless — and retransmitting into a restarted
+    /// library is exactly how its request queue gets reconstructed.
+    pub(crate) fn use_request_retry(
+        &mut self,
+        seg: SegmentId,
+        page: PageNum,
+        sink: &mut ActionSink,
+    ) {
+        let Some(entry) = self.usr.entry_mut(seg, page) else {
+            return;
+        };
+        // A write request covers a read one, so retransmit the strongest
+        // outstanding class.
+        let access = if entry.out_write {
+            Access::Write
+        } else if entry.out_read {
+            Access::Read
+        } else {
+            // Satisfied; let the retry chain die.
+            return;
+        };
+        entry.req_attempt += 1;
+        let attempt = entry.req_attempt;
+        let pid = entry
+            .retry_pid
+            .or_else(|| entry.waiters.first().map(|&(pid, _)| pid))
+            .unwrap_or(Pid::new(self.site, 0));
+        self.emit(seg.library, ProtoMsg::PageRequest { seg, page, access, pid }, sink);
+        self.arm_retry(attempt, TimerKind::RequestRetry { seg, page }, sink);
     }
 
     /// Library told us (the fixed clock site) to grant read copies to
     /// additional readers — Table 1 row 1, no clock check.
+    #[allow(clippy::too_many_arguments)] // Mirrors the wire message fields.
     pub(crate) fn use_add_readers(
         &mut self,
         seg: SegmentId,
         page: PageNum,
         readers: SiteSet,
         window: Delta,
+        serial: u32,
         store: &mut dyn PageStore,
         sink: &mut ActionSink,
     ) {
+        let retry_on = self.config.retry.is_some();
         if store.prot(seg, page) == PageProt::None {
             // Our copy is still in flight; serve the readers once it
-            // lands.
+            // lands. In retry mode a retransmitted instruction may
+            // already be queued — same serial, don't queue it twice.
             if let Some(entry) = self.usr.entry_mut(seg, page) {
-                entry.deferred.push_back(DeferredOp::AddReaders { readers, window });
+                let dup = retry_on
+                    && entry.deferred.iter().any(
+                        |op| matches!(op, DeferredOp::AddReaders { serial: s, .. } if *s == serial),
+                    );
+                if !dup {
+                    entry.deferred.push_back(DeferredOp::AddReaders {
+                        readers,
+                        window,
+                        serial,
+                    });
+                }
             }
             return;
         }
@@ -236,6 +381,22 @@ impl SiteEngine {
         for r in readers.iter() {
             if r == self.site {
                 continue;
+            }
+            if retry_on {
+                self.retain_grant(
+                    seg,
+                    page,
+                    PendingGrant {
+                        to: r,
+                        window,
+                        data: data.clone(),
+                        access: Access::Read,
+                        upgrade: false,
+                        serial,
+                        attempt: 0,
+                    },
+                    sink,
+                );
             }
             self.emit(
                 r,
@@ -245,12 +406,20 @@ impl SiteEngine {
                     access: Access::Read,
                     window,
                     data: data.clone(),
+                    serial,
                 },
                 sink,
             );
         }
         if readers.contains(self.site) {
             // Raced local request: we already hold a copy; wake readers.
+            if retry_on {
+                if let Some(entry) = self.usr.entry_mut(seg, page) {
+                    // Our own read request is satisfied by the copy we
+                    // hold — stop the request-retry chain.
+                    entry.out_read = false;
+                }
+            }
             self.wake_satisfied(seg, page, store, sink);
         }
     }
@@ -264,15 +433,55 @@ impl SiteEngine {
         demand: Demand,
         readers: SiteSet,
         window: Delta,
+        serial: u32,
         store: &mut dyn PageStore,
         sink: &mut ActionSink,
     ) {
+        let retry_on = self.config.retry.is_some();
+        if retry_on {
+            if let Some(entry) = self.usr.entry_mut(seg, page) {
+                // The library serializes demands per page, so anything
+                // already in progress here is the same demand this
+                // (retransmitted) message describes — let it finish.
+                if entry.round.is_some() || entry.delayed.is_some() {
+                    return;
+                }
+                // Already served: a retransmission of a demand whose
+                // completion report (or its ack) was lost. Re-report the
+                // completion if the library has not confirmed it.
+                if serial <= entry.last_serial {
+                    let redo = match &entry.pending_done {
+                        Some((s, info)) if *s == serial => Some(*info),
+                        _ => None,
+                    };
+                    if let Some(info) = redo {
+                        self.emit(
+                            seg.library,
+                            ProtoMsg::InvalidateDone { seg, page, info, serial },
+                            sink,
+                        );
+                    }
+                    return;
+                }
+            }
+        }
         if store.prot(seg, page) == PageProt::None {
             // The copy this demand must invalidate has not arrived yet
             // (short library message beat the page-carrying grant).
             // Defer; the window check will run against the fresh install.
             if let Some(entry) = self.usr.entry_mut(seg, page) {
-                entry.deferred.push_back(DeferredOp::Invalidate { demand, readers, window });
+                let dup = retry_on
+                    && entry.deferred.iter().any(
+                        |op| matches!(op, DeferredOp::Invalidate { serial: s, .. } if *s == serial),
+                    );
+                if !dup {
+                    entry.deferred.push_back(DeferredOp::Invalidate {
+                        demand,
+                        readers,
+                        window,
+                        serial,
+                    });
+                }
             }
             return;
         }
@@ -289,7 +498,7 @@ impl SiteEngine {
                 // forcing the library to retry over the network.
                 let expiry = st.aux.get(page).window_expiry();
                 if let Some(entry) = self.usr.entry_mut(seg, page) {
-                    entry.delayed = Some(DelayedInvalidate { demand, readers, window });
+                    entry.delayed = Some(DelayedInvalidate { demand, readers, window, serial });
                 }
                 self.set_timer(expiry, TimerKind::ClockDelayed { seg, page }, sink);
                 return;
@@ -299,12 +508,12 @@ impl SiteEngine {
             // honored."
             self.emit(
                 seg.library,
-                ProtoMsg::InvalidateDeny { seg, page, wait: remaining },
+                ProtoMsg::InvalidateDeny { seg, page, wait: remaining, serial },
                 sink,
             );
             return;
         }
-        self.honor_invalidation(seg, page, demand, readers, window, store, sink);
+        self.honor_invalidation(seg, page, demand, readers, window, serial, store, sink);
     }
 
     /// A delayed (queued) invalidation's window expired; honor it now.
@@ -318,7 +527,9 @@ impl SiteEngine {
         let Some(d) = self.usr.entry_mut(seg, page).and_then(|e| e.delayed.take()) else {
             return;
         };
-        self.honor_invalidation(seg, page, d.demand, d.readers, d.window, store, sink);
+        self.honor_invalidation(
+            seg, page, d.demand, d.readers, d.window, d.serial, store, sink,
+        );
     }
 
     /// Carries out an accepted invalidation: "typically it: 1) invalidates
@@ -333,16 +544,31 @@ impl SiteEngine {
         demand: Demand,
         readers: SiteSet,
         window: Delta,
+        serial: u32,
         store: &mut dyn PageStore,
         sink: &mut ActionSink,
     ) {
-        debug_assert!(
-            self.usr
-                .seg(seg)
-                .and_then(|s| s.pages.get(page.index()))
-                .is_none_or(|e| e.round.is_none()),
-            "library serializes demands per page"
-        );
+        let retry_on = self.config.retry.is_some();
+        if retry_on {
+            if let Some(entry) = self.usr.entry_mut(seg, page) {
+                // A deferred duplicate can reach here after the live copy
+                // of the same demand already started a round — drop it.
+                if entry.round.is_some() {
+                    return;
+                }
+                // This demand supersedes every grant stamped at or below
+                // its serial: refuse any such stale install from now on.
+                entry.min_install_serial = entry.min_install_serial.max(serial + 1);
+            }
+        } else {
+            debug_assert!(
+                self.usr
+                    .seg(seg)
+                    .and_then(|s| s.pages.get(page.index()))
+                    .is_none_or(|e| e.round.is_none()),
+                "library serializes demands per page"
+            );
+        }
         match demand {
             Demand::Read { to } => {
                 // We are the writer (Table 1 row 3). Grant read copies,
@@ -352,6 +578,22 @@ impl SiteEngine {
                     if r == self.site {
                         continue;
                     }
+                    if retry_on {
+                        self.retain_grant(
+                            seg,
+                            page,
+                            PendingGrant {
+                                to: r,
+                                window,
+                                data: data.clone(),
+                                access: Access::Read,
+                                upgrade: false,
+                                serial,
+                                attempt: 0,
+                            },
+                            sink,
+                        );
+                    }
                     self.emit(
                         r,
                         ProtoMsg::PageGrant {
@@ -360,6 +602,7 @@ impl SiteEngine {
                             access: Access::Read,
                             window,
                             data: data.clone(),
+                            serial,
                         },
                         sink,
                     );
@@ -379,15 +622,20 @@ impl SiteEngine {
                 } else {
                     store.set_prot(seg, page, PageProt::None);
                 }
+                let info = DoneInfo { writer_downgraded: downgraded };
                 self.emit(
                     seg.library,
-                    ProtoMsg::InvalidateDone {
-                        seg,
-                        page,
-                        info: DoneInfo { writer_downgraded: downgraded },
-                    },
+                    ProtoMsg::InvalidateDone { seg, page, info, serial },
                     sink,
                 );
+                if retry_on {
+                    if let Some(entry) = self.usr.entry_mut(seg, page) {
+                        entry.pending_done = Some((serial, info));
+                        entry.done_attempt = 0;
+                        entry.last_serial = serial;
+                    }
+                    self.arm_retry(0, TimerKind::DoneRetry { seg, page, serial }, sink);
+                }
             }
             Demand::Write { to, upgrade } => {
                 let i_am_writer = store.prot(seg, page) == PageProt::ReadWrite;
@@ -400,8 +648,11 @@ impl SiteEngine {
                     victims.remove(to);
                 }
                 // Invalidate the local copy; if we are the data source
-                // (no upgrade), keep the bytes to forward.
-                let data = if self.site == to {
+                // (no upgrade), keep the bytes to forward. In retry mode
+                // the relinquish is deferred to round *completion*
+                // ([`SiteEngine::finish_write_round`]) so a crash
+                // mid-round cannot lose the only copy of the page.
+                let data = if self.site == to || retry_on {
                     None
                 } else if upgrade {
                     store.set_prot(seg, page, PageProt::None);
@@ -419,6 +670,8 @@ impl SiteEngine {
                     remaining: ReaderSet::empty(),
                     to_send: victims,
                     data,
+                    serial,
+                    attempt: 0,
                 };
                 if round.to_send.is_empty() {
                     if let Some(entry) = self.usr.entry_mut(seg, page) {
@@ -433,7 +686,7 @@ impl SiteEngine {
                     round.to_send = ReaderSet::empty();
                     round.remaining = all;
                     for v in all.iter() {
-                        self.emit(v, ProtoMsg::ReaderInvalidate { seg, page }, sink);
+                        self.emit(v, ProtoMsg::ReaderInvalidate { seg, page, serial }, sink);
                     }
                 } else {
                     // Paper behaviour: "invalidations are processed
@@ -442,10 +695,13 @@ impl SiteEngine {
                     let first = round.to_send.first().expect("to_send nonempty");
                     round.to_send.remove(first);
                     round.remaining.insert(first);
-                    self.emit(first, ProtoMsg::ReaderInvalidate { seg, page }, sink);
+                    self.emit(first, ProtoMsg::ReaderInvalidate { seg, page, serial }, sink);
                 }
                 if let Some(entry) = self.usr.entry_mut(seg, page) {
                     entry.round = Some(round);
+                }
+                if retry_on {
+                    self.arm_retry(0, TimerKind::RoundRetry { seg, page, serial }, sink);
                 }
             }
         }
@@ -457,9 +713,33 @@ impl SiteEngine {
         from: SiteId,
         seg: SegmentId,
         page: PageNum,
+        serial: u32,
         store: &mut dyn PageStore,
         sink: &mut ActionSink,
     ) {
+        if self.config.retry.is_some() {
+            // Deferring the ack (the reliable-transport tactic below)
+            // would deadlock under loss: the grant we are waiting for may
+            // never arrive, wedging the clock's round forever. Instead the
+            // discard is gated on the stale-grant floor — a duplicated
+            // old invalidation must not destroy a copy re-granted since —
+            // and the ack always goes out, echoing the serial so the
+            // clock can match it to its current round.
+            let apply = self.usr.entry_mut(seg, page).is_some_and(|e| {
+                if serial < e.min_install_serial {
+                    return false;
+                }
+                // Grants at or below this serial are now stale: the write
+                // this round serves supersedes them.
+                e.min_install_serial = serial + 1;
+                true
+            });
+            if apply {
+                store.set_prot(seg, page, PageProt::None);
+            }
+            self.emit(from, ProtoMsg::ReaderInvalidateAck { seg, page, serial }, sink);
+            return;
+        }
         if store.prot(seg, page) == PageProt::None {
             let expecting_grant = self
                 .usr
@@ -472,34 +752,48 @@ impl SiteEngine {
                 // stale grant install after the new writer's write —
                 // defer the invalidation until the copy lands.
                 if let Some(entry) = self.usr.entry_mut(seg, page) {
-                    entry.deferred.push_back(DeferredOp::ReaderInvalidate { from });
+                    entry.deferred.push_back(DeferredOp::ReaderInvalidate { from, serial });
                 }
                 return;
             }
         }
         store.set_prot(seg, page, PageProt::None);
-        self.emit(from, ProtoMsg::ReaderInvalidateAck { seg, page }, sink);
+        self.emit(from, ProtoMsg::ReaderInvalidateAck { seg, page, serial }, sink);
     }
 
     /// A victim acknowledged its invalidation.
+    #[allow(clippy::too_many_arguments)] // Mirrors the wire message fields.
     pub(crate) fn use_reader_ack(
         &mut self,
         from: SiteId,
         seg: SegmentId,
         page: PageNum,
+        serial: u32,
         store: &mut dyn PageStore,
         sink: &mut ActionSink,
     ) {
+        let retry_on = self.config.retry.is_some();
         let finished = {
             let Some(round) = self.usr.entry_mut(seg, page).and_then(|e| e.round.as_mut())
             else {
                 return;
             };
+            // Duplicated or stale acks must not advance the round: the
+            // sender must be a victim we are actually waiting on, and the
+            // echoed serial must match the round being conducted.
+            if retry_on && (serial != round.serial || !round.remaining.contains(from)) {
+                return;
+            }
             round.remaining.remove(from);
             if let Some(next) = round.to_send.first() {
                 round.to_send.remove(next);
                 round.remaining.insert(next);
-                self.emit(next, ProtoMsg::ReaderInvalidate { seg, page }, sink);
+                let rserial = round.serial;
+                self.emit(
+                    next,
+                    ProtoMsg::ReaderInvalidate { seg, page, serial: rserial },
+                    sink,
+                );
                 false
             } else {
                 round.remaining.is_empty()
@@ -508,6 +802,32 @@ impl SiteEngine {
         if finished {
             self.finish_write_round(seg, page, store, sink);
         }
+    }
+
+    /// Round retransmit timer fired (retry mode): re-send the
+    /// invalidation to every victim that has not acknowledged yet.
+    pub(crate) fn use_round_retry(
+        &mut self,
+        seg: SegmentId,
+        page: PageNum,
+        serial: u32,
+        sink: &mut ActionSink,
+    ) {
+        let (targets, attempt) = {
+            let Some(round) = self.usr.entry_mut(seg, page).and_then(|e| e.round.as_mut())
+            else {
+                return;
+            };
+            if round.serial != serial {
+                return;
+            }
+            round.attempt += 1;
+            (round.remaining, round.attempt)
+        };
+        for v in targets.iter() {
+            self.emit(v, ProtoMsg::ReaderInvalidate { seg, page, serial }, sink);
+        }
+        self.arm_retry(attempt, TimerKind::RoundRetry { seg, page, serial }, sink);
     }
 
     /// All victims invalidated: deliver the write copy (or upgrade) and
@@ -519,11 +839,13 @@ impl SiteEngine {
         store: &mut dyn PageStore,
         sink: &mut ActionSink,
     ) {
+        let retry_on = self.config.retry.is_some();
         let round = self
             .usr
             .entry_mut(seg, page)
             .and_then(|e| e.round.take())
             .expect("round in flight");
+        let serial = round.serial;
         let Demand::Write { to, upgrade } = round.demand else {
             unreachable!("read demands never start ack rounds");
         };
@@ -542,10 +864,65 @@ impl SiteEngine {
             }
             self.wake_satisfied(seg, page, store, sink);
         } else if upgrade {
+            if retry_on {
+                // Deferred relinquish (see `honor_invalidation`): every
+                // victim has acknowledged — drop our copy now. Keeping
+                // it readable until the upgrader's ack would leave a
+                // *stale* copy here while the upgrader writes. But the
+                // upgrader's read copy may itself have been lost in
+                // transit (the library records readers when grants are
+                // *emitted*, not when they install), so the bytes we
+                // relinquish go into the retained entry as a reserve:
+                // the notification retransmits until acknowledged, and
+                // an `UpgradeNack` (receiver has no frame) escalates it
+                // to a full data-carrying grant.
+                let reserve = store.take(seg, page);
+                self.retain_grant(
+                    seg,
+                    page,
+                    PendingGrant {
+                        to,
+                        window: round.window,
+                        data: reserve,
+                        access: Access::Write,
+                        upgrade: true,
+                        serial,
+                        attempt: 0,
+                    },
+                    sink,
+                );
+            }
             // §6.1 optimization 1: notification, not a page copy.
-            self.emit(to, ProtoMsg::UpgradeGrant { seg, page, window: round.window }, sink);
+            self.emit(
+                to,
+                ProtoMsg::UpgradeGrant { seg, page, window: round.window, serial },
+                sink,
+            );
         } else {
-            let data = round.data.expect("non-upgrade write demand carries data");
+            let data = if retry_on {
+                // Deferred relinquish: the only copy leaves this site in
+                // the grant below, so retain it (`pending_grant`) until
+                // the receiver acknowledges installation.
+                store.take(seg, page)
+            } else {
+                round.data.expect("non-upgrade write demand carries data")
+            };
+            if retry_on {
+                self.retain_grant(
+                    seg,
+                    page,
+                    PendingGrant {
+                        to,
+                        window: round.window,
+                        data: data.clone(),
+                        access: Access::Write,
+                        upgrade: false,
+                        serial,
+                        attempt: 0,
+                    },
+                    sink,
+                );
+            }
             self.emit(
                 to,
                 ProtoMsg::PageGrant {
@@ -554,29 +931,54 @@ impl SiteEngine {
                     access: Access::Write,
                     window: round.window,
                     data,
+                    serial,
                 },
                 sink,
             );
         }
-        self.emit(
-            seg.library,
-            ProtoMsg::InvalidateDone { seg, page, info: DoneInfo { writer_downgraded: false } },
-            sink,
-        );
+        let info = DoneInfo { writer_downgraded: false };
+        self.emit(seg.library, ProtoMsg::InvalidateDone { seg, page, info, serial }, sink);
+        if retry_on {
+            if let Some(entry) = self.usr.entry_mut(seg, page) {
+                entry.pending_done = Some((serial, info));
+                entry.done_attempt = 0;
+                entry.last_serial = serial;
+            }
+            self.arm_retry(0, TimerKind::DoneRetry { seg, page, serial }, sink);
+        }
     }
 
     /// A page arrived from the storing site.
     #[allow(clippy::too_many_arguments)] // Mirrors the wire message fields.
     pub(crate) fn use_grant(
         &mut self,
+        from: SiteId,
         seg: SegmentId,
         page: PageNum,
         access: Access,
         window: Delta,
         data: PageData,
+        serial: u32,
         store: &mut dyn PageStore,
         sink: &mut ActionSink,
     ) {
+        let retry_on = self.config.retry.is_some();
+        if retry_on {
+            let stale = self
+                .usr
+                .seg(seg)
+                .and_then(|s| s.pages.get(page.index()))
+                .is_some_and(|e| serial < e.min_install_serial);
+            if stale {
+                // Duplicated or superseded grant: do not install, but
+                // still acknowledge so the granter releases its retained
+                // entry and stops retransmitting — staleness means we
+                // already installed this grant once, or something newer
+                // superseded it.
+                self.emit(from, ProtoMsg::GrantAck { seg, page, serial }, sink);
+                return;
+            }
+        }
         let prot = match access {
             Access::Read => PageProt::Read,
             Access::Write => PageProt::ReadWrite,
@@ -592,21 +994,56 @@ impl SiteEngine {
                 if access == Access::Write {
                     entry.out_write = false;
                 }
+                if retry_on {
+                    // Anything stamped at or below what we just installed
+                    // is older than our copy.
+                    entry.min_install_serial = entry.min_install_serial.max(serial + 1);
+                }
             }
+        }
+        if retry_on {
+            self.emit(from, ProtoMsg::GrantAck { seg, page, serial }, sink);
         }
         self.wake_satisfied(seg, page, store, sink);
         self.drain_deferred(seg, page, store, sink);
     }
 
     /// We held a read copy and are now the writer (optimization 1).
+    #[allow(clippy::too_many_arguments)] // Mirrors the wire message fields.
     pub(crate) fn use_upgrade(
         &mut self,
+        from: SiteId,
         seg: SegmentId,
         page: PageNum,
         window: Delta,
+        serial: u32,
         store: &mut dyn PageStore,
         sink: &mut ActionSink,
     ) {
+        let retry_on = self.config.retry.is_some();
+        if retry_on {
+            let stale = self
+                .usr
+                .seg(seg)
+                .and_then(|s| s.pages.get(page.index()))
+                .is_some_and(|e| serial < e.min_install_serial);
+            if stale {
+                // A delayed/duplicated upgrade from a serve that has been
+                // superseded must not re-promote us, but the granter
+                // still needs the ack to release its retained copy.
+                self.emit(from, ProtoMsg::GrantAck { seg, page, serial }, sink);
+                return;
+            }
+            if store.prot(seg, page) == PageProt::None {
+                // The read copy this upgrade presumes never arrived
+                // (lost in transit, or its granting instruction died
+                // with a crashed library). We cannot become the writer
+                // without bytes — tell the granter, which escalates its
+                // retained notification to a full data-carrying grant.
+                self.emit(from, ProtoMsg::UpgradeNack { seg, page, serial }, sink);
+                return;
+            }
+        }
         store.set_prot(seg, page, PageProt::ReadWrite);
         let now = sink.now();
         if let Some(st) = self.usr.seg_mut(seg) {
@@ -616,7 +1053,13 @@ impl SiteEngine {
             if let Some(entry) = st.pages.get_mut(page.index()) {
                 entry.out_read = false;
                 entry.out_write = false;
+                if retry_on {
+                    entry.min_install_serial = entry.min_install_serial.max(serial + 1);
+                }
             }
+        }
+        if retry_on {
+            self.emit(from, ProtoMsg::GrantAck { seg, page, serial }, sink);
         }
         self.wake_satisfied(seg, page, store, sink);
         self.drain_deferred(seg, page, store, sink);
@@ -638,15 +1081,177 @@ impl SiteEngine {
         };
         for op in ops {
             match op {
-                DeferredOp::Invalidate { demand, readers, window } => {
-                    self.use_invalidate(seg, page, demand, readers, window, store, sink);
+                DeferredOp::Invalidate { demand, readers, window, serial } => {
+                    self.use_invalidate(
+                        seg, page, demand, readers, window, serial, store, sink,
+                    );
                 }
-                DeferredOp::AddReaders { readers, window } => {
-                    self.use_add_readers(seg, page, readers, window, store, sink);
+                DeferredOp::AddReaders { readers, window, serial } => {
+                    self.use_add_readers(seg, page, readers, window, serial, store, sink);
                 }
-                DeferredOp::ReaderInvalidate { from } => {
-                    self.use_reader_invalidate(from, seg, page, store, sink);
+                DeferredOp::ReaderInvalidate { from, serial } => {
+                    self.use_reader_invalidate(from, seg, page, serial, store, sink);
                 }
+            }
+        }
+    }
+
+    /// Library confirmed receipt of a completion report: stop
+    /// retransmitting it.
+    pub(crate) fn use_done_ack(&mut self, seg: SegmentId, page: PageNum, serial: u32) {
+        if let Some(entry) = self.usr.entry_mut(seg, page) {
+            if matches!(entry.pending_done, Some((s, _)) if s == serial) {
+                entry.pending_done = None;
+                entry.done_attempt = 0;
+            }
+        }
+    }
+
+    /// Remembers a grant until its receiver acknowledges installation
+    /// (retry mode), arming the retransmit chain. Retransmitted serve
+    /// instructions can re-grant the same (receiver, serial) pair;
+    /// those duplicates are not retained twice.
+    fn retain_grant(
+        &mut self,
+        seg: SegmentId,
+        page: PageNum,
+        grant: PendingGrant,
+        sink: &mut ActionSink,
+    ) {
+        let serial = grant.serial;
+        let Some(entry) = self.usr.entry_mut(seg, page) else {
+            return;
+        };
+        if entry.pending_grants.iter().any(|g| g.to == grant.to && g.serial == serial) {
+            return;
+        }
+        entry.pending_grants.push(grant);
+        self.arm_retry(0, TimerKind::GrantRetry { seg, page, serial }, sink);
+    }
+
+    /// The upgrade receiver has no frame to promote: its read copy was
+    /// lost. Escalate the retained notification to a full data-carrying
+    /// write grant — the reserve bytes taken at relinquish time travel
+    /// now. Idempotent: a duplicate nack just retransmits the grant.
+    pub(crate) fn use_upgrade_nack(
+        &mut self,
+        from: SiteId,
+        seg: SegmentId,
+        page: PageNum,
+        serial: u32,
+        sink: &mut ActionSink,
+    ) {
+        let Some(entry) = self.usr.entry_mut(seg, page) else {
+            return;
+        };
+        let Some(g) =
+            entry.pending_grants.iter_mut().find(|g| g.to == from && g.serial == serial)
+        else {
+            return;
+        };
+        g.upgrade = false;
+        let (to, window, data, access) = (g.to, g.window, g.data.clone(), g.access);
+        self.emit(to, ProtoMsg::PageGrant { seg, page, access, window, data, serial }, sink);
+    }
+
+    /// Receiver confirmed installation of a grant: drop the retained
+    /// entry, ending its retransmit chain.
+    pub(crate) fn use_grant_ack(
+        &mut self,
+        from: SiteId,
+        seg: SegmentId,
+        page: PageNum,
+        serial: u32,
+    ) {
+        if let Some(entry) = self.usr.entry_mut(seg, page) {
+            entry.pending_grants.retain(|g| !(g.to == from && g.serial == serial));
+        }
+    }
+
+    /// Completion-report retransmit timer fired (retry mode).
+    pub(crate) fn use_done_retry(
+        &mut self,
+        seg: SegmentId,
+        page: PageNum,
+        serial: u32,
+        sink: &mut ActionSink,
+    ) {
+        let Some(entry) = self.usr.entry_mut(seg, page) else {
+            return;
+        };
+        let info = match &entry.pending_done {
+            Some((s, info)) if *s == serial => *info,
+            _ => return,
+        };
+        entry.done_attempt += 1;
+        let attempt = entry.done_attempt;
+        self.emit(seg.library, ProtoMsg::InvalidateDone { seg, page, info, serial }, sink);
+        self.arm_retry(attempt, TimerKind::DoneRetry { seg, page, serial }, sink);
+    }
+
+    /// Grant retransmit timer fired (retry mode): re-send every
+    /// retained grant stamped with this serial that is still unacked.
+    pub(crate) fn use_grant_retry(
+        &mut self,
+        seg: SegmentId,
+        page: PageNum,
+        serial: u32,
+        sink: &mut ActionSink,
+    ) {
+        let Some(entry) = self.usr.entry_mut(seg, page) else {
+            return;
+        };
+        let mut sends = Vec::new();
+        let mut attempt = 0;
+        for g in &mut entry.pending_grants {
+            if g.serial == serial {
+                g.attempt += 1;
+                attempt = attempt.max(g.attempt);
+                sends.push((g.to, g.window, g.data.clone(), g.access, g.upgrade));
+            }
+        }
+        if sends.is_empty() {
+            return;
+        }
+        for (to, window, data, access, upgrade) in sends {
+            if upgrade {
+                self.emit(to, ProtoMsg::UpgradeGrant { seg, page, window, serial }, sink);
+            } else {
+                self.emit(
+                    to,
+                    ProtoMsg::PageGrant { seg, page, access, window, data, serial },
+                    sink,
+                );
+            }
+        }
+        self.arm_retry(attempt, TimerKind::GrantRetry { seg, page, serial }, sink);
+    }
+
+    /// Site restart (retry mode): retransmit every persistent unacked
+    /// obligation and re-arm its retry chain. Volatile state (waiters,
+    /// rounds, request flags) was lost in the crash; the other sites'
+    /// retries and the local processes' re-faults rebuild it.
+    pub(crate) fn use_restart(&mut self, sink: &mut ActionSink) {
+        if self.config.retry.is_none() {
+            return;
+        }
+        for (seg, page) in self.usr.pending_pages() {
+            let (done_serial, mut grant_serials) = {
+                let Some(entry) = self.usr.entry_mut(seg, page) else {
+                    continue;
+                };
+                (
+                    entry.pending_done.as_ref().map(|&(s, _)| s),
+                    entry.pending_grants.iter().map(|g| g.serial).collect::<Vec<_>>(),
+                )
+            };
+            if let Some(s) = done_serial {
+                self.use_done_retry(seg, page, s, sink);
+            }
+            grant_serials.sort_unstable();
+            grant_serials.dedup();
+            for s in grant_serials {
+                self.use_grant_retry(seg, page, s, sink);
             }
         }
     }

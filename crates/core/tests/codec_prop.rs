@@ -63,33 +63,43 @@ fn msg(r: &mut Prng) -> ProtoMsg {
     let seg = seg(r);
     let page = PageNum(r.next_u32());
     let window = Delta(r.below(100_000) as u32);
-    match r.below(9) {
+    let serial = r.next_u32();
+    match r.below(11) {
         0 => ProtoMsg::PageRequest {
             seg,
             page,
             access: access(r),
             pid: Pid::new(site(r), r.next_u32()),
         },
-        1 => ProtoMsg::AddReaders { seg, page, readers: site_set(r), window },
-        2 => {
-            ProtoMsg::Invalidate { seg, page, demand: demand(r), readers: site_set(r), window }
-        }
-        3 => ProtoMsg::InvalidateDeny { seg, page, wait: SimDuration(r.next_u64()) },
+        1 => ProtoMsg::AddReaders { seg, page, readers: site_set(r), window, serial },
+        2 => ProtoMsg::Invalidate {
+            seg,
+            page,
+            demand: demand(r),
+            readers: site_set(r),
+            window,
+            serial,
+        },
+        3 => ProtoMsg::InvalidateDeny { seg, page, wait: SimDuration(r.next_u64()), serial },
         4 => ProtoMsg::InvalidateDone {
             seg,
             page,
             info: DoneInfo { writer_downgraded: r.flip() },
+            serial,
         },
-        5 => ProtoMsg::ReaderInvalidate { seg, page },
-        6 => ProtoMsg::ReaderInvalidateAck { seg, page },
+        5 => ProtoMsg::ReaderInvalidate { seg, page, serial },
+        6 => ProtoMsg::ReaderInvalidateAck { seg, page, serial },
         7 => ProtoMsg::PageGrant {
             seg,
             page,
             access: access(r),
             window,
             data: mirage_mem::PageData::from_bytes(&[r.next_u32() as u8; PAGE_SIZE]),
+            serial,
         },
-        _ => ProtoMsg::UpgradeGrant { seg, page, window },
+        8 => ProtoMsg::DoneAck { seg, page, serial },
+        9 => ProtoMsg::GrantAck { seg, page, serial },
+        _ => ProtoMsg::UpgradeGrant { seg, page, window, serial },
     }
 }
 

@@ -131,6 +131,7 @@ fn coherent_with_all_optimizations_disabled() {
             downgrade_optimization: false,
             queued_invalidation: false,
             multicast_invalidation: false,
+            retry: None,
         };
         let ops = gen_ops(&mut r, 3, 2, 40);
         run_ops(cfg, 3, 2, ops, true);
@@ -147,6 +148,7 @@ fn coherent_with_queued_invalidation_and_multicast() {
             downgrade_optimization: true,
             queued_invalidation: true,
             multicast_invalidation: true,
+            retry: None,
         };
         let ops = gen_ops(&mut r, 4, 2, 40);
         run_ops(cfg, 4, 2, ops, false);

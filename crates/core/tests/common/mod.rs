@@ -115,9 +115,76 @@ impl Cluster {
 
     /// Drives messages and timers to quiescence.
     pub fn run(&mut self) {
+        self.run_filtered(|_, _, _| Verdict::Deliver);
+    }
+
+    /// Drives to quiescence, dropping up to `budget` messages matching
+    /// `pred` along the way (targeted loss injection).
+    pub fn run_dropping(
+        &mut self,
+        mut budget: usize,
+        pred: impl Fn(SiteId, SiteId, &ProtoMsg) -> bool,
+    ) {
+        self.run_filtered(|from, to, msg| {
+            if budget > 0 && pred(from, to, msg) {
+                budget -= 1;
+                Verdict::Drop
+            } else {
+                Verdict::Deliver
+            }
+        });
+    }
+
+    /// Drives to quiescence, delivering up to `budget` messages matching
+    /// `pred` twice (duplicate injection).
+    pub fn run_duplicating(
+        &mut self,
+        mut budget: usize,
+        pred: impl Fn(SiteId, SiteId, &ProtoMsg) -> bool,
+    ) {
+        self.run_filtered(|from, to, msg| {
+            if budget > 0 && pred(from, to, msg) {
+                budget -= 1;
+                Verdict::Duplicate
+            } else {
+                Verdict::Deliver
+            }
+        });
+    }
+
+    /// Drains the message queue only, leaving armed timers pending:
+    /// the state "quiescent except for retransmit timers", where a crash
+    /// can be injected before any retry fires. Drops up to `budget`
+    /// messages matching `pred`.
+    pub fn run_messages_dropping(
+        &mut self,
+        mut budget: usize,
+        pred: impl Fn(SiteId, SiteId, &ProtoMsg) -> bool,
+    ) {
+        while let Some((from, to, msg)) = self.net.pop_front() {
+            if budget > 0 && pred(from, to, &msg) {
+                budget -= 1;
+                continue;
+            }
+            self.dispatch(to.index(), Event::Deliver { from, msg });
+        }
+    }
+
+    /// Drives messages and timers to quiescence, consulting `verdict`
+    /// for every queued message before delivery.
+    fn run_filtered(&mut self, mut verdict: impl FnMut(SiteId, SiteId, &ProtoMsg) -> Verdict) {
         loop {
             if let Some((from, to, msg)) = self.net.pop_front() {
-                self.dispatch(to.index(), Event::Deliver { from, msg });
+                match verdict(from, to, &msg) {
+                    Verdict::Drop => {}
+                    Verdict::Duplicate => {
+                        self.dispatch(to.index(), Event::Deliver { from, msg: msg.clone() });
+                        self.dispatch(to.index(), Event::Deliver { from, msg });
+                    }
+                    Verdict::Deliver => {
+                        self.dispatch(to.index(), Event::Deliver { from, msg });
+                    }
+                }
                 continue;
             }
             if !self.timers.is_empty() {
@@ -226,6 +293,43 @@ impl Cluster {
         self.sent.clear();
         self.woken.clear();
     }
+
+    /// Number of recorded sends with the given tag.
+    pub fn sent_count(&self, tag: &str) -> usize {
+        self.sent.iter().filter(|m| m.tag == tag).count()
+    }
+
+    /// Crashes a site: the engine drops its volatile state, and every
+    /// message still queued to or from the site is lost with it (the
+    /// simulator's circuit severing, collapsed to instant delivery).
+    pub fn crash(&mut self, site: usize) {
+        self.drivers[site].crash();
+        let id = SiteId(site as u16);
+        self.net.retain(|&(from, to, _)| from != id && to != id);
+        self.timers.retain(|&(_, s, _)| s != id);
+    }
+
+    /// Restarts a crashed site, queueing the retransmissions its engine
+    /// reconstructs from the persistent tables.
+    pub fn restart(&mut self, site: usize) {
+        let Self { drivers, stores, now, net, timers, sent, woken, ref_log, .. } = self;
+        drivers[site].restart(*now, &mut stores[site]);
+        drivers[site].flush(&mut ClusterOps {
+            from: SiteId(site as u16),
+            net,
+            timers,
+            sent,
+            woken,
+            ref_log,
+        });
+    }
+}
+
+/// What to do with one queued message in [`Cluster::run_filtered`].
+enum Verdict {
+    Deliver,
+    Drop,
+    Duplicate,
 }
 
 /// [`DriverOps`] receiver for the harness: everything is recorded.

@@ -294,29 +294,36 @@ mod reference {
                 ProtoMsg::PageRequest { seg, page, access, pid } => {
                     self.lib_request(from, seg, page, access, pid, ctx);
                 }
-                ProtoMsg::InvalidateDeny { seg, page, wait } => {
+                ProtoMsg::InvalidateDeny { seg, page, wait, serial: _ } => {
                     self.lib_denied(seg, page, wait, ctx);
                 }
-                ProtoMsg::InvalidateDone { seg, page, info } => {
+                ProtoMsg::InvalidateDone { seg, page, info, serial: _ } => {
                     self.lib_done(seg, page, info, ctx);
                 }
-                ProtoMsg::AddReaders { seg, page, readers, window } => {
+                ProtoMsg::AddReaders { seg, page, readers, window, serial: _ } => {
                     self.use_add_readers(seg, page, readers, window, store, ctx);
                 }
-                ProtoMsg::Invalidate { seg, page, demand, readers, window } => {
+                ProtoMsg::Invalidate { seg, page, demand, readers, window, serial: _ } => {
                     self.use_invalidate(seg, page, demand, readers, window, store, ctx);
                 }
-                ProtoMsg::ReaderInvalidate { seg, page } => {
+                ProtoMsg::ReaderInvalidate { seg, page, serial: _ } => {
                     self.use_reader_invalidate(from, seg, page, store, ctx);
                 }
-                ProtoMsg::ReaderInvalidateAck { seg, page } => {
+                ProtoMsg::ReaderInvalidateAck { seg, page, serial: _ } => {
                     self.use_reader_ack(from, seg, page, store, ctx);
                 }
-                ProtoMsg::PageGrant { seg, page, access, window, data } => {
+                ProtoMsg::PageGrant { seg, page, access, window, data, serial: _ } => {
                     self.use_grant(seg, page, access, window, data, store, ctx);
                 }
-                ProtoMsg::UpgradeGrant { seg, page, window } => {
+                ProtoMsg::UpgradeGrant { seg, page, window, serial: _ } => {
                     self.use_upgrade(seg, page, window, store, ctx);
+                }
+                // Retry-mode acknowledgements: never produced under a
+                // reliable transport with retry disabled.
+                ProtoMsg::DoneAck { .. }
+                | ProtoMsg::GrantAck { .. }
+                | ProtoMsg::UpgradeNack { .. } => {
+                    unreachable!("spec engine runs with retry disabled");
                 }
             }
         }
@@ -423,7 +430,13 @@ mod reference {
                             let clock = rec.clock;
                             self.emit(
                                 clock,
-                                ProtoMsg::AddReaders { seg, page, readers: batch, window },
+                                ProtoMsg::AddReaders {
+                                    seg,
+                                    page,
+                                    readers: batch,
+                                    window,
+                                    serial: 0,
+                                },
                                 ctx,
                             );
                             continue;
@@ -440,6 +453,7 @@ mod reference {
                                 demand: Demand::Read { to: batch },
                                 readers,
                                 window,
+                                serial: 0,
                             },
                             ctx,
                         );
@@ -449,7 +463,11 @@ mod reference {
                         rec.queue.pop_front();
                         if rec.writer == Some(front.site) {
                             let to = front.site;
-                            self.emit(to, ProtoMsg::UpgradeGrant { seg, page, window }, ctx);
+                            self.emit(
+                                to,
+                                ProtoMsg::UpgradeGrant { seg, page, window, serial: 0 },
+                                ctx,
+                            );
                             continue;
                         }
                         let in_readers = rec.readers.contains(front.site);
@@ -468,7 +486,14 @@ mod reference {
                         let readers = rec.readers;
                         self.emit(
                             clock,
-                            ProtoMsg::Invalidate { seg, page, demand, readers, window },
+                            ProtoMsg::Invalidate {
+                                seg,
+                                page,
+                                demand,
+                                readers,
+                                window,
+                                serial: 0,
+                            },
                             ctx,
                         );
                         return;
@@ -505,7 +530,11 @@ mod reference {
             };
             let clock = rec.clock;
             let readers = rec.readers;
-            self.emit(clock, ProtoMsg::Invalidate { seg, page, demand, readers, window }, ctx);
+            self.emit(
+                clock,
+                ProtoMsg::Invalidate { seg, page, demand, readers, window, serial: 0 },
+                ctx,
+            );
         }
 
         fn lib_done(&mut self, seg: SegmentId, page: PageNum, info: DoneInfo, ctx: &mut Ctx) {
@@ -630,6 +659,7 @@ mod reference {
                         access: Access::Read,
                         window,
                         data: data.clone(),
+                        serial: 0,
                     },
                     ctx,
                 );
@@ -680,7 +710,7 @@ mod reference {
                 }
                 self.emit(
                     seg.library,
-                    ProtoMsg::InvalidateDeny { seg, page, wait: remaining },
+                    ProtoMsg::InvalidateDeny { seg, page, wait: remaining, serial: 0 },
                     ctx,
                 );
                 return;
@@ -731,6 +761,7 @@ mod reference {
                                 access: Access::Read,
                                 window,
                                 data: data.clone(),
+                                serial: 0,
                             },
                             ctx,
                         );
@@ -750,6 +781,7 @@ mod reference {
                             seg,
                             page,
                             info: DoneInfo { writer_downgraded: downgraded },
+                            serial: 0,
                         },
                         ctx,
                     );
@@ -788,12 +820,20 @@ mod reference {
                     if self.config.multicast_invalidation {
                         for v in round.to_send.drain(..) {
                             round.remaining.insert(v);
-                            self.emit(v, ProtoMsg::ReaderInvalidate { seg, page }, ctx);
+                            self.emit(
+                                v,
+                                ProtoMsg::ReaderInvalidate { seg, page, serial: 0 },
+                                ctx,
+                            );
                         }
                     } else {
                         let first = round.to_send.remove(0);
                         round.remaining.insert(first);
-                        self.emit(first, ProtoMsg::ReaderInvalidate { seg, page }, ctx);
+                        self.emit(
+                            first,
+                            ProtoMsg::ReaderInvalidate { seg, page, serial: 0 },
+                            ctx,
+                        );
                     }
                     self.usr.rounds.insert((seg, page), round);
                 }
@@ -822,7 +862,7 @@ mod reference {
                 }
             }
             store.set_prot(seg, page, PageProt::None);
-            self.emit(from, ProtoMsg::ReaderInvalidateAck { seg, page }, ctx);
+            self.emit(from, ProtoMsg::ReaderInvalidateAck { seg, page, serial: 0 }, ctx);
         }
 
         fn use_reader_ack(
@@ -841,7 +881,7 @@ mod reference {
                 if let Some(next) = (!round.to_send.is_empty()).then(|| round.to_send.remove(0))
                 {
                     round.remaining.insert(next);
-                    self.emit(next, ProtoMsg::ReaderInvalidate { seg, page }, ctx);
+                    self.emit(next, ProtoMsg::ReaderInvalidate { seg, page, serial: 0 }, ctx);
                     false
                 } else {
                     round.remaining.is_empty()
@@ -874,7 +914,11 @@ mod reference {
                 }
                 self.wake_satisfied(seg, page, store, ctx);
             } else if upgrade {
-                self.emit(to, ProtoMsg::UpgradeGrant { seg, page, window: round.window }, ctx);
+                self.emit(
+                    to,
+                    ProtoMsg::UpgradeGrant { seg, page, window: round.window, serial: 0 },
+                    ctx,
+                );
             } else {
                 let data = round.data.expect("non-upgrade write demand carries data");
                 self.emit(
@@ -885,6 +929,7 @@ mod reference {
                         access: Access::Write,
                         window: round.window,
                         data,
+                        serial: 0,
                     },
                     ctx,
                 );
@@ -895,6 +940,7 @@ mod reference {
                     seg,
                     page,
                     info: DoneInfo { writer_downgraded: false },
+                    serial: 0,
                 },
                 ctx,
             );
@@ -1232,6 +1278,7 @@ fn dense_tables_match_reference_no_optimizations() {
             downgrade_optimization: false,
             queued_invalidation: false,
             multicast_invalidation: false,
+            retry: None,
         };
         run_case(&mut r, 3, 2, cfg, 60);
     }
@@ -1247,6 +1294,7 @@ fn dense_tables_match_reference_queued_and_multicast() {
             downgrade_optimization: true,
             queued_invalidation: true,
             multicast_invalidation: true,
+            retry: None,
         };
         run_case(&mut r, 5, 2, cfg, 80);
     }

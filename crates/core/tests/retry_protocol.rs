@@ -1,0 +1,175 @@
+//! Targeted loss/duplication scenarios for the timeout/retry machinery.
+//!
+//! The schedule-fuzzing harness (`mirage-sim`'s `fuzz_coherence`) found
+//! each of these failure shapes by random search; here they are pinned
+//! as deterministic regressions. Every test drops or duplicates one
+//! specific message and asserts the engines converge to a coherent,
+//! write-visible state — plus, where the recovery path is observable,
+//! that the expected retransmission or escalation actually happened.
+
+mod common;
+
+use common::Cluster;
+use mirage_core::{
+    ProtocolConfig,
+    RetryPolicy,
+};
+use mirage_types::{
+    Access,
+    Delta,
+    PageNum,
+    SiteId,
+};
+
+fn retry_config() -> ProtocolConfig {
+    ProtocolConfig { retry: Some(RetryPolicy::default()), ..ProtocolConfig::paper(Delta::ZERO) }
+}
+
+const PAGE: PageNum = PageNum(0);
+
+/// With `retry: None` the engines must not emit any of the
+/// acknowledgement traffic the retry machinery adds: the paper's
+/// message accounting (§7.2) stays exact.
+#[test]
+fn pristine_mode_emits_no_retry_traffic() {
+    let mut c = Cluster::new(3, ProtocolConfig::paper(Delta::ZERO));
+    let seg = c.create_segment(0, 1);
+    c.write_u32(0, seg, PAGE, 0, 7);
+    assert_eq!(c.read_u32(1, seg, PAGE, 0), 7);
+    c.write_u32(2, seg, PAGE, 0, 11);
+    assert_eq!(c.read_u32(1, seg, PAGE, 0), 11);
+    for tag in ["GrantAck", "DoneAck", "UpgradeNack"] {
+        assert_eq!(c.sent_count(tag), 0, "pristine run leaked a {tag}");
+    }
+}
+
+/// A lost read grant is retransmitted until the receiver acknowledges.
+#[test]
+fn lost_read_grant_is_retransmitted() {
+    let mut c = Cluster::new(3, retry_config());
+    let seg = c.create_segment(0, 1);
+    c.write_u32(0, seg, PAGE, 0, 42);
+    c.fault_no_run(1, 1, seg, PAGE, Access::Read);
+    c.run_dropping(1, |_, to, m| to == SiteId(1) && m.tag() == "PageGrant");
+    assert_eq!(c.read_u32(1, seg, PAGE, 0), 42, "retransmitted grant never landed");
+    assert!(c.sent_count("PageGrant") >= 2, "grant was not retransmitted");
+    c.check_coherence(seg, PAGE);
+}
+
+/// A lost write grant (full data transfer) is retransmitted.
+#[test]
+fn lost_write_grant_is_retransmitted() {
+    let mut c = Cluster::new(3, retry_config());
+    let seg = c.create_segment(0, 1);
+    c.write_u32(0, seg, PAGE, 0, 5);
+    c.fault_no_run(1, 1, seg, PAGE, Access::Write);
+    c.run_dropping(1, |_, to, m| to == SiteId(1) && m.tag() == "PageGrant");
+    c.write_u32(1, seg, PAGE, 0, 6);
+    assert_eq!(c.read_u32(2, seg, PAGE, 0), 6);
+    assert!(c.sent_count("PageGrant") >= 2, "grant was not retransmitted");
+    c.check_coherence(seg, PAGE);
+}
+
+/// A lost upgrade notification (§6.1 optimization 1 — no data on the
+/// wire) is retransmitted until acknowledged.
+#[test]
+fn lost_upgrade_grant_is_retransmitted() {
+    let mut c = Cluster::new(2, retry_config());
+    let seg = c.create_segment(0, 1);
+    c.write_u32(0, seg, PAGE, 0, 9);
+    assert_eq!(c.read_u32(1, seg, PAGE, 0), 9);
+    // Site 1 holds a read copy, so its write demand upgrades in place.
+    c.fault_no_run(1, 1, seg, PAGE, Access::Write);
+    c.run_dropping(1, |_, to, m| to == SiteId(1) && m.tag() == "UpgradeGrant");
+    c.write_u32(1, seg, PAGE, 0, 10);
+    assert_eq!(c.read_u32(0, seg, PAGE, 0), 10);
+    assert!(c.sent_count("UpgradeGrant") >= 2, "upgrade grant was not retransmitted");
+    c.check_coherence(seg, PAGE);
+}
+
+/// The fuzz harness's seed-983 shape: a crash-severed `AddReaders`
+/// leaves a site in the library's reader set with no copy and no
+/// retained grant anywhere. When that site later demands a write, the
+/// upgrade notification finds no frame to upgrade — the receiver must
+/// nack, and the granter must escalate to a full data-carrying grant
+/// from the reserve bytes it took at relinquish time.
+#[test]
+fn upgrade_nack_escalates_to_full_grant() {
+    let mut c = Cluster::new(3, retry_config());
+    let seg = c.create_segment(0, 1);
+    // Move the write copy (and clock duty) away from the library site.
+    c.write_u32(1, seg, PAGE, 0, 0xBEEF);
+    assert_eq!(c.read_u32(2, seg, PAGE, 0), 0xBEEF);
+    // Site 0's read demand is served as an AddReaders to the remote
+    // clock; losing it records site 0 as a reader that never gets a copy.
+    c.fault_no_run(0, 1, seg, PAGE, Access::Read);
+    c.run_messages_dropping(1, |_, _, m| m.tag() == "AddReaders");
+    // Site 0 now demands a write. The library sees a recorded reader and
+    // serves an upgrade; site 0 has no frame, so the notification must
+    // escalate.
+    c.fault_no_run(0, 2, seg, PAGE, Access::Write);
+    c.run();
+    assert!(c.sent_count("UpgradeNack") >= 1, "copyless upgrade was not nacked");
+    // The escalated grant carried the real page contents, not zeros.
+    assert_eq!(c.read_u32(0, seg, PAGE, 0), 0xBEEF, "escalated grant lost the page data");
+    c.write_u32(0, seg, PAGE, 0, 0xCAFE);
+    assert_eq!(c.read_u32(2, seg, PAGE, 0), 0xCAFE);
+    c.check_coherence(seg, PAGE);
+}
+
+/// A lost `GrantAck` makes the granter retransmit to a receiver that
+/// already installed; the stale retransmission is re-acknowledged and
+/// dropped without disturbing the installed copy.
+#[test]
+fn lost_grant_ack_is_reacknowledged() {
+    let mut c = Cluster::new(2, retry_config());
+    let seg = c.create_segment(0, 1);
+    c.write_u32(0, seg, PAGE, 0, 3);
+    c.fault_no_run(1, 1, seg, PAGE, Access::Read);
+    c.run_dropping(1, |from, _, m| from == SiteId(1) && m.tag() == "GrantAck");
+    assert_eq!(c.read_u32(1, seg, PAGE, 0), 3);
+    assert!(c.sent_count("GrantAck") >= 2, "stale retransmission was not re-acked");
+    c.check_coherence(seg, PAGE);
+}
+
+/// Duplicating every message on the wire must not disturb the protocol:
+/// serials and acknowledgement matching make redelivery idempotent.
+#[test]
+fn duplicated_traffic_is_idempotent() {
+    let mut c = Cluster::new(3, retry_config());
+    let seg = c.create_segment(0, 1);
+    c.fault_no_run(1, 1, seg, PAGE, Access::Write);
+    c.run_duplicating(usize::MAX, |_, _, _| true);
+    c.write_u32(1, seg, PAGE, 0, 21);
+    c.fault_no_run(2, 1, seg, PAGE, Access::Read);
+    c.fault_no_run(0, 2, seg, PAGE, Access::Read);
+    c.run_duplicating(usize::MAX, |_, _, _| true);
+    assert_eq!(c.read_u32(2, seg, PAGE, 0), 21);
+    assert_eq!(c.read_u32(0, seg, PAGE, 0), 21);
+    c.fault_no_run(2, 2, seg, PAGE, Access::Write);
+    c.run_duplicating(usize::MAX, |_, _, _| true);
+    c.write_u32(2, seg, PAGE, 0, 22);
+    assert_eq!(c.read_u32(1, seg, PAGE, 0), 22);
+    c.check_coherence(seg, PAGE);
+}
+
+/// A granter that crashes with an unacknowledged grant in flight must
+/// retransmit it on restart: the pending-grant table is persistent
+/// state, reconstructed exactly like the library's queue.
+#[test]
+fn crash_restart_retransmits_pending_grant() {
+    let mut c = Cluster::new(2, retry_config());
+    let seg = c.create_segment(0, 1);
+    c.write_u32(0, seg, PAGE, 0, 17);
+    c.fault_no_run(1, 1, seg, PAGE, Access::Write);
+    // The grant is lost; the granter crashes before its retransmit timer
+    // fires, taking the volatile timer with it.
+    c.run_messages_dropping(1, |_, to, m| to == SiteId(1) && m.tag() == "PageGrant");
+    c.crash(0);
+    c.restart(0);
+    c.run();
+    c.write_u32(1, seg, PAGE, 0, 18);
+    assert_eq!(c.read_u32(0, seg, PAGE, 0), 18);
+    assert!(c.sent_count("PageGrant") >= 2, "restart did not retransmit the pending grant");
+    c.check_coherence(seg, PAGE);
+}

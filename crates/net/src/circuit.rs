@@ -3,9 +3,12 @@
 //! Locus "maintains a form of virtual circuit between sites to sequence
 //! network messages and maintain topology" (§7.1). The DSM protocol relies
 //! on this: invalidations and grants between a pair of sites must not be
-//! reordered. `CircuitTable` stamps outgoing messages and verifies
-//! incoming ones; transports that can reorder (none of ours do, but tests
-//! inject it) are caught here rather than corrupting protocol state.
+//! reordered. `CircuitTable` stamps outgoing messages and classifies
+//! incoming ones; a transport that can reorder, duplicate, or drop
+//! (the simulator's fault-injection layer does all three) gets a
+//! [`Verdict`] per message and recovers — duplicates are discarded,
+//! out-of-order arrivals held back until the gap fills or is declared
+//! lost — instead of corrupting protocol state.
 
 use std::collections::HashMap;
 
@@ -16,6 +19,28 @@ use mirage_types::{
 };
 
 use crate::message::Message;
+
+/// Classification of an incoming message against its circuit's expected
+/// sequence number.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// The next expected message; the circuit advanced past it.
+    InOrder,
+    /// A sequence number the circuit has already accepted — a duplicate
+    /// delivery the receiver must discard.
+    Duplicate,
+    /// A sequence number beyond the expected one: at least one earlier
+    /// message is missing (still in flight, reordered, or lost). The
+    /// circuit did *not* advance; the receiver should hold the message
+    /// back and either wait for the gap to fill or declare it lost via
+    /// [`CircuitTable::advance_to`].
+    Gap {
+        /// The sequence number the circuit expected.
+        expected: u64,
+        /// The sequence number that actually arrived.
+        got: u64,
+    },
+}
 
 /// Sequencing state for one site's circuits to all of its peers.
 #[derive(Debug, Default)]
@@ -35,9 +60,54 @@ impl CircuitTable {
     /// Stamps an outgoing message with the next sequence number on the
     /// circuit to its destination.
     pub fn stamp<T>(&mut self, msg: &mut Message<T>) {
-        let seq = self.next_out.entry(msg.dst).or_insert(0);
-        msg.seq = *seq;
+        msg.seq = self.stamp_seq(msg.dst);
+    }
+
+    /// Allocates the next outgoing sequence number toward `dst` (for
+    /// transports that carry the sequence out of band).
+    pub fn stamp_seq(&mut self, dst: SiteId) -> u64 {
+        let seq = self.next_out.entry(dst).or_insert(0);
+        let out = *seq;
         *seq += 1;
+        out
+    }
+
+    /// Classifies an incoming message and advances the circuit when it is
+    /// the expected one.
+    pub fn check<T>(&mut self, msg: &Message<T>) -> Verdict {
+        self.check_seq(msg.src, msg.seq)
+    }
+
+    /// Classifies a raw (source, sequence) pair; advances on `InOrder`.
+    pub fn check_seq(&mut self, src: SiteId, seq: u64) -> Verdict {
+        let expected = self.next_in.entry(src).or_insert(0);
+        match seq.cmp(expected) {
+            core::cmp::Ordering::Less => Verdict::Duplicate,
+            core::cmp::Ordering::Equal => {
+                *expected += 1;
+                Verdict::InOrder
+            }
+            core::cmp::Ordering::Greater => Verdict::Gap { expected: *expected, got: seq },
+        }
+    }
+
+    /// Declares everything before `seq` on the circuit from `src` lost,
+    /// so held-back messages from `seq` on can be released. Never moves
+    /// the expectation backwards.
+    pub fn advance_to(&mut self, src: SiteId, seq: u64) {
+        let expected = self.next_in.entry(src).or_insert(0);
+        if seq > *expected {
+            *expected = seq;
+        }
+    }
+
+    /// Tears down both directions of the circuit with `peer` — the Locus
+    /// response to a topology change (site crash/restart): sequence state
+    /// restarts from zero and any messages from the old incarnation must
+    /// be discarded by the transport.
+    pub fn reset_peer(&mut self, peer: SiteId) {
+        self.next_out.remove(&peer);
+        self.next_in.remove(&peer);
     }
 
     /// Verifies an incoming message arrived in circuit order.
@@ -46,14 +116,15 @@ impl CircuitTable {
     ///
     /// Returns [`MirageError::Protocol`] if the sequence number is not the
     /// next expected one for the source's circuit — evidence of loss or
-    /// reordering that the transport contract forbids.
+    /// reordering. Transports that want to *recover* (rather than abort)
+    /// use [`CircuitTable::check`] and act on the [`Verdict`].
     pub fn verify<T>(&mut self, msg: &Message<T>) -> Result<()> {
-        let expected = self.next_in.entry(msg.src).or_insert(0);
-        if msg.seq != *expected {
-            return Err(MirageError::Protocol("virtual circuit sequence violation"));
+        match self.check(msg) {
+            Verdict::InOrder => Ok(()),
+            Verdict::Duplicate | Verdict::Gap { .. } => {
+                Err(MirageError::Protocol("virtual circuit sequence violation"))
+            }
         }
-        *expected += 1;
-        Ok(())
     }
 
     /// Number of outgoing messages stamped toward `dst` so far.

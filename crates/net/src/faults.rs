@@ -1,0 +1,171 @@
+//! Deterministic fault plans: what the network is allowed to do wrong.
+//!
+//! The paper inherits reliable, ordered delivery from Locus virtual
+//! circuits and defers site failure to the OS's topology-change
+//! machinery (§7.1). This module describes the adversary we test that
+//! inheritance against: a [`FaultPlan`] is a *pure description* — a
+//! seed, per-link misbehaviour rates, and a site crash/restart
+//! schedule. The simulator (`mirage-sim`) interprets the plan; nothing
+//! here touches wall-clock time or OS entropy, so a plan plus a seed
+//! replays the exact same fault schedule every run.
+//!
+//! `FaultPlan::none()` is the identity plan: the simulator detects it
+//! via [`FaultPlan::is_active`] and installs no fault machinery at all,
+//! so a disabled plan is byte-identical to not having the layer.
+
+use mirage_types::{
+    SimDuration,
+    SimTime,
+    SiteId,
+};
+
+/// Misbehaviour rates for one directed link, in parts per 10 000.
+///
+/// Each unicast message consults the rates independently: first whether
+/// it is dropped, then whether a duplicate is injected, then whether
+/// its delivery is delayed by a uniform extra latency up to
+/// [`LinkFaults::max_delay`]. Delaying some messages and not others is
+/// how reordering arises — the plan needs no separate reorder knob.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkFaults {
+    /// Probability the message is silently dropped (per 10 000).
+    pub drop_pm: u32,
+    /// Probability a duplicate copy is also delivered (per 10 000).
+    pub dup_pm: u32,
+    /// Probability the message is delayed (per 10 000).
+    pub delay_pm: u32,
+    /// Maximum extra latency added to a delayed message.
+    pub max_delay: SimDuration,
+}
+
+impl LinkFaults {
+    /// A perfectly behaved link.
+    pub const RELIABLE: LinkFaults =
+        LinkFaults { drop_pm: 0, dup_pm: 0, delay_pm: 0, max_delay: SimDuration(0) };
+
+    /// Whether this link can ever misbehave.
+    pub fn is_faulty(&self) -> bool {
+        self.drop_pm > 0 || self.dup_pm > 0 || self.delay_pm > 0
+    }
+}
+
+impl Default for LinkFaults {
+    fn default() -> Self {
+        Self::RELIABLE
+    }
+}
+
+/// One scheduled crash/restart of a site.
+///
+/// At `at` the site halts: its volatile protocol state (queues, timers,
+/// in-flight rounds) is lost, every process on it freezes, and all of
+/// its virtual circuits are severed — messages from the old incarnation
+/// still in flight are discarded on delivery, matching Locus tearing
+/// down circuits on a topology change. At `back_at` the site restarts
+/// with cold volatile state and recovers from its persistent tables.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashEvent {
+    /// The site that fails.
+    pub site: SiteId,
+    /// Simulated time of the crash.
+    pub at: SimTime,
+    /// Simulated time of the restart; must be later than `at`.
+    pub back_at: SimTime,
+}
+
+/// A complete, replayable description of network and site misbehaviour.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed for the fault-side PRNG. Same plan + same seed + same
+    /// workload ⇒ the identical fault schedule, event for event.
+    pub seed: u64,
+    /// After this simulated time the network behaves perfectly —
+    /// the "storm horizon". Lets a run end with a clean window so the
+    /// harness can check that the protocol *converges*, not merely
+    /// that it survives.
+    pub horizon: SimTime,
+    /// Fault rates applied to every link without an explicit override.
+    pub default_link: LinkFaults,
+    /// Per-link overrides as `((src, dst), rates)`; directed.
+    pub links: Vec<((SiteId, SiteId), LinkFaults)>,
+    /// Scheduled site crash/restart events.
+    pub crashes: Vec<CrashEvent>,
+    /// How long a receiver holds back an out-of-order message waiting
+    /// for the gap to fill before declaring the missing messages lost.
+    pub gap_wait: SimDuration,
+}
+
+impl FaultPlan {
+    /// The identity plan: no faults, ever. [`FaultPlan::is_active`]
+    /// returns `false`, and the simulator installs no fault machinery.
+    pub fn none() -> Self {
+        Self {
+            seed: 0,
+            horizon: SimTime(0),
+            default_link: LinkFaults::RELIABLE,
+            links: Vec::new(),
+            crashes: Vec::new(),
+            gap_wait: SimDuration::from_millis(40),
+        }
+    }
+
+    /// Whether this plan can inject any fault at all.
+    pub fn is_active(&self) -> bool {
+        self.default_link.is_faulty()
+            || self.links.iter().any(|(_, f)| f.is_faulty())
+            || !self.crashes.is_empty()
+    }
+
+    /// The fault rates in effect on the directed link `src → dst`.
+    pub fn link(&self, src: SiteId, dst: SiteId) -> LinkFaults {
+        self.links
+            .iter()
+            .find(|((s, d), _)| *s == src && *d == dst)
+            .map(|(_, f)| *f)
+            .unwrap_or(self.default_link)
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_inactive() {
+        let p = FaultPlan::none();
+        assert!(!p.is_active());
+        assert_eq!(p.link(SiteId(0), SiteId(1)), LinkFaults::RELIABLE);
+    }
+
+    #[test]
+    fn any_fault_rate_activates() {
+        let mut p = FaultPlan::none();
+        p.default_link.drop_pm = 1;
+        assert!(p.is_active());
+
+        let mut p = FaultPlan::none();
+        p.links
+            .push(((SiteId(0), SiteId(1)), LinkFaults { dup_pm: 50, ..LinkFaults::RELIABLE }));
+        assert!(p.is_active());
+
+        let mut p = FaultPlan::none();
+        p.crashes.push(CrashEvent { site: SiteId(1), at: SimTime(10), back_at: SimTime(20) });
+        assert!(p.is_active());
+    }
+
+    #[test]
+    fn link_overrides_are_directed() {
+        let mut p = FaultPlan::none();
+        let noisy = LinkFaults { drop_pm: 100, ..LinkFaults::RELIABLE };
+        p.links.push(((SiteId(0), SiteId(1)), noisy));
+        assert_eq!(p.link(SiteId(0), SiteId(1)), noisy);
+        // The reverse direction keeps the default.
+        assert_eq!(p.link(SiteId(1), SiteId(0)), LinkFaults::RELIABLE);
+    }
+}

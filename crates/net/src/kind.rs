@@ -28,11 +28,19 @@ pub enum MsgKind {
     PageGrant = 7,
     /// Clock/library → requester: upgrade in place, no data.
     UpgradeGrant = 8,
+    /// Library → clock: completion report received (retry mode only).
+    DoneAck = 9,
+    /// Write-grant receiver → granting site: page installed (retry mode
+    /// only).
+    GrantAck = 10,
+    /// Upgrade receiver → granting site: no frame to promote; send the
+    /// page itself (retry mode only).
+    UpgradeNack = 11,
 }
 
 impl MsgKind {
     /// Number of message kinds (the length of per-kind counter arrays).
-    pub const COUNT: usize = 9;
+    pub const COUNT: usize = 12;
 
     /// All kinds, in wire-discriminant order.
     pub const ALL: [MsgKind; Self::COUNT] = [
@@ -45,6 +53,9 @@ impl MsgKind {
         MsgKind::ReaderInvalidateAck,
         MsgKind::PageGrant,
         MsgKind::UpgradeGrant,
+        MsgKind::DoneAck,
+        MsgKind::GrantAck,
+        MsgKind::UpgradeNack,
     ];
 
     /// Dense index into a `[_; MsgKind::COUNT]` counter array.
@@ -64,6 +75,9 @@ impl MsgKind {
             MsgKind::ReaderInvalidateAck => "ReaderInvalidateAck",
             MsgKind::PageGrant => "PageGrant",
             MsgKind::UpgradeGrant => "UpgradeGrant",
+            MsgKind::DoneAck => "DoneAck",
+            MsgKind::GrantAck => "GrantAck",
+            MsgKind::UpgradeNack => "UpgradeNack",
         }
     }
 }

@@ -16,6 +16,9 @@
 //!   per-kind instrumentation counters;
 //! * [`circuit::CircuitTable`] — per-peer sequencing with in-order
 //!   delivery verification, the guarantee the DSM protocol assumes;
+//! * [`faults::FaultPlan`] — a deterministic, replayable description of
+//!   how a network may misbehave (drop/duplicate/delay/reorder, site
+//!   crash/restart), interpreted by the simulator;
 //! * [`topology::Topology`] — the set of sites in the network;
 //! * [`costs::NetCosts`] — the component-cost model calibrated to the
 //!   paper's measured timings (12.9 ms short round trip, Table 3, …).
@@ -25,15 +28,24 @@
 
 pub mod circuit;
 pub mod costs;
+pub mod faults;
 pub mod kind;
 pub mod message;
 pub mod topology;
 pub mod wire;
 
-pub use circuit::CircuitTable;
+pub use circuit::{
+    CircuitTable,
+    Verdict,
+};
 pub use costs::{
     NetCosts,
     SizeClass,
+};
+pub use faults::{
+    CrashEvent,
+    FaultPlan,
+    LinkFaults,
 };
 pub use kind::MsgKind;
 pub use message::Message;

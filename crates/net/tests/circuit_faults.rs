@@ -1,0 +1,126 @@
+//! `CircuitTable` verdicts under misbehaving delivery: reordering,
+//! duplication, gaps, declared losses, and crash-induced resets — the
+//! recoverable-signal contract the simulator's fault layer builds on.
+
+use mirage_net::{
+    CircuitTable,
+    Verdict,
+};
+use mirage_types::SiteId;
+
+const A: SiteId = SiteId(0);
+const B: SiteId = SiteId(1);
+
+#[test]
+fn in_order_stream_is_all_in_order() {
+    let mut sender = CircuitTable::new();
+    let mut receiver = CircuitTable::new();
+    for _ in 0..100 {
+        let seq = sender.stamp_seq(B);
+        assert_eq!(receiver.check_seq(A, seq), Verdict::InOrder);
+    }
+    assert_eq!(sender.sent_to(B), 100);
+    assert_eq!(receiver.received_from(A), 100);
+}
+
+#[test]
+fn reordered_pair_is_gap_then_in_order_then_release() {
+    let mut receiver = CircuitTable::new();
+    // Messages 0 and 1 swap on the wire: 1 arrives first.
+    assert_eq!(receiver.check_seq(A, 1), Verdict::Gap { expected: 0, got: 1 });
+    // The gap verdict must NOT advance the circuit: 0 is still expected.
+    assert_eq!(receiver.check_seq(A, 0), Verdict::InOrder);
+    // The held-back 1 is now deliverable.
+    assert_eq!(receiver.check_seq(A, 1), Verdict::InOrder);
+}
+
+#[test]
+fn duplicates_are_flagged_at_any_distance() {
+    let mut receiver = CircuitTable::new();
+    for seq in 0..5 {
+        assert_eq!(receiver.check_seq(A, seq), Verdict::InOrder);
+    }
+    // Immediate duplicate of the latest message.
+    assert_eq!(receiver.check_seq(A, 4), Verdict::Duplicate);
+    // Stale duplicate from far back.
+    assert_eq!(receiver.check_seq(A, 0), Verdict::Duplicate);
+    // Duplicates never advance the circuit.
+    assert_eq!(receiver.check_seq(A, 5), Verdict::InOrder);
+}
+
+#[test]
+fn gap_reports_expected_and_got() {
+    let mut receiver = CircuitTable::new();
+    assert_eq!(receiver.check_seq(A, 0), Verdict::InOrder);
+    assert_eq!(receiver.check_seq(A, 7), Verdict::Gap { expected: 1, got: 7 });
+    // Re-presenting the same gapped message repeats the verdict (the
+    // transport may retry delivery while holding it back).
+    assert_eq!(receiver.check_seq(A, 7), Verdict::Gap { expected: 1, got: 7 });
+}
+
+#[test]
+fn advance_to_declares_losses_and_releases_the_queue() {
+    let mut receiver = CircuitTable::new();
+    assert_eq!(receiver.check_seq(A, 0), Verdict::InOrder);
+    // 1 and 2 are lost; 3 and 4 arrive and are held back.
+    assert_eq!(receiver.check_seq(A, 3), Verdict::Gap { expected: 1, got: 3 });
+    assert_eq!(receiver.check_seq(A, 4), Verdict::Gap { expected: 1, got: 4 });
+    // The gap timer fires: declare everything before 3 lost.
+    receiver.advance_to(A, 3);
+    assert_eq!(receiver.check_seq(A, 3), Verdict::InOrder);
+    assert_eq!(receiver.check_seq(A, 4), Verdict::InOrder);
+    // A lost message limping in late is now a duplicate, not a rewind.
+    assert_eq!(receiver.check_seq(A, 1), Verdict::Duplicate);
+}
+
+#[test]
+fn advance_to_never_moves_backwards() {
+    let mut receiver = CircuitTable::new();
+    for seq in 0..10 {
+        assert_eq!(receiver.check_seq(A, seq), Verdict::InOrder);
+    }
+    receiver.advance_to(A, 3); // no-op: expectation is already 10
+    assert_eq!(receiver.check_seq(A, 9), Verdict::Duplicate);
+    assert_eq!(receiver.check_seq(A, 10), Verdict::InOrder);
+}
+
+#[test]
+fn reset_peer_severs_both_directions() {
+    let mut table = CircuitTable::new();
+    // Outbound toward B and inbound from B both have history.
+    assert_eq!(table.stamp_seq(B), 0);
+    assert_eq!(table.stamp_seq(B), 1);
+    assert_eq!(table.check_seq(B, 0), Verdict::InOrder);
+    table.reset_peer(B);
+    // Fresh circuits: sequencing restarts from zero in both directions.
+    assert_eq!(table.stamp_seq(B), 0);
+    assert_eq!(table.check_seq(B, 0), Verdict::InOrder);
+    assert_eq!(table.sent_to(B), 1);
+    assert_eq!(table.received_from(B), 1);
+}
+
+#[test]
+fn reset_peer_leaves_other_circuits_alone() {
+    let c = SiteId(2);
+    let mut table = CircuitTable::new();
+    assert_eq!(table.stamp_seq(B), 0);
+    assert_eq!(table.stamp_seq(c), 0);
+    assert_eq!(table.check_seq(c, 0), Verdict::InOrder);
+    table.reset_peer(B);
+    // The circuit to/from site 2 keeps its history.
+    assert_eq!(table.stamp_seq(c), 1);
+    assert_eq!(table.check_seq(c, 1), Verdict::InOrder);
+    assert_eq!(table.check_seq(c, 0), Verdict::Duplicate);
+}
+
+#[test]
+fn interleaved_sources_keep_independent_sequences() {
+    let c = SiteId(2);
+    let mut receiver = CircuitTable::new();
+    assert_eq!(receiver.check_seq(A, 0), Verdict::InOrder);
+    assert_eq!(receiver.check_seq(c, 0), Verdict::InOrder);
+    assert_eq!(receiver.check_seq(A, 1), Verdict::InOrder);
+    // A gap on one source does not disturb the other.
+    assert_eq!(receiver.check_seq(c, 5), Verdict::Gap { expected: 1, got: 5 });
+    assert_eq!(receiver.check_seq(A, 2), Verdict::InOrder);
+}

@@ -1,0 +1,206 @@
+//! The simulator's interpretation of a [`FaultPlan`].
+//!
+//! `mirage-net` describes faults ([`FaultPlan`] is a pure, replayable
+//! description); this module *executes* them. [`FaultState`] holds the
+//! seeded fault PRNG, per-site incarnation numbers, per-site
+//! [`CircuitTable`]s, and the held-back out-of-order messages per
+//! directed link. The [`crate::world::World`] consults it on every send
+//! and every arrival when (and only when) an active plan is installed —
+//! with no plan, or with `FaultPlan::none()`, none of this code runs and
+//! the simulation is byte-identical to a build without the layer.
+//!
+//! Division of labour with the protocol:
+//!
+//! * **Sequencing faults** (reordering, duplicate deliveries, declared
+//!   losses) are absorbed *here*, at the transport: gaps hold messages
+//!   back until they fill or `gap_wait` expires, duplicates are
+//!   discarded by verdict. This models Locus virtual circuits doing
+//!   their job over a lossy wire.
+//! * **Lost messages and crashed sites** are *not* hidden: the engine's
+//!   timeout/retry machinery (`ProtocolConfig::retry`) must recover.
+//!   The fuzz harness runs with retries enabled and asserts coherence
+//!   and convergence after the storm.
+
+use std::collections::BTreeMap;
+
+use mirage_core::ProtoMsg;
+use mirage_net::{
+    CircuitTable,
+    FaultPlan,
+    Verdict,
+};
+use mirage_types::{
+    Prng,
+    SimDuration,
+    SimTime,
+    SiteId,
+};
+
+/// Out-of-band circuit stamp carried by every arrival in fault mode.
+///
+/// The sequence number drives the receiver's [`Verdict`]; the
+/// incarnation pair severs circuits across crashes — a message stamped
+/// under an old incarnation of either endpoint is discarded on
+/// delivery, exactly as Locus discards traffic from a torn-down
+/// circuit after a topology change.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct Stamp {
+    /// Circuit sequence number on the directed link.
+    pub seq: u64,
+    /// Sender incarnation at send time.
+    pub src_inc: u32,
+    /// Receiver incarnation at send time.
+    pub dst_inc: u32,
+}
+
+/// What the fault layer did to the traffic (reporting / assertions).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Messages silently dropped by the plan.
+    pub dropped: u64,
+    /// Duplicate copies injected by the plan.
+    pub duplicated: u64,
+    /// Duplicates discarded at the receiver (injected or retransmitted).
+    pub dup_discarded: u64,
+    /// Messages given extra wire latency.
+    pub delayed: u64,
+    /// Out-of-order messages held back awaiting a gap fill.
+    pub held_back: u64,
+    /// Gaps declared lost after `gap_wait` (circuit advanced past them).
+    pub gaps_declared: u64,
+    /// Messages discarded for a stale incarnation or a down receiver.
+    pub stale_dropped: u64,
+    /// Site crashes executed.
+    pub crashes: u64,
+    /// Site restarts executed.
+    pub restarts: u64,
+}
+
+/// Live fault-execution state for one [`crate::world::World`].
+pub(crate) struct FaultState {
+    /// The installed plan.
+    pub(crate) plan: FaultPlan,
+    /// The fault-side PRNG (seeded from the plan; independent of any
+    /// workload randomness).
+    rng: Prng,
+    /// Per-site incarnation number, bumped at each crash.
+    pub(crate) incarnation: Vec<u32>,
+    /// Per-site "currently crashed" flag.
+    pub(crate) down: Vec<bool>,
+    /// Per-site circuit tables (site *i* stamps its sends and classifies
+    /// its receipts through `tables[i]`).
+    pub(crate) tables: Vec<CircuitTable>,
+    /// Held-back out-of-order messages per directed link `(src, dst)`,
+    /// ordered by sequence number.
+    pub(crate) holdback: BTreeMap<(usize, usize), BTreeMap<u64, ProtoMsg>>,
+    /// Counters.
+    pub(crate) stats: FaultStats,
+    /// `MIRAGE_FAULT_TRACE` was set: narrate every fault decision to
+    /// stderr (the replay aid printed by the fuzz harness on failure).
+    pub(crate) trace: bool,
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: FaultPlan, n_sites: usize) -> Self {
+        let rng = Prng::new(plan.seed);
+        Self {
+            plan,
+            rng,
+            incarnation: vec![0; n_sites],
+            down: vec![false; n_sites],
+            tables: (0..n_sites).map(|_| CircuitTable::new()).collect(),
+            holdback: BTreeMap::new(),
+            stats: FaultStats::default(),
+            trace: std::env::var_os("MIRAGE_FAULT_TRACE").is_some(),
+        }
+    }
+
+    /// Bernoulli roll at `pm` parts per 10 000. Consumes randomness only
+    /// for a non-zero rate, so quiet links don't perturb the stream.
+    fn roll(&mut self, pm: u32) -> bool {
+        pm > 0 && self.rng.below(10_000) < u64::from(pm)
+    }
+
+    /// Stamps one outgoing message on the directed link and decides its
+    /// fate. Returns `None` if the plan drops it; otherwise the stamp,
+    /// the (possibly delayed) arrival time, and an optional arrival time
+    /// for an injected duplicate.
+    pub(crate) fn outbound(
+        &mut self,
+        src: usize,
+        dst: usize,
+        now: SimTime,
+        base_arrive: SimTime,
+    ) -> Option<(Stamp, SimTime, Option<SimTime>)> {
+        let stamp = Stamp {
+            seq: self.tables[src].stamp_seq(SiteId(dst as u16)),
+            src_inc: self.incarnation[src],
+            dst_inc: self.incarnation[dst],
+        };
+        // After the storm horizon the network is perfect: the run ends
+        // with a clean window so convergence (not mere survival) is
+        // what the harness asserts.
+        if now > self.plan.horizon {
+            return Some((stamp, base_arrive, None));
+        }
+        let lf = self.plan.link(SiteId(src as u16), SiteId(dst as u16));
+        if self.roll(lf.drop_pm) {
+            self.stats.dropped += 1;
+            if self.trace {
+                eprintln!("[fault] drop {}->{} seq {}", src, dst, stamp.seq);
+            }
+            return None;
+        }
+        let mut arrive = base_arrive;
+        if self.roll(lf.delay_pm) {
+            let extra = SimDuration(1 + self.rng.below(lf.max_delay.0.max(1)));
+            arrive += extra;
+            self.stats.delayed += 1;
+            if self.trace {
+                eprintln!("[fault] delay {}->{} seq {} +{:?}", src, dst, stamp.seq, extra);
+            }
+        }
+        let dup = if self.roll(lf.dup_pm) {
+            self.stats.duplicated += 1;
+            let extra = SimDuration(1 + self.rng.below(lf.max_delay.0.max(1_000_000)));
+            if self.trace {
+                eprintln!("[fault] dup {}->{} seq {}", src, dst, stamp.seq);
+            }
+            Some(base_arrive + extra)
+        } else {
+            None
+        };
+        Some((stamp, arrive, dup))
+    }
+
+    /// Classifies an arrival that already passed the down/incarnation
+    /// screens.
+    pub(crate) fn check(&mut self, src: SiteId, dst: usize, seq: u64) -> Verdict {
+        self.tables[dst].check_seq(src, seq)
+    }
+
+    /// Severs every circuit of `site` at a crash: both of the site's own
+    /// directions restart from zero and every peer forgets the site, so
+    /// the restarted incarnation begins on fresh circuits. Held-back
+    /// traffic touching the site belongs to the dead incarnation.
+    pub(crate) fn sever(&mut self, site: usize) {
+        let sid = SiteId(site as u16);
+        self.tables[site] = CircuitTable::new();
+        for (j, t) in self.tables.iter_mut().enumerate() {
+            if j != site {
+                t.reset_peer(sid);
+            }
+        }
+        self.holdback.retain(|&(s, d), _| s != site && d != site);
+    }
+}
+
+impl core::fmt::Debug for FaultState {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("FaultState")
+            .field("down", &self.down)
+            .field("incarnation", &self.incarnation)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}

@@ -1,0 +1,284 @@
+//! Schedule-fuzzing coherence scenarios.
+//!
+//! One seed drives everything: the world shape (sites, pages,
+//! processes), the workload each process runs, and the [`FaultPlan`]
+//! (drop/duplicate/delay rates plus site crash/restart times). The
+//! scenario runs the storm, lets the network go perfect after the
+//! plan's horizon, drives every program to completion, and then checks
+//! the two properties the paper's §5.0 coherence definition demands at
+//! quiescence:
+//!
+//! 1. the structural invariants of [`mirage_core::invariants::check_page`]
+//!    (single writer, no writer/reader coexistence, byte-identical
+//!    copies, page not lost), and
+//! 2. **write visibility**: each process wrote a monotone series of
+//!    values to its own private word of each page; the final resident
+//!    copy must hold exactly the last value each process wrote.
+//!
+//! The same entry point backs the `fuzz_coherence` integration test
+//! (bounded seed sweep in CI) and the `fault_storm` binary in
+//! `mirage-bench` (thousands of seeds, replay of a single failing
+//! seed). Everything is deterministic: a failing seed replays
+//! identically, and `MIRAGE_FAULT_TRACE=1` narrates the fault schedule.
+
+use std::sync::{
+    Arc,
+    Mutex,
+};
+
+use mirage_core::{
+    invariants,
+    DeltaPolicy,
+    PageStore,
+    RetryPolicy,
+};
+use mirage_net::{
+    CrashEvent,
+    FaultPlan,
+    LinkFaults,
+};
+use mirage_types::{
+    Delta,
+    PageNum,
+    PageProt,
+    Pid,
+    Prng,
+    SegmentId,
+    SimDuration,
+    SimTime,
+    SiteId,
+};
+
+use crate::{
+    faults::FaultStats,
+    process::ProcState,
+    program::{
+        MemRef,
+        Op,
+        Program,
+    },
+    world::{
+        SimConfig,
+        World,
+    },
+};
+
+/// What one fuzz scenario concluded.
+#[derive(Debug)]
+pub struct FuzzOutcome {
+    /// The driving seed.
+    pub seed: u64,
+    /// Every program ran to completion before the deadline.
+    pub completed: bool,
+    /// Human-readable coherence violations found at quiescence.
+    pub violations: Vec<String>,
+    /// Processes that never finished (empty when `completed`).
+    pub stuck: Vec<(Pid, ProcState)>,
+    /// Fault-layer counters (`None` if the seed rolled an inactive plan).
+    pub stats: Option<FaultStats>,
+    /// Total completed shared-memory accesses (sanity: the workload ran).
+    pub accesses: u64,
+}
+
+impl FuzzOutcome {
+    /// The scenario passed: everything completed and nothing diverged.
+    pub fn is_ok(&self) -> bool {
+        self.completed && self.violations.is_empty()
+    }
+
+    /// One-line failure description (for harness output).
+    pub fn describe(&self) -> String {
+        if self.is_ok() {
+            return format!("seed {:#x}: ok ({} accesses)", self.seed, self.accesses);
+        }
+        let mut s = format!("seed {:#x}: FAILED", self.seed);
+        if !self.completed {
+            s.push_str(&format!(" — stuck pids {:?}", self.stuck));
+        }
+        for v in &self.violations {
+            s.push_str(&format!("\n  violation: {v}"));
+        }
+        s
+    }
+}
+
+/// A randomized workload process: writes a monotone value series to its
+/// own word of random pages, reads other processes' words, and mixes in
+/// yields and compute bursts so the scheduler states get shuffled too.
+struct FuzzProgram {
+    seg: SegmentId,
+    pages: u64,
+    /// This process's private word offset (no other process writes it).
+    offset: usize,
+    /// Bound on read offsets: one word per process in the world.
+    total_procs: u64,
+    rng: Prng,
+    ops_left: u32,
+    done: u64,
+    next_val: u32,
+    /// Last value issued per page, shared with the harness for the
+    /// post-run visibility check.
+    expected: Arc<Mutex<Vec<Option<u32>>>>,
+}
+
+impl Program for FuzzProgram {
+    fn step(&mut self, _last_read: Option<u32>) -> Op {
+        if self.ops_left == 0 {
+            return Op::Exit;
+        }
+        self.ops_left -= 1;
+        self.done += 1;
+        let page = PageNum(self.rng.below(self.pages) as u32);
+        match self.rng.below(10) {
+            0 => Op::Yield,
+            1 => Op::Compute(SimDuration::from_micros(50 + self.rng.below(3_000))),
+            2..=5 => {
+                let off = self.rng.below(self.total_procs) as usize * 4;
+                Op::Read(MemRef::new(self.seg, page, off))
+            }
+            _ => {
+                let v = self.next_val;
+                self.next_val += 1;
+                self.expected.lock().expect("poisoned")[page.index()] = Some(v);
+                Op::Write(MemRef::new(self.seg, page, self.offset), v)
+            }
+        }
+    }
+
+    fn metric(&self) -> u64 {
+        self.done
+    }
+
+    fn label(&self) -> &str {
+        "fuzz"
+    }
+}
+
+/// The value of `(page, offset)` in the authoritative resident copy:
+/// the writer's copy if one exists, else any reader's (they are
+/// byte-identical when the invariants hold).
+fn resident_value(world: &World, seg: SegmentId, page: PageNum, offset: usize) -> Option<u32> {
+    let mut fallback = None;
+    for s in &world.sites {
+        let val =
+            || s.store.segment(seg).and_then(|ls| ls.frame(page)).map(|f| f.load_u32(offset));
+        match s.store.prot(seg, page) {
+            PageProt::ReadWrite => return val(),
+            PageProt::Read => {
+                if fallback.is_none() {
+                    fallback = val();
+                }
+            }
+            PageProt::None => {}
+        }
+    }
+    fallback
+}
+
+/// Builds and runs the scenario for one seed. Deterministic: the same
+/// seed always produces the same world, workload, fault schedule, and
+/// outcome.
+pub fn run_fuzz_seed(seed: u64) -> FuzzOutcome {
+    let mut rng = Prng::new(seed ^ 0xF0_55ED);
+    let n_sites = 2 + rng.below(3) as usize; // 2..=4
+    let pages = 1 + rng.below(2); // 1..=2
+
+    let mut cfg = SimConfig::default();
+    cfg.protocol.delta = DeltaPolicy::Uniform(Delta(rng.below(3) as u32));
+    cfg.protocol.retry = Some(RetryPolicy::default());
+
+    let mut world = World::new(n_sites, cfg);
+    let seg = world.create_segment(0, pages as usize);
+
+    // The fault storm: random link misbehaviour until `horizon`, then a
+    // perfect network so the run must *converge*, not merely survive.
+    let horizon_ms = 1_500 + rng.below(2_500);
+    let horizon = SimTime::ZERO + SimDuration::from_millis(horizon_ms);
+    let mut plan = FaultPlan::none();
+    plan.seed = seed;
+    plan.horizon = horizon;
+    plan.gap_wait = SimDuration::from_millis(25);
+    plan.default_link = LinkFaults {
+        drop_pm: rng.below(300) as u32,
+        dup_pm: rng.below(200) as u32,
+        delay_pm: rng.below(1_500) as u32,
+        max_delay: SimDuration::from_millis(1 + rng.below(30)),
+    };
+    // Up to two distinct sites crash (any site — including the library
+    // site, whose request queue must be reconstructed on restart).
+    let mut candidates: Vec<usize> = (0..n_sites).collect();
+    for _ in 0..rng.below(3) {
+        let site = candidates.swap_remove(rng.below(candidates.len() as u64) as usize);
+        let at = SimTime::ZERO + SimDuration::from_millis(200 + rng.below(horizon_ms - 400));
+        let down = SimDuration::from_millis(80 + rng.below(600));
+        plan.crashes.push(CrashEvent { site: SiteId(site as u16), at, back_at: at + down });
+    }
+    let active = plan.is_active();
+    world.install_fault_plan(plan);
+
+    // Processes: 1–2 per site, each with a dedicated word per page.
+    let per_site: Vec<usize> = (0..n_sites).map(|_| 1 + rng.below(2) as usize).collect();
+    let total_procs: u64 = per_site.iter().map(|&c| c as u64).sum();
+    let mut expected_handles: Vec<Arc<Mutex<Vec<Option<u32>>>>> = Vec::new();
+    let mut k = 0u64;
+    for (site, &count) in per_site.iter().enumerate() {
+        for _ in 0..count {
+            let expected = Arc::new(Mutex::new(vec![None; pages as usize]));
+            expected_handles.push(Arc::clone(&expected));
+            let prog = FuzzProgram {
+                seg,
+                pages,
+                offset: k as usize * 4,
+                total_procs,
+                rng: Prng::new(seed.wrapping_add(0x9E37 * (k + 1))),
+                ops_left: 12 + rng.below(20) as u32,
+                done: 0,
+                next_val: (k as u32) * 1_000_000 + 1,
+                expected,
+            };
+            world.spawn(site, Box::new(prog), pages as usize);
+            k += 1;
+        }
+    }
+
+    let deadline = horizon + SimDuration::from_millis(120_000);
+    let completed = world.run_to_completion(deadline);
+    // Quiescence: drain residual protocol traffic (trailing acks and
+    // retransmissions) in the clean window before checking state.
+    world.run_for(SimDuration::from_millis(5_000));
+
+    let mut violations = Vec::new();
+    if completed {
+        for p in 0..pages {
+            let page = PageNum(p as u32);
+            let stores: Vec<(SiteId, &dyn PageStore)> =
+                world.sites.iter().map(|s| (s.id, &s.store as &dyn PageStore)).collect();
+            for v in invariants::check_page(&stores, seg, page) {
+                violations.push(format!("page {p}: {v:?}"));
+            }
+        }
+        for (k, handle) in expected_handles.iter().enumerate() {
+            let exp = handle.lock().expect("poisoned");
+            for (p, want) in exp.iter().enumerate() {
+                let Some(want) = want else { continue };
+                let page = PageNum(p as u32);
+                let got = resident_value(&world, seg, page, k * 4);
+                if got != Some(*want) {
+                    violations.push(format!(
+                        "write visibility: proc {k} page {p}: last wrote {want}, \
+                         resident copy holds {got:?}"
+                    ));
+                }
+            }
+        }
+    }
+
+    FuzzOutcome {
+        seed,
+        completed,
+        violations,
+        stuck: world.stuck_pids(),
+        stats: if active { world.fault_stats() } else { None },
+        accesses: world.total_accesses(),
+    }
+}

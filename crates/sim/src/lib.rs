@@ -31,6 +31,8 @@
 #![warn(rust_2018_idioms)]
 
 pub mod calendar;
+pub mod faults;
+pub mod fuzz;
 pub mod instrument;
 pub mod process;
 pub mod program;
@@ -38,6 +40,11 @@ pub mod site;
 pub mod world;
 
 pub use calendar::CalendarQueue;
+pub use faults::FaultStats;
+pub use fuzz::{
+    run_fuzz_seed,
+    FuzzOutcome,
+};
 pub use instrument::Instrumentation;
 pub use process::{
     ProcState,

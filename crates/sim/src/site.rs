@@ -229,6 +229,45 @@ impl Site {
         driver.flush(&mut SimOps { depart, effects, procs, run_queue });
     }
 
+    /// The site halts. Volatile state dies: queued kernel work, the run
+    /// queue, the engine's in-flight rounds and timers. Every live
+    /// process freezes as `Blocked` with its interrupted operation still
+    /// pending, so on restart it re-issues the access and re-faults if
+    /// the page went away. Page frames and the engine's persistent
+    /// tables survive (the crash model journals them).
+    pub(crate) fn crash(&mut self) {
+        self.driver.crash();
+        self.server_q.clear();
+        self.server_pending_since = None;
+        self.boost_shield = false;
+        self.run_queue.clear();
+        self.current = None;
+        for p in &mut self.procs {
+            if p.state != ProcState::Done {
+                p.state = ProcState::Blocked;
+                p.boosted = false;
+            }
+        }
+    }
+
+    /// The site comes back at `now` with cold scheduler state. Frozen
+    /// processes rejoin the run queue; the engine reconstructs its
+    /// retransmission obligations from the persistent tables, and the
+    /// resulting sends depart immediately.
+    pub(crate) fn restart(&mut self, now: SimTime, effects: &mut Vec<OutEffect>) {
+        self.busy_until = now;
+        self.quantum_end = now;
+        self.boost_shield = false;
+        for i in 0..self.procs.len() {
+            if self.procs[i].state == ProcState::Blocked {
+                self.procs[i].state = ProcState::Ready;
+                self.run_queue.push_back(i);
+            }
+        }
+        self.driver.restart(now, &mut self.store);
+        self.flush_driver(now, effects);
+    }
+
     /// Advances the site at `now`. `horizon` is the next global event
     /// time: user-op batches never run past it. Returns when the site
     /// next needs attention (`None` if idle).

@@ -7,7 +7,11 @@ use mirage_core::{
     RefLogEntry,
 };
 use mirage_mem::LocalSegment;
-use mirage_net::NetCosts;
+use mirage_net::{
+    FaultPlan,
+    NetCosts,
+    Verdict,
+};
 use mirage_types::{
     Pid,
     SegmentId,
@@ -18,11 +22,19 @@ use mirage_types::{
 
 use crate::{
     calendar::CalendarQueue,
+    faults::{
+        FaultState,
+        FaultStats,
+        Stamp,
+    },
     instrument::{
         FetchPhase,
         Instrumentation,
     },
-    process::Process,
+    process::{
+        ProcState,
+        Process,
+    },
     program::Program,
     site::{
         msg_size,
@@ -57,12 +69,21 @@ impl Default for SimConfig {
 /// Global events.
 #[derive(Debug)]
 enum Ev {
-    /// A message finishing its wire transit.
-    Arrival { to: usize, from: SiteId, msg: ProtoMsg },
+    /// A message finishing its wire transit. `stamp` carries the circuit
+    /// sequence/incarnation stamp in fault mode; `None` on the pristine
+    /// (no-fault-layer) path.
+    Arrival { to: usize, from: SiteId, msg: ProtoMsg, stamp: Option<Stamp> },
     /// A site asked to be re-examined.
     SiteWake { site: usize },
     /// An engine timer firing.
     EngineTimer { site: usize, token: u64 },
+    /// A scheduled site crash (fault mode only).
+    Crash { site: usize },
+    /// A scheduled site restart (fault mode only).
+    Restart { site: usize },
+    /// `gap_wait` expired on a directed link with held-back messages:
+    /// declare the missing sequence numbers lost and release the queue.
+    LinkProbe { src: usize, dst: usize },
 }
 
 /// Sentinel for "no delivery recorded yet" in the circuit matrix.
@@ -91,6 +112,9 @@ pub struct World {
     /// Reusable effect buffer for [`World::poke`] (the per-step sink;
     /// same pattern as the driver's `ActionSink`).
     scratch: Vec<OutEffect>,
+    /// Fault-execution state; `None` unless an *active* plan was
+    /// installed, so the pristine path pays nothing.
+    faults: Option<FaultState>,
 }
 
 impl World {
@@ -118,7 +142,36 @@ impl World {
             next_serial: 1,
             circuit_last: vec![NO_DELIVERY; n * n],
             scratch: Vec::new(),
+            faults: None,
         }
+    }
+
+    /// Installs a fault plan. An inactive plan ([`FaultPlan::none`])
+    /// installs nothing at all — the run is byte-identical to one
+    /// without the fault layer. An active plan seeds the fault PRNG,
+    /// schedules the crash/restart events, and routes every subsequent
+    /// send and arrival through the circuit-stamping machinery.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        if !plan.is_active() {
+            return;
+        }
+        for c in &plan.crashes {
+            assert!(c.back_at > c.at, "restart must follow crash");
+            assert!((c.site.index()) < self.sites.len(), "crash event names an unknown site");
+            self.push(c.at, Ev::Crash { site: c.site.index() });
+            self.push(c.back_at, Ev::Restart { site: c.site.index() });
+        }
+        self.faults = Some(FaultState::new(plan, self.sites.len()));
+    }
+
+    /// The fault layer's counters, if a plan is installed.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.faults.as_ref().map(|f| f.stats)
+    }
+
+    /// Whether `site` is currently crashed.
+    fn site_down(&self, site: usize) -> bool {
+        self.faults.as_ref().is_some_and(|f| f.down[site])
     }
 
     /// Current simulated time.
@@ -182,20 +235,57 @@ impl World {
                             self.instr.record_phase(SiteId(from as u16), p, depart);
                         }
                     }
-                    let mut arrive = depart + self.cfg.costs.one_way(size);
-                    // Virtual-circuit sequencing (§7.1): per (src, dst)
-                    // pair, deliveries are FIFO — a later short message
-                    // queues behind an in-flight page-carrying one.
-                    let key = from * self.sites.len() + to.index();
-                    let last = self.circuit_last[key];
-                    if last != NO_DELIVERY && arrive <= last {
-                        arrive = SimTime(last.0 + 1);
+                    let base = depart + self.cfg.costs.one_way(size);
+                    if self.faults.is_some() {
+                        // Fault mode: the sender-side FIFO clamp is off.
+                        // Ordering is enforced at the receiver by the
+                        // circuit sequence numbers instead, and
+                        // reordering is precisely what the plan wants to
+                        // exercise.
+                        let dst = to.index();
+                        let f = self.faults.as_mut().expect("checked");
+                        match f.outbound(from, dst, depart, base) {
+                            None => {} // dropped by the plan
+                            Some((stamp, arrive, dup)) => {
+                                let src = SiteId(from as u16);
+                                if let Some(dup_at) = dup {
+                                    self.push(
+                                        dup_at,
+                                        Ev::Arrival {
+                                            to: dst,
+                                            from: src,
+                                            msg: msg.clone(),
+                                            stamp: Some(stamp),
+                                        },
+                                    );
+                                }
+                                self.push(
+                                    arrive,
+                                    Ev::Arrival { to: dst, from: src, msg, stamp: Some(stamp) },
+                                );
+                            }
+                        }
+                    } else {
+                        let mut arrive = base;
+                        // Virtual-circuit sequencing (§7.1): per (src, dst)
+                        // pair, deliveries are FIFO — a later short message
+                        // queues behind an in-flight page-carrying one.
+                        let key = from * self.sites.len() + to.index();
+                        let last = self.circuit_last[key];
+                        if last != NO_DELIVERY && arrive <= last {
+                            arrive = SimTime(last.0 + 1);
+                        }
+                        self.circuit_last[key] = arrive;
+                        self.push(
+                            arrive,
+                            Ev::Arrival {
+                                to: to.index(),
+                                from: SiteId(from as u16),
+                                msg,
+                                stamp: None,
+                            },
+                        );
                     }
-                    self.circuit_last[key] = arrive;
-                    self.push(
-                        arrive,
-                        Ev::Arrival { to: to.index(), from: SiteId(from as u16), msg },
-                    );
                 }
                 OutEffect::SetTimer { at, token } => {
                     self.push(at, Ev::EngineTimer { site: from, token });
@@ -258,6 +348,169 @@ impl World {
         self.scratch = effects;
     }
 
+    /// Hands a message to the destination site's kernel (instrumentation
+    /// plus server-work queueing). Shared by the pristine and fault
+    /// delivery paths.
+    fn deliver_msg(&mut self, to: usize, from: SiteId, msg: ProtoMsg) {
+        if self.instr.trace_phases {
+            let phase = match &msg {
+                ProtoMsg::PageRequest { .. } => Some(FetchPhase::RequestReceived),
+                ProtoMsg::PageGrant { .. } => Some(FetchPhase::PageReceived),
+                _ => None,
+            };
+            if let Some(p) = phase {
+                self.instr.record_phase(SiteId(to as u16), p, self.now);
+            }
+        }
+        if matches!(msg, ProtoMsg::ReaderInvalidate { .. }) {
+            self.instr.reader_invalidations += 1;
+        }
+        if matches!(msg, ProtoMsg::UpgradeGrant { .. }) {
+            self.instr.upgrades += 1;
+        }
+        self.sites[to].queue_server_work(ServerWork::Deliver { from, msg }, self.now);
+        self.poke(to);
+    }
+
+    /// Fault-mode delivery: screen for a down receiver and stale
+    /// incarnations, then classify against the receiver's circuit. In-
+    /// order messages are delivered (and release any consecutive held
+    /// messages); duplicates are discarded; gapped messages are held
+    /// back with a probe scheduled to declare the gap lost.
+    fn deliver_faulty(&mut self, to: usize, from: SiteId, msg: ProtoMsg, stamp: Stamp) {
+        let f = self.faults.as_mut().expect("stamped arrival without fault state");
+        if f.down[to]
+            || stamp.src_inc != f.incarnation[from.index()]
+            || stamp.dst_inc != f.incarnation[to]
+        {
+            f.stats.stale_dropped += 1;
+            if f.trace {
+                eprintln!("[fault] stale {}->{} seq {}", from.0, to, stamp.seq);
+            }
+            return;
+        }
+        match f.check(from, to, stamp.seq) {
+            Verdict::InOrder => {
+                self.deliver_msg(to, from, msg);
+                self.drain_holdback(from.index(), to);
+            }
+            Verdict::Duplicate => {
+                f.stats.dup_discarded += 1;
+                if f.trace {
+                    eprintln!("[fault] dup-discard {}->{} seq {}", from.0, to, stamp.seq);
+                }
+            }
+            Verdict::Gap { expected, got } => {
+                f.stats.held_back += 1;
+                if f.trace {
+                    eprintln!(
+                        "[fault] holdback {}->{} seq {} (expected {})",
+                        from.0, to, got, expected
+                    );
+                }
+                let wait = f.plan.gap_wait;
+                f.holdback.entry((from.index(), to)).or_default().insert(stamp.seq, msg);
+                self.push(self.now + wait, Ev::LinkProbe { src: from.index(), dst: to });
+            }
+        }
+    }
+
+    /// Releases held-back messages on `(src, dst)` that have become
+    /// deliverable (consecutive from the circuit's expectation).
+    fn drain_holdback(&mut self, src: usize, dst: usize) {
+        loop {
+            let f = self.faults.as_mut().expect("fault state");
+            let Some(q) = f.holdback.get_mut(&(src, dst)) else { return };
+            let Some((&seq, _)) = q.first_key_value() else {
+                f.holdback.remove(&(src, dst));
+                return;
+            };
+            match f.tables[dst].check_seq(SiteId(src as u16), seq) {
+                Verdict::InOrder => {
+                    let msg = q.remove(&seq).expect("first key present");
+                    self.deliver_msg(dst, SiteId(src as u16), msg);
+                }
+                Verdict::Duplicate => {
+                    q.remove(&seq);
+                    f.stats.dup_discarded += 1;
+                }
+                Verdict::Gap { .. } => return,
+            }
+        }
+    }
+
+    /// `gap_wait` expired: if the link still has held-back messages,
+    /// declare the missing sequence numbers lost (the protocol's retry
+    /// layer resupplies the content) and release the queue.
+    fn link_probe(&mut self, src: usize, dst: usize) {
+        let Some(f) = self.faults.as_mut() else { return };
+        if f.down[dst] {
+            return;
+        }
+        let Some(q) = f.holdback.get(&(src, dst)) else { return };
+        let Some((&seq, _)) = q.first_key_value() else {
+            f.holdback.remove(&(src, dst));
+            return;
+        };
+        f.tables[dst].advance_to(SiteId(src as u16), seq);
+        f.stats.gaps_declared += 1;
+        if f.trace {
+            eprintln!("[fault] gap-lost {}->{}: advance to seq {}", src, dst, seq);
+        }
+        self.drain_holdback(src, dst);
+        let still_held = self
+            .faults
+            .as_ref()
+            .expect("fault state")
+            .holdback
+            .get(&(src, dst))
+            .is_some_and(|q| !q.is_empty());
+        if still_held {
+            let wait = self.faults.as_ref().expect("fault state").plan.gap_wait;
+            self.push(self.now + wait, Ev::LinkProbe { src, dst });
+        }
+    }
+
+    /// Executes a scheduled crash: bump the incarnation, sever circuits,
+    /// and discard the site's volatile protocol and scheduler state.
+    fn apply_crash(&mut self, site: usize) {
+        let Some(f) = self.faults.as_mut() else { return };
+        if f.down[site] {
+            return;
+        }
+        f.down[site] = true;
+        f.incarnation[site] += 1;
+        f.stats.crashes += 1;
+        f.sever(site);
+        if f.trace {
+            eprintln!("[fault] crash site{} at {:?}", site, self.now);
+        }
+        self.sites[site].crash();
+    }
+
+    /// Executes a scheduled restart: the site comes back with cold
+    /// volatile state, reconstructs its retransmission obligations from
+    /// the persistent tables, and resumes its frozen processes (whose
+    /// interrupted accesses re-fault against the recovered store).
+    fn apply_restart(&mut self, site: usize) {
+        let Some(f) = self.faults.as_mut() else { return };
+        if !f.down[site] {
+            return;
+        }
+        f.down[site] = false;
+        f.stats.restarts += 1;
+        let trace = f.trace;
+        if trace {
+            eprintln!("[fault] restart site{} at {:?}", site, self.now);
+        }
+        let mut effects = std::mem::take(&mut self.scratch);
+        let now = self.now;
+        self.sites[site].restart(now, &mut effects);
+        self.apply_effects(site, &mut effects);
+        self.scratch = effects;
+        self.push(self.now, Ev::SiteWake { site });
+    }
+
     /// Runs until the given simulated time (events at exactly `until`
     /// are processed).
     pub fn run_until(&mut self, until: SimTime) {
@@ -270,39 +523,28 @@ impl World {
                 self.now = t;
             }
             match ev {
-                Ev::Arrival { to, from, msg } => {
-                    if self.instr.trace_phases {
-                        let phase = match &msg {
-                            ProtoMsg::PageRequest { .. } => Some(FetchPhase::RequestReceived),
-                            ProtoMsg::PageGrant { .. } => Some(FetchPhase::PageReceived),
-                            _ => None,
-                        };
-                        if let Some(p) = phase {
-                            self.instr.record_phase(SiteId(to as u16), p, self.now);
-                        }
-                        if matches!(msg, ProtoMsg::ReaderInvalidate { .. }) {
-                            self.instr.reader_invalidations += 1;
-                        }
-                        if matches!(msg, ProtoMsg::UpgradeGrant { .. }) {
-                            self.instr.upgrades += 1;
-                        }
+                Ev::Arrival { to, from, msg, stamp } => {
+                    if let Some(stamp) = stamp {
+                        self.deliver_faulty(to, from, msg, stamp);
                     } else {
-                        if matches!(msg, ProtoMsg::ReaderInvalidate { .. }) {
-                            self.instr.reader_invalidations += 1;
-                        }
-                        if matches!(msg, ProtoMsg::UpgradeGrant { .. }) {
-                            self.instr.upgrades += 1;
-                        }
+                        self.deliver_msg(to, from, msg);
                     }
-                    self.sites[to]
-                        .queue_server_work(ServerWork::Deliver { from, msg }, self.now);
-                    self.poke(to);
                 }
-                Ev::SiteWake { site } => self.poke(site),
+                Ev::SiteWake { site } => {
+                    if !self.site_down(site) {
+                        self.poke(site);
+                    }
+                }
                 Ev::EngineTimer { site, token } => {
-                    self.sites[site].queue_server_work(ServerWork::Timer { token }, self.now);
-                    self.poke(site);
+                    if !self.site_down(site) {
+                        self.sites[site]
+                            .queue_server_work(ServerWork::Timer { token }, self.now);
+                        self.poke(site);
+                    }
                 }
+                Ev::Crash { site } => self.apply_crash(site),
+                Ev::Restart { site } => self.apply_restart(site),
+                Ev::LinkProbe { src, dst } => self.link_probe(src, dst),
             }
         }
         if until > self.now {
@@ -317,21 +559,46 @@ impl World {
     }
 
     /// Runs until every program has exited or the deadline passes.
-    /// Returns true if all programs finished.
+    /// Returns true if all programs finished. On failure the stuck
+    /// processes are reported to stderr — a silent `false` used to leave
+    /// no clue *which* pid hung, which made protocol hangs needlessly
+    /// painful to localize.
     pub fn run_to_completion(&mut self, deadline: SimTime) -> bool {
         while self.now < deadline {
             if self.sites.iter().all(Site::all_done) {
                 return true;
             }
             let Some(t) = self.next_event_time() else {
-                return self.sites.iter().all(Site::all_done);
+                break;
             };
             if t > deadline {
                 break;
             }
             self.run_until(t);
         }
-        self.sites.iter().all(Site::all_done)
+        let stuck = self.stuck_pids();
+        if stuck.is_empty() {
+            return true;
+        }
+        eprintln!(
+            "run_to_completion: {} process(es) stuck at {:?} (deadline {:?}): {:?}",
+            stuck.len(),
+            self.now,
+            deadline,
+            stuck
+        );
+        false
+    }
+
+    /// Processes that have not exited, with their scheduling state —
+    /// the diagnostic payload for a failed [`World::run_to_completion`].
+    pub fn stuck_pids(&self) -> Vec<(Pid, ProcState)> {
+        self.sites
+            .iter()
+            .flat_map(|s| s.procs.iter())
+            .filter(|p| p.state != ProcState::Done)
+            .map(|p| (p.pid, p.state))
+            .collect()
     }
 
     /// Sum of a metric across all processes at a site.

@@ -1,0 +1,107 @@
+//! Differential test: installing `FaultPlan::none()` must be
+//! *indistinguishable* from never touching the fault layer. The
+//! pristine simulation path is the one every repro binary runs; the
+//! fault layer must cost it nothing — not one message, not one
+//! reordered event, not one extra nanosecond of simulated time.
+
+use mirage_net::FaultPlan;
+use mirage_sim::{
+    program::Script,
+    world::{
+        SimConfig,
+        World,
+    },
+    MemRef,
+    Op,
+};
+use mirage_types::{
+    PageNum,
+    SegmentId,
+    SimDuration,
+    SimTime,
+};
+
+/// A small cross-site workload with real contention: writers on two
+/// sites ping-ponging two pages while a third site reads both.
+fn build(install_none_plan: bool) -> (World, SegmentId) {
+    let mut world = World::new(3, SimConfig::default());
+    world.enable_ref_log();
+    let seg = world.create_segment(0, 2);
+    if install_none_plan {
+        world.install_fault_plan(FaultPlan::none());
+    }
+    let p0 = PageNum(0);
+    let p1 = PageNum(1);
+    for site in 0..2 {
+        let mut ops = Vec::new();
+        for i in 0..25u32 {
+            let page = if i % 2 == 0 { p0 } else { p1 };
+            ops.push(Op::Write(MemRef::new(seg, page, site * 4), i));
+            ops.push(Op::Read(MemRef::new(seg, page, (1 - site) * 4)));
+            if i % 5 == 0 {
+                ops.push(Op::Yield);
+            }
+        }
+        ops.push(Op::Exit);
+        world.spawn(site, Box::new(Script::new(ops)), 2);
+    }
+    let mut reader_ops = Vec::new();
+    for i in 0..30u32 {
+        let page = if i % 3 == 0 { p0 } else { p1 };
+        reader_ops.push(Op::Read(MemRef::new(seg, page, ((i % 2) * 4) as usize)));
+        reader_ops.push(Op::Compute(SimDuration::from_micros(500)));
+    }
+    reader_ops.push(Op::Exit);
+    world.spawn(2, Box::new(Script::new(reader_ops)), 2);
+    (world, seg)
+}
+
+fn page_bytes(world: &World, seg: SegmentId, page: PageNum) -> Vec<Option<Vec<u8>>> {
+    world
+        .sites
+        .iter()
+        .map(|s| {
+            s.store.segment(seg).and_then(|ls| ls.frame(page)).map(|f| f.as_bytes().to_vec())
+        })
+        .collect()
+}
+
+#[test]
+fn none_plan_is_byte_identical_to_no_fault_layer() {
+    let (mut plain, seg_a) = build(false);
+    let (mut with_plan, seg_b) = build(true);
+    assert_eq!(seg_a, seg_b);
+
+    let deadline = SimTime::ZERO + SimDuration::from_millis(600_000);
+    assert!(plain.run_to_completion(deadline), "baseline must complete");
+    assert!(with_plan.run_to_completion(deadline), "none-plan run must complete");
+
+    // Same simulated clock, event for event.
+    assert_eq!(plain.now(), with_plan.now());
+    assert_eq!(plain.engine_events(), with_plan.engine_events());
+
+    // Same observable work.
+    assert_eq!(plain.total_accesses(), with_plan.total_accesses());
+    assert_eq!(plain.total_metric(), with_plan.total_metric());
+
+    // Same instrumentation, down to per-kind message counts.
+    assert_eq!(plain.instr.msgs.short, with_plan.instr.msgs.short);
+    assert_eq!(plain.instr.msgs.large, with_plan.instr.msgs.large);
+    assert_eq!(plain.instr.msgs.by_kind, with_plan.instr.msgs.by_kind);
+    assert_eq!(plain.instr.remote_faults, with_plan.instr.remote_faults);
+    assert_eq!(plain.instr.local_faults, with_plan.instr.local_faults);
+    assert_eq!(plain.instr.denials, with_plan.instr.denials);
+    assert_eq!(plain.instr.reader_invalidations, with_plan.instr.reader_invalidations);
+    assert_eq!(plain.instr.upgrades, with_plan.instr.upgrades);
+
+    // Same reference log (§9), entry for entry.
+    assert_eq!(plain.ref_log, with_plan.ref_log);
+
+    // Same final page bytes at every site.
+    for page in [PageNum(0), PageNum(1)] {
+        assert_eq!(page_bytes(&plain, seg_a, page), page_bytes(&with_plan, seg_b, page));
+    }
+
+    // And the none-plan world never materialized fault state at all.
+    assert!(with_plan.fault_stats().is_none());
+}
