@@ -12,15 +12,36 @@
 //! fault_storm                  # sweep seeds 0..1000
 //! fault_storm --seeds 5000     # wider sweep
 //! fault_storm --start 1000     # shifted seed range
+//! fault_storm --check-trace    # sweep with the causal trace oracle too
 //! fault_storm --seed 42        # one seed, verbose outcome
 //! fault_storm --seed 42 --trace# same, narrating every fault decision
+//! ```
+//!
+//! Single-seed observability flags (each implies a traced run; tracing
+//! never changes the simulated execution):
+//!
+//! ```text
+//! --metrics                    # print the protocol metrics registry
+//! --check-trace                # run the offline trace checker
+//! --export-chrome PATH         # write a Chrome trace-event JSON file
+//! --export-jsonl PATH          # write the raw event trace as JSONL
 //! ```
 //!
 //! Exit status is non-zero if any seed fails; each failure prints the
 //! seed and the replay command, so a CI hit is reproducible locally
 //! with a single copy-paste.
 
-use mirage_sim::run_fuzz_seed;
+use std::io::Write;
+
+use mirage_sim::{
+    run_fuzz_seed,
+    run_fuzz_seed_traced,
+};
+use mirage_trace::{
+    chrome,
+    event_to_json,
+    from_trace,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -28,6 +49,10 @@ fn main() {
     let mut start: u64 = 0;
     let mut single: Option<u64> = None;
     let mut trace = false;
+    let mut metrics = false;
+    let mut check_trace = false;
+    let mut export_chrome: Option<String> = None;
+    let mut export_jsonl: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -44,9 +69,24 @@ fn main() {
                 single = Some(args[i].parse().expect("--seed takes a seed"));
             }
             "--trace" => trace = true,
+            "--metrics" => metrics = true,
+            "--check-trace" => check_trace = true,
+            "--export-chrome" => {
+                i += 1;
+                export_chrome =
+                    Some(args.get(i).expect("--export-chrome takes a path").clone());
+            }
+            "--export-jsonl" => {
+                i += 1;
+                export_jsonl = Some(args.get(i).expect("--export-jsonl takes a path").clone());
+            }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: fault_storm [--seeds N] [--start S] [--seed S [--trace]]");
+                eprintln!(
+                    "usage: fault_storm [--seeds N] [--start S] [--check-trace] \
+                     [--seed S [--trace] [--metrics] [--check-trace] \
+                     [--export-chrome PATH] [--export-jsonl PATH]]"
+                );
                 std::process::exit(2);
             }
         }
@@ -58,9 +98,15 @@ fn main() {
         // what the integration test prints.
         std::env::set_var("MIRAGE_FAULT_TRACE", "1");
     }
+    let want_trace =
+        check_trace || metrics || export_chrome.is_some() || export_jsonl.is_some();
 
     if let Some(seed) = single {
-        let outcome = run_fuzz_seed(seed);
+        let (outcome, events) = if want_trace {
+            run_fuzz_seed_traced(seed)
+        } else {
+            (run_fuzz_seed(seed), Vec::new())
+        };
         println!("{}", outcome.describe());
         if let Some(stats) = outcome.stats {
             println!(
@@ -79,6 +125,30 @@ fn main() {
         } else {
             println!("faults: plan inactive for this seed");
         }
+        if want_trace {
+            println!("trace: {} events", events.len());
+        }
+        if check_trace {
+            // The checker already ran inside the traced scenario and
+            // merged any violations into the outcome above; confirm.
+            println!("trace checker: {}", if outcome.is_ok() { "ok" } else { "VIOLATIONS" });
+        }
+        if metrics {
+            print!("{}", from_trace(&events).render());
+        }
+        if let Some(path) = export_jsonl {
+            let mut f = std::fs::File::create(&path).expect("create jsonl export");
+            for ev in &events {
+                writeln!(f, "{}", event_to_json(ev)).expect("write jsonl export");
+            }
+            println!("wrote {} JSONL events to {path}", events.len());
+        }
+        if let Some(path) = export_chrome {
+            let json = chrome::export(&events);
+            chrome::validate(&json).expect("exported Chrome trace must validate");
+            std::fs::write(&path, &json).expect("write chrome export");
+            println!("wrote Chrome trace ({} bytes) to {path}", json.len());
+        }
         std::process::exit(if outcome.is_ok() { 0 } else { 1 });
     }
 
@@ -87,7 +157,8 @@ fn main() {
     let mut crashes = 0u64;
     let mut dropped = 0u64;
     for seed in start..start + seeds {
-        let outcome = run_fuzz_seed(seed);
+        let outcome =
+            if check_trace { run_fuzz_seed_traced(seed).0 } else { run_fuzz_seed(seed) };
         if let Some(stats) = outcome.stats {
             active += 1;
             crashes += stats.crashes;

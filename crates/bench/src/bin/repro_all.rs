@@ -1,13 +1,17 @@
 //! Runs every experiment and prints the full EXPERIMENTS summary.
 //!
-//! `cargo run --release -p mirage-bench --bin repro_all [--jobs N] [--quick]`
+//! `cargo run --release -p mirage-bench --bin repro_all [--jobs N] [--quick] [--metrics]`
 //!
 //! `--quick` runs the same experiments at seconds-long horizons (for
 //! smoke tests); the default is the full-scale report recorded in
-//! `EXPERIMENTS.md`.
+//! `EXPERIMENTS.md`. `--metrics` appends a protocol-metrics section
+//! derived from dedicated traced runs — the default report is
+//! golden-pinned and stays byte-identical with or without tracing
+//! compiled in.
 
 use mirage_bench::{
     harness::parse_jobs_flag,
+    observability_report,
     repro_all_report,
     ReproParams,
 };
@@ -15,6 +19,10 @@ use mirage_bench::{
 fn main() {
     let rest = parse_jobs_flag(std::env::args().skip(1));
     let quick = rest.iter().any(|a| a == "--quick");
+    let metrics = rest.iter().any(|a| a == "--metrics");
     let params = if quick { ReproParams::quick() } else { ReproParams::full() };
     print!("{}", repro_all_report(&params));
+    if metrics {
+        print!("\n{}", observability_report(quick));
+    }
 }

@@ -11,11 +11,17 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod observability;
 pub mod repro;
 pub mod table;
 
 pub use experiments::*;
 pub use harness::bench;
+pub use observability::{
+    observability_report,
+    traced_pingpong_metrics,
+    traced_storm_metrics,
+};
 pub use repro::{
     repro_all_report,
     ReproParams,

@@ -1,0 +1,78 @@
+//! The observability report: dedicated traced runs summarized through
+//! the metrics registry.
+//!
+//! The repro binaries' default output is golden-pinned, so metrics are
+//! never derived from the experiment runs themselves — a *separate*
+//! traced run of the same scenario produces the trace (tracing is
+//! behaviour-invisible, so it measures the identical execution), and
+//! [`mirage_trace::from_trace`] turns it into counters and histograms.
+//! Per-seed registries merge commutatively, so a `--jobs N` sweep
+//! renders the same report at any worker count.
+
+use mirage_sim::{
+    run_fuzz_seed_traced,
+    World,
+};
+use mirage_trace::{
+    from_trace,
+    Registry,
+};
+use mirage_types::{
+    Delta,
+    SimTime,
+};
+use mirage_workloads::{
+    PingPongPinger,
+    PingPongPonger,
+};
+
+use crate::{
+    experiments::sim_config,
+    harness::par_map,
+};
+
+/// Metrics from one traced worst-case ping-pong run (the Figure 7
+/// scenario) at the given Δ.
+pub fn traced_pingpong_metrics(delta: u32, seconds: u64) -> Registry {
+    let mut w = World::new(2, sim_config(Delta(delta)));
+    w.enable_tracing();
+    let seg = w.create_segment(0, 1);
+    w.spawn(0, Box::new(PingPongPinger::new(seg, u32::MAX / 4, true)), 1);
+    w.spawn(1, Box::new(PingPongPonger::new(seg, true)), 1);
+    w.run_until(SimTime::from_millis(seconds * 1000));
+    from_trace(w.trace_events())
+}
+
+/// Metrics merged across a traced fault-storm sweep. Each seed runs on
+/// its own worker; per-seed registries are merged in input order, and
+/// the merge itself is commutative, so the result is independent of the
+/// worker count. Panics if any seed fails either coherence oracle —
+/// metrics from an incoherent run would be lies.
+pub fn traced_storm_metrics(seeds: &[u64]) -> Registry {
+    let shards = par_map(seeds, |&seed| {
+        let (outcome, trace) = run_fuzz_seed_traced(seed);
+        assert!(outcome.is_ok(), "{}", outcome.describe());
+        from_trace(&trace)
+    });
+    let mut merged = Registry::new();
+    for shard in &shards {
+        merged.merge(shard);
+    }
+    merged
+}
+
+/// Renders the full observability section: ping-pong protocol metrics
+/// at two Δ settings plus a merged fault-storm summary.
+pub fn observability_report(quick: bool) -> String {
+    let (seconds, seeds): (u64, Vec<u64>) =
+        if quick { (2, (0..8).collect()) } else { (10, (0..64).collect()) };
+    let mut out = String::new();
+    out.push_str("# Observability — protocol metrics from traced runs\n");
+    for delta in [0u32, 6] {
+        out.push_str(&format!("\n## ping-pong, Δ={delta} ({seconds}s simulated)\n\n"));
+        out.push_str(&traced_pingpong_metrics(delta, seconds).render());
+    }
+    out.push_str(&format!("\n## fault storm, {} seeds merged\n\n", seeds.len()));
+    out.push_str(&traced_storm_metrics(&seeds).render());
+    out
+}

@@ -19,6 +19,7 @@ use mirage_bench::{
     repro_all_report,
     test_and_set,
     thrash_system,
+    traced_storm_metrics,
     ReproParams,
 };
 
@@ -88,6 +89,24 @@ fn baseline_compare_is_identical_at_any_worker_count() {
 fn dynamic_delta_is_identical_at_any_worker_count() {
     let (a, b) = at_jobs_1_and_4(|| dynamic_delta_with(2_000, 2));
     assert_eq!(a, b);
+}
+
+/// Metrics registries merged across a traced sweep must render the
+/// same report at any worker count: per-seed shards are produced in
+/// input order and the merge is commutative, so worker scheduling has
+/// nothing to perturb.
+#[test]
+fn storm_metrics_merge_is_identical_at_any_worker_count() {
+    let seeds: Vec<u64> = (0..12).collect();
+    let _guard = JOBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    set_jobs(1);
+    let sequential = traced_storm_metrics(&seeds);
+    set_jobs(4);
+    let parallel = traced_storm_metrics(&seeds);
+    set_jobs(0);
+    assert_eq!(sequential, parallel);
+    assert_eq!(sequential.render(), parallel.render());
+    assert!(sequential.counter("demand.requests") > 0, "sweep traced no protocol work");
 }
 
 /// The quick report both pins determinism across worker counts and

@@ -130,6 +130,12 @@ pub struct ProtocolConfig {
     /// timers are armed, no serials are stamped, behaviour is identical
     /// to the pre-fault-injection protocol.
     pub retry: Option<RetryPolicy>,
+    /// Emit structured protocol trace events
+    /// ([`crate::event::Action::Trace`]). Off by default: the disabled
+    /// path constructs nothing and costs one branch per emission point,
+    /// and enabling it never changes protocol behaviour — only what is
+    /// observed.
+    pub trace: bool,
 }
 
 impl ProtocolConfig {
@@ -148,6 +154,7 @@ impl Default for ProtocolConfig {
             queued_invalidation: false,
             multicast_invalidation: false,
             retry: None,
+            trace: false,
         }
     }
 }

@@ -20,6 +20,7 @@
 //! actions to the runtime. Runtimes with no such ordering need can use
 //! the one-shot [`ProtocolDriver::drive`].
 
+use mirage_trace::TraceEvent;
 use mirage_types::{
     Pid,
     SegmentId,
@@ -55,6 +56,12 @@ pub trait DriverOps {
     fn set_timer(&mut self, at: SimTime, token: u64);
     /// Append a reference-log entry (§9; library sites only).
     fn log(&mut self, entry: RefLogEntry);
+    /// Record a protocol trace event. Only emitted when tracing is
+    /// enabled in [`ProtocolConfig`]; the default discards it, so
+    /// runtimes without an observability sink need no code.
+    fn trace(&mut self, ev: TraceEvent) {
+        let _ = ev;
+    }
 }
 
 /// What one dispatch produced, available before the actions are flushed.
@@ -104,6 +111,12 @@ impl ProtocolDriver {
         &mut self.engine
     }
 
+    /// Turns protocol trace emission on or off (see
+    /// [`SiteEngine::set_tracing`]).
+    pub fn set_tracing(&mut self, on: bool) {
+        self.engine.set_tracing(on);
+    }
+
     /// Phase 1: runs one event at `now`, buffering the resulting actions
     /// in the driver's sink. Any actions still pending from a previous
     /// dispatch are discarded, so callers must flush between events.
@@ -138,6 +151,7 @@ impl ProtocolDriver {
                 Action::Wake { pid } => ops.wake(pid),
                 Action::SetTimer { at, token } => ops.set_timer(at, token),
                 Action::Log(entry) => ops.log(entry),
+                Action::Trace(ev) => ops.trace(ev),
             }
         }
     }
@@ -192,6 +206,8 @@ pub struct RecordedOps {
     pub timers: Vec<(SimTime, u64)>,
     /// Buffered reference-log entries, in emission order.
     pub logs: Vec<RefLogEntry>,
+    /// Buffered trace events, in emission order.
+    pub traces: Vec<TraceEvent>,
 }
 
 impl RecordedOps {
@@ -206,6 +222,7 @@ impl RecordedOps {
         self.wakes.clear();
         self.timers.clear();
         self.logs.clear();
+        self.traces.clear();
     }
 
     /// True if nothing has been recorded since the last clear.
@@ -214,6 +231,7 @@ impl RecordedOps {
             && self.wakes.is_empty()
             && self.timers.is_empty()
             && self.logs.is_empty()
+            && self.traces.is_empty()
     }
 }
 
@@ -229,6 +247,9 @@ impl DriverOps for RecordedOps {
     }
     fn log(&mut self, entry: RefLogEntry) {
         self.logs.push(entry);
+    }
+    fn trace(&mut self, ev: TraceEvent) {
+        self.traces.push(ev);
     }
 }
 

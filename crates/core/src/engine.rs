@@ -18,6 +18,11 @@
 
 use std::collections::HashMap;
 
+use mirage_trace::{
+    SpanId,
+    TraceEvent,
+    TraceKind,
+};
 use mirage_types::{
     Access,
     PageNum,
@@ -115,6 +120,10 @@ pub struct SiteEngine {
     pub(crate) usr: UseState,
     pub(crate) timers: HashMap<u64, TimerKind>,
     pub(crate) next_token: u64,
+    /// Site-local counter backing [`SpanId`] allocation. Only consumed
+    /// when tracing is enabled, so the disabled path is untouched; it
+    /// survives crashes (span ids stay unique across incarnations).
+    pub(crate) next_span: u64,
 }
 
 impl SiteEngine {
@@ -127,6 +136,7 @@ impl SiteEngine {
             usr: UseState::default(),
             timers: HashMap::new(),
             next_token: 1,
+            next_span: 0,
         }
     }
 
@@ -363,6 +373,53 @@ impl SiteEngine {
         };
         let at = sink.now() + rp.backoff(attempt);
         self.set_timer(at, kind, sink);
+    }
+
+    // ---- Trace emission (observability layer). ----
+
+    /// True when the configuration asks for protocol trace events.
+    ///
+    /// Every emission point is guarded by this flag; when it is false no
+    /// [`TraceEvent`] is ever constructed, which is what keeps the hot
+    /// path allocation-free and byte-identical to the untraced build.
+    #[inline]
+    pub(crate) fn tracing(&self) -> bool {
+        self.config.trace
+    }
+
+    /// Turns protocol trace emission on or off after construction.
+    /// Flipping the flag never changes protocol behaviour — only whether
+    /// [`crate::event::Action::Trace`] actions are produced.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.config.trace = on;
+    }
+
+    /// Allocates a fresh per-site causal span id.
+    pub(crate) fn new_span(&mut self) -> SpanId {
+        self.next_span += 1;
+        SpanId::new(self.site, self.next_span)
+    }
+
+    /// Starts a trace event for this site at the sink's current time;
+    /// callers fill in the optional fields and push it via
+    /// [`SiteEngine::push_trace`].
+    pub(crate) fn trace_event(
+        &self,
+        kind: TraceKind,
+        span: u64,
+        seg: SegmentId,
+        page: PageNum,
+        sink: &ActionSink,
+    ) -> TraceEvent {
+        let mut ev = TraceEvent::new(sink.now(), self.site, kind);
+        ev.span = SpanId(span);
+        ev.subject = Some((seg, page));
+        ev
+    }
+
+    /// Buffers a trace event as an [`Action::Trace`].
+    pub(crate) fn push_trace(&self, ev: TraceEvent, sink: &mut ActionSink) {
+        sink.push(Action::Trace(ev));
     }
 
     /// Test/diagnostic access: the library's view of a page, if this site

@@ -1,6 +1,7 @@
 //! The sans-IO interface: events the harness feeds in, actions it carries
 //! out.
 
+use mirage_trace::TraceEvent;
 use mirage_types::{
     Access,
     PageNum,
@@ -88,6 +89,11 @@ pub enum Action {
     },
     /// Record a reference-log entry (library sites only, §9).
     Log(RefLogEntry),
+    /// Record a protocol trace event. Emitted only when
+    /// [`crate::config::ProtocolConfig::trace`] is set; runtimes without
+    /// an installed sink may discard it (the default
+    /// [`crate::driver::DriverOps::trace`] does).
+    Trace(TraceEvent),
 }
 
 impl Action {

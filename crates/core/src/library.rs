@@ -93,6 +93,10 @@ struct LibPage {
     serial: u32,
     /// Retransmit count for the in-flight serve (volatile).
     serve_attempt: u32,
+    /// Trace span of the in-flight serve (raw [`mirage_trace::SpanId`]
+    /// bits; 0 when tracing is off or no serve is open). Observability
+    /// only — never consulted by protocol decisions.
+    span: u64,
 }
 
 impl LibPage {
@@ -110,6 +114,7 @@ impl LibPage {
             deny_seen: false,
             serial: 0,
             serve_attempt: 0,
+            span: 0,
         }
     }
 
@@ -276,6 +281,16 @@ impl SiteEngine {
             }
         }
         rec.queue.push_back(Request { site: from, access });
+        let depth = rec.queue.len();
+        if self.tracing() {
+            let mut ev =
+                self.trace_event(mirage_trace::TraceKind::RequestQueued, 0, seg, page, sink);
+            ev.peer = Some(from);
+            ev.pid = Some(pid);
+            ev.access = Some(access);
+            ev.detail = depth as u64;
+            self.push_trace(ev, sink);
+        }
         self.lib_process_queue(seg, page, sink);
     }
 
@@ -340,6 +355,19 @@ impl SiteEngine {
                             ProtoMsg::AddReaders { seg, page, readers: batch, window, serial },
                             sink,
                         );
+                        if self.tracing() {
+                            let mut ev = self.trace_event(
+                                mirage_trace::TraceKind::AddReadersSent,
+                                0,
+                                seg,
+                                page,
+                                sink,
+                            );
+                            ev.peer = Some(clock);
+                            ev.serial = serial;
+                            ev.detail = batch.len() as u64;
+                            self.push_trace(ev, sink);
+                        }
                         // Non-blocking: keep processing the queue.
                         continue;
                     }
@@ -361,6 +389,14 @@ impl SiteEngine {
                             window,
                             serial,
                         },
+                        sink,
+                    );
+                    self.trace_serve_start(
+                        (seg, page),
+                        clock,
+                        serial,
+                        Access::Read,
+                        batch.len() as u64,
                         sink,
                     );
                     self.arm_retry(0, TimerKind::ServeRetry { seg, page, serial }, sink);
@@ -401,11 +437,40 @@ impl SiteEngine {
                         ProtoMsg::Invalidate { seg, page, demand, readers, window, serial },
                         sink,
                     );
+                    self.trace_serve_start((seg, page), clock, serial, Access::Write, 1, sink);
                     self.arm_retry(0, TimerKind::ServeRetry { seg, page, serial }, sink);
                     return;
                 }
             }
         }
+    }
+
+    /// Opens the library serve span and emits `ServeStart` (tracing
+    /// only; a no-op otherwise).
+    fn trace_serve_start(
+        &mut self,
+        subject: (SegmentId, PageNum),
+        clock: SiteId,
+        serial: u32,
+        access: Access,
+        detail: u64,
+        sink: &mut ActionSink,
+    ) {
+        let (seg, page) = subject;
+        if !self.tracing() {
+            return;
+        }
+        let span = self.new_span();
+        if let Some(rec) = self.lib.page_mut(seg, page) {
+            rec.span = span.0;
+        }
+        let mut ev =
+            self.trace_event(mirage_trace::TraceKind::ServeStart, span.0, seg, page, sink);
+        ev.peer = Some(clock);
+        ev.serial = serial;
+        ev.access = Some(access);
+        ev.detail = detail;
+        self.push_trace(ev, sink);
     }
 
     /// The clock site denied the invalidation; retry when Δ expires.
@@ -433,6 +498,14 @@ impl SiteEngine {
             return;
         }
         rec.deny_seen = true;
+        let span = rec.span;
+        if self.tracing() {
+            let mut ev =
+                self.trace_event(mirage_trace::TraceKind::DenyReceived, span, seg, page, sink);
+            ev.serial = serial;
+            ev.detail = wait.0;
+            self.push_trace(ev, sink);
+        }
         let at = sink.now() + wait;
         self.set_timer(at, TimerKind::LibraryRetry { seg, page }, sink);
     }
@@ -449,11 +522,19 @@ impl SiteEngine {
         let serial = rec.serial;
         let clock = rec.clock;
         let readers = rec.readers;
+        let span = rec.span;
         self.emit(
             clock,
             ProtoMsg::Invalidate { seg, page, demand, readers, window, serial },
             sink,
         );
+        if self.tracing() {
+            let mut ev =
+                self.trace_event(mirage_trace::TraceKind::DenyRetry, span, seg, page, sink);
+            ev.peer = Some(clock);
+            ev.serial = serial;
+            self.push_trace(ev, sink);
+        }
     }
 
     /// Serve retransmit timer fired (retry mode): the in-flight
@@ -478,11 +559,20 @@ impl SiteEngine {
         let demand = rec.serving.clone().expect("checked above");
         let clock = rec.clock;
         let readers = rec.readers;
+        let span = rec.span;
         self.emit(
             clock,
             ProtoMsg::Invalidate { seg, page, demand, readers, window, serial },
             sink,
         );
+        if self.tracing() {
+            let mut ev =
+                self.trace_event(mirage_trace::TraceKind::ServeRetry, span, seg, page, sink);
+            ev.peer = Some(clock);
+            ev.serial = serial;
+            ev.detail = u64::from(attempt);
+            self.push_trace(ev, sink);
+        }
         self.arm_retry(attempt, TimerKind::ServeRetry { seg, page, serial }, sink);
     }
 
@@ -566,6 +656,15 @@ impl SiteEngine {
                 rec.readers = readers;
                 rec.clock = clock;
             }
+        }
+        let span = std::mem::take(&mut rec.span);
+        if self.tracing() {
+            let mut ev =
+                self.trace_event(mirage_trace::TraceKind::ServeDone, span, seg, page, sink);
+            ev.peer = Some(from);
+            ev.serial = serial;
+            ev.detail = u64::from(info.writer_downgraded);
+            self.push_trace(ev, sink);
         }
         self.lib_process_queue(seg, page, sink);
     }

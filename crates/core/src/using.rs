@@ -18,6 +18,7 @@ use mirage_mem::{
     AuxTable,
     PageData,
 };
+use mirage_trace::TraceKind;
 use mirage_types::{
     Access,
     Delta,
@@ -157,6 +158,13 @@ struct UsePage {
     /// Floor on grant installs: a grant or upgrade stamped with a serial
     /// below this is stale and must be dropped (persistent).
     min_install_serial: u32,
+    /// Causal span of the outstanding page request (volatile; raw
+    /// [`mirage_trace::SpanId`] bits, 0 when tracing is off or no
+    /// request is in flight).
+    req_span: u64,
+    /// Causal span of the clock duty in progress (volatile; raw span
+    /// bits, 0 outside an invalidation round).
+    duty_span: u64,
 }
 
 /// Per-segment using-site state: the auxiliary table plus the dense
@@ -248,6 +256,8 @@ impl UseState {
                 e.req_attempt = 0;
                 e.retry_pid = None;
                 e.done_attempt = 0;
+                e.req_span = 0;
+                e.duty_span = 0;
                 for g in &mut e.pending_grants {
                     g.attempt = 0;
                 }
@@ -291,6 +301,7 @@ impl SiteEngine {
             return;
         };
         entry.waiters.push((pid, access));
+        let depth = entry.waiters.len();
         // Deduplicate outstanding requests from this site: an in-flight
         // write request will grant read-write, which covers read faults
         // too.
@@ -305,6 +316,34 @@ impl SiteEngine {
             }
             entry.retry_pid = Some(pid);
             entry.req_attempt = 0;
+        }
+        if self.tracing() {
+            let span = if need_send {
+                let span = self.new_span();
+                if let Some(entry) = self.usr.entry_mut(seg, page) {
+                    entry.req_span = span.0;
+                }
+                span.0
+            } else {
+                self.usr
+                    .seg(seg)
+                    .and_then(|s| s.pages.get(page.index()))
+                    .map_or(0, |e| e.req_span)
+            };
+            let mut ev = self.trace_event(TraceKind::FaultTaken, span, seg, page, sink);
+            ev.pid = Some(pid);
+            ev.access = Some(access);
+            ev.detail = depth as u64;
+            self.push_trace(ev, sink);
+            if need_send {
+                let mut ev = self.trace_event(TraceKind::RequestSent, span, seg, page, sink);
+                ev.peer = Some(seg.library);
+                ev.pid = Some(pid);
+                ev.access = Some(access);
+                self.push_trace(ev, sink);
+            }
+        }
+        if need_send {
             self.emit(seg.library, ProtoMsg::PageRequest { seg, page, access, pid }, sink);
             self.arm_retry(0, TimerKind::RequestRetry { seg, page }, sink);
         }
@@ -336,10 +375,19 @@ impl SiteEngine {
         };
         entry.req_attempt += 1;
         let attempt = entry.req_attempt;
+        let span = entry.req_span;
         let pid = entry
             .retry_pid
             .or_else(|| entry.waiters.first().map(|&(pid, _)| pid))
             .unwrap_or(Pid::new(self.site, 0));
+        if self.tracing() {
+            let mut ev = self.trace_event(TraceKind::RequestRetry, span, seg, page, sink);
+            ev.peer = Some(seg.library);
+            ev.pid = Some(pid);
+            ev.access = Some(access);
+            ev.detail = u64::from(attempt);
+            self.push_trace(ev, sink);
+        }
         self.emit(seg.library, ProtoMsg::PageRequest { seg, page, access, pid }, sink);
         self.arm_retry(attempt, TimerKind::RequestRetry { seg, page }, sink);
     }
@@ -373,10 +421,18 @@ impl SiteEngine {
                         window,
                         serial,
                     });
+                    if self.tracing() {
+                        let mut ev =
+                            self.trace_event(TraceKind::AddReadersDeferred, 0, seg, page, sink);
+                        ev.serial = serial;
+                        ev.detail = readers.len() as u64;
+                        self.push_trace(ev, sink);
+                    }
                 }
             }
             return;
         }
+        let duty = if self.tracing() { self.new_span().0 } else { 0 };
         let data = store.copy(seg, page);
         for r in readers.iter() {
             if r == self.site {
@@ -410,6 +466,14 @@ impl SiteEngine {
                 },
                 sink,
             );
+            if self.tracing() {
+                let mut ev = self.trace_event(TraceKind::GrantSent, duty, seg, page, sink);
+                ev.peer = Some(r);
+                ev.access = Some(Access::Read);
+                ev.serial = serial;
+                ev.detail = u64::from(window.0);
+                self.push_trace(ev, sink);
+            }
         }
         if readers.contains(self.site) {
             // Raced local request: we already hold a copy; wake readers.
@@ -481,6 +545,12 @@ impl SiteEngine {
                         window,
                         serial,
                     });
+                    if self.tracing() {
+                        let mut ev =
+                            self.trace_event(TraceKind::InvalidateDeferred, 0, seg, page, sink);
+                        ev.serial = serial;
+                        self.push_trace(ev, sink);
+                    }
                 }
             }
             return;
@@ -500,6 +570,13 @@ impl SiteEngine {
                 if let Some(entry) = self.usr.entry_mut(seg, page) {
                     entry.delayed = Some(DelayedInvalidate { demand, readers, window, serial });
                 }
+                if self.tracing() {
+                    let mut ev =
+                        self.trace_event(TraceKind::InvalidateQueued, 0, seg, page, sink);
+                    ev.serial = serial;
+                    ev.detail = remaining.0;
+                    self.push_trace(ev, sink);
+                }
                 self.set_timer(expiry, TimerKind::ClockDelayed { seg, page }, sink);
                 return;
             }
@@ -511,6 +588,13 @@ impl SiteEngine {
                 ProtoMsg::InvalidateDeny { seg, page, wait: remaining, serial },
                 sink,
             );
+            if self.tracing() {
+                let mut ev = self.trace_event(TraceKind::DenySent, 0, seg, page, sink);
+                ev.peer = Some(seg.library);
+                ev.serial = serial;
+                ev.detail = remaining.0;
+                self.push_trace(ev, sink);
+            }
             return;
         }
         self.honor_invalidation(seg, page, demand, readers, window, serial, store, sink);
@@ -569,6 +653,7 @@ impl SiteEngine {
                 "library serializes demands per page"
             );
         }
+        let duty = if self.tracing() { self.new_span().0 } else { 0 };
         match demand {
             Demand::Read { to } => {
                 // We are the writer (Table 1 row 3). Grant read copies,
@@ -606,6 +691,15 @@ impl SiteEngine {
                         },
                         sink,
                     );
+                    if self.tracing() {
+                        let mut ev =
+                            self.trace_event(TraceKind::GrantSent, duty, seg, page, sink);
+                        ev.peer = Some(r);
+                        ev.access = Some(Access::Read);
+                        ev.serial = serial;
+                        ev.detail = u64::from(window.0);
+                        self.push_trace(ev, sink);
+                    }
                 }
                 let downgraded = self.config.downgrade_optimization;
                 if downgraded {
@@ -619,8 +713,26 @@ impl SiteEngine {
                     if let Some(st) = self.usr.seg_mut(seg) {
                         st.aux.get_mut(page).window = window;
                     }
+                    if self.tracing() {
+                        let mut ev =
+                            self.trace_event(TraceKind::Downgraded, duty, seg, page, sink);
+                        ev.serial = serial;
+                        ev.detail = u64::from(window.0);
+                        self.push_trace(ev, sink);
+                    }
                 } else {
                     store.set_prot(seg, page, PageProt::None);
+                    if self.tracing() {
+                        let mut ev = self.trace_event(
+                            TraceKind::CopyRelinquished,
+                            duty,
+                            seg,
+                            page,
+                            sink,
+                        );
+                        ev.serial = serial;
+                        self.push_trace(ev, sink);
+                    }
                 }
                 let info = DoneInfo { writer_downgraded: downgraded };
                 self.emit(
@@ -628,6 +740,13 @@ impl SiteEngine {
                     ProtoMsg::InvalidateDone { seg, page, info, serial },
                     sink,
                 );
+                if self.tracing() {
+                    let mut ev = self.trace_event(TraceKind::DoneSent, duty, seg, page, sink);
+                    ev.peer = Some(seg.library);
+                    ev.serial = serial;
+                    ev.detail = u64::from(info.writer_downgraded);
+                    self.push_trace(ev, sink);
+                }
                 if retry_on {
                     if let Some(entry) = self.usr.entry_mut(seg, page) {
                         entry.pending_done = Some((serial, info));
@@ -647,6 +766,13 @@ impl SiteEngine {
                 if upgrade {
                     victims.remove(to);
                 }
+                if self.tracing() {
+                    let mut ev = self.trace_event(TraceKind::RoundStart, duty, seg, page, sink);
+                    ev.serial = serial;
+                    ev.access = Some(Access::Write);
+                    ev.detail = victims.len() as u64;
+                    self.push_trace(ev, sink);
+                }
                 // Invalidate the local copy; if we are the data source
                 // (no upgrade), keep the bytes to forward. In retry mode
                 // the relinquish is deferred to round *completion*
@@ -656,13 +782,36 @@ impl SiteEngine {
                     None
                 } else if upgrade {
                     store.set_prot(seg, page, PageProt::None);
+                    if self.tracing() {
+                        let mut ev = self.trace_event(
+                            TraceKind::CopyRelinquished,
+                            duty,
+                            seg,
+                            page,
+                            sink,
+                        );
+                        ev.serial = serial;
+                        self.push_trace(ev, sink);
+                    }
                     None
                 } else {
                     debug_assert!(
                         i_am_writer || readers.contains(self.site),
                         "clock site must hold a copy"
                     );
-                    Some(store.take(seg, page))
+                    let taken = store.take(seg, page);
+                    if self.tracing() {
+                        let mut ev = self.trace_event(
+                            TraceKind::CopyRelinquished,
+                            duty,
+                            seg,
+                            page,
+                            sink,
+                        );
+                        ev.serial = serial;
+                        self.push_trace(ev, sink);
+                    }
+                    Some(taken)
                 };
                 let mut round = InvRound {
                     demand: Demand::Write { to, upgrade },
@@ -676,6 +825,7 @@ impl SiteEngine {
                 if round.to_send.is_empty() {
                     if let Some(entry) = self.usr.entry_mut(seg, page) {
                         entry.round = Some(round);
+                        entry.duty_span = duty;
                         self.finish_write_round(seg, page, store, sink);
                     }
                     return;
@@ -687,6 +837,18 @@ impl SiteEngine {
                     round.remaining = all;
                     for v in all.iter() {
                         self.emit(v, ProtoMsg::ReaderInvalidate { seg, page, serial }, sink);
+                        if self.tracing() {
+                            let mut ev = self.trace_event(
+                                TraceKind::ReaderInvalidateSent,
+                                duty,
+                                seg,
+                                page,
+                                sink,
+                            );
+                            ev.peer = Some(v);
+                            ev.serial = serial;
+                            self.push_trace(ev, sink);
+                        }
                     }
                 } else {
                     // Paper behaviour: "invalidations are processed
@@ -696,9 +858,22 @@ impl SiteEngine {
                     round.to_send.remove(first);
                     round.remaining.insert(first);
                     self.emit(first, ProtoMsg::ReaderInvalidate { seg, page, serial }, sink);
+                    if self.tracing() {
+                        let mut ev = self.trace_event(
+                            TraceKind::ReaderInvalidateSent,
+                            duty,
+                            seg,
+                            page,
+                            sink,
+                        );
+                        ev.peer = Some(first);
+                        ev.serial = serial;
+                        self.push_trace(ev, sink);
+                    }
                 }
                 if let Some(entry) = self.usr.entry_mut(seg, page) {
                     entry.round = Some(round);
+                    entry.duty_span = duty;
                 }
                 if retry_on {
                     self.arm_retry(0, TimerKind::RoundRetry { seg, page, serial }, sink);
@@ -736,6 +911,13 @@ impl SiteEngine {
             });
             if apply {
                 store.set_prot(seg, page, PageProt::None);
+                if self.tracing() {
+                    let mut ev =
+                        self.trace_event(TraceKind::ReaderInvalidated, 0, seg, page, sink);
+                    ev.peer = Some(from);
+                    ev.serial = serial;
+                    self.push_trace(ev, sink);
+                }
             }
             self.emit(from, ProtoMsg::ReaderInvalidateAck { seg, page, serial }, sink);
             return;
@@ -758,6 +940,12 @@ impl SiteEngine {
             }
         }
         store.set_prot(seg, page, PageProt::None);
+        if self.tracing() {
+            let mut ev = self.trace_event(TraceKind::ReaderInvalidated, 0, seg, page, sink);
+            ev.peer = Some(from);
+            ev.serial = serial;
+            self.push_trace(ev, sink);
+        }
         self.emit(from, ProtoMsg::ReaderInvalidateAck { seg, page, serial }, sink);
     }
 
@@ -773,6 +961,11 @@ impl SiteEngine {
         sink: &mut ActionSink,
     ) {
         let retry_on = self.config.retry.is_some();
+        let duty = if self.tracing() {
+            self.usr.seg(seg).and_then(|s| s.pages.get(page.index())).map_or(0, |e| e.duty_span)
+        } else {
+            0
+        };
         let finished = {
             let Some(round) = self.usr.entry_mut(seg, page).and_then(|e| e.round.as_mut())
             else {
@@ -794,6 +987,18 @@ impl SiteEngine {
                     ProtoMsg::ReaderInvalidate { seg, page, serial: rserial },
                     sink,
                 );
+                if self.tracing() {
+                    let mut ev = self.trace_event(
+                        TraceKind::ReaderInvalidateSent,
+                        duty,
+                        seg,
+                        page,
+                        sink,
+                    );
+                    ev.peer = Some(next);
+                    ev.serial = rserial;
+                    self.push_trace(ev, sink);
+                }
                 false
             } else {
                 round.remaining.is_empty()
@@ -813,17 +1018,26 @@ impl SiteEngine {
         serial: u32,
         sink: &mut ActionSink,
     ) {
-        let (targets, attempt) = {
-            let Some(round) = self.usr.entry_mut(seg, page).and_then(|e| e.round.as_mut())
-            else {
+        let (targets, attempt, duty) = {
+            let Some(entry) = self.usr.entry_mut(seg, page) else {
+                return;
+            };
+            let duty = entry.duty_span;
+            let Some(round) = entry.round.as_mut() else {
                 return;
             };
             if round.serial != serial {
                 return;
             }
             round.attempt += 1;
-            (round.remaining, round.attempt)
+            (round.remaining, round.attempt, duty)
         };
+        if self.tracing() {
+            let mut ev = self.trace_event(TraceKind::RoundRetry, duty, seg, page, sink);
+            ev.serial = serial;
+            ev.detail = u64::from(attempt);
+            self.push_trace(ev, sink);
+        }
         for v in targets.iter() {
             self.emit(v, ProtoMsg::ReaderInvalidate { seg, page, serial }, sink);
         }
@@ -840,10 +1054,10 @@ impl SiteEngine {
         sink: &mut ActionSink,
     ) {
         let retry_on = self.config.retry.is_some();
-        let round = self
+        let (round, duty) = self
             .usr
             .entry_mut(seg, page)
-            .and_then(|e| e.round.take())
+            .and_then(|e| e.round.take().map(|r| (r, std::mem::take(&mut e.duty_span))))
             .expect("round in flight");
         let serial = round.serial;
         let Demand::Write { to, upgrade } = round.demand else {
@@ -853,6 +1067,7 @@ impl SiteEngine {
             // We are both clock site and requester: upgrade in place.
             store.set_prot(seg, page, PageProt::ReadWrite);
             let now = sink.now();
+            let mut req_span = 0;
             if let Some(st) = self.usr.seg_mut(seg) {
                 let e = st.aux.get_mut(page);
                 e.install_time = now;
@@ -860,7 +1075,15 @@ impl SiteEngine {
                 if let Some(entry) = st.pages.get_mut(page.index()) {
                     entry.out_write = false;
                     entry.out_read = false;
+                    req_span = std::mem::take(&mut entry.req_span);
                 }
+            }
+            if self.tracing() {
+                let span = if req_span != 0 { req_span } else { duty };
+                let mut ev = self.trace_event(TraceKind::Upgraded, span, seg, page, sink);
+                ev.serial = serial;
+                ev.detail = u64::from(round.window.0);
+                self.push_trace(ev, sink);
             }
             self.wake_satisfied(seg, page, store, sink);
         } else if upgrade {
@@ -877,6 +1100,12 @@ impl SiteEngine {
                 // an `UpgradeNack` (receiver has no frame) escalates it
                 // to a full data-carrying grant.
                 let reserve = store.take(seg, page);
+                if self.tracing() {
+                    let mut ev =
+                        self.trace_event(TraceKind::CopyRelinquished, duty, seg, page, sink);
+                    ev.serial = serial;
+                    self.push_trace(ev, sink);
+                }
                 self.retain_grant(
                     seg,
                     page,
@@ -898,12 +1127,26 @@ impl SiteEngine {
                 ProtoMsg::UpgradeGrant { seg, page, window: round.window, serial },
                 sink,
             );
+            if self.tracing() {
+                let mut ev = self.trace_event(TraceKind::UpgradeSent, duty, seg, page, sink);
+                ev.peer = Some(to);
+                ev.serial = serial;
+                ev.detail = u64::from(round.window.0);
+                self.push_trace(ev, sink);
+            }
         } else {
             let data = if retry_on {
                 // Deferred relinquish: the only copy leaves this site in
                 // the grant below, so retain it (`pending_grant`) until
                 // the receiver acknowledges installation.
-                store.take(seg, page)
+                let taken = store.take(seg, page);
+                if self.tracing() {
+                    let mut ev =
+                        self.trace_event(TraceKind::CopyRelinquished, duty, seg, page, sink);
+                    ev.serial = serial;
+                    self.push_trace(ev, sink);
+                }
+                taken
             } else {
                 round.data.expect("non-upgrade write demand carries data")
             };
@@ -935,9 +1178,23 @@ impl SiteEngine {
                 },
                 sink,
             );
+            if self.tracing() {
+                let mut ev = self.trace_event(TraceKind::GrantSent, duty, seg, page, sink);
+                ev.peer = Some(to);
+                ev.access = Some(Access::Write);
+                ev.serial = serial;
+                ev.detail = u64::from(round.window.0);
+                self.push_trace(ev, sink);
+            }
         }
         let info = DoneInfo { writer_downgraded: false };
         self.emit(seg.library, ProtoMsg::InvalidateDone { seg, page, info, serial }, sink);
+        if self.tracing() {
+            let mut ev = self.trace_event(TraceKind::DoneSent, duty, seg, page, sink);
+            ev.peer = Some(seg.library);
+            ev.serial = serial;
+            self.push_trace(ev, sink);
+        }
         if retry_on {
             if let Some(entry) = self.usr.entry_mut(seg, page) {
                 entry.pending_done = Some((serial, info));
@@ -975,6 +1232,14 @@ impl SiteEngine {
                 // entry and stops retransmitting — staleness means we
                 // already installed this grant once, or something newer
                 // superseded it.
+                if self.tracing() {
+                    let mut ev =
+                        self.trace_event(TraceKind::StaleGrantDropped, 0, seg, page, sink);
+                    ev.peer = Some(from);
+                    ev.access = Some(access);
+                    ev.serial = serial;
+                    self.push_trace(ev, sink);
+                }
                 self.emit(from, ProtoMsg::GrantAck { seg, page, serial }, sink);
                 return;
             }
@@ -985,6 +1250,7 @@ impl SiteEngine {
         };
         store.install(seg, page, data, prot);
         let now = sink.now();
+        let mut req_span = 0;
         if let Some(st) = self.usr.seg_mut(seg) {
             let e = st.aux.get_mut(page);
             e.install_time = now;
@@ -994,12 +1260,28 @@ impl SiteEngine {
                 if access == Access::Write {
                     entry.out_write = false;
                 }
+                // A read grant can land while a write request is still in
+                // flight; that request's fetch span stays open for the
+                // upgrade it will produce.
+                req_span = if entry.out_write {
+                    entry.req_span
+                } else {
+                    std::mem::take(&mut entry.req_span)
+                };
                 if retry_on {
                     // Anything stamped at or below what we just installed
                     // is older than our copy.
                     entry.min_install_serial = entry.min_install_serial.max(serial + 1);
                 }
             }
+        }
+        if self.tracing() {
+            let mut ev = self.trace_event(TraceKind::Installed, req_span, seg, page, sink);
+            ev.peer = Some(from);
+            ev.access = Some(access);
+            ev.serial = serial;
+            ev.detail = u64::from(window.0);
+            self.push_trace(ev, sink);
         }
         if retry_on {
             self.emit(from, ProtoMsg::GrantAck { seg, page, serial }, sink);
@@ -1031,6 +1313,14 @@ impl SiteEngine {
                 // A delayed/duplicated upgrade from a serve that has been
                 // superseded must not re-promote us, but the granter
                 // still needs the ack to release its retained copy.
+                if self.tracing() {
+                    let mut ev =
+                        self.trace_event(TraceKind::StaleGrantDropped, 0, seg, page, sink);
+                    ev.peer = Some(from);
+                    ev.access = Some(Access::Write);
+                    ev.serial = serial;
+                    self.push_trace(ev, sink);
+                }
                 self.emit(from, ProtoMsg::GrantAck { seg, page, serial }, sink);
                 return;
             }
@@ -1040,12 +1330,20 @@ impl SiteEngine {
                 // with a crashed library). We cannot become the writer
                 // without bytes — tell the granter, which escalates its
                 // retained notification to a full data-carrying grant.
+                if self.tracing() {
+                    let mut ev =
+                        self.trace_event(TraceKind::UpgradeNackSent, 0, seg, page, sink);
+                    ev.peer = Some(from);
+                    ev.serial = serial;
+                    self.push_trace(ev, sink);
+                }
                 self.emit(from, ProtoMsg::UpgradeNack { seg, page, serial }, sink);
                 return;
             }
         }
         store.set_prot(seg, page, PageProt::ReadWrite);
         let now = sink.now();
+        let mut req_span = 0;
         if let Some(st) = self.usr.seg_mut(seg) {
             let e = st.aux.get_mut(page);
             e.install_time = now;
@@ -1053,10 +1351,18 @@ impl SiteEngine {
             if let Some(entry) = st.pages.get_mut(page.index()) {
                 entry.out_read = false;
                 entry.out_write = false;
+                req_span = std::mem::take(&mut entry.req_span);
                 if retry_on {
                     entry.min_install_serial = entry.min_install_serial.max(serial + 1);
                 }
             }
+        }
+        if self.tracing() {
+            let mut ev = self.trace_event(TraceKind::Upgraded, req_span, seg, page, sink);
+            ev.peer = Some(from);
+            ev.serial = serial;
+            ev.detail = u64::from(window.0);
+            self.push_trace(ev, sink);
         }
         if retry_on {
             self.emit(from, ProtoMsg::GrantAck { seg, page, serial }, sink);
@@ -1151,6 +1457,13 @@ impl SiteEngine {
         };
         g.upgrade = false;
         let (to, window, data, access) = (g.to, g.window, g.data.clone(), g.access);
+        if self.tracing() {
+            let mut ev = self.trace_event(TraceKind::GrantEscalated, 0, seg, page, sink);
+            ev.peer = Some(to);
+            ev.access = Some(access);
+            ev.serial = serial;
+            self.push_trace(ev, sink);
+        }
         self.emit(to, ProtoMsg::PageGrant { seg, page, access, window, data, serial }, sink);
     }
 
@@ -1185,6 +1498,13 @@ impl SiteEngine {
         };
         entry.done_attempt += 1;
         let attempt = entry.done_attempt;
+        if self.tracing() {
+            let mut ev = self.trace_event(TraceKind::DoneRetry, 0, seg, page, sink);
+            ev.peer = Some(seg.library);
+            ev.serial = serial;
+            ev.detail = u64::from(attempt);
+            self.push_trace(ev, sink);
+        }
         self.emit(seg.library, ProtoMsg::InvalidateDone { seg, page, info, serial }, sink);
         self.arm_retry(attempt, TimerKind::DoneRetry { seg, page, serial }, sink);
     }
@@ -1212,6 +1532,12 @@ impl SiteEngine {
         }
         if sends.is_empty() {
             return;
+        }
+        if self.tracing() {
+            let mut ev = self.trace_event(TraceKind::GrantRetry, 0, seg, page, sink);
+            ev.serial = serial;
+            ev.detail = sends.len() as u64;
+            self.push_trace(ev, sink);
         }
         for (to, window, data, access, upgrade) in sends {
             if upgrade {

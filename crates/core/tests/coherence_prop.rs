@@ -132,6 +132,7 @@ fn coherent_with_all_optimizations_disabled() {
             queued_invalidation: false,
             multicast_invalidation: false,
             retry: None,
+            trace: false,
         };
         let ops = gen_ops(&mut r, 3, 2, 40);
         run_ops(cfg, 3, 2, ops, true);
@@ -149,6 +150,7 @@ fn coherent_with_queued_invalidation_and_multicast() {
             queued_invalidation: true,
             multicast_invalidation: true,
             retry: None,
+            trace: false,
         };
         let ops = gen_ops(&mut r, 4, 2, 40);
         run_ops(cfg, 4, 2, ops, false);

@@ -21,6 +21,7 @@ use mirage_net::{
     message::Sized2,
     SizeClass,
 };
+use mirage_trace::TraceEvent;
 use mirage_types::{
     Access,
     PageNum,
@@ -50,6 +51,9 @@ pub struct Cluster {
     pub sent: Vec<SentMsg>,
     pub woken: Vec<Pid>,
     pub ref_log: Vec<RefLogEntry>,
+    /// Protocol trace, collected from every site (tracing is always on
+    /// in the harness so each flow test doubles as an emission test).
+    pub trace: Vec<TraceEvent>,
     next_serial: u32,
 }
 
@@ -57,7 +61,11 @@ pub struct Cluster {
 impl Cluster {
     pub fn new(n: usize, config: ProtocolConfig) -> Self {
         let drivers = (0..n)
-            .map(|i| ProtocolDriver::from_config(SiteId(i as u16), config.clone()))
+            .map(|i| {
+                let mut d = ProtocolDriver::from_config(SiteId(i as u16), config.clone());
+                d.set_tracing(true);
+                d
+            })
             .collect();
         let stores = (0..n).map(|_| InMemStore::new()).collect();
         Self {
@@ -69,6 +77,7 @@ impl Cluster {
             sent: Vec::new(),
             woken: Vec::new(),
             ref_log: Vec::new(),
+            trace: Vec::new(),
             next_serial: 1,
         }
     }
@@ -104,12 +113,20 @@ impl Cluster {
     /// Dispatches one event at `site` and drains the resulting actions
     /// into the harness queues.
     fn dispatch(&mut self, site: usize, ev: Event) {
-        let Self { drivers, stores, now, net, timers, sent, woken, ref_log, .. } = self;
+        let Self { drivers, stores, now, net, timers, sent, woken, ref_log, trace, .. } = self;
         drivers[site].drive(
             ev,
             *now,
             &mut stores[site],
-            &mut ClusterOps { from: SiteId(site as u16), net, timers, sent, woken, ref_log },
+            &mut ClusterOps {
+                from: SiteId(site as u16),
+                net,
+                timers,
+                sent,
+                woken,
+                ref_log,
+                trace,
+            },
         );
     }
 
@@ -286,6 +303,23 @@ impl Cluster {
             .collect();
         let v = mirage_core::invariants::check_page(&refs, seg, page);
         assert!(v.is_empty(), "coherence violations: {v:?}");
+        // The causal trace oracle cross-checks the structural one.
+        self.check_trace();
+    }
+
+    /// Runs the offline trace checker over everything traced so far.
+    pub fn check_trace(&self) {
+        let report = mirage_trace::check(&self.trace);
+        assert!(
+            report.violations.is_empty(),
+            "trace checker violations: {:?}",
+            report.violations
+        );
+    }
+
+    /// Number of traced events of the given kind.
+    pub fn trace_count(&self, kind: mirage_trace::TraceKind) -> usize {
+        self.trace.iter().filter(|e| e.kind == kind).count()
     }
 
     /// Clears message/wake instrumentation.
@@ -312,7 +346,7 @@ impl Cluster {
     /// Restarts a crashed site, queueing the retransmissions its engine
     /// reconstructs from the persistent tables.
     pub fn restart(&mut self, site: usize) {
-        let Self { drivers, stores, now, net, timers, sent, woken, ref_log, .. } = self;
+        let Self { drivers, stores, now, net, timers, sent, woken, ref_log, trace, .. } = self;
         drivers[site].restart(*now, &mut stores[site]);
         drivers[site].flush(&mut ClusterOps {
             from: SiteId(site as u16),
@@ -321,6 +355,7 @@ impl Cluster {
             sent,
             woken,
             ref_log,
+            trace,
         });
     }
 }
@@ -340,6 +375,7 @@ struct ClusterOps<'a> {
     sent: &'a mut Vec<SentMsg>,
     woken: &'a mut Vec<Pid>,
     ref_log: &'a mut Vec<RefLogEntry>,
+    trace: &'a mut Vec<TraceEvent>,
 }
 
 impl DriverOps for ClusterOps<'_> {
@@ -358,5 +394,9 @@ impl DriverOps for ClusterOps<'_> {
 
     fn log(&mut self, entry: RefLogEntry) {
         self.ref_log.push(entry);
+    }
+
+    fn trace(&mut self, ev: TraceEvent) {
+        self.trace.push(ev);
     }
 }

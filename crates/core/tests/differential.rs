@@ -1135,7 +1135,9 @@ impl Dual {
                 mirage_core::Action::SetTimer { at, token } => {
                     self.timers.push((at, SiteId(site as u16), token));
                 }
-                mirage_core::Action::Wake { .. } | mirage_core::Action::Log(_) => {}
+                mirage_core::Action::Wake { .. }
+                | mirage_core::Action::Log(_)
+                | mirage_core::Action::Trace(_) => {}
             }
         }
     }
@@ -1279,6 +1281,7 @@ fn dense_tables_match_reference_no_optimizations() {
             queued_invalidation: false,
             multicast_invalidation: false,
             retry: None,
+            trace: false,
         };
         run_case(&mut r, 3, 2, cfg, 60);
     }
@@ -1295,6 +1298,7 @@ fn dense_tables_match_reference_queued_and_multicast() {
             queued_invalidation: true,
             multicast_invalidation: true,
             retry: None,
+            trace: false,
         };
         run_case(&mut r, 5, 2, cfg, 80);
     }

@@ -14,6 +14,7 @@ use mirage_core::{
     ProtocolConfig,
     RetryPolicy,
 };
+use mirage_trace::TraceKind;
 use mirage_types::{
     Access,
     Delta,
@@ -41,6 +42,19 @@ fn pristine_mode_emits_no_retry_traffic() {
     for tag in ["GrantAck", "DoneAck", "UpgradeNack"] {
         assert_eq!(c.sent_count(tag), 0, "pristine run leaked a {tag}");
     }
+    // No retry machinery ⇒ no retry events in the trace either.
+    for kind in [
+        TraceKind::RequestRetry,
+        TraceKind::ServeRetry,
+        TraceKind::GrantRetry,
+        TraceKind::RoundRetry,
+        TraceKind::DoneRetry,
+        TraceKind::DenyRetry,
+        TraceKind::StaleGrantDropped,
+    ] {
+        assert_eq!(c.trace_count(kind), 0, "pristine run traced a {kind:?}");
+    }
+    c.check_trace();
 }
 
 /// A lost read grant is retransmitted until the receiver acknowledges.
@@ -53,6 +67,10 @@ fn lost_read_grant_is_retransmitted() {
     c.run_dropping(1, |_, to, m| to == SiteId(1) && m.tag() == "PageGrant");
     assert_eq!(c.read_u32(1, seg, PAGE, 0), 42, "retransmitted grant never landed");
     assert!(c.sent_count("PageGrant") >= 2, "grant was not retransmitted");
+    // The recovery is visible in the trace: a retry fired, and the
+    // dropped-then-retransmitted grant installed exactly once per fetch.
+    assert!(c.trace_count(TraceKind::GrantRetry) >= 1, "no GrantRetry traced");
+    assert!(c.trace_count(TraceKind::Installed) >= 1, "no Installed traced");
     c.check_coherence(seg, PAGE);
 }
 
@@ -110,6 +128,11 @@ fn upgrade_nack_escalates_to_full_grant() {
     c.fault_no_run(0, 2, seg, PAGE, Access::Write);
     c.run();
     assert!(c.sent_count("UpgradeNack") >= 1, "copyless upgrade was not nacked");
+    assert!(
+        c.trace_count(TraceKind::UpgradeNackSent) >= 1
+            && c.trace_count(TraceKind::GrantEscalated) >= 1,
+        "trace missed the nack/escalation exchange"
+    );
     // The escalated grant carried the real page contents, not zeros.
     assert_eq!(c.read_u32(0, seg, PAGE, 0), 0xBEEF, "escalated grant lost the page data");
     c.write_u32(0, seg, PAGE, 0, 0xCAFE);
@@ -129,6 +152,13 @@ fn lost_grant_ack_is_reacknowledged() {
     c.run_dropping(1, |from, _, m| from == SiteId(1) && m.tag() == "GrantAck");
     assert_eq!(c.read_u32(1, seg, PAGE, 0), 3);
     assert!(c.sent_count("GrantAck") >= 2, "stale retransmission was not re-acked");
+    // The receiver's dedup path is observable: the retransmission was
+    // dropped as stale, and only one install happened for the fetch.
+    assert!(
+        c.trace_count(TraceKind::StaleGrantDropped) >= 1,
+        "stale retransmission was not traced as dropped"
+    );
+    assert_eq!(c.trace_count(TraceKind::Installed), 1, "grant installed more than once");
     c.check_coherence(seg, PAGE);
 }
 

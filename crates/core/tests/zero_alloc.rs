@@ -117,6 +117,7 @@ impl Pair {
                     self.net.push_back((from, to, msg));
                 }
                 Action::SetTimer { .. } => panic!("Δ=0 ping-pong must not set timers"),
+                Action::Trace(_) => panic!("tracing is off; no events may be built"),
                 Action::Wake { .. } | Action::Log(_) => {}
             }
         }

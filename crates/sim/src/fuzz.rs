@@ -179,6 +179,23 @@ fn resident_value(world: &World, seg: SegmentId, page: PageNum, offset: usize) -
 /// seed always produces the same world, workload, fault schedule, and
 /// outcome.
 pub fn run_fuzz_seed(seed: u64) -> FuzzOutcome {
+    run_fuzz_seed_inner(seed, false).0
+}
+
+/// [`run_fuzz_seed`] with protocol tracing enabled: the same scenario
+/// (tracing never changes simulated behaviour) plus the collected event
+/// trace. The offline trace checker ([`mirage_trace::check`]) runs over
+/// the trace and its violations are merged into the outcome, so the
+/// structural `check_page` oracle and the causal trace oracle cross-check
+/// each other on every seed.
+pub fn run_fuzz_seed_traced(seed: u64) -> (FuzzOutcome, Vec<mirage_trace::TraceEvent>) {
+    run_fuzz_seed_inner(seed, true)
+}
+
+fn run_fuzz_seed_inner(
+    seed: u64,
+    traced: bool,
+) -> (FuzzOutcome, Vec<mirage_trace::TraceEvent>) {
     let mut rng = Prng::new(seed ^ 0xF0_55ED);
     let n_sites = 2 + rng.below(3) as usize; // 2..=4
     let pages = 1 + rng.below(2); // 1..=2
@@ -188,6 +205,9 @@ pub fn run_fuzz_seed(seed: u64) -> FuzzOutcome {
     cfg.protocol.retry = Some(RetryPolicy::default());
 
     let mut world = World::new(n_sites, cfg);
+    if traced {
+        world.enable_tracing();
+    }
     let seg = world.create_segment(0, pages as usize);
 
     // The fault storm: random link misbehaviour until `horizon`, then a
@@ -273,12 +293,23 @@ pub fn run_fuzz_seed(seed: u64) -> FuzzOutcome {
         }
     }
 
-    FuzzOutcome {
-        seed,
-        completed,
-        violations,
-        stuck: world.stuck_pids(),
-        stats: if active { world.fault_stats() } else { None },
-        accesses: world.total_accesses(),
+    let trace = world.take_trace();
+    if traced && completed {
+        let report = mirage_trace::check(&trace);
+        for v in report.violations {
+            violations.push(format!("trace checker: {v}"));
+        }
     }
+
+    (
+        FuzzOutcome {
+            seed,
+            completed,
+            violations,
+            stuck: world.stuck_pids(),
+            stats: if active { world.fault_stats() } else { None },
+            accesses: world.total_accesses(),
+        },
+        trace,
+    )
 }

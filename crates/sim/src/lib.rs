@@ -43,6 +43,7 @@ pub use calendar::CalendarQueue;
 pub use faults::FaultStats;
 pub use fuzz::{
     run_fuzz_seed,
+    run_fuzz_seed_traced,
     FuzzOutcome,
 };
 pub use instrument::Instrumentation;

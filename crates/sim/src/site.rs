@@ -17,6 +17,7 @@ use mirage_net::{
     NetCosts,
     SizeClass,
 };
+use mirage_trace::TraceEvent;
 use mirage_types::{
     Pid,
     SimDuration,
@@ -106,6 +107,9 @@ pub(crate) enum OutEffect {
     },
     /// A library reference-log record (§9).
     Log(RefLogEntry),
+    /// A protocol trace event (observability layer; only produced when
+    /// tracing is enabled in the protocol configuration).
+    Trace(TraceEvent),
     /// A fault was raised and required a request to a *remote* library.
     RemoteFault,
     /// A fault was serviced entirely by a colocated library.
@@ -599,6 +603,10 @@ impl DriverOps for SimOps<'_> {
 
     fn log(&mut self, entry: RefLogEntry) {
         self.effects.push(OutEffect::Log(entry));
+    }
+
+    fn trace(&mut self, ev: TraceEvent) {
+        self.effects.push(OutEffect::Trace(ev));
     }
 }
 

@@ -12,6 +12,10 @@ use mirage_net::{
     NetCosts,
     Verdict,
 };
+use mirage_trace::{
+    TraceEvent,
+    TraceKind,
+};
 use mirage_types::{
     Pid,
     SegmentId,
@@ -103,6 +107,11 @@ pub struct World {
     /// otherwise grow it without bound and distort throughput numbers.
     pub ref_log: Vec<RefLogEntry>,
     collect_ref_log: bool,
+    /// Protocol trace events (observability layer), in emission order.
+    /// Collected only after [`World::enable_tracing`]; the disabled path
+    /// constructs no events at all.
+    pub trace: Vec<TraceEvent>,
+    collect_trace: bool,
     next_serial: u32,
     /// Per-circuit last delivery time, dense `n×n` (row = sender,
     /// column = receiver): the Locus virtual circuit sequences messages,
@@ -139,6 +148,8 @@ impl World {
             instr: Instrumentation::new(n),
             ref_log: Vec::new(),
             collect_ref_log: false,
+            trace: Vec::new(),
+            collect_trace: false,
             next_serial: 1,
             circuit_last: vec![NO_DELIVERY; n * n],
             scratch: Vec::new(),
@@ -245,9 +256,49 @@ impl World {
                         let dst = to.index();
                         let f = self.faults.as_mut().expect("checked");
                         match f.outbound(from, dst, depart, base) {
-                            None => {} // dropped by the plan
+                            None => {
+                                // Dropped by the plan.
+                                if self.collect_trace {
+                                    let mut ev = self.wire_event(
+                                        depart,
+                                        from,
+                                        TraceKind::MsgDropped,
+                                        &msg,
+                                    );
+                                    ev.peer = Some(to);
+                                    self.trace.push(ev);
+                                }
+                            }
                             Some((stamp, arrive, dup)) => {
                                 let src = SiteId(from as u16);
+                                if self.collect_trace {
+                                    let mut ev =
+                                        self.wire_event(depart, from, TraceKind::MsgSent, &msg);
+                                    ev.peer = Some(to);
+                                    ev.detail = arrive.0 - depart.0;
+                                    self.trace.push(ev);
+                                    if arrive > base {
+                                        let mut ev = self.wire_event(
+                                            depart,
+                                            from,
+                                            TraceKind::MsgDelayed,
+                                            &msg,
+                                        );
+                                        ev.peer = Some(to);
+                                        ev.detail = arrive.0 - base.0;
+                                        self.trace.push(ev);
+                                    }
+                                    if dup.is_some() {
+                                        let mut ev = self.wire_event(
+                                            depart,
+                                            from,
+                                            TraceKind::MsgDuplicated,
+                                            &msg,
+                                        );
+                                        ev.peer = Some(to);
+                                        self.trace.push(ev);
+                                    }
+                                }
                                 if let Some(dup_at) = dup {
                                     self.push(
                                         dup_at,
@@ -276,6 +327,13 @@ impl World {
                             arrive = SimTime(last.0 + 1);
                         }
                         self.circuit_last[key] = arrive;
+                        if self.collect_trace {
+                            let mut ev =
+                                self.wire_event(depart, from, TraceKind::MsgSent, &msg);
+                            ev.peer = Some(to);
+                            ev.detail = arrive.0 - depart.0;
+                            self.trace.push(ev);
+                        }
                         self.push(
                             arrive,
                             Ev::Arrival {
@@ -293,6 +351,11 @@ impl World {
                 OutEffect::Log(entry) => {
                     if self.collect_ref_log {
                         self.ref_log.push(entry);
+                    }
+                }
+                OutEffect::Trace(ev) => {
+                    if self.collect_trace {
+                        self.trace.push(ev);
                     }
                 }
                 OutEffect::RemoteFault => {
@@ -318,7 +381,10 @@ impl World {
         loop {
             let horizon = self.next_event_time().unwrap_or(SimTime(u64::MAX));
             let res = self.sites[site].step(self.now, horizon, &mut effects);
-            let made_progress = !effects.is_empty();
+            // Trace effects are pure observation: they must not count as
+            // progress, or enabling tracing would change the scheduler's
+            // re-step decisions (and therefore simulated timestamps).
+            let made_progress = effects.iter().any(|e| !matches!(e, OutEffect::Trace(_)));
             self.apply_effects(site, &mut effects);
             match res {
                 Some(t) if t > self.now => {
@@ -387,6 +453,12 @@ impl World {
             if f.trace {
                 eprintln!("[fault] stale {}->{} seq {}", from.0, to, stamp.seq);
             }
+            if self.collect_trace {
+                let mut ev = self.wire_event(self.now, to, TraceKind::MsgStaleDropped, &msg);
+                ev.peer = Some(from);
+                ev.detail = stamp.seq;
+                self.trace.push(ev);
+            }
             return;
         }
         match f.check(from, to, stamp.seq) {
@@ -399,6 +471,13 @@ impl World {
                 if f.trace {
                     eprintln!("[fault] dup-discard {}->{} seq {}", from.0, to, stamp.seq);
                 }
+                if self.collect_trace {
+                    let mut ev =
+                        self.wire_event(self.now, to, TraceKind::MsgDupDiscarded, &msg);
+                    ev.peer = Some(from);
+                    ev.detail = stamp.seq;
+                    self.trace.push(ev);
+                }
             }
             Verdict::Gap { expected, got } => {
                 f.stats.held_back += 1;
@@ -408,6 +487,13 @@ impl World {
                         from.0, to, got, expected
                     );
                 }
+                if self.collect_trace {
+                    let mut ev = self.wire_event(self.now, to, TraceKind::MsgHeldBack, &msg);
+                    ev.peer = Some(from);
+                    ev.detail = got;
+                    self.trace.push(ev);
+                }
+                let f = self.faults.as_mut().expect("fault state");
                 let wait = f.plan.gap_wait;
                 f.holdback.entry((from.index(), to)).or_default().insert(stamp.seq, msg);
                 self.push(self.now + wait, Ev::LinkProbe { src: from.index(), dst: to });
@@ -457,6 +543,12 @@ impl World {
         if f.trace {
             eprintln!("[fault] gap-lost {}->{}: advance to seq {}", src, dst, seq);
         }
+        if self.collect_trace {
+            let mut ev = TraceEvent::new(self.now, SiteId(dst as u16), TraceKind::GapDeclared);
+            ev.peer = Some(SiteId(src as u16));
+            ev.detail = seq;
+            self.trace.push(ev);
+        }
         self.drain_holdback(src, dst);
         let still_held = self
             .faults
@@ -485,6 +577,10 @@ impl World {
         if f.trace {
             eprintln!("[fault] crash site{} at {:?}", site, self.now);
         }
+        if self.collect_trace {
+            let ev = TraceEvent::new(self.now, SiteId(site as u16), TraceKind::SiteCrash);
+            self.trace.push(ev);
+        }
         self.sites[site].crash();
     }
 
@@ -499,9 +595,15 @@ impl World {
         }
         f.down[site] = false;
         f.stats.restarts += 1;
+        let incarnation = f.incarnation[site];
         let trace = f.trace;
         if trace {
             eprintln!("[fault] restart site{} at {:?}", site, self.now);
+        }
+        if self.collect_trace {
+            let mut ev = TraceEvent::new(self.now, SiteId(site as u16), TraceKind::SiteRestart);
+            ev.detail = u64::from(incarnation);
+            self.trace.push(ev);
         }
         let mut effects = std::mem::take(&mut self.scratch);
         let now = self.now;
@@ -633,5 +735,42 @@ impl World {
     /// log without bound and the allocations would distort throughput.
     pub fn enable_ref_log(&mut self) {
         self.collect_ref_log = true;
+    }
+
+    /// Enables protocol trace collection: flips the engines' trace flag
+    /// at every site and starts buffering the resulting events (plus the
+    /// world's own wire and fault-layer events). Enabling tracing never
+    /// changes simulated timestamps — trace effects are excluded from
+    /// the scheduler's progress accounting.
+    pub fn enable_tracing(&mut self) {
+        self.collect_trace = true;
+        for s in &mut self.sites {
+            s.driver.set_tracing(true);
+        }
+    }
+
+    /// The collected protocol trace (empty unless
+    /// [`World::enable_tracing`] was called).
+    pub fn trace_events(&self) -> &[TraceEvent] {
+        &self.trace
+    }
+
+    /// Takes ownership of the collected trace, leaving it empty.
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.trace)
+    }
+
+    /// Builds a wire-layer trace event (sender's perspective).
+    fn wire_event(
+        &self,
+        at: SimTime,
+        site: usize,
+        kind: TraceKind,
+        msg: &ProtoMsg,
+    ) -> TraceEvent {
+        let mut ev = TraceEvent::new(at, SiteId(site as u16), kind);
+        ev.subject = Some(msg.subject());
+        ev.msg = Some(msg.kind());
+        ev
     }
 }

@@ -15,7 +15,10 @@
 //! cargo run --release -p mirage-bench --bin fault_storm -- --seed <N> --trace
 //! ```
 
-use mirage_sim::run_fuzz_seed;
+use mirage_sim::{
+    run_fuzz_seed,
+    run_fuzz_seed_traced,
+};
 
 fn env_u64(name: &str, default: u64) -> u64 {
     std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
@@ -27,7 +30,10 @@ fn randomized_fault_storms_preserve_coherence() {
     let count = env_u64("MIRAGE_FUZZ_SEEDS", 60);
     let mut failures = Vec::new();
     for seed in start..start + count {
-        let outcome = run_fuzz_seed(seed);
+        // Run traced: the causal trace checker cross-checks the
+        // structural `check_page` oracle on every seed, and its
+        // violations land in the same outcome.
+        let (outcome, _trace) = run_fuzz_seed_traced(seed);
         if !outcome.is_ok() {
             eprintln!("{}", outcome.describe());
             eprintln!(

@@ -1,0 +1,368 @@
+//! Offline trace-driven coherence checker: a second, independent
+//! oracle.
+//!
+//! [`check`] replays the copy-state transitions recorded in a protocol
+//! trace — grants installed, upgrades, downgrades, invalidations —
+//! in happens-before order and asserts the Mirage invariants *from the
+//! trace alone*, with no access to the simulator's page tables:
+//!
+//! * **single writer** — at no instant do two sites hold write access,
+//!   and while a writer exists no other site holds any copy;
+//! * **reader-set consistency** — a write install/upgrade may only
+//!   happen once every other copy has been invalidated, and an upgrade
+//!   requires a resident copy to promote;
+//! * **Δ-window non-violation** — the clock site never gives up or
+//!   downgrades its copy before `install_time + Δ` (§5.3); victims of
+//!   an invalidation round are exempt because only the clock site's
+//!   window protects the copy;
+//! * **serve serialization** — the library never overlaps two serves
+//!   for the same page.
+//!
+//! Happens-before is rebuilt from the simulated timestamps plus
+//! emission order for ties: the trace is recorded by a single-threaded
+//! world, so same-timestamp events appear in causal (delivery) order
+//! and a stable sort by time is a valid linear extension.
+//!
+//! The checker is deliberately independent of `mirage-sim`'s
+//! `check_page` (which inspects live page tables at quiescence): this
+//! one sees every intermediate state, so a transient double-writer that
+//! heals before the end of the run is still caught.
+
+use std::collections::BTreeMap;
+
+use mirage_types::{
+    Access,
+    PageNum,
+    SegmentId,
+    SimTime,
+    TICK,
+};
+
+use crate::event::{
+    TraceEvent,
+    TraceKind,
+};
+
+/// One site's copy of a page, as reconstructed from the trace.
+#[derive(Clone, Copy, Debug)]
+struct CopyState {
+    access: Access,
+    /// When the copy was installed, if the trace recorded it. The
+    /// initial copy at the library site predates the trace, so its
+    /// window cannot be checked (`None`).
+    installed_at: Option<SimTime>,
+    /// Δ window in ticks at install time.
+    window_ticks: Option<u64>,
+}
+
+#[derive(Default)]
+struct PageTrack {
+    /// site index -> copy.
+    copies: BTreeMap<u16, CopyState>,
+    /// Serial of the serve currently open at the library.
+    serving: Option<u32>,
+    /// True once any event for the page has been seen.
+    touched: bool,
+}
+
+/// The checker's verdict over one trace.
+#[derive(Clone, Debug, Default)]
+pub struct CheckReport {
+    /// Human-readable invariant violations, in trace order.
+    pub violations: Vec<String>,
+    /// Number of events examined.
+    pub events: usize,
+    /// Number of distinct pages tracked.
+    pub pages: usize,
+}
+
+impl CheckReport {
+    /// True when no invariant was violated.
+    pub fn is_ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+fn window_expiry(installed_at: SimTime, ticks: u64) -> SimTime {
+    SimTime(installed_at.0 + ticks * TICK.0)
+}
+
+/// Replays the trace and checks the coherence invariants.
+///
+/// The trace must be complete (e.g. from a `VecSink`); a truncated
+/// ring-buffer trace would show copies appearing "from nowhere" and is
+/// not a valid checker input. Events are stably sorted by simulated
+/// time before replay, so callers may concatenate per-component
+/// streams.
+pub fn check(events: &[TraceEvent]) -> CheckReport {
+    let mut order: Vec<&TraceEvent> = events.iter().collect();
+    order.sort_by_key(|ev| ev.at);
+
+    let mut pages: BTreeMap<(SegmentId, PageNum), PageTrack> = BTreeMap::new();
+    let mut report = CheckReport { events: events.len(), ..CheckReport::default() };
+
+    for ev in order {
+        let Some(subject) = ev.subject else { continue };
+        let track = pages.entry(subject).or_insert_with(|| {
+            // The creating (library) site starts fully resident with
+            // write access; its install predates the trace.
+            let mut t = PageTrack::default();
+            t.copies.insert(
+                subject.0.library.0,
+                CopyState { access: Access::Write, installed_at: None, window_ticks: None },
+            );
+            t
+        });
+        track.touched = true;
+        let site = ev.site.0;
+        let ctx = |msg: &str| format!("{msg}: {ev}");
+
+        match ev.kind {
+            TraceKind::Installed => {
+                let access = ev.access.unwrap_or(Access::Read);
+                if access.is_write() {
+                    for (&other, copy) in &track.copies {
+                        if other != site {
+                            report.violations.push(ctx(&format!(
+                                "write installed while site{other} still holds a \
+                                 {:?} copy",
+                                copy.access
+                            )));
+                        }
+                    }
+                } else if let Some((&w, _)) =
+                    track.copies.iter().find(|(&s, c)| s != site && c.access.is_write())
+                {
+                    report
+                        .violations
+                        .push(ctx(&format!("read installed while site{w} holds write access")));
+                }
+                track.copies.insert(
+                    site,
+                    CopyState {
+                        access,
+                        installed_at: Some(ev.at),
+                        window_ticks: Some(ev.detail),
+                    },
+                );
+            }
+            TraceKind::Upgraded => {
+                if !track.copies.contains_key(&site) {
+                    report.violations.push(ctx("upgrade without a resident copy"));
+                }
+                for (&other, copy) in &track.copies {
+                    if other != site {
+                        report.violations.push(ctx(&format!(
+                            "upgraded to writer while site{other} still holds a {:?} copy",
+                            copy.access
+                        )));
+                    }
+                }
+                track.copies.insert(
+                    site,
+                    CopyState {
+                        access: Access::Write,
+                        installed_at: Some(ev.at),
+                        window_ticks: Some(ev.detail),
+                    },
+                );
+            }
+            TraceKind::Downgraded => {
+                match track.copies.get_mut(&site) {
+                    Some(copy) => {
+                        if !copy.access.is_write() {
+                            report.violations.push(ctx("downgrade of a non-writer copy"));
+                        }
+                        if let (Some(t0), Some(w)) = (copy.installed_at, copy.window_ticks) {
+                            if ev.at < window_expiry(t0, w) {
+                                report.violations.push(ctx(&format!(
+                                    "Δ-window violated: downgraded at {} before expiry {}",
+                                    ev.at.0,
+                                    window_expiry(t0, w).0
+                                )));
+                            }
+                        }
+                        // §6.1: the downgrade keeps the copy and does
+                        // *not* restart the window clock; only the
+                        // window length changes.
+                        copy.access = Access::Read;
+                        copy.window_ticks = Some(ev.detail);
+                    }
+                    None => report.violations.push(ctx("downgrade without a resident copy")),
+                }
+            }
+            TraceKind::CopyRelinquished => {
+                if let Some(copy) = track.copies.remove(&site) {
+                    if let (Some(t0), Some(w)) = (copy.installed_at, copy.window_ticks) {
+                        if ev.at < window_expiry(t0, w) {
+                            report.violations.push(ctx(&format!(
+                                "Δ-window violated: relinquished at {} before expiry {}",
+                                ev.at.0,
+                                window_expiry(t0, w).0
+                            )));
+                        }
+                    }
+                }
+            }
+            TraceKind::ReaderInvalidated => {
+                // Victims are invalidated regardless of their own
+                // window (only the clock site's window protects), and
+                // retry-mode re-acks for absent copies are legal.
+                if let Some(copy) = track.copies.get(&site) {
+                    if copy.access.is_write() {
+                        report
+                            .violations
+                            .push(ctx("reader invalidation removed the writer's copy"));
+                    }
+                }
+                track.copies.remove(&site);
+            }
+            TraceKind::ServeStart => {
+                if let Some(open) = track.serving {
+                    if open != ev.serial {
+                        report.violations.push(ctx(&format!(
+                            "serve started while serial {open} still open"
+                        )));
+                    }
+                }
+                track.serving = Some(ev.serial);
+            }
+            TraceKind::ServeDone => {
+                if let Some(open) = track.serving {
+                    if open != ev.serial {
+                        report.violations.push(ctx(&format!(
+                            "serve done for serial {} but serial {open} was open",
+                            ev.serial
+                        )));
+                    }
+                }
+                track.serving = None;
+            }
+            _ => {}
+        }
+    }
+
+    report.pages = pages.values().filter(|t| t.touched).count();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use mirage_types::SiteId;
+
+    use super::*;
+    use crate::event::SpanId;
+
+    fn seg() -> SegmentId {
+        SegmentId::new(SiteId(0), 1)
+    }
+
+    fn ev(at: u64, site: u16, kind: TraceKind) -> TraceEvent {
+        let mut e = TraceEvent::new(SimTime(at), SiteId(site), kind);
+        e.subject = Some((seg(), PageNum(0)));
+        e.span = SpanId::NONE;
+        e
+    }
+
+    fn with_access(mut e: TraceEvent, access: Access) -> TraceEvent {
+        e.access = Some(access);
+        e
+    }
+
+    #[test]
+    fn clean_write_handoff_passes() {
+        // Library (site0) relinquishes, site1 installs write, later
+        // relinquishes after its window, site2 installs.
+        let mut a = with_access(ev(10, 1, TraceKind::Installed), Access::Write);
+        a.detail = 1; // 1-tick window
+        let events = vec![
+            ev(5, 0, TraceKind::CopyRelinquished),
+            a,
+            ev(10 + TICK.0, 1, TraceKind::CopyRelinquished),
+            with_access(ev(20 + TICK.0, 2, TraceKind::Installed), Access::Write),
+        ];
+        let report = check(&events);
+        assert!(report.is_ok(), "{:?}", report.violations);
+        assert_eq!(report.pages, 1);
+    }
+
+    #[test]
+    fn double_writer_is_caught() {
+        let events = vec![
+            ev(5, 0, TraceKind::CopyRelinquished),
+            with_access(ev(10, 1, TraceKind::Installed), Access::Write),
+            with_access(ev(20, 2, TraceKind::Installed), Access::Write),
+        ];
+        let report = check(&events);
+        assert_eq!(report.violations.len(), 1);
+        assert!(report.violations[0].contains("site1 still holds"));
+    }
+
+    #[test]
+    fn initial_library_copy_blocks_other_writers() {
+        // No relinquish event: the library still holds the page.
+        let events = vec![with_access(ev(10, 1, TraceKind::Installed), Access::Write)];
+        assert!(!check(&events).is_ok());
+    }
+
+    #[test]
+    fn window_violation_is_caught() {
+        let mut install = with_access(ev(10, 1, TraceKind::Installed), Access::Write);
+        install.detail = 2; // 2-tick window
+        let events = vec![
+            ev(5, 0, TraceKind::CopyRelinquished),
+            install,
+            // Relinquished one tick early.
+            ev(10 + TICK.0, 1, TraceKind::CopyRelinquished),
+        ];
+        let report = check(&events);
+        assert_eq!(report.violations.len(), 1);
+        assert!(report.violations[0].contains("Δ-window violated"));
+    }
+
+    #[test]
+    fn victims_are_window_exempt() {
+        let mut install = with_access(ev(10, 1, TraceKind::Installed), Access::Read);
+        install.detail = 100;
+        let events = vec![
+            ev(5, 0, TraceKind::CopyRelinquished),
+            install,
+            ev(11, 1, TraceKind::ReaderInvalidated),
+        ];
+        assert!(check(&events).is_ok());
+    }
+
+    #[test]
+    fn downgrade_keeps_install_time() {
+        // Install at t=10 with 2 ticks; downgrade at expiry is legal,
+        // but relinquishing after a downgrade that *shortened* the
+        // window is judged against the original install time.
+        let mut install = with_access(ev(10, 1, TraceKind::Installed), Access::Write);
+        install.detail = 2;
+        let mut down = ev(10 + 2 * TICK.0, 1, TraceKind::Downgraded);
+        down.detail = 2;
+        let late = ev(10 + 2 * TICK.0 + 1, 1, TraceKind::CopyRelinquished);
+        let events = vec![ev(5, 0, TraceKind::CopyRelinquished), install, down, late];
+        let report = check(&events);
+        assert!(report.is_ok(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn overlapping_serves_are_caught() {
+        let mut s1 = ev(10, 0, TraceKind::ServeStart);
+        s1.serial = 1;
+        let mut s2 = ev(20, 0, TraceKind::ServeStart);
+        s2.serial = 2;
+        let report = check(&[s1, s2]);
+        assert_eq!(report.violations.len(), 1);
+        assert!(report.violations[0].contains("serial 1 still open"));
+    }
+
+    #[test]
+    fn upgrade_without_copy_is_caught() {
+        let events =
+            vec![ev(5, 0, TraceKind::CopyRelinquished), ev(10, 1, TraceKind::Upgraded)];
+        let report = check(&events);
+        assert!(report.violations.iter().any(|v| v.contains("without a resident copy")));
+    }
+}

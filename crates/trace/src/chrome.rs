@@ -1,0 +1,474 @@
+//! Chrome trace-event (`chrome://tracing` / Perfetto) export.
+//!
+//! Maps the protocol trace onto the Trace Event JSON format: each
+//! **site becomes a process** (`pid`), each **span becomes a complete
+//! slice** (`"ph":"X"`) on the site's span track, and every individual
+//! event is also emitted as an instant (`"ph":"i"`) on the site's
+//! event track, so a run can be scrubbed on a timeline with both the
+//! demand lifecycles and the raw event stream visible.
+//!
+//! Timestamps are microseconds (the format's unit) with nanosecond
+//! precision kept as a decimal fraction. The encoder is hand-written
+//! and [`validate`] is a minimal std-only JSON parser used by tests
+//! and the CI trace job to prove the output parses.
+
+use std::collections::BTreeMap;
+
+use crate::event::{
+    SpanId,
+    TraceEvent,
+    TraceKind,
+};
+
+/// Track (thread) ids within each site's process.
+const TID_SPANS: u32 = 0;
+const TID_EVENTS: u32 = 1;
+
+fn ts_us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A short human label for the span opened by `kind`.
+fn span_role(kind: TraceKind) -> &'static str {
+    match kind {
+        TraceKind::FaultTaken | TraceKind::RequestSent => "fetch",
+        TraceKind::RequestQueued | TraceKind::ServeStart | TraceKind::AddReadersSent => "serve",
+        _ => "round",
+    }
+}
+
+/// Serializes a trace as Chrome trace-event JSON.
+///
+/// Events need not be time-sorted; the exporter sorts slices by start
+/// time itself (viewers require monotonic "X" events per track).
+pub fn export(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 160 + 256);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    let mut push = |out: &mut String, entry: String| {
+        if !std::mem::take(&mut first) {
+            out.push(',');
+        }
+        out.push('\n');
+        out.push_str(&entry);
+    };
+
+    // Process metadata: name each site.
+    let mut sites: Vec<u16> = events.iter().map(|e| e.site.0).collect();
+    sites.sort_unstable();
+    sites.dedup();
+    for site in &sites {
+        push(
+            &mut out,
+            format!(
+                "{{\"ph\":\"M\",\"pid\":{site},\"tid\":0,\"name\":\"process_name\",\
+                 \"args\":{{\"name\":\"site {site}\"}}}}"
+            ),
+        );
+        for (tid, name) in [(TID_SPANS, "spans"), (TID_EVENTS, "events")] {
+            push(
+                &mut out,
+                format!(
+                    "{{\"ph\":\"M\",\"pid\":{site},\"tid\":{tid},\"name\":\"thread_name\",\
+                     \"args\":{{\"name\":\"{name}\"}}}}"
+                ),
+            );
+        }
+    }
+
+    // Spans: first/last event time per (site, span) becomes one slice.
+    struct Span {
+        site: u16,
+        start: u64,
+        end: u64,
+        label: String,
+    }
+    let mut spans: BTreeMap<SpanId, Span> = BTreeMap::new();
+    for ev in events {
+        if ev.span.is_none() {
+            continue;
+        }
+        let span = spans.entry(ev.span).or_insert_with(|| {
+            let subject = match ev.subject {
+                Some((seg, page)) => {
+                    format!(" seg{}@{}.p{}", seg.serial, seg.library.0, page.0)
+                }
+                None => String::new(),
+            };
+            Span {
+                site: ev.site.0,
+                start: ev.at.0,
+                end: ev.at.0,
+                label: format!("{}{}", span_role(ev.kind), subject),
+            }
+        });
+        span.start = span.start.min(ev.at.0);
+        span.end = span.end.max(ev.at.0);
+    }
+    let mut slices: Vec<(&SpanId, &Span)> = spans.iter().collect();
+    slices.sort_by_key(|(id, s)| (s.site, s.start, id.0));
+    for (id, s) in slices {
+        // Zero-length spans still get a sliver so they are visible.
+        let dur = (s.end - s.start).max(1);
+        push(
+            &mut out,
+            format!(
+                "{{\"ph\":\"X\",\"pid\":{},\"tid\":{},\"ts\":{},\"dur\":{},\"name\":\"{}\",\
+                 \"args\":{{\"span\":{}}}}}",
+                s.site,
+                TID_SPANS,
+                ts_us(s.start),
+                ts_us(dur),
+                escape(&s.label),
+                id.0
+            ),
+        );
+    }
+
+    // Instants: every event on its site's event track.
+    for ev in events {
+        let mut args = String::new();
+        if let Some((seg, page)) = ev.subject {
+            args.push_str(&format!(
+                "\"page\":\"seg{}@{}.p{}\",",
+                seg.serial, seg.library.0, page.0
+            ));
+        }
+        if let Some(peer) = ev.peer {
+            args.push_str(&format!("\"peer\":{},", peer.0));
+        }
+        if let Some(msg) = ev.msg {
+            args.push_str(&format!("\"msg\":\"{}\",", msg.name()));
+        }
+        if !ev.span.is_none() {
+            args.push_str(&format!("\"span\":{},", ev.span.0));
+        }
+        if ev.serial != 0 {
+            args.push_str(&format!("\"serial\":{},", ev.serial));
+        }
+        args.push_str(&format!("\"detail\":{}", ev.detail));
+        push(
+            &mut out,
+            format!(
+                "{{\"ph\":\"i\",\"s\":\"t\",\"pid\":{},\"tid\":{},\"ts\":{},\"name\":\"{}\",\
+                 \"args\":{{{}}}}}",
+                ev.site.0,
+                TID_EVENTS,
+                ts_us(ev.at.0),
+                ev.kind.name(),
+                args
+            ),
+        );
+    }
+
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+/// Validates that `text` is well-formed JSON whose top level is an
+/// object with a `traceEvents` array; returns the number of entries.
+///
+/// This is a deliberately small recursive-descent parser (the
+/// workspace takes no serde dependency); it accepts exactly the JSON
+/// grammar, which is enough to prove an export will load in a viewer.
+pub fn validate(text: &str) -> Result<usize, String> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let count = p.top_level()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(count)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    /// Parses the top-level object, counting `traceEvents` entries.
+    fn top_level(&mut self) -> Result<usize, String> {
+        self.expect(b'{')?;
+        let mut count: Option<usize> = None;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+        } else {
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.expect(b':')?;
+                self.skip_ws();
+                if key == "traceEvents" {
+                    count = Some(self.array_count()?);
+                } else {
+                    self.value()?;
+                }
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        break;
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+                }
+            }
+        }
+        count.ok_or_else(|| "no traceEvents array".to_string())
+    }
+
+    /// Parses an array, returning its element count.
+    fn array_count(&mut self) -> Result<usize, String> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        let mut n = 0;
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(0);
+        }
+        loop {
+            self.skip_ws();
+            self.value()?;
+            n += 1;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(n);
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        match self.peek() {
+            Some(b'{') => {
+                self.pos += 1;
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                loop {
+                    self.skip_ws();
+                    self.string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    self.skip_ws();
+                    self.value()?;
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(());
+                        }
+                        _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+                    }
+                }
+            }
+            Some(b'[') => {
+                self.array_count()?;
+                Ok(())
+            }
+            Some(b'"') => {
+                self.string()?;
+                Ok(())
+            }
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            _ => Err(format!("unexpected byte at {}", self.pos)),
+        }
+    }
+
+    fn literal(&mut self, word: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits = |p: &mut Self| {
+            let start = p.pos;
+            while matches!(p.peek(), Some(b'0'..=b'9')) {
+                p.pos += 1;
+            }
+            p.pos > start
+        };
+        if !digits(self) {
+            return Err(format!("bad number at byte {}", self.pos));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !digits(self) {
+                return Err(format!("bad fraction at byte {}", self.pos));
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            if !digits(self) {
+                return Err(format!("bad exponent at byte {}", self.pos));
+            }
+        }
+        Ok(())
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            if self.pos + 4 >= self.bytes.len() {
+                                return Err("truncated \\u escape".to_string());
+                            }
+                            let hex =
+                                std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+                                    .map_err(|_| "bad \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x20 => {
+                    return Err(format!("raw control byte in string at {}", self.pos));
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is &str, so safe).
+                    let s = &self.bytes[self.pos..];
+                    let ch_len = match s[0] {
+                        0x00..=0x7F => 1,
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    out.push_str(std::str::from_utf8(&s[..ch_len]).unwrap_or("\u{fffd}"));
+                    self.pos += ch_len;
+                }
+                None => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use mirage_types::{
+        PageNum,
+        SegmentId,
+        SimTime,
+        SiteId,
+    };
+
+    use super::*;
+    use crate::event::SpanId;
+
+    #[test]
+    fn export_of_empty_trace_validates() {
+        let json = export(&[]);
+        assert_eq!(validate(&json), Ok(0));
+    }
+
+    #[test]
+    fn export_validates_and_counts_entries() {
+        let mut a = TraceEvent::new(SimTime(1_000), SiteId(0), TraceKind::RequestSent);
+        a.span = SpanId::new(SiteId(0), 1);
+        a.subject = Some((SegmentId::new(SiteId(1), 1), PageNum(0)));
+        let mut b = TraceEvent::new(SimTime(5_500), SiteId(0), TraceKind::Installed);
+        b.span = a.span;
+        b.subject = a.subject;
+        let json = export(&[a, b]);
+        // 1 process + 2 thread metadata entries, 1 span slice, 2 instants.
+        assert_eq!(validate(&json), Ok(6));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ts\":1.000"));
+        assert!(json.contains("\"dur\":4.500"));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_json() {
+        assert!(validate("{\"traceEvents\":[}").is_err());
+        assert!(validate("{\"traceEvents\":[],").is_err());
+        assert!(validate("{}").is_err(), "missing traceEvents must fail");
+        assert!(validate("[1,2]").is_err(), "top level must be an object");
+        assert!(validate("{\"traceEvents\":[{\"a\":1e}]}").is_err());
+    }
+
+    #[test]
+    fn validator_accepts_escapes_and_numbers() {
+        let json = "{\"traceEvents\":[{\"s\":\"a\\u0041\\n\",\"n\":-1.5e+3,\"b\":true}]}";
+        assert_eq!(validate(json), Ok(1));
+    }
+}

@@ -1,35 +1,68 @@
-//! Reference-string logging and analysis (paper §9).
+//! Reference-string logging, protocol tracing, and offline analysis.
 //!
-//! "Mirage provides a facility for logging all page requests at the
-//! library site. Each log entry contains the memory location, a
-//! timestamp, and the process identifier of the requester. We envision
-//! that a user-level process could analyze these reference strings as
-//! the basis for an automatic process migration facility or for later
-//! reference string analysis. Note, however, that reference strings from
-//! sites with valid page copies are not recorded."
+//! The crate began as the paper's §9 facility: "Mirage provides a
+//! facility for logging all page requests at the library site. Each log
+//! entry contains the memory location, a timestamp, and the process
+//! identifier of the requester. We envision that a user-level process
+//! could analyze these reference strings as the basis for an automatic
+//! process migration facility or for later reference string analysis."
 //!
-//! This crate provides the log store and the two envisioned analyses:
+//! On top of that it now carries the protocol observability layer:
 //!
 //! * [`analysis`] — page heat and inter-site sharing statistics;
 //! * [`migrate`] — a migration advisor that recommends moving a process
-//!   to the site its pages most often come from.
+//!   to the site its pages most often come from;
+//! * [`event`] — the structured protocol event trace ([`TraceEvent`],
+//!   causal [`SpanId`]s);
+//! * [`sink`] — [`TraceSink`] backends (vector, ring buffer, JSONL);
+//! * [`metrics`] — a plain-std metrics [`Registry`] with deterministic
+//!   merge and rendering;
+//! * [`chrome`] — Chrome trace-event JSON export and validation;
+//! * [`check`] — the offline trace-driven coherence checker, an
+//!   independent oracle over the recorded event stream.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod analysis;
+pub mod check;
+pub mod chrome;
+pub mod event;
 pub mod log;
+pub mod metrics;
 pub mod migrate;
+pub mod sink;
 
 pub use analysis::{
     PageHeat,
     SharingMatrix,
 };
+pub use check::{
+    check,
+    CheckReport,
+};
+pub use event::{
+    SpanId,
+    TraceEvent,
+    TraceKind,
+};
 pub use log::{
     Entry,
     RefLog,
 };
+pub use metrics::{
+    from_trace,
+    Histogram,
+    Registry,
+};
 pub use migrate::{
     MigrationAdvice,
     MigrationAdvisor,
+};
+pub use sink::{
+    event_to_json,
+    JsonlSink,
+    RingSink,
+    TraceSink,
+    VecSink,
 };

@@ -1,0 +1,424 @@
+//! A plain-std metrics registry: counters, gauges, and fixed-bucket
+//! histograms, with deterministic text rendering and order-independent
+//! merging (so per-worker registries from a `--jobs N` sweep combine
+//! into the same report regardless of completion order).
+//!
+//! [`from_trace`] derives the standard protocol metrics — per-kind wire
+//! latencies, demand fetch latency, library queue depth, Δ-window stall
+//! time, upgrade/downgrade hit rates, retry/fault counters — from a
+//! recorded event stream, so any traced run can be summarized without
+//! touching the hot path.
+
+use std::collections::BTreeMap;
+
+use crate::event::{
+    TraceEvent,
+    TraceKind,
+};
+
+/// Histogram bucket upper bounds (µs) used for latency metrics.
+pub const LATENCY_US_BOUNDS: &[u64] =
+    &[50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000];
+
+/// Histogram bucket upper bounds used for queue-depth metrics.
+pub const DEPTH_BOUNDS: &[u64] = &[1, 2, 4, 8, 16, 32, 64];
+
+/// A fixed-bucket histogram with saturating totals.
+///
+/// A value `v` lands in the first bucket whose upper bound satisfies
+/// `v <= bound`; values above the last bound land in the overflow
+/// bucket. Bounds are fixed at construction, so merging two histograms
+/// with the same bounds is a plain element-wise add — commutative and
+/// associative, which is what makes multi-worker merges deterministic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    counts: Vec<u64>,
+    overflow: u64,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given ascending bucket upper bounds.
+    pub fn new(bounds: &[u64]) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must ascend");
+        Self {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len()],
+            overflow: 0,
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one value.
+    pub fn observe(&mut self, v: u64) {
+        match self.bounds.iter().position(|&b| v <= b) {
+            Some(i) => self.counts[i] = self.counts[i].saturating_add(1),
+            None => self.overflow = self.overflow.saturating_add(1),
+        }
+        self.count = self.count.saturating_add(1);
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest observed value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Count in the bucket with upper bound `bound` (must be one of the
+    /// construction bounds), or the overflow bucket for `None`.
+    pub fn bucket(&self, bound: Option<u64>) -> u64 {
+        match bound {
+            Some(b) => {
+                self.bounds.iter().position(|&x| x == b).map(|i| self.counts[i]).unwrap_or(0)
+            }
+            None => self.overflow,
+        }
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile
+    /// (`0.0..=1.0`), or `None` if it falls in the overflow bucket or
+    /// the histogram is empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(self.bounds[i]);
+            }
+        }
+        None
+    }
+
+    /// Element-wise merge (both sides must share bounds).
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bounds, other.bounds, "merging histograms with different bounds");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a = a.saturating_add(*b);
+        }
+        self.overflow = self.overflow.saturating_add(other.overflow);
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A named collection of counters, gauges, and histograms.
+///
+/// Names are free-form dotted strings (`msg.sent.page_grant`); the
+/// `BTreeMap` storage makes iteration — and therefore [`Registry::render`] —
+/// deterministic.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to the named counter (created at zero).
+    pub fn add(&mut self, name: &str, n: u64) {
+        let c = self.counters.entry(name.to_string()).or_insert(0);
+        *c = c.saturating_add(n);
+    }
+
+    /// Raises the named gauge to at least `v` (high-water mark).
+    pub fn gauge_max(&mut self, name: &str, v: u64) {
+        let g = self.gauges.entry(name.to_string()).or_insert(0);
+        *g = (*g).max(v);
+    }
+
+    /// Sets the named gauge to `v` unconditionally.
+    pub fn gauge_set(&mut self, name: &str, v: u64) {
+        self.gauges.insert(name.to_string(), v);
+    }
+
+    /// Records `v` in the named histogram (created with `bounds`).
+    pub fn observe(&mut self, name: &str, bounds: &[u64], v: u64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(bounds))
+            .observe(v);
+    }
+
+    /// Reads a counter (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Reads a gauge (0 if absent).
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Reads a histogram, if present.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Merges another registry into this one: counters add, gauges take
+    /// the max, histograms add bucket-wise. Commutative and
+    /// associative, so a `--jobs N` sweep can merge per-worker
+    /// registries in any order and render the same report.
+    pub fn merge(&mut self, other: &Registry) {
+        for (name, n) in &other.counters {
+            self.add(name, *n);
+        }
+        for (name, v) in &other.gauges {
+            self.gauge_max(name, *v);
+        }
+        for (name, h) in &other.histograms {
+            match self.histograms.get_mut(name) {
+                Some(mine) => mine.merge(h),
+                None => {
+                    self.histograms.insert(name.clone(), h.clone());
+                }
+            }
+        }
+    }
+
+    /// Renders the registry as a stable, human-readable text block.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, n) in &self.counters {
+                out.push_str(&format!("  {name:<40} {n}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (name, v) in &self.gauges {
+                out.push_str(&format!("  {name:<40} {v}\n"));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms:\n");
+            for (name, h) in &self.histograms {
+                let avg = h.sum.checked_div(h.count).unwrap_or(0);
+                let q = |x: f64| match h.quantile(x) {
+                    Some(b) => format!("<={b}"),
+                    None => format!(">{}", h.bounds.last().copied().unwrap_or(0)),
+                };
+                out.push_str(&format!(
+                    "  {:<40} count={} avg={} p50={} p95={} max={}\n",
+                    name,
+                    h.count,
+                    avg,
+                    q(0.50),
+                    q(0.95),
+                    h.max
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Derives the standard protocol metrics from a recorded trace.
+pub fn from_trace(events: &[TraceEvent]) -> Registry {
+    let mut reg = Registry::new();
+    // Outstanding remote fetches: (site, subject) -> request time.
+    let mut fetches: BTreeMap<(u16, (u16, u32, u32)), u64> = BTreeMap::new();
+    let key = |ev: &TraceEvent| {
+        ev.subject.map(|(seg, page)| (ev.site.0, (seg.library.0, seg.serial, page.0)))
+    };
+    for ev in events {
+        match ev.kind {
+            TraceKind::MsgSent => {
+                if let Some(msg) = ev.msg {
+                    reg.add(&format!("msg.sent.{}", msg.name()), 1);
+                    reg.observe(
+                        &format!("wire.latency_us.{}", msg.name()),
+                        LATENCY_US_BOUNDS,
+                        ev.detail / 1_000,
+                    );
+                }
+            }
+            TraceKind::RequestSent => {
+                reg.add("demand.requests", 1);
+                if let Some(k) = key(ev) {
+                    fetches.entry(k).or_insert(ev.at.0);
+                }
+            }
+            TraceKind::Installed | TraceKind::Upgraded => {
+                reg.add(
+                    if ev.kind == TraceKind::Upgraded {
+                        "copy.upgrades"
+                    } else {
+                        "copy.installs"
+                    },
+                    1,
+                );
+                if let Some(k) = key(ev) {
+                    if let Some(t0) = fetches.remove(&k) {
+                        reg.observe(
+                            "demand.fetch_latency_us",
+                            LATENCY_US_BOUNDS,
+                            ev.at.0.saturating_sub(t0) / 1_000,
+                        );
+                    }
+                }
+            }
+            TraceKind::Downgraded => reg.add("copy.downgrades", 1),
+            TraceKind::CopyRelinquished => reg.add("copy.relinquished", 1),
+            TraceKind::ReaderInvalidated => reg.add("copy.reader_invalidated", 1),
+            TraceKind::RequestQueued => {
+                reg.observe("library.queue_depth", DEPTH_BOUNDS, ev.detail);
+                reg.gauge_max("library.queue_depth_max", ev.detail);
+            }
+            TraceKind::ServeStart => {
+                reg.add(
+                    if ev.access.map(|a| a.is_write()).unwrap_or(false) {
+                        "serve.write"
+                    } else {
+                        "serve.read"
+                    },
+                    1,
+                );
+            }
+            TraceKind::AddReadersSent => reg.add("serve.add_readers", 1),
+            TraceKind::DenySent => {
+                reg.add("window.denials", 1);
+                reg.observe("window.stall_us", LATENCY_US_BOUNDS, ev.detail / 1_000);
+            }
+            TraceKind::InvalidateQueued => {
+                reg.add("window.queued_delays", 1);
+                reg.observe("window.stall_us", LATENCY_US_BOUNDS, ev.detail / 1_000);
+            }
+            TraceKind::RequestRetry => reg.add("retry.request", 1),
+            TraceKind::ServeRetry => reg.add("retry.serve", 1),
+            TraceKind::RoundRetry => reg.add("retry.round", 1),
+            TraceKind::DoneRetry => reg.add("retry.done", 1),
+            TraceKind::GrantRetry => reg.add("retry.grant", ev.detail.max(1)),
+            TraceKind::DenyRetry => reg.add("retry.deny_backoff", 1),
+            TraceKind::GrantSent => reg.add("grant.sent", 1),
+            TraceKind::UpgradeSent => reg.add("grant.upgrades_sent", 1),
+            TraceKind::GrantEscalated => reg.add("grant.escalated", 1),
+            TraceKind::StaleGrantDropped => reg.add("grant.stale_dropped", 1),
+            TraceKind::MsgDropped => reg.add("fault.dropped", 1),
+            TraceKind::MsgDelayed => reg.add("fault.delayed", 1),
+            TraceKind::MsgDuplicated => reg.add("fault.duplicated", 1),
+            TraceKind::MsgHeldBack => reg.add("fault.held_back", 1),
+            TraceKind::GapDeclared => reg.add("fault.gaps_declared", 1),
+            TraceKind::MsgDupDiscarded => reg.add("fault.dup_discarded", 1),
+            TraceKind::MsgStaleDropped => reg.add("fault.stale_dropped", 1),
+            TraceKind::SiteCrash => reg.add("fault.crashes", 1),
+            TraceKind::SiteRestart => reg.add("fault.restarts", 1),
+            _ => {}
+        }
+    }
+    // §6.1 optimization hit rates, as percentages of write serves.
+    let writes = reg.counter("serve.write");
+    if let Some(up) = (reg.counter("copy.upgrades") * 100).checked_div(writes) {
+        reg.gauge_set("rate.upgrade_hit_pct", up);
+    }
+    if let Some(down) = (reg.counter("copy.downgrades") * 100).checked_div(writes) {
+        reg.gauge_set("rate.downgrade_hit_pct", down);
+    }
+    reg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_inclusive_upper_bounds() {
+        let mut h = Histogram::new(&[10, 20, 30]);
+        h.observe(0);
+        h.observe(10); // lands in <=10, not <=20
+        h.observe(11);
+        h.observe(30);
+        h.observe(31); // overflow
+        assert_eq!(h.bucket(Some(10)), 2);
+        assert_eq!(h.bucket(Some(20)), 1);
+        assert_eq!(h.bucket(Some(30)), 1);
+        assert_eq!(h.bucket(None), 1);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.max(), 31);
+    }
+
+    #[test]
+    fn saturation_never_wraps() {
+        let mut h = Histogram::new(&[10]);
+        h.observe(u64::MAX);
+        h.observe(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.count(), 2);
+        let mut reg = Registry::new();
+        reg.add("c", u64::MAX);
+        reg.add("c", 5);
+        assert_eq!(reg.counter("c"), u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_report_bucket_upper_bounds() {
+        let mut h = Histogram::new(&[10, 20, 30]);
+        for v in [1, 2, 3, 15, 25, 25, 25, 25, 25, 25] {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile(0.30), Some(10));
+        assert_eq!(h.quantile(0.40), Some(20));
+        assert_eq!(h.quantile(0.95), Some(30));
+        h.observe(99);
+        assert_eq!(h.quantile(1.0), None);
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        // Simulate three workers producing shards of one sweep.
+        let shard = |vals: &[u64], counter: u64| {
+            let mut r = Registry::new();
+            r.add("runs", counter);
+            r.gauge_max("peak", vals.iter().copied().max().unwrap_or(0));
+            for &v in vals {
+                r.observe("lat", &[10, 100, 1000], v);
+            }
+            r
+        };
+        let shards = [shard(&[5, 50], 1), shard(&[500, 5], 2), shard(&[9999], 3)];
+        let mut fwd = Registry::new();
+        for s in &shards {
+            fwd.merge(s);
+        }
+        let mut rev = Registry::new();
+        for s in shards.iter().rev() {
+            rev.merge(s);
+        }
+        assert_eq!(fwd, rev);
+        assert_eq!(fwd.render(), rev.render());
+        assert_eq!(fwd.counter("runs"), 6);
+        assert_eq!(fwd.gauge("peak"), 9999);
+        assert_eq!(fwd.histogram("lat").unwrap().count(), 5);
+    }
+
+    #[test]
+    fn empty_registry_renders_empty() {
+        assert_eq!(Registry::new().render(), "");
+    }
+}

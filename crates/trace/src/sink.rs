@@ -1,0 +1,235 @@
+//! Trace sinks: where emitted [`TraceEvent`]s go.
+//!
+//! The protocol engine and the simulator hand every event to a
+//! [`TraceSink`]. Three backends cover the use cases:
+//!
+//! * [`VecSink`] — keep everything, in order (tests, offline checking,
+//!   Chrome export);
+//! * [`RingSink`] — keep the last *N* events in a fixed ring (flight
+//!   recorder for long runs: bounded memory, the tail survives);
+//! * [`JsonlSink`] — stream each event as one JSON line to any
+//!   `io::Write` (feeds external tools without buffering the run).
+
+use std::io;
+
+use crate::event::TraceEvent;
+
+/// A consumer of protocol trace events.
+///
+/// Implementations must be order-preserving: events arrive in emission
+/// order (which, within one simulated timestamp, is causal order).
+pub trait TraceSink {
+    /// Records one event.
+    fn record(&mut self, ev: &TraceEvent);
+
+    /// Flushes any buffered output (no-op for in-memory sinks).
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// An unbounded in-memory sink: every event, in order.
+#[derive(Debug, Default)]
+pub struct VecSink {
+    /// The recorded events in emission order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl VecSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the sink, returning the recorded events.
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.events
+    }
+}
+
+impl TraceSink for VecSink {
+    fn record(&mut self, ev: &TraceEvent) {
+        self.events.push(*ev);
+    }
+}
+
+/// A fixed-capacity ring buffer keeping the most recent events.
+#[derive(Debug)]
+pub struct RingSink {
+    buf: Vec<TraceEvent>,
+    capacity: usize,
+    /// Next write position (wraps).
+    head: usize,
+    /// Total events ever recorded (not capped at capacity).
+    recorded: u64,
+}
+
+impl RingSink {
+    /// Creates a ring holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self { buf: Vec::with_capacity(capacity), capacity, head: 0, recorded: 0 }
+    }
+
+    /// Total events recorded over the sink's lifetime, including those
+    /// that have since been overwritten.
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        if self.buf.len() < self.capacity {
+            self.buf.clone()
+        } else {
+            let mut out = Vec::with_capacity(self.capacity);
+            out.extend_from_slice(&self.buf[self.head..]);
+            out.extend_from_slice(&self.buf[..self.head]);
+            out
+        }
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, ev: &TraceEvent) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(*ev);
+        } else {
+            self.buf[self.head] = *ev;
+        }
+        self.head = (self.head + 1) % self.capacity;
+        self.recorded += 1;
+    }
+}
+
+/// Streams each event as one JSON object per line (JSON Lines).
+///
+/// The encoding is hand-written (the workspace is std-only); field
+/// names and order are stable so downstream tooling can depend on
+/// them. Write errors are remembered and surfaced by [`TraceSink::flush`]
+/// rather than panicking mid-simulation.
+pub struct JsonlSink<W: io::Write> {
+    out: W,
+    error: Option<io::Error>,
+}
+
+impl<W: io::Write> JsonlSink<W> {
+    /// Wraps a writer.
+    pub fn new(out: W) -> Self {
+        Self { out, error: None }
+    }
+
+    /// Consumes the sink, returning the writer.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+/// Encodes one event as a single-line JSON object.
+pub fn event_to_json(ev: &TraceEvent) -> String {
+    let mut s = String::with_capacity(160);
+    s.push_str(&format!(
+        "{{\"at\":{},\"site\":{},\"kind\":\"{}\"",
+        ev.at.0,
+        ev.site.0,
+        ev.kind.name()
+    ));
+    if let Some((seg, page)) = ev.subject {
+        s.push_str(&format!(
+            ",\"seg\":\"{}@{}\",\"page\":{}",
+            seg.serial, seg.library.0, page.0
+        ));
+    }
+    if !ev.span.is_none() {
+        s.push_str(&format!(",\"span\":{}", ev.span.0));
+    }
+    if let Some(peer) = ev.peer {
+        s.push_str(&format!(",\"peer\":{}", peer.0));
+    }
+    if let Some(pid) = ev.pid {
+        s.push_str(&format!(",\"pid\":\"{}.{}\"", pid.site.0, pid.local));
+    }
+    if let Some(access) = ev.access {
+        s.push_str(&format!(",\"access\":\"{access:?}\""));
+    }
+    if let Some(msg) = ev.msg {
+        s.push_str(&format!(",\"msg\":\"{}\"", msg.name()));
+    }
+    if ev.serial != 0 {
+        s.push_str(&format!(",\"serial\":{}", ev.serial));
+    }
+    if ev.detail != 0 {
+        s.push_str(&format!(",\"detail\":{}", ev.detail));
+    }
+    s.push('}');
+    s
+}
+
+impl<W: io::Write> TraceSink for JsonlSink<W> {
+    fn record(&mut self, ev: &TraceEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        let line = event_to_json(ev);
+        if let Err(e) =
+            self.out.write_all(line.as_bytes()).and_then(|()| self.out.write_all(b"\n"))
+        {
+            self.error = Some(e);
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.out.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use mirage_types::{
+        SimTime,
+        SiteId,
+    };
+
+    use super::*;
+    use crate::event::TraceKind;
+
+    fn ev(at: u64) -> TraceEvent {
+        TraceEvent::new(SimTime(at), SiteId(0), TraceKind::MsgSent)
+    }
+
+    #[test]
+    fn ring_keeps_the_tail_in_order() {
+        let mut ring = RingSink::new(3);
+        for t in 0..5 {
+            ring.record(&ev(t));
+        }
+        assert_eq!(ring.recorded(), 5);
+        let kept: Vec<u64> = ring.events().iter().map(|e| e.at.0).collect();
+        assert_eq!(kept, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn ring_below_capacity_returns_everything() {
+        let mut ring = RingSink::new(8);
+        ring.record(&ev(1));
+        ring.record(&ev(2));
+        let kept: Vec<u64> = ring.events().iter().map(|e| e.at.0).collect();
+        assert_eq!(kept, vec![1, 2]);
+    }
+
+    #[test]
+    fn jsonl_writes_one_line_per_event() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.record(&ev(7));
+        sink.record(&ev(8));
+        sink.flush().unwrap();
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"at\":7,"));
+        assert!(lines[0].ends_with('}'));
+    }
+}

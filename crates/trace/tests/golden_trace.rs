@@ -1,0 +1,245 @@
+//! Golden protocol traces for two canonical flows.
+//!
+//! Each scenario drives real [`mirage_core::SiteEngine`]s through a
+//! tiny instant-delivery harness with tracing enabled, encodes the
+//! collected trace as JSON Lines, and compares it byte-for-byte against
+//! a checked-in golden file. The goldens pin the *event vocabulary*:
+//! any change to what the engines emit — new events, reordered
+//! emission, changed fields — shows up as a readable diff here.
+//!
+//! To re-bless after an intentional change:
+//!
+//! ```text
+//! MIRAGE_BLESS=1 cargo test -p mirage-trace --test golden_trace
+//! ```
+//!
+//! Golden traces must also satisfy the offline checker — a golden that
+//! fails [`mirage_trace::check`] cannot be blessed.
+
+use std::collections::VecDeque;
+use std::path::PathBuf;
+
+use mirage_core::{
+    DriverOps,
+    Event,
+    InMemStore,
+    PageStore,
+    ProtoMsg,
+    ProtocolConfig,
+    ProtocolDriver,
+    RefLogEntry,
+};
+use mirage_mem::LocalSegment;
+use mirage_trace::{
+    check,
+    event_to_json,
+    TraceEvent,
+};
+use mirage_types::{
+    Access,
+    Delta,
+    PageNum,
+    Pid,
+    SegmentId,
+    SimTime,
+    SiteId,
+};
+
+const PAGE: PageNum = PageNum(0);
+
+/// Instant-delivery two-phase harness: messages arrive in FIFO order at
+/// the same virtual instant; timers advance the clock. Everything the
+/// engines trace is collected in emission order.
+struct Mini {
+    drivers: Vec<ProtocolDriver>,
+    stores: Vec<InMemStore>,
+    now: SimTime,
+    net: VecDeque<(SiteId, SiteId, ProtoMsg)>,
+    timers: Vec<(SimTime, SiteId, u64)>,
+    trace: Vec<TraceEvent>,
+}
+
+struct MiniOps<'a> {
+    from: SiteId,
+    net: &'a mut VecDeque<(SiteId, SiteId, ProtoMsg)>,
+    timers: &'a mut Vec<(SimTime, SiteId, u64)>,
+    trace: &'a mut Vec<TraceEvent>,
+}
+
+impl DriverOps for MiniOps<'_> {
+    fn send(&mut self, to: SiteId, msg: ProtoMsg) {
+        self.net.push_back((self.from, to, msg));
+    }
+    fn wake(&mut self, _pid: Pid) {}
+    fn set_timer(&mut self, at: SimTime, token: u64) {
+        self.timers.push((at, self.from, token));
+    }
+    fn log(&mut self, _entry: RefLogEntry) {}
+    fn trace(&mut self, ev: TraceEvent) {
+        self.trace.push(ev);
+    }
+}
+
+impl Mini {
+    fn new(n: usize, config: ProtocolConfig) -> Self {
+        let drivers = (0..n)
+            .map(|i| {
+                let mut d = ProtocolDriver::from_config(SiteId(i as u16), config.clone());
+                d.set_tracing(true);
+                d
+            })
+            .collect();
+        Mini {
+            drivers,
+            stores: (0..n).map(|_| InMemStore::new()).collect(),
+            now: SimTime::ZERO,
+            net: VecDeque::new(),
+            timers: Vec::new(),
+            trace: Vec::new(),
+        }
+    }
+
+    fn create_segment(&mut self, lib: usize, pages: usize) -> SegmentId {
+        let seg = SegmentId::new(SiteId(lib as u16), 1);
+        for (i, (drv, store)) in self.drivers.iter_mut().zip(self.stores.iter_mut()).enumerate()
+        {
+            let view = if i == lib {
+                LocalSegment::fully_resident(seg, pages)
+            } else {
+                LocalSegment::absent(seg, pages)
+            };
+            store.add_segment(view);
+            drv.register_segment(seg, pages);
+        }
+        seg
+    }
+
+    fn dispatch(&mut self, site: usize, ev: Event) {
+        let Mini { drivers, stores, now, net, timers, trace } = self;
+        drivers[site].drive(
+            ev,
+            *now,
+            &mut stores[site],
+            &mut MiniOps { from: SiteId(site as u16), net, timers, trace },
+        );
+    }
+
+    fn run(&mut self) {
+        loop {
+            if let Some((from, to, msg)) = self.net.pop_front() {
+                self.dispatch(to.index(), Event::Deliver { from, msg });
+                continue;
+            }
+            if !self.timers.is_empty() {
+                let idx = self
+                    .timers
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, &(at, _, _))| at)
+                    .map(|(i, _)| i)
+                    .unwrap();
+                let (at, site, token) = self.timers.remove(idx);
+                if at > self.now {
+                    self.now = at;
+                }
+                self.dispatch(site.index(), Event::Timer { token });
+                continue;
+            }
+            break;
+        }
+    }
+
+    /// Faults until `access` is granted (at most a few rounds), like a
+    /// process re-faulting after a wake.
+    fn acquire(&mut self, site: usize, local: u32, seg: SegmentId, access: Access) {
+        for _ in 0..8 {
+            if self.stores[site].prot(seg, PAGE).permits(access) {
+                return;
+            }
+            let pid = Pid::new(SiteId(site as u16), local);
+            self.dispatch(site, Event::Fault { pid, seg, page: PAGE, access });
+            self.run();
+        }
+        panic!("site {site} never acquired {access:?}");
+    }
+}
+
+/// Two sites trade the write copy back and forth (the Figure 7 inner
+/// loop, collapsed to one exchange each way).
+fn ping_pong() -> Vec<TraceEvent> {
+    let mut m = Mini::new(2, ProtocolConfig::paper(Delta::ZERO));
+    let seg = m.create_segment(0, 1);
+    m.acquire(1, 1, seg, Access::Write);
+    m.acquire(0, 1, seg, Access::Write);
+    m.acquire(1, 1, seg, Access::Write);
+    m.trace
+}
+
+/// The §6.1 optimization pair: a reader's write demand upgrades its
+/// copy in place (no data on the wire), and a writer serving a read
+/// demand downgrades instead of relinquishing.
+fn upgrade_downgrade() -> Vec<TraceEvent> {
+    let mut m = Mini::new(2, ProtocolConfig::paper(Delta::ZERO));
+    let seg = m.create_segment(0, 1);
+    // Site 1 reads, then writes: upgrade in place (optimization 1).
+    m.acquire(1, 1, seg, Access::Read);
+    m.acquire(1, 1, seg, Access::Write);
+    // Site 0 reads while site 1 holds the write copy: downgrade
+    // (optimization 2) — site 1 keeps a read copy.
+    m.acquire(0, 1, seg, Access::Read);
+    m.trace
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests").join("golden").join(name)
+}
+
+fn assert_matches_golden(name: &str, trace: &[TraceEvent]) {
+    // Whatever we pin must satisfy the offline checker: the golden is
+    // also a checker fixture.
+    let report = check(trace);
+    assert!(
+        report.violations.is_empty(),
+        "golden trace is incoherent: {:?}",
+        report.violations
+    );
+
+    let got: String = trace.iter().map(|e| event_to_json(e) + "\n").collect();
+    let path = golden_path(name);
+    if std::env::var_os("MIRAGE_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden {} ({e}); run with MIRAGE_BLESS=1 to create it", path.display())
+    });
+    if got != want {
+        // Line-by-line diff beats one giant assert_eq dump.
+        for (i, (g, w)) in got.lines().zip(want.lines()).enumerate() {
+            assert_eq!(g, w, "golden {name} diverges at line {}", i + 1);
+        }
+        assert_eq!(
+            got.lines().count(),
+            want.lines().count(),
+            "golden {name} has a different number of events"
+        );
+    }
+}
+
+#[test]
+fn ping_pong_matches_golden() {
+    assert_matches_golden("ping_pong.jsonl", &ping_pong());
+}
+
+#[test]
+fn upgrade_downgrade_matches_golden() {
+    assert_matches_golden("upgrade_downgrade.jsonl", &upgrade_downgrade());
+}
+
+/// The golden flows are deterministic: two runs trace identically.
+#[test]
+fn golden_flows_are_deterministic() {
+    assert_eq!(ping_pong(), ping_pong());
+    assert_eq!(upgrade_downgrade(), upgrade_downgrade());
+}
