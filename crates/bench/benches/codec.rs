@@ -25,6 +25,7 @@ fn messages() -> (ProtoMsg, ProtoMsg) {
         page: PageNum(3),
         access: Access::Write,
         pid: Pid::new(SiteId(1), 7),
+        epoch: 0,
     };
     let large = ProtoMsg::PageGrant {
         seg,

@@ -13,9 +13,15 @@
 //! fault_storm --seeds 5000     # wider sweep
 //! fault_storm --start 1000     # shifted seed range
 //! fault_storm --check-trace    # sweep with the causal trace oracle too
+//! fault_storm --migrate        # layer a seeded library-handoff schedule
 //! fault_storm --seed 42        # one seed, verbose outcome
 //! fault_storm --seed 42 --trace# same, narrating every fault decision
 //! ```
+//!
+//! `--migrate` draws 1–3 manual library migrations from a separate PRNG
+//! stream (the world shape, workload, and fault plan are unchanged) and
+//! runs them under the same drop/dup/delay/crash schedule, so role
+//! handoffs race messages losses and site crashes.
 //!
 //! Single-seed observability flags (each implies a traced run; tracing
 //! never changes the simulated execution):
@@ -35,6 +41,8 @@ use std::io::Write;
 
 use mirage_sim::{
     run_fuzz_seed,
+    run_fuzz_seed_migrating,
+    run_fuzz_seed_migrating_traced,
     run_fuzz_seed_traced,
 };
 use mirage_trace::{
@@ -51,6 +59,7 @@ fn main() {
     let mut trace = false;
     let mut metrics = false;
     let mut check_trace = false;
+    let mut migrate = false;
     let mut export_chrome: Option<String> = None;
     let mut export_jsonl: Option<String> = None;
     let mut i = 0;
@@ -71,6 +80,7 @@ fn main() {
             "--trace" => trace = true,
             "--metrics" => metrics = true,
             "--check-trace" => check_trace = true,
+            "--migrate" => migrate = true,
             "--export-chrome" => {
                 i += 1;
                 export_chrome =
@@ -84,7 +94,7 @@ fn main() {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: fault_storm [--seeds N] [--start S] [--check-trace] \
-                     [--seed S [--trace] [--metrics] [--check-trace] \
+                     [--migrate] [--seed S [--trace] [--metrics] [--check-trace] \
                      [--export-chrome PATH] [--export-jsonl PATH]]"
                 );
                 std::process::exit(2);
@@ -102,10 +112,11 @@ fn main() {
         check_trace || metrics || export_chrome.is_some() || export_jsonl.is_some();
 
     if let Some(seed) = single {
-        let (outcome, events) = if want_trace {
-            run_fuzz_seed_traced(seed)
-        } else {
-            (run_fuzz_seed(seed), Vec::new())
+        let (outcome, events) = match (want_trace, migrate) {
+            (true, true) => run_fuzz_seed_migrating_traced(seed),
+            (true, false) => run_fuzz_seed_traced(seed),
+            (false, true) => (run_fuzz_seed_migrating(seed), Vec::new()),
+            (false, false) => (run_fuzz_seed(seed), Vec::new()),
         };
         println!("{}", outcome.describe());
         if let Some(stats) = outcome.stats {
@@ -157,8 +168,12 @@ fn main() {
     let mut crashes = 0u64;
     let mut dropped = 0u64;
     for seed in start..start + seeds {
-        let outcome =
-            if check_trace { run_fuzz_seed_traced(seed).0 } else { run_fuzz_seed(seed) };
+        let outcome = match (check_trace, migrate) {
+            (true, true) => run_fuzz_seed_migrating_traced(seed).0,
+            (true, false) => run_fuzz_seed_traced(seed).0,
+            (false, true) => run_fuzz_seed_migrating(seed),
+            (false, false) => run_fuzz_seed(seed),
+        };
         if let Some(stats) = outcome.stats {
             active += 1;
             crashes += stats.crashes;
@@ -167,7 +182,8 @@ fn main() {
         if !outcome.is_ok() {
             failed += 1;
             eprintln!("{}", outcome.describe());
-            eprintln!("replay: fault_storm --seed {seed} --trace");
+            let flag = if migrate { " --migrate" } else { "" };
+            eprintln!("replay: fault_storm --seed {seed}{flag} --trace");
         }
         if (seed - start + 1).is_multiple_of(200) {
             println!("… {}/{} seeds, {} failed", seed - start + 1, seeds, failed);

@@ -17,12 +17,15 @@ use mirage_baseline::{
 use mirage_core::{
     DeltaPolicy,
     ProtocolConfig,
+    RetryPolicy,
 };
 use mirage_net::NetCosts;
 use mirage_sim::{
     instrument::FetchPhase,
     MemRef,
+    MigrationEvent,
     Op,
+    PlacementPolicy,
     Program,
     SimConfig,
     World,
@@ -312,6 +315,76 @@ pub fn thrash_system(deltas: &[u32], seconds: u64) -> Vec<ThrashPoint> {
             delta: d,
             app_rate: w.sites[0].procs[0].metric() as f64 / seconds as f64,
             bg_rate: w.sites[1].procs[1].metric() as f64 / seconds as f64,
+        }
+    })
+}
+
+/// M1 result row: one placement-policy arm of the hot-spot workload.
+#[derive(Clone, Debug)]
+pub struct MigrationRow {
+    /// Policy arm name.
+    pub policy: &'static str,
+    /// Remote faults taken by the hot site (site 2).
+    pub hot_remote_faults: u64,
+    /// Remote faults world-wide.
+    pub remote_faults: u64,
+    /// Faults served inline by a colocated library.
+    pub local_faults: u64,
+    /// Combined accesses per second over the makespan.
+    pub throughput: f64,
+    /// Where the segment's library role ended up.
+    pub final_library: u16,
+}
+
+/// M1: library placement on a hot-spot workload. The segment's library
+/// is created at site 0, but the traffic comes from elsewhere: a hot
+/// read-modify-write loop at site 2 duels a periodic pure writer at
+/// site 1 over false-shared words of the same page. Each steal cycle
+/// costs the hot site *two* library requests (read fault, then §6.1
+/// write upgrade) against the writer's one, so the §9 reference log
+/// shows site 2 dominating — and with the role pinned at its creation
+/// site every one of those requests pays the remote path. The three
+/// arms run the identical workload with placement off, a manual
+/// one-shot handoff to the hot site, and the live advisor loop — which
+/// should discover the same move on its own and cut the hot site's
+/// remote-fault count. Δ = 0 keeps the duel unthrottled so the fault
+/// stream is dense enough to advise on.
+pub fn migration_hotspot(task: u32) -> Vec<MigrationRow> {
+    let arms: [(&'static str, u8); 3] = [("off", 0), ("manual", 1), ("advised", 2)];
+    par_map(&arms, |&(policy, arm)| {
+        let protocol = ProtocolConfig {
+            delta: DeltaPolicy::Uniform(Delta(0)),
+            retry: Some(RetryPolicy::default()),
+            ..Default::default()
+        };
+        let mut w = World::new(3, SimConfig { protocol, ..Default::default() });
+        let seg = w.create_segment(0, 1);
+        w.spawn(2, Box::new(Decrementer::new(seg, 128, task * 150)), 1);
+        w.spawn(1, Box::new(PeriodicWriter::new(seg, task, SimDuration::from_millis(10))), 1);
+        match arm {
+            1 => w.set_placement_policy(PlacementPolicy::Manual(vec![MigrationEvent {
+                at: SimTime::from_millis(300),
+                seg,
+                to: SiteId(2),
+            }])),
+            2 => w.set_placement_policy(PlacementPolicy::Advised {
+                interval: SimDuration::from_millis(100),
+                window: SimDuration::from_millis(1_000),
+                min_requests: 8,
+                hysteresis: 2,
+            }),
+            _ => {}
+        }
+        let finished = w.run_to_completion(SimTime::from_millis(600_000));
+        debug_assert!(finished, "M1 {policy}: hot-spot run must converge");
+        let makespan = w.now().as_secs_f64();
+        MigrationRow {
+            policy,
+            hot_remote_faults: w.instr.remote_faults_by_site[2],
+            remote_faults: w.instr.remote_faults,
+            local_faults: w.instr.local_faults,
+            throughput: w.total_accesses() as f64 / makespan,
+            final_library: w.library_site(seg).map_or(0, |s| s.0),
         }
     })
 }

@@ -19,6 +19,7 @@ use crate::{
         fig8,
         invalidation_scaling,
         local_pingpong,
+        migration_hotspot,
         msg_accounting,
         remap_model,
         table3,
@@ -59,6 +60,8 @@ pub struct ReproParams {
     pub dyn_seconds: u64,
     /// A4 reader counts.
     pub inv_readers: Vec<usize>,
+    /// M1 hot-spot size (periodic writes by the far partner).
+    pub migration_task: u32,
 }
 
 impl ReproParams {
@@ -82,6 +85,7 @@ impl ReproParams {
             dyn_task: 100_000,
             dyn_seconds: 30,
             inv_readers: vec![1, 2, 4, 8, 16, 32],
+            migration_task: 600,
         }
     }
 
@@ -104,6 +108,7 @@ impl ReproParams {
             dyn_task: 5_000,
             dyn_seconds: 2,
             inv_readers: vec![1, 4],
+            migration_task: 120,
         }
     }
 }
@@ -278,6 +283,25 @@ pub fn repro_all_report(p: &ReproParams) -> String {
         .collect();
     out.push_str(&format_table(
         &["trace", "protocol", "faults", "shorts", "pages", "wire ms"],
+        &rows,
+    ));
+
+    let _ = writeln!(out, "\n## M1 — library placement on a hot-spot workload\n");
+    let rows: Vec<Vec<String>> = migration_hotspot(p.migration_task)
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.policy.into(),
+                r.hot_remote_faults.to_string(),
+                r.remote_faults.to_string(),
+                r.local_faults.to_string(),
+                format!("{:.0}", r.throughput),
+                format!("site{}", r.final_library),
+            ]
+        })
+        .collect();
+    out.push_str(&format_table(
+        &["policy", "hot remote faults", "remote faults", "local faults", "instr/s", "library"],
         &rows,
     ));
     out

@@ -16,6 +16,7 @@ use mirage_bench::{
     harness::set_jobs,
     invalidation_scaling,
     local_pingpong,
+    migration_hotspot,
     repro_all_report,
     test_and_set,
     thrash_system,
@@ -88,6 +89,16 @@ fn baseline_compare_is_identical_at_any_worker_count() {
 #[test]
 fn dynamic_delta_is_identical_at_any_worker_count() {
     let (a, b) = at_jobs_1_and_4(|| dynamic_delta_with(2_000, 2));
+    assert_eq!(a, b);
+}
+
+/// The M1 arms each run a library handoff mid-flight (manual schedule
+/// or the live advisor); the sweep must still be byte-identical at any
+/// worker count — migration decisions are driven entirely by simulated
+/// time, never by wall-clock worker scheduling.
+#[test]
+fn migration_is_identical_at_any_worker_count() {
+    let (a, b) = at_jobs_1_and_4(|| migration_hotspot(120));
     assert_eq!(a, b);
 }
 

@@ -69,6 +69,10 @@ pub(crate) enum TimerKind {
         seg: SegmentId,
         /// Page of the outstanding request.
         page: PageNum,
+        /// Request-chain generation the timer was armed for; timers left
+        /// over from a satisfied request no-op on mismatch instead of
+        /// aliasing onto (and multiplying) the next request's chain.
+        gen: u32,
     },
     /// Library: retransmit the in-flight `Invalidate` (retry mode).
     ServeRetry {
@@ -108,6 +112,12 @@ pub(crate) enum TimerKind {
         page: PageNum,
         /// Demand serial of the grant.
         serial: u32,
+    },
+    /// Former library: retransmit an unacked `LibraryHandoff` (retry
+    /// mode; per-segment, the handoff moves the whole segment's role).
+    HandoffRetry {
+        /// Segment whose role is in flight.
+        seg: SegmentId,
     },
 }
 
@@ -152,17 +162,18 @@ impl SiteEngine {
 
     /// Registers a segment at this site.
     ///
-    /// If this site is the segment's library site, the library role
-    /// starts tracking its pages with the creating site as initial writer
-    /// and clock site. The caller is responsible for giving the
+    /// Every site provisions a library slot for the segment (the role
+    /// is relocatable and may be handed to any site later), but the
+    /// slot is *active* only at `seg.library`, where the role starts
+    /// tracking the pages with the creating site as initial writer and
+    /// clock site. The caller is responsible for giving the
     /// [`PageStore`] a fully-resident view at the library site and an
     /// absent view elsewhere.
     pub fn register_segment(&mut self, seg: SegmentId, pages: usize) {
         self.usr.register_segment(seg, pages, &self.config);
-        if seg.library == self.site {
-            let policy = self.config.delta.clone();
-            self.lib.register_segment(seg, pages, self.site, &policy);
-        }
+        let policy = self.config.delta.clone();
+        let active = seg.library == self.site;
+        self.lib.register_segment(seg, pages, seg.library, active, &policy);
     }
 
     /// Feeds one event through the engine, accumulating the resulting
@@ -187,6 +198,9 @@ impl SiteEngine {
             }
             Event::Timer { token } => {
                 self.timer_fired(token, store, sink);
+            }
+            Event::MigrateLibrary { seg, to } => {
+                self.lib_migrate(seg, to, sink);
             }
         }
         // Drain loop-back deliveries (self-sends) until quiescent.
@@ -223,11 +237,13 @@ impl SiteEngine {
     ) {
         match msg {
             // Library-role inputs.
-            ProtoMsg::PageRequest { seg, page, access, pid } => {
+            ProtoMsg::PageRequest { seg, page, access, pid, epoch: _ } => {
+                // An *active* slot serves any request epoch — the request
+                // reached the live role; the stamp only matters to stubs.
                 self.lib_request(from, seg, page, access, pid, sink);
             }
             ProtoMsg::InvalidateDeny { seg, page, wait, serial } => {
-                self.lib_denied(seg, page, wait, serial, sink);
+                self.lib_denied(from, seg, page, wait, serial, sink);
             }
             ProtoMsg::InvalidateDone { seg, page, info, serial } => {
                 self.lib_done(from, seg, page, info, serial, sink);
@@ -260,6 +276,16 @@ impl SiteEngine {
             ProtoMsg::UpgradeNack { seg, page, serial } => {
                 self.use_upgrade_nack(from, seg, page, serial, sink);
             }
+            // Library-role handoff (relocation subprotocol).
+            ProtoMsg::LibraryHandoff { seg, page: _, epoch, frozen } => {
+                self.lib_adopt(from, seg, epoch, &frozen, sink);
+            }
+            ProtoMsg::LibraryHandoffAck { seg, page: _, epoch } => {
+                self.lib_handoff_ack(from, seg, epoch, sink);
+            }
+            ProtoMsg::LibraryRedirect { seg, page, epoch, to } => {
+                self.use_redirect(from, seg, page, epoch, to, sink);
+            }
         }
     }
 
@@ -275,8 +301,8 @@ impl SiteEngine {
             TimerKind::ClockDelayed { seg, page } => {
                 self.use_delayed_invalidation(seg, page, store, sink);
             }
-            TimerKind::RequestRetry { seg, page } => {
-                self.use_request_retry(seg, page, sink);
+            TimerKind::RequestRetry { seg, page, gen } => {
+                self.use_request_retry(seg, page, gen, sink);
             }
             TimerKind::ServeRetry { seg, page, serial } => {
                 self.lib_serve_retry(seg, page, serial, sink);
@@ -289,6 +315,9 @@ impl SiteEngine {
             }
             TimerKind::GrantRetry { seg, page, serial } => {
                 self.use_grant_retry(seg, page, serial, sink);
+            }
+            TimerKind::HandoffRetry { seg } => {
+                self.lib_handoff_retry(seg, sink);
             }
         }
     }
@@ -442,5 +471,40 @@ impl SiteEngine {
     /// outstanding for the page?
     pub fn has_outstanding(&self, seg: SegmentId, page: PageNum, access: Access) -> bool {
         self.usr.has_outstanding(seg, page, access)
+    }
+
+    // ---- Library-resolution API (relocatable library sites). ----
+
+    /// The site this engine currently resolves as the library for
+    /// `seg`: the per-site hint, which starts at `seg.library` and is
+    /// updated by observed handoffs and redirects.
+    pub fn resolved_library(&self, seg: SegmentId) -> SiteId {
+        self.usr.lib_hint(seg).map_or(seg.library, |(site, _)| site)
+    }
+
+    /// The handoff epoch of this site's library hint for `seg` (0 until
+    /// a handoff is observed).
+    pub fn library_epoch(&self, seg: SegmentId) -> u32 {
+        self.usr.lib_hint(seg).map_or(0, |(_, epoch)| epoch)
+    }
+
+    /// Hot-path route lookup: `(library site, epoch)` in one segment
+    /// resolution. Falls back to the static address for segments this
+    /// site never registered (messages to them are dropped anyway).
+    pub(crate) fn library_route(&self, seg: SegmentId) -> (SiteId, u32) {
+        self.usr.lib_hint(seg).unwrap_or((seg.library, 0))
+    }
+
+    /// Whether this site currently holds the (relocatable) library role
+    /// for `seg`.
+    pub fn library_active(&self, seg: SegmentId) -> bool {
+        self.lib.is_active(seg)
+    }
+
+    /// Diagnostic dump of the library record for one page — queue,
+    /// epoch, pending serve — when this site holds the active role.
+    /// Used by the simulator's stuck-pid report.
+    pub fn library_debug(&self, seg: SegmentId, page: PageNum) -> Option<String> {
+        self.lib.debug_page(seg, page)
     }
 }

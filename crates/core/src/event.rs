@@ -43,6 +43,17 @@ pub enum Event {
         /// The token from the corresponding `SetTimer`.
         token: u64,
     },
+    /// The placement policy decided to move the library role for a
+    /// segment to another site. Only meaningful at the segment's
+    /// current library site (elsewhere it is a no-op), and only in
+    /// retry mode — the handoff subprotocol leans on the retransmit
+    /// chains.
+    MigrateLibrary {
+        /// Segment whose library role moves.
+        seg: SegmentId,
+        /// Destination site.
+        to: SiteId,
+    },
 }
 
 /// One entry of the library site's reference log (§9).

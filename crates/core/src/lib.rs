@@ -84,6 +84,8 @@ pub use event::{
 pub use msg::{
     Demand,
     DoneInfo,
+    FrozenLibPage,
+    FrozenLibrary,
     ProtoMsg,
 };
 pub use sink::ActionSink;

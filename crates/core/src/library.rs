@@ -43,6 +43,8 @@ use crate::{
     msg::{
         Demand,
         DoneInfo,
+        FrozenLibPage,
+        FrozenLibrary,
         ProtoMsg,
     },
     sink::ActionSink,
@@ -155,7 +157,48 @@ pub struct LibPageView {
     pub window: Delta,
 }
 
-/// Library-role state for all segments this site is library for.
+/// A handoff this (former) library site initiated and has not yet had
+/// acknowledged. Persistent across a crash — until the destination
+/// adopts it, the frozen snapshot is the authoritative copy of the
+/// records — except the retransmit counter.
+#[derive(Debug)]
+struct PendingHandoff {
+    to: SiteId,
+    epoch: u32,
+    frozen: FrozenLibrary,
+    /// Retransmit count (volatile).
+    attempt: u32,
+}
+
+/// Per-segment library-role metadata: whether the slot is live at this
+/// site, and where the role went if it is not.
+#[derive(Debug)]
+struct SegMeta {
+    /// This site currently holds the library role for the segment.
+    active: bool,
+    /// Handoff epoch of the records in this slot (0 = the role has
+    /// never moved). Bumped at every freeze; carried by the handoff.
+    epoch: u32,
+    /// Forwarding stub: the site the role was handed to. Installed at
+    /// freeze and kept for the life of the slot so arbitrarily stale
+    /// requests can always be redirected toward the role.
+    stub: Option<SiteId>,
+    /// Outbound handoff awaiting the destination's acknowledgement.
+    pending: Option<PendingHandoff>,
+}
+
+impl SegMeta {
+    fn new(active: bool) -> Self {
+        Self { active, epoch: 0, stub: None, pending: None }
+    }
+}
+
+/// Library-role state for all segments known at this site.
+///
+/// Every site registers a slot for every segment (the role is
+/// relocatable), but only the slot at the current library site is
+/// *active*; inactive slots hold stale records plus the `SegMeta`
+/// forwarding state.
 ///
 /// Segments are slab-indexed: `index` maps a [`SegmentId`] to a slot in
 /// `segs`, and each slot is a dense page-number-indexed vector.
@@ -163,6 +206,7 @@ pub struct LibPageView {
 pub struct LibState {
     index: HashMap<SegmentId, usize>,
     segs: Vec<Vec<LibPage>>,
+    meta: Vec<SegMeta>,
 }
 
 impl LibState {
@@ -171,18 +215,163 @@ impl LibState {
         seg: SegmentId,
         pages: usize,
         creator: SiteId,
+        active: bool,
         policy: &crate::config::DeltaPolicy,
     ) {
         let table: Vec<LibPage> = (0..pages)
             .map(|p| LibPage::initial(creator, policy.window(PageNum(p as u32))))
             .collect();
         match self.index.get(&seg) {
-            Some(&slot) => self.segs[slot] = table,
+            Some(&slot) => {
+                self.segs[slot] = table;
+                self.meta[slot] = SegMeta::new(active);
+            }
             None => {
                 self.index.insert(seg, self.segs.len());
                 self.segs.push(table);
+                self.meta.push(SegMeta::new(active));
             }
         }
+    }
+
+    /// Whether this site currently holds the library role for `seg`.
+    pub(crate) fn is_active(&self, seg: SegmentId) -> bool {
+        self.index.get(&seg).is_some_and(|&slot| self.meta[slot].active)
+    }
+
+    /// The forwarding stub of a deactivated slot: `(epoch, to)` when
+    /// this site once held the role and knows where it went.
+    fn stub(&self, seg: SegmentId) -> Option<(u32, SiteId)> {
+        let &slot = self.index.get(&seg)?;
+        let m = &self.meta[slot];
+        if m.active {
+            return None;
+        }
+        m.stub.map(|to| (m.epoch, to))
+    }
+
+    /// Freezes the segment's records for a handoff to `to`: bumps the
+    /// epoch, snapshots the persistent per-page records *plus* the
+    /// request queue (a graceful freeze, unlike a crash, loses
+    /// nothing), clears the serving machinery at this site, and
+    /// deactivates the slot behind a forwarding stub. Returns the new
+    /// epoch and the frozen state, or `None` if the slot is absent,
+    /// already inactive, or mid-handoff.
+    fn freeze(&mut self, seg: SegmentId, to: SiteId) -> Option<(u32, FrozenLibrary)> {
+        let &slot = self.index.get(&seg)?;
+        let m = &mut self.meta[slot];
+        if !m.active || m.pending.is_some() {
+            return None;
+        }
+        m.epoch += 1;
+        let epoch = m.epoch;
+        let pages: Vec<FrozenLibPage> = self.segs[slot]
+            .iter_mut()
+            .map(|rec| {
+                let frozen = FrozenLibPage {
+                    readers: rec.readers,
+                    writer: rec.writer,
+                    clock: rec.clock,
+                    queue: rec.queue.iter().map(|r| (r.site, r.access)).collect(),
+                    serving: rec.serving.clone(),
+                    window: rec.window,
+                    serial: rec.serial,
+                };
+                rec.queue.clear();
+                rec.serving = None;
+                rec.deny_seen = false;
+                rec.last_losers = None;
+                rec.serve_attempt = 0;
+                rec.span = 0;
+                frozen
+            })
+            .collect();
+        let frozen = FrozenLibrary { pages };
+        let m = &mut self.meta[slot];
+        m.active = false;
+        m.stub = Some(to);
+        m.pending = Some(PendingHandoff { to, epoch, frozen: frozen.clone(), attempt: 0 });
+        Some((epoch, frozen))
+    }
+
+    /// Rehydrates the segment's records from a received handoff.
+    /// `None` = unknown segment (drop); `Some(false)` = the slot is
+    /// already at this epoch or newer (duplicate — just re-ack);
+    /// `Some(true)` = adopted.
+    fn adopt(&mut self, seg: SegmentId, epoch: u32, frozen: &FrozenLibrary) -> Option<bool> {
+        let &slot = self.index.get(&seg)?;
+        if epoch <= self.meta[slot].epoch {
+            return Some(false);
+        }
+        for (rec, fp) in self.segs[slot].iter_mut().zip(frozen.pages.iter()) {
+            rec.readers = fp.readers;
+            rec.writer = fp.writer;
+            rec.clock = fp.clock;
+            rec.queue =
+                fp.queue.iter().map(|&(site, access)| Request { site, access }).collect();
+            rec.serving = fp.serving.clone();
+            rec.window = fp.window;
+            // The serial travels with the role: the frozen value is the
+            // high-water mark across every site that ever held it.
+            rec.serial = fp.serial;
+            rec.last_losers = None;
+            rec.deny_seen = false;
+            rec.serve_attempt = 0;
+            rec.span = 0;
+        }
+        let m = &mut self.meta[slot];
+        m.active = true;
+        m.epoch = epoch;
+        m.stub = None;
+        // An epoch-`n` handoff can only exist because epoch `n-1` was
+        // adopted somewhere — any older outbound handoff of ours for
+        // this segment has therefore been received; stop retransmitting.
+        m.pending = None;
+        Some(true)
+    }
+
+    /// Clears the pending handoff if the ack matches it. Returns
+    /// whether anything was cleared.
+    fn handoff_acked(&mut self, seg: SegmentId, epoch: u32) -> bool {
+        let Some(&slot) = self.index.get(&seg) else {
+            return false;
+        };
+        let m = &mut self.meta[slot];
+        if m.pending.as_ref().is_some_and(|p| p.epoch == epoch) {
+            m.pending = None;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Bumps the retransmit counter of a pending handoff and returns
+    /// what to resend.
+    fn handoff_retransmit(
+        &mut self,
+        seg: SegmentId,
+    ) -> Option<(SiteId, u32, FrozenLibrary, u32)> {
+        let &slot = self.index.get(&seg)?;
+        let p = self.meta[slot].pending.as_mut()?;
+        p.attempt += 1;
+        Some((p.to, p.epoch, p.frozen.clone(), p.attempt))
+    }
+
+    /// Segments with an unacknowledged outbound handoff, for restart.
+    fn pending_handoffs(&self) -> Vec<SegmentId> {
+        let mut out: Vec<SegmentId> = self
+            .index
+            .iter()
+            .filter(|&(_, &slot)| self.meta[slot].pending.is_some())
+            .map(|(&seg, _)| seg)
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Pages of an active segment, for adopt-time recovery.
+    fn page_count(&self, seg: SegmentId) -> usize {
+        self.index.get(&seg).map_or(0, |&slot| self.segs[slot].len())
     }
 
     fn page_mut(&mut self, seg: SegmentId, page: PageNum) -> Option<&mut LibPage> {
@@ -196,6 +385,11 @@ impl LibState {
     }
 
     pub(crate) fn view(&self, seg: SegmentId, page: PageNum) -> Option<LibPageView> {
+        if !self.is_active(seg) {
+            // A deactivated slot holds stale records; only the current
+            // library's view is meaningful.
+            return None;
+        }
         self.page(seg, page).map(|p| LibPageView {
             readers: p.readers,
             writer: p.writer,
@@ -219,12 +413,24 @@ impl LibState {
                 rec.serve_attempt = 0;
             }
         }
+        for m in &mut self.meta {
+            // The frozen snapshot is persistent (it may be the only
+            // copy of the records); the retransmit counter is not.
+            if let Some(p) = m.pending.as_mut() {
+                p.attempt = 0;
+            }
+        }
     }
 
     /// Pages with a journaled in-flight serve, for restart re-arming.
+    /// Only active slots count — a deactivated slot's serving demand
+    /// travelled away in the frozen snapshot.
     fn serving_pages(&self) -> Vec<(SegmentId, PageNum)> {
         let mut out = Vec::new();
         for (&seg, &slot) in &self.index {
+            if !self.meta[slot].active {
+                continue;
+            }
             for (p, rec) in self.segs[slot].iter().enumerate() {
                 if rec.serving.is_some() {
                     out.push((seg, PageNum(p as u32)));
@@ -233,6 +439,30 @@ impl LibState {
         }
         out.sort();
         out
+    }
+
+    /// Diagnostic dump of the library record for one page: queue
+    /// contents, handoff epoch, and the pending serve. `None` unless
+    /// this site's slot is active (the stuck-pid report asks every
+    /// site and prints the one answer).
+    pub(crate) fn debug_page(&self, seg: SegmentId, page: PageNum) -> Option<String> {
+        if !self.is_active(seg) {
+            return None;
+        }
+        let &slot = self.index.get(&seg)?;
+        let rec = self.segs[slot].get(page.index())?;
+        let queue: Vec<String> =
+            rec.queue.iter().map(|r| format!("site{}:{:?}", r.site.0, r.access)).collect();
+        Some(format!(
+            "epoch={} queue=[{}] serving={:?} serial={} readers={:?} writer={:?} clock=site{}",
+            self.meta[slot].epoch,
+            queue.join(", "),
+            rec.serving,
+            rec.serial,
+            rec.readers,
+            rec.writer,
+            rec.clock.0,
+        ))
     }
 }
 
@@ -247,6 +477,13 @@ impl SiteEngine {
         pid: Pid,
         sink: &mut ActionSink,
     ) {
+        if !self.lib.is_active(seg) {
+            // The role moved (or was never here): point the requester at
+            // the new site before anything — including the reference log,
+            // which must only record requests the live library processed.
+            self.lib_stale(from, seg, page, sink);
+            return;
+        }
         // §9: "Mirage provides a facility for logging all page requests
         // at the library site."
         sink.push(Action::Log(RefLogEntry { seg, page, at: sink.now(), pid, access }));
@@ -479,12 +716,17 @@ impl SiteEngine {
     /// invalidation." (§6.1)
     pub(crate) fn lib_denied(
         &mut self,
+        from: SiteId,
         seg: SegmentId,
         page: PageNum,
         wait: SimDuration,
         serial: u32,
         sink: &mut ActionSink,
     ) {
+        if !self.lib.is_active(seg) {
+            self.lib_stale(from, seg, page, sink);
+            return;
+        }
         let retry_on = self.config.retry.is_some();
         let Some(rec) = self.lib.page_mut(seg, page) else {
             return;
@@ -587,6 +829,12 @@ impl SiteEngine {
         serial: u32,
         sink: &mut ActionSink,
     ) {
+        if !self.lib.is_active(seg) {
+            // Do NOT ack: the completion must reach the live library.
+            // Redirect the clock so its done-retry chain re-aims.
+            self.lib_stale(from, seg, page, sink);
+            return;
+        }
         let dynamic = self.config.delta.is_dynamic();
         let retry_on = self.config.retry.is_some();
         if retry_on {
@@ -686,6 +934,194 @@ impl SiteEngine {
             self.lib_retry(seg, page, sink);
             self.arm_retry(0, TimerKind::ServeRetry { seg, page, serial }, sink);
         }
+        // An unacknowledged outbound handoff survived the crash (the
+        // frozen snapshot may be the only copy of the records): resend
+        // it and re-arm its retransmit chain.
+        for seg in self.lib.pending_handoffs() {
+            self.lib_handoff_retry(seg, sink);
+        }
+    }
+
+    // ---- Library-role handoff (relocatable library sites). ----
+
+    /// Placement-policy input: move the library role for `seg` to `to`.
+    ///
+    /// Freeze → transfer → activate: the records (plus the request
+    /// queue — a graceful freeze, unlike a crash, loses nothing) are
+    /// snapshotted under a bumped epoch, the local slot becomes a
+    /// forwarding stub, and the snapshot travels to `to`, retransmitted
+    /// until acknowledged. Requires retry mode — mid-handoff the serve
+    /// machinery leans on the same retransmit chains a crash does — and
+    /// no-ops if this site is not the active library, a handoff is
+    /// already in flight, or the destination is this site.
+    pub(crate) fn lib_migrate(&mut self, seg: SegmentId, to: SiteId, sink: &mut ActionSink) {
+        if self.config.retry.is_none() || to == self.site {
+            return;
+        }
+        let Some((epoch, frozen)) = self.lib.freeze(seg, to) else {
+            return;
+        };
+        // This site's own using role must chase the role immediately —
+        // local faults go straight to the new site, not via a redirect.
+        self.usr.set_lib_hint(seg, to, epoch);
+        if self.tracing() {
+            let mut ev = self.trace_event(
+                mirage_trace::TraceKind::LibraryFrozen,
+                0,
+                seg,
+                PageNum(0),
+                sink,
+            );
+            ev.peer = Some(to);
+            ev.epoch = epoch;
+            self.push_trace(ev, sink);
+            let mut ev = self.trace_event(
+                mirage_trace::TraceKind::HandoffSent,
+                0,
+                seg,
+                PageNum(0),
+                sink,
+            );
+            ev.peer = Some(to);
+            ev.epoch = epoch;
+            self.push_trace(ev, sink);
+        }
+        self.emit(to, ProtoMsg::LibraryHandoff { seg, page: PageNum(0), epoch, frozen }, sink);
+        self.arm_retry(0, TimerKind::HandoffRetry { seg }, sink);
+    }
+
+    /// A frozen library state arrived: adopt the role (or re-ack a
+    /// duplicate of a handoff already adopted).
+    pub(crate) fn lib_adopt(
+        &mut self,
+        from: SiteId,
+        seg: SegmentId,
+        epoch: u32,
+        frozen: &FrozenLibrary,
+        sink: &mut ActionSink,
+    ) {
+        match self.lib.adopt(seg, epoch, frozen) {
+            None => {}
+            Some(false) => {
+                // Already at this epoch or newer — the ack was lost;
+                // just stop the old site's retransmit chain.
+                self.emit(
+                    from,
+                    ProtoMsg::LibraryHandoffAck { seg, page: PageNum(0), epoch },
+                    sink,
+                );
+            }
+            Some(true) => {
+                self.usr.set_lib_hint(seg, self.site, epoch);
+                let serving: Vec<(PageNum, u32)> = (0..self.lib.page_count(seg))
+                    .filter_map(|p| {
+                        let page = PageNum(p as u32);
+                        let rec = self.lib.page(seg, page)?;
+                        rec.serving.as_ref().map(|_| (page, rec.serial))
+                    })
+                    .collect();
+                if self.tracing() {
+                    let mut ev = self.trace_event(
+                        mirage_trace::TraceKind::LibraryActivated,
+                        0,
+                        seg,
+                        PageNum(0),
+                        sink,
+                    );
+                    ev.peer = Some(from);
+                    ev.epoch = epoch;
+                    ev.detail = serving.len() as u64;
+                    self.push_trace(ev, sink);
+                }
+                self.emit(
+                    from,
+                    ProtoMsg::LibraryHandoffAck { seg, page: PageNum(0), epoch },
+                    sink,
+                );
+                // Reanimate the transferred obligations — the same
+                // recovery a restarted library performs: re-send the
+                // in-flight invalidation for every serving page, then
+                // work the queues.
+                for (page, serial) in serving {
+                    self.lib_retry(seg, page, sink);
+                    self.arm_retry(0, TimerKind::ServeRetry { seg, page, serial }, sink);
+                }
+                for p in 0..self.lib.page_count(seg) {
+                    self.lib_process_queue(seg, PageNum(p as u32), sink);
+                }
+            }
+        }
+    }
+
+    /// The destination acknowledged the handoff: stop retransmitting.
+    pub(crate) fn lib_handoff_ack(
+        &mut self,
+        from: SiteId,
+        seg: SegmentId,
+        epoch: u32,
+        sink: &mut ActionSink,
+    ) {
+        if self.lib.handoff_acked(seg, epoch) && self.tracing() {
+            let mut ev = self.trace_event(
+                mirage_trace::TraceKind::HandoffAcked,
+                0,
+                seg,
+                PageNum(0),
+                sink,
+            );
+            ev.peer = Some(from);
+            ev.epoch = epoch;
+            self.push_trace(ev, sink);
+        }
+    }
+
+    /// Handoff retransmit timer fired: the frozen state (or its ack)
+    /// may have been lost — re-send and back off.
+    pub(crate) fn lib_handoff_retry(&mut self, seg: SegmentId, sink: &mut ActionSink) {
+        let Some((to, epoch, frozen, attempt)) = self.lib.handoff_retransmit(seg) else {
+            // Acked (or superseded); let the stale timer die.
+            return;
+        };
+        if self.tracing() {
+            let mut ev = self.trace_event(
+                mirage_trace::TraceKind::HandoffSent,
+                0,
+                seg,
+                PageNum(0),
+                sink,
+            );
+            ev.peer = Some(to);
+            ev.epoch = epoch;
+            ev.detail = u64::from(attempt);
+            self.push_trace(ev, sink);
+        }
+        self.emit(to, ProtoMsg::LibraryHandoff { seg, page: PageNum(0), epoch, frozen }, sink);
+        self.arm_retry(attempt, TimerKind::HandoffRetry { seg }, sink);
+    }
+
+    /// A library-bound message reached a slot this site no longer owns:
+    /// redirect the sender to wherever the role went. A site that never
+    /// held the role (hint raced ahead of the handoff) drops the
+    /// message silently — the sender's retry chain recovers.
+    fn lib_stale(
+        &mut self,
+        from: SiteId,
+        seg: SegmentId,
+        page: PageNum,
+        sink: &mut ActionSink,
+    ) {
+        let Some((epoch, to)) = self.lib.stub(seg) else {
+            return;
+        };
+        if self.tracing() {
+            let mut ev =
+                self.trace_event(mirage_trace::TraceKind::RedirectSent, 0, seg, page, sink);
+            ev.peer = Some(from);
+            ev.epoch = epoch;
+            ev.detail = u64::from(to.0);
+            self.push_trace(ev, sink);
+        }
+        self.emit(from, ProtoMsg::LibraryRedirect { seg, page, epoch, to }, sink);
     }
 }
 

@@ -64,6 +64,40 @@ pub struct DoneInfo {
     pub writer_downgraded: bool,
 }
 
+/// One page's frozen library record, as carried by a role handoff.
+///
+/// Exactly the state that survives a library crash (readers, writer,
+/// clock, window, serial, the journaled serve) *plus* the request queue:
+/// a handoff is a graceful freeze, so — unlike a crash — no requester
+/// needs to retransmit to reconstruct its queue entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FrozenLibPage {
+    /// Sites holding read copies.
+    pub readers: SiteSet,
+    /// Site holding the write copy.
+    pub writer: Option<SiteId>,
+    /// The page's clock site.
+    pub clock: SiteId,
+    /// Queued, unserved requests in arrival order.
+    pub queue: Vec<(SiteId, Access)>,
+    /// The demand currently being served, if an invalidation is in
+    /// flight.
+    pub serving: Option<Demand>,
+    /// The page's current (possibly adapted) window.
+    pub window: Delta,
+    /// The page's demand-serial high-water mark. Serials stay monotone
+    /// across a handoff, so stale-grant floors at the using sites keep
+    /// working unchanged in the new epoch.
+    pub serial: u32,
+}
+
+/// A segment's complete frozen library state (one entry per page).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FrozenLibrary {
+    /// Per-page records, indexed by page number.
+    pub pages: Vec<FrozenLibPage>,
+}
+
 /// The Mirage DSM protocol messages.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ProtoMsg {
@@ -83,6 +117,11 @@ pub enum ProtoMsg {
         /// (§9: "Each log entry contains the memory location, a
         /// timestamp, and the process identifier of the requester").
         pid: Pid,
+        /// The sender's view of the segment's library epoch (0 until a
+        /// handoff has happened). An active library serves any epoch;
+        /// a forwarding stub uses its own (newer) epoch to redirect the
+        /// sender.
+        epoch: u32,
     },
     /// Library → clock site: additional readers joined while read copies
     /// are outstanding; grant them and note them for future invalidation
@@ -239,6 +278,48 @@ pub enum ProtoMsg {
         /// Echo of the UpgradeGrant's serial.
         serial: u32,
     },
+    /// Old library site → new library site: the segment's frozen library
+    /// state (LARGE — carries every page's queue and copy map). The old
+    /// site retransmits until [`ProtoMsg::LibraryHandoffAck`] arrives;
+    /// the receiver deduplicates by epoch.
+    LibraryHandoff {
+        /// Segment whose library role is moving.
+        seg: SegmentId,
+        /// Anchor page for subject extraction (always page 0 — the
+        /// handoff concerns the whole segment).
+        page: PageNum,
+        /// The new epoch the destination activates under (strictly
+        /// greater than every previous epoch of the segment).
+        epoch: u32,
+        /// The frozen per-page records.
+        frozen: FrozenLibrary,
+    },
+    /// New library site → old library site: handoff adopted (or
+    /// recognized as a duplicate); stop retransmitting (short).
+    LibraryHandoffAck {
+        /// Segment.
+        seg: SegmentId,
+        /// Anchor page (always page 0).
+        page: PageNum,
+        /// Echo of the handoff's epoch.
+        epoch: u32,
+    },
+    /// Forwarding stub → sender of an epoch-stale library-bound message:
+    /// the library role moved; update your hint to `to` and re-resolve
+    /// (short).
+    LibraryRedirect {
+        /// Segment.
+        seg: SegmentId,
+        /// The page of the message being redirected.
+        page: PageNum,
+        /// The stub's epoch. Receivers apply the redirect only if it is
+        /// newer than their current hint, so crossed redirects cannot
+        /// ping-pong a hint backwards.
+        epoch: u32,
+        /// Where the stub believes the library now lives (possibly
+        /// itself a stub, which redirects again with a higher epoch).
+        to: SiteId,
+    },
 }
 
 impl ProtoMsg {
@@ -256,7 +337,10 @@ impl ProtoMsg {
             | ProtoMsg::UpgradeGrant { seg, page, .. }
             | ProtoMsg::DoneAck { seg, page, .. }
             | ProtoMsg::GrantAck { seg, page, .. }
-            | ProtoMsg::UpgradeNack { seg, page, .. } => (*seg, *page),
+            | ProtoMsg::UpgradeNack { seg, page, .. }
+            | ProtoMsg::LibraryHandoff { seg, page, .. }
+            | ProtoMsg::LibraryHandoffAck { seg, page, .. }
+            | ProtoMsg::LibraryRedirect { seg, page, .. } => (*seg, *page),
         }
     }
 
@@ -275,6 +359,9 @@ impl ProtoMsg {
             ProtoMsg::DoneAck { .. } => MsgKind::DoneAck,
             ProtoMsg::GrantAck { .. } => MsgKind::GrantAck,
             ProtoMsg::UpgradeNack { .. } => MsgKind::UpgradeNack,
+            ProtoMsg::LibraryHandoff { .. } => MsgKind::LibraryHandoff,
+            ProtoMsg::LibraryHandoffAck { .. } => MsgKind::LibraryHandoffAck,
+            ProtoMsg::LibraryRedirect { .. } => MsgKind::LibraryRedirect,
         }
     }
 
@@ -287,7 +374,7 @@ impl ProtoMsg {
 impl Sized2 for ProtoMsg {
     fn size_class(&self) -> SizeClass {
         match self {
-            ProtoMsg::PageGrant { .. } => SizeClass::Large,
+            ProtoMsg::PageGrant { .. } | ProtoMsg::LibraryHandoff { .. } => SizeClass::Large,
             _ => SizeClass::Short,
         }
     }
@@ -329,15 +416,80 @@ impl Wire for DoneInfo {
     }
 }
 
+impl Wire for FrozenLibPage {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.readers.encode(buf);
+        self.writer.encode(buf);
+        self.clock.encode(buf);
+        (self.queue.len() as u32).encode(buf);
+        for (site, access) in &self.queue {
+            site.encode(buf);
+            access.encode(buf);
+        }
+        self.serving.encode(buf);
+        self.window.encode(buf);
+        self.serial.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        let readers = SiteSet::decode(buf)?;
+        let writer = Option::<SiteId>::decode(buf)?;
+        let clock = SiteId::decode(buf)?;
+        let len = u32::decode(buf)? as usize;
+        // Each queue entry is at least 3 bytes on the wire; reject a
+        // length prefix the remaining buffer cannot possibly satisfy
+        // before allocating.
+        if buf.len() < len.saturating_mul(3) {
+            return Err(MirageError::Codec("truncated message"));
+        }
+        let mut queue = Vec::with_capacity(len);
+        for _ in 0..len {
+            let site = SiteId::decode(buf)?;
+            let access = Access::decode(buf)?;
+            queue.push((site, access));
+        }
+        Ok(FrozenLibPage {
+            readers,
+            writer,
+            clock,
+            queue,
+            serving: Option::<Demand>::decode(buf)?,
+            window: Delta::decode(buf)?,
+            serial: u32::decode(buf)?,
+        })
+    }
+}
+
+impl Wire for FrozenLibrary {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (self.pages.len() as u32).encode(buf);
+        for p in &self.pages {
+            p.encode(buf);
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        let len = u32::decode(buf)? as usize;
+        // A frozen page is at least 22 bytes; guard the allocation.
+        if buf.len() < len.saturating_mul(22) {
+            return Err(MirageError::Codec("truncated message"));
+        }
+        let mut pages = Vec::with_capacity(len);
+        for _ in 0..len {
+            pages.push(FrozenLibPage::decode(buf)?);
+        }
+        Ok(FrozenLibrary { pages })
+    }
+}
+
 impl Wire for ProtoMsg {
     fn encode(&self, buf: &mut Vec<u8>) {
         match self {
-            ProtoMsg::PageRequest { seg, page, access, pid } => {
+            ProtoMsg::PageRequest { seg, page, access, pid, epoch } => {
                 buf.push(0);
                 seg.encode(buf);
                 page.encode(buf);
                 access.encode(buf);
                 pid.encode(buf);
+                epoch.encode(buf);
             }
             ProtoMsg::AddReaders { seg, page, readers, window, serial } => {
                 buf.push(1);
@@ -420,6 +572,26 @@ impl Wire for ProtoMsg {
                 page.encode(buf);
                 serial.encode(buf);
             }
+            ProtoMsg::LibraryHandoff { seg, page, epoch, frozen } => {
+                buf.push(12);
+                seg.encode(buf);
+                page.encode(buf);
+                epoch.encode(buf);
+                frozen.encode(buf);
+            }
+            ProtoMsg::LibraryHandoffAck { seg, page, epoch } => {
+                buf.push(13);
+                seg.encode(buf);
+                page.encode(buf);
+                epoch.encode(buf);
+            }
+            ProtoMsg::LibraryRedirect { seg, page, epoch, to } => {
+                buf.push(14);
+                seg.encode(buf);
+                page.encode(buf);
+                epoch.encode(buf);
+                to.encode(buf);
+            }
         }
     }
 
@@ -433,6 +605,7 @@ impl Wire for ProtoMsg {
                 page,
                 access: Access::decode(buf)?,
                 pid: Pid::decode(buf)?,
+                epoch: u32::decode(buf)?,
             },
             1 => ProtoMsg::AddReaders {
                 seg,
@@ -488,6 +661,19 @@ impl Wire for ProtoMsg {
             9 => ProtoMsg::DoneAck { seg, page, serial: u32::decode(buf)? },
             10 => ProtoMsg::GrantAck { seg, page, serial: u32::decode(buf)? },
             11 => ProtoMsg::UpgradeNack { seg, page, serial: u32::decode(buf)? },
+            12 => ProtoMsg::LibraryHandoff {
+                seg,
+                page,
+                epoch: u32::decode(buf)?,
+                frozen: FrozenLibrary::decode(buf)?,
+            },
+            13 => ProtoMsg::LibraryHandoffAck { seg, page, epoch: u32::decode(buf)? },
+            14 => ProtoMsg::LibraryRedirect {
+                seg,
+                page,
+                epoch: u32::decode(buf)?,
+                to: SiteId::decode(buf)?,
+            },
             _ => return Err(MirageError::Codec("bad ProtoMsg discriminant")),
         })
     }
@@ -514,6 +700,7 @@ mod tests {
                 page: PageNum(3),
                 access: Access::Write,
                 pid: Pid::new(SiteId(1), 7),
+                epoch: 2,
             },
             ProtoMsg::AddReaders {
                 seg: seg(),
@@ -569,6 +756,35 @@ mod tests {
             ProtoMsg::DoneAck { seg: seg(), page: PageNum(1), serial: 3 },
             ProtoMsg::GrantAck { seg: seg(), page: PageNum(2), serial: 7 },
             ProtoMsg::UpgradeNack { seg: seg(), page: PageNum(2), serial: 8 },
+            ProtoMsg::LibraryHandoff {
+                seg: seg(),
+                page: PageNum(0),
+                epoch: 1,
+                frozen: FrozenLibrary {
+                    pages: vec![
+                        FrozenLibPage {
+                            readers: [SiteId(1), SiteId(3)].into_iter().collect(),
+                            writer: None,
+                            clock: SiteId(1),
+                            queue: vec![(SiteId(2), Access::Write), (SiteId(0), Access::Read)],
+                            serving: Some(Demand::Read { to: SiteSet::singleton(SiteId(3)) }),
+                            window: Delta(4),
+                            serial: 11,
+                        },
+                        FrozenLibPage {
+                            readers: SiteSet::empty(),
+                            writer: Some(SiteId(0)),
+                            clock: SiteId(0),
+                            queue: Vec::new(),
+                            serving: None,
+                            window: Delta::ZERO,
+                            serial: 0,
+                        },
+                    ],
+                },
+            },
+            ProtoMsg::LibraryHandoffAck { seg: seg(), page: PageNum(0), epoch: 1 },
+            ProtoMsg::LibraryRedirect { seg: seg(), page: PageNum(3), epoch: 1, to: SiteId(2) },
         ]
     }
 
@@ -584,7 +800,8 @@ mod tests {
     #[test]
     fn only_page_grant_is_large() {
         for m in all_messages() {
-            let expect_large = matches!(m, ProtoMsg::PageGrant { .. });
+            let expect_large =
+                matches!(m, ProtoMsg::PageGrant { .. } | ProtoMsg::LibraryHandoff { .. });
             assert_eq!(m.size_class() == SizeClass::Large, expect_large, "{}", m.tag());
         }
     }

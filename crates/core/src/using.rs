@@ -139,6 +139,11 @@ struct UsePage {
     deferred: VecDeque<DeferredOp>,
     /// Retransmit count for the outstanding request (volatile).
     req_attempt: u32,
+    /// Generation of the outstanding request's retry chain, bumped each
+    /// time a fresh request is sent. A satisfied request leaves its last
+    /// backoff timer pending; the stamp keeps that stale firing from
+    /// aliasing onto the next request and forking its chain (volatile).
+    req_gen: u32,
     /// Pid stamped on retransmitted requests (volatile; reference-log
     /// attribution only).
     retry_pid: Option<Pid>,
@@ -173,6 +178,15 @@ struct UsePage {
 struct SegState {
     aux: AuxTable,
     pages: Vec<UsePage>,
+    /// Where this site currently believes the segment's library role
+    /// lives. Starts at the static `seg.library` and is updated by
+    /// redirects and observed handoffs. Persistent across a crash (like
+    /// the aux table): a restarted site must not fall back to a stale
+    /// static address the stubs have long since stopped answering for.
+    lib_hint: SiteId,
+    /// Handoff epoch of `lib_hint`; redirects apply only when strictly
+    /// newer (0 until the role first moves).
+    lib_epoch: u32,
 }
 
 /// Using-role state for all segments known at this site.
@@ -199,7 +213,12 @@ impl UseState {
             let page = PageNum(p as u32);
             aux.set_window(page, config.delta.window(page));
         }
-        let state = SegState { aux, pages: (0..pages).map(|_| UsePage::default()).collect() };
+        let state = SegState {
+            aux,
+            pages: (0..pages).map(|_| UsePage::default()).collect(),
+            lib_hint: seg.library,
+            lib_epoch: 0,
+        };
         match self.index.get(&seg) {
             Some(&slot) => self.segs[slot] = state,
             None => {
@@ -221,6 +240,23 @@ impl UseState {
 
     fn entry_mut(&mut self, seg: SegmentId, page: PageNum) -> Option<&mut UsePage> {
         self.seg_mut(seg)?.pages.get_mut(page.index())
+    }
+
+    /// This site's current library hint for the segment, with its epoch.
+    pub(crate) fn lib_hint(&self, seg: SegmentId) -> Option<(SiteId, u32)> {
+        self.seg(seg).map(|s| (s.lib_hint, s.lib_epoch))
+    }
+
+    /// Repoints the library hint (handoff observed or redirect applied).
+    pub(crate) fn set_lib_hint(&mut self, seg: SegmentId, to: SiteId, epoch: u32) {
+        if let Some(s) = self.seg_mut(seg) {
+            s.lib_hint = to;
+            s.lib_epoch = epoch;
+        }
+    }
+
+    fn page_count(&self, seg: SegmentId) -> usize {
+        self.seg(seg).map_or(0, |s| s.pages.len())
     }
 
     pub(crate) fn waiter_count(&self, seg: SegmentId, page: PageNum) -> usize {
@@ -309,6 +345,7 @@ impl SiteEngine {
             Access::Read => !entry.out_read && !entry.out_write,
             Access::Write => !entry.out_write,
         };
+        let mut gen = 0;
         if need_send {
             match access {
                 Access::Read => entry.out_read = true,
@@ -316,7 +353,10 @@ impl SiteEngine {
             }
             entry.retry_pid = Some(pid);
             entry.req_attempt = 0;
+            entry.req_gen = entry.req_gen.wrapping_add(1);
+            gen = entry.req_gen;
         }
+        let (lib, lib_epoch) = self.library_route(seg);
         if self.tracing() {
             let span = if need_send {
                 let span = self.new_span();
@@ -337,15 +377,19 @@ impl SiteEngine {
             self.push_trace(ev, sink);
             if need_send {
                 let mut ev = self.trace_event(TraceKind::RequestSent, span, seg, page, sink);
-                ev.peer = Some(seg.library);
+                ev.peer = Some(lib);
                 ev.pid = Some(pid);
                 ev.access = Some(access);
                 self.push_trace(ev, sink);
             }
         }
         if need_send {
-            self.emit(seg.library, ProtoMsg::PageRequest { seg, page, access, pid }, sink);
-            self.arm_retry(0, TimerKind::RequestRetry { seg, page }, sink);
+            self.emit(
+                lib,
+                ProtoMsg::PageRequest { seg, page, access, pid, epoch: lib_epoch },
+                sink,
+            );
+            self.arm_retry(0, TimerKind::RequestRetry { seg, page, gen }, sink);
         }
     }
 
@@ -358,11 +402,17 @@ impl SiteEngine {
         &mut self,
         seg: SegmentId,
         page: PageNum,
+        gen: u32,
         sink: &mut ActionSink,
     ) {
         let Some(entry) = self.usr.entry_mut(seg, page) else {
             return;
         };
+        if gen != entry.req_gen {
+            // A leftover timer from a request that was already satisfied;
+            // only the current chain may retransmit (and re-arm).
+            return;
+        }
         // A write request covers a read one, so retransmit the strongest
         // outstanding class.
         let access = if entry.out_write {
@@ -380,16 +430,21 @@ impl SiteEngine {
             .retry_pid
             .or_else(|| entry.waiters.first().map(|&(pid, _)| pid))
             .unwrap_or(Pid::new(self.site, 0));
+        let (lib, lib_epoch) = self.library_route(seg);
         if self.tracing() {
             let mut ev = self.trace_event(TraceKind::RequestRetry, span, seg, page, sink);
-            ev.peer = Some(seg.library);
+            ev.peer = Some(lib);
             ev.pid = Some(pid);
             ev.access = Some(access);
             ev.detail = u64::from(attempt);
             self.push_trace(ev, sink);
         }
-        self.emit(seg.library, ProtoMsg::PageRequest { seg, page, access, pid }, sink);
-        self.arm_retry(attempt, TimerKind::RequestRetry { seg, page }, sink);
+        self.emit(
+            lib,
+            ProtoMsg::PageRequest { seg, page, access, pid, epoch: lib_epoch },
+            sink,
+        );
+        self.arm_retry(attempt, TimerKind::RequestRetry { seg, page, gen }, sink);
     }
 
     /// Library told us (the fixed clock site) to grant read copies to
@@ -519,8 +574,9 @@ impl SiteEngine {
                         _ => None,
                     };
                     if let Some(info) = redo {
+                        let lib = self.library_route(seg).0;
                         self.emit(
-                            seg.library,
+                            lib,
                             ProtoMsg::InvalidateDone { seg, page, info, serial },
                             sink,
                         );
@@ -583,14 +639,15 @@ impl SiteEngine {
             // "the clock site replies immediately with the amount of time
             // the library must wait until the invalidation can be
             // honored."
+            let lib = self.library_route(seg).0;
             self.emit(
-                seg.library,
+                lib,
                 ProtoMsg::InvalidateDeny { seg, page, wait: remaining, serial },
                 sink,
             );
             if self.tracing() {
                 let mut ev = self.trace_event(TraceKind::DenySent, 0, seg, page, sink);
-                ev.peer = Some(seg.library);
+                ev.peer = Some(lib);
                 ev.serial = serial;
                 ev.detail = remaining.0;
                 self.push_trace(ev, sink);
@@ -735,14 +792,11 @@ impl SiteEngine {
                     }
                 }
                 let info = DoneInfo { writer_downgraded: downgraded };
-                self.emit(
-                    seg.library,
-                    ProtoMsg::InvalidateDone { seg, page, info, serial },
-                    sink,
-                );
+                let lib = self.library_route(seg).0;
+                self.emit(lib, ProtoMsg::InvalidateDone { seg, page, info, serial }, sink);
                 if self.tracing() {
                     let mut ev = self.trace_event(TraceKind::DoneSent, duty, seg, page, sink);
-                    ev.peer = Some(seg.library);
+                    ev.peer = Some(lib);
                     ev.serial = serial;
                     ev.detail = u64::from(info.writer_downgraded);
                     self.push_trace(ev, sink);
@@ -1188,10 +1242,11 @@ impl SiteEngine {
             }
         }
         let info = DoneInfo { writer_downgraded: false };
-        self.emit(seg.library, ProtoMsg::InvalidateDone { seg, page, info, serial }, sink);
+        let lib = self.library_route(seg).0;
+        self.emit(lib, ProtoMsg::InvalidateDone { seg, page, info, serial }, sink);
         if self.tracing() {
             let mut ev = self.trace_event(TraceKind::DoneSent, duty, seg, page, sink);
-            ev.peer = Some(seg.library);
+            ev.peer = Some(lib);
             ev.serial = serial;
             self.push_trace(ev, sink);
         }
@@ -1498,14 +1553,15 @@ impl SiteEngine {
         };
         entry.done_attempt += 1;
         let attempt = entry.done_attempt;
+        let lib = self.library_route(seg).0;
         if self.tracing() {
             let mut ev = self.trace_event(TraceKind::DoneRetry, 0, seg, page, sink);
-            ev.peer = Some(seg.library);
+            ev.peer = Some(lib);
             ev.serial = serial;
             ev.detail = u64::from(attempt);
             self.push_trace(ev, sink);
         }
-        self.emit(seg.library, ProtoMsg::InvalidateDone { seg, page, info, serial }, sink);
+        self.emit(lib, ProtoMsg::InvalidateDone { seg, page, info, serial }, sink);
         self.arm_retry(attempt, TimerKind::DoneRetry { seg, page, serial }, sink);
     }
 
@@ -1578,6 +1634,72 @@ impl SiteEngine {
             grant_serials.dedup();
             for s in grant_serials {
                 self.use_grant_retry(seg, page, s, sink);
+            }
+        }
+    }
+
+    /// A library-bound message of ours hit a forwarding stub: the role
+    /// moved. Apply the redirect if it is news (strictly newer epoch),
+    /// then immediately re-aim every outstanding library-bound
+    /// obligation for the segment at the new site — the retransmit
+    /// chains would find it eventually, but re-sending now saves a full
+    /// backoff interval per obligation.
+    pub(crate) fn use_redirect(
+        &mut self,
+        from: SiteId,
+        seg: SegmentId,
+        page: PageNum,
+        epoch: u32,
+        to: SiteId,
+        sink: &mut ActionSink,
+    ) {
+        let Some((_, current)) = self.usr.lib_hint(seg) else {
+            return;
+        };
+        if epoch <= current {
+            // Stale stub (we already chased the role further) or a
+            // duplicate of a redirect already applied.
+            return;
+        }
+        self.usr.set_lib_hint(seg, to, epoch);
+        if self.tracing() {
+            let mut ev = self.trace_event(TraceKind::RedirectApplied, 0, seg, page, sink);
+            ev.peer = Some(to);
+            ev.epoch = epoch;
+            ev.detail = u64::from(from.0);
+            self.push_trace(ev, sink);
+        }
+        // Re-emit outstanding requests and unacked completion reports.
+        // No attempt bump and no new timers: the existing retry chains
+        // stay armed and cover loss of these re-sends too.
+        for p in 0..self.usr.page_count(seg) {
+            let pg = PageNum(p as u32);
+            let Some(entry) = self.usr.entry_mut(seg, pg) else {
+                continue;
+            };
+            // A write request covers a read one: resend the strongest
+            // outstanding class, as the retry path does.
+            let access = if entry.out_write {
+                Some(Access::Write)
+            } else if entry.out_read {
+                Some(Access::Read)
+            } else {
+                None
+            };
+            let pid = entry
+                .retry_pid
+                .or_else(|| entry.waiters.first().map(|&(pid, _)| pid))
+                .unwrap_or(Pid::new(self.site, 0));
+            let done = entry.pending_done;
+            if let Some(access) = access {
+                self.emit(
+                    to,
+                    ProtoMsg::PageRequest { seg, page: pg, access, pid, epoch },
+                    sink,
+                );
+            }
+            if let Some((serial, info)) = done {
+                self.emit(to, ProtoMsg::InvalidateDone { seg, page: pg, info, serial }, sink);
             }
         }
     }

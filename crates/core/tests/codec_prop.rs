@@ -8,6 +8,8 @@
 use mirage_core::{
     Demand,
     DoneInfo,
+    FrozenLibPage,
+    FrozenLibrary,
     ProtoMsg,
 };
 use mirage_net::wire::{
@@ -59,17 +61,34 @@ fn demand(r: &mut Prng) -> Demand {
     }
 }
 
+fn frozen(r: &mut Prng) -> FrozenLibrary {
+    let n = r.below(4) as usize;
+    let pages = (0..n)
+        .map(|_| FrozenLibPage {
+            readers: site_set(r),
+            writer: if r.flip() { Some(site(r)) } else { None },
+            clock: site(r),
+            queue: (0..r.below(5)).map(|_| (site(r), access(r))).collect(),
+            serving: if r.flip() { Some(demand(r)) } else { None },
+            window: Delta(r.below(100_000) as u32),
+            serial: r.next_u32(),
+        })
+        .collect();
+    FrozenLibrary { pages }
+}
+
 fn msg(r: &mut Prng) -> ProtoMsg {
     let seg = seg(r);
     let page = PageNum(r.next_u32());
     let window = Delta(r.below(100_000) as u32);
     let serial = r.next_u32();
-    match r.below(11) {
+    match r.below(14) {
         0 => ProtoMsg::PageRequest {
             seg,
             page,
             access: access(r),
             pid: Pid::new(site(r), r.next_u32()),
+            epoch: r.next_u32(),
         },
         1 => ProtoMsg::AddReaders { seg, page, readers: site_set(r), window, serial },
         2 => ProtoMsg::Invalidate {
@@ -99,7 +118,10 @@ fn msg(r: &mut Prng) -> ProtoMsg {
         },
         8 => ProtoMsg::DoneAck { seg, page, serial },
         9 => ProtoMsg::GrantAck { seg, page, serial },
-        _ => ProtoMsg::UpgradeGrant { seg, page, window, serial },
+        10 => ProtoMsg::UpgradeGrant { seg, page, window, serial },
+        11 => ProtoMsg::LibraryHandoff { seg, page, epoch: r.next_u32(), frozen: frozen(r) },
+        12 => ProtoMsg::LibraryHandoffAck { seg, page, epoch: r.next_u32() },
+        _ => ProtoMsg::LibraryRedirect { seg, page, epoch: r.next_u32(), to: site(r) },
     }
 }
 

@@ -245,6 +245,13 @@ impl Cluster {
         self.dispatch(site, Event::Fault { pid, seg, page, access });
     }
 
+    /// Initiates a library-role handoff at `site` *without* running to
+    /// quiescence, so tests can interleave crashes and message loss
+    /// with the freeze → transfer → activate sequence.
+    pub fn migrate_library_no_run(&mut self, site: usize, seg: SegmentId, to: SiteId) {
+        self.dispatch(site, Event::MigrateLibrary { seg, to });
+    }
+
     /// Advances virtual time (e.g., to let a Δ window expire).
     pub fn advance(&mut self, d: mirage_types::SimDuration) {
         self.now += d;

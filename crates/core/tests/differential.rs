@@ -275,6 +275,11 @@ mod reference {
                 Event::Timer { token } => {
                     self.timer_fired(token, store, &mut ctx);
                 }
+                // The spec engine predates relocatable libraries; the
+                // differential schedules never migrate.
+                Event::MigrateLibrary { .. } => {
+                    unreachable!("spec engine runs with a static library")
+                }
             }
             while let Some(msg) = ctx.loopback.pop_front() {
                 let from = self.site;
@@ -291,7 +296,7 @@ mod reference {
             ctx: &mut Ctx,
         ) {
             match msg {
-                ProtoMsg::PageRequest { seg, page, access, pid } => {
+                ProtoMsg::PageRequest { seg, page, access, pid, epoch: _ } => {
                     self.lib_request(from, seg, page, access, pid, ctx);
                 }
                 ProtoMsg::InvalidateDeny { seg, page, wait, serial: _ } => {
@@ -318,11 +323,15 @@ mod reference {
                 ProtoMsg::UpgradeGrant { seg, page, window, serial: _ } => {
                     self.use_upgrade(seg, page, window, store, ctx);
                 }
-                // Retry-mode acknowledgements: never produced under a
-                // reliable transport with retry disabled.
+                // Retry-mode acknowledgements and handoff traffic:
+                // never produced under a reliable transport with retry
+                // disabled and a static library placement.
                 ProtoMsg::DoneAck { .. }
                 | ProtoMsg::GrantAck { .. }
-                | ProtoMsg::UpgradeNack { .. } => {
+                | ProtoMsg::UpgradeNack { .. }
+                | ProtoMsg::LibraryHandoff { .. }
+                | ProtoMsg::LibraryHandoffAck { .. }
+                | ProtoMsg::LibraryRedirect { .. } => {
                     unreachable!("spec engine runs with retry disabled");
                 }
             }
@@ -625,7 +634,11 @@ mod reference {
                         st.out_write.insert(page);
                     }
                 }
-                self.emit(seg.library, ProtoMsg::PageRequest { seg, page, access, pid }, ctx);
+                self.emit(
+                    seg.library,
+                    ProtoMsg::PageRequest { seg, page, access, pid, epoch: 0 },
+                    ctx,
+                );
             }
         }
 

@@ -203,3 +203,59 @@ fn crash_restart_retransmits_pending_grant() {
     assert!(c.sent_count("PageGrant") >= 2, "restart did not retransmit the pending grant");
     c.check_coherence(seg, PAGE);
 }
+
+/// The library site crashes mid-handoff: it has frozen the role and
+/// sent the snapshot, but both the snapshot and the site itself are
+/// lost before any acknowledgement. The pending handoff is persistent
+/// state, so the restarted site must retransmit the frozen role until
+/// the destination adopts and acks it — and the forwarding stub must
+/// then redirect traffic that still arrives via stale hints.
+#[test]
+fn library_crash_mid_handoff_resends_the_frozen_role() {
+    let mut c = Cluster::new(3, retry_config());
+    let seg = c.create_segment(0, 1);
+    c.write_u32(1, seg, PAGE, 0, 5);
+    assert_eq!(c.read_u32(2, seg, PAGE, 0), 5);
+    c.migrate_library_no_run(0, seg, SiteId(2));
+    // The snapshot is lost in flight, and the old library crashes
+    // before its handoff-retransmit timer fires (the crash severs the
+    // volatile timer too).
+    c.run_messages_dropping(1, |_, _, m| m.tag() == "LibraryHandoff");
+    c.crash(0);
+    c.restart(0);
+    c.run();
+    assert!(c.engine(2).library_active(seg), "frozen role never reached site 2");
+    assert_eq!(c.engine(2).library_epoch(seg), 1);
+    assert!(!c.engine(0).library_active(seg), "old library kept the role");
+    assert!(c.sent_count("LibraryHandoff") >= 2, "restart did not retransmit the handoff");
+    // The role is live at its new site: faults keep being served, with
+    // stale-hint requests bounced through the stub.
+    c.write_u32(1, seg, PAGE, 0, 9);
+    assert_eq!(c.read_u32(2, seg, PAGE, 0), 9);
+    c.check_coherence(seg, PAGE);
+}
+
+/// The adopting site crashes mid-handoff: it has installed the frozen
+/// role but its acknowledgement is lost with the crash. The adopted
+/// role (active flag, epoch, records) is persistent, so after restart
+/// the old site's retransmit chain re-elicits the ack and both sides
+/// converge on the new placement.
+#[test]
+fn adopting_site_crash_mid_handoff_still_acks_the_role() {
+    let mut c = Cluster::new(3, retry_config());
+    let seg = c.create_segment(0, 1);
+    c.write_u32(1, seg, PAGE, 0, 5);
+    c.migrate_library_no_run(0, seg, SiteId(2));
+    // Deliver the handoff (site 2 adopts) but lose the ack, then crash
+    // the adopting site before anything else reaches it.
+    c.run_messages_dropping(1, |_, _, m| m.tag() == "LibraryHandoffAck");
+    c.crash(2);
+    c.restart(2);
+    c.run();
+    assert!(c.engine(2).library_active(seg), "adopted role lost in the crash");
+    assert!(!c.engine(0).library_active(seg), "old library never saw the ack");
+    assert_eq!(c.engine(2).library_epoch(seg), 1);
+    c.write_u32(2, seg, PAGE, 0, 9);
+    assert_eq!(c.read_u32(1, seg, PAGE, 0), 9);
+    c.check_coherence(seg, PAGE);
+}

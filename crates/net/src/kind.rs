@@ -36,11 +36,20 @@ pub enum MsgKind {
     /// Upgrade receiver → granting site: no frame to promote; send the
     /// page itself (retry mode only).
     UpgradeNack = 11,
+    /// Old library site → new library site: the frozen library state for
+    /// a segment (role handoff; large — carries the queue and copy map).
+    LibraryHandoff = 12,
+    /// New library site → old library site: handoff adopted; stop
+    /// retransmitting.
+    LibraryHandoffAck = 13,
+    /// Forwarding stub → requester: the library moved; re-resolve to the
+    /// named site (carries the handoff epoch).
+    LibraryRedirect = 14,
 }
 
 impl MsgKind {
     /// Number of message kinds (the length of per-kind counter arrays).
-    pub const COUNT: usize = 12;
+    pub const COUNT: usize = 15;
 
     /// All kinds, in wire-discriminant order.
     pub const ALL: [MsgKind; Self::COUNT] = [
@@ -56,6 +65,9 @@ impl MsgKind {
         MsgKind::DoneAck,
         MsgKind::GrantAck,
         MsgKind::UpgradeNack,
+        MsgKind::LibraryHandoff,
+        MsgKind::LibraryHandoffAck,
+        MsgKind::LibraryRedirect,
     ];
 
     /// Dense index into a `[_; MsgKind::COUNT]` counter array.
@@ -78,6 +90,9 @@ impl MsgKind {
             MsgKind::DoneAck => "DoneAck",
             MsgKind::GrantAck => "GrantAck",
             MsgKind::UpgradeNack => "UpgradeNack",
+            MsgKind::LibraryHandoff => "LibraryHandoff",
+            MsgKind::LibraryHandoffAck => "LibraryHandoffAck",
+            MsgKind::LibraryRedirect => "LibraryRedirect",
         }
     }
 }

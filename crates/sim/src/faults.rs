@@ -1,7 +1,7 @@
 //! The simulator's interpretation of a [`FaultPlan`].
 //!
 //! `mirage-net` describes faults ([`FaultPlan`] is a pure, replayable
-//! description); this module *executes* them. [`FaultState`] holds the
+//! description); this module *executes* them. `FaultState` holds the
 //! seeded fault PRNG, per-site incarnation numbers, per-site
 //! [`CircuitTable`]s, and the held-back out-of-order messages per
 //! directed link. The [`crate::world::World`] consults it on every send

@@ -58,6 +58,8 @@ use crate::{
         Program,
     },
     world::{
+        MigrationEvent,
+        PlacementPolicy,
         SimConfig,
         World,
     },
@@ -179,22 +181,40 @@ fn resident_value(world: &World, seg: SegmentId, page: PageNum, offset: usize) -
 /// seed always produces the same world, workload, fault schedule, and
 /// outcome.
 pub fn run_fuzz_seed(seed: u64) -> FuzzOutcome {
-    run_fuzz_seed_inner(seed, false).0
+    run_fuzz_seed_inner(seed, false, false).0
 }
 
 /// [`run_fuzz_seed`] with protocol tracing enabled: the same scenario
 /// (tracing never changes simulated behaviour) plus the collected event
-/// trace. The offline trace checker ([`mirage_trace::check`]) runs over
+/// trace. The offline trace checker ([`mirage_trace::check()`]) runs over
 /// the trace and its violations are merged into the outcome, so the
 /// structural `check_page` oracle and the causal trace oracle cross-check
 /// each other on every seed.
 pub fn run_fuzz_seed_traced(seed: u64) -> (FuzzOutcome, Vec<mirage_trace::TraceEvent>) {
-    run_fuzz_seed_inner(seed, true)
+    run_fuzz_seed_inner(seed, true, false)
+}
+
+/// [`run_fuzz_seed`] with a seeded manual library-migration schedule
+/// layered *under* the fault storm: 1–3 handoffs at random times while
+/// messages drop, duplicate, reorder, and sites crash. The schedule is
+/// drawn from its own PRNG stream, so the world shape, workload, and
+/// fault plan stay identical to the non-migrating run of the same seed.
+pub fn run_fuzz_seed_migrating(seed: u64) -> FuzzOutcome {
+    run_fuzz_seed_inner(seed, false, true).0
+}
+
+/// [`run_fuzz_seed_migrating`] with tracing plus the epoch-aware trace
+/// checker merged into the outcome.
+pub fn run_fuzz_seed_migrating_traced(
+    seed: u64,
+) -> (FuzzOutcome, Vec<mirage_trace::TraceEvent>) {
+    run_fuzz_seed_inner(seed, true, true)
 }
 
 fn run_fuzz_seed_inner(
     seed: u64,
     traced: bool,
+    migrate: bool,
 ) -> (FuzzOutcome, Vec<mirage_trace::TraceEvent>) {
     let mut rng = Prng::new(seed ^ 0xF0_55ED);
     let n_sites = 2 + rng.below(3) as usize; // 2..=4
@@ -235,6 +255,22 @@ fn run_fuzz_seed_inner(
     }
     let active = plan.is_active();
     world.install_fault_plan(plan);
+
+    if migrate {
+        // A separate PRNG stream: adding the schedule must not perturb
+        // the world shape, workload, or fault plan above.
+        let mut mrng = Prng::new(seed ^ 0x4D31_6772_A7E5);
+        let moves = 1 + mrng.below(3); // 1..=3 handoffs
+        let schedule: Vec<MigrationEvent> = (0..moves)
+            .map(|_| MigrationEvent {
+                at: SimTime::ZERO
+                    + SimDuration::from_millis(300 + mrng.below(horizon_ms + 5_000)),
+                seg,
+                to: SiteId(mrng.below(n_sites as u64) as u16),
+            })
+            .collect();
+        world.set_placement_policy(PlacementPolicy::Manual(schedule));
+    }
 
     // Processes: 1–2 per site, each with a dedicated word per page.
     let per_site: Vec<usize> = (0..n_sites).map(|_| 1 + rng.below(2) as usize).collect();

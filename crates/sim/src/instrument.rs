@@ -73,6 +73,10 @@ pub struct Instrumentation {
     pub msgs: MsgStats,
     /// Page faults that required a request to the library.
     pub remote_faults: u64,
+    /// Remote faults attributed to the faulting site, indexed by site.
+    /// The M1 migration experiment reads this to show the hot site's
+    /// fault count dropping once the library moves to it.
+    pub remote_faults_by_site: Vec<u64>,
     /// Page faults serviced by a colocated library without any network
     /// message.
     pub local_faults: u64,
@@ -94,7 +98,11 @@ pub struct Instrumentation {
 impl Instrumentation {
     /// Fresh counters for `n` sites.
     pub fn new(n: usize) -> Self {
-        Self { server_cpu: vec![SimDuration::ZERO; n], ..Default::default() }
+        Self {
+            server_cpu: vec![SimDuration::ZERO; n],
+            remote_faults_by_site: vec![0; n],
+            ..Default::default()
+        }
     }
 
     /// Records a wire message.

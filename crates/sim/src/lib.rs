@@ -43,6 +43,8 @@ pub use calendar::CalendarQueue;
 pub use faults::FaultStats;
 pub use fuzz::{
     run_fuzz_seed,
+    run_fuzz_seed_migrating,
+    run_fuzz_seed_migrating_traced,
     run_fuzz_seed_traced,
     FuzzOutcome,
 };
@@ -58,6 +60,8 @@ pub use program::{
 };
 pub use site::SchedParams;
 pub use world::{
+    MigrationEvent,
+    PlacementPolicy,
     SimConfig,
     World,
 };

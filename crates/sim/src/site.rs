@@ -272,6 +272,21 @@ impl Site {
         self.flush_driver(now, effects);
     }
 
+    /// Initiates a library-role handoff at this site (which must hold
+    /// the active role for `seg`). Administrative, like [`Site::restart`]:
+    /// no CPU is charged — the placement machinery models a kernel
+    /// daemon acting between scheduling points.
+    pub(crate) fn migrate_library(
+        &mut self,
+        now: SimTime,
+        seg: mirage_types::SegmentId,
+        to: SiteId,
+        effects: &mut Vec<OutEffect>,
+    ) {
+        self.driver.dispatch(Event::MigrateLibrary { seg, to }, now, &mut self.store);
+        self.flush_driver(now, effects);
+    }
+
     /// Advances the site at `now`. `horizon` is the next global event
     /// time: user-op batches never run past it. Returns when the site
     /// next needs attention (`None` if idle).
@@ -454,7 +469,13 @@ impl Site {
                 if !self.store.prot(r.seg, r.page).permits(access) {
                     let pid = self.procs[c].pid;
                     self.procs[c].faults += 1;
-                    let local_library = r.seg.library == self.id;
+                    // Local iff the engine will serve the fault inline:
+                    // this site both resolves the library here *and*
+                    // holds the active role (a stale self-hint after a
+                    // handoff still pays the remote-request cost).
+                    let engine = self.driver.engine();
+                    let local_library = engine.resolved_library(r.seg) == self.id
+                        && engine.library_active(r.seg);
                     let fault_cost = if local_library {
                         self.costs.local_fault
                     } else {

@@ -1,5 +1,10 @@
 //! The simulation world: global event queue, wire, and site collection.
 
+use std::collections::{
+    HashMap,
+    VecDeque,
+};
+
 use mirage_core::{
     ProtoMsg,
     ProtocolConfig,
@@ -13,6 +18,7 @@ use mirage_net::{
     Verdict,
 };
 use mirage_trace::{
+    PlacementAdvisor,
     TraceEvent,
     TraceKind,
 };
@@ -70,6 +76,56 @@ impl Default for SimConfig {
     }
 }
 
+/// One scripted library-role move ([`PlacementPolicy::Manual`]).
+#[derive(Clone, Copy, Debug)]
+pub struct MigrationEvent {
+    /// When to initiate the handoff.
+    pub at: SimTime,
+    /// The segment whose library moves.
+    pub seg: SegmentId,
+    /// The site that takes over the role.
+    pub to: SiteId,
+}
+
+/// How the world places segment library roles over time.
+#[derive(Clone, Debug, Default)]
+pub enum PlacementPolicy {
+    /// Libraries never move. The default — runs are byte-identical to
+    /// the fixed-library protocol.
+    #[default]
+    Off,
+    /// A pre-scripted handoff schedule (tests, fuzzing, and the manual
+    /// arm of the M1 experiment).
+    Manual(Vec<MigrationEvent>),
+    /// The §9 advisor runs *online*: every `interval` it scores the
+    /// most recent `window` of reference-log traffic and, once the same
+    /// foreign site has dominated a segment's request stream for
+    /// `hysteresis` consecutive ticks, hands the library to it.
+    Advised {
+        /// Gap between advisor evaluations.
+        interval: SimDuration,
+        /// How far back the sliding reference window reaches.
+        window: SimDuration,
+        /// Leader-count floor below which the advisor stays quiet.
+        min_requests: u64,
+        /// Consecutive ticks the same target must win before a move.
+        hysteresis: u32,
+    },
+}
+
+/// Live state of an [`PlacementPolicy::Advised`] policy.
+struct PlacementState {
+    interval: SimDuration,
+    window: SimDuration,
+    min_requests: u64,
+    hysteresis: u32,
+    /// Sliding window of library references (time-evicted each tick).
+    log: VecDeque<mirage_trace::log::Entry>,
+    /// Per segment: the currently favoured target and how many
+    /// consecutive ticks it has been favoured.
+    streak: HashMap<SegmentId, (SiteId, u32)>,
+}
+
 /// Global events.
 #[derive(Debug)]
 enum Ev {
@@ -88,6 +144,11 @@ enum Ev {
     /// `gap_wait` expired on a directed link with held-back messages:
     /// declare the missing sequence numbers lost and release the queue.
     LinkProbe { src: usize, dst: usize },
+    /// Initiate a library-role handoff (placement policy).
+    Migrate { seg: SegmentId, to: SiteId },
+    /// Periodic evaluation of an [`PlacementPolicy::Advised`] policy.
+    /// Pure observation: a tick that moves nothing changes nothing.
+    PolicyTick,
 }
 
 /// Sentinel for "no delivery recorded yet" in the circuit matrix.
@@ -124,6 +185,13 @@ pub struct World {
     /// Fault-execution state; `None` unless an *active* plan was
     /// installed, so the pristine path pays nothing.
     faults: Option<FaultState>,
+    /// Where each segment's library role currently lives (tracks the
+    /// handoffs the world itself initiated; the engines' hint tables
+    /// are the per-site view of the same fact).
+    lib_where: HashMap<SegmentId, SiteId>,
+    /// Live advisor state; `None` unless [`PlacementPolicy::Advised`]
+    /// was installed, so other runs pay nothing for the window.
+    placement: Option<PlacementState>,
 }
 
 impl World {
@@ -154,6 +222,8 @@ impl World {
             circuit_last: vec![NO_DELIVERY; n * n],
             scratch: Vec::new(),
             faults: None,
+            lib_where: HashMap::new(),
+            placement: None,
         }
     }
 
@@ -208,7 +278,50 @@ impl World {
             site.store.add_segment(view);
             site.driver.register_segment(seg, pages);
         }
+        self.lib_where.insert(seg, SiteId(lib as u16));
         seg
+    }
+
+    /// Installs a library placement policy. [`PlacementPolicy::Manual`]
+    /// schedules its handoffs immediately; [`PlacementPolicy::Advised`]
+    /// starts the periodic advisor. Call after the segments exist and
+    /// before running. Moving policies require retry mode: a handoff
+    /// leans on the retransmission chains to re-aim in-flight traffic.
+    pub fn set_placement_policy(&mut self, policy: PlacementPolicy) {
+        match policy {
+            PlacementPolicy::Off => {}
+            PlacementPolicy::Manual(events) => {
+                assert!(
+                    self.cfg.protocol.retry.is_some(),
+                    "library migration requires retry mode"
+                );
+                for e in events {
+                    self.push(e.at, Ev::Migrate { seg: e.seg, to: e.to });
+                }
+            }
+            PlacementPolicy::Advised { interval, window, min_requests, hysteresis } => {
+                assert!(
+                    self.cfg.protocol.retry.is_some(),
+                    "library migration requires retry mode"
+                );
+                assert!(interval.0 > 0, "advisor interval must be positive");
+                self.placement = Some(PlacementState {
+                    interval,
+                    window,
+                    min_requests,
+                    hysteresis,
+                    log: VecDeque::new(),
+                    streak: HashMap::new(),
+                });
+                self.push(self.now + interval, Ev::PolicyTick);
+            }
+        }
+    }
+
+    /// Where the world last placed `seg`'s library role (the handoff
+    /// may still be in flight on the wire).
+    pub fn library_site(&self, seg: SegmentId) -> Option<SiteId> {
+        self.lib_where.get(&seg).copied()
     }
 
     /// Spawns a process at a site. `shm_pages` drives the lazy-remap
@@ -349,6 +462,15 @@ impl World {
                     self.push(at, Ev::EngineTimer { site: from, token });
                 }
                 OutEffect::Log(entry) => {
+                    if let Some(p) = self.placement.as_mut() {
+                        p.log.push_back(mirage_trace::log::Entry {
+                            seg: entry.seg,
+                            page: entry.page,
+                            at: entry.at,
+                            pid: entry.pid,
+                            access: entry.access,
+                        });
+                    }
                     if self.collect_ref_log {
                         self.ref_log.push(entry);
                     }
@@ -360,6 +482,7 @@ impl World {
                 }
                 OutEffect::RemoteFault => {
                     self.instr.remote_faults += 1;
+                    self.instr.remote_faults_by_site[from] += 1;
                     self.instr.record_phase(
                         SiteId(from as u16),
                         FetchPhase::FaultTaken,
@@ -613,6 +736,70 @@ impl World {
         self.push(self.now, Ev::SiteWake { site });
     }
 
+    /// Initiates a library-role handoff for `seg` toward `to`. Quietly
+    /// skipped when the move is meaningless (already there), impossible
+    /// (either endpoint down), or premature (a previous handoff of the
+    /// same segment is still in flight, so no site holds the active
+    /// role to freeze from — the policy will re-advise).
+    fn apply_migrate(&mut self, seg: SegmentId, to: SiteId) {
+        let Some(&cur) = self.lib_where.get(&seg) else { return };
+        if cur == to || to.index() >= self.sites.len() {
+            return;
+        }
+        let src = cur.index();
+        if self.site_down(src) || self.site_down(to.index()) {
+            return;
+        }
+        if !self.sites[src].driver.engine().library_active(seg) {
+            return;
+        }
+        let mut effects = std::mem::take(&mut self.scratch);
+        let now = self.now;
+        self.sites[src].migrate_library(now, seg, to, &mut effects);
+        self.apply_effects(src, &mut effects);
+        self.scratch = effects;
+        self.lib_where.insert(seg, to);
+        self.push(self.now, Ev::SiteWake { site: src });
+    }
+
+    /// One advisor evaluation: evict the reference window, score it,
+    /// bump or reset per-segment streaks, and initiate the moves whose
+    /// streaks cleared the hysteresis bar. Re-arms itself until every
+    /// program has exited, so a completed run's event queue drains.
+    fn policy_tick(&mut self) {
+        let mut moves = Vec::new();
+        let interval = {
+            let Some(p) = self.placement.as_mut() else { return };
+            while p.log.front().is_some_and(|e| e.at + p.window < self.now) {
+                p.log.pop_front();
+            }
+            let advice = PlacementAdvisor::new(p.min_requests).advise(p.log.make_contiguous());
+            for a in advice {
+                if self.lib_where.get(&a.seg) == Some(&a.to) {
+                    p.streak.remove(&a.seg);
+                    continue;
+                }
+                let s = p.streak.entry(a.seg).or_insert((a.to, 0));
+                if s.0 == a.to {
+                    s.1 += 1;
+                } else {
+                    *s = (a.to, 1);
+                }
+                if s.1 >= p.hysteresis {
+                    p.streak.remove(&a.seg);
+                    moves.push((a.seg, a.to));
+                }
+            }
+            p.interval
+        };
+        for (seg, to) in moves {
+            self.apply_migrate(seg, to);
+        }
+        if !self.sites.iter().all(Site::all_done) {
+            self.push(self.now + interval, Ev::PolicyTick);
+        }
+    }
+
     /// Runs until the given simulated time (events at exactly `until`
     /// are processed).
     pub fn run_until(&mut self, until: SimTime) {
@@ -647,6 +834,8 @@ impl World {
                 Ev::Crash { site } => self.apply_crash(site),
                 Ev::Restart { site } => self.apply_restart(site),
                 Ev::LinkProbe { src, dst } => self.link_probe(src, dst),
+                Ev::Migrate { seg, to } => self.apply_migrate(seg, to),
+                Ev::PolicyTick => self.policy_tick(),
             }
         }
         if until > self.now {
@@ -689,6 +878,41 @@ impl World {
             deadline,
             stuck
         );
+        // For each stuck process, dump the offending page's library
+        // record — queue, current epoch, pending serve — plus the stuck
+        // site's own routing hint, so a wedged handoff (role in flight,
+        // stale hint, orphaned serve) is visible from the log alone.
+        for (pid, _) in &stuck {
+            let site = &self.sites[pid.site.index()];
+            let Some(proc_) = site.procs.iter().find(|p| p.pid == *pid) else { continue };
+            let Some((r, access)) = proc_.pending.as_ref().and_then(|(op, _)| op.access())
+            else {
+                continue;
+            };
+            let engine = site.driver.engine();
+            eprintln!(
+                "  {:?} blocked on {:?} page {} ({:?}); hint: library at site{} epoch {}",
+                pid,
+                r.seg,
+                r.page.0,
+                access,
+                engine.resolved_library(r.seg).0,
+                engine.library_epoch(r.seg),
+            );
+            let mut live = false;
+            for s in &self.sites {
+                if let Some(d) = s.driver.engine().library_debug(r.seg, r.page) {
+                    eprintln!("    library role live at site{}: {}", s.id.0, d);
+                    live = true;
+                }
+            }
+            if !live {
+                eprintln!(
+                    "    no site holds the active library role for {:?} (handoff in flight?)",
+                    r.seg
+                );
+            }
+        }
         false
     }
 

@@ -17,6 +17,7 @@
 
 use mirage_sim::{
     run_fuzz_seed,
+    run_fuzz_seed_migrating_traced,
     run_fuzz_seed_traced,
 };
 
@@ -46,6 +47,35 @@ fn randomized_fault_storms_preserve_coherence() {
     assert!(
         failures.is_empty(),
         "{} of {count} fuzz seeds failed: {failures:?} (see stderr for replay commands)",
+        failures.len()
+    );
+}
+
+/// The same storms with a seeded manual library-migration schedule
+/// layered underneath: epoch-stamped role handoffs must survive message
+/// loss, duplication, and site crashes (including the library site
+/// crashing mid-handoff) without violating either oracle, and the
+/// epoch-aware trace checker must accept every traced run.
+#[test]
+fn randomized_fault_storms_with_migration_preserve_coherence() {
+    let start = env_u64("MIRAGE_FUZZ_START", 0);
+    let count = env_u64("MIRAGE_FUZZ_SEEDS", 60);
+    let mut failures = Vec::new();
+    for seed in start..start + count {
+        let (outcome, _trace) = run_fuzz_seed_migrating_traced(seed);
+        if !outcome.is_ok() {
+            eprintln!("{}", outcome.describe());
+            eprintln!(
+                "replay: cargo run --release -p mirage-bench --bin fault_storm -- \
+                 --seed {seed} --migrate --trace"
+            );
+            failures.push(seed);
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} of {count} migrating fuzz seeds failed: {failures:?} \
+         (see stderr for replay commands)",
         failures.len()
     );
 }

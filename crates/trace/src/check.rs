@@ -16,7 +16,14 @@
 //!   an invalidation round are exempt because only the clock site's
 //!   window protects the copy;
 //! * **serve serialization** — the library never overlaps two serves
-//!   for the same page.
+//!   for the same page;
+//! * **library-role integrity** (relocatable libraries) — handoff
+//!   epochs for a segment are strictly monotone, and every serve is
+//!   started by the site that holds the role at that point in the
+//!   activation history. Serialization is per *(segment, epoch)* with
+//!   the handoff forming the edge that links one epoch's open serve to
+//!   its completion under the next: a serve frozen mid-flight at the
+//!   old site legally reports `ServeDone` from the adopting site.
 //!
 //! Happens-before is rebuilt from the simulated timestamps plus
 //! emission order for ties: the trace is recorded by a single-threaded
@@ -61,6 +68,15 @@ struct PageTrack {
     copies: BTreeMap<u16, CopyState>,
     /// Serial of the serve currently open at the library.
     serving: Option<u32>,
+    /// site -> serial of a write upgrade the library has committed
+    /// (`UpgradeSent`) that the site has not yet observed. With lossy
+    /// delivery the grant may never arrive, but the serve order already
+    /// counts the site as the writer — so a later Invalidate makes it
+    /// downgrade a copy it still believes is read-only. Kept on the
+    /// page (not the copy) and keyed by serial because trace time
+    /// interleaves library commitments with lagging site-side installs
+    /// from earlier serves.
+    upgrades_in_flight: BTreeMap<u16, u32>,
     /// True once any event for the page has been seen.
     touched: bool,
 }
@@ -99,10 +115,25 @@ pub fn check(events: &[TraceEvent]) -> CheckReport {
     order.sort_by_key(|ev| ev.at);
 
     let mut pages: BTreeMap<(SegmentId, PageNum), PageTrack> = BTreeMap::new();
+    // Per segment: (site currently holding the library role, epoch).
+    // Seeded from the segment's static creation-time address; advanced
+    // by every LibraryActivated event.
+    let mut libs: BTreeMap<SegmentId, (u16, u32)> = BTreeMap::new();
     let mut report = CheckReport { events: events.len(), ..CheckReport::default() };
 
     for ev in order {
         let Some(subject) = ev.subject else { continue };
+        if ev.kind == TraceKind::LibraryActivated {
+            let lib = libs.entry(subject.0).or_insert((subject.0.library.0, 0));
+            if ev.epoch <= lib.1 {
+                report.violations.push(format!(
+                    "handoff epoch not monotone: activation at epoch {} after epoch {}: {ev}",
+                    ev.epoch, lib.1
+                ));
+            }
+            *lib = (ev.site.0, ev.epoch);
+            continue;
+        }
         let track = pages.entry(subject).or_insert_with(|| {
             // The creating (library) site starts fully resident with
             // write access; its install predates the trace.
@@ -137,6 +168,13 @@ pub fn check(events: &[TraceEvent]) -> CheckReport {
                         .violations
                         .push(ctx(&format!("read installed while site{w} holds write access")));
                 }
+                // An install from a serve at or after the committed
+                // upgrade supersedes it (the write request was
+                // re-served); an install from an *earlier* serve is
+                // just lagging delivery and leaves it standing.
+                if track.upgrades_in_flight.get(&site).is_some_and(|&u| ev.serial >= u) {
+                    track.upgrades_in_flight.remove(&site);
+                }
                 track.copies.insert(
                     site,
                     CopyState {
@@ -158,6 +196,7 @@ pub fn check(events: &[TraceEvent]) -> CheckReport {
                         )));
                     }
                 }
+                track.upgrades_in_flight.remove(&site);
                 track.copies.insert(
                     site,
                     CopyState {
@@ -170,7 +209,9 @@ pub fn check(events: &[TraceEvent]) -> CheckReport {
             TraceKind::Downgraded => {
                 match track.copies.get_mut(&site) {
                     Some(copy) => {
-                        if !copy.access.is_write() {
+                        if !copy.access.is_write()
+                            && track.upgrades_in_flight.remove(&site).is_none()
+                        {
                             report.violations.push(ctx("downgrade of a non-writer copy"));
                         }
                         if let (Some(t0), Some(w)) = (copy.installed_at, copy.window_ticks) {
@@ -217,7 +258,25 @@ pub fn check(events: &[TraceEvent]) -> CheckReport {
                 }
                 track.copies.remove(&site);
             }
+            TraceKind::UpgradeSent => {
+                // §6.1 in-place upgrade: the library commits write
+                // ownership to `peer` the moment it sends the grant.
+                // The message may be lost, so the peer's own Upgraded
+                // event is not guaranteed to follow; remember the
+                // commitment so the recovery downgrade is not flagged.
+                if let Some(peer) = ev.peer {
+                    track.upgrades_in_flight.insert(peer.0, ev.serial);
+                }
+            }
             TraceKind::ServeStart => {
+                let lib = *libs.entry(subject.0).or_insert((subject.0.library.0, 0));
+                if site != lib.0 {
+                    report.violations.push(ctx(&format!(
+                        "serve started at site{site} but the library role is at \
+                         site{} (epoch {})",
+                        lib.0, lib.1
+                    )));
+                }
                 if let Some(open) = track.serving {
                     if open != ev.serial {
                         report.violations.push(ctx(&format!(
@@ -359,10 +418,100 @@ mod tests {
     }
 
     #[test]
+    fn serve_follows_the_library_role() {
+        // Site0 (creator) serves, hands the role to site2 at epoch 1,
+        // and site2 continues serving: legal.
+        let mut s1 = ev(10, 0, TraceKind::ServeStart);
+        s1.serial = 1;
+        let mut d1 = ev(15, 0, TraceKind::ServeDone);
+        d1.serial = 1;
+        let mut act = ev(20, 2, TraceKind::LibraryActivated);
+        act.epoch = 1;
+        let mut s2 = ev(30, 2, TraceKind::ServeStart);
+        s2.serial = 2;
+        let report = check(&[s1, d1, act, s2]);
+        assert!(report.is_ok(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn serve_from_a_stale_library_site_is_caught() {
+        // After the role moved to site2, site0 must not open serves.
+        let mut act = ev(20, 2, TraceKind::LibraryActivated);
+        act.epoch = 1;
+        let mut s = ev(30, 0, TraceKind::ServeStart);
+        s.serial = 1;
+        let report = check(&[act, s]);
+        assert_eq!(report.violations.len(), 1);
+        assert!(report.violations[0].contains("library role is at site2"));
+    }
+
+    #[test]
+    fn handoff_spans_an_open_serve() {
+        // A serve opened at site0 before the handoff completes at site2
+        // after it — the edge linking the two epochs, not a violation.
+        let mut s = ev(10, 0, TraceKind::ServeStart);
+        s.serial = 1;
+        let mut act = ev(20, 2, TraceKind::LibraryActivated);
+        act.epoch = 1;
+        let mut d = ev(30, 2, TraceKind::ServeDone);
+        d.serial = 1;
+        let report = check(&[s, act, d]);
+        assert!(report.is_ok(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn non_monotone_epoch_is_caught() {
+        let mut a1 = ev(10, 1, TraceKind::LibraryActivated);
+        a1.epoch = 2;
+        let mut a2 = ev(20, 2, TraceKind::LibraryActivated);
+        a2.epoch = 2;
+        let report = check(&[a1, a2]);
+        assert_eq!(report.violations.len(), 1);
+        assert!(report.violations[0].contains("not monotone"));
+    }
+
+    #[test]
     fn upgrade_without_copy_is_caught() {
         let events =
             vec![ev(5, 0, TraceKind::CopyRelinquished), ev(10, 1, TraceKind::Upgraded)];
         let report = check(&events);
         assert!(report.violations.iter().any(|v| v.contains("without a resident copy")));
+    }
+
+    #[test]
+    fn downgrade_of_a_plain_reader_is_caught() {
+        // Site1 installs a read copy and then downgrades it with no
+        // upgrade ever committed — a protocol error.
+        let events = vec![
+            ev(5, 0, TraceKind::CopyRelinquished),
+            with_access(ev(10, 1, TraceKind::Installed), Access::Read),
+            ev(20, 1, TraceKind::Downgraded),
+        ];
+        let report = check(&events);
+        assert!(report.violations.iter().any(|v| v.contains("downgrade of a non-writer")));
+    }
+
+    #[test]
+    fn downgrade_after_a_lost_upgrade_grant_is_legal() {
+        // §6.1 upgrade whose UpgradeGrant is dropped in flight: the
+        // library's serve order already counts site1 as the writer, so
+        // the recovery Invalidate makes site1 downgrade a copy it still
+        // believes is read-only. The commitment makes that legal — but
+        // only once; a second bare downgrade is a violation again.
+        let mut grant = ev(15, 0, TraceKind::UpgradeSent);
+        grant.peer = Some(SiteId(1));
+        let events = vec![
+            ev(5, 0, TraceKind::CopyRelinquished),
+            with_access(ev(10, 1, TraceKind::Installed), Access::Read),
+            grant,
+            ev(20, 1, TraceKind::Downgraded),
+        ];
+        let report = check(&events);
+        assert!(report.is_ok(), "{:?}", report.violations);
+
+        let mut again = events;
+        again.push(ev(30, 1, TraceKind::Downgraded));
+        let report = check(&again);
+        assert!(report.violations.iter().any(|v| v.contains("downgrade of a non-writer")));
     }
 }

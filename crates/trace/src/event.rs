@@ -121,6 +121,26 @@ pub enum TraceKind {
     /// `InvalidateDone` arrived; the serve is complete (`detail` = 1 if
     /// the writer was downgraded in place).
     ServeDone,
+    /// The library role was frozen for a handoff: records snapshotted,
+    /// slot deactivated, forwarding stub installed (`peer` = the
+    /// destination site, `epoch` = the new handoff epoch).
+    LibraryFrozen,
+    /// The frozen library state left for the destination site
+    /// (`detail` = retransmit attempt, 0 for the initial send).
+    HandoffSent,
+    /// A handoff was adopted: this site is now the segment's library
+    /// (`peer` = the old library site, `detail` = pages with an
+    /// in-flight serve reanimated).
+    LibraryActivated,
+    /// The destination acknowledged the handoff; the old site stops
+    /// retransmitting the frozen state.
+    HandoffAcked,
+    /// A library-bound message hit a deactivated slot and the sender
+    /// was pointed at the new site (`peer` = the redirected sender).
+    RedirectSent,
+    /// A redirect with a newer epoch updated this site's library hint
+    /// (`peer` = the new library site; outstanding requests re-aimed).
+    RedirectApplied,
 
     // -- clock site -----------------------------------------------------
     /// The clock denied an invalidation inside its Δ window
@@ -210,6 +230,12 @@ impl TraceKind {
             TraceKind::DenyReceived => "deny_received",
             TraceKind::DenyRetry => "deny_retry",
             TraceKind::ServeDone => "serve_done",
+            TraceKind::LibraryFrozen => "library_frozen",
+            TraceKind::HandoffSent => "handoff_sent",
+            TraceKind::LibraryActivated => "library_activated",
+            TraceKind::HandoffAcked => "handoff_acked",
+            TraceKind::RedirectSent => "redirect_sent",
+            TraceKind::RedirectApplied => "redirect_applied",
             TraceKind::DenySent => "deny_sent",
             TraceKind::InvalidateQueued => "invalidate_queued",
             TraceKind::InvalidateDeferred => "invalidate_deferred",
@@ -286,6 +312,9 @@ pub struct TraceEvent {
     pub serial: u32,
     /// Kind-specific scalar (see [`TraceKind`] docs).
     pub detail: u64,
+    /// The library-handoff epoch in play (0 while the segment's library
+    /// has never moved, so pre-migration traces are unchanged).
+    pub epoch: u32,
 }
 
 impl TraceEvent {
@@ -303,6 +332,7 @@ impl TraceEvent {
             msg: None,
             serial: 0,
             detail: 0,
+            epoch: 0,
         }
     }
 }
@@ -336,6 +366,9 @@ impl fmt::Display for TraceEvent {
         }
         if self.detail != 0 {
             write!(f, " detail={}", self.detail)?;
+        }
+        if self.epoch != 0 {
+            write!(f, " epoch={}", self.epoch)?;
         }
         Ok(())
     }

@@ -18,7 +18,7 @@
 //! * [`metrics`] — a plain-std metrics [`Registry`] with deterministic
 //!   merge and rendering;
 //! * [`chrome`] — Chrome trace-event JSON export and validation;
-//! * [`check`] — the offline trace-driven coherence checker, an
+//! * [`check()`] — the offline trace-driven coherence checker, an
 //!   independent oracle over the recorded event stream.
 
 #![warn(missing_docs)]
@@ -58,6 +58,8 @@ pub use metrics::{
 pub use migrate::{
     MigrationAdvice,
     MigrationAdvisor,
+    PlacementAdvice,
+    PlacementAdvisor,
 };
 pub use sink::{
     event_to_json,

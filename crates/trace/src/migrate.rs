@@ -6,14 +6,21 @@
 //! pages and recommends relocation when another site would have served
 //! most of them locally.
 
-use std::collections::HashMap;
+use std::collections::{
+    BTreeMap,
+    HashMap,
+};
 
 use mirage_types::{
     Pid,
+    SegmentId,
     SiteId,
 };
 
-use crate::log::RefLog;
+use crate::log::{
+    Entry,
+    RefLog,
+};
 
 /// A relocation recommendation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -87,6 +94,72 @@ impl MigrationAdvisor {
     }
 }
 
+/// Where a segment's *library role* should live, judged from a window
+/// of reference-log entries.
+///
+/// Where [`MigrationAdvisor`] recommends moving a *process* toward the
+/// data, this advisor recommends moving the *library* toward its
+/// traffic: the site whose processes dominate the segment's request
+/// stream would serve those faults locally (and pay no request/serve
+/// message pair) if it held the role. Drives the simulator's
+/// `PlacementPolicy::Advised` live placement loop.
+#[derive(Clone, Debug)]
+pub struct PlacementAdvisor {
+    /// Minimum requests a site must have contributed within the window
+    /// before the advisor speaks up — placement churn on a trickle of
+    /// references costs more (one handoff message per move, plus a
+    /// redirect round at every site) than it saves.
+    pub min_requests: u64,
+}
+
+/// One segment's placement recommendation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlacementAdvice {
+    /// The segment whose library should move.
+    pub seg: SegmentId,
+    /// The site that dominated the request stream.
+    pub to: SiteId,
+    /// Requests that site contributed within the window.
+    pub requests: u64,
+}
+
+impl Default for PlacementAdvisor {
+    fn default() -> Self {
+        Self { min_requests: 8 }
+    }
+}
+
+impl PlacementAdvisor {
+    /// Builds an advisor with the given sensitivity.
+    pub fn new(min_requests: u64) -> Self {
+        Self { min_requests }
+    }
+
+    /// Scores each segment's request stream by requester site and
+    /// recommends the dominant one (ties break toward the lower site
+    /// id, so the output is deterministic for any entry order).
+    /// Segments whose leader is below `min_requests` are omitted.
+    pub fn advise(&self, entries: &[Entry]) -> Vec<PlacementAdvice> {
+        let mut counts: BTreeMap<(SegmentId, SiteId), u64> = BTreeMap::new();
+        for e in entries {
+            *counts.entry((e.seg, e.pid.site)).or_default() += 1;
+        }
+        let mut best: BTreeMap<SegmentId, (SiteId, u64)> = BTreeMap::new();
+        for (&(seg, site), &n) in &counts {
+            let e = best.entry(seg).or_insert((site, n));
+            // BTreeMap iteration is (seg, site)-ordered, so a strict
+            // `>` keeps the first (lowest-id) site on ties.
+            if n > e.1 {
+                *e = (site, n);
+            }
+        }
+        best.into_iter()
+            .filter(|&(_, (_, n))| n >= self.min_requests)
+            .map(|(seg, (to, n))| PlacementAdvice { seg, to, requests: n })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use mirage_types::{
@@ -131,6 +204,30 @@ mod tests {
             l.record(entry(1, 2, 100 + i)); // only site 2 requests page 1
         }
         assert!(MigrationAdvisor::default().advise(&l).is_empty());
+    }
+
+    #[test]
+    fn placement_follows_the_dominant_requester() {
+        let entries: Vec<Entry> =
+            (0..12).map(|i| entry(0, if i < 9 { 3 } else { 1 }, i)).collect();
+        let advice = PlacementAdvisor::new(5).advise(&entries);
+        assert_eq!(advice.len(), 1);
+        assert_eq!(advice[0].to, SiteId(3));
+        assert_eq!(advice[0].requests, 9);
+    }
+
+    #[test]
+    fn placement_ties_break_to_lower_site() {
+        let entries: Vec<Entry> =
+            (0..8).map(|i| entry(0, if i % 2 == 0 { 4 } else { 2 }, i)).collect();
+        let advice = PlacementAdvisor::new(1).advise(&entries);
+        assert_eq!(advice[0].to, SiteId(2));
+    }
+
+    #[test]
+    fn placement_floor_suppresses_trickle() {
+        let entries: Vec<Entry> = (0..3).map(|i| entry(0, 1, i)).collect();
+        assert!(PlacementAdvisor::default().advise(&entries).is_empty());
     }
 
     #[test]

@@ -161,6 +161,9 @@ pub fn event_to_json(ev: &TraceEvent) -> String {
     if ev.detail != 0 {
         s.push_str(&format!(",\"detail\":{}", ev.detail));
     }
+    if ev.epoch != 0 {
+        s.push_str(&format!(",\"epoch\":{}", ev.epoch));
+    }
     s.push('}');
     s
 }

@@ -28,6 +28,7 @@ use mirage_core::{
     ProtocolConfig,
     ProtocolDriver,
     RefLogEntry,
+    RetryPolicy,
 };
 use mirage_mem::LocalSegment;
 use mirage_trace::{
@@ -190,6 +191,34 @@ fn upgrade_downgrade() -> Vec<TraceEvent> {
     m.trace
 }
 
+/// A full library-role relocation: freeze → transfer → activate, then a
+/// stale-hint request bounced off the forwarding stub (redirect) and
+/// re-served by the new library site under the bumped epoch. Retry mode
+/// is on — the handoff subprotocol requires it — so this golden also
+/// pins the ack vocabulary around a handoff.
+fn library_handoff() -> Vec<TraceEvent> {
+    let cfg = ProtocolConfig {
+        retry: Some(RetryPolicy::default()),
+        ..ProtocolConfig::paper(Delta::ZERO)
+    };
+    let mut m = Mini::new(3, cfg);
+    let seg = m.create_segment(0, 1);
+    // Site 1 takes the write copy through the library at its creation
+    // site; its hint now points at site 0.
+    m.acquire(1, 1, seg, Access::Write);
+    // The role moves to site 2 (freeze → transfer → activate → ack);
+    // site 1 is not told.
+    m.dispatch(0, Event::MigrateLibrary { seg, to: SiteId(2) });
+    m.run();
+    // Site 0 pulls a read copy — served by the library at its new site,
+    // downgrading site 1.
+    m.acquire(0, 1, seg, Access::Read);
+    // Site 1 upgrades back to write through its stale hint: the stub at
+    // site 0 redirects, site 1 chases the epoch, site 2 serves.
+    m.acquire(1, 1, seg, Access::Write);
+    m.trace
+}
+
 fn golden_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests").join("golden").join(name)
 }
@@ -237,9 +266,15 @@ fn upgrade_downgrade_matches_golden() {
     assert_matches_golden("upgrade_downgrade.jsonl", &upgrade_downgrade());
 }
 
+#[test]
+fn library_handoff_matches_golden() {
+    assert_matches_golden("library_handoff.jsonl", &library_handoff());
+}
+
 /// The golden flows are deterministic: two runs trace identically.
 #[test]
 fn golden_flows_are_deterministic() {
     assert_eq!(ping_pong(), ping_pong());
     assert_eq!(upgrade_downgrade(), upgrade_downgrade());
+    assert_eq!(library_handoff(), library_handoff());
 }
