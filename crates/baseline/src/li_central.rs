@@ -113,7 +113,9 @@ impl DsmProtocol for LiCentral {
                 // Manager invalidates every copy-set member except the
                 // requester: one short out, one short ack, each.
                 let victims = {
-                    let mut v = rec.copy_set;
+                    // Taken by value: the write branch clears the copy
+                    // set below anyway.
+                    let mut v = std::mem::take(&mut rec.copy_set);
                     v.remove(op.site);
                     if !rec.owner_writable {
                         v.insert(rec.owner);

@@ -115,7 +115,8 @@ impl DsmProtocol for LiDistributed {
             }
             Access::Write => {
                 // Owner invalidates the copy set (minus requester).
-                let mut victims = rec.copy_set;
+                // Taken by value: the write branch clears it below.
+                let mut victims = std::mem::take(&mut rec.copy_set);
                 victims.remove(op.site);
                 victims.remove(rec.owner);
                 for _v in victims.iter() {

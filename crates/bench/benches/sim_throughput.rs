@@ -41,7 +41,11 @@ use mirage_types::{
     SimTime,
     SiteId,
 };
-use mirage_workloads::Decrementer;
+use mirage_workloads::{
+    Decrementer,
+    PeriodicWriter,
+    Rereader,
+};
 
 /// One iteration of a decrementer ping-pong over one shared page.
 fn pingpong(delta: Delta, sim_ms: u64) -> World {
@@ -170,9 +174,47 @@ fn driver_scenario() -> String {
     )
 }
 
+/// A 1,024-reader invalidation fan-out — the planet-scale path: reader
+/// masks spill past the inline 64-bit word, and the circuit table runs
+/// in its paged (lazily allocated) representation. One iteration is the
+/// full world: 1,024 sites each take a read copy of one page, then a
+/// writer invalidates every one of them.
+fn largen_scenario() -> String {
+    const N: usize = 1024;
+    let name = "invalidation_1024";
+    fn run() -> World {
+        let mut w = World::new(N + 2, sim_config(Delta(0)));
+        let seg = w.create_segment(0, 1);
+        for s in 1..=N {
+            w.spawn(s, Box::new(Rereader::new(seg, 1, SimDuration::ZERO)), 1);
+        }
+        w.run_to_completion(SimTime::from_millis(60_000));
+        w.spawn(N + 1, Box::new(PeriodicWriter::new(seg, 1, SimDuration::ZERO)), 1);
+        w.run_to_completion(SimTime::from_millis(120_000));
+        w
+    }
+
+    let probe = run();
+    let events_per_iter = probe.engine_events();
+    drop(probe);
+
+    let r = bench(name, || std::hint::black_box(run().total_accesses()));
+    let events_per_sec = events_per_iter as f64 * r.per_sec();
+    println!(
+        "{name}: {events_per_iter} driver events/iter, {:.3} M driver events/sec",
+        events_per_sec / 1e6
+    );
+    format!(
+        "{{\"scenario\":\"{name}\",\"ns_per_iter\":{:.1},\
+         \"events_per_iter\":{events_per_iter},\"events_per_sec\":{:.0}}}",
+        r.ns_per_iter, events_per_sec
+    )
+}
+
 fn main() {
     let fig8 = scenario("fig8_one_simulated_second", Delta(6), 1000);
     let d0 = scenario("delta0_pingpong", Delta(0), 250);
     let drv = driver_scenario();
-    println!("{{\"bench\":\"sim_throughput\",\"results\":[{fig8},{d0},{drv}]}}");
+    let largen = largen_scenario();
+    println!("{{\"bench\":\"sim_throughput\",\"results\":[{fig8},{d0},{drv},{largen}]}}");
 }

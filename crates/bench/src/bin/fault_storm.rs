@@ -23,6 +23,13 @@
 //! runs them under the same drop/dup/delay/crash schedule, so role
 //! handoffs race messages losses and site crashes.
 //!
+//! `--large` switches to the planet-scale generator: 65–160 sites
+//! (chunked site sets, paged circuit table), a sharded library
+//! (`shard_pages` 1–3), and a shard-aware handoff schedule — the same
+//! fault plan shape at ~25× the site count. `--sites N` pins the world
+//! to exactly N sites (implies `--large`); use `--sites 1024` for the
+//! CI smoke world.
+//!
 //! Single-seed observability flags (each implies a traced run; tracing
 //! never changes the simulated execution):
 //!
@@ -41,8 +48,11 @@ use std::io::Write;
 
 use mirage_sim::{
     run_fuzz_seed,
+    run_fuzz_seed_large,
+    run_fuzz_seed_large_traced,
     run_fuzz_seed_migrating,
     run_fuzz_seed_migrating_traced,
+    run_fuzz_seed_sized_traced,
     run_fuzz_seed_traced,
 };
 use mirage_trace::{
@@ -60,6 +70,8 @@ fn main() {
     let mut metrics = false;
     let mut check_trace = false;
     let mut migrate = false;
+    let mut large = false;
+    let mut sites: Option<usize> = None;
     let mut export_chrome: Option<String> = None;
     let mut export_jsonl: Option<String> = None;
     let mut i = 0;
@@ -81,6 +93,12 @@ fn main() {
             "--metrics" => metrics = true,
             "--check-trace" => check_trace = true,
             "--migrate" => migrate = true,
+            "--large" => large = true,
+            "--sites" => {
+                i += 1;
+                sites = Some(args[i].parse().expect("--sites takes a site count"));
+                large = true;
+            }
             "--export-chrome" => {
                 i += 1;
                 export_chrome =
@@ -94,8 +112,8 @@ fn main() {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: fault_storm [--seeds N] [--start S] [--check-trace] \
-                     [--migrate] [--seed S [--trace] [--metrics] [--check-trace] \
-                     [--export-chrome PATH] [--export-jsonl PATH]]"
+                     [--migrate | --large [--sites N]] [--seed S [--trace] [--metrics] \
+                     [--check-trace] [--export-chrome PATH] [--export-jsonl PATH]]"
                 );
                 std::process::exit(2);
             }
@@ -112,11 +130,24 @@ fn main() {
         check_trace || metrics || export_chrome.is_some() || export_jsonl.is_some();
 
     if let Some(seed) = single {
-        let (outcome, events) = match (want_trace, migrate) {
-            (true, true) => run_fuzz_seed_migrating_traced(seed),
-            (true, false) => run_fuzz_seed_traced(seed),
-            (false, true) => (run_fuzz_seed_migrating(seed), Vec::new()),
-            (false, false) => (run_fuzz_seed(seed), Vec::new()),
+        let (outcome, events) = if let Some(n) = sites {
+            // A pinned site count always runs traced: the point of
+            // `--sites` is putting a specific-scale world through the
+            // oracles, and tracing never changes the execution.
+            run_fuzz_seed_sized_traced(seed, n)
+        } else if large {
+            if want_trace {
+                run_fuzz_seed_large_traced(seed)
+            } else {
+                (run_fuzz_seed_large(seed), Vec::new())
+            }
+        } else {
+            match (want_trace, migrate) {
+                (true, true) => run_fuzz_seed_migrating_traced(seed),
+                (true, false) => run_fuzz_seed_traced(seed),
+                (false, true) => (run_fuzz_seed_migrating(seed), Vec::new()),
+                (false, false) => (run_fuzz_seed(seed), Vec::new()),
+            }
         };
         println!("{}", outcome.describe());
         if let Some(stats) = outcome.stats {
@@ -168,11 +199,19 @@ fn main() {
     let mut crashes = 0u64;
     let mut dropped = 0u64;
     for seed in start..start + seeds {
-        let outcome = match (check_trace, migrate) {
-            (true, true) => run_fuzz_seed_migrating_traced(seed).0,
-            (true, false) => run_fuzz_seed_traced(seed).0,
-            (false, true) => run_fuzz_seed_migrating(seed),
-            (false, false) => run_fuzz_seed(seed),
+        let outcome = if large {
+            if check_trace {
+                run_fuzz_seed_large_traced(seed).0
+            } else {
+                run_fuzz_seed_large(seed)
+            }
+        } else {
+            match (check_trace, migrate) {
+                (true, true) => run_fuzz_seed_migrating_traced(seed).0,
+                (true, false) => run_fuzz_seed_traced(seed).0,
+                (false, true) => run_fuzz_seed_migrating(seed),
+                (false, false) => run_fuzz_seed(seed),
+            }
         };
         if let Some(stats) = outcome.stats {
             active += 1;
@@ -182,7 +221,13 @@ fn main() {
         if !outcome.is_ok() {
             failed += 1;
             eprintln!("{}", outcome.describe());
-            let flag = if migrate { " --migrate" } else { "" };
+            let flag = if large {
+                " --large"
+            } else if migrate {
+                " --migrate"
+            } else {
+                ""
+            };
             eprintln!("replay: fault_storm --seed {seed}{flag} --trace");
         }
         if (seed - start + 1).is_multiple_of(200) {

@@ -7,9 +7,17 @@ use mirage_bench::{
 };
 
 fn main() {
-    parse_jobs_flag(std::env::args().skip(1));
+    let rest = parse_jobs_flag(std::env::args().skip(1));
+    // `--large` extends the sweep past the old 64-site ceiling: reader
+    // masks go chunked, the circuit table goes paged, and sequential
+    // invalidation cost scales linearly into the hundreds.
+    let counts: &[usize] = if rest.iter().any(|a| a == "--large") {
+        &[1, 2, 4, 8, 16, 32, 64, 256, 1024]
+    } else {
+        &[1, 2, 4, 8, 16, 32]
+    };
     println!("A4 — invalidating N readers (paper §7.1 caveat 2 / §10 concern)\n");
-    let pts = invalidation_scaling(&[1, 2, 4, 8, 16, 32]);
+    let pts = invalidation_scaling(counts);
     let rows: Vec<Vec<String>> = pts
         .iter()
         .map(|p| {

@@ -5,11 +5,13 @@
 use mirage_bench::{
     harness::parse_jobs_flag,
     migration_hotspot,
+    migration_hotspot_sharded,
     print_table,
 };
 
 fn main() {
     let mut task: u32 = 600;
+    let mut sharded = false;
     let mut args = std::env::args().skip(1);
     let mut rest = Vec::new();
     while let Some(a) = args.next() {
@@ -18,11 +20,51 @@ fn main() {
                 .next()
                 .and_then(|v| v.parse().ok())
                 .expect("--task needs a positive integer");
+        } else if a == "--sharded" {
+            sharded = true;
         } else {
             rest.push(a);
         }
     }
     parse_jobs_flag(rest.into_iter());
+
+    if sharded {
+        println!("M2 — range-sharded placement, two hot shards ({task} partner writes)\n");
+        let rows: Vec<Vec<String>> = migration_hotspot_sharded(task)
+            .into_iter()
+            .map(|r| {
+                vec![
+                    r.policy.into(),
+                    r.hot_remote_faults[0].to_string(),
+                    r.hot_remote_faults[1].to_string(),
+                    r.remote_faults.to_string(),
+                    r.local_faults.to_string(),
+                    format!("{:.0}", r.throughput),
+                    r.shard_sites
+                        .iter()
+                        .enumerate()
+                        .map(|(i, s)| format!("s{i}@site{s}"))
+                        .collect::<Vec<_>>()
+                        .join(" "),
+                ]
+            })
+            .collect();
+        print_table(
+            &[
+                "policy",
+                "site1 remote",
+                "site2 remote",
+                "remote faults",
+                "local faults",
+                "instr/s",
+                "shards",
+            ],
+            &rows,
+        );
+        println!("\n(each shard should land at its own hot site: a whole-segment");
+        println!(" library could chase at most one of the two hot ranges)");
+        return;
+    }
 
     println!("M1 — library placement on a hot-spot workload ({task} partner writes)\n");
     let rows: Vec<Vec<String>> = migration_hotspot(task)

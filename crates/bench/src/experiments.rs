@@ -366,6 +366,7 @@ pub fn migration_hotspot(task: u32) -> Vec<MigrationRow> {
                 at: SimTime::from_millis(300),
                 seg,
                 to: SiteId(2),
+                shard: None,
             }])),
             2 => w.set_placement_policy(PlacementPolicy::Advised {
                 interval: SimDuration::from_millis(100),
@@ -385,6 +386,91 @@ pub fn migration_hotspot(task: u32) -> Vec<MigrationRow> {
             local_faults: w.instr.local_faults,
             throughput: w.total_accesses() as f64 / makespan,
             final_library: w.library_site(seg).map_or(0, |s| s.0),
+        }
+    })
+}
+
+/// M2 result row: one placement-policy arm of the sharded hot-spot
+/// workload.
+#[derive(Clone, Debug)]
+pub struct ShardMigrationRow {
+    /// Policy arm name.
+    pub policy: &'static str,
+    /// Remote faults taken by the two hot sites (1 and 2).
+    pub hot_remote_faults: [u64; 2],
+    /// Remote faults world-wide.
+    pub remote_faults: u64,
+    /// Faults served inline by a colocated library shard.
+    pub local_faults: u64,
+    /// Combined accesses per second over the makespan.
+    pub throughput: f64,
+    /// Where each library shard's role ended up.
+    pub shard_sites: Vec<u16>,
+}
+
+/// M2: *range-sharded* library placement. One four-page segment is
+/// split into two two-page shards (`shard_pages = 2`), and each shard
+/// has its own hot spot at a different site: site 1 duels over page 0
+/// (shard 0) while site 2 duels over page 2 (shard 1), each against a
+/// periodic writer at site 3. A whole-segment library could satisfy at
+/// most one hot site; per-range placement moves shard 0 to site 1 and
+/// shard 1 to site 2 independently. Arms mirror M1: placement off, a
+/// manual per-shard schedule, and the live advisor (which must discover
+/// both moves from the shard-bucketed reference log).
+pub fn migration_hotspot_sharded(task: u32) -> Vec<ShardMigrationRow> {
+    let arms: [(&'static str, u8); 3] = [("off", 0), ("manual", 1), ("advised", 2)];
+    par_map(&arms, |&(policy, arm)| {
+        let protocol = ProtocolConfig {
+            delta: DeltaPolicy::Uniform(Delta(0)),
+            retry: Some(RetryPolicy::default()),
+            shard_pages: 2,
+            ..Default::default()
+        };
+        let mut w = World::new(4, SimConfig { protocol, ..Default::default() });
+        let seg = w.create_segment(0, 4);
+        w.spawn(1, Box::new(Decrementer::on_page(seg, PageNum(0), 128, task * 150)), 4);
+        w.spawn(2, Box::new(Decrementer::on_page(seg, PageNum(2), 128, task * 150)), 4);
+        let period = SimDuration::from_millis(10);
+        w.spawn(3, Box::new(PeriodicWriter::on_page(seg, PageNum(0), task, period)), 4);
+        w.spawn(3, Box::new(PeriodicWriter::on_page(seg, PageNum(2), task, period)), 4);
+        match arm {
+            1 => w.set_placement_policy(PlacementPolicy::Manual(vec![
+                MigrationEvent {
+                    at: SimTime::from_millis(300),
+                    seg,
+                    to: SiteId(1),
+                    shard: Some(0),
+                },
+                MigrationEvent {
+                    at: SimTime::from_millis(300),
+                    seg,
+                    to: SiteId(2),
+                    shard: Some(1),
+                },
+            ])),
+            2 => w.set_placement_policy(PlacementPolicy::Advised {
+                interval: SimDuration::from_millis(100),
+                window: SimDuration::from_millis(1_000),
+                min_requests: 8,
+                hysteresis: 2,
+            }),
+            _ => {}
+        }
+        let finished = w.run_to_completion(SimTime::from_millis(600_000));
+        debug_assert!(finished, "M2 {policy}: sharded hot-spot run must converge");
+        let makespan = w.now().as_secs_f64();
+        ShardMigrationRow {
+            policy,
+            hot_remote_faults: [
+                w.instr.remote_faults_by_site[1],
+                w.instr.remote_faults_by_site[2],
+            ],
+            remote_faults: w.instr.remote_faults,
+            local_faults: w.instr.local_faults,
+            throughput: w.total_accesses() as f64 / makespan,
+            shard_sites: (0..2)
+                .map(|s| w.library_shard_site(seg, s).map_or(0, |site| site.0))
+                .collect(),
         }
     })
 }

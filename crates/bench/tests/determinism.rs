@@ -17,6 +17,7 @@ use mirage_bench::{
     invalidation_scaling,
     local_pingpong,
     migration_hotspot,
+    migration_hotspot_sharded,
     repro_all_report,
     test_and_set,
     thrash_system,
@@ -99,6 +100,25 @@ fn dynamic_delta_is_identical_at_any_worker_count() {
 #[test]
 fn migration_is_identical_at_any_worker_count() {
     let (a, b) = at_jobs_1_and_4(|| migration_hotspot(120));
+    assert_eq!(a, b);
+}
+
+/// The sharded M2 arms migrate two library shards of one segment
+/// independently (manual schedule and advisor-discovered); per-range
+/// epochs and shard-bucketed advice must not introduce any worker-count
+/// dependence.
+#[test]
+fn sharded_migration_is_identical_at_any_worker_count() {
+    let (a, b) = at_jobs_1_and_4(|| migration_hotspot_sharded(120));
+    assert_eq!(a, b);
+}
+
+/// Past the 64-site ceiling the reader masks run chunked and the
+/// circuit table runs paged; the sweep must stay byte-identical at any
+/// worker count there too.
+#[test]
+fn large_world_invalidation_scaling_is_identical_at_any_worker_count() {
+    let (a, b) = at_jobs_1_and_4(|| invalidation_scaling(&[256]));
     assert_eq!(a, b);
 }
 

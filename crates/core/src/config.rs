@@ -136,6 +136,15 @@ pub struct ProtocolConfig {
     /// and enabling it never changes protocol behaviour — only what is
     /// observed.
     pub trace: bool,
+    /// Pages per relocatable library *shard*. 0 (the default) keeps one
+    /// shard spanning the whole segment — the paper's per-segment
+    /// library site, byte-identical to the unsharded protocol. A
+    /// non-zero value splits each segment's library role into
+    /// independent `(segment, page-range)` shards of this many pages,
+    /// each with its own handoff epoch and forwarding stub, so hot
+    /// ranges can migrate toward their traffic without dragging the
+    /// rest of the segment along.
+    pub shard_pages: u32,
 }
 
 impl ProtocolConfig {
@@ -155,6 +164,7 @@ impl Default for ProtocolConfig {
             multicast_invalidation: false,
             retry: None,
             trace: false,
+            shard_pages: 0,
         }
     }
 }

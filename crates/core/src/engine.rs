@@ -114,10 +114,13 @@ pub(crate) enum TimerKind {
         serial: u32,
     },
     /// Former library: retransmit an unacked `LibraryHandoff` (retry
-    /// mode; per-segment, the handoff moves the whole segment's role).
+    /// mode; per-shard — each page-range shard hands off, and
+    /// retransmits, independently).
     HandoffRetry {
-        /// Segment whose role is in flight.
+        /// Segment whose shard is in flight.
         seg: SegmentId,
+        /// Shard index within the segment.
+        shard: u32,
     },
 }
 
@@ -173,7 +176,8 @@ impl SiteEngine {
         self.usr.register_segment(seg, pages, &self.config);
         let policy = self.config.delta.clone();
         let active = seg.library == self.site;
-        self.lib.register_segment(seg, pages, seg.library, active, &policy);
+        let shard_pages = self.config.shard_pages;
+        self.lib.register_segment(seg, pages, seg.library, active, &policy, shard_pages);
     }
 
     /// Feeds one event through the engine, accumulating the resulting
@@ -199,9 +203,10 @@ impl SiteEngine {
             Event::Timer { token } => {
                 self.timer_fired(token, store, sink);
             }
-            Event::MigrateLibrary { seg, to } => {
-                self.lib_migrate(seg, to, sink);
-            }
+            Event::MigrateLibrary { seg, to, shard } => match shard {
+                Some(shard) => self.lib_migrate_shard(seg, shard, to, sink),
+                None => self.lib_migrate(seg, to, sink),
+            },
         }
         // Drain loop-back deliveries (self-sends) until quiescent.
         while let Some(msg) = sink.pop_loopback() {
@@ -280,8 +285,8 @@ impl SiteEngine {
             ProtoMsg::LibraryHandoff { seg, page: _, epoch, frozen } => {
                 self.lib_adopt(from, seg, epoch, &frozen, sink);
             }
-            ProtoMsg::LibraryHandoffAck { seg, page: _, epoch } => {
-                self.lib_handoff_ack(from, seg, epoch, sink);
+            ProtoMsg::LibraryHandoffAck { seg, page, epoch } => {
+                self.lib_handoff_ack(from, seg, page, epoch, sink);
             }
             ProtoMsg::LibraryRedirect { seg, page, epoch, to } => {
                 self.use_redirect(from, seg, page, epoch, to, sink);
@@ -316,8 +321,8 @@ impl SiteEngine {
             TimerKind::GrantRetry { seg, page, serial } => {
                 self.use_grant_retry(seg, page, serial, sink);
             }
-            TimerKind::HandoffRetry { seg } => {
-                self.lib_handoff_retry(seg, sink);
+            TimerKind::HandoffRetry { seg, shard } => {
+                self.lib_handoff_retry(seg, shard, sink);
             }
         }
     }
@@ -473,32 +478,46 @@ impl SiteEngine {
         self.usr.has_outstanding(seg, page, access)
     }
 
-    // ---- Library-resolution API (relocatable library sites). ----
+    // ---- Library-resolution API (relocatable library shards). ----
 
-    /// The site this engine currently resolves as the library for
-    /// `seg`: the per-site hint, which starts at `seg.library` and is
-    /// updated by observed handoffs and redirects.
-    pub fn resolved_library(&self, seg: SegmentId) -> SiteId {
-        self.usr.lib_hint(seg).map_or(seg.library, |(site, _)| site)
+    /// The site this engine currently resolves as the library for the
+    /// shard of `seg` covering `page`: the per-shard hint, which starts
+    /// at `seg.library` and is updated by observed handoffs and
+    /// redirects.
+    pub fn resolved_library(&self, seg: SegmentId, page: PageNum) -> SiteId {
+        self.usr.lib_hint(seg, page).map_or(seg.library, |(site, _)| site)
     }
 
-    /// The handoff epoch of this site's library hint for `seg` (0 until
-    /// a handoff is observed).
-    pub fn library_epoch(&self, seg: SegmentId) -> u32 {
-        self.usr.lib_hint(seg).map_or(0, |(_, epoch)| epoch)
+    /// The handoff epoch of this site's library hint for the shard of
+    /// `seg` covering `page` (0 until a handoff is observed).
+    pub fn library_epoch(&self, seg: SegmentId, page: PageNum) -> u32 {
+        self.usr.lib_hint(seg, page).map_or(0, |(_, epoch)| epoch)
     }
 
-    /// Hot-path route lookup: `(library site, epoch)` in one segment
-    /// resolution. Falls back to the static address for segments this
-    /// site never registered (messages to them are dropped anyway).
-    pub(crate) fn library_route(&self, seg: SegmentId) -> (SiteId, u32) {
-        self.usr.lib_hint(seg).unwrap_or((seg.library, 0))
+    /// Hot-path route lookup: `(library site, epoch)` for the shard
+    /// covering `page`, in one segment resolution. Falls back to the
+    /// static address for segments this site never registered (messages
+    /// to them are dropped anyway).
+    pub(crate) fn library_route(&self, seg: SegmentId, page: PageNum) -> (SiteId, u32) {
+        self.usr.lib_hint(seg, page).unwrap_or((seg.library, 0))
     }
 
-    /// Whether this site currently holds the (relocatable) library role
-    /// for `seg`.
+    /// Whether this site currently holds any shard of the (relocatable)
+    /// library role for `seg`.
     pub fn library_active(&self, seg: SegmentId) -> bool {
-        self.lib.is_active(seg)
+        self.lib.is_any_active(seg)
+    }
+
+    /// Whether this site currently holds the library shard of `seg`
+    /// covering `page`.
+    pub fn library_active_for(&self, seg: SegmentId, page: PageNum) -> bool {
+        self.lib.is_active(seg, page)
+    }
+
+    /// Number of page-range shards the library role of `seg` is split
+    /// into at this site (1 when sharding is off).
+    pub fn library_shards(&self, seg: SegmentId) -> usize {
+        self.lib.shards(seg)
     }
 
     /// Diagnostic dump of the library record for one page — queue,

@@ -53,6 +53,9 @@ pub enum Event {
         seg: SegmentId,
         /// Destination site.
         to: SiteId,
+        /// Which page-range shard of the role moves; `None` moves every
+        /// shard still active at this site.
+        shard: Option<u32>,
     },
 }
 

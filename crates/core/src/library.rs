@@ -141,7 +141,7 @@ impl LibPage {
 }
 
 /// Read-only snapshot of a library page record, for tests and tools.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LibPageView {
     /// Sites the library believes hold read copies.
     pub readers: ReaderSet,
@@ -170,16 +170,19 @@ struct PendingHandoff {
     attempt: u32,
 }
 
-/// Per-segment library-role metadata: whether the slot is live at this
-/// site, and where the role went if it is not.
+/// Per-*shard* library-role metadata: whether this page range's slice
+/// of the role is live at this site, and where it went if it is not.
+/// One segment has `ceil(pages / shard_pages)` shards (a single shard
+/// covering everything when sharding is off), and each shard freezes,
+/// travels, and activates independently under its own epoch.
 #[derive(Debug)]
 struct SegMeta {
-    /// This site currently holds the library role for the segment.
+    /// This site currently holds the library role for the shard.
     active: bool,
-    /// Handoff epoch of the records in this slot (0 = the role has
+    /// Handoff epoch of the records in this shard (0 = the shard has
     /// never moved). Bumped at every freeze; carried by the handoff.
     epoch: u32,
-    /// Forwarding stub: the site the role was handed to. Installed at
+    /// Forwarding stub: the site the shard was handed to. Installed at
     /// freeze and kept for the life of the slot so arbitrarily stale
     /// requests can always be redirected toward the role.
     stub: Option<SiteId>,
@@ -196,17 +199,42 @@ impl SegMeta {
 /// Library-role state for all segments known at this site.
 ///
 /// Every site registers a slot for every segment (the role is
-/// relocatable), but only the slot at the current library site is
-/// *active*; inactive slots hold stale records plus the `SegMeta`
-/// forwarding state.
+/// relocatable), but only the slots at the current library site are
+/// *active*; inactive slots hold stale records plus the per-shard
+/// `SegMeta` forwarding state.
 ///
 /// Segments are slab-indexed: `index` maps a [`SegmentId`] to a slot in
-/// `segs`, and each slot is a dense page-number-indexed vector.
+/// `segs`, and each slot is a dense page-number-indexed vector. The
+/// role itself is keyed by `(segment, page range)`: `meta[slot][shard]`
+/// governs pages `[shard * shard_pages, (shard + 1) * shard_pages)`.
 #[derive(Debug, Default)]
 pub struct LibState {
     index: HashMap<SegmentId, usize>,
     segs: Vec<Vec<LibPage>>,
-    meta: Vec<SegMeta>,
+    meta: Vec<Vec<SegMeta>>,
+    /// Pages per library shard; 0 = sharding off (one shard spans the
+    /// segment, reproducing the PR 5 whole-segment role exactly).
+    shard_pages: u32,
+}
+
+/// Number of shards covering `pages` pages at `shard_pages` pages per
+/// shard (always at least one, so zero-page segments still have a
+/// role slot).
+pub(crate) fn shard_count(pages: usize, shard_pages: u32) -> usize {
+    if shard_pages == 0 || pages == 0 {
+        1
+    } else {
+        pages.div_ceil(shard_pages as usize)
+    }
+}
+
+/// The shard covering `page` at `shard_pages` pages per shard.
+pub(crate) fn shard_of(page: PageNum, shard_pages: u32) -> usize {
+    if shard_pages == 0 {
+        0
+    } else {
+        page.index() / shard_pages as usize
+    }
 }
 
 impl LibState {
@@ -217,59 +245,93 @@ impl LibState {
         creator: SiteId,
         active: bool,
         policy: &crate::config::DeltaPolicy,
+        shard_pages: u32,
     ) {
+        self.shard_pages = shard_pages;
         let table: Vec<LibPage> = (0..pages)
             .map(|p| LibPage::initial(creator, policy.window(PageNum(p as u32))))
             .collect();
+        let meta: Vec<SegMeta> =
+            (0..shard_count(pages, shard_pages)).map(|_| SegMeta::new(active)).collect();
         match self.index.get(&seg) {
             Some(&slot) => {
                 self.segs[slot] = table;
-                self.meta[slot] = SegMeta::new(active);
+                self.meta[slot] = meta;
             }
             None => {
                 self.index.insert(seg, self.segs.len());
                 self.segs.push(table);
-                self.meta.push(SegMeta::new(active));
+                self.meta.push(meta);
             }
         }
     }
 
-    /// Whether this site currently holds the library role for `seg`.
-    pub(crate) fn is_active(&self, seg: SegmentId) -> bool {
-        self.index.get(&seg).is_some_and(|&slot| self.meta[slot].active)
+    /// The shard index covering `page`.
+    pub(crate) fn shard_of(&self, page: PageNum) -> usize {
+        shard_of(page, self.shard_pages)
     }
 
-    /// The forwarding stub of a deactivated slot: `(epoch, to)` when
-    /// this site once held the role and knows where it went.
-    fn stub(&self, seg: SegmentId) -> Option<(u32, SiteId)> {
+    /// The page range `[start, end)` of `shard` within a segment of
+    /// `pages` pages.
+    fn shard_range(&self, pages: usize, shard: usize) -> (usize, usize) {
+        if self.shard_pages == 0 {
+            (0, pages)
+        } else {
+            let start = shard * self.shard_pages as usize;
+            (start.min(pages), (start + self.shard_pages as usize).min(pages))
+        }
+    }
+
+    /// Whether this site currently holds the library role for the
+    /// shard of `seg` covering `page`.
+    pub(crate) fn is_active(&self, seg: SegmentId, page: PageNum) -> bool {
+        self.index.get(&seg).is_some_and(|&slot| {
+            self.meta[slot].get(self.shard_of(page)).is_some_and(|m| m.active)
+        })
+    }
+
+    /// Whether this site holds *any* shard of `seg`'s library role.
+    pub(crate) fn is_any_active(&self, seg: SegmentId) -> bool {
+        self.index.get(&seg).is_some_and(|&slot| self.meta[slot].iter().any(|m| m.active))
+    }
+
+    /// The forwarding stub of a deactivated shard: `(epoch, to)` when
+    /// this site once held the shard and knows where it went.
+    fn stub(&self, seg: SegmentId, page: PageNum) -> Option<(u32, SiteId)> {
         let &slot = self.index.get(&seg)?;
-        let m = &self.meta[slot];
+        let m = self.meta[slot].get(self.shard_of(page))?;
         if m.active {
             return None;
         }
         m.stub.map(|to| (m.epoch, to))
     }
 
-    /// Freezes the segment's records for a handoff to `to`: bumps the
-    /// epoch, snapshots the persistent per-page records *plus* the
-    /// request queue (a graceful freeze, unlike a crash, loses
+    /// Freezes one shard's records for a handoff to `to`: bumps the
+    /// shard epoch, snapshots the persistent per-page records *plus*
+    /// the request queue (a graceful freeze, unlike a crash, loses
     /// nothing), clears the serving machinery at this site, and
-    /// deactivates the slot behind a forwarding stub. Returns the new
-    /// epoch and the frozen state, or `None` if the slot is absent,
-    /// already inactive, or mid-handoff.
-    fn freeze(&mut self, seg: SegmentId, to: SiteId) -> Option<(u32, FrozenLibrary)> {
+    /// deactivates the shard behind a forwarding stub. Returns the new
+    /// epoch and the frozen range, or `None` if the slot is absent, the
+    /// shard is out of range, already inactive, or mid-handoff.
+    fn freeze(
+        &mut self,
+        seg: SegmentId,
+        shard: usize,
+        to: SiteId,
+    ) -> Option<(u32, FrozenLibrary)> {
         let &slot = self.index.get(&seg)?;
-        let m = &mut self.meta[slot];
+        let (start, end) = self.shard_range(self.segs[slot].len(), shard);
+        let m = self.meta[slot].get_mut(shard)?;
         if !m.active || m.pending.is_some() {
             return None;
         }
         m.epoch += 1;
         let epoch = m.epoch;
-        let pages: Vec<FrozenLibPage> = self.segs[slot]
+        let pages: Vec<FrozenLibPage> = self.segs[slot][start..end]
             .iter_mut()
             .map(|rec| {
                 let frozen = FrozenLibPage {
-                    readers: rec.readers,
+                    readers: rec.readers.clone(),
                     writer: rec.writer,
                     clock: rec.clock,
                     queue: rec.queue.iter().map(|r| (r.site, r.access)).collect(),
@@ -286,25 +348,32 @@ impl LibState {
                 frozen
             })
             .collect();
-        let frozen = FrozenLibrary { pages };
-        let m = &mut self.meta[slot];
+        let frozen = FrozenLibrary { start: PageNum(start as u32), pages };
+        let m = &mut self.meta[slot][shard];
         m.active = false;
         m.stub = Some(to);
         m.pending = Some(PendingHandoff { to, epoch, frozen: frozen.clone(), attempt: 0 });
         Some((epoch, frozen))
     }
 
-    /// Rehydrates the segment's records from a received handoff.
-    /// `None` = unknown segment (drop); `Some(false)` = the slot is
-    /// already at this epoch or newer (duplicate — just re-ack);
-    /// `Some(true)` = adopted.
+    /// Rehydrates one shard's records from a received handoff.
+    /// `None` = unknown segment or bad range (drop); `Some(false)` =
+    /// the shard is already at this epoch or newer (duplicate — just
+    /// re-ack); `Some(true)` = adopted.
     fn adopt(&mut self, seg: SegmentId, epoch: u32, frozen: &FrozenLibrary) -> Option<bool> {
         let &slot = self.index.get(&seg)?;
-        if epoch <= self.meta[slot].epoch {
+        let shard = self.shard_of(frozen.start);
+        let (start, end) = self.shard_range(self.segs[slot].len(), shard);
+        if frozen.start.index() != start || frozen.pages.len() != end - start {
+            // A handoff cut along ranges this site does not recognise
+            // (mismatched shard configuration) — refuse it.
+            return None;
+        }
+        if epoch <= self.meta[slot].get(shard)?.epoch {
             return Some(false);
         }
-        for (rec, fp) in self.segs[slot].iter_mut().zip(frozen.pages.iter()) {
-            rec.readers = fp.readers;
+        for (rec, fp) in self.segs[slot][start..end].iter_mut().zip(frozen.pages.iter()) {
+            rec.readers = fp.readers.clone();
             rec.writer = fp.writer;
             rec.clock = fp.clock;
             rec.queue =
@@ -319,24 +388,27 @@ impl LibState {
             rec.serve_attempt = 0;
             rec.span = 0;
         }
-        let m = &mut self.meta[slot];
+        let m = &mut self.meta[slot][shard];
         m.active = true;
         m.epoch = epoch;
         m.stub = None;
         // An epoch-`n` handoff can only exist because epoch `n-1` was
         // adopted somewhere — any older outbound handoff of ours for
-        // this segment has therefore been received; stop retransmitting.
+        // this shard has therefore been received; stop retransmitting.
         m.pending = None;
         Some(true)
     }
 
-    /// Clears the pending handoff if the ack matches it. Returns
-    /// whether anything was cleared.
-    fn handoff_acked(&mut self, seg: SegmentId, epoch: u32) -> bool {
+    /// Clears the pending handoff of the shard covering `page` if the
+    /// ack matches it. Returns whether anything was cleared.
+    fn handoff_acked(&mut self, seg: SegmentId, page: PageNum, epoch: u32) -> bool {
+        let shard = self.shard_of(page);
         let Some(&slot) = self.index.get(&seg) else {
             return false;
         };
-        let m = &mut self.meta[slot];
+        let Some(m) = self.meta[slot].get_mut(shard) else {
+            return false;
+        };
         if m.pending.as_ref().is_some_and(|p| p.epoch == epoch) {
             m.pending = None;
             true
@@ -345,33 +417,39 @@ impl LibState {
         }
     }
 
-    /// Bumps the retransmit counter of a pending handoff and returns
-    /// what to resend.
+    /// Bumps the retransmit counter of a shard's pending handoff and
+    /// returns what to resend.
     fn handoff_retransmit(
         &mut self,
         seg: SegmentId,
+        shard: usize,
     ) -> Option<(SiteId, u32, FrozenLibrary, u32)> {
         let &slot = self.index.get(&seg)?;
-        let p = self.meta[slot].pending.as_mut()?;
+        let p = self.meta[slot].get_mut(shard)?.pending.as_mut()?;
         p.attempt += 1;
         Some((p.to, p.epoch, p.frozen.clone(), p.attempt))
     }
 
-    /// Segments with an unacknowledged outbound handoff, for restart.
-    fn pending_handoffs(&self) -> Vec<SegmentId> {
-        let mut out: Vec<SegmentId> = self
+    /// Shards with an unacknowledged outbound handoff, for restart.
+    fn pending_handoffs(&self) -> Vec<(SegmentId, usize)> {
+        let mut out: Vec<(SegmentId, usize)> = self
             .index
             .iter()
-            .filter(|&(_, &slot)| self.meta[slot].pending.is_some())
-            .map(|(&seg, _)| seg)
+            .flat_map(|(&seg, &slot)| {
+                self.meta[slot]
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, m)| m.pending.is_some())
+                    .map(move |(shard, _)| (seg, shard))
+            })
             .collect();
         out.sort();
         out
     }
 
-    /// Pages of an active segment, for adopt-time recovery.
-    fn page_count(&self, seg: SegmentId) -> usize {
-        self.index.get(&seg).map_or(0, |&slot| self.segs[slot].len())
+    /// Shard indices of a segment.
+    pub(crate) fn shards(&self, seg: SegmentId) -> usize {
+        self.index.get(&seg).map_or(0, |&slot| self.meta[slot].len())
     }
 
     fn page_mut(&mut self, seg: SegmentId, page: PageNum) -> Option<&mut LibPage> {
@@ -385,13 +463,13 @@ impl LibState {
     }
 
     pub(crate) fn view(&self, seg: SegmentId, page: PageNum) -> Option<LibPageView> {
-        if !self.is_active(seg) {
-            // A deactivated slot holds stale records; only the current
+        if !self.is_active(seg, page) {
+            // A deactivated shard holds stale records; only the current
             // library's view is meaningful.
             return None;
         }
         self.page(seg, page).map(|p| LibPageView {
-            readers: p.readers,
+            readers: p.readers.clone(),
             writer: p.writer,
             clock: p.clock,
             queued: p.queue.len(),
@@ -413,27 +491,29 @@ impl LibState {
                 rec.serve_attempt = 0;
             }
         }
-        for m in &mut self.meta {
+        for metas in &mut self.meta {
             // The frozen snapshot is persistent (it may be the only
             // copy of the records); the retransmit counter is not.
-            if let Some(p) = m.pending.as_mut() {
-                p.attempt = 0;
+            for m in metas {
+                if let Some(p) = m.pending.as_mut() {
+                    p.attempt = 0;
+                }
             }
         }
     }
 
     /// Pages with a journaled in-flight serve, for restart re-arming.
-    /// Only active slots count — a deactivated slot's serving demand
+    /// Only active shards count — a deactivated shard's serving demand
     /// travelled away in the frozen snapshot.
     fn serving_pages(&self) -> Vec<(SegmentId, PageNum)> {
         let mut out = Vec::new();
         for (&seg, &slot) in &self.index {
-            if !self.meta[slot].active {
-                continue;
-            }
             for (p, rec) in self.segs[slot].iter().enumerate() {
-                if rec.serving.is_some() {
-                    out.push((seg, PageNum(p as u32)));
+                let page = PageNum(p as u32);
+                if rec.serving.is_some()
+                    && self.meta[slot].get(self.shard_of(page)).is_some_and(|m| m.active)
+                {
+                    out.push((seg, page));
                 }
             }
         }
@@ -441,21 +521,24 @@ impl LibState {
         out
     }
 
-    /// Diagnostic dump of the library record for one page: queue
-    /// contents, handoff epoch, and the pending serve. `None` unless
-    /// this site's slot is active (the stuck-pid report asks every
-    /// site and prints the one answer).
+    /// Diagnostic dump of the library record for one page: the shard
+    /// range the page falls in, queue contents, handoff epoch, and the
+    /// pending serve. `None` unless this site's shard is active (the
+    /// stuck-pid report asks every site and prints the one answer).
     pub(crate) fn debug_page(&self, seg: SegmentId, page: PageNum) -> Option<String> {
-        if !self.is_active(seg) {
+        if !self.is_active(seg, page) {
             return None;
         }
         let &slot = self.index.get(&seg)?;
         let rec = self.segs[slot].get(page.index())?;
+        let shard = self.shard_of(page);
+        let (start, end) = self.shard_range(self.segs[slot].len(), shard);
         let queue: Vec<String> =
             rec.queue.iter().map(|r| format!("site{}:{:?}", r.site.0, r.access)).collect();
         Some(format!(
-            "epoch={} queue=[{}] serving={:?} serial={} readers={:?} writer={:?} clock=site{}",
-            self.meta[slot].epoch,
+            "shard={shard}[pg{start}..pg{end}) epoch={} queue=[{}] serving={:?} serial={} \
+             readers={:?} writer={:?} clock=site{}",
+            self.meta[slot][shard].epoch,
             queue.join(", "),
             rec.serving,
             rec.serial,
@@ -477,8 +560,8 @@ impl SiteEngine {
         pid: Pid,
         sink: &mut ActionSink,
     ) {
-        if !self.lib.is_active(seg) {
-            // The role moved (or was never here): point the requester at
+        if !self.lib.is_active(seg, page) {
+            // The shard moved (or was never here): point the requester at
             // the new site before anything — including the reference log,
             // which must only record requests the live library processed.
             self.lib_stale(from, seg, page, sink);
@@ -511,8 +594,8 @@ impl SiteEngine {
             // §8.0 dynamic tuning, grow side: the previous holder asking
             // for the page back right after losing it means the window
             // ended while the holder was still actively using the page.
-            if let Some((losers, at)) = rec.last_losers {
-                if losers.contains(from) && sink.now().since(at) <= TICK.scale(4) {
+            if let Some((losers, at)) = &rec.last_losers {
+                if losers.contains(from) && sink.now().since(*at) <= TICK.scale(4) {
                     rec.window = grow_window(rec.window, &self.config.delta);
                 }
             }
@@ -584,9 +667,10 @@ impl SiteEngine {
                         // informed of the additional readers, which it
                         // grants copies directly (§6.1).
                         debug_assert_eq!(row.invalidation, Invalidation::No);
-                        rec.readers = rec.readers.union(batch);
+                        rec.readers = rec.readers.union(&batch);
                         let clock = rec.clock;
                         let serial = rec.next_serial(retry_on);
+                        let granted = batch.len() as u64;
                         self.emit(
                             clock,
                             ProtoMsg::AddReaders { seg, page, readers: batch, window, serial },
@@ -602,7 +686,7 @@ impl SiteEngine {
                             );
                             ev.peer = Some(clock);
                             ev.serial = serial;
-                            ev.detail = batch.len() as u64;
+                            ev.detail = granted;
                             self.push_trace(ev, sink);
                         }
                         // Non-blocking: keep processing the queue.
@@ -610,12 +694,13 @@ impl SiteEngine {
                     }
                     // Writer/Readers: clock check plus downgrade (or full
                     // invalidation when the A2 ablation disables it).
-                    rec.serving = Some(Demand::Read { to: batch });
+                    let granted = batch.len() as u64;
+                    rec.serving = Some(Demand::Read { to: batch.clone() });
                     rec.deny_seen = false;
                     rec.serve_attempt = 0;
                     let serial = rec.next_serial(retry_on);
                     let clock = rec.clock;
-                    let readers = rec.readers;
+                    let readers = rec.readers.clone();
                     self.emit(
                         clock,
                         ProtoMsg::Invalidate {
@@ -633,7 +718,7 @@ impl SiteEngine {
                         clock,
                         serial,
                         Access::Read,
-                        batch.len() as u64,
+                        granted,
                         sink,
                     );
                     self.arm_retry(0, TimerKind::ServeRetry { seg, page, serial }, sink);
@@ -668,7 +753,7 @@ impl SiteEngine {
                     rec.serve_attempt = 0;
                     let serial = rec.next_serial(retry_on);
                     let clock = rec.clock;
-                    let readers = rec.readers;
+                    let readers = rec.readers.clone();
                     self.emit(
                         clock,
                         ProtoMsg::Invalidate { seg, page, demand, readers, window, serial },
@@ -723,7 +808,7 @@ impl SiteEngine {
         serial: u32,
         sink: &mut ActionSink,
     ) {
-        if !self.lib.is_active(seg) {
+        if !self.lib.is_active(seg, page) {
             self.lib_stale(from, seg, page, sink);
             return;
         }
@@ -763,7 +848,7 @@ impl SiteEngine {
         };
         let serial = rec.serial;
         let clock = rec.clock;
-        let readers = rec.readers;
+        let readers = rec.readers.clone();
         let span = rec.span;
         self.emit(
             clock,
@@ -800,7 +885,7 @@ impl SiteEngine {
         let window = rec.window;
         let demand = rec.serving.clone().expect("checked above");
         let clock = rec.clock;
-        let readers = rec.readers;
+        let readers = rec.readers.clone();
         let span = rec.span;
         self.emit(
             clock,
@@ -829,7 +914,7 @@ impl SiteEngine {
         serial: u32,
         sink: &mut ActionSink,
     ) {
-        if !self.lib.is_active(seg) {
+        if !self.lib.is_active(seg, page) {
             // Do NOT ack: the completion must reach the live library.
             // Redirect the clock so its done-retry chain re-aims.
             self.lib_stale(from, seg, page, sink);
@@ -858,14 +943,14 @@ impl SiteEngine {
         if dynamic {
             // Everyone holding a copy before this serve, minus whoever
             // holds one after it, lost the page.
-            let mut prev = rec.readers;
+            let mut prev = rec.readers.clone();
             if let Some(w) = rec.writer {
                 prev.insert(w);
             }
             let kept = match &demand {
                 Demand::Write { to, .. } => SiteSet::singleton(*to),
                 Demand::Read { to } => {
-                    let mut k = *to;
+                    let mut k = to.clone();
                     if info.writer_downgraded {
                         if let Some(w) = rec.writer {
                             k.insert(w);
@@ -874,7 +959,7 @@ impl SiteEngine {
                     k
                 }
             };
-            let losers = prev.difference(kept);
+            let losers = prev.difference(&kept);
             if !losers.is_empty() {
                 rec.last_losers = Some((losers, sink.now()));
             }
@@ -937,57 +1022,65 @@ impl SiteEngine {
         // An unacknowledged outbound handoff survived the crash (the
         // frozen snapshot may be the only copy of the records): resend
         // it and re-arm its retransmit chain.
-        for seg in self.lib.pending_handoffs() {
-            self.lib_handoff_retry(seg, sink);
+        for (seg, shard) in self.lib.pending_handoffs() {
+            self.lib_handoff_retry(seg, shard as u32, sink);
         }
     }
 
-    // ---- Library-role handoff (relocatable library sites). ----
+    // ---- Library-role handoff (relocatable library shards). ----
 
-    /// Placement-policy input: move the library role for `seg` to `to`.
-    ///
-    /// Freeze → transfer → activate: the records (plus the request
-    /// queue — a graceful freeze, unlike a crash, loses nothing) are
-    /// snapshotted under a bumped epoch, the local slot becomes a
-    /// forwarding stub, and the snapshot travels to `to`, retransmitted
-    /// until acknowledged. Requires retry mode — mid-handoff the serve
-    /// machinery leans on the same retransmit chains a crash does — and
-    /// no-ops if this site is not the active library, a handoff is
-    /// already in flight, or the destination is this site.
+    /// Placement-policy input: move the whole library role for `seg` to
+    /// `to` — every shard that is still active here migrates
+    /// independently (shards already elsewhere, or mid-handoff, are
+    /// skipped; their own machinery owns them).
     pub(crate) fn lib_migrate(&mut self, seg: SegmentId, to: SiteId, sink: &mut ActionSink) {
+        for shard in 0..self.lib.shards(seg) {
+            self.lib_migrate_shard(seg, shard as u32, to, sink);
+        }
+    }
+
+    /// Placement-policy input: move one library shard of `seg` to `to`.
+    ///
+    /// Freeze → transfer → activate: the shard's records (plus the
+    /// request queue — a graceful freeze, unlike a crash, loses
+    /// nothing) are snapshotted under a bumped per-shard epoch, the
+    /// local shard becomes a forwarding stub, and the snapshot travels
+    /// to `to`, retransmitted until acknowledged. Requires retry mode —
+    /// mid-handoff the serve machinery leans on the same retransmit
+    /// chains a crash does — and no-ops if this site is not the active
+    /// library for the shard, a handoff is already in flight, or the
+    /// destination is this site.
+    pub(crate) fn lib_migrate_shard(
+        &mut self,
+        seg: SegmentId,
+        shard: u32,
+        to: SiteId,
+        sink: &mut ActionSink,
+    ) {
         if self.config.retry.is_none() || to == self.site {
             return;
         }
-        let Some((epoch, frozen)) = self.lib.freeze(seg, to) else {
+        let Some((epoch, frozen)) = self.lib.freeze(seg, shard as usize, to) else {
             return;
         };
-        // This site's own using role must chase the role immediately —
+        let anchor = frozen.start;
+        // This site's own using role must chase the shard immediately —
         // local faults go straight to the new site, not via a redirect.
-        self.usr.set_lib_hint(seg, to, epoch);
+        self.usr.set_lib_hint(seg, anchor, to, epoch);
         if self.tracing() {
-            let mut ev = self.trace_event(
-                mirage_trace::TraceKind::LibraryFrozen,
-                0,
-                seg,
-                PageNum(0),
-                sink,
-            );
+            let mut ev =
+                self.trace_event(mirage_trace::TraceKind::LibraryFrozen, 0, seg, anchor, sink);
             ev.peer = Some(to);
             ev.epoch = epoch;
             self.push_trace(ev, sink);
-            let mut ev = self.trace_event(
-                mirage_trace::TraceKind::HandoffSent,
-                0,
-                seg,
-                PageNum(0),
-                sink,
-            );
+            let mut ev =
+                self.trace_event(mirage_trace::TraceKind::HandoffSent, 0, seg, anchor, sink);
             ev.peer = Some(to);
             ev.epoch = epoch;
             self.push_trace(ev, sink);
         }
-        self.emit(to, ProtoMsg::LibraryHandoff { seg, page: PageNum(0), epoch, frozen }, sink);
-        self.arm_retry(0, TimerKind::HandoffRetry { seg }, sink);
+        self.emit(to, ProtoMsg::LibraryHandoff { seg, page: anchor, epoch, frozen }, sink);
+        self.arm_retry(0, TimerKind::HandoffRetry { seg, shard }, sink);
     }
 
     /// A frozen library state arrived: adopt the role (or re-ack a
@@ -1000,20 +1093,19 @@ impl SiteEngine {
         frozen: &FrozenLibrary,
         sink: &mut ActionSink,
     ) {
+        let anchor = frozen.start;
+        let range = anchor.index()..anchor.index() + frozen.pages.len();
         match self.lib.adopt(seg, epoch, frozen) {
             None => {}
             Some(false) => {
                 // Already at this epoch or newer — the ack was lost;
                 // just stop the old site's retransmit chain.
-                self.emit(
-                    from,
-                    ProtoMsg::LibraryHandoffAck { seg, page: PageNum(0), epoch },
-                    sink,
-                );
+                self.emit(from, ProtoMsg::LibraryHandoffAck { seg, page: anchor, epoch }, sink);
             }
             Some(true) => {
-                self.usr.set_lib_hint(seg, self.site, epoch);
-                let serving: Vec<(PageNum, u32)> = (0..self.lib.page_count(seg))
+                self.usr.set_lib_hint(seg, anchor, self.site, epoch);
+                let serving: Vec<(PageNum, u32)> = range
+                    .clone()
                     .filter_map(|p| {
                         let page = PageNum(p as u32);
                         let rec = self.lib.page(seg, page)?;
@@ -1025,84 +1117,82 @@ impl SiteEngine {
                         mirage_trace::TraceKind::LibraryActivated,
                         0,
                         seg,
-                        PageNum(0),
+                        anchor,
                         sink,
                     );
                     ev.peer = Some(from);
                     ev.epoch = epoch;
-                    ev.detail = serving.len() as u64;
+                    // The adopted range's length, so the offline checker
+                    // can scope the role to this shard's pages.
+                    ev.detail = frozen.pages.len() as u64;
                     self.push_trace(ev, sink);
                 }
-                self.emit(
-                    from,
-                    ProtoMsg::LibraryHandoffAck { seg, page: PageNum(0), epoch },
-                    sink,
-                );
+                self.emit(from, ProtoMsg::LibraryHandoffAck { seg, page: anchor, epoch }, sink);
                 // Reanimate the transferred obligations — the same
                 // recovery a restarted library performs: re-send the
-                // in-flight invalidation for every serving page, then
-                // work the queues.
+                // in-flight invalidation for every serving page in the
+                // adopted range, then work its queues.
                 for (page, serial) in serving {
                     self.lib_retry(seg, page, sink);
                     self.arm_retry(0, TimerKind::ServeRetry { seg, page, serial }, sink);
                 }
-                for p in 0..self.lib.page_count(seg) {
+                for p in range {
                     self.lib_process_queue(seg, PageNum(p as u32), sink);
                 }
             }
         }
     }
 
-    /// The destination acknowledged the handoff: stop retransmitting.
+    /// The destination acknowledged a shard handoff: stop
+    /// retransmitting. The ack's `page` is the shard's range anchor.
     pub(crate) fn lib_handoff_ack(
         &mut self,
         from: SiteId,
         seg: SegmentId,
+        page: PageNum,
         epoch: u32,
         sink: &mut ActionSink,
     ) {
-        if self.lib.handoff_acked(seg, epoch) && self.tracing() {
-            let mut ev = self.trace_event(
-                mirage_trace::TraceKind::HandoffAcked,
-                0,
-                seg,
-                PageNum(0),
-                sink,
-            );
+        if self.lib.handoff_acked(seg, page, epoch) && self.tracing() {
+            let mut ev =
+                self.trace_event(mirage_trace::TraceKind::HandoffAcked, 0, seg, page, sink);
             ev.peer = Some(from);
             ev.epoch = epoch;
             self.push_trace(ev, sink);
         }
     }
 
-    /// Handoff retransmit timer fired: the frozen state (or its ack)
+    /// Handoff retransmit timer fired: the frozen shard (or its ack)
     /// may have been lost — re-send and back off.
-    pub(crate) fn lib_handoff_retry(&mut self, seg: SegmentId, sink: &mut ActionSink) {
-        let Some((to, epoch, frozen, attempt)) = self.lib.handoff_retransmit(seg) else {
+    pub(crate) fn lib_handoff_retry(
+        &mut self,
+        seg: SegmentId,
+        shard: u32,
+        sink: &mut ActionSink,
+    ) {
+        let Some((to, epoch, frozen, attempt)) =
+            self.lib.handoff_retransmit(seg, shard as usize)
+        else {
             // Acked (or superseded); let the stale timer die.
             return;
         };
+        let anchor = frozen.start;
         if self.tracing() {
-            let mut ev = self.trace_event(
-                mirage_trace::TraceKind::HandoffSent,
-                0,
-                seg,
-                PageNum(0),
-                sink,
-            );
+            let mut ev =
+                self.trace_event(mirage_trace::TraceKind::HandoffSent, 0, seg, anchor, sink);
             ev.peer = Some(to);
             ev.epoch = epoch;
             ev.detail = u64::from(attempt);
             self.push_trace(ev, sink);
         }
-        self.emit(to, ProtoMsg::LibraryHandoff { seg, page: PageNum(0), epoch, frozen }, sink);
-        self.arm_retry(attempt, TimerKind::HandoffRetry { seg }, sink);
+        self.emit(to, ProtoMsg::LibraryHandoff { seg, page: anchor, epoch, frozen }, sink);
+        self.arm_retry(attempt, TimerKind::HandoffRetry { seg, shard }, sink);
     }
 
-    /// A library-bound message reached a slot this site no longer owns:
-    /// redirect the sender to wherever the role went. A site that never
-    /// held the role (hint raced ahead of the handoff) drops the
-    /// message silently — the sender's retry chain recovers.
+    /// A library-bound message reached a shard this site no longer
+    /// owns: redirect the sender to wherever that shard went. A site
+    /// that never held the shard (hint raced ahead of the handoff)
+    /// drops the message silently — the sender's retry chain recovers.
     fn lib_stale(
         &mut self,
         from: SiteId,
@@ -1110,7 +1200,7 @@ impl SiteEngine {
         page: PageNum,
         sink: &mut ActionSink,
     ) {
-        let Some((epoch, to)) = self.lib.stub(seg) else {
+        let Some((epoch, to)) = self.lib.stub(seg, page) else {
             return;
         };
         if self.tracing() {

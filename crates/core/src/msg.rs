@@ -91,10 +91,14 @@ pub struct FrozenLibPage {
     pub serial: u32,
 }
 
-/// A segment's complete frozen library state (one entry per page).
+/// One library shard's frozen state: a contiguous page range's records.
+/// When sharding is off the single shard spans the segment and `start`
+/// is page 0.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FrozenLibrary {
-    /// Per-page records, indexed by page number.
+    /// First page of the frozen range.
+    pub start: PageNum,
+    /// Per-page records for pages `start .. start + pages.len()`.
     pub pages: Vec<FrozenLibPage>,
 }
 
@@ -461,12 +465,14 @@ impl Wire for FrozenLibPage {
 
 impl Wire for FrozenLibrary {
     fn encode(&self, buf: &mut Vec<u8>) {
+        self.start.encode(buf);
         (self.pages.len() as u32).encode(buf);
         for p in &self.pages {
             p.encode(buf);
         }
     }
     fn decode(buf: &mut &[u8]) -> Result<Self> {
+        let start = PageNum::decode(buf)?;
         let len = u32::decode(buf)? as usize;
         // A frozen page is at least 22 bytes; guard the allocation.
         if buf.len() < len.saturating_mul(22) {
@@ -476,7 +482,7 @@ impl Wire for FrozenLibrary {
         for _ in 0..len {
             pages.push(FrozenLibPage::decode(buf)?);
         }
-        Ok(FrozenLibrary { pages })
+        Ok(FrozenLibrary { start, pages })
     }
 }
 
@@ -761,6 +767,7 @@ mod tests {
                 page: PageNum(0),
                 epoch: 1,
                 frozen: FrozenLibrary {
+                    start: PageNum(0),
                     pages: vec![
                         FrozenLibPage {
                             readers: [SiteId(1), SiteId(3)].into_iter().collect(),

@@ -178,15 +178,24 @@ struct UsePage {
 struct SegState {
     aux: AuxTable,
     pages: Vec<UsePage>,
-    /// Where this site currently believes the segment's library role
-    /// lives. Starts at the static `seg.library` and is updated by
-    /// redirects and observed handoffs. Persistent across a crash (like
-    /// the aux table): a restarted site must not fall back to a stale
-    /// static address the stubs have long since stopped answering for.
-    lib_hint: SiteId,
-    /// Handoff epoch of `lib_hint`; redirects apply only when strictly
-    /// newer (0 until the role first moves).
-    lib_epoch: u32,
+    /// Where this site currently believes each library shard lives, one
+    /// entry per page-range shard. Starts at the static `seg.library`
+    /// and is updated by redirects and observed handoffs. Persistent
+    /// across a crash (like the aux table): a restarted site must not
+    /// fall back to a stale static address the stubs have long since
+    /// stopped answering for. Each entry pairs the hinted site with the
+    /// handoff epoch it was learned at; redirects apply only when
+    /// strictly newer (0 until the shard first moves).
+    lib_hints: Vec<(SiteId, u32)>,
+    /// Pages per library shard (0 = one shard for the whole segment),
+    /// mirrored from [`ProtocolConfig::shard_pages`] at registration.
+    shard_pages: u32,
+}
+
+impl SegState {
+    fn shard_of(&self, page: PageNum) -> usize {
+        crate::library::shard_of(page, self.shard_pages).min(self.lib_hints.len() - 1)
+    }
 }
 
 /// Using-role state for all segments known at this site.
@@ -213,11 +222,12 @@ impl UseState {
             let page = PageNum(p as u32);
             aux.set_window(page, config.delta.window(page));
         }
+        let shards = crate::library::shard_count(pages, config.shard_pages);
         let state = SegState {
             aux,
             pages: (0..pages).map(|_| UsePage::default()).collect(),
-            lib_hint: seg.library,
-            lib_epoch: 0,
+            lib_hints: vec![(seg.library, 0); shards],
+            shard_pages: config.shard_pages,
         };
         match self.index.get(&seg) {
             Some(&slot) => self.segs[slot] = state,
@@ -242,21 +252,39 @@ impl UseState {
         self.seg_mut(seg)?.pages.get_mut(page.index())
     }
 
-    /// This site's current library hint for the segment, with its epoch.
-    pub(crate) fn lib_hint(&self, seg: SegmentId) -> Option<(SiteId, u32)> {
-        self.seg(seg).map(|s| (s.lib_hint, s.lib_epoch))
+    /// This site's current library hint for the shard holding `page`,
+    /// with its epoch.
+    pub(crate) fn lib_hint(&self, seg: SegmentId, page: PageNum) -> Option<(SiteId, u32)> {
+        self.seg(seg).map(|s| s.lib_hints[s.shard_of(page)])
     }
 
-    /// Repoints the library hint (handoff observed or redirect applied).
-    pub(crate) fn set_lib_hint(&mut self, seg: SegmentId, to: SiteId, epoch: u32) {
+    /// Repoints the library hint for the shard holding `page` (handoff
+    /// observed or redirect applied).
+    pub(crate) fn set_lib_hint(
+        &mut self,
+        seg: SegmentId,
+        page: PageNum,
+        to: SiteId,
+        epoch: u32,
+    ) {
         if let Some(s) = self.seg_mut(seg) {
-            s.lib_hint = to;
-            s.lib_epoch = epoch;
+            let shard = s.shard_of(page);
+            s.lib_hints[shard] = (to, epoch);
         }
     }
 
-    fn page_count(&self, seg: SegmentId) -> usize {
-        self.seg(seg).map_or(0, |s| s.pages.len())
+    /// The page range `[start, end)` of the shard holding `page`.
+    fn shard_range(&self, seg: SegmentId, page: PageNum) -> std::ops::Range<usize> {
+        let Some(s) = self.seg(seg) else {
+            return 0..0;
+        };
+        if s.shard_pages == 0 {
+            return 0..s.pages.len();
+        }
+        let shard = s.shard_of(page);
+        let start = shard * s.shard_pages as usize;
+        let end = (start + s.shard_pages as usize).min(s.pages.len());
+        start..end
     }
 
     pub(crate) fn waiter_count(&self, seg: SegmentId, page: PageNum) -> usize {
@@ -356,7 +384,7 @@ impl SiteEngine {
             entry.req_gen = entry.req_gen.wrapping_add(1);
             gen = entry.req_gen;
         }
-        let (lib, lib_epoch) = self.library_route(seg);
+        let (lib, lib_epoch) = self.library_route(seg, page);
         if self.tracing() {
             let span = if need_send {
                 let span = self.new_span();
@@ -430,7 +458,7 @@ impl SiteEngine {
             .retry_pid
             .or_else(|| entry.waiters.first().map(|&(pid, _)| pid))
             .unwrap_or(Pid::new(self.site, 0));
-        let (lib, lib_epoch) = self.library_route(seg);
+        let (lib, lib_epoch) = self.library_route(seg, page);
         if self.tracing() {
             let mut ev = self.trace_event(TraceKind::RequestRetry, span, seg, page, sink);
             ev.peer = Some(lib);
@@ -471,6 +499,7 @@ impl SiteEngine {
                         |op| matches!(op, DeferredOp::AddReaders { serial: s, .. } if *s == serial),
                     );
                 if !dup {
+                    let count = readers.len() as u64;
                     entry.deferred.push_back(DeferredOp::AddReaders {
                         readers,
                         window,
@@ -480,7 +509,7 @@ impl SiteEngine {
                         let mut ev =
                             self.trace_event(TraceKind::AddReadersDeferred, 0, seg, page, sink);
                         ev.serial = serial;
-                        ev.detail = readers.len() as u64;
+                        ev.detail = count;
                         self.push_trace(ev, sink);
                     }
                 }
@@ -574,7 +603,7 @@ impl SiteEngine {
                         _ => None,
                     };
                     if let Some(info) = redo {
-                        let lib = self.library_route(seg).0;
+                        let lib = self.library_route(seg, page).0;
                         self.emit(
                             lib,
                             ProtoMsg::InvalidateDone { seg, page, info, serial },
@@ -639,7 +668,7 @@ impl SiteEngine {
             // "the clock site replies immediately with the amount of time
             // the library must wait until the invalidation can be
             // honored."
-            let lib = self.library_route(seg).0;
+            let lib = self.library_route(seg, page).0;
             self.emit(
                 lib,
                 ProtoMsg::InvalidateDeny { seg, page, wait: remaining, serial },
@@ -792,7 +821,7 @@ impl SiteEngine {
                     }
                 }
                 let info = DoneInfo { writer_downgraded: downgraded };
-                let lib = self.library_route(seg).0;
+                let lib = self.library_route(seg, page).0;
                 self.emit(lib, ProtoMsg::InvalidateDone { seg, page, info, serial }, sink);
                 if self.tracing() {
                     let mut ev = self.trace_event(TraceKind::DoneSent, duty, seg, page, sink);
@@ -812,6 +841,7 @@ impl SiteEngine {
             }
             Demand::Write { to, upgrade } => {
                 let i_am_writer = store.prot(seg, page) == PageProt::ReadWrite;
+                let held_copy = readers.contains(self.site);
                 // Victims: every reader except the upgrading requester
                 // and ourselves (we invalidate locally, without a
                 // message).
@@ -849,10 +879,7 @@ impl SiteEngine {
                     }
                     None
                 } else {
-                    debug_assert!(
-                        i_am_writer || readers.contains(self.site),
-                        "clock site must hold a copy"
-                    );
+                    debug_assert!(i_am_writer || held_copy, "clock site must hold a copy");
                     let taken = store.take(seg, page);
                     if self.tracing() {
                         let mut ev = self.trace_event(
@@ -886,10 +913,10 @@ impl SiteEngine {
                 }
                 if self.config.multicast_invalidation {
                     // One multicast round: send all, await all acks.
-                    let all = round.to_send;
-                    round.to_send = ReaderSet::empty();
+                    let all = std::mem::replace(&mut round.to_send, ReaderSet::empty());
+                    let targets: Vec<SiteId> = all.iter().collect();
                     round.remaining = all;
-                    for v in all.iter() {
+                    for v in targets {
                         self.emit(v, ProtoMsg::ReaderInvalidate { seg, page, serial }, sink);
                         if self.tracing() {
                             let mut ev = self.trace_event(
@@ -1084,7 +1111,7 @@ impl SiteEngine {
                 return;
             }
             round.attempt += 1;
-            (round.remaining, round.attempt, duty)
+            (round.remaining.clone(), round.attempt, duty)
         };
         if self.tracing() {
             let mut ev = self.trace_event(TraceKind::RoundRetry, duty, seg, page, sink);
@@ -1242,7 +1269,7 @@ impl SiteEngine {
             }
         }
         let info = DoneInfo { writer_downgraded: false };
-        let lib = self.library_route(seg).0;
+        let lib = self.library_route(seg, page).0;
         self.emit(lib, ProtoMsg::InvalidateDone { seg, page, info, serial }, sink);
         if self.tracing() {
             let mut ev = self.trace_event(TraceKind::DoneSent, duty, seg, page, sink);
@@ -1553,7 +1580,7 @@ impl SiteEngine {
         };
         entry.done_attempt += 1;
         let attempt = entry.done_attempt;
-        let lib = self.library_route(seg).0;
+        let lib = self.library_route(seg, page).0;
         if self.tracing() {
             let mut ev = self.trace_event(TraceKind::DoneRetry, 0, seg, page, sink);
             ev.peer = Some(lib);
@@ -1653,7 +1680,7 @@ impl SiteEngine {
         to: SiteId,
         sink: &mut ActionSink,
     ) {
-        let Some((_, current)) = self.usr.lib_hint(seg) else {
+        let Some((_, current)) = self.usr.lib_hint(seg, page) else {
             return;
         };
         if epoch <= current {
@@ -1661,7 +1688,7 @@ impl SiteEngine {
             // duplicate of a redirect already applied.
             return;
         }
-        self.usr.set_lib_hint(seg, to, epoch);
+        self.usr.set_lib_hint(seg, page, to, epoch);
         if self.tracing() {
             let mut ev = self.trace_event(TraceKind::RedirectApplied, 0, seg, page, sink);
             ev.peer = Some(to);
@@ -1669,10 +1696,12 @@ impl SiteEngine {
             ev.detail = u64::from(from.0);
             self.push_trace(ev, sink);
         }
-        // Re-emit outstanding requests and unacked completion reports.
+        // Re-emit outstanding requests and unacked completion reports —
+        // only for pages in the shard the redirect names: other shards'
+        // roles did not move, and their obligations still aim correctly.
         // No attempt bump and no new timers: the existing retry chains
         // stay armed and cover loss of these re-sends too.
-        for p in 0..self.usr.page_count(seg) {
+        for p in self.usr.shard_range(seg, page) {
             let pg = PageNum(p as u32);
             let Some(entry) = self.usr.entry_mut(seg, pg) else {
                 continue;

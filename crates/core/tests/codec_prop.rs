@@ -33,7 +33,9 @@ const SEED: u64 = 0xC0DE_C0DE;
 const CASES: usize = 512;
 
 fn site(r: &mut Prng) -> SiteId {
-    SiteId(r.below(64) as u16)
+    // Spans the extended-encoding boundary: ids at and above 63 force
+    // the chunked wire form, ids below it the legacy 8-byte fast path.
+    SiteId(r.below(2048) as u16)
 }
 
 fn site_set(r: &mut Prng) -> SiteSet {
@@ -74,7 +76,7 @@ fn frozen(r: &mut Prng) -> FrozenLibrary {
             serial: r.next_u32(),
         })
         .collect();
-    FrozenLibrary { pages }
+    FrozenLibrary { start: PageNum(r.below(1 << 20) as u32), pages }
 }
 
 fn msg(r: &mut Prng) -> ProtoMsg {

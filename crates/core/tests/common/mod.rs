@@ -249,7 +249,20 @@ impl Cluster {
     /// quiescence, so tests can interleave crashes and message loss
     /// with the freeze → transfer → activate sequence.
     pub fn migrate_library_no_run(&mut self, site: usize, seg: SegmentId, to: SiteId) {
-        self.dispatch(site, Event::MigrateLibrary { seg, to });
+        self.dispatch(site, Event::MigrateLibrary { seg, to, shard: None });
+    }
+
+    /// Like [`Self::migrate_library_no_run`], but hands off only one
+    /// page-range shard of the segment (requires a sharded
+    /// `ProtocolConfig`).
+    pub fn migrate_library_shard_no_run(
+        &mut self,
+        site: usize,
+        seg: SegmentId,
+        to: SiteId,
+        shard: u32,
+    ) {
+        self.dispatch(site, Event::MigrateLibrary { seg, to, shard: Some(shard) });
     }
 
     /// Advances virtual time (e.g., to let a Δ window expire).

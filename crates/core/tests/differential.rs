@@ -145,7 +145,7 @@ mod reference {
 
     /// Mirrors `mirage_core::library::LibPageView` (identical Debug
     /// output, compared stringly in the final-state check).
-    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    #[derive(Clone, Debug, PartialEq, Eq)]
     pub struct LibPageView {
         pub readers: SiteSet,
         pub writer: Option<SiteId>,
@@ -249,7 +249,7 @@ mod reference {
 
         pub fn library_view(&self, seg: SegmentId, page: PageNum) -> Option<LibPageView> {
             self.lib.pages.get(&(seg, page)).map(|p| LibPageView {
-                readers: p.readers,
+                readers: p.readers.clone(),
                 writer: p.writer,
                 clock: p.clock,
                 queued: p.queue.len(),
@@ -388,8 +388,8 @@ mod reference {
                 return;
             };
             if dynamic {
-                if let Some((losers, at)) = rec.last_losers {
-                    if losers.contains(from) && ctx.now.since(at) <= TICK.scale(4) {
+                if let Some((losers, at)) = &rec.last_losers {
+                    if losers.contains(from) && ctx.now.since(*at) <= TICK.scale(4) {
                         rec.window = grow_window(rec.window, &self.config.delta);
                     }
                 }
@@ -435,7 +435,7 @@ mod reference {
                         );
                         if !row.clock_check {
                             debug_assert_eq!(row.invalidation, Invalidation::No);
-                            rec.readers = rec.readers.union(batch);
+                            rec.readers = rec.readers.union(&batch);
                             let clock = rec.clock;
                             self.emit(
                                 clock,
@@ -450,10 +450,10 @@ mod reference {
                             );
                             continue;
                         }
-                        rec.serving = Some(Demand::Read { to: batch });
+                        rec.serving = Some(Demand::Read { to: batch.clone() });
                         rec.deny_seen = false;
                         let clock = rec.clock;
-                        let readers = rec.readers;
+                        let readers = rec.readers.clone();
                         self.emit(
                             clock,
                             ProtoMsg::Invalidate {
@@ -492,7 +492,7 @@ mod reference {
                         rec.serving = Some(demand.clone());
                         rec.deny_seen = false;
                         let clock = rec.clock;
-                        let readers = rec.readers;
+                        let readers = rec.readers.clone();
                         self.emit(
                             clock,
                             ProtoMsg::Invalidate {
@@ -538,7 +538,7 @@ mod reference {
                 return;
             };
             let clock = rec.clock;
-            let readers = rec.readers;
+            let readers = rec.readers.clone();
             self.emit(
                 clock,
                 ProtoMsg::Invalidate { seg, page, demand, readers, window, serial: 0 },
@@ -555,14 +555,14 @@ mod reference {
                 return;
             };
             if dynamic {
-                let mut prev = rec.readers;
+                let mut prev = rec.readers.clone();
                 if let Some(w) = rec.writer {
                     prev.insert(w);
                 }
                 let kept = match &demand {
                     Demand::Write { to, .. } => SiteSet::singleton(*to),
                     Demand::Read { to } => {
-                        let mut k = *to;
+                        let mut k = to.clone();
                         if info.writer_downgraded {
                             if let Some(w) = rec.writer {
                                 k.insert(w);
@@ -571,7 +571,7 @@ mod reference {
                         k
                     }
                 };
-                let losers = prev.difference(kept);
+                let losers = prev.difference(&kept);
                 if !losers.is_empty() {
                     rec.last_losers = Some((losers, ctx.now));
                 }
@@ -801,6 +801,7 @@ mod reference {
                 }
                 Demand::Write { to, upgrade } => {
                     let i_am_writer = store.prot(seg, page) == PageProt::ReadWrite;
+                    let held_copy = readers.contains(self.site);
                     let mut victims = readers;
                     victims.remove(self.site);
                     if upgrade {
@@ -812,10 +813,7 @@ mod reference {
                         store.set_prot(seg, page, PageProt::None);
                         None
                     } else {
-                        debug_assert!(
-                            i_am_writer || readers.contains(self.site),
-                            "clock site must hold a copy"
-                        );
+                        debug_assert!(i_am_writer || held_copy, "clock site must hold a copy");
                         Some(store.take(seg, page))
                     };
                     let mut round = InvRound {
@@ -1295,6 +1293,7 @@ fn dense_tables_match_reference_no_optimizations() {
             multicast_invalidation: false,
             retry: None,
             trace: false,
+            shard_pages: 0,
         };
         run_case(&mut r, 3, 2, cfg, 60);
     }
@@ -1312,6 +1311,7 @@ fn dense_tables_match_reference_queued_and_multicast() {
             multicast_invalidation: true,
             retry: None,
             trace: false,
+            shard_pages: 0,
         };
         run_case(&mut r, 5, 2, cfg, 80);
     }

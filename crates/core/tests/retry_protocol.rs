@@ -225,7 +225,7 @@ fn library_crash_mid_handoff_resends_the_frozen_role() {
     c.restart(0);
     c.run();
     assert!(c.engine(2).library_active(seg), "frozen role never reached site 2");
-    assert_eq!(c.engine(2).library_epoch(seg), 1);
+    assert_eq!(c.engine(2).library_epoch(seg, PageNum(0)), 1);
     assert!(!c.engine(0).library_active(seg), "old library kept the role");
     assert!(c.sent_count("LibraryHandoff") >= 2, "restart did not retransmit the handoff");
     // The role is live at its new site: faults keep being served, with
@@ -254,8 +254,82 @@ fn adopting_site_crash_mid_handoff_still_acks_the_role() {
     c.run();
     assert!(c.engine(2).library_active(seg), "adopted role lost in the crash");
     assert!(!c.engine(0).library_active(seg), "old library never saw the ack");
-    assert_eq!(c.engine(2).library_epoch(seg), 1);
+    assert_eq!(c.engine(2).library_epoch(seg, PageNum(0)), 1);
     c.write_u32(2, seg, PAGE, 0, 9);
     assert_eq!(c.read_u32(1, seg, PAGE, 0), 9);
     c.check_coherence(seg, PAGE);
+}
+
+fn sharded_retry_config() -> ProtocolConfig {
+    ProtocolConfig { shard_pages: 2, ..retry_config() }
+}
+
+/// The library site crashes mid-handoff of ONE page-range shard: the
+/// frozen shard snapshot and the site are lost before any ack. The
+/// pending handoff is persistent per shard, so the restarted site must
+/// retransmit the frozen range until the destination adopts it — while
+/// the segment's other shard never leaves the old site and stays
+/// servable at epoch 0 throughout.
+#[test]
+fn library_crash_mid_shard_handoff_resends_the_frozen_shard() {
+    let mut c = Cluster::new(3, sharded_retry_config());
+    // 4 pages at 2 pages/shard: shard 0 = pages 0–1, shard 1 = pages 2–3.
+    let seg = c.create_segment(0, 4);
+    let (p0, p2) = (PageNum(0), PageNum(2));
+    c.write_u32(1, seg, p0, 0, 5);
+    assert_eq!(c.read_u32(2, seg, p0, 0), 5);
+    c.write_u32(1, seg, p2, 0, 6);
+    assert_eq!(c.read_u32(2, seg, p2, 0), 6);
+    c.migrate_library_shard_no_run(0, seg, SiteId(2), 1);
+    // The shard snapshot is lost in flight, and the old library crashes
+    // before its handoff-retransmit timer fires.
+    c.run_messages_dropping(1, |_, _, m| m.tag() == "LibraryHandoff");
+    c.crash(0);
+    c.restart(0);
+    c.run();
+    assert!(c.engine(2).library_active_for(seg, p2), "frozen shard never reached site 2");
+    assert_eq!(c.engine(2).library_epoch(seg, p2), 1);
+    assert!(!c.engine(0).library_active_for(seg, p2), "old library kept the migrated shard");
+    // The untouched shard survived the crash at its original site.
+    assert!(c.engine(0).library_active_for(seg, p0), "crash evicted the unmigrated shard");
+    assert_eq!(c.engine(0).library_epoch(seg, p0), 0);
+    assert!(c.sent_count("LibraryHandoff") >= 2, "restart did not retransmit the handoff");
+    // Both shards keep serving: the moved one at its new site, the
+    // other still at the restarted origin.
+    c.write_u32(1, seg, p2, 0, 9);
+    assert_eq!(c.read_u32(2, seg, p2, 0), 9);
+    c.write_u32(2, seg, p0, 0, 10);
+    assert_eq!(c.read_u32(1, seg, p0, 0), 10);
+    c.check_coherence(seg, p0);
+    c.check_coherence(seg, p2);
+}
+
+/// The adopting site crashes mid-shard-handoff: it installed the frozen
+/// shard but the ack dies with it. The adopted shard is persistent, so
+/// after restart the old site's retransmit chain re-elicits the ack and
+/// the two sites converge — each holding one shard of the segment.
+#[test]
+fn adopting_site_crash_mid_shard_handoff_still_acks_the_shard() {
+    let mut c = Cluster::new(3, sharded_retry_config());
+    let seg = c.create_segment(0, 4);
+    let (p0, p2) = (PageNum(0), PageNum(2));
+    c.write_u32(1, seg, p0, 0, 5);
+    c.write_u32(1, seg, p2, 0, 6);
+    c.migrate_library_shard_no_run(0, seg, SiteId(2), 1);
+    // Deliver the shard (site 2 adopts pages 2–3) but lose the ack,
+    // then crash the adopting site before anything else reaches it.
+    c.run_messages_dropping(1, |_, _, m| m.tag() == "LibraryHandoffAck");
+    c.crash(2);
+    c.restart(2);
+    c.run();
+    assert!(c.engine(2).library_active_for(seg, p2), "adopted shard lost in the crash");
+    assert!(!c.engine(0).library_active_for(seg, p2), "old library never saw the ack");
+    assert_eq!(c.engine(2).library_epoch(seg, p2), 1);
+    assert!(c.engine(0).library_active_for(seg, p0), "handoff dragged the other shard along");
+    c.write_u32(2, seg, p2, 0, 9);
+    assert_eq!(c.read_u32(1, seg, p2, 0), 9);
+    c.write_u32(2, seg, p0, 0, 11);
+    assert_eq!(c.read_u32(1, seg, p0, 0), 11);
+    c.check_coherence(seg, p0);
+    c.check_coherence(seg, p2);
 }

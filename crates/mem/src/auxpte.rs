@@ -24,7 +24,7 @@ use mirage_types::{
 /// | writer        | current writer site                            |
 /// | window ticks  | number of ticks allocated for this page        |
 /// | install time  | installation time for this page at this site   |
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct AuxPte {
     /// Sites currently holding read copies of this page.
     pub readers: SiteSet,

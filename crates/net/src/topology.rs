@@ -24,10 +24,11 @@ impl Topology {
     ///
     /// # Panics
     ///
-    /// Panics if `n` exceeds [`SiteSet::CAPACITY`].
+    /// Panics if `n` exceeds [`SiteSet::CAPACITY`] (the `u16` site-id
+    /// space).
     pub fn full_mesh(n: usize) -> Self {
         assert!(n <= SiteSet::CAPACITY, "too many sites");
-        let sites = (0..n as u16).map(SiteId).collect();
+        let sites = (0..n).map(|i| SiteId(i as u16)).collect();
         Self { sites, down: Vec::new() }
     }
 
@@ -37,8 +38,8 @@ impl Topology {
     }
 
     /// All sites in the network.
-    pub fn sites(&self) -> SiteSet {
-        self.sites
+    pub fn sites(&self) -> &SiteSet {
+        &self.sites
     }
 
     /// Number of sites.

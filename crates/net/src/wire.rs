@@ -165,20 +165,76 @@ impl Wire for PageProt {
     }
 }
 
+/// Continuation flag of the variable-length [`SiteSet`] encoding: bit 63
+/// of the leading word. Clear means the word *is* the whole set (the
+/// historical fixed-`u64` format, byte-identical for any set whose
+/// members all fit below the flag bit); set means a chunked tail
+/// follows.
+const SITE_SET_EXTENDED: u64 = 1 << 63;
+
+/// Upper bound on the chunk count of an extended [`SiteSet`] encoding.
+/// Sites are `u16`, so no honest encoder needs more than
+/// `ceil((65536 - 63) / 64) = 1024` chunks; a larger claim is garbage
+/// and must fail before allocation, like the `Vec<u8>` length guard.
+const SITE_SET_MAX_CHUNKS: usize = 1024;
+
 impl Wire for SiteSet {
+    /// Variable-length encoding. Sets whose members are all `< 63`
+    /// encode as the historical fixed 8-byte `u64` mask (bit 63 clear).
+    /// Any member `≥ 63` switches to the extended form: the low word
+    /// carries sites `0..63` plus the `SITE_SET_EXTENDED` flag, then a
+    /// `u16` chunk count, then `u64` chunks where chunk `k` bit `b` is
+    /// site `63 + 64k + b`.
     fn encode(&self, buf: &mut Vec<u8>) {
-        let mut bits: u64 = 0;
-        for s in self.iter() {
-            bits |= 1 << s.index();
+        let lo = self.inline_word() & !SITE_SET_EXTENDED;
+        let tail_empty =
+            self.chunks().is_empty() && self.inline_word() & SITE_SET_EXTENDED == 0;
+        if tail_empty {
+            lo.encode(buf);
+            return;
         }
-        bits.encode(buf);
+        (lo | SITE_SET_EXTENDED).encode(buf);
+        // Chunk the tail: every member ≥ 63, rebased by 63.
+        let mut chunks: Vec<u64> = Vec::new();
+        for s in self.iter() {
+            let i = s.index();
+            if i < 63 {
+                continue;
+            }
+            let (k, b) = ((i - 63) / 64, (i - 63) % 64);
+            if chunks.len() <= k {
+                chunks.resize(k + 1, 0);
+            }
+            chunks[k] |= 1u64 << b;
+        }
+        debug_assert!(!chunks.is_empty() && chunks.len() <= SITE_SET_MAX_CHUNKS);
+        (chunks.len() as u16).encode(buf);
+        for c in &chunks {
+            c.encode(buf);
+        }
     }
     fn decode(buf: &mut &[u8]) -> Result<Self> {
-        let bits = u64::decode(buf)?;
-        let mut set = SiteSet::empty();
-        for i in 0..64u16 {
-            if bits & (1 << i) != 0 {
-                set.insert(SiteId(i));
+        let lo = u64::decode(buf)?;
+        let mut set = SiteSet::from_raw_parts(lo & !SITE_SET_EXTENDED, Vec::new());
+        if lo & SITE_SET_EXTENDED == 0 {
+            return Ok(set);
+        }
+        let nchunks = u16::decode(buf)? as usize;
+        if nchunks == 0 || nchunks > SITE_SET_MAX_CHUNKS {
+            return Err(MirageError::Codec("bad SiteSet chunk count"));
+        }
+        need(buf, nchunks * 8)?;
+        for k in 0..nchunks {
+            let chunk = u64::decode(buf)?;
+            let mut bits = chunk;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let site = 63 + 64 * k + b;
+                if site > u16::MAX as usize {
+                    return Err(MirageError::Codec("SiteSet member beyond u16 site ids"));
+                }
+                set.insert(SiteId(site as u16));
             }
         }
         Ok(set)

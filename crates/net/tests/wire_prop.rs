@@ -44,6 +44,28 @@ fn site_set(r: &mut Prng) -> SiteSet {
     (0..n).map(|_| site(r)).collect()
 }
 
+/// A site id anywhere in a 2,048-site world — half the draws land at or
+/// beyond the extended-encoding boundary (site 63).
+fn wide_site(r: &mut Prng) -> SiteId {
+    SiteId(r.below(2048) as u16)
+}
+
+/// A set sampled from a 2,048-site world: mixes the legacy inline range
+/// with chunked members, including the occasional dense run that spans
+/// several chunks.
+fn wide_site_set(r: &mut Prng) -> SiteSet {
+    let mut set: SiteSet = (0..r.below(12)).map(|_| wide_site(r)).collect();
+    if r.below(4) == 0 {
+        // A dense run straddling the boundary exercises carry between
+        // the inline word and the first chunks.
+        let start = r.below(120) as u16;
+        for i in 0..r.below(80) as u16 {
+            set.insert(SiteId(start + i));
+        }
+    }
+    set
+}
+
 /// One randomized value of a randomly chosen wire type, pre-encoded.
 /// Returned as (encoding, round-trip check) so each property can reuse
 /// the same generator.
@@ -54,7 +76,7 @@ fn encoded_case(r: &mut Prng) -> Vec<u8> {
         assert_eq!(back, v, "round-trip");
         bytes
     }
-    match r.below(13) {
+    match r.below(14) {
         0 => enc(r.next_u32() as u8),
         1 => enc(r.next_u32() as u16),
         2 => enc(r.next_u32()),
@@ -71,6 +93,7 @@ fn encoded_case(r: &mut Prng) -> Vec<u8> {
         }),
         10 => enc(site_set(r)),
         11 => enc(SimDuration(r.next_u64())),
+        12 => enc(wide_site_set(r)),
         _ => enc((0..r.below(48)).map(|_| r.next_u32() as u8).collect::<Vec<u8>>()),
     }
 }
@@ -110,7 +133,7 @@ fn every_strict_prefix_is_rejected() {
     }
     let mut r = Prng::new(SEED ^ 1);
     for _ in 0..CASES {
-        match r.below(8) {
+        match r.below(9) {
             0 => check_prefixes(r.next_u32() as u16),
             1 => check_prefixes(r.next_u32()),
             2 => check_prefixes(r.next_u64()),
@@ -118,6 +141,7 @@ fn every_strict_prefix_is_rejected() {
             4 => check_prefixes(Pid::new(site(&mut r), r.next_u32())),
             5 => check_prefixes(site_set(&mut r)),
             6 => check_prefixes(SimDuration(r.next_u64())),
+            7 => check_prefixes(wide_site_set(&mut r)),
             _ => check_prefixes((1..=r.below(48)).map(|i| i as u8).collect::<Vec<u8>>()),
         }
     }
@@ -143,6 +167,72 @@ fn single_bit_flips_never_panic_and_stay_canonical() {
             }
         }
     }
+}
+
+#[test]
+fn wide_site_sets_round_trip_at_every_scale() {
+    // Sweeps world sizes across the inline/chunked boundary: for each n
+    // in 1..=2048 (powers of two plus the boundary neighbourhood), a
+    // set containing the extremes, a random sample, and the full world
+    // all round-trip.
+    let mut r = Prng::new(SEED ^ 3);
+    let sizes = [1usize, 2, 62, 63, 64, 65, 127, 128, 129, 256, 1024, 2048];
+    for &n in &sizes {
+        let extremes: SiteSet = [0, n - 1, n / 2].iter().map(|&i| SiteId(i as u16)).collect();
+        let sampled: SiteSet = (0..16).map(|_| SiteId(r.below(n as u64) as u16)).collect();
+        let full: SiteSet = (0..n).map(|i| SiteId(i as u16)).collect();
+        for set in [extremes, sampled, full] {
+            let back: SiteSet = from_bytes(&to_bytes(&set)).expect("decode");
+            assert_eq!(back, set, "world size {n}");
+        }
+    }
+}
+
+#[test]
+fn wide_site_set_corruption_never_panics() {
+    // The extended encoding has more structure to corrupt (flag bit,
+    // chunk count, chunk payloads) than the fixed form the small-set
+    // test covers — every single-bit flip must decode or error, never
+    // panic, and anything accepted must re-encode canonically.
+    let mut r = Prng::new(SEED ^ 4);
+    for _ in 0..64 {
+        let bytes = to_bytes(&wide_site_set(&mut r));
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut corrupt = bytes.clone();
+                corrupt[byte] ^= 1 << bit;
+                if let Ok(v) = from_bytes::<SiteSet>(&corrupt) {
+                    let v2: SiteSet = from_bytes(&to_bytes(&v)).expect("canonical");
+                    assert_eq!(v2, v);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn small_sets_keep_the_legacy_fixed_u64_encoding() {
+    // Compatibility fast path: any set whose members are all below the
+    // flag bit must encode exactly as the historical little-endian u64
+    // mask — byte-identical, 8 bytes, no extension marker.
+    let mut r = Prng::new(SEED ^ 5);
+    for _ in 0..CASES {
+        let set: SiteSet = (0..r.below(10)).map(|_| SiteId(r.below(63) as u16)).collect();
+        let mut mask = 0u64;
+        for s in set.iter() {
+            mask |= 1 << s.index();
+        }
+        let bytes = to_bytes(&set);
+        assert_eq!(bytes, mask.to_le_bytes().to_vec(), "legacy format preserved");
+    }
+    // And the boundary case: site 63 itself must NOT use the fast path
+    // (bit 63 is the extension flag).
+    let boundary = SiteSet::from_raw_parts(0, Vec::new());
+    assert_eq!(to_bytes(&boundary).len(), 8, "empty set is a plain zero word");
+    let with63: SiteSet = [SiteId(63)].into_iter().collect();
+    let bytes = to_bytes(&with63);
+    assert!(bytes.len() > 8, "site 63 forces the extended form");
+    assert_eq!(from_bytes::<SiteSet>(&bytes).expect("decode"), with63);
 }
 
 #[test]

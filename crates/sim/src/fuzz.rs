@@ -211,6 +211,195 @@ pub fn run_fuzz_seed_migrating_traced(
     run_fuzz_seed_inner(seed, true, true)
 }
 
+/// [`run_fuzz_seed`] over a planet-scale world: 65–160 sites (so reader
+/// masks run chunked and the circuit table runs paged), a multi-page
+/// segment whose library is split into page-range shards, and a
+/// shard-aware migration schedule layered *under* the fault storm. A
+/// separate entry point with its own PRNG stream, so the classic seeds
+/// keep their exact historical scenarios.
+pub fn run_fuzz_seed_large(seed: u64) -> FuzzOutcome {
+    run_fuzz_seed_large_inner(seed, false, None).0
+}
+
+/// [`run_fuzz_seed_large`] with tracing and the epoch-aware trace
+/// checker merged into the outcome.
+pub fn run_fuzz_seed_large_traced(seed: u64) -> (FuzzOutcome, Vec<mirage_trace::TraceEvent>) {
+    run_fuzz_seed_large_inner(seed, true, None)
+}
+
+/// [`run_fuzz_seed_large_traced`] at an explicit world size. The CI
+/// smoke drives one traced seed through a 1,024-site world with both
+/// oracles; everything but the site count is drawn as in the random
+/// large scenario.
+pub fn run_fuzz_seed_sized_traced(
+    seed: u64,
+    n_sites: usize,
+) -> (FuzzOutcome, Vec<mirage_trace::TraceEvent>) {
+    run_fuzz_seed_large_inner(seed, true, Some(n_sites))
+}
+
+fn run_fuzz_seed_large_inner(
+    seed: u64,
+    traced: bool,
+    sites_override: Option<usize>,
+) -> (FuzzOutcome, Vec<mirage_trace::TraceEvent>) {
+    let mut rng = Prng::new(seed ^ 0x001A_26E5_17E5);
+    let n_sites = sites_override.unwrap_or_else(|| 65 + rng.below(96) as usize); // 65..=160
+    let pages = 4 + rng.below(5); // 4..=8
+
+    let mut cfg = SimConfig::default();
+    cfg.protocol.delta = DeltaPolicy::Uniform(Delta(rng.below(3) as u32));
+    cfg.protocol.retry = Some(RetryPolicy::default());
+    // 1–3 pages per shard over 4–8 pages: always at least two shards,
+    // so role handoffs and forwarding stubs are range-scoped.
+    cfg.protocol.shard_pages = 1 + rng.below(3) as u32;
+    let shard_count = (pages as u32).div_ceil(cfg.protocol.shard_pages).max(1);
+
+    let mut world = World::new(n_sites, cfg);
+    if traced {
+        world.enable_tracing();
+    }
+    let seg = world.create_segment(0, pages as usize);
+
+    // The workload lives on a handful of *active* sites scattered over
+    // the whole id range — a fleet where most machines are quiet. Site 0
+    // (the library home) always participates; at least one active site
+    // has an id past 63, so chunked reader masks actually circulate.
+    let mut active: Vec<usize> = vec![0];
+    let extras = 2 + rng.below(3) as usize; // 2..=4 more sites
+    while active.len() < 1 + extras {
+        let s = rng.below(n_sites as u64) as usize;
+        if !active.contains(&s) {
+            active.push(s);
+        }
+    }
+    if !active.iter().any(|&s| s > 63) {
+        let s = 64 + rng.below((n_sites - 64) as u64) as usize;
+        if !active.contains(&s) {
+            active.push(s);
+        }
+    }
+
+    let horizon_ms = 1_500 + rng.below(2_500);
+    let horizon = SimTime::ZERO + SimDuration::from_millis(horizon_ms);
+    let mut plan = FaultPlan::none();
+    plan.seed = seed;
+    plan.horizon = horizon;
+    plan.gap_wait = SimDuration::from_millis(25);
+    plan.default_link = LinkFaults {
+        drop_pm: rng.below(300) as u32,
+        dup_pm: rng.below(200) as u32,
+        delay_pm: rng.below(1_500) as u32,
+        max_delay: SimDuration::from_millis(1 + rng.below(30)),
+    };
+    // Crashes hit *active* sites (crashing an idle spectator exercises
+    // nothing), including the library home with its sharded roles.
+    let mut candidates = active.clone();
+    for _ in 0..rng.below(3) {
+        let site = candidates.swap_remove(rng.below(candidates.len() as u64) as usize);
+        let at = SimTime::ZERO + SimDuration::from_millis(200 + rng.below(horizon_ms - 400));
+        let down = SimDuration::from_millis(80 + rng.below(600));
+        plan.crashes.push(CrashEvent { site: SiteId(site as u16), at, back_at: at + down });
+    }
+    let fault_active = plan.is_active();
+    world.install_fault_plan(plan);
+
+    // Per-shard migrations are the point of the large scenario, so the
+    // schedule is unconditional: 1–4 handoffs, each aimed at one shard
+    // (or occasionally the whole segment), racing the storm above.
+    let mut mrng = Prng::new(seed ^ 0x5AA5_D15C_0BA1);
+    let moves = 1 + mrng.below(4);
+    let schedule: Vec<MigrationEvent> = (0..moves)
+        .map(|_| MigrationEvent {
+            at: SimTime::ZERO + SimDuration::from_millis(300 + mrng.below(horizon_ms + 5_000)),
+            seg,
+            to: SiteId(active[mrng.below(active.len() as u64) as usize] as u16),
+            shard: if mrng.below(5) == 0 {
+                None
+            } else {
+                Some(mrng.below(shard_count as u64) as u32)
+            },
+        })
+        .collect();
+    world.set_placement_policy(PlacementPolicy::Manual(schedule));
+
+    // 1–2 processes per active site, each with a dedicated word per page.
+    let per_site: Vec<(usize, usize)> =
+        active.iter().map(|&s| (s, 1 + rng.below(2) as usize)).collect();
+    let total_procs: u64 = per_site.iter().map(|&(_, c)| c as u64).sum();
+    let mut expected_handles: Vec<Arc<Mutex<Vec<Option<u32>>>>> = Vec::new();
+    let mut k = 0u64;
+    for &(site, count) in &per_site {
+        for _ in 0..count {
+            let expected = Arc::new(Mutex::new(vec![None; pages as usize]));
+            expected_handles.push(Arc::clone(&expected));
+            let prog = FuzzProgram {
+                seg,
+                pages,
+                offset: k as usize * 4,
+                total_procs,
+                rng: Prng::new(seed.wrapping_add(0x9E37 * (k + 1))),
+                ops_left: 12 + rng.below(20) as u32,
+                done: 0,
+                next_val: (k as u32) * 1_000_000 + 1,
+                expected,
+            };
+            world.spawn(site, Box::new(prog), pages as usize);
+            k += 1;
+        }
+    }
+
+    let deadline = horizon + SimDuration::from_millis(120_000);
+    let completed = world.run_to_completion(deadline);
+    world.run_for(SimDuration::from_millis(5_000));
+
+    let mut violations = Vec::new();
+    if completed {
+        for p in 0..pages {
+            let page = PageNum(p as u32);
+            let stores: Vec<(SiteId, &dyn PageStore)> =
+                world.sites.iter().map(|s| (s.id, &s.store as &dyn PageStore)).collect();
+            for v in invariants::check_page(&stores, seg, page) {
+                violations.push(format!("page {p}: {v:?}"));
+            }
+        }
+        for (k, handle) in expected_handles.iter().enumerate() {
+            let exp = handle.lock().expect("poisoned");
+            for (p, want) in exp.iter().enumerate() {
+                let Some(want) = want else { continue };
+                let page = PageNum(p as u32);
+                let got = resident_value(&world, seg, page, k * 4);
+                if got != Some(*want) {
+                    violations.push(format!(
+                        "write visibility: proc {k} page {p}: last wrote {want}, \
+                         resident copy holds {got:?}"
+                    ));
+                }
+            }
+        }
+    }
+
+    let trace = world.take_trace();
+    if traced && completed {
+        let report = mirage_trace::check(&trace);
+        for v in report.violations {
+            violations.push(format!("trace checker: {v}"));
+        }
+    }
+
+    (
+        FuzzOutcome {
+            seed,
+            completed,
+            violations,
+            stuck: world.stuck_pids(),
+            stats: if fault_active { world.fault_stats() } else { None },
+            accesses: world.total_accesses(),
+        },
+        trace,
+    )
+}
+
 fn run_fuzz_seed_inner(
     seed: u64,
     traced: bool,
@@ -267,6 +456,7 @@ fn run_fuzz_seed_inner(
                     + SimDuration::from_millis(300 + mrng.below(horizon_ms + 5_000)),
                 seg,
                 to: SiteId(mrng.below(n_sites as u64) as u16),
+                shard: None,
             })
             .collect();
         world.set_placement_policy(PlacementPolicy::Manual(schedule));

@@ -43,8 +43,11 @@ pub use calendar::CalendarQueue;
 pub use faults::FaultStats;
 pub use fuzz::{
     run_fuzz_seed,
+    run_fuzz_seed_large,
+    run_fuzz_seed_large_traced,
     run_fuzz_seed_migrating,
     run_fuzz_seed_migrating_traced,
+    run_fuzz_seed_sized_traced,
     run_fuzz_seed_traced,
     FuzzOutcome,
 };

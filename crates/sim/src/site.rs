@@ -281,9 +281,10 @@ impl Site {
         now: SimTime,
         seg: mirage_types::SegmentId,
         to: SiteId,
+        shard: Option<u32>,
         effects: &mut Vec<OutEffect>,
     ) {
-        self.driver.dispatch(Event::MigrateLibrary { seg, to }, now, &mut self.store);
+        self.driver.dispatch(Event::MigrateLibrary { seg, to, shard }, now, &mut self.store);
         self.flush_driver(now, effects);
     }
 
@@ -474,8 +475,8 @@ impl Site {
                     // holds the active role (a stale self-hint after a
                     // handoff still pays the remote-request cost).
                     let engine = self.driver.engine();
-                    let local_library = engine.resolved_library(r.seg) == self.id
-                        && engine.library_active(r.seg);
+                    let local_library = engine.resolved_library(r.seg, r.page) == self.id
+                        && engine.library_active_for(r.seg, r.page);
                     let fault_cost = if local_library {
                         self.costs.local_fault
                     } else {

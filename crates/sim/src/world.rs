@@ -23,6 +23,7 @@ use mirage_trace::{
     TraceKind,
 };
 use mirage_types::{
+    PageNum,
     Pid,
     SegmentId,
     SimDuration,
@@ -85,6 +86,9 @@ pub struct MigrationEvent {
     pub seg: SegmentId,
     /// The site that takes over the role.
     pub to: SiteId,
+    /// Which page-range shard moves; `None` moves every shard (the
+    /// whole role, matching the unsharded protocol).
+    pub shard: Option<u32>,
 }
 
 /// How the world places segment library roles over time.
@@ -121,9 +125,9 @@ struct PlacementState {
     hysteresis: u32,
     /// Sliding window of library references (time-evicted each tick).
     log: VecDeque<mirage_trace::log::Entry>,
-    /// Per segment: the currently favoured target and how many
+    /// Per library shard: the currently favoured target and how many
     /// consecutive ticks it has been favoured.
-    streak: HashMap<SegmentId, (SiteId, u32)>,
+    streak: HashMap<(SegmentId, u32), (SiteId, u32)>,
 }
 
 /// Global events.
@@ -145,7 +149,7 @@ enum Ev {
     /// declare the missing sequence numbers lost and release the queue.
     LinkProbe { src: usize, dst: usize },
     /// Initiate a library-role handoff (placement policy).
-    Migrate { seg: SegmentId, to: SiteId },
+    Migrate { seg: SegmentId, to: SiteId, shard: Option<u32> },
     /// Periodic evaluation of an [`PlacementPolicy::Advised`] policy.
     /// Pure observation: a tick that moves nothing changes nothing.
     PolicyTick,
@@ -153,6 +157,54 @@ enum Ev {
 
 /// Sentinel for "no delivery recorded yet" in the circuit matrix.
 const NO_DELIVERY: SimTime = SimTime(u64::MAX);
+
+/// Site count up to which the circuit table stays a dense `n×n` matrix.
+/// Beyond it, rows allocate lazily: a 1,024-site world has a million
+/// potential circuits, but real workloads touch a vanishing fraction.
+const CIRCUIT_DENSE_LIMIT: usize = 128;
+
+/// Per-circuit last-delivery bookkeeping (row = sender, column =
+/// receiver), behind one get/set interface with two representations:
+/// dense below [`CIRCUIT_DENSE_LIMIT`] sites (one flat allocation, the
+/// historical layout), paged above (per-sender rows allocated on first
+/// send, `None` until then), so planet-scale worlds don't pre-commit
+/// O(n²) memory for circuits that never carry a message. Lookups on
+/// both paths are branch-plus-index; the choice never affects
+/// timestamps, only where they are stored.
+enum CircuitTable {
+    Dense { n: usize, last: Vec<SimTime> },
+    Paged { n: usize, rows: Vec<Option<Box<[SimTime]>>> },
+}
+
+impl CircuitTable {
+    fn new(n: usize) -> Self {
+        if n <= CIRCUIT_DENSE_LIMIT {
+            CircuitTable::Dense { n, last: vec![NO_DELIVERY; n * n] }
+        } else {
+            CircuitTable::Paged { n, rows: (0..n).map(|_| None).collect() }
+        }
+    }
+
+    fn get(&self, src: usize, dst: usize) -> SimTime {
+        match self {
+            CircuitTable::Dense { n, last } => last[src * n + dst],
+            CircuitTable::Paged { rows, .. } => {
+                rows[src].as_ref().map_or(NO_DELIVERY, |r| r[dst])
+            }
+        }
+    }
+
+    fn set(&mut self, src: usize, dst: usize, at: SimTime) {
+        match self {
+            CircuitTable::Dense { n, last } => last[src * *n + dst] = at,
+            CircuitTable::Paged { n, rows } => {
+                let row =
+                    rows[src].get_or_insert_with(|| vec![NO_DELIVERY; *n].into_boxed_slice());
+                row[dst] = at;
+            }
+        }
+    }
+}
 
 /// The simulation world.
 pub struct World {
@@ -174,21 +226,22 @@ pub struct World {
     pub trace: Vec<TraceEvent>,
     collect_trace: bool,
     next_serial: u32,
-    /// Per-circuit last delivery time, dense `n×n` (row = sender,
-    /// column = receiver): the Locus virtual circuit sequences messages,
-    /// so a short message sent after a large one must not overtake it on
-    /// the wire.
-    circuit_last: Vec<SimTime>,
+    /// Per-circuit last delivery time (row = sender, column =
+    /// receiver): the Locus virtual circuit sequences messages, so a
+    /// short message sent after a large one must not overtake it on the
+    /// wire. Dense at small n, paged at large n ([`CircuitTable`]).
+    circuit_last: CircuitTable,
     /// Reusable effect buffer for [`World::poke`] (the per-step sink;
     /// same pattern as the driver's `ActionSink`).
     scratch: Vec<OutEffect>,
     /// Fault-execution state; `None` unless an *active* plan was
     /// installed, so the pristine path pays nothing.
     faults: Option<FaultState>,
-    /// Where each segment's library role currently lives (tracks the
-    /// handoffs the world itself initiated; the engines' hint tables
-    /// are the per-site view of the same fact).
-    lib_where: HashMap<SegmentId, SiteId>,
+    /// Where each library shard currently lives, keyed by
+    /// `(segment, shard index)` (tracks the handoffs the world itself
+    /// initiated; the engines' hint tables are the per-site view of the
+    /// same fact). Unsharded segments have a single shard 0.
+    lib_where: HashMap<(SegmentId, u32), SiteId>,
     /// Live advisor state; `None` unless [`PlacementPolicy::Advised`]
     /// was installed, so other runs pay nothing for the window.
     placement: Option<PlacementState>,
@@ -219,7 +272,7 @@ impl World {
             trace: Vec::new(),
             collect_trace: false,
             next_serial: 1,
-            circuit_last: vec![NO_DELIVERY; n * n],
+            circuit_last: CircuitTable::new(n),
             scratch: Vec::new(),
             faults: None,
             lib_where: HashMap::new(),
@@ -278,8 +331,21 @@ impl World {
             site.store.add_segment(view);
             site.driver.register_segment(seg, pages);
         }
-        self.lib_where.insert(seg, SiteId(lib as u16));
+        for shard in 0..self.shard_count(pages) {
+            self.lib_where.insert((seg, shard), SiteId(lib as u16));
+        }
         seg
+    }
+
+    /// How many library shards a segment of `pages` pages has under the
+    /// active protocol configuration.
+    fn shard_count(&self, pages: usize) -> u32 {
+        let sp = self.cfg.protocol.shard_pages;
+        if sp == 0 {
+            1
+        } else {
+            (pages as u32).div_ceil(sp).max(1)
+        }
     }
 
     /// Installs a library placement policy. [`PlacementPolicy::Manual`]
@@ -296,7 +362,7 @@ impl World {
                     "library migration requires retry mode"
                 );
                 for e in events {
-                    self.push(e.at, Ev::Migrate { seg: e.seg, to: e.to });
+                    self.push(e.at, Ev::Migrate { seg: e.seg, to: e.to, shard: e.shard });
                 }
             }
             PlacementPolicy::Advised { interval, window, min_requests, hysteresis } => {
@@ -319,9 +385,16 @@ impl World {
     }
 
     /// Where the world last placed `seg`'s library role (the handoff
-    /// may still be in flight on the wire).
+    /// may still be in flight on the wire). For a sharded segment this
+    /// reports shard 0; use [`World::library_shard_site`] for the rest.
     pub fn library_site(&self, seg: SegmentId) -> Option<SiteId> {
-        self.lib_where.get(&seg).copied()
+        self.library_shard_site(seg, 0)
+    }
+
+    /// Where the world last placed one page-range shard of `seg`'s
+    /// library role.
+    pub fn library_shard_site(&self, seg: SegmentId, shard: u32) -> Option<SiteId> {
+        self.lib_where.get(&(seg, shard)).copied()
     }
 
     /// Spawns a process at a site. `shm_pages` drives the lazy-remap
@@ -434,12 +507,11 @@ impl World {
                         // Virtual-circuit sequencing (§7.1): per (src, dst)
                         // pair, deliveries are FIFO — a later short message
                         // queues behind an in-flight page-carrying one.
-                        let key = from * self.sites.len() + to.index();
-                        let last = self.circuit_last[key];
+                        let last = self.circuit_last.get(from, to.index());
                         if last != NO_DELIVERY && arrive <= last {
                             arrive = SimTime(last.0 + 1);
                         }
-                        self.circuit_last[key] = arrive;
+                        self.circuit_last.set(from, to.index(), arrive);
                         if self.collect_trace {
                             let mut ev =
                                 self.wire_event(depart, from, TraceKind::MsgSent, &msg);
@@ -736,13 +808,33 @@ impl World {
         self.push(self.now, Ev::SiteWake { site });
     }
 
-    /// Initiates a library-role handoff for `seg` toward `to`. Quietly
-    /// skipped when the move is meaningless (already there), impossible
-    /// (either endpoint down), or premature (a previous handoff of the
-    /// same segment is still in flight, so no site holds the active
-    /// role to freeze from — the policy will re-advise).
-    fn apply_migrate(&mut self, seg: SegmentId, to: SiteId) {
-        let Some(&cur) = self.lib_where.get(&seg) else { return };
+    /// Initiates a library-role handoff for `seg` toward `to`. `shard`
+    /// selects one page-range shard; `None` moves every shard (each
+    /// from wherever it currently lives). A move is quietly skipped
+    /// when it is meaningless (already there), impossible (either
+    /// endpoint down), or premature (a previous handoff of the same
+    /// shard is still in flight, so no site holds the active role to
+    /// freeze from — the policy will re-advise).
+    fn apply_migrate(&mut self, seg: SegmentId, to: SiteId, shard: Option<u32>) {
+        match shard {
+            Some(s) => self.apply_migrate_shard(seg, to, s),
+            None => {
+                let mut shards: Vec<u32> = self
+                    .lib_where
+                    .keys()
+                    .filter(|&&(s, _)| s == seg)
+                    .map(|&(_, i)| i)
+                    .collect();
+                shards.sort_unstable();
+                for s in shards {
+                    self.apply_migrate_shard(seg, to, s);
+                }
+            }
+        }
+    }
+
+    fn apply_migrate_shard(&mut self, seg: SegmentId, to: SiteId, shard: u32) {
+        let Some(&cur) = self.lib_where.get(&(seg, shard)) else { return };
         if cur == to || to.index() >= self.sites.len() {
             return;
         }
@@ -750,15 +842,17 @@ impl World {
         if self.site_down(src) || self.site_down(to.index()) {
             return;
         }
-        if !self.sites[src].driver.engine().library_active(seg) {
+        // The shard's anchor page tells the engine which range to check.
+        let anchor = PageNum(shard * self.cfg.protocol.shard_pages);
+        if !self.sites[src].driver.engine().library_active_for(seg, anchor) {
             return;
         }
         let mut effects = std::mem::take(&mut self.scratch);
         let now = self.now;
-        self.sites[src].migrate_library(now, seg, to, &mut effects);
+        self.sites[src].migrate_library(now, seg, to, Some(shard), &mut effects);
         self.apply_effects(src, &mut effects);
         self.scratch = effects;
-        self.lib_where.insert(seg, to);
+        self.lib_where.insert((seg, shard), to);
         self.push(self.now, Ev::SiteWake { site: src });
     }
 
@@ -773,27 +867,29 @@ impl World {
             while p.log.front().is_some_and(|e| e.at + p.window < self.now) {
                 p.log.pop_front();
             }
-            let advice = PlacementAdvisor::new(p.min_requests).advise(p.log.make_contiguous());
+            let advisor =
+                PlacementAdvisor::sharded(p.min_requests, self.cfg.protocol.shard_pages);
+            let advice = advisor.advise(p.log.make_contiguous());
             for a in advice {
-                if self.lib_where.get(&a.seg) == Some(&a.to) {
-                    p.streak.remove(&a.seg);
+                if self.lib_where.get(&(a.seg, a.shard)) == Some(&a.to) {
+                    p.streak.remove(&(a.seg, a.shard));
                     continue;
                 }
-                let s = p.streak.entry(a.seg).or_insert((a.to, 0));
+                let s = p.streak.entry((a.seg, a.shard)).or_insert((a.to, 0));
                 if s.0 == a.to {
                     s.1 += 1;
                 } else {
                     *s = (a.to, 1);
                 }
                 if s.1 >= p.hysteresis {
-                    p.streak.remove(&a.seg);
-                    moves.push((a.seg, a.to));
+                    p.streak.remove(&(a.seg, a.shard));
+                    moves.push((a.seg, a.shard, a.to));
                 }
             }
             p.interval
         };
-        for (seg, to) in moves {
-            self.apply_migrate(seg, to);
+        for (seg, shard, to) in moves {
+            self.apply_migrate(seg, to, Some(shard));
         }
         if !self.sites.iter().all(Site::all_done) {
             self.push(self.now + interval, Ev::PolicyTick);
@@ -834,7 +930,7 @@ impl World {
                 Ev::Crash { site } => self.apply_crash(site),
                 Ev::Restart { site } => self.apply_restart(site),
                 Ev::LinkProbe { src, dst } => self.link_probe(src, dst),
-                Ev::Migrate { seg, to } => self.apply_migrate(seg, to),
+                Ev::Migrate { seg, to, shard } => self.apply_migrate(seg, to, shard),
                 Ev::PolicyTick => self.policy_tick(),
             }
         }
@@ -896,8 +992,8 @@ impl World {
                 r.seg,
                 r.page.0,
                 access,
-                engine.resolved_library(r.seg).0,
-                engine.library_epoch(r.seg),
+                engine.resolved_library(r.seg, r.page).0,
+                engine.library_epoch(r.seg, r.page),
             );
             let mut live = false;
             for s in &self.sites {

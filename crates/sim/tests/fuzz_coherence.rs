@@ -17,6 +17,7 @@
 
 use mirage_sim::{
     run_fuzz_seed,
+    run_fuzz_seed_large_traced,
     run_fuzz_seed_migrating_traced,
     run_fuzz_seed_traced,
 };
@@ -75,6 +76,35 @@ fn randomized_fault_storms_with_migration_preserve_coherence() {
     assert!(
         failures.is_empty(),
         "{} of {count} migrating fuzz seeds failed: {failures:?} \
+         (see stderr for replay commands)",
+        failures.len()
+    );
+}
+
+/// Planet-scale storms: 65–160 sites (chunked reader masks, paged
+/// circuit table), a multi-page segment split into library shards, and
+/// a shard-aware handoff schedule racing the same fault plan. Both
+/// oracles run on every seed. Fewer seeds than the classic sweep — each
+/// world is bigger — but the same env knobs widen it.
+#[test]
+fn large_sharded_fault_storms_preserve_coherence() {
+    let start = env_u64("MIRAGE_FUZZ_START", 0);
+    let count = env_u64("MIRAGE_FUZZ_LARGE_SEEDS", 16);
+    let mut failures = Vec::new();
+    for seed in start..start + count {
+        let (outcome, _trace) = run_fuzz_seed_large_traced(seed);
+        if !outcome.is_ok() {
+            eprintln!("{}", outcome.describe());
+            eprintln!(
+                "replay: cargo run --release -p mirage-bench --bin fault_storm -- \
+                 --seed {seed} --large --trace"
+            );
+            failures.push(seed);
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} of {count} large fuzz seeds failed: {failures:?} \
          (see stderr for replay commands)",
         failures.len()
     );

@@ -18,12 +18,15 @@
 //! * **serve serialization** — the library never overlaps two serves
 //!   for the same page;
 //! * **library-role integrity** (relocatable libraries) — handoff
-//!   epochs for a segment are strictly monotone, and every serve is
-//!   started by the site that holds the role at that point in the
-//!   activation history. Serialization is per *(segment, epoch)* with
-//!   the handoff forming the edge that links one epoch's open serve to
-//!   its completion under the next: a serve frozen mid-flight at the
-//!   old site legally reports `ServeDone` from the adopting site.
+//!   epochs for a *(segment, page-range shard)* are strictly monotone,
+//!   and every serve is started by the site that holds that shard's
+//!   role at that point in the activation history. Activation events
+//!   carry the adopted range (anchor page in the subject, length in
+//!   `detail`), so each shard's role is scoped to its own pages; pages
+//!   of shards that never migrated stay with the creation site. The
+//!   handoff forms the edge that links one epoch's open serve to its
+//!   completion under the next: a serve frozen mid-flight at the old
+//!   site legally reports `ServeDone` from the adopting site.
 //!
 //! Happens-before is rebuilt from the simulated timestamps plus
 //! emission order for ties: the trace is recorded by a single-threaded
@@ -103,6 +106,41 @@ fn window_expiry(installed_at: SimTime, ticks: u64) -> SimTime {
     SimTime(installed_at.0 + ticks * TICK.0)
 }
 
+/// The library role for one page-range shard, reconstructed from
+/// activation events. `len == 0` means "the rest of the segment" — the
+/// unsharded whole-segment role, and the safe default before any
+/// activation has been seen.
+#[derive(Clone, Copy, Debug)]
+struct ShardRole {
+    site: u16,
+    epoch: u32,
+    len: u32,
+}
+
+/// Resolves which shard role covers `page`: the activation with the
+/// greatest anchor at or below it whose range reaches the page. Pages
+/// outside every adopted range still belong to the creation site at
+/// epoch 0.
+fn shard_role(
+    libs: &BTreeMap<(SegmentId, u32), ShardRole>,
+    seg: SegmentId,
+    page: PageNum,
+) -> ShardRole {
+    let default = ShardRole { site: seg.library.0, epoch: 0, len: 0 };
+    libs.range((seg, 0)..=(seg, page.0))
+        .next_back()
+        .map(
+            |(&(_, anchor), &role)| {
+                if role.len == 0 || page.0 < anchor + role.len {
+                    role
+                } else {
+                    default
+                }
+            },
+        )
+        .unwrap_or(default)
+}
+
 /// Replays the trace and checks the coherence invariants.
 ///
 /// The trace must be complete (e.g. from a `VecSink`); a truncated
@@ -115,23 +153,29 @@ pub fn check(events: &[TraceEvent]) -> CheckReport {
     order.sort_by_key(|ev| ev.at);
 
     let mut pages: BTreeMap<(SegmentId, PageNum), PageTrack> = BTreeMap::new();
-    // Per segment: (site currently holding the library role, epoch).
-    // Seeded from the segment's static creation-time address; advanced
-    // by every LibraryActivated event.
-    let mut libs: BTreeMap<SegmentId, (u16, u32)> = BTreeMap::new();
+    // Per (segment, shard-anchor page): the site currently holding that
+    // shard's library role, its epoch, and the adopted range length.
+    // Anchors appear as shards migrate; unmigrated ranges default to
+    // the segment's static creation-time address at epoch 0.
+    let mut libs: BTreeMap<(SegmentId, u32), ShardRole> = BTreeMap::new();
     let mut report = CheckReport { events: events.len(), ..CheckReport::default() };
 
     for ev in order {
         let Some(subject) = ev.subject else { continue };
         if ev.kind == TraceKind::LibraryActivated {
-            let lib = libs.entry(subject.0).or_insert((subject.0.library.0, 0));
-            if ev.epoch <= lib.1 {
+            let anchor = subject.1 .0;
+            let role = libs.entry((subject.0, anchor)).or_insert(ShardRole {
+                site: subject.0.library.0,
+                epoch: 0,
+                len: 0,
+            });
+            if ev.epoch <= role.epoch {
                 report.violations.push(format!(
                     "handoff epoch not monotone: activation at epoch {} after epoch {}: {ev}",
-                    ev.epoch, lib.1
+                    ev.epoch, role.epoch
                 ));
             }
-            *lib = (ev.site.0, ev.epoch);
+            *role = ShardRole { site: ev.site.0, epoch: ev.epoch, len: ev.detail as u32 };
             continue;
         }
         let track = pages.entry(subject).or_insert_with(|| {
@@ -269,12 +313,12 @@ pub fn check(events: &[TraceEvent]) -> CheckReport {
                 }
             }
             TraceKind::ServeStart => {
-                let lib = *libs.entry(subject.0).or_insert((subject.0.library.0, 0));
-                if site != lib.0 {
+                let role = shard_role(&libs, subject.0, subject.1);
+                if site != role.site {
                     report.violations.push(ctx(&format!(
                         "serve started at site{site} but the library role is at \
                          site{} (epoch {})",
-                        lib.0, lib.1
+                        role.site, role.epoch
                     )));
                 }
                 if let Some(open) = track.serving {

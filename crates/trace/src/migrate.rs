@@ -110,14 +110,23 @@ pub struct PlacementAdvisor {
     /// references costs more (one handoff message per move, plus a
     /// redirect round at every site) than it saves.
     pub min_requests: u64,
+    /// Pages per library shard: the granularity at which the role can
+    /// move. 0 (the default) scores whole segments — one shard each,
+    /// matching the unsharded protocol. Non-zero buckets each segment's
+    /// request stream by page range, so two hot ranges of one segment
+    /// can be advised toward *different* sites.
+    pub shard_pages: u32,
 }
 
-/// One segment's placement recommendation.
+/// One library-shard placement recommendation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct PlacementAdvice {
-    /// The segment whose library should move.
+    /// The segment whose library shard should move.
     pub seg: SegmentId,
-    /// The site that dominated the request stream.
+    /// Which page-range shard of the role should move (always 0 when
+    /// the advisor scores whole segments).
+    pub shard: u32,
+    /// The site that dominated the shard's request stream.
     pub to: SiteId,
     /// Requests that site contributed within the window.
     pub requests: u64,
@@ -125,37 +134,47 @@ pub struct PlacementAdvice {
 
 impl Default for PlacementAdvisor {
     fn default() -> Self {
-        Self { min_requests: 8 }
+        Self { min_requests: 8, shard_pages: 0 }
     }
 }
 
 impl PlacementAdvisor {
-    /// Builds an advisor with the given sensitivity.
+    /// Builds an advisor with the given sensitivity, scoring whole
+    /// segments (one shard each).
     pub fn new(min_requests: u64) -> Self {
-        Self { min_requests }
+        Self { min_requests, shard_pages: 0 }
     }
 
-    /// Scores each segment's request stream by requester site and
+    /// Builds a shard-aware advisor: request streams are bucketed into
+    /// `shard_pages`-page ranges and each range is scored independently.
+    pub fn sharded(min_requests: u64, shard_pages: u32) -> Self {
+        Self { min_requests, shard_pages }
+    }
+
+    /// Scores each library shard's request stream by requester site and
     /// recommends the dominant one (ties break toward the lower site
     /// id, so the output is deterministic for any entry order).
-    /// Segments whose leader is below `min_requests` are omitted.
+    /// Shards whose leader is below `min_requests` are omitted.
     pub fn advise(&self, entries: &[Entry]) -> Vec<PlacementAdvice> {
-        let mut counts: BTreeMap<(SegmentId, SiteId), u64> = BTreeMap::new();
+        let shard_of = |page: mirage_types::PageNum| -> u32 {
+            page.0.checked_div(self.shard_pages).unwrap_or(0)
+        };
+        let mut counts: BTreeMap<(SegmentId, u32, SiteId), u64> = BTreeMap::new();
         for e in entries {
-            *counts.entry((e.seg, e.pid.site)).or_default() += 1;
+            *counts.entry((e.seg, shard_of(e.page), e.pid.site)).or_default() += 1;
         }
-        let mut best: BTreeMap<SegmentId, (SiteId, u64)> = BTreeMap::new();
-        for (&(seg, site), &n) in &counts {
-            let e = best.entry(seg).or_insert((site, n));
-            // BTreeMap iteration is (seg, site)-ordered, so a strict
-            // `>` keeps the first (lowest-id) site on ties.
+        let mut best: BTreeMap<(SegmentId, u32), (SiteId, u64)> = BTreeMap::new();
+        for (&(seg, shard, site), &n) in &counts {
+            let e = best.entry((seg, shard)).or_insert((site, n));
+            // BTreeMap iteration is (seg, shard, site)-ordered, so a
+            // strict `>` keeps the first (lowest-id) site on ties.
             if n > e.1 {
                 *e = (site, n);
             }
         }
         best.into_iter()
             .filter(|&(_, (_, n))| n >= self.min_requests)
-            .map(|(seg, (to, n))| PlacementAdvice { seg, to, requests: n })
+            .map(|((seg, shard), (to, n))| PlacementAdvice { seg, shard, to, requests: n })
             .collect()
     }
 }

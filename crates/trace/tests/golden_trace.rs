@@ -208,7 +208,7 @@ fn library_handoff() -> Vec<TraceEvent> {
     m.acquire(1, 1, seg, Access::Write);
     // The role moves to site 2 (freeze → transfer → activate → ack);
     // site 1 is not told.
-    m.dispatch(0, Event::MigrateLibrary { seg, to: SiteId(2) });
+    m.dispatch(0, Event::MigrateLibrary { seg, to: SiteId(2), shard: None });
     m.run();
     // Site 0 pulls a read copy — served by the library at its new site,
     // downgrading site 1.

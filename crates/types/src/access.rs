@@ -66,32 +66,45 @@ impl PageProt {
     }
 }
 
-/// A set of sites, stored as a bit mask.
+/// A set of sites, stored as a hybrid inline/chunked bit mask.
 ///
 /// This is the "reader mask — list of sites using this page" field of the
-/// auxiliary page table entry (Table 2). A `u64` mask bounds the network
-/// at 64 sites, far beyond the paper's three VAXs and ample for the
-/// invalidation-scaling experiments.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
-pub struct SiteSet(u64);
+/// auxiliary page table entry (Table 2). Worlds at or below 64 sites —
+/// every configuration the paper's experiments use — live entirely in the
+/// inline `u64` word: no allocation, and `clone` is a 32-byte memcpy of
+/// an empty-`Vec` struct. Worlds beyond 64 sites spill into heap chunks
+/// of 64 sites each (chunk `k` bit `b` is site `64 + 64k + b`), lifting
+/// the ceiling to the full `u16` site-id space.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct SiteSet {
+    /// Bits for sites `0..64`.
+    word0: u64,
+    /// Chunks for sites `64..`: `rest[k]` bit `b` is site `64 + 64k + b`.
+    /// Kept canonical — never ends in a zero chunk — so the derived
+    /// `PartialEq`/`Hash` treat logically equal sets as equal.
+    rest: Vec<u64>,
+}
 
 /// The reader mask of an auxiliary page table entry (Table 2).
 ///
 /// Protocol code tracks "which sites hold read copies of this page" in
 /// many places — the library's per-page record, the clock site's
 /// invalidation round, the auxpte itself. All of them are the same
-/// 64-bit site bitmask; this alias names that protocol role so the
+/// site bitmask; this alias names that protocol role so the
 /// intent is visible at each use site.
 pub type ReaderSet = SiteSet;
 
 impl SiteSet {
-    /// Maximum number of sites representable.
-    pub const CAPACITY: usize = 64;
+    /// Maximum number of sites representable (the `u16` site-id space).
+    pub const CAPACITY: usize = 1 << 16;
+
+    /// Sites representable without heap allocation.
+    pub const INLINE_CAPACITY: usize = 64;
 
     /// The empty set.
     #[inline]
     pub const fn empty() -> Self {
-        Self(0)
+        Self { word0: 0, rest: Vec::new() }
     }
 
     /// A set containing exactly one site.
@@ -102,71 +115,141 @@ impl SiteSet {
         s
     }
 
+    /// Splits a site index into (chunk, bit): chunk 0 is the inline
+    /// word, chunk `k ≥ 1` is `rest[k - 1]`.
+    #[inline]
+    fn split(site: SiteId) -> (usize, u64) {
+        let i = site.index();
+        (i / 64, 1u64 << (i % 64))
+    }
+
+    /// Drops trailing zero chunks so structural equality is set equality.
+    #[inline]
+    fn canonicalize(&mut self) {
+        while self.rest.last() == Some(&0) {
+            self.rest.pop();
+        }
+    }
+
     /// Inserts a site; returns true if it was not already present.
     #[inline]
     pub fn insert(&mut self, site: SiteId) -> bool {
-        debug_assert!(site.index() < Self::CAPACITY, "site id out of range");
-        let bit = 1u64 << site.index();
-        let fresh = self.0 & bit == 0;
-        self.0 |= bit;
+        let (chunk, bit) = Self::split(site);
+        let word = if chunk == 0 {
+            &mut self.word0
+        } else {
+            if self.rest.len() < chunk {
+                self.rest.resize(chunk, 0);
+            }
+            &mut self.rest[chunk - 1]
+        };
+        let fresh = *word & bit == 0;
+        *word |= bit;
         fresh
     }
 
     /// Removes a site; returns true if it was present.
     #[inline]
     pub fn remove(&mut self, site: SiteId) -> bool {
-        let bit = 1u64 << site.index();
-        let present = self.0 & bit != 0;
-        self.0 &= !bit;
+        let (chunk, bit) = Self::split(site);
+        let word = if chunk == 0 {
+            &mut self.word0
+        } else {
+            match self.rest.get_mut(chunk - 1) {
+                Some(w) => w,
+                None => return false,
+            }
+        };
+        let present = *word & bit != 0;
+        *word &= !bit;
+        self.canonicalize();
         present
     }
 
     /// Membership test.
     #[inline]
-    pub fn contains(self, site: SiteId) -> bool {
-        self.0 & (1u64 << site.index()) != 0
+    pub fn contains(&self, site: SiteId) -> bool {
+        let (chunk, bit) = Self::split(site);
+        let word = if chunk == 0 {
+            self.word0
+        } else {
+            self.rest.get(chunk - 1).copied().unwrap_or(0)
+        };
+        word & bit != 0
     }
 
     /// Number of sites in the set.
     #[inline]
-    pub fn len(self) -> usize {
-        self.0.count_ones() as usize
+    pub fn len(&self) -> usize {
+        self.word0.count_ones() as usize
+            + self.rest.iter().map(|w| w.count_ones() as usize).sum::<usize>()
     }
 
     /// True if the set is empty.
     #[inline]
-    pub fn is_empty(self) -> bool {
-        self.0 == 0
+    pub fn is_empty(&self) -> bool {
+        // Canonical form: rest never ends in a zero chunk, so any chunk
+        // at all means a member beyond 64.
+        self.word0 == 0 && self.rest.is_empty()
     }
 
     /// Returns the union of two sets.
     #[inline]
-    pub fn union(self, other: Self) -> Self {
-        Self(self.0 | other.0)
+    pub fn union(&self, other: &Self) -> Self {
+        let mut out = self.clone();
+        out.word0 |= other.word0;
+        if out.rest.len() < other.rest.len() {
+            out.rest.resize(other.rest.len(), 0);
+        }
+        for (o, w) in out.rest.iter_mut().zip(&other.rest) {
+            *o |= w;
+        }
+        out
     }
 
     /// Returns the set difference `self \ other`.
     #[inline]
-    pub fn difference(self, other: Self) -> Self {
-        Self(self.0 & !other.0)
+    pub fn difference(&self, other: &Self) -> Self {
+        let mut out = self.clone();
+        out.word0 &= !other.word0;
+        for (o, w) in out.rest.iter_mut().zip(&other.rest) {
+            *o &= !w;
+        }
+        out.canonicalize();
+        out
+    }
+
+    /// True if the two sets share at least one member.
+    #[inline]
+    pub fn intersects(&self, other: &Self) -> bool {
+        if self.word0 & other.word0 != 0 {
+            return true;
+        }
+        self.rest.iter().zip(&other.rest).any(|(a, b)| a & b != 0)
     }
 
     /// Removes every site from the set.
     #[inline]
     pub fn clear(&mut self) {
-        self.0 = 0;
+        self.word0 = 0;
+        self.rest.clear();
     }
 
     /// Iterates the member sites in ascending id order.
-    pub fn iter(self) -> impl Iterator<Item = SiteId> {
-        let mut bits = self.0;
-        core::iter::from_fn(move || {
-            if bits == 0 {
+    pub fn iter(&self) -> impl Iterator<Item = SiteId> + '_ {
+        let mut chunk = 0usize;
+        let mut bits = self.word0;
+        core::iter::from_fn(move || loop {
+            if bits != 0 {
+                let idx = chunk * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                return Some(SiteId(idx as u16));
+            }
+            if chunk >= self.rest.len() {
                 return None;
             }
-            let idx = bits.trailing_zeros() as u16;
-            bits &= bits - 1;
-            Some(SiteId(idx))
+            bits = self.rest[chunk];
+            chunk += 1;
         })
     }
 
@@ -177,12 +260,39 @@ impl SiteSet {
     /// one of the readers is selected and its site chosen as the page's
     /// clock site" (§6.0).
     #[inline]
-    pub fn first(self) -> Option<SiteId> {
-        if self.0 == 0 {
-            None
-        } else {
-            Some(SiteId(self.0.trailing_zeros() as u16))
+    pub fn first(&self) -> Option<SiteId> {
+        if self.word0 != 0 {
+            return Some(SiteId(self.word0.trailing_zeros() as u16));
         }
+        for (k, w) in self.rest.iter().enumerate() {
+            if *w != 0 {
+                return Some(SiteId((64 + k * 64 + w.trailing_zeros() as usize) as u16));
+            }
+        }
+        None
+    }
+
+    /// The inline word (bits for sites `0..64`), for the wire codec's
+    /// compatibility fast path.
+    #[inline]
+    pub fn inline_word(&self) -> u64 {
+        self.word0
+    }
+
+    /// The heap chunks (bits for sites `64..`), canonical (no trailing
+    /// zero chunk). Chunk `k` bit `b` is site `64 + 64k + b`.
+    #[inline]
+    pub fn chunks(&self) -> &[u64] {
+        &self.rest
+    }
+
+    /// Rebuilds a set from the raw parts [`Self::inline_word`] and
+    /// [`Self::chunks`] expose (the wire codec's decode path). Trailing
+    /// zero chunks are tolerated and normalized away.
+    pub fn from_raw_parts(word0: u64, rest: Vec<u64>) -> Self {
+        let mut s = Self { word0, rest };
+        s.canonicalize();
+        s
     }
 }
 
@@ -241,9 +351,79 @@ mod tests {
     fn site_set_difference_and_union() {
         let a: SiteSet = [SiteId(1), SiteId(2)].into_iter().collect();
         let b: SiteSet = [SiteId(2), SiteId(3)].into_iter().collect();
-        assert_eq!(a.union(b).len(), 3);
-        let d = a.difference(b);
+        assert_eq!(a.union(&b).len(), 3);
+        let d = a.difference(&b);
         assert!(d.contains(SiteId(1)));
         assert!(!d.contains(SiteId(2)));
+    }
+
+    #[test]
+    fn site_set_crosses_the_inline_boundary() {
+        let mut s = SiteSet::empty();
+        for i in [0u16, 63, 64, 65, 127, 128, 1023, 65535] {
+            assert!(s.insert(SiteId(i)));
+            assert!(!s.insert(SiteId(i)));
+        }
+        assert_eq!(s.len(), 8);
+        let v: Vec<_> = s.iter().map(|s| s.0).collect();
+        assert_eq!(v, vec![0, 63, 64, 65, 127, 128, 1023, 65535]);
+        assert!(s.contains(SiteId(1023)));
+        assert!(!s.contains(SiteId(1024)));
+        assert!(s.remove(SiteId(65535)));
+        assert!(!s.remove(SiteId(65535)));
+        assert!(!s.contains(SiteId(65535)));
+        assert_eq!(s.len(), 7);
+    }
+
+    #[test]
+    fn site_set_equality_ignores_spilled_history() {
+        // Insert far, remove it: the set must compare equal to one that
+        // never spilled (canonical form drops trailing zero chunks).
+        let mut a = SiteSet::singleton(SiteId(2));
+        a.insert(SiteId(900));
+        a.remove(SiteId(900));
+        let b = SiteSet::singleton(SiteId(2));
+        assert_eq!(a, b);
+        assert!(a.chunks().is_empty());
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{
+            Hash,
+            Hasher,
+        };
+        let hash = |s: &SiteSet| {
+            let mut h = DefaultHasher::new();
+            s.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&a), hash(&b));
+    }
+
+    #[test]
+    fn site_set_large_union_difference_intersects() {
+        let a: SiteSet = (0..200u16).map(SiteId).collect();
+        let b: SiteSet = (100..300u16).map(SiteId).collect();
+        let u = a.union(&b);
+        assert_eq!(u.len(), 300);
+        let d = a.difference(&b);
+        assert_eq!(d.len(), 100);
+        assert!(d.contains(SiteId(99)));
+        assert!(!d.contains(SiteId(100)));
+        assert!(a.intersects(&b));
+        let far = SiteSet::singleton(SiteId(5000));
+        assert!(!a.intersects(&far));
+        assert!(u.difference(&u).is_empty());
+        // Differencing away the spilled tail re-canonicalizes.
+        let spill_gone = b.difference(&b);
+        assert!(spill_gone.chunks().is_empty());
+    }
+
+    #[test]
+    fn site_set_raw_parts_round_trip() {
+        let s: SiteSet = [SiteId(3), SiteId(64), SiteId(200)].into_iter().collect();
+        let rebuilt = SiteSet::from_raw_parts(s.inline_word(), s.chunks().to_vec());
+        assert_eq!(rebuilt, s);
+        // Trailing zero chunks normalize away.
+        let padded = SiteSet::from_raw_parts(1, vec![0, 0, 0]);
+        assert_eq!(padded, SiteSet::singleton(SiteId(0)));
     }
 }

@@ -37,8 +37,15 @@ impl Decrementer {
     /// from `initial`. Both processes use the *same page*, different
     /// offsets — that conflict is the point of the experiment.
     pub fn new(seg: SegmentId, offset: usize, initial: u32) -> Self {
+        Self::on_page(seg, PageNum(0), offset, initial)
+    }
+
+    /// A decrementer over its own `u32` at `offset` of an arbitrary
+    /// page. The range-sharded placement experiment uses this to put
+    /// independent duels in different library shards of one segment.
+    pub fn on_page(seg: SegmentId, page: PageNum, offset: usize, initial: u32) -> Self {
         Self {
-            counter: MemRef::new(seg, PageNum(0), offset),
+            counter: MemRef::new(seg, page, offset),
             initial,
             state: State::Read,
             initialized: false,

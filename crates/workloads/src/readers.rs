@@ -79,8 +79,14 @@ pub struct PeriodicWriter {
 impl PeriodicWriter {
     /// Builds a writer performing `writes` writes, one per `period`.
     pub fn new(seg: SegmentId, writes: u32, period: SimDuration) -> Self {
+        Self::on_page(seg, PageNum(0), writes, period)
+    }
+
+    /// [`PeriodicWriter::new`] aimed at an arbitrary page, so sharded
+    /// experiments can drive traffic into a specific library shard.
+    pub fn on_page(seg: SegmentId, page: PageNum, writes: u32, period: SimDuration) -> Self {
         Self {
-            target: MemRef::new(seg, PageNum(0), 0),
+            target: MemRef::new(seg, page, 0),
             period,
             writes_left: writes,
             writes_done: 0,
