@@ -35,7 +35,9 @@ impl CostReport {
     pub fn add_msg(&mut self, size: SizeClass, costs: &NetCosts) {
         match size {
             SizeClass::Short => self.shorts += 1,
-            SizeClass::Large => self.larges += 1,
+            // The baseline protocols never send byte-sized (delta)
+            // messages; bucket any with the page-carrying class.
+            SizeClass::Large | SizeClass::Bytes(_) => self.larges += 1,
         }
         self.wire_time += costs.one_way(size);
     }

@@ -3,7 +3,7 @@
 //! second flow through the driver layer (`ProtocolDriver::dispatch`
 //! calls: faults, deliveries, timer firings).
 //!
-//! Two scenarios:
+//! Four scenarios:
 //!
 //! * `fig8_one_simulated_second` — the Figure 8 decrementer pair with
 //!   Δ = 6 ticks. Dominated by simulated user ops; protocol events are
@@ -12,10 +12,17 @@
 //!   write-invalidate): every ownership transfer runs the full
 //!   request/invalidate/grant exchange, so the protocol engine and the
 //!   driver layer dominate. Tracks driver-layer events/sec.
+//! * `driver_pingpong` — two engines wired back to back with no
+//!   simulator at all: the pinned n≤64 hot-path number.
+//! * `invalidation_1024` — a 1,026-site read fan-out invalidated by one
+//!   writer: chunked reader masks and the paged circuit table.
 //!
 //! The committed before/after numbers live in `BENCH_sim_throughput.json`
 //! at the repo root; regenerate the "after" entries by running this
-//! bench on the current tree.
+//! bench on the current tree. A scenario-substring filter skips the
+//! rest (`cargo bench --bench sim_throughput -p mirage-bench --
+//! driver_pingpong` re-checks the n≤64 pin without the ~2s 1,024-site
+//! fan-out).
 
 use std::collections::VecDeque;
 
@@ -212,9 +219,23 @@ fn largen_scenario() -> String {
 }
 
 fn main() {
-    let fig8 = scenario("fig8_one_simulated_second", Delta(6), 1000);
-    let d0 = scenario("delta0_pingpong", Delta(0), 250);
-    let drv = driver_scenario();
-    let largen = largen_scenario();
-    println!("{{\"bench\":\"sim_throughput\",\"results\":[{fig8},{d0},{drv},{largen}]}}");
+    // `cargo bench --bench sim_throughput -- <substr>` runs only the
+    // scenarios whose name contains the filter, like libtest harnesses.
+    // Cargo itself passes `--bench` to the harness; skip flag-shaped
+    // arguments so a plain `cargo bench` still runs everything.
+    let filter = std::env::args().skip(1).find(|a| !a.starts_with("--")).unwrap_or_default();
+    let mut results = Vec::new();
+    if "fig8_one_simulated_second".contains(&filter) {
+        results.push(scenario("fig8_one_simulated_second", Delta(6), 1000));
+    }
+    if "delta0_pingpong".contains(&filter) {
+        results.push(scenario("delta0_pingpong", Delta(0), 250));
+    }
+    if "driver_pingpong".contains(&filter) {
+        results.push(driver_scenario());
+    }
+    if "invalidation_1024".contains(&filter) {
+        results.push(largen_scenario());
+    }
+    println!("{{\"bench\":\"sim_throughput\",\"results\":[{}]}}", results.join(","));
 }

@@ -1,0 +1,54 @@
+//! S1: false sharing with and without sub-page delta grants.
+//!
+//! Two writers scribble disjoint halves of one page at Δ=0; the sweep
+//! compares wire bytes per serve and makespan with diff-based write
+//! propagation off and on. Deterministic at any `--jobs` value.
+
+use mirage_bench::{
+    false_sharing,
+    harness::parse_jobs_flag,
+    print_table,
+};
+
+fn main() {
+    parse_jobs_flag(std::env::args().skip(1));
+    println!("S1 — false sharing: two writers, disjoint halves of one page (Δ=0)");
+    println!("(delta grants ship XOR diffs against the recipient's last copy; full grants ship the §7.2 1024-byte page buffer)\n");
+    let seeds = [1, 2, 3, 4];
+    let rows_raw = false_sharing(&seeds, 2_000);
+    let rows: Vec<Vec<String>> = rows_raw
+        .iter()
+        .map(|r| {
+            vec![
+                r.seed.to_string(),
+                if r.delta_grants { "on" } else { "off" }.to_string(),
+                r.serves.to_string(),
+                r.full_grants.to_string(),
+                r.delta_grants_sent.to_string(),
+                r.wire_bytes.to_string(),
+                format!("{:.1}", r.bytes_per_serve),
+                format!("{:.1}", r.makespan_ms),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "seed",
+            "deltas",
+            "serves",
+            "full",
+            "delta",
+            "wire bytes",
+            "bytes/serve",
+            "makespan ms",
+        ],
+        &rows,
+    );
+    // The headline ratio: how much smaller a serve got, averaged over seeds.
+    let mean = |on: bool| {
+        let sel: Vec<_> = rows_raw.iter().filter(|r| r.delta_grants == on).collect();
+        sel.iter().map(|r| r.bytes_per_serve).sum::<f64>() / sel.len().max(1) as f64
+    };
+    let (off, on) = (mean(false), mean(true));
+    println!("\nmean bytes/serve: off {off:.1}, on {on:.1} — {:.1}x reduction", off / on);
+}

@@ -14,6 +14,7 @@
 //! fault_storm --start 1000     # shifted seed range
 //! fault_storm --check-trace    # sweep with the causal trace oracle too
 //! fault_storm --migrate        # layer a seeded library-handoff schedule
+//! fault_storm --delta          # same seeds with sub-page delta grants on
 //! fault_storm --seed 42        # one seed, verbose outcome
 //! fault_storm --seed 42 --trace# same, narrating every fault decision
 //! ```
@@ -22,6 +23,11 @@
 //! stream (the world shape, workload, and fault plan are unchanged) and
 //! runs them under the same drop/dup/delay/crash schedule, so role
 //! handoffs race messages losses and site crashes.
+//!
+//! `--delta` replays the classic seeds with `delta_grants` enabled: the
+//! world, workload, and fault plan are bit-identical to the plain run
+//! (the flag is set after every PRNG draw), so any divergence in the
+//! oracles is attributable to the diff-based wire form alone.
 //!
 //! `--large` switches to the planet-scale generator: 65–160 sites
 //! (chunked site sets, paged circuit table), a sharded library
@@ -48,6 +54,8 @@ use std::io::Write;
 
 use mirage_sim::{
     run_fuzz_seed,
+    run_fuzz_seed_delta,
+    run_fuzz_seed_delta_traced,
     run_fuzz_seed_large,
     run_fuzz_seed_large_traced,
     run_fuzz_seed_migrating,
@@ -70,6 +78,7 @@ fn main() {
     let mut metrics = false;
     let mut check_trace = false;
     let mut migrate = false;
+    let mut delta = false;
     let mut large = false;
     let mut sites: Option<usize> = None;
     let mut export_chrome: Option<String> = None;
@@ -93,6 +102,7 @@ fn main() {
             "--metrics" => metrics = true,
             "--check-trace" => check_trace = true,
             "--migrate" => migrate = true,
+            "--delta" => delta = true,
             "--large" => large = true,
             "--sites" => {
                 i += 1;
@@ -112,8 +122,9 @@ fn main() {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: fault_storm [--seeds N] [--start S] [--check-trace] \
-                     [--migrate | --large [--sites N]] [--seed S [--trace] [--metrics] \
-                     [--check-trace] [--export-chrome PATH] [--export-jsonl PATH]]"
+                     [--migrate | --delta | --large [--sites N]] [--seed S [--trace] \
+                     [--metrics] [--check-trace] [--export-chrome PATH] \
+                     [--export-jsonl PATH]]"
                 );
                 std::process::exit(2);
             }
@@ -140,6 +151,12 @@ fn main() {
                 run_fuzz_seed_large_traced(seed)
             } else {
                 (run_fuzz_seed_large(seed), Vec::new())
+            }
+        } else if delta {
+            if want_trace {
+                run_fuzz_seed_delta_traced(seed)
+            } else {
+                (run_fuzz_seed_delta(seed), Vec::new())
             }
         } else {
             match (want_trace, migrate) {
@@ -205,6 +222,12 @@ fn main() {
             } else {
                 run_fuzz_seed_large(seed)
             }
+        } else if delta {
+            if check_trace {
+                run_fuzz_seed_delta_traced(seed).0
+            } else {
+                run_fuzz_seed_delta(seed)
+            }
         } else {
             match (check_trace, migrate) {
                 (true, true) => run_fuzz_seed_migrating_traced(seed).0,
@@ -225,6 +248,8 @@ fn main() {
                 " --large"
             } else if migrate {
                 " --migrate"
+            } else if delta {
+                " --delta"
             } else {
                 ""
             };

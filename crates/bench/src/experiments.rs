@@ -40,6 +40,7 @@ use mirage_types::{
 use mirage_workloads::{
     Background,
     Decrementer,
+    FalseSharing,
     LockHolder,
     LockTester,
     PeriodicWriter,
@@ -471,6 +472,66 @@ pub fn migration_hotspot_sharded(task: u32) -> Vec<ShardMigrationRow> {
             shard_sites: (0..2)
                 .map(|s| w.library_shard_site(seg, s).map_or(0, |site| site.0))
                 .collect(),
+        }
+    })
+}
+
+/// S1 result row: one (seed, arm) point of the false-sharing sweep.
+#[derive(Clone, Debug)]
+pub struct FalseSharingRow {
+    /// Workload seed.
+    pub seed: u64,
+    /// Whether diff-based write propagation was on.
+    pub delta_grants: bool,
+    /// Data-carrying grants served (full pages + deltas).
+    pub serves: u64,
+    /// Of those, full 512-byte `PageGrant`s.
+    pub full_grants: u64,
+    /// Of those, `PageGrantDelta` diffs.
+    pub delta_grants_sent: u64,
+    /// Grant payload bytes on the wire (1024 per full grant — the §7.2
+    /// page buffer — plus each delta's encoded size).
+    pub wire_bytes: u64,
+    /// `wire_bytes / serves`.
+    pub bytes_per_serve: f64,
+    /// Simulated completion time under the size-aware cost model (ms).
+    pub makespan_ms: f64,
+}
+
+/// S1: two writers on disjoint halves of one page (the false-sharing
+/// workload), with delta grants off and on, at Δ=0 so every transfer
+/// pays the wire. The off arm ships 1024 bytes per serve; the on arm
+/// should ship a few words once the steady-state shadow pair forms,
+/// and finish sooner because the size-aware cost model charges deltas
+/// by their encoded size.
+pub fn false_sharing(seeds: &[u64], writes: u32) -> Vec<FalseSharingRow> {
+    let runs: Vec<(u64, bool)> = seeds.iter().flat_map(|&s| [(s, false), (s, true)]).collect();
+    par_map(&runs, |&(seed, delta_grants)| {
+        let protocol = ProtocolConfig {
+            delta: DeltaPolicy::Uniform(Delta(0)),
+            delta_grants,
+            ..Default::default()
+        };
+        let mut w = World::new(2, SimConfig { protocol, ..Default::default() });
+        let seg = w.create_segment(0, 1);
+        w.spawn(0, Box::new(FalseSharing::new(seg, 0, seed, writes)), 1);
+        w.spawn(1, Box::new(FalseSharing::new(seg, 1, seed, writes)), 1);
+        let finished = w.run_to_completion(SimTime::from_millis(600_000));
+        debug_assert!(finished, "S1 seed {seed}: false-sharing run must finish");
+        let full_grants = w.instr.msgs.count(mirage_net::MsgKind::PageGrant);
+        let delta_grants_sent = w.instr.msgs.count(mirage_net::MsgKind::PageGrantDelta);
+        let serves = full_grants + delta_grants_sent;
+        let wire_bytes = w.instr.msgs.payload(mirage_net::MsgKind::PageGrant)
+            + w.instr.msgs.payload(mirage_net::MsgKind::PageGrantDelta);
+        FalseSharingRow {
+            seed,
+            delta_grants,
+            serves,
+            full_grants,
+            delta_grants_sent,
+            wire_bytes,
+            bytes_per_serve: wire_bytes as f64 / serves.max(1) as f64,
+            makespan_ms: w.now().as_secs_f64() * 1000.0,
         }
     })
 }

@@ -11,6 +11,7 @@ use mirage_bench::{
     ablation_opts,
     baseline_compare,
     dynamic_delta_with,
+    false_sharing,
     fig7,
     fig8,
     harness::set_jobs,
@@ -66,6 +67,12 @@ fn test_and_set_is_identical_at_any_worker_count() {
 #[test]
 fn thrash_system_is_identical_at_any_worker_count() {
     let (a, b) = at_jobs_1_and_4(|| thrash_system(&[0, 6], 2));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn false_sharing_is_identical_at_any_worker_count() {
+    let (a, b) = at_jobs_1_and_4(|| false_sharing(&[1, 2], 300));
     assert_eq!(a, b);
 }
 

@@ -136,6 +136,14 @@ pub struct ProtocolConfig {
     /// and enabling it never changes protocol behaviour — only what is
     /// observed.
     pub trace: bool,
+    /// Ship grants as XOR diffs against the recipient's last-served
+    /// copy where that is smaller than the full page. Off by default
+    /// (the paper moves whole pages): every site then keeps a per-page
+    /// shadow of the last transfer it exchanged with a peer, tags it
+    /// with a content hash, and serves [`crate::ProtoMsg::PageGrantDelta`]
+    /// to that peer; a receiver whose shadow is missing or stale nacks
+    /// and is escalated to a full [`crate::ProtoMsg::PageGrant`].
+    pub delta_grants: bool,
     /// Pages per relocatable library *shard*. 0 (the default) keeps one
     /// shard spanning the whole segment — the paper's per-segment
     /// library site, byte-identical to the unsharded protocol. A
@@ -164,6 +172,7 @@ impl Default for ProtocolConfig {
             multicast_invalidation: false,
             retry: None,
             trace: false,
+            delta_grants: false,
             shard_pages: 0,
         }
     }
@@ -196,6 +205,7 @@ mod tests {
         assert!(!c.queued_invalidation);
         assert!(!c.multicast_invalidation);
         assert!(c.retry.is_none());
+        assert!(!c.delta_grants);
     }
 
     #[test]

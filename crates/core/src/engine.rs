@@ -16,8 +16,6 @@
 //! allocates nothing; [`SiteEngine::handle`] is a convenience wrapper
 //! that returns an owned `Vec` for tests and diagnostics.
 
-use std::collections::HashMap;
-
 use mirage_trace::{
     SpanId,
     TraceEvent,
@@ -25,6 +23,7 @@ use mirage_trace::{
 };
 use mirage_types::{
     Access,
+    FastMap,
     PageNum,
     Pid,
     SegmentId,
@@ -131,7 +130,7 @@ pub struct SiteEngine {
     pub(crate) config: ProtocolConfig,
     pub(crate) lib: LibState,
     pub(crate) usr: UseState,
-    pub(crate) timers: HashMap<u64, TimerKind>,
+    pub(crate) timers: FastMap<u64, TimerKind>,
     pub(crate) next_token: u64,
     /// Site-local counter backing [`SpanId`] allocation. Only consumed
     /// when tracing is enabled, so the disabled path is untouched; it
@@ -147,7 +146,7 @@ impl SiteEngine {
             config,
             lib: LibState::default(),
             usr: UseState::default(),
-            timers: HashMap::new(),
+            timers: FastMap::default(),
             next_token: 1,
             next_span: 0,
         }
@@ -268,6 +267,11 @@ impl SiteEngine {
             }
             ProtoMsg::PageGrant { seg, page, access, window, data, serial } => {
                 self.use_grant(from, seg, page, access, window, data, serial, store, sink);
+            }
+            ProtoMsg::PageGrantDelta { seg, page, access, window, base_tag, diff, serial } => {
+                self.use_grant_delta(
+                    from, seg, page, access, window, base_tag, diff, serial, store, sink,
+                );
             }
             ProtoMsg::UpgradeGrant { seg, page, window, serial } => {
                 self.use_upgrade(from, seg, page, window, serial, store, sink);

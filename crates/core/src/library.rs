@@ -12,14 +12,12 @@
 //! are plain vector indexing — mirroring the paper's auxpte arrays and
 //! keeping the fault path free of tuple-key hashing.
 
-use std::collections::{
-    HashMap,
-    VecDeque,
-};
+use std::collections::VecDeque;
 
 use mirage_types::{
     Access,
     Delta,
+    FastMap,
     PageNum,
     Pid,
     ReaderSet,
@@ -209,7 +207,7 @@ impl SegMeta {
 /// governs pages `[shard * shard_pages, (shard + 1) * shard_pages)`.
 #[derive(Debug, Default)]
 pub struct LibState {
-    index: HashMap<SegmentId, usize>,
+    index: FastMap<SegmentId, usize>,
     segs: Vec<Vec<LibPage>>,
     meta: Vec<Vec<SegMeta>>,
     /// Pages per library shard; 0 = sharding off (one shard spans the

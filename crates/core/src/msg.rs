@@ -16,6 +16,7 @@ use mirage_types::{
     Access,
     Delta,
     MirageError,
+    PageDiff,
     PageNum,
     Pid,
     Result,
@@ -324,6 +325,32 @@ pub enum ProtoMsg {
         /// itself a stub, which redirects again with a higher epoch).
         to: SiteId,
     },
+    /// Storing site → requester: the page as an XOR diff against the
+    /// copy this recipient was last served (delta-grant mode only;
+    /// variable size, proportional to the bytes that changed). The
+    /// receiver validates `base_tag` against its own shadow of that
+    /// last transfer and answers with [`ProtoMsg::UpgradeNack`] if the
+    /// base is unknown or stale, escalating to a full
+    /// [`ProtoMsg::PageGrant`].
+    PageGrantDelta {
+        /// Segment.
+        seg: SegmentId,
+        /// Page.
+        page: PageNum,
+        /// Granted as read or write copy.
+        access: Access,
+        /// Window to install with the page.
+        window: Delta,
+        /// [`mirage_types::fnv64`] hash of the base page content the
+        /// diff was computed against — the bytes of the last full or
+        /// patched transfer between these two sites.
+        base_tag: u64,
+        /// Canonical XOR spans turning the base into the served page.
+        diff: PageDiff,
+        /// Demand serial the grant satisfies, gated exactly like a full
+        /// grant's. 0 when retry is disabled.
+        serial: u32,
+    },
 }
 
 impl ProtoMsg {
@@ -344,7 +371,8 @@ impl ProtoMsg {
             | ProtoMsg::UpgradeNack { seg, page, .. }
             | ProtoMsg::LibraryHandoff { seg, page, .. }
             | ProtoMsg::LibraryHandoffAck { seg, page, .. }
-            | ProtoMsg::LibraryRedirect { seg, page, .. } => (*seg, *page),
+            | ProtoMsg::LibraryRedirect { seg, page, .. }
+            | ProtoMsg::PageGrantDelta { seg, page, .. } => (*seg, *page),
         }
     }
 
@@ -366,8 +394,21 @@ impl ProtoMsg {
             ProtoMsg::LibraryHandoff { .. } => MsgKind::LibraryHandoff,
             ProtoMsg::LibraryHandoffAck { .. } => MsgKind::LibraryHandoffAck,
             ProtoMsg::LibraryRedirect { .. } => MsgKind::LibraryRedirect,
+            ProtoMsg::PageGrantDelta { .. } => MsgKind::PageGrantDelta,
         }
     }
+
+    /// Payload bytes of a delta grant as charged by the size-aware cost
+    /// model and compared against a full grant by the sender: the
+    /// 8-byte base tag plus the encoded diff spans.
+    pub fn delta_payload_bytes(diff: &PageDiff) -> usize {
+        8 + diff.wire_size()
+    }
+
+    /// Payload bytes of a full [`ProtoMsg::PageGrant`]: the length
+    /// prefix plus the page itself. A delta is only worth sending when
+    /// its payload is strictly smaller than this.
+    pub const FULL_GRANT_PAYLOAD_BYTES: usize = 4 + PAGE_SIZE;
 
     /// A short human tag for instrumentation.
     pub fn tag(&self) -> &'static str {
@@ -379,6 +420,9 @@ impl Sized2 for ProtoMsg {
     fn size_class(&self) -> SizeClass {
         match self {
             ProtoMsg::PageGrant { .. } | ProtoMsg::LibraryHandoff { .. } => SizeClass::Large,
+            ProtoMsg::PageGrantDelta { diff, .. } => {
+                SizeClass::Bytes(ProtoMsg::delta_payload_bytes(diff) as u32)
+            }
             _ => SizeClass::Short,
         }
     }
@@ -598,6 +642,16 @@ impl Wire for ProtoMsg {
                 epoch.encode(buf);
                 to.encode(buf);
             }
+            ProtoMsg::PageGrantDelta { seg, page, access, window, base_tag, diff, serial } => {
+                buf.push(15);
+                seg.encode(buf);
+                page.encode(buf);
+                access.encode(buf);
+                window.encode(buf);
+                serial.encode(buf);
+                base_tag.encode(buf);
+                diff.encode(buf);
+            }
         }
     }
 
@@ -679,6 +733,15 @@ impl Wire for ProtoMsg {
                 page,
                 epoch: u32::decode(buf)?,
                 to: SiteId::decode(buf)?,
+            },
+            15 => ProtoMsg::PageGrantDelta {
+                seg,
+                page,
+                access: Access::decode(buf)?,
+                window: Delta::decode(buf)?,
+                serial: u32::decode(buf)?,
+                base_tag: u64::decode(buf)?,
+                diff: PageDiff::decode(buf)?,
             },
             _ => return Err(MirageError::Codec("bad ProtoMsg discriminant")),
         })
@@ -792,6 +855,21 @@ mod tests {
             },
             ProtoMsg::LibraryHandoffAck { seg: seg(), page: PageNum(0), epoch: 1 },
             ProtoMsg::LibraryRedirect { seg: seg(), page: PageNum(3), epoch: 1, to: SiteId(2) },
+            ProtoMsg::PageGrantDelta {
+                seg: seg(),
+                page: PageNum(2),
+                access: Access::Write,
+                window: Delta(6),
+                base_tag: 0xDEAD_BEEF_CAFE_F00D,
+                diff: {
+                    let base = [0u8; PAGE_SIZE];
+                    let mut target = base;
+                    target[10..14].copy_from_slice(&[1, 2, 3, 4]);
+                    target[500] = 9;
+                    PageDiff::compute(&base, &target)
+                },
+                serial: 7,
+            },
         ]
     }
 
@@ -810,6 +888,17 @@ mod tests {
             let expect_large =
                 matches!(m, ProtoMsg::PageGrant { .. } | ProtoMsg::LibraryHandoff { .. });
             assert_eq!(m.size_class() == SizeClass::Large, expect_large, "{}", m.tag());
+        }
+    }
+
+    #[test]
+    fn delta_grant_is_byte_sized() {
+        for m in all_messages() {
+            if let ProtoMsg::PageGrantDelta { diff, .. } = &m {
+                let payload = ProtoMsg::delta_payload_bytes(diff);
+                assert_eq!(m.size_class(), SizeClass::Bytes(payload as u32));
+                assert!(payload < ProtoMsg::FULL_GRANT_PAYLOAD_BYTES);
+            }
         }
     }
 

@@ -9,10 +9,7 @@
 //! deferred clock duties), so the fault path hashes nothing per page and
 //! steady-state handling allocates nothing.
 
-use std::collections::{
-    HashMap,
-    VecDeque,
-};
+use std::collections::VecDeque;
 
 use mirage_mem::{
     AuxTable,
@@ -20,8 +17,11 @@ use mirage_mem::{
 };
 use mirage_trace::TraceKind;
 use mirage_types::{
+    fnv64,
     Access,
     Delta,
+    FastMap,
+    PageDiff,
     PageNum,
     PageProt,
     Pid,
@@ -106,6 +106,25 @@ struct PendingGrant {
     attempt: u32,
 }
 
+/// The remembered content of this page's last data transfer between
+/// this site and `peer` (delta-grant mode only).
+///
+/// One slot per page per site bounds the memory to a single retained
+/// page image; every transfer (full grant emitted, full grant
+/// installed, delta patched) replaces it. The sender diffs against its
+/// slot when serving `peer` again; the receiver patches into a clone of
+/// its slot after checking `tag`. The tag is the [`fnv64`] hash of the
+/// content, computed independently at both ends, so any full-page
+/// transfer bootstraps delta mode without widening the full-grant wire
+/// format. Volatile: cleared on crash, evicted when the peer nacks a
+/// delta (its slot diverged, e.g. across a crash).
+#[derive(Debug)]
+struct ShadowBase {
+    peer: SiteId,
+    tag: u64,
+    data: PageData,
+}
+
 /// A clock-site duty that arrived before the page it concerns.
 ///
 /// The library serializes demands per page, but the page *data* travels
@@ -170,6 +189,10 @@ struct UsePage {
     /// Causal span of the clock duty in progress (volatile; raw span
     /// bits, 0 outside an invalidation round).
     duty_span: u64,
+    /// Last data transfer exchanged with a peer, the delta-grant base
+    /// (volatile; `None` whenever [`ProtocolConfig::delta_grants`] is
+    /// off, so the default configuration allocates nothing here).
+    shadow: Option<Box<ShadowBase>>,
 }
 
 /// Per-segment using-site state: the auxiliary table plus the dense
@@ -204,7 +227,7 @@ impl SegState {
 /// `segs` once, and page lookups are then direct vector indexing.
 #[derive(Debug, Default)]
 pub struct UseState {
-    index: HashMap<SegmentId, usize>,
+    index: FastMap<SegmentId, usize>,
     segs: Vec<SegState>,
     /// Reused by `wake_satisfied` so waking waiters allocates nothing.
     wake_scratch: Vec<Pid>,
@@ -325,6 +348,9 @@ impl UseState {
                 for g in &mut e.pending_grants {
                     g.attempt = 0;
                 }
+                // The delta base is volatile by design: a restarted
+                // site must never patch against a pre-crash image.
+                e.shadow = None;
             }
         }
     }
@@ -538,19 +564,18 @@ impl SiteEngine {
                     sink,
                 );
             }
-            self.emit(
+            let sent_delta = self.emit_data_grant(
+                seg,
+                page,
                 r,
-                ProtoMsg::PageGrant {
-                    seg,
-                    page,
-                    access: Access::Read,
-                    window,
-                    data: data.clone(),
-                    serial,
-                },
+                Access::Read,
+                window,
+                data.clone(),
+                serial,
+                duty,
                 sink,
             );
-            if self.tracing() {
+            if self.tracing() && !sent_delta {
                 let mut ev = self.trace_event(TraceKind::GrantSent, duty, seg, page, sink);
                 ev.peer = Some(r);
                 ev.access = Some(Access::Read);
@@ -765,19 +790,18 @@ impl SiteEngine {
                             sink,
                         );
                     }
-                    self.emit(
+                    let sent_delta = self.emit_data_grant(
+                        seg,
+                        page,
                         r,
-                        ProtoMsg::PageGrant {
-                            seg,
-                            page,
-                            access: Access::Read,
-                            window,
-                            data: data.clone(),
-                            serial,
-                        },
+                        Access::Read,
+                        window,
+                        data.clone(),
+                        serial,
+                        duty,
                         sink,
                     );
-                    if self.tracing() {
+                    if self.tracing() && !sent_delta {
                         let mut ev =
                             self.trace_event(TraceKind::GrantSent, duty, seg, page, sink);
                         ev.peer = Some(r);
@@ -1247,19 +1271,18 @@ impl SiteEngine {
                     sink,
                 );
             }
-            self.emit(
+            let sent_delta = self.emit_data_grant(
+                seg,
+                page,
                 to,
-                ProtoMsg::PageGrant {
-                    seg,
-                    page,
-                    access: Access::Write,
-                    window: round.window,
-                    data,
-                    serial,
-                },
+                Access::Write,
+                round.window,
+                data,
+                serial,
+                duty,
                 sink,
             );
-            if self.tracing() {
+            if self.tracing() && !sent_delta {
                 let mut ev = self.trace_event(TraceKind::GrantSent, duty, seg, page, sink);
                 ev.peer = Some(to);
                 ev.access = Some(Access::Write);
@@ -1325,6 +1348,110 @@ impl SiteEngine {
                 self.emit(from, ProtoMsg::GrantAck { seg, page, serial }, sink);
                 return;
             }
+        }
+        self.install_grant(from, seg, page, access, window, data, serial, store, sink);
+    }
+
+    /// A grant arrived as a diff against the last transfer we exchanged
+    /// with the granter (delta-grant mode). Patch a clone of the shadow
+    /// slot and install the result exactly as a full grant would be
+    /// installed; when the slot is missing or its tag does not match
+    /// the base the sender diffed against, nack so the granter
+    /// escalates to a full [`ProtoMsg::PageGrant`].
+    #[allow(clippy::too_many_arguments)] // Mirrors the wire message fields.
+    pub(crate) fn use_grant_delta(
+        &mut self,
+        from: SiteId,
+        seg: SegmentId,
+        page: PageNum,
+        access: Access,
+        window: Delta,
+        base_tag: u64,
+        diff: PageDiff,
+        serial: u32,
+        store: &mut dyn PageStore,
+        sink: &mut ActionSink,
+    ) {
+        let retry_on = self.config.retry.is_some();
+        if retry_on {
+            let stale = self
+                .usr
+                .seg(seg)
+                .and_then(|s| s.pages.get(page.index()))
+                .is_some_and(|e| serial < e.min_install_serial);
+            if stale {
+                if self.tracing() {
+                    let mut ev =
+                        self.trace_event(TraceKind::StaleGrantDropped, 0, seg, page, sink);
+                    ev.peer = Some(from);
+                    ev.access = Some(access);
+                    ev.serial = serial;
+                    self.push_trace(ev, sink);
+                }
+                self.emit(from, ProtoMsg::GrantAck { seg, page, serial }, sink);
+                return;
+            }
+        }
+        // The base is the retained shadow, never the live frame: a
+        // relinquished frame has no bytes left, and the tag is a content
+        // hash, so a matching slot holds the exact bytes the sender
+        // diffed against no matter which peer delivered them.
+        let patched = self.usr.entry_mut(seg, page).and_then(|e| {
+            let sh = e.shadow.as_ref()?;
+            if sh.tag != base_tag {
+                return None;
+            }
+            let mut data = sh.data.clone();
+            diff.apply(data.as_bytes_mut());
+            Some(data)
+        });
+        let Some(data) = patched else {
+            // Missing or diverged base (e.g. we restarted since the last
+            // transfer, or the original delta this retransmission
+            // duplicates was lost before it could advance our slot). The
+            // granter evicts its slot for us and escalates the retained
+            // grant to a full transfer.
+            if self.tracing() {
+                let mut ev = self.trace_event(TraceKind::DeltaRejected, 0, seg, page, sink);
+                ev.peer = Some(from);
+                ev.access = Some(access);
+                ev.serial = serial;
+                ev.detail = base_tag;
+                self.push_trace(ev, sink);
+            }
+            self.emit(from, ProtoMsg::UpgradeNack { seg, page, serial }, sink);
+            return;
+        };
+        if self.tracing() {
+            let mut ev = self.trace_event(TraceKind::DeltaPatched, 0, seg, page, sink);
+            ev.peer = Some(from);
+            ev.access = Some(access);
+            ev.serial = serial;
+            ev.detail = fnv64(data.as_bytes());
+            self.push_trace(ev, sink);
+        }
+        self.install_grant(from, seg, page, access, window, data, serial, store, sink);
+    }
+
+    /// Shared install tail for full grants and patched deltas: map the
+    /// bytes, refresh the aux window, close out request state, trace,
+    /// ack (retry mode), and wake.
+    #[allow(clippy::too_many_arguments)]
+    fn install_grant(
+        &mut self,
+        from: SiteId,
+        seg: SegmentId,
+        page: PageNum,
+        access: Access,
+        window: Delta,
+        data: PageData,
+        serial: u32,
+        store: &mut dyn PageStore,
+        sink: &mut ActionSink,
+    ) {
+        let retry_on = self.config.retry.is_some();
+        if self.config.delta_grants {
+            self.set_shadow(seg, page, from, &data);
         }
         let prot = match access {
             Access::Read => PageProt::Read,
@@ -1495,6 +1622,99 @@ impl SiteEngine {
         }
     }
 
+    /// Emits a data-carrying grant to `to`, choosing the wire form:
+    /// when delta grants are on and the shadow slot holds this
+    /// recipient's last transfer, ship an XOR diff against it wherever
+    /// that is smaller than the full page; otherwise ship the page.
+    /// Either way the slot advances to the content now on the wire, so
+    /// a retransmission recomputes against the *current* slot — after a
+    /// successful first delta that yields an empty diff the installed
+    /// receiver acks as stale, and after a *lost* first delta the
+    /// receiver's tag mismatches, it nacks, and the grant escalates to
+    /// a full transfer.
+    ///
+    /// Returns true when a delta was sent (and traced as
+    /// [`TraceKind::DeltaGrantSent`]); the caller traces its own
+    /// `GrantSent` only for the full form, so the two kinds partition
+    /// data grants for the metrics split.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_data_grant(
+        &mut self,
+        seg: SegmentId,
+        page: PageNum,
+        to: SiteId,
+        access: Access,
+        window: Delta,
+        data: PageData,
+        serial: u32,
+        span: u64,
+        sink: &mut ActionSink,
+    ) -> bool {
+        if self.config.delta_grants {
+            let choice = self.usr.entry_mut(seg, page).and_then(|e| {
+                let sh = e.shadow.as_ref()?;
+                if sh.peer != to {
+                    return None;
+                }
+                let diff = PageDiff::compute(sh.data.as_bytes(), data.as_bytes());
+                let payload = ProtoMsg::delta_payload_bytes(&diff);
+                (payload < ProtoMsg::FULL_GRANT_PAYLOAD_BYTES)
+                    .then_some((sh.tag, diff, payload))
+            });
+            self.set_shadow(seg, page, to, &data);
+            if let Some((base_tag, diff, payload)) = choice {
+                let tag = fnv64(data.as_bytes());
+                self.emit(
+                    to,
+                    ProtoMsg::PageGrantDelta {
+                        seg,
+                        page,
+                        access,
+                        window,
+                        base_tag,
+                        diff,
+                        serial,
+                    },
+                    sink,
+                );
+                if self.tracing() {
+                    let mut ev =
+                        self.trace_event(TraceKind::DeltaGrantSent, span, seg, page, sink);
+                    ev.peer = Some(to);
+                    ev.access = Some(access);
+                    ev.serial = serial;
+                    ev.detail = tag;
+                    ev.epoch = payload as u32;
+                    self.push_trace(ev, sink);
+                }
+                return true;
+            }
+        }
+        self.emit(to, ProtoMsg::PageGrant { seg, page, access, window, data, serial }, sink);
+        false
+    }
+
+    /// Replaces the page's delta base with the content just transferred
+    /// to or from `peer` (delta-grant mode only). Reuses the slot's
+    /// allocation once one exists, so steady-state ping-pong does not
+    /// churn the heap.
+    fn set_shadow(&mut self, seg: SegmentId, page: PageNum, peer: SiteId, data: &PageData) {
+        let Some(entry) = self.usr.entry_mut(seg, page) else {
+            return;
+        };
+        let tag = fnv64(data.as_bytes());
+        match entry.shadow.as_deref_mut() {
+            Some(sh) => {
+                sh.peer = peer;
+                sh.tag = tag;
+                sh.data.as_bytes_mut().copy_from_slice(data.as_bytes());
+            }
+            None => {
+                entry.shadow = Some(Box::new(ShadowBase { peer, tag, data: data.clone() }));
+            }
+        }
+    }
+
     /// Remembers a grant until its receiver acknowledges installation
     /// (retry mode), arming the retransmit chain. Retransmitted serve
     /// instructions can re-grant the same (receiver, serial) pair;
@@ -1532,6 +1752,13 @@ impl SiteEngine {
         let Some(entry) = self.usr.entry_mut(seg, page) else {
             return;
         };
+        // A nack also rejects a delta whose base the receiver no longer
+        // holds: drop our slot for that peer so we stop diffing against
+        // a base it cannot patch (the escalated full grant below
+        // re-bootstraps it).
+        if entry.shadow.as_deref().is_some_and(|sh| sh.peer == from) {
+            entry.shadow = None;
+        }
         let Some(g) =
             entry.pending_grants.iter_mut().find(|g| g.to == from && g.serial == serial)
         else {
@@ -1539,6 +1766,9 @@ impl SiteEngine {
         };
         g.upgrade = false;
         let (to, window, data, access) = (g.to, g.window, g.data.clone(), g.access);
+        if self.config.delta_grants {
+            self.set_shadow(seg, page, to, &data);
+        }
         if self.tracing() {
             let mut ev = self.trace_event(TraceKind::GrantEscalated, 0, seg, page, sink);
             ev.peer = Some(to);
@@ -1626,11 +1856,10 @@ impl SiteEngine {
             if upgrade {
                 self.emit(to, ProtoMsg::UpgradeGrant { seg, page, window, serial }, sink);
             } else {
-                self.emit(
-                    to,
-                    ProtoMsg::PageGrant { seg, page, access, window, data, serial },
-                    sink,
-                );
+                // Re-decides the wire form against the current shadow;
+                // see `emit_data_grant` for why a retransmit after a
+                // lost delta escalates instead of wedging.
+                self.emit_data_grant(seg, page, to, access, window, data, serial, 0, sink);
             }
         }
         self.arm_retry(attempt, TimerKind::GrantRetry { seg, page, serial }, sink);

@@ -133,6 +133,7 @@ fn coherent_with_all_optimizations_disabled() {
             multicast_invalidation: false,
             retry: None,
             trace: false,
+            delta_grants: false,
             shard_pages: 0,
         };
         let ops = gen_ops(&mut r, 3, 2, 40);
@@ -152,6 +153,7 @@ fn coherent_with_queued_invalidation_and_multicast() {
             multicast_invalidation: true,
             retry: None,
             trace: false,
+            delta_grants: false,
             shard_pages: 0,
         };
         let ops = gen_ops(&mut r, 4, 2, 40);

@@ -1,0 +1,197 @@
+//! End-to-end tests for diff-based write propagation (delta grants).
+//!
+//! The tentpole guarantees: with `delta_grants` off the wire carries
+//! exactly the paper's full-page grants (byte-identical behaviour);
+//! with it on, steady-state transfers between a stable pair of sites
+//! ship as `PageGrantDelta` diffs, every patched page is byte-identical
+//! to what a full serve would have installed (cross-checked by the
+//! trace oracle's tag rule), and any site whose shadow base is missing
+//! or stale is nacked back onto the full-grant path.
+
+mod common;
+
+use common::Cluster;
+use mirage_core::{
+    ProtocolConfig,
+    RetryPolicy,
+};
+use mirage_trace::TraceKind;
+use mirage_types::{
+    Access,
+    Delta,
+    PageNum,
+    SiteId,
+};
+
+const PAGE: PageNum = PageNum(0);
+
+fn delta_config() -> ProtocolConfig {
+    ProtocolConfig { delta_grants: true, ..ProtocolConfig::paper(Delta::ZERO) }
+}
+
+fn delta_retry_config() -> ProtocolConfig {
+    ProtocolConfig { retry: Some(RetryPolicy::default()), ..delta_config() }
+}
+
+/// With the flag off (the default), nothing delta-related ever appears:
+/// no `PageGrantDelta` on the wire, no delta trace events.
+#[test]
+fn delta_off_emits_no_delta_traffic() {
+    let mut c = Cluster::new(3, ProtocolConfig::paper(Delta::ZERO));
+    let seg = c.create_segment(0, 1);
+    for round in 0..4 {
+        c.write_u32(1, seg, PAGE, 0, round);
+        c.write_u32(2, seg, PAGE, 256, round + 100);
+    }
+    assert_eq!(c.sent_count("PageGrantDelta"), 0);
+    for kind in [TraceKind::DeltaGrantSent, TraceKind::DeltaPatched, TraceKind::DeltaRejected] {
+        assert_eq!(c.trace_count(kind), 0, "delta-off run traced a {kind:?}");
+    }
+    c.check_coherence(seg, PAGE);
+}
+
+/// Two writers ping-ponging disjoint halves of one page: after the
+/// bootstrap full transfers, every grant between the stable pair ships
+/// as a delta, and each patch reconstructs the full-serve bytes.
+#[test]
+fn false_sharing_pingpong_settles_into_deltas() {
+    let mut c = Cluster::new(3, delta_config());
+    let seg = c.create_segment(0, 1);
+    for round in 0..6 {
+        c.write_u32(1, seg, PAGE, 0, 0xAA00 + round);
+        c.write_u32(2, seg, PAGE, 256, 0xBB00 + round);
+    }
+    // Both halves visible, from both writers' final values.
+    assert_eq!(c.read_u32(1, seg, PAGE, 0), 0xAA05);
+    assert_eq!(c.read_u32(1, seg, PAGE, 256), 0xBB05);
+    let deltas = c.sent_count("PageGrantDelta");
+    let fulls = c.sent_count("PageGrant");
+    assert!(deltas >= 8, "steady-state pair kept sending full grants ({deltas} deltas)");
+    assert!(fulls <= 4, "only the bootstrap transfers may be full pages, got {fulls}");
+    assert_eq!(
+        c.trace_count(TraceKind::DeltaPatched),
+        deltas,
+        "every delta on this lossless wire must patch cleanly"
+    );
+    assert_eq!(c.trace_count(TraceKind::DeltaRejected), 0);
+    // check_trace (inside) enforces the tag rule: patched == full-serve.
+    c.check_coherence(seg, PAGE);
+}
+
+/// A delta whose diff would not undercut the full-page payload is sent
+/// as a full grant: rewriting the whole page every round keeps the
+/// protocol on `PageGrant` even with the feature enabled.
+#[test]
+fn incompressible_changes_fall_back_to_full_grants() {
+    let mut c = Cluster::new(2, delta_config());
+    let seg = c.create_segment(0, 1);
+    use mirage_core::PageStore;
+    for round in 0..4u32 {
+        // Overwrite every word of the page at the current writer.
+        let site = (round % 2) as usize;
+        for _ in 0..8 {
+            if c.stores[site].prot(seg, PAGE).permits(Access::Write) {
+                break;
+            }
+            c.fault(site, seg, PAGE, Access::Write);
+        }
+        assert!(c.stores[site].prot(seg, PAGE).permits(Access::Write));
+        let frame = c.stores[site].segment_mut(seg).unwrap().frame_mut(PAGE).unwrap();
+        for off in (0..512).step_by(4) {
+            frame.store_u32(off, round.wrapping_mul(0x9E37_79B9) ^ off as u32);
+        }
+    }
+    assert_eq!(
+        c.sent_count("PageGrantDelta"),
+        0,
+        "whole-page rewrites must not win the size race"
+    );
+    assert!(c.sent_count("PageGrant") >= 3);
+    c.check_coherence(seg, PAGE);
+}
+
+/// Retry mode, lost delta: the receiver never advanced its shadow, so
+/// the retransmission (recomputed against the granter's advanced slot)
+/// carries a base tag the receiver cannot match. It nacks, the granter
+/// escalates to a full grant, and the write completes.
+#[test]
+fn lost_delta_retransmission_escalates_to_full_grant() {
+    let mut c = Cluster::new(2, delta_retry_config());
+    let seg = c.create_segment(0, 1);
+    c.write_u32(0, seg, PAGE, 0, 1);
+    c.write_u32(1, seg, PAGE, 4, 2);
+    c.write_u32(0, seg, PAGE, 8, 3);
+    // The pair is in delta steady state now; lose the next delta.
+    assert!(c.trace_count(TraceKind::DeltaPatched) >= 1, "setup never used a delta");
+    c.fault_no_run(1, 1, seg, PAGE, Access::Write);
+    c.run_messages_dropping(1, |_, to, m| to == SiteId(1) && m.tag() == "PageGrantDelta");
+    // Also lose the requester's first re-request, so the granter's
+    // retransmit timer — not a fresh serve — recovers the grant.
+    c.run_dropping(1, |from, _, m| from == SiteId(1) && m.tag() == "PageRequest");
+    c.write_u32(1, seg, PAGE, 12, 4);
+    assert_eq!(c.read_u32(0, seg, PAGE, 12), 4);
+    assert!(
+        c.trace_count(TraceKind::DeltaRejected) >= 1,
+        "stale-base retransmission was not rejected"
+    );
+    assert!(
+        c.trace_count(TraceKind::GrantEscalated) >= 1,
+        "rejection did not escalate to a full grant"
+    );
+    assert!(c.sent_count("PageGrant") >= 1, "no full grant after escalation");
+    c.check_coherence(seg, PAGE);
+}
+
+/// Retry mode, receiver crashes while the delta is in flight: the
+/// shadow base is volatile, so the restarted site cannot patch the
+/// retransmitted delta. It must nack and be escalated — never install
+/// a patch against a pre-crash base.
+#[test]
+fn crash_mid_delta_retransmit_escalates_after_restart() {
+    let mut c = Cluster::new(2, delta_retry_config());
+    let seg = c.create_segment(0, 1);
+    c.write_u32(0, seg, PAGE, 0, 1);
+    c.write_u32(1, seg, PAGE, 4, 2);
+    c.write_u32(0, seg, PAGE, 8, 3);
+    assert!(c.trace_count(TraceKind::DeltaPatched) >= 1, "setup never used a delta");
+    // Site 1 demands the page; the delta grant is lost, and the crash
+    // takes site 1's volatile shadow with it before the retry fires.
+    c.fault_no_run(1, 1, seg, PAGE, Access::Write);
+    c.run_messages_dropping(1, |_, to, m| to == SiteId(1) && m.tag() == "PageGrantDelta");
+    c.crash(1);
+    c.restart(1);
+    c.run();
+    // The granter's retained grant retransmits (as a delta, its slot
+    // still names site 1), the shadowless receiver rejects it, and the
+    // escalated full grant lands.
+    c.write_u32(1, seg, PAGE, 12, 4);
+    assert_eq!(c.read_u32(0, seg, PAGE, 12), 4);
+    assert!(
+        c.trace_count(TraceKind::DeltaRejected) >= 1,
+        "restarted site patched against a lost base"
+    );
+    assert!(c.trace_count(TraceKind::GrantEscalated) >= 1);
+    c.check_coherence(seg, PAGE);
+}
+
+/// Duplicated deltas are idempotent: the second copy arrives after the
+/// first installed and is dropped by the stale-serial floor.
+#[test]
+fn duplicated_delta_is_dropped_stale() {
+    let mut c = Cluster::new(2, delta_retry_config());
+    let seg = c.create_segment(0, 1);
+    c.write_u32(0, seg, PAGE, 0, 1);
+    c.write_u32(1, seg, PAGE, 4, 2);
+    c.write_u32(0, seg, PAGE, 8, 3);
+    assert!(c.trace_count(TraceKind::DeltaPatched) >= 1, "setup never used a delta");
+    c.fault_no_run(1, 1, seg, PAGE, Access::Write);
+    c.run_duplicating(1, |_, to, m| to == SiteId(1) && m.tag() == "PageGrantDelta");
+    c.write_u32(1, seg, PAGE, 12, 4);
+    assert_eq!(c.read_u32(0, seg, PAGE, 12), 4);
+    assert!(
+        c.trace_count(TraceKind::StaleGrantDropped) >= 1,
+        "duplicate delta was not dropped as stale"
+    );
+    assert_eq!(c.trace_count(TraceKind::DeltaRejected), 0);
+    c.check_coherence(seg, PAGE);
+}

@@ -329,10 +329,11 @@ mod reference {
                 ProtoMsg::DoneAck { .. }
                 | ProtoMsg::GrantAck { .. }
                 | ProtoMsg::UpgradeNack { .. }
+                | ProtoMsg::PageGrantDelta { .. }
                 | ProtoMsg::LibraryHandoff { .. }
                 | ProtoMsg::LibraryHandoffAck { .. }
                 | ProtoMsg::LibraryRedirect { .. } => {
-                    unreachable!("spec engine runs with retry disabled");
+                    unreachable!("spec engine runs with retry and delta grants disabled");
                 }
             }
         }
@@ -1293,6 +1294,7 @@ fn dense_tables_match_reference_no_optimizations() {
             multicast_invalidation: false,
             retry: None,
             trace: false,
+            delta_grants: false,
             shard_pages: 0,
         };
         run_case(&mut r, 3, 2, cfg, 60);
@@ -1311,6 +1313,7 @@ fn dense_tables_match_reference_queued_and_multicast() {
             multicast_invalidation: true,
             retry: None,
             trace: false,
+            delta_grants: false,
             shard_pages: 0,
         };
         run_case(&mut r, 5, 2, cfg, 80);

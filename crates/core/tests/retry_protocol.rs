@@ -204,6 +204,52 @@ fn crash_restart_retransmits_pending_grant() {
     c.check_coherence(seg, PAGE);
 }
 
+/// Delta mode, granter crashes mid-delta-retransmit: the pending-grant
+/// table survives the restart (it is persistent, as above) but the
+/// per-peer shadow slots are volatile, so the restarted granter cannot
+/// re-encode the delta — the recovery grant must arrive as a full
+/// `PageGrant`. The receiver-side crash twin of this shape lives in
+/// `delta_grants.rs` (`crash_mid_delta_retransmit_escalates_after_restart`).
+#[test]
+fn granter_crash_mid_delta_retransmit_recovers_with_full_grant() {
+    let delta_retry = ProtocolConfig {
+        delta_grants: true,
+        retry: Some(RetryPolicy::default()),
+        ..ProtocolConfig::paper(Delta::ZERO)
+    };
+    let mut c = Cluster::new(2, delta_retry);
+    let seg = c.create_segment(0, 1);
+    // Ping-pong into delta steady state, then lose the next delta.
+    c.write_u32(0, seg, PAGE, 0, 1);
+    c.write_u32(1, seg, PAGE, 4, 2);
+    c.write_u32(0, seg, PAGE, 8, 3);
+    let patched_before_crash = c.trace_count(TraceKind::DeltaPatched);
+    assert!(patched_before_crash >= 1, "setup never used a delta");
+    c.fault_no_run(1, 1, seg, PAGE, Access::Write);
+    c.run_messages_dropping(1, |_, to, m| to == SiteId(1) && m.tag() == "PageGrantDelta");
+    let full_before = c.sent_count("PageGrant");
+    let deltas_before = c.sent_count("PageGrantDelta");
+    // The granter crashes before its retransmit timer fires; the crash
+    // takes the shadow slots (volatile) but not the pending grant.
+    c.crash(0);
+    c.restart(0);
+    c.run();
+    // The recovery retransmit itself must be a full grant: the restarted
+    // granter has no shadow to encode a delta against.
+    assert!(c.sent_count("PageGrant") > full_before, "restart never retransmitted the grant");
+    assert_eq!(
+        c.sent_count("PageGrantDelta"),
+        deltas_before,
+        "restarted granter re-encoded a delta against a shadow lost in the crash"
+    );
+    c.write_u32(1, seg, PAGE, 12, 4);
+    assert_eq!(c.read_u32(0, seg, PAGE, 12), 4);
+    // The full recovery grant re-establishes a shared base, so the pair
+    // may resume deltas afterwards — but nothing patched across the
+    // crash itself until that grant landed.
+    c.check_coherence(seg, PAGE);
+}
+
 /// The library site crashes mid-handoff: it has frozen the role and
 /// sent the snapshot, but both the snapshot and the site itself are
 /// lost before any acknowledgement. The pending handoff is persistent

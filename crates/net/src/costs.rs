@@ -19,6 +19,12 @@ pub enum SizeClass {
     Short,
     /// Page-carrying message (1024-byte buffer).
     Large,
+    /// Variable-payload message carrying the given number of payload
+    /// bytes (delta grants). Charged by linear interpolation between
+    /// the short (0-byte) and large (1024-byte) calibration points, so
+    /// `Bytes(0)` costs exactly a short message and `Bytes(1024)`
+    /// exactly a large one.
+    Bytes(u32),
 }
 
 /// The component-cost model, in simulated time.
@@ -99,6 +105,14 @@ impl NetCosts {
         let half = match size {
             SizeClass::Short => self.short_half,
             SizeClass::Large => self.large_half,
+            SizeClass::Bytes(b) => {
+                // Interpolate between the two calibrated points: the
+                // short (header-only) cost is the per-message floor,
+                // and each payload byte buys a 1/1024 share of the
+                // short→large spread.
+                let spread = self.large_half.0.saturating_sub(self.short_half.0);
+                SimDuration(self.short_half.0 + spread * u64::from(b) / 1024)
+            }
         };
         half.scale(2)
     }
@@ -165,6 +179,23 @@ mod tests {
         let c = NetCosts::vax_locus();
         let ms = c.one_way(SizeClass::Large).as_millis_f64();
         assert!((ms - 15.0).abs() < 0.1, "large one-way should be ≈15 ms, got {ms}");
+    }
+
+    #[test]
+    fn byte_sized_costs_interpolate_between_calibration_points() {
+        let c = NetCosts::vax_locus();
+        assert_eq!(c.one_way(SizeClass::Bytes(0)), c.one_way(SizeClass::Short));
+        assert_eq!(c.one_way(SizeClass::Bytes(1024)), c.one_way(SizeClass::Large));
+        let mid = c.one_way(SizeClass::Bytes(512));
+        assert!(mid > c.one_way(SizeClass::Short));
+        assert!(mid < c.one_way(SizeClass::Large));
+        // Monotone in payload size.
+        let mut prev = c.one_way(SizeClass::Bytes(0));
+        for b in [1, 64, 100, 512, 1000, 1024] {
+            let d = c.one_way(SizeClass::Bytes(b));
+            assert!(d >= prev, "one_way must be monotone in payload bytes");
+            prev = d;
+        }
     }
 
     #[test]

@@ -45,11 +45,15 @@ pub enum MsgKind {
     /// Forwarding stub → requester: the library moved; re-resolve to the
     /// named site (carries the handoff epoch).
     LibraryRedirect = 14,
+    /// Storing site → requester: the page as an XOR diff against the
+    /// recipient's last-served copy (delta-grant mode only; size
+    /// proportional to the bytes that changed).
+    PageGrantDelta = 15,
 }
 
 impl MsgKind {
     /// Number of message kinds (the length of per-kind counter arrays).
-    pub const COUNT: usize = 15;
+    pub const COUNT: usize = 16;
 
     /// All kinds, in wire-discriminant order.
     pub const ALL: [MsgKind; Self::COUNT] = [
@@ -68,6 +72,7 @@ impl MsgKind {
         MsgKind::LibraryHandoff,
         MsgKind::LibraryHandoffAck,
         MsgKind::LibraryRedirect,
+        MsgKind::PageGrantDelta,
     ];
 
     /// Dense index into a `[_; MsgKind::COUNT]` counter array.
@@ -93,6 +98,7 @@ impl MsgKind {
             MsgKind::LibraryHandoff => "LibraryHandoff",
             MsgKind::LibraryHandoffAck => "LibraryHandoffAck",
             MsgKind::LibraryRedirect => "LibraryRedirect",
+            MsgKind::PageGrantDelta => "PageGrantDelta",
         }
     }
 }

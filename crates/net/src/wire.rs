@@ -10,9 +10,12 @@
 //! length-prefixed with a `u32`.
 
 use mirage_types::{
+    pagediff::MAX_DIFF_SPANS,
     Access,
     Delta,
+    DiffSpan,
     MirageError,
+    PageDiff,
     PageNum,
     PageProt,
     Pid,
@@ -241,6 +244,38 @@ impl Wire for SiteSet {
     }
 }
 
+impl Wire for PageDiff {
+    /// `u16` span count, then per span a `u16` offset, `u16` length,
+    /// and the raw XOR bytes. Matches [`PageDiff::wire_size`] exactly.
+    /// Decoding revalidates canonical form via [`PageDiff::from_spans`],
+    /// so a corrupted or adversarial diff is rejected, never applied.
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (self.spans().len() as u16).encode(buf);
+        for s in self.spans() {
+            s.offset.encode(buf);
+            (s.xor.len() as u16).encode(buf);
+            buf.extend_from_slice(&s.xor);
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        let nspans = u16::decode(buf)? as usize;
+        if nspans > MAX_DIFF_SPANS {
+            return Err(MirageError::Codec("too many diff spans"));
+        }
+        let mut spans = Vec::with_capacity(nspans);
+        for _ in 0..nspans {
+            let offset = u16::decode(buf)?;
+            let len = u16::decode(buf)? as usize;
+            need(buf, len)?;
+            let (head, rest) = buf.split_at(len);
+            let xor = head.to_vec();
+            *buf = rest;
+            spans.push(DiffSpan { offset, xor });
+        }
+        PageDiff::from_spans(spans)
+    }
+}
+
 impl Wire for SimDuration {
     fn encode(&self, buf: &mut Vec<u8>) {
         self.0.encode(buf);
@@ -382,6 +417,26 @@ mod tests {
         assert!(from_bytes::<Access>(&[9]).is_err());
         assert!(from_bytes::<PageProt>(&[9]).is_err());
         assert!(from_bytes::<Option<u8>>(&[2]).is_err());
+    }
+
+    #[test]
+    fn page_diff_round_trips() {
+        let base = vec![0u8; mirage_types::PAGE_SIZE];
+        let mut target = base.clone();
+        target[3] = 9;
+        target[500..505].copy_from_slice(&[1, 2, 3, 4, 5]);
+        let d = PageDiff::compute(&base, &target);
+        assert_eq!(to_bytes(&d).len(), d.wire_size());
+        round_trip(d);
+        round_trip(PageDiff::compute(&base, &base));
+    }
+
+    #[test]
+    fn page_diff_span_count_guards_allocation() {
+        // A huge claimed span count with no body must fail, not allocate.
+        let mut buf = Vec::new();
+        u16::MAX.encode(&mut buf);
+        assert!(from_bytes::<PageDiff>(&buf).is_err());
     }
 
     #[test]

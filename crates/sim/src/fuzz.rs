@@ -181,7 +181,7 @@ fn resident_value(world: &World, seg: SegmentId, page: PageNum, offset: usize) -
 /// seed always produces the same world, workload, fault schedule, and
 /// outcome.
 pub fn run_fuzz_seed(seed: u64) -> FuzzOutcome {
-    run_fuzz_seed_inner(seed, false, false).0
+    run_fuzz_seed_inner(seed, false, false, false).0
 }
 
 /// [`run_fuzz_seed`] with protocol tracing enabled: the same scenario
@@ -191,7 +191,26 @@ pub fn run_fuzz_seed(seed: u64) -> FuzzOutcome {
 /// structural `check_page` oracle and the causal trace oracle cross-check
 /// each other on every seed.
 pub fn run_fuzz_seed_traced(seed: u64) -> (FuzzOutcome, Vec<mirage_trace::TraceEvent>) {
-    run_fuzz_seed_inner(seed, true, false)
+    run_fuzz_seed_inner(seed, true, false, false)
+}
+
+/// [`run_fuzz_seed`] with sub-page delta grants enabled. The flag draws
+/// nothing from the PRNG, so the world shape, workload, and fault plan
+/// are exactly the classic seed's — the only difference is the wire
+/// form of the grants, which is what the storm then attacks: deltas
+/// dropped, duplicated, delayed, and granters crashed mid-retransmit
+/// (clearing their volatile shadow bases) must all converge to the same
+/// coherent quiescent state the full-grant run reaches.
+pub fn run_fuzz_seed_delta(seed: u64) -> FuzzOutcome {
+    run_fuzz_seed_inner(seed, false, false, true).0
+}
+
+/// [`run_fuzz_seed_delta`] with tracing: the causal trace checker
+/// (including the delta tag-fidelity rule — a patched page must hash to
+/// the exact content tag the granter shipped) cross-checks the
+/// structural oracle on every seed.
+pub fn run_fuzz_seed_delta_traced(seed: u64) -> (FuzzOutcome, Vec<mirage_trace::TraceEvent>) {
+    run_fuzz_seed_inner(seed, true, false, true)
 }
 
 /// [`run_fuzz_seed`] with a seeded manual library-migration schedule
@@ -200,7 +219,7 @@ pub fn run_fuzz_seed_traced(seed: u64) -> (FuzzOutcome, Vec<mirage_trace::TraceE
 /// drawn from its own PRNG stream, so the world shape, workload, and
 /// fault plan stay identical to the non-migrating run of the same seed.
 pub fn run_fuzz_seed_migrating(seed: u64) -> FuzzOutcome {
-    run_fuzz_seed_inner(seed, false, true).0
+    run_fuzz_seed_inner(seed, false, true, false).0
 }
 
 /// [`run_fuzz_seed_migrating`] with tracing plus the epoch-aware trace
@@ -208,7 +227,7 @@ pub fn run_fuzz_seed_migrating(seed: u64) -> FuzzOutcome {
 pub fn run_fuzz_seed_migrating_traced(
     seed: u64,
 ) -> (FuzzOutcome, Vec<mirage_trace::TraceEvent>) {
-    run_fuzz_seed_inner(seed, true, true)
+    run_fuzz_seed_inner(seed, true, true, false)
 }
 
 /// [`run_fuzz_seed`] over a planet-scale world: 65–160 sites (so reader
@@ -404,6 +423,7 @@ fn run_fuzz_seed_inner(
     seed: u64,
     traced: bool,
     migrate: bool,
+    delta_grants: bool,
 ) -> (FuzzOutcome, Vec<mirage_trace::TraceEvent>) {
     let mut rng = Prng::new(seed ^ 0xF0_55ED);
     let n_sites = 2 + rng.below(3) as usize; // 2..=4
@@ -412,6 +432,9 @@ fn run_fuzz_seed_inner(
     let mut cfg = SimConfig::default();
     cfg.protocol.delta = DeltaPolicy::Uniform(Delta(rng.below(3) as u32));
     cfg.protocol.retry = Some(RetryPolicy::default());
+    // Set after every PRNG draw: delta mode replays the classic seed's
+    // exact scenario, changing only the grants' wire form.
+    cfg.protocol.delta_grants = delta_grants;
 
     let mut world = World::new(n_sites, cfg);
     if traced {

@@ -18,21 +18,36 @@ pub struct MsgStats {
     pub short: u64,
     /// Large (page-carrying) messages sent.
     pub large: u64,
+    /// Variable-payload messages sent (delta grants).
+    pub byte_sized: u64,
     /// Per-kind counts, indexed by [`MsgKind`]. A fixed array instead of
     /// a tag-keyed map: no hashing per message and a deterministic
     /// iteration order for reports.
     pub by_kind: [u64; MsgKind::COUNT],
+    /// Total payload bytes placed on the wire: 1024 per large message
+    /// (§7.2's page buffer), the encoded payload of each byte-sized
+    /// message, 0 for headers-only. The numerator of the bytes-per-serve
+    /// metric the delta-grant experiment reports.
+    pub payload_bytes: u64,
+    /// Payload bytes per kind — splits full-grant from delta-grant
+    /// traffic.
+    pub payload_by_kind: [u64; MsgKind::COUNT],
 }
 
 impl MsgStats {
     /// Total messages.
     pub fn total(&self) -> u64 {
-        self.short + self.large
+        self.short + self.large + self.byte_sized
     }
 
     /// Messages of one kind.
     pub fn count(&self, kind: MsgKind) -> u64 {
         self.by_kind[kind.index()]
+    }
+
+    /// Payload bytes carried by one kind.
+    pub fn payload(&self, kind: MsgKind) -> u64 {
+        self.payload_by_kind[kind.index()]
     }
 }
 
@@ -107,11 +122,23 @@ impl Instrumentation {
 
     /// Records a wire message.
     pub fn record_msg(&mut self, kind: MsgKind, size: SizeClass) {
-        match size {
-            SizeClass::Short => self.msgs.short += 1,
-            SizeClass::Large => self.msgs.large += 1,
-        }
+        let bytes = match size {
+            SizeClass::Short => {
+                self.msgs.short += 1;
+                0
+            }
+            SizeClass::Large => {
+                self.msgs.large += 1;
+                1024
+            }
+            SizeClass::Bytes(b) => {
+                self.msgs.byte_sized += 1;
+                u64::from(b)
+            }
+        };
         self.msgs.by_kind[kind.index()] += 1;
+        self.msgs.payload_bytes += bytes;
+        self.msgs.payload_by_kind[kind.index()] += bytes;
     }
 
     /// Records a phase event if tracing is on.
@@ -139,11 +166,17 @@ mod tests {
         i.record_msg(MsgKind::PageRequest, SizeClass::Short);
         i.record_msg(MsgKind::PageGrant, SizeClass::Large);
         i.record_msg(MsgKind::PageGrant, SizeClass::Large);
+        i.record_msg(MsgKind::PageGrantDelta, SizeClass::Bytes(37));
         assert_eq!(i.msgs.short, 1);
         assert_eq!(i.msgs.large, 2);
-        assert_eq!(i.msgs.total(), 3);
+        assert_eq!(i.msgs.byte_sized, 1);
+        assert_eq!(i.msgs.total(), 4);
         assert_eq!(i.msgs.count(MsgKind::PageGrant), 2);
         assert_eq!(i.msgs.count(MsgKind::Invalidate), 0);
+        assert_eq!(i.msgs.payload_bytes, 2048 + 37);
+        assert_eq!(i.msgs.payload(MsgKind::PageGrant), 2048);
+        assert_eq!(i.msgs.payload(MsgKind::PageGrantDelta), 37);
+        assert_eq!(i.msgs.payload(MsgKind::PageRequest), 0);
     }
 
     #[test]

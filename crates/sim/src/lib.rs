@@ -43,6 +43,8 @@ pub use calendar::CalendarQueue;
 pub use faults::FaultStats;
 pub use fuzz::{
     run_fuzz_seed,
+    run_fuzz_seed_delta,
+    run_fuzz_seed_delta_traced,
     run_fuzz_seed_large,
     run_fuzz_seed_large_traced,
     run_fuzz_seed_migrating,

@@ -17,6 +17,7 @@
 
 use mirage_sim::{
     run_fuzz_seed,
+    run_fuzz_seed_delta_traced,
     run_fuzz_seed_large_traced,
     run_fuzz_seed_migrating_traced,
     run_fuzz_seed_traced,
@@ -107,6 +108,45 @@ fn large_sharded_fault_storms_preserve_coherence() {
         "{} of {count} large fuzz seeds failed: {failures:?} \
          (see stderr for replay commands)",
         failures.len()
+    );
+}
+
+/// The classic storms replayed with `delta_grants` on: the flag is set
+/// after every PRNG draw, so each seed's world, workload, and fault
+/// plan are bit-identical to the plain run — only the grants' wire form
+/// changes. Both oracles run on every seed (traced runs feed the causal
+/// checker, which verifies each patched page against the full-serve
+/// bytes), plus the §7.2-style completion check; at least one seed must
+/// actually ship a delta so the sweep can't silently degenerate into
+/// full grants.
+#[test]
+fn delta_mode_fault_storms_preserve_coherence() {
+    let start = env_u64("MIRAGE_FUZZ_START", 0);
+    let count = env_u64("MIRAGE_FUZZ_SEEDS", 60);
+    let mut failures = Vec::new();
+    let mut deltas_shipped = false;
+    for seed in start..start + count {
+        let (outcome, trace) = run_fuzz_seed_delta_traced(seed);
+        if !outcome.is_ok() {
+            eprintln!("{}", outcome.describe());
+            eprintln!(
+                "replay: cargo run --release -p mirage-bench --bin fault_storm -- \
+                 --seed {seed} --delta --trace"
+            );
+            failures.push(seed);
+        }
+        deltas_shipped |=
+            trace.iter().any(|ev| ev.kind == mirage_trace::TraceKind::DeltaGrantSent);
+    }
+    assert!(
+        failures.is_empty(),
+        "{} of {count} delta-mode fuzz seeds failed: {failures:?} \
+         (see stderr for replay commands)",
+        failures.len()
+    );
+    assert!(
+        deltas_shipped,
+        "no delta grant shipped across {count} delta-mode seeds — the mode is inert"
     );
 }
 

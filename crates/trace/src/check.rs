@@ -17,6 +17,12 @@
 //!   window protects the copy;
 //! * **serve serialization** — the library never overlaps two serves
 //!   for the same page;
+//! * **sub-page patch fidelity** (delta-grant mode) — every page a
+//!   receiver reconstructs by patching a delta grant hashes to exactly
+//!   the content the granter served (`DeltaGrantSent.detail` vs
+//!   `DeltaPatched.detail`), i.e. the patched page is byte-identical to
+//!   what a full grant would have installed; a patch with no matching
+//!   grant is a violation outright;
 //! * **library-role integrity** (relocatable libraries) — handoff
 //!   epochs for a *(segment, page-range shard)* are strictly monotone,
 //!   and every serve is started by the site that holds that shard's
@@ -80,6 +86,11 @@ struct PageTrack {
     /// interleaves library commitments with lagging site-side installs
     /// from earlier serves.
     upgrades_in_flight: BTreeMap<u16, u32>,
+    /// (granter, recipient, serial) -> content hash of the page a
+    /// delta grant must reconstruct (`DeltaGrantSent.detail`).
+    /// Retransmissions of the same retained grant re-announce the same
+    /// target content, so overwriting is sound.
+    delta_sent: BTreeMap<(u16, u16, u32), u64>,
     /// True once any event for the page has been seen.
     touched: bool,
 }
@@ -312,6 +323,29 @@ pub fn check(events: &[TraceEvent]) -> CheckReport {
                     track.upgrades_in_flight.insert(peer.0, ev.serial);
                 }
             }
+            TraceKind::DeltaGrantSent => {
+                if let Some(peer) = ev.peer {
+                    track.delta_sent.insert((site, peer.0, ev.serial), ev.detail);
+                }
+            }
+            TraceKind::DeltaPatched => {
+                let sent = ev
+                    .peer
+                    .and_then(|p| track.delta_sent.get(&(p.0, site, ev.serial)).copied());
+                match sent {
+                    None => report
+                        .violations
+                        .push(ctx("delta patched with no matching delta grant")),
+                    Some(tag) if tag != ev.detail => {
+                        report.violations.push(ctx(&format!(
+                            "delta patch diverged: granter served content {tag:#018x} \
+                             but the patched page hashes to {:#018x}",
+                            ev.detail
+                        )));
+                    }
+                    Some(_) => {}
+                }
+            }
             TraceKind::ServeStart => {
                 let role = shard_role(&libs, subject.0, subject.1);
                 if site != role.site {
@@ -533,6 +567,46 @@ mod tests {
         ];
         let report = check(&events);
         assert!(report.violations.iter().any(|v| v.contains("downgrade of a non-writer")));
+    }
+
+    #[test]
+    fn delta_patch_with_matching_tag_passes() {
+        let mut sent = ev(10, 0, TraceKind::DeltaGrantSent);
+        sent.peer = Some(SiteId(1));
+        sent.serial = 3;
+        sent.detail = 0xABCD;
+        let mut patched = ev(20, 1, TraceKind::DeltaPatched);
+        patched.peer = Some(SiteId(0));
+        patched.serial = 3;
+        patched.detail = 0xABCD;
+        let report = check(&[sent, patched]);
+        assert!(report.is_ok(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn delta_patch_divergence_is_caught() {
+        let mut sent = ev(10, 0, TraceKind::DeltaGrantSent);
+        sent.peer = Some(SiteId(1));
+        sent.serial = 3;
+        sent.detail = 0xABCD;
+        let mut patched = ev(20, 1, TraceKind::DeltaPatched);
+        patched.peer = Some(SiteId(0));
+        patched.serial = 3;
+        patched.detail = 0xEEEE;
+        let report = check(&[sent, patched]);
+        assert_eq!(report.violations.len(), 1);
+        assert!(report.violations[0].contains("delta patch diverged"));
+    }
+
+    #[test]
+    fn orphan_delta_patch_is_caught() {
+        let mut patched = ev(20, 1, TraceKind::DeltaPatched);
+        patched.peer = Some(SiteId(0));
+        patched.serial = 3;
+        patched.detail = 0xABCD;
+        let report = check(&[patched]);
+        assert_eq!(report.violations.len(), 1);
+        assert!(report.violations[0].contains("no matching delta grant"));
     }
 
     #[test]

@@ -177,6 +177,19 @@ pub enum TraceKind {
     GrantEscalated,
     /// The receiver of an `UpgradeGrant` had no frame and nacked it.
     UpgradeNackSent,
+    /// A `PageGrantDelta` left for the new copy holder (`peer` = the
+    /// recipient, `detail` = fnv64 hash of the page content the patch
+    /// must reproduce, `epoch` = encoded payload bytes — a
+    /// kind-specific reuse; delta grants never cross a handoff epoch
+    /// boundary in one message).
+    DeltaGrantSent,
+    /// A delta grant's spans were applied to the local shadow copy and
+    /// the result installed (`peer` = the granter, `detail` = fnv64
+    /// hash of the patched page).
+    DeltaPatched,
+    /// A delta grant arrived but the local shadow was missing or did
+    /// not match `base_tag`; the receiver nacked for a full grant.
+    DeltaRejected,
     /// The writer kept a read copy while granting reads
     /// (`detail` = window in ticks; the window clock is *not*
     /// restarted).
@@ -249,6 +262,9 @@ impl TraceKind {
             TraceKind::GrantRetry => "grant_retry",
             TraceKind::GrantEscalated => "grant_escalated",
             TraceKind::UpgradeNackSent => "upgrade_nack_sent",
+            TraceKind::DeltaGrantSent => "delta_grant_sent",
+            TraceKind::DeltaPatched => "delta_patched",
+            TraceKind::DeltaRejected => "delta_rejected",
             TraceKind::Downgraded => "downgraded",
             TraceKind::CopyRelinquished => "copy_relinquished",
             TraceKind::DoneSent => "done_sent",

@@ -23,6 +23,10 @@ pub const LATENCY_US_BOUNDS: &[u64] =
 /// Histogram bucket upper bounds used for queue-depth metrics.
 pub const DEPTH_BOUNDS: &[u64] = &[1, 2, 4, 8, 16, 32, 64];
 
+/// Histogram bucket upper bounds (bytes) for delta-grant payload sizes.
+/// 516 is the full-grant payload the delta must undercut to be sent.
+pub const DELTA_BYTES_BOUNDS: &[u64] = &[16, 32, 64, 128, 256, 384, 515];
+
 /// A fixed-bucket histogram with saturating totals.
 ///
 /// A value `v` lands in the first bucket whose upper bound satisfies
@@ -257,6 +261,16 @@ pub fn from_trace(events: &[TraceEvent]) -> Registry {
                         LATENCY_US_BOUNDS,
                         ev.detail / 1_000,
                     );
+                    // Payload bytes on the wire, per message kind:
+                    // §7.2's 1024-byte page buffer rides on every full
+                    // grant and library handoff; header-only kinds
+                    // carry nothing. Delta grants are counted exactly,
+                    // from the encoded payload the granter stamps on
+                    // `DeltaGrantSent` (below), since `MsgSent` does
+                    // not see the encoded form.
+                    if matches!(msg.name(), "PageGrant" | "LibraryHandoff") {
+                        reg.add(&format!("wire.bytes.{}", msg.name()), 1024);
+                    }
                 }
             }
             TraceKind::RequestSent => {
@@ -316,7 +330,20 @@ pub fn from_trace(events: &[TraceEvent]) -> Registry {
             TraceKind::DoneRetry => reg.add("retry.done", 1),
             TraceKind::GrantRetry => reg.add("retry.grant", ev.detail.max(1)),
             TraceKind::DenyRetry => reg.add("retry.deny_backoff", 1),
-            TraceKind::GrantSent => reg.add("grant.sent", 1),
+            TraceKind::GrantSent => {
+                reg.add("grant.sent", 1);
+                reg.add("grant.full_sent", 1);
+            }
+            TraceKind::DeltaGrantSent => {
+                reg.add("grant.sent", 1);
+                reg.add("grant.delta_sent", 1);
+                // `epoch` on this kind is the encoded delta payload in
+                // bytes (kind-specific reuse documented on the event).
+                reg.add("wire.bytes.PageGrantDelta", u64::from(ev.epoch));
+                reg.observe("grant.delta_bytes", DELTA_BYTES_BOUNDS, u64::from(ev.epoch));
+            }
+            TraceKind::DeltaPatched => reg.add("grant.delta_patched", 1),
+            TraceKind::DeltaRejected => reg.add("grant.delta_rejected", 1),
             TraceKind::UpgradeSent => reg.add("grant.upgrades_sent", 1),
             TraceKind::GrantEscalated => reg.add("grant.escalated", 1),
             TraceKind::StaleGrantDropped => reg.add("grant.stale_dropped", 1),

@@ -163,6 +163,18 @@ impl Mini {
         }
         panic!("site {site} never acquired {access:?}");
     }
+
+    /// Acquires write access and stores one word, like a process making
+    /// a small in-page mutation between transfers.
+    fn write_u32(&mut self, site: usize, local: u32, seg: SegmentId, off: usize, val: u32) {
+        self.acquire(site, local, seg, Access::Write);
+        self.stores[site]
+            .segment_mut(seg)
+            .unwrap()
+            .frame_mut(PAGE)
+            .unwrap()
+            .store_u32(off, val);
+    }
 }
 
 /// Two sites trade the write copy back and forth (the Figure 7 inner
@@ -219,6 +231,24 @@ fn library_handoff() -> Vec<TraceEvent> {
     m.trace
 }
 
+/// The sub-page diff steady state: two writers alternate single-word
+/// stores to one page with `delta_grants` on. The first transfer each
+/// way is a full `PageGrant` (no shadow base yet); once both sides hold
+/// a shadow, every further serve ships a `PageGrantDelta` that the
+/// receiver patches in place — the golden pins the
+/// `delta_grant_sent` → `delta_patched` vocabulary, and the checker
+/// verifies each patched page against the full-serve bytes.
+fn delta_grant() -> Vec<TraceEvent> {
+    let cfg = ProtocolConfig { delta_grants: true, ..ProtocolConfig::paper(Delta::ZERO) };
+    let mut m = Mini::new(2, cfg);
+    let seg = m.create_segment(0, 1);
+    m.write_u32(1, 1, seg, 0, 1); // full grant: no base at site 1 yet
+    m.write_u32(0, 1, seg, 4, 2); // full grant back: no base at site 0
+    m.write_u32(1, 1, seg, 8, 3); // delta: one-word span vs shared base
+    m.write_u32(0, 1, seg, 12, 4); // delta the other way
+    m.trace
+}
+
 fn golden_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests").join("golden").join(name)
 }
@@ -271,10 +301,26 @@ fn library_handoff_matches_golden() {
     assert_matches_golden("library_handoff.jsonl", &library_handoff());
 }
 
+#[test]
+fn delta_grant_matches_golden() {
+    let trace = delta_grant();
+    // The scenario must actually reach the delta steady state in both
+    // directions, or the golden pins the wrong flow.
+    let count = |k: mirage_trace::TraceKind| trace.iter().filter(|e| e.kind == k).count();
+    assert!(count(mirage_trace::TraceKind::DeltaGrantSent) >= 2, "no delta steady state");
+    assert_eq!(
+        count(mirage_trace::TraceKind::DeltaGrantSent),
+        count(mirage_trace::TraceKind::DeltaPatched),
+        "every delta sent must be patched in this loss-free flow"
+    );
+    assert_matches_golden("delta_grant.jsonl", &trace);
+}
+
 /// The golden flows are deterministic: two runs trace identically.
 #[test]
 fn golden_flows_are_deterministic() {
     assert_eq!(ping_pong(), ping_pong());
     assert_eq!(upgrade_downgrade(), upgrade_downgrade());
     assert_eq!(library_handoff(), library_handoff());
+    assert_eq!(delta_grant(), delta_grant());
 }

@@ -71,18 +71,30 @@ impl PageProt {
 /// This is the "reader mask — list of sites using this page" field of the
 /// auxiliary page table entry (Table 2). Worlds at or below 64 sites —
 /// every configuration the paper's experiments use — live entirely in the
-/// inline `u64` word: no allocation, and `clone` is a 32-byte memcpy of
-/// an empty-`Vec` struct. Worlds beyond 64 sites spill into heap chunks
-/// of 64 sites each (chunk `k` bit `b` is site `64 + 64k + b`), lifting
-/// the ceiling to the full `u16` site-id space.
-#[derive(Clone, PartialEq, Eq, Hash, Default)]
+/// inline `u64` word: the spill pointer stays null, so the whole set is
+/// two machine words, `clone` is a 16-byte copy, and `drop` is a null
+/// check. Worlds beyond 64 sites spill into heap chunks of 64 sites each
+/// (chunk `k` bit `b` is site `64 + 64k + b`), lifting the ceiling to
+/// the full `u16` site-id space. Reader masks ride inside `ProtoMsg` and
+/// are cloned on every library serve, so the inline size is hot:
+/// boxing the spill keeps the n≤64 message enum at its pre-chunking
+/// footprint.
+#[derive(PartialEq, Eq, Hash, Default)]
 pub struct SiteSet {
     /// Bits for sites `0..64`.
     word0: u64,
-    /// Chunks for sites `64..`: `rest[k]` bit `b` is site `64 + 64k + b`.
-    /// Kept canonical — never ends in a zero chunk — so the derived
-    /// `PartialEq`/`Hash` treat logically equal sets as equal.
-    rest: Vec<u64>,
+    /// Chunks for sites `64..`: chunk `k` bit `b` is site `64 + 64k + b`.
+    /// Kept canonical — `None` rather than an empty vec, and never
+    /// ending in a zero chunk — so the derived `PartialEq`/`Hash` treat
+    /// logically equal sets as equal.
+    ///
+    /// The box is not an accident: `Option<Box<Vec<u64>>>` is one
+    /// niche-filled pointer, keeping the struct at 16 bytes, where a
+    /// bare `Vec` would push it to 32 and bloat every `ProtoMsg` on the
+    /// n≤64 hot path. The double indirection only costs worlds that
+    /// already spill past 64 sites.
+    #[allow(clippy::box_collection)]
+    rest: Option<Box<Vec<u64>>>,
 }
 
 /// The reader mask of an auxiliary page table entry (Table 2).
@@ -104,7 +116,7 @@ impl SiteSet {
     /// The empty set.
     #[inline]
     pub const fn empty() -> Self {
-        Self { word0: 0, rest: Vec::new() }
+        Self { word0: 0, rest: None }
     }
 
     /// A set containing exactly one site.
@@ -123,11 +135,26 @@ impl SiteSet {
         (i / 64, 1u64 << (i % 64))
     }
 
-    /// Drops trailing zero chunks so structural equality is set equality.
+    /// Drops trailing zero chunks — and the spill box itself when it
+    /// empties — so structural equality is set equality.
     #[inline]
     fn canonicalize(&mut self) {
-        while self.rest.last() == Some(&0) {
-            self.rest.pop();
+        if let Some(v) = &mut self.rest {
+            while v.last() == Some(&0) {
+                v.pop();
+            }
+            if v.is_empty() {
+                self.rest = None;
+            }
+        }
+    }
+
+    /// The spill chunks as a slice (empty when nothing is spilled).
+    #[inline]
+    fn spill(&self) -> &[u64] {
+        match &self.rest {
+            Some(v) => v,
+            None => &[],
         }
     }
 
@@ -135,14 +162,16 @@ impl SiteSet {
     #[inline]
     pub fn insert(&mut self, site: SiteId) -> bool {
         let (chunk, bit) = Self::split(site);
-        let word = if chunk == 0 {
-            &mut self.word0
-        } else {
-            if self.rest.len() < chunk {
-                self.rest.resize(chunk, 0);
-            }
-            &mut self.rest[chunk - 1]
-        };
+        if chunk == 0 {
+            let fresh = self.word0 & bit == 0;
+            self.word0 |= bit;
+            return fresh;
+        }
+        let v = self.rest.get_or_insert_with(Default::default);
+        if v.len() < chunk {
+            v.resize(chunk, 0);
+        }
+        let word = &mut v[chunk - 1];
         let fresh = *word & bit == 0;
         *word |= bit;
         fresh
@@ -152,13 +181,16 @@ impl SiteSet {
     #[inline]
     pub fn remove(&mut self, site: SiteId) -> bool {
         let (chunk, bit) = Self::split(site);
-        let word = if chunk == 0 {
-            &mut self.word0
-        } else {
-            match self.rest.get_mut(chunk - 1) {
-                Some(w) => w,
-                None => return false,
-            }
+        if chunk == 0 {
+            let present = self.word0 & bit != 0;
+            self.word0 &= !bit;
+            return present;
+        }
+        let Some(v) = &mut self.rest else {
+            return false;
+        };
+        let Some(word) = v.get_mut(chunk - 1) else {
+            return false;
         };
         let present = *word & bit != 0;
         *word &= !bit;
@@ -173,7 +205,7 @@ impl SiteSet {
         let word = if chunk == 0 {
             self.word0
         } else {
-            self.rest.get(chunk - 1).copied().unwrap_or(0)
+            self.spill().get(chunk - 1).copied().unwrap_or(0)
         };
         word & bit != 0
     }
@@ -182,15 +214,15 @@ impl SiteSet {
     #[inline]
     pub fn len(&self) -> usize {
         self.word0.count_ones() as usize
-            + self.rest.iter().map(|w| w.count_ones() as usize).sum::<usize>()
+            + self.spill().iter().map(|w| w.count_ones() as usize).sum::<usize>()
     }
 
     /// True if the set is empty.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        // Canonical form: rest never ends in a zero chunk, so any chunk
-        // at all means a member beyond 64.
-        self.word0 == 0 && self.rest.is_empty()
+        // Canonical form: the spill box exists only while a chunk is
+        // nonzero, so any box at all means a member beyond 64.
+        self.word0 == 0 && self.rest.is_none()
     }
 
     /// Returns the union of two sets.
@@ -198,11 +230,14 @@ impl SiteSet {
     pub fn union(&self, other: &Self) -> Self {
         let mut out = self.clone();
         out.word0 |= other.word0;
-        if out.rest.len() < other.rest.len() {
-            out.rest.resize(other.rest.len(), 0);
-        }
-        for (o, w) in out.rest.iter_mut().zip(&other.rest) {
-            *o |= w;
+        if let Some(ow) = &other.rest {
+            let v = out.rest.get_or_insert_with(Default::default);
+            if v.len() < ow.len() {
+                v.resize(ow.len(), 0);
+            }
+            for (o, w) in v.iter_mut().zip(ow.iter()) {
+                *o |= w;
+            }
         }
         out
     }
@@ -212,8 +247,10 @@ impl SiteSet {
     pub fn difference(&self, other: &Self) -> Self {
         let mut out = self.clone();
         out.word0 &= !other.word0;
-        for (o, w) in out.rest.iter_mut().zip(&other.rest) {
-            *o &= !w;
+        if let Some(v) = &mut out.rest {
+            for (o, w) in v.iter_mut().zip(other.spill()) {
+                *o &= !w;
+            }
         }
         out.canonicalize();
         out
@@ -225,18 +262,19 @@ impl SiteSet {
         if self.word0 & other.word0 != 0 {
             return true;
         }
-        self.rest.iter().zip(&other.rest).any(|(a, b)| a & b != 0)
+        self.spill().iter().zip(other.spill()).any(|(a, b)| a & b != 0)
     }
 
     /// Removes every site from the set.
     #[inline]
     pub fn clear(&mut self) {
         self.word0 = 0;
-        self.rest.clear();
+        self.rest = None;
     }
 
     /// Iterates the member sites in ascending id order.
     pub fn iter(&self) -> impl Iterator<Item = SiteId> + '_ {
+        let chunks = self.spill();
         let mut chunk = 0usize;
         let mut bits = self.word0;
         core::iter::from_fn(move || loop {
@@ -245,10 +283,10 @@ impl SiteSet {
                 bits &= bits - 1;
                 return Some(SiteId(idx as u16));
             }
-            if chunk >= self.rest.len() {
+            if chunk >= chunks.len() {
                 return None;
             }
-            bits = self.rest[chunk];
+            bits = chunks[chunk];
             chunk += 1;
         })
     }
@@ -264,7 +302,7 @@ impl SiteSet {
         if self.word0 != 0 {
             return Some(SiteId(self.word0.trailing_zeros() as u16));
         }
-        for (k, w) in self.rest.iter().enumerate() {
+        for (k, w) in self.spill().iter().enumerate() {
             if *w != 0 {
                 return Some(SiteId((64 + k * 64 + w.trailing_zeros() as usize) as u16));
             }
@@ -283,16 +321,44 @@ impl SiteSet {
     /// zero chunk). Chunk `k` bit `b` is site `64 + 64k + b`.
     #[inline]
     pub fn chunks(&self) -> &[u64] {
-        &self.rest
+        self.spill()
     }
 
     /// Rebuilds a set from the raw parts [`Self::inline_word`] and
     /// [`Self::chunks`] expose (the wire codec's decode path). Trailing
     /// zero chunks are tolerated and normalized away.
     pub fn from_raw_parts(word0: u64, rest: Vec<u64>) -> Self {
-        let mut s = Self { word0, rest };
+        let mut s =
+            Self { word0, rest: if rest.is_empty() { None } else { Some(Box::new(rest)) } };
         s.canonicalize();
         s
+    }
+}
+
+impl Clone for SiteSet {
+    /// Hand-written with `#[inline]` so the n≤64 case — the canonical
+    /// invariant keeps the spill pointer null for any set confined to
+    /// the inline word — compiles to a 16-byte copy at the call site
+    /// instead of an outlined generic `Option<Box<Vec>>` clone. The
+    /// protocol hot path clones reader masks on every serve, so this is
+    /// the difference between a register move and a call.
+    #[inline]
+    fn clone(&self) -> Self {
+        match &self.rest {
+            None => Self { word0: self.word0, rest: None },
+            Some(v) => Self { word0: self.word0, rest: Some(v.clone()) },
+        }
+    }
+
+    #[inline]
+    fn clone_from(&mut self, src: &Self) {
+        self.word0 = src.word0;
+        match (&mut self.rest, &src.rest) {
+            (_, None) => self.rest = None,
+            // Reuse the existing box and its capacity when both spill.
+            (Some(dst), Some(s)) => dst.clone_from(s),
+            (dst @ None, Some(s)) => *dst = Some(s.clone()),
+        }
     }
 }
 

@@ -1,0 +1,133 @@
+//! A fixed-key multiply hasher for the protocol engine's internal maps.
+//!
+//! The engine resolves a segment slot (and a timer token) through a
+//! `HashMap` on every fault, delivery, and timer firing. The std
+//! `RandomState`/SipHash pair is built to survive adversarial keys from
+//! the network; these maps only ever see this process's own small ids
+//! (`SegmentId`, timer tokens), so a single multiply-and-rotate mix is
+//! enough to spread them and takes a few cycles instead of a SipHash
+//! round per lookup. The key is fixed rather than per-process random,
+//! which also keeps map behavior identical across runs — the repro
+//! binaries' determinism does not get to depend on `RandomState`.
+//!
+//! Not for untrusted input: an adversary who controls keys can collide
+//! this hash at will. Protocol-visible collections keyed by anything a
+//! remote site chooses must keep the std hasher.
+
+use core::hash::{
+    BuildHasherDefault,
+    Hasher,
+};
+
+/// Multiplier from fxhash (a cousin of the FNV/Firefox mix): odd, with
+/// high bit diffusion under wrapping multiply.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The hasher state: one word folded with rotate-xor-multiply.
+#[derive(Default)]
+pub struct FastHasher(u64);
+
+impl FastHasher {
+    #[inline]
+    fn mix(&mut self, v: u64) {
+        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.mix(u64::from_le_bytes(c.try_into().expect("exact chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            // Length in the top byte so "ab" and "ab\0" differ.
+            buf[7] = rem.len() as u8;
+            self.mix(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.mix(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.mix(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.mix(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.mix(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.mix(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FastHasher`] (stateless, so `Default` is enough).
+pub type FastBuild = BuildHasherDefault<FastHasher>;
+
+/// A `HashMap` on the fixed-key multiply hash, for process-internal keys.
+pub type FastMap<K, V> = std::collections::HashMap<K, V, FastBuild>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_of(f: impl FnOnce(&mut FastHasher)) -> u64 {
+        let mut h = FastHasher::default();
+        f(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn distinguishes_small_ints() {
+        let hashes: Vec<u64> = (0u64..1000).map(|i| hash_of(|h| h.write_u64(i))).collect();
+        let mut sorted = hashes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), hashes.len(), "collisions among small ints");
+    }
+
+    #[test]
+    fn byte_stream_tail_is_length_tagged() {
+        assert_ne!(hash_of(|h| h.write(b"ab")), hash_of(|h| h.write(b"ab\0")));
+        assert_ne!(hash_of(|h| h.write(b"")), hash_of(|h| h.write(b"\0")));
+    }
+
+    #[test]
+    fn deterministic_across_builders() {
+        use std::hash::BuildHasher;
+        let a = FastBuild::default().hash_one(0xdead_beefu64);
+        let b = FastBuild::default().hash_one(0xdead_beefu64);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn map_round_trip() {
+        let mut m: FastMap<u64, u32> = FastMap::default();
+        for i in 0..100 {
+            m.insert(i, i as u32 * 2);
+        }
+        assert_eq!(m.len(), 100);
+        assert_eq!(m.get(&40), Some(&80));
+    }
+}

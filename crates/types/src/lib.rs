@@ -15,7 +15,9 @@
 
 pub mod access;
 pub mod error;
+pub mod fasthash;
 pub mod ids;
+pub mod pagediff;
 pub mod rng;
 pub mod time;
 
@@ -29,12 +31,22 @@ pub use error::{
     MirageError,
     Result,
 };
+pub use fasthash::{
+    FastBuild,
+    FastHasher,
+    FastMap,
+};
 pub use ids::{
     PageNum,
     Pid,
     SegKey,
     SegmentId,
     SiteId,
+};
+pub use pagediff::{
+    fnv64,
+    DiffSpan,
+    PageDiff,
 };
 pub use rng::Prng;
 pub use time::{

@@ -1,0 +1,254 @@
+//! Sub-page write diffs: XOR span codec and content-hash base tags.
+//!
+//! Mirage moves whole 512-byte pages on every serve (§7.2: "three of
+//! these messages are large responses"), so two writers touching
+//! disjoint halves of one page pay full-page wire costs for a few bytes
+//! of real change. The delta-grant mode encodes a grant as the XOR
+//! between the recipient's last-known copy (the *base*) and the page
+//! being served (the *target*), run-length grouped into spans of
+//! consecutive differing bytes.
+//!
+//! The codec is deliberately dumb and canonical:
+//!
+//! * A [`DiffSpan`] is a maximal run of differing bytes — every XOR
+//!   byte is non-zero, runs are separated by at least one equal byte.
+//! * [`PageDiff::compute`] produces the unique canonical diff;
+//!   [`PageDiff::from_spans`] (the decode path) rejects anything
+//!   non-canonical, so a diff on the wire has exactly one encoding.
+//! * [`PageDiff::apply`] XORs the spans into a base copy in place;
+//!   applying a diff to the base it was computed from yields the target
+//!   byte-for-byte, and applying it twice round-trips back.
+//!
+//! Base identity travels as a [`fnv64`] content hash rather than an
+//! explicit version number: both ends of a full-page transfer hash the
+//! bytes they sent/installed, so any full grant bootstraps delta mode
+//! without widening the full-grant wire format.
+
+use crate::error::{
+    MirageError,
+    Result,
+};
+use crate::PAGE_SIZE;
+
+/// Upper bound on spans in one diff. With every span at least one byte
+/// long and separated by at least one equal byte, a 512-byte page fits
+/// at most 256 spans; a wire claim above this is garbage and must be
+/// rejected before allocation.
+pub const MAX_DIFF_SPANS: usize = PAGE_SIZE / 2;
+
+/// One maximal run of differing bytes: `xor[i]` is `base[offset + i] ^
+/// target[offset + i]`, and every byte is non-zero.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DiffSpan {
+    /// Byte offset of the run within the page.
+    pub offset: u16,
+    /// XOR of base and target over the run; all bytes non-zero.
+    pub xor: Vec<u8>,
+}
+
+impl DiffSpan {
+    /// Exclusive end offset of the run.
+    fn end(&self) -> usize {
+        self.offset as usize + self.xor.len()
+    }
+}
+
+/// A canonical XOR diff between two page images.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PageDiff {
+    spans: Vec<DiffSpan>,
+}
+
+impl PageDiff {
+    /// Computes the canonical diff turning `base` into `target`.
+    ///
+    /// Both slices must be exactly [`PAGE_SIZE`] bytes.
+    pub fn compute(base: &[u8], target: &[u8]) -> PageDiff {
+        assert_eq!(base.len(), PAGE_SIZE, "diff base must be a full page");
+        assert_eq!(target.len(), PAGE_SIZE, "diff target must be a full page");
+        let mut spans = Vec::new();
+        let mut i = 0;
+        while i < PAGE_SIZE {
+            if base[i] == target[i] {
+                i += 1;
+                continue;
+            }
+            let start = i;
+            while i < PAGE_SIZE && base[i] != target[i] {
+                i += 1;
+            }
+            let xor =
+                base[start..i].iter().zip(&target[start..i]).map(|(b, t)| b ^ t).collect();
+            spans.push(DiffSpan { offset: start as u16, xor });
+        }
+        PageDiff { spans }
+    }
+
+    /// Builds a diff from decoded spans, rejecting non-canonical input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MirageError::Codec`] if any span is empty, reaches past
+    /// the page, contains a zero XOR byte (that position did not
+    /// change, so it belongs to the gap), or is not separated from its
+    /// predecessor by at least one unchanged byte (adjacent runs must
+    /// merge), or if there are more than [`MAX_DIFF_SPANS`] spans.
+    pub fn from_spans(spans: Vec<DiffSpan>) -> Result<PageDiff> {
+        if spans.len() > MAX_DIFF_SPANS {
+            return Err(MirageError::Codec("too many diff spans"));
+        }
+        let mut prev_end: usize = 0;
+        for (i, s) in spans.iter().enumerate() {
+            if s.xor.is_empty() {
+                return Err(MirageError::Codec("empty diff span"));
+            }
+            if s.end() > PAGE_SIZE {
+                return Err(MirageError::Codec("diff span past end of page"));
+            }
+            if i > 0 && (s.offset as usize) <= prev_end {
+                return Err(MirageError::Codec("diff spans out of order or unmerged"));
+            }
+            if s.xor.contains(&0) {
+                return Err(MirageError::Codec("zero byte inside diff span"));
+            }
+            prev_end = s.end();
+        }
+        Ok(PageDiff { spans })
+    }
+
+    /// The spans, in increasing offset order.
+    pub fn spans(&self) -> &[DiffSpan] {
+        &self.spans
+    }
+
+    /// True if base and target were identical.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// XORs the diff into `page` in place. Applying the diff to the
+    /// base it was computed from yields the target; applying it again
+    /// restores the base.
+    pub fn apply(&self, page: &mut [u8]) {
+        assert_eq!(page.len(), PAGE_SIZE, "diff applies to a full page");
+        for s in &self.spans {
+            for (i, x) in s.xor.iter().enumerate() {
+                page[s.offset as usize + i] ^= x;
+            }
+        }
+    }
+
+    /// Encoded payload size in bytes: a `u16` span count, then per span
+    /// a `u16` offset, `u16` length, and the XOR bytes. This is what
+    /// the size-aware cost model charges and what the sender compares
+    /// against a full page before choosing the delta wire form.
+    pub fn wire_size(&self) -> usize {
+        2 + self.spans.iter().map(|s| 4 + s.xor.len()).sum::<usize>()
+    }
+}
+
+/// FNV-1a 64-bit hash, used as the content tag identifying a delta
+/// base. Both ends of a page transfer hash the bytes independently, so
+/// the tag never needs to travel with a full grant.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Prng;
+
+    fn page(fill: impl FnMut(usize) -> u8) -> Vec<u8> {
+        (0..PAGE_SIZE).map(fill).collect()
+    }
+
+    #[test]
+    fn identical_pages_diff_empty() {
+        let a = page(|i| i as u8);
+        let d = PageDiff::compute(&a, &a);
+        assert!(d.is_empty());
+        assert_eq!(d.wire_size(), 2);
+    }
+
+    #[test]
+    fn single_byte_change_is_one_tiny_span() {
+        let a = page(|_| 0);
+        let mut b = a.clone();
+        b[300] = 7;
+        let d = PageDiff::compute(&a, &b);
+        assert_eq!(d.spans().len(), 1);
+        assert_eq!(d.spans()[0].offset, 300);
+        assert_eq!(d.spans()[0].xor, vec![7]);
+        assert_eq!(d.wire_size(), 2 + 4 + 1);
+    }
+
+    #[test]
+    fn apply_turns_base_into_target_and_back() {
+        let mut rng = Prng::new(0xD1FF);
+        for _ in 0..64 {
+            let a = page(|_| rng.next_u32() as u8);
+            let mut b = a.clone();
+            // Mutate a few random runs.
+            for _ in 0..(rng.next_u32() % 8) {
+                let at = rng.next_u32() as usize % PAGE_SIZE;
+                let len = 1 + rng.next_u32() as usize % 32;
+                for byte in &mut b[at..(at + len).min(PAGE_SIZE)] {
+                    *byte = rng.next_u32() as u8;
+                }
+            }
+            let d = PageDiff::compute(&a, &b);
+            let mut patched = a.clone();
+            d.apply(&mut patched);
+            assert_eq!(patched, b);
+            d.apply(&mut patched);
+            assert_eq!(patched, a);
+            // Canonical output passes its own validation.
+            PageDiff::from_spans(d.spans().to_vec()).expect("canonical");
+        }
+    }
+
+    #[test]
+    fn non_canonical_spans_rejected() {
+        // Empty span.
+        assert!(PageDiff::from_spans(vec![DiffSpan { offset: 0, xor: vec![] }]).is_err());
+        // Past end of page.
+        assert!(PageDiff::from_spans(vec![DiffSpan { offset: 511, xor: vec![1, 2] }]).is_err());
+        // Zero XOR byte inside a span.
+        assert!(PageDiff::from_spans(vec![DiffSpan { offset: 0, xor: vec![1, 0, 1] }]).is_err());
+        // Adjacent spans must merge.
+        assert!(PageDiff::from_spans(vec![
+            DiffSpan { offset: 0, xor: vec![1] },
+            DiffSpan { offset: 1, xor: vec![1] },
+        ])
+        .is_err());
+        // Out of order.
+        assert!(PageDiff::from_spans(vec![
+            DiffSpan { offset: 10, xor: vec![1] },
+            DiffSpan { offset: 2, xor: vec![1] },
+        ])
+        .is_err());
+        // Separated spans are fine.
+        assert!(PageDiff::from_spans(vec![
+            DiffSpan { offset: 0, xor: vec![1] },
+            DiffSpan { offset: 2, xor: vec![1] },
+        ])
+        .is_ok());
+    }
+
+    #[test]
+    fn fnv64_distinguishes_content() {
+        let a = page(|_| 0);
+        let mut b = a.clone();
+        b[0] = 1;
+        assert_ne!(fnv64(&a), fnv64(&b));
+        assert_eq!(fnv64(&a), fnv64(&a));
+        // Pinned reference value for the all-zero page (FNV-1a).
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

@@ -1,0 +1,175 @@
+//! False sharing: two writers on disjoint halves of one page.
+//!
+//! The protocol's coherence unit is the 512-byte page, so two processes
+//! that never touch the same word still serialize through the full
+//! demand/invalidate/grant machinery when their words share a page —
+//! and every ownership transfer ships all 512 bytes for a handful of
+//! changed ones. This workload is the delta-grant experiment's subject
+//! (S1): each writer scribbles seeded-pseudorandom values over its own
+//! half with seeded think-time between stores, so the page ping-pongs
+//! between the sites while each tenure dirties only a few words.
+
+use mirage_sim::{
+    MemRef,
+    Op,
+    Program,
+};
+use mirage_types::{
+    PageNum,
+    Prng,
+    SegmentId,
+    SimDuration,
+};
+
+/// One of the two half-page writers.
+///
+/// The offset sequence, values, think-times, and read interleave all
+/// derive from the seed, so a sweep over seeds is deterministic at any
+/// `--jobs` value.
+pub struct FalseSharing {
+    seg: SegmentId,
+    /// Base byte offset of this writer's half (0 or 256).
+    base: usize,
+    rng: Prng,
+    remaining: u32,
+    phase: Phase,
+    writes: u64,
+}
+
+enum Phase {
+    Store,
+    Think,
+    ReadBack,
+}
+
+impl FalseSharing {
+    /// A writer over `half` (0 = bytes 0..256, 1 = bytes 256..512) of
+    /// page 0, performing `writes` stores derived from `seed`.
+    pub fn new(seg: SegmentId, half: usize, seed: u64, writes: u32) -> Self {
+        assert!(half < 2, "a page has two halves");
+        Self {
+            seg,
+            base: half * 256,
+            // Mix the half in so the two writers never mirror each other
+            // even when spawned with the same seed.
+            rng: Prng::new(seed ^ (half as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            remaining: writes,
+            phase: Phase::Store,
+            writes: 0,
+        }
+    }
+
+    /// A random word-aligned reference within this writer's half.
+    fn word(&mut self) -> MemRef {
+        let off = self.base + self.rng.below(64) as usize * 4;
+        MemRef::new(self.seg, PageNum(0), off)
+    }
+}
+
+impl Program for FalseSharing {
+    fn step(&mut self, _last_read: Option<u32>) -> Op {
+        match self.phase {
+            Phase::Store => {
+                if self.remaining == 0 {
+                    return Op::Exit;
+                }
+                self.remaining -= 1;
+                self.writes += 1;
+                self.phase = Phase::Think;
+                let w = self.word();
+                Op::Write(w, self.rng.next_u32())
+            }
+            Phase::Think => {
+                // Roughly one read-back per eight stores keeps read
+                // faults in the mix without turning it read-mostly.
+                self.phase =
+                    if self.rng.below(8) == 0 { Phase::ReadBack } else { Phase::Store };
+                // Private computation between stores: long enough that a
+                // competing demand steals the page mid-run, so ownership
+                // ping-pongs and each tenure dirties only a few words.
+                Op::Compute(SimDuration::from_micros(500 + self.rng.below(4000)))
+            }
+            Phase::ReadBack => {
+                self.phase = Phase::Store;
+                let r = self.word();
+                Op::Read(r)
+            }
+        }
+    }
+
+    fn metric(&self) -> u64 {
+        self.writes
+    }
+
+    fn label(&self) -> &str {
+        "false-sharing"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use mirage_types::SiteId;
+
+    use super::*;
+
+    #[test]
+    fn halves_never_overlap() {
+        let seg = SegmentId::new(SiteId(0), 1);
+        for half in 0..2 {
+            let mut p = FalseSharing::new(seg, half, 42, 200);
+            let (lo, hi) = (half * 256, half * 256 + 256);
+            loop {
+                match p.step(Some(0)) {
+                    Op::Write(r, _) | Op::Read(r) => {
+                        assert!(r.offset >= lo && r.offset < hi, "escaped its half");
+                        assert_eq!(r.offset % 4, 0, "unaligned");
+                    }
+                    Op::Compute(d) => assert!(d >= SimDuration::from_micros(500)),
+                    Op::Exit => break,
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            assert_eq!(p.metric(), 200);
+        }
+    }
+
+    #[test]
+    fn sequence_is_seed_deterministic() {
+        let seg = SegmentId::new(SiteId(0), 1);
+        let run = |seed| {
+            let mut p = FalseSharing::new(seg, 0, seed, 50);
+            let mut ops = Vec::new();
+            loop {
+                match p.step(Some(7)) {
+                    Op::Write(r, v) => ops.push((r.offset, v)),
+                    Op::Read(r) => ops.push((r.offset, u32::MAX)),
+                    Op::Compute(d) => ops.push((0, d.0 as u32)),
+                    Op::Exit => break,
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            ops
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn same_seed_different_halves_diverge() {
+        let seg = SegmentId::new(SiteId(0), 1);
+        let offsets = |half: usize| {
+            let mut p = FalseSharing::new(seg, half, 9, 50);
+            let mut v = Vec::new();
+            loop {
+                match p.step(Some(0)) {
+                    Op::Write(r, _) | Op::Read(r) => v.push(r.offset % 256),
+                    Op::Compute(_) => {}
+                    Op::Exit => break,
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            v
+        };
+        assert_ne!(offsets(0), offsets(1), "halves must not mirror each other");
+    }
+}

@@ -14,13 +14,16 @@
 //! * [`readers`] — read-mostly sharing with an occasional writer, for
 //!   the invalidation-scaling ablation (A4);
 //! * [`background`] — a pure-compute process used to measure overall
-//!   system throughput while another application thrashes (E10).
+//!   system throughput while another application thrashes (E10);
+//! * [`falseshare`] — two writers on disjoint halves of one page, the
+//!   sub-page delta-grant experiment's subject (S1).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod background;
 pub mod decrement;
+pub mod falseshare;
 pub mod pingpong;
 pub mod readers;
 pub mod ring;
@@ -28,6 +31,7 @@ pub mod spinlock;
 
 pub use background::Background;
 pub use decrement::Decrementer;
+pub use falseshare::FalseSharing;
 pub use pingpong::{
     PingPongPinger,
     PingPongPonger,
