@@ -1,15 +1,22 @@
 //! B1: Mirage versus Li's shared virtual memory protocols.
+//!
+//! `--tardis` adds the timestamp-coherence cost model as a fourth row
+//! per trace; the default table is unchanged (and golden-pinned via
+//! `repro_all`).
 
 use mirage_bench::{
     baseline_compare,
+    baseline_compare_with_tardis,
     harness::parse_jobs_flag,
     print_table,
 };
 
 fn main() {
-    parse_jobs_flag(std::env::args().skip(1));
+    let tardis = std::env::args().skip(1).any(|a| a == "--tardis");
+    parse_jobs_flag(std::env::args().skip(1).filter(|a| a.as_str() != "--tardis"));
     println!("B1 — identical traces through Mirage and Li-Hudak SVM (Appendix I comparison)\n");
-    let rows: Vec<Vec<String>> = baseline_compare()
+    let results = if tardis { baseline_compare_with_tardis() } else { baseline_compare() };
+    let rows: Vec<Vec<String>> = results
         .into_iter()
         .map(|r| {
             vec![

@@ -15,6 +15,8 @@
 //! fault_storm --check-trace    # sweep with the causal trace oracle too
 //! fault_storm --migrate        # layer a seeded library-handoff schedule
 //! fault_storm --delta          # same seeds with sub-page delta grants on
+//! fault_storm --protocol li    # same seeds under a rival protocol
+//! fault_storm --matrix         # every seed under all three protocols
 //! fault_storm --seed 42        # one seed, verbose outcome
 //! fault_storm --seed 42 --trace# same, narrating every fault decision
 //! ```
@@ -28,6 +30,13 @@
 //! world, workload, and fault plan are bit-identical to the plain run
 //! (the flag is set after every PRNG draw), so any divergence in the
 //! oracles is attributable to the diff-based wire form alone.
+//!
+//! `--protocol {mirage,li,tardis}` replays the classic seeds under the
+//! named coherence protocol. The selector is applied after every PRNG
+//! draw, so each seed's world, workload, and fault plan are
+//! bit-identical across protocols — only the protocol logic differs.
+//! `--matrix` runs each seed under all three and additionally asserts
+//! that the authoritative page bytes at quiescence agree.
 //!
 //! `--large` switches to the planet-scale generator: 65–160 sites
 //! (chunked site sets, paged circuit table), a sharded library
@@ -58,10 +67,14 @@ use mirage_sim::{
     run_fuzz_seed_delta_traced,
     run_fuzz_seed_large,
     run_fuzz_seed_large_traced,
+    run_fuzz_seed_matrix,
     run_fuzz_seed_migrating,
     run_fuzz_seed_migrating_traced,
+    run_fuzz_seed_protocol,
+    run_fuzz_seed_protocol_traced,
     run_fuzz_seed_sized_traced,
     run_fuzz_seed_traced,
+    FuzzProtocol,
 };
 use mirage_trace::{
     chrome,
@@ -80,6 +93,8 @@ fn main() {
     let mut migrate = false;
     let mut delta = false;
     let mut large = false;
+    let mut protocol = FuzzProtocol::Mirage;
+    let mut matrix = false;
     let mut sites: Option<usize> = None;
     let mut export_chrome: Option<String> = None;
     let mut export_jsonl: Option<String> = None;
@@ -104,6 +119,15 @@ fn main() {
             "--migrate" => migrate = true,
             "--delta" => delta = true,
             "--large" => large = true,
+            "--protocol" => {
+                i += 1;
+                let name = args.get(i).expect("--protocol takes mirage|li|tardis");
+                protocol = FuzzProtocol::from_name(name).unwrap_or_else(|| {
+                    eprintln!("unknown protocol: {name} (expected mirage, li, or tardis)");
+                    std::process::exit(2);
+                });
+            }
+            "--matrix" => matrix = true,
             "--sites" => {
                 i += 1;
                 sites = Some(args[i].parse().expect("--sites takes a site count"));
@@ -122,7 +146,8 @@ fn main() {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: fault_storm [--seeds N] [--start S] [--check-trace] \
-                     [--migrate | --delta | --large [--sites N]] [--seed S [--trace] \
+                     [--migrate | --delta | --large [--sites N] | \
+                     --protocol {{mirage,li,tardis}} | --matrix] [--seed S [--trace] \
                      [--metrics] [--check-trace] [--export-chrome PATH] \
                      [--export-jsonl PATH]]"
                 );
@@ -139,6 +164,35 @@ fn main() {
     }
     let want_trace =
         check_trace || metrics || export_chrome.is_some() || export_jsonl.is_some();
+
+    if matrix {
+        if let Some(seed) = single {
+            let mut ok = true;
+            for outcome in run_fuzz_seed_matrix(seed) {
+                println!("{}", outcome.describe());
+                ok &= outcome.is_ok();
+            }
+            std::process::exit(if ok { 0 } else { 1 });
+        }
+        let mut failed = 0u64;
+        for seed in start..start + seeds {
+            for outcome in run_fuzz_seed_matrix(seed) {
+                if !outcome.is_ok() {
+                    failed += 1;
+                    eprintln!("{}", outcome.describe());
+                    eprintln!(
+                        "replay: cargo run --release -p mirage-bench --bin fault_storm -- \
+                         --seed {seed} --matrix"
+                    );
+                }
+            }
+            if (seed - start + 1).is_multiple_of(200) {
+                println!("… {}/{} seeds, {} failed", seed - start + 1, seeds, failed);
+            }
+        }
+        println!("fault_storm: {seeds} matrix seeds × 3 protocols, {failed} failures");
+        std::process::exit(if failed > 0 { 1 } else { 0 });
+    }
 
     if let Some(seed) = single {
         let (outcome, events) = if let Some(n) = sites {
@@ -157,6 +211,12 @@ fn main() {
                 run_fuzz_seed_delta_traced(seed)
             } else {
                 (run_fuzz_seed_delta(seed), Vec::new())
+            }
+        } else if protocol != FuzzProtocol::Mirage {
+            if want_trace {
+                run_fuzz_seed_protocol_traced(seed, protocol)
+            } else {
+                (run_fuzz_seed_protocol(seed, protocol), Vec::new())
             }
         } else {
             match (want_trace, migrate) {
@@ -228,6 +288,12 @@ fn main() {
             } else {
                 run_fuzz_seed_delta(seed)
             }
+        } else if protocol != FuzzProtocol::Mirage {
+            if check_trace {
+                run_fuzz_seed_protocol_traced(seed, protocol).0
+            } else {
+                run_fuzz_seed_protocol(seed, protocol)
+            }
         } else {
             match (check_trace, migrate) {
                 (true, true) => run_fuzz_seed_migrating_traced(seed).0,
@@ -245,15 +311,23 @@ fn main() {
             failed += 1;
             eprintln!("{}", outcome.describe());
             let flag = if large {
-                " --large"
+                " --large".to_string()
             } else if migrate {
-                " --migrate"
+                " --migrate".to_string()
             } else if delta {
-                " --delta"
+                " --delta".to_string()
+            } else if protocol != FuzzProtocol::Mirage {
+                format!(" --protocol {}", protocol.name())
             } else {
-                ""
+                String::new()
             };
-            eprintln!("replay: fault_storm --seed {seed}{flag} --trace");
+            // The full cargo invocation, matching what the integration
+            // test prints: a copy-paste replays the seed from a clean
+            // checkout without hunting for the binary.
+            eprintln!(
+                "replay: cargo run --release -p mirage-bench --bin fault_storm -- \
+                 --seed {seed}{flag} --trace"
+            );
         }
         if (seed - start + 1).is_multiple_of(200) {
             println!("… {}/{} seeds, {} failed", seed - start + 1, seeds, failed);

@@ -1,0 +1,57 @@
+//! T1: the renewal-versus-invalidation matrix — Mirage, Li–Hudak, and
+//! Tardis timestamp coherence over identical world shapes.
+//!
+//! ```text
+//! timestamp_compare            # full horizons (6 s sim per cell)
+//! timestamp_compare --quick    # 1 s horizons, 3 storm seeds
+//! timestamp_compare --jobs 4   # parallel cells, byte-identical output
+//! ```
+//!
+//! The `spin ping-pong` row intentionally shows ~zero Tardis accesses:
+//! a pure reader never advances its own program timestamp, so its
+//! stale-but-leased copy keeps serving — the documented trade against
+//! Mirage's physical Δ window (DESIGN.md, "Timestamp coherence").
+
+use mirage_bench::{
+    harness::parse_jobs_flag,
+    print_table,
+    timestamp_compare,
+};
+
+fn main() {
+    let quick = std::env::args().skip(1).any(|a| a == "--quick");
+    parse_jobs_flag(std::env::args().skip(1).filter(|a| a.as_str() != "--quick"));
+    println!(
+        "T1 — timestamp coherence vs invalidation coherence (renewal/invalidation split)\n"
+    );
+    let rows: Vec<Vec<String>> = timestamp_compare(quick)
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.scenario.to_string(),
+                r.protocol.to_string(),
+                r.accesses.to_string(),
+                format!("{:.0}", r.events_per_sec),
+                r.msgs.to_string(),
+                r.wire_bytes.to_string(),
+                r.renewals.to_string(),
+                r.invalidations.to_string(),
+                r.recalls.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "scenario",
+            "protocol",
+            "accesses",
+            "events/s",
+            "msgs",
+            "wire bytes",
+            "renewals",
+            "invalidations",
+            "recalls",
+        ],
+        &rows,
+    );
+}

@@ -13,6 +13,7 @@ use mirage_baseline::{
     LiCentral,
     LiDistributed,
     MirageCost,
+    TardisCost,
 };
 use mirage_core::{
     DeltaPolicy,
@@ -47,6 +48,7 @@ use mirage_workloads::{
     PingPongPinger,
     PingPongPonger,
     Rereader,
+    WriteReadMix,
 };
 
 use crate::harness::par_map;
@@ -650,7 +652,20 @@ pub struct BaselineRow {
 }
 
 /// B1: identical access traces through Mirage and both Li protocols.
+///
+/// The default report excludes the Tardis cost model so its output (and
+/// the `repro_all` golden built on it) is unchanged by the timestamp
+/// work; [`baseline_compare_with_tardis`] adds the fourth rival.
 pub fn baseline_compare() -> Vec<BaselineRow> {
+    baseline_compare_rows(false)
+}
+
+/// [`baseline_compare`] plus a [`TardisCost`] row per trace.
+pub fn baseline_compare_with_tardis() -> Vec<BaselineRow> {
+    baseline_compare_rows(true)
+}
+
+fn baseline_compare_rows(include_tardis: bool) -> Vec<BaselineRow> {
     let costs = NetCosts::vax_locus();
     let traces: Vec<(&'static str, AccessTrace, usize)> = vec![
         ("ping-pong ×250", AccessTrace::ping_pong(250), 2),
@@ -661,13 +676,262 @@ pub fn baseline_compare() -> Vec<BaselineRow> {
         let mut mirage = MirageCost::new(*sites, 4, ProtocolConfig::default(), costs.clone());
         let mut central = LiCentral::new(SiteId(0), costs.clone());
         let mut dist = LiDistributed::new(*sites, SiteId(0), costs.clone());
-        [
+        let mut rows = vec![
             BaselineRow { protocol: "mirage", trace: name, report: mirage.replay(trace) },
             BaselineRow { protocol: "li-central", trace: name, report: central.replay(trace) },
             BaselineRow { protocol: "li-distributed", trace: name, report: dist.replay(trace) },
-        ]
+        ];
+        if include_tardis {
+            let mut tardis = TardisCost::new(SiteId(0), 8, costs.clone());
+            rows.push(BaselineRow {
+                protocol: "tardis",
+                trace: name,
+                report: tardis.replay(trace),
+            });
+        }
+        rows
     });
     per_trace.into_iter().flatten().collect()
+}
+
+/// T1 result row: one scenario under one coherence protocol.
+#[derive(Clone, Debug)]
+pub struct TimestampRow {
+    /// Scenario label.
+    pub scenario: &'static str,
+    /// Protocol label (`mirage`, `li`, or `tardis`).
+    pub protocol: &'static str,
+    /// Shared-memory accesses completed inside the horizon.
+    pub accesses: u64,
+    /// Engine events processed per simulated second — the progress
+    /// measure that is meaningful even when a scenario makes no
+    /// application progress (the spin row under Tardis).
+    pub events_per_sec: f64,
+    /// Total protocol messages sent.
+    pub msgs: u64,
+    /// Payload bytes on the wire (full pages, deltas, write-backs).
+    pub wire_bytes: u64,
+    /// Data-free lease renewals granted (`TsRenew` — Tardis only).
+    pub renewals: u64,
+    /// Invalidation messages (`Invalidate` + `ReaderInvalidate` —
+    /// Mirage/Li only; Tardis never messages a reader).
+    pub invalidations: u64,
+    /// Owner write-back recalls (`TsRecall` — Tardis only).
+    pub recalls: u64,
+}
+
+/// The three full-engine protocol configurations T1 compares. Mirage
+/// runs the paper's prototype at Δ=6 (the Figure 8 knee); the rivals
+/// are the Li–Hudak degenerate and Tardis with a short lease (2): T1's
+/// horizons are seconds of simulated time, and program timestamps
+/// advance a tick or two per ownership transfer (tens of wall-clock
+/// milliseconds on the paper's network), so the default lease of 8
+/// would let hardly any lease expire inside the table's window.
+fn t1_protocols() -> [(&'static str, ProtocolConfig); 3] {
+    [
+        ("mirage", ProtocolConfig::paper(Delta(6))),
+        ("li", ProtocolConfig::li()),
+        ("tardis", ProtocolConfig { ts_lease: 2, ..ProtocolConfig::tardis() }),
+    ]
+}
+
+/// Runs one already-populated world to the horizon and reads the T1
+/// metrics off the instrumentation counters.
+fn t1_measure(
+    scenario: &'static str,
+    protocol: &'static str,
+    mut w: World,
+    horizon: SimTime,
+) -> TimestampRow {
+    w.run_until(horizon);
+    let secs = w.now().as_secs_f64().max(1e-9);
+    let m = &w.instr.msgs;
+    TimestampRow {
+        scenario,
+        protocol,
+        accesses: w.total_accesses(),
+        events_per_sec: w.engine_events() as f64 / secs,
+        msgs: m.total(),
+        wire_bytes: m.payload_bytes,
+        renewals: m.count(mirage_net::MsgKind::TsRenew),
+        invalidations: m.count(mirage_net::MsgKind::Invalidate)
+            + m.count(mirage_net::MsgKind::ReaderInvalidate),
+        recalls: m.count(mirage_net::MsgKind::TsRecall),
+    }
+}
+
+/// Aggregates the T1 metrics over a batch of traced fault-storm seeds
+/// replayed under one protocol (the bit-identical cross-protocol
+/// worlds from the fuzz matrix, faults and all).
+fn t1_storm(
+    scenario: &'static str,
+    name: &'static str,
+    seeds: std::ops::Range<u64>,
+) -> TimestampRow {
+    let fp = mirage_sim::FuzzProtocol::from_name(name).expect("t1 protocol name");
+    let mut row = TimestampRow {
+        scenario,
+        protocol: name,
+        accesses: 0,
+        events_per_sec: 0.0,
+        msgs: 0,
+        wire_bytes: 0,
+        renewals: 0,
+        invalidations: 0,
+        recalls: 0,
+    };
+    let mut sim_secs = 0.0f64;
+    let mut engine_events = 0u64;
+    for seed in seeds {
+        let (outcome, events) = mirage_sim::run_fuzz_seed_protocol_traced(seed, fp);
+        assert!(outcome.is_ok(), "T1 storm seed {seed} under {name}: {}", outcome.describe());
+        sim_secs += events.last().map_or(0.0, |ev| ev.at.as_secs_f64());
+        engine_events += events.len() as u64;
+        let reg = mirage_trace::from_trace(&events);
+        for ev in &events {
+            if ev.kind != mirage_trace::TraceKind::MsgSent {
+                continue;
+            }
+            let Some(msg) = ev.msg else { continue };
+            row.msgs += 1;
+            match msg.name() {
+                "TsRenew" => row.renewals += 1,
+                "TsRecall" => row.recalls += 1,
+                "Invalidate" | "ReaderInvalidate" => row.invalidations += 1,
+                _ => {}
+            }
+        }
+        for kind in ["PageGrant", "LibraryHandoff", "TsReadData", "TsWriteGrant", "TsWriteBack"]
+        {
+            row.wire_bytes += reg.counter(&format!("wire.bytes.{kind}"));
+        }
+        row.wire_bytes += reg.counter("wire.bytes.PageGrantDelta");
+        row.accesses += reg.counter("copy.installs") + reg.counter("ts.installs");
+    }
+    row.events_per_sec = engine_events as f64 / sim_secs.max(1e-9);
+    row
+}
+
+/// T1: the renewal-versus-invalidation matrix. Every scenario runs the
+/// *same* world shape under the three coherence protocols (Mirage at
+/// Δ=6, Li–Hudak, Tardis at a 2-version lease) and reports events/sec,
+/// messages, bytes on the wire, and the renewal/invalidation/recall
+/// split.
+///
+/// Scenario notes:
+///
+/// * `spin ping-pong` makes **no application progress under Tardis** by
+///   design: the ponger's reads are stale-but-leased hits, its program
+///   timestamp only advances at protocol events, and a site doing
+///   nothing but reads never expires its own lease. This is the
+///   documented physical-Δ vs logical-lease trade (DESIGN.md
+///   "Timestamp coherence"); the engine-events column shows the world
+///   is live even though the cycle count is not moving.
+/// * `renewal mix` is the shape Tardis is built for: private-page
+///   write faults drag each site's timestamp forward, so the shared
+///   page's leases expire and renew data-free while Mirage/Li pay a
+///   reader-set invalidation for every periodic write.
+/// * `fault storm ×N` replays the cross-protocol fuzz worlds (faulty
+///   network, crashes, restarts) and aggregates, tying the table to
+///   the same seeds CI sweeps.
+pub fn timestamp_compare(quick: bool) -> Vec<TimestampRow> {
+    let horizon = SimTime::from_millis(if quick { 1_000 } else { 6_000 });
+    let scenarios: &[&'static str] =
+        &["spin ping-pong", "decrement duel", "renewal mix", "reader fan-out", "false sharing"];
+    let runs: Vec<(&'static str, &'static str, ProtocolConfig)> = scenarios
+        .iter()
+        .flat_map(|&s| t1_protocols().map(|(name, cfg)| (s, name, cfg)))
+        .collect();
+    let mut rows = par_map(&runs, |(scenario, name, cfg)| {
+        let cfg = SimConfig { protocol: cfg.clone(), ..Default::default() };
+        let w = match *scenario {
+            "spin ping-pong" => pingpong_world(2, cfg, true),
+            "decrement duel" => {
+                let mut w = World::new(2, cfg);
+                let seg = w.create_segment(0, 1);
+                w.spawn(0, Box::new(Decrementer::new(seg, 0, u32::MAX / 2)), 1);
+                w.spawn(1, Box::new(Decrementer::new(seg, 128, u32::MAX / 2)), 1);
+                w
+            }
+            "renewal mix" => {
+                let mut w = World::new(5, cfg);
+                let seg = w.create_segment(0, 5);
+                // The home site bumps the shared page 0 occasionally —
+                // rarely enough that most Tardis lease expiries find
+                // the version unchanged and renew data-free. (A faster
+                // writer would turn every re-read into a full fetch
+                // and hide the renewal column this row exists to
+                // measure; lease expiries land every ~180 ms of sim
+                // time here.)
+                w.spawn(
+                    0,
+                    Box::new(PeriodicWriter::new(
+                        seg,
+                        u32::MAX / 2,
+                        SimDuration::from_millis(400),
+                    )),
+                    1,
+                );
+                // …while site pairs {1,2} and {3,4} duel over their own
+                // write pages and poll the shared one. The write pages
+                // must be *contended*: an uncontested owner writes
+                // locally forever, its program timestamp never moves,
+                // and its lease on page 0 never expires — no renewals
+                // to measure.
+                for s in 1..5u32 {
+                    w.spawn(
+                        s as usize,
+                        Box::new(WriteReadMix::new(
+                            seg,
+                            PageNum(1 + (s - 1) / 2),
+                            PageNum(0),
+                            SimDuration::from_micros(500),
+                        )),
+                        1,
+                    );
+                }
+                w
+            }
+            "reader fan-out" => {
+                let mut w = World::new(10, cfg);
+                let seg = w.create_segment(0, 1);
+                for s in 1..=8 {
+                    w.spawn(
+                        s,
+                        Box::new(Rereader::new(seg, u32::MAX / 2, SimDuration::from_millis(2))),
+                        1,
+                    );
+                }
+                w.spawn(
+                    9,
+                    Box::new(PeriodicWriter::new(
+                        seg,
+                        u32::MAX / 2,
+                        SimDuration::from_millis(10),
+                    )),
+                    1,
+                );
+                w
+            }
+            "false sharing" => {
+                let mut w = World::new(2, cfg);
+                let seg = w.create_segment(0, 1);
+                w.spawn(0, Box::new(FalseSharing::new(seg, 0, 5, u32::MAX / 2)), 1);
+                w.spawn(1, Box::new(FalseSharing::new(seg, 1, 5, u32::MAX / 2)), 1);
+                w
+            }
+            other => unreachable!("unknown T1 scenario {other}"),
+        };
+        t1_measure(scenario, name, w, horizon)
+    });
+    // The storm aggregate reuses the fuzz-matrix worlds; its seeds are
+    // small so the quick table stays quick.
+    let seeds = if quick { 0..3 } else { 0..8 };
+    let storm_label: &'static str = if quick { "fault storm ×3" } else { "fault storm ×8" };
+    let storm: Vec<(&'static str, std::ops::Range<u64>)> =
+        t1_protocols().map(|(name, _)| (name, seeds.clone())).to_vec();
+    rows.extend(par_map(&storm, |(name, seeds)| t1_storm(storm_label, name, seeds.clone())));
+    rows
 }
 
 /// E3 row: modeled lazy-remap cost at context switch per segment size.

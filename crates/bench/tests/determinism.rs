@@ -10,6 +10,7 @@ use std::sync::Mutex;
 use mirage_bench::{
     ablation_opts,
     baseline_compare,
+    baseline_compare_with_tardis,
     dynamic_delta_with,
     false_sharing,
     fig7,
@@ -22,6 +23,7 @@ use mirage_bench::{
     repro_all_report,
     test_and_set,
     thrash_system,
+    timestamp_compare,
     traced_storm_metrics,
     ReproParams,
 };
@@ -91,6 +93,25 @@ fn invalidation_scaling_is_identical_at_any_worker_count() {
 #[test]
 fn baseline_compare_is_identical_at_any_worker_count() {
     let (a, b) = at_jobs_1_and_4(baseline_compare);
+    assert_eq!(a, b);
+}
+
+/// The `--tardis` arm of the baseline comparison adds a fourth
+/// analytical row per trace; the flagged table must be as
+/// schedule-independent as the default one.
+#[test]
+fn baseline_compare_with_tardis_is_identical_at_any_worker_count() {
+    let (a, b) = at_jobs_1_and_4(baseline_compare_with_tardis);
+    assert_eq!(a, b);
+}
+
+/// The T1 matrix mixes direct world simulation with traced fuzz-storm
+/// sweeps; both halves run under `par_map`, so the whole table — every
+/// message count, wire-byte total, and renewal/invalidation split —
+/// must be byte-identical at any worker count.
+#[test]
+fn timestamp_compare_is_identical_at_any_worker_count() {
+    let (a, b) = at_jobs_1_and_4(|| timestamp_compare(true));
     assert_eq!(a, b);
 }
 

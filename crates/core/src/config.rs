@@ -69,6 +69,25 @@ impl Default for DeltaPolicy {
     }
 }
 
+/// Which coherence protocol the engines speak.
+///
+/// The selector is per-[`ProtocolConfig`], so one world runs exactly
+/// one protocol — the rival designs are never mixed on a page. With
+/// the default (`Mirage`), the Tardis machinery is compiled in but
+/// never allocated or consulted: the Mirage hot path is unchanged.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Coherence {
+    /// The paper's protocol: physical-time Δ windows, a library site
+    /// per segment, invalidation rounds through a clock site.
+    #[default]
+    Mirage,
+    /// Tardis-style timestamp coherence (Yu & Devadas): per-page
+    /// `wts`/`rts` logical counters at a home site, lease-extension
+    /// renewals instead of invalidation fan-out, write serialization
+    /// by timestamp bump. No multicast, no invalidation messages.
+    Tardis,
+}
+
 /// Timeout/retry tuning for lossy networks.
 ///
 /// The paper assumes Locus virtual circuits never lose a message; when
@@ -153,12 +172,40 @@ pub struct ProtocolConfig {
     /// ranges can migrate toward their traffic without dragging the
     /// rest of the segment along.
     pub shard_pages: u32,
+    /// Which coherence protocol the engines speak. Default
+    /// [`Coherence::Mirage`]; see [`Coherence::Tardis`] for the
+    /// timestamp rival. Every other field except `retry` and `trace`
+    /// is Mirage-specific and ignored under Tardis.
+    pub coherence: Coherence,
+    /// Tardis logical lease length: how far past `max(pts, wts)` a
+    /// read grant extends `rts`. Longer leases mean fewer renewals but
+    /// a bigger timestamp jump (and thus more expiries elsewhere) per
+    /// write. Ignored under Mirage.
+    pub ts_lease: u32,
 }
 
 impl ProtocolConfig {
     /// The paper's prototype configuration with the given uniform Δ.
     pub fn paper(delta: Delta) -> Self {
         Self { delta: DeltaPolicy::Uniform(delta), ..Self::default() }
+    }
+
+    /// Tardis timestamp coherence with the default lease length.
+    pub fn tardis() -> Self {
+        Self { coherence: Coherence::Tardis, ..Self::default() }
+    }
+
+    /// The Li–Hudak degenerate of Mirage: Δ = 0 everywhere and both
+    /// §6.1 optimizations off, i.e. a plain fixed-distributed-manager
+    /// write-invalidate protocol with no keepalive windows. Used as the
+    /// second rival in the cross-protocol matrix.
+    pub fn li() -> Self {
+        Self {
+            delta: DeltaPolicy::Uniform(Delta::ZERO),
+            upgrade_optimization: false,
+            downgrade_optimization: false,
+            ..Self::default()
+        }
     }
 }
 
@@ -174,6 +221,8 @@ impl Default for ProtocolConfig {
             trace: false,
             delta_grants: false,
             shard_pages: 0,
+            coherence: Coherence::default(),
+            ts_lease: 8,
         }
     }
 }
@@ -206,6 +255,21 @@ mod tests {
         assert!(!c.multicast_invalidation);
         assert!(c.retry.is_none());
         assert!(!c.delta_grants);
+        assert_eq!(c.coherence, Coherence::Mirage);
+    }
+
+    #[test]
+    fn li_degenerate_turns_mirage_features_off() {
+        let c = ProtocolConfig::li();
+        assert_eq!(c.coherence, Coherence::Mirage);
+        assert_eq!(c.delta, DeltaPolicy::Uniform(Delta::ZERO));
+        assert!(!c.upgrade_optimization);
+        assert!(!c.downgrade_optimization);
+    }
+
+    #[test]
+    fn tardis_config_selects_tardis() {
+        assert_eq!(ProtocolConfig::tardis().coherence, Coherence::Tardis);
     }
 
     #[test]

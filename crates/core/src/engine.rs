@@ -32,7 +32,10 @@ use mirage_types::{
 };
 
 use crate::{
-    config::ProtocolConfig,
+    config::{
+        Coherence,
+        ProtocolConfig,
+    },
     event::{
         Action,
         Event,
@@ -41,6 +44,7 @@ use crate::{
     msg::ProtoMsg,
     sink::ActionSink,
     store::PageStore,
+    tardis::TardisState,
     using::UseState,
 };
 
@@ -121,6 +125,34 @@ pub(crate) enum TimerKind {
         /// Shard index within the segment.
         shard: u32,
     },
+    /// Tardis requester: retransmit an unanswered `TsRead`/`TsWrite`
+    /// (retry mode).
+    TsRequestRetry {
+        /// Segment of the outstanding request.
+        seg: SegmentId,
+        /// Page of the outstanding request.
+        page: PageNum,
+        /// Request-chain generation (stale timers no-op on mismatch).
+        gen: u32,
+    },
+    /// Tardis home: retransmit an unanswered `TsRecall` (retry mode).
+    TsRecallRetry {
+        /// Segment of the recall.
+        seg: SegmentId,
+        /// Page of the recall.
+        page: PageNum,
+        /// Ownership serial the recall quotes.
+        serial: u32,
+    },
+    /// Tardis owner: retransmit an unacked `TsWriteBack` (retry mode).
+    TsWriteBackRetry {
+        /// Segment of the write-back.
+        seg: SegmentId,
+        /// Page of the write-back.
+        page: PageNum,
+        /// Recall serial the write-back answers.
+        serial: u32,
+    },
 }
 
 /// One site's combined protocol roles.
@@ -130,6 +162,10 @@ pub struct SiteEngine {
     pub(crate) config: ProtocolConfig,
     pub(crate) lib: LibState,
     pub(crate) usr: UseState,
+    /// Timestamp-coherence state; allocated only when the configuration
+    /// selects [`Coherence::Tardis`], so a Mirage engine pays one
+    /// `is_some` branch at the fault entry and nothing else.
+    pub(crate) tardis: Option<Box<TardisState>>,
     pub(crate) timers: FastMap<u64, TimerKind>,
     pub(crate) next_token: u64,
     /// Site-local counter backing [`SpanId`] allocation. Only consumed
@@ -141,11 +177,16 @@ pub struct SiteEngine {
 impl SiteEngine {
     /// Creates the engine for `site` with the given configuration.
     pub fn new(site: SiteId, config: ProtocolConfig) -> Self {
+        let tardis = match config.coherence {
+            Coherence::Mirage => None,
+            Coherence::Tardis => Some(Box::default()),
+        };
         Self {
             site,
             config,
             lib: LibState::default(),
             usr: UseState::default(),
+            tardis,
             timers: FastMap::default(),
             next_token: 1,
             next_span: 0,
@@ -177,6 +218,7 @@ impl SiteEngine {
         let active = seg.library == self.site;
         let shard_pages = self.config.shard_pages;
         self.lib.register_segment(seg, pages, seg.library, active, &policy, shard_pages);
+        self.ts_register_segment(seg, pages);
     }
 
     /// Feeds one event through the engine, accumulating the resulting
@@ -194,7 +236,11 @@ impl SiteEngine {
         sink.begin(now);
         match ev {
             Event::Fault { pid, seg, page, access } => {
-                self.fault(pid, seg, page, access, store, sink);
+                if self.tardis.is_some() {
+                    self.ts_fault(pid, seg, page, access, store, sink);
+                } else {
+                    self.fault(pid, seg, page, access, store, sink);
+                }
             }
             Event::Deliver { from, msg } => {
                 self.dispatch(from, msg, store, sink);
@@ -295,6 +341,32 @@ impl SiteEngine {
             ProtoMsg::LibraryRedirect { seg, page, epoch, to } => {
                 self.use_redirect(from, seg, page, epoch, to, sink);
             }
+            // Tardis timestamp coherence (home side).
+            ProtoMsg::TsRead { seg, page, pts, vts, serial } => {
+                self.ts_home_request(from, seg, page, Access::Read, pts, vts, serial, sink);
+            }
+            ProtoMsg::TsWrite { seg, page, pts, vts, serial } => {
+                self.ts_home_request(from, seg, page, Access::Write, pts, vts, serial, sink);
+            }
+            ProtoMsg::TsWriteBack { seg, page, wts, data, serial } => {
+                self.ts_home_write_back(from, seg, page, wts, data, serial, sink);
+            }
+            // Tardis timestamp coherence (requester side).
+            ProtoMsg::TsReadData { seg, page, wts, rts, data, serial } => {
+                self.ts_read_data(from, seg, page, wts, rts, data, serial, store, sink);
+            }
+            ProtoMsg::TsRenew { seg, page, wts, rts, serial } => {
+                self.ts_renew(from, seg, page, wts, rts, serial, store, sink);
+            }
+            ProtoMsg::TsWriteGrant { seg, page, wts, data, serial } => {
+                self.ts_write_grant(from, seg, page, wts, data, serial, store, sink);
+            }
+            ProtoMsg::TsRecall { seg, page, serial } => {
+                self.ts_recall(from, seg, page, serial, store, sink);
+            }
+            ProtoMsg::TsWriteBackAck { seg, page, serial } => {
+                self.ts_write_back_ack(seg, page, serial);
+            }
         }
     }
 
@@ -328,6 +400,15 @@ impl SiteEngine {
             TimerKind::HandoffRetry { seg, shard } => {
                 self.lib_handoff_retry(seg, shard, sink);
             }
+            TimerKind::TsRequestRetry { seg, page, gen } => {
+                self.ts_request_retry(seg, page, gen, sink);
+            }
+            TimerKind::TsRecallRetry { seg, page, serial } => {
+                self.ts_recall_retry(seg, page, serial, sink);
+            }
+            TimerKind::TsWriteBackRetry { seg, page, serial } => {
+                self.ts_write_back_retry(seg, page, serial, sink);
+            }
         }
     }
 
@@ -351,6 +432,7 @@ impl SiteEngine {
         self.timers.clear();
         self.lib.crash();
         self.usr.crash();
+        self.ts_crash();
     }
 
     /// The site restarts with cold volatile state: re-arms retransmit
@@ -366,6 +448,7 @@ impl SiteEngine {
         sink.begin(now);
         self.lib_restart(sink);
         self.use_restart(sink);
+        self.ts_restart(sink);
         while let Some(msg) = sink.pop_loopback() {
             let from = self.site;
             self.dispatch(from, msg, store, sink);
@@ -473,12 +556,18 @@ impl SiteEngine {
     /// Test/diagnostic access: number of processes at this site blocked
     /// on the given page.
     pub fn waiter_count(&self, seg: SegmentId, page: PageNum) -> usize {
+        if self.tardis.is_some() {
+            return self.ts_waiter_count(seg, page);
+        }
         self.usr.waiter_count(seg, page)
     }
 
     /// Test/diagnostic access: does this site believe a request is
     /// outstanding for the page?
     pub fn has_outstanding(&self, seg: SegmentId, page: PageNum, access: Access) -> bool {
+        if self.tardis.is_some() {
+            return self.ts_has_outstanding(seg, page, access);
+        }
         self.usr.has_outstanding(seg, page, access)
     }
 

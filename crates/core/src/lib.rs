@@ -62,9 +62,11 @@ pub mod msg;
 pub mod sink;
 pub mod store;
 pub mod table1;
+pub mod tardis;
 pub mod using;
 
 pub use config::{
+    Coherence,
     DeltaPolicy,
     ProtocolConfig,
     RetryPolicy,
@@ -92,4 +94,8 @@ pub use sink::ActionSink;
 pub use store::{
     InMemStore,
     PageStore,
+};
+pub use tardis::{
+    TardisState,
+    TsHomeView,
 };

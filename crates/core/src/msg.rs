@@ -351,6 +351,123 @@ pub enum ProtoMsg {
         /// grant's. 0 when retry is disabled.
         serial: u32,
     },
+    /// Requester → home: read lease request (Tardis timestamp mode;
+    /// short). Carries the requester's program timestamp so the home can
+    /// extend the lease past it, and the version the requester already
+    /// caches so an unchanged page can be renewed without data.
+    TsRead {
+        /// Segment.
+        seg: SegmentId,
+        /// Page.
+        page: PageNum,
+        /// The requester's program timestamp (logical).
+        pts: u32,
+        /// Version (`wts`) of the bytes the requester still holds, 0 if
+        /// it holds none. When this matches the home's current `wts` the
+        /// reply is a data-free [`ProtoMsg::TsRenew`].
+        vts: u32,
+        /// Per-site request serial (monotone; retransmits reuse it).
+        serial: u32,
+    },
+    /// Requester → home: exclusive write request (Tardis mode; short).
+    TsWrite {
+        /// Segment.
+        seg: SegmentId,
+        /// Page.
+        page: PageNum,
+        /// The requester's program timestamp (logical).
+        pts: u32,
+        /// Version of the bytes the requester still holds (0 = none);
+        /// a current-version holder is upgraded without data.
+        vts: u32,
+        /// Per-site request serial (monotone; retransmits reuse it).
+        serial: u32,
+    },
+    /// Home → requester: the page with its logical lease (Tardis mode;
+    /// LARGE). The copy may be read at any program timestamp up to
+    /// `rts`; no invalidation will ever chase it.
+    TsReadData {
+        /// Segment.
+        seg: SegmentId,
+        /// Page.
+        page: PageNum,
+        /// Version (write timestamp) of the carried bytes.
+        wts: u32,
+        /// Lease end: the read timestamp reserved for this copy.
+        rts: u32,
+        /// The page itself.
+        data: PageData,
+        /// Echo of the request serial.
+        serial: u32,
+    },
+    /// Home → requester: lease extension for the version the requester
+    /// already caches (Tardis mode; short — the renewal that replaces
+    /// invalidation fan-out).
+    TsRenew {
+        /// Segment.
+        seg: SegmentId,
+        /// Page.
+        page: PageNum,
+        /// Version being renewed (must match the cached copy's).
+        wts: u32,
+        /// Extended lease end.
+        rts: u32,
+        /// Echo of the request serial.
+        serial: u32,
+    },
+    /// Home → requester: exclusive ownership at the bumped write
+    /// timestamp (Tardis mode; LARGE when it carries the page, short
+    /// when the requester's cached version is current and is upgraded
+    /// in place).
+    TsWriteGrant {
+        /// Segment.
+        seg: SegmentId,
+        /// Page.
+        page: PageNum,
+        /// The new write timestamp (`max(wts, rts, pts) + 1`).
+        wts: u32,
+        /// The page, absent for an in-place upgrade.
+        data: Option<PageData>,
+        /// Echo of the request serial.
+        serial: u32,
+    },
+    /// Home → current exclusive owner: surrender the dirty copy so the
+    /// next request can be served (Tardis mode; short). Retransmitted
+    /// until a matching [`ProtoMsg::TsWriteBack`] arrives.
+    TsRecall {
+        /// Segment.
+        seg: SegmentId,
+        /// Page.
+        page: PageNum,
+        /// Recall serial (the owner echoes it in the write-back).
+        serial: u32,
+    },
+    /// Owner → home: the dirty page answering a recall, or a clean
+    /// no-data confirmation when the owner (restarted after a crash)
+    /// holds nothing newer than the home's master (Tardis mode; LARGE
+    /// when dirty). Retransmitted until [`ProtoMsg::TsWriteBackAck`].
+    TsWriteBack {
+        /// Segment.
+        seg: SegmentId,
+        /// Page.
+        page: PageNum,
+        /// Version of the surrendered bytes.
+        wts: u32,
+        /// The dirty page, absent when the owner has nothing to return.
+        data: Option<PageData>,
+        /// Echo of the recall serial.
+        serial: u32,
+    },
+    /// Home → owner: write-back received; the owner may discard its
+    /// retained copy and stop retransmitting (Tardis mode; short).
+    TsWriteBackAck {
+        /// Segment.
+        seg: SegmentId,
+        /// Page.
+        page: PageNum,
+        /// Echo of the recall serial.
+        serial: u32,
+    },
 }
 
 impl ProtoMsg {
@@ -372,7 +489,15 @@ impl ProtoMsg {
             | ProtoMsg::LibraryHandoff { seg, page, .. }
             | ProtoMsg::LibraryHandoffAck { seg, page, .. }
             | ProtoMsg::LibraryRedirect { seg, page, .. }
-            | ProtoMsg::PageGrantDelta { seg, page, .. } => (*seg, *page),
+            | ProtoMsg::PageGrantDelta { seg, page, .. }
+            | ProtoMsg::TsRead { seg, page, .. }
+            | ProtoMsg::TsWrite { seg, page, .. }
+            | ProtoMsg::TsReadData { seg, page, .. }
+            | ProtoMsg::TsRenew { seg, page, .. }
+            | ProtoMsg::TsWriteGrant { seg, page, .. }
+            | ProtoMsg::TsRecall { seg, page, .. }
+            | ProtoMsg::TsWriteBack { seg, page, .. }
+            | ProtoMsg::TsWriteBackAck { seg, page, .. } => (*seg, *page),
         }
     }
 
@@ -395,6 +520,14 @@ impl ProtoMsg {
             ProtoMsg::LibraryHandoffAck { .. } => MsgKind::LibraryHandoffAck,
             ProtoMsg::LibraryRedirect { .. } => MsgKind::LibraryRedirect,
             ProtoMsg::PageGrantDelta { .. } => MsgKind::PageGrantDelta,
+            ProtoMsg::TsRead { .. } => MsgKind::TsRead,
+            ProtoMsg::TsWrite { .. } => MsgKind::TsWrite,
+            ProtoMsg::TsReadData { .. } => MsgKind::TsReadData,
+            ProtoMsg::TsRenew { .. } => MsgKind::TsRenew,
+            ProtoMsg::TsWriteGrant { .. } => MsgKind::TsWriteGrant,
+            ProtoMsg::TsRecall { .. } => MsgKind::TsRecall,
+            ProtoMsg::TsWriteBack { .. } => MsgKind::TsWriteBack,
+            ProtoMsg::TsWriteBackAck { .. } => MsgKind::TsWriteBackAck,
         }
     }
 
@@ -419,12 +552,66 @@ impl ProtoMsg {
 impl Sized2 for ProtoMsg {
     fn size_class(&self) -> SizeClass {
         match self {
-            ProtoMsg::PageGrant { .. } | ProtoMsg::LibraryHandoff { .. } => SizeClass::Large,
+            ProtoMsg::PageGrant { .. }
+            | ProtoMsg::LibraryHandoff { .. }
+            | ProtoMsg::TsReadData { .. } => SizeClass::Large,
             ProtoMsg::PageGrantDelta { diff, .. } => {
                 SizeClass::Bytes(ProtoMsg::delta_payload_bytes(diff) as u32)
             }
+            // A timestamp grant or write-back is large exactly when it
+            // carries the page; the data-free forms (in-place upgrade,
+            // clean write-back) are headers only.
+            ProtoMsg::TsWriteGrant { data, .. } | ProtoMsg::TsWriteBack { data, .. } => {
+                if data.is_some() {
+                    SizeClass::Large
+                } else {
+                    SizeClass::Short
+                }
+            }
             _ => SizeClass::Short,
         }
+    }
+}
+
+/// Frames one page the way [`ProtoMsg::PageGrant`] does: a u32 length
+/// prefix (always `PAGE_SIZE`) followed by the bytes.
+fn encode_page(data: &PageData, buf: &mut Vec<u8>) {
+    (PAGE_SIZE as u32).encode(buf);
+    buf.extend_from_slice(data.as_bytes());
+}
+
+/// Decodes one framed page, rejecting any length but `PAGE_SIZE`.
+fn decode_page(buf: &mut &[u8]) -> Result<PageData> {
+    let len = u32::decode(buf)? as usize;
+    if len != PAGE_SIZE {
+        return Err(MirageError::Codec("page frame must carry one page"));
+    }
+    if buf.len() < len {
+        return Err(MirageError::Codec("truncated message"));
+    }
+    let (head, rest) = buf.split_at(len);
+    let data = PageData::from_bytes(head);
+    *buf = rest;
+    Ok(data)
+}
+
+/// Frames an optional page: a canonical 0/1 presence byte, then the
+/// framed page when present. Any other presence byte is rejected.
+fn encode_opt_page(data: &Option<PageData>, buf: &mut Vec<u8>) {
+    match data {
+        Some(d) => {
+            buf.push(1);
+            encode_page(d, buf);
+        }
+        None => buf.push(0),
+    }
+}
+
+fn decode_opt_page(buf: &mut &[u8]) -> Result<Option<PageData>> {
+    match u8::decode(buf)? {
+        0 => Ok(None),
+        1 => Ok(Some(decode_page(buf)?)),
+        _ => Err(MirageError::Codec("bad optional-page presence byte")),
     }
 }
 
@@ -652,6 +839,67 @@ impl Wire for ProtoMsg {
                 base_tag.encode(buf);
                 diff.encode(buf);
             }
+            ProtoMsg::TsRead { seg, page, pts, vts, serial } => {
+                buf.push(16);
+                seg.encode(buf);
+                page.encode(buf);
+                pts.encode(buf);
+                vts.encode(buf);
+                serial.encode(buf);
+            }
+            ProtoMsg::TsWrite { seg, page, pts, vts, serial } => {
+                buf.push(17);
+                seg.encode(buf);
+                page.encode(buf);
+                pts.encode(buf);
+                vts.encode(buf);
+                serial.encode(buf);
+            }
+            ProtoMsg::TsReadData { seg, page, wts, rts, data, serial } => {
+                buf.push(18);
+                seg.encode(buf);
+                page.encode(buf);
+                wts.encode(buf);
+                rts.encode(buf);
+                serial.encode(buf);
+                encode_page(data, buf);
+            }
+            ProtoMsg::TsRenew { seg, page, wts, rts, serial } => {
+                buf.push(19);
+                seg.encode(buf);
+                page.encode(buf);
+                wts.encode(buf);
+                rts.encode(buf);
+                serial.encode(buf);
+            }
+            ProtoMsg::TsWriteGrant { seg, page, wts, data, serial } => {
+                buf.push(20);
+                seg.encode(buf);
+                page.encode(buf);
+                wts.encode(buf);
+                serial.encode(buf);
+                encode_opt_page(data, buf);
+            }
+            ProtoMsg::TsRecall { seg, page, serial } => {
+                buf.push(21);
+                seg.encode(buf);
+                page.encode(buf);
+                serial.encode(buf);
+            }
+            ProtoMsg::TsWriteBack { seg, page, wts, data, serial } => {
+                buf.push(22);
+                seg.encode(buf);
+                page.encode(buf);
+                wts.encode(buf);
+                serial.encode(buf);
+                encode_opt_page(data, buf);
+            }
+            ProtoMsg::TsWriteBackAck { seg, page, serial } => {
+                buf.push(23);
+                seg.encode(buf);
+                page.encode(buf);
+                serial.encode(buf);
+            }
         }
     }
 
@@ -743,6 +991,51 @@ impl Wire for ProtoMsg {
                 base_tag: u64::decode(buf)?,
                 diff: PageDiff::decode(buf)?,
             },
+            16 => ProtoMsg::TsRead {
+                seg,
+                page,
+                pts: u32::decode(buf)?,
+                vts: u32::decode(buf)?,
+                serial: u32::decode(buf)?,
+            },
+            17 => ProtoMsg::TsWrite {
+                seg,
+                page,
+                pts: u32::decode(buf)?,
+                vts: u32::decode(buf)?,
+                serial: u32::decode(buf)?,
+            },
+            18 => ProtoMsg::TsReadData {
+                seg,
+                page,
+                wts: u32::decode(buf)?,
+                rts: u32::decode(buf)?,
+                serial: u32::decode(buf)?,
+                data: decode_page(buf)?,
+            },
+            19 => ProtoMsg::TsRenew {
+                seg,
+                page,
+                wts: u32::decode(buf)?,
+                rts: u32::decode(buf)?,
+                serial: u32::decode(buf)?,
+            },
+            20 => ProtoMsg::TsWriteGrant {
+                seg,
+                page,
+                wts: u32::decode(buf)?,
+                serial: u32::decode(buf)?,
+                data: decode_opt_page(buf)?,
+            },
+            21 => ProtoMsg::TsRecall { seg, page, serial: u32::decode(buf)? },
+            22 => ProtoMsg::TsWriteBack {
+                seg,
+                page,
+                wts: u32::decode(buf)?,
+                serial: u32::decode(buf)?,
+                data: decode_opt_page(buf)?,
+            },
+            23 => ProtoMsg::TsWriteBackAck { seg, page, serial: u32::decode(buf)? },
             _ => return Err(MirageError::Codec("bad ProtoMsg discriminant")),
         })
     }
@@ -870,6 +1163,47 @@ mod tests {
                 },
                 serial: 7,
             },
+            ProtoMsg::TsRead { seg: seg(), page: PageNum(0), pts: 5, vts: 3, serial: 1 },
+            ProtoMsg::TsWrite { seg: seg(), page: PageNum(1), pts: 9, vts: 0, serial: 2 },
+            ProtoMsg::TsReadData {
+                seg: seg(),
+                page: PageNum(0),
+                wts: 4,
+                rts: 14,
+                data: PageData::from_bytes(&[0x5C; PAGE_SIZE]),
+                serial: 1,
+            },
+            ProtoMsg::TsRenew { seg: seg(), page: PageNum(0), wts: 4, rts: 24, serial: 3 },
+            ProtoMsg::TsWriteGrant {
+                seg: seg(),
+                page: PageNum(1),
+                wts: 15,
+                data: Some(PageData::from_bytes(&[0x7E; PAGE_SIZE])),
+                serial: 2,
+            },
+            ProtoMsg::TsWriteGrant {
+                seg: seg(),
+                page: PageNum(1),
+                wts: 16,
+                data: None,
+                serial: 4,
+            },
+            ProtoMsg::TsRecall { seg: seg(), page: PageNum(1), serial: 6 },
+            ProtoMsg::TsWriteBack {
+                seg: seg(),
+                page: PageNum(1),
+                wts: 15,
+                data: Some(PageData::from_bytes(&[0x11; PAGE_SIZE])),
+                serial: 6,
+            },
+            ProtoMsg::TsWriteBack {
+                seg: seg(),
+                page: PageNum(1),
+                wts: 15,
+                data: None,
+                serial: 6,
+            },
+            ProtoMsg::TsWriteBackAck { seg: seg(), page: PageNum(1), serial: 6 },
         ]
     }
 
@@ -883,10 +1217,16 @@ mod tests {
     }
 
     #[test]
-    fn only_page_grant_is_large() {
+    fn only_page_carriers_are_large() {
         for m in all_messages() {
-            let expect_large =
-                matches!(m, ProtoMsg::PageGrant { .. } | ProtoMsg::LibraryHandoff { .. });
+            let expect_large = matches!(
+                m,
+                ProtoMsg::PageGrant { .. }
+                    | ProtoMsg::LibraryHandoff { .. }
+                    | ProtoMsg::TsReadData { .. }
+                    | ProtoMsg::TsWriteGrant { data: Some(_), .. }
+                    | ProtoMsg::TsWriteBack { data: Some(_), .. }
+            );
             assert_eq!(m.size_class() == SizeClass::Large, expect_large, "{}", m.tag());
         }
     }

@@ -1,0 +1,1521 @@
+//! Tardis-style timestamp coherence — the third rival protocol.
+//!
+//! Where Mirage keeps copies coherent with *physical*-time keepalive
+//! windows and invalidation rounds, and the Li–Hudak degenerate
+//! (`ProtocolConfig::li`) with plain invalidation fan-out, Tardis (Yu &
+//! Devadas) replaces invalidation with **logical leases**:
+//!
+//! * every page has a **home site** (we reuse the segment's static
+//!   library address) holding two logical counters — `wts`, the write
+//!   timestamp of the current version, and `rts`, the read timestamp up
+//!   to which outstanding copies may be read;
+//! * a **read** reserves a lease: the home bumps `rts` to
+//!   `max(rts, max(pts, wts) + ts_lease)` and replies with the page (or
+//!   a data-free renewal when the requester's cached version is
+//!   current). No record of the reader is kept — read copies are never
+//!   chased by invalidations;
+//! * a **write** serializes by timestamp: the home picks
+//!   `wts' = max(wts, rts, pts) + 1`, which places the write *after*
+//!   every lease it ever granted, and hands exclusive ownership to the
+//!   writer (with the page, or in place when the writer's copy is
+//!   current);
+//! * each site carries a **program timestamp** `pts` — the logical time
+//!   its accesses happen at. Installing version `wts` advances `pts` to
+//!   at least `wts`; any lease whose `rts` falls behind `pts` has
+//!   logically expired and the copy is dropped, to be re-leased (often
+//!   by a data-free renewal) on the next access.
+//!
+//! The result is the structural opposite of Mirage on the wire: writes
+//! cost one short round trip (plus at most one recall of the previous
+//! owner) regardless of how many readers exist, while readers pay
+//! periodic renewals. The cross-protocol experiments measure exactly
+//! that trade.
+//!
+//! # Divergences from the paper's Tardis
+//!
+//! Yu & Devadas advance `pts` on every load/store and keep per-cache-line
+//! state in hardware. This implementation is a *page-granularity DSM*
+//! rendering: `pts` advances only at protocol events (installs, grants),
+//! so a site's reads between protocol events share one logical instant.
+//! Lease expiry is therefore checked when `pts` moves, not per access.
+//! Exclusive ownership is surrendered through an explicit recall /
+//! write-back exchange (the paper's directory would time the owner out);
+//! recalls, write-backs and requests each carry their own retransmit
+//! chain so the protocol rides the same lossy-network fault layer as
+//! Mirage.
+//!
+//! # State machine (per page)
+//!
+//! ```text
+//!            TsRead ── home: rts ⇐ max(rts, max(pts,wts)+lease)
+//!   None ──────────────────────────────▶ Lease{wts, rts}
+//!     ▲    (TsReadData with bytes, or TsRenew if vts == wts)
+//!     │                                        │
+//!     │ pts > rts: frame → stale slot          │ TsWrite: wts' = max(wts,rts,pts)+1
+//!     └────────────────────────────────────────┤
+//!                                              ▼
+//!   Owner{wts'} ◀──────── TsWriteGrant (bytes, or in place if vts == wts)
+//!     │
+//!     │ TsRecall(serial) — next requester needs the page
+//!     ▼
+//!   None + retained TsWriteBack (until TsWriteBackAck)
+//! ```
+//!
+//! All Tardis state lives behind `Option<Box<TardisState>>` on the
+//! engine: a Mirage-configured engine never allocates it, and the
+//! Mirage hot path pays exactly one `is_some` branch at the fault
+//! entry point.
+
+use std::collections::VecDeque;
+
+use mirage_mem::PageData;
+use mirage_trace::TraceKind;
+use mirage_types::{
+    Access,
+    FastMap,
+    PageNum,
+    PageProt,
+    Pid,
+    SegmentId,
+    SiteId,
+};
+
+use crate::{
+    engine::{
+        SiteEngine,
+        TimerKind,
+    },
+    event::Action,
+    msg::ProtoMsg,
+    sink::ActionSink,
+    store::PageStore,
+};
+
+/// Packs a `(wts, rts)` pair into a trace `detail` word.
+#[inline]
+pub fn pack_ts(wts: u32, rts: u32) -> u64 {
+    (u64::from(wts) << 32) | u64::from(rts)
+}
+
+/// What this site holds for a page (requester side).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+enum Hold {
+    /// Nothing readable.
+    #[default]
+    None,
+    /// A read copy of version `wts`, valid while `pts <= rts`.
+    Lease {
+        /// Version of the cached bytes.
+        wts: u32,
+        /// Logical lease end.
+        rts: u32,
+    },
+    /// The exclusive (writable) copy at version `wts`. Owner copies
+    /// never expire; they leave via recall.
+    Owner {
+        /// Version this owner's writes belong to.
+        wts: u32,
+    },
+}
+
+/// The outstanding request, if any (volatile).
+#[derive(Clone, Copy, Debug)]
+struct OutReq {
+    access: Access,
+    serial: u32,
+    /// Chain generation; stale retransmit timers no-op on mismatch.
+    gen: u32,
+    attempt: u32,
+    /// Trace span of the request chain.
+    span: u64,
+}
+
+/// A surrendered write-back the owner must deliver (persistent — a
+/// recall answered then crashed must still reach the home).
+#[derive(Clone, Debug)]
+struct RetainedWb {
+    /// Recall serial (the home's ownership serial) being answered.
+    serial: u32,
+    /// Version of the surrendered bytes (0 for a stale-recall reply).
+    wts: u32,
+    /// The bytes; `None` when the owner had nothing to return.
+    data: Option<PageData>,
+}
+
+/// Requester-side record for one page.
+#[derive(Debug, Default)]
+struct LocalPage {
+    /// Persistent: what the frame (which itself survives crashes)
+    /// represents.
+    hold: Hold,
+    /// Volatile: bytes of an expired or surrendered copy, kept for
+    /// data-free renewal (`vts`) until the next install.
+    stale: Option<(u32, PageData)>,
+    /// Volatile: processes blocked on this page.
+    waiters: Vec<(Pid, Access)>,
+    /// Volatile: the in-flight request.
+    out: Option<OutReq>,
+    /// Persistent: request serial counter (monotone across crashes so
+    /// the home's idempotent re-answers stay distinguishable).
+    next_serial: u32,
+    /// Volatile: request chain generation.
+    gen: u32,
+    /// Persistent: unacked surrendered write-back.
+    wb: Option<RetainedWb>,
+    /// Volatile: write-back retransmit attempts.
+    wb_attempt: u32,
+}
+
+/// One queued request at the home while an owner is out (volatile — a
+/// crashed home rebuilds the queue from requester retransmits).
+#[derive(Clone, Copy, Debug)]
+struct QueuedReq {
+    from: SiteId,
+    access: Access,
+    pts: u32,
+    vts: u32,
+    serial: u32,
+}
+
+/// Home-site record for one page.
+#[derive(Debug)]
+struct HomePage {
+    /// Persistent: write timestamp of the current version.
+    wts: u32,
+    /// Persistent: read lease horizon.
+    rts: u32,
+    /// Persistent: the exclusive owner, if one is out.
+    ///
+    /// The ownership *incarnation* is identified by `wts` — each write
+    /// grant bumps it strictly, recalls and write-backs quote it, and
+    /// the owner knows it from its grant. A write-back can therefore
+    /// only ever resolve the ownership it belongs to, and an owner can
+    /// tell a recall of its current grant from a delayed duplicate
+    /// aimed at an earlier incarnation.
+    owner: Option<SiteId>,
+    /// Persistent: request serial the current grant answered (dedup of
+    /// a retransmitted `TsWrite` from the owner).
+    owner_req_serial: u32,
+    /// Persistent: bytes of the last written-back version. Stale while
+    /// an owner is out, authoritative otherwise.
+    master: PageData,
+    /// Volatile: requests parked behind the current owner.
+    queue: VecDeque<QueuedReq>,
+    /// Volatile: `Some(attempts)` while a recall is in flight.
+    recall_attempt: Option<u32>,
+}
+
+/// One segment's Tardis state at one site.
+#[derive(Debug)]
+struct TsSeg {
+    seg: SegmentId,
+    /// `Some` only at the segment's home (library) site.
+    home: Option<Vec<HomePage>>,
+    local: Vec<LocalPage>,
+}
+
+/// All Tardis protocol state at one site.
+///
+/// Allocated (boxed, behind an `Option`) only when the engine's
+/// configuration selects [`crate::config::Coherence::Tardis`].
+#[derive(Debug, Default)]
+pub struct TardisState {
+    index: FastMap<SegmentId, usize>,
+    segs: Vec<TsSeg>,
+    /// The site's program timestamp — the logical instant its memory
+    /// accesses currently happen at. Persistent: logical time never
+    /// rolls back, even across a crash.
+    pts: u32,
+}
+
+impl TardisState {
+    fn seg(&self, seg: SegmentId) -> Option<&TsSeg> {
+        self.index.get(&seg).map(|&i| &self.segs[i])
+    }
+
+    fn local_mut(&mut self, seg: SegmentId, page: PageNum) -> Option<&mut LocalPage> {
+        let &i = self.index.get(&seg)?;
+        self.segs[i].local.get_mut(page.index())
+    }
+
+    fn home_mut(&mut self, seg: SegmentId, page: PageNum) -> Option<&mut HomePage> {
+        let &i = self.index.get(&seg)?;
+        self.segs[i].home.as_mut()?.get_mut(page.index())
+    }
+}
+
+/// Diagnostic view of a page's record at its home site.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TsHomeView {
+    /// Current write timestamp.
+    pub wts: u32,
+    /// Current read lease horizon.
+    pub rts: u32,
+    /// The exclusive owner, if one is out.
+    pub owner: Option<SiteId>,
+}
+
+impl SiteEngine {
+    /// True when this engine speaks Tardis timestamp coherence.
+    pub fn is_tardis(&self) -> bool {
+        self.tardis.is_some()
+    }
+
+    /// This site's program timestamp (`None` under Mirage).
+    pub fn tardis_pts(&self) -> Option<u32> {
+        self.tardis.as_ref().map(|ts| ts.pts)
+    }
+
+    /// The home record for a page, when this site is its home.
+    pub fn tardis_home_view(&self, seg: SegmentId, page: PageNum) -> Option<TsHomeView> {
+        let ts = self.tardis.as_ref()?;
+        let hp = ts.seg(seg)?.home.as_ref()?.get(page.index())?;
+        Some(TsHomeView { wts: hp.wts, rts: hp.rts, owner: hp.owner })
+    }
+
+    /// The home's master copy of a page (the authoritative bytes when
+    /// no owner is out), when this site is its home.
+    pub fn tardis_master(&self, seg: SegmentId, page: PageNum) -> Option<&PageData> {
+        let ts = self.tardis.as_ref()?;
+        Some(&ts.seg(seg)?.home.as_ref()?.get(page.index())?.master)
+    }
+
+    /// The version this site holds for a page — `Some(wts)` under a
+    /// live lease or ownership, `None` otherwise.
+    pub fn tardis_held_version(&self, seg: SegmentId, page: PageNum) -> Option<u32> {
+        let ts = self.tardis.as_ref()?;
+        match ts.seg(seg)?.local.get(page.index())?.hold {
+            Hold::Lease { wts, .. } | Hold::Owner { wts } => Some(wts),
+            Hold::None => None,
+        }
+    }
+
+    /// True while this site holds the exclusive copy of the page.
+    pub fn tardis_is_owner(&self, seg: SegmentId, page: PageNum) -> bool {
+        self.tardis
+            .as_ref()
+            .and_then(|ts| ts.seg(seg))
+            .and_then(|s| s.local.get(page.index()))
+            .is_some_and(|lp| matches!(lp.hold, Hold::Owner { .. }))
+    }
+
+    /// Processes blocked on a page at this site (Tardis side of
+    /// [`SiteEngine::waiter_count`]).
+    pub(crate) fn ts_waiter_count(&self, seg: SegmentId, page: PageNum) -> usize {
+        self.tardis
+            .as_ref()
+            .and_then(|ts| ts.seg(seg))
+            .and_then(|s| s.local.get(page.index()))
+            .map_or(0, |lp| lp.waiters.len())
+    }
+
+    /// Does this site believe a Tardis request is outstanding?
+    pub(crate) fn ts_has_outstanding(
+        &self,
+        seg: SegmentId,
+        page: PageNum,
+        access: Access,
+    ) -> bool {
+        self.tardis
+            .as_ref()
+            .and_then(|ts| ts.seg(seg))
+            .and_then(|s| s.local.get(page.index()))
+            .and_then(|lp| lp.out)
+            .is_some_and(|o| o.access == access || o.access == Access::Write)
+    }
+
+    // ---- Registration, crash, restart. ----
+
+    /// Provisions Tardis records for a segment (no-op under Mirage).
+    ///
+    /// The home site starts as the initial *owner* of every page — it
+    /// created the segment with a fully-resident writable view, so the
+    /// first remote request triggers a loop-back self-recall that
+    /// captures the creating site's frame into the master copy.
+    pub(crate) fn ts_register_segment(&mut self, seg: SegmentId, pages: usize) {
+        let site = self.site;
+        let Some(ts) = self.tardis.as_mut() else {
+            return;
+        };
+        let is_home = seg.library == site;
+        let home = is_home.then(|| {
+            (0..pages)
+                .map(|_| HomePage {
+                    wts: 1,
+                    rts: 1,
+                    owner: Some(site),
+                    owner_req_serial: 0,
+                    master: PageData::zeroed(),
+                    queue: VecDeque::new(),
+                    recall_attempt: None,
+                })
+                .collect()
+        });
+        let local = (0..pages)
+            .map(|_| LocalPage {
+                hold: if is_home { Hold::Owner { wts: 1 } } else { Hold::None },
+                ..LocalPage::default()
+            })
+            .collect();
+        let slot = TsSeg { seg, home, local };
+        match ts.index.get(&seg) {
+            Some(&i) => ts.segs[i] = slot,
+            None => {
+                ts.index.insert(seg, ts.segs.len());
+                ts.segs.push(slot);
+            }
+        }
+    }
+
+    /// Discards volatile Tardis state on a site crash. Survivors:
+    /// `pts`, holds, request serials, retained write-backs, and the
+    /// home's `wts`/`rts`/ownership/master tables.
+    pub(crate) fn ts_crash(&mut self) {
+        let Some(ts) = self.tardis.as_mut() else {
+            return;
+        };
+        for s in &mut ts.segs {
+            for lp in &mut s.local {
+                lp.stale = None;
+                lp.waiters.clear();
+                lp.out = None;
+                lp.wb_attempt = 0;
+            }
+            if let Some(home) = &mut s.home {
+                for hp in home {
+                    hp.queue.clear();
+                    hp.recall_attempt = None;
+                }
+            }
+        }
+    }
+
+    /// Re-arms the persistent Tardis obligations after a restart: every
+    /// retained write-back is retransmitted immediately (requests and
+    /// recalls are requester-/demand-driven and reconstruct themselves).
+    pub(crate) fn ts_restart(&mut self, sink: &mut ActionSink) {
+        let Some(ts) = self.tardis.take() else {
+            return;
+        };
+        let mut resend: Vec<(SegmentId, PageNum, u32, u32, Option<PageData>)> = Vec::new();
+        for s in &ts.segs {
+            for (pi, lp) in s.local.iter().enumerate() {
+                if let Some(wb) = &lp.wb {
+                    resend.push((
+                        s.seg,
+                        PageNum(pi as u32),
+                        wb.wts,
+                        wb.serial,
+                        wb.data.clone(),
+                    ));
+                }
+            }
+        }
+        for (seg, page, wts, serial, data) in resend {
+            self.emit(
+                seg.library,
+                ProtoMsg::TsWriteBack { seg, page, wts, data, serial },
+                sink,
+            );
+            self.arm_retry(0, TimerKind::TsWriteBackRetry { seg, page, serial }, sink);
+        }
+        self.tardis = Some(ts);
+    }
+
+    // ---- Requester side. ----
+
+    /// Tardis fault entry point (replaces the Mirage fault path when
+    /// the configuration selects timestamp coherence).
+    pub(crate) fn ts_fault(
+        &mut self,
+        pid: Pid,
+        seg: SegmentId,
+        page: PageNum,
+        access: Access,
+        store: &mut dyn PageStore,
+        sink: &mut ActionSink,
+    ) {
+        if store.prot(seg, page).permits(access) {
+            // Stale PTE (lazy remapping, §6.2): the copy already
+            // satisfies the access.
+            self.wake(pid, sink);
+            return;
+        }
+        let Some(mut ts) = self.tardis.take() else {
+            return;
+        };
+        self.ts_fault_inner(&mut ts, pid, seg, page, access, sink);
+        self.tardis = Some(ts);
+    }
+
+    fn ts_fault_inner(
+        &mut self,
+        ts: &mut TardisState,
+        pid: Pid,
+        seg: SegmentId,
+        page: PageNum,
+        access: Access,
+        sink: &mut ActionSink,
+    ) {
+        let pts = ts.pts;
+        let retry = self.config.retry.is_some();
+        let Some(lp) = ts.local_mut(seg, page) else {
+            return;
+        };
+        lp.waiters.push((pid, access));
+        let depth = lp.waiters.len();
+        // Deduplicate: an in-flight write request covers read faults
+        // too; a read request must be *upgraded* (replaced) when a
+        // write fault arrives behind it.
+        let need_send = match (&lp.out, access) {
+            (None, _) => true,
+            (Some(o), Access::Write) => o.access == Access::Read,
+            (Some(_), Access::Read) => false,
+        };
+        let mut span = lp.out.map_or(0, |o| o.span);
+        let mut vts = 0;
+        let mut serial = 0;
+        if need_send {
+            vts = Self::ts_cached_version(lp);
+            serial = if retry {
+                lp.next_serial += 1;
+                lp.next_serial
+            } else {
+                0
+            };
+            lp.gen = lp.gen.wrapping_add(1);
+            span = 0; // replaced below if tracing
+        }
+        let gen = lp.gen;
+        if self.tracing() {
+            if need_send {
+                span = self.new_span().0;
+            }
+            let mut ev = self.trace_event(TraceKind::FaultTaken, span, seg, page, sink);
+            ev.pid = Some(pid);
+            ev.access = Some(access);
+            ev.detail = depth as u64;
+            self.push_trace(ev, sink);
+            if need_send {
+                let mut ev = self.trace_event(TraceKind::RequestSent, span, seg, page, sink);
+                ev.peer = Some(seg.library);
+                ev.pid = Some(pid);
+                ev.access = Some(access);
+                ev.serial = serial;
+                self.push_trace(ev, sink);
+            }
+        }
+        if need_send {
+            if let Some(lp) = ts.local_mut(seg, page) {
+                lp.out = Some(OutReq { access, serial, gen, attempt: 0, span });
+            }
+            let msg = match access {
+                Access::Read => ProtoMsg::TsRead { seg, page, pts, vts, serial },
+                Access::Write => ProtoMsg::TsWrite { seg, page, pts, vts, serial },
+            };
+            self.emit(seg.library, msg, sink);
+            self.arm_retry(0, TimerKind::TsRequestRetry { seg, page, gen }, sink);
+        }
+    }
+
+    /// The version of the bytes this site could still promote: a live
+    /// hold's, else a stale slot's, else 0 (none).
+    fn ts_cached_version(lp: &LocalPage) -> u32 {
+        match lp.hold {
+            Hold::Lease { wts, .. } | Hold::Owner { wts } => wts,
+            Hold::None => lp.stale.as_ref().map_or(0, |&(v, _)| v),
+        }
+    }
+
+    /// Re-issues a request when waiters remain but no request is in
+    /// flight (a grant we could not apply, or waiters left behind by a
+    /// narrower grant). Belt-and-braces: the home answers idempotently,
+    /// so a spurious re-request is harmless.
+    fn ts_ensure_request(
+        &mut self,
+        pts: u32,
+        lp: &mut LocalPage,
+        seg: SegmentId,
+        page: PageNum,
+        sink: &mut ActionSink,
+    ) {
+        if lp.out.is_some() || lp.waiters.is_empty() {
+            return;
+        }
+        let access = if lp.waiters.iter().any(|&(_, a)| a == Access::Write) {
+            Access::Write
+        } else {
+            Access::Read
+        };
+        let vts = Self::ts_cached_version(lp);
+        let serial = if self.config.retry.is_some() {
+            lp.next_serial += 1;
+            lp.next_serial
+        } else {
+            0
+        };
+        lp.gen = lp.gen.wrapping_add(1);
+        let gen = lp.gen;
+        let mut span = 0;
+        if self.tracing() {
+            span = self.new_span().0;
+            let mut ev = self.trace_event(TraceKind::RequestSent, span, seg, page, sink);
+            ev.peer = Some(seg.library);
+            ev.access = Some(access);
+            ev.serial = serial;
+            self.push_trace(ev, sink);
+        }
+        lp.out = Some(OutReq { access, serial, gen, attempt: 0, span });
+        let msg = match access {
+            Access::Read => ProtoMsg::TsRead { seg, page, pts, vts, serial },
+            Access::Write => ProtoMsg::TsWrite { seg, page, pts, vts, serial },
+        };
+        self.emit(seg.library, msg, sink);
+        self.arm_retry(0, TimerKind::TsRequestRetry { seg, page, gen }, sink);
+    }
+
+    /// Request retransmit timer (retry mode): if the chain is still the
+    /// current one and unanswered, re-send with the *current* program
+    /// timestamp and cached version.
+    pub(crate) fn ts_request_retry(
+        &mut self,
+        seg: SegmentId,
+        page: PageNum,
+        gen: u32,
+        sink: &mut ActionSink,
+    ) {
+        let Some(mut ts) = self.tardis.take() else {
+            return;
+        };
+        let pts = ts.pts;
+        if let Some(lp) = ts.local_mut(seg, page) {
+            let vts = Self::ts_cached_version(lp);
+            if let Some(out) = &mut lp.out {
+                if out.gen == gen {
+                    out.attempt += 1;
+                    let (access, serial, attempt, span) =
+                        (out.access, out.serial, out.attempt, out.span);
+                    if self.tracing() {
+                        let mut ev =
+                            self.trace_event(TraceKind::RequestRetry, span, seg, page, sink);
+                        ev.peer = Some(seg.library);
+                        ev.access = Some(access);
+                        ev.serial = serial;
+                        ev.detail = u64::from(attempt);
+                        self.push_trace(ev, sink);
+                    }
+                    let msg = match access {
+                        Access::Read => ProtoMsg::TsRead { seg, page, pts, vts, serial },
+                        Access::Write => ProtoMsg::TsWrite { seg, page, pts, vts, serial },
+                    };
+                    self.emit(seg.library, msg, sink);
+                    self.arm_retry(attempt, TimerKind::TsRequestRetry { seg, page, gen }, sink);
+                }
+            }
+        }
+        self.tardis = Some(ts);
+    }
+
+    /// Advances the program timestamp, dropping every lease it expires.
+    ///
+    /// Expired frames move into the stale slot (version-tagged) so the
+    /// next access can be satisfied by a data-free renewal if the page
+    /// has not been rewritten meanwhile.
+    fn ts_advance_pts(
+        &mut self,
+        ts: &mut TardisState,
+        new_pts: u32,
+        store: &mut dyn PageStore,
+        sink: &mut ActionSink,
+    ) {
+        if new_pts <= ts.pts {
+            return;
+        }
+        ts.pts = new_pts;
+        for si in 0..ts.segs.len() {
+            let seg = ts.segs[si].seg;
+            for pi in 0..ts.segs[si].local.len() {
+                let lp = &mut ts.segs[si].local[pi];
+                let Hold::Lease { wts, rts } = lp.hold else {
+                    continue;
+                };
+                if rts >= new_pts {
+                    continue;
+                }
+                let page = PageNum(pi as u32);
+                if store.prot(seg, page).is_resident() {
+                    let bytes = store.take(seg, page);
+                    lp.stale = Some((wts, bytes));
+                }
+                lp.hold = Hold::None;
+                if self.tracing() {
+                    let mut ev =
+                        self.trace_event(TraceKind::TsLeaseExpired, 0, seg, page, sink);
+                    ev.detail = pack_ts(new_pts, rts);
+                    self.push_trace(ev, sink);
+                }
+            }
+        }
+    }
+
+    /// Wakes every waiter the page's new protection satisfies.
+    fn ts_wake_satisfied(lp: &mut LocalPage, prot: PageProt, sink: &mut ActionSink) {
+        lp.waiters.retain(|&(pid, access)| {
+            if prot.permits(access) {
+                sink.push(Action::Wake { pid });
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    /// `TsReadData` arrived: install the leased copy.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn ts_read_data(
+        &mut self,
+        from: SiteId,
+        seg: SegmentId,
+        page: PageNum,
+        wts: u32,
+        rts: u32,
+        data: PageData,
+        serial: u32,
+        store: &mut dyn PageStore,
+        sink: &mut ActionSink,
+    ) {
+        let _ = from;
+        let Some(mut ts) = self.tardis.take() else {
+            return;
+        };
+        let retry = self.config.retry.is_some();
+        let mut advance = None;
+        if let Some(lp) = ts.local_mut(seg, page) {
+            let current = lp
+                .out
+                .is_some_and(|o| o.access == Access::Read && (!retry || o.serial == serial));
+            if current {
+                store.install(seg, page, data, PageProt::Read);
+                lp.hold = Hold::Lease { wts, rts };
+                lp.stale = None;
+                let span = lp.out.map_or(0, |o| o.span);
+                lp.out = None;
+                if self.tracing() {
+                    let mut ev =
+                        self.trace_event(TraceKind::TsInstalled, span, seg, page, sink);
+                    ev.access = Some(Access::Read);
+                    ev.serial = serial;
+                    ev.detail = pack_ts(wts, rts);
+                    self.push_trace(ev, sink);
+                }
+                Self::ts_wake_satisfied(lp, PageProt::Read, sink);
+                advance = Some(wts);
+            }
+        }
+        if let Some(wts) = advance {
+            let new_pts = ts.pts.max(wts);
+            self.ts_advance_pts(&mut ts, new_pts, store, sink);
+            // Unsatisfied (write) waiters left behind a read grant
+            // re-request; so does a page this very advance expired.
+            let pts = ts.pts;
+            if let Some(lp) = ts.local_mut(seg, page) {
+                self.ts_ensure_request(pts, lp, seg, page, sink);
+            }
+        }
+        self.tardis = Some(ts);
+    }
+
+    /// `TsRenew` arrived: extend or re-validate the cached version
+    /// without data.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn ts_renew(
+        &mut self,
+        from: SiteId,
+        seg: SegmentId,
+        page: PageNum,
+        wts: u32,
+        rts: u32,
+        serial: u32,
+        store: &mut dyn PageStore,
+        sink: &mut ActionSink,
+    ) {
+        let _ = from;
+        let Some(mut ts) = self.tardis.take() else {
+            return;
+        };
+        let retry = self.config.retry.is_some();
+        let mut advance = false;
+        if let Some(lp) = ts.local_mut(seg, page) {
+            let current = lp
+                .out
+                .is_some_and(|o| o.access == Access::Read && (!retry || o.serial == serial));
+            if current {
+                let applied = match lp.hold {
+                    Hold::Lease { wts: cur, .. } if cur == wts => {
+                        lp.hold = Hold::Lease { wts, rts };
+                        true
+                    }
+                    _ => match lp.stale.take() {
+                        Some((v, bytes)) if v == wts => {
+                            store.install(seg, page, bytes, PageProt::Read);
+                            lp.hold = Hold::Lease { wts, rts };
+                            true
+                        }
+                        other => {
+                            // The renewed version's bytes are gone (a
+                            // crash discarded the stale slot): drop the
+                            // renewal and re-request — the new request
+                            // carries vts 0, so the home sends data.
+                            lp.stale = other;
+                            lp.out = None;
+                            false
+                        }
+                    },
+                };
+                if applied {
+                    let span = lp.out.map_or(0, |o| o.span);
+                    lp.out = None;
+                    if self.tracing() {
+                        let mut ev =
+                            self.trace_event(TraceKind::TsRenewed, span, seg, page, sink);
+                        ev.access = Some(Access::Read);
+                        ev.serial = serial;
+                        ev.detail = pack_ts(wts, rts);
+                        self.push_trace(ev, sink);
+                    }
+                    Self::ts_wake_satisfied(lp, PageProt::Read, sink);
+                    advance = true;
+                }
+            }
+        }
+        let new_pts = if advance { ts.pts.max(wts) } else { ts.pts };
+        self.ts_advance_pts(&mut ts, new_pts, store, sink);
+        let pts = ts.pts;
+        if let Some(lp) = ts.local_mut(seg, page) {
+            self.ts_ensure_request(pts, lp, seg, page, sink);
+        }
+        self.tardis = Some(ts);
+    }
+
+    /// `TsWriteGrant` arrived: take exclusive ownership at the bumped
+    /// write timestamp.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn ts_write_grant(
+        &mut self,
+        from: SiteId,
+        seg: SegmentId,
+        page: PageNum,
+        wts: u32,
+        data: Option<PageData>,
+        serial: u32,
+        store: &mut dyn PageStore,
+        sink: &mut ActionSink,
+    ) {
+        let _ = from;
+        let Some(mut ts) = self.tardis.take() else {
+            return;
+        };
+        let retry = self.config.retry.is_some();
+        let mut advance = false;
+        if let Some(lp) = ts.local_mut(seg, page) {
+            let current = lp
+                .out
+                .is_some_and(|o| o.access == Access::Write && (!retry || o.serial == serial));
+            if current {
+                let in_place = data.is_none();
+                let applied = match data {
+                    Some(bytes) => {
+                        store.install(seg, page, bytes, PageProt::ReadWrite);
+                        true
+                    }
+                    None => {
+                        if store.prot(seg, page).is_resident() {
+                            store.set_prot(seg, page, PageProt::ReadWrite);
+                            true
+                        } else if let Some((_, bytes)) = lp.stale.take() {
+                            store.install(seg, page, bytes, PageProt::ReadWrite);
+                            true
+                        } else {
+                            // In-place upgrade with nothing to promote
+                            // (crash dropped the stale slot): re-request
+                            // with vts 0; the home — which now records
+                            // us as owner — recalls us, we answer with a
+                            // no-copy write-back, ownership rolls back,
+                            // and the queued request is served with data.
+                            lp.out = None;
+                            false
+                        }
+                    }
+                };
+                if applied {
+                    lp.hold = Hold::Owner { wts };
+                    lp.stale = None;
+                    let span = lp.out.map_or(0, |o| o.span);
+                    lp.out = None;
+                    if self.tracing() {
+                        let kind = if in_place {
+                            TraceKind::TsUpgraded
+                        } else {
+                            TraceKind::TsInstalled
+                        };
+                        let mut ev = self.trace_event(kind, span, seg, page, sink);
+                        ev.access = Some(Access::Write);
+                        ev.serial = serial;
+                        ev.detail = pack_ts(wts, wts);
+                        self.push_trace(ev, sink);
+                    }
+                    Self::ts_wake_satisfied(lp, PageProt::ReadWrite, sink);
+                    advance = true;
+                }
+            }
+        }
+        let new_pts = if advance { ts.pts.max(wts) } else { ts.pts };
+        self.ts_advance_pts(&mut ts, new_pts, store, sink);
+        let pts = ts.pts;
+        if let Some(lp) = ts.local_mut(seg, page) {
+            self.ts_ensure_request(pts, lp, seg, page, sink);
+        }
+        self.tardis = Some(ts);
+    }
+
+    /// `TsRecall` arrived: surrender the exclusive copy (or answer a
+    /// stale recall).
+    pub(crate) fn ts_recall(
+        &mut self,
+        from: SiteId,
+        seg: SegmentId,
+        page: PageNum,
+        serial: u32,
+        store: &mut dyn PageStore,
+        sink: &mut ActionSink,
+    ) {
+        let Some(mut ts) = self.tardis.take() else {
+            return;
+        };
+        let mut renounced = false;
+        if let Some(lp) = ts.local_mut(seg, page) {
+            match lp.hold {
+                // Surrender only the incarnation the recall names: a
+                // delayed duplicate recall of an *earlier* grant must
+                // not evict the copy a newer grant installed (the home
+                // would discard that write-back as stale, and the
+                // committed write would be lost).
+                Hold::Owner { wts } if wts == serial => {
+                    let bytes = store.take(seg, page);
+                    lp.stale = Some((wts, bytes.clone()));
+                    lp.hold = Hold::None;
+                    lp.wb = Some(RetainedWb { serial, wts, data: Some(bytes.clone()) });
+                    lp.wb_attempt = 0;
+                    if self.tracing() {
+                        let mut ev =
+                            self.trace_event(TraceKind::TsWriteBackSent, 0, seg, page, sink);
+                        ev.peer = Some(from);
+                        ev.serial = serial;
+                        ev.detail = u64::from(wts);
+                        ev.epoch = 1;
+                        self.push_trace(ev, sink);
+                    }
+                    self.emit(
+                        from,
+                        ProtoMsg::TsWriteBack { seg, page, wts, data: Some(bytes), serial },
+                        sink,
+                    );
+                    self.arm_retry(0, TimerKind::TsWriteBackRetry { seg, page, serial }, sink);
+                }
+                _ => {
+                    let reply = match &lp.wb {
+                        // A surrendered-but-unacked copy: retransmit it
+                        // (under its own serial) instead of inventing a
+                        // stale reply.
+                        Some(wb) => ProtoMsg::TsWriteBack {
+                            seg,
+                            page,
+                            wts: wb.wts,
+                            data: wb.data.clone(),
+                            serial: wb.serial,
+                        },
+                        // Stale recall — nothing to surrender. The home
+                        // treats a no-copy write-back as the owner
+                        // renouncing the grant it never materialized.
+                        None => {
+                            renounced = true;
+                            ProtoMsg::TsWriteBack { seg, page, wts: 0, data: None, serial }
+                        }
+                    };
+                    self.emit(from, reply, sink);
+                    // Renouncing rolls the grant back at the home, so a
+                    // grant for it still in flight to us must not be
+                    // honored when it lands: retire the outstanding
+                    // request and re-issue under a fresh serial.
+                    if renounced && lp.out.is_some() && !matches!(lp.hold, Hold::Owner { .. }) {
+                        lp.out = None;
+                    }
+                }
+            }
+        }
+        if renounced {
+            let pts = ts.pts;
+            if let Some(lp) = ts.local_mut(seg, page) {
+                self.ts_ensure_request(pts, lp, seg, page, sink);
+            }
+        }
+        self.tardis = Some(ts);
+    }
+
+    /// Write-back retransmit timer (retry mode).
+    pub(crate) fn ts_write_back_retry(
+        &mut self,
+        seg: SegmentId,
+        page: PageNum,
+        serial: u32,
+        sink: &mut ActionSink,
+    ) {
+        let Some(mut ts) = self.tardis.take() else {
+            return;
+        };
+        if let Some(lp) = ts.local_mut(seg, page) {
+            if let Some(wb) = &lp.wb {
+                if wb.serial == serial {
+                    lp.wb_attempt += 1;
+                    let attempt = lp.wb_attempt;
+                    let (wts, data) = (wb.wts, wb.data.clone());
+                    self.emit(
+                        seg.library,
+                        ProtoMsg::TsWriteBack { seg, page, wts, data, serial },
+                        sink,
+                    );
+                    self.arm_retry(
+                        attempt,
+                        TimerKind::TsWriteBackRetry { seg, page, serial },
+                        sink,
+                    );
+                }
+            }
+        }
+        self.tardis = Some(ts);
+    }
+
+    /// `TsWriteBackAck` arrived: the home has the copy; drop the
+    /// retained write-back.
+    pub(crate) fn ts_write_back_ack(&mut self, seg: SegmentId, page: PageNum, serial: u32) {
+        let Some(ts) = self.tardis.as_mut() else {
+            return;
+        };
+        if let Some(lp) = ts.local_mut(seg, page) {
+            if lp.wb.as_ref().is_some_and(|wb| wb.serial == serial) {
+                lp.wb = None;
+                lp.wb_attempt = 0;
+            }
+        }
+    }
+
+    // ---- Home side. ----
+
+    /// `TsRead` / `TsWrite` arrived at the home.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn ts_home_request(
+        &mut self,
+        from: SiteId,
+        seg: SegmentId,
+        page: PageNum,
+        access: Access,
+        pts: u32,
+        vts: u32,
+        serial: u32,
+        sink: &mut ActionSink,
+    ) {
+        let Some(mut ts) = self.tardis.take() else {
+            return;
+        };
+        let lease = self.config.ts_lease;
+        if let Some(hp) = ts.home_mut(seg, page) {
+            if let Some(owner) = hp.owner {
+                if access == Access::Write && owner == from && hp.owner_req_serial == serial {
+                    // Duplicate of the request the current grant already
+                    // answered: re-answer idempotently from the retained
+                    // master (the requester drops it if it installed).
+                    let msg = ProtoMsg::TsWriteGrant {
+                        seg,
+                        page,
+                        wts: hp.wts,
+                        data: Some(hp.master.clone()),
+                        serial,
+                    };
+                    self.emit(from, msg, sink);
+                } else {
+                    // Park the request behind the owner; recall once.
+                    match hp.queue.iter_mut().find(|q| q.from == from) {
+                        Some(q) => {
+                            // Write covers read; refresh the rest.
+                            if access == Access::Write {
+                                q.access = Access::Write;
+                            }
+                            q.pts = pts;
+                            q.vts = vts;
+                            q.serial = serial;
+                        }
+                        None => {
+                            hp.queue.push_back(QueuedReq { from, access, pts, vts, serial });
+                        }
+                    }
+                    if hp.recall_attempt.is_none() {
+                        hp.recall_attempt = Some(0);
+                        // The recall quotes the recalled incarnation's
+                        // `wts`, which the owner knows from its grant.
+                        let incarnation = hp.wts;
+                        if self.tracing() {
+                            let mut ev =
+                                self.trace_event(TraceKind::TsRecallSent, 0, seg, page, sink);
+                            ev.peer = Some(owner);
+                            ev.serial = incarnation;
+                            self.push_trace(ev, sink);
+                        }
+                        self.emit(
+                            owner,
+                            ProtoMsg::TsRecall { seg, page, serial: incarnation },
+                            sink,
+                        );
+                        self.arm_retry(
+                            0,
+                            TimerKind::TsRecallRetry { seg, page, serial: incarnation },
+                            sink,
+                        );
+                    }
+                }
+            } else {
+                match access {
+                    Access::Read => {
+                        self.ts_grant_read(hp, lease, seg, page, from, pts, vts, serial, sink);
+                    }
+                    Access::Write => {
+                        self.ts_grant_write(hp, seg, page, from, pts, vts, serial, sink);
+                    }
+                }
+            }
+        }
+        self.tardis = Some(ts);
+    }
+
+    /// Grants a read lease from an owner-free home record.
+    #[allow(clippy::too_many_arguments)]
+    fn ts_grant_read(
+        &mut self,
+        hp: &mut HomePage,
+        lease: u32,
+        seg: SegmentId,
+        page: PageNum,
+        from: SiteId,
+        pts: u32,
+        vts: u32,
+        serial: u32,
+        sink: &mut ActionSink,
+    ) {
+        hp.rts = hp.rts.max(pts.max(hp.wts).saturating_add(lease));
+        let (wts, rts) = (hp.wts, hp.rts);
+        if vts == wts {
+            // The requester's cached bytes are current: a data-free
+            // renewal — the message that replaces invalidation fan-out.
+            if self.tracing() {
+                let mut ev = self.trace_event(TraceKind::TsRenewGranted, 0, seg, page, sink);
+                ev.peer = Some(from);
+                ev.serial = serial;
+                ev.detail = pack_ts(wts, rts);
+                self.push_trace(ev, sink);
+            }
+            self.emit(from, ProtoMsg::TsRenew { seg, page, wts, rts, serial }, sink);
+        } else {
+            if self.tracing() {
+                let mut ev = self.trace_event(TraceKind::TsReadGranted, 0, seg, page, sink);
+                ev.peer = Some(from);
+                ev.serial = serial;
+                ev.detail = pack_ts(wts, rts);
+                self.push_trace(ev, sink);
+            }
+            let data = hp.master.clone();
+            self.emit(from, ProtoMsg::TsReadData { seg, page, wts, rts, data, serial }, sink);
+        }
+    }
+
+    /// Grants exclusive ownership from an owner-free home record.
+    #[allow(clippy::too_many_arguments)]
+    fn ts_grant_write(
+        &mut self,
+        hp: &mut HomePage,
+        seg: SegmentId,
+        page: PageNum,
+        from: SiteId,
+        pts: u32,
+        vts: u32,
+        serial: u32,
+        sink: &mut ActionSink,
+    ) {
+        let new_wts = hp.wts.max(hp.rts).max(pts).saturating_add(1);
+        // In place when the requester's cached bytes are current.
+        let data = (vts != hp.wts).then(|| hp.master.clone());
+        hp.wts = new_wts;
+        hp.rts = new_wts;
+        hp.owner = Some(from);
+        hp.owner_req_serial = serial;
+        if self.tracing() {
+            let mut ev = self.trace_event(TraceKind::TsWriteGranted, 0, seg, page, sink);
+            ev.peer = Some(from);
+            ev.serial = serial;
+            ev.detail = pack_ts(new_wts, new_wts);
+            ev.epoch = u32::from(data.is_some());
+            self.push_trace(ev, sink);
+        }
+        self.emit(from, ProtoMsg::TsWriteGrant { seg, page, wts: new_wts, data, serial }, sink);
+    }
+
+    /// `TsWriteBack` arrived at the home: fold the surrendered copy in
+    /// and serve the parked queue.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn ts_home_write_back(
+        &mut self,
+        from: SiteId,
+        seg: SegmentId,
+        page: PageNum,
+        wts: u32,
+        data: Option<PageData>,
+        serial: u32,
+        sink: &mut ActionSink,
+    ) {
+        let Some(mut ts) = self.tardis.take() else {
+            return;
+        };
+        let lease = self.config.ts_lease;
+        if let Some(hp) = ts.home_mut(seg, page) {
+            // Always ack — even a stale write-back's sender must stop
+            // retransmitting.
+            self.emit(from, ProtoMsg::TsWriteBackAck { seg, page, serial }, sink);
+            if hp.owner == Some(from) && hp.wts == serial {
+                // `data: None` is the owner renouncing a grant it never
+                // materialized; the master (previous version's bytes)
+                // then *becomes* version `wts` — no site ever observed
+                // a different content for it.
+                if let Some(bytes) = data {
+                    hp.master = bytes;
+                }
+                hp.owner = None;
+                hp.recall_attempt = None;
+                if self.tracing() {
+                    let mut ev =
+                        self.trace_event(TraceKind::TsWriteBackApplied, 0, seg, page, sink);
+                    ev.peer = Some(from);
+                    ev.serial = serial;
+                    ev.detail = u64::from(wts);
+                    self.push_trace(ev, sink);
+                }
+                self.ts_drain_queue(hp, lease, seg, page, sink);
+            }
+        }
+        self.tardis = Some(ts);
+    }
+
+    /// Serves the parked queue after ownership returns: reads first,
+    /// then at most one write (which re-parks whatever follows behind
+    /// an immediate recall of the new owner).
+    fn ts_drain_queue(
+        &mut self,
+        hp: &mut HomePage,
+        lease: u32,
+        seg: SegmentId,
+        page: PageNum,
+        sink: &mut ActionSink,
+    ) {
+        while let Some(&q) = hp.queue.front() {
+            hp.queue.pop_front();
+            match q.access {
+                Access::Read => {
+                    self.ts_grant_read(
+                        hp, lease, seg, page, q.from, q.pts, q.vts, q.serial, sink,
+                    );
+                }
+                Access::Write => {
+                    self.ts_grant_write(hp, seg, page, q.from, q.pts, q.vts, q.serial, sink);
+                    if !hp.queue.is_empty() {
+                        hp.recall_attempt = Some(0);
+                        // The grant above made `hp.wts` the new owner's
+                        // incarnation; recall that grant specifically.
+                        let incarnation = hp.wts;
+                        if self.tracing() {
+                            let mut ev =
+                                self.trace_event(TraceKind::TsRecallSent, 0, seg, page, sink);
+                            ev.peer = Some(q.from);
+                            ev.serial = incarnation;
+                            self.push_trace(ev, sink);
+                        }
+                        self.emit(
+                            q.from,
+                            ProtoMsg::TsRecall { seg, page, serial: incarnation },
+                            sink,
+                        );
+                        self.arm_retry(
+                            0,
+                            TimerKind::TsRecallRetry { seg, page, serial: incarnation },
+                            sink,
+                        );
+                    }
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Recall retransmit timer (retry mode): still the same ownership,
+    /// still unanswered — re-recall.
+    pub(crate) fn ts_recall_retry(
+        &mut self,
+        seg: SegmentId,
+        page: PageNum,
+        serial: u32,
+        sink: &mut ActionSink,
+    ) {
+        let Some(mut ts) = self.tardis.take() else {
+            return;
+        };
+        if let Some(hp) = ts.home_mut(seg, page) {
+            if hp.wts == serial && hp.recall_attempt.is_some() {
+                if let Some(owner) = hp.owner {
+                    let attempt = hp.recall_attempt.unwrap() + 1;
+                    hp.recall_attempt = Some(attempt);
+                    self.emit(owner, ProtoMsg::TsRecall { seg, page, serial }, sink);
+                    self.arm_retry(
+                        attempt,
+                        TimerKind::TsRecallRetry { seg, page, serial },
+                        sink,
+                    );
+                }
+            }
+        }
+        self.tardis = Some(ts);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use mirage_mem::LocalSegment;
+    use mirage_types::SimTime;
+
+    use super::*;
+    use crate::{
+        config::ProtocolConfig,
+        event::Event,
+        store::InMemStore,
+    };
+
+    /// A tiny instant-delivery world over raw engines: messages are
+    /// queued and delivered in order until quiescent.
+    struct TsWorld {
+        engines: Vec<SiteEngine>,
+        stores: Vec<InMemStore>,
+        net: std::collections::VecDeque<(SiteId, SiteId, ProtoMsg)>,
+        wakes: Vec<Pid>,
+        sent: Vec<&'static str>,
+    }
+
+    fn seg0() -> SegmentId {
+        SegmentId::new(SiteId(0), 1)
+    }
+
+    impl TsWorld {
+        fn new(sites: usize, pages: usize, config: ProtocolConfig) -> Self {
+            let seg = seg0();
+            let mut engines = Vec::new();
+            let mut stores = Vec::new();
+            for i in 0..sites {
+                let mut e = SiteEngine::new(SiteId(i as u16), config.clone());
+                e.register_segment(seg, pages);
+                let mut st = InMemStore::new();
+                st.add_segment(if i == 0 {
+                    LocalSegment::fully_resident(seg, pages)
+                } else {
+                    LocalSegment::absent(seg, pages)
+                });
+                engines.push(e);
+                stores.push(st);
+            }
+            Self {
+                engines,
+                stores,
+                net: std::collections::VecDeque::new(),
+                wakes: Vec::new(),
+                sent: Vec::new(),
+            }
+        }
+
+        fn absorb(&mut self, from: SiteId, actions: Vec<Action>) {
+            for a in actions {
+                match a {
+                    Action::Send { to, msg } => {
+                        self.sent.push(msg.tag());
+                        self.net.push_back((from, to, msg));
+                    }
+                    Action::Wake { pid } => self.wakes.push(pid),
+                    _ => {}
+                }
+            }
+        }
+
+        fn pump(&mut self) {
+            while let Some((from, to, msg)) = self.net.pop_front() {
+                let i = to.index();
+                let acts = self.engines[i].handle(
+                    Event::Deliver { from, msg },
+                    SimTime::ZERO,
+                    &mut self.stores[i],
+                );
+                self.absorb(to, acts);
+            }
+        }
+
+        fn fault(&mut self, site: usize, page: u32, access: Access) {
+            let pid = Pid::new(SiteId(site as u16), 1);
+            let acts = self.engines[site].handle(
+                Event::Fault { pid, seg: seg0(), page: PageNum(page), access },
+                SimTime::ZERO,
+                &mut self.stores[site],
+            );
+            self.absorb(SiteId(site as u16), acts);
+            self.pump();
+        }
+
+        fn prot(&self, site: usize, page: u32) -> PageProt {
+            use crate::store::PageStore;
+            self.stores[site].prot(seg0(), PageNum(page))
+        }
+
+        fn write_u32(&mut self, site: usize, page: u32, off: usize, val: u32) {
+            assert_eq!(self.prot(site, page), PageProt::ReadWrite);
+            self.stores[site]
+                .segment_mut(seg0())
+                .unwrap()
+                .frame_mut(PageNum(page))
+                .unwrap()
+                .store_u32(off, val);
+        }
+
+        fn read_u32(&self, site: usize, page: u32, off: usize) -> u32 {
+            assert!(self.prot(site, page).permits(Access::Read));
+            self.stores[site]
+                .segment(seg0())
+                .unwrap()
+                .frame(PageNum(page))
+                .unwrap()
+                .load_u32(off)
+        }
+
+        fn count(&self, tag: &str) -> usize {
+            self.sent.iter().filter(|t| **t == tag).count()
+        }
+    }
+
+    #[test]
+    fn read_lease_via_self_recall_of_creating_site() {
+        let mut w = TsWorld::new(2, 1, ProtocolConfig::tardis());
+        w.write_u32(0, 0, 0, 7); // creator's initial content
+        w.fault(1, 0, Access::Read);
+        assert_eq!(w.prot(1, 0), PageProt::Read);
+        assert_eq!(w.read_u32(1, 0, 0), 7);
+        // The creating site surrendered ownership to serve the read...
+        let view = w.engines[0].tardis_home_view(seg0(), PageNum(0)).unwrap();
+        assert_eq!(view.owner, None);
+        assert_eq!(view.wts, 1);
+        // ...and no invalidation-protocol traffic was generated.
+        assert_eq!(w.count("Invalidate"), 0);
+        assert_eq!(w.count("TsReadData"), 1);
+        assert_eq!(w.wakes.len(), 1);
+    }
+
+    #[test]
+    fn write_bumps_wts_and_recall_moves_dirty_data() {
+        let mut w = TsWorld::new(3, 1, ProtocolConfig::tardis());
+        w.fault(1, 0, Access::Write);
+        assert_eq!(w.prot(1, 0), PageProt::ReadWrite);
+        assert!(w.engines[1].tardis_is_owner(seg0(), PageNum(0)));
+        let after_write = w.engines[0].tardis_home_view(seg0(), PageNum(0)).unwrap();
+        assert_eq!(after_write.owner, Some(SiteId(1)));
+        assert!(after_write.wts > 1);
+        w.write_u32(1, 0, 8, 42);
+
+        // A reader elsewhere forces a recall; the dirty bytes flow
+        // owner → home → reader.
+        w.fault(2, 0, Access::Read);
+        assert_eq!(w.read_u32(2, 0, 8), 42);
+        assert_eq!(w.prot(1, 0), PageProt::None); // owner surrendered
+        let view = w.engines[0].tardis_home_view(seg0(), PageNum(0)).unwrap();
+        assert_eq!(view.owner, None);
+        assert_eq!(w.engines[0].tardis_master(seg0(), PageNum(0)).unwrap().load_u32(8), 42);
+    }
+
+    #[test]
+    fn current_version_writer_upgrades_in_place() {
+        let mut w = TsWorld::new(2, 1, ProtocolConfig::tardis());
+        w.fault(1, 0, Access::Read);
+        assert_eq!(w.prot(1, 0), PageProt::Read);
+        // The page was not rewritten since the lease: the write grant
+        // carries no data.
+        w.fault(1, 0, Access::Write);
+        assert_eq!(w.prot(1, 0), PageProt::ReadWrite);
+        let grants_with_data = w.count("TsReadData");
+        assert_eq!(grants_with_data, 1, "only the initial read moved bytes");
+        assert_eq!(w.count("TsWriteGrant"), 1);
+    }
+
+    #[test]
+    fn lease_expiry_then_data_free_renewal() {
+        let mut config = ProtocolConfig::tardis();
+        config.ts_lease = 2;
+        let mut w = TsWorld::new(2, 2, config);
+        // Site 1 leases page 0 (rts ≈ 1 + lease).
+        w.fault(1, 0, Access::Read);
+        assert_eq!(w.prot(1, 0), PageProt::Read);
+        // Site 1 writes page 1 repeatedly elsewhere-versioned: each
+        // write bumps wts past the other page's rts, advancing pts and
+        // expiring the page-0 lease.
+        for _ in 0..4 {
+            w.fault(1, 1, Access::Write);
+            assert_eq!(w.prot(1, 1), PageProt::ReadWrite);
+            // Surrender it so the next write round-trips the home again.
+            w.fault(0, 1, Access::Read);
+        }
+        assert_eq!(w.prot(1, 0), PageProt::None, "lease must have expired");
+        assert_eq!(
+            w.engines[1].tardis_held_version(seg0(), PageNum(0)),
+            None,
+            "expired lease drops the hold"
+        );
+        let renews_before = w.count("TsRenew");
+        // Re-reading the unchanged page is satisfied without data.
+        w.fault(1, 0, Access::Read);
+        assert_eq!(w.prot(1, 0), PageProt::Read);
+        assert_eq!(w.count("TsRenew"), renews_before + 1);
+        assert_eq!(w.count("TsReadData"), 1, "bytes moved only once");
+    }
+
+    #[test]
+    fn readers_are_never_chased() {
+        // Two readers lease the page; a writer then proceeds with no
+        // reader-invalidation traffic at all.
+        let mut w = TsWorld::new(4, 1, ProtocolConfig::tardis());
+        w.fault(1, 0, Access::Read);
+        w.fault(2, 0, Access::Read);
+        w.fault(3, 0, Access::Write);
+        assert_eq!(w.prot(3, 0), PageProt::ReadWrite);
+        assert_eq!(w.count("ReaderInvalidate"), 0);
+        // The only recall ever needed targeted the creating site —
+        // colocated with the home, so it never touched the wire.
+        assert_eq!(w.count("TsRecall"), 0);
+        // The readers' copies remain resident (logically expired at
+        // their own pace, not invalidated).
+        assert_eq!(w.prot(1, 0), PageProt::Read);
+        assert_eq!(w.prot(2, 0), PageProt::Read);
+    }
+
+    #[test]
+    fn mirage_config_allocates_no_tardis_state() {
+        let e = SiteEngine::new(SiteId(0), ProtocolConfig::default());
+        assert!(!e.is_tardis());
+        assert_eq!(e.tardis_pts(), None);
+    }
+}

@@ -1009,9 +1009,19 @@ impl SiteEngine {
                 if serial < e.min_install_serial {
                     return false;
                 }
-                // Grants at or below this serial are now stale: the write
-                // this round serves supersedes them.
-                e.min_install_serial = serial + 1;
+                // Grants from superseded rounds (below this serial) are
+                // now stale. The floor stops at `serial`, not past it:
+                // when the upgrade optimization is off, the requester of
+                // this very round is reader-invalidated like any other
+                // copyholder and then receives the round's full
+                // `PageGrant` stamped with the *same* serial — raising
+                // the floor above it would drop (yet ack) that grant,
+                // leaving the library convinced a writer exists at a
+                // site that holds nothing and wedging every later serve
+                // behind an invalidation no one can honor. Once the
+                // grant installs, the install path raises the floor past
+                // it, so duplicates still die.
+                e.min_install_serial = serial;
                 true
             });
             if apply {

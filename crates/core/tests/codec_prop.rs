@@ -79,7 +79,53 @@ fn frozen(r: &mut Prng) -> FrozenLibrary {
     FrozenLibrary { start: PageNum(r.below(1 << 20) as u32), pages }
 }
 
+/// A randomized timestamp-mode (`Ts*`) message. Timestamps mix small
+/// values with the u32 extremes so serialization never assumes "small
+/// counters"; data-bearing kinds flip between carrying the page and
+/// the data-free (renewal / in-place / clean write-back) forms.
+fn ts_msg(r: &mut Prng) -> ProtoMsg {
+    let seg = seg(r);
+    let page = PageNum(r.next_u32());
+    let serial = r.next_u32();
+    let ts = |r: &mut Prng| match r.below(4) {
+        0 => r.below(16) as u32,
+        1 => r.next_u32(),
+        2 => u32::MAX,
+        _ => u32::MAX - r.below(8) as u32,
+    };
+    let data =
+        |r: &mut Prng| mirage_mem::PageData::from_bytes(&[r.next_u32() as u8; PAGE_SIZE]);
+    match r.below(8) {
+        0 => ProtoMsg::TsRead { seg, page, pts: ts(r), vts: ts(r), serial },
+        1 => ProtoMsg::TsWrite { seg, page, pts: ts(r), vts: ts(r), serial },
+        2 => ProtoMsg::TsReadData { seg, page, wts: ts(r), rts: ts(r), data: data(r), serial },
+        3 => ProtoMsg::TsRenew { seg, page, wts: ts(r), rts: ts(r), serial },
+        4 => ProtoMsg::TsWriteGrant {
+            seg,
+            page,
+            wts: ts(r),
+            data: r.flip().then(|| data(r)),
+            serial,
+        },
+        5 => ProtoMsg::TsRecall { seg, page, serial },
+        6 => ProtoMsg::TsWriteBack {
+            seg,
+            page,
+            wts: ts(r),
+            data: r.flip().then(|| data(r)),
+            serial,
+        },
+        _ => ProtoMsg::TsWriteBackAck { seg, page, serial },
+    }
+}
+
 fn msg(r: &mut Prng) -> ProtoMsg {
+    if r.below(4) == 0 {
+        // A quarter of the stream is timestamp-mode traffic, so the
+        // byte-soup and truncation properties below cover both
+        // protocols without separate loops.
+        return ts_msg(r);
+    }
     let seg = seg(r);
     let page = PageNum(r.next_u32());
     let window = Delta(r.below(100_000) as u32);
@@ -160,5 +206,104 @@ fn truncation_of_valid_messages_errors_cleanly() {
             from_bytes::<ProtoMsg>(&bytes[..cut]).is_err(),
             "case {case}: truncated decode must fail"
         );
+    }
+}
+
+#[test]
+fn ts_messages_round_trip() {
+    let mut r = Prng::new(SEED ^ 3);
+    for case in 0..CASES {
+        let m = ts_msg(&mut r);
+        let bytes = to_bytes(&m);
+        let back: ProtoMsg = from_bytes(&bytes).expect("decode");
+        assert_eq!(back, m, "case {case}");
+    }
+}
+
+#[test]
+fn ts_messages_reject_every_strict_prefix() {
+    // Exhaustive over the header-only kinds; the page-bearing kinds
+    // (a kilobyte of payload each) are cut at randomized points plus
+    // the last few bytes, where an off-by-one would live.
+    let mut r = Prng::new(SEED ^ 4);
+    for case in 0..CASES {
+        let m = ts_msg(&mut r);
+        let bytes = to_bytes(&m);
+        let cuts: Vec<usize> = if bytes.len() <= 64 {
+            (0..bytes.len()).collect()
+        } else {
+            (0..8)
+                .map(|_| r.below(bytes.len() as u64) as usize)
+                .chain(bytes.len() - 4..bytes.len())
+                .collect()
+        };
+        for cut in cuts {
+            assert!(
+                from_bytes::<ProtoMsg>(&bytes[..cut]).is_err(),
+                "case {case}: {cut}/{} bytes must not decode",
+                bytes.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn ts_message_bit_flips_never_panic_and_stay_canonical() {
+    // Single-bit corruption of a Ts* encoding must decode or error —
+    // never panic — and anything the decoder accepts must re-encode to
+    // the same bytes it accepted (no non-canonical forms survive). The
+    // header-only kinds get every bit flipped; the page-bearing kinds
+    // flip a sampled set plus the full header region.
+    let mut r = Prng::new(SEED ^ 5);
+    for _ in 0..64 {
+        let m = ts_msg(&mut r);
+        let bytes = to_bytes(&m);
+        let positions: Vec<usize> = if bytes.len() <= 64 {
+            (0..bytes.len()).collect()
+        } else {
+            (0..64).chain((0..32).map(|_| r.below(bytes.len() as u64) as usize)).collect()
+        };
+        for byte in positions {
+            for bit in 0..8 {
+                let mut corrupt = bytes.clone();
+                corrupt[byte] ^= 1 << bit;
+                if let Ok(v) = from_bytes::<ProtoMsg>(&corrupt) {
+                    let re = to_bytes(&v);
+                    let v2: ProtoMsg = from_bytes(&re).expect("canonical re-encode");
+                    assert_eq!(v2, v, "accepted corruption must round-trip canonically");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn ts_wire_format_spans_2048_sites() {
+    // Timestamp traffic must survive the same world sizes the chunked
+    // site-set encoding supports: segments homed at every boundary
+    // site, extreme timestamps, extreme serials.
+    for home in [0u16, 62, 63, 64, 127, 128, 1024, 2047] {
+        let seg = SegmentId::new(SiteId(home), u32::MAX);
+        for m in [
+            ProtoMsg::TsRead {
+                seg,
+                page: PageNum(u32::MAX),
+                pts: u32::MAX,
+                vts: u32::MAX,
+                serial: u32::MAX,
+            },
+            ProtoMsg::TsRenew { seg, page: PageNum(0), wts: 0, rts: u32::MAX, serial: 0 },
+            ProtoMsg::TsWriteGrant {
+                seg,
+                page: PageNum(1),
+                wts: u32::MAX,
+                data: None,
+                serial: u32::MAX,
+            },
+            ProtoMsg::TsWriteBack { seg, page: PageNum(1), wts: 1, data: None, serial: 1 },
+        ] {
+            let back: ProtoMsg = from_bytes(&to_bytes(&m)).expect("decode");
+            assert_eq!(back, m, "home site {home}");
+        }
     }
 }

@@ -135,6 +135,7 @@ fn coherent_with_all_optimizations_disabled() {
             trace: false,
             delta_grants: false,
             shard_pages: 0,
+            ..ProtocolConfig::default()
         };
         let ops = gen_ops(&mut r, 3, 2, 40);
         run_ops(cfg, 3, 2, ops, true);
@@ -155,6 +156,7 @@ fn coherent_with_queued_invalidation_and_multicast() {
             trace: false,
             delta_grants: false,
             shard_pages: 0,
+            ..ProtocolConfig::default()
         };
         let ops = gen_ops(&mut r, 4, 2, 40);
         run_ops(cfg, 4, 2, ops, false);

@@ -335,6 +335,19 @@ mod reference {
                 | ProtoMsg::LibraryRedirect { .. } => {
                     unreachable!("spec engine runs with retry and delta grants disabled");
                 }
+                // The spec engine models Mirage only; the Tardis rival
+                // is differential-tested against the simulator's
+                // quiescence oracle instead (sim::fuzz).
+                ProtoMsg::TsRead { .. }
+                | ProtoMsg::TsWrite { .. }
+                | ProtoMsg::TsReadData { .. }
+                | ProtoMsg::TsRenew { .. }
+                | ProtoMsg::TsWriteGrant { .. }
+                | ProtoMsg::TsRecall { .. }
+                | ProtoMsg::TsWriteBack { .. }
+                | ProtoMsg::TsWriteBackAck { .. } => {
+                    unreachable!("spec engine runs Mirage coherence only");
+                }
             }
         }
 
@@ -1296,6 +1309,7 @@ fn dense_tables_match_reference_no_optimizations() {
             trace: false,
             delta_grants: false,
             shard_pages: 0,
+            ..ProtocolConfig::default()
         };
         run_case(&mut r, 3, 2, cfg, 60);
     }
@@ -1315,6 +1329,7 @@ fn dense_tables_match_reference_queued_and_multicast() {
             trace: false,
             delta_grants: false,
             shard_pages: 0,
+            ..ProtocolConfig::default()
         };
         run_case(&mut r, 5, 2, cfg, 80);
     }

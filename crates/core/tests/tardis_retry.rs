@@ -1,0 +1,239 @@
+//! Loss, duplication, and crash scenarios for the Tardis timestamp
+//! protocol's retry machinery — the timestamp-mode companion to
+//! `retry_protocol.rs`.
+//!
+//! Each shape here is the deterministic pin of a failure family the
+//! cross-protocol schedule fuzzer explores at random. To replay the
+//! randomized side of any of these, run the storm with the protocol
+//! selector, e.g.:
+//!
+//! ```text
+//! cargo run --release -p mirage-bench --bin fault_storm -- \
+//!     --seed 7 --protocol tardis --trace
+//! ```
+//!
+//! Every test finishes under both offline oracles: the causal trace
+//! checker (vacuous over `Ts*` kinds) and the timestamp-ordering
+//! oracle, plus the Tardis structural discipline (at most one exclusive
+//! holder, and the home's ownership record names it). Mirage's
+//! byte-identity invariant is deliberately *not* asserted: stale leased
+//! copies at non-owner sites are legal under Tardis.
+
+mod common;
+
+use common::Cluster;
+use mirage_core::{
+    PageStore,
+    ProtocolConfig,
+    RetryPolicy,
+};
+use mirage_trace::TraceKind;
+use mirage_types::{
+    Access,
+    PageNum,
+    PageProt,
+    SegmentId,
+    SiteId,
+};
+
+/// Tardis with retransmission on and a lease short enough that the
+/// ownership-duel recipe below expires it within a few rounds.
+fn tardis_retry_config() -> ProtocolConfig {
+    ProtocolConfig {
+        retry: Some(RetryPolicy::default()),
+        ts_lease: 2,
+        ..ProtocolConfig::tardis()
+    }
+}
+
+const PAGE: PageNum = PageNum(0);
+
+/// Tardis's quiescent discipline, checked across the whole cluster:
+/// exclusive ownership is unique and matches the home's record, and
+/// both offline oracles accept the trace so far.
+fn check_tardis(c: &Cluster, seg: SegmentId, page: PageNum) {
+    let exclusive: Vec<SiteId> = c
+        .stores
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.prot(seg, page) == PageProt::ReadWrite)
+        .map(|(i, _)| SiteId(i as u16))
+        .collect();
+    assert!(exclusive.len() <= 1, "multiple exclusive holders at quiescence: {exclusive:?}");
+    let view = c
+        .engine(seg.library.index())
+        .tardis_home_view(seg, page)
+        .expect("home keeps a timestamp record for every registered page");
+    match view.owner {
+        Some(owner) => assert!(
+            exclusive.iter().all(|&s| s == owner),
+            "home records owner {owner:?} but {exclusive:?} hold exclusive frames"
+        ),
+        None => assert!(
+            exclusive.is_empty(),
+            "exclusive holders {exclusive:?} but the home records no owner"
+        ),
+    }
+    c.check_trace();
+    let ts = mirage_trace::check_timestamps(&c.trace);
+    assert!(ts.violations.is_empty(), "timestamp oracle violations: {:?}", ts.violations);
+}
+
+/// Expires site 1's lease on page 0 by duelling ownership of page 1
+/// between site 1 (writes) and the home (reads): every transfer is a
+/// write fault that drags site 1's program timestamp past the lease.
+/// This is the engine-level `lease_expiry_then_data_free_renewal`
+/// recipe, replayed through the full driver/message path.
+fn expire_lease_via_duel(c: &mut Cluster, seg: SegmentId) {
+    let duel = PageNum(1);
+    for round in 0..4 {
+        c.write_u32(1, seg, duel, 0, round);
+        // A raw fault, not a value read: the home may legally serve a
+        // stale leased copy of the duel page, but the fault still
+        // forces the recall round-trip that advances site 1's clock.
+        c.fault(0, seg, duel, Access::Read);
+    }
+    assert_eq!(
+        c.stores[1].prot(seg, PAGE),
+        PageProt::None,
+        "the duel should have expired the page-0 lease"
+    );
+    assert!(c.trace_count(TraceKind::TsLeaseExpired) >= 1, "no TsLeaseExpired traced");
+}
+
+/// A lost lease renewal is recovered by the requester's retry chain:
+/// the `TsRead` retransmits, the home answers with a second data-free
+/// `TsRenew`, and the page's bytes still cross the wire only once.
+/// Randomized twin: `fault_storm --protocol tardis` drops renewal
+/// traffic under the same retry policy.
+#[test]
+fn lost_renewal_is_reissued_data_free() {
+    let mut c = Cluster::new(2, tardis_retry_config());
+    let seg = c.create_segment(0, 2);
+    // Site 1 leases page 0 at its initial version (one data transfer).
+    assert_eq!(c.read_u32(1, seg, PAGE, 0), 0);
+    expire_lease_via_duel(&mut c, seg);
+    let renews_before = c.sent_count("TsRenew");
+    let data_before = c.sent_count("TsReadData");
+    // Re-read the unchanged page; the home's renewal is lost in flight.
+    c.fault_no_run(1, 1, seg, PAGE, Access::Read);
+    c.run_dropping(1, |_, to, m| to == SiteId(1) && m.tag() == "TsRenew");
+    assert_eq!(c.read_u32(1, seg, PAGE, 0), 0, "reissued renewal never landed");
+    assert!(
+        c.sent_count("TsRenew") >= renews_before + 2,
+        "renewal was not reissued after the loss (sent {} before, {} after)",
+        renews_before,
+        c.sent_count("TsRenew")
+    );
+    // Recovery must stay header-only: the version did not move, so no
+    // retransmission may escalate to a full data grant.
+    assert_eq!(
+        c.sent_count("TsReadData"),
+        data_before,
+        "a lost renewal escalated to re-shipping the page"
+    );
+    assert!(c.trace_count(TraceKind::TsRenewed) >= 1, "no TsRenewed traced");
+    check_tardis(&c, seg, PAGE);
+}
+
+/// Duplicated lease grants (and every other timestamp message) are
+/// idempotent: request serials make redelivery drop at the receiver, so
+/// each fetch installs exactly once and ownership stays unique.
+#[test]
+fn duplicated_lease_grant_is_idempotent() {
+    let mut c = Cluster::new(3, tardis_retry_config());
+    let seg = c.create_segment(0, 1);
+    // Reader leases the page while every message is delivered twice.
+    c.fault_no_run(1, 1, seg, PAGE, Access::Read);
+    c.run_duplicating(usize::MAX, |_, _, _| true);
+    assert_eq!(c.read_u32(1, seg, PAGE, 0), 0);
+    assert_eq!(
+        c.trace_count(TraceKind::TsInstalled),
+        1,
+        "a duplicated lease grant installed more than once"
+    );
+    // A writer takes ownership under the same doubled delivery, then the
+    // recall/write-back cycle runs doubled too.
+    c.fault_no_run(2, 1, seg, PAGE, Access::Write);
+    c.run_duplicating(usize::MAX, |_, _, _| true);
+    c.write_u32(2, seg, PAGE, 0, 21);
+    c.fault_no_run(0, 2, seg, PAGE, Access::Read);
+    c.run_duplicating(usize::MAX, |_, _, _| true);
+    assert_eq!(c.read_u32(0, seg, PAGE, 0), 21);
+    // Idempotence of the apply path: each (owner, incarnation) pair
+    // folds in exactly once, no matter how often it was delivered.
+    let applies: Vec<(Option<SiteId>, u32)> = c
+        .trace
+        .iter()
+        .filter(|e| e.kind == TraceKind::TsWriteBackApplied)
+        .map(|e| (e.peer, e.serial))
+        .collect();
+    let mut distinct = applies.clone();
+    distinct.sort_unstable();
+    distinct.dedup();
+    assert_eq!(
+        applies.len(),
+        distinct.len(),
+        "a duplicated write-back applied more than once: {applies:?}"
+    );
+    check_tardis(&c, seg, PAGE);
+}
+
+/// The home site crashes and restarts: the per-page `wts`/`rts` pair
+/// and the ownership record are persistent state (the timestamp-mode
+/// analog of the library's queue), so the restarted home must serve
+/// from the exact pre-crash table — a reconstructed-from-zero table
+/// would re-grant version 1 and violate the timestamp oracle's
+/// monotonicity checks.
+#[test]
+fn home_crash_preserves_rts_wts_and_ownership() {
+    let mut c = Cluster::new(3, tardis_retry_config());
+    let seg = c.create_segment(0, 1);
+    // Site 1 takes ownership; the write serializes past the initial
+    // lease, so the home's table is no longer at its register-time state.
+    c.write_u32(1, seg, PAGE, 0, 0xAB);
+    let before = c.engine(0).tardis_home_view(seg, PAGE).expect("home view");
+    assert_eq!(before.owner, Some(SiteId(1)), "write fault did not transfer ownership");
+    assert!(before.wts >= 2, "write did not advance the home's wts");
+    c.crash(0);
+    c.restart(0);
+    c.run();
+    let after = c.engine(0).tardis_home_view(seg, PAGE).expect("home view lost in crash");
+    assert_eq!(
+        (after.wts, after.rts, after.owner),
+        (before.wts, before.rts, before.owner),
+        "restart did not reconstruct the persistent timestamp table"
+    );
+    // The surviving record still drives correct recalls: a third site's
+    // read goes through the restarted home, which recalls the owner it
+    // remembers and serves the pre-crash write.
+    assert_eq!(c.read_u32(2, seg, PAGE, 0), 0xAB, "restarted home lost track of the owner");
+    assert!(c.sent_count("TsRecall") >= 1, "restarted home never recalled the owner");
+    check_tardis(&c, seg, PAGE);
+}
+
+/// The owner crashes after its write-back is lost in flight (and before
+/// the retransmit timer fires — the crash severs the volatile timer).
+/// The relinquished bytes are retained persistently until acknowledged,
+/// so restart must retransmit the write-back and unblock the reader the
+/// home is holding in its queue.
+#[test]
+fn owner_crash_mid_write_back_retransmits_on_restart() {
+    let mut c = Cluster::new(3, tardis_retry_config());
+    let seg = c.create_segment(0, 1);
+    c.write_u32(1, seg, PAGE, 0, 0xEE);
+    // Site 2's read makes the home recall the owner; the write-back is
+    // lost, and the owner crashes with only retry timers pending.
+    c.fault_no_run(2, 1, seg, PAGE, Access::Read);
+    c.run_messages_dropping(1, |_, _, m| m.tag() == "TsWriteBack");
+    c.crash(1);
+    c.restart(1);
+    c.run();
+    assert_eq!(c.read_u32(2, seg, PAGE, 0), 0xEE, "retained write-back never reached the home");
+    assert!(
+        c.sent_count("TsWriteBack") >= 2,
+        "restart did not retransmit the retained write-back"
+    );
+    assert!(c.trace_count(TraceKind::TsWriteBackApplied) >= 1, "write-back never applied");
+    check_tardis(&c, seg, PAGE);
+}

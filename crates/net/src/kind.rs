@@ -49,11 +49,33 @@ pub enum MsgKind {
     /// recipient's last-served copy (delta-grant mode only; size
     /// proportional to the bytes that changed).
     PageGrantDelta = 15,
+    /// Requester → home: read lease request (Tardis timestamp
+    /// coherence).
+    TsRead = 16,
+    /// Requester → home: exclusive write request (Tardis).
+    TsWrite = 17,
+    /// Home → requester: the page with its lease window (Tardis; large).
+    TsReadData = 18,
+    /// Home → requester: lease extension for the version the requester
+    /// already caches — no data on the wire (Tardis; the message that
+    /// replaces invalidation fan-out).
+    TsRenew = 19,
+    /// Home → requester: exclusive grant at the bumped write timestamp
+    /// (Tardis; large when it carries the page, short as an in-place
+    /// upgrade).
+    TsWriteGrant = 20,
+    /// Home → current exclusive owner: surrender the dirty copy (Tardis).
+    TsRecall = 21,
+    /// Owner → home: the dirty page (or a clean no-data confirmation)
+    /// answering a recall (Tardis; large when dirty).
+    TsWriteBack = 22,
+    /// Home → owner: write-back received; stop retransmitting (Tardis).
+    TsWriteBackAck = 23,
 }
 
 impl MsgKind {
     /// Number of message kinds (the length of per-kind counter arrays).
-    pub const COUNT: usize = 16;
+    pub const COUNT: usize = 24;
 
     /// All kinds, in wire-discriminant order.
     pub const ALL: [MsgKind; Self::COUNT] = [
@@ -73,6 +95,14 @@ impl MsgKind {
         MsgKind::LibraryHandoffAck,
         MsgKind::LibraryRedirect,
         MsgKind::PageGrantDelta,
+        MsgKind::TsRead,
+        MsgKind::TsWrite,
+        MsgKind::TsReadData,
+        MsgKind::TsRenew,
+        MsgKind::TsWriteGrant,
+        MsgKind::TsRecall,
+        MsgKind::TsWriteBack,
+        MsgKind::TsWriteBackAck,
     ];
 
     /// Dense index into a `[_; MsgKind::COUNT]` counter array.
@@ -99,6 +129,14 @@ impl MsgKind {
             MsgKind::LibraryHandoffAck => "LibraryHandoffAck",
             MsgKind::LibraryRedirect => "LibraryRedirect",
             MsgKind::PageGrantDelta => "PageGrantDelta",
+            MsgKind::TsRead => "TsRead",
+            MsgKind::TsWrite => "TsWrite",
+            MsgKind::TsReadData => "TsReadData",
+            MsgKind::TsRenew => "TsRenew",
+            MsgKind::TsWriteGrant => "TsWriteGrant",
+            MsgKind::TsRecall => "TsRecall",
+            MsgKind::TsWriteBack => "TsWriteBack",
+            MsgKind::TsWriteBackAck => "TsWriteBackAck",
         }
     }
 }

@@ -28,6 +28,7 @@ use std::sync::{
 
 use mirage_core::{
     invariants,
+    Coherence,
     DeltaPolicy,
     PageStore,
     RetryPolicy,
@@ -64,6 +65,69 @@ use crate::{
         World,
     },
 };
+
+/// Which rival coherence protocol a fuzz scenario drives.
+///
+/// The selector is applied to the [`SimConfig`] *after* every PRNG draw
+/// in the scenario builder, so for a given seed all three protocols see
+/// the bit-identical world shape, workload, and fault plan — the only
+/// variable is the protocol. That makes per-seed results directly
+/// comparable and lets [`run_fuzz_seed_matrix`] assert the protocols
+/// converge to the same final contents.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FuzzProtocol {
+    /// The paper's protocol: Δ windows, library site, invalidation
+    /// rounds (the classic fuzz scenario, unchanged).
+    #[default]
+    Mirage,
+    /// The Li–Hudak degenerate: Δ = 0 and both §6.1 optimizations off
+    /// ([`mirage_core::ProtocolConfig::li`]).
+    Li,
+    /// Tardis timestamp coherence: logical leases at a home site,
+    /// renewals instead of invalidation fan-out.
+    Tardis,
+}
+
+impl FuzzProtocol {
+    /// All protocols, in matrix order.
+    pub const ALL: [FuzzProtocol; 3] =
+        [FuzzProtocol::Mirage, FuzzProtocol::Li, FuzzProtocol::Tardis];
+
+    /// Stable lowercase name (CLI flag value, report labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            FuzzProtocol::Mirage => "mirage",
+            FuzzProtocol::Li => "li",
+            FuzzProtocol::Tardis => "tardis",
+        }
+    }
+
+    /// Parses a [`Self::name`] back (for `fault_storm --protocol`).
+    pub fn from_name(s: &str) -> Option<Self> {
+        match s {
+            "mirage" => Some(FuzzProtocol::Mirage),
+            "li" => Some(FuzzProtocol::Li),
+            "tardis" => Some(FuzzProtocol::Tardis),
+            _ => None,
+        }
+    }
+
+    /// Rewrites the drawn config for this protocol. Draws nothing from
+    /// any PRNG: the scenario stays bit-identical across protocols.
+    fn apply(self, cfg: &mut SimConfig) {
+        match self {
+            FuzzProtocol::Mirage => {}
+            FuzzProtocol::Li => {
+                cfg.protocol.delta = DeltaPolicy::Uniform(Delta::ZERO);
+                cfg.protocol.upgrade_optimization = false;
+                cfg.protocol.downgrade_optimization = false;
+            }
+            FuzzProtocol::Tardis => {
+                cfg.protocol.coherence = Coherence::Tardis;
+            }
+        }
+    }
+}
 
 /// What one fuzz scenario concluded.
 #[derive(Debug)]
@@ -181,7 +245,73 @@ fn resident_value(world: &World, seg: SegmentId, page: PageNum, offset: usize) -
 /// seed always produces the same world, workload, fault schedule, and
 /// outcome.
 pub fn run_fuzz_seed(seed: u64) -> FuzzOutcome {
-    run_fuzz_seed_inner(seed, false, false, false).0
+    run_fuzz_seed_inner(seed, false, false, false, FuzzProtocol::Mirage).0
+}
+
+/// [`run_fuzz_seed`] under an explicit rival protocol. The seed's world
+/// shape, workload, and fault plan are bit-identical to the classic
+/// Mirage run; only the coherence machinery differs. Under
+/// [`FuzzProtocol::Tardis`] the quiescence oracle swaps the Mirage
+/// structural invariants for the Tardis ones: at most one exclusive
+/// owner, home/owner agreement, and write visibility against the
+/// authoritative copy (the owner's frame, else the home's master) —
+/// stale read leases at other sites are legal and left alone.
+pub fn run_fuzz_seed_protocol(seed: u64, protocol: FuzzProtocol) -> FuzzOutcome {
+    run_fuzz_seed_inner(seed, false, false, false, protocol).0
+}
+
+/// [`run_fuzz_seed_protocol`] with tracing: both offline oracles — the
+/// Mirage copy-state checker and the timestamp-ordering checker — run
+/// over the trace and their violations merge into the outcome. Each is
+/// vacuous over the other protocol's events, so both always run.
+pub fn run_fuzz_seed_protocol_traced(
+    seed: u64,
+    protocol: FuzzProtocol,
+) -> (FuzzOutcome, Vec<mirage_trace::TraceEvent>) {
+    run_fuzz_seed_inner(seed, true, false, false, protocol)
+}
+
+/// Cross-protocol differential check: runs the same seed under all
+/// three protocols (identical world, workload, and fault plan) and
+/// asserts they converge to byte-identical authoritative page contents
+/// at quiescence. Returns the per-protocol outcomes plus any divergence
+/// violations; everything is merged into the returned outcomes'
+/// `violations`, so `all(FuzzOutcome::is_ok)` is the pass criterion.
+pub fn run_fuzz_seed_matrix(seed: u64) -> Vec<FuzzOutcome> {
+    let mut outcomes: Vec<(FuzzProtocol, FuzzOutcome, Vec<Vec<u8>>)> = FuzzProtocol::ALL
+        .into_iter()
+        .map(|p| {
+            let (out, pages) = run_fuzz_seed_final_pages(seed, p);
+            (p, out, pages)
+        })
+        .collect();
+    // Compare every protocol's authoritative contents against Mirage's.
+    let (baseline, rest) = outcomes.split_first_mut().expect("three outcomes");
+    if baseline.1.completed {
+        for (p, out, pages) in rest.iter_mut() {
+            if !out.completed {
+                continue;
+            }
+            for (i, (a, b)) in baseline.2.iter().zip(pages.iter()).enumerate() {
+                if a != b {
+                    out.violations.push(format!(
+                        "cross-protocol divergence: page {i} differs between \
+                         mirage and {} (first diff at byte {})",
+                        p.name(),
+                        a.iter().zip(b.iter()).position(|(x, y)| x != y).unwrap_or(0),
+                    ));
+                }
+            }
+        }
+    }
+    outcomes.into_iter().map(|(_, out, _)| out).collect()
+}
+
+/// One protocol's run plus the authoritative bytes of every page at
+/// quiescence (for the cross-protocol diff).
+fn run_fuzz_seed_final_pages(seed: u64, protocol: FuzzProtocol) -> (FuzzOutcome, Vec<Vec<u8>>) {
+    let (out, _trace, pages) = run_fuzz_seed_full(seed, false, false, false, protocol);
+    (out, pages)
 }
 
 /// [`run_fuzz_seed`] with protocol tracing enabled: the same scenario
@@ -191,7 +321,7 @@ pub fn run_fuzz_seed(seed: u64) -> FuzzOutcome {
 /// structural `check_page` oracle and the causal trace oracle cross-check
 /// each other on every seed.
 pub fn run_fuzz_seed_traced(seed: u64) -> (FuzzOutcome, Vec<mirage_trace::TraceEvent>) {
-    run_fuzz_seed_inner(seed, true, false, false)
+    run_fuzz_seed_inner(seed, true, false, false, FuzzProtocol::Mirage)
 }
 
 /// [`run_fuzz_seed`] with sub-page delta grants enabled. The flag draws
@@ -202,7 +332,7 @@ pub fn run_fuzz_seed_traced(seed: u64) -> (FuzzOutcome, Vec<mirage_trace::TraceE
 /// (clearing their volatile shadow bases) must all converge to the same
 /// coherent quiescent state the full-grant run reaches.
 pub fn run_fuzz_seed_delta(seed: u64) -> FuzzOutcome {
-    run_fuzz_seed_inner(seed, false, false, true).0
+    run_fuzz_seed_inner(seed, false, false, true, FuzzProtocol::Mirage).0
 }
 
 /// [`run_fuzz_seed_delta`] with tracing: the causal trace checker
@@ -210,7 +340,7 @@ pub fn run_fuzz_seed_delta(seed: u64) -> FuzzOutcome {
 /// the exact content tag the granter shipped) cross-checks the
 /// structural oracle on every seed.
 pub fn run_fuzz_seed_delta_traced(seed: u64) -> (FuzzOutcome, Vec<mirage_trace::TraceEvent>) {
-    run_fuzz_seed_inner(seed, true, false, true)
+    run_fuzz_seed_inner(seed, true, false, true, FuzzProtocol::Mirage)
 }
 
 /// [`run_fuzz_seed`] with a seeded manual library-migration schedule
@@ -219,7 +349,7 @@ pub fn run_fuzz_seed_delta_traced(seed: u64) -> (FuzzOutcome, Vec<mirage_trace::
 /// drawn from its own PRNG stream, so the world shape, workload, and
 /// fault plan stay identical to the non-migrating run of the same seed.
 pub fn run_fuzz_seed_migrating(seed: u64) -> FuzzOutcome {
-    run_fuzz_seed_inner(seed, false, true, false).0
+    run_fuzz_seed_inner(seed, false, true, false, FuzzProtocol::Mirage).0
 }
 
 /// [`run_fuzz_seed_migrating`] with tracing plus the epoch-aware trace
@@ -227,7 +357,7 @@ pub fn run_fuzz_seed_migrating(seed: u64) -> FuzzOutcome {
 pub fn run_fuzz_seed_migrating_traced(
     seed: u64,
 ) -> (FuzzOutcome, Vec<mirage_trace::TraceEvent>) {
-    run_fuzz_seed_inner(seed, true, true, false)
+    run_fuzz_seed_inner(seed, true, true, false, FuzzProtocol::Mirage)
 }
 
 /// [`run_fuzz_seed`] over a planet-scale world: 65–160 sites (so reader
@@ -424,7 +554,20 @@ fn run_fuzz_seed_inner(
     traced: bool,
     migrate: bool,
     delta_grants: bool,
+    protocol: FuzzProtocol,
 ) -> (FuzzOutcome, Vec<mirage_trace::TraceEvent>) {
+    let (out, trace, _pages) =
+        run_fuzz_seed_full(seed, traced, migrate, delta_grants, protocol);
+    (out, trace)
+}
+
+fn run_fuzz_seed_full(
+    seed: u64,
+    traced: bool,
+    migrate: bool,
+    delta_grants: bool,
+    protocol: FuzzProtocol,
+) -> (FuzzOutcome, Vec<mirage_trace::TraceEvent>, Vec<Vec<u8>>) {
     let mut rng = Prng::new(seed ^ 0xF0_55ED);
     let n_sites = 2 + rng.below(3) as usize; // 2..=4
     let pages = 1 + rng.below(2); // 1..=2
@@ -435,6 +578,9 @@ fn run_fuzz_seed_inner(
     // Set after every PRNG draw: delta mode replays the classic seed's
     // exact scenario, changing only the grants' wire form.
     cfg.protocol.delta_grants = delta_grants;
+    // Likewise after every draw: the rival protocols replay the exact
+    // classic scenario, changing only the coherence machinery.
+    protocol.apply(&mut cfg);
 
     let mut world = World::new(n_sites, cfg);
     if traced {
@@ -518,12 +664,22 @@ fn run_fuzz_seed_inner(
 
     let mut violations = Vec::new();
     if completed {
-        for p in 0..pages {
-            let page = PageNum(p as u32);
-            let stores: Vec<(SiteId, &dyn PageStore)> =
-                world.sites.iter().map(|s| (s.id, &s.store as &dyn PageStore)).collect();
-            for v in invariants::check_page(&stores, seg, page) {
-                violations.push(format!("page {p}: {v:?}"));
+        match protocol {
+            FuzzProtocol::Mirage | FuzzProtocol::Li => {
+                for p in 0..pages {
+                    let page = PageNum(p as u32);
+                    let stores: Vec<(SiteId, &dyn PageStore)> = world
+                        .sites
+                        .iter()
+                        .map(|s| (s.id, &s.store as &dyn PageStore))
+                        .collect();
+                    for v in invariants::check_page(&stores, seg, page) {
+                        violations.push(format!("page {p}: {v:?}"));
+                    }
+                }
+            }
+            FuzzProtocol::Tardis => {
+                violations.extend(tardis_quiescence_violations(&world, seg, pages));
             }
         }
         for (k, handle) in expected_handles.iter().enumerate() {
@@ -531,7 +687,12 @@ fn run_fuzz_seed_inner(
             for (p, want) in exp.iter().enumerate() {
                 let Some(want) = want else { continue };
                 let page = PageNum(p as u32);
-                let got = resident_value(&world, seg, page, k * 4);
+                let got = match protocol {
+                    FuzzProtocol::Tardis => {
+                        tardis_authoritative_value(&world, seg, page, k * 4)
+                    }
+                    _ => resident_value(&world, seg, page, k * 4),
+                };
                 if got != Some(*want) {
                     violations.push(format!(
                         "write visibility: proc {k} page {p}: last wrote {want}, \
@@ -544,11 +705,24 @@ fn run_fuzz_seed_inner(
 
     let trace = world.take_trace();
     if traced && completed {
+        // Both offline oracles run regardless of protocol: each is
+        // vacuous over the other protocol's event kinds, and running
+        // both keeps a stray cross-protocol emission from hiding.
         let report = mirage_trace::check(&trace);
         for v in report.violations {
             violations.push(format!("trace checker: {v}"));
         }
+        let ts = mirage_trace::check_timestamps(&trace);
+        for v in ts.violations {
+            violations.push(format!("timestamp oracle: {v}"));
+        }
     }
+
+    let final_pages = if completed {
+        authoritative_page_bytes(&world, seg, pages, protocol)
+    } else {
+        Vec::new()
+    };
 
     (
         FuzzOutcome {
@@ -560,5 +734,131 @@ fn run_fuzz_seed_inner(
             accesses: world.total_accesses(),
         },
         trace,
+        final_pages,
     )
+}
+
+/// Tardis structural invariants at quiescence. Unlike Mirage, stale
+/// read copies at non-owner sites are *legal* (their leases simply
+/// ended in logical time), so byte-identity across copies is not
+/// checked; what must hold is exclusive-ownership discipline.
+fn tardis_quiescence_violations(world: &World, seg: SegmentId, pages: u64) -> Vec<String> {
+    let mut violations = Vec::new();
+    for p in 0..pages {
+        let page = PageNum(p as u32);
+        let exclusive: Vec<SiteId> = world
+            .sites
+            .iter()
+            .filter(|s| s.store.prot(seg, page) == PageProt::ReadWrite)
+            .map(|s| s.id)
+            .collect();
+        if exclusive.len() > 1 {
+            violations.push(format!(
+                "page {p}: multiple exclusive holders at quiescence: {exclusive:?}"
+            ));
+        }
+        let home = &world.sites[seg.library.index()];
+        match home.driver.engine().tardis_home_view(seg, page).and_then(|h| h.owner) {
+            Some(owner) => {
+                if let Some(&bad) = exclusive.iter().find(|&&s| s != owner) {
+                    violations.push(format!(
+                        "page {p}: home records owner {owner:?} but {bad:?} holds an \
+                         exclusive frame"
+                    ));
+                }
+            }
+            None => {
+                if !exclusive.is_empty() {
+                    violations.push(format!(
+                        "page {p}: exclusive holders {exclusive:?} but the home \
+                         records no owner"
+                    ));
+                }
+            }
+        }
+    }
+    violations
+}
+
+/// The value of `(page, offset)` in the Tardis authoritative copy: the
+/// exclusive owner's frame if ownership is out, else the home's master.
+fn tardis_authoritative_value(
+    world: &World,
+    seg: SegmentId,
+    page: PageNum,
+    offset: usize,
+) -> Option<u32> {
+    for s in &world.sites {
+        if s.store.prot(seg, page) == PageProt::ReadWrite {
+            return s
+                .store
+                .segment(seg)
+                .and_then(|ls| ls.frame(page))
+                .map(|f| f.load_u32(offset));
+        }
+    }
+    world.sites[seg.library.index()]
+        .driver
+        .engine()
+        .tardis_master(seg, page)
+        .map(|d| d.load_u32(offset))
+}
+
+/// Every page's authoritative bytes at quiescence, for the
+/// cross-protocol diff: under Mirage/Li the writer's copy (else any
+/// reader's — byte-identical when the invariants hold), under Tardis
+/// the owner's frame (else the home master).
+fn authoritative_page_bytes(
+    world: &World,
+    seg: SegmentId,
+    pages: u64,
+    protocol: FuzzProtocol,
+) -> Vec<Vec<u8>> {
+    (0..pages)
+        .map(|p| {
+            let page = PageNum(p as u32);
+            let bytes = match protocol {
+                FuzzProtocol::Tardis => world
+                    .sites
+                    .iter()
+                    .find(|s| s.store.prot(seg, page) == PageProt::ReadWrite)
+                    .and_then(|s| {
+                        s.store
+                            .segment(seg)
+                            .and_then(|ls| ls.frame(page))
+                            .map(|f| f.as_bytes().to_vec())
+                    })
+                    .or_else(|| {
+                        world.sites[seg.library.index()]
+                            .driver
+                            .engine()
+                            .tardis_master(seg, page)
+                            .map(|d| d.as_bytes().to_vec())
+                    }),
+                _ => {
+                    let mut fallback = None;
+                    let mut writer = None;
+                    for s in &world.sites {
+                        let val = || {
+                            s.store
+                                .segment(seg)
+                                .and_then(|ls| ls.frame(page))
+                                .map(|f| f.as_bytes().to_vec())
+                        };
+                        match s.store.prot(seg, page) {
+                            PageProt::ReadWrite => writer = val(),
+                            PageProt::Read => {
+                                if fallback.is_none() {
+                                    fallback = val();
+                                }
+                            }
+                            PageProt::None => {}
+                        }
+                    }
+                    writer.or(fallback)
+                }
+            };
+            bytes.unwrap_or_default()
+        })
+        .collect()
 }

@@ -47,11 +47,15 @@ pub use fuzz::{
     run_fuzz_seed_delta_traced,
     run_fuzz_seed_large,
     run_fuzz_seed_large_traced,
+    run_fuzz_seed_matrix,
     run_fuzz_seed_migrating,
     run_fuzz_seed_migrating_traced,
+    run_fuzz_seed_protocol,
+    run_fuzz_seed_protocol_traced,
     run_fuzz_seed_sized_traced,
     run_fuzz_seed_traced,
     FuzzOutcome,
+    FuzzProtocol,
 };
 pub use instrument::Instrumentation;
 pub use process::{

@@ -19,8 +19,11 @@ use mirage_sim::{
     run_fuzz_seed,
     run_fuzz_seed_delta_traced,
     run_fuzz_seed_large_traced,
+    run_fuzz_seed_matrix,
     run_fuzz_seed_migrating_traced,
+    run_fuzz_seed_protocol_traced,
     run_fuzz_seed_traced,
+    FuzzProtocol,
 };
 
 fn env_u64(name: &str, default: u64) -> u64 {
@@ -147,6 +150,82 @@ fn delta_mode_fault_storms_preserve_coherence() {
     assert!(
         deltas_shipped,
         "no delta grant shipped across {count} delta-mode seeds — the mode is inert"
+    );
+}
+
+/// One protocol's sweep over the pinned seed range, traced: both
+/// offline oracles (copy-state and timestamp-ordering) cross-check the
+/// in-world quiescence checks on every seed. A failure prints the
+/// protocol-qualified `fault_storm` replay command.
+fn protocol_sweep(protocol: FuzzProtocol) {
+    let start = env_u64("MIRAGE_FUZZ_START", 0);
+    let count = env_u64("MIRAGE_FUZZ_SEEDS", 60);
+    let mut failures = Vec::new();
+    for seed in start..start + count {
+        let (outcome, _trace) = run_fuzz_seed_protocol_traced(seed, protocol);
+        if !outcome.is_ok() {
+            eprintln!("{}", outcome.describe());
+            eprintln!(
+                "replay: cargo run --release -p mirage-bench --bin fault_storm -- \
+                 --seed {seed} --protocol {} --trace",
+                protocol.name()
+            );
+            failures.push(seed);
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} of {count} {} fuzz seeds failed: {failures:?} (see stderr for replay commands)",
+        failures.len(),
+        protocol.name()
+    );
+}
+
+/// The classic storms replayed under the Li–Hudak degenerate (Δ = 0,
+/// both §6.1 optimizations off): the selector is applied after every
+/// PRNG draw, so each seed's world, workload, and fault plan are
+/// bit-identical to the Mirage sweep.
+#[test]
+fn li_fault_storms_preserve_coherence() {
+    protocol_sweep(FuzzProtocol::Li);
+}
+
+/// The classic storms replayed under Tardis timestamp coherence: same
+/// worlds, same workloads, same fault plans; the quiescence oracle
+/// checks exclusive-ownership discipline and write visibility against
+/// the authoritative copy, and the timestamp-ordering trace oracle
+/// checks every grant the home issued.
+#[test]
+fn tardis_fault_storms_preserve_coherence() {
+    protocol_sweep(FuzzProtocol::Tardis);
+}
+
+/// Cross-protocol differential: each seed runs under all three
+/// protocols and the authoritative page bytes at quiescence must be
+/// identical — every protocol must agree on what was written, not
+/// merely stay internally coherent.
+#[test]
+fn cross_protocol_matrix_converges() {
+    let start = env_u64("MIRAGE_FUZZ_START", 0);
+    let count = env_u64("MIRAGE_FUZZ_MATRIX_SEEDS", 20);
+    let mut failures = Vec::new();
+    for seed in start..start + count {
+        for outcome in run_fuzz_seed_matrix(seed) {
+            if !outcome.is_ok() {
+                eprintln!("{}", outcome.describe());
+                eprintln!(
+                    "replay: cargo run --release -p mirage-bench --bin fault_storm -- \
+                     --seed {seed} --matrix"
+                );
+                failures.push(seed);
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} matrix runs diverged across protocols: {failures:?} \
+         (see stderr for replay commands)",
+        failures.len()
     );
 }
 

@@ -383,6 +383,200 @@ pub fn check(events: &[TraceEvent]) -> CheckReport {
     report
 }
 
+/// Per-page timestamp model for [`check_timestamps`], reconstructed
+/// from the home site's grant events.
+struct TsTrack {
+    /// Write timestamp of the current version (pages are created at
+    /// version 1).
+    wts: u32,
+    /// Read lease horizon granted so far.
+    rts: u32,
+    /// The exclusive owner the home has committed to, if one is out.
+    /// Pages start owned by the creating (home) site.
+    owner: Option<u16>,
+    touched: bool,
+}
+
+/// Offline timestamp-ordering oracle for Tardis traces: the second
+/// oracle beside the in-world quiescence checks.
+///
+/// Replays the `Ts*` events of a trace in happens-before order and
+/// asserts the logical-lease invariants from the trace alone:
+///
+/// * **write serialization** — `wts` advances strictly, and every new
+///   version is placed *after* every lease the home ever granted
+///   (`wts' > rts`), so no read copy can legally observe two different
+///   contents for one version;
+/// * **single ownership** — a write grant requires the previous
+///   ownership to have been resolved by a write-back, and write-backs
+///   name the committed owner and surrender the version that was
+///   granted;
+/// * **lease discipline** — read/renew grants serve only the current
+///   version, the lease horizon never regresses, and a lease never ends
+///   before the version it covers;
+/// * **install/grant matching** — no site installs a version the home
+///   never produced, read copies sit inside their lease window, and a
+///   lease is only ever expired once the program timestamp has actually
+///   passed it.
+///
+/// Mirage traces contain no `Ts*` events and pass vacuously, so callers
+/// can run both oracles over any trace regardless of protocol.
+pub fn check_timestamps(events: &[TraceEvent]) -> CheckReport {
+    let mut order: Vec<&TraceEvent> = events.iter().collect();
+    order.sort_by_key(|ev| ev.at);
+
+    let mut pages: BTreeMap<(SegmentId, PageNum), TsTrack> = BTreeMap::new();
+    let mut report = CheckReport { events: events.len(), ..CheckReport::default() };
+
+    for ev in order {
+        let Some(subject) = ev.subject else { continue };
+        let track = pages.entry(subject).or_insert_with(|| TsTrack {
+            wts: 1,
+            rts: 1,
+            owner: Some(subject.0.library.0),
+            touched: false,
+        });
+        let ctx = |msg: &str| format!("{msg}: {ev}");
+        let hi = (ev.detail >> 32) as u32;
+        let lo = ev.detail as u32;
+
+        match ev.kind {
+            TraceKind::TsReadGranted | TraceKind::TsRenewGranted => {
+                track.touched = true;
+                if let Some(owner) = track.owner {
+                    report.violations.push(ctx(&format!(
+                        "read granted while site{owner} holds exclusive ownership"
+                    )));
+                }
+                if hi != track.wts {
+                    report.violations.push(ctx(&format!(
+                        "read grant serves version {hi} but the current version is {}",
+                        track.wts
+                    )));
+                }
+                if lo < track.rts {
+                    report.violations.push(ctx(&format!(
+                        "lease horizon regressed from {} to {lo}",
+                        track.rts
+                    )));
+                }
+                if lo < hi {
+                    report
+                        .violations
+                        .push(ctx(&format!("lease ends at {lo} before its version {hi}")));
+                }
+                track.rts = track.rts.max(lo);
+            }
+            TraceKind::TsWriteGranted => {
+                track.touched = true;
+                if let Some(owner) = track.owner {
+                    report.violations.push(ctx(&format!(
+                        "write granted while site{owner}'s ownership is unresolved"
+                    )));
+                }
+                if hi <= track.wts {
+                    report.violations.push(ctx(&format!(
+                        "write timestamp did not advance: {hi} after {}",
+                        track.wts
+                    )));
+                }
+                if hi <= track.rts {
+                    report.violations.push(ctx(&format!(
+                        "write at {hi} serialized inside a granted lease window \
+                         (rts {})",
+                        track.rts
+                    )));
+                }
+                track.wts = hi;
+                track.rts = track.rts.max(hi);
+                track.owner = Some(ev.peer.map_or(ev.site.0, |p| p.0));
+            }
+            TraceKind::TsWriteBackApplied => {
+                track.touched = true;
+                match track.owner {
+                    None => {
+                        report
+                            .violations
+                            .push(ctx("write-back applied with no ownership outstanding"));
+                    }
+                    Some(owner) => {
+                        if ev.peer.is_some_and(|p| p.0 != owner) {
+                            report.violations.push(ctx(&format!(
+                                "write-back from a site other than the owner site{owner}"
+                            )));
+                        }
+                    }
+                }
+                // `detail` is the surrendered version; 0 marks an owner
+                // renouncing a grant it never materialized.
+                let surrendered = ev.detail as u32;
+                if surrendered != 0 && surrendered != track.wts {
+                    report.violations.push(ctx(&format!(
+                        "write-back surrenders version {surrendered} but the \
+                         granted version is {}",
+                        track.wts
+                    )));
+                }
+                track.owner = None;
+            }
+            TraceKind::TsRecallSent => {
+                track.touched = true;
+                match track.owner {
+                    None => {
+                        report.violations.push(ctx("recall sent with no owner out"));
+                    }
+                    Some(owner) => {
+                        if ev.peer.is_some_and(|p| p.0 != owner) {
+                            report.violations.push(ctx(&format!(
+                                "recall targets a site other than the owner site{owner}"
+                            )));
+                        }
+                    }
+                }
+            }
+            TraceKind::TsInstalled | TraceKind::TsRenewed | TraceKind::TsUpgraded => {
+                track.touched = true;
+                if hi > track.wts {
+                    report.violations.push(ctx(&format!(
+                        "site installed version {hi} but the home never granted past {}",
+                        track.wts
+                    )));
+                }
+                if lo < hi {
+                    report.violations.push(ctx(&format!(
+                        "copy of version {hi} installed outside its lease (rts {lo})"
+                    )));
+                }
+            }
+            TraceKind::TsLeaseExpired => {
+                track.touched = true;
+                // detail packs (pts, rts): expiry is only legal once the
+                // program timestamp has actually passed the lease.
+                if hi <= lo {
+                    report.violations.push(ctx(&format!(
+                        "lease expired at pts {hi} while still live (rts {lo})"
+                    )));
+                }
+            }
+            TraceKind::TsWriteBackSent => {
+                track.touched = true;
+                let surrendered = ev.detail as u32;
+                if surrendered > track.wts {
+                    report.violations.push(ctx(&format!(
+                        "owner surrenders version {surrendered} the home never \
+                         granted (wts {})",
+                        track.wts
+                    )));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    report.pages = pages.values().filter(|t| t.touched).count();
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use mirage_types::SiteId;
@@ -631,5 +825,161 @@ mod tests {
         again.push(ev(30, 1, TraceKind::Downgraded));
         let report = check(&again);
         assert!(report.violations.iter().any(|v| v.contains("downgrade of a non-writer")));
+    }
+
+    // --- timestamp oracle ---
+
+    fn pk(wts: u32, rts: u32) -> u64 {
+        (u64::from(wts) << 32) | u64::from(rts)
+    }
+
+    fn tev(at: u64, site: u16, kind: TraceKind, peer: u16, detail: u64) -> TraceEvent {
+        let mut e = ev(at, site, kind);
+        e.peer = Some(SiteId(peer));
+        e.detail = detail;
+        e
+    }
+
+    /// A full healthy Tardis page lifetime: self-recall at the home,
+    /// read grant, write serialization, recall + dirty write-back,
+    /// lease expiry, and a data-free renewal.
+    fn healthy_ts_trace() -> Vec<TraceEvent> {
+        vec![
+            // Home (site0) surrenders its creation-time ownership.
+            tev(1, 0, TraceKind::TsWriteBackApplied, 0, 1),
+            tev(2, 0, TraceKind::TsReadGranted, 1, pk(1, 9)),
+            tev(3, 1, TraceKind::TsInstalled, 0, pk(1, 9)),
+            // site1 writes: new version placed past the lease horizon.
+            tev(4, 0, TraceKind::TsWriteGranted, 1, pk(10, 10)),
+            tev(5, 1, TraceKind::TsInstalled, 0, pk(10, 10)),
+            // site2 reads: owner recalled, dirty data flows home.
+            tev(6, 0, TraceKind::TsRecallSent, 1, 0),
+            tev(7, 1, TraceKind::TsWriteBackSent, 0, 10),
+            tev(8, 0, TraceKind::TsWriteBackApplied, 1, 10),
+            tev(9, 0, TraceKind::TsReadGranted, 2, pk(10, 18)),
+            tev(10, 2, TraceKind::TsInstalled, 0, pk(10, 18)),
+            // site2's pts outruns the lease; the re-read renews with no
+            // page copy on the wire.
+            tev(11, 2, TraceKind::TsLeaseExpired, 0, pk(19, 18)),
+            tev(12, 0, TraceKind::TsRenewGranted, 2, pk(10, 27)),
+            tev(13, 2, TraceKind::TsRenewed, 0, pk(10, 27)),
+        ]
+    }
+
+    #[test]
+    fn healthy_timestamp_trace_passes() {
+        let report = check_timestamps(&healthy_ts_trace());
+        assert!(report.is_ok(), "{:?}", report.violations);
+        assert_eq!(report.pages, 1);
+    }
+
+    #[test]
+    fn mirage_traces_pass_vacuously() {
+        // A Mirage trace has no Ts* events: the timestamp oracle can be
+        // run over any trace regardless of protocol.
+        let events = vec![
+            ev(5, 0, TraceKind::CopyRelinquished),
+            with_access(ev(10, 1, TraceKind::Installed), Access::Write),
+        ];
+        let report = check_timestamps(&events);
+        assert!(report.is_ok());
+        assert_eq!(report.pages, 0);
+    }
+
+    #[test]
+    fn write_grant_with_ownership_outstanding_is_caught() {
+        // Pages start owned by their creating site; a write grant
+        // before that ownership is resolved is a protocol bug.
+        let events = vec![tev(2, 0, TraceKind::TsWriteGranted, 1, pk(5, 5))];
+        let report = check_timestamps(&events);
+        assert!(report.violations.iter().any(|v| v.contains("ownership is unresolved")));
+    }
+
+    #[test]
+    fn non_advancing_write_timestamp_is_caught() {
+        let events = vec![
+            tev(1, 0, TraceKind::TsWriteBackApplied, 0, 1),
+            // wts stays at 1: two versions would share a timestamp.
+            tev(2, 0, TraceKind::TsWriteGranted, 1, pk(1, 1)),
+        ];
+        let report = check_timestamps(&events);
+        assert!(report.violations.iter().any(|v| v.contains("did not advance")));
+    }
+
+    #[test]
+    fn write_inside_granted_lease_window_is_caught() {
+        let events = vec![
+            tev(1, 0, TraceKind::TsWriteBackApplied, 0, 1),
+            tev(2, 0, TraceKind::TsReadGranted, 1, pk(1, 9)),
+            // New version at 5 lands inside the lease granted to 9: a
+            // reader could legally observe both old and new content for
+            // overlapping logical times.
+            tev(3, 0, TraceKind::TsWriteGranted, 2, pk(5, 5)),
+        ];
+        let report = check_timestamps(&events);
+        assert!(report.violations.iter().any(|v| v.contains("inside a granted lease window")));
+    }
+
+    #[test]
+    fn stale_read_grant_is_caught() {
+        let mut events = healthy_ts_trace();
+        // Home re-serves version 1 after version 10 was committed.
+        events.push(tev(14, 0, TraceKind::TsReadGranted, 1, pk(1, 30)));
+        let report = check_timestamps(&events);
+        assert!(report.violations.iter().any(|v| v.contains("current version is 10")));
+    }
+
+    #[test]
+    fn regressing_lease_horizon_is_caught() {
+        let mut events = healthy_ts_trace();
+        events.push(tev(14, 0, TraceKind::TsReadGranted, 1, pk(10, 20)));
+        let report = check_timestamps(&events);
+        assert!(report.violations.iter().any(|v| v.contains("lease horizon regressed")));
+    }
+
+    #[test]
+    fn expiry_of_live_lease_is_caught() {
+        let events = vec![tev(1, 1, TraceKind::TsLeaseExpired, 0, pk(5, 8))];
+        let report = check_timestamps(&events);
+        assert!(report.violations.iter().any(|v| v.contains("still live")));
+    }
+
+    #[test]
+    fn write_back_version_mismatch_is_caught() {
+        let mut events = healthy_ts_trace();
+        // site0 still owns nothing at this point: grant a write, then
+        // have the owner surrender the wrong version.
+        events.push(tev(14, 0, TraceKind::TsWriteGranted, 1, pk(28, 28)));
+        events.push(tev(15, 0, TraceKind::TsWriteBackApplied, 1, 7));
+        let report = check_timestamps(&events);
+        assert!(report.violations.iter().any(|v| v.contains("granted version is 28")));
+    }
+
+    #[test]
+    fn renounced_write_back_is_legal() {
+        let mut events = healthy_ts_trace();
+        events.push(tev(14, 0, TraceKind::TsWriteGranted, 1, pk(28, 28)));
+        // detail 0 marks an owner renouncing a grant it never
+        // materialized (crash-recovery rollback).
+        events.push(tev(15, 0, TraceKind::TsWriteBackApplied, 1, 0));
+        let report = check_timestamps(&events);
+        assert!(report.is_ok(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn install_of_ungranted_version_is_caught() {
+        let events = vec![tev(2, 1, TraceKind::TsInstalled, 0, pk(3, 9))];
+        let report = check_timestamps(&events);
+        assert!(report.violations.iter().any(|v| v.contains("home never granted past 1")));
+    }
+
+    #[test]
+    fn recall_with_no_owner_out_is_caught() {
+        let events = vec![
+            tev(1, 0, TraceKind::TsWriteBackApplied, 0, 1),
+            tev(2, 0, TraceKind::TsRecallSent, 1, 0),
+        ];
+        let report = check_timestamps(&events);
+        assert!(report.violations.iter().any(|v| v.contains("no owner out")));
     }
 }

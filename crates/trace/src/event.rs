@@ -202,6 +202,44 @@ pub enum TraceKind {
     /// The done timer fired and `InvalidateDone` was retransmitted.
     DoneRetry,
 
+    // -- timestamp coherence (Tardis home site) --------------------------
+    /// The home served a read lease with the page
+    /// (`detail` = `(wts << 32) | rts` of the grant, `peer` = the
+    /// requester).
+    TsReadGranted,
+    /// The home extended a lease for a version the requester already
+    /// caches — no data on the wire (`detail` = `(wts << 32) | rts`).
+    TsRenewGranted,
+    /// The home granted exclusive ownership at a bumped write
+    /// timestamp (`detail` = `(wts << 32) | rts` after the bump,
+    /// `access` = Write; `epoch` = 1 when the grant carried the page,
+    /// 0 for an in-place upgrade).
+    TsWriteGranted,
+    /// The home asked the current exclusive owner to surrender its
+    /// copy (`peer` = the owner).
+    TsRecallSent,
+    /// The home adopted a write-back into the master copy
+    /// (`detail` = the written version's `wts`, `peer` = the owner).
+    TsWriteBackApplied,
+
+    // -- timestamp coherence (Tardis requesting site) --------------------
+    /// A read lease with data was installed
+    /// (`detail` = `(wts << 32) | rts`).
+    TsInstalled,
+    /// A lease extension refreshed the cached copy in place
+    /// (`detail` = `(wts << 32) | rts`).
+    TsRenewed,
+    /// This site became the exclusive owner (`detail` = the new `wts`).
+    TsUpgraded,
+    /// The site's program timestamp advanced past a cached lease; the
+    /// copy is now stale-until-renewed (`detail` = `(pts << 32) | rts`
+    /// of the expired lease).
+    TsLeaseExpired,
+    /// The owner surrendered its copy to the home
+    /// (`detail` = the surrendered version's `wts`; `epoch` = 1 when
+    /// the write-back carried dirty data, 0 for a clean confirmation).
+    TsWriteBackSent,
+
     // -- wire / fault layer (emitted by the transport) -------------------
     /// A message was put on the wire (`detail` = wire latency in ns).
     MsgSent,
@@ -269,6 +307,16 @@ impl TraceKind {
             TraceKind::CopyRelinquished => "copy_relinquished",
             TraceKind::DoneSent => "done_sent",
             TraceKind::DoneRetry => "done_retry",
+            TraceKind::TsReadGranted => "ts_read_granted",
+            TraceKind::TsRenewGranted => "ts_renew_granted",
+            TraceKind::TsWriteGranted => "ts_write_granted",
+            TraceKind::TsRecallSent => "ts_recall_sent",
+            TraceKind::TsWriteBackApplied => "ts_writeback_applied",
+            TraceKind::TsInstalled => "ts_installed",
+            TraceKind::TsRenewed => "ts_renewed",
+            TraceKind::TsUpgraded => "ts_upgraded",
+            TraceKind::TsLeaseExpired => "ts_lease_expired",
+            TraceKind::TsWriteBackSent => "ts_writeback_sent",
             TraceKind::MsgSent => "msg_sent",
             TraceKind::MsgDropped => "msg_dropped",
             TraceKind::MsgDelayed => "msg_delayed",

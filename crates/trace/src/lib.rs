@@ -39,6 +39,7 @@ pub use analysis::{
 };
 pub use check::{
     check,
+    check_timestamps,
     CheckReport,
 };
 pub use event::{

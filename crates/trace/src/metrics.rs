@@ -268,7 +268,7 @@ pub fn from_trace(events: &[TraceEvent]) -> Registry {
                     // from the encoded payload the granter stamps on
                     // `DeltaGrantSent` (below), since `MsgSent` does
                     // not see the encoded form.
-                    if matches!(msg.name(), "PageGrant" | "LibraryHandoff") {
+                    if matches!(msg.name(), "PageGrant" | "LibraryHandoff" | "TsReadData") {
                         reg.add(&format!("wire.bytes.{}", msg.name()), 1024);
                     }
                 }
@@ -356,6 +356,53 @@ pub fn from_trace(events: &[TraceEvent]) -> Registry {
             TraceKind::MsgStaleDropped => reg.add("fault.stale_dropped", 1),
             TraceKind::SiteCrash => reg.add("fault.crashes", 1),
             TraceKind::SiteRestart => reg.add("fault.restarts", 1),
+            // Timestamp-coherence (Tardis) protocol events. The
+            // renewal-vs-invalidation story is `ts.renew_grants`
+            // against Mirage's `copy.reader_invalidated`: Tardis
+            // readers age out of their leases and renew with a
+            // header-only exchange instead of being chased.
+            TraceKind::TsReadGranted => reg.add("ts.read_grants", 1),
+            TraceKind::TsRenewGranted => reg.add("ts.renew_grants", 1),
+            TraceKind::TsWriteGranted => {
+                reg.add("ts.write_grants", 1);
+                // `epoch` flags whether the grant carried page data; an
+                // in-place grant is the Tardis analogue of §6.1's
+                // upgrade-without-copy. Self-grants never hit the wire.
+                if ev.epoch == 0 {
+                    reg.add("ts.write_grants_in_place", 1);
+                } else if ev.peer != Some(ev.site) {
+                    reg.add("wire.bytes.TsWriteGrant", 1024);
+                }
+            }
+            TraceKind::TsRecallSent => reg.add("ts.recalls", 1),
+            TraceKind::TsWriteBackSent => {
+                reg.add("ts.writebacks", 1);
+                // `epoch` flags a dirty write-back carrying page bytes.
+                if ev.epoch == 1 && ev.peer != Some(ev.site) {
+                    reg.add("wire.bytes.TsWriteBack", 1024);
+                }
+            }
+            TraceKind::TsWriteBackApplied => reg.add("ts.writebacks_applied", 1),
+            TraceKind::TsLeaseExpired => reg.add("ts.lease_expiries", 1),
+            TraceKind::TsInstalled | TraceKind::TsUpgraded | TraceKind::TsRenewed => {
+                reg.add(
+                    match ev.kind {
+                        TraceKind::TsUpgraded => "ts.upgrades",
+                        TraceKind::TsRenewed => "ts.renewals",
+                        _ => "ts.installs",
+                    },
+                    1,
+                );
+                if let Some(k) = key(ev) {
+                    if let Some(t0) = fetches.remove(&k) {
+                        reg.observe(
+                            "demand.fetch_latency_us",
+                            LATENCY_US_BOUNDS,
+                            ev.at.0.saturating_sub(t0) / 1_000,
+                        );
+                    }
+                }
+            }
             _ => {}
         }
     }

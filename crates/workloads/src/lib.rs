@@ -16,7 +16,9 @@
 //! * [`background`] — a pure-compute process used to measure overall
 //!   system throughput while another application thrashes (E10);
 //! * [`falseshare`] — two writers on disjoint halves of one page, the
-//!   sub-page delta-grant experiment's subject (S1).
+//!   sub-page delta-grant experiment's subject (S1);
+//! * [`renewal`] — the write-private/read-shared mix that pits Tardis
+//!   lease renewals against invalidation fan-out (T1).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -26,6 +28,7 @@ pub mod decrement;
 pub mod falseshare;
 pub mod pingpong;
 pub mod readers;
+pub mod renewal;
 pub mod ring;
 pub mod spinlock;
 
@@ -40,6 +43,7 @@ pub use readers::{
     PeriodicWriter,
     Rereader,
 };
+pub use renewal::WriteReadMix;
 pub use ring::RingMember;
 pub use spinlock::{
     LockHolder,

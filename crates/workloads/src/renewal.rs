@@ -1,0 +1,88 @@
+//! The lease-renewal mix: each site alternates a write to a contended
+//! write page with a read of one shared page (T1).
+//!
+//! This is the access shape that separates timestamp coherence from
+//! invalidation coherence. The write page is shared with at least one
+//! other writer, so ownership keeps transferring and every transfer is
+//! a write *fault*; under Tardis each such fault serializes past the
+//! page's read leases and drags the writer's program timestamp
+//! forward, so its lease on the separate shared page keeps expiring
+//! and must be renewed — usually a header-only exchange, since the
+//! shared page's version only moves when its own writer bumps it.
+//! Under Mirage or Li–Hudak the same reads stay free until the shared
+//! page's writer invalidates the copy, at which point the whole reader
+//! set pays the fan-out. Pairing this program with a
+//! [`crate::PeriodicWriter`] on the shared page puts the renewal
+//! column and the invalidation column of the T1 table in direct
+//! competition.
+//!
+//! An *uncontended* write page defeats the experiment: its owner
+//! writes locally forever, no protocol events occur, the owner's
+//! program timestamp never advances, and its shared-page lease never
+//! expires.
+
+use mirage_sim::{
+    MemRef,
+    Op,
+    Program,
+};
+use mirage_types::{
+    PageNum,
+    SegmentId,
+    SimDuration,
+};
+
+/// One site's strand of the renewal mix: write the contended page,
+/// read the shared one, think, repeat (forever — the harness bounds
+/// the run by sim time).
+pub struct WriteReadMix {
+    write: MemRef,
+    shared: MemRef,
+    think: SimDuration,
+    phase: u8,
+    iterations: u64,
+}
+
+impl WriteReadMix {
+    /// Builds the program: writes hit offset 0 of `write_page` (which
+    /// should be contended by another site's mix — see the module
+    /// docs), reads poll offset 0 of `shared_page`, with `think` of
+    /// private compute per iteration.
+    pub fn new(
+        seg: SegmentId,
+        write_page: PageNum,
+        shared_page: PageNum,
+        think: SimDuration,
+    ) -> Self {
+        Self {
+            write: MemRef::new(seg, write_page, 0),
+            shared: MemRef::new(seg, shared_page, 0),
+            think,
+            phase: 0,
+            iterations: 0,
+        }
+    }
+}
+
+impl Program for WriteReadMix {
+    fn step(&mut self, _last_read: Option<u32>) -> Op {
+        let phase = self.phase;
+        self.phase = (self.phase + 1) % 3;
+        match phase {
+            0 => Op::Write(self.write, self.iterations as u32),
+            1 => Op::Read(self.shared),
+            _ => {
+                self.iterations += 1;
+                Op::Compute(self.think)
+            }
+        }
+    }
+
+    fn metric(&self) -> u64 {
+        self.iterations
+    }
+
+    fn label(&self) -> &str {
+        "write-read-mix"
+    }
+}
