@@ -38,6 +38,15 @@
 //! `--matrix` runs each seed under all three and additionally asserts
 //! that the authoritative page bytes at quiescence agree.
 //!
+//! `--openloop` switches to the open-loop family: seeded arrival
+//! schedules (Poisson, deterministic, MMPP per station) inject page
+//! demands at fixed sim-times regardless of service progress, so fault
+//! storms land on real queue backlogs. Mirage-only: with Δ pinned ≥ 1
+//! the granted access always completes before the page leaves, while
+//! Li–Hudak (Δ=0 by definition) and Tardis livelock under sustained
+//! open-loop overload — the §7.2 starvation rotation Mirage's window
+//! exists to break (see DESIGN.md, "Open-loop traffic").
+//!
 //! `--large` switches to the planet-scale generator: 65–160 sites
 //! (chunked site sets, paged circuit table), a sharded library
 //! (`shard_pages` 1–3), and a shard-aware handoff schedule — the same
@@ -81,6 +90,10 @@ use mirage_trace::{
     event_to_json,
     from_trace,
 };
+use mirage_workloads::{
+    run_fuzz_seed_openloop,
+    run_fuzz_seed_openloop_traced,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -93,6 +106,7 @@ fn main() {
     let mut migrate = false;
     let mut delta = false;
     let mut large = false;
+    let mut openloop = false;
     let mut protocol = FuzzProtocol::Mirage;
     let mut matrix = false;
     let mut sites: Option<usize> = None;
@@ -119,6 +133,7 @@ fn main() {
             "--migrate" => migrate = true,
             "--delta" => delta = true,
             "--large" => large = true,
+            "--openloop" => openloop = true,
             "--protocol" => {
                 i += 1;
                 let name = args.get(i).expect("--protocol takes mirage|li|tardis");
@@ -146,7 +161,7 @@ fn main() {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: fault_storm [--seeds N] [--start S] [--check-trace] \
-                     [--migrate | --delta | --large [--sites N] | \
+                     [--migrate | --delta | --openloop | --large [--sites N] | \
                      --protocol {{mirage,li,tardis}} | --matrix] [--seed S [--trace] \
                      [--metrics] [--check-trace] [--export-chrome PATH] \
                      [--export-jsonl PATH]]"
@@ -200,6 +215,12 @@ fn main() {
             // `--sites` is putting a specific-scale world through the
             // oracles, and tracing never changes the execution.
             run_fuzz_seed_sized_traced(seed, n)
+        } else if openloop {
+            if want_trace {
+                run_fuzz_seed_openloop_traced(seed)
+            } else {
+                (run_fuzz_seed_openloop(seed), Vec::new())
+            }
         } else if large {
             if want_trace {
                 run_fuzz_seed_large_traced(seed)
@@ -276,7 +297,13 @@ fn main() {
     let mut crashes = 0u64;
     let mut dropped = 0u64;
     for seed in start..start + seeds {
-        let outcome = if large {
+        let outcome = if openloop {
+            if check_trace {
+                run_fuzz_seed_openloop_traced(seed).0
+            } else {
+                run_fuzz_seed_openloop(seed)
+            }
+        } else if large {
             if check_trace {
                 run_fuzz_seed_large_traced(seed).0
             } else {
@@ -310,7 +337,9 @@ fn main() {
         if !outcome.is_ok() {
             failed += 1;
             eprintln!("{}", outcome.describe());
-            let flag = if large {
+            let flag = if openloop {
+                " --openloop".to_string()
+            } else if large {
                 " --large".to_string()
             } else if migrate {
                 " --migrate".to_string()

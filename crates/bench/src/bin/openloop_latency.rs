@@ -1,0 +1,127 @@
+//! L1: open-loop latency distributions and saturation knees — Mirage,
+//! Li–Hudak, and Tardis under identical seeded arrival schedules.
+//!
+//! ```text
+//! openloop_latency              # full ladder (2 s arrivals per point)
+//! openloop_latency --quick     # 1 s arrivals, 4-rung ladder
+//! openloop_latency --jobs 4    # parallel points, byte-identical output
+//! openloop_latency --cdf 80    # also dump the sojourn CDF at one rate
+//! ```
+//!
+//! Offered load is per station (three stations fault against a fourth
+//! site's library), so the schedule keeps arriving whether or not the
+//! protocol keeps up. Quantiles are exact, over granted requests only;
+//! the `granted` column against `offered` is the starvation signal —
+//! Li–Hudak (Δ=0 by definition) visibly stops granting under overload,
+//! the open-loop face of the §7.2 thrashing that Mirage's Δ window
+//! exists to prevent. The knee is the lowest rate where p99 exceeds
+//! 8× the unloaded p99 or completions fall below 99% of offered.
+
+use mirage_bench::{
+    harness::parse_jobs_flag,
+    openloop_cdf,
+    openloop_knees,
+    openloop_ladder,
+    openloop_storm,
+    print_table,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let cdf_at = args.iter().position(|a| a == "--cdf");
+    let cdf_rate: Option<u64> =
+        cdf_at.map(|i| args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(80));
+    // Strip --quick and --cdf (with its optional rate) before the jobs
+    // parser; --jobs and its value pass through intact.
+    let rest: Vec<String> = args
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| {
+            a.as_str() != "--quick"
+                && cdf_at != Some(*i)
+                && !(cdf_at == Some(i.wrapping_sub(1)) && a.parse::<u64>().is_ok())
+        })
+        .map(|(_, a)| a.clone())
+        .collect();
+    parse_jobs_flag(rest.into_iter());
+
+    println!("L1 — open-loop latency ladder (Poisson arrivals, per-station req/s)\n");
+    let ladder: Vec<Vec<String>> = openloop_ladder(quick)
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.protocol.to_string(),
+                r.config.to_string(),
+                r.rate.to_string(),
+                r.offered.to_string(),
+                r.granted.to_string(),
+                r.p50_us.to_string(),
+                r.p99_us.to_string(),
+                r.mean_us.to_string(),
+                r.max_depth.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "protocol",
+            "config",
+            "req/s",
+            "offered",
+            "granted",
+            "p50 µs",
+            "p99 µs",
+            "mean µs",
+            "max depth",
+        ],
+        &ladder,
+    );
+
+    println!("\nL1 — saturation knees (bisection; p99 > 8× unloaded or granted < 99%)\n");
+    let knees: Vec<Vec<String>> = openloop_knees(quick)
+        .into_iter()
+        .map(|k| {
+            vec![
+                k.protocol.to_string(),
+                k.config.to_string(),
+                k.unloaded_p99_us.to_string(),
+                k.knee_rate.to_string(),
+                k.p99_at_knee_us.to_string(),
+                format!("{}%", k.granted_pct),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "protocol",
+            "config",
+            "unloaded p99 µs",
+            "knee req/s",
+            "p99 at knee µs",
+            "granted at knee",
+        ],
+        &knees,
+    );
+
+    println!("\nL1 — fault-storm overlay (drops, dups, delays, one crash; 20 req/s)\n");
+    let storm: Vec<Vec<String>> = openloop_storm(quick)
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.protocol.to_string(),
+                r.config.to_string(),
+                r.offered.to_string(),
+                r.granted.to_string(),
+                r.p50_us.to_string(),
+                r.p99_us.to_string(),
+            ]
+        })
+        .collect();
+    print_table(&["protocol", "config", "offered", "granted", "p50 µs", "p99 µs"], &storm);
+
+    if let Some(rate) = cdf_rate {
+        println!("\nL1 — mirage/base sojourn CDF at {rate} req/s per station\n");
+        print!("{}", openloop_cdf(quick, rate));
+    }
+}

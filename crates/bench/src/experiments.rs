@@ -1006,3 +1006,351 @@ pub fn dynamic_delta_with(task: u32, seconds: u64) -> Vec<DynamicRow> {
         DynamicRow { name: name.to_string(), fig8_throughput, pingpong_rate }
     })
 }
+
+// ---------------------------------------------------------------------------
+// L1: open-loop latency distributions and saturation knees.
+
+/// One measured rung of the L1 open-loop ladder: three stations (sites
+/// 1–3 of a 4-site world) inject Poisson demands at `rate` req/s each
+/// against a 4-page segment, and every granted request's sojourn
+/// (arrival → grant) feeds an exact-quantile [`LatencySet`](mirage_trace::LatencySet).
+#[derive(Clone, Debug)]
+pub struct OpenLoopRow {
+    /// Protocol name (`mirage` / `li` / `tardis`).
+    pub protocol: &'static str,
+    /// Config variant (`base` / `delta_grants` / `shard`).
+    pub config: &'static str,
+    /// Whether a fault storm ran under the schedule.
+    pub storm: bool,
+    /// Offered load per station, requests per simulated second.
+    pub rate: u64,
+    /// Demands scheduled across all stations.
+    pub offered: u64,
+    /// Demands granted before the drain deadline.
+    pub granted: u64,
+    /// Median sojourn (arrival → grant) over granted requests, µs.
+    pub p50_us: u64,
+    /// 99th-percentile sojourn, µs.
+    pub p99_us: u64,
+    /// Mean sojourn, µs.
+    pub mean_us: u64,
+    /// Deepest station queue observed at any submit.
+    pub max_depth: u32,
+}
+
+/// The saturation knee of one protocol × config combination, found by
+/// integer bisection on the offered-load axis.
+#[derive(Clone, Debug)]
+pub struct KneeRow {
+    /// Protocol name.
+    pub protocol: &'static str,
+    /// Config variant.
+    pub config: &'static str,
+    /// p99 sojourn at the unloaded anchor rate, µs.
+    pub unloaded_p99_us: u64,
+    /// Smallest probed per-station rate that saturates (req/s), or the
+    /// ladder ceiling if nothing saturated.
+    pub knee_rate: u64,
+    /// p99 sojourn at the knee, µs.
+    pub p99_at_knee_us: u64,
+    /// Percent of offered demands granted at the knee.
+    pub granted_pct: u64,
+}
+
+/// The protocol × config combinations L1 sweeps. Protocols reuse the
+/// T1 configurations (Mirage at the paper's Δ=6 knee, the Li–Hudak
+/// degenerate, Tardis with the short lease); the two Mirage variants
+/// add sub-page delta grants and a 2-page library shard split.
+fn l1_combos() -> Vec<(&'static str, &'static str, ProtocolConfig)> {
+    let mut combos: Vec<(&'static str, &'static str, ProtocolConfig)> =
+        t1_protocols().into_iter().map(|(name, cfg)| (name, "base", cfg)).collect();
+    combos.push((
+        "mirage",
+        "delta_grants",
+        ProtocolConfig { delta_grants: true, ..ProtocolConfig::paper(Delta(6)) },
+    ));
+    combos.push((
+        "mirage",
+        "shard",
+        ProtocolConfig { shard_pages: 2, ..ProtocolConfig::paper(Delta(6)) },
+    ));
+    combos
+}
+
+/// Sim-time an L1 world accepts arrivals for, and the post-schedule
+/// drain allowance before latencies are read (ungranted records stay
+/// ungranted and count against completion — rival protocols can starve
+/// outright past saturation, so the drain must not wait for them).
+fn l1_horizons(quick: bool) -> (SimDuration, SimDuration) {
+    if quick {
+        (SimDuration::from_millis(1_000), SimDuration::from_millis(3_000))
+    } else {
+        (SimDuration::from_millis(2_000), SimDuration::from_millis(6_000))
+    }
+}
+
+/// A moderate L1 storm plan: drops, delays, and one mid-schedule crash
+/// of station-site 2. Deterministic per seed; `horizon` should cover
+/// the arrival window so the drain happens on a clean network.
+fn l1_storm_plan(seed: u64, horizon: SimTime) -> mirage_net::FaultPlan {
+    let mut plan = mirage_net::FaultPlan::none();
+    plan.seed = seed;
+    plan.horizon = horizon;
+    plan.gap_wait = SimDuration::from_millis(25);
+    plan.default_link = mirage_net::LinkFaults {
+        drop_pm: 150,
+        dup_pm: 100,
+        delay_pm: 500,
+        max_delay: SimDuration::from_millis(8),
+    };
+    plan.crashes.push(mirage_net::CrashEvent {
+        site: SiteId(2),
+        at: SimTime::ZERO + SimDuration::from_millis(300),
+        back_at: SimTime::ZERO + SimDuration::from_millis(500),
+    });
+    plan
+}
+
+/// Runs one L1 world and reduces its records to an [`OpenLoopRow`].
+///
+/// The arrival schedules depend only on `rate` and the shared seed —
+/// never on the protocol — so every combo at a given rung replays the
+/// bit-identical demand sequence and rows are directly comparable.
+fn openloop_run(
+    protocol: &'static str,
+    config: &'static str,
+    mut proto_cfg: ProtocolConfig,
+    rate: u64,
+    quick: bool,
+    storm: bool,
+) -> OpenLoopRow {
+    use mirage_trace::{
+        LatencyPhase,
+        LatencySet,
+    };
+    use mirage_workloads::{
+        build_demands,
+        latency_records,
+        sample_arrivals,
+        ArrivalProcess,
+    };
+
+    let (arrive, drain) = l1_horizons(quick);
+    if storm {
+        proto_cfg.retry = Some(RetryPolicy::default());
+    }
+    let cfg = SimConfig { protocol: proto_cfg, ..Default::default() };
+    let mut w = World::new(4, cfg);
+    let seg = w.create_segment(0, 4);
+    if storm {
+        w.install_fault_plan(l1_storm_plan(0x0057_084D ^ rate, SimTime::ZERO + arrive));
+    }
+    let mut stations = Vec::new();
+    for site in 1..4usize {
+        // One PRNG stream per (station, rate): schedules are identical
+        // across protocols and configs at the same rung.
+        let mut rng = mirage_types::Prng::new(0x0001_1AD7_0000 ^ (rate << 8) ^ site as u64);
+        let arrivals = sample_arrivals(
+            ArrivalProcess::Poisson { rate_per_sec: rate as f64 },
+            &mut rng,
+            arrive,
+        );
+        let profile = mirage_workloads::DemandProfile {
+            seg,
+            pages: 4,
+            write_offset: site * 4,
+            read_words: 4,
+            write_pct: 20,
+            value_base: (site as u32) * 1_000_000,
+        };
+        let (demands, _) = build_demands(&arrivals, &profile, &mut rng);
+        stations.push(w.install_open_loop(mirage_sim::OpenLoopStation {
+            site,
+            demands,
+            workers: 1,
+            shm_pages: 4,
+        }));
+    }
+    w.run_until(SimTime::ZERO + arrive + drain);
+
+    let mut set = LatencySet::new();
+    let mut offered = 0u64;
+    let mut max_depth = 0u32;
+    for st in &stations {
+        offered += st.lock().expect("station poisoned").records.len() as u64;
+        for r in latency_records(st) {
+            max_depth = max_depth.max(r.depth_at_submit);
+            set.push(r);
+        }
+    }
+    let q = |p: f64| set.quantile_ns(LatencyPhase::Sojourn, p).unwrap_or(0) / 1_000;
+    OpenLoopRow {
+        protocol,
+        config,
+        storm,
+        rate,
+        offered,
+        granted: set.len() as u64,
+        p50_us: q(0.50),
+        p99_us: q(0.99),
+        mean_us: set.mean_ns(LatencyPhase::Sojourn) / 1_000,
+        max_depth,
+    }
+}
+
+/// The offered-load rungs of the L1 ladder (per-station req/s).
+fn l1_ladder_rates(quick: bool) -> Vec<u64> {
+    if quick {
+        vec![5, 20, 80, 320]
+    } else {
+        vec![5, 10, 20, 40, 80, 160, 320, 640]
+    }
+}
+
+/// L1 ladder: every protocol × config combo at every rung, in combo-
+/// major order. Each world is independent, so the sweep fans out
+/// through [`par_map`] and the output is byte-identical at any `--jobs`.
+pub fn openloop_ladder(quick: bool) -> Vec<OpenLoopRow> {
+    let mut points = Vec::new();
+    for (protocol, config, cfg) in l1_combos() {
+        for rate in l1_ladder_rates(quick) {
+            points.push((protocol, config, cfg.clone(), rate));
+        }
+    }
+    par_map(&points, |(protocol, config, cfg, rate)| {
+        openloop_run(protocol, config, cfg.clone(), *rate, quick, false)
+    })
+}
+
+/// The same ladder's middle rung re-run under the L1 fault storm, per
+/// combo: latency distributions under drops, delays, and a crash.
+pub fn openloop_storm(quick: bool) -> Vec<OpenLoopRow> {
+    let combos = l1_combos();
+    par_map(&combos, |(protocol, config, cfg)| {
+        openloop_run(protocol, config, cfg.clone(), 20, quick, true)
+    })
+}
+
+/// Whether a rung counts as saturated: p99 sojourn beyond
+/// `L1_KNEE_MULT` × the unloaded p99, or more than 1 % of demands
+/// never granted by the drain deadline (rival protocols can starve
+/// outright in overload, which no latency quantile of the granted
+/// subset would show).
+const L1_KNEE_MULT: u64 = 8;
+
+fn l1_saturated(row: &OpenLoopRow, unloaded_p99_us: u64) -> bool {
+    row.granted * 100 < row.offered * 99 || row.p99_us > unloaded_p99_us * L1_KNEE_MULT
+}
+
+/// L1 knee finder: integer bisection on the offered-load axis for the
+/// lowest saturating rate. The unloaded anchor is the ladder's bottom
+/// rung; the ceiling is its top. Bisection stops at 12.5 % relative
+/// resolution, so the whole search is a bounded, deterministic probe
+/// sequence (every probe a fresh world with the shared arrival seed).
+pub fn openloop_knees(quick: bool) -> Vec<KneeRow> {
+    let rates = l1_ladder_rates(quick);
+    let (floor, ceil) = (rates[0], *rates.last().expect("ladder non-empty"));
+    let combos = l1_combos();
+    par_map(&combos, |(protocol, config, cfg)| {
+        let run = |rate: u64, storm: bool| {
+            openloop_run(protocol, config, cfg.clone(), rate, quick, storm)
+        };
+        let unloaded = run(floor, false);
+        let unloaded_p99_report = unloaded.p99_us;
+        let unloaded_p99 = unloaded.p99_us.max(1);
+        // Establish the bracket: lo never saturated, hi saturated (or
+        // the ceiling, if the combo never saturates in range).
+        let (mut lo, mut hi) = (floor, ceil);
+        let mut at_hi = run(hi, false);
+        if l1_saturated(&unloaded, unloaded_p99) {
+            // Already saturated at the anchor (can't happen with the
+            // multiplicative predicate, kept for the completion arm).
+            hi = lo;
+            at_hi = unloaded;
+        } else if !l1_saturated(&at_hi, unloaded_p99) {
+            // Never saturates in range: report the ceiling rung.
+            return KneeRow {
+                protocol,
+                config,
+                unloaded_p99_us: unloaded_p99_report,
+                knee_rate: ceil,
+                p99_at_knee_us: at_hi.p99_us,
+                granted_pct: at_hi.granted * 100 / at_hi.offered.max(1),
+            };
+        }
+        while hi - lo > (lo / 8).max(1) {
+            let mid = lo + (hi - lo) / 2;
+            let probe = run(mid, false);
+            if l1_saturated(&probe, unloaded_p99) {
+                hi = mid;
+                at_hi = probe;
+            } else {
+                lo = mid;
+            }
+        }
+        KneeRow {
+            protocol,
+            config,
+            unloaded_p99_us: unloaded_p99_report,
+            knee_rate: hi,
+            p99_at_knee_us: at_hi.p99_us,
+            granted_pct: at_hi.granted * 100 / at_hi.offered.max(1),
+        }
+    })
+}
+
+/// The merged sojourn CDF of one combo at one rate, as the exact
+/// `(value, cumulative)` text rendering from [`cdf_text`](mirage_trace::LatencySet::cdf_text)
+/// — the `openloop_latency --cdf` payload.
+pub fn openloop_cdf(quick: bool, rate: u64) -> String {
+    use mirage_trace::{
+        LatencyPhase,
+        LatencySet,
+    };
+    let (protocol, config, cfg) = l1_combos().into_iter().next().expect("combos");
+    let _ = openloop_run(protocol, config, cfg.clone(), rate, quick, false);
+    // Re-run capturing the set itself (openloop_run reduces to a row).
+    let mut set = LatencySet::new();
+    {
+        use mirage_workloads::{
+            build_demands,
+            latency_records,
+            sample_arrivals,
+            ArrivalProcess,
+        };
+        let (arrive, drain) = l1_horizons(quick);
+        let mut w = World::new(4, SimConfig { protocol: cfg, ..Default::default() });
+        let seg = w.create_segment(0, 4);
+        let mut stations = Vec::new();
+        for site in 1..4usize {
+            let mut rng = mirage_types::Prng::new(0x0001_1AD7_0000 ^ (rate << 8) ^ site as u64);
+            let arrivals = sample_arrivals(
+                ArrivalProcess::Poisson { rate_per_sec: rate as f64 },
+                &mut rng,
+                arrive,
+            );
+            let profile = mirage_workloads::DemandProfile {
+                seg,
+                pages: 4,
+                write_offset: site * 4,
+                read_words: 4,
+                write_pct: 20,
+                value_base: (site as u32) * 1_000_000,
+            };
+            let (demands, _) = build_demands(&arrivals, &profile, &mut rng);
+            stations.push(w.install_open_loop(mirage_sim::OpenLoopStation {
+                site,
+                demands,
+                workers: 1,
+                shm_pages: 4,
+            }));
+        }
+        w.run_until(SimTime::ZERO + arrive + drain);
+        for st in &stations {
+            for r in latency_records(st) {
+                set.push(r);
+            }
+        }
+    }
+    set.cdf_text(LatencyPhase::Sojourn)
+}

@@ -20,6 +20,10 @@ use mirage_bench::{
     local_pingpong,
     migration_hotspot,
     migration_hotspot_sharded,
+    openloop_cdf,
+    openloop_knees,
+    openloop_ladder,
+    openloop_storm,
     repro_all_report,
     test_and_set,
     thrash_system,
@@ -181,4 +185,33 @@ fn repro_all_quick_matches_golden() {
     // `at_jobs_1_and_4` Debug-escapes the string; compare the raw one.
     let _guard = JOBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     assert_eq!(repro_all_report(&ReproParams::quick()), golden);
+}
+
+/// The L1 open-loop ladder, knee finder, storm overlay, and CDF dump
+/// together form the latency report; each must be byte-identical at
+/// any worker count (and the binary's output with them).
+#[test]
+fn openloop_ladder_is_identical_at_any_worker_count() {
+    let (a, b) = at_jobs_1_and_4(|| openloop_ladder(true));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn openloop_knees_are_identical_at_any_worker_count() {
+    let (a, b) = at_jobs_1_and_4(|| openloop_knees(true));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn openloop_storm_is_identical_at_any_worker_count() {
+    let (a, b) = at_jobs_1_and_4(|| openloop_storm(true));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn openloop_cdf_is_identical_across_reruns() {
+    let a = openloop_cdf(true, 80);
+    let b = openloop_cdf(true, 80);
+    assert_eq!(a, b, "CDF dump must replay byte-identically");
+    assert!(a.lines().count() > 10, "CDF should carry one line per record");
 }

@@ -114,7 +114,9 @@ impl FuzzProtocol {
 
     /// Rewrites the drawn config for this protocol. Draws nothing from
     /// any PRNG: the scenario stays bit-identical across protocols.
-    fn apply(self, cfg: &mut SimConfig) {
+    /// Public so out-of-crate fuzz harnesses (the open-loop family in
+    /// `mirage-workloads`) follow the same apply-after-all-draws idiom.
+    pub fn apply(self, cfg: &mut SimConfig) {
         match self {
             FuzzProtocol::Mirage => {}
             FuzzProtocol::Li => {
@@ -217,6 +219,52 @@ impl Program for FuzzProgram {
 
     fn label(&self) -> &str {
         "fuzz"
+    }
+}
+
+/// The value of `(page, offset)` in the authoritative copy at
+/// quiescence, under the given protocol's notion of "authoritative":
+/// Mirage/Li use the resident copy (writer's frame, else any reader's),
+/// Tardis the exclusive owner's frame (else the home's master). The
+/// write-visibility oracle for every fuzz family, exported so the
+/// open-loop fuzz harness in `mirage-workloads` can assert it too.
+pub fn authoritative_value(
+    world: &World,
+    seg: SegmentId,
+    page: PageNum,
+    offset: usize,
+    protocol: FuzzProtocol,
+) -> Option<u32> {
+    match protocol {
+        FuzzProtocol::Tardis => tardis_authoritative_value(world, seg, page, offset),
+        _ => resident_value(world, seg, page, offset),
+    }
+}
+
+/// Structural coherence violations for the first `pages` pages of `seg`
+/// at quiescence: Mirage/Li run the §5.0 invariants
+/// ([`invariants::check_page`]), Tardis the exclusive-ownership
+/// discipline. Exported for the open-loop fuzz harness.
+pub fn structural_violations(
+    world: &World,
+    seg: SegmentId,
+    pages: u64,
+    protocol: FuzzProtocol,
+) -> Vec<String> {
+    match protocol {
+        FuzzProtocol::Mirage | FuzzProtocol::Li => {
+            let mut violations = Vec::new();
+            for p in 0..pages {
+                let page = PageNum(p as u32);
+                let stores: Vec<(SiteId, &dyn PageStore)> =
+                    world.sites.iter().map(|s| (s.id, &s.store as &dyn PageStore)).collect();
+                for v in invariants::check_page(&stores, seg, page) {
+                    violations.push(format!("page {p}: {v:?}"));
+                }
+            }
+            violations
+        }
+        FuzzProtocol::Tardis => tardis_quiescence_violations(world, seg, pages),
     }
 }
 
@@ -664,35 +712,13 @@ fn run_fuzz_seed_full(
 
     let mut violations = Vec::new();
     if completed {
-        match protocol {
-            FuzzProtocol::Mirage | FuzzProtocol::Li => {
-                for p in 0..pages {
-                    let page = PageNum(p as u32);
-                    let stores: Vec<(SiteId, &dyn PageStore)> = world
-                        .sites
-                        .iter()
-                        .map(|s| (s.id, &s.store as &dyn PageStore))
-                        .collect();
-                    for v in invariants::check_page(&stores, seg, page) {
-                        violations.push(format!("page {p}: {v:?}"));
-                    }
-                }
-            }
-            FuzzProtocol::Tardis => {
-                violations.extend(tardis_quiescence_violations(&world, seg, pages));
-            }
-        }
+        violations.extend(structural_violations(&world, seg, pages, protocol));
         for (k, handle) in expected_handles.iter().enumerate() {
             let exp = handle.lock().expect("poisoned");
             for (p, want) in exp.iter().enumerate() {
                 let Some(want) = want else { continue };
                 let page = PageNum(p as u32);
-                let got = match protocol {
-                    FuzzProtocol::Tardis => {
-                        tardis_authoritative_value(&world, seg, page, k * 4)
-                    }
-                    _ => resident_value(&world, seg, page, k * 4),
-                };
+                let got = authoritative_value(&world, seg, page, k * 4, protocol);
                 if got != Some(*want) {
                     violations.push(format!(
                         "write visibility: proc {k} page {p}: last wrote {want}, \

@@ -34,6 +34,7 @@ pub mod calendar;
 pub mod faults;
 pub mod fuzz;
 pub mod instrument;
+pub mod openloop;
 pub mod process;
 pub mod program;
 pub mod site;
@@ -42,6 +43,7 @@ pub mod world;
 pub use calendar::CalendarQueue;
 pub use faults::FaultStats;
 pub use fuzz::{
+    authoritative_value,
     run_fuzz_seed,
     run_fuzz_seed_delta,
     run_fuzz_seed_delta_traced,
@@ -54,10 +56,18 @@ pub use fuzz::{
     run_fuzz_seed_protocol_traced,
     run_fuzz_seed_sized_traced,
     run_fuzz_seed_traced,
+    structural_violations,
     FuzzOutcome,
     FuzzProtocol,
 };
 pub use instrument::Instrumentation;
+pub use openloop::{
+    OpenLoopDemand,
+    OpenLoopRecord,
+    OpenLoopStation,
+    StationHandle,
+    StationState,
+};
 pub use process::{
     ProcState,
     Process,

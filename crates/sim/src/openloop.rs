@@ -1,0 +1,196 @@
+//! Open-loop request stations: scheduled page demands injected by the
+//! world event loop, independent of completion.
+//!
+//! Every workload built on the [`Program`] trait alone is
+//! closed-loop — the next operation issues only after the previous one
+//! completes, so offered load collapses to match service capacity and
+//! tail latency never shows saturation. A station breaks that coupling:
+//! its demand schedule is fixed up front (arrival times drawn from a
+//! seeded arrival process in `mirage-workloads::openloop`), the world
+//! injects each demand into the station's queue at its scheduled
+//! sim-time whether or not earlier demands have finished, and one or
+//! more worker processes drain the queue through the ordinary
+//! fault/driver path. Each request carries a lifecycle record —
+//! arrival, submit, grant, queue depth at submit — that the harness
+//! converts into `mirage-trace` latency records after the run.
+
+use std::{
+    collections::VecDeque,
+    sync::{
+        Arc,
+        Mutex,
+    },
+};
+
+use mirage_types::{
+    Access,
+    SimTime,
+};
+
+use crate::program::{
+    MemRef,
+    Op,
+    Program,
+};
+
+/// One scheduled page demand.
+#[derive(Clone, Copy, Debug)]
+pub struct OpenLoopDemand {
+    /// The location touched.
+    pub r: MemRef,
+    /// Read or write.
+    pub access: Access,
+    /// Value stored on writes (ignored for reads).
+    pub value: u32,
+}
+
+/// The lifecycle record of one request, filled in as it progresses.
+#[derive(Clone, Copy, Debug)]
+pub struct OpenLoopRecord {
+    /// The demand itself.
+    pub demand: OpenLoopDemand,
+    /// Scheduled arrival time (fixed at install).
+    pub arrival: SimTime,
+    /// When a worker dequeued it and issued the access.
+    pub submit: Option<SimTime>,
+    /// When the access completed (fault serviced, value delivered).
+    pub grant: Option<SimTime>,
+    /// Requests still waiting in the queue at submit.
+    pub depth_at_submit: u32,
+}
+
+/// Shared station state: the pending-request queue and every record.
+///
+/// Shared `Arc<Mutex<…>>`-style between the world (which injects
+/// arrivals), the worker programs (which dequeue, stamp, and issue),
+/// and the harness (which reads the records afterwards). Worlds are
+/// single-threaded, so the mutex is coordination-free in practice.
+#[derive(Debug)]
+pub struct StationState {
+    /// Per-request records, indexed by arrival order.
+    pub records: Vec<OpenLoopRecord>,
+    /// Indices of injected-but-not-yet-submitted requests, FIFO.
+    queue: VecDeque<usize>,
+    /// How many arrivals the world has injected so far.
+    injected: usize,
+}
+
+impl StationState {
+    /// Every scheduled arrival has been injected.
+    fn exhausted(&self) -> bool {
+        self.injected == self.records.len()
+    }
+
+    /// Completed request count (records with a grant time).
+    pub fn completed(&self) -> usize {
+        self.records.iter().filter(|r| r.grant.is_some()).count()
+    }
+}
+
+/// Handle to a station's shared state.
+pub type StationHandle = Arc<Mutex<StationState>>;
+
+/// Configuration for one open-loop station, ready to install.
+#[derive(Debug)]
+pub struct OpenLoopStation {
+    /// The site whose workers serve this station's queue.
+    pub site: usize,
+    /// Scheduled demands, ascending by arrival time.
+    pub demands: Vec<(SimTime, OpenLoopDemand)>,
+    /// How many worker processes drain the queue (FCFS with `workers`
+    /// servers; 1 preserves program order of the demands).
+    pub workers: usize,
+    /// `shm_pages` for the workers' dispatch remap charge.
+    pub shm_pages: usize,
+}
+
+/// Builds the shared state and worker programs for a station.
+/// Called by `World::install_open_loop`.
+pub(crate) fn build_station(
+    st: &OpenLoopStation,
+) -> (StationHandle, Vec<OpenLoopWorker>, Vec<SimTime>) {
+    assert!(st.workers >= 1, "a station needs at least one worker");
+    assert!(
+        st.demands.windows(2).all(|w| w[0].0 <= w[1].0),
+        "open-loop demands must be sorted by arrival time"
+    );
+    let records = st
+        .demands
+        .iter()
+        .map(|&(at, demand)| OpenLoopRecord {
+            demand,
+            arrival: at,
+            submit: None,
+            grant: None,
+            depth_at_submit: 0,
+        })
+        .collect();
+    let state: StationHandle =
+        Arc::new(Mutex::new(StationState { records, queue: VecDeque::new(), injected: 0 }));
+    let workers = (0..st.workers).map(|_| OpenLoopWorker::new(Arc::clone(&state))).collect();
+    let arrivals = st.demands.iter().map(|&(at, _)| at).collect();
+    (state, workers, arrivals)
+}
+
+/// Injects arrival `i` into the station queue (world event handler).
+pub(crate) fn inject(state: &StationHandle, i: usize) {
+    let mut s = state.lock().expect("station poisoned");
+    debug_assert_eq!(s.injected, i, "arrivals inject in schedule order");
+    s.queue.push_back(i);
+    s.injected += 1;
+}
+
+/// A worker process: dequeues requests FIFO, stamps submit/grant times,
+/// and parks when the queue is empty (the world wakes it on the next
+/// arrival). Exits once the schedule is exhausted and the queue drained.
+pub struct OpenLoopWorker {
+    station: StationHandle,
+    in_flight: Option<usize>,
+    completed: u64,
+}
+
+impl OpenLoopWorker {
+    fn new(station: StationHandle) -> Self {
+        Self { station, in_flight: None, completed: 0 }
+    }
+}
+
+impl Program for OpenLoopWorker {
+    fn step(&mut self, _last_read: Option<u32>) -> Op {
+        unreachable!("open-loop workers are driven through step_at")
+    }
+
+    fn step_at(&mut self, now: SimTime, _last_read: Option<u32>) -> Op {
+        let mut s = self.station.lock().expect("station poisoned");
+        // The previous step's access has completed by the time the
+        // scheduler asks for another op: stamp its grant.
+        if let Some(i) = self.in_flight.take() {
+            s.records[i].grant = Some(now);
+            self.completed += 1;
+        }
+        match s.queue.pop_front() {
+            Some(i) => {
+                s.records[i].submit = Some(now);
+                s.records[i].depth_at_submit = s.queue.len() as u32;
+                self.in_flight = Some(i);
+                let d = s.records[i].demand;
+                match d.access {
+                    Access::Write => Op::Write(d.r, d.value),
+                    Access::Read => Op::Read(d.r),
+                }
+            }
+            // Parking is only safe while another arrival is scheduled
+            // to wake us; once the schedule is exhausted, exit.
+            None if s.exhausted() => Op::Exit,
+            None => Op::Park,
+        }
+    }
+
+    fn metric(&self) -> u64 {
+        self.completed
+    }
+
+    fn label(&self) -> &str {
+        "openloop-worker"
+    }
+}

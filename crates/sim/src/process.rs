@@ -54,6 +54,10 @@ pub struct Process {
     /// pending server work, until its faulted access completes (the
     /// classic UNIX sleep-priority boost).
     pub boosted: bool,
+    /// Blocked by [`Op::Park`] (waiting for open-loop work) rather than
+    /// by a page fault: woken by the world's station machinery, never by
+    /// the protocol engine.
+    pub parked: bool,
 }
 
 impl Process {
@@ -71,6 +75,7 @@ impl Process {
             faults: 0,
             yield_sleeps: 0,
             boosted: false,
+            parked: false,
         }
     }
 

@@ -11,6 +11,7 @@ use mirage_types::{
     PageNum,
     SegmentId,
     SimDuration,
+    SimTime,
 };
 
 /// A shared-memory location: (segment, page, byte offset).
@@ -48,6 +49,12 @@ pub enum Op {
     Yield,
     /// Sleep for the given duration.
     Sleep(SimDuration),
+    /// Block until external work arrives (open-loop request queues):
+    /// the process leaves the run queue with nothing pending and is
+    /// re-readied by the world when its station injects a request. A
+    /// program must only park while more arrivals are scheduled —
+    /// a parked process with no future arrival is stuck forever.
+    Park,
     /// Terminate the process.
     Exit,
 }
@@ -68,6 +75,15 @@ pub trait Program: Send {
     /// Produces the next operation. `last_read` carries the value loaded
     /// by the immediately preceding [`Op::Read`], if any.
     fn step(&mut self, last_read: Option<u32>) -> Op;
+
+    /// Like [`Program::step`], but with the current simulated time. The
+    /// scheduler always calls this entry point; the default forwards to
+    /// `step`, so ordinary programs never see the clock. Programs that
+    /// timestamp request lifecycles (the open-loop workers) override
+    /// this and leave `step` unreachable.
+    fn step_at(&mut self, _now: SimTime, last_read: Option<u32>) -> Op {
+        self.step(last_read)
+    }
 
     /// A monotone progress metric the harness reports (cycles completed,
     /// iterations done — program-defined).

@@ -255,9 +255,10 @@ impl Site {
     }
 
     /// The site comes back at `now` with cold scheduler state. Frozen
-    /// processes rejoin the run queue; the engine reconstructs its
-    /// retransmission obligations from the persistent tables, and the
-    /// resulting sends depart immediately.
+    /// processes rejoin the run queue (parked workers included: they
+    /// re-check their station queue and re-park if it is still empty);
+    /// the engine reconstructs its retransmission obligations from the
+    /// persistent tables, and the resulting sends depart immediately.
     pub(crate) fn restart(&mut self, now: SimTime, effects: &mut Vec<OutEffect>) {
         self.busy_until = now;
         self.quantum_end = now;
@@ -265,11 +266,30 @@ impl Site {
         for i in 0..self.procs.len() {
             if self.procs[i].state == ProcState::Blocked {
                 self.procs[i].state = ProcState::Ready;
+                self.procs[i].parked = false;
                 self.run_queue.push_back(i);
             }
         }
         self.driver.restart(now, &mut self.store);
         self.flush_driver(now, effects);
+    }
+
+    /// Re-readies parked processes whose pid is in `pids` (an open-loop
+    /// station's workers, when an arrival lands). Returns whether any
+    /// process was woken. No wake boost: a fresh request is ordinary
+    /// work, not a fault-sleep resumption.
+    pub(crate) fn wake_parked(&mut self, pids: &[Pid]) -> bool {
+        let mut woke = false;
+        for i in 0..self.procs.len() {
+            let p = &mut self.procs[i];
+            if p.parked && p.state == ProcState::Blocked && pids.contains(&p.pid) {
+                p.state = ProcState::Ready;
+                p.parked = false;
+                self.run_queue.push_back(i);
+                woke = true;
+            }
+        }
+        woke
     }
 
     /// Initiates a library-role handoff at this site (which must hold
@@ -460,7 +480,7 @@ impl Site {
                 Some(p) => p,
                 None => {
                     let last = self.procs[c].last_read.take();
-                    let op = self.procs[c].program.step(last);
+                    let op = self.procs[c].program.step_at(t, last);
                     (op, self.op_cost(op))
                 }
             };
@@ -558,6 +578,13 @@ impl Site {
                     self.procs[c].state = ProcState::Sleeping(t + d);
                     return Some(t);
                 }
+                Op::Park => {
+                    self.current = None;
+                    self.busy_until = t;
+                    self.procs[c].state = ProcState::Blocked;
+                    self.procs[c].parked = true;
+                    return Some(t);
+                }
                 Op::Exit => {
                     self.current = None;
                     self.busy_until = t;
@@ -573,7 +600,7 @@ impl Site {
             Op::Read(_) | Op::Write(_, _) => self.sched.access_cost,
             Op::Compute(d) => d,
             Op::Yield => self.sched.yield_cost,
-            Op::Sleep(_) | Op::Exit => SimDuration::ZERO,
+            Op::Sleep(_) | Op::Park | Op::Exit => SimDuration::ZERO,
         }
     }
 }
@@ -614,6 +641,7 @@ impl DriverOps for SimOps<'_> {
             if p.pid == pid && p.state == ProcState::Blocked {
                 p.state = ProcState::Ready;
                 p.boosted = true;
+                p.parked = false;
                 self.run_queue.push_back(i);
             }
         }

@@ -1,8 +1,11 @@
 //! The simulation world: global event queue, wire, and site collection.
 
-use std::collections::{
-    HashMap,
-    VecDeque,
+use std::{
+    collections::{
+        HashMap,
+        VecDeque,
+    },
+    sync::Arc,
 };
 
 use mirage_core::{
@@ -41,6 +44,11 @@ use crate::{
     instrument::{
         FetchPhase,
         Instrumentation,
+    },
+    openloop::{
+        self,
+        OpenLoopStation,
+        StationHandle,
     },
     process::{
         ProcState,
@@ -153,6 +161,10 @@ enum Ev {
     /// Periodic evaluation of an [`PlacementPolicy::Advised`] policy.
     /// Pure observation: a tick that moves nothing changes nothing.
     PolicyTick,
+    /// An open-loop station's next scheduled demand arrives: inject it
+    /// into the station queue (even while the site is down — the
+    /// backlog is the point) and wake any parked workers.
+    OpenLoopArrival { station: usize },
 }
 
 /// Sentinel for "no delivery recorded yet" in the circuit matrix.
@@ -245,6 +257,21 @@ pub struct World {
     /// Live advisor state; `None` unless [`PlacementPolicy::Advised`]
     /// was installed, so other runs pay nothing for the window.
     placement: Option<PlacementState>,
+    /// Installed open-loop stations, in install order (the index is the
+    /// [`Ev::OpenLoopArrival`] key).
+    openloop: Vec<OpenLoopRt>,
+}
+
+/// World-side runtime state of one open-loop station.
+struct OpenLoopRt {
+    site: usize,
+    state: StationHandle,
+    /// The precomputed arrival schedule (ascending).
+    arrivals: Vec<SimTime>,
+    /// Next schedule index to inject.
+    next: usize,
+    /// The station's worker pids (for parked-worker wakes).
+    pids: Vec<Pid>,
 }
 
 impl World {
@@ -277,6 +304,7 @@ impl World {
             faults: None,
             lib_where: HashMap::new(),
             placement: None,
+            openloop: Vec::new(),
         }
     }
 
@@ -405,6 +433,57 @@ impl World {
         self.sites[site].spawn(Process::new(pid, program, shm_pages));
         self.push(self.now, Ev::SiteWake { site });
         pid
+    }
+
+    /// Installs an open-loop station: spawns its workers at the
+    /// station's site and schedules the first arrival. Returns the
+    /// shared state handle the harness reads records from after the
+    /// run. Arrivals fire at their scheduled sim-times regardless of
+    /// how far behind the workers are — that independence is what makes
+    /// the traffic open-loop.
+    pub fn install_open_loop(&mut self, st: OpenLoopStation) -> StationHandle {
+        let (state, workers, arrivals) = openloop::build_station(&st);
+        let pids = workers
+            .into_iter()
+            .map(|w| self.spawn(st.site, Box::new(w), st.shm_pages))
+            .collect();
+        let idx = self.openloop.len();
+        if let Some(&first) = arrivals.first() {
+            self.push(first.max(self.now), Ev::OpenLoopArrival { station: idx });
+        }
+        self.openloop.push(OpenLoopRt {
+            site: st.site,
+            state: Arc::clone(&state),
+            arrivals,
+            next: 0,
+            pids,
+        });
+        state
+    }
+
+    /// One scheduled arrival fires: inject the demand, schedule the
+    /// next one, and wake a parked worker if the site is up. A down
+    /// site still accumulates backlog — its workers drain the queue
+    /// after restart.
+    fn openloop_arrival(&mut self, idx: usize) {
+        let (site, next_at) = {
+            let rt = &mut self.openloop[idx];
+            let i = rt.next;
+            rt.next += 1;
+            openloop::inject(&rt.state, i);
+            (rt.site, rt.arrivals.get(rt.next).copied())
+        };
+        if let Some(at) = next_at {
+            self.push(at.max(self.now), Ev::OpenLoopArrival { station: idx });
+        }
+        if !self.site_down(site) {
+            let pids = std::mem::take(&mut self.openloop[idx].pids);
+            let woke = self.sites[site].wake_parked(&pids);
+            self.openloop[idx].pids = pids;
+            if woke {
+                self.push(self.now, Ev::SiteWake { site });
+            }
+        }
     }
 
     fn push(&mut self, at: SimTime, ev: Ev) {
@@ -932,6 +1011,7 @@ impl World {
                 Ev::LinkProbe { src, dst } => self.link_probe(src, dst),
                 Ev::Migrate { seg, to, shard } => self.apply_migrate(seg, to, shard),
                 Ev::PolicyTick => self.policy_tick(),
+                Ev::OpenLoopArrival { station } => self.openloop_arrival(station),
             }
         }
         if until > self.now {

@@ -54,6 +54,9 @@ pub use log::{
 pub use metrics::{
     from_trace,
     Histogram,
+    LatencyPhase,
+    LatencyRecord,
+    LatencySet,
     Registry,
 };
 pub use migrate::{

@@ -95,9 +95,13 @@ impl Histogram {
         }
     }
 
-    /// Upper bound of the bucket containing the `q`-quantile
-    /// (`0.0..=1.0`), or `None` if it falls in the overflow bucket or
-    /// the histogram is empty.
+    /// The `q`-quantile (`0.0..=1.0`), linearly interpolated within the
+    /// bucket that contains it: a rank `p` of the bucket's `c`
+    /// observations reads `lo + (hi - lo) · p / c` rather than the
+    /// bucket's upper bound, so a histogram whose median sits at the
+    /// bottom of a wide bucket no longer reports the top of it. Returns
+    /// `None` if the quantile falls in the overflow bucket or the
+    /// histogram is empty.
     pub fn quantile(&self, q: f64) -> Option<u64> {
         if self.count == 0 {
             return None;
@@ -105,10 +109,14 @@ impl Histogram {
         let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut seen = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return Some(self.bounds[i]);
+            if c > 0 && seen + c >= rank {
+                let lo = if i == 0 { 0 } else { self.bounds[i - 1] };
+                let hi = self.bounds[i];
+                let pos = rank - seen; // 1..=c
+                let span = u128::from(hi - lo) * u128::from(pos) / u128::from(c);
+                return Some(lo + span as u64);
             }
+            seen += c;
         }
         None
     }
@@ -225,7 +233,7 @@ impl Registry {
             for (name, h) in &self.histograms {
                 let avg = h.sum.checked_div(h.count).unwrap_or(0);
                 let q = |x: f64| match h.quantile(x) {
-                    Some(b) => format!("<={b}"),
+                    Some(v) => format!("{v}"),
                     None => format!(">{}", h.bounds.last().copied().unwrap_or(0)),
                 };
                 out.push_str(&format!(
@@ -417,6 +425,197 @@ pub fn from_trace(events: &[TraceEvent]) -> Registry {
     reg
 }
 
+/// One open-loop request lifecycle, in nanoseconds of simulated time.
+///
+/// `arrival` is when the traffic generator scheduled the demand,
+/// `submit` when a worker dequeued it and issued the access, `grant`
+/// when the access completed (fault serviced, value delivered).
+/// `depth_at_submit` is how many requests were still waiting behind it
+/// when it left the queue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LatencyRecord {
+    /// Scheduled arrival time (ns).
+    pub arrival_ns: u64,
+    /// Dequeue/issue time (ns).
+    pub submit_ns: u64,
+    /// Completion time (ns).
+    pub grant_ns: u64,
+    /// Queue depth observed at submit (requests left waiting).
+    pub depth_at_submit: u32,
+}
+
+impl LatencyRecord {
+    /// Queueing wait: arrival → submit.
+    pub fn wait_ns(&self) -> u64 {
+        self.submit_ns.saturating_sub(self.arrival_ns)
+    }
+
+    /// Service time: submit → grant.
+    pub fn service_ns(&self) -> u64 {
+        self.grant_ns.saturating_sub(self.submit_ns)
+    }
+
+    /// Sojourn time: arrival → grant (wait plus service — the latency
+    /// an open-loop client observes).
+    pub fn sojourn_ns(&self) -> u64 {
+        self.grant_ns.saturating_sub(self.arrival_ns)
+    }
+}
+
+/// Which interval of a [`LatencyRecord`] a query reads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LatencyPhase {
+    /// Arrival → submit.
+    Wait,
+    /// Submit → grant.
+    Service,
+    /// Arrival → grant.
+    Sojourn,
+}
+
+/// A multiset of [`LatencyRecord`]s with exact quantiles and CDF output.
+///
+/// Per-worker sets from a `--jobs N` sweep combine with
+/// [`LatencySet::merge`], which canonicalizes the record order, so the
+/// merged set — and every quantile, histogram, and CDF read from it —
+/// is identical regardless of completion order. Quantiles are exact
+/// (nearest-rank over the sorted values), unlike the bucketed
+/// [`Histogram`]; use [`LatencySet::histogram_us`] when a fixed-memory
+/// mergeable summary is wanted instead of the full record list.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LatencySet {
+    records: Vec<LatencyRecord>,
+}
+
+impl LatencySet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one record.
+    pub fn push(&mut self, r: LatencyRecord) {
+        self.records.push(r);
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no records have been added.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The records, in canonical (sorted) order.
+    pub fn records(&self) -> Vec<LatencyRecord> {
+        let mut rs = self.records.clone();
+        rs.sort_unstable();
+        rs
+    }
+
+    /// Merges another set into this one and canonicalizes the order:
+    /// commutative and associative, like [`Histogram::merge`], so
+    /// per-worker sets combine into the same set in any order.
+    pub fn merge(&mut self, other: &LatencySet) {
+        self.records.extend_from_slice(&other.records);
+        self.records.sort_unstable();
+    }
+
+    /// The chosen phase of every record, sorted ascending.
+    fn sorted_ns(&self, phase: LatencyPhase) -> Vec<u64> {
+        let mut vs: Vec<u64> = self
+            .records
+            .iter()
+            .map(|r| match phase {
+                LatencyPhase::Wait => r.wait_ns(),
+                LatencyPhase::Service => r.service_ns(),
+                LatencyPhase::Sojourn => r.sojourn_ns(),
+            })
+            .collect();
+        vs.sort_unstable();
+        vs
+    }
+
+    /// Exact `q`-quantile (nearest rank) of the chosen phase, in
+    /// nanoseconds. `None` on an empty set.
+    pub fn quantile_ns(&self, phase: LatencyPhase, q: f64) -> Option<u64> {
+        let vs = self.sorted_ns(phase);
+        if vs.is_empty() {
+            return None;
+        }
+        let rank = ((q * vs.len() as f64).ceil() as usize).clamp(1, vs.len());
+        Some(vs[rank - 1])
+    }
+
+    /// Mean of the chosen phase in nanoseconds (0 on an empty set).
+    pub fn mean_ns(&self, phase: LatencyPhase) -> u64 {
+        if self.records.is_empty() {
+            return 0;
+        }
+        let sum: u128 = self.sorted_ns(phase).iter().map(|&v| u128::from(v)).sum();
+        (sum / self.records.len() as u128) as u64
+    }
+
+    /// Largest value of the chosen phase in nanoseconds (0 if empty).
+    pub fn max_ns(&self, phase: LatencyPhase) -> u64 {
+        self.sorted_ns(phase).last().copied().unwrap_or(0)
+    }
+
+    /// Largest queue depth any record observed at submit.
+    pub fn max_depth(&self) -> u32 {
+        self.records.iter().map(|r| r.depth_at_submit).max().unwrap_or(0)
+    }
+
+    /// Buckets the chosen phase (in µs) into a [`Histogram`] — the
+    /// fixed-memory, mergeable summary of this set.
+    pub fn histogram_us(&self, phase: LatencyPhase, bounds: &[u64]) -> Histogram {
+        let mut h = Histogram::new(bounds);
+        for v in self.sorted_ns(phase) {
+            h.observe(v / 1_000);
+        }
+        h
+    }
+
+    /// The empirical CDF of the chosen phase: `(value_ns, cumulative
+    /// count)` at each distinct value, ascending. Counts (not
+    /// fractions) keep the points exact integers.
+    pub fn cdf_points(&self, phase: LatencyPhase) -> Vec<(u64, u64)> {
+        let vs = self.sorted_ns(phase);
+        let mut points: Vec<(u64, u64)> = Vec::new();
+        for (i, v) in vs.iter().enumerate() {
+            match points.last_mut() {
+                Some(last) if last.0 == *v => last.1 = (i + 1) as u64,
+                _ => points.push((*v, (i + 1) as u64)),
+            }
+        }
+        points
+    }
+
+    /// The CDF as a stable text table (µs vs cumulative fraction).
+    pub fn cdf_text(&self, phase: LatencyPhase) -> String {
+        let n = self.records.len();
+        let mut out = String::new();
+        for (v, c) in self.cdf_points(phase) {
+            out.push_str(&format!(
+                "  {:>12.3} us  {:.6}\n",
+                v as f64 / 1_000.0,
+                c as f64 / n as f64
+            ));
+        }
+        out
+    }
+
+    /// The CDF as a single-line JSON object:
+    /// `{"count":N,"points_ns":[[value,cum_count],...]}`.
+    pub fn cdf_json(&self, phase: LatencyPhase) -> String {
+        let points: Vec<String> =
+            self.cdf_points(phase).iter().map(|(v, c)| format!("[{v},{c}]")).collect();
+        format!("{{\"count\":{},\"points_ns\":[{}]}}", self.records.len(), points.join(","))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -451,16 +650,131 @@ mod tests {
     }
 
     #[test]
-    fn quantiles_report_bucket_upper_bounds() {
+    fn quantiles_interpolate_within_buckets() {
         let mut h = Histogram::new(&[10, 20, 30]);
         for v in [1, 2, 3, 15, 25, 25, 25, 25, 25, 25] {
             h.observe(v);
         }
+        // Rank 1 of 3 in (0, 10]: a third of the way up, not the top.
+        assert_eq!(h.quantile(0.10), Some(3));
+        // Rank 3 of 3 lands exactly on the bucket's upper bound.
         assert_eq!(h.quantile(0.30), Some(10));
+        // Sole occupant of (10, 20]: its top.
         assert_eq!(h.quantile(0.40), Some(20));
+        // Rank 1 of 6 in (20, 30]: 20 + 10·1/6.
+        assert_eq!(h.quantile(0.50), Some(21));
         assert_eq!(h.quantile(0.95), Some(30));
         h.observe(99);
         assert_eq!(h.quantile(1.0), None);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q() {
+        let mut h = Histogram::new(&[10, 100, 1_000, 10_000]);
+        let mut x = 7u64;
+        for _ in 0..500 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            h.observe(x % 9_000);
+        }
+        let qs: Vec<u64> = (1..=100).map(|i| h.quantile(i as f64 / 100.0).unwrap()).collect();
+        assert!(qs.windows(2).all(|w| w[0] <= w[1]), "quantiles must not decrease: {qs:?}");
+    }
+
+    fn rec(arrival: u64, submit: u64, grant: u64, depth: u32) -> LatencyRecord {
+        LatencyRecord {
+            arrival_ns: arrival,
+            submit_ns: submit,
+            grant_ns: grant,
+            depth_at_submit: depth,
+        }
+    }
+
+    #[test]
+    fn latency_set_merge_is_order_independent() {
+        // Three "workers" each complete a disjoint slice of requests.
+        let shard = |base: u64, n: u64| {
+            let mut s = LatencySet::new();
+            for i in 0..n {
+                let a = base + i * 1_000;
+                s.push(rec(a, a + 37 * (i + 1), a + 37 * (i + 1) + 9_001, i as u32));
+            }
+            s
+        };
+        let shards = [shard(0, 5), shard(100_000, 3), shard(7, 8)];
+        let mut fwd = LatencySet::new();
+        for s in &shards {
+            fwd.merge(s);
+        }
+        let mut rev = LatencySet::new();
+        for s in shards.iter().rev() {
+            rev.merge(s);
+        }
+        assert_eq!(fwd, rev);
+        assert_eq!(fwd.cdf_json(LatencyPhase::Service), rev.cdf_json(LatencyPhase::Service));
+        assert_eq!(
+            fwd.histogram_us(LatencyPhase::Sojourn, LATENCY_US_BOUNDS),
+            rev.histogram_us(LatencyPhase::Sojourn, LATENCY_US_BOUNDS)
+        );
+        assert_eq!(fwd.len(), 16);
+    }
+
+    #[test]
+    fn latency_set_quantiles_are_exact_and_monotone() {
+        let mut s = LatencySet::new();
+        for i in 0..100u64 {
+            // Service times 1..=100 µs; submit = arrival (no queueing).
+            s.push(rec(i, i, i + (i + 1) * 1_000, 0));
+        }
+        assert_eq!(s.quantile_ns(LatencyPhase::Service, 0.01), Some(1_000));
+        assert_eq!(s.quantile_ns(LatencyPhase::Service, 0.50), Some(50_000));
+        assert_eq!(s.quantile_ns(LatencyPhase::Service, 0.99), Some(99_000));
+        assert_eq!(s.quantile_ns(LatencyPhase::Service, 1.0), Some(100_000));
+        let qs: Vec<u64> = (1..=100)
+            .map(|i| s.quantile_ns(LatencyPhase::Sojourn, i as f64 / 100.0).unwrap())
+            .collect();
+        assert!(qs.windows(2).all(|w| w[0] <= w[1]));
+        // Wait is zero throughout; sojourn == service.
+        assert_eq!(s.quantile_ns(LatencyPhase::Wait, 0.99), Some(0));
+        assert_eq!(s.max_ns(LatencyPhase::Sojourn), s.max_ns(LatencyPhase::Service));
+    }
+
+    #[test]
+    fn latency_set_empty_and_saturated_edges() {
+        let empty = LatencySet::new();
+        assert!(empty.is_empty());
+        assert_eq!(empty.quantile_ns(LatencyPhase::Service, 0.5), None);
+        assert_eq!(empty.mean_ns(LatencyPhase::Service), 0);
+        assert_eq!(empty.max_depth(), 0);
+        assert_eq!(empty.cdf_points(LatencyPhase::Service), vec![]);
+        assert_eq!(empty.cdf_json(LatencyPhase::Service), r#"{"count":0,"points_ns":[]}"#);
+
+        // A saturated run: every record stuck behind an ever-growing
+        // queue; clamped arithmetic must not wrap even at u64::MAX.
+        let mut sat = LatencySet::new();
+        sat.push(rec(u64::MAX, 0, u64::MAX, u32::MAX)); // submit < arrival: wait clamps to 0
+        sat.push(rec(0, u64::MAX, u64::MAX, u32::MAX));
+        assert_eq!(sat.quantile_ns(LatencyPhase::Wait, 1.0), Some(u64::MAX));
+        assert_eq!(sat.max_depth(), u32::MAX);
+        let h = sat.histogram_us(LatencyPhase::Sojourn, LATENCY_US_BOUNDS);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.bucket(None), 1); // u64::MAX sojourn overflows the bounds
+    }
+
+    #[test]
+    fn latency_cdf_collapses_duplicate_values() {
+        let mut s = LatencySet::new();
+        for _ in 0..3 {
+            s.push(rec(0, 0, 5_000, 0));
+        }
+        s.push(rec(0, 0, 9_000, 1));
+        assert_eq!(s.cdf_points(LatencyPhase::Service), vec![(5_000, 3), (9_000, 4)]);
+        assert_eq!(
+            s.cdf_json(LatencyPhase::Service),
+            r#"{"count":4,"points_ns":[[5000,3],[9000,4]]}"#
+        );
+        let text = s.cdf_text(LatencyPhase::Service);
+        assert!(text.contains("5.000 us  0.750000"), "{text}");
+        assert!(text.contains("9.000 us  1.000000"), "{text}");
     }
 
     #[test]

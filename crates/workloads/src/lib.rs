@@ -19,6 +19,13 @@
 //!   sub-page delta-grant experiment's subject (S1);
 //! * [`renewal`] — the write-private/read-shared mix that pits Tardis
 //!   lease renewals against invalidation fan-out (T1).
+//!
+//! [`openloop`] stands apart: instead of a closed-loop program it
+//! generates seeded *arrival schedules* (Poisson, deterministic, MMPP)
+//! for the simulator's open-loop stations, so offered load is held
+//! constant regardless of service capacity — the basis of the L1
+//! latency-distribution and saturation experiments, and of the
+//! open-loop fuzz family.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -26,6 +33,7 @@
 pub mod background;
 pub mod decrement;
 pub mod falseshare;
+pub mod openloop;
 pub mod pingpong;
 pub mod readers;
 pub mod renewal;
@@ -35,6 +43,17 @@ pub mod spinlock;
 pub use background::Background;
 pub use decrement::Decrementer;
 pub use falseshare::FalseSharing;
+pub use openloop::{
+    build_demands,
+    exp_interval,
+    latency_records,
+    run_fuzz_seed_openloop,
+    run_fuzz_seed_openloop_protocol_traced,
+    run_fuzz_seed_openloop_traced,
+    sample_arrivals,
+    ArrivalProcess,
+    DemandProfile,
+};
 pub use pingpong::{
     PingPongPinger,
     PingPongPonger,
