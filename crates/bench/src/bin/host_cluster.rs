@@ -1,0 +1,33 @@
+//! H2: live library migration on the real-memory runtime over Unix
+//! sockets — the §9 ref-log advisor follows a shifting hot site with
+//! two epoch-stamped handoffs, mid-run.
+//!
+//! Exits non-zero when the library fails to follow, so CI can gate on
+//! it. The full multi-process variant is `mirage-cluster` (see
+//! `EXPERIMENTS.md` §H2).
+
+use mirage_bench::h2_live_migration;
+
+fn main() {
+    println!("H2 — host-driven live migration (3 sites, UDS wire, advisor on)\n");
+    let report = h2_live_migration();
+    if report.migrations.is_empty() {
+        println!("no migrations issued");
+    }
+    for (i, m) in report.migrations.iter().enumerate() {
+        println!(
+            "move {}: seg {:?} site {} -> site {} at {:.1} ms ({} requests in window)",
+            i + 1,
+            m.seg,
+            m.from.0,
+            m.to.0,
+            m.at.0 as f64 / 1e6,
+            m.requests,
+        );
+    }
+    println!("\nresult: {}", if report.pass { "PASS" } else { "FAIL" });
+    if std::env::args().any(|a| a == "--metrics") {
+        println!("\n## merged metrics\n{}", report.metrics);
+    }
+    std::process::exit(i32::from(!report.pass));
+}

@@ -1,0 +1,114 @@
+//! H2: host-driven live migration on the real-memory runtime over a
+//! real wire.
+//!
+//! A three-site [`HostCluster`] runs over Unix-domain sockets with the
+//! placement advisor sampling live §9 reference logs. The hot site
+//! shifts mid-run — first site 1 write-faults every page, then site 2
+//! does — and the library role must *follow*: two advisor-issued,
+//! epoch-stamped handoffs, each landing on the site whose faults
+//! dominated the sampling window.
+
+use std::time::{
+    Duration,
+    Instant,
+};
+
+use mirage_core::{
+    ProtocolConfig,
+    RetryPolicy,
+};
+use mirage_host::{
+    AdvisorOpts,
+    ClusterOpts,
+    HostCluster,
+    MigrationRecord,
+    WireChoice,
+};
+use mirage_types::{
+    Delta,
+    PageNum,
+    SiteId,
+};
+
+/// Pages in the shared segment; every one is swept by each hot phase,
+/// so each phase contributes at least this many logged requests.
+const PAGES: usize = 16;
+/// Advisor sensitivity: well below one sweep, so a sweep split across
+/// sampling windows still trips it.
+const MIN_REQUESTS: u64 = 4;
+/// Advisor sampling interval.
+const INTERVAL: Duration = Duration::from_millis(50);
+/// How long each phase may wait for its migration before failing.
+const PHASE_DEADLINE: Duration = Duration::from_secs(10);
+
+/// What one H2 run produced.
+#[derive(Clone, Debug)]
+pub struct H2Report {
+    /// Advisor-issued library moves, in order.
+    pub migrations: Vec<MigrationRecord>,
+    /// Merged per-site metrics (deterministic line shape).
+    pub metrics: String,
+    /// True when the library followed the hot site twice: 0→1, then
+    /// 1→2.
+    pub pass: bool,
+}
+
+fn wait_for_moves(cluster: &HostCluster, want: usize) -> bool {
+    let deadline = Instant::now() + PHASE_DEADLINE;
+    while cluster.migrations().len() < want {
+        if Instant::now() >= deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    true
+}
+
+/// One hot phase: `site` write-faults every page exactly once. Every
+/// fault is a request the current library logs against `site`.
+fn sweep(cluster: &HostCluster, seg: mirage_types::SegmentId, site: usize, tag: u32) {
+    let v = cluster.view(site, seg);
+    let h = std::thread::spawn(move || {
+        for p in 0..PAGES as u32 {
+            v.write_u32(PageNum(p), 0, (tag << 16) | p);
+        }
+    });
+    h.join().expect("sweep thread panicked");
+}
+
+/// Runs H2 and reports. The wire is real (Unix-domain sockets between
+/// the site kernels); the advisor and both handoffs happen mid-run with
+/// application threads faulting throughout.
+pub fn h2_live_migration() -> H2Report {
+    let mut config = ProtocolConfig::paper(Delta(1));
+    config.retry = Some(RetryPolicy::default());
+    let cluster = HostCluster::start_with(ClusterOpts {
+        sites: 3,
+        config,
+        wire: WireChoice::Uds(None),
+        advisor: Some(AdvisorOpts { min_requests: MIN_REQUESTS, interval: INTERVAL }),
+    });
+    let seg = cluster.create_segment(0, PAGES);
+
+    // Phase 1: site 1 runs hot; the library starts at site 0 and must
+    // move to site 1.
+    sweep(&cluster, seg, 1, 0xA);
+    let phase1 = wait_for_moves(&cluster, 1);
+    // Let the advisor drain any handoff-tail log entries before the hot
+    // spot shifts, so phase 2's window is cleanly site 2's.
+    std::thread::sleep(INTERVAL * 2);
+
+    // Phase 2: the hot spot shifts to site 2; the library must follow.
+    sweep(&cluster, seg, 2, 0xB);
+    let phase2 = phase1 && wait_for_moves(&cluster, 2);
+
+    let migrations = cluster.migrations();
+    let metrics = cluster.metrics().render();
+    let pass = phase2
+        && migrations.len() >= 2
+        && migrations[0].from == SiteId(0)
+        && migrations[0].to == SiteId(1)
+        && migrations[1].from == SiteId(1)
+        && migrations[1].to == SiteId(2);
+    H2Report { migrations, metrics, pass }
+}

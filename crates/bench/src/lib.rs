@@ -11,12 +11,17 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod host_cluster;
 pub mod observability;
 pub mod repro;
 pub mod table;
 
 pub use experiments::*;
 pub use harness::bench;
+pub use host_cluster::{
+    h2_live_migration,
+    H2Report,
+};
 pub use observability::{
     observability_report,
     traced_pingpong_metrics,

@@ -1,0 +1,142 @@
+//! `mirage-cluster`: launch an N-process Mirage DSM cluster over real
+//! sockets, run a workload, verify cross-site coherence, and report.
+//!
+//! ```text
+//! mirage-cluster [--sites 3] [--wire uds|tcp] [--pages 4] [--delta 1]
+//!                [--workload fill|readers] [--rounds 6] [--target 40]
+//!                [--kill <site> --kill-after-ms 400 --restart-after-ms 200]
+//!                [--site-bin <path>] [--dir <scratch>]
+//! ```
+//!
+//! `--site-bin` defaults to the `mirage-site` binary next to this
+//! executable (the Cargo target directory layout).
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use mirage_host::launcher::{
+    run_cluster,
+    KillPlan,
+    LaunchOpts,
+};
+use mirage_host::manifest::{
+    Manifest,
+    SegmentSpec,
+    Workload,
+};
+use mirage_net::transport::{
+    BoundListener,
+    Endpoint,
+};
+
+fn parse<T: std::str::FromStr>(v: Option<String>, what: &str) -> T {
+    v.and_then(|s| s.parse().ok()).unwrap_or_else(|| panic!("bad or missing value for {what}"))
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut sites = 3usize;
+    let mut wire = "uds".to_string();
+    let mut pages = 4usize;
+    let mut delta = 1u32;
+    let mut workload = "fill".to_string();
+    let mut rounds = 6u32;
+    let mut target = 40u32;
+    let mut kill: Option<usize> = None;
+    let mut kill_after_ms = 400u64;
+    let mut restart_after_ms: Option<u64> = Some(200);
+    let mut site_bin: Option<PathBuf> = None;
+    let mut dir: Option<PathBuf> = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--sites" => sites = parse(args.next(), "--sites"),
+            "--wire" => wire = parse(args.next(), "--wire"),
+            "--pages" => pages = parse(args.next(), "--pages"),
+            "--delta" => delta = parse(args.next(), "--delta"),
+            "--workload" => workload = parse(args.next(), "--workload"),
+            "--rounds" => rounds = parse(args.next(), "--rounds"),
+            "--target" => target = parse(args.next(), "--target"),
+            "--kill" => kill = Some(parse(args.next(), "--kill")),
+            "--kill-after-ms" => kill_after_ms = parse(args.next(), "--kill-after-ms"),
+            "--restart-after-ms" => {
+                restart_after_ms = Some(parse(args.next(), "--restart-after-ms"))
+            }
+            "--no-restart" => restart_after_ms = None,
+            "--site-bin" => {
+                site_bin = Some(PathBuf::from(args.next().expect("--site-bin path")))
+            }
+            "--dir" => dir = Some(PathBuf::from(args.next().expect("--dir path"))),
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+
+    let dir = dir.unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("mirage-cluster-{}", std::process::id()))
+    });
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    let site_bin = site_bin.unwrap_or_else(|| {
+        let me = std::env::current_exe().expect("current exe");
+        me.parent().expect("exe dir").join("mirage-site")
+    });
+
+    let endpoints: Vec<Endpoint> = match wire.as_str() {
+        "uds" => (0..sites).map(|i| Endpoint::Uds(dir.join(format!("site{i}.sock")))).collect(),
+        "tcp" => (0..sites)
+            .map(|_| {
+                // Bind-then-drop to reserve a concrete port for the
+                // manifest; the site process re-binds it.
+                let l = BoundListener::bind(&Endpoint::Tcp("127.0.0.1:0".into()))
+                    .expect("probe TCP port");
+                l.endpoint().clone()
+            })
+            .collect(),
+        other => panic!("unknown wire {other:?} (uds|tcp)"),
+    };
+    let workload = match workload.as_str() {
+        "fill" => Workload::Fill { rounds },
+        "readers" => Workload::Readers { target },
+        other => panic!("unknown workload {other:?} (fill|readers)"),
+    };
+    let manifest = Manifest {
+        sites,
+        endpoints,
+        delta_ticks: delta,
+        retry: true,
+        segments: vec![SegmentSpec { lib: 0, pages }],
+        workload,
+    };
+    let opts = LaunchOpts {
+        manifest,
+        dir,
+        site_bin,
+        kill: kill.map(|site| KillPlan {
+            site,
+            after: Duration::from_millis(kill_after_ms),
+            restart_after: restart_after_ms.map(Duration::from_millis),
+        }),
+        deadline: Duration::from_secs(120),
+    };
+
+    match run_cluster(&opts) {
+        Ok(report) => {
+            println!("# mirage-cluster report");
+            for s in &report.sites {
+                println!(
+                    "site {}: incarnation {} exit {:?} killed {} sum {}",
+                    s.site,
+                    s.incarnation,
+                    s.exit,
+                    s.killed,
+                    s.sum.map(|v| format!("{v:016x}")).unwrap_or_else(|| "-".into()),
+                );
+            }
+            println!("coherent: {}", report.coherent);
+            println!("\n## merged metrics\n{}", report.metrics);
+            std::process::exit(i32::from(!report.coherent));
+        }
+        Err(e) => {
+            eprintln!("mirage-cluster: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! `mirage-site`: one Mirage DSM site as one OS process.
+//!
+//! ```text
+//! mirage-site --manifest <file> --site <i> [--incarnation <k>] --control <sock>
+//! ```
+//!
+//! See `mirage_host::proc` for the control protocol and
+//! `mirage_host::manifest` for the manifest format.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(mirage_host::proc::site_main(argv));
+}

@@ -57,6 +57,26 @@ pub static MAILBOXES: [[FaultSlot; SLOTS_PER_SITE]; MAX_SITES] =
 /// -1 = unset.
 static PIPES: [AtomicI32; MAX_SITES] = [const { AtomicI32::new(-1) }; MAX_SITES];
 
+/// Per-site poison flags: a site whose kernel thread has exited. The
+/// handler must never park a thread against a dead kernel — no one
+/// would ever grant it — so faults on a poisoned site return
+/// immediately and the access retries against the opened (read-write)
+/// teardown protections.
+static POISONED: [AtomicU32; MAX_SITES] = [const { AtomicU32::new(0) }; MAX_SITES];
+
+/// Marks a site's kernel as gone. Called by the kernel on its way out,
+/// *after* it has opened every page read-write, so a retried access
+/// succeeds instead of refaulting forever. Site slots are never reused,
+/// so poisoning is permanent for the slot.
+pub fn poison(site: usize) {
+    POISONED[site].store(1, Ordering::Release);
+}
+
+/// True once [`poison`] has been called for the site slot.
+pub fn is_poisoned(site: usize) -> bool {
+    POISONED[site].load(Ordering::Acquire) != 0
+}
+
 /// Registers a site's wake-pipe write end.
 pub fn set_pipe(site: usize, write_fd: i32) {
     PIPES[site].store(write_fd, Ordering::Release);
@@ -116,6 +136,11 @@ extern "C" fn on_sigsegv(
         }
         return;
     };
+    if POISONED[hit.site].load(Ordering::Acquire) != 0 {
+        // Dead kernel: the teardown path already opened the pages, so
+        // returning retries the access successfully. Never park here.
+        return;
+    }
     let is_write = fault_is_write(ctx);
     let slots = &MAILBOXES[hit.site];
     // Claim a slot.
@@ -148,8 +173,14 @@ extern "C" fn on_sigsegv(
         }
     }
     // Sleep until granted ("the faulting process awaits the library's
-    // request processing by sleeping", §6.1).
+    // request processing by sleeping", §6.1). A kernel that dies while
+    // we sleep poisons the site instead of granting; bail out so the
+    // thread survives cluster teardown.
     while slot.state.load(Ordering::Acquire) != GRANTED {
+        if POISONED[hit.site].load(Ordering::Acquire) != 0 {
+            slot.state.store(FREE, Ordering::Release);
+            return;
+        }
         nanosleep_ms(1);
     }
     slot.state.store(FREE, Ordering::Release);

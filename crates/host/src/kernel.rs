@@ -1,0 +1,415 @@
+//! The site kernel: one protocol engine serviced by one loop, fed by
+//! real faults, a sequenced transport, and a command channel.
+//!
+//! This is the piece `crates/host` shares between its two deployment
+//! shapes. In-process clusters ([`crate::runtime::HostCluster`]) run one
+//! [`kernel_main`] thread per site over the channel transport; the
+//! `mirage-site` binary runs exactly one per OS process over a socket
+//! transport. Either way the loop is the same: fire due timers, service
+//! posted `SIGSEGV` faults, apply host commands, and deliver wire
+//! frames — the host-runtime analogue of the paper's interrupt-driven
+//! kernel path (§6).
+//!
+//! On its way out — commanded stop or transport closure — the kernel
+//! *poisons* its site: every page of every local segment is opened
+//! read-write, the site's poison flag is raised, and every in-flight
+//! fault slot is granted. An application thread parked in the fault
+//! handler therefore always resumes (its retried access succeeds
+//! against the opened pages), so cluster teardown can never deadlock on
+//! a dead site's grant.
+
+use std::collections::BinaryHeap;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{
+    Receiver,
+    Sender,
+    TryRecvError,
+};
+use std::sync::{
+    Arc,
+    Mutex,
+};
+use std::time::{
+    Duration,
+    Instant,
+};
+
+use mirage_core::{
+    DriverOps,
+    Event,
+    PageStore,
+    ProtoMsg,
+    ProtocolConfig,
+    ProtocolDriver,
+    RefLogEntry,
+};
+use mirage_net::transport::{
+    SequencedTransport,
+    TransportEvent,
+};
+use mirage_net::wire::{
+    from_bytes,
+    to_bytes,
+};
+use mirage_trace::{
+    Entry,
+    RefLog,
+    Registry,
+    TraceEvent,
+};
+use mirage_types::{
+    Access,
+    PageNum,
+    PageProt,
+    Pid,
+    SegmentId,
+    SimTime,
+    SiteId,
+};
+
+use crate::{
+    arch::STRIDE,
+    fault::{
+        self,
+        GRANTED,
+        IN_SERVICE,
+        MAILBOXES,
+        POSTED,
+        SLOTS_PER_SITE,
+    },
+    region,
+    store::HostStore,
+};
+
+/// Host-side commands to a running kernel.
+pub enum Command {
+    /// Create a segment locally; reply with the user-view base address.
+    CreateSegment {
+        /// The segment id (its embedded library site decides residency
+        /// elsewhere; `resident` decides it here).
+        seg: SegmentId,
+        /// DSM pages in the segment.
+        pages: usize,
+        /// Whether this site starts with the fully-resident creator view.
+        resident: bool,
+        /// Reply channel for the user-view base address.
+        ack: Sender<usize>,
+    },
+    /// Drive [`Event::MigrateLibrary`]: hand the library role to `to`.
+    Migrate {
+        /// Segment whose library role moves.
+        seg: SegmentId,
+        /// Destination site.
+        to: SiteId,
+        /// Page-range shard to move (`None` = every local shard).
+        shard: Option<u32>,
+    },
+    /// Reply with a snapshot of this site's reference log (§9).
+    RefLog(Sender<RefLog>),
+    /// Reply with this site's metrics registry (counters carry an
+    /// `s<site>.` prefix so per-site registries merge deterministically).
+    Metrics(Sender<Registry>),
+    /// Reply with the segment's page contents, read through the kernel
+    /// view (coherence checking; `pages * PAGE_SIZE` bytes).
+    Snapshot(SegmentId, Sender<Vec<u8>>),
+    /// Shut down (poisons the site on the way out).
+    Stop,
+}
+
+/// Everything a kernel needs besides its transport and command channel.
+pub struct KernelCtx {
+    /// This site.
+    pub site: SiteId,
+    /// The site's row in the fault mailboxes / poison table.
+    pub slot: usize,
+    /// Protocol configuration.
+    pub config: ProtocolConfig,
+    /// Cluster epoch: `SimTime` is nanoseconds since this instant (§9:
+    /// Δ is real time).
+    pub epoch: Instant,
+    /// Where to record region-table slots for later cleanup.
+    pub region_slots: Arc<Mutex<Vec<usize>>>,
+}
+
+/// A pending engine timer (earliest-first in the heap).
+struct TimerEnt(SimTime, u64);
+impl PartialEq for TimerEnt {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0 && self.1 == other.1
+    }
+}
+impl Eq for TimerEnt {}
+impl PartialOrd for TimerEnt {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEnt {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap and we want earliest-first.
+        (other.0, other.1).cmp(&(self.0, self.1))
+    }
+}
+
+/// [`DriverOps`] receiver for a kernel: sends become frames on the
+/// transport, wakes flip the faulting thread's mailbox slot, timers
+/// join the local heap, log records land in the site's reference log,
+/// and trace events tick the per-kind metrics counters.
+struct KernelOps<'a> {
+    slot: usize,
+    timers: &'a mut BinaryHeap<TimerEnt>,
+    transport: &'a mut dyn SequencedTransport,
+    ref_log: &'a mut RefLog,
+    metrics: &'a mut Registry,
+    prefix: &'a str,
+}
+
+impl DriverOps for KernelOps<'_> {
+    fn send(&mut self, to: SiteId, msg: ProtoMsg) {
+        let bytes = to_bytes(&msg);
+        self.metrics.add(&format!("{}send.msgs", self.prefix), 1);
+        self.transport.send(to, &bytes);
+    }
+
+    fn wake(&mut self, pid: Pid) {
+        let slot = &MAILBOXES[self.slot][(pid.local as usize) - 1];
+        // Only wake a slot this site put in service; stale wakes for
+        // recycled slots are ignored by the CAS.
+        let _ = slot.state.compare_exchange(
+            IN_SERVICE,
+            GRANTED,
+            Ordering::AcqRel,
+            Ordering::Relaxed,
+        );
+    }
+
+    fn set_timer(&mut self, at: SimTime, token: u64) {
+        self.timers.push(TimerEnt(at, token));
+    }
+
+    fn log(&mut self, e: RefLogEntry) {
+        self.ref_log.record(Entry {
+            seg: e.seg,
+            page: e.page,
+            at: e.at,
+            pid: e.pid,
+            access: e.access,
+        });
+    }
+
+    fn trace(&mut self, ev: TraceEvent) {
+        self.metrics.add(&format!("{}proto.{:?}", self.prefix, ev.kind), 1);
+    }
+}
+
+/// The kernel loop. Returns when commanded to stop or when the
+/// transport closes; either way the site is poisoned first (pages
+/// opened, slots granted) so parked application threads always resume.
+pub fn kernel_main(
+    ctx: KernelCtx,
+    mut transport: Box<dyn SequencedTransport>,
+    cmds: Receiver<Command>,
+) {
+    let KernelCtx { site, slot, config, epoch, region_slots } = ctx;
+    debug_assert_eq!(transport.site(), site);
+    let prefix = format!("s{}.", site.0);
+    let mut driver = ProtocolDriver::from_config(site, config);
+    let mut store = HostStore::new();
+    let mut timers: BinaryHeap<TimerEnt> = BinaryHeap::new();
+    let mut ref_log = RefLog::new();
+    let mut metrics = Registry::new();
+    let now = || SimTime(epoch.elapsed().as_nanos() as u64);
+
+    'main: loop {
+        // Fire due timers.
+        let t_now = now();
+        while timers.peek().map(|t| t.0 <= t_now).unwrap_or(false) {
+            let TimerEnt(_, token) = timers.pop().expect("peeked");
+            metrics.add(&format!("{prefix}timer.fired"), 1);
+            driver.drive(
+                Event::Timer { token },
+                t_now,
+                &mut store,
+                &mut KernelOps {
+                    slot,
+                    timers: &mut timers,
+                    transport: transport.as_mut(),
+                    ref_log: &mut ref_log,
+                    metrics: &mut metrics,
+                    prefix: &prefix,
+                },
+            );
+        }
+        // Service posted faults.
+        #[allow(clippy::needless_range_loop)] // `slot` is the site row, not the loop index.
+        for slot_idx in 0..SLOTS_PER_SITE {
+            let fslot = &MAILBOXES[slot][slot_idx];
+            if fslot
+                .state
+                .compare_exchange(POSTED, IN_SERVICE, Ordering::AcqRel, Ordering::Relaxed)
+                .is_err()
+            {
+                continue;
+            }
+            let addr = fslot.addr.load(Ordering::Relaxed);
+            let hw_write = fslot.write.load(Ordering::Relaxed) == 1;
+            let Some(hit) = region::lookup(addr) else {
+                // Region vanished (segment destroyed mid-fault); let the
+                // app retry and crash honestly.
+                fslot.state.store(GRANTED, Ordering::Release);
+                continue;
+            };
+            let page = PageNum((hit.offset / STRIDE) as u32);
+            // Typed fault: the x86-64 error-code bit; on other
+            // architectures infer from the current protection (a fault
+            // on a readable page must be a write).
+            let access = if hw_write || store.prot(hit.seg, page) == PageProt::Read {
+                Access::Write
+            } else {
+                Access::Read
+            };
+            metrics.add(
+                &format!(
+                    "{prefix}fault.{}",
+                    if access == Access::Write { "write" } else { "read" }
+                ),
+                1,
+            );
+            let pid = Pid::new(site, (slot_idx + 1) as u32);
+            let t = now();
+            driver.drive(
+                Event::Fault { pid, seg: hit.seg, page, access },
+                t,
+                &mut store,
+                &mut KernelOps {
+                    slot,
+                    timers: &mut timers,
+                    transport: transport.as_mut(),
+                    ref_log: &mut ref_log,
+                    metrics: &mut metrics,
+                    prefix: &prefix,
+                },
+            );
+        }
+        // Apply host commands.
+        loop {
+            match cmds.try_recv() {
+                Ok(Command::CreateSegment { seg, pages, resident, ack }) => {
+                    store.add_segment(seg, pages, resident);
+                    driver.register_segment(seg, pages);
+                    let base = store.mapping(seg).expect("just added").user_base() as usize;
+                    let rslot = region::register(base, pages * STRIDE, slot, seg);
+                    region_slots.lock().unwrap().push(rslot);
+                    let _ = ack.send(base);
+                }
+                Ok(Command::Migrate { seg, to, shard }) => {
+                    metrics.add(&format!("{prefix}migrate.issued"), 1);
+                    let t = now();
+                    driver.drive(
+                        Event::MigrateLibrary { seg, to, shard },
+                        t,
+                        &mut store,
+                        &mut KernelOps {
+                            slot,
+                            timers: &mut timers,
+                            transport: transport.as_mut(),
+                            ref_log: &mut ref_log,
+                            metrics: &mut metrics,
+                            prefix: &prefix,
+                        },
+                    );
+                }
+                Ok(Command::RefLog(ack)) => {
+                    let _ = ack.send(ref_log.clone());
+                }
+                Ok(Command::Metrics(ack)) => {
+                    let mut reg = metrics.clone();
+                    let s = transport.stats();
+                    reg.gauge_set(&format!("{prefix}wire.tx.frames"), s.tx_frames);
+                    reg.gauge_set(&format!("{prefix}wire.tx.bytes"), s.tx_bytes);
+                    reg.gauge_set(&format!("{prefix}wire.tx.dropped"), s.tx_dropped);
+                    reg.gauge_set(&format!("{prefix}wire.rx.frames"), s.rx_frames);
+                    reg.gauge_set(&format!("{prefix}wire.rx.bytes"), s.rx_bytes);
+                    reg.gauge_set(&format!("{prefix}wire.rx.dup"), s.rx_dup);
+                    reg.gauge_set(&format!("{prefix}wire.rx.stale"), s.rx_stale);
+                    reg.gauge_set(&format!("{prefix}wire.rx.gap"), s.rx_gap);
+                    reg.gauge_set(&format!("{prefix}wire.reconnects"), s.reconnects);
+                    let _ = ack.send(reg);
+                }
+                Ok(Command::Snapshot(seg, ack)) => {
+                    let pages =
+                        store.segments().iter().find(|(s, _)| *s == seg).map(|(_, p)| *p);
+                    let mut out = Vec::new();
+                    if let Some(pages) = pages {
+                        for p in 0..pages {
+                            out.extend_from_slice(
+                                store.copy(seg, PageNum(p as u32)).as_bytes(),
+                            );
+                        }
+                    }
+                    let _ = ack.send(out);
+                }
+                Ok(Command::Stop) => break 'main,
+                Err(TryRecvError::Empty) => break,
+                // Host dropped the command channel: shut down cleanly.
+                Err(TryRecvError::Disconnected) => break 'main,
+            }
+        }
+        // Wait briefly for wire traffic.
+        match transport.recv_timeout(Duration::from_micros(500)) {
+            TransportEvent::Frame(f) => {
+                metrics.add(&format!("{prefix}deliver.msgs"), 1);
+                match from_bytes::<ProtoMsg>(&f.payload) {
+                    Ok(msg) => {
+                        let t = now();
+                        driver.drive(
+                            Event::Deliver { from: f.from, msg },
+                            t,
+                            &mut store,
+                            &mut KernelOps {
+                                slot,
+                                timers: &mut timers,
+                                transport: transport.as_mut(),
+                                ref_log: &mut ref_log,
+                                metrics: &mut metrics,
+                                prefix: &prefix,
+                            },
+                        );
+                    }
+                    // A frame that passed the checksum but fails the
+                    // protocol codec is counted and dropped, never a
+                    // panic: the retry chains re-drive the exchange.
+                    Err(_) => metrics.add(&format!("{prefix}wire.decode_error"), 1),
+                }
+            }
+            TransportEvent::Timeout => {}
+            TransportEvent::Closed => break 'main,
+        }
+    }
+
+    // Teardown poison (in this order — see module docs): open every
+    // page so retried accesses succeed, raise the poison flag so the
+    // fault handler stops parking threads, then grant whatever is
+    // already parked.
+    store.open_all();
+    fault::poison(slot);
+    let mut released = false;
+    for fslot in &MAILBOXES[slot] {
+        released |= fslot
+            .state
+            .compare_exchange(POSTED, GRANTED, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok();
+        released |= fslot
+            .state
+            .compare_exchange(IN_SERVICE, GRANTED, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok();
+    }
+    if released {
+        // A thread we just granted is about to retry its access; the
+        // opened pages must stay mapped for that retry, so the store
+        // (and its memfd mappings) is deliberately leaked. This only
+        // happens on teardown with threads still parked — a bounded,
+        // once-per-site cost that buys a deadlock-free exit.
+        std::mem::forget(store);
+    }
+}

@@ -1,0 +1,267 @@
+//! The cluster launcher/supervisor: spawns one `mirage-site` process
+//! per site, wires the topology through a shared manifest file, drives
+//! the control protocol, can kill -9 and restart a member mid-run
+//! (bumping its incarnation so peers sever the dead circuits), and
+//! collects exit statuses plus a cross-site coherence verdict.
+
+use std::collections::BTreeSet;
+use std::io::{
+    BufRead,
+    BufReader,
+    Write,
+};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::process::{
+    Child,
+    Command as ProcCommand,
+    Stdio,
+};
+use std::time::{
+    Duration,
+    Instant,
+};
+
+use crate::manifest::Manifest;
+
+/// Kill one member mid-run, then (optionally) restart it.
+#[derive(Clone, Copy, Debug)]
+pub struct KillPlan {
+    /// The site to kill -9.
+    pub site: usize,
+    /// How long after `start` to kill it.
+    pub after: Duration,
+    /// How long after the kill to respawn it (`None` = leave it dead).
+    pub restart_after: Option<Duration>,
+}
+
+/// Launcher configuration.
+#[derive(Clone, Debug)]
+pub struct LaunchOpts {
+    /// The cluster manifest (endpoints must be resolvable by every
+    /// member — Unix socket paths or concrete TCP addresses).
+    pub manifest: Manifest,
+    /// Scratch directory for the manifest file and control sockets.
+    pub dir: PathBuf,
+    /// Path to the `mirage-site` binary.
+    pub site_bin: PathBuf,
+    /// Optional mid-run kill/restart.
+    pub kill: Option<KillPlan>,
+    /// Overall wall-clock budget for the run.
+    pub deadline: Duration,
+}
+
+/// One member's outcome.
+#[derive(Clone, Debug)]
+pub struct SiteOutcome {
+    /// Site index.
+    pub site: usize,
+    /// Readback checksum (protocol-read view of every segment), if the
+    /// site survived to compute one.
+    pub sum: Option<u64>,
+    /// Exit code of the (final incarnation of the) process.
+    pub exit: Option<i32>,
+    /// True if this site was kill -9ed at some point.
+    pub killed: bool,
+    /// Final incarnation that ran.
+    pub incarnation: u64,
+}
+
+/// What a cluster run produced.
+#[derive(Clone, Debug)]
+pub struct ClusterReport {
+    /// Per-site outcomes, indexed by site.
+    pub sites: Vec<SiteOutcome>,
+    /// True when every surviving site's readback checksum agrees.
+    pub coherent: bool,
+    /// The agreed checksum (when `coherent` and at least one site
+    /// reported).
+    pub sum: Option<u64>,
+    /// Merged metrics report (per-site `s<i>.`-prefixed counters,
+    /// line-sorted so the shape is diffable across runs).
+    pub metrics: String,
+}
+
+/// One live control connection.
+struct Control {
+    reader: BufReader<UnixStream>,
+    writer: UnixStream,
+}
+
+impl Control {
+    fn connect(path: &PathBuf, deadline: Instant) -> Result<Control, String> {
+        loop {
+            match UnixStream::connect(path) {
+                Ok(s) => {
+                    s.set_read_timeout(Some(Duration::from_secs(120)))
+                        .map_err(|e| format!("control timeout: {e}"))?;
+                    let writer = s.try_clone().map_err(|e| format!("clone control: {e}"))?;
+                    return Ok(Control { reader: BufReader::new(s), writer });
+                }
+                Err(_) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => return Err(format!("connect {}: {e}", path.display())),
+            }
+        }
+    }
+
+    fn send(&mut self, line: &str) -> Result<(), String> {
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .map_err(|e| format!("control write: {e}"))
+    }
+
+    fn recv(&mut self) -> Result<String, String> {
+        let mut line = String::new();
+        match self.reader.read_line(&mut line) {
+            Ok(0) => Err("control connection closed".into()),
+            Ok(_) => Ok(line.trim().to_string()),
+            Err(e) => Err(format!("control read: {e}")),
+        }
+    }
+
+    fn expect(&mut self, want: &str) -> Result<(), String> {
+        let got = self.recv()?;
+        if got == want {
+            Ok(())
+        } else {
+            Err(format!("expected {want:?}, got {got:?}"))
+        }
+    }
+
+    /// Request/reply where the reply is `<tag> <rest>`; returns `rest`.
+    fn ask(&mut self, req: &str, tag: &str) -> Result<String, String> {
+        self.send(req)?;
+        let got = self.recv()?;
+        got.strip_prefix(tag)
+            .map(|r| r.trim_start().to_string())
+            .ok_or(format!("expected {tag:?} reply to {req:?}, got {got:?}"))
+    }
+}
+
+/// One supervised member process.
+struct Member {
+    child: Child,
+    control: Option<Control>,
+    outcome: SiteOutcome,
+}
+
+fn spawn_site(
+    opts: &LaunchOpts,
+    manifest_path: &PathBuf,
+    site: usize,
+    incarnation: u64,
+) -> Result<(Child, PathBuf), String> {
+    let control_path = opts.dir.join(format!("ctl-{site}-{incarnation}.sock"));
+    let child = ProcCommand::new(&opts.site_bin)
+        .arg("--manifest")
+        .arg(manifest_path)
+        .arg("--site")
+        .arg(site.to_string())
+        .arg("--incarnation")
+        .arg(incarnation.to_string())
+        .arg("--control")
+        .arg(&control_path)
+        .stdin(Stdio::null())
+        .stdout(Stdio::inherit())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .map_err(|e| format!("spawn {}: {e}", opts.site_bin.display()))?;
+    Ok((child, control_path))
+}
+
+/// Runs the whole cluster lifecycle and reports.
+///
+/// # Errors
+///
+/// Setup failures (spawn, connect) and protocol violations, as text.
+/// A member dying unexpectedly is an error unless it is the planned
+/// kill victim.
+pub fn run_cluster(opts: &LaunchOpts) -> Result<ClusterReport, String> {
+    std::fs::create_dir_all(&opts.dir).map_err(|e| format!("mkdir: {e}"))?;
+    let manifest_path = opts.dir.join("manifest.txt");
+    opts.manifest.save(&manifest_path)?;
+    let deadline = Instant::now() + opts.deadline;
+    let n = opts.manifest.sites;
+
+    // Spawn everyone and collect their `ready`s.
+    let mut members: Vec<Member> = Vec::with_capacity(n);
+    for site in 0..n {
+        let (child, control_path) = spawn_site(opts, &manifest_path, site, 1)?;
+        let mut control = Control::connect(&control_path, deadline)?;
+        control.expect("ready")?;
+        members.push(Member {
+            child,
+            control: Some(control),
+            outcome: SiteOutcome { site, sum: None, exit: None, killed: false, incarnation: 1 },
+        });
+    }
+    for m in &mut members {
+        let c = m.control.as_mut().expect("connected above");
+        c.send("start")?;
+        c.expect("started")?;
+    }
+
+    // The mid-run kill/restart.
+    if let Some(plan) = opts.kill {
+        std::thread::sleep(plan.after);
+        let m = &mut members[plan.site];
+        m.child.kill().map_err(|e| format!("kill site {}: {e}", plan.site))?;
+        let _ = m.child.wait();
+        m.control = None;
+        m.outcome.killed = true;
+        if let Some(gap) = plan.restart_after {
+            std::thread::sleep(gap);
+            let inc = 2;
+            let (child, control_path) = spawn_site(opts, &manifest_path, plan.site, inc)?;
+            let mut control = Control::connect(&control_path, deadline)?;
+            control.expect("ready")?;
+            control.send("start")?;
+            control.expect("started")?;
+            members[plan.site].child = child;
+            members[plan.site].control = Some(control);
+            members[plan.site].outcome.incarnation = inc;
+        }
+    }
+
+    // Wait for every live member's workload, then read back checksums
+    // and metrics.
+    let mut metric_lines: BTreeSet<String> = BTreeSet::new();
+    for m in &mut members {
+        let Some(c) = m.control.as_mut() else { continue };
+        c.send("wait")?;
+        c.expect("done")?;
+    }
+    for m in &mut members {
+        let Some(c) = m.control.as_mut() else { continue };
+        let hex = c.ask("readback", "sum")?;
+        m.outcome.sum =
+            Some(u64::from_str_radix(&hex, 16).map_err(|e| format!("bad sum {hex:?}: {e}"))?);
+        let escaped = c.ask("metrics", "metrics")?;
+        for line in escaped.split('|').filter(|l| !l.is_empty()) {
+            metric_lines.insert(line.to_string());
+        }
+    }
+
+    // Shut everyone down and collect exit statuses.
+    for m in &mut members {
+        if let Some(c) = m.control.as_mut() {
+            c.send("exit")?;
+            let _ = c.expect("bye");
+        }
+        if let Ok(status) = m.child.wait() {
+            m.outcome.exit = status.code();
+        }
+    }
+
+    let sums: Vec<u64> = members.iter().filter_map(|m| m.outcome.sum).collect();
+    let coherent = !sums.is_empty() && sums.iter().all(|s| *s == sums[0]);
+    Ok(ClusterReport {
+        sites: members.into_iter().map(|m| m.outcome).collect(),
+        coherent,
+        sum: sums.first().copied().filter(|_| coherent),
+        metrics: metric_lines.into_iter().collect::<Vec<_>>().join("\n"),
+    })
+}

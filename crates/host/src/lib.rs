@@ -36,14 +36,23 @@
 
 pub mod arch;
 pub mod fault;
+pub mod kernel;
+pub mod launcher;
+pub mod manifest;
+pub mod proc;
 pub mod region;
 pub mod runtime;
 pub mod store;
 pub mod sys;
 pub mod sysv;
+pub mod workload;
 
 pub use runtime::{
+    AdvisorOpts,
+    ClusterOpts,
     HostCluster,
+    MigrationRecord,
     SegView,
+    WireChoice,
 };
 pub use sysv::SysV;

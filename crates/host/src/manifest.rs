@@ -1,0 +1,273 @@
+//! The cluster manifest: topology and workload for a multi-process run.
+//!
+//! The launcher writes one manifest file; every `mirage-site` process
+//! reads it back, so all members agree on the site count, each site's
+//! endpoint, the protocol knobs, the segments, and the workload. The
+//! format is deliberately plain — one directive per line, `#` comments —
+//! so a manifest is also a legible record of what a run *was*:
+//!
+//! ```text
+//! sites 3
+//! delta 1
+//! retry on
+//! site 0 uds:/tmp/run/site0.sock
+//! site 1 uds:/tmp/run/site1.sock
+//! site 2 uds:/tmp/run/site2.sock
+//! segment 0 4
+//! workload fill 8
+//! ```
+
+use std::path::Path;
+
+use mirage_core::{
+    ProtocolConfig,
+    RetryPolicy,
+};
+use mirage_net::transport::Endpoint;
+use mirage_types::Delta;
+
+/// One shared segment: which site hosts the library, and its size.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SegmentSpec {
+    /// Library (creator) site index.
+    pub lib: usize,
+    /// DSM pages.
+    pub pages: usize,
+}
+
+/// What the application threads do.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Workload {
+    /// Every site writes its own cells of every page for `rounds`
+    /// rounds and reads the others' — deterministic final contents, so
+    /// two runs (or two wires) can be compared byte-for-byte.
+    Fill {
+        /// Write rounds.
+        rounds: u32,
+    },
+    /// Site 0 publishes an ascending counter; every other site
+    /// poll-reads until it observes `target`. The kill-and-restart
+    /// test's shape: any reader can die and rejoin mid-stream.
+    Readers {
+        /// Final counter value.
+        target: u32,
+    },
+}
+
+/// A parsed cluster manifest.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Manifest {
+    /// Number of sites.
+    pub sites: usize,
+    /// Site endpoints, indexed by site.
+    pub endpoints: Vec<Endpoint>,
+    /// Δ window in scheduler ticks (1 tick ≈ 16.7 ms).
+    pub delta_ticks: u32,
+    /// Run with the retry/backoff machinery (required for migration
+    /// and crash recovery).
+    pub retry: bool,
+    /// Shared segments.
+    pub segments: Vec<SegmentSpec>,
+    /// Application workload.
+    pub workload: Workload,
+}
+
+impl Manifest {
+    /// The [`ProtocolConfig`] every site derives from this manifest.
+    pub fn protocol_config(&self) -> ProtocolConfig {
+        let mut config = ProtocolConfig::paper(Delta(self.delta_ticks));
+        config.retry = self.retry.then(RetryPolicy::default);
+        config
+    }
+
+    /// Renders the manifest in the line format [`Manifest::parse`]
+    /// reads.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("sites {}\n", self.sites));
+        out.push_str(&format!("delta {}\n", self.delta_ticks));
+        out.push_str(&format!("retry {}\n", if self.retry { "on" } else { "off" }));
+        for (i, ep) in self.endpoints.iter().enumerate() {
+            out.push_str(&format!("site {i} {ep}\n"));
+        }
+        for s in &self.segments {
+            out.push_str(&format!("segment {} {}\n", s.lib, s.pages));
+        }
+        match self.workload {
+            Workload::Fill { rounds } => out.push_str(&format!("workload fill {rounds}\n")),
+            Workload::Readers { target } => {
+                out.push_str(&format!("workload readers {target}\n"));
+            }
+        }
+        out
+    }
+
+    /// Parses the line format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed or missing
+    /// directive.
+    pub fn parse(text: &str) -> Result<Manifest, String> {
+        let mut sites = None;
+        let mut delta_ticks = None;
+        let mut retry = true;
+        let mut eps: Vec<(usize, Endpoint)> = Vec::new();
+        let mut segments = Vec::new();
+        let mut workload = None;
+        for (ln, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let err = |what: &str| format!("line {}: {what}: {line}", ln + 1);
+            let mut words = line.split_whitespace();
+            match words.next() {
+                Some("sites") => {
+                    sites = Some(
+                        words
+                            .next()
+                            .and_then(|w| w.parse().ok())
+                            .ok_or_else(|| err("bad site count"))?,
+                    );
+                }
+                Some("delta") => {
+                    delta_ticks = Some(
+                        words
+                            .next()
+                            .and_then(|w| w.parse().ok())
+                            .ok_or_else(|| err("bad delta"))?,
+                    );
+                }
+                Some("retry") => {
+                    retry = match words.next() {
+                        Some("on") => true,
+                        Some("off") => false,
+                        _ => return Err(err("retry must be on|off")),
+                    };
+                }
+                Some("site") => {
+                    let idx: usize = words
+                        .next()
+                        .and_then(|w| w.parse().ok())
+                        .ok_or_else(|| err("bad site index"))?;
+                    let ep = words
+                        .next()
+                        .and_then(Endpoint::parse)
+                        .ok_or_else(|| err("bad endpoint"))?;
+                    eps.push((idx, ep));
+                }
+                Some("segment") => {
+                    let lib = words
+                        .next()
+                        .and_then(|w| w.parse().ok())
+                        .ok_or_else(|| err("bad library site"))?;
+                    let pages = words
+                        .next()
+                        .and_then(|w| w.parse().ok())
+                        .ok_or_else(|| err("bad page count"))?;
+                    segments.push(SegmentSpec { lib, pages });
+                }
+                Some("workload") => {
+                    workload = Some(match (words.next(), words.next()) {
+                        (Some("fill"), Some(n)) => {
+                            Workload::Fill { rounds: n.parse().map_err(|_| err("bad rounds"))? }
+                        }
+                        (Some("readers"), Some(n)) => Workload::Readers {
+                            target: n.parse().map_err(|_| err("bad target"))?,
+                        },
+                        _ => return Err(err("unknown workload")),
+                    });
+                }
+                _ => return Err(err("unknown directive")),
+            }
+        }
+        let sites = sites.ok_or("missing `sites`")?;
+        let mut endpoints = vec![None; sites];
+        for (i, ep) in eps {
+            if i >= sites {
+                return Err(format!("site index {i} out of range"));
+            }
+            endpoints[i] = Some(ep);
+        }
+        let endpoints: Vec<Endpoint> = endpoints
+            .into_iter()
+            .enumerate()
+            .map(|(i, e)| e.ok_or(format!("missing endpoint for site {i}")))
+            .collect::<Result<_, _>>()?;
+        Ok(Manifest {
+            sites,
+            endpoints,
+            delta_ticks: delta_ticks.ok_or("missing `delta`")?,
+            retry,
+            segments,
+            workload: workload.ok_or("missing `workload`")?,
+        })
+    }
+
+    /// Reads and parses a manifest file.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and parse errors, as text.
+    pub fn load(path: &Path) -> Result<Manifest, String> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        Self::parse(&text)
+    }
+
+    /// Writes the manifest to a file.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, as text.
+    pub fn save(&self, path: &Path) -> Result<(), String> {
+        std::fs::write(path, self.render()).map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::path::PathBuf;
+
+    use super::*;
+
+    fn sample() -> Manifest {
+        Manifest {
+            sites: 2,
+            endpoints: vec![
+                Endpoint::Uds(PathBuf::from("/tmp/a.sock")),
+                Endpoint::Tcp("127.0.0.1:7401".into()),
+            ],
+            delta_ticks: 1,
+            retry: true,
+            segments: vec![SegmentSpec { lib: 0, pages: 4 }],
+            workload: Workload::Fill { rounds: 8 },
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let m = sample();
+        assert_eq!(Manifest::parse(&m.render()).unwrap(), m);
+        let mut r = sample();
+        r.workload = Workload::Readers { target: 50 };
+        r.retry = false;
+        assert_eq!(Manifest::parse(&r.render()).unwrap(), r);
+    }
+
+    #[test]
+    fn parse_rejects_holes_and_junk() {
+        assert!(Manifest::parse("sites 2\ndelta 1\nworkload fill 1\n").is_err());
+        assert!(Manifest::parse("bogus 1\n").is_err());
+        assert!(Manifest::parse("sites 1\nsite 4 uds:/x\n").is_err());
+    }
+
+    #[test]
+    fn protocol_config_honors_retry_flag() {
+        assert!(sample().protocol_config().retry.is_some());
+        let mut m = sample();
+        m.retry = false;
+        assert!(m.protocol_config().retry.is_none());
+    }
+}

@@ -1,0 +1,279 @@
+//! One site as one OS process: the `mirage-site` binary's engine room.
+//!
+//! A site process reads the cluster [`crate::manifest::Manifest`],
+//! binds its socket endpoint, runs [`crate::kernel::kernel_main`] on a
+//! kernel thread — taking real `SIGSEGV` faults against its own mapped
+//! region, exactly like the in-process runtime — and obeys a line-based
+//! control protocol on a private Unix socket so the launcher can start
+//! the workload, wait for completion, read back a coherence checksum,
+//! pull metrics, drive a migration, and shut the process down.
+//!
+//! Control protocol (one UTF-8 line per message):
+//!
+//! | launcher → site            | site → launcher                      |
+//! |----------------------------|--------------------------------------|
+//! | (connect)                  | `ready`                              |
+//! | `start`                    | `started`                            |
+//! | `wait`                     | `done` (blocks until workload ends)  |
+//! | `readback`                 | `sum <hex>` (protocol-read checksum) |
+//! | `metrics`                  | `metrics <escaped render>`           |
+//! | `migrate <lib> <ser> <to>` | `ok`                                 |
+//! | `exit`                     | `bye`, then the process exits 0      |
+//!
+//! A kill -9 needs no protocol: the control connection breaks, the
+//! launcher respawns with `--incarnation +1`, and the bumped handshake
+//! severs the dead process's circuits at every peer.
+
+use std::io::{
+    BufRead,
+    BufReader,
+    Write,
+};
+use std::os::unix::net::UnixListener;
+use std::path::PathBuf;
+use std::sync::mpsc::{
+    channel,
+    Sender,
+};
+use std::sync::{
+    Arc,
+    Mutex,
+};
+use std::time::Instant;
+
+use mirage_net::transport::{
+    BoundListener,
+    StreamTransport,
+};
+use mirage_types::{
+    SegmentId,
+    SiteId,
+};
+
+use crate::fault;
+use crate::kernel::{
+    kernel_main,
+    Command,
+    KernelCtx,
+};
+use crate::manifest::{
+    Manifest,
+    Workload,
+};
+use crate::runtime::SegView;
+use crate::workload;
+
+/// Parsed `mirage-site` command line.
+struct Args {
+    manifest: PathBuf,
+    site: usize,
+    incarnation: u64,
+    control: PathBuf,
+}
+
+fn parse_args(args: &[String]) -> Result<Args, String> {
+    let mut manifest = None;
+    let mut site = None;
+    let mut incarnation = 1u64;
+    let mut control = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = || it.next().ok_or(format!("{a} needs a value"));
+        match a.as_str() {
+            "--manifest" => manifest = Some(PathBuf::from(val()?)),
+            "--site" => site = Some(val()?.parse().map_err(|e| format!("--site: {e}"))?),
+            "--incarnation" => {
+                incarnation = val()?.parse().map_err(|e| format!("--incarnation: {e}"))?;
+            }
+            "--control" => control = Some(PathBuf::from(val()?)),
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(Args {
+        manifest: manifest.ok_or("--manifest is required")?,
+        site: site.ok_or("--site is required")?,
+        incarnation,
+        control: control.ok_or("--control is required")?,
+    })
+}
+
+/// The deterministic segment id of the manifest's `k`-th segment (the
+/// same id every member process computes).
+pub fn segment_id(m: &Manifest, k: usize) -> SegmentId {
+    SegmentId::new(SiteId(m.segments[k].lib as u16), (k + 1) as u32)
+}
+
+/// Runs this site's share of the manifest workload.
+fn run_workload(m: &Manifest, site: usize, views: &[SegView]) {
+    for view in views {
+        match m.workload {
+            Workload::Fill { rounds } => workload::fill(view, site, m.sites, rounds),
+            Workload::Readers { target } => {
+                if site == 0 {
+                    workload::readers_writer(view, target);
+                } else {
+                    workload::readers_reader(view, target);
+                }
+            }
+        }
+    }
+}
+
+/// The `mirage-site` entry point. Returns the process exit code.
+pub fn site_main(argv: Vec<String>) -> i32 {
+    match site_run(&argv) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("mirage-site: {e}");
+            2
+        }
+    }
+}
+
+fn site_run(argv: &[String]) -> Result<(), String> {
+    let args = parse_args(argv)?;
+    let m = Manifest::load(&args.manifest)?;
+    if args.site >= m.sites {
+        return Err(format!("site {} out of range (sites {})", args.site, m.sites));
+    }
+    let site = SiteId(args.site as u16);
+
+    // Bind the control socket before anything slow, so the launcher's
+    // connect-retry loop has a target as early as possible.
+    let _ = std::fs::remove_file(&args.control);
+    let control = UnixListener::bind(&args.control)
+        .map_err(|e| format!("bind control {}: {e}", args.control.display()))?;
+
+    fault::install_handler();
+    let listener = BoundListener::bind(&m.endpoints[args.site])
+        .map_err(|e| format!("bind {}: {e}", m.endpoints[args.site]))?;
+    let transport =
+        StreamTransport::start(site, args.incarnation, listener, m.endpoints.clone());
+    let (cmd_tx, cmd_rx) = channel::<Command>();
+    let ctx = KernelCtx {
+        site,
+        // This process hosts exactly one site: row 0 of its own mailbox
+        // table.
+        slot: 0,
+        config: m.protocol_config(),
+        epoch: Instant::now(),
+        region_slots: Arc::new(Mutex::new(Vec::new())),
+    };
+    let kernel = std::thread::Builder::new()
+        .name(format!("mirage-site-{}", args.site))
+        .spawn(move || kernel_main(ctx, Box::new(transport), cmd_rx))
+        .map_err(|e| format!("spawn kernel: {e}"))?;
+
+    // Create every manifest segment; the library site gets the resident
+    // creator view.
+    let mut views = Vec::new();
+    for k in 0..m.segments.len() {
+        let seg = segment_id(&m, k);
+        let (ack_tx, ack_rx) = channel();
+        cmd_tx
+            .send(Command::CreateSegment {
+                seg,
+                pages: m.segments[k].pages,
+                resident: m.segments[k].lib == args.site,
+                ack: ack_tx,
+            })
+            .map_err(|_| "kernel died during setup".to_string())?;
+        let base = ack_rx.recv().map_err(|_| "kernel died during setup".to_string())?;
+        views.push(SegView::from_raw(base as *mut u8, m.segments[k].pages));
+    }
+
+    // Serve the launcher.
+    let (stream, _) = control.accept().map_err(|e| format!("accept control: {e}"))?;
+    let mut writer = stream.try_clone().map_err(|e| format!("clone control: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    let send = |w: &mut dyn Write, line: &str| -> Result<(), String> {
+        w.write_all(line.as_bytes())
+            .and_then(|()| w.write_all(b"\n"))
+            .map_err(|e| format!("control write: {e}"))
+    };
+    send(&mut writer, "ready")?;
+
+    let mut workload_handle: Option<std::thread::JoinHandle<()>> = None;
+    loop {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // launcher vanished: shut down
+            Ok(_) => {}
+            Err(e) => return Err(format!("control read: {e}")),
+        }
+        let line = line.trim().to_string();
+        let mut words = line.split_whitespace();
+        match words.next() {
+            Some("start") => {
+                let m2 = m.clone();
+                let views2 = views.clone();
+                let site_idx = args.site;
+                workload_handle = Some(
+                    std::thread::Builder::new()
+                        .name("mirage-app".into())
+                        .spawn(move || run_workload(&m2, site_idx, &views2))
+                        .map_err(|e| format!("spawn workload: {e}"))?,
+                );
+                send(&mut writer, "started")?;
+            }
+            Some("wait") => {
+                if let Some(h) = workload_handle.take() {
+                    h.join().map_err(|_| "workload panicked".to_string())?;
+                }
+                send(&mut writer, "done")?;
+            }
+            Some("readback") => {
+                let mut sums = Vec::new();
+                for view in &views {
+                    sums.push(workload::readback_sum(view));
+                }
+                let combined = sums.iter().fold(0u64, |a, s| a ^ s.rotate_left(17));
+                send(&mut writer, &format!("sum {combined:016x}"))?;
+            }
+            Some("metrics") => {
+                let (tx, rx) = channel();
+                let text = if cmd_tx.send(Command::Metrics(tx)).is_ok() {
+                    rx.recv().map(|r| r.render()).unwrap_or_default()
+                } else {
+                    String::new()
+                };
+                send(&mut writer, &format!("metrics {}", text.replace('\n', "|")))?;
+            }
+            Some("migrate") => {
+                let parse3 =
+                    |w: &mut std::str::SplitWhitespace<'_>| -> Option<(u16, u32, u16)> {
+                        Some((
+                            w.next()?.parse().ok()?,
+                            w.next()?.parse().ok()?,
+                            w.next()?.parse().ok()?,
+                        ))
+                    };
+                match parse3(&mut words) {
+                    Some((lib, serial, to)) => {
+                        let seg = SegmentId::new(SiteId(lib), serial);
+                        let _ =
+                            cmd_tx.send(Command::Migrate { seg, to: SiteId(to), shard: None });
+                        send(&mut writer, "ok")?;
+                    }
+                    None => send(&mut writer, "err bad migrate")?,
+                }
+            }
+            Some("exit") => {
+                send(&mut writer, "bye")?;
+                break;
+            }
+            Some(other) => send(&mut writer, &format!("err unknown command {other}"))?,
+            None => {}
+        }
+    }
+
+    shutdown(cmd_tx, kernel);
+    let _ = std::fs::remove_file(&args.control);
+    Ok(())
+}
+
+fn shutdown(cmd_tx: Sender<Command>, kernel: std::thread::JoinHandle<()>) {
+    let _ = cmd_tx.send(Command::Stop);
+    let _ = kernel.join();
+    // Region entries and mailbox rows die with the process.
+}

@@ -1,73 +1,117 @@
-//! The host cluster: site kernel threads, app-thread views, and the
-//! in-process wire.
+//! The host cluster: site kernel threads, app-thread views, pluggable
+//! wires, and the host-driven placement loop.
+//!
+//! [`HostCluster::start`] keeps the original shape — one kernel thread
+//! per site over the in-process channel wire. [`HostCluster::start_with`]
+//! additionally selects Unix-domain sockets or TCP (the same production
+//! protocol bytes over a real wire, within one process) and can run the
+//! §9 placement advisor as a supervisor thread: it samples the live
+//! reference log at each segment's current library site, scores per-site
+//! fault counts, and issues [`Command::Migrate`] so the library role
+//! chases the traffic — the host-runtime realization of the paper's
+//! "library site migration is something that should be explored" (§9).
 
-use std::collections::{
-    BinaryHeap,
-    HashMap,
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{
+    AtomicBool,
+    Ordering,
 };
-use std::sync::atomic::Ordering;
-use std::sync::Arc;
+use std::sync::mpsc::{
+    channel,
+    Sender,
+};
+use std::sync::{
+    Arc,
+    Mutex,
+};
 use std::thread::JoinHandle;
 use std::time::{
     Duration,
     Instant,
 };
 
-use mirage_core::{
-    DriverOps,
-    Event,
-    PageStore,
-    ProtoMsg,
-    ProtocolConfig,
-    ProtocolDriver,
-    RefLogEntry,
-};
-use mirage_net::wire::{
-    from_bytes,
-    to_bytes,
+use mirage_core::ProtocolConfig;
+use mirage_net::transport::{
+    BoundListener,
+    ChannelNet,
+    Endpoint,
+    SequencedTransport,
+    StreamTransport,
 };
 use mirage_trace::{
-    Entry,
+    PlacementAdvisor,
     RefLog,
+    Registry,
 };
 use mirage_types::{
-    Access,
     PageNum,
-    PageProt,
-    Pid,
     SegmentId,
     SimTime,
     SiteId,
 };
-use std::sync::mpsc::{
-    channel,
-    Receiver,
-    Sender,
-};
-use std::sync::Mutex;
 
 use crate::{
     arch::STRIDE,
-    fault::{
-        self,
-        GRANTED,
-        IN_SERVICE,
-        MAILBOXES,
-        POSTED,
-        SLOTS_PER_SITE,
+    fault,
+    kernel::{
+        kernel_main,
+        Command,
+        KernelCtx,
     },
     region,
-    store::HostStore,
 };
 
-/// Messages to a site's kernel thread.
-enum KMsg {
-    /// An encoded protocol message from another site.
-    Wire { from: SiteId, bytes: Vec<u8> },
-    /// Create a segment locally; reply with the user-view base address.
-    CreateSegment { seg: SegmentId, pages: usize, resident: bool, ack: Sender<usize> },
-    /// Shut down.
-    Stop,
+/// Which wire carries protocol messages between the cluster's sites.
+#[derive(Clone, Debug, Default)]
+pub enum WireChoice {
+    /// In-process `mpsc` channels (the original wire).
+    #[default]
+    Chan,
+    /// Unix-domain sockets under the given directory (one socket file
+    /// per site); `None` picks a fresh directory under the system
+    /// temporary directory.
+    Uds(Option<PathBuf>),
+    /// TCP loopback sockets on kernel-assigned ports.
+    Tcp,
+}
+
+/// Supervisor settings for the host-driven placement loop.
+#[derive(Clone, Copy, Debug)]
+pub struct AdvisorOpts {
+    /// Minimum requests a site must contribute within one sampling
+    /// window before the advisor moves the library toward it.
+    pub min_requests: u64,
+    /// Sampling interval.
+    pub interval: Duration,
+}
+
+/// Cluster construction options.
+#[derive(Clone, Debug)]
+pub struct ClusterOpts {
+    /// Number of sites.
+    pub sites: usize,
+    /// Protocol configuration (shared by every site).
+    pub config: ProtocolConfig,
+    /// The wire between sites.
+    pub wire: WireChoice,
+    /// Run the placement advisor loop (requires `config.retry`).
+    pub advisor: Option<AdvisorOpts>,
+}
+
+/// One library move the advisor issued.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MigrationRecord {
+    /// The segment whose library role moved.
+    pub seg: SegmentId,
+    /// Where the role was.
+    pub from: SiteId,
+    /// Where it went.
+    pub to: SiteId,
+    /// When the move was issued (cluster clock).
+    pub at: SimTime,
+    /// Requests the destination contributed within the window.
+    pub requests: u64,
 }
 
 /// Global site-slot allocator: each cluster claims a contiguous block of
@@ -76,15 +120,17 @@ enum KMsg {
 static NEXT_SLOT: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
 
 struct Inner {
-    /// First global site slot of this cluster.
-    base_slot: usize,
     /// Region-table slots registered by this cluster (for cleanup).
-    region_slots: Mutex<Vec<usize>>,
-    senders: Vec<Sender<KMsg>>,
+    region_slots: Arc<Mutex<Vec<usize>>>,
+    senders: Vec<Sender<Command>>,
     views: Mutex<HashMap<(usize, SegmentId), (usize, usize)>>,
-    handles: Mutex<Vec<JoinHandle<()>>>,
-    /// Aggregated library reference logs (§9), one per site.
-    ref_logs: Vec<Mutex<RefLog>>,
+    handles: Mutex<Vec<Option<JoinHandle<()>>>>,
+    /// Advisor supervisor state.
+    advisor_stop: AtomicBool,
+    advisor_handle: Mutex<Option<JoinHandle<()>>>,
+    migrations: Mutex<Vec<MigrationRecord>>,
+    /// Current library site per segment, as the advisor tracks it.
+    lib_sites: Mutex<HashMap<SegmentId, SiteId>>,
     start: Instant,
     next_serial: Mutex<u32>,
 }
@@ -93,49 +139,94 @@ struct Inner {
 ///
 /// Sites are kernel threads inside this process; application threads
 /// obtain [`SegView`]s and access shared memory directly — page faults
-/// drive the real protocol.
+/// drive the real protocol. The wire between sites is pluggable
+/// ([`WireChoice`]); the protocol bytes are identical on all of them.
 pub struct HostCluster {
     inner: Arc<Inner>,
 }
 
 impl HostCluster {
-    /// Starts `n` sites with the given protocol configuration.
+    /// Starts `n` sites with the given protocol configuration over the
+    /// in-process channel wire (the original entry point).
     ///
     /// # Panics
     ///
-    /// Panics if `n` exceeds [`fault::MAX_SITES`].
+    /// Panics if the process's site-slot space is exhausted.
     pub fn start(n: usize, config: ProtocolConfig) -> Self {
+        Self::start_with(ClusterOpts {
+            sites: n,
+            config,
+            wire: WireChoice::Chan,
+            advisor: None,
+        })
+    }
+
+    /// Starts a cluster with explicit wire and supervisor options.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the process's site-slot space is exhausted, if a
+    /// socket wire fails to bind, or if `advisor` is set without
+    /// `config.retry` (handoffs lean on the retransmit chains).
+    pub fn start_with(opts: ClusterOpts) -> Self {
+        let ClusterOpts { sites: n, config, wire, advisor } = opts;
+        assert!(
+            advisor.is_none() || config.retry.is_some(),
+            "the placement advisor requires retry mode (library handoffs \
+             ride the retransmit chains)"
+        );
         let base_slot = NEXT_SLOT.fetch_add(n, std::sync::atomic::Ordering::Relaxed);
         assert!(
             base_slot + n <= fault::MAX_SITES,
             "site-slot space exhausted (too many clusters started in this process)"
         );
         fault::install_handler();
-        let channels: Vec<(Sender<KMsg>, Receiver<KMsg>)> = (0..n).map(|_| channel()).collect();
-        let senders: Vec<_> = channels.iter().map(|(s, _)| s.clone()).collect();
+        let transports = build_wire(&wire, n);
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = channel();
+            senders.push(tx);
+            receivers.push(rx);
+        }
         let inner = Arc::new(Inner {
-            base_slot,
-            region_slots: Mutex::new(Vec::new()),
-            senders: senders.clone(),
+            region_slots: Arc::new(Mutex::new(Vec::new())),
+            senders,
             views: Mutex::new(HashMap::new()),
             handles: Mutex::new(Vec::new()),
-            ref_logs: (0..n).map(|_| Mutex::new(RefLog::new())).collect(),
+            advisor_stop: AtomicBool::new(false),
+            advisor_handle: Mutex::new(None),
+            migrations: Mutex::new(Vec::new()),
+            lib_sites: Mutex::new(HashMap::new()),
             start: Instant::now(),
             next_serial: Mutex::new(1),
         });
         let mut handles = Vec::new();
-        for (i, (_, rx)) in channels.into_iter().enumerate() {
-            let inner2 = Arc::clone(&inner);
-            let cfg = config.clone();
-            let all_senders = senders.clone();
-            handles.push(
+        for (i, (transport, rx)) in transports.into_iter().zip(receivers).enumerate() {
+            let ctx = KernelCtx {
+                site: SiteId(i as u16),
+                slot: base_slot + i,
+                config: config.clone(),
+                epoch: inner.start,
+                region_slots: Arc::clone(&inner.region_slots),
+            };
+            handles.push(Some(
                 std::thread::Builder::new()
                     .name(format!("mirage-site-{i}"))
-                    .spawn(move || kernel_main(i, cfg, rx, all_senders, inner2))
+                    .spawn(move || kernel_main(ctx, transport, rx))
                     .expect("spawn site thread"),
-            );
+            ));
         }
         *inner.handles.lock().unwrap() = handles;
+        if let Some(a) = advisor {
+            let inner2 = Arc::clone(&inner);
+            *inner.advisor_handle.lock().unwrap() = Some(
+                std::thread::Builder::new()
+                    .name("mirage-advisor".into())
+                    .spawn(move || advisor_main(inner2, a))
+                    .expect("spawn advisor thread"),
+            );
+        }
         Self { inner }
     }
 
@@ -165,11 +256,12 @@ impl HostCluster {
         let lib = seg.library.index();
         for (i, tx) in self.inner.senders.iter().enumerate() {
             let (ack_tx, ack_rx) = channel();
-            tx.send(KMsg::CreateSegment { seg, pages, resident: i == lib, ack: ack_tx })
+            tx.send(Command::CreateSegment { seg, pages, resident: i == lib, ack: ack_tx })
                 .expect("site thread alive");
             let base = ack_rx.recv().expect("segment ack");
             self.inner.views.lock().unwrap().insert((i, seg), (base, pages));
         }
+        self.inner.lib_sites.lock().unwrap().insert(seg, seg.library);
     }
 
     /// Number of sites in the cluster.
@@ -191,23 +283,182 @@ impl HostCluster {
     }
 
     /// Snapshot of a site's reference log (meaningful at library sites).
+    /// Empty if the site has been stopped.
     pub fn ref_log(&self, site: usize) -> RefLog {
-        self.inner.ref_logs[site].lock().unwrap().clone()
+        let (tx, rx) = channel();
+        if self.inner.senders[site].send(Command::RefLog(tx)).is_err() {
+            return RefLog::new();
+        }
+        rx.recv().unwrap_or_default()
+    }
+
+    /// The merged per-site metrics registry (counters carry `s<site>.`
+    /// prefixes, so the merge is deterministic and the render diffable).
+    /// Stopped sites contribute nothing.
+    pub fn metrics(&self) -> Registry {
+        let mut merged = Registry::new();
+        for tx in &self.inner.senders {
+            let (ack, rx) = channel();
+            if tx.send(Command::Metrics(ack)).is_ok() {
+                if let Ok(reg) = rx.recv() {
+                    merged.merge(&reg);
+                }
+            }
+        }
+        merged
+    }
+
+    /// A site's view of a segment's page contents, read through the
+    /// kernel view (coherence checking). `None` if the site is stopped.
+    pub fn snapshot(&self, site: usize, seg: SegmentId) -> Option<Vec<u8>> {
+        let (tx, rx) = channel();
+        self.inner.senders[site].send(Command::Snapshot(seg, tx)).ok()?;
+        rx.recv().ok()
+    }
+
+    /// Manually hands a segment's library role to `to` (what the
+    /// advisor loop automates). Routed to the role's current site.
+    pub fn migrate(&self, seg: SegmentId, to: usize) {
+        let cur =
+            self.inner.lib_sites.lock().unwrap().get(&seg).copied().unwrap_or(seg.library);
+        let _ = self.inner.senders[cur.index()].send(Command::Migrate {
+            seg,
+            to: SiteId(to as u16),
+            shard: None,
+        });
+        self.inner.lib_sites.lock().unwrap().insert(seg, SiteId(to as u16));
+    }
+
+    /// Library moves the advisor (or [`HostCluster::migrate`]) issued.
+    pub fn migrations(&self) -> Vec<MigrationRecord> {
+        self.inner.migrations.lock().unwrap().clone()
+    }
+
+    /// Stops one site's kernel mid-run (poisons its fault path; peers
+    /// see silence and lean on their retry chains). Idempotent.
+    pub fn stop_site(&self, site: usize) {
+        let _ = self.inner.senders[site].send(Command::Stop);
+        if let Some(h) = self.inner.handles.lock().unwrap()[site].take() {
+            let _ = h.join();
+        }
     }
 }
 
 impl Drop for HostCluster {
     fn drop(&mut self) {
-        for tx in &self.inner.senders {
-            let _ = tx.send(KMsg::Stop);
+        self.inner.advisor_stop.store(true, Ordering::Release);
+        if let Some(h) = self.inner.advisor_handle.lock().unwrap().take() {
+            let _ = h.join();
         }
-        for h in self.inner.handles.lock().unwrap().drain(..) {
+        for tx in &self.inner.senders {
+            let _ = tx.send(Command::Stop);
+        }
+        for h in self.inner.handles.lock().unwrap().drain(..).flatten() {
             let _ = h.join();
         }
         // Remove this cluster's fault-routing entries so a later cluster
         // reusing the same address range never hits a stale region.
         for slot in self.inner.region_slots.lock().unwrap().drain(..) {
             region::unregister(slot);
+        }
+    }
+}
+
+/// Builds the chosen wire as one boxed transport per site.
+fn build_wire(wire: &WireChoice, n: usize) -> Vec<Box<dyn SequencedTransport>> {
+    match wire {
+        WireChoice::Chan => ChannelNet::fabric(n)
+            .into_iter()
+            .map(|t| Box::new(t) as Box<dyn SequencedTransport>)
+            .collect(),
+        WireChoice::Uds(dir) => {
+            let dir = dir.clone().unwrap_or_else(|| {
+                static N: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+                std::env::temp_dir().join(format!(
+                    "mirage-cluster-{}-{}",
+                    std::process::id(),
+                    N.fetch_add(1, Ordering::Relaxed)
+                ))
+            });
+            std::fs::create_dir_all(&dir).expect("create socket directory");
+            let eps: Vec<Endpoint> =
+                (0..n).map(|i| Endpoint::Uds(dir.join(format!("site{i}.sock")))).collect();
+            bind_all(&eps)
+        }
+        WireChoice::Tcp => {
+            // Two-phase: bind everything first so kernel-assigned ports
+            // are known before anyone dials.
+            let listeners: Vec<BoundListener> = (0..n)
+                .map(|_| {
+                    BoundListener::bind(&Endpoint::Tcp("127.0.0.1:0".into()))
+                        .expect("bind TCP listener")
+                })
+                .collect();
+            let eps: Vec<Endpoint> = listeners.iter().map(|l| l.endpoint().clone()).collect();
+            listeners
+                .into_iter()
+                .enumerate()
+                .map(|(i, l)| {
+                    Box::new(StreamTransport::start(SiteId(i as u16), 0, l, eps.clone()))
+                        as Box<dyn SequencedTransport>
+                })
+                .collect()
+        }
+    }
+}
+
+fn bind_all(eps: &[Endpoint]) -> Vec<Box<dyn SequencedTransport>> {
+    let listeners: Vec<BoundListener> =
+        eps.iter().map(|ep| BoundListener::bind(ep).expect("bind listener")).collect();
+    listeners
+        .into_iter()
+        .enumerate()
+        .map(|(i, l)| {
+            Box::new(StreamTransport::start(SiteId(i as u16), 0, l, eps.to_vec()))
+                as Box<dyn SequencedTransport>
+        })
+        .collect()
+}
+
+/// The placement supervisor: every interval, pull the reference log of
+/// each segment's current library site, score the *new* entries with
+/// the §9 advisor, and hand the role to whichever site dominates.
+fn advisor_main(inner: Arc<Inner>, opts: AdvisorOpts) {
+    let advisor = PlacementAdvisor::new(opts.min_requests);
+    // (segment, site) -> entries already consumed from that site's log.
+    let mut marks: HashMap<(SegmentId, SiteId), usize> = HashMap::new();
+    while !inner.advisor_stop.load(Ordering::Acquire) {
+        std::thread::sleep(opts.interval);
+        let segs: Vec<(SegmentId, SiteId)> =
+            inner.lib_sites.lock().unwrap().iter().map(|(s, l)| (*s, *l)).collect();
+        for (seg, lib) in segs {
+            let (tx, rx) = channel();
+            if inner.senders[lib.index()].send(Command::RefLog(tx)).is_err() {
+                continue;
+            }
+            let Ok(log) = rx.recv() else { continue };
+            let mark = marks.entry((seg, lib)).or_insert(0);
+            let fresh: Vec<_> =
+                log.entries().iter().skip(*mark).filter(|e| e.seg == seg).copied().collect();
+            *mark = log.entries().len();
+            for advice in advisor.advise(&fresh) {
+                if advice.seg != seg || advice.to == lib {
+                    continue;
+                }
+                let _ = inner.senders[lib.index()].send(Command::Migrate {
+                    seg,
+                    to: advice.to,
+                    shard: None,
+                });
+                inner.lib_sites.lock().unwrap().insert(seg, advice.to);
+                inner.migrations.lock().unwrap().push(MigrationRecord {
+                    seg,
+                    from: lib,
+                    to: advice.to,
+                    at: SimTime(inner.start.elapsed().as_nanos() as u64),
+                    requests: advice.requests,
+                });
+            }
         }
     }
 }
@@ -228,6 +479,13 @@ pub struct SegView {
 unsafe impl Send for SegView {}
 
 impl SegView {
+    /// Wraps a user-view base address handed back by a kernel's
+    /// segment-creation ack (crate-internal: the multi-process harness
+    /// builds views without a `HostCluster`).
+    pub(crate) const fn from_raw(base: *mut u8, pages: usize) -> SegView {
+        SegView { base, pages }
+    }
+
     /// Number of DSM pages in the segment.
     pub fn pages(&self) -> usize {
         self.pages
@@ -254,180 +512,6 @@ impl SegView {
         unsafe {
             let p = self.base.add(page.index() * STRIDE + offset).cast::<u32>();
             core::ptr::write_volatile(p, val);
-        }
-    }
-}
-
-/// A pending engine timer.
-struct TimerEnt(SimTime, u64);
-impl PartialEq for TimerEnt {
-    fn eq(&self, other: &Self) -> bool {
-        self.0 == other.0 && self.1 == other.1
-    }
-}
-impl Eq for TimerEnt {}
-impl PartialOrd for TimerEnt {
-    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for TimerEnt {
-    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
-        // Reversed: BinaryHeap is a max-heap and we want earliest-first.
-        (other.0, other.1).cmp(&(self.0, self.1))
-    }
-}
-
-/// [`DriverOps`] receiver for a host kernel thread: sends become wire
-/// bytes on the peer channels, wakes flip the faulting thread's mailbox
-/// slot, timers join the thread-local heap, and log records land in the
-/// shared reference log.
-struct HostOps<'a> {
-    site: SiteId,
-    site_idx: usize,
-    timers: &'a mut BinaryHeap<TimerEnt>,
-    senders: &'a [Sender<KMsg>],
-    inner: &'a Inner,
-}
-
-impl DriverOps for HostOps<'_> {
-    fn send(&mut self, to: SiteId, msg: ProtoMsg) {
-        let bytes = to_bytes(&msg);
-        // A dead peer during shutdown is fine.
-        let _ = self.senders[to.index()].send(KMsg::Wire { from: self.site, bytes });
-    }
-
-    fn wake(&mut self, pid: Pid) {
-        let slot = &MAILBOXES[self.inner.base_slot + self.site_idx][(pid.local as usize) - 1];
-        // Only wake a slot this site put in service; stale wakes for
-        // recycled slots are ignored by the CAS.
-        let _ = slot.state.compare_exchange(
-            IN_SERVICE,
-            GRANTED,
-            Ordering::AcqRel,
-            Ordering::Relaxed,
-        );
-    }
-
-    fn set_timer(&mut self, at: SimTime, token: u64) {
-        self.timers.push(TimerEnt(at, token));
-    }
-
-    fn log(&mut self, e: RefLogEntry) {
-        self.inner.ref_logs[self.site_idx].lock().unwrap().record(Entry {
-            seg: e.seg,
-            page: e.page,
-            at: e.at,
-            pid: e.pid,
-            access: e.access,
-        });
-    }
-}
-
-fn kernel_main(
-    site_idx: usize,
-    config: ProtocolConfig,
-    rx: Receiver<KMsg>,
-    senders: Vec<Sender<KMsg>>,
-    inner: Arc<Inner>,
-) {
-    let site = SiteId(site_idx as u16);
-    let slot = inner.base_slot + site_idx;
-    let mut driver = ProtocolDriver::from_config(site, config);
-    let mut store = HostStore::new();
-    let mut timers: BinaryHeap<TimerEnt> = BinaryHeap::new();
-    let now = |inner: &Inner| SimTime(inner.start.elapsed().as_nanos() as u64);
-
-    loop {
-        // Fire due timers.
-        let t_now = now(&inner);
-        while timers.peek().map(|t| t.0 <= t_now).unwrap_or(false) {
-            let TimerEnt(_, token) = timers.pop().expect("peeked");
-            driver.drive(
-                Event::Timer { token },
-                t_now,
-                &mut store,
-                &mut HostOps {
-                    site,
-                    site_idx,
-                    timers: &mut timers,
-                    senders: &senders,
-                    inner: &inner,
-                },
-            );
-        }
-        // Service posted faults.
-        #[allow(clippy::needless_range_loop)] // `slot` shadows the block index below.
-        for slot_idx in 0..SLOTS_PER_SITE {
-            let slot = &MAILBOXES[slot][slot_idx];
-            if slot
-                .state
-                .compare_exchange(POSTED, IN_SERVICE, Ordering::AcqRel, Ordering::Relaxed)
-                .is_err()
-            {
-                continue;
-            }
-            let addr = slot.addr.load(Ordering::Relaxed);
-            let hw_write = slot.write.load(Ordering::Relaxed) == 1;
-            let Some(hit) = region::lookup(addr) else {
-                // Region vanished (segment destroyed mid-fault); let the
-                // app retry and crash honestly.
-                slot.state.store(GRANTED, Ordering::Release);
-                continue;
-            };
-            let page = PageNum((hit.offset / STRIDE) as u32);
-            // Typed fault: the x86-64 error-code bit; on other
-            // architectures infer from the current protection (a fault
-            // on a readable page must be a write).
-            let access = if hw_write || store.prot(hit.seg, page) == PageProt::Read {
-                Access::Write
-            } else {
-                Access::Read
-            };
-            let pid = Pid::new(site, (slot_idx + 1) as u32);
-            let t = now(&inner);
-            driver.drive(
-                Event::Fault { pid, seg: hit.seg, page, access },
-                t,
-                &mut store,
-                &mut HostOps {
-                    site,
-                    site_idx,
-                    timers: &mut timers,
-                    senders: &senders,
-                    inner: &inner,
-                },
-            );
-        }
-        // Wait briefly for wire traffic or commands.
-        match rx.recv_timeout(Duration::from_micros(500)) {
-            Ok(KMsg::Wire { from, bytes }) => {
-                let msg: ProtoMsg = from_bytes(&bytes).expect("peer sent valid wire data");
-                let t = now(&inner);
-                driver.drive(
-                    Event::Deliver { from, msg },
-                    t,
-                    &mut store,
-                    &mut HostOps {
-                        site,
-                        site_idx,
-                        timers: &mut timers,
-                        senders: &senders,
-                        inner: &inner,
-                    },
-                );
-            }
-            Ok(KMsg::CreateSegment { seg, pages, resident, ack }) => {
-                store.add_segment(seg, pages, resident);
-                driver.register_segment(seg, pages);
-                let base = store.mapping(seg).expect("just added").user_base() as usize;
-                let rslot = region::register(base, pages * STRIDE, slot, seg);
-                inner.region_slots.lock().unwrap().push(rslot);
-                let _ = ack.send(base);
-            }
-            Ok(KMsg::Stop) => return,
-            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {}
-            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => return,
         }
     }
 }

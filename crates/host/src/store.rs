@@ -46,6 +46,25 @@ impl HostStore {
     pub fn mapping(&self, seg: SegmentId) -> Option<&DoubleMapping> {
         self.segs.get(&seg).map(|(m, _)| m)
     }
+
+    /// Every segment held, with its page count (deterministic order).
+    pub fn segments(&self) -> Vec<(SegmentId, usize)> {
+        let mut v: Vec<_> = self.segs.iter().map(|(s, (_, p))| (*s, p.len())).collect();
+        v.sort();
+        v
+    }
+
+    /// Opens every page of every segment read-write — the teardown
+    /// poison step, so app threads retrying a fault after the kernel
+    /// died succeed locally instead of spinning forever.
+    pub fn open_all(&mut self) {
+        for (map, prots) in self.segs.values_mut() {
+            for (p, prot) in prots.iter_mut().enumerate() {
+                map.protect(p, PageProt::ReadWrite);
+                *prot = PageProt::ReadWrite;
+            }
+        }
+    }
 }
 
 impl PageStore for HostStore {

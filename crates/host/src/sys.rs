@@ -30,6 +30,7 @@ pub const MAP_SHARED: c_int = 1;
 pub const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
 
 pub const SIGSEGV: c_int = 11;
+pub const SIGKILL: c_int = 9;
 pub const SA_SIGINFO: c_int = 4;
 #[allow(overflowing_literals)]
 pub const SA_RESTART: c_int = 0x1000_0000;
@@ -122,6 +123,7 @@ extern "C" {
     pub fn fork() -> pid_t;
     pub fn _exit(status: c_int) -> !;
     pub fn waitpid(pid: pid_t, status: *mut c_int, options: c_int) -> pid_t;
+    pub fn kill(pid: pid_t, sig: c_int) -> c_int;
 }
 
 /// True if the child exited due to a signal (`WIFSIGNALED`).

@@ -1,0 +1,98 @@
+//! Deterministic application workloads shared by the in-process and
+//! multi-process harnesses.
+//!
+//! Both deployment shapes run the *same* access pattern over the *same*
+//! protocol, so the acceptance check "a socket cluster computes the
+//! same final page contents as the channel cluster" is a byte-for-byte
+//! comparison of [`readback_sum`]s — and [`expected_fill`] pins both to
+//! the values the workload mathematically must produce.
+
+use mirage_types::{
+    fnv64,
+    PageNum,
+};
+
+use crate::runtime::SegView;
+
+/// Bytes of a DSM page each site owns in the fill workload. 16 bytes
+/// supports 32 sites per 512-byte page.
+pub const FILL_CELL: usize = 16;
+
+/// The value site `site` writes into page `page` on round `round`.
+pub fn fill_value(site: usize, page: u32, round: u32) -> u32 {
+    ((site as u32) << 24) ^ (page << 12) ^ round ^ 0x5EED_0000
+}
+
+/// The fill workload at one site: every round, write this site's cell
+/// of every page, then read a neighbor's cell — forced sharing, but a
+/// deterministic final image (each cell's last writer is fixed).
+pub fn fill(view: &SegView, site: usize, sites: usize, rounds: u32) {
+    for round in 0..rounds {
+        for page in 0..view.pages() as u32 {
+            view.write_u32(PageNum(page), site * FILL_CELL, fill_value(site, page, round));
+            // Read the previous site's cell: pulls a fresh copy and
+            // keeps every page contended across the whole run.
+            let neighbor = (site + sites - 1) % sites;
+            let _ = view.read_u32(PageNum(page), neighbor * FILL_CELL);
+        }
+    }
+}
+
+/// The final page image `fill` must leave behind, regardless of wire,
+/// interleaving, or site count: each site's cell holds its last-round
+/// value, everything else is zero.
+pub fn expected_fill(pages: usize, sites: usize, rounds: u32) -> Vec<u8> {
+    let mut image = vec![0u8; pages * mirage_types::PAGE_SIZE];
+    if rounds == 0 {
+        return image;
+    }
+    for page in 0..pages as u32 {
+        for site in 0..sites {
+            let v = fill_value(site, page, rounds - 1);
+            let off = page as usize * mirage_types::PAGE_SIZE + site * FILL_CELL;
+            image[off..off + 4].copy_from_slice(&v.to_le_bytes());
+        }
+    }
+    image
+}
+
+/// The writer half of the readers workload: publish 1..=target in page
+/// 0, cell 0, pacing so readers (and a restarted reader) can observe
+/// progress.
+pub fn readers_writer(view: &SegView, target: u32) {
+    for v in 1..=target {
+        view.write_u32(PageNum(0), 0, v);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+}
+
+/// The reader half: poll page 0, cell 0 until the counter reaches
+/// `target`. Returns the number of polls taken.
+pub fn readers_reader(view: &SegView, target: u32) -> u64 {
+    let mut polls = 0u64;
+    loop {
+        polls += 1;
+        if view.read_u32(PageNum(0), 0) >= target {
+            return polls;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+}
+
+/// A checksum over a segment's contents *as read through the view* —
+/// every read pulls the freshest copy via the protocol, so two sites
+/// computing different sums have genuinely diverged.
+pub fn readback_sum(view: &SegView) -> u64 {
+    let mut bytes = Vec::with_capacity(view.pages() * mirage_types::PAGE_SIZE);
+    for page in 0..view.pages() as u32 {
+        for off in (0..mirage_types::PAGE_SIZE).step_by(4) {
+            bytes.extend_from_slice(&view.read_u32(PageNum(page), off).to_le_bytes());
+        }
+    }
+    fnv64(&bytes)
+}
+
+/// The checksum [`readback_sum`] must produce over a raw page image.
+pub fn image_sum(image: &[u8]) -> u64 {
+    fnv64(image)
+}

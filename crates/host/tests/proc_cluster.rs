@@ -1,0 +1,119 @@
+//! Multi-process cluster tests: real `mirage-site` OS processes over
+//! Unix-domain sockets, driven by the launcher. `#[ignore]`d so the
+//! default test path stays process-free; CI runs them explicitly with
+//! `cargo test -p mirage-host --test proc_cluster --release -- --ignored`.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use mirage_host::launcher::{
+    run_cluster,
+    KillPlan,
+    LaunchOpts,
+};
+use mirage_host::manifest::{
+    Manifest,
+    SegmentSpec,
+    Workload,
+};
+use mirage_host::workload;
+use mirage_net::transport::Endpoint;
+
+/// The real binary, built by Cargo for this test run.
+const SITE_BIN: &str = env!("CARGO_BIN_EXE_mirage-site");
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mirage-proc-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn uds_manifest(dir: &std::path::Path, sites: usize, pages: usize, load: Workload) -> Manifest {
+    Manifest {
+        sites,
+        endpoints: (0..sites)
+            .map(|i| Endpoint::Uds(dir.join(format!("site{i}.sock"))))
+            .collect(),
+        delta_ticks: 1,
+        retry: true,
+        segments: vec![SegmentSpec { lib: 0, pages }],
+        workload: load,
+    }
+}
+
+fn opts(manifest: Manifest, dir: PathBuf, kill: Option<KillPlan>) -> LaunchOpts {
+    LaunchOpts {
+        manifest,
+        dir,
+        site_bin: PathBuf::from(SITE_BIN),
+        kill,
+        deadline: Duration::from_secs(90),
+    }
+}
+
+/// The per-process readback reply folds segment checksums as
+/// `acc ^ sum.rotate_left(17)`; with one segment that is just the
+/// rotation.
+fn folded(sum: u64) -> u64 {
+    sum.rotate_left(17)
+}
+
+/// Acceptance: a 3-process UDS cluster runs the production protocol
+/// end-to-end and lands on the exact final page contents the workload
+/// mathematically must produce — the same image the in-process channel
+/// cluster produces (pinned to `expected_fill` in `host_wires.rs`).
+#[test]
+#[ignore = "spawns real processes; run explicitly (CI cluster job)"]
+fn three_process_uds_fill_matches_expected_image() {
+    const SITES: usize = 3;
+    const PAGES: usize = 2;
+    const ROUNDS: u32 = 4;
+    let dir = scratch("fill");
+    let manifest = uds_manifest(&dir, SITES, PAGES, Workload::Fill { rounds: ROUNDS });
+    let report = run_cluster(&opts(manifest, dir, None)).expect("cluster run");
+
+    for s in &report.sites {
+        assert_eq!(s.exit, Some(0), "site {} exited dirty: {:?}", s.site, s.exit);
+        assert!(!s.killed);
+    }
+    assert!(report.coherent, "sites diverged: {:?}", report.sites);
+    let expected = folded(workload::image_sum(&workload::expected_fill(PAGES, SITES, ROUNDS)));
+    assert_eq!(report.sum, Some(expected), "coherent but on the wrong image");
+    // The wire really carried protocol traffic.
+    assert!(report.metrics.contains("s0.wire.tx.frames"), "metrics:\n{}", report.metrics);
+}
+
+/// Kill -9 one *reader* process mid-run, restart it with a bumped
+/// incarnation: pending grants retransmit via the retry chains, the
+/// incarnation bump severs stale circuits, and every survivor (plus the
+/// restarted member) converges on the same page state.
+#[test]
+#[ignore = "spawns real processes; run explicitly (CI cluster job)"]
+fn kill_and_restart_reader_over_uds_reconverges() {
+    const SITES: usize = 3;
+    const TARGET: u32 = 80;
+    let dir = scratch("kill");
+    let manifest = uds_manifest(&dir, SITES, 1, Workload::Readers { target: TARGET });
+    // Site 0 is writer and library; site 2 is a pure reader — killing it
+    // loses no page authority, so the survivors' state stays whole and
+    // the fresh incarnation re-fetches everything through the library.
+    let kill = KillPlan {
+        site: 2,
+        after: Duration::from_millis(60),
+        restart_after: Some(Duration::from_millis(60)),
+    };
+    let report = run_cluster(&opts(manifest, dir, Some(kill))).expect("cluster run");
+
+    let victim = &report.sites[2];
+    assert!(victim.killed);
+    assert_eq!(victim.incarnation, 2);
+    for s in &report.sites {
+        assert_eq!(s.exit, Some(0), "site {} exited dirty: {:?}", s.site, s.exit);
+    }
+    assert!(report.coherent, "post-restart divergence: {:?}", report.sites);
+    // Everyone read the final counter: page 0 cell 0 == TARGET, rest 0.
+    let mut image = vec![0u8; mirage_types::PAGE_SIZE];
+    image[0..4].copy_from_slice(&TARGET.to_le_bytes());
+    assert_eq!(report.sum, Some(folded(workload::image_sum(&image))));
+}

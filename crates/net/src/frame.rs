@@ -1,0 +1,232 @@
+//! Length-prefixed framing and the connect handshake for real byte
+//! streams.
+//!
+//! A [`crate::transport::SequencedTransport`] backed by a stream socket
+//! (Unix-domain or TCP) carries protocol messages as *frames*:
+//!
+//! ```text
+//! [ len: u32 ][ seq: u64 ][ sum: u64 ][ payload: len-16 bytes ]
+//! ```
+//!
+//! `len` counts everything after itself (`16 + payload.len()`), `seq`
+//! is the circuit sequence number the sender's
+//! [`crate::CircuitTable`] stamped, and `sum` is the FNV-1a hash of the
+//! `seq` bytes followed by the payload — a whole-frame integrity check,
+//! so a flipped bit anywhere in the frame surfaces as a codec error
+//! (and a dropped connection) instead of a corrupt protocol message.
+//!
+//! Every connection opens with a fixed 14-byte [`Hello`]:
+//!
+//! ```text
+//! [ magic: "MRG1" ][ from: u16 ][ incarnation: u64 ]
+//! ```
+//!
+//! The incarnation stamps every frame read off that connection. A
+//! restarted process connects with a bumped incarnation; receivers
+//! reset the peer's circuit on the bump and discard frames still
+//! arriving from the old incarnation (the Locus topology-change rule,
+//! §7.1, applied to real sockets).
+
+use mirage_types::{
+    fnv64,
+    MirageError,
+    Result,
+    SiteId,
+};
+
+/// Connection-opening magic ("MiRaGe, framing v1").
+pub const HELLO_MAGIC: [u8; 4] = *b"MRG1";
+
+/// Encoded size of a [`Hello`].
+pub const HELLO_LEN: usize = 14;
+
+/// Frame header bytes after the length prefix (`seq` + `sum`).
+pub const FRAME_HEADER: usize = 16;
+
+/// Upper bound on a frame's payload. The largest protocol message is a
+/// library handoff of a sharded segment — well under this; anything
+/// bigger is a corrupt length field and kills the connection.
+pub const MAX_FRAME_PAYLOAD: usize = 1 << 20;
+
+/// The connect handshake: who is dialing, and which incarnation of it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Hello {
+    /// The connecting site.
+    pub from: SiteId,
+    /// The connecting process's incarnation (bumped on every restart).
+    pub incarnation: u64,
+}
+
+/// Encodes a handshake.
+pub fn encode_hello(h: &Hello) -> [u8; HELLO_LEN] {
+    let mut out = [0u8; HELLO_LEN];
+    out[..4].copy_from_slice(&HELLO_MAGIC);
+    out[4..6].copy_from_slice(&h.from.0.to_le_bytes());
+    out[6..14].copy_from_slice(&h.incarnation.to_le_bytes());
+    out
+}
+
+/// Decodes a handshake.
+///
+/// # Errors
+///
+/// Returns [`MirageError::Codec`] if the buffer is not exactly
+/// [`HELLO_LEN`] bytes or the magic does not match.
+pub fn decode_hello(buf: &[u8]) -> Result<Hello> {
+    if buf.len() != HELLO_LEN {
+        return Err(MirageError::Codec("hello length mismatch"));
+    }
+    if buf[..4] != HELLO_MAGIC {
+        return Err(MirageError::Codec("bad hello magic"));
+    }
+    let from = SiteId(u16::from_le_bytes([buf[4], buf[5]]));
+    let incarnation = u64::from_le_bytes(buf[6..14].try_into().expect("length checked"));
+    Ok(Hello { from, incarnation })
+}
+
+/// The whole-frame integrity hash: FNV-1a over the sequence number's
+/// little-endian bytes followed by the payload.
+pub fn frame_sum(seq: u64, payload: &[u8]) -> u64 {
+    let mut bytes = Vec::with_capacity(8 + payload.len());
+    bytes.extend_from_slice(&seq.to_le_bytes());
+    bytes.extend_from_slice(payload);
+    fnv64(&bytes)
+}
+
+/// Appends one encoded frame to `out`.
+pub fn encode_frame(seq: u64, payload: &[u8], out: &mut Vec<u8>) {
+    debug_assert!(payload.len() <= MAX_FRAME_PAYLOAD);
+    let len = (FRAME_HEADER + payload.len()) as u32;
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&frame_sum(seq, payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// A decoded frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// The sender's circuit sequence number.
+    pub seq: u64,
+    /// The protocol message bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Incremental frame decoder for a byte stream.
+///
+/// Feed it whatever `read(2)` returned; pop complete frames. Partial
+/// frames wait for more bytes (a strict prefix of a valid frame never
+/// yields anything), and any integrity violation — oversized or
+/// undersized length, checksum mismatch — is a hard error: the caller
+/// must drop the connection and let reconnection (plus the protocol
+/// retry chains) recover.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw stream bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Discards any partial frame — the mid-frame reconnect path: a new
+    /// connection restarts framing from its first byte.
+    pub fn reset(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Bytes currently buffered (diagnostics).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Pops the next complete frame, if one is fully buffered.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MirageError::Codec`] if the stream is provably corrupt
+    /// (impossible length or checksum mismatch). The decoder is left
+    /// unusable for this connection; [`FrameDecoder::reset`] it after
+    /// reconnecting.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len =
+            u32::from_le_bytes(self.buf[..4].try_into().expect("length checked")) as usize;
+        if !(FRAME_HEADER..=FRAME_HEADER + MAX_FRAME_PAYLOAD).contains(&len) {
+            return Err(MirageError::Codec("impossible frame length"));
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        let seq = u64::from_le_bytes(self.buf[4..12].try_into().expect("length checked"));
+        let sum = u64::from_le_bytes(self.buf[12..20].try_into().expect("length checked"));
+        let payload = self.buf[20..4 + len].to_vec();
+        if frame_sum(seq, &payload) != sum {
+            return Err(MirageError::Codec("frame checksum mismatch"));
+        }
+        self.buf.drain(..4 + len);
+        Ok(Some(Frame { seq, payload }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trip() {
+        let mut wire = Vec::new();
+        encode_frame(7, b"hello", &mut wire);
+        encode_frame(8, b"", &mut wire);
+        let mut d = FrameDecoder::new();
+        d.push(&wire);
+        let a = d.next_frame().unwrap().unwrap();
+        assert_eq!((a.seq, a.payload.as_slice()), (7, b"hello".as_slice()));
+        let b = d.next_frame().unwrap().unwrap();
+        assert_eq!((b.seq, b.payload.len()), (8, 0));
+        assert!(d.next_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn partial_frames_wait_for_more_bytes() {
+        let mut wire = Vec::new();
+        encode_frame(1, &[9u8; 100], &mut wire);
+        let mut d = FrameDecoder::new();
+        for chunk in wire.chunks(7) {
+            assert!(d.next_frame().unwrap().is_none() || d.buffered() == 0);
+            d.push(chunk);
+        }
+        assert_eq!(d.next_frame().unwrap().unwrap().payload, vec![9u8; 100]);
+    }
+
+    #[test]
+    fn checksum_rejects_payload_corruption() {
+        let mut wire = Vec::new();
+        encode_frame(3, b"payload", &mut wire);
+        let last = wire.len() - 1;
+        wire[last] ^= 0x40;
+        let mut d = FrameDecoder::new();
+        d.push(&wire);
+        assert!(d.next_frame().is_err());
+    }
+
+    #[test]
+    fn hello_round_trip_and_magic_check() {
+        let h = Hello { from: SiteId(513), incarnation: 42 };
+        let enc = encode_hello(&h);
+        assert_eq!(decode_hello(&enc).unwrap(), h);
+        let mut bad = enc;
+        bad[0] = b'X';
+        assert!(decode_hello(&bad).is_err());
+        assert!(decode_hello(&enc[..HELLO_LEN - 1]).is_err());
+    }
+}

@@ -21,7 +21,12 @@
 //!   crash/restart), interpreted by the simulator;
 //! * [`topology::Topology`] — the set of sites in the network;
 //! * [`costs::NetCosts`] — the component-cost model calibrated to the
-//!   paper's measured timings (12.9 ms short round trip, Table 3, …).
+//!   paper's measured timings (12.9 ms short round trip, Table 3, …);
+//! * [`frame::FrameDecoder`] — length-prefixed, checksummed framing plus
+//!   the incarnation-stamped connect handshake for real byte streams;
+//! * [`transport::SequencedTransport`] — the ordered/framed/reconnectable
+//!   circuit abstraction with in-process channel, Unix-domain socket,
+//!   and TCP implementations.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -29,9 +34,11 @@
 pub mod circuit;
 pub mod costs;
 pub mod faults;
+pub mod frame;
 pub mod kind;
 pub mod message;
 pub mod topology;
+pub mod transport;
 pub mod wire;
 
 pub use circuit::{
@@ -47,7 +54,24 @@ pub use faults::{
     FaultPlan,
     LinkFaults,
 };
+pub use frame::{
+    Frame,
+    FrameDecoder,
+    Hello,
+};
 pub use kind::MsgKind;
 pub use message::Message;
 pub use topology::Topology;
+pub use transport::{
+    BoundListener,
+    ChannelNet,
+    ChannelTransport,
+    Endpoint,
+    PeerFrame,
+    SequencedIn,
+    SequencedTransport,
+    StreamTransport,
+    TransportEvent,
+    TransportStats,
+};
 pub use wire::Wire;
